@@ -1,0 +1,115 @@
+// Experiment A4 (ablation) — the interconnect is the design knob of
+// Sec. VI ("a new design ... can be automatically generated if we choose a
+// different interconnection pattern"). This bench sweeps the DP module
+// system over four interconnects, reporting the space-search optimum, the
+// paper designs' feasibility, and the block-pipelining period — the
+// throughput cost of figure 2's denser cell usage.
+#include "bench_common.hpp"
+#include "designs/dp_array.hpp"
+#include "dp/dp_modules.hpp"
+#include "dp/sequential.hpp"
+#include "modules/module_space.hpp"
+#include "modules/pipelining.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace nusys;
+
+void print_ablation() {
+  std::cout << "=== Ablation A4: interconnect sweep for the DP system ===\n\n";
+  const i64 n = 6;
+  const auto sys = build_dp_module_system(n);
+  const auto schedules = dp_paper_schedules();
+
+  TextTable table({"interconnect", "links", "search best cells",
+                   "fig1 maps ok", "fig2 maps ok"});
+  for (const auto& [label, net] :
+       {std::pair{"figure1 (east,south)", Interconnect::figure1()},
+        std::pair{"figure2 (+west,southwest)", Interconnect::figure2()},
+        std::pair{"mesh2d", Interconnect::mesh2d()},
+        std::pair{"hexagonal", Interconnect::hexagonal()}}) {
+    ModuleSpaceOptions opts;
+    opts.max_results = 1;
+    const auto result = find_module_spaces(sys, schedules, net, opts);
+    table.add_row(
+        {label, std::to_string(net.link_count()),
+         result.found() ? std::to_string(result.best().cell_count) : "-",
+         spaces_satisfy(sys, schedules, dp_fig1_spaces(), net) ? "yes" : "no",
+         spaces_satisfy(sys, schedules, dp_fig2_spaces(), net) ? "yes"
+                                                               : "no"});
+  }
+  std::cout << table.render() << '\n';
+
+  // Pipelining periods of the two paper designs across sizes.
+  TextTable periods({"n", "fig1 period", "fig2 period", "fig1 cells",
+                     "fig2 cells"});
+  for (const i64 size : {6, 8, 12, 16}) {
+    const auto s = build_dp_module_system(size);
+    const i64 p1 = min_pipeline_period(s, schedules, dp_fig1_spaces(), 256);
+    const i64 p2 = min_pipeline_period(s, schedules, dp_fig2_spaces(), 256);
+    periods.add_row({std::to_string(size), std::to_string(p1),
+                     std::to_string(p2),
+                     std::to_string(count_cells(s, dp_fig1_spaces())),
+                     std::to_string(count_cells(s, dp_fig2_spaces()))});
+  }
+  std::cout << "block pipelining period (ticks between successive problem "
+               "instances):\n"
+            << periods.render() << '\n';
+
+  // Executable witness: stream 4 instances at the predicted minimum.
+  {
+    const i64 size = 12;
+    const auto s = build_dp_module_system(size);
+    Rng rng(20);
+    std::vector<IntervalDPProblem> stream;
+    for (int q = 0; q < 4; ++q) stream.push_back(random_matrix_chain(size, rng));
+    for (const auto& [label, design, spaces] :
+         {std::tuple{"figure1", dp_fig1_design(), dp_fig1_spaces()},
+          std::tuple{"figure2", dp_fig2_design(), dp_fig2_spaces()}}) {
+      const i64 p = min_pipeline_period(s, schedules, spaces, 256);
+      const auto run = run_dp_pipelined(stream, design, p);
+      bool ok = true;
+      for (std::size_t q = 0; q < stream.size(); ++q) {
+        ok = ok && run.tables[q] == solve_sequential(stream[q]);
+      }
+      std::cout << label << ": 4 instances streamed at period " << p
+                << " finish at tick " << run.last_tick << " ("
+                << (ok ? "all correct" : "MISMATCH") << ")\n";
+    }
+    std::cout << '\n';
+  }
+}
+
+void bm_pipeline_period(benchmark::State& state) {
+  const auto sys = build_dp_module_system(state.range(0));
+  const auto schedules = dp_paper_schedules();
+  const bool fig2 = state.range(1) == 2;
+  const auto spaces = fig2 ? dp_fig2_spaces() : dp_fig1_spaces();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        min_pipeline_period(sys, schedules, spaces, 256));
+  }
+  state.SetLabel(fig2 ? "figure2" : "figure1");
+}
+BENCHMARK(bm_pipeline_period)->Args({8, 1})->Args({8, 2})->Args({16, 1});
+
+void bm_space_search_per_net(benchmark::State& state) {
+  const auto sys = build_dp_module_system(6);
+  const auto schedules = dp_paper_schedules();
+  const auto net = state.range(0) == 0   ? Interconnect::figure1()
+                   : state.range(0) == 1 ? Interconnect::figure2()
+                   : state.range(0) == 2 ? Interconnect::mesh2d()
+                                         : Interconnect::hexagonal();
+  ModuleSpaceOptions opts;
+  opts.max_results = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_module_spaces(sys, schedules, net, opts));
+  }
+}
+BENCHMARK(bm_space_search_per_net)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_ablation)

@@ -1,0 +1,87 @@
+// Experiment A2 (ablation) — cost and completeness of the exhaustive
+// searches as the coefficient bound widens: the paper's optima already lie
+// in the +-1/+-2 cube, so wider bounds only add cost. Also measures the
+// feasibility density of random dependence matrices.
+#include "bench_common.hpp"
+#include "conv/recurrences.hpp"
+#include "schedule/search.hpp"
+#include "space/allocation.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace nusys;
+
+void print_ablation() {
+  std::cout << "=== Ablation A2: search bound vs cost and optimum ===\n\n";
+  const auto rec = convolution_forward_recurrence(16, 4);
+  TextTable table({"bound", "examined", "feasible", "optimum makespan",
+                   "optima"});
+  for (const i64 bound : {1, 2, 3, 4, 6}) {
+    ScheduleSearchOptions opts;
+    opts.coeff_bound = bound;
+    const auto result =
+        find_optimal_schedules(rec.dependences(), rec.domain(), opts);
+    table.add_row({std::to_string(bound), std::to_string(result.examined),
+                   std::to_string(result.feasible_count),
+                   result.found() ? std::to_string(result.makespan) : "-",
+                   std::to_string(result.optima.size())});
+  }
+  std::cout << table.render() << '\n';
+
+  // Feasibility density of random 2-D dependence triples.
+  Rng rng(14);
+  std::size_t feasible = 0;
+  constexpr int kTrials = 200;
+  const auto domain = IndexDomain::box({"i", "k"}, {1, 1}, {8, 8});
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<IntVec> deps;
+    for (int d = 0; d < 3; ++d) {
+      IntVec v{rng.uniform(-2, 2), rng.uniform(-2, 2)};
+      if (v.is_zero()) v = IntVec{1, 0};
+      deps.push_back(std::move(v));
+    }
+    if (find_optimal_schedules(deps, domain).found()) ++feasible;
+  }
+  std::cout << "random dependence triples schedulable within bound 3: "
+            << feasible << "/" << kTrials << "\n\n";
+}
+
+void bm_schedule_search_bound(benchmark::State& state) {
+  const auto rec = convolution_forward_recurrence(16, 4);
+  ScheduleSearchOptions opts;
+  opts.coeff_bound = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        find_optimal_schedules(rec.dependences(), rec.domain(), opts));
+  }
+}
+BENCHMARK(bm_schedule_search_bound)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void bm_space_search_bound(benchmark::State& state) {
+  const auto rec = convolution_forward_recurrence(12, 4);
+  const LinearSchedule t(IntVec({2, -1}));
+  const auto net = Interconnect::linear_bidirectional();
+  SpaceSearchOptions opts;
+  opts.coeff_bound = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_space_maps(
+        t, rec.dependences().vectors(), net, rec.domain(), opts));
+  }
+}
+BENCHMARK(bm_space_search_bound)->Arg(1)->Arg(2)->Arg(3);
+
+void bm_schedule_search_domain_size(benchmark::State& state) {
+  // Makespan evaluation dominates; scale the domain.
+  const auto rec = convolution_forward_recurrence(state.range(0), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        find_optimal_schedules(rec.dependences(), rec.domain()));
+  }
+}
+BENCHMARK(bm_schedule_search_domain_size)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_ablation)

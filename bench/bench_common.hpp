@@ -1,0 +1,22 @@
+// Shared main() shape for the nusys benchmark binaries: each binary first
+// prints its paper-artifact reproduction (the table or figure series),
+// then hands over to google-benchmark for the timed part.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+/// Declares main(): prints the reproduction via `print_fn`, then runs the
+/// registered benchmarks.
+#define NUSYS_BENCH_MAIN(print_fn)                                  \
+  int main(int argc, char** argv) {                                 \
+    print_fn();                                                     \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {     \
+      return 1;                                                     \
+    }                                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    return 0;                                                       \
+  }

@@ -1,0 +1,83 @@
+// Experiment F1 — regenerates Figure 1 of the paper: the triangular
+// Guibas-Kung-Thompson dynamic-programming array with S' = S'' = S = (j,i)
+// and the schedules λ = -i+2j-k, μ = -2i+j+k, σ = 2(j-i). Prints the
+// scaling series (cells, completion tick, utilization) and benchmarks the
+// cycle-accurate simulation against the sequential O(n³) solver.
+#include "bench_common.hpp"
+#include "designs/dp_array.hpp"
+#include "dp/sequential.hpp"
+#include "dp/two_module.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "synth/figure_render.hpp"
+
+namespace {
+
+using namespace nusys;
+
+void print_fig1() {
+  std::cout << "=== Figure 1: triangular DP array (S = (j,i), ~n^2/2 cells) "
+               "===\n\n";
+  std::cout << render_module_figure(build_dp_module_system(8),
+                                    dp_fig1_spaces(), dp_paper_schedules(),
+                                    Interconnect::figure1())
+            << '\n';
+  TextTable table({"n", "cells", "(n-1)(n-2)/2", "last tick", "2(n-1)",
+                   "f/h ops", "utilization", "max fold", "correct"});
+  Rng rng(5);
+  for (const i64 n : {8, 12, 16, 24, 32, 48, 64}) {
+    const auto p = random_matrix_chain(n, rng);
+    const auto run = run_dp_on_array(p, dp_fig1_design());
+    const bool ok = run.table == solve_sequential(p);
+    table.add_row({std::to_string(n), std::to_string(run.cell_count),
+                   std::to_string((n - 1) * (n - 2) / 2),
+                   std::to_string(run.last_tick), std::to_string(2 * (n - 1)),
+                   std::to_string(run.compute_ops),
+                   std::to_string(run.stats.utilization()),
+                   std::to_string(run.max_folded_ops),
+                   ok ? "yes" : "NO"});
+  }
+  std::cout << table.render() << '\n';
+}
+
+void bm_fig1_simulation(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(6);
+  const auto p = random_matrix_chain(n, rng);
+  const auto design = dp_fig1_design();
+  const auto expected = solve_sequential(p);
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const auto run = run_dp_on_array(p, design);
+    if (run.table != expected) state.SkipWithError("figure-1 mismatch");
+    cells = run.cell_count;
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["ticks"] = static_cast<double>(2 * (n - 1));
+}
+BENCHMARK(bm_fig1_simulation)->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+
+void bm_sequential_baseline(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(7);
+  const auto p = random_matrix_chain(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_sequential(p));
+  }
+}
+BENCHMARK(bm_sequential_baseline)->Arg(16)->Arg(48);
+
+void bm_two_module_restructured(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(8);
+  const auto p = random_matrix_chain(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_two_module(p));
+  }
+}
+BENCHMARK(bm_two_module_restructured)->Arg(16)->Arg(48);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_fig1)

@@ -1,0 +1,63 @@
+// Experiment A5 (extension) — the processors/time trade of LSGP
+// partitioning: the paper's introduction cites optimality "based on such
+// parameters as completion time T, number of processors P" [18]; this
+// bench sweeps cluster sizes on both figure designs and reports the
+// measured (P, T) frontier, verifying results stay bit-exact throughout.
+#include "bench_common.hpp"
+#include "designs/dp_array.hpp"
+#include "dp/sequential.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace nusys;
+
+void print_partitioning() {
+  std::cout << "=== Extension A5: LSGP partitioning (fixed-size arrays) "
+               "===\n\n";
+  const i64 n = 16;
+  Rng rng(18);
+  const auto p = random_matrix_chain(n, rng);
+  const auto expected = solve_sequential(p);
+
+  TextTable table({"design", "block", "cells", "ticks", "cells*ticks",
+                   "correct"});
+  for (const auto& [name, base] :
+       {std::pair{"figure1", dp_fig1_design()},
+        std::pair{"figure2", dp_fig2_design()}}) {
+    for (const i64 b : {1, 2, 3, 4}) {
+      const auto run = run_dp_on_array(p, partitioned(base, b, b));
+      const i64 ticks = run.last_tick - run.first_tick + 1;
+      table.add_row({name, std::to_string(b) + "x" + std::to_string(b),
+                     std::to_string(run.cell_count), std::to_string(ticks),
+                     std::to_string(static_cast<i64>(run.cell_count) * ticks),
+                     run.table == expected ? "yes" : "NO"});
+    }
+  }
+  std::cout << table.render() << '\n';
+}
+
+void bm_partitioned_run(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const i64 b = state.range(1);
+  Rng rng(19);
+  const auto p = random_matrix_chain(n, rng);
+  const auto design = partitioned(dp_fig1_design(), b, b);
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const auto run = run_dp_on_array(p, design);
+    cells = run.cell_count;
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+}
+BENCHMARK(bm_partitioned_run)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 4})
+    ->Args({32, 4});
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_partitioning)

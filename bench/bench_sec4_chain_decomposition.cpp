@@ -1,0 +1,87 @@
+// Experiment S4 — the Sec. IV derivations, regenerated: the constant core
+// D^c = {(0,1), (-1,0)}, the coarse timing T(i,j) = j-i, and the two-chain
+// decomposition of every reduction space. Benchmarks the core extraction,
+// the coarse-schedule search, and the decomposition across n.
+#include "bench_common.hpp"
+#include "chains/decompose.hpp"
+#include "chains/modules_emit.hpp"
+#include "schedule/coarse.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace nusys;
+
+NonUniformSpec make_dp_spec(i64 n) {
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  IndexDomain domain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+  return NonUniformSpec("dp", std::move(domain),
+                        {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+}
+
+void print_sec4() {
+  std::cout << "=== Sec. IV: coarse timing and chain decomposition ===\n\n";
+  const auto spec = make_dp_spec(10);
+  const auto coarse = derive_coarse_timing(spec);
+  std::cout << "constant core D^c:";
+  for (const auto& d : coarse.core) std::cout << ' ' << d;
+  std::cout << "  (paper: {(0,1)^t, (-1,0)^t})\n";
+  std::cout << "coarse schedule: "
+            << coarse.schedule().to_string({"i", "j"})
+            << "  (paper: T(i,j) = j - i)\n\n";
+
+  std::cout << "decompositions (paper Sec. IV: descending from the "
+               "midpoint, then ascending):\n";
+  for (const auto& p : {IntVec{2, 8}, IntVec{2, 9}, IntVec{3, 5}}) {
+    const auto d = decompose_chains(spec, coarse.schedule(), p);
+    std::cout << "  " << d << '\n';
+  }
+
+  TextTable table({"n", "stmt points", "max chains", "interval-DP shape"});
+  for (const i64 n : {8, 16, 32, 64, 128}) {
+    const auto s = make_dp_spec(n);
+    const auto report =
+        analyze_chain_shape(s, LinearSchedule(IntVec({-1, 1})));
+    table.add_row({std::to_string(n), std::to_string(report.points_checked),
+                   std::to_string(report.max_chains),
+                   report.is_interval_dp_shape ? "yes" : "NO"});
+  }
+  std::cout << '\n' << table.render() << '\n';
+}
+
+void bm_constant_core(benchmark::State& state) {
+  const auto spec = make_dp_spec(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec.constant_core());
+  }
+}
+BENCHMARK(bm_constant_core)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_coarse_timing_search(benchmark::State& state) {
+  const auto spec = make_dp_spec(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(derive_coarse_timing(spec));
+  }
+}
+BENCHMARK(bm_coarse_timing_search)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_decompose_all_points(benchmark::State& state) {
+  const auto spec = make_dp_spec(state.range(0));
+  const LinearSchedule coarse(IntVec({-1, 1}));
+  for (auto _ : state) {
+    std::size_t chains = 0;
+    spec.statement_domain().for_each([&](const IntVec& p) {
+      chains += decompose_chains(spec, coarse, p).chains.size();
+    });
+    benchmark::DoNotOptimize(chains);
+  }
+}
+BENCHMARK(bm_decompose_all_points)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_sec4)

@@ -1,0 +1,97 @@
+// Experiment S5 — the Sec. V derivations, regenerated automatically: the
+// per-module schedules λ = -i+2j-k, μ = -2i+j+k, σ = 2(j-i) and the
+// figure-1/figure-2 space maps, found by the constrained searches rather
+// than by hand. Benchmarks both searches.
+#include "bench_common.hpp"
+#include "dp/dp_modules.hpp"
+#include "modules/module_schedule.hpp"
+#include "modules/module_space.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace nusys;
+
+void print_sec5() {
+  std::cout << "=== Sec. V: automatic module schedule & space search ===\n\n";
+  const i64 n = 8;
+  const auto sys = build_dp_module_system(n);
+  const std::vector<std::string> names{"i", "j", "k"};
+
+  const auto sched = find_module_schedules(sys);
+  std::cout << "schedule search: optimum makespan " << sched.best().makespan
+            << ", paper's (λ, μ, σ) makespan "
+            << global_makespan(sys, dp_paper_schedules()) << '\n';
+  bool paper_found = false;
+  for (const auto& a : sched.optima) {
+    if (a.schedules[kDpModule1].coeffs() == dp_paper_lambda().coeffs() &&
+        a.schedules[kDpModule2].coeffs() == dp_paper_mu().coeffs()) {
+      paper_found = true;
+    }
+  }
+  std::cout << "paper's λ and μ among the optima: "
+            << (paper_found ? "yes" : "NO") << '\n';
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    std::cout << "  " << sys.module(m).name << ": "
+              << sched.best().schedules[m].to_string(names) << '\n';
+  }
+
+  TextTable table({"interconnect", "search best cells", "paper design cells",
+                   "paper maps feasible"});
+  for (const auto& [label, net, paper_spaces] :
+       {std::tuple{"figure 1", Interconnect::figure1(), dp_fig1_spaces()},
+        std::tuple{"figure 2", Interconnect::figure2(), dp_fig2_spaces()}}) {
+    ModuleSpaceOptions opts;
+    opts.max_results = 2;
+    const auto spaces =
+        find_module_spaces(sys, dp_paper_schedules(), net, opts);
+    table.add_row(
+        {label,
+         spaces.found() ? std::to_string(spaces.best().cell_count) : "-",
+         std::to_string(count_cells(sys, paper_spaces)),
+         spaces_satisfy(sys, dp_paper_schedules(), paper_spaces, net)
+             ? "yes"
+             : "NO"});
+  }
+  std::cout << '\n' << table.render() << '\n';
+  std::cout << "note: at small n the exhaustive search can pack the pipeline "
+               "onto even fewer cells than the paper's asymptotic designs "
+               "(see EXPERIMENTS.md, finding S5-b).\n\n";
+}
+
+void bm_module_schedule_search(benchmark::State& state) {
+  const auto sys = build_dp_module_system(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_module_schedules(sys));
+  }
+}
+BENCHMARK(bm_module_schedule_search)->Arg(5)->Arg(8)->Arg(12);
+
+void bm_module_space_search(benchmark::State& state) {
+  const auto sys = build_dp_module_system(state.range(0));
+  const auto schedules = dp_paper_schedules();
+  const bool fig2 = state.range(1) == 2;
+  const auto net = fig2 ? Interconnect::figure2() : Interconnect::figure1();
+  ModuleSpaceOptions opts;
+  opts.max_results = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_module_spaces(sys, schedules, net, opts));
+  }
+  state.SetLabel(fig2 ? "figure2-net" : "figure1-net");
+}
+BENCHMARK(bm_module_space_search)->Args({6, 1})->Args({6, 2})->Args({8, 1});
+
+void bm_spaces_satisfy_check(benchmark::State& state) {
+  const auto sys = build_dp_module_system(state.range(0));
+  const auto schedules = dp_paper_schedules();
+  const auto spaces = dp_fig2_spaces();
+  const auto net = Interconnect::figure2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spaces_satisfy(sys, schedules, spaces, net));
+  }
+}
+BENCHMARK(bm_spaces_satisfy_check)->Arg(8)->Arg(16);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_sec5)

@@ -1,0 +1,93 @@
+// Experiment A3 (substrate) — throughput of the cycle-accurate engine
+// itself: cell-ticks per second on a synthetic relay workload and on the
+// real designs, plus the configuration (value-flow compilation) overhead of
+// the mapped DP executor.
+#include "bench_common.hpp"
+#include "designs/conv_arrays.hpp"
+#include "designs/dp_array.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "systolic/engine.hpp"
+
+namespace {
+
+using namespace nusys;
+
+void print_substrate() {
+  std::cout << "=== Substrate: engine characteristics ===\n\n";
+  TextTable table({"workload", "cells", "ticks", "busy cell-ticks",
+                   "link transfers", "max regs"});
+  {
+    Rng rng(15);
+    const auto x = rng.uniform_vector(256, -9, 9);
+    const auto w = rng.uniform_vector(8, -9, 9);
+    const auto run = run_convolution_w1(x, w);
+    table.add_row({"convolution W1 (n=256,s=8)",
+                   std::to_string(run.stats.cell_count),
+                   std::to_string(run.stats.last_tick -
+                                  run.stats.first_tick + 1),
+                   std::to_string(run.stats.busy_cell_ticks),
+                   std::to_string(run.stats.link_transfers),
+                   std::to_string(run.stats.max_registers)});
+  }
+  for (const auto& [label, design] :
+       {std::pair{"DP figure 1 (n=32)", dp_fig1_design()},
+        std::pair{"DP figure 2 (n=32)", dp_fig2_design()}}) {
+    Rng rng(16);
+    const auto p = random_matrix_chain(32, rng);
+    const auto run = run_dp_on_array(p, design);
+    table.add_row({label, std::to_string(run.stats.cell_count),
+                   std::to_string(run.stats.last_tick -
+                                  run.stats.first_tick + 1),
+                   std::to_string(run.stats.busy_cell_ticks),
+                   std::to_string(run.stats.link_transfers),
+                   std::to_string(run.stats.max_registers)});
+  }
+  std::cout << table.render() << '\n';
+}
+
+void bm_engine_relay_throughput(benchmark::State& state) {
+  // A line of cells relaying a dense wavefront: measures raw engine cost.
+  const i64 cells = state.range(0);
+  const i64 ticks = 256;
+  for (auto _ : state) {
+    std::vector<IntVec> labels;
+    for (i64 c = 1; c <= cells; ++c) labels.push_back(IntVec{c});
+    SystolicEngine engine(Interconnect::linear_bidirectional(),
+                          std::move(labels));
+    for (i64 t = 0; t < ticks / 2; ++t) {
+      engine.inject(t, IntVec{1}, "v", t);
+    }
+    engine.set_program([](CellContext& ctx) {
+      if (const auto v = ctx.in("v")) ctx.out(IntVec{1}, "v", *v);
+    });
+    engine.run(0, ticks - 1);
+    benchmark::DoNotOptimize(engine.stats());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * cells *
+                          ticks);
+  state.SetLabel("items = cell-ticks");
+}
+BENCHMARK(bm_engine_relay_throughput)->Arg(16)->Arg(64)->Arg(256);
+
+void bm_dp_executor_end_to_end(benchmark::State& state) {
+  const i64 n = state.range(0);
+  Rng rng(17);
+  const auto p = random_shortest_path(n, rng);
+  const auto design = dp_fig2_design();
+  std::size_t cell_ticks = 0;
+  for (auto _ : state) {
+    const auto run = run_dp_on_array(p, design);
+    cell_ticks = run.cell_count *
+                 static_cast<std::size_t>(run.last_tick - run.first_tick + 1);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(cell_ticks));
+  state.SetLabel("items = cell-ticks");
+}
+BENCHMARK(bm_dp_executor_end_to_end)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_substrate)

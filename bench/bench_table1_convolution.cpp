@@ -1,0 +1,97 @@
+// Experiment T1 — regenerates Table 1 of the paper: the systolic designs
+// derivable from convolution recurrence (4), headed by Kung's W2, then
+// benchmarks (a) the synthesis search itself and (b) cycle-accurate W2
+// simulation across problem sizes.
+#include "bench_common.hpp"
+#include "conv/convolution.hpp"
+#include "conv/recurrences.hpp"
+#include "designs/conv_arrays.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace {
+
+using namespace nusys;
+
+void print_table1() {
+  std::cout << "=== Table 1: systolic designs for recurrence (4) ===\n"
+            << "paper row W2: output (y) and input (x) move in the same "
+               "direction at different speeds; weights (w) stay\n\n";
+  const auto rec = convolution_backward_recurrence(16, 4);
+  SynthesisOptions options;
+  options.max_designs = 4;
+  const auto result =
+      synthesize(rec, Interconnect::linear_bidirectional(), options);
+  TextTable table({"T", "S", "cells", "makespan", "streams"});
+  for (const auto& d : result.designs) {
+    table.add_row({d.timing.to_string(rec.domain().names()),
+                   d.space.to_string(),
+                   std::to_string(d.metrics.cell_count),
+                   std::to_string(d.metrics.time.makespan()),
+                   classify_streams(d)});
+  }
+  std::cout << table.render();
+
+  // Identify the W2 signature among the optima.
+  bool w2 = false;
+  for (const auto& d : result.designs) {
+    if (d.stream("w").stays() && same_direction(d.stream("y"), d.stream("x")) &&
+        different_speeds(d.stream("y"), d.stream("x"))) {
+      w2 = true;
+    }
+  }
+  std::cout << "\nW2 signature found among optima: " << (w2 ? "yes" : "NO")
+            << "\n\n";
+}
+
+void bm_synthesize_rec4(benchmark::State& state) {
+  const auto rec = convolution_backward_recurrence(state.range(0), 4);
+  const auto net = Interconnect::linear_bidirectional();
+  std::size_t designs = 0;
+  for (auto _ : state) {
+    const auto result = synthesize(rec, net);
+    designs = result.designs.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["designs"] = static_cast<double>(designs);
+}
+BENCHMARK(bm_synthesize_rec4)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_simulate_w2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  Rng rng(1);
+  const auto x = rng.uniform_vector(n, -99, 99);
+  const auto w = rng.uniform_vector(s, -99, 99);
+  const auto expected = direct_convolution(x, w);
+  for (auto _ : state) {
+    const auto run = run_convolution_w2(x, w);
+    if (run.y != expected) state.SkipWithError("W2 mismatch");
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["cells"] = static_cast<double>(s);
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n * s));
+}
+BENCHMARK(bm_simulate_w2)
+    ->Args({64, 4})
+    ->Args({256, 8})
+    ->Args({1024, 16})
+    ->Args({1024, 32});
+
+void bm_baseline_direct_convolution(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const auto x = rng.uniform_vector(n, -99, 99);
+  const auto w = rng.uniform_vector(16, -99, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(direct_convolution(x, w));
+  }
+}
+BENCHMARK(bm_baseline_direct_convolution)->Arg(1024);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_table1)

@@ -1,0 +1,90 @@
+// Experiment T2 — regenerates Table 2 of the paper: the systolic designs
+// derivable from convolution recurrence (5), headed by Kung's W1 and R2,
+// then benchmarks their cycle-accurate simulation.
+#include "bench_common.hpp"
+#include "conv/convolution.hpp"
+#include "conv/recurrences.hpp"
+#include "designs/conv_arrays.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace {
+
+using namespace nusys;
+
+void print_table2() {
+  std::cout << "=== Table 2: systolic designs for recurrence (5) ===\n"
+            << "paper row W1: x and y move in opposite directions, w stays\n"
+            << "paper row R2: y stays, x and w move in the same direction "
+               "at different speeds\n\n";
+  const auto rec = convolution_forward_recurrence(16, 4);
+  SynthesisOptions options;
+  options.max_designs = 6;
+  const auto result =
+      synthesize(rec, Interconnect::linear_bidirectional(), options);
+  TextTable table({"T", "S", "cells", "makespan", "streams"});
+  bool w1 = false, r2 = false;
+  for (const auto& d : result.designs) {
+    table.add_row({d.timing.to_string(rec.domain().names()),
+                   d.space.to_string(),
+                   std::to_string(d.metrics.cell_count),
+                   std::to_string(d.metrics.time.makespan()),
+                   classify_streams(d)});
+    const auto& y = d.stream("y");
+    const auto& x = d.stream("x");
+    const auto& w = d.stream("w");
+    if (w.stays() && opposite_direction(y, x)) w1 = true;
+    if (y.stays() && same_direction(x, w) && different_speeds(x, w)) {
+      r2 = true;
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nW1 signature found: " << (w1 ? "yes" : "NO")
+            << "; R2 signature found: " << (r2 ? "yes" : "NO") << "\n\n";
+}
+
+void bm_synthesize_rec5(benchmark::State& state) {
+  const auto rec = convolution_forward_recurrence(state.range(0), 4);
+  const auto net = Interconnect::linear_bidirectional();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(rec, net));
+  }
+}
+BENCHMARK(bm_synthesize_rec5)->Arg(8)->Arg(16)->Arg(32);
+
+template <ConvArrayRun (*Runner)(const std::vector<i64>&,
+                                 const std::vector<i64>&)>
+void bm_simulate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto s = static_cast<std::size_t>(state.range(1));
+  Rng rng(3);
+  const auto x = rng.uniform_vector(n, -99, 99);
+  const auto w = rng.uniform_vector(s, -99, 99);
+  const auto expected = direct_convolution(x, w);
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const auto run = Runner(x, w);
+    if (run.y != expected) state.SkipWithError("array mismatch");
+    cells = run.cell_count;
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(n * s));
+}
+BENCHMARK(bm_simulate<run_convolution_w1>)
+    ->Name("bm_simulate_w1")
+    ->Args({64, 4})
+    ->Args({256, 8})
+    ->Args({1024, 16});
+BENCHMARK(bm_simulate<run_convolution_r2>)
+    ->Name("bm_simulate_r2")
+    ->Args({64, 4})
+    ->Args({256, 8})
+    ->Args({1024, 16});
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_table2)

@@ -1,0 +1,53 @@
+// Matrix-chain parenthesization on both of the paper's DP arrays.
+//
+// Solves the classic CLRS instance and a larger random chain on the
+// figure-1 triangular array (Guibas-Kung-Thompson, ~n²/2 cells) and on the
+// paper's new figure-2 array (fewer cells, same completion time), and
+// compares cost and results against the sequential O(n³) solver.
+#include <iostream>
+
+#include "designs/dp_array.hpp"
+#include "dp/sequential.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace nusys;
+
+  // The CLRS 15.2 instance: optimal cost 15125.
+  const auto textbook = matrix_chain_problem({30, 35, 15, 5, 10, 20, 25});
+  const auto baseline = solve_sequential(textbook);
+  std::cout << "CLRS matrix chain: sequential optimum c(1,7) = "
+            << baseline.at(1, 7) << "\n\n";
+
+  TextTable table({"design", "cells", "first tick", "last tick",
+                   "f/h ops", "utilization", "correct"});
+  for (const auto& [name, design] :
+       {std::pair{"figure 1 (GKT triangular)", dp_fig1_design()},
+        std::pair{"figure 2 (new design)", dp_fig2_design()}}) {
+    const auto run = run_dp_on_array(textbook, design);
+    table.add_row({name, std::to_string(run.cell_count),
+                   std::to_string(run.first_tick),
+                   std::to_string(run.last_tick),
+                   std::to_string(run.compute_ops),
+                   std::to_string(run.stats.utilization()),
+                   run.table == baseline ? "yes" : "NO"});
+  }
+  std::cout << table.render() << '\n';
+
+  // A larger random chain: the figure-2 array should use strictly fewer
+  // cells at the same completion time.
+  Rng rng(7);
+  const i64 n = 24;
+  const auto big = random_matrix_chain(n, rng);
+  const auto f1 = run_dp_on_array(big, dp_fig1_design());
+  const auto f2 = run_dp_on_array(big, dp_fig2_design());
+  std::cout << "n = " << n << ": figure 1 uses " << f1.cell_count
+            << " cells, figure 2 uses " << f2.cell_count
+            << " (ratio " << static_cast<double>(f2.cell_count) /
+                               static_cast<double>(f1.cell_count)
+            << "), both finish at tick " << f1.last_tick << '\n';
+  const bool ok = f1.table == solve_sequential(big) && f1.table == f2.table;
+  std::cout << "results " << (ok ? "MATCH" : "MISMATCH") << '\n';
+  return ok ? 0 : 1;
+}

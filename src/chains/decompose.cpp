@@ -1,0 +1,162 @@
+#include "chains/decompose.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+
+namespace nusys {
+
+i64 Chain::first_red() const {
+  NUSYS_REQUIRE(!elements.empty(), "Chain::first_red: empty chain");
+  return elements.front().red_value;
+}
+
+i64 Chain::last_red() const {
+  NUSYS_REQUIRE(!elements.empty(), "Chain::last_red: empty chain");
+  return elements.back().red_value;
+}
+
+std::size_t ChainDecomposition::total_elements() const {
+  std::size_t total = 0;
+  for (const auto& c : chains) total += c.length();
+  return total;
+}
+
+i64 availability_time(const NonUniformSpec& spec,
+                      const LinearSchedule& coarse, const IntVec& stmt_point,
+                      i64 red_value) {
+  NUSYS_REQUIRE(coarse.dim() == spec.statement_dim(),
+                "availability_time: coarse schedule dimension mismatch");
+  const auto operands = spec.operand_points(stmt_point, red_value);
+  NUSYS_REQUIRE(!operands.empty(), "availability_time: no operands");
+  i64 avail = coarse.at(operands.front());
+  for (std::size_t i = 1; i < operands.size(); ++i) {
+    avail = std::max(avail, coarse.at(operands[i]));
+  }
+  return avail;
+}
+
+ChainDecomposition decompose_chains(const NonUniformSpec& spec,
+                                    const LinearSchedule& coarse,
+                                    const IntVec& stmt_point) {
+  ChainDecomposition out;
+  out.stmt_point = stmt_point;
+  const auto [lo, hi] = spec.reduction_range(stmt_point);
+  if (lo > hi) return out;
+
+  // Group reduction values by availability level, then peel levels in
+  // increasing order — each level is the set of minimal elements of the
+  // remaining sub-poset, exactly the paper's repeated-minima procedure.
+  std::map<i64, std::vector<i64>> levels;
+  for (i64 k = lo; k <= hi; ++k) {
+    levels[availability_time(spec, coarse, stmt_point, k)].push_back(k);
+  }
+
+  // Open chains are extended greedily. direction: 0 = undetermined.
+  struct OpenChain {
+    Chain chain;
+    int direction = 0;  // +1 ascending, -1 descending.
+  };
+  std::vector<OpenChain> open;
+
+  for (auto& [avail, ks] : levels) {
+    std::sort(ks.begin(), ks.end());
+    std::vector<bool> used_chain(open.size(), false);
+    for (const i64 k : ks) {
+      // Find the best open chain this element can extend: availability must
+      // strictly increase (guaranteed across levels; within a level a chain
+      // can take at most one element, enforced by used_chain) and the
+      // reduction index must stay monotone. Prefer the chain whose tail is
+      // nearest in k (keeps the DP halves contiguous).
+      std::size_t best = open.size();
+      i64 best_gap = 0;
+      for (std::size_t c = 0; c < open.size(); ++c) {
+        if (used_chain[c]) continue;
+        const i64 tail = open[c].chain.elements.back().red_value;
+        if (tail == k) continue;
+        const int step = k > tail ? +1 : -1;
+        if (open[c].direction != 0 && open[c].direction != step) continue;
+        const i64 gap = k > tail ? k - tail : tail - k;
+        if (best == open.size() || gap < best_gap) {
+          best = c;
+          best_gap = gap;
+        }
+      }
+      if (best == open.size()) {
+        OpenChain fresh;
+        fresh.chain.elements.push_back({k, avail});
+        open.push_back(std::move(fresh));
+        used_chain.push_back(true);
+      } else {
+        const i64 tail = open[best].chain.elements.back().red_value;
+        open[best].direction = k > tail ? +1 : -1;
+        open[best].chain.elements.push_back({k, avail});
+        used_chain[best] = true;
+      }
+    }
+  }
+
+  out.chains.reserve(open.size());
+  for (auto& oc : open) {
+    // A singleton chain counts as ascending by convention.
+    oc.chain.ascending = oc.direction >= 0;
+    out.chains.push_back(std::move(oc.chain));
+  }
+  return out;
+}
+
+void validate_decomposition(const NonUniformSpec& spec,
+                            const ChainDecomposition& d) {
+  const auto [lo, hi] = spec.reduction_range(d.stmt_point);
+  std::set<i64> covered;
+  for (const auto& chain : d.chains) {
+    NUSYS_VALIDATE(!chain.elements.empty(),
+                   "chain decomposition contains an empty chain");
+    for (std::size_t i = 0; i < chain.elements.size(); ++i) {
+      const auto& e = chain.elements[i];
+      NUSYS_VALIDATE(e.red_value >= lo && e.red_value <= hi,
+                     "chain element outside the reduction range");
+      NUSYS_VALIDATE(covered.insert(e.red_value).second,
+                     "reduction value appears in two chains");
+      if (i > 0) {
+        const auto& prev = chain.elements[i - 1];
+        NUSYS_VALIDATE(e.availability > prev.availability,
+                       "chain availability must strictly increase (the "
+                       ">_T linear-order requirement)");
+        NUSYS_VALIDATE(chain.ascending ? e.red_value > prev.red_value
+                                       : e.red_value < prev.red_value,
+                       "chain must be monotone in the reduction index");
+      }
+    }
+  }
+  const std::size_t range_size =
+      lo > hi ? 0 : static_cast<std::size_t>(hi - lo + 1);
+  NUSYS_VALIDATE(covered.size() == range_size,
+                 "chains do not cover the whole reduction range");
+}
+
+std::size_t max_chain_count(const NonUniformSpec& spec,
+                            const LinearSchedule& coarse) {
+  std::size_t max_chains = 0;
+  spec.statement_domain().for_each([&](const IntVec& p) {
+    const auto d = decompose_chains(spec, coarse, p);
+    max_chains = std::max(max_chains, d.chains.size());
+  });
+  return max_chains;
+}
+
+std::ostream& operator<<(std::ostream& os, const ChainDecomposition& d) {
+  os << "chains at " << d.stmt_point << ":";
+  for (const auto& chain : d.chains) {
+    os << " [";
+    for (std::size_t i = 0; i < chain.elements.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << chain.elements[i].red_value;
+    }
+    os << (chain.ascending ? " asc]" : " desc]");
+  }
+  return os;
+}
+
+}  // namespace nusys

@@ -1,0 +1,80 @@
+// Chain decomposition of the reduction space (step 2 of Sec. III).
+//
+// For a fixed statement point i^s, the set J^n = { (i^s, i_n) } carries the
+// partial order >_T: one computation precedes another when the *latest*
+// coarse time among its operands is smaller, i.e. its operands are
+// available first. The paper decomposes J^n into chains by repeatedly
+// peeling minimal elements, requiring additionally that each chain be
+// monotone in the reduction index i_n — that monotonicity is what lets each
+// chain be rewritten as an ordinary (forward or backward) recurrence.
+//
+// For dynamic programming this yields exactly the paper's two chains:
+// k descending from ⌊(i+j)/2⌋ to i+1, and k ascending from ⌊(i+j)/2⌋+1 to
+// j-1 (both specializing correctly to the odd/even i+j cases of Sec. IV).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ir/nonuniform.hpp"
+#include "schedule/timing.hpp"
+
+namespace nusys {
+
+/// One computation of a reduction chain.
+struct ChainElement {
+  i64 red_value = 0;     ///< The reduction index i_n.
+  i64 availability = 0;  ///< Max coarse time over the operands.
+};
+
+/// A linearly ordered chain of computations (increasing availability) that
+/// is also monotone in the reduction index.
+struct Chain {
+  std::vector<ChainElement> elements;
+  bool ascending = true;  ///< Direction of the reduction index along chain.
+
+  [[nodiscard]] std::size_t length() const noexcept {
+    return elements.size();
+  }
+  [[nodiscard]] i64 first_red() const;
+  [[nodiscard]] i64 last_red() const;
+};
+
+/// The chain decomposition of one statement point's reduction space.
+struct ChainDecomposition {
+  IntVec stmt_point;
+  std::vector<Chain> chains;
+
+  /// Total computations across chains.
+  [[nodiscard]] std::size_t total_elements() const;
+};
+
+/// The availability time of (stmt_point, red_value): the maximum coarse
+/// time over its operand points (the Max{...} of the >_T definition).
+[[nodiscard]] i64 availability_time(const NonUniformSpec& spec,
+                                    const LinearSchedule& coarse,
+                                    const IntVec& stmt_point, i64 red_value);
+
+/// Decomposes the reduction range at `stmt_point` into chains by the
+/// paper's peeling procedure, greedily extending open chains so that each
+/// stays monotone in i_n. Returns an empty decomposition (no chains) when
+/// the reduction range is empty.
+[[nodiscard]] ChainDecomposition decompose_chains(
+    const NonUniformSpec& spec, const LinearSchedule& coarse,
+    const IntVec& stmt_point);
+
+/// Validates a decomposition: chains partition the reduction range, every
+/// chain has strictly increasing availability, and every chain is strictly
+/// monotone in i_n. Throws DomainError on violation.
+void validate_decomposition(const NonUniformSpec& spec,
+                            const ChainDecomposition& d);
+
+/// The maximum number of chains used by any statement point of the spec —
+/// the `s` of the paper's "system of s modules".
+[[nodiscard]] std::size_t max_chain_count(const NonUniformSpec& spec,
+                                          const LinearSchedule& coarse);
+
+std::ostream& operator<<(std::ostream& os, const ChainDecomposition& d);
+
+}  // namespace nusys

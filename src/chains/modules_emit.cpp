@@ -1,0 +1,81 @@
+#include "chains/modules_emit.hpp"
+
+#include <sstream>
+
+#include "dp/dp_modules.hpp"
+
+namespace nusys {
+
+ChainShapeReport analyze_chain_shape(const NonUniformSpec& spec,
+                                     const LinearSchedule& coarse) {
+  ChainShapeReport report;
+  report.is_interval_dp_shape = true;
+  spec.statement_domain().for_each([&](const IntVec& p) {
+    if (!report.is_interval_dp_shape) return;
+    const auto [lo, hi] = spec.reduction_range(p);
+    if (lo > hi) return;
+    ++report.points_checked;
+    const auto d = decompose_chains(spec, coarse, p);
+    report.max_chains = std::max(report.max_chains, d.chains.size());
+    const i64 i = p[0];
+    const i64 j = p[1];
+    const i64 mid = (i + j) / 2;
+    const auto fail = [&](const std::string& why) {
+      report.is_interval_dp_shape = false;
+      std::ostringstream os;
+      os << "at " << p << ": " << why;
+      report.mismatch = os.str();
+    };
+    // Expected: chain 1 descends mid..lo; chain 2 (if mid < hi) ascends
+    // mid+1..hi.
+    if (d.chains.empty() || d.chains.size() > 2) {
+      fail("expected one or two chains");
+      return;
+    }
+    const Chain& c1 = d.chains[0];
+    if (c1.first_red() != mid || c1.last_red() != lo ||
+        (c1.length() > 1 && c1.ascending)) {
+      fail("first chain is not the descending midpoint..lower half");
+      return;
+    }
+    if (mid < hi) {
+      if (d.chains.size() != 2) {
+        fail("missing ascending chain");
+        return;
+      }
+      const Chain& c2 = d.chains[1];
+      if (c2.first_red() != mid + 1 || c2.last_red() != hi ||
+          !c2.ascending) {
+        fail("second chain is not the ascending upper half");
+        return;
+      }
+    } else if (d.chains.size() != 1) {
+      fail("unexpected second chain");
+      return;
+    }
+  });
+  return report;
+}
+
+ModuleSystem emit_interval_dp_modules(const NonUniformSpec& spec,
+                                      const LinearSchedule& coarse) {
+  const auto shape = analyze_chain_shape(spec, coarse);
+  NUSYS_VALIDATE(shape.is_interval_dp_shape,
+                 "spec does not decompose into the interval-DP chain shape "
+                 "(" + shape.mismatch + "); automatic emission only covers "
+                 "the class the paper demonstrates");
+  NUSYS_VALIDATE(shape.points_checked > 0,
+                 "spec has no reduction computations to restructure");
+
+  // The statement domain's upper bound: for the interval-DP shape both
+  // statement indices share the constant upper bound n.
+  const auto& sd = spec.statement_domain();
+  const AffineExpr& upper_j = sd.bounds(1).upper;
+  NUSYS_VALIDATE(upper_j.coeffs().is_zero(),
+                 "interval-DP emission expects a constant upper bound on "
+                 "the second statement index");
+  const i64 n = upper_j.constant_term();
+  return build_dp_module_system(n);
+}
+
+}  // namespace nusys

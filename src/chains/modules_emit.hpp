@@ -1,0 +1,46 @@
+// Emission of a module system from a chain decomposition (the last step of
+// Sec. III: "we partition the computations indexed by J^n into s separate
+// recurrences, each corresponding to a distinct chain").
+//
+// Full automation of this step is beyond the paper itself — it performs
+// the rewriting by hand ("to transform each recurrence into canonic form
+// some further manipulation is necessary"). What we automate is the class
+// the paper demonstrates: *interval-DP-shaped* specs (two operand
+// templates, one reading a prefix pair c(i,k) and one a suffix pair
+// c(k,j)), whose decomposition is a descending chain from the midpoint and
+// an ascending chain above it. emit_interval_dp_modules() checks, point by
+// point, that the supplied spec's decomposition has exactly that shape and
+// then emits the validated three-module system (module 1, module 2, the
+// combiner and the A1..A5 global statements).
+#pragma once
+
+#include "chains/decompose.hpp"
+#include "ir/nonuniform.hpp"
+#include "modules/module_system.hpp"
+
+namespace nusys {
+
+/// Shape summary of a spec's chain decomposition.
+struct ChainShapeReport {
+  bool is_interval_dp_shape = false;  ///< Midpoint-split two-chain shape.
+  std::size_t points_checked = 0;
+  std::size_t max_chains = 0;
+  std::string mismatch;  ///< First mismatching point, when not the shape.
+};
+
+/// Checks whether every statement point decomposes into (at most) a
+/// descending chain k = ⌊(i+j)/2⌋ .. i+1 and an ascending chain
+/// k = ⌊(i+j)/2⌋+1 .. j-1 under the given coarse schedule.
+[[nodiscard]] ChainShapeReport analyze_chain_shape(
+    const NonUniformSpec& spec, const LinearSchedule& coarse);
+
+/// Emits the three-module system for an interval-DP-shaped spec with
+/// statement domain bound n (the upper bound of both statement indices).
+/// Throws DomainError when the decomposition does not have the required
+/// shape. The result is identical to build_dp_module_system(n) — the test
+/// suite asserts this — but derived from the spec's own chains rather
+/// than hard-coded.
+[[nodiscard]] ModuleSystem emit_interval_dp_modules(
+    const NonUniformSpec& spec, const LinearSchedule& coarse);
+
+}  // namespace nusys

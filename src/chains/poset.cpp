@@ -1,0 +1,156 @@
+#include "chains/poset.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+Poset::Poset(std::size_t size,
+             const std::function<bool(std::size_t, std::size_t)>& strictly_less)
+    : size_(size), less_(size * size, false) {
+  for (std::size_t a = 0; a < size_; ++a) {
+    NUSYS_REQUIRE(!strictly_less(a, a), "Poset: relation must be irreflexive");
+    for (std::size_t b = 0; b < size_; ++b) {
+      if (a != b && strictly_less(a, b)) less_[a * size_ + b] = true;
+    }
+  }
+  // Spot-check antisymmetry (full transitivity is the caller's contract).
+  for (std::size_t a = 0; a < size_; ++a) {
+    for (std::size_t b = a + 1; b < size_; ++b) {
+      NUSYS_REQUIRE(!(less_[a * size_ + b] && less_[b * size_ + a]),
+                    "Poset: relation must be antisymmetric");
+    }
+  }
+}
+
+bool Poset::less(std::size_t a, std::size_t b) const {
+  NUSYS_REQUIRE(a < size_ && b < size_, "Poset::less: element out of range");
+  return less_[a * size_ + b];
+}
+
+std::vector<std::size_t> Poset::minimal_elements() const {
+  return minimal_elements(std::vector<bool>(size_, true));
+}
+
+std::vector<std::size_t> Poset::minimal_elements(
+    const std::vector<bool>& alive) const {
+  NUSYS_REQUIRE(alive.size() == size_,
+                "Poset::minimal_elements: mask size mismatch");
+  std::vector<std::size_t> out;
+  for (std::size_t b = 0; b < size_; ++b) {
+    if (!alive[b]) continue;
+    bool has_smaller = false;
+    for (std::size_t a = 0; a < size_; ++a) {
+      if (alive[a] && less_[a * size_ + b]) {
+        has_smaller = true;
+        break;
+      }
+    }
+    if (!has_smaller) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Poset::maximum_matching() const {
+  // Hopcroft-Karp on the bipartite graph: left copy a -- right copy b for
+  // every a < b in the order.
+  std::vector<std::size_t> match_left(size_, kNone);
+  std::vector<std::size_t> match_right(size_, kNone);
+  std::vector<std::size_t> dist(size_);
+
+  const auto bfs = [&]() -> bool {
+    std::queue<std::size_t> q;
+    bool found_free_right = false;
+    for (std::size_t a = 0; a < size_; ++a) {
+      if (match_left[a] == kNone) {
+        dist[a] = 0;
+        q.push(a);
+      } else {
+        dist[a] = kNone;
+      }
+    }
+    while (!q.empty()) {
+      const std::size_t a = q.front();
+      q.pop();
+      for (std::size_t b = 0; b < size_; ++b) {
+        if (!less_[a * size_ + b]) continue;
+        const std::size_t next = match_right[b];
+        if (next == kNone) {
+          found_free_right = true;
+        } else if (dist[next] == kNone) {
+          dist[next] = dist[a] + 1;
+          q.push(next);
+        }
+      }
+    }
+    return found_free_right;
+  };
+
+  const auto dfs = [&](auto&& self, std::size_t a) -> bool {
+    for (std::size_t b = 0; b < size_; ++b) {
+      if (!less_[a * size_ + b]) continue;
+      const std::size_t next = match_right[b];
+      if (next == kNone ||
+          (dist[next] == dist[a] + 1 && self(self, next))) {
+        match_left[a] = b;
+        match_right[b] = a;
+        return true;
+      }
+    }
+    dist[a] = kNone;
+    return false;
+  };
+
+  while (bfs()) {
+    for (std::size_t a = 0; a < size_; ++a) {
+      if (match_left[a] == kNone) (void)dfs(dfs, a);
+    }
+  }
+  return match_right;
+}
+
+std::size_t Poset::minimum_chain_cover_size() const {
+  if (size_ == 0) return 0;
+  const auto match_right = maximum_matching();
+  std::size_t matched = 0;
+  for (const auto m : match_right) {
+    if (m != kNone) ++matched;
+  }
+  return size_ - matched;
+}
+
+std::vector<std::vector<std::size_t>> Poset::minimum_chain_decomposition()
+    const {
+  const auto match_right = maximum_matching();
+  // match_left recovered from match_right.
+  std::vector<std::size_t> match_left(size_, kNone);
+  for (std::size_t b = 0; b < size_; ++b) {
+    if (match_right[b] != kNone) match_left[match_right[b]] = b;
+  }
+  // Chains are the paths of the matching: start at elements that are not
+  // the successor of anyone.
+  std::vector<bool> is_successor(size_, false);
+  for (std::size_t b = 0; b < size_; ++b) {
+    if (match_right[b] != kNone) is_successor[b] = true;
+  }
+  std::vector<std::vector<std::size_t>> chains;
+  for (std::size_t start = 0; start < size_; ++start) {
+    if (is_successor[start]) continue;
+    std::vector<std::size_t> chain;
+    std::size_t cur = start;
+    while (cur != kNone) {
+      chain.push_back(cur);
+      cur = match_left[cur];
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace nusys

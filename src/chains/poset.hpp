@@ -1,0 +1,59 @@
+// Finite partial orders and minimal chain decompositions.
+//
+// Sec. III: "J^n can be decomposed into a number of chains ... Minimal
+// chain decompositions can be found by network flow techniques [5]." The
+// paper itself uses simple minimal-element peeling; this module provides
+// both the generic poset machinery and the Dilworth-optimal decomposition
+// (via Hopcroft-Karp maximum bipartite matching on the comparability
+// relation) so the two can be compared (ablation A1 in DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "support/checked.hpp"
+
+namespace nusys {
+
+/// A finite strict partial order over elements 0..size-1, materialized from
+/// a strict-less predicate at construction.
+class Poset {
+ public:
+  /// `strictly_less(a, b)` must be irreflexive and transitive; transitivity
+  /// is the caller's contract, irreflexivity is checked.
+  Poset(std::size_t size,
+        const std::function<bool(std::size_t, std::size_t)>& strictly_less);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  [[nodiscard]] bool less(std::size_t a, std::size_t b) const;
+
+  /// Elements with no strictly smaller element.
+  [[nodiscard]] std::vector<std::size_t> minimal_elements() const;
+
+  /// Minimal elements of the sub-poset induced by `alive` (a mask).
+  [[nodiscard]] std::vector<std::size_t> minimal_elements(
+      const std::vector<bool>& alive) const;
+
+  /// A maximum antichain size lower-bounds nothing here, but by Dilworth's
+  /// theorem it *equals* the minimum number of chains needed to cover the
+  /// poset. Computed as size - max_matching on the comparability DAG.
+  [[nodiscard]] std::size_t minimum_chain_cover_size() const;
+
+  /// An actual minimum chain decomposition (Dilworth-optimal): each chain
+  /// is a vector of elements in increasing order; chains partition the
+  /// element set.
+  [[nodiscard]] std::vector<std::vector<std::size_t>>
+  minimum_chain_decomposition() const;
+
+ private:
+  std::size_t size_;
+  std::vector<bool> less_;  // size_ x size_ adjacency of the strict order.
+
+  /// Maximum matching (Hopcroft-Karp) on the bipartite comparability
+  /// graph; returns match_right[b] = a (or npos).
+  [[nodiscard]] std::vector<std::size_t> maximum_matching() const;
+};
+
+}  // namespace nusys

@@ -1,0 +1,45 @@
+#include "conv/convolution.hpp"
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+std::vector<i64> direct_convolution(const std::vector<i64>& x,
+                                    const std::vector<i64>& w) {
+  NUSYS_REQUIRE(!x.empty(), "direct_convolution: empty input");
+  NUSYS_REQUIRE(!w.empty(), "direct_convolution: empty weights");
+  const std::size_t n = x.size();
+  const std::size_t s = w.size();
+  std::vector<i64> y(n, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    i64 acc = 0;
+    for (std::size_t k = 1; k <= s; ++k) {
+      if (i <= k) continue;  // x_{i-k} with i-k < 1 is zero.
+      acc = checked_add(acc, checked_mul(w[k - 1], x[i - k - 1]));
+    }
+    y[i - 1] = acc;
+  }
+  return y;
+}
+
+std::vector<i64> recursive_convolution(const std::vector<i64>& seed,
+                                       const std::vector<i64>& w,
+                                       std::size_t n) {
+  NUSYS_REQUIRE(!w.empty(), "recursive_convolution: empty weights");
+  NUSYS_REQUIRE(seed.size() == w.size(),
+                "recursive_convolution: seed length must equal weight count");
+  NUSYS_REQUIRE(n >= seed.size(), "recursive_convolution: n shorter than seed");
+  std::vector<i64> y = seed;
+  y.reserve(n);
+  const std::size_t s = w.size();
+  for (std::size_t i = seed.size() + 1; i <= n; ++i) {
+    i64 acc = 0;
+    for (std::size_t k = 1; k <= s; ++k) {
+      acc = checked_add(acc, checked_mul(w[k - 1], y[i - k - 1]));
+    }
+    y.push_back(acc);
+  }
+  return y;
+}
+
+}  // namespace nusys

@@ -1,0 +1,27 @@
+// Sequential convolution baselines (Examples 1 and 2 of the paper).
+//
+// These are the golden references the systolic designs are checked against:
+//   convolution:            y_i = Σ_{k=1..s} w_k · x_{i-k}
+//   recursive convolution:  y_i = Σ_{k=1..s} w_k · y_{i-k}
+// All arithmetic is exact (int64) so a systolic run must match bit-for-bit.
+#pragma once
+
+#include <vector>
+
+#include "support/checked.hpp"
+
+namespace nusys {
+
+/// Direct convolution. `x` is 1-based conceptually (x[0] is x_1); terms
+/// with i - k < 1 contribute zero, matching the paper's initial condition
+/// x_{0,k-1} = 0. Returns y_1..y_n as a vector of size x.size().
+[[nodiscard]] std::vector<i64> direct_convolution(const std::vector<i64>& x,
+                                                  const std::vector<i64>& w);
+
+/// Recursive convolution: the first s values of `seed` are y_1..y_s; the
+/// result extends them to length n with y_i = Σ_k w_k · y_{i-k}.
+/// Requires seed.size() == w.size() and n >= seed.size().
+[[nodiscard]] std::vector<i64> recursive_convolution(
+    const std::vector<i64>& seed, const std::vector<i64>& w, std::size_t n);
+
+}  // namespace nusys

@@ -1,0 +1,33 @@
+#include "conv/recurrences.hpp"
+
+namespace nusys {
+
+namespace {
+
+IndexDomain convolution_domain(i64 n, i64 s) {
+  NUSYS_REQUIRE(n >= 1 && s >= 1,
+                "convolution recurrence: n and s must be positive");
+  return IndexDomain::box({"i", "k"}, {1, 1}, {n, s});
+}
+
+}  // namespace
+
+CanonicRecurrence convolution_backward_recurrence(i64 n, i64 s) {
+  DependenceSet deps;
+  deps.add("y", IntVec({0, 1}));
+  deps.add("x", IntVec({1, 1}));
+  deps.add("w", IntVec({1, 0}));
+  return CanonicRecurrence("convolution-backward(eq.4)",
+                           convolution_domain(n, s), std::move(deps));
+}
+
+CanonicRecurrence convolution_forward_recurrence(i64 n, i64 s) {
+  DependenceSet deps;
+  deps.add("y", IntVec({0, -1}));
+  deps.add("x", IntVec({1, 1}));
+  deps.add("w", IntVec({1, 0}));
+  return CanonicRecurrence("convolution-forward(eq.5)",
+                           convolution_domain(n, s), std::move(deps));
+}
+
+}  // namespace nusys

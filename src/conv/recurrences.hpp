@@ -1,0 +1,22 @@
+// Canonic-form recurrences (4) and (5) for convolution (Sec. II-C).
+//
+// Both recurrences pipeline y_i = Σ_k w_k · x_{i-k} over the index box
+// I² = { (i,k) | 1<=i<=n, 1<=k<=s } after broadcast elimination; they
+// differ in the accumulation direction of y, which flips the y dependence
+// from (0,1) (backward, eq. 4) to (0,-1) (forward, eq. 5). The paper shows
+// that design W2 arises only from (4), and designs W1/R2 only from (5).
+#pragma once
+
+#include "ir/recurrence.hpp"
+
+namespace nusys {
+
+/// Recurrence (4): y_{i,k} = y_{i,k-1} + w_{i,k} · x_{i,k}.
+/// Dependences: d_y = (0,1), d_x = (1,1), d_w = (1,0).
+[[nodiscard]] CanonicRecurrence convolution_backward_recurrence(i64 n, i64 s);
+
+/// Recurrence (5): y_{i,k} = y_{i,k+1} + w_{i,k} · x_{i,k}.
+/// Dependences: d_y = (0,-1), d_x = (1,1), d_w = (1,0).
+[[nodiscard]] CanonicRecurrence convolution_forward_recurrence(i64 n, i64 s);
+
+}  // namespace nusys

@@ -1,0 +1,30 @@
+#include "conv/recursive_feasibility.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+FeedbackFeasibility check_feedback_feasibility(const LinearSchedule& timing,
+                                               i64 s) {
+  NUSYS_REQUIRE(timing.dim() == 2,
+                "check_feedback_feasibility: schedule must be over (i, k)");
+  NUSYS_REQUIRE(s >= 1, "check_feedback_feasibility: s >= 1 required");
+  FeedbackFeasibility out;
+  // Evaluate at j = 0; linearity makes the margin j-independent:
+  // completion(y_j) = max_k T(j, k), first_use(y_j) = min_k T(j+k, k).
+  i64 completion = timing.at(IntVec{0, 1});
+  i64 first_use = timing.at(IntVec{1, 1});
+  for (i64 k = 2; k <= s; ++k) {
+    completion = std::max(completion, timing.at(IntVec{0, k}));
+    first_use = std::min(first_use, timing.at(IntVec{k, k}));
+  }
+  out.completion_at_j0 = completion;
+  out.first_use_at_j0 = first_use;
+  out.margin = checked_sub(first_use, completion);
+  out.feasible = out.margin > 0;
+  return out;
+}
+
+}  // namespace nusys

@@ -1,0 +1,34 @@
+// Example 2 of the paper: recursive convolution y_i = Σ_k w_k · y_{i-k}.
+//
+// Unlike plain convolution, the input stream of row i is the *output* of
+// earlier rows, which adds a feedback constraint on top of system (1): the
+// value y_j must be completely accumulated (its last term under schedule T)
+// strictly before its first use as an operand of any later row. The paper
+// observes that "only the forward recurrence has to be considered ...
+// the backward recurrence does not lead to any reasonable design since it
+// cannot overlap computations of y_{i,k} for different values of index k."
+// check_feedback_feasibility makes that argument mechanical: it evaluates
+// completion(y_j) = max_k T(j,k) and first_use(y_j) = min_k T(j+k,k) and
+// reports the margin, which is independent of j for linear T.
+#pragma once
+
+#include "schedule/timing.hpp"
+
+namespace nusys {
+
+/// Outcome of the feedback-feasibility analysis for a convolution-shaped
+/// schedule T over (i, k) with k in [1, s].
+struct FeedbackFeasibility {
+  bool feasible = false;
+  /// first_use - completion; must be > 0. Constant in j for linear T.
+  i64 margin = 0;
+  i64 completion_at_j0 = 0;  ///< max_k T(0, k).
+  i64 first_use_at_j0 = 0;   ///< min_k T(k, k).
+};
+
+/// Analyzes the feedback constraint of recursive convolution for schedule
+/// `timing` over k in [1, s]. Requires s >= 1.
+[[nodiscard]] FeedbackFeasibility check_feedback_feasibility(
+    const LinearSchedule& timing, i64 s);
+
+}  // namespace nusys

@@ -1,0 +1,186 @@
+#include "designs/conv_arrays.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+const IntVec kEast{1};
+const IntVec kWest{-1};
+
+void check_inputs(const std::vector<i64>& x, const std::vector<i64>& w) {
+  NUSYS_REQUIRE(!x.empty(), "convolution array: empty input");
+  NUSYS_REQUIRE(!w.empty(), "convolution array: empty weights");
+}
+
+std::vector<IntVec> linear_cells(i64 count) {
+  std::vector<IntVec> cells;
+  cells.reserve(static_cast<std::size_t>(count));
+  for (i64 c = 1; c <= count; ++c) cells.push_back(IntVec{c});
+  return cells;
+}
+
+}  // namespace
+
+ConvArrayRun run_convolution_w1(const std::vector<i64>& x,
+                                const std::vector<i64>& w) {
+  check_inputs(x, w);
+  const i64 n = static_cast<i64>(x.size());
+  const i64 s = static_cast<i64>(w.size());
+
+  SystolicEngine engine(Interconnect::linear_bidirectional(),
+                        linear_cells(s));
+  for (i64 k = 1; k <= s; ++k) {
+    engine.preload(IntVec{k}, "w", w[static_cast<std::size_t>(k - 1)]);
+  }
+  // x_j enters cell 1 at tick 2j+1 and moves east at speed 1.
+  for (i64 j = 1; j <= n - 1; ++j) {
+    engine.inject(2 * j + 1, IntVec{1}, "x",
+                  x[static_cast<std::size_t>(j - 1)]);
+  }
+  // y_i (zero-initialized) enters cell s at tick 2i-s and moves west at
+  // speed 1, accumulating one term per cell.
+  for (i64 i = 1; i <= n; ++i) {
+    engine.inject(2 * i - s, IntVec{s}, "y", 0);
+  }
+
+  engine.set_program([](CellContext& ctx) {
+    const auto xv = ctx.in("x");
+    if (xv) ctx.out(kEast, "x", *xv);
+    const auto yv = ctx.in("y");
+    if (yv) {
+      const i64 term = checked_mul(ctx.reg("w"), xv ? *xv : 0);
+      ctx.out(kWest, "y", checked_add(*yv, term));
+    }
+  });
+  engine.run(std::min<i64>(2 - s, 3), 2 * n);
+
+  ConvArrayRun run;
+  run.y.assign(static_cast<std::size_t>(n), 0);
+  for (const auto& e : engine.emissions()) {
+    if (e.channel != "y" || e.from_cell != IntVec{1}) continue;
+    const i64 i = e.tick / 2;  // y_i leaves cell 1 and lands outside at 2i.
+    NUSYS_REQUIRE(e.tick % 2 == 0 && i >= 1 && i <= n,
+                  "W1: unexpected y emission tick");
+    run.y[static_cast<std::size_t>(i - 1)] = e.value;
+  }
+  run.stats = engine.stats();
+  run.cell_count = engine.cell_count();
+  return run;
+}
+
+ConvArrayRun run_convolution_w2(const std::vector<i64>& x,
+                                const std::vector<i64>& w) {
+  check_inputs(x, w);
+  const i64 n = static_cast<i64>(x.size());
+  const i64 s = static_cast<i64>(w.size());
+
+  SystolicEngine engine(Interconnect::linear_bidirectional(),
+                        linear_cells(s));
+  for (i64 k = 1; k <= s; ++k) {
+    engine.preload(IntVec{k}, "w", w[static_cast<std::size_t>(k - 1)]);
+  }
+  // x_j enters cell 1 at tick j+2 and moves east at speed 1/2 (one tick of
+  // work, one tick held in the shift register).
+  for (i64 j = 1; j <= n - 1; ++j) {
+    engine.inject(j + 2, IntVec{1}, "x", x[static_cast<std::size_t>(j - 1)]);
+  }
+  // y_i enters cell 1 at tick i+1 and moves east at speed 1.
+  for (i64 i = 1; i <= n; ++i) {
+    engine.inject(i + 1, IntVec{1}, "y", 0);
+  }
+
+  engine.set_program([](CellContext& ctx) {
+    // Release the x value held since the previous tick.
+    if (ctx.has_reg("xh") && ctx.reg("xht") < ctx.tick()) {
+      ctx.out(kEast, "x", ctx.reg("xh"));
+      ctx.clear_reg("xh");
+      ctx.clear_reg("xht");
+    }
+    const auto xv = ctx.in("x");
+    if (xv) {
+      ctx.set_reg("xh", *xv);
+      ctx.set_reg("xht", ctx.tick());
+    }
+    const auto yv = ctx.in("y");
+    if (yv) {
+      const i64 term = checked_mul(ctx.reg("w"), xv ? *xv : 0);
+      ctx.out(kEast, "y", checked_add(*yv, term));
+    }
+  });
+  engine.run(2, n + s + 1);
+
+  ConvArrayRun run;
+  run.y.assign(static_cast<std::size_t>(n), 0);
+  for (const auto& e : engine.emissions()) {
+    if (e.channel != "y" || e.from_cell != IntVec{s}) continue;
+    const i64 i = e.tick - s - 1;  // y_i leaves cell s during tick i+s.
+    NUSYS_REQUIRE(i >= 1 && i <= n, "W2: unexpected y emission tick");
+    run.y[static_cast<std::size_t>(i - 1)] = e.value;
+  }
+  run.stats = engine.stats();
+  run.cell_count = engine.cell_count();
+  return run;
+}
+
+ConvArrayRun run_convolution_r2(const std::vector<i64>& x,
+                                const std::vector<i64>& w) {
+  check_inputs(x, w);
+  const i64 n = static_cast<i64>(x.size());
+  const i64 s = static_cast<i64>(w.size());
+
+  SystolicEngine engine(Interconnect::linear_bidirectional(),
+                        linear_cells(n));
+  // All ticks carry a +s offset so the earliest injection lands at tick 2.
+  // w_k enters cell 1 at tick 2-k+s and moves east at speed 1/2.
+  for (i64 k = 1; k <= s; ++k) {
+    engine.inject(2 - k + s, IntVec{1}, "w",
+                  w[static_cast<std::size_t>(k - 1)]);
+  }
+  // x_j enters cell 1 at tick j+1+s and moves east at speed 1.
+  for (i64 j = 1; j <= n - 1; ++j) {
+    engine.inject(j + 1 + s, IntVec{1}, "x",
+                  x[static_cast<std::size_t>(j - 1)]);
+  }
+
+  engine.set_program([n, s](CellContext& ctx) {
+    if (ctx.has_reg("wh") && ctx.reg("wht") < ctx.tick()) {
+      ctx.out(kEast, "w", ctx.reg("wh"));
+      ctx.clear_reg("wh");
+      ctx.clear_reg("wht");
+    }
+    const auto wv = ctx.in("w");
+    if (wv) {
+      ctx.set_reg("wh", *wv);
+      ctx.set_reg("wht", ctx.tick());
+    }
+    const auto xv = ctx.in("x");
+    if (xv && ctx.coord()[0] < n) ctx.out(kEast, "x", *xv);
+    if (wv && xv) {
+      const i64 acc = ctx.has_reg("acc") ? ctx.reg("acc") : 0;
+      ctx.set_reg("acc",
+                  checked_add(acc, checked_mul(*wv, *xv)));
+    }
+    // The last term of y_i (k = 1) executes at tick 2i-1+s.
+    const i64 i = ctx.coord()[0];
+    if (ctx.tick() == 2 * i - 1 + s) {
+      ctx.emit("y", ctx.has_reg("acc") ? ctx.reg("acc") : 0);
+    }
+  });
+  engine.run(2 - s + s, 2 * n - 1 + s);
+
+  ConvArrayRun run;
+  run.y.assign(static_cast<std::size_t>(n), 0);
+  for (const auto& r : engine.results()) {
+    if (r.tag != "y") continue;
+    run.y[static_cast<std::size_t>(r.cell[0] - 1)] = r.value;
+  }
+  run.stats = engine.stats();
+  run.cell_count = engine.cell_count();
+  return run;
+}
+
+}  // namespace nusys

@@ -1,0 +1,42 @@
+// Kung's convolution designs W1, W2 and R2 as true cell programs on the
+// systolic engine (Sec. II-C / Tables 1-2 of the paper).
+//
+// Unlike the mapped DP executor, these are written the way the hardware
+// works: every cell runs one small local program with a fixed register
+// file; all problem data enters through boundary injections and leaves as
+// boundary emissions. Each design realizes one (T, S) pair the synthesizer
+// derives from recurrences (4)/(5):
+//   W2 (from (4)): T = i+k, S = k — w stays, y moves at speed 1 and x at
+//       speed 1/2 in the same direction;
+//   W1 (from (5)): T = 2i-k, S = k — w stays, x and y counter-flow at
+//       speed 1 (cells work every other tick);
+//   R2 (from (5)): T = 2i-k, S = i — y accumulates in place, x moves at
+//       speed 1 and w at speed 1/2 in the same direction.
+#pragma once
+
+#include <vector>
+
+#include "systolic/engine.hpp"
+
+namespace nusys {
+
+/// Result of one convolution array run.
+struct ConvArrayRun {
+  std::vector<i64> y;  ///< y_1..y_n, exactly comparable to the baseline.
+  EngineStats stats;
+  std::size_t cell_count = 0;
+};
+
+/// Runs y_i = Σ_k w_k · x_{i-k} on the W1 array (s cells).
+[[nodiscard]] ConvArrayRun run_convolution_w1(const std::vector<i64>& x,
+                                              const std::vector<i64>& w);
+
+/// Runs the same convolution on the W2 array (s cells).
+[[nodiscard]] ConvArrayRun run_convolution_w2(const std::vector<i64>& x,
+                                              const std::vector<i64>& w);
+
+/// Runs the same convolution on the R2 array (n cells).
+[[nodiscard]] ConvArrayRun run_convolution_r2(const std::vector<i64>& x,
+                                              const std::vector<i64>& w);
+
+}  // namespace nusys

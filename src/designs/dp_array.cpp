@@ -1,0 +1,453 @@
+#include "designs/dp_array.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <sstream>
+
+#include "designs/placement_key.hpp"
+#include "space/routing.hpp"
+#include "support/errors.hpp"
+
+namespace nusys {
+
+DPArrayDesign dp_fig1_design() {
+  return {dp_paper_schedules(), dp_fig1_spaces(), Interconnect::figure1()};
+}
+
+DPArrayDesign dp_fig2_design() {
+  return {dp_paper_schedules(), dp_fig2_spaces(), Interconnect::figure2()};
+}
+
+DPArrayDesign partitioned(DPArrayDesign design, i64 block_x, i64 block_y) {
+  NUSYS_REQUIRE(block_x >= 1 && block_y >= 1,
+                "partitioned: blocks must be positive");
+  design.block_x = block_x;
+  design.block_y = block_y;
+  return design;
+}
+
+namespace {
+
+enum OpKind : int { kM1 = 0, kM2 = 1, kCombine = 2 };
+
+struct Op {
+  std::size_t inst = 0;  // Pipelined instance index.
+  OpKind kind;
+  i64 i, j, k;           // For combines, k == j.
+  IntVec cell;
+  i64 tick = 0;
+  // Operand register ids (empty when unused).
+  std::string in_a, in_b, in_c_prev, in_c2_prev;
+  // Output instances this op must store after computing: (register id,
+  // payload source: 'a' = a-operand copy, 'b' = b-operand copy,
+  // 'c' = computed value).
+  std::vector<std::pair<std::string, char>> outputs;
+};
+
+std::string vid(std::size_t inst, const char* var, i64 i, i64 j, i64 k) {
+  std::ostringstream os;
+  os << inst << '#' << var << ':' << i << ',' << j << ',' << k;
+  return os.str();
+}
+
+i64 mid_of(i64 i, i64 j) { return (i + j) / 2; }
+
+struct Send {
+  std::string id;
+  std::string channel;
+  IntVec direction;
+};
+struct Receive {
+  std::string channel;
+  std::string id;
+};
+
+using Key = detail::PlacementKey;
+using KeyHash = detail::PlacementKeyHash;
+
+/// Shared implementation: streams every instance through one engine.
+struct InternalRun {
+  std::vector<DPTable> tables;
+  EngineStats stats;
+  std::size_t cell_count = 0;
+  i64 first_tick = 0;
+  i64 last_tick = 0;
+  std::size_t compute_ops = 0;
+  std::size_t max_folded_ops = 0;
+  std::size_t route_hops = 0;
+};
+
+InternalRun run_dp_internal(const std::vector<IntervalDPProblem>& problems,
+                            const DPArrayDesign& design, i64 period) {
+  NUSYS_REQUIRE(!problems.empty(), "run_dp: at least one problem instance");
+  const i64 n = problems.front().n;
+  NUSYS_REQUIRE(n >= 3, "run_dp: n >= 3 required");
+  for (const auto& p : problems) {
+    NUSYS_REQUIRE(p.n == n, "run_dp: pipelined instances must share one n");
+    NUSYS_REQUIRE(p.init && p.combine, "run_dp: problem callbacks missing");
+  }
+  NUSYS_REQUIRE(design.schedules.size() == 3 && design.spaces.size() == 3,
+                "run_dp: three schedules and three spaces required");
+  NUSYS_REQUIRE(design.block_x >= 1 && design.block_y >= 1,
+                "run_dp: partition blocks must be positive");
+  NUSYS_REQUIRE(period >= 0 && (problems.size() == 1 || period >= 1),
+                "run_dp: pipelining needs a positive period");
+  const i64 serial = checked_mul(design.block_x, design.block_y);
+
+  // LSGP clustering: virtual (cell, tick) -> physical (cluster, serialized
+  // tick). With 1x1 blocks this is the identity.
+  const auto cluster = [&](const IntVec& v, i64 t) {
+    if (serial == 1) return std::make_pair(v, t);
+    const i64 cx = floor_div(v[0], design.block_x);
+    const i64 cy = floor_div(v[1], design.block_y);
+    const i64 phase = (v[0] - cx * design.block_x) +
+                      design.block_x * (v[1] - cy * design.block_y);
+    return std::make_pair(IntVec{cx, cy},
+                          checked_add(checked_mul(t, serial), phase));
+  };
+
+  // ---- 1. Enumerate operations with their (cell, tick) placements. -------
+  std::vector<Op> ops;
+  std::map<std::tuple<std::size_t, int, i64, i64, i64>, std::size_t> op_index;
+  const auto place = [&](std::size_t inst, OpKind kind, i64 i, i64 j, i64 k) {
+    Op op;
+    op.inst = inst;
+    op.kind = kind;
+    op.i = i;
+    op.j = j;
+    op.k = k;
+    const IntVec p{i, j, k};
+    const i64 virtual_tick = checked_add(
+        design.schedules[static_cast<std::size_t>(kind)].at(p),
+        checked_mul(static_cast<i64>(inst), period));
+    const auto [cell, tick] =
+        cluster(design.spaces[static_cast<std::size_t>(kind)] * p,
+                virtual_tick);
+    op.cell = cell;
+    op.tick = tick;
+    op_index.emplace(std::make_tuple(inst, kind, i, j, k), ops.size());
+    ops.push_back(std::move(op));
+  };
+  for (std::size_t inst = 0; inst < problems.size(); ++inst) {
+    for (i64 i = 1; i <= n; ++i) {
+      for (i64 j = i + 2; j <= n; ++j) {
+        const i64 mid = mid_of(i, j);
+        for (i64 k = mid; k >= i + 1; --k) place(inst, kM1, i, j, k);
+        for (i64 k = mid + 1; k <= j - 1; ++k) place(inst, kM2, i, j, k);
+        place(inst, kCombine, i, j, j);
+      }
+    }
+  }
+  const auto find_op = [&](std::size_t inst, OpKind kind, i64 i, i64 j,
+                           i64 k) -> std::size_t {
+    const auto it = op_index.find(std::make_tuple(inst, kind, i, j, k));
+    NUSYS_REQUIRE(it != op_index.end(), "run_dp: missing source op");
+    return it->second;
+  };
+
+  // ---- 2. Wire up operands: one value instance per (var, consumer). -----
+  struct Instance {
+    std::string id;
+    std::string var;                      // Channel base name.
+    std::size_t dest = 0;                 // Consumer op.
+    std::optional<std::size_t> source_op; // Producer op, or
+    std::optional<Value> injected;        // host-injected initial value.
+    char payload = 'c';                   // How the producer derives it.
+  };
+  std::vector<Instance> instances;
+  const auto add_instance = [&](std::size_t inst, const char* var, i64 i,
+                                i64 j, i64 k, std::size_t dest,
+                                std::optional<std::size_t> src,
+                                std::optional<Value> injected,
+                                char payload) {
+    Instance value;
+    value.id = vid(inst, var, i, j, k);
+    value.var = var;
+    value.dest = dest;
+    value.source_op = src;
+    value.injected = injected;
+    value.payload = payload;
+    instances.push_back(std::move(value));
+  };
+
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    Op& op = ops[oi];
+    const std::size_t q = op.inst;
+    const IntervalDPProblem& problem = problems[q];
+    const i64 i = op.i, j = op.j, k = op.k;
+    const i64 mid = mid_of(i, j);
+    const bool even = ((i + j) % 2) == 0;
+    if (op.kind == kM1) {
+      // a'(i,j,k).
+      op.in_a = vid(q, "a1", i, j, k);
+      if (even && k == mid) {
+        if (j == i + 2) {
+          add_instance(q, "a1", i, j, k, oi, std::nullopt, problem.init(i),
+                       'c');
+        } else {
+          add_instance(q, "a1", i, j, k, oi, find_op(q, kM2, i, j - 1, k),
+                       std::nullopt, 'a');
+        }
+      } else {
+        add_instance(q, "a1", i, j, k, oi, find_op(q, kM1, i, j - 1, k),
+                     std::nullopt, 'a');
+      }
+      // b'(i,j,k).
+      op.in_b = vid(q, "b1", i, j, k);
+      if (k == i + 1) {
+        if (j == i + 2) {
+          add_instance(q, "b1", i, j, k, oi, std::nullopt,
+                       problem.init(i + 1), 'c');
+        } else {
+          add_instance(q, "b1", i, j, k, oi,
+                       find_op(q, kCombine, i + 1, j, j), std::nullopt, 'c');
+        }
+      } else {
+        add_instance(q, "b1", i, j, k, oi, find_op(q, kM1, i + 1, j, k),
+                     std::nullopt, 'b');
+      }
+      // c'(i,j,k+1) accumulator input.
+      if (k < mid) {
+        op.in_c_prev = vid(q, "c1", i, j, k + 1);
+        add_instance(q, "c1", i, j, k + 1, oi, find_op(q, kM1, i, j, k + 1),
+                     std::nullopt, 'c');
+      }
+    } else if (op.kind == kM2) {
+      // a''(i,j,k).
+      op.in_a = vid(q, "a2", i, j, k);
+      if (k == j - 1) {
+        add_instance(q, "a2", i, j, k, oi,
+                     find_op(q, kCombine, i, j - 1, j - 1), std::nullopt,
+                     'c');
+      } else {
+        add_instance(q, "a2", i, j, k, oi, find_op(q, kM2, i, j - 1, k),
+                     std::nullopt, 'a');
+      }
+      // b''(i,j,k).
+      op.in_b = vid(q, "b2", i, j, k);
+      if (!even && k == mid + 1) {
+        add_instance(q, "b2", i, j, k, oi, find_op(q, kM1, i + 1, j, k),
+                     std::nullopt, 'b');
+      } else {
+        add_instance(q, "b2", i, j, k, oi, find_op(q, kM2, i + 1, j, k),
+                     std::nullopt, 'b');
+      }
+      // c''(i,j,k-1) accumulator input.
+      if (k > mid + 1) {
+        op.in_c2_prev = vid(q, "c2", i, j, k - 1);
+        add_instance(q, "c2", i, j, k - 1, oi, find_op(q, kM2, i, j, k - 1),
+                     std::nullopt, 'c');
+      }
+    } else {  // kCombine
+      op.in_c_prev = vid(q, "c1", i, j, i + 1);
+      add_instance(q, "c1", i, j, i + 1, oi, find_op(q, kM1, i, j, i + 1),
+                   std::nullopt, 'c');
+      if (j >= i + 3) {
+        op.in_c2_prev = vid(q, "c2", i, j, j - 1);
+        add_instance(q, "c2", i, j, j - 1, oi, find_op(q, kM2, i, j, j - 1),
+                     std::nullopt, 'c');
+      }
+    }
+  }
+
+  // Producer-side output lists.
+  for (const auto& inst : instances) {
+    if (inst.source_op) {
+      ops[*inst.source_op].outputs.emplace_back(inst.id, inst.payload);
+    }
+  }
+
+  // ---- 3. Build the array and the routed transport schedule. -----------
+  std::vector<IntVec> cell_list;
+  {
+    std::set<IntVec> cells;
+    for (const auto& op : ops) cells.insert(op.cell);
+    cell_list.assign(cells.begin(), cells.end());
+  }
+  const std::set<IntVec> cell_set(cell_list.begin(), cell_list.end());
+
+  SystolicEngine engine(design.net, cell_list);
+
+  std::unordered_map<Key, std::vector<Receive>, KeyHash> receive_table;
+  std::unordered_map<Key, std::vector<Send>, KeyHash> send_table;
+  std::unordered_map<Key, std::vector<std::size_t>, KeyHash> compute_table;
+  std::size_t route_hops = 0;
+
+  for (const auto& inst : instances) {
+    const Op& dest = ops[inst.dest];
+    if (inst.injected) {
+      std::string channel = inst.var;
+      channel += "@host";
+      engine.inject(dest.tick, dest.cell, channel, *inst.injected);
+      receive_table[{dest.cell, dest.tick}].push_back({channel, inst.id});
+      continue;
+    }
+    const Op& src = ops[*inst.source_op];
+    const IntVec disp = dest.cell - src.cell;
+    const i64 slack = dest.tick - src.tick;
+    NUSYS_VALIDATE(slack >= 0, "design schedules value '" + inst.id +
+                                   "' to be consumed before it is produced");
+    if (disp.is_zero()) continue;  // Register handoff inside one cell.
+    const auto route = route_displacement(design.net, disp, slack);
+    NUSYS_VALIDATE(route.has_value(),
+                   "dependence '" + inst.id + "' is not routable from cell " +
+                       src.cell.to_string() + " to " + dest.cell.to_string() +
+                       " within " + std::to_string(slack) + " tick(s)");
+    std::vector<IntVec> hops;
+    for (std::size_t l = 0; l < design.net.link_count(); ++l) {
+      for (i64 c = 0; c < route->hops_per_link[l]; ++c) {
+        hops.push_back(design.net.link(l).direction);
+      }
+    }
+    route_hops += hops.size();
+    // ALAP: depart so the value arrives exactly at the consumption tick.
+    i64 t = dest.tick - static_cast<i64>(hops.size());
+    IntVec at = src.cell;
+    for (std::size_t h = 0; h < hops.size(); ++h) {
+      std::string channel = inst.var;
+      channel += '@';
+      channel += design.net.link_name(hops[h]);
+      send_table[{at, t}].push_back({inst.id, channel, hops[h]});
+      at += hops[h];
+      ++t;
+      NUSYS_VALIDATE(cell_set.contains(at),
+                     "route of '" + inst.id + "' passes through " +
+                         at.to_string() + ", which is not a cell of the array");
+      receive_table[{at, t}].push_back({channel, inst.id});
+    }
+  }
+
+  // Compute order inside one tick: module ops first, then combines. Also
+  // enforce the slot discipline: one cell serves exactly one instance and
+  // one (i, j) pair per tick (the GKT fold rule); a pipelining period
+  // below the design's minimum trips this check.
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    compute_table[{ops[oi].cell, ops[oi].tick}].push_back(oi);
+  }
+  for (auto& [key, list] : compute_table) {
+    std::stable_sort(list.begin(), list.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return ops[a].kind < ops[b].kind;
+                     });
+    for (const std::size_t oi : list) {
+      NUSYS_REQUIRE(ops[oi].inst == ops[list.front()].inst &&
+                        ops[oi].i == ops[list.front()].i &&
+                        ops[oi].j == ops[list.front()].j,
+                    "run_dp: two pipelined instances (or two pairs) claim "
+                    "one cell in one tick — period below the design's "
+                    "minimum pipelining period");
+    }
+  }
+
+  // ---- 4. The cell program: receive, compute, send. ---------------------
+  InternalRun run;
+  run.route_hops = route_hops;
+  for (std::size_t q = 0; q < problems.size(); ++q) {
+    run.tables.emplace_back(n);
+    for (i64 i = 1; i < n; ++i) {
+      run.tables.back().at(i, i + 1) = problems[q].init(i);
+    }
+  }
+
+  std::size_t compute_ops = 0;
+  engine.set_program([&](CellContext& ctx) {
+    const Key key{ctx.coord(), ctx.tick()};
+    if (const auto it = receive_table.find(key); it != receive_table.end()) {
+      for (const auto& r : it->second) {
+        const auto v = ctx.in(r.channel);
+        NUSYS_REQUIRE(v.has_value(), "expected value on channel '" +
+                                         r.channel + "' did not arrive at " +
+                                         ctx.coord().to_string());
+        ctx.set_reg(r.id, *v);
+      }
+    }
+    if (const auto it = compute_table.find(key); it != compute_table.end()) {
+      for (const std::size_t oi : it->second) {
+        const Op& op = ops[oi];
+        const IntervalDPProblem& problem = problems[op.inst];
+        ++compute_ops;
+        const auto take = [&](const std::string& id) {
+          const Value v = ctx.reg(id);
+          ctx.clear_reg(id);
+          return v;
+        };
+        Value a = 0, b = 0, computed = 0;
+        if (op.kind == kM1) {
+          a = take(op.in_a);
+          b = take(op.in_b);
+          const Value term = problem.combine(op.i, op.k, op.j, a, b);
+          computed = op.in_c_prev.empty()
+                         ? term
+                         : std::min(take(op.in_c_prev), term);
+        } else if (op.kind == kM2) {
+          a = take(op.in_a);
+          b = take(op.in_b);
+          const Value term = problem.combine(op.i, op.k, op.j, a, b);
+          computed = op.in_c2_prev.empty()
+                         ? term
+                         : std::min(take(op.in_c2_prev), term);
+        } else {
+          const Value c1v = take(op.in_c_prev);
+          computed = op.in_c2_prev.empty()
+                         ? c1v
+                         : std::min(c1v, take(op.in_c2_prev));
+          run.tables[op.inst].at(op.i, op.j) = computed;
+          ctx.emit("c", computed);
+        }
+        for (const auto& [id, payload] : op.outputs) {
+          ctx.set_reg(id, payload == 'a' ? a : payload == 'b' ? b : computed);
+        }
+      }
+    }
+    if (const auto it = send_table.find(key); it != send_table.end()) {
+      for (const auto& s : it->second) {
+        ctx.out(s.direction, s.channel, ctx.reg(s.id));
+        ctx.clear_reg(s.id);
+      }
+    }
+  });
+
+  // ---- 5. Run over the active tick window. -------------------------------
+  i64 first = ops.front().tick, last = ops.front().tick;
+  for (const auto& op : ops) {
+    first = std::min(first, op.tick);
+    last = std::max(last, op.tick);
+  }
+  engine.run(first, last);
+
+  run.stats = engine.stats();
+  run.cell_count = engine.cell_count();
+  run.first_tick = first;
+  run.last_tick = last;
+  run.compute_ops = compute_ops;
+  for (const auto& [key, list] : compute_table) {
+    run.max_folded_ops = std::max(run.max_folded_ops, list.size());
+  }
+  return run;
+}
+
+}  // namespace
+
+DPArrayRun run_dp_on_array(const IntervalDPProblem& problem,
+                           const DPArrayDesign& design) {
+  auto internal = run_dp_internal({problem}, design, 0);
+  return DPArrayRun{std::move(internal.tables.front()),
+                    internal.stats,
+                    internal.cell_count,
+                    internal.first_tick,
+                    internal.last_tick,
+                    internal.compute_ops,
+                    internal.max_folded_ops,
+                    internal.route_hops};
+}
+
+DPPipelinedRun run_dp_pipelined(const std::vector<IntervalDPProblem>& problems,
+                                const DPArrayDesign& design, i64 period) {
+  auto internal = run_dp_internal(problems, design, period);
+  return DPPipelinedRun{std::move(internal.tables), internal.stats,
+                        internal.cell_count,        internal.first_tick,
+                        internal.last_tick,         internal.compute_ops};
+}
+
+}  // namespace nusys

@@ -1,0 +1,94 @@
+// Cycle-accurate execution of a mapped DP design on the systolic engine.
+//
+// Given an interval-DP problem, per-module schedules (λ, μ, σ), per-module
+// space maps and an interconnect, this builds the complete value-flow of
+// the two-module algorithm (every a'/b'/c'/a''/b''/c'' instance and every
+// A1..A5 hand-over), routes each value over physical links within its time
+// slack, compiles the result into per-(cell, tick) microcode, and runs it
+// on the SystolicEngine. The engine enforces link capacity (one value per
+// (link, variable) wire per tick) and tracks register pressure, busy
+// cells and utilization.
+//
+// Instantiating this with dp_fig1_spaces()/figure1() reproduces the
+// Guibas-Kung-Thompson triangular array of the paper's figure 1;
+// dp_fig2_spaces()/figure2() reproduces the new 3/8·n² design of figure 2.
+// Any other feasible (schedules, spaces, net) triple — e.g. one found by
+// find_module_spaces — runs the same way.
+#pragma once
+
+#include "dp/dp_modules.hpp"
+#include "dp/problems.hpp"
+#include "dp/table.hpp"
+#include "systolic/engine.hpp"
+
+namespace nusys {
+
+/// A fully specified DP array design, optionally partitioned.
+///
+/// Partitioning (LSGP — locally sequential, globally parallel): when
+/// block_x * block_y > 1, every block of block_x x block_y virtual cells
+/// is clustered onto one physical processor, and time is serialized: a
+/// virtual event at (cell v, tick t) runs at physical cell
+/// (⌊v_x/block_x⌋, ⌊v_y/block_y⌋) and tick t·(block_x·block_y) + phase(v),
+/// where phase enumerates the cluster's virtual cells. This trades a
+/// (block_x·block_y)-fold longer makespan for proportionally fewer
+/// processors — how a fixed-size physical array runs arbitrary problem
+/// sizes. The paper cites exactly this trade ("optimality can be based on
+/// such parameters as completion time T, number of processors P" [18]).
+struct DPArrayDesign {
+  std::vector<LinearSchedule> schedules;  ///< λ, μ, σ in module order.
+  std::vector<IntMat> spaces;             ///< S', S'', S in module order.
+  Interconnect net;
+  i64 block_x = 1;  ///< Cluster width (>= 1).
+  i64 block_y = 1;  ///< Cluster height (>= 1).
+};
+
+/// `design` partitioned by (block_x, block_y) clusters.
+[[nodiscard]] DPArrayDesign partitioned(DPArrayDesign design, i64 block_x,
+                                        i64 block_y);
+
+/// The figure-1 design (triangular GKT array).
+[[nodiscard]] DPArrayDesign dp_fig1_design();
+
+/// The figure-2 design (the paper's new, smaller array).
+[[nodiscard]] DPArrayDesign dp_fig2_design();
+
+/// Result of simulating a DP problem on a mapped array.
+struct DPArrayRun {
+  DPTable table;             ///< The computed c(i,j) values.
+  EngineStats stats;         ///< Engine-level statistics.
+  std::size_t cell_count = 0;
+  i64 first_tick = 0;
+  i64 last_tick = 0;         ///< Tick of the final combine σ(1, n).
+  std::size_t compute_ops = 0;      ///< f/h evaluations executed.
+  std::size_t max_folded_ops = 0;   ///< Max ops one cell ran in one tick.
+  std::size_t route_hops = 0;       ///< Total link traversals scheduled.
+};
+
+/// Simulates `problem` on `design`. Throws DomainError when the design is
+/// infeasible (unroutable dependence, link conflict, missing relay cell).
+/// Requires problem.n >= 3.
+[[nodiscard]] DPArrayRun run_dp_on_array(const IntervalDPProblem& problem,
+                                         const DPArrayDesign& design);
+
+/// Result of a block-pipelined run: several instances streamed through one
+/// array, instance q shifted by q·period ticks.
+struct DPPipelinedRun {
+  std::vector<DPTable> tables;  ///< One result table per instance.
+  EngineStats stats;
+  std::size_t cell_count = 0;
+  i64 first_tick = 0;
+  i64 last_tick = 0;
+  std::size_t compute_ops = 0;
+};
+
+/// Streams `problems` (all of equal size n) through `design` with the
+/// given inter-instance period. A period below the design's
+/// min_pipeline_period makes two instances claim one cell in one tick and
+/// throws ContractError — run_dp_pipelined is therefore the executable
+/// witness for the pipelining analysis in modules/pipelining.hpp.
+[[nodiscard]] DPPipelinedRun run_dp_pipelined(
+    const std::vector<IntervalDPProblem>& problems,
+    const DPArrayDesign& design, i64 period);
+
+}  // namespace nusys

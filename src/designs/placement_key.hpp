@@ -1,0 +1,28 @@
+// Internal: hashable (cell, tick) key shared by the mapped executors.
+#pragma once
+
+#include "linalg/vec.hpp"
+
+namespace nusys::detail {
+
+/// A processor/tick slot used as microcode-table key.
+struct PlacementKey {
+  IntVec cell;
+  i64 tick = 0;
+
+  friend bool operator==(const PlacementKey& a,
+                         const PlacementKey& b) = default;
+};
+
+struct PlacementKeyHash {
+  [[nodiscard]] std::size_t operator()(const PlacementKey& k) const noexcept {
+    std::size_t h = IntVecHash{}(k.cell);
+    // splitmix-style avalanche of the tick into the cell hash.
+    auto t = static_cast<std::uint64_t>(k.tick) + 0x9e3779b97f4a7c15ULL + h;
+    t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(t ^ (t >> 31));
+  }
+};
+
+}  // namespace nusys::detail

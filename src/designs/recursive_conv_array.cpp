@@ -1,0 +1,80 @@
+#include "designs/recursive_conv_array.hpp"
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+const IntVec kEast{1};
+const IntVec kWest{-1};
+}  // namespace
+
+RecursiveConvRun run_recursive_convolution_array(const std::vector<i64>& seed,
+                                                 const std::vector<i64>& w,
+                                                 std::size_t n) {
+  NUSYS_REQUIRE(!w.empty(), "recursive conv array: empty weights");
+  NUSYS_REQUIRE(seed.size() == w.size(),
+                "recursive conv array: seed length must equal weight count");
+  NUSYS_REQUIRE(n >= seed.size(), "recursive conv array: n shorter than seed");
+  const i64 s = static_cast<i64>(w.size());
+  const i64 nn = static_cast<i64>(n);
+
+  RecursiveConvRun run;
+  run.y = seed;
+  run.y.resize(n, 0);
+  if (nn == s) return run;  // Nothing to compute.
+
+  std::vector<IntVec> cells;
+  for (i64 c = 1; c <= s; ++c) cells.push_back(IntVec{c});
+  SystolicEngine engine(Interconnect::linear_bidirectional(),
+                        std::move(cells));
+  for (i64 k = 1; k <= s; ++k) {
+    engine.preload(IntVec{k}, "w", w[static_cast<std::size_t>(k - 1)]);
+  }
+  // Seed values y_1..y_s enter as the x stream (x_j at cell 1, tick 2j+1).
+  for (i64 j = 1; j <= s && j <= nn - 1; ++j) {
+    engine.inject(2 * j + 1, IntVec{1}, "x",
+                  seed[static_cast<std::size_t>(j - 1)]);
+  }
+  // Zero accumulators for each computed row i = s+1..n enter at cell s.
+  for (i64 i = s + 1; i <= nn; ++i) {
+    engine.inject(2 * i - s, IntVec{s}, "y", 0);
+  }
+
+  engine.set_program([](CellContext& ctx) {
+    // Feedback release at cell 1: y_j computed at tick 2j-1 re-enters the
+    // x stream two ticks later (a two-register boundary loop).
+    std::optional<Value> xv = ctx.in("x");
+    if (ctx.coord()[0] == 1 && !xv && ctx.has_reg("fb") &&
+        ctx.reg("fbt") + 2 == ctx.tick()) {
+      xv = ctx.reg("fb");
+      ctx.clear_reg("fb");
+      ctx.clear_reg("fbt");
+    }
+    if (xv) ctx.out(kEast, "x", *xv);
+    const auto yv = ctx.in("y");
+    if (yv) {
+      const i64 val =
+          checked_add(*yv, checked_mul(ctx.reg("w"), xv ? *xv : 0));
+      ctx.out(kWest, "y", val);
+      if (ctx.coord()[0] == 1) {
+        ctx.set_reg("fb", val);
+        ctx.set_reg("fbt", ctx.tick());
+      }
+    }
+  });
+  engine.run(2, 2 * nn);
+
+  for (const auto& e : engine.emissions()) {
+    if (e.channel != "y" || e.from_cell != IntVec{1}) continue;
+    const i64 i = e.tick / 2;  // y_i lands outside at tick 2i.
+    NUSYS_REQUIRE(e.tick % 2 == 0 && i > s && i <= nn,
+                  "recursive conv array: unexpected y emission");
+    run.y[static_cast<std::size_t>(i - 1)] = e.value;
+  }
+  run.stats = engine.stats();
+  run.cell_count = engine.cell_count();
+  return run;
+}
+
+}  // namespace nusys

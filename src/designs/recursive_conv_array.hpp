@@ -1,0 +1,31 @@
+// A feedback systolic array for recursive convolution (Example 2).
+//
+// The W1-style array derived from the *forward* recurrence (T = 2i-k,
+// S = k) extended with the physically realizable feedback path the problem
+// demands: the finished y_j leaves cell 1 at tick 2j-1 and is looped back
+// into cell 1's x input at tick 2j+1 — a two-register delay on a boundary
+// wire, exactly the margin check_feedback_feasibility() computes (margin
+// 2 for this schedule). The backward recurrence's margin is 2-s <= 0 for
+// s >= 2, so no such array exists for it; the test suite checks both.
+#pragma once
+
+#include <vector>
+
+#include "systolic/engine.hpp"
+
+namespace nusys {
+
+/// Result of one recursive-convolution array run.
+struct RecursiveConvRun {
+  std::vector<i64> y;  ///< y_1..y_n (seeds included), bit-exact.
+  EngineStats stats;
+  std::size_t cell_count = 0;
+};
+
+/// Computes y_i = Σ_{k=1..s} w_k · y_{i-k} for i = s+1..n on the feedback
+/// array, seeded with y_1..y_s. Requires seed.size() == w.size() >= 1 and
+/// n >= seed.size().
+[[nodiscard]] RecursiveConvRun run_recursive_convolution_array(
+    const std::vector<i64>& seed, const std::vector<i64>& w, std::size_t n);
+
+}  // namespace nusys

@@ -1,0 +1,219 @@
+#include "designs/uniform_array.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <sstream>
+
+#include "designs/placement_key.hpp"
+#include "space/routing.hpp"
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+std::string vid(const std::string& var, const IntVec& point) {
+  std::ostringstream os;
+  os << var << ':' << point;
+  return os.str();
+}
+
+using Key = detail::PlacementKey;
+using KeyHash = detail::PlacementKeyHash;
+
+struct Send {
+  std::string id;
+  std::string channel;
+  IntVec direction;
+};
+struct Receive {
+  std::string channel;
+  std::string id;
+};
+
+}  // namespace
+
+UniformArrayRun run_uniform_design(const CanonicRecurrence& rec,
+                                   const UniformSemantics& semantics,
+                                   const LinearSchedule& timing,
+                                   const IntMat& space,
+                                   const Interconnect& net) {
+  rec.validate();
+  NUSYS_REQUIRE(semantics.compute && semantics.boundary,
+                "run_uniform_design: semantics callbacks must be set");
+  NUSYS_REQUIRE(timing.dim() == rec.domain().dim() &&
+                    space.cols() == rec.domain().dim() &&
+                    space.rows() == net.label_dim(),
+                "run_uniform_design: mapping shape mismatch");
+  bool accumulator_known = false;
+  for (const auto& dep : rec.dependences()) {
+    if (dep.variable == semantics.accumulator) accumulator_known = true;
+  }
+  NUSYS_REQUIRE(accumulator_known,
+                "run_uniform_design: accumulator is not a recurrence "
+                "variable");
+
+  const auto& domain = rec.domain();
+  const std::vector<IntVec> points = domain.points();
+  NUSYS_REQUIRE(!points.empty(), "run_uniform_design: empty domain");
+
+  // Cells and the placement of every computation.
+  std::set<IntVec> cell_set;
+  for (const auto& p : points) cell_set.insert(space * p);
+  SystolicEngine engine(net, {cell_set.begin(), cell_set.end()});
+
+  std::unordered_map<Key, std::vector<Receive>, KeyHash> receive_table;
+  std::unordered_map<Key, std::vector<Send>, KeyHash> send_table;
+  std::unordered_map<Key, std::vector<const IntVec*>, KeyHash> compute_table;
+  std::size_t route_hops = 0;
+
+  // Route one value instance (consumed by `consumer` on `var`) from its
+  // producer (or inject it at the boundary).
+  const auto wire_instance = [&](const std::string& var,
+                                 const IntVec& consumer,
+                                 const IntVec& producer) {
+    const IntVec consumer_cell = space * consumer;
+    const i64 consumer_tick = timing.at(consumer);
+    const std::string id = vid(var, consumer);
+    if (!domain.contains(producer)) {
+      std::string channel = var;
+      channel += "@host";
+      engine.inject(consumer_tick, consumer_cell, channel,
+                    semantics.boundary(var, consumer));
+      receive_table[{consumer_cell, consumer_tick}].push_back({channel, id});
+      return;
+    }
+    const IntVec producer_cell = space * producer;
+    const i64 slack = checked_sub(consumer_tick, timing.at(producer));
+    NUSYS_VALIDATE(slack > 0, "design consumes '" + id +
+                                  "' no later than it is produced");
+    const IntVec disp = consumer_cell - producer_cell;
+    if (disp.is_zero()) return;  // Register handoff inside the cell.
+    const auto route = route_displacement(net, disp, slack);
+    NUSYS_VALIDATE(route.has_value(),
+                   "dependence '" + id + "' is not routable within " +
+                       std::to_string(slack) + " tick(s)");
+    std::vector<IntVec> hops;
+    for (std::size_t l = 0; l < net.link_count(); ++l) {
+      for (i64 c = 0; c < route->hops_per_link[l]; ++c) {
+        hops.push_back(net.link(l).direction);
+      }
+    }
+    route_hops += hops.size();
+    i64 t = consumer_tick - static_cast<i64>(hops.size());
+    IntVec at = producer_cell;
+    for (const auto& hop : hops) {
+      std::string channel = var;
+      channel += '@';
+      channel += net.link_name(hop);
+      send_table[{at, t}].push_back({id, channel, hop});
+      at += hop;
+      ++t;
+      NUSYS_VALIDATE(cell_set.contains(at),
+                     "route of '" + id + "' passes through " +
+                         at.to_string() + ", not a cell of this array");
+      receive_table[{at, t}].push_back({channel, id});
+    }
+  };
+
+  for (const auto& p : points) {
+    compute_table[{space * p, timing.at(p)}].push_back(&p);
+    for (const auto& dep : rec.dependences()) {
+      wire_instance(dep.variable, p, p - dep.vector);
+    }
+  }
+
+  // Per-point output instances: each variable's value continues to the
+  // successor point p + d when that point is in the domain; a final
+  // accumulator value (successor outside) is collected as a result.
+  UniformArrayRun run;
+  std::map<IntVec, Value>& finals = run.finals;
+
+  engine.set_program([&](CellContext& ctx) {
+    const Key key{ctx.coord(), ctx.tick()};
+    if (const auto it = receive_table.find(key); it != receive_table.end()) {
+      for (const auto& r : it->second) {
+        const auto v = ctx.in(r.channel);
+        NUSYS_REQUIRE(v.has_value(), "expected value on channel '" +
+                                         r.channel + "' did not arrive");
+        ctx.set_reg(r.id, *v);
+      }
+    }
+    if (const auto it = compute_table.find(key); it != compute_table.end()) {
+      for (const IntVec* pp : it->second) {
+        const IntVec& p = *pp;
+        // Every operand is present under vid(var, p): routed arrivals were
+        // received above, same-cell handoffs were stored by the producer,
+        // and boundary values were injected.
+        std::map<std::string, Value> inputs;
+        for (const auto& dep : rec.dependences()) {
+          const std::string id = vid(dep.variable, p);
+          NUSYS_REQUIRE(ctx.has_reg(id), "operand '" + id + "' missing at " +
+                                             ctx.coord().to_string());
+          inputs[dep.variable] = ctx.reg(id);
+          ctx.clear_reg(id);
+        }
+        const Value out = semantics.compute(p, inputs);
+        // Forward every variable to its successor point.
+        for (const auto& dep : rec.dependences()) {
+          const IntVec successor = p + dep.vector;
+          const Value payload = dep.variable == semantics.accumulator
+                                    ? out
+                                    : inputs[dep.variable];
+          if (domain.contains(successor)) {
+            ctx.set_reg(vid(dep.variable, successor), payload);
+          } else if (dep.variable == semantics.accumulator) {
+            finals[p] = out;
+            ctx.emit(semantics.accumulator, out);
+          }
+        }
+      }
+    }
+    if (const auto it = send_table.find(key); it != send_table.end()) {
+      for (const auto& s : it->second) {
+        ctx.out(s.direction, s.channel, ctx.reg(s.id));
+        ctx.clear_reg(s.id);
+      }
+    }
+  });
+
+  i64 first = timing.at(points.front());
+  i64 last = first;
+  for (const auto& p : points) {
+    const i64 t = timing.at(p);
+    first = std::min(first, t);
+    last = std::max(last, t);
+  }
+  engine.run(first, last);
+
+  run.stats = engine.stats();
+  run.cell_count = engine.cell_count();
+  run.first_tick = first;
+  run.last_tick = last;
+  run.route_hops = route_hops;
+  return run;
+}
+
+UniformSemantics convolution_semantics(const std::vector<i64>& x,
+                                       const std::vector<i64>& w) {
+  UniformSemantics s;
+  s.accumulator.push_back('y');
+  s.compute = [](const IntVec&, const std::map<std::string, Value>& in) {
+    return checked_add(in.at("y"), checked_mul(in.at("w"), in.at("x")));
+  };
+  s.boundary = [&x, &w](const std::string& var, const IntVec& point) -> Value {
+    const i64 i = point[0];
+    const i64 k = point[1];
+    if (var == "y") return 0;
+    if (var == "w") return w[static_cast<std::size_t>(k - 1)];
+    // var == "x": the stream value at (i,k) is x_{i-k} (zero off the left
+    // edge).
+    const i64 j = i - k;
+    if (j < 1 || j > static_cast<i64>(x.size())) return 0;
+    return x[static_cast<std::size_t>(j - 1)];
+  };
+  return s;
+}
+
+}  // namespace nusys

@@ -1,0 +1,71 @@
+// Generic cycle-accurate execution of a mapped *uniform* (canonic-form)
+// design — the single-recurrence counterpart of designs/dp_array.hpp.
+//
+// A canonic recurrence fixes the dependence structure but not the cell
+// semantics, so the caller supplies them: which variable is the
+// accumulator, how a point combines its inputs, and what value each
+// variable has where its producer falls outside the domain (the initial
+// conditions of the recurrence). Given any feasible (T, S, Δ) — e.g. every
+// design the synthesizer emits for recurrences (4) and (5) — the executor
+// routes every dependence instance over physical links within its slack,
+// compiles per-(cell, tick) microcode and runs it on the SystolicEngine.
+// This is what lets the test suite execute *all* Table-1/2 designs, not
+// only the three with hand-written cell programs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ir/recurrence.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+#include "systolic/engine.hpp"
+
+namespace nusys {
+
+/// Caller-supplied cell semantics for a uniform recurrence.
+struct UniformSemantics {
+  /// The variable whose value each point computes; all other variables are
+  /// pass-through streams.
+  std::string accumulator;
+
+  /// New accumulator value at `point`, given the value every variable
+  /// (including the accumulator's previous value) carries into the point.
+  std::function<Value(const IntVec& point,
+                      const std::map<std::string, Value>& inputs)>
+      compute;
+
+  /// Value of `var` consumed at `point` when its producer point lies
+  /// outside the domain (the recurrence's initial conditions).
+  std::function<Value(const std::string& var, const IntVec& point)> boundary;
+};
+
+/// Result of one uniform-array run.
+struct UniformArrayRun {
+  /// Final accumulator values: the points whose accumulator successor
+  /// leaves the domain (the results of each accumulation chain).
+  std::map<IntVec, Value> finals;
+  EngineStats stats;
+  std::size_t cell_count = 0;
+  i64 first_tick = 0;
+  i64 last_tick = 0;
+  std::size_t route_hops = 0;
+};
+
+/// Executes `rec` with `semantics` under the mapping (timing, space) on
+/// `net`. Throws DomainError when a dependence cannot be routed or a relay
+/// cell is missing; throws ContractError on timing violations (which a
+/// verified design never produces).
+[[nodiscard]] UniformArrayRun run_uniform_design(
+    const CanonicRecurrence& rec, const UniformSemantics& semantics,
+    const LinearSchedule& timing, const IntMat& space,
+    const Interconnect& net);
+
+/// The semantics of convolution recurrences (4)/(5): accumulator "y",
+/// compute y + w·x, boundaries x_{i-k} (0 when i <= k), w_k and y = 0.
+/// `x` must outlive the returned object.
+[[nodiscard]] UniformSemantics convolution_semantics(
+    const std::vector<i64>& x, const std::vector<i64>& w);
+
+}  // namespace nusys

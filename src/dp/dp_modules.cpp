@@ -1,0 +1,135 @@
+#include "dp/dp_modules.hpp"
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+constexpr std::size_t kDim = 3;
+
+AffineExpr idx(std::size_t axis) { return AffineExpr::index(kDim, axis); }
+AffineExpr cst(i64 v) { return AffineExpr::constant(kDim, v); }
+
+/// Base (i,j,k) triangle: 1 <= i <= n, i+lmin <= j <= n, klo <= k <= khi.
+IndexDomain dp_box(i64 n, i64 lmin, const AffineExpr& klo,
+                   const AffineExpr& khi) {
+  return IndexDomain({"i", "j", "k"},
+                     {{cst(1), cst(n)},
+                      {idx(0) + lmin, cst(n)},
+                      {klo, khi}});
+}
+
+DependenceSet module1_deps() {
+  DependenceSet d;
+  d.add("c'", IntVec({0, 0, -1}));
+  d.add("a'", IntVec({0, 1, 0}));
+  d.add("b'", IntVec({-1, 0, 0}));
+  return d;
+}
+
+DependenceSet module2_deps() {
+  DependenceSet d;
+  d.add("c''", IntVec({0, 0, 1}));
+  d.add("a''", IntVec({0, 1, 0}));
+  d.add("b''", IntVec({-1, 0, 0}));
+  return d;
+}
+
+}  // namespace
+
+ModuleSystem build_dp_module_system(i64 n) {
+  NUSYS_REQUIRE(n >= 4, "build_dp_module_system: n >= 4 required so that "
+                        "every statement class A1..A5 is exercised");
+  const AffineExpr i = idx(0);
+  const AffineExpr j = idx(1);
+  const AffineExpr k = idx(2);
+
+  // Module 1: i+1 <= k <= floor((i+j)/2), i.e. i+j - 2k >= 0.
+  Module m1{"module1",
+            dp_box(n, 2, i + 1, j - 1).with_constraint(i + j - k * 2),
+            module1_deps()};
+
+  // Module 2: floor((i+j)/2)+1 <= k <= j-1, i.e. 2k - i - j - 1 >= 0.
+  Module m2{"module2",
+            dp_box(n, 3, i + 1, j - 1).with_constraint(k * 2 - i - j - 1),
+            module2_deps()};
+
+  // Combiner (statement A5): the plane k = j, for j >= i+2.
+  Module mc{"combine", dp_box(n, 2, j + 0, j + 0), DependenceSet{}};
+
+  std::vector<GlobalDep> globals;
+
+  // A1: a'_{i,j,(i+j)/2} := a''_{i,j-1,(i+j)/2}   (i+j even, j >= i+4).
+  globals.push_back(GlobalDep{
+      "A1", kDpModule1, kDpModule2,
+      AffineMap(IntMat::identity(3), IntVec({0, -1, 0})),
+      dp_box(n, 4, i + 1, j - 1)
+          .with_constraint(i + j - k * 2)
+          .with_constraint(k * 2 - i - j),
+      false});
+
+  // A2: b'_{i,j,i+1} := c_{i+1,j,j}   (j >= i+3; for j = i+2 the producer
+  // is the initial condition c_{i+1,i+2}, not a computed combine).
+  globals.push_back(GlobalDep{
+      "A2", kDpModule1, kDpCombiner,
+      AffineMap(IntMat{{1, 0, 0}, {0, 1, 0}, {0, 1, 0}}, IntVec({1, 0, 0})),
+      dp_box(n, 3, i + 1, i + 1), false});
+
+  // A3: a''_{i,j,j-1} := c_{i,j-1,j-1}   (j >= i+3).
+  globals.push_back(GlobalDep{
+      "A3", kDpModule2, kDpCombiner,
+      AffineMap(IntMat{{1, 0, 0}, {0, 1, 0}, {0, 1, 0}}, IntVec({0, -1, -1})),
+      dp_box(n, 3, j - 1, j - 1), false});
+
+  // A4: b''_{i,j,(i+j+1)/2} := b'_{i+1,j,(i+j+1)/2}   (i+j odd, j >= i+3).
+  globals.push_back(GlobalDep{
+      "A4", kDpModule2, kDpModule1,
+      AffineMap(IntMat::identity(3), IntVec({1, 0, 0})),
+      dp_box(n, 3, i + 1, j - 1)
+          .with_constraint(k * 2 - i - j - 1)
+          .with_constraint(i + j + 1 - k * 2),
+      false});
+
+  // A5a: c_{i,j,j} reads c'_{i,j,i+1} (every combine, j >= i+2).
+  globals.push_back(GlobalDep{
+      "A5a", kDpCombiner, kDpModule1,
+      AffineMap(IntMat{{1, 0, 0}, {0, 1, 0}, {1, 0, 0}}, IntVec({0, 0, 1})),
+      dp_box(n, 2, j + 0, j + 0), true});
+
+  // A5b: c_{i,j,j} reads c''_{i,j,j-1} (j >= i+3; absent when chain 2 is
+  // empty).
+  globals.push_back(GlobalDep{
+      "A5b", kDpCombiner, kDpModule2,
+      AffineMap(IntMat{{1, 0, 0}, {0, 1, 0}, {0, 1, 0}}, IntVec({0, 0, -1})),
+      dp_box(n, 3, j + 0, j + 0), true});
+
+  // Fold key (i,j): a cell may fold the module-1, module-2 and combiner
+  // actions of one pair (i,j) into a single cycle, as the GKT cell does,
+  // but never actions serving different pairs.
+  return ModuleSystem("dynamic-programming(n=" + std::to_string(n) + ")",
+                      {std::move(m1), std::move(m2), std::move(mc)},
+                      std::move(globals),
+                      AffineMap::linear(IntMat{{1, 0, 0}, {0, 1, 0}}));
+}
+
+LinearSchedule dp_paper_lambda() { return LinearSchedule(IntVec({-1, 2, -1})); }
+LinearSchedule dp_paper_mu() { return LinearSchedule(IntVec({-2, 1, 1})); }
+LinearSchedule dp_paper_sigma() { return LinearSchedule(IntVec({-2, 1, 1})); }
+
+std::vector<LinearSchedule> dp_paper_schedules() {
+  return {dp_paper_lambda(), dp_paper_mu(), dp_paper_sigma()};
+}
+
+std::vector<IntMat> dp_fig1_spaces() {
+  const IntMat ji{{0, 1, 0}, {1, 0, 0}};
+  return {ji, ji, ji};
+}
+
+std::vector<IntMat> dp_fig2_spaces() {
+  return {IntMat{{0, 0, 1}, {1, 0, 0}},    // S'  = (k, i)
+          IntMat{{1, 1, -1}, {1, 0, 0}},   // S'' = (i+j-k, i)
+          IntMat{{1, 0, 0}, {1, 0, 0}}};   // S   = (i, i) for the combiner
+}
+
+}  // namespace nusys

@@ -1,0 +1,54 @@
+// The dynamic-programming module system of Secs. IV-VI, as data.
+//
+// Three modules over the index space (i, j, k):
+//   module 1 ("forward half-scan"):  k from ⌊(i+j)/2⌋ down to i+1,
+//       domain { 1<=i, i+2<=j<=n, i+1<=k, 2k<=i+j },  D1 = [c' a' b'] =
+//       [(0,0,-1) (0,1,0) (-1,0,0)];
+//   module 2 ("backward half-scan"): k from ⌊(i+j)/2⌋+1 up to j-1,
+//       domain { 1<=i, i+3<=j<=n, k<=j-1, 2k>=i+j+1 }, D2 = [c'' a'' b''] =
+//       [(0,0,1) (0,1,0) (-1,0,0)];
+//   combiner (statement A5): points (i, j, j) for j>=i+2.
+// Global dependence statements A1..A5 exactly as analysed in Sec. V
+// (A1 only fires for even i+j, A4 only for odd i+j; A2/A3 only where the
+// producer is a computed combine rather than an initial condition).
+//
+// Also provided: the paper's hand-derived timing functions λ, μ, σ and the
+// space maps of figure 1 (S' = S'' = S = (j,i)) and figure 2
+// (S' = (k,i), S'' = (i+j-k,i), S = (i,i)), so tests and benches can check
+// the automatic searches against them.
+#pragma once
+
+#include "modules/module_system.hpp"
+#include "schedule/timing.hpp"
+
+namespace nusys {
+
+/// Module indices within the DP module system.
+enum : std::size_t {
+  kDpModule1 = 0,
+  kDpModule2 = 1,
+  kDpCombiner = 2,
+};
+
+/// Builds the validated three-module DP system for problem size n (>= 4 so
+/// that every statement class A1..A5 is exercised).
+[[nodiscard]] ModuleSystem build_dp_module_system(i64 n);
+
+/// λ(i,j,k) = -i + 2j - k (module 1).
+[[nodiscard]] LinearSchedule dp_paper_lambda();
+/// μ(i,j,k) = -2i + j + k (module 2).
+[[nodiscard]] LinearSchedule dp_paper_mu();
+/// σ(i,j,k) = -2i + j + k, which on the combiner plane k = j equals the
+/// paper's σ(i,j,j) = -2i + 2j.
+[[nodiscard]] LinearSchedule dp_paper_sigma();
+
+/// All three paper schedules in module order.
+[[nodiscard]] std::vector<LinearSchedule> dp_paper_schedules();
+
+/// Figure-1 space maps: S' = S'' = S = (j, i).
+[[nodiscard]] std::vector<IntMat> dp_fig1_spaces();
+
+/// Figure-2 space maps: S' = (k, i), S'' = (i+j-k, i), combiner (i, i).
+[[nodiscard]] std::vector<IntMat> dp_fig2_spaces();
+
+}  // namespace nusys

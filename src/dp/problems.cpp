@@ -1,0 +1,111 @@
+#include "dp/problems.hpp"
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+IntervalDPProblem matrix_chain_problem(std::vector<i64> dims) {
+  NUSYS_REQUIRE(dims.size() >= 3,
+                "matrix_chain_problem: need at least two matrices");
+  for (const auto d : dims) {
+    NUSYS_REQUIRE(d >= 1, "matrix_chain_problem: nonpositive dimension");
+  }
+  IntervalDPProblem p;
+  p.name = "matrix-chain";
+  p.n = static_cast<i64>(dims.size());
+  p.init = [](i64) { return 0; };
+  p.combine = [dims = std::move(dims)](i64 i, i64 k, i64 j, i64 cik,
+                                       i64 ckj) {
+    const i64 split = checked_mul(
+        checked_mul(dims[static_cast<std::size_t>(i - 1)],
+                    dims[static_cast<std::size_t>(k - 1)]),
+        dims[static_cast<std::size_t>(j - 1)]);
+    return checked_add(checked_add(cik, ckj), split);
+  };
+  return p;
+}
+
+IntervalDPProblem polygon_triangulation_problem(std::vector<i64> weights) {
+  NUSYS_REQUIRE(weights.size() >= 3,
+                "polygon_triangulation_problem: need at least 3 vertices");
+  IntervalDPProblem p;
+  p.name = "polygon-triangulation";
+  p.n = static_cast<i64>(weights.size());
+  p.init = [](i64) { return 0; };
+  p.combine = [weights = std::move(weights)](i64 i, i64 k, i64 j, i64 cik,
+                                             i64 ckj) {
+    const i64 tri = checked_mul(
+        checked_mul(weights[static_cast<std::size_t>(i - 1)],
+                    weights[static_cast<std::size_t>(k - 1)]),
+        weights[static_cast<std::size_t>(j - 1)]);
+    return checked_add(checked_add(cik, ckj), tri);
+  };
+  return p;
+}
+
+IntervalDPProblem bracketing_problem(std::vector<i64> base) {
+  NUSYS_REQUIRE(base.size() >= 2, "bracketing_problem: need n >= 2");
+  IntervalDPProblem p;
+  p.name = "bracketing";
+  p.n = static_cast<i64>(base.size());
+  p.init = [base](i64 i) { return base[static_cast<std::size_t>(i - 1)]; };
+  p.combine = [base = std::move(base)](i64 i, i64 k, i64 j, i64 cik,
+                                       i64 ckj) {
+    (void)k;
+    return checked_add(
+        checked_add(cik, ckj),
+        checked_add(base[static_cast<std::size_t>(i - 1)],
+                    base[static_cast<std::size_t>(j - 1)]));
+  };
+  return p;
+}
+
+IntervalDPProblem shortest_path_problem(std::vector<i64> hop_costs) {
+  NUSYS_REQUIRE(!hop_costs.empty(), "shortest_path_problem: no hops");
+  IntervalDPProblem p;
+  p.name = "shortest-path";
+  p.n = static_cast<i64>(hop_costs.size()) + 1;
+  p.init = [hop_costs = std::move(hop_costs)](i64 i) {
+    return hop_costs[static_cast<std::size_t>(i - 1)];
+  };
+  p.combine = [](i64, i64, i64, i64 cik, i64 ckj) {
+    return checked_add(cik, ckj);
+  };
+  return p;
+}
+
+IntervalDPProblem alphabetic_tree_problem(std::vector<i64> leaf_weights) {
+  NUSYS_REQUIRE(!leaf_weights.empty(),
+                "alphabetic_tree_problem: need at least one leaf");
+  IntervalDPProblem p;
+  p.name = "alphabetic-tree";
+  p.n = static_cast<i64>(leaf_weights.size()) + 1;
+  // prefix[t] = w_1 + ... + w_t, so W(i,j) = prefix[j-1] - prefix[i-1].
+  std::vector<i64> prefix(leaf_weights.size() + 1, 0);
+  for (std::size_t t = 0; t < leaf_weights.size(); ++t) {
+    prefix[t + 1] = checked_add(prefix[t], leaf_weights[t]);
+  }
+  p.init = [](i64) { return 0; };  // A single leaf has depth 0.
+  p.combine = [prefix = std::move(prefix)](i64 i, i64 k, i64 j, i64 cik,
+                                           i64 ckj) {
+    (void)k;
+    const i64 w = checked_sub(prefix[static_cast<std::size_t>(j - 1)],
+                              prefix[static_cast<std::size_t>(i - 1)]);
+    return checked_add(checked_add(cik, ckj), w);
+  };
+  return p;
+}
+
+IntervalDPProblem random_matrix_chain(i64 n, Rng& rng) {
+  NUSYS_REQUIRE(n >= 3, "random_matrix_chain: n >= 3 required");
+  return matrix_chain_problem(
+      rng.uniform_vector(static_cast<std::size_t>(n), 1, 20));
+}
+
+IntervalDPProblem random_shortest_path(i64 n, Rng& rng) {
+  NUSYS_REQUIRE(n >= 2, "random_shortest_path: n >= 2 required");
+  return shortest_path_problem(
+      rng.uniform_vector(static_cast<std::size_t>(n - 1), 0, 100));
+}
+
+}  // namespace nusys

@@ -1,0 +1,68 @@
+// Problem instances of the paper's dynamic-programming recurrence (8):
+//
+//    c(i,j) = min_{i<k<j} f(c(i,k), c(k,j)),   c(i,i+1) given.
+//
+// The combine function f may also depend on (i, k, j) — matrix-chain
+// multiplication needs the boundary dimensions — which strictly generalizes
+// the paper's f(c_{i,k}, c_{k,j}) without changing any dependence
+// structure. All instances use exact int64 arithmetic so systolic runs can
+// be compared bit-for-bit against the sequential baseline.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/checked.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+
+/// One instance of recurrence (8) (an "interval DP" problem).
+struct IntervalDPProblem {
+  std::string name;
+  i64 n = 0;  ///< c(i,j) is defined for 1 <= i < j <= n.
+
+  /// Initial condition c(i, i+1), 1 <= i < n.
+  std::function<i64(i64 i)> init;
+
+  /// The combine f(i, k, j, c(i,k), c(k,j)); the reduction h is min.
+  std::function<i64(i64 i, i64 k, i64 j, i64 cik, i64 ckj)> combine;
+};
+
+/// Optimal matrix-chain parenthesization: multiplying matrices
+/// M_1 x ... x M_{n-1} where M_t has shape dims[t-1] x dims[t]
+/// (dims has n entries). c(i,j) = minimal scalar multiplications for the
+/// product M_i..M_{j-1}; the classic f adds the split cost
+/// dims[i-1]*dims[k-1]*dims[j-1].
+[[nodiscard]] IntervalDPProblem matrix_chain_problem(std::vector<i64> dims);
+
+/// Minimum-weight convex-polygon triangulation on vertices 1..n with
+/// per-vertex weights: triangle (i,k,j) costs w_i*w_k*w_j.
+[[nodiscard]] IntervalDPProblem polygon_triangulation_problem(
+    std::vector<i64> weights);
+
+/// The paper's pure form: f(x, y) = x + y + g(i,j) with a fixed per-pair
+/// cost g; models optimal search-order / cheapest-bracketing problems. The
+/// cost g(i,j) = base[i] + base[j] keeps it deterministic and cheap.
+[[nodiscard]] IntervalDPProblem bracketing_problem(std::vector<i64> base);
+
+/// Shortest path in a layered interval graph: c(i,j) = min over waypoints
+/// k of c(i,k) + c(k,j), seeded with direct-hop costs c(i,i+1); this is
+/// the paper's "shortest path" application of recurrence (8) with f = +.
+[[nodiscard]] IntervalDPProblem shortest_path_problem(
+    std::vector<i64> hop_costs);
+
+/// Optimal alphabetic binary tree (leaf-weighted code tree): leaves
+/// 1..n-1 with the given weights; c(i,j) is the minimal weighted path
+/// length of a tree over leaves i..j-1, with f = x + y + W(i,j) where
+/// W(i,j) is the leaf-weight sum (computed via prefix sums). This is the
+/// "optimal parenthesization" family the paper's introduction cites.
+[[nodiscard]] IntervalDPProblem alphabetic_tree_problem(
+    std::vector<i64> leaf_weights);
+
+/// A random instance of the given kind for property tests.
+[[nodiscard]] IntervalDPProblem random_matrix_chain(i64 n, Rng& rng);
+[[nodiscard]] IntervalDPProblem random_shortest_path(i64 n, Rng& rng);
+
+}  // namespace nusys

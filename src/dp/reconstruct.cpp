@@ -1,0 +1,55 @@
+#include "dp/reconstruct.hpp"
+
+#include <sstream>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+DPSolution solve_with_splits(const IntervalDPProblem& problem) {
+  NUSYS_REQUIRE(problem.n >= 2, "solve_with_splits: n >= 2 required");
+  NUSYS_REQUIRE(problem.init && problem.combine,
+                "solve_with_splits: init and combine must be set");
+  const i64 n = problem.n;
+  DPSolution sol{DPTable(n), DPTable(n)};
+  for (i64 i = 1; i < n; ++i) {
+    sol.cost.at(i, i + 1) = problem.init(i);
+    sol.split.at(i, i + 1) = 0;
+  }
+  for (i64 l = 2; l < n; ++l) {
+    for (i64 i = 1; i + l <= n; ++i) {
+      const i64 j = i + l;
+      i64 best = 0;
+      i64 best_k = 0;
+      for (i64 k = i + 1; k < j; ++k) {
+        const i64 candidate = problem.combine(i, k, j, sol.cost.at(i, k),
+                                              sol.cost.at(k, j));
+        if (k == i + 1 || candidate < best) {
+          best = candidate;
+          best_k = k;
+        }
+      }
+      sol.cost.at(i, j) = best;
+      sol.split.at(i, j) = best_k;
+    }
+  }
+  return sol;
+}
+
+std::string render_parenthesization(const DPSolution& solution, i64 i,
+                                    i64 j) {
+  NUSYS_REQUIRE(1 <= i && i < j && j <= solution.cost.n(),
+                "render_parenthesization: pair out of range");
+  if (j == i + 1) {
+    std::ostringstream os;
+    os << 'A' << i;
+    return os.str();
+  }
+  const i64 k = solution.split.at(i, j);
+  std::ostringstream os;
+  os << '(' << render_parenthesization(solution, i, k) << ' '
+     << render_parenthesization(solution, k, j) << ')';
+  return os.str();
+}
+
+}  // namespace nusys

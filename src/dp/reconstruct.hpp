@@ -1,0 +1,31 @@
+// Solution reconstruction: recovering the optimal split tree, not just its
+// cost. The paper's recurrence (8) is the cost recursion of "optimal
+// parenthesization"; this module adds the argmin bookkeeping so examples
+// can display the actual bracketing (e.g. the CLRS matrix-chain instance's
+// ((A1 (A2 A3)) ((A4 A5) A6))).
+#pragma once
+
+#include <string>
+
+#include "dp/problems.hpp"
+#include "dp/table.hpp"
+
+namespace nusys {
+
+/// Cost table plus the argmin split of every pair.
+struct DPSolution {
+  DPTable cost;
+  DPTable split;  ///< split.at(i,j) = the k achieving c(i,j); 0 for l = 1.
+};
+
+/// Solves recurrence (8) tracking argmin splits (ties resolve to the
+/// smallest k, matching the left-to-right sequential scan).
+[[nodiscard]] DPSolution solve_with_splits(const IntervalDPProblem& problem);
+
+/// Renders the optimal bracketing of the interval (i, j) as a string over
+/// atoms "A1".."A{n-1}" (atom t spans the pair (t, t+1)), e.g.
+/// "((A1 (A2 A3)) ((A4 A5) A6))".
+[[nodiscard]] std::string render_parenthesization(const DPSolution& solution,
+                                                  i64 i, i64 j);
+
+}  // namespace nusys

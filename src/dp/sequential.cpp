@@ -1,0 +1,64 @@
+#include "dp/sequential.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+void check_problem(const IntervalDPProblem& problem) {
+  NUSYS_REQUIRE(problem.n >= 2, "interval DP: n >= 2 required");
+  NUSYS_REQUIRE(problem.init && problem.combine,
+                "interval DP: init and combine must be set");
+}
+
+}  // namespace
+
+DPTable solve_sequential(const IntervalDPProblem& problem) {
+  check_problem(problem);
+  const i64 n = problem.n;
+  DPTable c(n);
+  for (i64 i = 1; i < n; ++i) c.at(i, i + 1) = problem.init(i);
+  for (i64 l = 2; l < n; ++l) {
+    for (i64 i = 1; i + l <= n; ++i) {
+      const i64 j = i + l;
+      i64 best = problem.combine(i, i + 1, j, c.at(i, i + 1), c.at(i + 1, j));
+      for (i64 k = i + 2; k < j; ++k) {
+        best = std::min(best,
+                        problem.combine(i, k, j, c.at(i, k), c.at(k, j)));
+      }
+      c.at(i, j) = best;
+    }
+  }
+  return c;
+}
+
+DPTable solve_sequential_chain_order(const IntervalDPProblem& problem) {
+  check_problem(problem);
+  const i64 n = problem.n;
+  DPTable c(n);
+  for (i64 i = 1; i < n; ++i) c.at(i, i + 1) = problem.init(i);
+  for (i64 l = 2; l < n; ++l) {
+    for (i64 i = 1; i + l <= n; ++i) {
+      const i64 j = i + l;
+      const i64 mid = (i + j) / 2;  // floor; top of the descending chain.
+      // Chain 1: k = mid, mid-1, ..., i+1.
+      i64 best = problem.combine(i, mid, j, c.at(i, mid), c.at(mid, j));
+      for (i64 k = mid - 1; k >= i + 1; --k) {
+        best = std::min(best,
+                        problem.combine(i, k, j, c.at(i, k), c.at(k, j)));
+      }
+      // Chain 2: k = mid+1, ..., j-1 (empty when l == 2).
+      for (i64 k = mid + 1; k <= j - 1; ++k) {
+        best = std::min(best,
+                        problem.combine(i, k, j, c.at(i, k), c.at(k, j)));
+      }
+      c.at(i, j) = best;
+    }
+  }
+  return c;
+}
+
+}  // namespace nusys

@@ -1,0 +1,24 @@
+// Sequential solvers for the interval DP recurrence (8).
+//
+// solve_sequential is the O(n^3) textbook evaluation in lexicographic
+// wavefront order (increasing interval length); it is the golden baseline
+// every restructured or systolic execution must match exactly.
+#pragma once
+
+#include "dp/problems.hpp"
+#include "dp/table.hpp"
+
+namespace nusys {
+
+/// Evaluates recurrence (8) by increasing interval length.
+[[nodiscard]] DPTable solve_sequential(const IntervalDPProblem& problem);
+
+/// Like solve_sequential, but scans the reduction k in the paper's
+/// chain order (midpoint outward: descending to i+1, then ascending to
+/// j-1) instead of left-to-right. Since min is associative/commutative the
+/// result must be identical — this isolates the *ordering* part of the
+/// Sec. IV restructuring from the variable-propagation part.
+[[nodiscard]] DPTable solve_sequential_chain_order(
+    const IntervalDPProblem& problem);
+
+}  // namespace nusys

@@ -1,0 +1,35 @@
+#include "dp/table.hpp"
+
+#include <ostream>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+DPTable::DPTable(i64 n) : n_(n) {
+  NUSYS_REQUIRE(n >= 2, "DPTable: n must be at least 2");
+  data_.assign(static_cast<std::size_t>(n * (n - 1) / 2), 0);
+}
+
+std::size_t DPTable::index(i64 i, i64 j) const {
+  NUSYS_REQUIRE(1 <= i && i < j && j <= n_,
+                "DPTable: index (i, j) must satisfy 1 <= i < j <= n");
+  // Row-major over the strict upper triangle: row i (1-based) starts after
+  // (i-1) rows of lengths (n-1), (n-2), ...
+  const i64 row_start = (i - 1) * n_ - (i - 1) * i / 2;
+  return static_cast<std::size_t>(row_start + (j - i - 1));
+}
+
+i64& DPTable::at(i64 i, i64 j) { return data_[index(i, j)]; }
+i64 DPTable::at(i64 i, i64 j) const { return data_[index(i, j)]; }
+
+std::ostream& operator<<(std::ostream& os, const DPTable& t) {
+  for (i64 i = 1; i < t.n(); ++i) {
+    os << "c(" << i << ",*):";
+    for (i64 j = i + 1; j <= t.n(); ++j) os << ' ' << t.at(i, j);
+    os << '\n';
+  }
+  return os;
+}
+
+}  // namespace nusys

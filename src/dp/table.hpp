@@ -1,0 +1,38 @@
+// Triangular DP tables for the recurrence c(i,j), 1 <= i < j <= n.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "support/checked.hpp"
+
+namespace nusys {
+
+/// A dense upper-triangular table holding c(i,j) for 1 <= i < j <= n.
+class DPTable {
+ public:
+  explicit DPTable(i64 n);
+
+  [[nodiscard]] i64 n() const noexcept { return n_; }
+
+  /// Access c(i,j); requires 1 <= i < j <= n.
+  [[nodiscard]] i64& at(i64 i, i64 j);
+  [[nodiscard]] i64 at(i64 i, i64 j) const;
+
+  friend bool operator==(const DPTable& a, const DPTable& b) = default;
+
+  /// Number of stored entries: n(n-1)/2.
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return data_.size();
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(i64 i, i64 j) const;
+
+  i64 n_;
+  std::vector<i64> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const DPTable& t);
+
+}  // namespace nusys

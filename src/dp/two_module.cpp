@@ -1,0 +1,99 @@
+#include "dp/two_module.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+DPTable solve_two_module(const IntervalDPProblem& problem,
+                         TwoModuleStats* stats) {
+  NUSYS_REQUIRE(problem.n >= 2, "solve_two_module: n >= 2 required");
+  NUSYS_REQUIRE(problem.init && problem.combine,
+                "solve_two_module: init and combine must be set");
+  const i64 n = problem.n;
+  DPTable c(n);
+  TwoModuleStats local_stats;
+
+  // Propagated streams, stored as rolling 2-D state: slot [i][k] holds the
+  // value for the pair (i, j) currently being processed (module-1 streams
+  // advance along j for a', along i for b'; symmetrically for module 2).
+  const auto idx = [n](i64 i, i64 k) {
+    return static_cast<std::size_t>((i - 1) * n + (k - 1));
+  };
+  std::vector<i64> a1(static_cast<std::size_t>(n * n), 0);
+  std::vector<i64> b1(static_cast<std::size_t>(n * n), 0);
+  std::vector<i64> a2(static_cast<std::size_t>(n * n), 0);
+  std::vector<i64> b2(static_cast<std::size_t>(n * n), 0);
+
+  // Initialization: c_{i,i+1} and the paper's seed a''_{i,i+1,i+1}.
+  for (i64 i = 1; i < n; ++i) {
+    c.at(i, i + 1) = problem.init(i);
+    a2[idx(i, i + 1)] = c.at(i, i + 1);
+  }
+
+  for (i64 l = 2; l < n; ++l) {
+    for (i64 i = 1; i + l <= n; ++i) {
+      const i64 j = i + l;
+      const bool even = ((i + j) % 2) == 0;
+      const i64 mid = (i + j) / 2;  // Top of chain 1 (floor).
+
+      // ----- Module 1: k descending from mid to i+1. ----------------------
+      i64 c1 = 0;
+      for (i64 k = mid; k >= i + 1; --k) {
+        // a' update: A1 hands over a''_{i,j-1,k} at the chain-1 top when
+        // i+j is even (k = mid was in chain 2 of (i,j-1)); otherwise the
+        // local dependence a'_{i,j,k} = a'_{i,j-1,k} applies. Both read
+        // the state of pair (i, j-1), still resident in the slot.
+        if (even && k == mid) {
+          a1[idx(i, k)] = a2[idx(i, k)];
+          ++local_stats.a1_transfers;
+        }
+        // b' update: A2 boundary at k = i+1 reads the combined result
+        // c_{i+1,j,j}; otherwise b'_{i,j,k} = b'_{i+1,j,k} (the slot of
+        // row i+1 still holds pair (i+1, j), computed at length l-1).
+        const i64 b_val =
+            (k == i + 1) ? c.at(i + 1, j) : b1[idx(i + 1, k)];
+        b1[idx(i, k)] = b_val;
+
+        const i64 term =
+            problem.combine(i, k, j, a1[idx(i, k)], b1[idx(i, k)]);
+        ++local_stats.module1_ops;
+        c1 = (k == mid) ? term : std::min(c1, term);
+      }
+
+      // ----- Module 2: k ascending from mid+1 to j-1 (empty when l=2). ----
+      i64 c2 = 0;
+      for (i64 k = mid + 1; k <= j - 1; ++k) {
+        // a'' update: A3 boundary at k = j-1 reads c_{i,j-1,j-1}; otherwise
+        // a''_{i,j,k} = a''_{i,j-1,k} (in place: slot still holds (i,j-1)).
+        if (k == j - 1) {
+          a2[idx(i, k)] = c.at(i, j - 1);
+        }
+        // b'' update: A4 hands over b'_{i+1,j,k} at the chain-2 bottom when
+        // i+j is odd (k = mid+1 was in chain 1 of (i+1,j)); otherwise
+        // b''_{i,j,k} = b''_{i+1,j,k}.
+        if (!even && k == mid + 1) {
+          b2[idx(i, k)] = b1[idx(i + 1, k)];
+          ++local_stats.a4_transfers;
+        } else {
+          b2[idx(i, k)] = b2[idx(i + 1, k)];
+        }
+
+        const i64 term =
+            problem.combine(i, k, j, a2[idx(i, k)], b2[idx(i, k)]);
+        ++local_stats.module2_ops;
+        c2 = (k == mid + 1) ? term : std::min(c2, term);
+      }
+
+      // ----- A5: combine the two half-scans. ------------------------------
+      c.at(i, j) = (l == 2) ? c1 : std::min(c1, c2);
+      ++local_stats.combines;
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return c;
+}
+
+}  // namespace nusys

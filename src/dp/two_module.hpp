@@ -1,0 +1,46 @@
+// The paper's restructured two-module DP algorithm (Sec. IV), executed
+// sequentially but with the *exact* variable structure of the paper:
+// separate propagated streams a', b', c' (module 1) and a'', b'', c''
+// (module 2), correlated by the boundary statements A1..A5.
+//
+// Semantics of the streams (the invariants the propagation maintains):
+//   a'_{i,j,k}  = c(i,k)  for k in chain 1 of (i,j)   [moves along j]
+//   b'_{i,j,k}  = c(k,j)  for k in chain 1 of (i,j)   [moves along i]
+//   c'_{i,j,k}  = min over k' in chain 1, k' >= k, of f(...)
+//   a''_{i,j,k} = c(i,k)  for k in chain 2 of (i,j)
+//   b''_{i,j,k} = c(k,j)  for k in chain 2 of (i,j)
+//   c''_{i,j,k} = min over k' in chain 2, k' <= k, of f(...)
+// and the correlating statements:
+//   A1: a'_{i,j,(i+j)/2}      := a''_{i,j-1,(i+j)/2}      (i+j even)
+//   A2: b'_{i,j,i+1}          := c_{i+1,j,j}
+//   A3: a''_{i,j,j-1}         := c_{i,j-1,j-1}
+//   A4: b''_{i,j,(i+j+1)/2}   := b'_{i+1,j,(i+j+1)/2}     (i+j odd)
+//   A5: c_{i,j,j}             := h(c'_{i,j,i+1}, c''_{i,j,j-1})
+// (A3 is the paper's "if k=j-1 then a'' := c_{i,j-1,j-1}" boundary; A5
+// degenerates to c = c' when chain 2 is empty, i.e. j = i+2.)
+//
+// Running this and matching solve_sequential bit-for-bit validates that
+// the Sec. III/IV restructuring preserves the algorithm.
+#pragma once
+
+#include "dp/problems.hpp"
+#include "dp/table.hpp"
+
+namespace nusys {
+
+/// Per-run statistics of the two-module execution, used by tests to check
+/// the chain structure quantitatively.
+struct TwoModuleStats {
+  std::size_t module1_ops = 0;   ///< f-evaluations in module 1.
+  std::size_t module2_ops = 0;   ///< f-evaluations in module 2.
+  std::size_t a1_transfers = 0;  ///< A1 statements executed (even i+j).
+  std::size_t a4_transfers = 0;  ///< A4 statements executed (odd i+j).
+  std::size_t combines = 0;      ///< A5 statements executed.
+};
+
+/// Executes the restructured algorithm; `stats` (optional) receives the
+/// execution counts.
+[[nodiscard]] DPTable solve_two_module(const IntervalDPProblem& problem,
+                                       TwoModuleStats* stats = nullptr);
+
+}  // namespace nusys

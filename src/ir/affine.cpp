@@ -1,0 +1,105 @@
+#include "ir/affine.hpp"
+
+#include <sstream>
+
+namespace nusys {
+
+AffineExpr AffineExpr::constant(std::size_t dim, i64 value) {
+  return AffineExpr(IntVec(dim), value);
+}
+
+AffineExpr AffineExpr::index(std::size_t dim, std::size_t axis) {
+  NUSYS_REQUIRE(axis < dim, "AffineExpr::index: axis out of range");
+  IntVec coeffs(dim);
+  coeffs[axis] = 1;
+  return AffineExpr(std::move(coeffs), 0);
+}
+
+i64 AffineExpr::eval(const IntVec& point) const {
+  return checked_add(coeffs_.dot(point), constant_);
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& rhs) const {
+  return AffineExpr(coeffs_ + rhs.coeffs_,
+                    checked_add(constant_, rhs.constant_));
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& rhs) const {
+  return AffineExpr(coeffs_ - rhs.coeffs_,
+                    checked_sub(constant_, rhs.constant_));
+}
+
+AffineExpr AffineExpr::operator*(i64 scalar) const {
+  return AffineExpr(coeffs_ * scalar, checked_mul(constant_, scalar));
+}
+
+AffineExpr AffineExpr::operator+(i64 value) const {
+  return AffineExpr(coeffs_, checked_add(constant_, value));
+}
+
+AffineExpr AffineExpr::operator-(i64 value) const {
+  return AffineExpr(coeffs_, checked_sub(constant_, value));
+}
+
+std::string AffineExpr::to_string(
+    const std::vector<std::string>& names) const {
+  NUSYS_REQUIRE(names.size() == coeffs_.dim(),
+                "AffineExpr::to_string: name count mismatch");
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < coeffs_.dim(); ++i) {
+    const i64 c = coeffs_[i];
+    if (c == 0) continue;
+    if (first) {
+      if (c < 0) os << '-';
+    } else {
+      os << (c < 0 ? " - " : " + ");
+    }
+    const i64 mag = c < 0 ? -c : c;
+    if (mag != 1) os << mag << '*';
+    os << names[i];
+    first = false;
+  }
+  if (constant_ != 0 || first) {
+    if (first) {
+      os << constant_;
+    } else {
+      os << (constant_ < 0 ? " - " : " + ")
+         << (constant_ < 0 ? -constant_ : constant_);
+    }
+  }
+  return os.str();
+}
+
+AffineMap::AffineMap(IntMat matrix, IntVec offset)
+    : matrix_(std::move(matrix)), offset_(std::move(offset)) {
+  NUSYS_REQUIRE(matrix_.rows() == offset_.dim(),
+                "AffineMap: offset dimension mismatch");
+}
+
+AffineMap AffineMap::linear(IntMat matrix) {
+  const std::size_t rows = matrix.rows();
+  return AffineMap(std::move(matrix), IntVec(rows));
+}
+
+AffineMap AffineMap::from_exprs(const std::vector<AffineExpr>& exprs) {
+  NUSYS_REQUIRE(!exprs.empty(), "AffineMap::from_exprs: no expressions");
+  const std::size_t in_dim = exprs.front().dim();
+  IntMat matrix(exprs.size(), in_dim);
+  IntVec offset(exprs.size());
+  for (std::size_t r = 0; r < exprs.size(); ++r) {
+    NUSYS_REQUIRE(exprs[r].dim() == in_dim,
+                  "AffineMap::from_exprs: mixed input dimensions");
+    for (std::size_t c = 0; c < in_dim; ++c) {
+      matrix(r, c) = exprs[r].coeffs()[c];
+    }
+    offset[r] = exprs[r].constant_term();
+  }
+  return AffineMap(std::move(matrix), std::move(offset));
+}
+
+IntVec AffineMap::apply(const IntVec& point) const {
+  return matrix_ * point + offset_;
+}
+
+}  // namespace nusys

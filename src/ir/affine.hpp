@@ -1,0 +1,90 @@
+// Affine expressions and maps over loop indices.
+//
+// Loop bounds (triangular domains like i < k < j), timing functions
+// (T(i,j) = j - i, λ(i,j,k) = -i + 2j - k) and space maps (S(i,j,k) = (j,i))
+// are all affine in the index vector; this is the shared representation.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "linalg/mat.hpp"
+#include "linalg/vec.hpp"
+
+namespace nusys {
+
+/// An affine expression  coeffs · x + constant  over an index vector x.
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+
+  AffineExpr(IntVec coeffs, i64 constant)
+      : coeffs_(std::move(coeffs)), constant_(constant) {}
+
+  /// The constant expression `value` over a `dim`-dimensional index space.
+  [[nodiscard]] static AffineExpr constant(std::size_t dim, i64 value);
+
+  /// The expression selecting index `axis` (coefficient 1 there, 0 elsewhere).
+  [[nodiscard]] static AffineExpr index(std::size_t dim, std::size_t axis);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return coeffs_.dim(); }
+  [[nodiscard]] const IntVec& coeffs() const noexcept { return coeffs_; }
+  [[nodiscard]] i64 constant_term() const noexcept { return constant_; }
+
+  /// Evaluates at an index point of matching dimension.
+  [[nodiscard]] i64 eval(const IntVec& point) const;
+
+  [[nodiscard]] AffineExpr operator+(const AffineExpr& rhs) const;
+  [[nodiscard]] AffineExpr operator-(const AffineExpr& rhs) const;
+  [[nodiscard]] AffineExpr operator*(i64 scalar) const;
+  [[nodiscard]] AffineExpr operator+(i64 value) const;
+  [[nodiscard]] AffineExpr operator-(i64 value) const;
+
+  friend bool operator==(const AffineExpr& a, const AffineExpr& b) = default;
+
+  /// Renders like "-i + 2*x1 - x2 + 3" using the supplied index names.
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& names) const;
+
+ private:
+  IntVec coeffs_;
+  i64 constant_ = 0;
+};
+
+/// An affine map x -> M·x + offset (a tuple of AffineExpr sharing one input
+/// space).
+class AffineMap {
+ public:
+  AffineMap() = default;
+
+  AffineMap(IntMat matrix, IntVec offset);
+
+  /// A purely linear map (zero offset).
+  [[nodiscard]] static AffineMap linear(IntMat matrix);
+
+  /// Builds from per-output expressions (all of equal input dimension).
+  [[nodiscard]] static AffineMap from_exprs(
+      const std::vector<AffineExpr>& exprs);
+
+  [[nodiscard]] std::size_t input_dim() const noexcept {
+    return matrix_.cols();
+  }
+  [[nodiscard]] std::size_t output_dim() const noexcept {
+    return matrix_.rows();
+  }
+
+  [[nodiscard]] const IntMat& matrix() const noexcept { return matrix_; }
+  [[nodiscard]] const IntVec& offset() const noexcept { return offset_; }
+
+  [[nodiscard]] IntVec apply(const IntVec& point) const;
+
+  friend bool operator==(const AffineMap& a, const AffineMap& b) = default;
+
+ private:
+  IntMat matrix_;
+  IntVec offset_;
+};
+
+}  // namespace nusys

@@ -1,0 +1,58 @@
+#include "ir/dependence.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+DependenceSet::DependenceSet(std::vector<Dependence> deps)
+    : deps_(std::move(deps)) {
+  for (const auto& d : deps_) {
+    NUSYS_REQUIRE(d.vector.dim() == deps_.front().vector.dim(),
+                  "DependenceSet: mixed dimensions");
+  }
+}
+
+void DependenceSet::add(std::string variable, IntVec vector) {
+  if (!deps_.empty()) {
+    NUSYS_REQUIRE(vector.dim() == deps_.front().vector.dim(),
+                  "DependenceSet::add: dimension mismatch");
+  }
+  deps_.push_back({std::move(variable), std::move(vector)});
+}
+
+std::size_t DependenceSet::dim() const {
+  NUSYS_REQUIRE(!deps_.empty(), "DependenceSet::dim: empty set");
+  return deps_.front().vector.dim();
+}
+
+IntMat DependenceSet::matrix() const {
+  NUSYS_REQUIRE(!deps_.empty(), "DependenceSet::matrix: empty set");
+  return IntMat::from_columns(vectors());
+}
+
+std::vector<IntVec> DependenceSet::vectors() const {
+  std::vector<IntVec> out;
+  out.reserve(deps_.size());
+  for (const auto& d : deps_) out.push_back(d.vector);
+  return out;
+}
+
+std::string DependenceSet::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const DependenceSet& d) {
+  os << "D = [";
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << d[i].variable << ':' << d[i].vector;
+  }
+  return os << ']';
+}
+
+}  // namespace nusys

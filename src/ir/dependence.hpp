@@ -1,0 +1,62 @@
+// Data dependences (condition CA3 of the canonic form).
+//
+// A dependence vector is the difference between the index of the computation
+// that *uses* a value and the index of the computation that *generated* it.
+// A canonic-form recurrence carries one constant vector per variable; they
+// are assembled into the dependence matrix D whose columns drive both the
+// timing constraints (T·d > 0) and the space-mapping equations (S·D = Δ·K).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "linalg/mat.hpp"
+#include "linalg/vec.hpp"
+
+namespace nusys {
+
+/// One constant data dependence, labelled with its variable name.
+struct Dependence {
+  std::string variable;
+  IntVec vector;
+
+  friend bool operator==(const Dependence& a, const Dependence& b) = default;
+};
+
+/// An ordered collection of dependences sharing one index space.
+class DependenceSet {
+ public:
+  DependenceSet() = default;
+
+  explicit DependenceSet(std::vector<Dependence> deps);
+
+  /// Appends one dependence; its dimension must match existing entries.
+  void add(std::string variable, IntVec vector);
+
+  [[nodiscard]] std::size_t size() const noexcept { return deps_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return deps_.empty(); }
+  [[nodiscard]] std::size_t dim() const;
+
+  [[nodiscard]] const Dependence& operator[](std::size_t i) const {
+    return deps_[i];
+  }
+  [[nodiscard]] auto begin() const noexcept { return deps_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return deps_.end(); }
+
+  /// The matrix D whose columns are the dependence vectors, in order.
+  [[nodiscard]] IntMat matrix() const;
+
+  /// The list of vectors only.
+  [[nodiscard]] std::vector<IntVec> vectors() const;
+
+  /// "D = [y:(0, 1), x:(1, 1), w:(1, 0)]".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Dependence> deps_;
+};
+
+std::ostream& operator<<(std::ostream& os, const DependenceSet& d);
+
+}  // namespace nusys

@@ -1,0 +1,137 @@
+#include "ir/domain.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace nusys {
+
+IndexDomain::IndexDomain(std::vector<std::string> names,
+                         std::vector<DimBounds> bounds)
+    : names_(std::move(names)), bounds_(std::move(bounds)) {
+  NUSYS_REQUIRE(!names_.empty(), "IndexDomain: at least one dimension");
+  NUSYS_REQUIRE(names_.size() == bounds_.size(),
+                "IndexDomain: one bounds pair per dimension");
+  const std::size_t n = names_.size();
+  for (std::size_t axis = 0; axis < n; ++axis) {
+    NUSYS_REQUIRE(bounds_[axis].lower.dim() == n &&
+                      bounds_[axis].upper.dim() == n,
+                  "IndexDomain: bound expression dimension mismatch");
+    // Loop-nest discipline: bounds of dim `axis` may not reference dims
+    // >= axis (otherwise enumeration order would be ill-defined).
+    for (std::size_t later = axis; later < n; ++later) {
+      NUSYS_REQUIRE(bounds_[axis].lower.coeffs()[later] == 0 &&
+                        bounds_[axis].upper.coeffs()[later] == 0,
+                    "IndexDomain: bound references a later dimension");
+    }
+  }
+}
+
+IndexDomain IndexDomain::box(std::vector<std::string> names,
+                             const std::vector<i64>& lo,
+                             const std::vector<i64>& hi) {
+  NUSYS_REQUIRE(names.size() == lo.size() && lo.size() == hi.size(),
+                "IndexDomain::box: mismatched arities");
+  const std::size_t n = names.size();
+  std::vector<DimBounds> bounds;
+  bounds.reserve(n);
+  for (std::size_t axis = 0; axis < n; ++axis) {
+    bounds.push_back({AffineExpr::constant(n, lo[axis]),
+                      AffineExpr::constant(n, hi[axis])});
+  }
+  return IndexDomain(std::move(names), std::move(bounds));
+}
+
+IndexDomain IndexDomain::with_constraint(AffineExpr expr) const {
+  NUSYS_REQUIRE(expr.dim() == dim(),
+                "IndexDomain::with_constraint: dimension mismatch");
+  IndexDomain out = *this;
+  out.constraints_.push_back(std::move(expr));
+  return out;
+}
+
+const DimBounds& IndexDomain::bounds(std::size_t axis) const {
+  NUSYS_REQUIRE(axis < bounds_.size(), "IndexDomain::bounds: axis range");
+  return bounds_[axis];
+}
+
+bool IndexDomain::contains(const IntVec& point) const {
+  if (point.dim() != dim()) return false;
+  for (std::size_t axis = 0; axis < dim(); ++axis) {
+    const i64 v = point[axis];
+    if (v < bounds_[axis].lower.eval(point) ||
+        v > bounds_[axis].upper.eval(point)) {
+      return false;
+    }
+  }
+  for (const auto& c : constraints_) {
+    if (c.eval(point) < 0) return false;
+  }
+  return true;
+}
+
+void IndexDomain::for_each(
+    const std::function<void(const IntVec&)>& visit) const {
+  IntVec point(dim());
+  auto recurse = [&](auto&& self, std::size_t axis) -> void {
+    if (axis == dim()) {
+      for (const auto& c : constraints_) {
+        if (c.eval(point) < 0) return;
+      }
+      visit(point);
+      return;
+    }
+    const i64 lo = bounds_[axis].lower.eval(point);
+    const i64 hi = bounds_[axis].upper.eval(point);
+    for (i64 v = lo; v <= hi; ++v) {
+      point[axis] = v;
+      self(self, axis + 1);
+    }
+    point[axis] = 0;
+  };
+  recurse(recurse, 0);
+}
+
+std::vector<IntVec> IndexDomain::points() const {
+  std::vector<IntVec> out;
+  for_each([&](const IntVec& p) { out.push_back(p); });
+  return out;
+}
+
+std::size_t IndexDomain::size() const {
+  std::size_t count = 0;
+  for_each([&](const IntVec&) { ++count; });
+  return count;
+}
+
+bool IndexDomain::empty() const {
+  bool any = false;
+  // for_each has no early exit; domains are small enough that this is fine.
+  for_each([&](const IntVec&) { any = true; });
+  return !any;
+}
+
+std::string IndexDomain::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IndexDomain& d) {
+  os << "{ (";
+  for (std::size_t i = 0; i < d.dim(); ++i) {
+    if (i > 0) os << ", ";
+    os << d.names()[i];
+  }
+  os << ") | ";
+  for (std::size_t i = 0; i < d.dim(); ++i) {
+    if (i > 0) os << ", ";
+    os << d.bounds(i).lower.to_string(d.names()) << " <= " << d.names()[i]
+       << " <= " << d.bounds(i).upper.to_string(d.names());
+  }
+  for (const auto& c : d.constraints()) {
+    os << ", " << c.to_string(d.names()) << " >= 0";
+  }
+  return os << " }";
+}
+
+}  // namespace nusys

@@ -1,0 +1,79 @@
+// Index domains (iteration spaces).
+//
+// A domain models the index set I^n of a loop nest: one (lower, upper)
+// bound pair per dimension, where each bound may be affine in the *earlier*
+// dimensions — exactly the class of loop nests the paper considers. This
+// covers boxes (convolution: 1<=i<=n, 1<=k<=s) and triangles (dynamic
+// programming: 1<=i<=n, i<j<=n, i<k<j).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ir/affine.hpp"
+
+namespace nusys {
+
+/// One dimension's bounds: lower/upper are affine in dimensions 0..axis-1
+/// (coefficients for later dimensions must be zero). Bounds are inclusive.
+struct DimBounds {
+  AffineExpr lower;
+  AffineExpr upper;
+};
+
+/// An iteration space with loop-nest-style bounds, optionally refined by
+/// extra affine constraints (each meaning expr(point) >= 0). Constraints
+/// may reference *all* dimensions — this is how non-rectangular shapes with
+/// floor-style limits are expressed, e.g. k <= ⌊(i+j)/2⌋ as i+j-2k >= 0.
+class IndexDomain {
+ public:
+  /// Names one index per dimension; bounds[k] may reference dims < k only.
+  IndexDomain(std::vector<std::string> names, std::vector<DimBounds> bounds);
+
+  /// Axis-aligned box: dim k ranges over [lo[k], hi[k]].
+  [[nodiscard]] static IndexDomain box(std::vector<std::string> names,
+                                       const std::vector<i64>& lo,
+                                       const std::vector<i64>& hi);
+
+  /// A copy of this domain with the additional constraint expr >= 0.
+  [[nodiscard]] IndexDomain with_constraint(AffineExpr expr) const;
+
+  [[nodiscard]] std::size_t dim() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+  [[nodiscard]] const DimBounds& bounds(std::size_t axis) const;
+  [[nodiscard]] const std::vector<AffineExpr>& constraints() const noexcept {
+    return constraints_;
+  }
+
+  /// True when `point` satisfies every bound.
+  [[nodiscard]] bool contains(const IntVec& point) const;
+
+  /// Visits every point in lexicographic order.
+  void for_each(const std::function<void(const IntVec&)>& visit) const;
+
+  /// All points, lexicographically ordered. Prefer for_each for large
+  /// domains.
+  [[nodiscard]] std::vector<IntVec> points() const;
+
+  /// Number of points (computed by enumeration; domains here are small).
+  [[nodiscard]] std::size_t size() const;
+
+  /// True when the domain has no points.
+  [[nodiscard]] bool empty() const;
+
+  /// Human-readable rendering like "{ (i, k) | 1 <= i <= 8, 1 <= k <= 4 }".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<DimBounds> bounds_;
+  std::vector<AffineExpr> constraints_;  ///< Each must be >= 0 on points.
+};
+
+std::ostream& operator<<(std::ostream& os, const IndexDomain& d);
+
+}  // namespace nusys

@@ -1,0 +1,126 @@
+#include "ir/nonuniform.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace nusys {
+
+NonUniformSpec::NonUniformSpec(std::string name, IndexDomain full_domain,
+                               std::vector<NonConstantDep> deps)
+    : name_(std::move(name)),
+      full_domain_(std::move(full_domain)),
+      deps_(std::move(deps)) {
+  NUSYS_VALIDATE(full_domain_.dim() >= 2,
+                 "non-uniform spec needs a reduction dimension plus at "
+                 "least one statement dimension");
+  NUSYS_VALIDATE(!deps_.empty(),
+                 "non-uniform spec needs at least one dependence template");
+  const std::size_t s = statement_dim();
+  for (const auto& d : deps_) {
+    NUSYS_VALIDATE(d.base.dim() == s,
+                   "dependence template dimension must equal the statement "
+                   "dimension s = n-1");
+    NUSYS_VALIDATE(d.replaced_axis < s,
+                   "replaced axis must be a statement dimension");
+  }
+}
+
+IndexDomain NonUniformSpec::statement_domain() const {
+  const std::size_t s = statement_dim();
+  std::vector<std::string> names(full_domain_.names().begin(),
+                                 full_domain_.names().begin() +
+                                     static_cast<std::ptrdiff_t>(s));
+  std::vector<DimBounds> bounds;
+  bounds.reserve(s);
+  for (std::size_t axis = 0; axis < s; ++axis) {
+    // Loop-nest discipline guarantees these bounds never reference the
+    // reduction dimension, so truncating the coefficient vectors is exact.
+    const auto truncate = [s](const AffineExpr& e) {
+      IntVec coeffs(s);
+      for (std::size_t c = 0; c < s; ++c) coeffs[c] = e.coeffs()[c];
+      return AffineExpr(std::move(coeffs), e.constant_term());
+    };
+    bounds.push_back({truncate(full_domain_.bounds(axis).lower),
+                      truncate(full_domain_.bounds(axis).upper)});
+  }
+  IndexDomain out(std::move(names), std::move(bounds));
+  for (const auto& c : full_domain_.constraints()) {
+    NUSYS_VALIDATE(c.coeffs()[s] == 0,
+                   "statement_domain: a domain constraint references the "
+                   "reduction index and cannot be projected");
+    IntVec coeffs(s);
+    for (std::size_t axis = 0; axis < s; ++axis) coeffs[axis] = c.coeffs()[axis];
+    out = out.with_constraint(AffineExpr(std::move(coeffs), c.constant_term()));
+  }
+  return out;
+}
+
+std::pair<i64, i64> NonUniformSpec::reduction_range(
+    const IntVec& stmt_point) const {
+  NUSYS_REQUIRE(stmt_point.dim() == statement_dim(),
+                "reduction_range: statement point dimension mismatch");
+  IntVec full(full_domain_.dim());
+  for (std::size_t i = 0; i < stmt_point.dim(); ++i) full[i] = stmt_point[i];
+  const auto& b = full_domain_.bounds(full_domain_.dim() - 1);
+  return {b.lower.eval(full), b.upper.eval(full)};
+}
+
+IntVec NonUniformSpec::expand(std::size_t j, const IntVec& stmt_point,
+                              i64 red_value) const {
+  NUSYS_REQUIRE(j < deps_.size(), "expand: template index out of range");
+  NUSYS_REQUIRE(stmt_point.dim() == statement_dim(),
+                "expand: statement point dimension mismatch");
+  IntVec v = deps_[j].base;
+  const std::size_t t = deps_[j].replaced_axis;
+  v[t] = checked_sub(stmt_point[t], red_value);
+  return v;
+}
+
+std::vector<IntVec> NonUniformSpec::operand_points(const IntVec& stmt_point,
+                                                   i64 red_value) const {
+  std::vector<IntVec> out;
+  out.reserve(deps_.size());
+  for (std::size_t j = 0; j < deps_.size(); ++j) {
+    out.push_back(stmt_point - expand(j, stmt_point, red_value));
+  }
+  return out;
+}
+
+std::vector<IntVec> NonUniformSpec::expanded_set(
+    const IntVec& stmt_point) const {
+  std::set<IntVec> acc;
+  const auto [lo, hi] = reduction_range(stmt_point);
+  for (i64 k = lo; k <= hi; ++k) {
+    for (std::size_t j = 0; j < deps_.size(); ++j) {
+      acc.insert(expand(j, stmt_point, k));
+    }
+  }
+  return {acc.begin(), acc.end()};
+}
+
+std::vector<IntVec> NonUniformSpec::constant_core() const {
+  std::set<IntVec> core;
+  bool first = true;
+  statement_domain().for_each([&](const IntVec& p) {
+    const auto [lo, hi] = reduction_range(p);
+    if (lo > hi) return;  // No reduction terms here; skip per Sec. III.
+    const auto expanded = expanded_set(p);
+    if (first) {
+      core.insert(expanded.begin(), expanded.end());
+      first = false;
+      return;
+    }
+    std::set<IntVec> kept;
+    const std::set<IntVec> here(expanded.begin(), expanded.end());
+    for (const auto& v : core) {
+      if (here.contains(v)) kept.insert(v);
+    }
+    core.swap(kept);
+  });
+  NUSYS_VALIDATE(!first,
+                 "constant core is undefined: no statement point has a "
+                 "nonempty reduction range");
+  return {core.begin(), core.end()};
+}
+
+}  // namespace nusys

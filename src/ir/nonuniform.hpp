@@ -1,0 +1,94 @@
+// High-level problem specifications with one non-constant dependence
+// (Sec. III of the paper).
+//
+// The spec is a loop nest over I^n whose body carries an assignment
+//
+//    c(i^s) = f( c(i^s - d_1^s), ..., c(i^s - d_m^s) ),   s = n - 1,
+//
+// where each template d_j^s is constant except in one component t, which
+// equals (i_t - i_n): the index i_t on the left-hand side is replaced by the
+// *reduction index* i_n on the right-hand side. Expanding a template at a
+// concrete (i^s, i_n) yields an ordinary dependence vector; the set of all
+// expansions at a statement point is D^c_{i^s}, and the intersection over
+// the statement domain is the constant core D^c from which the coarse
+// timing function is derived.
+//
+// Dynamic programming (Sec. IV) instantiates this with n = 3,
+// c(i,j) = f(c(i,k), c(k,j)): template 1 has t = axis of j (component
+// j - k), template 2 has t = axis of i (component i - k).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/domain.hpp"
+
+namespace nusys {
+
+/// One non-constant dependence template d_j^s (s-dimensional).
+struct NonConstantDep {
+  std::string variable;       ///< Name of the recurrence array (e.g. "c").
+  IntVec base;                ///< Constant components a_{j,l}; the entry at
+                              ///< `replaced_axis` is ignored.
+  std::size_t replaced_axis;  ///< The component t that expands to i_t - i_n.
+};
+
+/// A loop nest over I^n with non-constant dependences in the sense above.
+/// By convention the *last* dimension of the domain is the reduction index
+/// i_n; the first s = n-1 dimensions index the statement (and the array c).
+class NonUniformSpec {
+ public:
+  NonUniformSpec(std::string name, IndexDomain full_domain,
+                 std::vector<NonConstantDep> deps);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const IndexDomain& full_domain() const noexcept {
+    return full_domain_;
+  }
+  [[nodiscard]] const std::vector<NonConstantDep>& deps() const noexcept {
+    return deps_;
+  }
+
+  /// s = n - 1, the dimension of the statement (array) index space.
+  [[nodiscard]] std::size_t statement_dim() const noexcept {
+    return full_domain_.dim() - 1;
+  }
+
+  /// The statement domain I^s (the loop nest with the reduction index
+  /// projected away).
+  [[nodiscard]] IndexDomain statement_domain() const;
+
+  /// Inclusive range of the reduction index at a statement point; may be
+  /// empty (first > second) for boundary points with no reduction terms.
+  [[nodiscard]] std::pair<i64, i64> reduction_range(
+      const IntVec& stmt_point) const;
+
+  /// Expands template `j` at (stmt_point, red_value) into a concrete
+  /// s-dimensional dependence vector.
+  [[nodiscard]] IntVec expand(std::size_t j, const IntVec& stmt_point,
+                              i64 red_value) const;
+
+  /// The operand points i^s - d_j^s for all templates at a concrete
+  /// reduction value: the statement points whose values the computation
+  /// (stmt_point, red_value) reads.
+  [[nodiscard]] std::vector<IntVec> operand_points(const IntVec& stmt_point,
+                                                   i64 red_value) const;
+
+  /// D^c_{i^s}: every expansion of every template over the whole reduction
+  /// range at this statement point (deduplicated, sorted).
+  [[nodiscard]] std::vector<IntVec> expanded_set(
+      const IntVec& stmt_point) const;
+
+  /// D^c: the intersection of the expanded sets over all statement points
+  /// whose reduction range is nonempty (deduplicated, sorted). The paper
+  /// derives the coarse timing function from this set.
+  [[nodiscard]] std::vector<IntVec> constant_core() const;
+
+ private:
+  std::string name_;
+  IndexDomain full_domain_;
+  std::vector<NonConstantDep> deps_;
+};
+
+}  // namespace nusys

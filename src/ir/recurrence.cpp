@@ -1,0 +1,53 @@
+#include "ir/recurrence.hpp"
+
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace nusys {
+
+CanonicRecurrence::CanonicRecurrence(std::string name, IndexDomain domain,
+                                     DependenceSet dependences)
+    : name_(std::move(name)),
+      domain_(std::move(domain)),
+      dependences_(std::move(dependences)) {
+  validate();
+}
+
+void CanonicRecurrence::validate() const {
+  NUSYS_VALIDATE(!dependences_.empty(),
+                 "canonic form must have at least one dependence");
+  NUSYS_VALIDATE(dependences_.dim() == domain_.dim(),
+                 "dependence dimension differs from domain dimension");
+  std::set<std::string> seen;
+  for (const auto& dep : dependences_) {
+    NUSYS_VALIDATE(!dep.variable.empty(),
+                   "dependence variable must be named");
+    NUSYS_VALIDATE(!dep.vector.is_zero(),
+                   "dependence vector must be nonzero (CA4 ordering)");
+    NUSYS_VALIDATE(seen.insert(dep.variable).second,
+                   "variable has multiple dependences (violates CA4: a "
+                   "variable is used exactly once after it is generated)");
+  }
+}
+
+bool CanonicRecurrence::directly_depends(const IntVec& later,
+                                         const IntVec& earlier) const {
+  for (const auto& dep : dependences_) {
+    if (later == earlier + dep.vector) return true;
+  }
+  return false;
+}
+
+std::string CanonicRecurrence::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const CanonicRecurrence& r) {
+  return os << "recurrence '" << r.name() << "' over " << r.domain() << " with "
+            << r.dependences();
+}
+
+}  // namespace nusys

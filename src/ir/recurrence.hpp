@@ -1,0 +1,58 @@
+// Canonic-form recurrences (Sec. II-A of the paper).
+//
+// A canonic form is a recurrence over an index domain whose variables each
+// carry a constant dependence vector, subject to conditions CA1..CA4. The
+// structural parts of those conditions are checked by validate():
+//   CA1 — every variable is indexed by the full n-tuple: guaranteed by
+//         construction (a Dependence is an n-vector over the domain).
+//   CA2 — index component k of a use depends only on component k of the
+//         definition: equivalent to dependences being *difference vectors*,
+//         again structural.
+//   CA3 — dependence vectors are constant: structural.
+//   CA4 — single use after generation: each variable appears with exactly
+//         one dependence vector, checked here.
+// In addition, validate() rejects zero dependence vectors (a computation may
+// not consume a value produced "at the same index", which would make the
+// ordering >_D reflexive).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/dependence.hpp"
+#include "ir/domain.hpp"
+
+namespace nusys {
+
+/// A named recurrence in canonic form: an index domain plus one constant
+/// dependence per variable.
+class CanonicRecurrence {
+ public:
+  CanonicRecurrence(std::string name, IndexDomain domain,
+                    DependenceSet dependences);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const IndexDomain& domain() const noexcept { return domain_; }
+  [[nodiscard]] const DependenceSet& dependences() const noexcept {
+    return dependences_;
+  }
+
+  /// Throws DomainError when a canonic-form condition is violated.
+  void validate() const;
+
+  /// The partial order >_D of Sec. II-A: true when `later` depends directly
+  /// on `earlier` through some dependence vector.
+  [[nodiscard]] bool directly_depends(const IntVec& later,
+                                      const IntVec& earlier) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string name_;
+  IndexDomain domain_;
+  DependenceSet dependences_;
+};
+
+std::ostream& operator<<(std::ostream& os, const CanonicRecurrence& r);
+
+}  // namespace nusys

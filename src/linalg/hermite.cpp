@@ -1,0 +1,182 @@
+#include "linalg/hermite.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nusys {
+
+namespace {
+
+void negate_col(IntMat& m, std::size_t c) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    m(r, c) = checked_sub(0, m(r, c));
+  }
+}
+
+void swap_cols(IntMat& m, std::size_t a, std::size_t b) {
+  if (a == b) return;
+  for (std::size_t r = 0; r < m.rows(); ++r) std::swap(m(r, a), m(r, b));
+}
+
+/// col_dst -= q * col_src
+void axpy_col(IntMat& m, std::size_t dst, std::size_t src, i64 q) {
+  if (q == 0) return;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    m(r, dst) = checked_sub(m(r, dst), checked_mul(q, m(r, src)));
+  }
+}
+
+}  // namespace
+
+HermiteForm hermite_normal_form(const IntMat& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  HermiteForm out{a, IntMat::identity(n)};
+  IntMat& h = out.h;
+  IntMat& u = out.u;
+
+  std::size_t pivot_col = 0;
+  for (std::size_t r = 0; r < m && pivot_col < n; ++r) {
+    // Euclidean column reduction: shrink entries in row r (columns
+    // pivot_col..n-1) until at most one is nonzero, parked at pivot_col.
+    for (;;) {
+      // Move the column with the smallest nonzero |entry| to pivot_col.
+      std::size_t best = n;
+      for (std::size_t c = pivot_col; c < n; ++c) {
+        if (h(r, c) != 0 &&
+            (best == n || std::llabs(h(r, c)) < std::llabs(h(r, best)))) {
+          best = c;
+        }
+      }
+      if (best == n) break;  // Row r is all zero in the working columns.
+      swap_cols(h, pivot_col, best);
+      swap_cols(u, pivot_col, best);
+
+      bool others_nonzero = false;
+      for (std::size_t c = pivot_col + 1; c < n; ++c) {
+        if (h(r, c) == 0) continue;
+        const i64 q = h(r, c) / h(r, pivot_col);
+        axpy_col(h, c, pivot_col, q);
+        axpy_col(u, c, pivot_col, q);
+        if (h(r, c) != 0) others_nonzero = true;
+      }
+      if (!others_nonzero) break;
+    }
+
+    if (h(r, pivot_col) == 0) continue;  // No pivot in this row.
+    if (h(r, pivot_col) < 0) {
+      negate_col(h, pivot_col);
+      negate_col(u, pivot_col);
+    }
+    // Reduce the columns left of the pivot so entries in row r fall in
+    // [0, pivot).
+    for (std::size_t c = 0; c < pivot_col; ++c) {
+      const i64 q = floor_div(h(r, c), h(r, pivot_col));
+      axpy_col(h, c, pivot_col, q);
+      axpy_col(u, c, pivot_col, q);
+    }
+    ++pivot_col;
+  }
+  return out;
+}
+
+std::optional<DiophantineSolution> solve_diophantine(const IntMat& a,
+                                                     const IntVec& b) {
+  NUSYS_REQUIRE(a.rows() == b.dim(),
+                "solve_diophantine: rhs dimension mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const HermiteForm hf = hermite_normal_form(a);
+
+  // Identify pivot (row, col) pairs of H in column order.
+  std::vector<std::pair<std::size_t, std::size_t>> pivots;
+  {
+    std::size_t r = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      while (r < m && hf.h(r, c) == 0) {
+        // A zero in (r, c) is only a pivot-skip if the whole remaining part
+        // of row r in columns >= c is zero; by HNF structure it is.
+        bool row_zero = true;
+        for (std::size_t cc = c; cc < n; ++cc) {
+          if (hf.h(r, cc) != 0) {
+            row_zero = false;
+            break;
+          }
+        }
+        if (!row_zero) break;
+        ++r;
+      }
+      if (r < m && hf.h(r, c) != 0) {
+        pivots.emplace_back(r, c);
+        ++r;
+      } else {
+        break;  // Remaining columns are zero (kernel columns).
+      }
+    }
+  }
+
+  // Forward-substitute H·y = b.
+  IntVec y(n);
+  IntVec residual = b;
+  for (const auto& [r, c] : pivots) {
+    // Rows above each pivot row with no pivot must already be consistent.
+    const i64 value = residual[r];
+    if (value % hf.h(r, c) != 0) return std::nullopt;
+    const i64 coeff = value / hf.h(r, c);
+    y[c] = coeff;
+    for (std::size_t rr = 0; rr < m; ++rr) {
+      residual[rr] = checked_sub(residual[rr],
+                                 checked_mul(coeff, hf.h(rr, c)));
+    }
+  }
+  if (!residual.is_zero()) return std::nullopt;
+
+  DiophantineSolution sol;
+  sol.particular = hf.u * y;
+  const std::size_t rank = pivots.size();
+  for (std::size_t c = rank; c < n; ++c) {
+    sol.kernel.push_back(hf.u.col(c));
+  }
+  return sol;
+}
+
+std::vector<IntVec> enumerate_nonnegative_solutions(const IntMat& a,
+                                                    const IntVec& b,
+                                                    i64 max_sum) {
+  NUSYS_REQUIRE(a.rows() == b.dim(),
+                "enumerate_nonnegative_solutions: rhs dimension mismatch");
+  NUSYS_REQUIRE(a.cols() <= 16,
+                "enumerate_nonnegative_solutions: too many unknowns");
+  NUSYS_REQUIRE(max_sum >= 0,
+                "enumerate_nonnegative_solutions: negative budget");
+
+  std::vector<IntVec> solutions;
+  IntVec x(a.cols());
+  IntVec residual = b;
+
+  // Depth-first over components; `residual` tracks b - A·x(prefix).
+  auto recurse = [&](auto&& self, std::size_t col, i64 budget) -> void {
+    if (col == a.cols()) {
+      if (residual.is_zero()) solutions.push_back(x);
+      return;
+    }
+    for (i64 v = 0; v <= budget; ++v) {
+      x[col] = v;
+      self(self, col + 1, budget - v);
+      // Advance residual for the next value of v.
+      for (std::size_t r = 0; r < a.rows(); ++r) {
+        residual[r] = checked_sub(residual[r], a(r, col));
+      }
+    }
+    // Undo the budget+1 subtractions applied in the loop above.
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      residual[r] =
+          checked_add(residual[r], checked_mul(budget + 1, a(r, col)));
+    }
+    x[col] = 0;
+  };
+  recurse(recurse, 0, max_sum);
+  return solutions;
+}
+
+}  // namespace nusys

@@ -1,0 +1,47 @@
+// Hermite normal form and linear Diophantine systems.
+//
+// Sec. II-B of the paper reduces space-mapping to "solving the diophantine
+// equations S·D = Δ·K" (eq. 3). This module provides the integer machinery:
+// column-style Hermite normal form with its unimodular transform, general
+// integer solutions of A·x = b, and bounded enumeration of the *nonnegative*
+// solutions, which is what routing a dependence over physical links needs
+// (each k-column counts link traversals, so it must be >= 0).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/mat.hpp"
+
+namespace nusys {
+
+/// Result of a column-style Hermite normal form computation: H = A·U with
+/// U unimodular (|det U| = 1) and H lower-triangular with nonnegative
+/// pivots.
+struct HermiteForm {
+  IntMat h;  ///< The Hermite normal form (same shape as the input).
+  IntMat u;  ///< Unimodular column transform with A·U = H.
+};
+
+/// Computes the column-style Hermite normal form of `a`.
+[[nodiscard]] HermiteForm hermite_normal_form(const IntMat& a);
+
+/// The complete integer solution set of A·x = b:
+/// x = particular + Σ t_j · kernel[j] over integer t_j.
+struct DiophantineSolution {
+  IntVec particular;          ///< One integer solution.
+  std::vector<IntVec> kernel; ///< Basis of the integer null space of A.
+};
+
+/// Solves A·x = b over the integers; nullopt when no integer solution
+/// exists.
+[[nodiscard]] std::optional<DiophantineSolution> solve_diophantine(
+    const IntMat& a, const IntVec& b);
+
+/// Enumerates every x >= 0 (componentwise) with A·x = b and Σx <= max_sum,
+/// in lexicographic order. Intended for small systems (routing searches);
+/// `a.cols()` must be <= 16.
+[[nodiscard]] std::vector<IntVec> enumerate_nonnegative_solutions(
+    const IntMat& a, const IntVec& b, i64 max_sum);
+
+}  // namespace nusys

@@ -1,0 +1,229 @@
+#include "linalg/mat.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/fraction.hpp"
+
+namespace nusys {
+
+IntMat::IntMat(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+IntMat::IntMat(std::initializer_list<std::initializer_list<i64>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    NUSYS_REQUIRE(r.size() == cols_, "IntMat: ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+IntMat IntMat::identity(std::size_t n) {
+  IntMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1;
+  return m;
+}
+
+IntMat IntMat::from_columns(const std::vector<IntVec>& cols) {
+  NUSYS_REQUIRE(!cols.empty(), "IntMat::from_columns: no columns");
+  const std::size_t dim = cols.front().dim();
+  IntMat m(dim, cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    NUSYS_REQUIRE(cols[c].dim() == dim,
+                  "IntMat::from_columns: mixed dimensions");
+    for (std::size_t r = 0; r < dim; ++r) m(r, c) = cols[c][r];
+  }
+  return m;
+}
+
+IntMat IntMat::from_rows(const std::vector<IntVec>& rows) {
+  NUSYS_REQUIRE(!rows.empty(), "IntMat::from_rows: no rows");
+  const std::size_t dim = rows.front().dim();
+  IntMat m(rows.size(), dim);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    NUSYS_REQUIRE(rows[r].dim() == dim, "IntMat::from_rows: mixed dimensions");
+    for (std::size_t c = 0; c < dim; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+i64 IntMat::at(std::size_t r, std::size_t c) const {
+  NUSYS_REQUIRE(r < rows_ && c < cols_, "IntMat::at: index out of range");
+  return (*this)(r, c);
+}
+
+IntVec IntMat::row(std::size_t r) const {
+  NUSYS_REQUIRE(r < rows_, "IntMat::row: index out of range");
+  IntVec v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+IntVec IntMat::col(std::size_t c) const {
+  NUSYS_REQUIRE(c < cols_, "IntMat::col: index out of range");
+  IntVec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+IntMat IntMat::operator*(const IntMat& rhs) const {
+  NUSYS_REQUIRE(cols_ == rhs.rows_, "IntMat: shape mismatch in product");
+  IntMat out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const i64 a = (*this)(r, k);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) = checked_add(out(r, c), checked_mul(a, rhs(k, c)));
+      }
+    }
+  }
+  return out;
+}
+
+IntVec IntMat::operator*(const IntVec& v) const {
+  NUSYS_REQUIRE(cols_ == v.dim(), "IntMat: shape mismatch in mat*vec");
+  IntVec out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    i64 acc = 0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc = checked_add(acc, checked_mul((*this)(r, c), v[c]));
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+IntMat IntMat::operator+(const IntMat& rhs) const {
+  NUSYS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "IntMat: shape mismatch in +");
+  IntMat out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = checked_add(out.data_[i], rhs.data_[i]);
+  }
+  return out;
+}
+
+IntMat IntMat::operator-(const IntMat& rhs) const {
+  NUSYS_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "IntMat: shape mismatch in -");
+  IntMat out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = checked_sub(out.data_[i], rhs.data_[i]);
+  }
+  return out;
+}
+
+IntMat IntMat::transposed() const {
+  IntMat out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+IntMat IntMat::with_row_appended(const IntVec& v) const {
+  NUSYS_REQUIRE(v.dim() == cols_ || rows_ == 0,
+                "IntMat::with_row_appended: dimension mismatch");
+  IntMat out(rows_ + 1, rows_ == 0 ? v.dim() : cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(r, c) = (*this)(r, c);
+  }
+  for (std::size_t c = 0; c < v.dim(); ++c) out(rows_, c) = v[c];
+  return out;
+}
+
+IntMat IntMat::with_col_appended(const IntVec& v) const {
+  NUSYS_REQUIRE(v.dim() == rows_ || cols_ == 0,
+                "IntMat::with_col_appended: dimension mismatch");
+  IntMat out(cols_ == 0 ? v.dim() : rows_, cols_ + 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(r, c) = (*this)(r, c);
+  }
+  for (std::size_t r = 0; r < v.dim(); ++r) out(r, cols_) = v[r];
+  return out;
+}
+
+i64 IntMat::determinant() const {
+  NUSYS_REQUIRE(rows_ == cols_, "IntMat::determinant: matrix not square");
+  const std::size_t n = rows_;
+  if (n == 0) return 1;
+
+  // Fraction-free Bareiss elimination: all intermediate values stay
+  // integral and the final pivot is the determinant.
+  IntMat a = *this;
+  i64 sign = 1;
+  i64 prev = 1;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    if (a(k, k) == 0) {
+      std::size_t swap_row = k + 1;
+      while (swap_row < n && a(swap_row, k) == 0) ++swap_row;
+      if (swap_row == n) return 0;
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a(k, c), a(swap_row, c));
+      }
+      sign = -sign;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      for (std::size_t j = k + 1; j < n; ++j) {
+        const i64 numerator = checked_sub(checked_mul(a(i, j), a(k, k)),
+                                          checked_mul(a(i, k), a(k, j)));
+        a(i, j) = numerator / prev;  // Exact by Bareiss' theorem.
+      }
+      a(i, k) = 0;
+    }
+    prev = a(k, k);
+  }
+  return checked_mul(sign, a(n - 1, n - 1));
+}
+
+std::size_t IntMat::rank() const {
+  if (rows_ == 0 || cols_ == 0) return 0;
+  // Exact Gaussian elimination over the rationals.
+  std::vector<std::vector<Fraction>> a(rows_, std::vector<Fraction>(cols_));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) a[r][c] = (*this)(r, c);
+  }
+  std::size_t rank = 0;
+  for (std::size_t c = 0; c < cols_ && rank < rows_; ++c) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && a[pivot][c].is_zero()) ++pivot;
+    if (pivot == rows_) continue;
+    std::swap(a[rank], a[pivot]);
+    for (std::size_t r = rank + 1; r < rows_; ++r) {
+      if (a[r][c].is_zero()) continue;
+      const Fraction factor = a[r][c] / a[rank][c];
+      for (std::size_t j = c; j < cols_; ++j) {
+        a[r][j] -= factor * a[rank][j];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+bool IntMat::is_nonsingular() const {
+  return rows_ == cols_ && determinant() != 0;
+}
+
+std::string IntMat::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntMat& m) {
+  os << '[';
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (r > 0) os << "; ";
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c > 0) os << ' ';
+      os << m(r, c);
+    }
+  }
+  return os << ']';
+}
+
+}  // namespace nusys

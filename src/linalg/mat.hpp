@@ -1,0 +1,91 @@
+// Dense integer matrices.
+//
+// Dependence matrices D, interconnect matrices Δ, space maps S and the
+// combined transformation Π = [T; S] from Sec. II of the paper are all
+// IntMat. Determinants use the fraction-free Bareiss algorithm so
+// non-singularity checks on Π are exact.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "linalg/vec.hpp"
+
+namespace nusys {
+
+/// A dense row-major matrix of int64 with overflow-checked arithmetic.
+class IntMat {
+ public:
+  IntMat() = default;
+
+  /// Zero matrix of the given shape.
+  IntMat(std::size_t rows, std::size_t cols);
+
+  /// Row-of-rows constructor; all rows must have equal length.
+  IntMat(std::initializer_list<std::initializer_list<i64>> rows);
+
+  /// Identity of order n.
+  [[nodiscard]] static IntMat identity(std::size_t n);
+
+  /// Matrix whose columns are the given vectors (all of equal dimension).
+  [[nodiscard]] static IntMat from_columns(const std::vector<IntVec>& cols);
+
+  /// Matrix whose rows are the given vectors (all of equal dimension).
+  [[nodiscard]] static IntMat from_rows(const std::vector<IntVec>& rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] i64& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] i64 operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws ContractError when out of range.
+  [[nodiscard]] i64 at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] IntVec row(std::size_t r) const;
+  [[nodiscard]] IntVec col(std::size_t c) const;
+
+  /// Matrix product; inner dimensions must match.
+  [[nodiscard]] IntMat operator*(const IntMat& rhs) const;
+  /// Matrix-vector product; `v.dim()` must equal cols().
+  [[nodiscard]] IntVec operator*(const IntVec& v) const;
+  [[nodiscard]] IntMat operator+(const IntMat& rhs) const;
+  [[nodiscard]] IntMat operator-(const IntMat& rhs) const;
+
+  friend bool operator==(const IntMat& a, const IntMat& b) = default;
+
+  [[nodiscard]] IntMat transposed() const;
+
+  /// New matrix = this with `v` appended as an extra row.
+  [[nodiscard]] IntMat with_row_appended(const IntVec& v) const;
+
+  /// New matrix = this with `v` appended as an extra column.
+  [[nodiscard]] IntMat with_col_appended(const IntVec& v) const;
+
+  /// Determinant via fraction-free Bareiss elimination; requires square.
+  [[nodiscard]] i64 determinant() const;
+
+  /// Rank over the rationals (exact, via Bareiss-style elimination).
+  [[nodiscard]] std::size_t rank() const;
+
+  /// True for a square matrix with nonzero determinant.
+  [[nodiscard]] bool is_nonsingular() const;
+
+  /// Multi-line "[a b; c d]"-style rendering.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<i64> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntMat& m);
+
+}  // namespace nusys

@@ -1,0 +1,102 @@
+#include "linalg/ratmat.hpp"
+
+namespace nusys {
+
+RatMat::RatMat(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+RatMat::RatMat(const IntMat& m) : RatMat(m.rows(), m.cols()) {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = m(r, c);
+  }
+}
+
+RatMat RatMat::identity(std::size_t n) {
+  RatMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1;
+  return m;
+}
+
+RatMat RatMat::operator*(const RatMat& rhs) const {
+  NUSYS_REQUIRE(cols_ == rhs.rows_, "RatMat: shape mismatch in product");
+  RatMat out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Fraction& a = (*this)(r, k);
+      if (a.is_zero()) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += a * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Fraction> RatMat::operator*(
+    const std::vector<Fraction>& v) const {
+  NUSYS_REQUIRE(cols_ == v.size(), "RatMat: shape mismatch in mat*vec");
+  std::vector<Fraction> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Fraction acc;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::optional<RatMat> RatMat::inverse() const {
+  NUSYS_REQUIRE(rows_ == cols_, "RatMat::inverse: matrix not square");
+  const std::size_t n = rows_;
+  RatMat a = *this;
+  RatMat inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && a(pivot, col).is_zero()) ++pivot;
+    if (pivot == n) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a(col, c), a(pivot, c));
+        std::swap(inv(col, c), inv(pivot, c));
+      }
+    }
+    const Fraction scale = Fraction(1) / a(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      a(col, c) *= scale;
+      inv(col, c) *= scale;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col || a(r, col).is_zero()) continue;
+      const Fraction factor = a(r, col);
+      for (std::size_t c = 0; c < n; ++c) {
+        a(r, c) -= factor * a(col, c);
+        inv(r, c) -= factor * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+std::optional<std::vector<Fraction>> RatMat::solve(
+    const std::vector<Fraction>& b) const {
+  NUSYS_REQUIRE(rows_ == b.size(), "RatMat::solve: rhs dimension mismatch");
+  const auto inv = inverse();
+  if (!inv) return std::nullopt;
+  return *inv * b;
+}
+
+std::optional<IntVec> integral_preimage(const RatMat& inverse,
+                                        const IntVec& image) {
+  NUSYS_REQUIRE(inverse.cols() == image.dim(),
+                "integral_preimage: dimension mismatch");
+  std::vector<Fraction> rhs(image.dim());
+  for (std::size_t i = 0; i < image.dim(); ++i) rhs[i] = image[i];
+  const auto x = inverse * rhs;
+  IntVec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!x[i].is_integer()) return std::nullopt;
+    out[i] = x[i].as_integer();
+  }
+  return out;
+}
+
+}  // namespace nusys

@@ -1,0 +1,65 @@
+// Exact rational matrices: inversion and linear-system solving.
+//
+// Inverting the combined transformation Π = [T; S] recovers, for each cell
+// and clock tick, which index point executes there — the simulator and the
+// space-time verifier both use this. All arithmetic is exact (Fraction).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/mat.hpp"
+#include "support/fraction.hpp"
+
+namespace nusys {
+
+/// A dense row-major matrix of exact rationals.
+class RatMat {
+ public:
+  RatMat() = default;
+
+  /// Zero matrix of the given shape.
+  RatMat(std::size_t rows, std::size_t cols);
+
+  /// Exact copy of an integer matrix.
+  explicit RatMat(const IntMat& m);
+
+  [[nodiscard]] static RatMat identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] Fraction& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const Fraction& operator()(std::size_t r,
+                                           std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] RatMat operator*(const RatMat& rhs) const;
+  [[nodiscard]] std::vector<Fraction> operator*(
+      const std::vector<Fraction>& v) const;
+
+  friend bool operator==(const RatMat& a, const RatMat& b) = default;
+
+  /// Exact inverse; nullopt when singular. Requires square.
+  [[nodiscard]] std::optional<RatMat> inverse() const;
+
+  /// Solves A·x = b exactly; nullopt when no (unique) solution exists.
+  /// Requires square A.
+  [[nodiscard]] std::optional<std::vector<Fraction>> solve(
+      const std::vector<Fraction>& b) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Fraction> data_;
+};
+
+/// Applies an exact inverse map to an integer vector and returns the result
+/// only when it is integral (i.e. the preimage is a lattice point).
+[[nodiscard]] std::optional<IntVec> integral_preimage(const RatMat& inverse,
+                                                      const IntVec& image);
+
+}  // namespace nusys

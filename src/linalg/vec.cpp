@@ -1,0 +1,101 @@
+#include "linalg/vec.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace nusys {
+
+i64 IntVec::at(std::size_t i) const {
+  NUSYS_REQUIRE(i < data_.size(), "IntVec::at: index out of range");
+  return data_[i];
+}
+
+IntVec IntVec::operator+(const IntVec& rhs) const {
+  IntVec out = *this;
+  out += rhs;
+  return out;
+}
+
+IntVec IntVec::operator-(const IntVec& rhs) const {
+  IntVec out = *this;
+  out -= rhs;
+  return out;
+}
+
+IntVec IntVec::operator*(i64 scalar) const {
+  IntVec out = *this;
+  for (auto& x : out.data_) x = checked_mul(x, scalar);
+  return out;
+}
+
+IntVec IntVec::operator-() const { return *this * -1; }
+
+IntVec& IntVec::operator+=(const IntVec& rhs) {
+  NUSYS_REQUIRE(dim() == rhs.dim(), "IntVec: dimension mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = checked_add(data_[i], rhs.data_[i]);
+  }
+  return *this;
+}
+
+IntVec& IntVec::operator-=(const IntVec& rhs) {
+  NUSYS_REQUIRE(dim() == rhs.dim(), "IntVec: dimension mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] = checked_sub(data_[i], rhs.data_[i]);
+  }
+  return *this;
+}
+
+i64 IntVec::dot(const IntVec& rhs) const {
+  NUSYS_REQUIRE(dim() == rhs.dim(), "IntVec::dot: dimension mismatch");
+  i64 acc = 0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    acc = checked_add(acc, checked_mul(data_[i], rhs.data_[i]));
+  }
+  return acc;
+}
+
+bool IntVec::is_zero() const noexcept {
+  for (const auto x : data_) {
+    if (x != 0) return false;
+  }
+  return true;
+}
+
+i64 IntVec::l1_norm() const {
+  i64 acc = 0;
+  for (const auto x : data_) {
+    acc = checked_add(acc, x < 0 ? checked_sub(0, x) : x);
+  }
+  return acc;
+}
+
+std::string IntVec::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntVec& v) {
+  os << '(';
+  for (std::size_t i = 0; i < v.dim(); ++i) {
+    if (i > 0) os << ", ";
+    os << v[i];
+  }
+  return os << ')';
+}
+
+std::size_t IntVecHash::operator()(const IntVec& v) const noexcept {
+  // FNV-1a over the component bytes, mixed per element.
+  std::size_t h = 1469598103934665603ULL;
+  for (const auto x : v) {
+    auto u = static_cast<std::uint64_t>(x);
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (u >> (8 * byte)) & 0xffU;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace nusys

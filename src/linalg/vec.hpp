@@ -1,0 +1,85 @@
+// Dense integer vectors.
+//
+// Index points, dependence vectors and schedule coefficient vectors are all
+// IntVec. Dimensions in this library are tiny (n <= 4 in every model the
+// paper considers) but sizes are not hard-coded anywhere.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/checked.hpp"
+
+namespace nusys {
+
+/// A dense vector of int64 with overflow-checked arithmetic.
+class IntVec {
+ public:
+  IntVec() = default;
+
+  /// Zero vector of the given dimension.
+  explicit IntVec(std::size_t dim) : data_(dim, 0) {}
+
+  IntVec(std::initializer_list<i64> values) : data_(values) {}
+
+  explicit IntVec(std::vector<i64> values) : data_(std::move(values)) {}
+
+  [[nodiscard]] std::size_t dim() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] i64& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] i64 operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked access; throws ContractError when out of range.
+  [[nodiscard]] i64 at(std::size_t i) const;
+
+  [[nodiscard]] const std::vector<i64>& data() const noexcept { return data_; }
+
+  [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return data_.end(); }
+  [[nodiscard]] auto begin() noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() noexcept { return data_.end(); }
+
+  /// Element-wise sum; dimensions must match.
+  [[nodiscard]] IntVec operator+(const IntVec& rhs) const;
+  /// Element-wise difference; dimensions must match.
+  [[nodiscard]] IntVec operator-(const IntVec& rhs) const;
+  /// Scalar multiple.
+  [[nodiscard]] IntVec operator*(i64 scalar) const;
+  [[nodiscard]] IntVec operator-() const;
+
+  IntVec& operator+=(const IntVec& rhs);
+  IntVec& operator-=(const IntVec& rhs);
+
+  friend bool operator==(const IntVec& a, const IntVec& b) = default;
+  /// Lexicographic order (for use as map keys and in canonical sorts).
+  friend auto operator<=>(const IntVec& a, const IntVec& b) {
+    return a.data_ <=> b.data_;
+  }
+
+  /// Inner product; dimensions must match.
+  [[nodiscard]] i64 dot(const IntVec& rhs) const;
+
+  /// True when every component is zero.
+  [[nodiscard]] bool is_zero() const noexcept;
+
+  /// Sum of absolute values (L1 norm / Manhattan length).
+  [[nodiscard]] i64 l1_norm() const;
+
+  /// "(a, b, c)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<i64> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntVec& v);
+
+/// Hash functor so IntVec can key unordered containers.
+struct IntVecHash {
+  [[nodiscard]] std::size_t operator()(const IntVec& v) const noexcept;
+};
+
+}  // namespace nusys

@@ -1,0 +1,166 @@
+#include "modules/module_schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "schedule/search.hpp"
+
+namespace nusys {
+
+const ModuleScheduleAssignment& ModuleScheduleResult::best() const {
+  if (optima.empty()) {
+    throw SearchFailure(
+        "no feasible per-module schedule assignment within the coefficient "
+        "bound; widen the bound or revisit the module decomposition");
+  }
+  return optima.front();
+}
+
+namespace {
+
+/// Pre-enumerated (consumer point, producer point) pairs of one GlobalDep.
+struct GuardPairs {
+  const GlobalDep* dep = nullptr;
+  std::vector<std::pair<IntVec, IntVec>> pairs;
+};
+
+bool global_dep_satisfied(const GuardPairs& g,
+                          const LinearSchedule& consumer,
+                          const LinearSchedule& producer) {
+  for (const auto& [p, q] : g.pairs) {
+    const i64 tc = consumer.at(p);
+    const i64 tp = producer.at(q);
+    if (g.dep->allow_equal_time ? tc < tp : tc <= tp) return false;
+  }
+  return true;
+}
+
+std::vector<GuardPairs> enumerate_guards(const ModuleSystem& sys) {
+  std::vector<GuardPairs> out;
+  out.reserve(sys.globals().size());
+  for (const auto& g : sys.globals()) {
+    GuardPairs gp;
+    gp.dep = &g;
+    g.guard.for_each([&](const IntVec& p) {
+      gp.pairs.emplace_back(p, g.producer_point.apply(p));
+    });
+    out.push_back(std::move(gp));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool schedules_satisfy(const ModuleSystem& sys,
+                       const std::vector<LinearSchedule>& schedules) {
+  NUSYS_REQUIRE(schedules.size() == sys.module_count(),
+                "schedules_satisfy: one schedule per module required");
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    NUSYS_REQUIRE(schedules[m].dim() == sys.dim(),
+                  "schedules_satisfy: schedule dimension mismatch");
+    if (!schedules[m].is_feasible(sys.module(m).local_deps.vectors())) {
+      return false;
+    }
+  }
+  for (const auto& gp : enumerate_guards(sys)) {
+    if (!global_dep_satisfied(gp, schedules[gp.dep->consumer],
+                              schedules[gp.dep->producer])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+i64 global_makespan(const ModuleSystem& sys,
+                    const std::vector<LinearSchedule>& schedules) {
+  NUSYS_REQUIRE(schedules.size() == sys.module_count(),
+                "global_makespan: one schedule per module required");
+  i64 lo = std::numeric_limits<i64>::max();
+  i64 hi = std::numeric_limits<i64>::min();
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    const auto span = schedules[m].span(sys.module(m).domain);
+    lo = std::min(lo, span.first);
+    hi = std::max(hi, span.last);
+  }
+  return checked_sub(hi, lo);
+}
+
+ModuleScheduleResult find_module_schedules(
+    const ModuleSystem& sys, const ModuleScheduleOptions& options) {
+  sys.validate();
+  const std::size_t n = sys.dim();
+  const std::size_t module_count = sys.module_count();
+
+  // Locally feasible candidates per module, with their spans precomputed.
+  struct Candidate {
+    LinearSchedule schedule;
+    TimeSpan span;
+  };
+  std::vector<std::vector<Candidate>> candidates(module_count);
+  for (std::size_t m = 0; m < module_count; ++m) {
+    const auto deps = sys.module(m).local_deps.vectors();
+    for (const auto& coeffs : coefficient_cube(n, options.coeff_bound)) {
+      const LinearSchedule t(coeffs);
+      if (!deps.empty() && !t.is_feasible(deps)) continue;
+      candidates[m].push_back({t, t.span(sys.module(m).domain)});
+    }
+    if (candidates[m].empty()) return {};
+  }
+
+  // Globals indexed by the later of their two endpoint modules, so each is
+  // checked as soon as both endpoints are assigned.
+  const auto guards = enumerate_guards(sys);
+  std::vector<std::vector<const GuardPairs*>> guards_at(module_count);
+  for (const auto& gp : guards) {
+    guards_at[std::max(gp.dep->consumer, gp.dep->producer)].push_back(&gp);
+  }
+
+  ModuleScheduleResult result;
+  i64 incumbent = std::numeric_limits<i64>::max();
+  std::vector<const Candidate*> chosen(module_count, nullptr);
+
+  auto recurse = [&](auto&& self, std::size_t m, i64 lo, i64 hi) -> void {
+    if (m == module_count) {
+      ++result.assignments_checked;
+      const i64 makespan = checked_sub(hi, lo);
+      ModuleScheduleAssignment a;
+      a.schedules.reserve(module_count);
+      for (const auto* c : chosen) a.schedules.push_back(c->schedule);
+      a.makespan = makespan;
+      if (makespan < incumbent) {
+        incumbent = makespan;
+        result.optima.clear();
+        result.optima.push_back(std::move(a));
+      } else if (makespan == incumbent) {
+        result.optima.push_back(std::move(a));
+      }
+      return;
+    }
+    for (const auto& cand : candidates[m]) {
+      const i64 new_lo = std::min(lo, cand.span.first);
+      const i64 new_hi = std::max(hi, cand.span.last);
+      // Partial span already worse than the incumbent: prune.
+      if (new_hi - new_lo > incumbent) continue;
+      chosen[m] = &cand;
+      bool feasible = true;
+      for (const auto* gp : guards_at[m]) {
+        if (!global_dep_satisfied(*gp, chosen[gp->dep->consumer]->schedule,
+                                  chosen[gp->dep->producer]->schedule)) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) self(self, m + 1, new_lo, new_hi);
+      chosen[m] = nullptr;
+    }
+  };
+  recurse(recurse, 0, std::numeric_limits<i64>::max(),
+          std::numeric_limits<i64>::min());
+
+  if (options.max_results > 0 && result.optima.size() > options.max_results) {
+    result.optima.resize(options.max_results);
+  }
+  return result;
+}
+
+}  // namespace nusys

@@ -1,0 +1,56 @@
+// Per-module timing search under global constraints (Sec. V-A).
+//
+// For each module m we seek a linear schedule t_m with t_m(d) > 0 on the
+// module's local dependences, and for each global dependence statement the
+// consumer must fire after (or, when allow_equal_time, no earlier than) the
+// producer at every guard point. The paper derives λ, μ, σ for dynamic
+// programming by hand; this search recovers them automatically by
+// enumerating per-module coefficient cubes with backtracking, ranking
+// complete assignments by the *global* makespan (latest tick anywhere minus
+// earliest tick anywhere).
+#pragma once
+
+#include <vector>
+
+#include "modules/module_system.hpp"
+#include "schedule/timing.hpp"
+
+namespace nusys {
+
+/// One complete schedule assignment (one LinearSchedule per module).
+struct ModuleScheduleAssignment {
+  std::vector<LinearSchedule> schedules;
+  i64 makespan = 0;  ///< Global span across all module domains.
+};
+
+/// Options for the module-schedule search.
+struct ModuleScheduleOptions {
+  i64 coeff_bound = 2;
+  /// Keep at most this many optima (0 = all).
+  std::size_t max_results = 0;
+};
+
+/// Search outcome.
+struct ModuleScheduleResult {
+  std::vector<ModuleScheduleAssignment> optima;  ///< Canonically ordered.
+  std::size_t assignments_checked = 0;
+
+  [[nodiscard]] bool found() const noexcept { return !optima.empty(); }
+  [[nodiscard]] const ModuleScheduleAssignment& best() const;
+};
+
+/// True when `schedules` (one per module) satisfies every local and global
+/// timing constraint of `sys`. This is the checker used both inside the
+/// search and by tests that verify the paper's hand-derived λ, μ, σ.
+[[nodiscard]] bool schedules_satisfy(
+    const ModuleSystem& sys, const std::vector<LinearSchedule>& schedules);
+
+/// Global makespan of an assignment over all module domains.
+[[nodiscard]] i64 global_makespan(const ModuleSystem& sys,
+                                  const std::vector<LinearSchedule>& schedules);
+
+/// Exhaustive backtracking search for makespan-optimal assignments.
+[[nodiscard]] ModuleScheduleResult find_module_schedules(
+    const ModuleSystem& sys, const ModuleScheduleOptions& options = {});
+
+}  // namespace nusys

@@ -1,0 +1,348 @@
+#include "modules/module_space.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "schedule/search.hpp"
+#include "space/routing.hpp"
+
+namespace nusys {
+
+const ModuleSpaceAssignment& ModuleSpaceResult::best() const {
+  if (optima.empty()) {
+    throw SearchFailure(
+        "no feasible per-module space assignment; per Sec. II-B, retry with "
+        "a different timing function or interconnection network");
+  }
+  return optima.front();
+}
+
+namespace {
+
+/// Memoized "is this displacement routable within this slack" oracle.
+class RoutabilityCache {
+ public:
+  explicit RoutabilityCache(const Interconnect& net) : net_(net) {}
+
+  [[nodiscard]] bool routable(const IntVec& displacement, i64 slack) {
+    if (slack < 0) return false;
+    if (displacement.is_zero()) return true;
+    if (displacement.l1_norm() > slack) return false;  // Cheap necessary test.
+    const auto key = std::make_pair(displacement, slack);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const bool ok = route_displacement(net_, displacement, slack).has_value();
+    cache_.emplace(key, ok);
+    return ok;
+  }
+
+ private:
+  const Interconnect& net_;
+  std::map<std::pair<IntVec, i64>, bool> cache_;
+};
+
+/// Pre-enumerated guard data of one global dep.
+struct GuardPairs {
+  const GlobalDep* dep = nullptr;
+  std::vector<std::pair<IntVec, IntVec>> pairs;  // (consumer, producer) pts.
+  std::vector<i64> slacks;                       // t_c(p) - t_p(q).
+};
+
+bool check_global(const GuardPairs& g, const IntMat& s_consumer,
+                  const IntMat& s_producer, RoutabilityCache& cache) {
+  for (std::size_t i = 0; i < g.pairs.size(); ++i) {
+    const IntVec disp = s_consumer * g.pairs[i].first -
+                        s_producer * g.pairs[i].second;
+    if (!cache.routable(disp, g.slacks[i])) return false;
+  }
+  return true;
+}
+
+i64 abs_entries(const std::vector<IntMat>& spaces) {
+  i64 acc = 0;
+  for (const auto& s : spaces) {
+    for (std::size_t r = 0; r < s.rows(); ++r) {
+      for (std::size_t c = 0; c < s.cols(); ++c) {
+        acc += s(r, c) < 0 ? -s(r, c) : s(r, c);
+      }
+    }
+  }
+  return acc;
+}
+
+bool spaces_lex_before(const std::vector<IntMat>& a,
+                       const std::vector<IntMat>& b) {
+  for (std::size_t m = 0; m < a.size(); ++m) {
+    for (std::size_t r = 0; r < a[m].rows(); ++r) {
+      for (std::size_t c = 0; c < a[m].cols(); ++c) {
+        if (a[m](r, c) != b[m](r, c)) return a[m](r, c) < b[m](r, c);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<GuardPairs> enumerate_guards(
+    const ModuleSystem& sys, const std::vector<LinearSchedule>& schedules) {
+  std::vector<GuardPairs> out;
+  out.reserve(sys.globals().size());
+  for (const auto& g : sys.globals()) {
+    GuardPairs gp;
+    gp.dep = &g;
+    g.guard.for_each([&](const IntVec& p) {
+      const IntVec q = g.producer_point.apply(p);
+      gp.pairs.emplace_back(p, q);
+      gp.slacks.push_back(checked_sub(schedules[g.consumer].at(p),
+                                      schedules[g.producer].at(q)));
+    });
+    out.push_back(std::move(gp));
+  }
+  return out;
+}
+
+/// Condition (2), per module: no two computations of one module may share
+/// a (cell, tick) slot. (Cross-module sharing is governed separately by
+/// the system's fold key.)
+bool module_conflict_free(const std::vector<std::pair<IntVec, i64>>& slots,
+                          const IntMat& /*s*/) {
+  std::set<std::pair<IntVec, i64>> occupied;
+  for (const auto& slot : slots) {
+    if (!occupied.insert(slot).second) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool spaces_satisfy(const ModuleSystem& sys,
+                    const std::vector<LinearSchedule>& schedules,
+                    const std::vector<IntMat>& spaces,
+                    const Interconnect& net) {
+  NUSYS_REQUIRE(schedules.size() == sys.module_count() &&
+                    spaces.size() == sys.module_count(),
+                "spaces_satisfy: one schedule and one space per module");
+  RoutabilityCache cache(net);
+  // Cross-module slot registry: (cell, tick) -> fold key of the occupant.
+  std::map<std::pair<IntVec, i64>, IntVec> slots;
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    NUSYS_REQUIRE(spaces[m].rows() == net.label_dim() &&
+                      spaces[m].cols() == sys.dim(),
+                  "spaces_satisfy: space matrix shape mismatch");
+    // Local routability (eq. (3) per module).
+    for (const auto& dep : sys.module(m).local_deps) {
+      if (!cache.routable(spaces[m] * dep.vector,
+                          schedules[m].slack(dep.vector))) {
+        return false;
+      }
+    }
+    // Per-module no-conflict condition (2), plus the cross-module folding
+    // rule: a slot may be shared between modules only when the fold keys
+    // agree (and the system defines a fold key at all).
+    std::set<std::pair<IntVec, i64>> own;
+    bool conflict = false;
+    sys.module(m).domain.for_each([&](const IntVec& p) {
+      if (conflict) return;
+      auto slot = std::make_pair(spaces[m] * p, schedules[m].at(p));
+      if (!own.insert(slot).second) {
+        conflict = true;
+        return;
+      }
+      const IntVec key =
+          sys.fold_key() ? sys.fold_key()->apply(p) : p;
+      const auto [it, inserted] = slots.emplace(slot, key);
+      if (!inserted && (!sys.fold_key() || it->second != key)) {
+        conflict = true;
+      }
+    });
+    if (conflict) return false;
+  }
+  // Global routability.
+  for (const auto& gp : enumerate_guards(sys, schedules)) {
+    if (!check_global(gp, spaces[gp.dep->consumer], spaces[gp.dep->producer],
+                      cache)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t count_cells(const ModuleSystem& sys,
+                        const std::vector<IntMat>& spaces) {
+  NUSYS_REQUIRE(spaces.size() == sys.module_count(),
+                "count_cells: one space per module");
+  std::set<IntVec> labels;
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    sys.module(m).domain.for_each(
+        [&](const IntVec& p) { labels.insert(spaces[m] * p); });
+  }
+  return labels.size();
+}
+
+ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
+                                     const std::vector<LinearSchedule>& schedules,
+                                     const Interconnect& net,
+                                     const ModuleSpaceOptions& options) {
+  sys.validate();
+  NUSYS_REQUIRE(schedules.size() == sys.module_count(),
+                "find_module_spaces: one schedule per module");
+  const std::size_t n = sys.dim();
+  const std::size_t module_count = sys.module_count();
+  const std::size_t label_dim = net.label_dim();
+  RoutabilityCache cache(net);
+
+  // Per-module (point, tick, fold key) lists.
+  struct PointInfo {
+    IntVec point;
+    i64 tick = 0;
+    IntVec key;
+  };
+  std::vector<std::vector<PointInfo>> module_points(module_count);
+  for (std::size_t m = 0; m < module_count; ++m) {
+    sys.module(m).domain.for_each([&](const IntVec& p) {
+      module_points[m].push_back(
+          {p, schedules[m].at(p), sys.fold_key() ? sys.fold_key()->apply(p) : p});
+    });
+  }
+
+  // Candidate matrices per module: must route local deps within slack and
+  // be conflict-free on the module's own domain. Each candidate carries its
+  // sorted distinct label list for incremental cell counting.
+  struct Candidate {
+    IntMat s;
+    std::vector<IntVec> labels;
+  };
+  std::vector<std::vector<Candidate>> candidates(module_count);
+  {
+    const auto row_candidates = coefficient_cube(n, options.coeff_bound);
+    std::vector<IntVec> rows(label_dim, IntVec(n));
+    for (std::size_t m = 0; m < module_count; ++m) {
+      const auto& deps = sys.module(m).local_deps;
+      auto build = [&](auto&& self, std::size_t row) -> void {
+        if (row == label_dim) {
+          const IntMat s = IntMat::from_rows(rows);
+          for (const auto& dep : deps) {
+            if (!cache.routable(s * dep.vector,
+                                schedules[m].slack(dep.vector))) {
+              return;
+            }
+          }
+          std::vector<std::pair<IntVec, i64>> slots;
+          slots.reserve(module_points[m].size());
+          for (const auto& info : module_points[m]) {
+            slots.emplace_back(s * info.point, info.tick);
+          }
+          if (!module_conflict_free(slots, s)) return;
+          Candidate cand;
+          cand.s = s;
+          std::set<IntVec> labels;
+          for (const auto& info : module_points[m]) labels.insert(s * info.point);
+          cand.labels.assign(labels.begin(), labels.end());
+          candidates[m].push_back(std::move(cand));
+          return;
+        }
+        for (const auto& r : row_candidates) {
+          rows[row] = r;
+          self(self, row + 1);
+        }
+      };
+      build(build, 0);
+      if (candidates[m].empty()) return {};
+    }
+  }
+
+  // Globals indexed by the later endpoint module.
+  const auto guards = enumerate_guards(sys, schedules);
+  std::vector<std::vector<const GuardPairs*>> guards_at(module_count);
+  for (const auto& gp : guards) {
+    guards_at[std::max(gp.dep->consumer, gp.dep->producer)].push_back(&gp);
+  }
+
+  ModuleSpaceResult result;
+  std::size_t incumbent = std::numeric_limits<std::size_t>::max();
+  std::vector<const Candidate*> chosen(module_count, nullptr);
+  std::map<IntVec, std::size_t> label_refs;  // Union with multiplicity.
+  // Cross-module slot registry: (cell, tick) -> (fold key, refcount).
+  std::map<std::pair<IntVec, i64>, std::pair<IntVec, std::size_t>> slot_refs;
+
+  auto recurse = [&](auto&& self, std::size_t m) -> void {
+    if (m == module_count) {
+      ++result.assignments_checked;
+      const std::size_t cells = label_refs.size();
+      if (cells > incumbent) return;
+      ModuleSpaceAssignment a;
+      a.spaces.reserve(module_count);
+      for (const auto* c : chosen) a.spaces.push_back(c->s);
+      a.cell_count = cells;
+      if (cells < incumbent) {
+        incumbent = cells;
+        result.optima.clear();
+      }
+      result.optima.push_back(std::move(a));
+      return;
+    }
+    for (const auto& cand : candidates[m]) {
+      chosen[m] = &cand;
+      bool feasible = true;
+      for (const auto* gp : guards_at[m]) {
+        if (!check_global(*gp, chosen[gp->dep->consumer]->s,
+                          chosen[gp->dep->producer]->s, cache)) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        // Claim this module's slots; sharing across modules requires equal
+        // fold keys (and a fold key to be defined at all).
+        std::vector<std::pair<IntVec, i64>> claimed;
+        claimed.reserve(module_points[m].size());
+        for (const auto& info : module_points[m]) {
+          auto slot = std::make_pair(cand.s * info.point, info.tick);
+          auto [it, inserted] =
+              slot_refs.emplace(slot, std::make_pair(info.key, 1u));
+          if (!inserted) {
+            if (!sys.fold_key() || it->second.first != info.key) {
+              feasible = false;
+              break;
+            }
+            ++it->second.second;
+          }
+          claimed.push_back(std::move(slot));
+        }
+        if (feasible) {
+          for (const auto& l : cand.labels) ++label_refs[l];
+          if (label_refs.size() <= incumbent) self(self, m + 1);
+          for (const auto& l : cand.labels) {
+            const auto it = label_refs.find(l);
+            if (--(it->second) == 0) label_refs.erase(it);
+          }
+        }
+        for (const auto& slot : claimed) {
+          const auto it = slot_refs.find(slot);
+          if (--(it->second.second) == 0) slot_refs.erase(it);
+        }
+      }
+      chosen[m] = nullptr;
+    }
+  };
+  recurse(recurse, 0);
+
+  std::stable_sort(result.optima.begin(), result.optima.end(),
+                   [](const ModuleSpaceAssignment& a,
+                      const ModuleSpaceAssignment& b) {
+                     if (a.cell_count != b.cell_count) {
+                       return a.cell_count < b.cell_count;
+                     }
+                     const i64 ea = abs_entries(a.spaces);
+                     const i64 eb = abs_entries(b.spaces);
+                     if (ea != eb) return ea < eb;
+                     return spaces_lex_before(a.spaces, b.spaces);
+                   });
+  if (options.max_results > 0 && result.optima.size() > options.max_results) {
+    result.optima.resize(options.max_results);
+  }
+  return result;
+}
+
+}  // namespace nusys

@@ -1,0 +1,72 @@
+// Per-module space-map search under global constraints (Sec. V-B, VI).
+//
+// Each module gets its own space matrix S_m. Feasibility demands:
+//   * local routability: for every local dependence d of module m,
+//     S_m·d = Δ·k with k >= 0 and Σk <= t_m(d) (eq. (3) per module);
+//   * global routability: for every global statement and every guard point
+//     p with producer image q, the displacement S_c·p - S_p·q must be
+//     routable within the time slack t_c(p) - t_p(q) — the paper's "the
+//     distance of the cells ... cannot be more than d";
+//   * injectivity per module: no two computations of the *same* module
+//     share a processor at the same tick — condition (2) checked exactly,
+//     point by point, which correctly admits degenerate modules like the A5
+//     combiner whose domain is a plane (det-based checks would wrongly
+//     reject them). Cross-module sharing is allowed: in both of the paper's
+//     DP designs the last module-1 term and the last module-2 term of a
+//     pair (i,j) arrive at one cell in the same cycle and the cell folds
+//     them, exactly like the two operand streams of a Guibas-Kung-Thompson
+//     cell.
+// Assignments are ranked by processor count: running this search on the
+// figure-1 interconnect recovers S' = S'' = S = (j,i); on the figure-2
+// interconnect it recovers S' = (k,i), S'' = (i+j-k,i) with fewer cells —
+// the paper's headline result.
+#pragma once
+
+#include <vector>
+
+#include "modules/module_system.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+
+namespace nusys {
+
+/// One complete space assignment (one matrix per module).
+struct ModuleSpaceAssignment {
+  std::vector<IntMat> spaces;
+  std::size_t cell_count = 0;  ///< Distinct processor labels, all modules.
+};
+
+/// Options for the module-space search.
+struct ModuleSpaceOptions {
+  i64 coeff_bound = 1;
+  /// Keep at most this many optima (0 = all).
+  std::size_t max_results = 0;
+};
+
+/// Search outcome.
+struct ModuleSpaceResult {
+  std::vector<ModuleSpaceAssignment> optima;
+  std::size_t assignments_checked = 0;
+
+  [[nodiscard]] bool found() const noexcept { return !optima.empty(); }
+  [[nodiscard]] const ModuleSpaceAssignment& best() const;
+};
+
+/// True when `spaces` satisfies every local/global routability constraint
+/// and the joint no-conflict condition, given the module schedules. Used
+/// by the search and by tests that verify the paper's hand-derived maps.
+[[nodiscard]] bool spaces_satisfy(const ModuleSystem& sys,
+                                  const std::vector<LinearSchedule>& schedules,
+                                  const std::vector<IntMat>& spaces,
+                                  const Interconnect& net);
+
+/// Distinct processor labels used by `spaces` over all module domains.
+[[nodiscard]] std::size_t count_cells(const ModuleSystem& sys,
+                                      const std::vector<IntMat>& spaces);
+
+/// Exhaustive backtracking search for cell-count-optimal space assignments.
+[[nodiscard]] ModuleSpaceResult find_module_spaces(
+    const ModuleSystem& sys, const std::vector<LinearSchedule>& schedules,
+    const Interconnect& net, const ModuleSpaceOptions& options = {});
+
+}  // namespace nusys

@@ -1,0 +1,89 @@
+#include "modules/module_system.hpp"
+
+#include <ostream>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+ModuleSystem::ModuleSystem(std::string name, std::vector<Module> modules,
+                           std::vector<GlobalDep> globals)
+    : name_(std::move(name)),
+      modules_(std::move(modules)),
+      globals_(std::move(globals)) {
+  validate();
+}
+
+ModuleSystem::ModuleSystem(std::string name, std::vector<Module> modules,
+                           std::vector<GlobalDep> globals, AffineMap fold_key)
+    : name_(std::move(name)),
+      modules_(std::move(modules)),
+      globals_(std::move(globals)),
+      fold_key_(std::move(fold_key)) {
+  validate();
+  NUSYS_VALIDATE(fold_key_->input_dim() == dim(),
+                 "fold key input dimension must match the index dimension");
+}
+
+const Module& ModuleSystem::module(std::size_t i) const {
+  NUSYS_REQUIRE(i < modules_.size(), "ModuleSystem::module: index range");
+  return modules_[i];
+}
+
+std::size_t ModuleSystem::dim() const {
+  NUSYS_REQUIRE(!modules_.empty(), "ModuleSystem::dim: no modules");
+  return modules_.front().domain.dim();
+}
+
+void ModuleSystem::validate() const {
+  NUSYS_VALIDATE(!modules_.empty(), "module system has no modules");
+  const std::size_t n = modules_.front().domain.dim();
+  for (const auto& m : modules_) {
+    NUSYS_VALIDATE(!m.name.empty(), "module must be named");
+    NUSYS_VALIDATE(m.domain.dim() == n,
+                   "modules must share one index dimension");
+    for (const auto& dep : m.local_deps) {
+      NUSYS_VALIDATE(dep.vector.dim() == n,
+                     "local dependence dimension mismatch");
+      NUSYS_VALIDATE(!dep.vector.is_zero(),
+                     "local dependence vector must be nonzero");
+    }
+  }
+  for (const auto& g : globals_) {
+    NUSYS_VALIDATE(!g.name.empty(), "global dependence must be named");
+    NUSYS_VALIDATE(g.consumer < modules_.size() &&
+                       g.producer < modules_.size(),
+                   "global dependence references an unknown module");
+    NUSYS_VALIDATE(g.guard.dim() == n,
+                   "global dependence guard dimension mismatch");
+    NUSYS_VALIDATE(g.producer_point.input_dim() == n &&
+                       g.producer_point.output_dim() == n,
+                   "global dependence producer map must be n -> n");
+    const auto& consumer_domain = modules_[g.consumer].domain;
+    const auto& producer_domain = modules_[g.producer].domain;
+    g.guard.for_each([&](const IntVec& p) {
+      NUSYS_VALIDATE(consumer_domain.contains(p),
+                     "guard point of '" + g.name +
+                         "' outside the consumer domain: " + p.to_string());
+      const IntVec q = g.producer_point.apply(p);
+      NUSYS_VALIDATE(producer_domain.contains(q),
+                     "producer image of '" + g.name +
+                         "' outside the producer domain: " + p.to_string() +
+                         " -> " + q.to_string());
+    });
+  }
+}
+
+std::size_t ModuleSystem::total_computations() const {
+  std::size_t total = 0;
+  for (const auto& m : modules_) total += m.domain.size();
+  return total;
+}
+
+std::ostream& operator<<(std::ostream& os, const ModuleSystem& sys) {
+  os << "module system '" << sys.name() << "': " << sys.module_count()
+     << " modules, " << sys.globals().size() << " global deps";
+  return os;
+}
+
+}  // namespace nusys

@@ -1,0 +1,101 @@
+// Systems of mutually dependent recurrence modules (the output form of the
+// Sec. III restructuring).
+//
+// The restructured algorithm is "a system of s modules, each module being a
+// recurrence equation in canonic form. Non-constant data dependencies may
+// occur between variables of different modules." A Module is a canonic
+// recurrence (possibly with an empty local dependence set — the A5 combiner
+// statement has no local recurrence); a GlobalDep is one of the correlating
+// statements (A1..A5 for dynamic programming): the consumer module reads,
+// at every index point of a guard domain, a value the producer module
+// computed at an affine image of that point.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/affine.hpp"
+#include "ir/dependence.hpp"
+#include "ir/domain.hpp"
+
+namespace nusys {
+
+/// One recurrence module of the restructured algorithm.
+struct Module {
+  std::string name;
+  IndexDomain domain;        ///< Full n-dimensional index domain.
+  DependenceSet local_deps;  ///< Constant local dependences (may be empty).
+};
+
+/// One cross-module dependence statement.
+struct GlobalDep {
+  std::string name;           ///< Statement label, e.g. "A1".
+  std::size_t consumer = 0;   ///< Module index that reads.
+  std::size_t producer = 0;   ///< Module index that wrote.
+  AffineMap producer_point;   ///< Consumer index -> producer index.
+  IndexDomain guard;          ///< Consumer points where the statement fires.
+  /// When true the consumer may fire at the same tick as the producer
+  /// (the paper's A5 uses sigma >= max[...]); otherwise strictly later.
+  bool allow_equal_time = false;
+};
+
+/// A validated system of modules plus global dependence statements.
+class ModuleSystem {
+ public:
+  /// System without a fold key: computations of different modules may never
+  /// share a (processor, tick) slot.
+  ModuleSystem(std::string name, std::vector<Module> modules,
+               std::vector<GlobalDep> globals);
+
+  /// System with a fold key: computations of *different* modules may share
+  /// a (processor, tick) slot iff they have equal fold keys — i.e. they
+  /// serve the same logical result and the cell folds them into one
+  /// action. For the DP system the key is (i,j): a Guibas-Kung-Thompson
+  /// cell consumes the final module-1 and module-2 terms of one pair in
+  /// the same cycle.
+  ModuleSystem(std::string name, std::vector<Module> modules,
+               std::vector<GlobalDep> globals, AffineMap fold_key);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Module>& modules() const noexcept {
+    return modules_;
+  }
+  [[nodiscard]] const std::vector<GlobalDep>& globals() const noexcept {
+    return globals_;
+  }
+  [[nodiscard]] std::size_t module_count() const noexcept {
+    return modules_.size();
+  }
+  [[nodiscard]] const Module& module(std::size_t i) const;
+
+  /// Shared index dimension of all modules.
+  [[nodiscard]] std::size_t dim() const;
+
+  /// Structural validation:
+  ///  * all modules share one index dimension;
+  ///  * local dependence vectors are nonzero and dimension-consistent;
+  ///  * every guard point lies in its consumer's domain, and its producer
+  ///    image lies in the producer's domain (checked by enumeration).
+  /// Throws DomainError on violation.
+  void validate() const;
+
+  /// Total computation count: sum of module domain sizes.
+  [[nodiscard]] std::size_t total_computations() const;
+
+  /// The fold key map, if any (see the two constructors).
+  [[nodiscard]] const std::optional<AffineMap>& fold_key() const noexcept {
+    return fold_key_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Module> modules_;
+  std::vector<GlobalDep> globals_;
+  std::optional<AffineMap> fold_key_;
+};
+
+std::ostream& operator<<(std::ostream& os, const ModuleSystem& sys);
+
+}  // namespace nusys

@@ -1,0 +1,46 @@
+#include "modules/pipelining.hpp"
+
+#include <map>
+#include <set>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+i64 min_pipeline_period(const ModuleSystem& sys,
+                        const std::vector<LinearSchedule>& schedules,
+                        const std::vector<IntMat>& spaces, i64 max_period) {
+  NUSYS_REQUIRE(schedules.size() == sys.module_count() &&
+                    spaces.size() == sys.module_count(),
+                "min_pipeline_period: one schedule and one space per module");
+  NUSYS_REQUIRE(max_period >= 1, "min_pipeline_period: max_period >= 1");
+
+  // Distinct busy slots per cell (fold-shared slots collapse to one).
+  std::map<IntVec, std::set<i64>> busy;
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    sys.module(m).domain.for_each([&](const IntVec& p) {
+      busy[spaces[m] * p].insert(schedules[m].at(p));
+    });
+  }
+
+  for (i64 period = 1; period <= max_period; ++period) {
+    bool ok = true;
+    for (const auto& [cell, ticks] : busy) {
+      // Two ticks of one cell whose difference is a multiple of `period`
+      // collide between some pair of instances.
+      std::set<i64> residues;
+      for (const i64 t : ticks) {
+        const i64 r = ((t % period) + period) % period;
+        if (!residues.insert(r).second) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+    }
+    if (ok) return period;
+  }
+  return 0;
+}
+
+}  // namespace nusys

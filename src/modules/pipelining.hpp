@@ -1,0 +1,31 @@
+// Block-pipelining analysis: how often can successive problem instances
+// enter a mapped array?
+//
+// The paper optimizes the completion time of a single instance; a classic
+// companion metric for systolic designs is the *block pipelining period*
+// p: instance q runs with every tick shifted by q·p, and p must be large
+// enough that no processor is asked to serve two different instances in
+// one tick (folding across instances is not meaningful — they compute
+// unrelated problems). The minimum such p measures steady-state
+// throughput: one result set every p ticks. A busier but smaller array
+// (figure 2) generally needs a larger p than a sparser one (figure 1);
+// the ablation bench quantifies the trade.
+#pragma once
+
+#include <vector>
+
+#include "modules/module_system.hpp"
+#include "schedule/timing.hpp"
+
+namespace nusys {
+
+/// The minimum pipelining period of (sys, schedules, spaces): the smallest
+/// p >= 1 such that shifting instances by multiples of p never lands two
+/// instances on one (cell, tick). Returns 0 when no p <= max_period works.
+/// Slots folded within one instance count once (they are one cell action).
+[[nodiscard]] i64 min_pipeline_period(const ModuleSystem& sys,
+                                      const std::vector<LinearSchedule>& schedules,
+                                      const std::vector<IntMat>& spaces,
+                                      i64 max_period);
+
+}  // namespace nusys

@@ -1,0 +1,72 @@
+// Umbrella header: the public nusys API in one include.
+//
+// Fine-grained headers remain the primary interface (include what you
+// use); this aggregate exists for quick experiments, examples and
+// downstream prototypes.
+#pragma once
+
+// Support.
+#include "support/args.hpp"
+#include "support/checked.hpp"
+#include "support/errors.hpp"
+#include "support/fraction.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+// Integer linear algebra.
+#include "linalg/hermite.hpp"
+#include "linalg/mat.hpp"
+#include "linalg/ratmat.hpp"
+#include "linalg/vec.hpp"
+
+// Algorithm IR.
+#include "ir/affine.hpp"
+#include "ir/dependence.hpp"
+#include "ir/domain.hpp"
+#include "ir/nonuniform.hpp"
+#include "ir/recurrence.hpp"
+
+// Scheduling and space mapping.
+#include "schedule/coarse.hpp"
+#include "schedule/search.hpp"
+#include "schedule/timing.hpp"
+#include "space/allocation.hpp"
+#include "space/interconnect.hpp"
+#include "space/metrics.hpp"
+#include "space/routing.hpp"
+
+// Synthesis.
+#include "synth/design.hpp"
+#include "synth/figure_render.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+
+// Chains and module systems (the paper's core contribution).
+#include "chains/decompose.hpp"
+#include "chains/modules_emit.hpp"
+#include "chains/poset.hpp"
+#include "modules/module_schedule.hpp"
+#include "modules/module_space.hpp"
+#include "modules/module_system.hpp"
+#include "modules/pipelining.hpp"
+
+// Problem domains.
+#include "conv/convolution.hpp"
+#include "conv/recurrences.hpp"
+#include "conv/recursive_feasibility.hpp"
+#include "dp/dp_modules.hpp"
+#include "dp/problems.hpp"
+#include "dp/reconstruct.hpp"
+#include "dp/sequential.hpp"
+#include "dp/table.hpp"
+#include "dp/two_module.hpp"
+
+// Substrate, executors, verification.
+#include "designs/conv_arrays.hpp"
+#include "designs/dp_array.hpp"
+#include "designs/recursive_conv_array.hpp"
+#include "designs/uniform_array.hpp"
+#include "systolic/engine.hpp"
+#include "verify/module_spacetime.hpp"
+#include "verify/spacetime.hpp"

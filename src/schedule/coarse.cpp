@@ -1,0 +1,18 @@
+#include "schedule/coarse.hpp"
+
+namespace nusys {
+
+CoarseTiming derive_coarse_timing(const NonUniformSpec& spec,
+                                  const ScheduleSearchOptions& options) {
+  CoarseTiming out;
+  out.core = spec.constant_core();
+  NUSYS_VALIDATE(!out.core.empty(),
+                 "the constant dependence core D^c is empty; the Sec. III "
+                 "procedure needs at least one constant dependence to order "
+                 "the computation space");
+  out.search =
+      find_optimal_schedules(out.core, spec.statement_domain(), options);
+  return out;
+}
+
+}  // namespace nusys

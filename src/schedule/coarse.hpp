@@ -1,0 +1,36 @@
+// Coarse timing functions (step 1 of the Sec. III refinement procedure).
+//
+// For a non-uniform spec the dependence set is not constant, but the
+// intersection D^c of the per-point expanded sets is. A linear schedule
+// compatible with D^c is a *lower bound* on any actual timing function of
+// the statement space I^s (the paper's observation τ(i^s) >= T(i^s)); the
+// paper uses it only to order reduction chains, which is exactly what the
+// chains/ module consumes it for.
+#pragma once
+
+#include "ir/nonuniform.hpp"
+#include "schedule/search.hpp"
+
+namespace nusys {
+
+/// Result of deriving the coarse timing function of a non-uniform spec.
+struct CoarseTiming {
+  /// The constant dependence core D^c the schedule was derived from.
+  std::vector<IntVec> core;
+  /// The full search result over the statement domain (all optima).
+  ScheduleSearchResult search;
+
+  /// The canonical optimal coarse schedule; throws SearchFailure when the
+  /// core admits no linear schedule within the bound.
+  [[nodiscard]] const LinearSchedule& schedule() const {
+    return search.best();
+  }
+};
+
+/// Derives the coarse timing function T : I^s -> Z of Sec. III: computes
+/// D^c, then finds the makespan-optimal linear schedules compatible with it
+/// over the statement domain.
+[[nodiscard]] CoarseTiming derive_coarse_timing(
+    const NonUniformSpec& spec, const ScheduleSearchOptions& options = {});
+
+}  // namespace nusys

@@ -1,0 +1,104 @@
+#include "schedule/search.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace nusys {
+
+const LinearSchedule& ScheduleSearchResult::best() const {
+  if (optima.empty()) {
+    throw SearchFailure(
+        "no feasible linear schedule within the coefficient bound; widen "
+        "the bound or restructure the recurrence (Sec. II-B)");
+  }
+  return optima.front();
+}
+
+std::vector<IntVec> coefficient_cube(std::size_t dim, i64 bound) {
+  NUSYS_REQUIRE(dim >= 1, "coefficient_cube: dimension must be positive");
+  NUSYS_REQUIRE(bound >= 0, "coefficient_cube: negative bound");
+  std::vector<IntVec> out;
+  IntVec v(dim);
+  auto recurse = [&](auto&& self, std::size_t axis) -> void {
+    if (axis == dim) {
+      out.push_back(v);
+      return;
+    }
+    for (i64 c = -bound; c <= bound; ++c) {
+      v[axis] = c;
+      self(self, axis + 1);
+    }
+    v[axis] = 0;
+  };
+  recurse(recurse, 0);
+  // Canonical order: small coefficients first so ties in makespan resolve
+  // to the simplest schedule, matching the paper's hand-derived choices.
+  std::sort(out.begin(), out.end(), [](const IntVec& a, const IntVec& b) {
+    const i64 na = a.l1_norm();
+    const i64 nb = b.l1_norm();
+    if (na != nb) return na < nb;
+    return a < b;
+  });
+  return out;
+}
+
+ScheduleSearchResult find_optimal_schedules(
+    const std::vector<IntVec>& deps, const IndexDomain& domain,
+    const ScheduleSearchOptions& options) {
+  NUSYS_REQUIRE(!deps.empty(), "schedule search: no dependences");
+  for (const auto& d : deps) {
+    NUSYS_REQUIRE(d.dim() == domain.dim(),
+                  "schedule search: dependence dimension mismatch");
+  }
+
+  // Enumerate the domain once; every candidate is evaluated against the
+  // same point list.
+  const std::vector<IntVec> points = domain.points();
+  NUSYS_REQUIRE(!points.empty(), "schedule search: empty domain");
+
+  ScheduleSearchResult result;
+  result.makespan = std::numeric_limits<i64>::max();
+
+  for (const auto& coeffs : coefficient_cube(domain.dim(),
+                                             options.coeff_bound)) {
+    ++result.examined;
+    const LinearSchedule candidate(coeffs);
+    if (!candidate.is_feasible(deps)) continue;
+    ++result.feasible_count;
+
+    i64 lo = std::numeric_limits<i64>::max();
+    i64 hi = std::numeric_limits<i64>::min();
+    bool pruned = false;
+    for (const auto& p : points) {
+      const i64 t = candidate.at(p);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+      // Prune candidates that already exceed the incumbent makespan.
+      if (checked_sub(hi, lo) > result.makespan) {
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) continue;
+    const i64 makespan = checked_sub(hi, lo);
+    if (makespan < result.makespan) {
+      result.makespan = makespan;
+      result.optima.clear();
+      result.optima.push_back(candidate);
+    } else if (makespan == result.makespan && options.keep_all_optima) {
+      result.optima.push_back(candidate);
+    }
+  }
+  if (!options.keep_all_optima && result.optima.size() > 1) {
+    result.optima.resize(1);
+  }
+  return result;
+}
+
+ScheduleSearchResult find_optimal_schedules(
+    const DependenceSet& deps, const IndexDomain& domain,
+    const ScheduleSearchOptions& options) {
+  return find_optimal_schedules(deps.vectors(), domain, options);
+}
+
+}  // namespace nusys

@@ -1,0 +1,70 @@
+// Optimal linear-schedule search.
+//
+// System (1) of the paper — T(d) > 0 for every dependence — "may have no
+// solution or several solutions. In this latter case, the one which
+// minimizes the total execution time is chosen." The coefficient systems in
+// systolic synthesis are tiny (n <= 3, a handful of dependences), so we
+// search the integer coefficient cube [-bound, bound]^n exhaustively,
+// evaluate the exact makespan of each feasible candidate over the index
+// domain, and return every optimum. Exhaustiveness is what lets the library
+// *enumerate* the design space the way the paper's methodology promises
+// (Sec. I: "the possibility of automatically generating a number of viable
+// algorithms ... enables the selection of an optimal algorithm").
+#pragma once
+
+#include <vector>
+
+#include "ir/dependence.hpp"
+#include "ir/domain.hpp"
+#include "schedule/timing.hpp"
+
+namespace nusys {
+
+/// Options controlling the exhaustive schedule search.
+struct ScheduleSearchOptions {
+  /// Coefficients are searched in [-coeff_bound, coeff_bound].
+  i64 coeff_bound = 3;
+  /// When true, keep every makespan-optimal schedule; otherwise keep the
+  /// single canonical optimum (smallest L1 coefficient norm, then
+  /// lexicographically smallest coefficient vector).
+  bool keep_all_optima = true;
+};
+
+/// Outcome of a schedule search.
+struct ScheduleSearchResult {
+  /// All makespan-optimal schedules (canonically ordered), or the single
+  /// canonical one when keep_all_optima is false. Empty iff infeasible.
+  std::vector<LinearSchedule> optima;
+  /// The optimal makespan (valid only when optima is non-empty).
+  i64 makespan = 0;
+  /// Number of feasible candidates encountered.
+  std::size_t feasible_count = 0;
+  /// Number of coefficient vectors examined.
+  std::size_t examined = 0;
+
+  [[nodiscard]] bool found() const noexcept { return !optima.empty(); }
+
+  /// The canonical optimum; throws SearchFailure when none was found.
+  [[nodiscard]] const LinearSchedule& best() const;
+};
+
+/// Searches for makespan-optimal linear schedules satisfying T(d) > 0 for
+/// every `d` in `deps`, with the makespan measured over `domain`.
+/// The zero schedule is never feasible (deps are nonzero), so an empty
+/// result means system (1) has no solution within the bound; per Sec. II-B
+/// the caller should retry with a wider bound or a different formulation.
+[[nodiscard]] ScheduleSearchResult find_optimal_schedules(
+    const std::vector<IntVec>& deps, const IndexDomain& domain,
+    const ScheduleSearchOptions& options = {});
+
+[[nodiscard]] ScheduleSearchResult find_optimal_schedules(
+    const DependenceSet& deps, const IndexDomain& domain,
+    const ScheduleSearchOptions& options = {});
+
+/// Coefficient-vector candidates in canonical order (increasing L1 norm,
+/// then lexicographic). Exposed for the space-mapping search, which walks
+/// the same cube.
+[[nodiscard]] std::vector<IntVec> coefficient_cube(std::size_t dim,
+                                                   i64 bound);
+
+}  // namespace nusys

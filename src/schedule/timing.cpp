@@ -1,0 +1,62 @@
+#include "schedule/timing.hpp"
+
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "ir/affine.hpp"
+
+namespace nusys {
+
+i64 LinearSchedule::at(const IntVec& x) const {
+  return checked_add(coeffs_.dot(x), offset_);
+}
+
+i64 LinearSchedule::slack(const IntVec& dependence) const {
+  return coeffs_.dot(dependence);
+}
+
+bool LinearSchedule::is_feasible(const std::vector<IntVec>& deps) const {
+  for (const auto& d : deps) {
+    if (slack(d) <= 0) return false;
+  }
+  return true;
+}
+
+bool LinearSchedule::is_feasible(const DependenceSet& deps) const {
+  return is_feasible(deps.vectors());
+}
+
+TimeSpan LinearSchedule::span(const IndexDomain& domain) const {
+  NUSYS_REQUIRE(domain.dim() == dim(),
+                "LinearSchedule::span: domain dimension mismatch");
+  i64 lo = std::numeric_limits<i64>::max();
+  i64 hi = std::numeric_limits<i64>::min();
+  domain.for_each([&](const IntVec& p) {
+    const i64 t = at(p);
+    if (t < lo) lo = t;
+    if (t > hi) hi = t;
+  });
+  NUSYS_REQUIRE(lo <= hi, "LinearSchedule::span: empty domain");
+  return {lo, hi};
+}
+
+std::string LinearSchedule::to_string(
+    const std::vector<std::string>& names) const {
+  std::ostringstream os;
+  os << "T(";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << names[i];
+  }
+  os << ") = " << AffineExpr(coeffs_, offset_).to_string(names);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const LinearSchedule& s) {
+  os << "T = " << s.coeffs();
+  if (s.offset() != 0) os << " + " << s.offset();
+  return os;
+}
+
+}  // namespace nusys

@@ -1,0 +1,71 @@
+// Linear timing functions (Sec. II-B, condition (1)).
+//
+// A timing function T maps index points to clock ticks. Correctness demands
+// T(d) > 0 for every dependence vector d: a value must be produced strictly
+// before it is consumed. The quality metric is the *total execution time*,
+// which the paper defines as the difference between the maximum and minimum
+// of T over the index set.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ir/dependence.hpp"
+#include "ir/domain.hpp"
+
+namespace nusys {
+
+/// Inclusive range of clock ticks a schedule spans on a domain.
+struct TimeSpan {
+  i64 first = 0;  ///< Minimum of T over the domain.
+  i64 last = 0;   ///< Maximum of T over the domain.
+
+  /// The paper's "total execution time": last - first.
+  [[nodiscard]] i64 makespan() const { return checked_sub(last, first); }
+
+  friend bool operator==(const TimeSpan& a, const TimeSpan& b) = default;
+};
+
+/// A (quasi-)affine timing function T(x) = coeffs · x + offset.
+class LinearSchedule {
+ public:
+  LinearSchedule() = default;
+
+  explicit LinearSchedule(IntVec coeffs, i64 offset = 0)
+      : coeffs_(std::move(coeffs)), offset_(offset) {}
+
+  [[nodiscard]] const IntVec& coeffs() const noexcept { return coeffs_; }
+  [[nodiscard]] i64 offset() const noexcept { return offset_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return coeffs_.dim(); }
+
+  /// The tick at which index point `x` executes.
+  [[nodiscard]] i64 at(const IntVec& x) const;
+
+  /// T applied to a dependence vector: the pipeline slack of that
+  /// dependence (offsets cancel on differences).
+  [[nodiscard]] i64 slack(const IntVec& dependence) const;
+
+  /// True when every dependence has positive slack (condition (1)).
+  [[nodiscard]] bool is_feasible(const std::vector<IntVec>& deps) const;
+  [[nodiscard]] bool is_feasible(const DependenceSet& deps) const;
+
+  /// Min/max tick over a domain (by enumeration; throws ContractError on an
+  /// empty domain).
+  [[nodiscard]] TimeSpan span(const IndexDomain& domain) const;
+
+  friend bool operator==(const LinearSchedule& a,
+                         const LinearSchedule& b) = default;
+
+  /// "T(i, k) = i + k" using the domain's index names.
+  [[nodiscard]] std::string to_string(
+      const std::vector<std::string>& names) const;
+
+ private:
+  IntVec coeffs_;
+  i64 offset_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const LinearSchedule& s);
+
+}  // namespace nusys

@@ -1,0 +1,127 @@
+#include "space/allocation.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "schedule/search.hpp"
+
+namespace nusys {
+
+const SpaceMapCandidate& SpaceSearchResult::best() const {
+  if (candidates.empty()) {
+    throw SearchFailure(
+        "no feasible space map for this timing function and interconnect; "
+        "retry with a different timing function or network (Sec. II-B)");
+  }
+  return candidates.front();
+}
+
+namespace {
+
+i64 abs_entry_sum(const IntMat& m) {
+  i64 acc = 0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const i64 v = m(r, c);
+      acc = checked_add(acc, v < 0 ? -v : v);
+    }
+  }
+  return acc;
+}
+
+std::size_t count_cells(const IntMat& s,
+                        const std::vector<IntVec>& points) {
+  std::set<IntVec> labels;
+  for (const auto& p : points) labels.insert(s * p);
+  return labels.size();
+}
+
+bool lexicographically_before(const IntMat& a, const IntMat& b) {
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (a(r, c) != b(r, c)) return a(r, c) < b(r, c);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SpaceSearchResult find_space_maps(const LinearSchedule& timing,
+                                  const std::vector<IntVec>& deps,
+                                  const Interconnect& net,
+                                  const IndexDomain& metric_domain,
+                                  const SpaceSearchOptions& options) {
+  const std::size_t n = timing.dim();
+  NUSYS_REQUIRE(metric_domain.dim() == n,
+                "find_space_maps: domain dimension mismatch");
+  NUSYS_REQUIRE(!deps.empty(), "find_space_maps: no dependences");
+  NUSYS_REQUIRE(net.label_dim() == n - 1,
+                "find_space_maps: interconnect label space must have "
+                "dimension n-1");
+  NUSYS_REQUIRE(timing.is_feasible(deps),
+                "find_space_maps: timing function violates a dependence");
+
+  // Per-dependence slack under T bounds every route length.
+  std::vector<i64> slacks;
+  slacks.reserve(deps.size());
+  for (const auto& d : deps) slacks.push_back(timing.slack(d));
+
+  const std::vector<IntVec> points = metric_domain.points();
+  const std::vector<IntVec> row_candidates =
+      coefficient_cube(n, options.coeff_bound);
+
+  SpaceSearchResult result;
+  std::vector<IntVec> rows(n - 1, IntVec(n));
+
+  auto recurse = [&](auto&& self, std::size_t row) -> void {
+    if (row == n - 1) {
+      ++result.examined;
+      const IntMat s = IntMat::from_rows(rows);
+      IntMat pi = IntMat::from_rows({timing.coeffs()});
+      for (const auto& r : rows) pi = pi.with_row_appended(r);
+      const i64 det = pi.determinant();
+      if (det == 0) return;
+      ++result.nonsingular;
+
+      std::vector<IntVec> displacements;
+      displacements.reserve(deps.size());
+      for (const auto& d : deps) displacements.push_back(s * d);
+      const auto k = route_all_dependences(net, displacements, slacks);
+      if (!k) return;
+      ++result.routable;
+
+      SpaceMapCandidate cand;
+      cand.s = s;
+      cand.k = *k;
+      cand.pi = pi;
+      cand.pi_det = det;
+      cand.cell_count = count_cells(s, points);
+      result.candidates.push_back(std::move(cand));
+      return;
+    }
+    for (const auto& candidate_row : row_candidates) {
+      rows[row] = candidate_row;
+      self(self, row + 1);
+    }
+  };
+  recurse(recurse, 0);
+
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const SpaceMapCandidate& a, const SpaceMapCandidate& b) {
+              if (a.cell_count != b.cell_count) {
+                return a.cell_count < b.cell_count;
+              }
+              const i64 sa = abs_entry_sum(a.s);
+              const i64 sb = abs_entry_sum(b.s);
+              if (sa != sb) return sa < sb;
+              return lexicographically_before(a.s, b.s);
+            });
+  if (options.max_candidates > 0 &&
+      result.candidates.size() > options.max_candidates) {
+    result.candidates.resize(options.max_candidates);
+  }
+  return result;
+}
+
+}  // namespace nusys

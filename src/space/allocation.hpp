@@ -1,0 +1,66 @@
+// Space-map search (Sec. II-B, eqs. (2)-(3)).
+//
+// Given a timing function T, an interconnect Δ and the dependence set D,
+// this searches integer matrices S (one fewer row than the index dimension)
+// such that:
+//   * Π = [T; S] is non-singular — which makes Π injective on Z^n, so
+//     concurrent computations never share a processor (condition (2));
+//   * every dependence is routable: S·d = Δ·k for a nonnegative integer k
+//     with Σk <= T·d (eq. (3) with the paper's positive K, tightened by the
+//     physical requirement that a value can hop at most once per cycle).
+// Candidates are ranked by processor count over a caller-supplied metric
+// domain, then by coefficient simplicity, matching how the paper picks "the
+// one which is optimal according to some given criterion".
+#pragma once
+
+#include <vector>
+
+#include "ir/domain.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+#include "space/routing.hpp"
+
+namespace nusys {
+
+/// One feasible space map together with its routing evidence.
+struct SpaceMapCandidate {
+  IntMat s;        ///< The space map (label_dim x n).
+  IntMat k;        ///< The K matrix of eq. (3): one route column per dep.
+  IntMat pi;       ///< Π = [T; S].
+  i64 pi_det = 0;  ///< det Π (nonzero by construction).
+  std::size_t cell_count = 0;  ///< Distinct labels over the metric domain.
+};
+
+/// Options controlling the exhaustive space-map search.
+struct SpaceSearchOptions {
+  /// S entries are searched in [-coeff_bound, coeff_bound].
+  i64 coeff_bound = 1;
+  /// Keep at most this many ranked candidates (0 = keep all).
+  std::size_t max_candidates = 0;
+};
+
+/// Outcome of a space-map search.
+struct SpaceSearchResult {
+  /// Feasible candidates ranked by (cell_count, Σ|S entries|, lexicographic).
+  std::vector<SpaceMapCandidate> candidates;
+  std::size_t examined = 0;        ///< Matrices enumerated.
+  std::size_t nonsingular = 0;     ///< ... of which Π was non-singular.
+  std::size_t routable = 0;        ///< ... of which all deps routed.
+
+  [[nodiscard]] bool found() const noexcept { return !candidates.empty(); }
+
+  /// Best-ranked candidate; throws SearchFailure when none exists — per the
+  /// paper, "the design procedure is repeated by starting with a different
+  /// timing function or else a different interconnection network".
+  [[nodiscard]] const SpaceMapCandidate& best() const;
+};
+
+/// Exhaustively searches space maps for `timing` over `deps` on `net`.
+/// `metric_domain` is the index domain used to count processors (typically
+/// a representative problem size).
+[[nodiscard]] SpaceSearchResult find_space_maps(
+    const LinearSchedule& timing, const std::vector<IntVec>& deps,
+    const Interconnect& net, const IndexDomain& metric_domain,
+    const SpaceSearchOptions& options = {});
+
+}  // namespace nusys

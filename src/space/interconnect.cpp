@@ -1,0 +1,108 @@
+#include "space/interconnect.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+Interconnect::Interconnect(std::vector<Link> links)
+    : links_(std::move(links)) {
+  NUSYS_REQUIRE(!links_.empty(), "Interconnect: at least one link required");
+  for (const auto& l : links_) {
+    NUSYS_REQUIRE(!l.direction.is_zero(),
+                  "Interconnect: zero link direction (use registers, not "
+                  "wires, for values that stay)");
+    NUSYS_REQUIRE(l.direction.dim() == links_.front().direction.dim(),
+                  "Interconnect: mixed label dimensions");
+  }
+}
+
+Interconnect Interconnect::from_delta(const IntMat& delta) {
+  std::vector<Link> links;
+  for (std::size_t c = 0; c < delta.cols(); ++c) {
+    IntVec dir = delta.col(c);
+    if (dir.is_zero()) continue;  // "stay" pseudo-link.
+    std::string name = "d";
+    name += std::to_string(links.size());
+    links.push_back({std::move(name), std::move(dir)});
+  }
+  NUSYS_REQUIRE(!links.empty(), "Interconnect::from_delta: no nonzero links");
+  return Interconnect(std::move(links));
+}
+
+Interconnect Interconnect::linear_unidirectional() {
+  return Interconnect({{"east", IntVec({1})}});
+}
+
+Interconnect Interconnect::linear_bidirectional() {
+  return Interconnect({{"east", IntVec({1})}, {"west", IntVec({-1})}});
+}
+
+Interconnect Interconnect::figure1() {
+  return Interconnect({{"east", IntVec({1, 0})}, {"south", IntVec({0, -1})}});
+}
+
+Interconnect Interconnect::figure2() {
+  return Interconnect({{"east", IntVec({1, 0})},
+                       {"south", IntVec({0, -1})},
+                       {"west", IntVec({-1, 0})},
+                       {"southwest", IntVec({-1, -1})}});
+}
+
+Interconnect Interconnect::mesh2d() {
+  return Interconnect({{"east", IntVec({1, 0})},
+                       {"west", IntVec({-1, 0})},
+                       {"north", IntVec({0, 1})},
+                       {"south", IntVec({0, -1})}});
+}
+
+Interconnect Interconnect::hexagonal() {
+  return Interconnect({{"east", IntVec({1, 0})},
+                       {"west", IntVec({-1, 0})},
+                       {"north", IntVec({0, 1})},
+                       {"south", IntVec({0, -1})},
+                       {"northeast", IntVec({1, 1})},
+                       {"southwest", IntVec({-1, -1})}});
+}
+
+const Link& Interconnect::link(std::size_t i) const {
+  NUSYS_REQUIRE(i < links_.size(), "Interconnect::link: index out of range");
+  return links_[i];
+}
+
+std::size_t Interconnect::label_dim() const {
+  return links_.front().direction.dim();
+}
+
+IntMat Interconnect::delta() const {
+  std::vector<IntVec> cols;
+  cols.reserve(links_.size());
+  for (const auto& l : links_) cols.push_back(l.direction);
+  return IntMat::from_columns(cols);
+}
+
+std::string Interconnect::link_name(const IntVec& direction) const {
+  for (const auto& l : links_) {
+    if (l.direction == direction) return l.name;
+  }
+  return {};
+}
+
+std::string Interconnect::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interconnect& net) {
+  os << "Δ = {";
+  for (std::size_t i = 0; i < net.link_count(); ++i) {
+    if (i > 0) os << ", ";
+    os << net.link(i).name << ':' << net.link(i).direction;
+  }
+  return os << '}';
+}
+
+}  // namespace nusys

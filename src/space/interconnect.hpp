@@ -1,0 +1,87 @@
+// Processor-array interconnection patterns (the matrix Δ of Sec. II-B).
+//
+// A VLSI array is modelled as the pair [L^{n-1}, Δ]: integer cell labels
+// plus a matrix whose columns are the label differences of directly
+// connected cells. The paper's two DP designs differ *only* in Δ — figure 1
+// uses unidirectional horizontal/vertical links, figure 2 adds reverse
+// horizontal and diagonal links — which is why Δ is a first-class input of
+// every mapping search here.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "linalg/mat.hpp"
+#include "linalg/vec.hpp"
+
+namespace nusys {
+
+/// One physical link direction, with a human-readable name for reports.
+struct Link {
+  std::string name;
+  IntVec direction;
+
+  friend bool operator==(const Link& a, const Link& b) = default;
+};
+
+/// An interconnection pattern: a set of link directions in label space.
+/// The zero vector ("stay") is never stored as a link; a value that remains
+/// in a cell occupies a register, not a wire.
+class Interconnect {
+ public:
+  explicit Interconnect(std::vector<Link> links);
+
+  /// Builds from a Δ matrix (columns = link directions); zero columns —
+  /// which the paper writes into Δ to let dependences map to "stay" — are
+  /// dropped, since staying needs no wire. Links are auto-named d0, d1, ...
+  [[nodiscard]] static Interconnect from_delta(const IntMat& delta);
+
+  /// 1-D array, forward links only: δ = { (+1) }.
+  [[nodiscard]] static Interconnect linear_unidirectional();
+
+  /// 1-D array, both directions: δ = { (+1), (-1) }.
+  [[nodiscard]] static Interconnect linear_bidirectional();
+
+  /// The paper's figure-1 network: Δ = |0 1  0; 0 0 -1| — east and south
+  /// unidirectional links on a 2-D label space.
+  [[nodiscard]] static Interconnect figure1();
+
+  /// The paper's figure-2 network: Δ = |0 1 0 -1 -1; 0 0 -1 0 -1| —
+  /// bidirectional horizontal plus south and south-west diagonal links.
+  [[nodiscard]] static Interconnect figure2();
+
+  /// 2-D mesh with all four axis-aligned directions.
+  [[nodiscard]] static Interconnect mesh2d();
+
+  /// Hexagonal array (mesh plus both diagonals (1,1) and (-1,-1)), the
+  /// topology of classic band-matrix systolic designs; used by the
+  /// interconnect ablation.
+  [[nodiscard]] static Interconnect hexagonal();
+
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept {
+    return links_;
+  }
+  [[nodiscard]] const Link& link(std::size_t i) const;
+
+  /// Dimension of the cell-label space.
+  [[nodiscard]] std::size_t label_dim() const;
+
+  /// The Δ matrix (one column per link, zero columns omitted).
+  [[nodiscard]] IntMat delta() const;
+
+  /// Name of the link matching `direction` exactly, or "" when none does.
+  [[nodiscard]] std::string link_name(const IntVec& direction) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Link> links_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interconnect& net);
+
+}  // namespace nusys

@@ -1,0 +1,46 @@
+#include "space/metrics.hpp"
+
+#include <limits>
+#include <set>
+
+namespace nusys {
+
+DesignMetrics compute_design_metrics(const LinearSchedule& timing,
+                                     const IntMat& space,
+                                     const IndexDomain& domain) {
+  NUSYS_REQUIRE(timing.dim() == domain.dim(),
+                "compute_design_metrics: timing dimension mismatch");
+  NUSYS_REQUIRE(space.cols() == domain.dim(),
+                "compute_design_metrics: space dimension mismatch");
+
+  DesignMetrics m;
+  m.time.first = std::numeric_limits<i64>::max();
+  m.time.last = std::numeric_limits<i64>::min();
+
+  std::set<std::pair<IntVec, i64>> occupied;
+  domain.for_each([&](const IntVec& p) {
+    ++m.computation_count;
+    const IntVec label = space * p;
+    const i64 tick = timing.at(p);
+    NUSYS_REQUIRE(occupied.emplace(label, tick).second,
+                  "compute_design_metrics: two computations mapped to the "
+                  "same processor at the same tick (condition (2) violated)");
+    ++m.busy_cycles[label];
+    m.time.first = std::min(m.time.first, tick);
+    m.time.last = std::max(m.time.last, tick);
+  });
+  NUSYS_REQUIRE(m.computation_count > 0,
+                "compute_design_metrics: empty domain");
+
+  m.cell_count = m.busy_cycles.size();
+  m.cells.reserve(m.cell_count);
+  for (const auto& [label, _] : m.busy_cycles) m.cells.push_back(label);
+
+  const auto active_ticks =
+      static_cast<double>(m.time.makespan() + 1);
+  m.utilization = static_cast<double>(m.computation_count) /
+                  (static_cast<double>(m.cell_count) * active_ticks);
+  return m;
+}
+
+}  // namespace nusys

@@ -1,0 +1,38 @@
+// Design metrics: processor count, makespan, utilization, link load.
+//
+// These are the quantities the paper's evaluation is about — figure 1 uses
+// ~n²/2 processors, figure 2 only 3/8·n² — so the benchmark harness reports
+// them for every synthesized design.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/domain.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+
+namespace nusys {
+
+/// Aggregate metrics of a (T, S) design over an index domain.
+struct DesignMetrics {
+  std::size_t computation_count = 0;  ///< Index points executed.
+  std::size_t cell_count = 0;         ///< Distinct processor labels.
+  TimeSpan time;                      ///< First/last busy tick.
+  /// computations / (cells * busy ticks): 1.0 means every cell works every
+  /// cycle of the active window.
+  double utilization = 0.0;
+  /// Sorted distinct processor labels.
+  std::vector<IntVec> cells;
+  /// Busy cycles per cell, keyed by label.
+  std::map<IntVec, std::size_t> busy_cycles;
+};
+
+/// Computes metrics for the computations of `domain` under (timing, space).
+/// Throws ContractError when two computations collide on the same (cell,
+/// tick) — i.e. when condition (2) of the paper is violated.
+[[nodiscard]] DesignMetrics compute_design_metrics(
+    const LinearSchedule& timing, const IntMat& space,
+    const IndexDomain& domain);
+
+}  // namespace nusys

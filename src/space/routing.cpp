@@ -1,0 +1,59 @@
+#include "space/routing.hpp"
+
+#include "linalg/hermite.hpp"
+#include "support/errors.hpp"
+
+namespace nusys {
+
+std::optional<Route> route_displacement(const Interconnect& net,
+                                        const IntVec& displacement,
+                                        i64 max_hops) {
+  NUSYS_REQUIRE(displacement.dim() == net.label_dim(),
+                "route_displacement: displacement dimension mismatch");
+  NUSYS_REQUIRE(max_hops >= 0, "route_displacement: negative hop budget");
+  if (displacement.is_zero()) {
+    return Route{IntVec(net.link_count()), 0};
+  }
+  std::optional<Route> best;
+  for (const auto& k : enumerate_nonnegative_solutions(
+           net.delta(), displacement, max_hops)) {
+    const i64 hops = k.l1_norm();  // k >= 0, so Σk = l1.
+    if (!best || hops < best->total_hops) {
+      best = Route{k, hops};
+    }
+  }
+  return best;
+}
+
+std::vector<Route> all_routes(const Interconnect& net,
+                              const IntVec& displacement, i64 max_hops) {
+  NUSYS_REQUIRE(displacement.dim() == net.label_dim(),
+                "all_routes: displacement dimension mismatch");
+  NUSYS_REQUIRE(max_hops >= 0, "all_routes: negative hop budget");
+  std::vector<Route> out;
+  for (const auto& k :
+       enumerate_nonnegative_solutions(net.delta(), displacement, max_hops)) {
+    out.push_back(Route{k, k.l1_norm()});
+  }
+  return out;
+}
+
+std::optional<IntMat> route_all_dependences(
+    const Interconnect& net, const std::vector<IntVec>& displacements,
+    const std::vector<i64>& slacks) {
+  NUSYS_REQUIRE(displacements.size() == slacks.size(),
+                "route_all_dependences: one slack per displacement");
+  NUSYS_REQUIRE(!displacements.empty(),
+                "route_all_dependences: nothing to route");
+  std::vector<IntVec> k_columns;
+  k_columns.reserve(displacements.size());
+  for (std::size_t j = 0; j < displacements.size(); ++j) {
+    if (slacks[j] < 0) return std::nullopt;
+    const auto route = route_displacement(net, displacements[j], slacks[j]);
+    if (!route) return std::nullopt;
+    k_columns.push_back(route->hops_per_link);
+  }
+  return IntMat::from_columns(k_columns);
+}
+
+}  // namespace nusys

@@ -1,0 +1,46 @@
+// Dependence routing: solving S·d = Δ·k columnwise (eq. (3) of the paper).
+//
+// Once a space map S is fixed, every dependence d must physically travel
+// the displacement S·d through the link set Δ within its time slack T·d:
+// the value makes at most T·d hops (it may also wait in registers), so we
+// need a nonnegative integer combination k of link directions with
+// Δ·k = S·d and Σk <= T·d. The K matrix of eq. (3) is exactly these k
+// columns side by side, and the paper's positivity requirement on K is the
+// nonnegativity here.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "space/interconnect.hpp"
+
+namespace nusys {
+
+/// A route for one dependence: how many times each link is traversed.
+struct Route {
+  IntVec hops_per_link;  ///< k: one count per link of the interconnect.
+  i64 total_hops = 0;    ///< Σk.
+
+  friend bool operator==(const Route& a, const Route& b) = default;
+};
+
+/// Finds a minimum-hop route realizing `displacement` over `net` using at
+/// most `max_hops` hops; nullopt when unreachable. A zero displacement
+/// routes with zero hops (the value stays in its cell).
+[[nodiscard]] std::optional<Route> route_displacement(
+    const Interconnect& net, const IntVec& displacement, i64 max_hops);
+
+/// All routes (not only minimal ones) within the hop budget, in
+/// lexicographic k order. Used by tests and by the K-matrix report.
+[[nodiscard]] std::vector<Route> all_routes(const Interconnect& net,
+                                            const IntVec& displacement,
+                                            i64 max_hops);
+
+/// Routes every column of S·D against its slack vector; returns the K
+/// matrix of eq. (3) (one column per dependence) when all dependences are
+/// routable, nullopt otherwise.
+[[nodiscard]] std::optional<IntMat> route_all_dependences(
+    const Interconnect& net, const std::vector<IntVec>& displacements,
+    const std::vector<i64>& slacks);
+
+}  // namespace nusys

@@ -1,0 +1,57 @@
+#include "support/args.hpp"
+
+#include <cstdlib>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+ArgMap::ArgMap(int argc, const char* const* argv,
+               const std::set<std::string>& known_flags,
+               const std::set<std::string>& known_bool_flags) {
+  for (int a = 1; a < argc; ++a) {
+    const std::string word = argv[a];
+    if (word.rfind("--", 0) != 0) {
+      positional_.push_back(word);
+      continue;
+    }
+    std::string name = word.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      NUSYS_REQUIRE(known_flags.contains(name), "unknown flag --" + name);
+    } else if (known_bool_flags.contains(name)) {
+      value = "true";
+    } else {
+      NUSYS_REQUIRE(known_flags.contains(name), "unknown flag --" + name);
+      NUSYS_REQUIRE(a + 1 < argc, "flag --" + name + " is missing its value");
+      value = argv[++a];
+    }
+    flags_[name] = std::move(value);
+  }
+}
+
+bool ArgMap::has(const std::string& name) const {
+  return flags_.contains(name);
+}
+
+std::string ArgMap::get(const std::string& name,
+                        const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+i64 ArgMap::get_int(const std::string& name, i64 fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const i64 value = std::strtoll(it->second.c_str(), &end, 10);
+  NUSYS_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+                "flag --" + name + " expects an integer, got '" +
+                    it->second + "'");
+  return value;
+}
+
+}  // namespace nusys

@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the nusys CLI and tools.
+//
+// Supports "--name value" and "--name=value" long flags plus bare
+// positional words. Unknown flags are an error so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/checked.hpp"
+
+namespace nusys {
+
+/// Parsed command line: flag -> value plus positional arguments.
+class ArgMap {
+ public:
+  /// Parses argv[1..]; `known_flags` is the complete allowed value-taking
+  /// flag set and `known_bool_flags` the switches that take no value (all
+  /// names without the leading dashes). Throws ContractError on unknown
+  /// flags or a value flag missing its value.
+  ArgMap(int argc, const char* const* argv,
+         const std::set<std::string>& known_flags,
+         const std::set<std::string>& known_bool_flags = {});
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String value of a flag, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+
+  /// Integer value of a flag, or `fallback`; throws ContractError when the
+  /// value does not parse as an integer.
+  [[nodiscard]] i64 get_int(const std::string& name, i64 fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nusys

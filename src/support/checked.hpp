@@ -1,0 +1,73 @@
+// Overflow-checked 64-bit integer arithmetic.
+//
+// All index, schedule and matrix computations in nusys run over int64_t.
+// The search spaces are tiny but makespans are evaluated over index domains
+// that users control, so every arithmetic path that mixes user-supplied
+// magnitudes goes through these helpers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+using i64 = std::int64_t;
+
+/// `a + b`, throwing ContractError on signed overflow.
+[[nodiscard]] inline i64 checked_add(i64 a, i64 b) {
+  i64 out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw ContractError("checked_add: int64 overflow");
+  }
+  return out;
+}
+
+/// `a - b`, throwing ContractError on signed overflow.
+[[nodiscard]] inline i64 checked_sub(i64 a, i64 b) {
+  i64 out = 0;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    throw ContractError("checked_sub: int64 overflow");
+  }
+  return out;
+}
+
+/// `a * b`, throwing ContractError on signed overflow.
+[[nodiscard]] inline i64 checked_mul(i64 a, i64 b) {
+  i64 out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw ContractError("checked_mul: int64 overflow");
+  }
+  return out;
+}
+
+/// Euclidean gcd on magnitudes; gcd(0, 0) == 0.
+[[nodiscard]] constexpr i64 gcd64(i64 a, i64 b) noexcept {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Floor division (rounds toward negative infinity). `b` must be nonzero.
+[[nodiscard]] inline i64 floor_div(i64 a, i64 b) {
+  NUSYS_REQUIRE(b != 0, "floor_div: division by zero");
+  i64 q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division (rounds toward positive infinity). `b` must be nonzero.
+[[nodiscard]] inline i64 ceil_div(i64 a, i64 b) {
+  NUSYS_REQUIRE(b != 0, "ceil_div: division by zero");
+  i64 q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+}  // namespace nusys

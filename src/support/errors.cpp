@@ -1,0 +1,23 @@
+#include "support/errors.hpp"
+
+#include <sstream>
+
+namespace nusys::detail {
+
+[[noreturn]] void throw_contract_error(std::string_view expr,
+                                       std::string_view file, int line,
+                                       std::string_view message) {
+  std::ostringstream os;
+  os << "contract violation: " << message << " [failed: " << expr << " at "
+     << file << ':' << line << ']';
+  throw ContractError(os.str());
+}
+
+[[noreturn]] void throw_domain_error(std::string_view file, int line,
+                                     std::string_view message) {
+  std::ostringstream os;
+  os << "invalid model: " << message << " [" << file << ':' << line << ']';
+  throw DomainError(os.str());
+}
+
+}  // namespace nusys::detail

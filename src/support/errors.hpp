@@ -1,0 +1,72 @@
+// Error types and contract-checking macros used across the nusys library.
+//
+// The library distinguishes three failure classes:
+//   * ContractError  — a caller violated a documented precondition. These are
+//     programming errors; the message carries the failed expression and
+//     source location.
+//   * DomainError    — a semantically invalid model was supplied (e.g. a
+//     recurrence that fails the canonic-form conditions CA1..CA4). These are
+//     expected, reportable failures of user input.
+//   * SearchFailure  — a synthesis search was exhausted without finding a
+//     feasible solution (e.g. no timing function exists for a dependence
+//     matrix within the coefficient bound). Callers usually handle these by
+//     widening the search or choosing another interconnect, per Sec. II-B of
+//     the paper.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace nusys {
+
+/// Base class for all nusys exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A documented precondition was violated by the caller.
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what) : Error(what) {}
+};
+
+/// The supplied model (recurrence, loop nest, module system, ...) is invalid.
+class DomainError : public Error {
+ public:
+  explicit DomainError(const std::string& what) : Error(what) {}
+};
+
+/// A bounded synthesis search found no feasible solution.
+class SearchFailure : public Error {
+ public:
+  explicit SearchFailure(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_contract_error(std::string_view expr,
+                                       std::string_view file, int line,
+                                       std::string_view message);
+[[noreturn]] void throw_domain_error(std::string_view file, int line,
+                                     std::string_view message);
+}  // namespace detail
+
+}  // namespace nusys
+
+/// Precondition check: throws nusys::ContractError when `expr` is false.
+#define NUSYS_REQUIRE(expr, message)                                       \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::nusys::detail::throw_contract_error(#expr, __FILE__, __LINE__,     \
+                                            (message));                    \
+    }                                                                      \
+  } while (false)
+
+/// Model-validity check: throws nusys::DomainError when `expr` is false.
+#define NUSYS_VALIDATE(expr, message)                                      \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::nusys::detail::throw_domain_error(__FILE__, __LINE__, (message));  \
+    }                                                                      \
+  } while (false)

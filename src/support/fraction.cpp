@@ -1,0 +1,88 @@
+#include "support/fraction.hpp"
+
+#include <ostream>
+
+namespace nusys {
+
+Fraction::Fraction(i64 n, i64 d) : num_(n), den_(d) {
+  NUSYS_REQUIRE(d != 0, "Fraction: zero denominator");
+  normalize();
+}
+
+void Fraction::normalize() {
+  if (den_ < 0) {
+    num_ = checked_sub(0, num_);
+    den_ = checked_sub(0, den_);
+  }
+  const i64 g = gcd64(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+i64 Fraction::as_integer() const {
+  NUSYS_REQUIRE(den_ == 1, "Fraction::as_integer: value is not integral");
+  return num_;
+}
+
+Fraction Fraction::operator-() const {
+  Fraction out;
+  out.num_ = checked_sub(0, num_);
+  out.den_ = den_;
+  return out;
+}
+
+Fraction& Fraction::operator+=(const Fraction& rhs) {
+  // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d); keeping the
+  // intermediate terms near the lcm bounds the overflow risk.
+  const i64 g = gcd64(den_, rhs.den_);
+  const i64 l = checked_mul(den_ / g, rhs.den_);
+  num_ = checked_add(checked_mul(num_, l / den_),
+                     checked_mul(rhs.num_, l / rhs.den_));
+  den_ = l;
+  normalize();
+  return *this;
+}
+
+Fraction& Fraction::operator-=(const Fraction& rhs) { return *this += -rhs; }
+
+Fraction& Fraction::operator*=(const Fraction& rhs) {
+  // Cross-reduce before multiplying to keep magnitudes small.
+  const i64 g1 = gcd64(num_, rhs.den_);
+  const i64 g2 = gcd64(rhs.num_, den_);
+  num_ = checked_mul(num_ / g1, rhs.num_ / g2);
+  den_ = checked_mul(den_ / g2, rhs.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Fraction& Fraction::operator/=(const Fraction& rhs) {
+  NUSYS_REQUIRE(rhs.num_ != 0, "Fraction: division by zero");
+  return *this *= Fraction(rhs.den_, rhs.num_);
+}
+
+std::strong_ordering operator<=>(const Fraction& a, const Fraction& b) {
+  // a.num/a.den <=> b.num/b.den  with positive denominators.
+  const i64 lhs = checked_mul(a.num_, b.den_);
+  const i64 rhs = checked_mul(b.num_, a.den_);
+  return lhs <=> rhs;
+}
+
+Fraction Fraction::abs() const { return num_ < 0 ? -*this : *this; }
+
+std::string Fraction::to_string() const {
+  std::string out = std::to_string(num_);
+  if (den_ != 1) {
+    out += '/';
+    out += std::to_string(den_);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Fraction& f) {
+  return os << f.to_string();
+}
+
+}  // namespace nusys

@@ -1,0 +1,77 @@
+// Exact rational arithmetic on int64 numerator/denominator.
+//
+// Used wherever the synthesis algebra needs exact division: inverting the
+// transformation matrix [T; S], solving small rational linear systems, and
+// expressing data-stream *speeds* (cells per cycle), which are rationals like
+// 1/2 in Kung's W1 design.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "support/checked.hpp"
+
+namespace nusys {
+
+/// An exact rational number. Always stored normalized: denominator > 0 and
+/// gcd(|num|, den) == 1. Arithmetic is overflow-checked.
+class Fraction {
+ public:
+  /// Zero.
+  constexpr Fraction() noexcept = default;
+
+  /// Integer value `n` (denominator 1).
+  constexpr Fraction(i64 n) noexcept : num_(n) {}  // NOLINT(google-explicit-constructor)
+
+  /// `n / d`; throws ContractError if `d == 0`.
+  Fraction(i64 n, i64 d);
+
+  [[nodiscard]] constexpr i64 num() const noexcept { return num_; }
+  [[nodiscard]] constexpr i64 den() const noexcept { return den_; }
+
+  [[nodiscard]] bool is_integer() const noexcept { return den_ == 1; }
+  [[nodiscard]] bool is_zero() const noexcept { return num_ == 0; }
+
+  /// The integer value; throws ContractError unless is_integer().
+  [[nodiscard]] i64 as_integer() const;
+
+  /// Closest double approximation (for reporting only).
+  [[nodiscard]] double as_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  [[nodiscard]] Fraction operator-() const;
+  Fraction& operator+=(const Fraction& rhs);
+  Fraction& operator-=(const Fraction& rhs);
+  Fraction& operator*=(const Fraction& rhs);
+  /// Throws ContractError when dividing by zero.
+  Fraction& operator/=(const Fraction& rhs);
+
+  friend Fraction operator+(Fraction a, const Fraction& b) { return a += b; }
+  friend Fraction operator-(Fraction a, const Fraction& b) { return a -= b; }
+  friend Fraction operator*(Fraction a, const Fraction& b) { return a *= b; }
+  friend Fraction operator/(Fraction a, const Fraction& b) { return a /= b; }
+
+  friend bool operator==(const Fraction& a, const Fraction& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Fraction& a,
+                                          const Fraction& b);
+
+  /// Absolute value.
+  [[nodiscard]] Fraction abs() const;
+
+  /// "p/q" or just "p" when the value is an integer.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void normalize();
+
+  i64 num_ = 0;
+  i64 den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Fraction& f);
+
+}  // namespace nusys

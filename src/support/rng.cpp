@@ -1,0 +1,63 @@
+#include "support/rng.hpp"
+
+namespace nusys {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+i64 Rng::uniform(i64 lo, i64 hi) {
+  NUSYS_REQUIRE(lo <= hi, "Rng::uniform: empty range");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // Full 64-bit range requested.
+    return static_cast<i64>(next_u64());
+  }
+  // Rejection sampling for an unbiased result.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) draw = next_u64();
+  return lo + static_cast<i64>(draw % span);
+}
+
+double Rng::uniform01() noexcept {
+  // 53 random mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::vector<i64> Rng::uniform_vector(std::size_t count, i64 lo, i64 hi) {
+  std::vector<i64> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(uniform(lo, hi));
+  return out;
+}
+
+}  // namespace nusys

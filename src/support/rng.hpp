@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation for tests and benchmarks.
+//
+// Workload generators must be reproducible across runs and platforms, so we
+// ship a fixed xoshiro256** implementation instead of relying on the
+// standard library's unspecified distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "support/checked.hpp"
+
+namespace nusys {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] i64 uniform(i64 lo, i64 hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// `count` uniform integers in [lo, hi].
+  [[nodiscard]] std::vector<i64> uniform_vector(std::size_t count, i64 lo,
+                                                i64 hi);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform(0, static_cast<i64>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace nusys

@@ -1,0 +1,50 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  NUSYS_REQUIRE(!header_.empty(), "TextTable: header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  NUSYS_REQUIRE(row.size() == header_.size(),
+                "TextTable: row arity differs from header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  os << '|';
+  for (const auto w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+}  // namespace nusys

@@ -1,0 +1,33 @@
+// Minimal ASCII table formatter.
+//
+// The benchmark harness regenerates the paper's Tables 1-2 and the
+// per-figure metric series as aligned text tables; this keeps that output
+// consistent across binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nusys {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with single-space padding and `|` separators, e.g.
+  ///   | design | output (y) | input (x) |
+  ///   |--------|------------|-----------|
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nusys

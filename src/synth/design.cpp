@@ -1,0 +1,92 @@
+#include "synth/design.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace nusys {
+
+std::vector<Fraction> StreamBehaviour::speed() const {
+  NUSYS_REQUIRE(period > 0, "StreamBehaviour::speed: nonpositive period");
+  std::vector<Fraction> out;
+  out.reserve(displacement.dim());
+  for (const i64 component : displacement) {
+    out.emplace_back(component, period);
+  }
+  return out;
+}
+
+std::string StreamBehaviour::describe() const {
+  if (stays()) return "stays";
+  std::ostringstream os;
+  os << "moves by " << displacement << " every " << period
+     << (period == 1 ? " tick" : " ticks");
+  if (displacement.dim() == 1) {
+    os << " (speed " << Fraction(displacement[0], period).abs().to_string()
+       << (displacement[0] > 0 ? " right" : " left") << ')';
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Classifies the ray relationship of two nonzero displacements:
+/// +1 = same ray, -1 = opposite rays, 0 = neither.
+int ray_relation(const IntVec& a, const IntVec& b) {
+  // a and b are on the same ray iff b*|a|_g == a*|b|_g componentwise after
+  // scaling by the gcds; equivalently cross-ratios match with a positive
+  // factor. Compare a * l1(b) with b * l1(a) (both positive scalings).
+  const IntVec lhs = a * b.l1_norm();
+  const IntVec rhs = b * a.l1_norm();
+  if (lhs == rhs) return 1;
+  if (lhs == -rhs) return -1;
+  return 0;
+}
+
+}  // namespace
+
+bool same_direction(const StreamBehaviour& a, const StreamBehaviour& b) {
+  if (a.stays() || b.stays()) return false;
+  return ray_relation(a.displacement, b.displacement) == 1;
+}
+
+bool opposite_direction(const StreamBehaviour& a, const StreamBehaviour& b) {
+  if (a.stays() || b.stays()) return false;
+  return ray_relation(a.displacement, b.displacement) == -1;
+}
+
+bool different_speeds(const StreamBehaviour& a, const StreamBehaviour& b) {
+  // Compare cells-per-tick magnitude: |displacement| / period.
+  const Fraction sa(a.displacement.l1_norm(), a.period);
+  const Fraction sb(b.displacement.l1_norm(), b.period);
+  return sa != sb;
+}
+
+const StreamBehaviour& Design::stream(const std::string& variable) const {
+  for (const auto& s : streams) {
+    if (s.variable == variable) return s;
+  }
+  throw ContractError("Design::stream: unknown variable '" + variable + "'");
+}
+
+std::vector<StreamBehaviour> derive_streams(const LinearSchedule& timing,
+                                            const IntMat& space,
+                                            const DependenceSet& deps) {
+  std::vector<StreamBehaviour> out;
+  out.reserve(deps.size());
+  for (const auto& dep : deps) {
+    StreamBehaviour s;
+    s.variable = dep.variable;
+    s.displacement = space * dep.vector;
+    s.period = timing.slack(dep.vector);
+    NUSYS_REQUIRE(s.period > 0,
+                  "derive_streams: timing function violates a dependence");
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const StreamBehaviour& s) {
+  return os << s.variable << ": " << s.describe();
+}
+
+}  // namespace nusys

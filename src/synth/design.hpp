@@ -1,0 +1,76 @@
+// A complete systolic design: schedule + space map + interconnect, plus the
+// derived per-variable data-stream behaviour.
+//
+// The paper's Tables 1 and 2 describe designs by how each variable's stream
+// moves ("output moves left", "weights stay", "inputs and outputs move in
+// the same direction at different speeds"); StreamBehaviour captures exactly
+// that: the displacement per firing S·d and the period T·d give direction
+// and speed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ir/recurrence.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+#include "space/metrics.hpp"
+#include "support/fraction.hpp"
+
+namespace nusys {
+
+/// How one variable's data stream moves through the array.
+struct StreamBehaviour {
+  std::string variable;
+  IntVec displacement;  ///< S·d: label-space movement between uses.
+  i64 period = 0;       ///< T·d: ticks between uses.
+
+  /// True when the stream stays inside one cell (displacement zero).
+  [[nodiscard]] bool stays() const noexcept { return displacement.is_zero(); }
+
+  /// Cells advanced per tick along each label axis (displacement / period).
+  [[nodiscard]] std::vector<Fraction> speed() const;
+
+  /// "stays" / "moves by (1, 0) every 2 ticks (speed 1/2)".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// True when both streams move along the same ray (positive scalar
+/// multiples of each other); both must be moving.
+[[nodiscard]] bool same_direction(const StreamBehaviour& a,
+                                  const StreamBehaviour& b);
+
+/// True when the streams move along opposite rays.
+[[nodiscard]] bool opposite_direction(const StreamBehaviour& a,
+                                      const StreamBehaviour& b);
+
+/// True when the streams advance a different number of cells per tick.
+[[nodiscard]] bool different_speeds(const StreamBehaviour& a,
+                                    const StreamBehaviour& b);
+
+/// A fully determined design for one canonic-form recurrence.
+struct Design {
+  std::string name;
+  LinearSchedule timing;
+  IntMat space;        ///< S.
+  Interconnect net;    ///< Δ.
+  IntMat routing;      ///< K of eq. (3), one column per dependence.
+  IntMat pi;           ///< Π = [T; S].
+  i64 pi_det = 0;
+  std::vector<StreamBehaviour> streams;  ///< One per dependence, in order.
+  DesignMetrics metrics;                 ///< Over the synthesis domain.
+
+  /// The stream for a variable; throws ContractError when unknown.
+  [[nodiscard]] const StreamBehaviour& stream(
+      const std::string& variable) const;
+};
+
+/// Derives the per-variable stream behaviour of (timing, space) over `deps`.
+[[nodiscard]] std::vector<StreamBehaviour> derive_streams(
+    const LinearSchedule& timing, const IntMat& space,
+    const DependenceSet& deps);
+
+std::ostream& operator<<(std::ostream& os, const StreamBehaviour& s);
+
+}  // namespace nusys

@@ -1,0 +1,140 @@
+#include "synth/figure_render.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+std::string render_module_figure(const ModuleSystem& sys,
+                                 const std::vector<IntMat>& spaces,
+                                 const std::vector<LinearSchedule>& schedules,
+                                 const Interconnect& net) {
+  NUSYS_REQUIRE(spaces.size() == sys.module_count() &&
+                    schedules.size() == sys.module_count(),
+                "render_module_figure: one space and schedule per module");
+  NUSYS_REQUIRE(net.label_dim() == 2,
+                "render_module_figure: only 2-D label spaces are rendered");
+
+  // Mask per cell: bit m set when module m computes there.
+  std::map<IntVec, unsigned> masks;
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    sys.module(m).domain.for_each([&](const IntVec& p) {
+      masks[spaces[m] * p] |= 1u << m;
+    });
+  }
+  NUSYS_REQUIRE(!masks.empty(), "render_module_figure: no cells");
+
+  i64 min_x = std::numeric_limits<i64>::max();
+  i64 max_x = std::numeric_limits<i64>::min();
+  i64 min_y = min_x;
+  i64 max_y = max_x;
+  for (const auto& [cell, _] : masks) {
+    min_x = std::min(min_x, cell[0]);
+    max_x = std::max(max_x, cell[0]);
+    min_y = std::min(min_y, cell[1]);
+    max_y = std::max(max_y, cell[1]);
+  }
+
+  // Mask -> glyph (modules 1, 2, combiner as bits 0..2).
+  static constexpr char kGlyphs[8] = {'.', '1', '2', 'B',
+                                      'C', 'Q', 'R', '*'};
+  std::ostringstream os;
+  os << "cells " << masks.size() << " (x: " << min_x << ".." << max_x
+     << ", y: " << min_y << ".." << max_y << ")\n";
+  for (i64 y = max_y; y >= min_y; --y) {
+    os << "  y=" << y << (y < 10 ? "  " : " ");
+    for (i64 x = min_x; x <= max_x; ++x) {
+      const auto it = masks.find(IntVec{x, y});
+      os << (it == masks.end() ? '.' : kGlyphs[it->second & 7u]) << ' ';
+    }
+    os << '\n';
+  }
+  os << "  legend: 1/2 = module 1/2 only, B = both, C = combiner, "
+        "Q/R/* = combiner overlaps\n";
+
+  os << "streams:\n";
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    for (const auto& dep : sys.module(m).local_deps) {
+      const IntVec disp = spaces[m] * dep.vector;
+      const i64 period = schedules[m].slack(dep.vector);
+      os << "  [" << sys.module(m).name << "] " << dep.variable << ": ";
+      if (disp.is_zero()) {
+        os << "stays";
+      } else {
+        const std::string link = net.link_name(disp);
+        os << "moves " << (link.empty() ? disp.to_string() : link)
+           << " every " << period << (period == 1 ? " tick" : " ticks");
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string render_activity_trace(const ModuleSystem& sys,
+                                  const std::vector<IntMat>& spaces,
+                                  const std::vector<LinearSchedule>& schedules,
+                                  i64 first_tick, i64 last_tick) {
+  NUSYS_REQUIRE(spaces.size() == sys.module_count() &&
+                    schedules.size() == sys.module_count(),
+                "render_activity_trace: one space and schedule per module");
+  NUSYS_REQUIRE(first_tick <= last_tick,
+                "render_activity_trace: empty tick range");
+
+  // (tick, cell) -> module mask; also the overall bounding box.
+  std::map<std::pair<i64, IntVec>, unsigned> activity;
+  std::map<IntVec, unsigned> all_cells;
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    NUSYS_REQUIRE(spaces[m].rows() == 2,
+                  "render_activity_trace: only 2-D label spaces");
+    sys.module(m).domain.for_each([&](const IntVec& p) {
+      const IntVec cell = spaces[m] * p;
+      all_cells[cell] |= 1u << m;
+      const i64 tick = schedules[m].at(p);
+      if (tick >= first_tick && tick <= last_tick) {
+        activity[{tick, cell}] |= 1u << m;
+      }
+    });
+  }
+  NUSYS_REQUIRE(!all_cells.empty(), "render_activity_trace: no cells");
+
+  i64 min_x = std::numeric_limits<i64>::max();
+  i64 max_x = std::numeric_limits<i64>::min();
+  i64 min_y = min_x;
+  i64 max_y = max_x;
+  for (const auto& [cell, _] : all_cells) {
+    min_x = std::min(min_x, cell[0]);
+    max_x = std::max(max_x, cell[0]);
+    min_y = std::min(min_y, cell[1]);
+    max_y = std::max(max_y, cell[1]);
+  }
+
+  static constexpr char kGlyphs[8] = {'-', '1', '2', 'B',
+                                      'C', 'Q', 'R', '*'};
+  std::ostringstream os;
+  for (i64 tick = first_tick; tick <= last_tick; ++tick) {
+    os << "tick " << tick << ":\n";
+    for (i64 y = max_y; y >= min_y; --y) {
+      os << "  ";
+      for (i64 x = min_x; x <= max_x; ++x) {
+        const IntVec cell{x, y};
+        if (!all_cells.contains(cell)) {
+          os << ". ";
+          continue;
+        }
+        const auto it = activity.find({tick, cell});
+        os << (it == activity.end() ? '-' : kGlyphs[it->second & 7u]) << ' ';
+      }
+      os << '\n';
+    }
+  }
+  os << "legend: '-' idle cell, '.' not a processor, 1/2 = module action, "
+        "B = folded modules, C = combine (Q/R/* = combine overlaps)\n";
+  return os.str();
+}
+
+}  // namespace nusys

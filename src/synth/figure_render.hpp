@@ -1,0 +1,32 @@
+// ASCII rendering of a mapped module system: the processor grid with each
+// cell tagged by the modules it serves, plus the per-variable stream
+// directions — a textual regeneration of the paper's figures 1 and 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "modules/module_system.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+
+namespace nusys {
+
+/// Renders the cell grid of (sys, spaces) and a stream-direction legend.
+/// Cells are tagged '1' (module 1 only), '2' (module 2 only), 'B' (both),
+/// and the combiner adds 'C'/'Q'/'R'/'*' for the respective overlaps;
+/// '.' marks grid positions that are not processors. Requires 2-D labels.
+[[nodiscard]] std::string render_module_figure(
+    const ModuleSystem& sys, const std::vector<IntMat>& spaces,
+    const std::vector<LinearSchedule>& schedules, const Interconnect& net);
+
+/// Renders the per-tick activity of the array — "the action of a cell
+/// varies from time to time" (captions of figures 1-2): one grid per tick
+/// in [first_tick, last_tick], cells tagged by the module(s) acting there
+/// that tick. Requires 2-D labels; intended for small instances.
+[[nodiscard]] std::string render_activity_trace(
+    const ModuleSystem& sys, const std::vector<IntMat>& spaces,
+    const std::vector<LinearSchedule>& schedules, i64 first_tick,
+    i64 last_tick);
+
+}  // namespace nusys

@@ -1,0 +1,52 @@
+#include "synth/pipeline.hpp"
+
+namespace nusys {
+
+const DPArrayDesign& NonUniformSynthesisResult::best() const {
+  if (designs.empty()) {
+    throw SearchFailure(
+        "non-uniform synthesis produced no executable design; widen the "
+        "search bounds or choose a richer interconnect");
+  }
+  return designs.front();
+}
+
+NonUniformSynthesisResult synthesize_nonuniform(
+    const NonUniformSpec& spec, const Interconnect& net,
+    const NonUniformSynthesisOptions& options) {
+  NonUniformSynthesisResult result;
+
+  // Stage 1: constant core and coarse timing (Sec. III step 1).
+  result.coarse = derive_coarse_timing(spec, options.coarse);
+  const LinearSchedule& coarse = result.coarse.schedule();
+
+  // Stage 2: chain decomposition and module emission (Sec. III step 2).
+  result.chain_shape = analyze_chain_shape(spec, coarse);
+  const ModuleSystem sys = emit_interval_dp_modules(spec, coarse);
+
+  // Stage 3: per-module schedules under global constraints (Sec. V-A).
+  const auto schedules = find_module_schedules(sys, options.module_schedule);
+  if (!schedules.found()) return result;
+  result.schedules = schedules.best().schedules;
+  result.schedule_makespan = schedules.best().makespan;
+
+  // Stage 4: per-module space maps (Sec. V-B).
+  auto space_options = options.module_space;
+  if (space_options.max_results == 0 && options.max_designs > 0) {
+    space_options.max_results = options.max_designs;
+  }
+  const auto spaces =
+      find_module_spaces(sys, result.schedules, net, space_options);
+  for (const auto& assignment : spaces.optima) {
+    result.designs.push_back(
+        DPArrayDesign{result.schedules, assignment.spaces, net});
+    result.cell_counts.push_back(assignment.cell_count);
+    if (options.max_designs > 0 &&
+        result.designs.size() >= options.max_designs) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace nusys

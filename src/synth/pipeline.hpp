@@ -1,0 +1,55 @@
+// The complete Sec. III-V pipeline as one call: from a non-uniform spec to
+// executable, ranked array designs.
+//
+//   spec ──(D^c)──► coarse timing ──(>_T)──► chains ──► module system
+//        ──► per-module schedules (λ, μ, σ) ──► per-module space maps
+//        ──► DPArrayDesign, ready for run_dp_on_array().
+//
+// This is the facade a downstream user calls; every stage is also
+// available separately (schedule/coarse.hpp, chains/, modules/) for tools
+// that want the intermediate artifacts.
+#pragma once
+
+#include <vector>
+
+#include "chains/modules_emit.hpp"
+#include "designs/dp_array.hpp"
+#include "modules/module_schedule.hpp"
+#include "modules/module_space.hpp"
+#include "schedule/coarse.hpp"
+
+namespace nusys {
+
+/// Options for the full non-uniform synthesis pipeline.
+struct NonUniformSynthesisOptions {
+  ScheduleSearchOptions coarse;
+  ModuleScheduleOptions module_schedule;
+  ModuleSpaceOptions module_space;
+  /// Keep at most this many complete designs (0 = all space optima of the
+  /// best schedule assignment).
+  std::size_t max_designs = 4;
+};
+
+/// Everything the pipeline produced, including intermediate artifacts.
+struct NonUniformSynthesisResult {
+  CoarseTiming coarse;                  ///< D^c and the coarse schedule.
+  ChainShapeReport chain_shape;         ///< Decomposition shape analysis.
+  std::vector<LinearSchedule> schedules;  ///< Best λ, μ, σ found.
+  i64 schedule_makespan = 0;
+  std::vector<DPArrayDesign> designs;   ///< Ranked executable designs.
+  std::vector<std::size_t> cell_counts; ///< Parallel to designs.
+
+  [[nodiscard]] bool found() const noexcept { return !designs.empty(); }
+
+  /// Best design; throws SearchFailure when the pipeline found none.
+  [[nodiscard]] const DPArrayDesign& best() const;
+};
+
+/// Runs the whole pipeline for an interval-DP-shaped spec on `net`.
+/// Throws DomainError when the spec does not have the supported shape
+/// (see chains/modules_emit.hpp).
+[[nodiscard]] NonUniformSynthesisResult synthesize_nonuniform(
+    const NonUniformSpec& spec, const Interconnect& net,
+    const NonUniformSynthesisOptions& options = {});
+
+}  // namespace nusys

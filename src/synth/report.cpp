@@ -1,0 +1,35 @@
+#include "synth/report.hpp"
+
+#include <sstream>
+
+namespace nusys {
+
+std::string describe_design(const Design& design,
+                            const std::vector<std::string>& index_names) {
+  std::ostringstream os;
+  os << "design " << design.name << '\n';
+  os << "  " << design.timing.to_string(index_names) << '\n';
+  os << "  S = " << design.space << "  (det Π = " << design.pi_det << ")\n";
+  os << "  " << design.net.to_string() << '\n';
+  os << "  K = " << design.routing << '\n';
+  os << "  streams:\n";
+  for (const auto& s : design.streams) {
+    os << "    " << s << '\n';
+  }
+  os << "  processors = " << design.metrics.cell_count
+     << ", makespan = " << design.metrics.time.makespan()
+     << ", utilization = " << design.metrics.utilization << '\n';
+  return os.str();
+}
+
+std::string classify_streams(const Design& design) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < design.streams.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << design.streams[i].variable << ' '
+       << design.streams[i].describe();
+  }
+  return os.str();
+}
+
+}  // namespace nusys

@@ -1,0 +1,19 @@
+// Textual design reports for examples and the benchmark harness.
+#pragma once
+
+#include <string>
+
+#include "synth/design.hpp"
+
+namespace nusys {
+
+/// Multi-line human-readable summary of a design: timing function, space
+/// map, Π, per-variable stream behaviour and metrics.
+[[nodiscard]] std::string describe_design(
+    const Design& design, const std::vector<std::string>& index_names);
+
+/// One-line classification in the style of the paper's Tables 1-2, e.g.
+/// "y moves by (-1) every 1 tick; x moves by (1) every 1 tick; w stays".
+[[nodiscard]] std::string classify_streams(const Design& design);
+
+}  // namespace nusys

@@ -1,0 +1,64 @@
+#include "synth/synthesizer.hpp"
+
+#include <algorithm>
+
+namespace nusys {
+
+const Design& SynthesisResult::best() const {
+  if (designs.empty()) {
+    throw SearchFailure(
+        "synthesis failed: no (T, S) pair is feasible for this recurrence "
+        "and interconnect within the search bounds");
+  }
+  return designs.front();
+}
+
+SynthesisResult synthesize(const CanonicRecurrence& recurrence,
+                           const Interconnect& net,
+                           const SynthesisOptions& options) {
+  recurrence.validate();
+  SynthesisResult result;
+  result.schedule_search = find_optimal_schedules(
+      recurrence.dependences(), recurrence.domain(), options.schedule);
+  if (!result.schedule_search.found()) return result;
+
+  const auto dep_vectors = recurrence.dependences().vectors();
+  std::size_t design_index = 0;
+  for (const auto& timing : result.schedule_search.optima) {
+    const auto space_search = find_space_maps(
+        timing, dep_vectors, net, recurrence.domain(), options.space);
+    result.space_maps_examined += space_search.examined;
+    for (const auto& cand : space_search.candidates) {
+      Design d{recurrence.name() + "#" + std::to_string(design_index++),
+               timing,
+               cand.s,
+               net,
+               cand.k,
+               cand.pi,
+               cand.pi_det,
+               derive_streams(timing, cand.s, recurrence.dependences()),
+               compute_design_metrics(timing, cand.s, recurrence.domain())};
+      result.designs.push_back(std::move(d));
+    }
+  }
+
+  // All timing functions here share the optimal makespan, so rank designs
+  // by processor count, then utilization (denser is better), then by the
+  // simplicity of S.
+  std::stable_sort(result.designs.begin(), result.designs.end(),
+                   [](const Design& a, const Design& b) {
+                     if (a.metrics.cell_count != b.metrics.cell_count) {
+                       return a.metrics.cell_count < b.metrics.cell_count;
+                     }
+                     return a.metrics.utilization > b.metrics.utilization;
+                   });
+  if (options.max_designs > 0 &&
+      result.designs.size() > options.max_designs) {
+    result.designs.erase(result.designs.begin() +
+                             static_cast<std::ptrdiff_t>(options.max_designs),
+                         result.designs.end());
+  }
+  return result;
+}
+
+}  // namespace nusys

@@ -1,0 +1,45 @@
+// End-to-end synthesis of a canonic-form recurrence into ranked designs.
+//
+// This is the Sec. II pipeline in one call: find every makespan-optimal
+// timing function, then for each one every feasible space map on the given
+// interconnect, combine them into Designs and rank by (makespan, processor
+// count, simplicity). Running it on recurrences (4) and (5) of the paper
+// regenerates Kung's convolution designs W2 and W1/R2 — that is exactly the
+// reproduction of Tables 1 and 2.
+#pragma once
+
+#include <vector>
+
+#include "ir/recurrence.hpp"
+#include "schedule/search.hpp"
+#include "space/allocation.hpp"
+#include "synth/design.hpp"
+
+namespace nusys {
+
+/// Options for the end-to-end synthesis search.
+struct SynthesisOptions {
+  ScheduleSearchOptions schedule;
+  SpaceSearchOptions space;
+  /// Keep at most this many ranked designs (0 = keep all).
+  std::size_t max_designs = 0;
+};
+
+/// Outcome of synthesizing one recurrence on one interconnect.
+struct SynthesisResult {
+  std::vector<Design> designs;  ///< Ranked best-first; empty iff infeasible.
+  ScheduleSearchResult schedule_search;
+  std::size_t space_maps_examined = 0;
+
+  [[nodiscard]] bool found() const noexcept { return !designs.empty(); }
+
+  /// Best design; throws SearchFailure when synthesis failed.
+  [[nodiscard]] const Design& best() const;
+};
+
+/// Synthesizes all optimal designs of `recurrence` on `net`.
+[[nodiscard]] SynthesisResult synthesize(const CanonicRecurrence& recurrence,
+                                         const Interconnect& net,
+                                         const SynthesisOptions& options = {});
+
+}  // namespace nusys

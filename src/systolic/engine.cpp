@@ -1,0 +1,232 @@
+#include "systolic/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+double EngineStats::utilization() const {
+  const auto ticks = static_cast<double>(last_tick - first_tick + 1);
+  if (cell_count == 0 || ticks <= 0) return 0.0;
+  return static_cast<double>(busy_cell_ticks) /
+         (static_cast<double>(cell_count) * ticks);
+}
+
+std::optional<Value> CellContext::in(const std::string& channel) const {
+  auto& state = engine_.cells_[engine_.cell_index_.at(coord_)];
+  const auto it = state.inbox.find(channel);
+  if (it == state.inbox.end()) return std::nullopt;
+  const_cast<CellContext*>(this)->busy_ = true;
+  return it->second;
+}
+
+void CellContext::out(const IntVec& direction, const std::string& channel,
+                      Value v) {
+  NUSYS_REQUIRE(!engine_.net_.link_name(direction).empty(),
+                "CellContext::out: direction is not a link of the "
+                "interconnect");
+  busy_ = true;
+  engine_.record(tick_, TraceEvent::Kind::kSend, coord_, channel, v);
+  engine_.deliver(coord_ + direction, channel, v, tick_ + 1, coord_,
+                  direction);
+}
+
+bool CellContext::has_reg(const std::string& name) const {
+  const auto& state = engine_.cells_[engine_.cell_index_.at(coord_)];
+  return state.registers.contains(name);
+}
+
+Value CellContext::reg(const std::string& name) const {
+  const auto& state = engine_.cells_[engine_.cell_index_.at(coord_)];
+  const auto it = state.registers.find(name);
+  NUSYS_REQUIRE(it != state.registers.end(),
+                "CellContext::reg: register '" + name + "' not set");
+  return it->second;
+}
+
+void CellContext::set_reg(const std::string& name, Value v) {
+  busy_ = true;
+  auto& state = engine_.cells_[engine_.cell_index_.at(coord_)];
+  state.registers[name] = v;
+  engine_.stats_.max_registers =
+      std::max(engine_.stats_.max_registers, state.registers.size());
+}
+
+void CellContext::clear_reg(const std::string& name) {
+  auto& state = engine_.cells_[engine_.cell_index_.at(coord_)];
+  state.registers.erase(name);
+}
+
+void CellContext::emit(const std::string& tag, Value v) {
+  busy_ = true;
+  engine_.results_.push_back({tick_, coord_, tag, v});
+  engine_.record(tick_, TraceEvent::Kind::kResult, coord_, tag, v);
+}
+
+SystolicEngine::SystolicEngine(Interconnect net, std::vector<IntVec> cells)
+    : net_(std::move(net)) {
+  NUSYS_REQUIRE(!cells.empty(), "SystolicEngine: at least one cell");
+  std::sort(cells.begin(), cells.end());
+  cells_.reserve(cells.size());
+  for (auto& coord : cells) {
+    NUSYS_REQUIRE(coord.dim() == net_.label_dim(),
+                  "SystolicEngine: cell label dimension mismatch");
+    NUSYS_REQUIRE(cell_index_.emplace(coord, cells_.size()).second,
+                  "SystolicEngine: duplicate cell label");
+    cells_.push_back(CellState{std::move(coord), {}, {}, {}});
+  }
+  stats_.cell_count = cells_.size();
+}
+
+void SystolicEngine::set_program(CellProgram program) {
+  program_ = std::move(program);
+}
+
+void SystolicEngine::preload(const IntVec& cell, const std::string& name,
+                             Value v) {
+  const auto it = cell_index_.find(cell);
+  NUSYS_REQUIRE(it != cell_index_.end(),
+                "SystolicEngine::preload: unknown cell " + cell.to_string());
+  cells_[it->second].registers[name] = v;
+  stats_.max_registers =
+      std::max(stats_.max_registers, cells_[it->second].registers.size());
+}
+
+void SystolicEngine::inject(i64 tick, const IntVec& cell,
+                            const std::string& channel, Value v) {
+  NUSYS_REQUIRE(cell_index_.contains(cell),
+                "SystolicEngine::inject: unknown cell " + cell.to_string());
+  pending_injections_[tick].emplace_back(cell, channel, v);
+  ++stats_.injections;
+}
+
+void SystolicEngine::corrupt_arrival(i64 tick, const IntVec& cell,
+                                     const std::string& channel,
+                                     Value delta) {
+  NUSYS_REQUIRE(cell_index_.contains(cell),
+                "corrupt_arrival: unknown cell " + cell.to_string());
+  pending_faults_[tick].push_back({cell, channel, false, delta});
+}
+
+void SystolicEngine::drop_arrival(i64 tick, const IntVec& cell,
+                                  const std::string& channel) {
+  NUSYS_REQUIRE(cell_index_.contains(cell),
+                "drop_arrival: unknown cell " + cell.to_string());
+  pending_faults_[tick].push_back({cell, channel, true, 0});
+}
+
+void SystolicEngine::enable_trace(std::size_t max_events) {
+  tracing_ = true;
+  trace_capacity_ = max_events;
+  trace_.reserve(std::min<std::size_t>(max_events, 4096));
+}
+
+void SystolicEngine::record(i64 tick, TraceEvent::Kind kind,
+                            const IntVec& cell, const std::string& channel,
+                            Value v) {
+  if (!tracing_ || trace_.size() >= trace_capacity_) return;
+  trace_.push_back({tick, kind, cell, channel, v});
+}
+
+void SystolicEngine::deliver(const IntVec& dest, const std::string& channel,
+                             Value v, i64 /*arrival_tick*/,
+                             const IntVec& from, const IntVec& direction) {
+  const auto it = cell_index_.find(dest);
+  if (it == cell_index_.end()) {
+    // Boundary: the value leaves the array.
+    emissions_.push_back(
+        {stats_.last_tick + 1, from, direction, channel, v});
+    ++stats_.emissions;
+    record(stats_.last_tick + 1, TraceEvent::Kind::kEmission, from, channel,
+           v);
+    return;
+  }
+  auto& inbox = cells_[it->second].next_inbox;
+  NUSYS_REQUIRE(inbox.emplace(channel, v).second,
+                "SystolicEngine: link conflict — two values arriving on "
+                "channel '" + channel + "' at cell " + dest.to_string() +
+                    " in the same tick");
+  ++stats_.link_transfers;
+}
+
+void SystolicEngine::run(i64 first_tick, i64 last_tick) {
+  NUSYS_REQUIRE(first_tick <= last_tick,
+                "SystolicEngine::run: empty tick range");
+  NUSYS_REQUIRE(static_cast<bool>(program_),
+                "SystolicEngine::run: no program set");
+  stats_.first_tick = std::min(stats_.first_tick, first_tick);
+
+  for (i64 tick = first_tick; tick <= last_tick; ++tick) {
+    stats_.last_tick = tick;
+    // Phase 0: arrivals become visible (sent values + injections).
+    for (auto& cell : cells_) {
+      cell.inbox = std::move(cell.next_inbox);
+      cell.next_inbox.clear();
+    }
+    const auto inj = pending_injections_.find(tick);
+    if (inj != pending_injections_.end()) {
+      for (const auto& [cell, channel, value] : inj->second) {
+        auto& inbox = cells_[cell_index_.at(cell)].inbox;
+        NUSYS_REQUIRE(inbox.emplace(channel, value).second,
+                      "SystolicEngine: injection collides with a link value "
+                      "on channel '" + channel + "'");
+        record(tick, TraceEvent::Kind::kInjection, cell, channel, value);
+      }
+      pending_injections_.erase(inj);
+    }
+    // Phase 0b: scheduled faults hit the merged arrivals.
+    if (const auto faults = pending_faults_.find(tick);
+        faults != pending_faults_.end()) {
+      for (const auto& f : faults->second) {
+        auto& inbox = cells_[cell_index_.at(f.cell)].inbox;
+        const auto it = inbox.find(f.channel);
+        if (it == inbox.end()) continue;  // Nothing arrived; fault misses.
+        ++faults_applied_;
+        if (f.drop) {
+          inbox.erase(it);
+        } else {
+          it->second = checked_add(it->second, f.delta);
+        }
+      }
+      pending_faults_.erase(faults);
+    }
+    // Phase 1: every cell computes; outputs land in next_inbox.
+    for (auto& cell : cells_) {
+      CellContext ctx(*this, cell.coord, tick);
+      program_(ctx);
+      if (ctx.busy_) ++stats_.busy_cell_ticks;
+      cell.inbox.clear();
+    }
+  }
+}
+
+std::string render_trace_timeline(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  i64 current_tick = 0;
+  bool first_line = true;
+  static const auto kind_name = [](TraceEvent::Kind kind) {
+    switch (kind) {
+      case TraceEvent::Kind::kInjection: return "inject";
+      case TraceEvent::Kind::kSend: return "send";
+      case TraceEvent::Kind::kEmission: return "emit";
+      case TraceEvent::Kind::kResult: return "result";
+    }
+    return "?";
+  };
+  for (const auto& e : events) {
+    if (first_line || e.tick != current_tick) {
+      if (!first_line) os << '\n';
+      os << "tick " << e.tick << ':';
+      current_tick = e.tick;
+      first_line = false;
+    }
+    os << ' ' << kind_name(e.kind) << ' ' << e.channel << '=' << e.value
+       << " @" << e.cell << ';';
+  }
+  if (!first_line) os << '\n';
+  return os.str();
+}
+
+}  // namespace nusys

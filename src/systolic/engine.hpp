@@ -1,0 +1,221 @@
+// Cycle-accurate systolic array engine.
+//
+// The substrate the synthesized designs execute on. An array is a set of
+// integer-labelled cells wired by an Interconnect; execution is globally
+// clocked in two phases per tick: every cell runs its program against the
+// values that arrived this tick, and the values it writes to output links
+// travel exactly one link, becoming visible at the neighbour on the next
+// tick (or leaving the array as an Emission when no neighbour exists).
+//
+// The engine enforces physical discipline and reports the costs the
+// paper's designs are judged by:
+//   * link capacity — two values on the same (link, channel) in one tick
+//     is a wiring conflict and throws;
+//   * registers — cells hold state only in an explicit register file;
+//     the high-water mark per cell is tracked;
+//   * utilization — busy cells per tick (a cell is busy when its program
+//     performed any read, write, or register update).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "linalg/vec.hpp"
+#include "space/interconnect.hpp"
+
+namespace nusys {
+
+/// The scalar datum flowing through arrays. All designs here compute over
+/// exact integers so results compare bit-for-bit with baselines.
+using Value = i64;
+
+/// A value that left the array boundary.
+struct Emission {
+  i64 tick = 0;       ///< Tick at which it would have arrived off-array.
+  IntVec from_cell;   ///< The boundary cell that sent it.
+  IntVec direction;   ///< Link direction it left through.
+  std::string channel;
+  Value value = 0;
+};
+
+/// A host-visible result a cell reported (e.g. a finished c(i,j)).
+struct HostResult {
+  i64 tick = 0;
+  IntVec cell;
+  std::string tag;
+  Value value = 0;
+};
+
+class SystolicEngine;
+
+/// Per-tick view a cell program operates through.
+class CellContext {
+ public:
+  [[nodiscard]] i64 tick() const noexcept { return tick_; }
+  [[nodiscard]] const IntVec& coord() const noexcept { return coord_; }
+
+  /// The value that arrived on `channel` this tick, if any.
+  [[nodiscard]] std::optional<Value> in(const std::string& channel) const;
+
+  /// Sends a value one hop along `direction` (must be a link of the net);
+  /// it arrives next tick.
+  void out(const IntVec& direction, const std::string& channel, Value v);
+
+  /// Register file access. reg() on an absent register throws.
+  [[nodiscard]] bool has_reg(const std::string& name) const;
+  [[nodiscard]] Value reg(const std::string& name) const;
+  void set_reg(const std::string& name, Value v);
+  void clear_reg(const std::string& name);
+
+  /// Reports a host-visible result.
+  void emit(const std::string& tag, Value v);
+
+ private:
+  friend class SystolicEngine;
+  CellContext(SystolicEngine& engine, IntVec coord, i64 tick)
+      : engine_(engine), coord_(std::move(coord)), tick_(tick) {}
+
+  SystolicEngine& engine_;
+  IntVec coord_;
+  i64 tick_;
+  bool busy_ = false;
+};
+
+/// The program run by every cell, every tick (systolic arrays are
+/// homogeneous; per-cell behaviour differences come from coord(), tick()
+/// and the register file).
+using CellProgram = std::function<void(CellContext&)>;
+
+/// One recorded event of an engine trace (see SystolicEngine::enable_trace).
+struct TraceEvent {
+  enum class Kind { kInjection, kSend, kEmission, kResult };
+  i64 tick = 0;
+  Kind kind = Kind::kSend;
+  IntVec cell;        ///< The acting cell (sender / receiver of injection).
+  std::string channel;
+  Value value = 0;
+};
+
+/// Aggregate execution statistics.
+struct EngineStats {
+  i64 first_tick = 0;
+  i64 last_tick = 0;
+  std::size_t cell_count = 0;
+  std::size_t busy_cell_ticks = 0;   ///< Σ over ticks of busy cells.
+  std::size_t link_transfers = 0;    ///< Values moved across links.
+  std::size_t max_registers = 0;     ///< Register-file high-water mark.
+  std::size_t injections = 0;
+  std::size_t emissions = 0;
+
+  /// busy_cell_ticks / (cells * ticks).
+  [[nodiscard]] double utilization() const;
+};
+
+/// A clocked array of cells.
+class SystolicEngine {
+ public:
+  /// `cells` are the labels of the physical processors (duplicates are
+  /// rejected). Links follow `net`.
+  SystolicEngine(Interconnect net, std::vector<IntVec> cells);
+
+  void set_program(CellProgram program);
+
+  /// Presets a register before the run (e.g. loading weights).
+  void preload(const IntVec& cell, const std::string& name, Value v);
+
+  /// Schedules a boundary input: the value appears in `cell`'s inbox on
+  /// `channel` at `tick`, as if a neighbour outside the array had sent it.
+  void inject(i64 tick, const IntVec& cell, const std::string& channel,
+              Value v);
+
+  /// Fault injection: adds `delta` to the value arriving on `channel` at
+  /// (cell, tick), if one arrives — a transient single-wire upset. Used by
+  /// the failure-injection tests to show that corrupted traffic visibly
+  /// changes results (the simulation is not vacuously green).
+  void corrupt_arrival(i64 tick, const IntVec& cell,
+                       const std::string& channel, Value delta);
+
+  /// Fault injection: removes the value arriving on `channel` at
+  /// (cell, tick), if any — a dropped transfer. Well-formed executors
+  /// detect the hole (missing-operand errors).
+  void drop_arrival(i64 tick, const IntVec& cell, const std::string& channel);
+
+  /// Number of faults that actually hit a value during run().
+  [[nodiscard]] std::size_t faults_applied() const noexcept {
+    return faults_applied_;
+  }
+
+  /// Runs ticks first..last inclusive. May be called repeatedly to
+  /// continue a run.
+  void run(i64 first_tick, i64 last_tick);
+
+  [[nodiscard]] const std::vector<Emission>& emissions() const noexcept {
+    return emissions_;
+  }
+  [[nodiscard]] const std::vector<HostResult>& results() const noexcept {
+    return results_;
+  }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size();
+  }
+
+  /// Turns on event recording (off by default; tracing large runs is
+  /// memory-heavy). Keeps at most `max_events` events, then stops
+  /// recording.
+  void enable_trace(std::size_t max_events = 1 << 20);
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] bool has_cell(const IntVec& coord) const {
+    return cell_index_.contains(coord);
+  }
+
+ private:
+  friend class CellContext;
+
+  struct CellState {
+    IntVec coord;
+    std::map<std::string, Value> inbox;       // Arrivals for current tick.
+    std::map<std::string, Value> next_inbox;  // Arrivals for next tick.
+    std::map<std::string, Value> registers;
+  };
+
+  void deliver(const IntVec& dest, const std::string& channel, Value v,
+               i64 arrival_tick, const IntVec& from, const IntVec& direction);
+
+  Interconnect net_;
+  std::vector<CellState> cells_;
+  std::map<IntVec, std::size_t> cell_index_;
+  CellProgram program_;
+  std::map<i64, std::vector<std::tuple<IntVec, std::string, Value>>>
+      pending_injections_;
+  struct Fault {
+    IntVec cell;
+    std::string channel;
+    bool drop = false;
+    Value delta = 0;
+  };
+  std::map<i64, std::vector<Fault>> pending_faults_;
+  std::size_t faults_applied_ = 0;
+  void record(i64 tick, TraceEvent::Kind kind, const IntVec& cell,
+              const std::string& channel, Value v);
+
+  std::vector<Emission> emissions_;
+  std::vector<HostResult> results_;
+  EngineStats stats_;
+  bool tracing_ = false;
+  std::size_t trace_capacity_ = 0;
+  std::vector<TraceEvent> trace_;
+};
+
+/// Renders a trace as a per-tick timeline, e.g.
+///   tick 3: inject x=5 @(1); send y=7 @(2); ...
+[[nodiscard]] std::string render_trace_timeline(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace nusys

@@ -1,0 +1,111 @@
+#include "verify/module_spacetime.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "space/routing.hpp"
+
+namespace nusys {
+
+std::size_t ModuleVerificationReport::count(Violation::Kind kind) const {
+  std::size_t c = 0;
+  for (const auto& v : violations) {
+    if (v.kind == kind) ++c;
+  }
+  return c;
+}
+
+ModuleVerificationReport verify_module_design(
+    const ModuleSystem& sys, const std::vector<LinearSchedule>& schedules,
+    const std::vector<IntMat>& spaces, const Interconnect& net) {
+  sys.validate();
+  NUSYS_REQUIRE(schedules.size() == sys.module_count() &&
+                    spaces.size() == sys.module_count(),
+                "verify_module_design: one schedule and one space per module");
+
+  ModuleVerificationReport report;
+  const auto add = [&](Violation::Kind kind, const std::string& detail) {
+    report.violations.push_back({kind, detail});
+  };
+
+  // Per-module exclusivity + cross-module fold rule.
+  std::map<std::pair<IntVec, i64>, std::pair<std::size_t, IntVec>> slots;
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    NUSYS_REQUIRE(spaces[m].rows() == net.label_dim() &&
+                      spaces[m].cols() == sys.dim(),
+                  "verify_module_design: space shape mismatch");
+    std::set<std::pair<IntVec, i64>> own;
+    sys.module(m).domain.for_each([&](const IntVec& p) {
+      ++report.computations_checked;
+      const auto slot = std::make_pair(spaces[m] * p, schedules[m].at(p));
+      if (!own.insert(slot).second) {
+        std::ostringstream os;
+        os << sys.module(m).name << ' ' << p << " collides with another "
+           << sys.module(m).name << " computation at cell " << slot.first
+           << ", tick " << slot.second;
+        add(Violation::Kind::kConflict, os.str());
+        return;
+      }
+      const IntVec key = sys.fold_key() ? sys.fold_key()->apply(p) : p;
+      const auto [it, inserted] = slots.emplace(slot, std::make_pair(m, key));
+      if (!inserted && it->second.first != m &&
+          (!sys.fold_key() || it->second.second != key)) {
+        std::ostringstream os;
+        os << sys.module(m).name << ' ' << p << " shares cell " << slot.first
+           << ", tick " << slot.second << " with module '"
+           << sys.module(it->second.first).name
+           << "' serving a different fold key";
+        add(Violation::Kind::kConflict, os.str());
+      }
+    });
+
+    // Local dependences: causality and routability.
+    for (const auto& dep : sys.module(m).local_deps) {
+      const i64 slack = schedules[m].slack(dep.vector);
+      if (slack <= 0) {
+        std::ostringstream os;
+        os << sys.module(m).name << " variable " << dep.variable
+           << " has nonpositive slack " << slack;
+        add(Violation::Kind::kCausality, os.str());
+        continue;
+      }
+      ++report.local_instances;
+      const IntVec disp = spaces[m] * dep.vector;
+      if (!route_displacement(net, disp, slack)) {
+        std::ostringstream os;
+        os << sys.module(m).name << " variable " << dep.variable
+           << " cannot travel " << disp << " in " << slack << " tick(s)";
+        add(Violation::Kind::kUnroutable, os.str());
+      }
+    }
+  }
+
+  // Global statements: causality and routability at every guard point.
+  for (const auto& g : sys.globals()) {
+    g.guard.for_each([&](const IntVec& p) {
+      ++report.global_instances;
+      const IntVec q = g.producer_point.apply(p);
+      const i64 slack = checked_sub(schedules[g.consumer].at(p),
+                                    schedules[g.producer].at(q));
+      const bool causal = g.allow_equal_time ? slack >= 0 : slack > 0;
+      if (!causal) {
+        std::ostringstream os;
+        os << g.name << " at " << p << ": consumer fires at slack " << slack
+           << " relative to its producer";
+        add(Violation::Kind::kCausality, os.str());
+        return;
+      }
+      const IntVec disp = spaces[g.consumer] * p - spaces[g.producer] * q;
+      if (!route_displacement(net, disp, slack)) {
+        std::ostringstream os;
+        os << g.name << " at " << p << ": displacement " << disp
+           << " unreachable in " << slack << " tick(s)";
+        add(Violation::Kind::kUnroutable, os.str());
+      }
+    });
+  }
+  return report;
+}
+
+}  // namespace nusys

@@ -1,0 +1,34 @@
+// Extensional verification of a mapped module system — the Sec. V
+// counterpart of verify/spacetime.hpp. spaces_satisfy() answers yes/no
+// inside the search loop; this verifier explains *why* a design fails,
+// listing every violated constraint: local causality/routability per
+// module, per-module exclusivity, fold-rule breaches, and global
+// (A1..A5-style) causality and routability at each guard point.
+#pragma once
+
+#include <vector>
+
+#include "modules/module_system.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+#include "verify/spacetime.hpp"
+
+namespace nusys {
+
+/// Outcome of verifying one module-system design.
+struct ModuleVerificationReport {
+  std::vector<Violation> violations;
+  std::size_t computations_checked = 0;
+  std::size_t local_instances = 0;   ///< Local dependence instances routed.
+  std::size_t global_instances = 0;  ///< Guard points routed.
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::size_t count(Violation::Kind kind) const;
+};
+
+/// Verifies (schedules, spaces) for `sys` on `net` by full enumeration.
+[[nodiscard]] ModuleVerificationReport verify_module_design(
+    const ModuleSystem& sys, const std::vector<LinearSchedule>& schedules,
+    const std::vector<IntMat>& spaces, const Interconnect& net);
+
+}  // namespace nusys

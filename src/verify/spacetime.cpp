@@ -1,0 +1,106 @@
+#include "verify/spacetime.hpp"
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "space/routing.hpp"
+
+namespace nusys {
+
+std::size_t VerificationReport::count(Violation::Kind kind) const {
+  std::size_t c = 0;
+  for (const auto& v : violations) {
+    if (v.kind == kind) ++c;
+  }
+  return c;
+}
+
+VerificationReport verify_design(const CanonicRecurrence& recurrence,
+                                 const LinearSchedule& timing,
+                                 const IntMat& space,
+                                 const Interconnect& net) {
+  recurrence.validate();
+  NUSYS_REQUIRE(timing.dim() == recurrence.domain().dim(),
+                "verify_design: timing dimension mismatch");
+  NUSYS_REQUIRE(space.cols() == recurrence.domain().dim() &&
+                    space.rows() == net.label_dim(),
+                "verify_design: space shape mismatch");
+
+  VerificationReport report;
+  const auto& domain = recurrence.domain();
+
+  // Exclusivity.
+  std::set<std::pair<IntVec, i64>> occupied;
+  domain.for_each([&](const IntVec& p) {
+    ++report.computations_checked;
+    const auto slot = std::make_pair(space * p, timing.at(p));
+    if (!occupied.insert(slot).second) {
+      std::ostringstream os;
+      os << "computation " << p << " collides at cell " << slot.first
+         << ", tick " << slot.second;
+      report.violations.push_back({Violation::Kind::kConflict, os.str()});
+    }
+  });
+
+  // Causality + routability + per-(link, variable, tick) load under ALAP
+  // forwarding (each value arrives exactly at its consumption tick).
+  std::map<std::tuple<IntVec, std::string, std::string, i64>, IntVec>
+      wire_load;  // (from-cell, link, variable, tick) -> producer point.
+  domain.for_each([&](const IntVec& p) {
+    for (const auto& dep : recurrence.dependences()) {
+      const IntVec producer = p - dep.vector;
+      if (!domain.contains(producer)) continue;  // Boundary input.
+      ++report.values_routed;
+      const i64 slack = timing.at(p) - timing.at(producer);
+      if (slack <= 0) {
+        std::ostringstream os;
+        os << "operand " << dep.variable << " of " << p << " produced at "
+           << producer << " only " << slack << " tick(s) earlier";
+        report.violations.push_back({Violation::Kind::kCausality, os.str()});
+        continue;
+      }
+      const IntVec disp = space * p - space * producer;
+      const auto route = route_displacement(net, disp, slack);
+      if (!route) {
+        std::ostringstream os;
+        os << "operand " << dep.variable << " of " << p
+           << " cannot travel displacement " << disp << " in " << slack
+           << " tick(s)";
+        report.violations.push_back({Violation::Kind::kUnroutable, os.str()});
+        continue;
+      }
+      // ALAP hop expansion: arrive exactly at timing.at(p).
+      IntVec at = space * producer;
+      i64 t = timing.at(p) - route->total_hops;
+      for (std::size_t l = 0; l < net.link_count(); ++l) {
+        for (i64 c = 0; c < route->hops_per_link[l]; ++c) {
+          const auto key = std::make_tuple(at, net.link(l).name,
+                                           dep.variable, t);
+          const auto [it, inserted] = wire_load.emplace(key, producer);
+          if (!inserted && it->second != producer) {
+            std::ostringstream os;
+            os << "wire (" << at << " -> " << net.link(l).name << ", "
+               << dep.variable << ") carries two values at tick " << t;
+            report.violations.push_back(
+                {Violation::Kind::kLinkOverload, os.str()});
+          }
+          at += net.link(l).direction;
+          ++t;
+        }
+      }
+    }
+  });
+  return report;
+}
+
+std::ostream& operator<<(std::ostream& os, const VerificationReport& r) {
+  os << "verification: " << r.computations_checked << " computations, "
+     << r.values_routed << " values, "
+     << (r.ok() ? "OK" : std::to_string(r.violations.size()) + " violations");
+  for (const auto& v : r.violations) os << "\n  " << v.detail;
+  return os;
+}
+
+}  // namespace nusys

@@ -1,0 +1,54 @@
+// Exhaustive space-time verification of a synthesized design.
+//
+// The searches in schedule/ and space/ enforce the paper's conditions
+// algebraically (T·d > 0, S·D = Δ·K, non-singular Π). This module
+// re-checks a design *extensionally*, computation by computation, which is
+// how one validates a design produced by any means (hand-derived, searched,
+// or imported):
+//   * causality  — every operand of every computation is produced at a
+//     strictly earlier tick;
+//   * exclusivity — no two computations share a (processor, tick);
+//   * routability — every produced->consumed value can physically travel
+//     between its cells through Δ links within its time slack;
+//   * link audit  — with ALAP forwarding, no (link, variable) wire carries
+//     two values in one tick.
+// The report lists every violation instead of stopping at the first, so a
+// failing design can be diagnosed in one pass.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ir/recurrence.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+
+namespace nusys {
+
+/// One discovered violation.
+struct Violation {
+  enum class Kind { kCausality, kConflict, kUnroutable, kLinkOverload };
+  Kind kind;
+  std::string detail;
+};
+
+/// Outcome of verifying one design.
+struct VerificationReport {
+  std::vector<Violation> violations;
+  std::size_t computations_checked = 0;
+  std::size_t values_routed = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::size_t count(Violation::Kind kind) const;
+};
+
+/// Verifies (timing, space) for `recurrence` on `net` by enumerating every
+/// computation and every dependence instance in the domain.
+[[nodiscard]] VerificationReport verify_design(
+    const CanonicRecurrence& recurrence, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net);
+
+std::ostream& operator<<(std::ostream& os, const VerificationReport& r);
+
+}  // namespace nusys

@@ -1,0 +1,56 @@
+// Smoke test for the umbrella header: the complete documented happy path
+// in one translation unit, exactly as README.md presents it.
+#include <gtest/gtest.h>
+
+#include "nusys.hpp"
+
+namespace nusys {
+namespace {
+
+TEST(ApiSmokeTest, ReadmeUniformPath) {
+  const CanonicRecurrence rec = convolution_backward_recurrence(16, 4);
+  const SynthesisResult result =
+      synthesize(rec, Interconnect::linear_bidirectional());
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.best().timing.coeffs(), IntVec({1, 1}));
+  EXPECT_EQ(result.best().metrics.cell_count, 4u);
+}
+
+TEST(ApiSmokeTest, ReadmeNonUniformPath) {
+  const i64 n = 8;
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  IndexDomain domain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+  const NonUniformSpec spec(
+      "dp", std::move(domain),
+      {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+
+  const CoarseTiming coarse = derive_coarse_timing(spec);
+  const ModuleSystem sys = emit_interval_dp_modules(spec, coarse.schedule());
+  const auto schedules = find_module_schedules(sys);
+  ASSERT_TRUE(schedules.found());
+
+  const auto dims = std::vector<i64>{30, 35, 15, 5, 10, 20, 25, 12};
+  const DPArrayRun run =
+      run_dp_on_array(matrix_chain_problem(dims), dp_fig2_design());
+  EXPECT_EQ(run.table, solve_sequential(matrix_chain_problem(dims)));
+}
+
+TEST(ApiSmokeTest, EverythingLinksFromOneHeader) {
+  // Touch one symbol from each subsystem to catch missing includes.
+  EXPECT_EQ(Fraction(1, 2) + Fraction(1, 2), Fraction(1));
+  EXPECT_EQ(IntMat::identity(2).determinant(), 1);
+  EXPECT_EQ(Interconnect::hexagonal().link_count(), 6u);
+  EXPECT_EQ(dp_paper_lambda().coeffs(), IntVec({-1, 2, -1}));
+  EXPECT_TRUE(check_feedback_feasibility(LinearSchedule(IntVec({2, -1})), 3)
+                  .feasible);
+  EXPECT_EQ(recursive_convolution({1, 1}, {1, 1}, 5).back(), 5);
+  const Poset p(2, [](std::size_t a, std::size_t b) { return a < b; });
+  EXPECT_EQ(p.minimum_chain_cover_size(), 1u);
+}
+
+}  // namespace
+}  // namespace nusys

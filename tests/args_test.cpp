@@ -1,0 +1,56 @@
+// Unit tests for the CLI flag parser.
+#include <gtest/gtest.h>
+
+#include "support/args.hpp"
+
+namespace nusys {
+namespace {
+
+ArgMap parse(std::initializer_list<const char*> words,
+             const std::set<std::string>& flags,
+             const std::set<std::string>& bools = {}) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), words.begin(), words.end());
+  return ArgMap(static_cast<int>(argv.size()), argv.data(), flags, bools);
+}
+
+TEST(ArgsTest, SpaceAndEqualsForms) {
+  const auto args = parse({"run", "--n", "12", "--net=mesh"}, {"n", "net"});
+  EXPECT_EQ(args.positional(), std::vector<std::string>{"run"});
+  EXPECT_EQ(args.get_int("n", 0), 12);
+  EXPECT_EQ(args.get("net", ""), "mesh");
+}
+
+TEST(ArgsTest, DefaultsWhenAbsent) {
+  const auto args = parse({"cmd"}, {"n"});
+  EXPECT_FALSE(args.has("n"));
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_EQ(args.get("n", "x"), "x");
+}
+
+TEST(ArgsTest, BooleanFlags) {
+  const auto args = parse({"--trace", "cmd"}, {}, {"trace"});
+  EXPECT_TRUE(args.has("trace"));
+  EXPECT_EQ(args.positional().front(), "cmd");
+}
+
+TEST(ArgsTest, UnknownFlagRejected) {
+  EXPECT_THROW(parse({"--bogus", "1"}, {"n"}), ContractError);
+}
+
+TEST(ArgsTest, MissingValueRejected) {
+  EXPECT_THROW(parse({"--n"}, {"n"}), ContractError);
+}
+
+TEST(ArgsTest, NonIntegerRejected) {
+  const auto args = parse({"--n", "abc"}, {"n"});
+  EXPECT_THROW((void)args.get_int("n", 0), ContractError);
+}
+
+TEST(ArgsTest, NegativeIntegerParses) {
+  const auto args = parse({"--n", "-3"}, {"n"});
+  EXPECT_EQ(args.get_int("n", 0), -3);
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,236 @@
+// Unit tests for the Sec. III chain machinery: the >_T order, the peeling
+// decomposition (validated against the paper's Sec. IV chains for dynamic
+// programming) and the Dilworth-optimal decomposition.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+
+#include "chains/decompose.hpp"
+#include "chains/poset.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+namespace {
+
+IndexDomain dp_domain(i64 n) {
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  return IndexDomain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+}
+
+NonUniformSpec dp_spec(i64 n) {
+  return NonUniformSpec("dp", dp_domain(n),
+                        {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+}
+
+const LinearSchedule kCoarse{IntVec({-1, 1})};  // T(i,j) = j - i.
+
+TEST(AvailabilityTest, MatchesMaxOfOperandTimes) {
+  const auto spec = dp_spec(10);
+  // At (2,8), k=5: operands (2,5) and (5,8): T = 3 and 3 -> avail 3.
+  EXPECT_EQ(availability_time(spec, kCoarse, IntVec({2, 8}), 5), 3);
+  // k=3: operands (2,3) and (3,8): T = 1 and 5 -> avail 5.
+  EXPECT_EQ(availability_time(spec, kCoarse, IntVec({2, 8}), 3), 5);
+  // k=7: operands (2,7) and (7,8): T = 5 and 1 -> avail 5.
+  EXPECT_EQ(availability_time(spec, kCoarse, IntVec({2, 8}), 7), 5);
+}
+
+TEST(AvailabilityTest, MinimalElementsAreMidpoints) {
+  const auto spec = dp_spec(12);
+  // Even i+j: unique minimum at (i+j)/2. Paper Sec. IV.
+  {
+    const IntVec p{2, 8};
+    i64 best_k = 0;
+    i64 best = std::numeric_limits<i64>::max();
+    for (i64 k = 3; k <= 7; ++k) {
+      const i64 a = availability_time(spec, kCoarse, p, k);
+      if (a < best) {
+        best = a;
+        best_k = k;
+      }
+    }
+    EXPECT_EQ(best_k, 5);
+  }
+  // Odd i+j: two minima at (i+j-1)/2 and (i+j+1)/2.
+  {
+    const IntVec p{2, 9};
+    const i64 a5 = availability_time(spec, kCoarse, p, 5);
+    const i64 a6 = availability_time(spec, kCoarse, p, 6);
+    EXPECT_EQ(a5, a6);
+    for (i64 k = 3; k <= 8; ++k) {
+      EXPECT_GE(availability_time(spec, kCoarse, p, k), a5);
+    }
+  }
+}
+
+TEST(DecomposeTest, EvenPairGivesPaperChains) {
+  const auto spec = dp_spec(12);
+  const auto d = decompose_chains(spec, kCoarse, IntVec({2, 8}));
+  validate_decomposition(spec, d);
+  ASSERT_EQ(d.chains.size(), 2u);
+  // Chain 1: (i+j)/2 = 5 descending to i+1 = 3.
+  EXPECT_FALSE(d.chains[0].ascending);
+  EXPECT_EQ(d.chains[0].first_red(), 5);
+  EXPECT_EQ(d.chains[0].last_red(), 3);
+  // Chain 2: 6 ascending to j-1 = 7.
+  EXPECT_TRUE(d.chains[1].ascending);
+  EXPECT_EQ(d.chains[1].first_red(), 6);
+  EXPECT_EQ(d.chains[1].last_red(), 7);
+}
+
+TEST(DecomposeTest, OddPairGivesPaperChains) {
+  const auto spec = dp_spec(12);
+  const auto d = decompose_chains(spec, kCoarse, IntVec({2, 9}));
+  validate_decomposition(spec, d);
+  ASSERT_EQ(d.chains.size(), 2u);
+  // Chains start at (i+j-1)/2 = 5 and (i+j+1)/2 = 6.
+  EXPECT_EQ(d.chains[0].first_red(), 5);
+  EXPECT_EQ(d.chains[0].last_red(), 3);
+  EXPECT_FALSE(d.chains[0].ascending);
+  EXPECT_EQ(d.chains[1].first_red(), 6);
+  EXPECT_EQ(d.chains[1].last_red(), 8);
+  EXPECT_TRUE(d.chains[1].ascending);
+}
+
+TEST(DecomposeTest, ShortIntervalsDegenerate) {
+  const auto spec = dp_spec(8);
+  // l = 2: single reduction value, one chain.
+  const auto d2 = decompose_chains(spec, kCoarse, IntVec({3, 5}));
+  validate_decomposition(spec, d2);
+  ASSERT_EQ(d2.chains.size(), 1u);
+  EXPECT_EQ(d2.chains[0].length(), 1u);
+  EXPECT_EQ(d2.chains[0].first_red(), 4);
+  // l = 3: two singleton chains.
+  const auto d3 = decompose_chains(spec, kCoarse, IntVec({3, 6}));
+  validate_decomposition(spec, d3);
+  ASSERT_EQ(d3.chains.size(), 2u);
+  EXPECT_EQ(d3.chains[0].length(), 1u);
+  EXPECT_EQ(d3.chains[1].length(), 1u);
+  // l = 1: empty reduction range, no chains.
+  const auto d1 = decompose_chains(spec, kCoarse, IntVec({3, 4}));
+  EXPECT_TRUE(d1.chains.empty());
+  validate_decomposition(spec, d1);
+}
+
+TEST(DecomposeTest, AtMostTwoChainsEverywhere) {
+  // The paper's s = 2: no statement point ever needs more than two chains.
+  for (const i64 n : {5, 8, 13}) {
+    EXPECT_EQ(max_chain_count(dp_spec(n), kCoarse), 2u) << "n = " << n;
+  }
+}
+
+TEST(DecomposeTest, AllPointsValidate) {
+  const auto spec = dp_spec(11);
+  spec.statement_domain().for_each([&](const IntVec& p) {
+    const auto d = decompose_chains(spec, kCoarse, p);
+    validate_decomposition(spec, d);
+  });
+}
+
+TEST(PosetTest, MinimalElements) {
+  // Chain poset 0 < 1 < 2.
+  const Poset chain(3, [](std::size_t a, std::size_t b) { return a < b; });
+  EXPECT_EQ(chain.minimal_elements(), std::vector<std::size_t>{0});
+  // Antichain.
+  const Poset anti(4, [](std::size_t, std::size_t) { return false; });
+  EXPECT_EQ(anti.minimal_elements().size(), 4u);
+  // Masked: remove 0 from the chain.
+  std::vector<bool> alive{false, true, true};
+  EXPECT_EQ(chain.minimal_elements(alive), std::vector<std::size_t>{1});
+}
+
+TEST(PosetTest, IrreflexivityEnforced) {
+  EXPECT_THROW(Poset(2, [](std::size_t, std::size_t) { return true; }),
+               ContractError);
+}
+
+TEST(PosetTest, AntisymmetryEnforced) {
+  EXPECT_THROW(
+      Poset(2, [](std::size_t a, std::size_t b) { return a != b; }),
+      ContractError);
+}
+
+TEST(PosetTest, MinimumChainCoverOfChainIsOne) {
+  const Poset chain(5, [](std::size_t a, std::size_t b) { return a < b; });
+  EXPECT_EQ(chain.minimum_chain_cover_size(), 1u);
+  const auto chains = chain.minimum_chain_decomposition();
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].size(), 5u);
+}
+
+TEST(PosetTest, MinimumChainCoverOfAntichainIsN) {
+  const Poset anti(6, [](std::size_t, std::size_t) { return false; });
+  EXPECT_EQ(anti.minimum_chain_cover_size(), 6u);
+  EXPECT_EQ(anti.minimum_chain_decomposition().size(), 6u);
+}
+
+TEST(PosetTest, DecompositionIsPartitionIntoChains) {
+  // Random bipartite-ish poset: a < b iff a < b as integers and parity
+  // differs (still transitive? No — use a layered order instead).
+  // Layered order: level(x) = x / 3; a < b iff level(a) < level(b).
+  const Poset layered(9, [](std::size_t a, std::size_t b) {
+    return a / 3 < b / 3;
+  });
+  const auto chains = layered.minimum_chain_decomposition();
+  // Width = 3 (each level is an antichain of size 3).
+  EXPECT_EQ(chains.size(), 3u);
+  std::vector<bool> seen(9, false);
+  for (const auto& chain : chains) {
+    for (std::size_t idx = 0; idx < chain.size(); ++idx) {
+      EXPECT_FALSE(seen[chain[idx]]);
+      seen[chain[idx]] = true;
+      if (idx > 0) {
+        EXPECT_TRUE(layered.less(chain[idx - 1], chain[idx]));
+      }
+    }
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(PosetTest, DpReductionPosetWidthIsTwo) {
+  // The >_T poset over one (i,j)'s reduction range has width 2 (the two
+  // half-chains): Dilworth says the minimum cover is exactly 2 chains, so
+  // the paper's peeling decomposition is optimal.
+  const auto spec = dp_spec(12);
+  const IntVec p{2, 9};
+  const auto [lo, hi] = spec.reduction_range(p);
+  const auto avail = [&](std::size_t idx) {
+    return availability_time(spec, kCoarse, p, lo + static_cast<i64>(idx));
+  };
+  const Poset poset(static_cast<std::size_t>(hi - lo + 1),
+                    [&](std::size_t a, std::size_t b) {
+                      return avail(a) < avail(b);
+                    });
+  EXPECT_EQ(poset.minimum_chain_cover_size(), 2u);
+  // And it matches what the peeling procedure produced.
+  const auto d = decompose_chains(spec, kCoarse, p);
+  EXPECT_EQ(d.chains.size(), poset.minimum_chain_cover_size());
+}
+
+TEST(PosetTest, PeelingNeverBeatsOptimalOnRandomAvailabilities) {
+  // Property: for arbitrary availability profiles, Dilworth cover size is
+  // a lower bound for any chain decomposition.
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t size = static_cast<std::size_t>(rng.uniform(2, 12));
+    std::vector<i64> avail;
+    for (std::size_t e = 0; e < size; ++e) avail.push_back(rng.uniform(0, 5));
+    const Poset poset(size, [&](std::size_t a, std::size_t b) {
+      return avail[a] < avail[b];
+    });
+    const auto cover = poset.minimum_chain_cover_size();
+    // Width = max multiplicity of one availability value.
+    std::map<i64, std::size_t> mult;
+    for (const auto a : avail) ++mult[a];
+    std::size_t width = 0;
+    for (const auto& [_, m] : mult) width = std::max(width, m);
+    EXPECT_EQ(cover, width);
+  }
+}
+
+}  // namespace
+}  // namespace nusys

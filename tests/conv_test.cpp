@@ -1,0 +1,85 @@
+// Unit tests for the convolution baselines and recurrence builders.
+#include <gtest/gtest.h>
+
+#include "conv/convolution.hpp"
+#include "conv/recurrences.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+namespace {
+
+TEST(DirectConvolutionTest, HandComputedExample) {
+  // n = 4, s = 2: y_i = w_1 x_{i-1} + w_2 x_{i-2}.
+  const std::vector<i64> x{1, 2, 3, 4};
+  const std::vector<i64> w{10, 100};
+  const auto y = direct_convolution(x, w);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_EQ(y[0], 0);              // y_1: no valid terms.
+  EXPECT_EQ(y[1], 10 * 1);         // y_2 = w1*x1.
+  EXPECT_EQ(y[2], 10 * 2 + 100 * 1);
+  EXPECT_EQ(y[3], 10 * 3 + 100 * 2);
+}
+
+TEST(DirectConvolutionTest, IdentityWeightShiftsInput) {
+  const std::vector<i64> x{5, 6, 7, 8, 9};
+  const auto y = direct_convolution(x, {1});
+  EXPECT_EQ(y, (std::vector<i64>{0, 5, 6, 7, 8}));
+}
+
+TEST(DirectConvolutionTest, EmptyInputsRejected) {
+  EXPECT_THROW((void)direct_convolution({}, {1}), ContractError);
+  EXPECT_THROW((void)direct_convolution({1}, {}), ContractError);
+}
+
+TEST(DirectConvolutionTest, LinearityProperty) {
+  Rng rng(17);
+  const auto x1 = rng.uniform_vector(16, -9, 9);
+  const auto x2 = rng.uniform_vector(16, -9, 9);
+  const auto w = rng.uniform_vector(5, -9, 9);
+  std::vector<i64> sum(16);
+  for (std::size_t i = 0; i < 16; ++i) sum[i] = x1[i] + x2[i];
+  const auto y1 = direct_convolution(x1, w);
+  const auto y2 = direct_convolution(x2, w);
+  const auto ysum = direct_convolution(sum, w);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(ysum[i], y1[i] + y2[i]);
+  }
+}
+
+TEST(RecursiveConvolutionTest, FibonacciIsRecursiveConvolution) {
+  // w = (1, 1), seed (1, 1) generates the Fibonacci numbers.
+  const auto y = recursive_convolution({1, 1}, {1, 1}, 10);
+  EXPECT_EQ(y, (std::vector<i64>{1, 1, 2, 3, 5, 8, 13, 21, 34, 55}));
+}
+
+TEST(RecursiveConvolutionTest, SeedShorterThanWeightsRejected) {
+  EXPECT_THROW((void)recursive_convolution({1}, {1, 1}, 5), ContractError);
+  EXPECT_THROW((void)recursive_convolution({1, 1}, {1, 1}, 1), ContractError);
+}
+
+TEST(RecursiveConvolutionTest, NEqualSeedReturnsSeed) {
+  const auto y = recursive_convolution({3, 4}, {1, 1}, 2);
+  EXPECT_EQ(y, (std::vector<i64>{3, 4}));
+}
+
+TEST(ConvRecurrenceTest, BackwardHasPaperDependences) {
+  const auto rec = convolution_backward_recurrence(8, 4);
+  EXPECT_EQ(rec.dependences().matrix(), (IntMat{{0, 1, 1}, {1, 1, 0}}));
+  EXPECT_EQ(rec.domain().size(), 32u);
+}
+
+TEST(ConvRecurrenceTest, ForwardFlipsOnlyY) {
+  const auto fwd = convolution_forward_recurrence(8, 4);
+  EXPECT_EQ(fwd.dependences()[0].variable, "y");
+  EXPECT_EQ(fwd.dependences()[0].vector, IntVec({0, -1}));
+  EXPECT_EQ(fwd.dependences()[1].vector, IntVec({1, 1}));
+  EXPECT_EQ(fwd.dependences()[2].vector, IntVec({1, 0}));
+}
+
+TEST(ConvRecurrenceTest, InvalidSizesRejected) {
+  EXPECT_THROW((void)convolution_backward_recurrence(0, 4), ContractError);
+  EXPECT_THROW((void)convolution_forward_recurrence(4, 0), ContractError);
+}
+
+}  // namespace
+}  // namespace nusys

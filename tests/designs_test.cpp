@@ -1,0 +1,199 @@
+// Tests for the concrete array designs: the W1/W2/R2 convolution cell
+// programs and the mapped DP executor for figures 1 and 2. Every run is
+// compared bit-for-bit against the sequential baselines.
+#include <gtest/gtest.h>
+
+#include "conv/convolution.hpp"
+#include "designs/conv_arrays.hpp"
+#include "designs/dp_array.hpp"
+#include "dp/sequential.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+namespace {
+
+// --- Convolution arrays -------------------------------------------------
+
+using ConvRunner = ConvArrayRun (*)(const std::vector<i64>&,
+                                    const std::vector<i64>&);
+
+struct ConvCase {
+  const char* name;
+  ConvRunner run;
+  bool cells_equal_s;  // W1/W2 use s cells; R2 uses n cells.
+};
+
+class ConvDesignTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvDesignTest, MatchesBaselineOnFixedInstance) {
+  const auto& param = GetParam();
+  const std::vector<i64> x{3, -1, 4, 1, -5, 9, 2, 6};
+  const std::vector<i64> w{2, 0, -7};
+  const auto run = param.run(x, w);
+  EXPECT_EQ(run.y, direct_convolution(x, w)) << param.name;
+  EXPECT_EQ(run.cell_count, param.cells_equal_s ? w.size() : x.size());
+}
+
+TEST_P(ConvDesignTest, MatchesBaselineOnRandomInstances) {
+  const auto& param = GetParam();
+  Rng rng(101);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform(1, 40));
+    const auto s = static_cast<std::size_t>(rng.uniform(1, 12));
+    const auto x = rng.uniform_vector(n, -50, 50);
+    const auto w = rng.uniform_vector(s, -50, 50);
+    const auto run = param.run(x, w);
+    EXPECT_EQ(run.y, direct_convolution(x, w))
+        << param.name << " n=" << n << " s=" << s << " trial=" << trial;
+  }
+}
+
+TEST_P(ConvDesignTest, SingleWeightDegenerates) {
+  const auto& param = GetParam();
+  const std::vector<i64> x{5, 6, 7};
+  const auto run = param.run(x, {10});
+  EXPECT_EQ(run.y, direct_convolution(x, {10}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConvDesigns, ConvDesignTest,
+    ::testing::Values(ConvCase{"W1", &run_convolution_w1, true},
+                      ConvCase{"W2", &run_convolution_w2, true},
+                      ConvCase{"R2", &run_convolution_r2, false}),
+    [](const ::testing::TestParamInfo<ConvCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(ConvDesignCharacteristics, W1CellsWorkEveryOtherTick) {
+  // Classic W1 property: utilization ~1/2 on the active window.
+  const std::vector<i64> x(32, 1);
+  const std::vector<i64> w(4, 1);
+  const auto run = run_convolution_w1(x, w);
+  EXPECT_LT(run.stats.utilization(), 0.55);
+}
+
+TEST(ConvDesignCharacteristics, R2UsesNCellsW1UsesS) {
+  const std::vector<i64> x(20, 1);
+  const std::vector<i64> w(5, 1);
+  EXPECT_EQ(run_convolution_w1(x, w).cell_count, 5u);
+  EXPECT_EQ(run_convolution_w2(x, w).cell_count, 5u);
+  EXPECT_EQ(run_convolution_r2(x, w).cell_count, 20u);
+}
+
+// --- DP arrays ------------------------------------------------------------
+
+class DpDesignTest : public ::testing::TestWithParam<int> {
+ protected:
+  static DPArrayDesign design() {
+    return GetParam() == 1 ? dp_fig1_design() : dp_fig2_design();
+  }
+};
+
+TEST_P(DpDesignTest, MatchesSequentialOnTextbookMatrixChain) {
+  const auto p = matrix_chain_problem({30, 35, 15, 5, 10, 20, 25});
+  const auto run = run_dp_on_array(p, design());
+  EXPECT_EQ(run.table, solve_sequential(p));
+}
+
+TEST_P(DpDesignTest, MatchesSequentialOnRandomProblems) {
+  Rng rng(33);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto p = random_matrix_chain(rng.uniform(3, 18), rng);
+    const auto run = run_dp_on_array(p, design());
+    EXPECT_EQ(run.table, solve_sequential(p)) << "trial " << trial;
+  }
+}
+
+TEST_P(DpDesignTest, CompletionTimeIsSigmaOneN) {
+  // The last event is the combine of (1, n): σ(1,n) = 2(n-1).
+  for (const i64 n : {6, 9, 14}) {
+    const auto p = shortest_path_problem(
+        std::vector<i64>(static_cast<std::size_t>(n - 1), 1));
+    const auto run = run_dp_on_array(p, design());
+    EXPECT_EQ(run.last_tick, 2 * (n - 1)) << "n = " << n;
+  }
+}
+
+TEST_P(DpDesignTest, OneFEvaluationPerReductionPoint) {
+  const i64 n = 11;
+  const auto p = shortest_path_problem(
+      std::vector<i64>(static_cast<std::size_t>(n - 1), 1));
+  const auto run = run_dp_on_array(p, design());
+  std::size_t expected = 0;  // f-ops + combines.
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = i + 2; j <= n; ++j) {
+      expected += static_cast<std::size_t>(j - i - 1) + 1;
+    }
+  }
+  EXPECT_EQ(run.compute_ops, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFigures, DpDesignTest, ::testing::Values(1, 2),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return param_info.param == 1 ? "Figure1" : "Figure2";
+                         });
+
+TEST(DpDesignComparison, Fig1CellCountIsTriangular) {
+  for (const i64 n : {6, 10, 16}) {
+    const auto p = shortest_path_problem(
+        std::vector<i64>(static_cast<std::size_t>(n - 1), 1));
+    const auto run = run_dp_on_array(p, dp_fig1_design());
+    EXPECT_EQ(run.cell_count,
+              static_cast<std::size_t>((n - 1) * (n - 2) / 2))
+        << "n = " << n;
+  }
+}
+
+TEST(DpDesignComparison, Fig2UsesStrictlyFewerCellsSameTime) {
+  // The paper's headline: the figure-2 design needs fewer processors than
+  // figure 1 at identical completion time.
+  for (const i64 n : {8, 12, 20}) {
+    const auto p = shortest_path_problem(
+        std::vector<i64>(static_cast<std::size_t>(n - 1), 1));
+    const auto f1 = run_dp_on_array(p, dp_fig1_design());
+    const auto f2 = run_dp_on_array(p, dp_fig2_design());
+    EXPECT_LT(f2.cell_count, f1.cell_count) << "n = " << n;
+    EXPECT_EQ(f2.last_tick, f1.last_tick) << "n = " << n;
+    EXPECT_EQ(f1.table, f2.table) << "n = " << n;
+  }
+}
+
+TEST(DpDesignComparison, Fig2CellCountClosedForm) {
+  // Exact used-cell count of the figure-2 maps (derived in EXPERIMENTS.md
+  // § F2): row i spans x = i..⌊(i+n)/2⌋ for i = 1..n-2, giving
+  // ⌊(n-1)²/4⌋ + n - 2 cells — asymptotically n²/4, below the paper's
+  // stated 3/8·n².
+  for (const i64 n : {6, 8, 11, 16, 25}) {
+    const auto p = shortest_path_problem(
+        std::vector<i64>(static_cast<std::size_t>(n - 1), 1));
+    const auto run = run_dp_on_array(p, dp_fig2_design());
+    EXPECT_EQ(run.cell_count,
+              static_cast<std::size_t>((n - 1) * (n - 1) / 4 + n - 2))
+        << "n = " << n;
+  }
+}
+
+TEST(DpDesignComparison, Fig2FoldsTwoModulesOntoOneCell) {
+  // In figure 2 a cell may run a module-1 and a module-2 term of one pair
+  // in the same tick (the odd-sum collisions analysed in DESIGN.md).
+  const auto p = shortest_path_problem(std::vector<i64>(8, 1));  // n = 9.
+  const auto run = run_dp_on_array(p, dp_fig2_design());
+  EXPECT_GE(run.max_folded_ops, 2u);
+}
+
+TEST(DpDesignErrors, UnroutableDesignRejected) {
+  // Figure-2 space maps on the figure-1 (unidirectional) net: c' must move
+  // west, which does not exist there.
+  const auto p = matrix_chain_problem({2, 3, 4, 5, 6});
+  DPArrayDesign bad{dp_paper_schedules(), dp_fig2_spaces(),
+                    Interconnect::figure1()};
+  EXPECT_THROW((void)run_dp_on_array(p, bad), DomainError);
+}
+
+TEST(DpDesignErrors, TooSmallProblemRejected) {
+  const auto p = bracketing_problem({1, 2});
+  EXPECT_THROW((void)run_dp_on_array(p, dp_fig1_design()), ContractError);
+}
+
+}  // namespace
+}  // namespace nusys

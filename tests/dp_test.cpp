@@ -1,0 +1,155 @@
+// Unit tests for the DP domain: tables, problems, the sequential baseline,
+// and the paper's restructured two-module algorithm (Sec. IV).
+#include <gtest/gtest.h>
+
+#include "dp/dp_modules.hpp"
+#include "dp/problems.hpp"
+#include "dp/sequential.hpp"
+#include "dp/table.hpp"
+#include "dp/two_module.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+namespace {
+
+TEST(DPTableTest, IndexingRoundTrip) {
+  DPTable t(5);
+  i64 v = 0;
+  for (i64 i = 1; i < 5; ++i) {
+    for (i64 j = i + 1; j <= 5; ++j) t.at(i, j) = ++v;
+  }
+  EXPECT_EQ(t.entry_count(), 10u);
+  v = 0;
+  for (i64 i = 1; i < 5; ++i) {
+    for (i64 j = i + 1; j <= 5; ++j) EXPECT_EQ(t.at(i, j), ++v);
+  }
+}
+
+TEST(DPTableTest, BoundsEnforced) {
+  DPTable t(4);
+  EXPECT_THROW((void)t.at(2, 2), ContractError);
+  EXPECT_THROW((void)t.at(0, 3), ContractError);
+  EXPECT_THROW((void)t.at(1, 5), ContractError);
+  EXPECT_THROW(DPTable(1), ContractError);
+}
+
+TEST(MatrixChainTest, ClrsTextbookInstance) {
+  // CLRS 15.2: dims (30,35,15,5,10,20,25) -> optimal cost 15125.
+  const auto p = matrix_chain_problem({30, 35, 15, 5, 10, 20, 25});
+  const auto c = solve_sequential(p);
+  EXPECT_EQ(c.at(1, 7), 15125);
+  // Sub-chain values from the textbook table.
+  EXPECT_EQ(c.at(2, 6), 7125);
+  EXPECT_EQ(c.at(1, 4), 7875);
+}
+
+TEST(MatrixChainTest, TwoMatricesTrivial) {
+  const auto p = matrix_chain_problem({2, 3, 4});
+  const auto c = solve_sequential(p);
+  EXPECT_EQ(c.at(1, 3), 24);  // Single product 2x3x4.
+}
+
+TEST(PolygonTriangulationTest, SquareInstance) {
+  // Quadrilateral with weights (1,2,3,4): two triangulations:
+  // split at 2: 1*2*4 + 2*3*4 = 32; split at 3: 1*2*3 + 1*3*4 = 18.
+  const auto p = polygon_triangulation_problem({1, 2, 3, 4});
+  const auto c = solve_sequential(p);
+  EXPECT_EQ(c.at(1, 4), 18);
+}
+
+TEST(ShortestPathTest, DegenerateUniquePath) {
+  // With only consecutive hops every split has equal cost: c(i,j) is the
+  // plain hop sum (the paper's f(x,y) = x + y shortest-path instance).
+  const auto p = shortest_path_problem({3, 1, 4, 1, 5});
+  const auto c = solve_sequential(p);
+  EXPECT_EQ(c.at(1, 6), 3 + 1 + 4 + 1 + 5);
+  EXPECT_EQ(c.at(2, 4), 1 + 4);
+}
+
+TEST(BracketingTest, SmallInstanceByHand) {
+  // n = 3, base (5, 1, 7): c(1,2)=5, c(2,3)=1,
+  // c(1,3) = c(1,2)+c(2,3)+base1+base3 = 5+1+5+7 = 18.
+  const auto p = bracketing_problem({5, 1, 7});
+  const auto c = solve_sequential(p);
+  EXPECT_EQ(c.at(1, 3), 18);
+}
+
+TEST(ChainOrderTest, MatchesLexicographicScan) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto p = random_matrix_chain(rng.uniform(4, 20), rng);
+    EXPECT_EQ(solve_sequential(p), solve_sequential_chain_order(p));
+  }
+}
+
+TEST(TwoModuleTest, MatchesSequentialOnTextbookInstance) {
+  const auto p = matrix_chain_problem({30, 35, 15, 5, 10, 20, 25});
+  EXPECT_EQ(solve_two_module(p), solve_sequential(p));
+}
+
+TEST(TwoModuleTest, MatchesSequentialOnRandomInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const i64 n = rng.uniform(2, 24);
+    const auto p = n >= 3 ? random_matrix_chain(n, rng)
+                          : random_shortest_path(n, rng);
+    EXPECT_EQ(solve_two_module(p), solve_sequential(p))
+        << p.name << " n=" << p.n << " trial " << trial;
+  }
+}
+
+TEST(TwoModuleTest, MatchesSequentialAcrossProblemKinds) {
+  Rng rng(21);
+  const i64 n = 15;
+  const auto weights = rng.uniform_vector(static_cast<std::size_t>(n), 1, 9);
+  const std::vector<IntervalDPProblem> problems{
+      matrix_chain_problem(weights),
+      polygon_triangulation_problem(weights),
+      bracketing_problem(weights),
+      shortest_path_problem(
+          rng.uniform_vector(static_cast<std::size_t>(n - 1), 0, 50)),
+  };
+  for (const auto& p : problems) {
+    EXPECT_EQ(solve_two_module(p), solve_sequential(p)) << p.name;
+  }
+}
+
+TEST(TwoModuleTest, OperationCountsMatchChainSizes) {
+  // Module 1 computes ceil(l/2) - ... exactly the chain-1 sizes; module 2
+  // the chain-2 sizes; together they evaluate f once per (i,j,k).
+  const i64 n = 12;
+  TwoModuleStats stats;
+  const auto p = shortest_path_problem(
+      std::vector<i64>(static_cast<std::size_t>(n - 1), 1));
+  (void)solve_two_module(p, &stats);
+  std::size_t expected_total = 0;
+  std::size_t expected_m1 = 0;
+  std::size_t expected_a1 = 0;
+  std::size_t expected_a4 = 0;
+  std::size_t expected_combines = 0;
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = i + 2; j <= n; ++j) {
+      const i64 mid = (i + j) / 2;
+      expected_total += static_cast<std::size_t>(j - i - 1);
+      expected_m1 += static_cast<std::size_t>(mid - i);
+      if ((i + j) % 2 == 0) ++expected_a1;
+      if ((i + j) % 2 == 1 && j >= i + 3) ++expected_a4;
+      ++expected_combines;
+    }
+  }
+  EXPECT_EQ(stats.module1_ops + stats.module2_ops, expected_total);
+  EXPECT_EQ(stats.module1_ops, expected_m1);
+  EXPECT_EQ(stats.a1_transfers, expected_a1);
+  EXPECT_EQ(stats.a4_transfers, expected_a4);
+  EXPECT_EQ(stats.combines, expected_combines);
+}
+
+TEST(DpProblemTest, ValidationErrors) {
+  EXPECT_THROW((void)matrix_chain_problem({3, 4}), ContractError);
+  EXPECT_THROW((void)matrix_chain_problem({3, 0, 4}), ContractError);
+  EXPECT_THROW((void)polygon_triangulation_problem({1, 2}), ContractError);
+  EXPECT_THROW((void)shortest_path_problem({}), ContractError);
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,190 @@
+// Edge-case coverage across the library: degenerate sizes, boundary
+// geometry, engine re-runs, constrained-domain corner cases and numeric
+// limits — the inputs a downstream user will eventually feed in.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "conv/convolution.hpp"
+#include "designs/conv_arrays.hpp"
+#include "designs/dp_array.hpp"
+#include "dp/sequential.hpp"
+#include "ir/domain.hpp"
+#include "linalg/hermite.hpp"
+#include "schedule/search.hpp"
+#include "space/metrics.hpp"
+#include "support/fraction.hpp"
+#include "support/table.hpp"
+#include "systolic/engine.hpp"
+
+namespace nusys {
+namespace {
+
+// --- Degenerate sizes --------------------------------------------------------
+
+TEST(EdgeCaseTest, OneByOneConvolution) {
+  // n = s = 1: a single multiply; all three arrays degenerate to one cell.
+  const std::vector<i64> x{7};
+  const std::vector<i64> w{3};
+  const auto expected = direct_convolution(x, w);
+  EXPECT_EQ(expected, std::vector<i64>{0});  // y_1 needs x_0 = 0.
+  EXPECT_EQ(run_convolution_w1(x, w).y, expected);
+  EXPECT_EQ(run_convolution_w2(x, w).y, expected);
+  EXPECT_EQ(run_convolution_r2(x, w).y, expected);
+}
+
+TEST(EdgeCaseTest, SmallestDpArrayProblem) {
+  // n = 3: one pair (1,3) with a single reduction point.
+  const auto p = matrix_chain_problem({2, 3, 4});
+  // Figure 1 folds the single term and its combine onto cell (3,1);
+  // figure 2 places them on (2,1) and the combiner diagonal (1,1).
+  const auto f1 = run_dp_on_array(p, dp_fig1_design());
+  EXPECT_EQ(f1.table.at(1, 3), 24);
+  EXPECT_EQ(f1.cell_count, 1u);
+  EXPECT_EQ(f1.last_tick, 2 * (3 - 1));
+  const auto f2 = run_dp_on_array(p, dp_fig2_design());
+  EXPECT_EQ(f2.table.at(1, 3), 24);
+  EXPECT_EQ(f2.cell_count, 2u);
+  EXPECT_EQ(f2.last_tick, 2 * (3 - 1));
+}
+
+TEST(EdgeCaseTest, WeightsLongerThanInput) {
+  // s > n: most terms fall off the boundary.
+  const std::vector<i64> x{5, 6};
+  const std::vector<i64> w{1, 10, 100, 1000};
+  const auto expected = direct_convolution(x, w);
+  EXPECT_EQ(run_convolution_w1(x, w).y, expected);
+  EXPECT_EQ(run_convolution_w2(x, w).y, expected);
+  EXPECT_EQ(run_convolution_r2(x, w).y, expected);
+}
+
+// --- Constrained domains -----------------------------------------------------
+
+TEST(EdgeCaseTest, ConstraintCanEmptyADomain) {
+  const auto d = IndexDomain::box({"i", "k"}, {1, 1}, {4, 4})
+                     .with_constraint(AffineExpr::constant(2, -1));
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.contains(IntVec{2, 2}));
+}
+
+TEST(EdgeCaseTest, StackedConstraintsIntersect) {
+  // 1<=i,k<=6 with i+k >= 6 and i-k >= 0.
+  const auto i = AffineExpr::index(2, 0);
+  const auto k = AffineExpr::index(2, 1);
+  const auto d = IndexDomain::box({"i", "k"}, {1, 1}, {6, 6})
+                     .with_constraint(i + k - 6)
+                     .with_constraint(i - k);
+  std::size_t count = 0;
+  d.for_each([&](const IntVec& p) {
+    EXPECT_GE(p[0] + p[1], 6);
+    EXPECT_GE(p[0], p[1]);
+    ++count;
+  });
+  EXPECT_EQ(count, d.size());
+  EXPECT_GT(count, 0u);
+  EXPECT_TRUE(d.contains(IntVec{5, 3}));
+  EXPECT_FALSE(d.contains(IntVec{3, 5}));
+  EXPECT_FALSE(d.contains(IntVec{2, 2}));
+}
+
+TEST(EdgeCaseTest, ScheduleSearchOnConstrainedDomain) {
+  const auto i = AffineExpr::index(2, 0);
+  const auto k = AffineExpr::index(2, 1);
+  const auto d = IndexDomain::box({"i", "k"}, {1, 1}, {8, 8})
+                     .with_constraint(i - k);  // Triangle i >= k.
+  const auto result = find_optimal_schedules({IntVec{1, 0}, IntVec{0, 1}}, d);
+  ASSERT_TRUE(result.found());
+  // Optimal T = (1,1): spans 2..16 on the triangle.
+  EXPECT_EQ(result.best().coeffs(), IntVec({1, 1}));
+  EXPECT_EQ(result.makespan, 14);
+}
+
+// --- Engine re-runs and state ------------------------------------------------
+
+TEST(EdgeCaseTest, EngineRunContinuation) {
+  std::vector<IntVec> cells{IntVec{1}, IntVec{2}};
+  SystolicEngine engine(Interconnect::linear_bidirectional(),
+                        std::move(cells));
+  engine.inject(0, IntVec{1}, "v", 5);
+  engine.inject(3, IntVec{1}, "v", 6);
+  std::vector<i64> seen;
+  engine.set_program([&](CellContext& ctx) {
+    if (const auto v = ctx.in("v")) {
+      if (ctx.coord()[0] == 2) seen.push_back(*v);
+      ctx.out(IntVec{1}, "v", *v);
+    }
+  });
+  engine.run(0, 1);   // First value crosses.
+  engine.run(2, 5);   // Second value injected at 3 crosses at 4.
+  EXPECT_EQ(seen, (std::vector<i64>{5, 6}));
+}
+
+TEST(EdgeCaseTest, MetricsBusyCyclesAccounting) {
+  const auto d = IndexDomain::box({"i", "k"}, {1, 1}, {4, 3});
+  const auto m = compute_design_metrics(LinearSchedule(IntVec({1, 1})),
+                                        IntMat{{0, 1}}, d);
+  // Cell (k) fires once per i.
+  std::size_t total = 0;
+  for (const auto& [cell, busy] : m.busy_cycles) {
+    EXPECT_EQ(busy, 4u);
+    total += busy;
+  }
+  EXPECT_EQ(total, m.computation_count);
+  EXPECT_EQ(m.cells.size(), m.cell_count);
+}
+
+// --- Numeric limits ------------------------------------------------------------
+
+TEST(EdgeCaseTest, FractionNearOverflowStillExact) {
+  const i64 big = std::numeric_limits<i64>::max() / 4;
+  const Fraction f(big, 2);
+  EXPECT_EQ(f + f, Fraction(big));
+  EXPECT_THROW((void)(Fraction(big) * Fraction(8)), ContractError);
+}
+
+TEST(EdgeCaseTest, ConvolutionOverflowDetected) {
+  const i64 big = std::numeric_limits<i64>::max() / 2;
+  EXPECT_THROW((void)direct_convolution({big, big}, {3}), ContractError);
+}
+
+// --- Hermite / Diophantine corners ---------------------------------------------
+
+TEST(EdgeCaseTest, HermiteOfZeroMatrix) {
+  const IntMat zero(2, 3);
+  const auto hf = hermite_normal_form(zero);
+  EXPECT_EQ(hf.h, zero);
+  const auto sol = solve_diophantine(zero, IntVec({0, 0}));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->kernel.size(), 3u);
+  EXPECT_FALSE(solve_diophantine(zero, IntVec({1, 0})).has_value());
+}
+
+TEST(EdgeCaseTest, EnumerateWithZeroBudget) {
+  const IntMat a{{1, 0}, {0, 1}};
+  EXPECT_EQ(enumerate_nonnegative_solutions(a, IntVec({0, 0}), 0).size(), 1u);
+  EXPECT_TRUE(enumerate_nonnegative_solutions(a, IntVec({1, 0}), 0).empty());
+}
+
+TEST(EdgeCaseTest, SingleColumnDiophantine) {
+  const auto sol = solve_diophantine(IntMat{{4}, {6}}, IntVec({8, 12}));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->particular, IntVec({2}));
+  EXPECT_TRUE(sol->kernel.empty());
+  EXPECT_FALSE(solve_diophantine(IntMat{{4}, {6}}, IntVec({8, 13})));
+}
+
+// --- Rendering corners -----------------------------------------------------
+
+TEST(EdgeCaseTest, EmptyTraceRendersEmpty) {
+  EXPECT_EQ(render_trace_timeline({}), "");
+}
+
+TEST(EdgeCaseTest, TextTableWithNoRowsStillRendersHeader) {
+  TextTable t({"a", "bb"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("| a | bb |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace nusys

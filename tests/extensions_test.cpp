@@ -1,0 +1,213 @@
+// Tests for the extension layers: the full non-uniform pipeline facade,
+// recursive convolution (Example 2), the alphabetic-tree problem, solution
+// reconstruction, the figure renderer and the hexagonal interconnect.
+#include <gtest/gtest.h>
+
+#include "conv/convolution.hpp"
+#include "conv/recursive_feasibility.hpp"
+#include "designs/recursive_conv_array.hpp"
+#include "dp/reconstruct.hpp"
+#include "dp/sequential.hpp"
+#include "dp/two_module.hpp"
+#include "space/routing.hpp"
+#include "support/rng.hpp"
+#include "synth/figure_render.hpp"
+#include "synth/pipeline.hpp"
+
+namespace nusys {
+namespace {
+
+NonUniformSpec make_dp_spec(i64 n) {
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  IndexDomain domain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+  return NonUniformSpec("dp", std::move(domain),
+                        {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+}
+
+// --- Full pipeline facade --------------------------------------------------
+
+TEST(PipelineTest, EndToEndOnFigure1Net) {
+  const i64 n = 7;
+  const auto result =
+      synthesize_nonuniform(make_dp_spec(n), Interconnect::figure1());
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.coarse.schedule().coeffs(), IntVec({-1, 1}));
+  EXPECT_TRUE(result.chain_shape.is_interval_dp_shape);
+  ASSERT_EQ(result.designs.size(), result.cell_counts.size());
+
+  Rng rng(81);
+  const auto problem = random_matrix_chain(n, rng);
+  const auto expected = solve_sequential(problem);
+  for (const auto& design : result.designs) {
+    EXPECT_EQ(run_dp_on_array(problem, design).table, expected);
+  }
+}
+
+TEST(PipelineTest, RicherNetNeverUsesMoreCells) {
+  const i64 n = 6;
+  const auto spec = make_dp_spec(n);
+  const auto fig1 = synthesize_nonuniform(spec, Interconnect::figure1());
+  const auto fig2 = synthesize_nonuniform(spec, Interconnect::figure2());
+  ASSERT_TRUE(fig1.found());
+  ASSERT_TRUE(fig2.found());
+  // Figure 2's link set is a superset, so the optimum cannot be worse.
+  EXPECT_LE(fig2.cell_counts.front(), fig1.cell_counts.front());
+}
+
+TEST(PipelineTest, MaxDesignsRespected) {
+  NonUniformSynthesisOptions opts;
+  opts.max_designs = 1;
+  const auto result = synthesize_nonuniform(make_dp_spec(5),
+                                            Interconnect::figure1(), opts);
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.designs.size(), 1u);
+}
+
+// --- Recursive convolution (Example 2) --------------------------------------
+
+TEST(RecursiveConvTest, BackwardScheduleFailsFeedback) {
+  // T = i + k (from recurrence (4)): margin 2 - s <= 0 for s >= 2 — the
+  // paper's "the backward recurrence does not lead to any reasonable
+  // design".
+  for (const i64 s : {2, 4, 8}) {
+    const auto f = check_feedback_feasibility(LinearSchedule(IntVec({1, 1})),
+                                              s);
+    EXPECT_FALSE(f.feasible) << "s = " << s;
+    EXPECT_EQ(f.margin, 2 - s);
+  }
+  // s = 1 is the degenerate case where even backward works.
+  EXPECT_TRUE(
+      check_feedback_feasibility(LinearSchedule(IntVec({1, 1})), 1).feasible);
+}
+
+TEST(RecursiveConvTest, ForwardScheduleHasMarginTwo) {
+  // T = 2i - k (from recurrence (5)): margin 2 for every s.
+  for (const i64 s : {1, 2, 4, 8}) {
+    const auto f = check_feedback_feasibility(LinearSchedule(IntVec({2, -1})),
+                                              s);
+    EXPECT_TRUE(f.feasible) << "s = " << s;
+    EXPECT_EQ(f.margin, 2);
+  }
+}
+
+TEST(RecursiveConvTest, ArrayComputesFibonacci) {
+  const auto run = run_recursive_convolution_array({1, 1}, {1, 1}, 12);
+  EXPECT_EQ(run.y, recursive_convolution({1, 1}, {1, 1}, 12));
+  EXPECT_EQ(run.y.back(), 144);
+  EXPECT_EQ(run.cell_count, 2u);
+}
+
+TEST(RecursiveConvTest, ArrayMatchesBaselineOnRandomInstances) {
+  Rng rng(82);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto s = static_cast<std::size_t>(rng.uniform(1, 5));
+    const auto n = s + static_cast<std::size_t>(rng.uniform(0, 12));
+    const auto seed = rng.uniform_vector(s, -4, 4);
+    const auto w = rng.uniform_vector(s, -2, 2);
+    const auto run = run_recursive_convolution_array(seed, w, n);
+    EXPECT_EQ(run.y, recursive_convolution(seed, w, n))
+        << "s=" << s << " n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(RecursiveConvTest, InvalidInputsRejected) {
+  EXPECT_THROW((void)run_recursive_convolution_array({1}, {1, 1}, 5),
+               ContractError);
+  EXPECT_THROW((void)run_recursive_convolution_array({1, 1}, {1, 1}, 1),
+               ContractError);
+}
+
+// --- Alphabetic tree + reconstruction ---------------------------------------
+
+TEST(AlphabeticTreeTest, TwoLeavesByHand) {
+  // Leaves (3, 5): single combine, cost = 3 + 5.
+  const auto p = alphabetic_tree_problem({3, 5});
+  EXPECT_EQ(solve_sequential(p).at(1, 3), 8);
+}
+
+TEST(AlphabeticTreeTest, SkewedWeightsPreferSkewedTree) {
+  // Leaves (1, 1, 8): balanced tree costs (1+1)*2+8*2... the optimal puts
+  // the heavy leaf near the root: ((1 1) 8) costs (1+1)*2 + 8 = 2+2+8+...
+  // total weighted path length = 1*2 + 1*2 + 8*1 = 12.
+  const auto p = alphabetic_tree_problem({1, 1, 8});
+  const auto sol = solve_with_splits(p);
+  EXPECT_EQ(sol.cost.at(1, 4), 12);
+  EXPECT_EQ(render_parenthesization(sol, 1, 4), "((A1 A2) A3)");
+}
+
+TEST(AlphabeticTreeTest, AgreesAcrossAllSolvers) {
+  Rng rng(83);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto leaves = rng.uniform_vector(
+        static_cast<std::size_t>(rng.uniform(2, 16)), 1, 50);
+    const auto p = alphabetic_tree_problem(leaves);
+    const auto reference = solve_sequential(p);
+    EXPECT_EQ(solve_two_module(p), reference);
+    EXPECT_EQ(solve_with_splits(p).cost, reference);
+  }
+}
+
+TEST(ReconstructTest, ClrsParenthesization) {
+  const auto p = matrix_chain_problem({30, 35, 15, 5, 10, 20, 25});
+  const auto sol = solve_with_splits(p);
+  EXPECT_EQ(sol.cost.at(1, 7), 15125);
+  // CLRS: ((A1 (A2 A3)) ((A4 A5) A6)).
+  EXPECT_EQ(render_parenthesization(sol, 1, 7),
+            "((A1 (A2 A3)) ((A4 A5) A6))");
+}
+
+TEST(ReconstructTest, SplitsAreAlwaysInteriorAndOptimal) {
+  Rng rng(84);
+  const auto p = random_matrix_chain(12, rng);
+  const auto sol = solve_with_splits(p);
+  for (i64 i = 1; i <= 12; ++i) {
+    for (i64 j = i + 2; j <= 12; ++j) {
+      const i64 k = sol.split.at(i, j);
+      ASSERT_GT(k, i);
+      ASSERT_LT(k, j);
+      EXPECT_EQ(sol.cost.at(i, j),
+                p.combine(i, k, j, sol.cost.at(i, k), sol.cost.at(k, j)));
+    }
+  }
+}
+
+// --- Figure renderer and hexagonal net --------------------------------------
+
+TEST(FigureRenderTest, Figure1IsATriangle) {
+  const auto sys = build_dp_module_system(6);
+  const auto text = render_module_figure(sys, dp_fig1_spaces(),
+                                         dp_paper_schedules(),
+                                         Interconnect::figure1());
+  EXPECT_NE(text.find("cells 10"), std::string::npos);  // (n-1)(n-2)/2.
+  EXPECT_NE(text.find("[module1] c': stays"), std::string::npos);
+  EXPECT_NE(text.find("[module1] a': moves east every 2 ticks"),
+            std::string::npos);
+}
+
+TEST(FigureRenderTest, Figure2StreamsMatchPaperProse) {
+  const auto sys = build_dp_module_system(6);
+  const auto text = render_module_figure(sys, dp_fig2_spaces(),
+                                         dp_paper_schedules(),
+                                         Interconnect::figure2());
+  // "variables c' move to the left ... a' do not move ... a'' move to the
+  // right ... b'' move up to the left along the diagonal links".
+  EXPECT_NE(text.find("[module1] c': moves west"), std::string::npos);
+  EXPECT_NE(text.find("[module1] a': stays"), std::string::npos);
+  EXPECT_NE(text.find("[module2] a'': moves east"), std::string::npos);
+  EXPECT_NE(text.find("[module2] b'': moves southwest"), std::string::npos);
+}
+
+TEST(HexagonalNetTest, DiagonalsAreSingleHops) {
+  const auto net = Interconnect::hexagonal();
+  EXPECT_EQ(net.link_count(), 6u);
+  const auto r = route_displacement(net, IntVec({2, 2}), 2);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->total_hops, 2);  // Two northeast hops.
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,90 @@
+// Failure-injection tests: transient single-wire upsets and dropped
+// transfers must visibly change or break a run — evidence that the
+// simulations validate real dataflow rather than passing vacuously.
+#include <gtest/gtest.h>
+
+#include "systolic/engine.hpp"
+
+namespace nusys {
+namespace {
+
+const IntVec kEast{1};
+
+/// A 4-cell accumulation pipeline: value enters cell 1, each cell adds its
+/// coordinate, result emitted by cell 4.
+SystolicEngine make_pipeline() {
+  std::vector<IntVec> cells;
+  for (i64 c = 1; c <= 4; ++c) cells.push_back(IntVec{c});
+  SystolicEngine engine(Interconnect::linear_bidirectional(),
+                        std::move(cells));
+  engine.set_program([](CellContext& ctx) {
+    if (const auto v = ctx.in("v")) {
+      const Value out = *v + ctx.coord()[0];
+      if (ctx.coord()[0] == 4) {
+        ctx.emit("result", out);
+      } else {
+        ctx.out(kEast, "v", out);
+      }
+    }
+  });
+  return engine;
+}
+
+TEST(FaultInjectionTest, CleanRunBaseline) {
+  auto engine = make_pipeline();
+  engine.inject(0, IntVec{1}, "v", 100);
+  engine.run(0, 3);
+  ASSERT_EQ(engine.results().size(), 1u);
+  EXPECT_EQ(engine.results()[0].value, 100 + 1 + 2 + 3 + 4);
+  EXPECT_EQ(engine.faults_applied(), 0u);
+}
+
+TEST(FaultInjectionTest, CorruptionPropagatesToTheResult) {
+  auto engine = make_pipeline();
+  engine.inject(0, IntVec{1}, "v", 100);
+  // Upset the wire into cell 3 (arrival tick 2) by +1000.
+  engine.corrupt_arrival(2, IntVec{3}, "v", 1000);
+  engine.run(0, 3);
+  ASSERT_EQ(engine.results().size(), 1u);
+  EXPECT_EQ(engine.results()[0].value, 100 + 1 + 2 + 3 + 4 + 1000);
+  EXPECT_EQ(engine.faults_applied(), 1u);
+}
+
+TEST(FaultInjectionTest, DroppedTransferKillsTheResult) {
+  auto engine = make_pipeline();
+  engine.inject(0, IntVec{1}, "v", 100);
+  engine.drop_arrival(2, IntVec{3}, "v");
+  engine.run(0, 3);
+  // The wavefront dies at cell 3: no result is ever emitted.
+  EXPECT_TRUE(engine.results().empty());
+  EXPECT_EQ(engine.faults_applied(), 1u);
+}
+
+TEST(FaultInjectionTest, MissedFaultIsHarmless) {
+  auto engine = make_pipeline();
+  engine.inject(0, IntVec{1}, "v", 100);
+  // Nothing arrives at cell 2 on tick 3 (the value passed at tick 1).
+  engine.corrupt_arrival(3, IntVec{2}, "v", 999);
+  engine.run(0, 3);
+  ASSERT_EQ(engine.results().size(), 1u);
+  EXPECT_EQ(engine.results()[0].value, 110);
+  EXPECT_EQ(engine.faults_applied(), 0u);
+}
+
+TEST(FaultInjectionTest, FaultOnUnknownCellRejected) {
+  auto engine = make_pipeline();
+  EXPECT_THROW(engine.corrupt_arrival(0, IntVec{9}, "v", 1), ContractError);
+  EXPECT_THROW(engine.drop_arrival(0, IntVec{9}, "v"), ContractError);
+}
+
+TEST(FaultInjectionTest, CorruptionOfInjectedBoundaryValue) {
+  auto engine = make_pipeline();
+  engine.inject(0, IntVec{1}, "v", 100);
+  engine.corrupt_arrival(0, IntVec{1}, "v", -100);  // Hits the injection.
+  engine.run(0, 3);
+  ASSERT_EQ(engine.results().size(), 1u);
+  EXPECT_EQ(engine.results()[0].value, 0 + 1 + 2 + 3 + 4);
+}
+
+}  // namespace
+}  // namespace nusys

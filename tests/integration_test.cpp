@@ -1,0 +1,149 @@
+// Integration tests: full pipelines crossing every library layer.
+//
+//  * spec → constant core → coarse timing → chains → emitted modules →
+//    schedule search → space search → cycle-accurate simulation → results
+//    equal the sequential solver (the complete Sec. III-VI flow, with no
+//    hand-derived artifact in the loop);
+//  * searched designs (not just the paper's) executing correctly on the
+//    mapped executor;
+//  * the synthesizer's convolution designs executing on the engine.
+#include <gtest/gtest.h>
+
+#include "chains/modules_emit.hpp"
+#include "conv/convolution.hpp"
+#include "conv/recurrences.hpp"
+#include "designs/conv_arrays.hpp"
+#include "designs/dp_array.hpp"
+#include "dp/sequential.hpp"
+#include "modules/module_schedule.hpp"
+#include "modules/module_space.hpp"
+#include "schedule/coarse.hpp"
+#include "support/rng.hpp"
+#include "synth/synthesizer.hpp"
+#include "verify/spacetime.hpp"
+
+namespace nusys {
+namespace {
+
+NonUniformSpec make_dp_spec(i64 n) {
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  IndexDomain domain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+  return NonUniformSpec("dp", std::move(domain),
+                        {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+}
+
+TEST(IntegrationTest, FullyAutomaticPipelineOnFigure1Net) {
+  const i64 n = 7;
+  // 1. Coarse timing from the constant core.
+  const auto spec = make_dp_spec(n);
+  const auto coarse = derive_coarse_timing(spec);
+  ASSERT_EQ(coarse.schedule().coeffs(), IntVec({-1, 1}));
+  // 2. Emit modules from the chain decomposition.
+  const auto sys = emit_interval_dp_modules(spec, coarse.schedule());
+  // 3. Search module schedules.
+  const auto sched = find_module_schedules(sys);
+  ASSERT_TRUE(sched.found());
+  // 4. Search space maps on the figure-1 net.
+  ModuleSpaceOptions space_opts;
+  space_opts.max_results = 1;
+  const auto spaces = find_module_spaces(sys, sched.best().schedules,
+                                         Interconnect::figure1(), space_opts);
+  ASSERT_TRUE(spaces.found());
+  // 5. Execute the found design cycle-accurately and compare.
+  Rng rng(41);
+  const auto problem = random_matrix_chain(n, rng);
+  const DPArrayDesign design{sched.best().schedules, spaces.best().spaces,
+                             Interconnect::figure1()};
+  const auto run = run_dp_on_array(problem, design);
+  EXPECT_EQ(run.table, solve_sequential(problem));
+}
+
+TEST(IntegrationTest, SearchedFigure2DesignExecutesCorrectly) {
+  // The exhaustive search on the figure-2 net finds small-n packings that
+  // differ from the paper's maps; they must still execute correctly.
+  const i64 n = 6;
+  const auto sys = build_dp_module_system(n);
+  ModuleSpaceOptions opts;
+  opts.max_results = 3;
+  const auto spaces = find_module_spaces(sys, dp_paper_schedules(),
+                                         Interconnect::figure2(), opts);
+  ASSERT_TRUE(spaces.found());
+  Rng rng(43);
+  const auto problem = random_matrix_chain(n, rng);
+  const auto expected = solve_sequential(problem);
+  for (const auto& assignment : spaces.optima) {
+    const DPArrayDesign design{dp_paper_schedules(), assignment.spaces,
+                               Interconnect::figure2()};
+    const auto run = run_dp_on_array(problem, design);
+    EXPECT_EQ(run.table, expected);
+    EXPECT_EQ(run.cell_count, assignment.cell_count);
+  }
+}
+
+TEST(IntegrationTest, AlternativeSigmaVariantsExecuteIdentically) {
+  // σ = (-2,0,2) and (-2,2,0) equal -2i+2j on the combiner plane; swapping
+  // them into the design must not change anything observable.
+  const auto problem = matrix_chain_problem({4, 9, 2, 7, 3, 8, 5});
+  const auto reference = run_dp_on_array(problem, dp_fig1_design());
+  for (const IntVec& sigma : {IntVec({-2, 0, 2}), IntVec({-2, 2, 0})}) {
+    DPArrayDesign design = dp_fig1_design();
+    design.schedules[kDpCombiner] = LinearSchedule(sigma);
+    const auto run = run_dp_on_array(problem, design);
+    EXPECT_EQ(run.table, reference.table);
+    EXPECT_EQ(run.last_tick, reference.last_tick);
+    EXPECT_EQ(run.cell_count, reference.cell_count);
+  }
+}
+
+TEST(IntegrationTest, SynthesizedW2MatchesItsSimulation) {
+  // Synthesize from recurrence (4); confirm the best design's predicted
+  // metrics agree with the engine's measured behaviour.
+  const i64 n = 12, s = 4;
+  const auto rec = convolution_backward_recurrence(n, s);
+  const auto result = synthesize(rec, Interconnect::linear_bidirectional());
+  ASSERT_TRUE(result.found());
+  const auto& best = result.best();
+  EXPECT_EQ(best.metrics.cell_count, static_cast<std::size_t>(s));
+
+  Rng rng(44);
+  const auto x = rng.uniform_vector(static_cast<std::size_t>(n), -9, 9);
+  const auto w = rng.uniform_vector(static_cast<std::size_t>(s), -9, 9);
+  const auto run = run_convolution_w2(x, w);
+  EXPECT_EQ(run.cell_count, best.metrics.cell_count);
+  EXPECT_EQ(run.y, direct_convolution(x, w));
+}
+
+TEST(IntegrationTest, VerifierAgreesWithMetricsOnSynthesizedDesigns) {
+  const auto rec = convolution_forward_recurrence(9, 3);
+  const auto result = synthesize(rec, Interconnect::linear_bidirectional());
+  for (const auto& d : result.designs) {
+    const auto report = verify_design(rec, d.timing, d.space, d.net);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.computations_checked, d.metrics.computation_count);
+  }
+}
+
+TEST(IntegrationTest, EmittedModulesScheduleToPaperOptimum) {
+  const auto spec = make_dp_spec(8);
+  const auto coarse = derive_coarse_timing(spec);
+  const auto sys = emit_interval_dp_modules(spec, coarse.schedule());
+  const auto sched = find_module_schedules(sys);
+  ASSERT_TRUE(sched.found());
+  EXPECT_EQ(sched.best().makespan,
+            global_makespan(sys, dp_paper_schedules()));
+  bool paper_found = false;
+  for (const auto& a : sched.optima) {
+    if (a.schedules[kDpModule1].coeffs() == dp_paper_lambda().coeffs() &&
+        a.schedules[kDpModule2].coeffs() == dp_paper_mu().coeffs()) {
+      paper_found = true;
+    }
+  }
+  EXPECT_TRUE(paper_found);
+}
+
+}  // namespace
+}  // namespace nusys

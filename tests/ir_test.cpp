@@ -1,0 +1,275 @@
+// Unit tests for the algorithm IR: affine expressions/maps, index domains,
+// dependences, canonic recurrences and non-uniform specs.
+#include <gtest/gtest.h>
+
+#include "ir/affine.hpp"
+#include "ir/dependence.hpp"
+#include "ir/domain.hpp"
+#include "ir/nonuniform.hpp"
+#include "ir/recurrence.hpp"
+
+namespace nusys {
+namespace {
+
+// --- AffineExpr / AffineMap -------------------------------------------------
+
+TEST(AffineExprTest, EvalAndBuilders) {
+  // j - i over (i, j).
+  const auto e = AffineExpr::index(2, 1) - AffineExpr::index(2, 0);
+  EXPECT_EQ(e.eval(IntVec({3, 10})), 7);
+  EXPECT_EQ(AffineExpr::constant(2, 5).eval(IntVec({1, 2})), 5);
+  EXPECT_EQ((e * 2 + 1).eval(IntVec({0, 4})), 9);
+  EXPECT_EQ((e - 3).eval(IntVec({0, 4})), 1);
+}
+
+TEST(AffineExprTest, ToStringReadable) {
+  const std::vector<std::string> names{"i", "j", "k"};
+  // λ(i,j,k) = -i + 2j - k.
+  const auto lambda = AffineExpr::index(3, 0) * -1 +
+                      AffineExpr::index(3, 1) * 2 -
+                      AffineExpr::index(3, 2);
+  EXPECT_EQ(lambda.to_string(names), "-i + 2*j - k");
+  EXPECT_EQ(AffineExpr::constant(3, 0).to_string(names), "0");
+  EXPECT_EQ((AffineExpr::index(3, 2) + -4).to_string(names), "k - 4");
+}
+
+TEST(AffineMapTest, ApplyMatchesMatrixForm) {
+  // S(i,j,k) = (j, i).
+  const auto s = AffineMap::linear(IntMat{{0, 1, 0}, {1, 0, 0}});
+  EXPECT_EQ(s.apply(IntVec({2, 7, 5})), IntVec({7, 2}));
+}
+
+TEST(AffineMapTest, FromExprs) {
+  const auto s = AffineMap::from_exprs(
+      {AffineExpr::index(3, 2),                      // k
+       AffineExpr::index(3, 0)});                    // i
+  EXPECT_EQ(s.apply(IntVec({1, 9, 4})), IntVec({4, 1}));
+  EXPECT_EQ(s.input_dim(), 3u);
+  EXPECT_EQ(s.output_dim(), 2u);
+}
+
+TEST(AffineMapTest, OffsetApplied) {
+  const AffineMap m(IntMat{{1, 0}}, IntVec({10}));
+  EXPECT_EQ(m.apply(IntVec({5, 0})), IntVec({15}));
+}
+
+// --- IndexDomain --------------------------------------------------------------
+
+IndexDomain convolution_domain(i64 n, i64 s) {
+  return IndexDomain::box({"i", "k"}, {1, 1}, {n, s});
+}
+
+// The DP domain of Sec. IV: 1 <= i <= n, i < j <= n, i < k < j.
+IndexDomain dp_domain(i64 n) {
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  return IndexDomain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+}
+
+TEST(IndexDomainTest, BoxSizeAndMembership) {
+  const auto d = convolution_domain(4, 3);
+  EXPECT_EQ(d.size(), 12u);
+  EXPECT_TRUE(d.contains(IntVec({1, 1})));
+  EXPECT_TRUE(d.contains(IntVec({4, 3})));
+  EXPECT_FALSE(d.contains(IntVec({0, 1})));
+  EXPECT_FALSE(d.contains(IntVec({5, 1})));
+  EXPECT_FALSE(d.contains(IntVec({1, 1, 1})));
+}
+
+TEST(IndexDomainTest, TriangularDpDomain) {
+  const auto d = dp_domain(5);
+  // Points (i,j,k) with 1<=i, i<k<j<=5: count = sum over (i,j) of (j-i-1).
+  std::size_t expected = 0;
+  for (i64 i = 1; i <= 5; ++i) {
+    for (i64 j = i + 1; j <= 5; ++j) {
+      expected += static_cast<std::size_t>(j - i - 1);
+    }
+  }
+  EXPECT_EQ(d.size(), expected);
+  EXPECT_TRUE(d.contains(IntVec({1, 5, 3})));
+  EXPECT_FALSE(d.contains(IntVec({1, 2, 2})));  // k must be < j.
+  EXPECT_FALSE(d.contains(IntVec({3, 2, 1})));  // j must be > i.
+}
+
+TEST(IndexDomainTest, LexicographicEnumeration) {
+  const auto d = convolution_domain(2, 2);
+  const auto pts = d.points();
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0], IntVec({1, 1}));
+  EXPECT_EQ(pts[1], IntVec({1, 2}));
+  EXPECT_EQ(pts[2], IntVec({2, 1}));
+  EXPECT_EQ(pts[3], IntVec({2, 2}));
+}
+
+TEST(IndexDomainTest, EmptyDomain) {
+  const auto d = IndexDomain::box({"i"}, {3}, {2});
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(IndexDomainTest, RejectsForwardReferencesInBounds) {
+  // Lower bound of dim 0 referencing dim 1 breaks loop-nest discipline.
+  EXPECT_THROW(
+      IndexDomain({"i", "j"},
+                  {{AffineExpr::index(2, 1), AffineExpr::constant(2, 5)},
+                   {AffineExpr::constant(2, 1), AffineExpr::constant(2, 5)}}),
+      ContractError);
+}
+
+TEST(IndexDomainTest, ToStringMentionsNamesAndBounds) {
+  const auto d = convolution_domain(8, 4);
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("1 <= i <= 8"), std::string::npos);
+  EXPECT_NE(s.find("1 <= k <= 4"), std::string::npos);
+}
+
+// --- DependenceSet / CanonicRecurrence ---------------------------------------
+
+DependenceSet recurrence4_deps() {
+  // Paper recurrence (4): d_y = (0,1), d_x = (1,1), d_w = (1,0).
+  DependenceSet deps;
+  deps.add("y", IntVec({0, 1}));
+  deps.add("x", IntVec({1, 1}));
+  deps.add("w", IntVec({1, 0}));
+  return deps;
+}
+
+TEST(DependenceSetTest, MatrixColumnsMatchInsertionOrder) {
+  const auto deps = recurrence4_deps();
+  EXPECT_EQ(deps.matrix(), (IntMat{{0, 1, 1}, {1, 1, 0}}));
+  EXPECT_EQ(deps.dim(), 2u);
+  EXPECT_EQ(deps.size(), 3u);
+}
+
+TEST(DependenceSetTest, MixedDimensionsRejected) {
+  DependenceSet deps;
+  deps.add("a", IntVec({1, 0}));
+  EXPECT_THROW(deps.add("b", IntVec({1, 0, 0})), ContractError);
+}
+
+TEST(DependenceSetTest, ToStringListsVariables) {
+  const std::string s = recurrence4_deps().to_string();
+  EXPECT_NE(s.find("y:(0, 1)"), std::string::npos);
+  EXPECT_NE(s.find("w:(1, 0)"), std::string::npos);
+}
+
+TEST(CanonicRecurrenceTest, ValidModelConstructs) {
+  const CanonicRecurrence rec("convolution-backward",
+                              convolution_domain(8, 4), recurrence4_deps());
+  EXPECT_EQ(rec.name(), "convolution-backward");
+  EXPECT_EQ(rec.dependences().size(), 3u);
+}
+
+TEST(CanonicRecurrenceTest, ZeroDependenceRejected) {
+  DependenceSet deps;
+  deps.add("y", IntVec({0, 0}));
+  EXPECT_THROW(
+      CanonicRecurrence("bad", convolution_domain(4, 4), std::move(deps)),
+      DomainError);
+}
+
+TEST(CanonicRecurrenceTest, DuplicateVariableViolatesCA4) {
+  DependenceSet deps;
+  deps.add("y", IntVec({0, 1}));
+  deps.add("y", IntVec({1, 0}));
+  EXPECT_THROW(
+      CanonicRecurrence("bad", convolution_domain(4, 4), std::move(deps)),
+      DomainError);
+}
+
+TEST(CanonicRecurrenceTest, DimensionMismatchRejected) {
+  DependenceSet deps;
+  deps.add("y", IntVec({0, 1, 1}));
+  EXPECT_THROW(
+      CanonicRecurrence("bad", convolution_domain(4, 4), std::move(deps)),
+      DomainError);
+}
+
+TEST(CanonicRecurrenceTest, DirectDependencePredicate) {
+  const CanonicRecurrence rec("conv", convolution_domain(8, 4),
+                              recurrence4_deps());
+  EXPECT_TRUE(rec.directly_depends(IntVec({2, 2}), IntVec({2, 1})));   // y
+  EXPECT_TRUE(rec.directly_depends(IntVec({2, 2}), IntVec({1, 1})));   // x
+  EXPECT_TRUE(rec.directly_depends(IntVec({2, 2}), IntVec({1, 2})));   // w
+  EXPECT_FALSE(rec.directly_depends(IntVec({2, 2}), IntVec({2, 2})));
+  EXPECT_FALSE(rec.directly_depends(IntVec({2, 2}), IntVec({4, 4})));
+}
+
+// --- NonUniformSpec -----------------------------------------------------------
+
+// The DP spec of Sec. IV: c(i,j) = f(c(i,k), c(k,j)), i < k < j.
+NonUniformSpec dp_spec(i64 n) {
+  // Template for operand c(i,k): dep = (0, j-k), replaced axis = j (axis 1).
+  // Template for operand c(k,j): dep = (i-k, 0), replaced axis = i (axis 0).
+  return NonUniformSpec(
+      "dynamic-programming", dp_domain(n),
+      {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+}
+
+TEST(NonUniformSpecTest, StatementDomainProjectsOutReduction) {
+  const auto spec = dp_spec(6);
+  const auto sd = spec.statement_domain();
+  EXPECT_EQ(sd.dim(), 2u);
+  EXPECT_EQ(sd.names()[0], "i");
+  EXPECT_EQ(sd.names()[1], "j");
+  EXPECT_TRUE(sd.contains(IntVec({2, 5})));
+  EXPECT_FALSE(sd.contains(IntVec({5, 2})));
+}
+
+TEST(NonUniformSpecTest, ReductionRange) {
+  const auto spec = dp_spec(8);
+  const auto [lo, hi] = spec.reduction_range(IntVec({2, 7}));
+  EXPECT_EQ(lo, 3);
+  EXPECT_EQ(hi, 6);
+  const auto [lo2, hi2] = spec.reduction_range(IntVec({3, 4}));
+  EXPECT_GT(lo2, hi2);  // Empty: no k with 3 < k < 4.
+}
+
+TEST(NonUniformSpecTest, ExpansionMatchesPaperExample) {
+  const auto spec = dp_spec(8);
+  // At (i,j) = (2,7), k = 4: deps are (0, j-k) = (0,3) and (i-k, 0) = (-2,0).
+  EXPECT_EQ(spec.expand(0, IntVec({2, 7}), 4), IntVec({0, 3}));
+  EXPECT_EQ(spec.expand(1, IntVec({2, 7}), 4), IntVec({-2, 0}));
+}
+
+TEST(NonUniformSpecTest, OperandPointsAreCiKAndCkJ) {
+  const auto spec = dp_spec(8);
+  const auto ops = spec.operand_points(IntVec({2, 7}), 4);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0], IntVec({2, 4}));  // c(i,k)
+  EXPECT_EQ(ops[1], IntVec({4, 7}));  // c(k,j)
+}
+
+TEST(NonUniformSpecTest, ExpandedSetAtOnePoint) {
+  const auto spec = dp_spec(8);
+  // At (2,5): k in {3,4}: {(0,2),(0,1),(-1,0),(-2,0)}.
+  const auto set = spec.expanded_set(IntVec({2, 5}));
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_NE(std::find(set.begin(), set.end(), IntVec({0, 1})), set.end());
+  EXPECT_NE(std::find(set.begin(), set.end(), IntVec({-2, 0})), set.end());
+}
+
+TEST(NonUniformSpecTest, ConstantCoreMatchesPaperSectionIV) {
+  // The paper derives D^c = { (0,1)^t, (-1,0)^t } for dynamic programming.
+  for (const i64 n : {4, 6, 9}) {
+    const auto core = dp_spec(n).constant_core();
+    ASSERT_EQ(core.size(), 2u) << "n = " << n;
+    EXPECT_EQ(core[0], IntVec({-1, 0}));
+    EXPECT_EQ(core[1], IntVec({0, 1}));
+  }
+}
+
+TEST(NonUniformSpecTest, ValidationRejectsBadTemplates) {
+  EXPECT_THROW(NonUniformSpec("bad", dp_domain(4),
+                              {{"c", IntVec({0, 0, 0}), 0}}),
+               DomainError);
+  EXPECT_THROW(NonUniformSpec("bad", dp_domain(4), {{"c", IntVec({0, 0}), 2}}),
+               DomainError);
+  EXPECT_THROW(NonUniformSpec("bad", dp_domain(4), {}), DomainError);
+}
+
+}  // namespace
+}  // namespace nusys

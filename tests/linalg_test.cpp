@@ -1,0 +1,304 @@
+// Unit tests for the integer linear algebra layer: IntVec, IntMat, RatMat,
+// Hermite normal form and Diophantine solving.
+#include <gtest/gtest.h>
+
+#include "linalg/hermite.hpp"
+#include "linalg/mat.hpp"
+#include "linalg/ratmat.hpp"
+#include "linalg/vec.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+namespace {
+
+TEST(IntVecTest, ArithmeticBasics) {
+  const IntVec a{1, 2, 3};
+  const IntVec b{4, -1, 0};
+  EXPECT_EQ(a + b, IntVec({5, 1, 3}));
+  EXPECT_EQ(a - b, IntVec({-3, 3, 3}));
+  EXPECT_EQ(a * 2, IntVec({2, 4, 6}));
+  EXPECT_EQ(-a, IntVec({-1, -2, -3}));
+  EXPECT_EQ(a.dot(b), 2);
+}
+
+TEST(IntVecTest, DimensionMismatchThrows) {
+  const IntVec a{1, 2};
+  const IntVec b{1, 2, 3};
+  EXPECT_THROW((void)(a + b), ContractError);
+  EXPECT_THROW((void)a.dot(b), ContractError);
+}
+
+TEST(IntVecTest, ZeroAndNorm) {
+  EXPECT_TRUE(IntVec(3).is_zero());
+  EXPECT_FALSE(IntVec({0, 1}).is_zero());
+  EXPECT_EQ(IntVec({-2, 3, 0}).l1_norm(), 5);
+}
+
+TEST(IntVecTest, OrderingIsLexicographic) {
+  EXPECT_LT(IntVec({1, 2}), IntVec({1, 3}));
+  EXPECT_LT(IntVec({0, 9}), IntVec({1, 0}));
+}
+
+TEST(IntVecTest, AtBoundsChecked) {
+  const IntVec v{1, 2};
+  EXPECT_EQ(v.at(1), 2);
+  EXPECT_THROW((void)v.at(2), ContractError);
+}
+
+TEST(IntVecTest, ToString) {
+  EXPECT_EQ(IntVec({1, -2}).to_string(), "(1, -2)");
+}
+
+TEST(IntVecTest, HashDistinguishesVectors) {
+  IntVecHash h;
+  EXPECT_NE(h(IntVec({1, 0})), h(IntVec({0, 1})));
+  EXPECT_EQ(h(IntVec({3, 4})), h(IntVec({3, 4})));
+}
+
+TEST(IntMatTest, ConstructionAndAccess) {
+  const IntMat m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 6);
+  EXPECT_EQ(m.row(0), IntVec({1, 2, 3}));
+  EXPECT_EQ(m.col(1), IntVec({2, 5}));
+  EXPECT_THROW((void)m.at(2, 0), ContractError);
+}
+
+TEST(IntMatTest, RaggedInitializerThrows) {
+  EXPECT_THROW((IntMat{{1, 2}, {3}}), ContractError);
+}
+
+TEST(IntMatTest, Product) {
+  const IntMat a{{1, 2}, {3, 4}};
+  const IntMat b{{0, 1}, {1, 0}};
+  EXPECT_EQ(a * b, (IntMat{{2, 1}, {4, 3}}));
+  EXPECT_EQ(a * IntVec({1, 1}), IntVec({3, 7}));
+}
+
+TEST(IntMatTest, IdentityAndTranspose) {
+  const IntMat id = IntMat::identity(3);
+  const IntMat m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(id * m.transposed(), m.transposed());
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(IntMatTest, FromColumnsAndRows) {
+  const auto m =
+      IntMat::from_columns({IntVec({0, 1}), IntVec({1, 1}), IntVec({1, 0})});
+  EXPECT_EQ(m, (IntMat{{0, 1, 1}, {1, 1, 0}}));
+  const auto r = IntMat::from_rows({IntVec({0, 1}), IntVec({2, 3})});
+  EXPECT_EQ(r, (IntMat{{0, 1}, {2, 3}}));
+}
+
+TEST(IntMatTest, AppendRowAndCol) {
+  const IntMat m{{1, 2}};
+  EXPECT_EQ(m.with_row_appended(IntVec({3, 4})), (IntMat{{1, 2}, {3, 4}}));
+  EXPECT_EQ(m.with_col_appended(IntVec({9})), (IntMat{{1, 2, 9}}));
+}
+
+TEST(IntMatTest, Determinant2x2And3x3) {
+  EXPECT_EQ((IntMat{{1, 2}, {3, 4}}).determinant(), -2);
+  EXPECT_EQ((IntMat{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}).determinant(), 24);
+  EXPECT_EQ((IntMat{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}).determinant(), 0);
+}
+
+TEST(IntMatTest, DeterminantNeedsPivotSwap) {
+  // Leading zero forces a row swap inside Bareiss elimination.
+  EXPECT_EQ((IntMat{{0, 1}, {1, 0}}).determinant(), -1);
+  EXPECT_EQ((IntMat{{0, 2, 1}, {1, 0, 0}, {0, 0, 3}}).determinant(), -6);
+}
+
+TEST(IntMatTest, DeterminantOfPaperPi) {
+  // Π = [T; S] for convolution design W2: T = (1,1), S = (0,1).
+  const IntMat pi{{1, 1}, {0, 1}};
+  EXPECT_EQ(pi.determinant(), 1);
+  EXPECT_TRUE(pi.is_nonsingular());
+}
+
+TEST(IntMatTest, Rank) {
+  EXPECT_EQ((IntMat{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}).rank(), 2u);
+  EXPECT_EQ(IntMat::identity(4).rank(), 4u);
+  EXPECT_EQ(IntMat(3, 3).rank(), 0u);
+  EXPECT_EQ((IntMat{{0, 1, 1}, {1, 1, 0}}).rank(), 2u);
+}
+
+TEST(IntMatTest, DeterminantAgreesWithCofactorOnRandomMatrices) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    IntMat m(3, 3);
+    for (std::size_t r = 0; r < 3; ++r) {
+      for (std::size_t c = 0; c < 3; ++c) m(r, c) = rng.uniform(-5, 5);
+    }
+    const i64 cofactor =
+        m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) -
+        m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0)) +
+        m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+    EXPECT_EQ(m.determinant(), cofactor);
+  }
+}
+
+TEST(RatMatTest, InverseOfIdentityIsIdentity) {
+  const auto inv = RatMat::identity(3).inverse();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv, RatMat::identity(3));
+}
+
+TEST(RatMatTest, InverseRoundTrip) {
+  const IntMat m{{1, 2}, {3, 5}};
+  const auto inv = RatMat(m).inverse();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv * RatMat(m), RatMat::identity(2));
+}
+
+TEST(RatMatTest, SingularHasNoInverse) {
+  EXPECT_FALSE(RatMat(IntMat{{1, 2}, {2, 4}}).inverse().has_value());
+}
+
+TEST(RatMatTest, SolveLinearSystem) {
+  const IntMat a{{2, 1}, {1, 3}};
+  const auto x = RatMat(a).solve({Fraction(5), Fraction(10)});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ((*x)[0], Fraction(1));
+  EXPECT_EQ((*x)[1], Fraction(3));
+}
+
+TEST(RatMatTest, IntegralPreimage) {
+  // Π for the DP figure-1 mapping on module 1: rows λ=(-1,2,-1), S'=(j,i).
+  const IntMat pi{{-1, 2, -1}, {0, 1, 0}, {1, 0, 0}};
+  const auto inv = RatMat(pi).inverse();
+  ASSERT_TRUE(inv.has_value());
+  const IntVec point{2, 7, 5};  // (i, j, k)
+  const IntVec image = pi * point;
+  const auto back = integral_preimage(*inv, image);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, point);
+}
+
+TEST(RatMatTest, NonIntegralPreimageRejected) {
+  const IntMat doubling{{2, 0}, {0, 2}};
+  const auto inv = RatMat(doubling).inverse();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_FALSE(integral_preimage(*inv, IntVec({1, 2})).has_value());
+  EXPECT_TRUE(integral_preimage(*inv, IntVec({2, 4})).has_value());
+}
+
+TEST(HermiteTest, FormIsColumnEchelonWithUnimodularTransform) {
+  const IntMat a{{2, 4, 4}, {-6, 6, 12}, {10, -4, -16}};
+  const auto hf = hermite_normal_form(a);
+  // A·U = H must hold and U must be unimodular.
+  EXPECT_EQ(a * hf.u, hf.h);
+  const i64 det_u = hf.u.determinant();
+  EXPECT_TRUE(det_u == 1 || det_u == -1);
+  // Echelon structure: entries above each pivot are zero.
+  // (H is square here; pivot of column c sits at or below row c.)
+  for (std::size_t c = 0; c < hf.h.cols(); ++c) {
+    std::size_t pivot_row = hf.h.rows();
+    for (std::size_t r = 0; r < hf.h.rows(); ++r) {
+      if (hf.h(r, c) != 0) {
+        pivot_row = r;
+        break;
+      }
+    }
+    if (pivot_row < hf.h.rows()) {
+      EXPECT_GT(hf.h(pivot_row, c), 0);
+    }
+  }
+}
+
+TEST(HermiteTest, RandomMatricesSatisfyInvariant) {
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto rows = static_cast<std::size_t>(rng.uniform(1, 4));
+    const auto cols = static_cast<std::size_t>(rng.uniform(1, 4));
+    IntMat a(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) a(r, c) = rng.uniform(-6, 6);
+    }
+    const auto hf = hermite_normal_form(a);
+    EXPECT_EQ(a * hf.u, hf.h) << "trial " << trial;
+    const i64 det_u = hf.u.determinant();
+    EXPECT_TRUE(det_u == 1 || det_u == -1) << "trial " << trial;
+  }
+}
+
+TEST(DiophantineTest, SolvableSystem) {
+  // 3x + 6y = 9 has integer solutions.
+  const IntMat a{{3, 6}};
+  const auto sol = solve_diophantine(a, IntVec({9}));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(a * sol->particular, IntVec({9}));
+  ASSERT_EQ(sol->kernel.size(), 1u);
+  EXPECT_EQ(a * sol->kernel[0], IntVec({0}));
+  EXPECT_FALSE(sol->kernel[0].is_zero());
+}
+
+TEST(DiophantineTest, UnsolvableByDivisibility) {
+  // 2x + 4y = 3 has no integer solution.
+  EXPECT_FALSE(solve_diophantine(IntMat{{2, 4}}, IntVec({3})).has_value());
+}
+
+TEST(DiophantineTest, InconsistentSystem) {
+  // x + y = 1 and x + y = 2 simultaneously.
+  const IntMat a{{1, 1}, {1, 1}};
+  EXPECT_FALSE(solve_diophantine(a, IntVec({1, 2})).has_value());
+}
+
+TEST(DiophantineTest, FullRankSquareSystem) {
+  const IntMat a{{1, 2}, {3, 4}};
+  const auto sol = solve_diophantine(a, IntVec({5, 11}));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(a * sol->particular, IntVec({5, 11}));
+  EXPECT_TRUE(sol->kernel.empty());
+}
+
+TEST(DiophantineTest, KernelSpansSolutions) {
+  Rng rng(31);
+  const IntMat a{{1, 2, -1}, {0, 3, 1}};
+  const IntVec b{4, 6};
+  const auto sol = solve_diophantine(a, b);
+  ASSERT_TRUE(sol.has_value());
+  // Any particular + integer combination of kernel vectors still solves.
+  for (int trial = 0; trial < 20; ++trial) {
+    IntVec x = sol->particular;
+    for (const auto& k : sol->kernel) x += k * rng.uniform(-3, 3);
+    EXPECT_EQ(a * x, b);
+  }
+}
+
+TEST(EnumerateNonnegTest, RoutingStyleQuery) {
+  // Δ for the paper's figure-1 array: links (1,0) and (0,-1).
+  const IntMat delta{{1, 0}, {0, -1}};
+  // Displacement (1,-1) with at most 2 hops: unique split 1·δ1 + 1·δ2.
+  const auto sols = enumerate_nonnegative_solutions(delta, IntVec({1, -1}), 2);
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_EQ(sols[0], IntVec({1, 1}));
+}
+
+TEST(EnumerateNonnegTest, RespectsBudget) {
+  const IntMat delta{{1, 0}, {0, -1}};
+  EXPECT_TRUE(
+      enumerate_nonnegative_solutions(delta, IntVec({2, -1}), 2).empty());
+  EXPECT_EQ(
+      enumerate_nonnegative_solutions(delta, IntVec({2, -1}), 3).size(), 1u);
+}
+
+TEST(EnumerateNonnegTest, ZeroDisplacementHasEmptySolution) {
+  const IntMat delta{{1, -1}, {0, 0}};
+  const auto sols = enumerate_nonnegative_solutions(delta, IntVec({0, 0}), 2);
+  // (0,0), (1,1) both map to zero displacement.
+  ASSERT_EQ(sols.size(), 2u);
+  EXPECT_EQ(sols[0], IntVec({0, 0}));
+  EXPECT_EQ(sols[1], IntVec({1, 1}));
+}
+
+TEST(EnumerateNonnegTest, MultipleRoutesEnumerated) {
+  // Bidirectional horizontal links: +1 and -1.
+  const IntMat delta{{1, -1}};
+  const auto sols = enumerate_nonnegative_solutions(delta, IntVec({0}), 4);
+  // (0,0), (1,1), (2,2) within budget 4.
+  EXPECT_EQ(sols.size(), 3u);
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,84 @@
+// Tests for LSGP partitioning: running the DP designs on fixed-size
+// physical arrays by clustering virtual cells and serializing time.
+#include <gtest/gtest.h>
+
+#include "designs/dp_array.hpp"
+#include "dp/sequential.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+namespace {
+
+class PartitionTest : public ::testing::TestWithParam<std::tuple<int, i64>> {
+};
+
+TEST_P(PartitionTest, ResultsUnchangedByClustering) {
+  const auto [figure, block] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(block) * 17 +
+          static_cast<std::uint64_t>(figure));
+  const auto p = random_matrix_chain(12, rng);
+  const auto base = figure == 1 ? dp_fig1_design() : dp_fig2_design();
+  const auto run = run_dp_on_array(p, partitioned(base, block, block));
+  EXPECT_EQ(run.table, solve_sequential(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PartitionTest,
+    ::testing::Combine(::testing::Values(1, 2),
+                       ::testing::Values<i64>(1, 2, 3, 4)));
+
+TEST(PartitionPropertiesTest, CellsShrinkAndMakespanGrows) {
+  const i64 n = 16;
+  Rng rng(55);
+  const auto p = random_matrix_chain(n, rng);
+  const auto base = run_dp_on_array(p, dp_fig1_design());
+  std::size_t prev_cells = base.cell_count;
+  for (const i64 b : {2, 3, 4}) {
+    const auto run = run_dp_on_array(p, partitioned(dp_fig1_design(), b, b));
+    EXPECT_EQ(run.table, base.table);
+    // Roughly cells / b^2 processors...
+    EXPECT_LT(run.cell_count, prev_cells);
+    EXPECT_GE(run.cell_count,
+              base.cell_count / static_cast<std::size_t>(b * b));
+    // ... at roughly b^2 times the ticks.
+    EXPECT_GT(run.last_tick - run.first_tick,
+              (base.last_tick - base.first_tick) * (b * b - 1));
+    prev_cells = run.cell_count;
+  }
+}
+
+TEST(PartitionPropertiesTest, RectangularBlocksSupported) {
+  Rng rng(56);
+  const auto p = random_matrix_chain(10, rng);
+  const auto run = run_dp_on_array(p, partitioned(dp_fig2_design(), 3, 1));
+  EXPECT_EQ(run.table, solve_sequential(p));
+}
+
+TEST(PartitionPropertiesTest, AreaTimeProductRoughlyPreserved) {
+  // LSGP keeps processors x ticks within a constant factor: serialization
+  // wastes no slots beyond cluster-boundary rounding.
+  const i64 n = 14;
+  Rng rng(57);
+  const auto p = random_shortest_path(n, rng);
+  const auto base = run_dp_on_array(p, dp_fig1_design());
+  const auto part = run_dp_on_array(p, partitioned(dp_fig1_design(), 2, 2));
+  const double base_at = static_cast<double>(base.cell_count) *
+                         static_cast<double>(base.last_tick -
+                                             base.first_tick + 1);
+  const double part_at = static_cast<double>(part.cell_count) *
+                         static_cast<double>(part.last_tick -
+                                             part.first_tick + 1);
+  EXPECT_LT(part_at, base_at * 2.5);
+  EXPECT_GT(part_at, base_at * 0.4);
+}
+
+TEST(PartitionPropertiesTest, InvalidBlocksRejected) {
+  EXPECT_THROW((void)partitioned(dp_fig1_design(), 0, 1), ContractError);
+  const auto p = matrix_chain_problem({2, 3, 4, 5});
+  auto design = dp_fig1_design();
+  design.block_x = -1;
+  EXPECT_THROW((void)run_dp_on_array(p, design), ContractError);
+}
+
+}  // namespace
+}  // namespace nusys

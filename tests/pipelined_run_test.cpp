@@ -1,0 +1,100 @@
+// Executable validation of the pipelining analysis: streaming several DP
+// instances through one array at the predicted minimum period works and
+// computes every instance exactly; one tick faster trips the slot check.
+#include <gtest/gtest.h>
+
+#include "designs/dp_array.hpp"
+#include "dp/dp_modules.hpp"
+#include "dp/sequential.hpp"
+#include "modules/pipelining.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+namespace {
+
+std::vector<IntervalDPProblem> make_instances(i64 n, std::size_t count,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IntervalDPProblem> out;
+  for (std::size_t q = 0; q < count; ++q) {
+    out.push_back(random_matrix_chain(n, rng));
+  }
+  return out;
+}
+
+class PipelinedRunTest : public ::testing::TestWithParam<int> {
+ protected:
+  static DPArrayDesign design() {
+    return GetParam() == 1 ? dp_fig1_design() : dp_fig2_design();
+  }
+  static std::vector<IntMat> spaces() {
+    return GetParam() == 1 ? dp_fig1_spaces() : dp_fig2_spaces();
+  }
+};
+
+TEST_P(PipelinedRunTest, MinimumPeriodStreamsCorrectly) {
+  const i64 n = 10;
+  const auto sys = build_dp_module_system(n);
+  const i64 period =
+      min_pipeline_period(sys, dp_paper_schedules(), spaces(), 256);
+  ASSERT_GT(period, 0);
+  const auto problems = make_instances(n, 4, 1234);
+  const auto run = run_dp_pipelined(problems, design(), period);
+  ASSERT_EQ(run.tables.size(), problems.size());
+  for (std::size_t q = 0; q < problems.size(); ++q) {
+    EXPECT_EQ(run.tables[q], solve_sequential(problems[q])) << "inst " << q;
+  }
+  // Steady-state window: last instance finishes period*(count-1) after the
+  // first.
+  EXPECT_EQ(run.last_tick,
+            2 * (n - 1) + period * static_cast<i64>(problems.size() - 1));
+}
+
+TEST_P(PipelinedRunTest, BelowMinimumPeriodRejected) {
+  const i64 n = 10;
+  const auto sys = build_dp_module_system(n);
+  const i64 period =
+      min_pipeline_period(sys, dp_paper_schedules(), spaces(), 256);
+  ASSERT_GT(period, 1);
+  const auto problems = make_instances(n, 2, 99);
+  EXPECT_THROW((void)run_dp_pipelined(problems, design(), period - 1),
+               ContractError);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFigures, PipelinedRunTest, ::testing::Values(1, 2),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return param_info.param == 1 ? "Figure1"
+                                                        : "Figure2";
+                         });
+
+TEST(PipelinedRunTest2, SingleInstanceMatchesPlainRun) {
+  Rng rng(7);
+  const auto p = random_matrix_chain(9, rng);
+  const auto plain = run_dp_on_array(p, dp_fig1_design());
+  const auto piped = run_dp_pipelined({p}, dp_fig1_design(), 0);
+  ASSERT_EQ(piped.tables.size(), 1u);
+  EXPECT_EQ(piped.tables[0], plain.table);
+  EXPECT_EQ(piped.last_tick, plain.last_tick);
+}
+
+TEST(PipelinedRunTest2, ThroughputBeatsSequentialReplay) {
+  // Streaming Q instances at period p costs 2(n-1) + (Q-1)p ticks; running
+  // them back to back would cost Q * (2(n-1)+1). With p = n/2 on figure 1
+  // pipelining must win for Q >= 2.
+  const i64 n = 12;
+  const auto problems = make_instances(n, 5, 321);
+  const auto run = run_dp_pipelined(problems, dp_fig1_design(), n / 2);
+  const i64 replay = static_cast<i64>(problems.size()) * (2 * (n - 1) + 1);
+  EXPECT_LT(run.last_tick - run.first_tick + 1, replay);
+}
+
+TEST(PipelinedRunTest2, MismatchedSizesRejected) {
+  Rng rng(11);
+  std::vector<IntervalDPProblem> problems{random_matrix_chain(8, rng),
+                                          random_matrix_chain(9, rng)};
+  EXPECT_THROW((void)run_dp_pipelined(problems, dp_fig1_design(), 8),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace nusys

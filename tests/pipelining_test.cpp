@@ -1,0 +1,94 @@
+// Tests for the block-pipelining-period analysis and the activity trace
+// renderer.
+#include <gtest/gtest.h>
+
+#include "dp/dp_modules.hpp"
+#include "modules/pipelining.hpp"
+#include "synth/figure_render.hpp"
+
+namespace nusys {
+namespace {
+
+TEST(PipeliningTest, PeriodOneMeansDisjointResidues) {
+  // A system whose single module touches each cell once pipelines at 1.
+  Module m{"m", IndexDomain::box({"i", "j", "k"}, {1, 1, 1}, {4, 1, 1}),
+           DependenceSet{}};
+  const ModuleSystem sys("line", {m}, {});
+  const std::vector<LinearSchedule> sched{LinearSchedule(IntVec({1, 0, 0}))};
+  // S = identity on (i, j): each i its own cell, used exactly once.
+  const std::vector<IntMat> spaces{IntMat{{1, 0, 0}, {0, 1, 0}}};
+  EXPECT_EQ(min_pipeline_period(sys, sched, spaces, 16), 1);
+}
+
+TEST(PipeliningTest, SharedCellForcesLargerPeriod) {
+  // All four computations on one cell at ticks 1..4: period must be >= 4.
+  Module m{"m", IndexDomain::box({"i", "j", "k"}, {1, 1, 1}, {4, 1, 1}),
+           DependenceSet{}};
+  const ModuleSystem sys("point", {m}, {});
+  const std::vector<LinearSchedule> sched{LinearSchedule(IntVec({1, 0, 0}))};
+  const std::vector<IntMat> spaces{IntMat{{0, 1, 0}, {0, 0, 1}}};  // (j,k).
+  EXPECT_EQ(min_pipeline_period(sys, sched, spaces, 16), 4);
+}
+
+TEST(PipeliningTest, ZeroWhenBudgetTooSmall) {
+  Module m{"m", IndexDomain::box({"i", "j", "k"}, {1, 1, 1}, {9, 1, 1}),
+           DependenceSet{}};
+  const ModuleSystem sys("point", {m}, {});
+  const std::vector<LinearSchedule> sched{LinearSchedule(IntVec({1, 0, 0}))};
+  const std::vector<IntMat> spaces{IntMat{{0, 1, 0}, {0, 0, 1}}};
+  EXPECT_EQ(min_pipeline_period(sys, sched, spaces, 8), 0);
+}
+
+TEST(PipeliningTest, Fig1PeriodIsHalfOfFig2) {
+  // Measured structural fact (see EXPERIMENTS.md A4): the figure-1 array
+  // accepts a new instance roughly every n/2 ticks, figure 2 only every
+  // ~n-1 ticks — the throughput price of the smaller array.
+  for (const i64 n : {8, 12, 16}) {
+    const auto sys = build_dp_module_system(n);
+    const i64 p1 =
+        min_pipeline_period(sys, dp_paper_schedules(), dp_fig1_spaces(), 256);
+    const i64 p2 =
+        min_pipeline_period(sys, dp_paper_schedules(), dp_fig2_spaces(), 256);
+    EXPECT_EQ(p1, n / 2) << "n = " << n;
+    EXPECT_EQ(p2, n - 1) << "n = " << n;
+    EXPECT_LT(p1, p2);
+  }
+}
+
+TEST(PipeliningTest, PeriodNeverExceedsMakespanPlusOne) {
+  // Shifting by more than the full busy window is always conflict-free.
+  const auto sys = build_dp_module_system(8);
+  const i64 p =
+      min_pipeline_period(sys, dp_paper_schedules(), dp_fig2_spaces(), 1024);
+  EXPECT_GT(p, 0);
+  EXPECT_LE(p, 2 * (8 - 1) + 1);
+}
+
+TEST(ActivityTraceTest, ShowsFoldAtTheMeetingTick) {
+  // At tick 2j - 2i - 1 the last module-1 and module-2 terms of (i,j)
+  // fold on cell (j,i) in figure 1: glyph 'B' must appear.
+  const auto sys = build_dp_module_system(6);
+  const auto trace =
+      render_activity_trace(sys, dp_fig1_spaces(), dp_paper_schedules(),
+                            2 * (6 - 1) - 1, 2 * (6 - 1) - 1);
+  EXPECT_NE(trace.find('B'), std::string::npos);
+}
+
+TEST(ActivityTraceTest, CombineTickShowsC) {
+  const auto sys = build_dp_module_system(6);
+  // σ(1,6) = 10: the final combine fires alone at the last tick.
+  const auto trace = render_activity_trace(
+      sys, dp_fig1_spaces(), dp_paper_schedules(), 10, 10);
+  EXPECT_NE(trace.find('C'), std::string::npos);
+  EXPECT_NE(trace.find("tick 10:"), std::string::npos);
+}
+
+TEST(ActivityTraceTest, RejectsEmptyRange) {
+  const auto sys = build_dp_module_system(5);
+  EXPECT_THROW((void)render_activity_trace(sys, dp_fig1_spaces(),
+                                           dp_paper_schedules(), 5, 4),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,204 @@
+// Property-based and parameterized sweep tests across the library's
+// invariants: schedule optimality, routing soundness, synthesis/verifier
+// agreement on random models, and dense design-correctness sweeps.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "conv/convolution.hpp"
+#include "designs/conv_arrays.hpp"
+#include "designs/dp_array.hpp"
+#include "dp/sequential.hpp"
+#include "dp/two_module.hpp"
+#include "schedule/search.hpp"
+#include "space/routing.hpp"
+#include "support/rng.hpp"
+#include "synth/synthesizer.hpp"
+#include "verify/spacetime.hpp"
+
+namespace nusys {
+namespace {
+
+// --- Dense convolution sweep: every design x (n, s) grid. -----------------
+
+using ConvRunner = ConvArrayRun (*)(const std::vector<i64>&,
+                                    const std::vector<i64>&);
+
+class ConvSweepTest
+    : public ::testing::TestWithParam<std::tuple<ConvRunner, i64, i64>> {};
+
+TEST_P(ConvSweepTest, ArrayEqualsBaseline) {
+  const auto [runner, n, s] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 131 + s));
+  const auto x = rng.uniform_vector(static_cast<std::size_t>(n), -99, 99);
+  const auto w = rng.uniform_vector(static_cast<std::size_t>(s), -99, 99);
+  EXPECT_EQ(runner(x, w).y, direct_convolution(x, w));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConvSweepTest,
+    ::testing::Combine(::testing::Values(&run_convolution_w1,
+                                         &run_convolution_w2,
+                                         &run_convolution_r2),
+                       ::testing::Values<i64>(1, 2, 5, 17, 64),
+                       ::testing::Values<i64>(1, 3, 8)));
+
+// --- Dense DP sweep: both figures x problem kind x n. ----------------------
+
+enum class DpKind { kMatrixChain, kTriangulation, kBracketing, kPath };
+
+class DpSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, DpKind, i64>> {};
+
+TEST_P(DpSweepTest, ArrayEqualsSequential) {
+  const auto [figure, kind, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 7 + static_cast<std::uint64_t>(kind));
+  IntervalDPProblem p;
+  const auto weights = rng.uniform_vector(static_cast<std::size_t>(n), 1, 9);
+  switch (kind) {
+    case DpKind::kMatrixChain:
+      p = matrix_chain_problem(weights);
+      break;
+    case DpKind::kTriangulation:
+      p = polygon_triangulation_problem(weights);
+      break;
+    case DpKind::kBracketing:
+      p = bracketing_problem(weights);
+      break;
+    case DpKind::kPath:
+      p = shortest_path_problem(
+          rng.uniform_vector(static_cast<std::size_t>(n - 1), 0, 50));
+      break;
+  }
+  const auto design = figure == 1 ? dp_fig1_design() : dp_fig2_design();
+  const auto expected = solve_sequential(p);
+  EXPECT_EQ(run_dp_on_array(p, design).table, expected);
+  EXPECT_EQ(solve_two_module(p), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DpSweepTest,
+    ::testing::Combine(::testing::Values(1, 2),
+                       ::testing::Values(DpKind::kMatrixChain,
+                                         DpKind::kTriangulation,
+                                         DpKind::kBracketing, DpKind::kPath),
+                       ::testing::Values<i64>(3, 4, 5, 8, 13, 21)));
+
+// --- Schedule-search properties on random dependence sets. ----------------
+
+TEST(SchedulePropertyTest, OptimumIsALowerBoundOverFeasibleCandidates) {
+  Rng rng(71);
+  const auto domain = IndexDomain::box({"i", "k"}, {1, 1}, {7, 5});
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<IntVec> deps;
+    const auto count = static_cast<std::size_t>(rng.uniform(1, 4));
+    for (std::size_t d = 0; d < count; ++d) {
+      IntVec v{rng.uniform(-2, 2), rng.uniform(-2, 2)};
+      if (v.is_zero()) v[0] = 1;
+      deps.push_back(std::move(v));
+    }
+    const auto result = find_optimal_schedules(deps, domain);
+    if (!result.found()) continue;
+    // Every feasible candidate in the cube has makespan >= the optimum.
+    for (const auto& coeffs : coefficient_cube(2, 3)) {
+      const LinearSchedule t(coeffs);
+      if (!t.is_feasible(deps)) continue;
+      EXPECT_GE(t.span(domain).makespan(), result.makespan);
+    }
+    // And all reported optima are feasible with the optimal makespan.
+    for (const auto& t : result.optima) {
+      EXPECT_TRUE(t.is_feasible(deps));
+      EXPECT_EQ(t.span(domain).makespan(), result.makespan);
+    }
+  }
+}
+
+TEST(RoutingPropertyTest, RoutesSatisfyTheirDefiningEquations) {
+  Rng rng(72);
+  const auto net = Interconnect::figure2();
+  for (int trial = 0; trial < 100; ++trial) {
+    const IntVec disp{rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    const i64 budget = rng.uniform(0, 5);
+    const auto route = route_displacement(net, disp, budget);
+    if (!route) continue;
+    EXPECT_EQ(net.delta() * route->hops_per_link, disp);
+    EXPECT_LE(route->total_hops, budget);
+    for (const auto hops : route->hops_per_link) EXPECT_GE(hops, 0);
+    // Minimality: no shorter route exists among all routes.
+    for (const auto& alt : all_routes(net, disp, budget)) {
+      EXPECT_GE(alt.total_hops, route->total_hops);
+    }
+  }
+}
+
+TEST(RoutingPropertyTest, InfeasibleBudgetMeansL1Exceeded) {
+  // On figure2 every unit displacement is one hop, so feasibility within
+  // budget b is equivalent to a reachable displacement with small enough
+  // hop count; check the necessary condition l1(d) <= budget is never the
+  // only failure on reachable displacements.
+  const auto net = Interconnect::figure2();
+  for (i64 dx = -2; dx <= 2; ++dx) {
+    for (i64 dy = -2; dy <= 2; ++dy) {
+      const IntVec disp{dx, dy};
+      const auto route = route_displacement(net, disp, 8);
+      if (dy <= 0) {
+        // South/flat displacements are reachable on this net.
+        ASSERT_TRUE(route.has_value()) << disp;
+      } else {
+        // No link has a positive y component: unreachable.
+        EXPECT_FALSE(route.has_value()) << disp;
+      }
+    }
+  }
+}
+
+// --- Random-recurrence synthesis: search and verifier must agree. ---------
+
+TEST(SynthesisPropertyTest, EveryDesignOfRandomRecurrencesVerifies) {
+  Rng rng(73);
+  int synthesized = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    DependenceSet deps;
+    const auto count = static_cast<std::size_t>(rng.uniform(1, 3));
+    for (std::size_t d = 0; d < count; ++d) {
+      IntVec v{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      if (v.is_zero()) v[1] = 1;
+      std::string name = "v";
+      name += std::to_string(d);
+      deps.add(std::move(name), std::move(v));
+    }
+    CanonicRecurrence rec("random" + std::to_string(trial),
+                          IndexDomain::box({"i", "k"}, {1, 1}, {6, 6}),
+                          std::move(deps));
+    SynthesisOptions opts;
+    opts.max_designs = 3;
+    const auto result =
+        synthesize(rec, Interconnect::linear_bidirectional(), opts);
+    if (!result.found()) continue;
+    ++synthesized;
+    for (const auto& design : result.designs) {
+      const auto report =
+          verify_design(rec, design.timing, design.space, design.net);
+      EXPECT_TRUE(report.ok())
+          << rec.name() << " with " << rec.dependences() << ": " << report;
+    }
+  }
+  EXPECT_GT(synthesized, 5);  // The sweep must exercise real cases.
+}
+
+// --- Restructuring property: chain order never changes results. -----------
+
+TEST(RestructuringPropertyTest, AllSolversAgreeOnRandomInstances) {
+  Rng rng(74);
+  for (int trial = 0; trial < 20; ++trial) {
+    const i64 n = rng.uniform(2, 30);
+    const auto p = n >= 3 ? random_matrix_chain(n, rng)
+                          : random_shortest_path(n, rng);
+    const auto reference = solve_sequential(p);
+    EXPECT_EQ(solve_sequential_chain_order(p), reference);
+    EXPECT_EQ(solve_two_module(p), reference);
+  }
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,173 @@
+// Unit tests for timing functions, the optimal-schedule search and coarse
+// timing derivation — validated against the closed-form results the paper
+// derives by hand in Secs. II and IV.
+#include <gtest/gtest.h>
+
+#include "conv/recurrences.hpp"
+#include "ir/nonuniform.hpp"
+#include "schedule/coarse.hpp"
+#include "schedule/search.hpp"
+#include "schedule/timing.hpp"
+
+namespace nusys {
+namespace {
+
+IndexDomain dp_domain(i64 n) {
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  return IndexDomain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+}
+
+NonUniformSpec dp_spec(i64 n) {
+  return NonUniformSpec("dp", dp_domain(n),
+                        {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+}
+
+TEST(LinearScheduleTest, EvaluationAndSlack) {
+  const LinearSchedule t(IntVec({1, 1}));
+  EXPECT_EQ(t.at(IntVec({3, 4})), 7);
+  EXPECT_EQ(t.slack(IntVec({0, 1})), 1);
+  EXPECT_EQ(t.slack(IntVec({1, -1})), 0);
+  const LinearSchedule with_offset(IntVec({2, -1}), 10);
+  EXPECT_EQ(with_offset.at(IntVec({1, 1})), 11);
+  // Offsets cancel on dependence differences.
+  EXPECT_EQ(with_offset.slack(IntVec({1, 0})), 2);
+}
+
+TEST(LinearScheduleTest, FeasibilityConditionOne) {
+  const LinearSchedule t(IntVec({1, 1}));
+  // Recurrence (4) dependences: all slacks positive.
+  EXPECT_TRUE(t.is_feasible({IntVec({0, 1}), IntVec({1, 1}), IntVec({1, 0})}));
+  // Recurrence (5) has d_y = (0,-1): T = (1,1) is infeasible.
+  EXPECT_FALSE(t.is_feasible({IntVec({0, -1})}));
+}
+
+TEST(LinearScheduleTest, SpanOverBox) {
+  const LinearSchedule t(IntVec({1, 1}));
+  const auto d = IndexDomain::box({"i", "k"}, {1, 1}, {8, 4});
+  const auto span = t.span(d);
+  EXPECT_EQ(span.first, 2);
+  EXPECT_EQ(span.last, 12);
+  EXPECT_EQ(span.makespan(), 10);
+}
+
+TEST(LinearScheduleTest, ToStringUsesNames) {
+  const LinearSchedule t(IntVec({-1, 2, -1}));
+  EXPECT_EQ(t.to_string({"i", "j", "k"}), "T(i, j, k) = -i + 2*j - k");
+}
+
+TEST(CoefficientCubeTest, OrderedByL1NormThenLex) {
+  const auto cube = coefficient_cube(2, 1);
+  ASSERT_EQ(cube.size(), 9u);
+  EXPECT_EQ(cube[0], IntVec({0, 0}));
+  // Norm-1 vectors precede norm-2 vectors.
+  EXPECT_EQ(cube[1].l1_norm(), 1);
+  EXPECT_EQ(cube[4].l1_norm(), 1);
+  EXPECT_EQ(cube[5].l1_norm(), 2);
+}
+
+TEST(ScheduleSearchTest, Recurrence4FindsPaperOptimum) {
+  // Paper Sec. II-C: the makespan-minimal schedule of recurrence (4) is
+  // T(i,k) = i + k.
+  const auto rec = convolution_backward_recurrence(8, 4);
+  const auto result =
+      find_optimal_schedules(rec.dependences(), rec.domain());
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.best().coeffs(), IntVec({1, 1}));
+  EXPECT_EQ(result.makespan, 7 + 3);  // (n-1) + (s-1).
+}
+
+TEST(ScheduleSearchTest, Recurrence5FindsForwardOptimum) {
+  // Recurrence (5): T2 <= -1 and T1 + T2 > 0 force T = (2, -1) (up to the
+  // makespan tie structure); makespan = 2(n-1) + (s-1).
+  const auto rec = convolution_forward_recurrence(8, 4);
+  const auto result =
+      find_optimal_schedules(rec.dependences(), rec.domain());
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.best().coeffs(), IntVec({2, -1}));
+  EXPECT_EQ(result.makespan, 2 * 7 + 3);
+  // Every reported optimum is feasible and achieves the same makespan.
+  for (const auto& t : result.optima) {
+    EXPECT_TRUE(t.is_feasible(rec.dependences()));
+    EXPECT_EQ(t.span(rec.domain()).makespan(), result.makespan);
+  }
+}
+
+TEST(ScheduleSearchTest, InfeasibleSystemReturnsEmpty) {
+  // d and -d cannot both have positive slack.
+  const auto domain = IndexDomain::box({"i"}, {1}, {4});
+  const auto result =
+      find_optimal_schedules({IntVec({1}), IntVec({-1})}, domain);
+  EXPECT_FALSE(result.found());
+  EXPECT_THROW((void)result.best(), SearchFailure);
+  EXPECT_EQ(result.feasible_count, 0u);
+}
+
+TEST(ScheduleSearchTest, SingleOptimumModeKeepsOne) {
+  const auto rec = convolution_backward_recurrence(6, 6);
+  ScheduleSearchOptions opts;
+  opts.keep_all_optima = false;
+  const auto result =
+      find_optimal_schedules(rec.dependences(), rec.domain(), opts);
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.optima.size(), 1u);
+}
+
+TEST(ScheduleSearchTest, ExaminedCountsMatchCube) {
+  const auto rec = convolution_backward_recurrence(4, 4);
+  ScheduleSearchOptions opts;
+  opts.coeff_bound = 2;
+  const auto result =
+      find_optimal_schedules(rec.dependences(), rec.domain(), opts);
+  EXPECT_EQ(result.examined, 25u);  // (2*2+1)^2.
+  EXPECT_GT(result.feasible_count, 0u);
+}
+
+TEST(ScheduleSearchTest, WiderBoundNeverWorsensOptimum) {
+  const auto rec = convolution_forward_recurrence(6, 3);
+  ScheduleSearchOptions narrow;
+  narrow.coeff_bound = 2;
+  ScheduleSearchOptions wide;
+  wide.coeff_bound = 4;
+  const auto a =
+      find_optimal_schedules(rec.dependences(), rec.domain(), narrow);
+  const auto b = find_optimal_schedules(rec.dependences(), rec.domain(), wide);
+  ASSERT_TRUE(a.found());
+  ASSERT_TRUE(b.found());
+  EXPECT_LE(b.makespan, a.makespan);
+  EXPECT_EQ(b.makespan, a.makespan);  // Bound 2 already contains the optimum.
+}
+
+TEST(CoarseTimingTest, DpCoarseScheduleIsJMinusI) {
+  // Paper Sec. IV: D^c = {(0,1), (-1,0)} gives the optimal coarse time
+  // T(i,j) = j - i.
+  const auto coarse = derive_coarse_timing(dp_spec(8));
+  ASSERT_TRUE(coarse.search.found());
+  EXPECT_EQ(coarse.schedule().coeffs(), IntVec({-1, 1}));
+  ASSERT_EQ(coarse.core.size(), 2u);
+  EXPECT_EQ(coarse.core[0], IntVec({-1, 0}));
+  EXPECT_EQ(coarse.core[1], IntVec({0, 1}));
+  // j - i spans [1, n-1] over the statement triangle: makespan n - 2.
+  EXPECT_EQ(coarse.search.makespan, 8 - 2);
+}
+
+TEST(CoarseTimingTest, CoarseScheduleIsLowerBoundOnOperandAvailability) {
+  // τ(i^s) >= T(i^s): with T = j - i, every operand of (i,j,k) has a
+  // strictly smaller coarse time than (i,j).
+  const auto spec = dp_spec(7);
+  const LinearSchedule t(IntVec({-1, 1}));
+  spec.statement_domain().for_each([&](const IntVec& p) {
+    const auto [lo, hi] = spec.reduction_range(p);
+    for (i64 k = lo; k <= hi; ++k) {
+      for (const auto& op : spec.operand_points(p, k)) {
+        EXPECT_LT(t.at(op), t.at(p));
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace nusys

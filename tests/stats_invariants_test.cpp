@@ -1,0 +1,74 @@
+// Cross-cutting invariants of the engine statistics on real workloads:
+// conservation laws that hold regardless of design or problem.
+#include <gtest/gtest.h>
+
+#include "conv/convolution.hpp"
+#include "designs/conv_arrays.hpp"
+#include "designs/dp_array.hpp"
+#include "dp/sequential.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+namespace {
+
+TEST(StatsInvariantsTest, UtilizationBoundedAndConsistent) {
+  Rng rng(61);
+  const auto p = random_matrix_chain(14, rng);
+  for (const auto& design : {dp_fig1_design(), dp_fig2_design()}) {
+    const auto run = run_dp_on_array(p, design);
+    const auto& st = run.stats;
+    EXPECT_GT(st.utilization(), 0.0);
+    EXPECT_LE(st.utilization(), 1.0);
+    EXPECT_EQ(st.cell_count, run.cell_count);
+    // Busy cell-ticks can never exceed cells x ticks.
+    const auto ticks =
+        static_cast<std::size_t>(st.last_tick - st.first_tick + 1);
+    EXPECT_LE(st.busy_cell_ticks, st.cell_count * ticks);
+    // Every compute op makes its cell busy at least once that tick, so
+    // busy cell-ticks is at least the number of distinct busy slots and
+    // at most ops + transfers + injections.
+    EXPECT_GE(st.busy_cell_ticks, run.compute_ops / run.max_folded_ops);
+  }
+}
+
+TEST(StatsInvariantsTest, TransfersMatchRouteHops) {
+  // Every scheduled hop that lands on a cell is one link transfer; hops
+  // leaving the array (none in the DP executor) would become emissions.
+  Rng rng(62);
+  const auto p = random_matrix_chain(12, rng);
+  for (const auto& design : {dp_fig1_design(), dp_fig2_design()}) {
+    const auto run = run_dp_on_array(p, design);
+    EXPECT_EQ(run.stats.link_transfers, run.route_hops);
+    EXPECT_EQ(run.stats.emissions, 0u);
+  }
+}
+
+TEST(StatsInvariantsTest, ConvolutionInjectionCounts) {
+  const std::size_t n = 20, s = 5;
+  Rng rng(63);
+  const auto x = rng.uniform_vector(n, -9, 9);
+  const auto w = rng.uniform_vector(s, -9, 9);
+  // W1: n-1 x values + n accumulators enter; y_n leaves plus x overflow.
+  const auto w1 = run_convolution_w1(x, w);
+  EXPECT_EQ(w1.stats.injections, (n - 1) + n);
+  // W2: same boundary traffic, different geometry.
+  const auto w2 = run_convolution_w2(x, w);
+  EXPECT_EQ(w2.stats.injections, (n - 1) + n);
+  // R2: weights (s) + inputs (n-1) enter; results stay (emit()); only the
+  // w stream drains off the east end of the array.
+  const auto r2 = run_convolution_r2(x, w);
+  EXPECT_EQ(r2.stats.injections, s + (n - 1));
+  EXPECT_LE(r2.stats.emissions, s);
+}
+
+TEST(StatsInvariantsTest, PartitioningPreservesComputeOps) {
+  Rng rng(64);
+  const auto p = random_matrix_chain(12, rng);
+  const auto base = run_dp_on_array(p, dp_fig1_design());
+  const auto part = run_dp_on_array(p, partitioned(dp_fig1_design(), 2, 2));
+  EXPECT_EQ(base.compute_ops, part.compute_ops);
+  EXPECT_EQ(base.table, part.table);
+}
+
+}  // namespace
+}  // namespace nusys

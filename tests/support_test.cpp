@@ -1,0 +1,205 @@
+// Unit tests for the support layer: checked arithmetic, Fraction, Rng,
+// TextTable and the error/contract machinery.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "support/checked.hpp"
+#include "support/errors.hpp"
+#include "support/fraction.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace nusys {
+namespace {
+
+TEST(CheckedTest, AddSubMulBasics) {
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_sub(2, 3), -1);
+  EXPECT_EQ(checked_mul(-4, 5), -20);
+}
+
+TEST(CheckedTest, AddOverflowThrows) {
+  const i64 big = std::numeric_limits<i64>::max();
+  EXPECT_THROW((void)checked_add(big, 1), ContractError);
+  EXPECT_THROW((void)checked_sub(std::numeric_limits<i64>::min(), 1),
+               ContractError);
+  EXPECT_THROW((void)checked_mul(big, 2), ContractError);
+}
+
+TEST(CheckedTest, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 7), 7);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(17, 13), 1);
+}
+
+TEST(CheckedTest, FloorCeilDiv) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_THROW((void)floor_div(1, 0), ContractError);
+  EXPECT_THROW((void)ceil_div(1, 0), ContractError);
+}
+
+TEST(FractionTest, NormalizesOnConstruction) {
+  const Fraction f(6, -4);
+  EXPECT_EQ(f.num(), -3);
+  EXPECT_EQ(f.den(), 2);
+  const Fraction zero(0, 99);
+  EXPECT_EQ(zero.num(), 0);
+  EXPECT_EQ(zero.den(), 1);
+}
+
+TEST(FractionTest, ZeroDenominatorThrows) {
+  EXPECT_THROW(Fraction(1, 0), ContractError);
+}
+
+TEST(FractionTest, Arithmetic) {
+  const Fraction half(1, 2);
+  const Fraction third(1, 3);
+  EXPECT_EQ(half + third, Fraction(5, 6));
+  EXPECT_EQ(half - third, Fraction(1, 6));
+  EXPECT_EQ(half * third, Fraction(1, 6));
+  EXPECT_EQ(half / third, Fraction(3, 2));
+  EXPECT_EQ(-half, Fraction(-1, 2));
+}
+
+TEST(FractionTest, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(Fraction(1) / Fraction(0)), ContractError);
+}
+
+TEST(FractionTest, Ordering) {
+  EXPECT_LT(Fraction(1, 3), Fraction(1, 2));
+  EXPECT_GT(Fraction(-1, 3), Fraction(-1, 2));
+  EXPECT_EQ(Fraction(2, 4), Fraction(1, 2));
+  EXPECT_LT(Fraction(-5), Fraction(0));
+}
+
+TEST(FractionTest, IntegerConversion) {
+  EXPECT_TRUE(Fraction(4, 2).is_integer());
+  EXPECT_EQ(Fraction(4, 2).as_integer(), 2);
+  EXPECT_FALSE(Fraction(1, 2).is_integer());
+  EXPECT_THROW((void)Fraction(1, 2).as_integer(), ContractError);
+}
+
+TEST(FractionTest, ToStringAndStream) {
+  EXPECT_EQ(Fraction(3, 6).to_string(), "1/2");
+  EXPECT_EQ(Fraction(-8, 2).to_string(), "-4");
+  std::ostringstream os;
+  os << Fraction(7, 3);
+  EXPECT_EQ(os.str(), "7/3");
+}
+
+TEST(FractionTest, AbsAndDouble) {
+  EXPECT_EQ(Fraction(-3, 2).abs(), Fraction(3, 2));
+  EXPECT_DOUBLE_EQ(Fraction(1, 2).as_double(), 0.5);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const i64 v = rng.uniform(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform(4, 4), 4);
+}
+
+TEST(RngTest, UniformEmptyRangeThrows) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.uniform(5, 4), ContractError);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<i64> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, Uniform01InUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(9);
+  std::vector<int> items{1, 2, 3, 4, 5, 6};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"design", "output"});
+  t.add_row({"W1", "moves left"});
+  t.add_row({"R2", "stays"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| design | output     |"), std::string::npos);
+  EXPECT_NE(out.find("| W1     | moves left |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTableTest, RejectsRaggedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), ContractError);
+}
+
+TEST(ErrorsTest, ContractErrorCarriesLocation) {
+  try {
+    NUSYS_REQUIRE(false, "message text");
+    FAIL() << "expected throw";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("message text"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorsTest, ValidateThrowsDomainError) {
+  EXPECT_THROW(NUSYS_VALIDATE(1 == 2, "bad model"), DomainError);
+}
+
+TEST(ErrorsTest, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw SearchFailure("none"), Error);
+  EXPECT_THROW(throw DomainError("bad"), Error);
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,188 @@
+// End-to-end synthesis tests: regenerating the paper's Tables 1 and 2
+// (Kung's convolution designs W2, W1 and R2) from recurrences (4) and (5).
+#include <gtest/gtest.h>
+
+#include "conv/recurrences.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nusys {
+namespace {
+
+SynthesisResult synthesize_conv(const CanonicRecurrence& rec) {
+  return synthesize(rec, Interconnect::linear_bidirectional());
+}
+
+/// Finds the design whose space map equals `s`; nullptr when absent.
+const Design* find_design(const SynthesisResult& result, const IntMat& s) {
+  for (const auto& d : result.designs) {
+    if (d.space == s) return &d;
+  }
+  return nullptr;
+}
+
+TEST(SynthesizerTest, Table1_W2FromRecurrence4) {
+  const auto result = synthesize_conv(convolution_backward_recurrence(8, 4));
+  ASSERT_TRUE(result.found());
+  // The paper: T(i,k) = i+k, S(i,k) = k gives design W2.
+  const Design* w2 = find_design(result, IntMat{{0, 1}});
+  ASSERT_NE(w2, nullptr);
+  EXPECT_EQ(w2->timing.coeffs(), IntVec({1, 1}));
+  // Table 1 row W2: y and x move in the same direction at different
+  // speeds; w stays.
+  const auto& y = w2->stream("y");
+  const auto& x = w2->stream("x");
+  const auto& w = w2->stream("w");
+  EXPECT_TRUE(w.stays());
+  EXPECT_TRUE(same_direction(y, x));
+  EXPECT_TRUE(different_speeds(y, x));
+  EXPECT_EQ(y.displacement, IntVec({1}));
+  EXPECT_EQ(y.period, 1);
+  EXPECT_EQ(x.displacement, IntVec({1}));
+  EXPECT_EQ(x.period, 2);
+}
+
+TEST(SynthesizerTest, Table2_W1FromRecurrence5) {
+  const auto result = synthesize_conv(convolution_forward_recurrence(8, 4));
+  ASSERT_TRUE(result.found());
+  // W1: S(i,k) = k; weights stay, x and y move in opposite directions.
+  const Design* w1 = find_design(result, IntMat{{0, 1}});
+  ASSERT_NE(w1, nullptr);
+  EXPECT_EQ(w1->timing.coeffs(), IntVec({2, -1}));
+  const auto& y = w1->stream("y");
+  const auto& x = w1->stream("x");
+  const auto& w = w1->stream("w");
+  EXPECT_TRUE(w.stays());
+  EXPECT_TRUE(opposite_direction(y, x));
+  EXPECT_FALSE(different_speeds(y, x));  // Both move one cell per tick.
+}
+
+TEST(SynthesizerTest, Table2_R2FromRecurrence5) {
+  const auto result = synthesize_conv(convolution_forward_recurrence(8, 4));
+  // R2: S(i,k) = i; results stay, x and w move in the same direction at
+  // different speeds.
+  const Design* r2 = find_design(result, IntMat{{1, 0}});
+  ASSERT_NE(r2, nullptr);
+  const auto& y = r2->stream("y");
+  const auto& x = r2->stream("x");
+  const auto& w = r2->stream("w");
+  EXPECT_TRUE(y.stays());
+  EXPECT_TRUE(same_direction(x, w));
+  EXPECT_TRUE(different_speeds(x, w));
+}
+
+/// |cells per tick| of a stream.
+Fraction stream_speed(const StreamBehaviour& s) {
+  return Fraction(s.displacement.l1_norm(), s.period);
+}
+
+TEST(SynthesizerTest, W2NotDerivableFromRecurrence5) {
+  // The paper: "design W2 cannot be generated starting from recurrence (5)".
+  // W2's signature is: w stays, y moves at speed 1 and x at speed 1/2 in
+  // the same direction. Under the forward schedule T = (2,-1) the x period
+  // is 1, so x can never move at speed 1/2.
+  const auto result = synthesize_conv(convolution_forward_recurrence(8, 4));
+  ASSERT_TRUE(result.found());
+  for (const auto& d : result.designs) {
+    const auto& y = d.stream("y");
+    const auto& x = d.stream("x");
+    const auto& w = d.stream("w");
+    const bool is_w2 = w.stays() && same_direction(y, x) &&
+                       stream_speed(y) == Fraction(1) &&
+                       stream_speed(x) == Fraction(1, 2);
+    EXPECT_FALSE(is_w2) << describe_design(d, {"i", "k"});
+  }
+}
+
+TEST(SynthesizerTest, W1AndR2NotDerivableFromRecurrence4) {
+  // Conversely: W1's signature (w stays, x and y counter-flow at speed 1)
+  // and R2's signature (y stays, x at speed 1 and w at speed 1/2 in the
+  // same direction) are unreachable from recurrence (4), whose schedule
+  // T = (1,1) fixes the x period to 2 and the y period to 1.
+  const auto result = synthesize_conv(convolution_backward_recurrence(8, 4));
+  ASSERT_TRUE(result.found());
+  for (const auto& d : result.designs) {
+    const auto& y = d.stream("y");
+    const auto& x = d.stream("x");
+    const auto& w = d.stream("w");
+    const bool is_w1 = w.stays() && opposite_direction(y, x) &&
+                       stream_speed(y) == Fraction(1) &&
+                       stream_speed(x) == Fraction(1);
+    const bool is_r2 = y.stays() && same_direction(x, w) &&
+                       stream_speed(x) == Fraction(1) &&
+                       stream_speed(w) == Fraction(1, 2);
+    EXPECT_FALSE(is_w1) << describe_design(d, {"i", "k"});
+    EXPECT_FALSE(is_r2) << describe_design(d, {"i", "k"});
+  }
+}
+
+TEST(SynthesizerTest, BestDesignMinimizesProcessors) {
+  const auto result = synthesize_conv(convolution_backward_recurrence(8, 4));
+  ASSERT_TRUE(result.found());
+  for (const auto& d : result.designs) {
+    EXPECT_GE(d.metrics.cell_count, result.best().metrics.cell_count);
+  }
+  EXPECT_EQ(result.best().metrics.cell_count, 4u);
+}
+
+TEST(SynthesizerTest, MaxDesignsCapRespected) {
+  SynthesisOptions opts;
+  opts.max_designs = 2;
+  const auto result = synthesize(convolution_backward_recurrence(6, 3),
+                                 Interconnect::linear_bidirectional(), opts);
+  EXPECT_LE(result.designs.size(), 2u);
+  EXPECT_TRUE(result.found());
+}
+
+TEST(SynthesizerTest, InfeasibleRecurrenceYieldsEmptyResult) {
+  DependenceSet deps;
+  deps.add("a", IntVec({1, 0}));
+  deps.add("b", IntVec({-1, 0}));
+  const CanonicRecurrence rec(
+      "cyclic", IndexDomain::box({"i", "k"}, {1, 1}, {4, 4}),
+      std::move(deps));
+  const auto result = synthesize(rec, Interconnect::linear_bidirectional());
+  EXPECT_FALSE(result.found());
+  EXPECT_THROW((void)result.best(), SearchFailure);
+}
+
+TEST(SynthesizerTest, DesignInvariantsHold) {
+  const auto result = synthesize_conv(convolution_forward_recurrence(6, 3));
+  const IntMat d =
+      convolution_forward_recurrence(6, 3).dependences().matrix();
+  for (const auto& des : result.designs) {
+    // Π rows: timing then space.
+    EXPECT_EQ(des.pi.row(0), des.timing.coeffs());
+    EXPECT_NE(des.pi_det, 0);
+    // Eq. (3): S·D = Δ·K with K >= 0 and column sums within slack.
+    EXPECT_EQ(des.space * d, des.net.delta() * des.routing);
+    for (std::size_t col = 0; col < des.routing.cols(); ++col) {
+      i64 hops = 0;
+      for (std::size_t row = 0; row < des.routing.rows(); ++row) {
+        EXPECT_GE(des.routing(row, col), 0);
+        hops += des.routing(row, col);
+      }
+      EXPECT_LE(hops, des.timing.slack(d.col(col)));
+    }
+  }
+}
+
+TEST(ReportTest, DescribeDesignMentionsEverything) {
+  const auto result = synthesize_conv(convolution_backward_recurrence(8, 4));
+  ASSERT_TRUE(result.found());
+  const std::string text = describe_design(result.best(), {"i", "k"});
+  EXPECT_NE(text.find("T(i, k)"), std::string::npos);
+  EXPECT_NE(text.find("streams:"), std::string::npos);
+  EXPECT_NE(text.find("processors = 4"), std::string::npos);
+}
+
+TEST(ReportTest, ClassifyStreamsIsOnePerVariable) {
+  const auto result = synthesize_conv(convolution_backward_recurrence(8, 4));
+  const std::string line = classify_streams(result.best());
+  EXPECT_NE(line.find("y "), std::string::npos);
+  EXPECT_NE(line.find("x "), std::string::npos);
+  EXPECT_NE(line.find("w "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,210 @@
+// Unit tests for the systolic engine substrate: clocking, link transfer,
+// injections, emissions, register files, conflicts and statistics.
+#include <gtest/gtest.h>
+
+#include "systolic/engine.hpp"
+
+namespace nusys {
+namespace {
+
+const IntVec kEast{1};
+const IntVec kWest{-1};
+
+SystolicEngine linear_engine(i64 cells) {
+  std::vector<IntVec> labels;
+  for (i64 c = 1; c <= cells; ++c) labels.push_back(IntVec{c});
+  return SystolicEngine(Interconnect::linear_bidirectional(),
+                        std::move(labels));
+}
+
+TEST(EngineTest, ValueTravelsOneLinkPerTick) {
+  auto engine = linear_engine(4);
+  engine.inject(0, IntVec{1}, "v", 42);
+  std::vector<std::pair<i64, i64>> sightings;  // (tick, cell).
+  engine.set_program([&](CellContext& ctx) {
+    if (const auto v = ctx.in("v")) {
+      sightings.emplace_back(ctx.tick(), ctx.coord()[0]);
+      ctx.out(kEast, "v", *v);
+    }
+  });
+  engine.run(0, 5);
+  ASSERT_EQ(sightings.size(), 4u);
+  for (i64 t = 0; t < 4; ++t) {
+    EXPECT_EQ(sightings[static_cast<std::size_t>(t)],
+              (std::pair<i64, i64>{t, t + 1}));
+  }
+  // After cell 4 the value leaves the array.
+  ASSERT_EQ(engine.emissions().size(), 1u);
+  EXPECT_EQ(engine.emissions()[0].value, 42);
+  EXPECT_EQ(engine.emissions()[0].tick, 4);
+  EXPECT_EQ(engine.emissions()[0].from_cell, IntVec{4});
+}
+
+TEST(EngineTest, LinkConflictDetected) {
+  auto engine = linear_engine(3);
+  // Cells 1 and 3 both send channel "v" into cell 2 in the same tick.
+  engine.inject(0, IntVec{1}, "go", 1);
+  engine.inject(0, IntVec{3}, "go", 1);
+  engine.set_program([&](CellContext& ctx) {
+    if (ctx.in("go")) {
+      ctx.out(ctx.coord()[0] == 1 ? kEast : kWest, "v", 7);
+    }
+  });
+  EXPECT_THROW(engine.run(0, 1), ContractError);
+}
+
+TEST(EngineTest, DistinctChannelsShareALinkFine) {
+  auto engine = linear_engine(2);
+  engine.inject(0, IntVec{1}, "go", 1);
+  engine.set_program([&](CellContext& ctx) {
+    if (ctx.in("go")) {
+      ctx.out(kEast, "a", 1);
+      ctx.out(kEast, "b", 2);
+    }
+  });
+  EXPECT_NO_THROW(engine.run(0, 1));
+}
+
+TEST(EngineTest, InjectionCollisionDetected) {
+  auto engine = linear_engine(2);
+  engine.inject(1, IntVec{2}, "v", 1);
+  engine.inject(0, IntVec{1}, "go", 1);
+  engine.set_program([&](CellContext& ctx) {
+    if (ctx.in("go")) ctx.out(kEast, "v", 9);
+  });
+  // The link value and the injection both arrive at cell 2, channel "v",
+  // tick 1.
+  EXPECT_THROW(engine.run(0, 1), ContractError);
+}
+
+TEST(EngineTest, RegistersPersistAcrossTicks) {
+  auto engine = linear_engine(1);
+  engine.preload(IntVec{1}, "acc", 100);
+  engine.set_program([&](CellContext& ctx) {
+    ctx.set_reg("acc", ctx.reg("acc") + 1);
+    if (ctx.tick() == 4) ctx.emit("final", ctx.reg("acc"));
+  });
+  engine.run(0, 4);
+  ASSERT_EQ(engine.results().size(), 1u);
+  EXPECT_EQ(engine.results()[0].value, 105);
+}
+
+TEST(EngineTest, ReadingAbsentRegisterThrows) {
+  auto engine = linear_engine(1);
+  engine.set_program([&](CellContext& ctx) { (void)ctx.reg("nope"); });
+  EXPECT_THROW(engine.run(0, 0), ContractError);
+}
+
+TEST(EngineTest, OutOnNonLinkDirectionThrows) {
+  auto engine = linear_engine(2);
+  engine.set_program([&](CellContext& ctx) {
+    if (ctx.tick() == 0) ctx.out(IntVec{2}, "v", 1);
+  });
+  EXPECT_THROW(engine.run(0, 0), ContractError);
+}
+
+TEST(EngineTest, StatsTrackBusyAndTransfers) {
+  auto engine = linear_engine(3);
+  engine.inject(0, IntVec{1}, "v", 5);
+  engine.set_program([&](CellContext& ctx) {
+    if (const auto v = ctx.in("v")) ctx.out(kEast, "v", *v);
+  });
+  engine.run(0, 3);
+  const auto& st = engine.stats();
+  EXPECT_EQ(st.cell_count, 3u);
+  EXPECT_EQ(st.busy_cell_ticks, 3u);   // One busy cell on ticks 0, 1, 2.
+  EXPECT_EQ(st.link_transfers, 2u);    // 1->2 and 2->3 (3->out is emission).
+  EXPECT_EQ(st.injections, 1u);
+  EXPECT_EQ(st.emissions, 1u);
+  EXPECT_GT(st.utilization(), 0.0);
+  EXPECT_LT(st.utilization(), 1.0);
+}
+
+TEST(EngineTest, NegativeTicksSupported) {
+  auto engine = linear_engine(2);
+  engine.inject(-3, IntVec{1}, "v", 8);
+  i64 seen_tick = 0;
+  engine.set_program([&](CellContext& ctx) {
+    if (ctx.in("v")) seen_tick = ctx.tick();
+  });
+  engine.run(-3, 0);
+  EXPECT_EQ(seen_tick, -3);
+}
+
+TEST(EngineTest, DuplicateCellLabelRejected) {
+  EXPECT_THROW(SystolicEngine(Interconnect::linear_bidirectional(),
+                              {IntVec{1}, IntVec{1}}),
+               ContractError);
+}
+
+TEST(EngineTest, UnknownInjectionCellRejected) {
+  auto engine = linear_engine(2);
+  EXPECT_THROW(engine.inject(0, IntVec{9}, "v", 1), ContractError);
+}
+
+TEST(EngineTest, RunWithoutProgramThrows) {
+  auto engine = linear_engine(1);
+  EXPECT_THROW(engine.run(0, 1), ContractError);
+}
+
+TEST(EngineTraceTest, RecordsLifecycleInTickOrder) {
+  auto engine = linear_engine(2);
+  engine.enable_trace();
+  engine.inject(0, IntVec{1}, "v", 42);
+  engine.set_program([&](CellContext& ctx) {
+    if (const auto v = ctx.in("v")) {
+      if (ctx.coord()[0] == 2) {
+        ctx.emit("done", *v);
+      } else {
+        ctx.out(IntVec{1}, "v", *v);
+      }
+    }
+  });
+  engine.run(0, 1);
+  const auto& events = engine.trace();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kInjection);
+  EXPECT_EQ(events[0].tick, 0);
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kSend);
+  EXPECT_EQ(events[1].cell, IntVec{1});
+  EXPECT_EQ(events[2].kind, TraceEvent::Kind::kResult);
+  EXPECT_EQ(events[2].tick, 1);
+  const std::string timeline = render_trace_timeline(events);
+  EXPECT_NE(timeline.find("tick 0: inject v=42"), std::string::npos);
+  EXPECT_NE(timeline.find("tick 1: result done=42"), std::string::npos);
+}
+
+TEST(EngineTraceTest, DisabledByDefaultAndCapacityBounded) {
+  auto engine = linear_engine(1);
+  engine.inject(0, IntVec{1}, "v", 1);
+  engine.set_program([&](CellContext& ctx) {
+    if (ctx.in("v")) ctx.emit("r", 1);
+  });
+  engine.run(0, 0);
+  EXPECT_TRUE(engine.trace().empty());
+
+  auto traced = linear_engine(1);
+  traced.enable_trace(2);
+  for (i64 t = 0; t < 8; ++t) traced.inject(t, IntVec{1}, "v", t);
+  traced.set_program([](CellContext&) {});
+  traced.run(0, 7);
+  EXPECT_EQ(traced.trace().size(), 2u);
+}
+
+TEST(EngineTraceTest, EmissionRecorded) {
+  auto engine = linear_engine(1);
+  engine.enable_trace();
+  engine.inject(0, IntVec{1}, "v", 9);
+  engine.set_program([&](CellContext& ctx) {
+    if (const auto v = ctx.in("v")) ctx.out(IntVec{1}, "v", *v);
+  });
+  engine.run(0, 0);
+  bool saw_emission = false;
+  for (const auto& e : engine.trace()) {
+    if (e.kind == TraceEvent::Kind::kEmission) saw_emission = true;
+  }
+  EXPECT_TRUE(saw_emission);
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,159 @@
+// Tests for the generic uniform-design executor: every design the
+// synthesizer emits for the convolution recurrences must execute correctly
+// — the strongest form of the Table 1/2 reproduction.
+#include <gtest/gtest.h>
+
+#include "conv/convolution.hpp"
+#include "conv/recurrences.hpp"
+#include "designs/uniform_array.hpp"
+#include "support/rng.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nusys {
+namespace {
+
+std::vector<i64> extract_y(const CanonicRecurrence& rec,
+                           const UniformArrayRun& run, i64 n, i64 final_k) {
+  (void)rec;
+  std::vector<i64> y(static_cast<std::size_t>(n), 0);
+  for (const auto& [point, value] : run.finals) {
+    EXPECT_EQ(point[1], final_k);
+    y[static_cast<std::size_t>(point[0] - 1)] = value;
+  }
+  return y;
+}
+
+TEST(UniformArrayTest, W2MappingMatchesHandWrittenProgram) {
+  const i64 n = 12, s = 4;
+  Rng rng(91);
+  const auto x = rng.uniform_vector(static_cast<std::size_t>(n), -9, 9);
+  const auto w = rng.uniform_vector(static_cast<std::size_t>(s), -9, 9);
+  const auto rec = convolution_backward_recurrence(n, s);
+  const auto run = run_uniform_design(
+      rec, convolution_semantics(x, w), LinearSchedule(IntVec({1, 1})),
+      IntMat{{0, 1}}, Interconnect::linear_bidirectional());
+  EXPECT_EQ(extract_y(rec, run, n, s), direct_convolution(x, w));
+  EXPECT_EQ(run.cell_count, static_cast<std::size_t>(s));
+}
+
+TEST(UniformArrayTest, EverySynthesizedBackwardDesignExecutes) {
+  const i64 n = 10, s = 3;
+  Rng rng(92);
+  const auto x = rng.uniform_vector(static_cast<std::size_t>(n), -9, 9);
+  const auto w = rng.uniform_vector(static_cast<std::size_t>(s), -9, 9);
+  const auto expected = direct_convolution(x, w);
+  const auto rec = convolution_backward_recurrence(n, s);
+  const auto result = synthesize(rec, Interconnect::linear_bidirectional());
+  ASSERT_TRUE(result.found());
+  ASSERT_GE(result.designs.size(), 2u);
+  for (const auto& d : result.designs) {
+    const auto run = run_uniform_design(rec, convolution_semantics(x, w),
+                                        d.timing, d.space, d.net);
+    EXPECT_EQ(extract_y(rec, run, n, s), expected)
+        << describe_design(d, rec.domain().names());
+    EXPECT_EQ(run.cell_count, d.metrics.cell_count);
+  }
+}
+
+TEST(UniformArrayTest, EverySynthesizedForwardDesignExecutes) {
+  const i64 n = 10, s = 3;
+  Rng rng(93);
+  const auto x = rng.uniform_vector(static_cast<std::size_t>(n), -9, 9);
+  const auto w = rng.uniform_vector(static_cast<std::size_t>(s), -9, 9);
+  const auto expected = direct_convolution(x, w);
+  const auto rec = convolution_forward_recurrence(n, s);
+  const auto result = synthesize(rec, Interconnect::linear_bidirectional());
+  ASSERT_TRUE(result.found());
+  for (const auto& d : result.designs) {
+    const auto run = run_uniform_design(rec, convolution_semantics(x, w),
+                                        d.timing, d.space, d.net);
+    EXPECT_EQ(extract_y(rec, run, n, 1), expected)
+        << describe_design(d, rec.domain().names());
+  }
+}
+
+TEST(UniformArrayTest, UnroutableMappingRejected) {
+  const auto rec = convolution_forward_recurrence(6, 3);
+  Rng rng(94);
+  const auto x = rng.uniform_vector(6, -9, 9);
+  const auto w = rng.uniform_vector(3, -9, 9);
+  // S = (0,1) moves y west; an east-only net cannot route that.
+  EXPECT_THROW(
+      (void)run_uniform_design(rec, convolution_semantics(x, w),
+                               LinearSchedule(IntVec({2, -1})),
+                               IntMat{{0, 1}},
+                               Interconnect::linear_unidirectional()),
+      DomainError);
+}
+
+TEST(UniformArrayTest, CausalityViolationRejected) {
+  const auto rec = convolution_backward_recurrence(6, 3);
+  Rng rng(95);
+  const auto x = rng.uniform_vector(6, -9, 9);
+  const auto w = rng.uniform_vector(3, -9, 9);
+  // T = (1, 0) gives d_y slack 0.
+  EXPECT_THROW(
+      (void)run_uniform_design(rec, convolution_semantics(x, w),
+                               LinearSchedule(IntVec({1, 0})),
+                               IntMat{{0, 1}},
+                               Interconnect::linear_bidirectional()),
+      DomainError);
+}
+
+TEST(UniformArrayTest, MultiHopRoutesRelayThroughCells) {
+  // A stride-2 accumulation v(i) = v(i-2) + i over cells S = i with
+  // T = 2i: every value travels two hops through the intermediate cell,
+  // and the wire traffic stays sparse enough for ALAP forwarding.
+  const i64 n = 10;
+  DependenceSet deps;
+  deps.add("v", IntVec({2, 0}));
+  const CanonicRecurrence rec(
+      "stride-2", IndexDomain::box({"i", "k"}, {1, 1}, {n, 1}),
+      std::move(deps));
+  UniformSemantics sem;
+  sem.accumulator.push_back('v');
+  sem.compute = [](const IntVec& p, const std::map<std::string, Value>& in) {
+    return in.at("v") + p[0];
+  };
+  sem.boundary = [](const std::string&, const IntVec& p) {
+    return 100 * p[0];  // v "before" points 1 and 2.
+  };
+  const auto run =
+      run_uniform_design(rec, sem, LinearSchedule(IntVec({2, 1})),
+                         IntMat{{1, 0}}, Interconnect::linear_bidirectional());
+  // Reference: two interleaved accumulation chains.
+  std::vector<i64> v(static_cast<std::size_t>(n + 1), 0);
+  for (i64 i = 1; i <= n; ++i) {
+    const i64 prev = i <= 2 ? 100 * i : v[static_cast<std::size_t>(i - 2)];
+    v[static_cast<std::size_t>(i)] = prev + i;
+  }
+  ASSERT_EQ(run.finals.size(), 2u);  // Chains end at n-1 and n.
+  EXPECT_EQ(run.finals.at(IntVec{n - 1, 1}),
+            v[static_cast<std::size_t>(n - 1)]);
+  EXPECT_EQ(run.finals.at(IntVec{n, 1}), v[static_cast<std::size_t>(n)]);
+  // Every routed instance took two hops.
+  EXPECT_EQ(run.route_hops, 2 * (static_cast<std::size_t>(n) - 2));
+}
+
+TEST(UniformArrayTest, WireOversubscriptionDetected) {
+  // A mapping that is time- and distance-feasible but physically
+  // oversubscribes wires: S = (i+k) under T = (2,1) asks the x wire
+  // between adjacent cells to carry a relaying and an arriving value in
+  // the same tick. The engine's per-(wire, variable) capacity check must
+  // reject it — this is a *stronger* physical model than eq. (3) alone.
+  const i64 n = 6, s = 3;
+  Rng rng(96);
+  const auto x = rng.uniform_vector(static_cast<std::size_t>(n), -9, 9);
+  const auto w = rng.uniform_vector(static_cast<std::size_t>(s), -9, 9);
+  const auto rec = convolution_backward_recurrence(n, s);
+  EXPECT_THROW(
+      (void)run_uniform_design(rec, convolution_semantics(x, w),
+                               LinearSchedule(IntVec({2, 1})),
+                               IntMat{{1, 1}},
+                               Interconnect::linear_bidirectional()),
+      ContractError);
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,147 @@
+// Tests for the extensional space-time verifier and the chain-to-module
+// emission.
+#include <gtest/gtest.h>
+
+#include "chains/modules_emit.hpp"
+#include "conv/recurrences.hpp"
+#include "dp/dp_modules.hpp"
+#include "synth/synthesizer.hpp"
+#include "verify/spacetime.hpp"
+
+namespace nusys {
+namespace {
+
+TEST(VerifyTest, W2DesignVerifiesClean) {
+  const auto rec = convolution_backward_recurrence(10, 4);
+  const auto report = verify_design(rec, LinearSchedule(IntVec({1, 1})),
+                                    IntMat{{0, 1}},
+                                    Interconnect::linear_bidirectional());
+  EXPECT_TRUE(report.ok()) << report;
+  EXPECT_EQ(report.computations_checked, 40u);
+  EXPECT_GT(report.values_routed, 0u);
+}
+
+TEST(VerifyTest, CausalityViolationReported) {
+  const auto rec = convolution_backward_recurrence(6, 3);
+  // T = (1, 0): slack of d_y = (0,1) is zero.
+  const auto report = verify_design(rec, LinearSchedule(IntVec({1, 0})),
+                                    IntMat{{0, 1}},
+                                    Interconnect::linear_bidirectional());
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.count(Violation::Kind::kCausality), 0u);
+}
+
+TEST(VerifyTest, ConflictViolationReported) {
+  const auto rec = convolution_backward_recurrence(6, 3);
+  // S parallel to T: Π singular, concurrent computations share cells.
+  const auto report = verify_design(rec, LinearSchedule(IntVec({1, 1})),
+                                    IntMat{{1, 1}},
+                                    Interconnect::linear_bidirectional());
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.count(Violation::Kind::kConflict), 0u);
+}
+
+TEST(VerifyTest, UnroutableViolationReported) {
+  const auto rec = convolution_forward_recurrence(6, 3);
+  // Under T = (2,-1), y moves west; an east-only net cannot route it with
+  // S = (0, 1).
+  const auto report = verify_design(rec, LinearSchedule(IntVec({2, -1})),
+                                    IntMat{{0, 1}},
+                                    Interconnect::linear_unidirectional());
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.count(Violation::Kind::kUnroutable), 0u);
+}
+
+TEST(VerifyTest, EverySynthesizedDesignVerifies) {
+  // Cross-check: anything the synthesizer emits must pass the extensional
+  // verifier — the two implement the same conditions by different means.
+  for (const auto& rec : {convolution_backward_recurrence(8, 4),
+                          convolution_forward_recurrence(8, 4)}) {
+    const auto result =
+        synthesize(rec, Interconnect::linear_bidirectional());
+    ASSERT_TRUE(result.found());
+    for (const auto& d : result.designs) {
+      const auto report =
+          verify_design(rec, d.timing, d.space, d.net);
+      EXPECT_TRUE(report.ok()) << rec.name() << ": " << report;
+    }
+  }
+}
+
+TEST(VerifyTest, WireOverloadMatchesEngineRejection) {
+  // The same mapping the engine rejects at runtime (see
+  // UniformArrayTest.WireOversubscriptionDetected) must be flagged
+  // statically by the verifier's ALAP wire audit.
+  const auto rec = convolution_backward_recurrence(6, 3);
+  const auto report = verify_design(rec, LinearSchedule(IntVec({2, 1})),
+                                    IntMat{{1, 1}},
+                                    Interconnect::linear_bidirectional());
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.count(Violation::Kind::kLinkOverload), 0u);
+  EXPECT_EQ(report.count(Violation::Kind::kCausality), 0u);
+  EXPECT_EQ(report.count(Violation::Kind::kConflict), 0u);
+}
+
+TEST(VerifyTest, ReportStreamsReadably) {
+  const auto rec = convolution_backward_recurrence(4, 2);
+  const auto report = verify_design(rec, LinearSchedule(IntVec({1, 0})),
+                                    IntMat{{0, 1}},
+                                    Interconnect::linear_bidirectional());
+  std::ostringstream os;
+  os << report;
+  EXPECT_NE(os.str().find("violations"), std::string::npos);
+}
+
+// --- Chain-to-module emission ----------------------------------------------
+
+IndexDomain dp_domain(i64 n) {
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  return IndexDomain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+}
+
+NonUniformSpec dp_spec(i64 n) {
+  return NonUniformSpec("dp", dp_domain(n),
+                        {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+}
+
+TEST(EmitTest, DpSpecHasIntervalShape) {
+  const auto report =
+      analyze_chain_shape(dp_spec(9), LinearSchedule(IntVec({-1, 1})));
+  EXPECT_TRUE(report.is_interval_dp_shape) << report.mismatch;
+  EXPECT_EQ(report.max_chains, 2u);
+  EXPECT_GT(report.points_checked, 0u);
+}
+
+TEST(EmitTest, EmittedSystemMatchesHandBuiltOne) {
+  const i64 n = 8;
+  const auto sys =
+      emit_interval_dp_modules(dp_spec(n), LinearSchedule(IntVec({-1, 1})));
+  const auto reference = build_dp_module_system(n);
+  ASSERT_EQ(sys.module_count(), reference.module_count());
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    EXPECT_EQ(sys.module(m).domain.points(),
+              reference.module(m).domain.points());
+    EXPECT_EQ(sys.module(m).local_deps.size(),
+              reference.module(m).local_deps.size());
+  }
+  EXPECT_EQ(sys.globals().size(), reference.globals().size());
+}
+
+TEST(EmitTest, WrongCoarseScheduleRejected) {
+  // T(i,j) = 2j - i orders operands differently; the decomposition loses
+  // the midpoint-split shape and emission must refuse.
+  const auto spec = dp_spec(8);
+  const LinearSchedule skewed(IntVec({-1, 2}));
+  const auto report = analyze_chain_shape(spec, skewed);
+  if (report.is_interval_dp_shape) {
+    GTEST_SKIP() << "skewed schedule unexpectedly keeps the shape";
+  }
+  EXPECT_THROW((void)emit_interval_dp_modules(spec, skewed), DomainError);
+}
+
+}  // namespace
+}  // namespace nusys

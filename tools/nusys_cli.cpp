@@ -1,0 +1,166 @@
+// nusys — command-line front end.
+//
+//   nusys synth-conv [--n 16] [--s 4] [--recurrence backward|forward]
+//       Synthesize convolution designs (Tables 1-2 of the paper).
+//   nusys dp [--n 12] [--figure 1|2] [--problem matrix-chain|shortest-path|
+//            triangulation|bracketing|alphabetic-tree] [--trace]
+//       Run a DP problem on one of the paper's arrays, cycle-accurately.
+//   nusys figures [--n 8]
+//       Render figures 1 and 2 (cell grid, streams, activity).
+//   nusys pipeline [--n 10] [--net figure1|figure2|mesh|hex]
+//       Run the full Sec. III-V pipeline from the raw spec.
+#include <iostream>
+
+#include "chains/modules_emit.hpp"
+#include "conv/recurrences.hpp"
+#include "designs/dp_array.hpp"
+#include "dp/reconstruct.hpp"
+#include "dp/sequential.hpp"
+#include "support/args.hpp"
+#include "support/rng.hpp"
+#include "synth/figure_render.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace {
+
+using namespace nusys;
+
+NonUniformSpec make_dp_spec(i64 n) {
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  IndexDomain domain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+  return NonUniformSpec("dp", std::move(domain),
+                        {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+}
+
+int cmd_synth_conv(const ArgMap& args) {
+  const i64 n = args.get_int("n", 16);
+  const i64 s = args.get_int("s", 4);
+  const bool forward = args.get("recurrence", "backward") == "forward";
+  const auto rec = forward ? convolution_forward_recurrence(n, s)
+                           : convolution_backward_recurrence(n, s);
+  std::cout << rec << "\n\n";
+  SynthesisOptions options;
+  options.max_designs = static_cast<std::size_t>(args.get_int("max", 4));
+  const auto result =
+      synthesize(rec, Interconnect::linear_bidirectional(), options);
+  if (!result.found()) {
+    std::cerr << "no feasible design\n";
+    return 1;
+  }
+  for (const auto& d : result.designs) {
+    std::cout << describe_design(d, rec.domain().names()) << '\n';
+  }
+  return 0;
+}
+
+IntervalDPProblem make_problem(const std::string& kind, i64 n, Rng& rng) {
+  if (kind == "matrix-chain") return random_matrix_chain(n, rng);
+  if (kind == "shortest-path") return random_shortest_path(n, rng);
+  const auto weights = rng.uniform_vector(static_cast<std::size_t>(n), 1, 9);
+  if (kind == "triangulation") return polygon_triangulation_problem(weights);
+  if (kind == "bracketing") return bracketing_problem(weights);
+  if (kind == "alphabetic-tree") {
+    return alphabetic_tree_problem(
+        rng.uniform_vector(static_cast<std::size_t>(n - 1), 1, 20));
+  }
+  throw ContractError("unknown problem kind '" + kind + "'");
+}
+
+int cmd_dp(const ArgMap& args) {
+  const i64 n = args.get_int("n", 12);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto problem = make_problem(args.get("problem", "matrix-chain"), n,
+                                    rng);
+  const auto design =
+      args.get_int("figure", 2) == 1 ? dp_fig1_design() : dp_fig2_design();
+  const auto run = run_dp_on_array(problem, design);
+  const auto expected = solve_sequential(problem);
+  std::cout << problem.name << " n=" << n << ": " << run.cell_count
+            << " cells, ticks " << run.first_tick << ".." << run.last_tick
+            << ", " << run.compute_ops << " f/h ops, utilization "
+            << run.stats.utilization() << '\n';
+  std::cout << "c(1," << n << ") = " << run.table.at(1, n) << ", results "
+            << (run.table == expected ? "MATCH" : "MISMATCH")
+            << " the sequential solver\n";
+  if (args.has("trace")) {
+    const auto sol = solve_with_splits(problem);
+    std::cout << "optimal split tree: " << render_parenthesization(sol, 1, n)
+              << '\n';
+  }
+  return run.table == expected ? 0 : 1;
+}
+
+int cmd_figures(const ArgMap& args) {
+  const i64 n = args.get_int("n", 8);
+  const auto sys = build_dp_module_system(n);
+  std::cout << "--- figure 1 ---\n"
+            << render_module_figure(sys, dp_fig1_spaces(),
+                                    dp_paper_schedules(),
+                                    Interconnect::figure1())
+            << "\n--- figure 2 ---\n"
+            << render_module_figure(sys, dp_fig2_spaces(),
+                                    dp_paper_schedules(),
+                                    Interconnect::figure2());
+  if (args.has("activity")) {
+    std::cout << "\n--- figure 2 activity, first 6 busy ticks ---\n"
+              << render_activity_trace(sys, dp_fig2_spaces(),
+                                       dp_paper_schedules(), 3, 8);
+  }
+  return 0;
+}
+
+int cmd_pipeline(const ArgMap& args) {
+  const i64 n = args.get_int("n", 10);
+  const std::string net_name = args.get("net", "figure2");
+  const auto net = net_name == "figure1"  ? Interconnect::figure1()
+                   : net_name == "mesh"   ? Interconnect::mesh2d()
+                   : net_name == "hex"    ? Interconnect::hexagonal()
+                                          : Interconnect::figure2();
+  const auto result = synthesize_nonuniform(make_dp_spec(n), net);
+  if (!result.found()) {
+    std::cerr << "pipeline found no design\n";
+    return 1;
+  }
+  std::cout << "coarse " << result.coarse.schedule().to_string({"i", "j"})
+            << "; module makespan " << result.schedule_makespan << "; "
+            << result.designs.size() << " design(s), best uses "
+            << result.cell_counts.front() << " cells on " << net_name
+            << '\n';
+  Rng rng(7);
+  const auto problem = random_matrix_chain(n, rng);
+  const auto run = run_dp_on_array(problem, result.best());
+  std::cout << "executed: results "
+            << (run.table == solve_sequential(problem) ? "MATCH"
+                                                       : "MISMATCH")
+            << ", last tick " << run.last_tick << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::set<std::string> known{"n",      "s",       "recurrence",
+                                      "max",    "figure",  "problem",
+                                      "seed",   "net"};
+    const ArgMap args(argc, argv, known, {"trace", "activity"});
+    const std::string cmd =
+        args.positional().empty() ? "help" : args.positional().front();
+    if (cmd == "synth-conv") return cmd_synth_conv(args);
+    if (cmd == "dp") return cmd_dp(args);
+    if (cmd == "figures") return cmd_figures(args);
+    if (cmd == "pipeline") return cmd_pipeline(args);
+    std::cout << "usage: nusys <synth-conv|dp|figures|pipeline> [flags]\n"
+                 "see the header of tools/nusys_cli.cpp for the flag list\n";
+    return cmd == "help" ? 0 : 1;
+  } catch (const nusys::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
