@@ -72,6 +72,30 @@ void bm_space_search_bound(benchmark::State& state) {
 }
 BENCHMARK(bm_space_search_bound)->Arg(1)->Arg(2)->Arg(3);
 
+void bm_schedule_search_threads(benchmark::State& state) {
+  // Thread sweep over a wide coefficient cube (bound 6 → 13^2 = 169
+  // candidates per dep set is too small; use the 3-D forward recurrence's
+  // makespan-heavy evaluation instead so per-candidate work dominates).
+  // Arg 0 means "hardware concurrency" (SearchParallelism default).
+  const auto rec = convolution_forward_recurrence(64, 8);
+  ScheduleSearchOptions opts;
+  opts.coeff_bound = 6;
+  opts.parallelism.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t examined = 0;
+  for (auto _ : state) {
+    const auto result =
+        find_optimal_schedules(rec.dependences(), rec.domain(), opts);
+    examined = result.examined;
+    benchmark::DoNotOptimize(result);
+  }
+  // items/sec in the output == candidates/sec.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(examined));
+  state.SetLabel("threads=" + std::to_string(state.range(0)) +
+                 (state.range(0) == 0 ? " (hw)" : ""));
+}
+BENCHMARK(bm_schedule_search_threads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
 void bm_schedule_search_domain_size(benchmark::State& state) {
   // Makespan evaluation dominates; scale the domain.
   const auto rec = convolution_forward_recurrence(state.range(0), 8);

@@ -81,6 +81,47 @@ void bm_module_space_search(benchmark::State& state) {
 }
 BENCHMARK(bm_module_space_search)->Args({6, 1})->Args({6, 2})->Args({8, 1});
 
+void bm_module_schedule_search_threads(benchmark::State& state) {
+  // Thread sweep over the backtracking schedule search; the fan-out is over
+  // module 0's candidate schedules. Arg 0 = hardware concurrency.
+  const auto sys = build_dp_module_system(8);
+  ModuleScheduleOptions opts;
+  opts.parallelism.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t examined = 0;
+  for (auto _ : state) {
+    const auto result = find_module_schedules(sys, opts);
+    examined = result.examined;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(examined));
+  state.SetLabel("threads=" + std::to_string(state.range(0)) +
+                 (state.range(0) == 0 ? " (hw)" : ""));
+}
+BENCHMARK(bm_module_schedule_search_threads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+void bm_module_space_search_threads(benchmark::State& state) {
+  // Thread sweep over the space search against the figure-2 interconnect
+  // (the harder routing problem of the two). Arg 0 = hardware concurrency.
+  const auto sys = build_dp_module_system(6);
+  const auto schedules = dp_paper_schedules();
+  const auto net = Interconnect::figure2();
+  ModuleSpaceOptions opts;
+  opts.max_results = 1;
+  opts.parallelism.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t examined = 0;
+  for (auto _ : state) {
+    const auto result = find_module_spaces(sys, schedules, net, opts);
+    examined = result.examined;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(examined));
+  state.SetLabel("threads=" + std::to_string(state.range(0)) +
+                 (state.range(0) == 0 ? " (hw)" : ""));
+}
+BENCHMARK(bm_module_space_search_threads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
 void bm_spaces_satisfy_check(benchmark::State& state) {
   const auto sys = build_dp_module_system(state.range(0));
   const auto schedules = dp_paper_schedules();

@@ -16,6 +16,16 @@ const ModuleScheduleAssignment& ModuleScheduleResult::best() const {
   return optima.front();
 }
 
+StageTelemetry ModuleScheduleResult::telemetry(std::string stage) const {
+  StageTelemetry t;
+  t.stage = std::move(stage);
+  t.examined = examined;
+  t.feasible = feasible_count;
+  t.workers = workers_used;
+  t.wall_seconds = wall_seconds;
+  return t;
+}
+
 namespace {
 
 /// Pre-enumerated (consumer point, producer point) pairs of one GlobalDep.
@@ -48,6 +58,77 @@ std::vector<GuardPairs> enumerate_guards(const ModuleSystem& sys) {
   }
   return out;
 }
+
+/// A locally feasible candidate schedule with its span precomputed.
+struct Candidate {
+  LinearSchedule schedule;
+  TimeSpan span;
+};
+
+/// One worker's backtracking over a chunk of module 0's candidates, with
+/// purely local mutable state; shared inputs are read-only.
+struct ScheduleWorker {
+  const std::vector<std::vector<Candidate>>* candidates = nullptr;
+  const std::vector<std::vector<const GuardPairs*>>* guards_at = nullptr;
+  std::size_t module_count = 0;
+
+  std::vector<const Candidate*> chosen;
+  i64 incumbent = std::numeric_limits<i64>::max();
+  std::vector<ModuleScheduleAssignment> optima;
+  std::size_t checked = 0;
+
+  void run(std::size_t begin, std::size_t end) {
+    chosen.assign(module_count, nullptr);
+    descend(0, std::numeric_limits<i64>::max(),
+            std::numeric_limits<i64>::min(), begin, end);
+  }
+
+ private:
+  void descend(std::size_t m, i64 lo, i64 hi, std::size_t begin,
+               std::size_t end) {
+    const auto& level = (*candidates)[m];
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const Candidate& cand = level[idx];
+      const i64 new_lo = std::min(lo, cand.span.first);
+      const i64 new_hi = std::max(hi, cand.span.last);
+      // Partial span already worse than the incumbent: prune.
+      if (new_hi - new_lo > incumbent) continue;
+      chosen[m] = &cand;
+      bool feasible = true;
+      for (const auto* gp : (*guards_at)[m]) {
+        if (!global_dep_satisfied(*gp, chosen[gp->dep->consumer]->schedule,
+                                  chosen[gp->dep->producer]->schedule)) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        if (m + 1 == module_count) {
+          complete(new_lo, new_hi);
+        } else {
+          descend(m + 1, new_lo, new_hi, 0, (*candidates)[m + 1].size());
+        }
+      }
+      chosen[m] = nullptr;
+    }
+  }
+
+  void complete(i64 lo, i64 hi) {
+    ++checked;
+    const i64 makespan = checked_sub(hi, lo);
+    ModuleScheduleAssignment a;
+    a.schedules.reserve(module_count);
+    for (const auto* c : chosen) a.schedules.push_back(c->schedule);
+    a.makespan = makespan;
+    if (makespan < incumbent) {
+      incumbent = makespan;
+      optima.clear();
+      optima.push_back(std::move(a));
+    } else if (makespan == incumbent) {
+      optima.push_back(std::move(a));
+    }
+  }
+};
 
 }  // namespace
 
@@ -88,23 +169,29 @@ i64 global_makespan(const ModuleSystem& sys,
 ModuleScheduleResult find_module_schedules(
     const ModuleSystem& sys, const ModuleScheduleOptions& options) {
   sys.validate();
+  const WallTimer timer;
   const std::size_t n = sys.dim();
   const std::size_t module_count = sys.module_count();
+  NUSYS_REQUIRE(module_count >= 1,
+                "find_module_schedules: empty module system");
+
+  ModuleScheduleResult result;
 
   // Locally feasible candidates per module, with their spans precomputed.
-  struct Candidate {
-    LinearSchedule schedule;
-    TimeSpan span;
-  };
   std::vector<std::vector<Candidate>> candidates(module_count);
   for (std::size_t m = 0; m < module_count; ++m) {
     const auto deps = sys.module(m).local_deps.vectors();
     for (const auto& coeffs : coefficient_cube(n, options.coeff_bound)) {
+      ++result.examined;
       const LinearSchedule t(coeffs);
       if (!deps.empty() && !t.is_feasible(deps)) continue;
       candidates[m].push_back({t, t.span(sys.module(m).domain)});
     }
-    if (candidates[m].empty()) return {};
+    result.feasible_count += candidates[m].size();
+    if (candidates[m].empty()) {
+      result.wall_seconds = timer.seconds();
+      return result;
+    }
   }
 
   // Globals indexed by the later of their two endpoint modules, so each is
@@ -115,51 +202,40 @@ ModuleScheduleResult find_module_schedules(
     guards_at[std::max(gp.dep->consumer, gp.dep->producer)].push_back(&gp);
   }
 
-  ModuleScheduleResult result;
-  i64 incumbent = std::numeric_limits<i64>::max();
-  std::vector<const Candidate*> chosen(module_count, nullptr);
+  // Fan out over module 0's candidate list; each worker explores its chunk
+  // with a private incumbent and optima list.
+  const std::size_t workers =
+      options.parallelism.workers_for(candidates[0].size());
+  std::vector<ScheduleWorker> parts(workers);
+  run_chunked(candidates[0].size(), workers,
+              [&](std::size_t worker, std::size_t begin, std::size_t end) {
+                ScheduleWorker& part = parts[worker];
+                part.candidates = &candidates;
+                part.guards_at = &guards_at;
+                part.module_count = module_count;
+                part.run(begin, end);
+              });
 
-  auto recurse = [&](auto&& self, std::size_t m, i64 lo, i64 hi) -> void {
-    if (m == module_count) {
-      ++result.assignments_checked;
-      const i64 makespan = checked_sub(hi, lo);
-      ModuleScheduleAssignment a;
-      a.schedules.reserve(module_count);
-      for (const auto* c : chosen) a.schedules.push_back(c->schedule);
-      a.makespan = makespan;
-      if (makespan < incumbent) {
-        incumbent = makespan;
-        result.optima.clear();
-        result.optima.push_back(std::move(a));
-      } else if (makespan == incumbent) {
-        result.optima.push_back(std::move(a));
-      }
-      return;
-    }
-    for (const auto& cand : candidates[m]) {
-      const i64 new_lo = std::min(lo, cand.span.first);
-      const i64 new_hi = std::max(hi, cand.span.last);
-      // Partial span already worse than the incumbent: prune.
-      if (new_hi - new_lo > incumbent) continue;
-      chosen[m] = &cand;
-      bool feasible = true;
-      for (const auto* gp : guards_at[m]) {
-        if (!global_dep_satisfied(*gp, chosen[gp->dep->consumer]->schedule,
-                                  chosen[gp->dep->producer]->schedule)) {
-          feasible = false;
-          break;
-        }
-      }
-      if (feasible) self(self, m + 1, new_lo, new_hi);
-      chosen[m] = nullptr;
-    }
-  };
-  recurse(recurse, 0, std::numeric_limits<i64>::max(),
-          std::numeric_limits<i64>::min());
+  // Merge in worker order: chunks are contiguous over module 0's candidate
+  // list, so concatenating the winning workers' optima reproduces the
+  // sequential exploration order.
+  result.workers_used = workers;
+  i64 incumbent = std::numeric_limits<i64>::max();
+  for (const auto& part : parts) {
+    result.assignments_checked += part.checked;
+    incumbent = std::min(incumbent, part.incumbent);
+  }
+  for (auto& part : parts) {
+    if (part.incumbent != incumbent) continue;
+    result.optima.insert(result.optima.end(),
+                         std::make_move_iterator(part.optima.begin()),
+                         std::make_move_iterator(part.optima.end()));
+  }
 
   if (options.max_results > 0 && result.optima.size() > options.max_results) {
     result.optima.resize(options.max_results);
   }
+  result.wall_seconds = timer.seconds();
   return result;
 }
 

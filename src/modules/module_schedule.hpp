@@ -8,12 +8,21 @@
 // enumerating per-module coefficient cubes with backtracking, ranking
 // complete assignments by the *global* makespan (latest tick anywhere minus
 // earliest tick anywhere).
+//
+// With `parallelism.threads > 1` the backtracking fans out over the first
+// module's candidate schedules: each worker owns a contiguous chunk of
+// module 0's candidate list and explores it with purely local state; the
+// per-worker optima are merged in worker order, which is exactly the
+// sequential exploration order — optima, makespan, `examined` and
+// `feasible_count` are identical for every worker count.
 #pragma once
 
 #include <vector>
 
 #include "modules/module_system.hpp"
 #include "schedule/timing.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace nusys {
 
@@ -28,15 +37,32 @@ struct ModuleScheduleOptions {
   i64 coeff_bound = 2;
   /// Keep at most this many optima (0 = all).
   std::size_t max_results = 0;
+  /// Worker threads over module 0's candidates (0 = hardware concurrency,
+  /// 1 = the exact legacy sequential path).
+  SearchParallelism parallelism;
 };
 
 /// Search outcome.
 struct ModuleScheduleResult {
   std::vector<ModuleScheduleAssignment> optima;  ///< Canonically ordered.
+  /// Complete assignments reached by the backtracking. Advisory: the
+  /// incumbent trajectory (and hence pruning) depends on the chunking.
   std::size_t assignments_checked = 0;
+  /// Coefficient vectors enumerated across all per-module candidate cubes
+  /// (worker-invariant).
+  std::size_t examined = 0;
+  /// Locally feasible per-module candidates kept (worker-invariant).
+  std::size_t feasible_count = 0;
+  /// Workers the backtracking actually used.
+  std::size_t workers_used = 1;
+  /// Search wall time.
+  double wall_seconds = 0.0;
 
   [[nodiscard]] bool found() const noexcept { return !optima.empty(); }
   [[nodiscard]] const ModuleScheduleAssignment& best() const;
+
+  /// This search as one telemetry stage named `stage`.
+  [[nodiscard]] StageTelemetry telemetry(std::string stage) const;
 };
 
 /// True when `schedules` (one per module) satisfies every local and global

@@ -19,6 +19,16 @@ const ModuleSpaceAssignment& ModuleSpaceResult::best() const {
   return optima.front();
 }
 
+StageTelemetry ModuleSpaceResult::telemetry(std::string stage) const {
+  StageTelemetry t;
+  t.stage = std::move(stage);
+  t.examined = examined;
+  t.feasible = feasible_count;
+  t.workers = workers_used;
+  t.wall_seconds = wall_seconds;
+  return t;
+}
+
 namespace {
 
 /// Memoized "is this displacement routable within this slack" oracle.
@@ -114,6 +124,117 @@ bool module_conflict_free(const std::vector<std::pair<IntVec, i64>>& slots,
   return true;
 }
 
+/// Per-module (point, tick, fold key) list entry.
+struct PointInfo {
+  IntVec point;
+  i64 tick = 0;
+  IntVec key;
+};
+
+/// A locally feasible candidate matrix, with its sorted distinct label
+/// list for incremental cell counting.
+struct Candidate {
+  IntMat s;
+  std::vector<IntVec> labels;
+};
+
+/// One worker's backtracking over a chunk of module 0's candidate
+/// matrices. All mutable search state — chosen stack, label/slot
+/// registries, incumbent, routability cache — is private to the worker.
+struct SpaceWorker {
+  const ModuleSystem* sys = nullptr;
+  const std::vector<std::vector<Candidate>>* candidates = nullptr;
+  const std::vector<std::vector<const GuardPairs*>>* guards_at = nullptr;
+  const std::vector<std::vector<PointInfo>>* module_points = nullptr;
+  const Interconnect* net = nullptr;
+
+  std::vector<const Candidate*> chosen;
+  std::map<IntVec, std::size_t> label_refs;  // Union with multiplicity.
+  // Cross-module slot registry: (cell, tick) -> (fold key, refcount).
+  std::map<std::pair<IntVec, i64>, std::pair<IntVec, std::size_t>> slot_refs;
+  std::size_t incumbent = std::numeric_limits<std::size_t>::max();
+  std::vector<ModuleSpaceAssignment> optima;
+  std::size_t checked = 0;
+
+  void run(std::size_t begin, std::size_t end) {
+    RoutabilityCache cache(*net);
+    chosen.assign(sys->module_count(), nullptr);
+    descend(0, begin, end, cache);
+  }
+
+ private:
+  void descend(std::size_t m, std::size_t begin, std::size_t end,
+               RoutabilityCache& cache) {
+    const std::size_t module_count = sys->module_count();
+    const auto& level = (*candidates)[m];
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const Candidate& cand = level[idx];
+      chosen[m] = &cand;
+      bool feasible = true;
+      for (const auto* gp : (*guards_at)[m]) {
+        if (!check_global(*gp, chosen[gp->dep->consumer]->s,
+                          chosen[gp->dep->producer]->s, cache)) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        // Claim this module's slots; sharing across modules requires equal
+        // fold keys (and a fold key to be defined at all).
+        std::vector<std::pair<IntVec, i64>> claimed;
+        claimed.reserve((*module_points)[m].size());
+        for (const auto& info : (*module_points)[m]) {
+          auto slot = std::make_pair(cand.s * info.point, info.tick);
+          auto [it, inserted] =
+              slot_refs.emplace(slot, std::make_pair(info.key, 1u));
+          if (!inserted) {
+            if (!sys->fold_key() || it->second.first != info.key) {
+              feasible = false;
+              break;
+            }
+            ++it->second.second;
+          }
+          claimed.push_back(std::move(slot));
+        }
+        if (feasible) {
+          for (const auto& l : cand.labels) ++label_refs[l];
+          if (label_refs.size() <= incumbent) {
+            if (m + 1 == module_count) {
+              complete();
+            } else {
+              descend(m + 1, 0, (*candidates)[m + 1].size(), cache);
+            }
+          }
+          for (const auto& l : cand.labels) {
+            const auto it = label_refs.find(l);
+            if (--(it->second) == 0) label_refs.erase(it);
+          }
+        }
+        for (const auto& slot : claimed) {
+          const auto it = slot_refs.find(slot);
+          if (--(it->second.second) == 0) slot_refs.erase(it);
+        }
+      }
+      chosen[m] = nullptr;
+    }
+  }
+
+  void complete() {
+    ++checked;
+    const std::size_t cells = label_refs.size();
+    if (cells > incumbent) return;
+    ModuleSpaceAssignment a;
+    a.spaces.reserve(chosen.size());
+    for (const auto* c : chosen) a.spaces.push_back(c->s);
+    a.cell_count = cells;
+    if (cells < incumbent) {
+      incumbent = cells;
+      optima.clear();
+    }
+    optima.push_back(std::move(a));
+  }
+};
+
 }  // namespace
 
 bool spaces_satisfy(const ModuleSystem& sys,
@@ -187,17 +308,16 @@ ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
   sys.validate();
   NUSYS_REQUIRE(schedules.size() == sys.module_count(),
                 "find_module_spaces: one schedule per module");
+  const WallTimer timer;
   const std::size_t n = sys.dim();
   const std::size_t module_count = sys.module_count();
+  NUSYS_REQUIRE(module_count >= 1, "find_module_spaces: empty module system");
   const std::size_t label_dim = net.label_dim();
   RoutabilityCache cache(net);
 
+  ModuleSpaceResult result;
+
   // Per-module (point, tick, fold key) lists.
-  struct PointInfo {
-    IntVec point;
-    i64 tick = 0;
-    IntVec key;
-  };
   std::vector<std::vector<PointInfo>> module_points(module_count);
   for (std::size_t m = 0; m < module_count; ++m) {
     sys.module(m).domain.for_each([&](const IntVec& p) {
@@ -207,12 +327,7 @@ ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
   }
 
   // Candidate matrices per module: must route local deps within slack and
-  // be conflict-free on the module's own domain. Each candidate carries its
-  // sorted distinct label list for incremental cell counting.
-  struct Candidate {
-    IntMat s;
-    std::vector<IntVec> labels;
-  };
+  // be conflict-free on the module's own domain.
   std::vector<std::vector<Candidate>> candidates(module_count);
   {
     const auto row_candidates = coefficient_cube(n, options.coeff_bound);
@@ -221,6 +336,7 @@ ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
       const auto& deps = sys.module(m).local_deps;
       auto build = [&](auto&& self, std::size_t row) -> void {
         if (row == label_dim) {
+          ++result.examined;
           const IntMat s = IntMat::from_rows(rows);
           for (const auto& dep : deps) {
             if (!cache.routable(s * dep.vector,
@@ -248,7 +364,11 @@ ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
         }
       };
       build(build, 0);
-      if (candidates[m].empty()) return {};
+      result.feasible_count += candidates[m].size();
+      if (candidates[m].empty()) {
+        result.wall_seconds = timer.seconds();
+        return result;
+      }
     }
   }
 
@@ -259,74 +379,35 @@ ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
     guards_at[std::max(gp.dep->consumer, gp.dep->producer)].push_back(&gp);
   }
 
-  ModuleSpaceResult result;
-  std::size_t incumbent = std::numeric_limits<std::size_t>::max();
-  std::vector<const Candidate*> chosen(module_count, nullptr);
-  std::map<IntVec, std::size_t> label_refs;  // Union with multiplicity.
-  // Cross-module slot registry: (cell, tick) -> (fold key, refcount).
-  std::map<std::pair<IntVec, i64>, std::pair<IntVec, std::size_t>> slot_refs;
+  // Fan out over module 0's candidate matrices; every worker owns its
+  // search state outright (including a private routability cache).
+  const std::size_t workers =
+      options.parallelism.workers_for(candidates[0].size());
+  std::vector<SpaceWorker> parts(workers);
+  run_chunked(candidates[0].size(), workers,
+              [&](std::size_t worker, std::size_t begin, std::size_t end) {
+                SpaceWorker& part = parts[worker];
+                part.sys = &sys;
+                part.candidates = &candidates;
+                part.guards_at = &guards_at;
+                part.module_points = &module_points;
+                part.net = &net;
+                part.run(begin, end);
+              });
 
-  auto recurse = [&](auto&& self, std::size_t m) -> void {
-    if (m == module_count) {
-      ++result.assignments_checked;
-      const std::size_t cells = label_refs.size();
-      if (cells > incumbent) return;
-      ModuleSpaceAssignment a;
-      a.spaces.reserve(module_count);
-      for (const auto* c : chosen) a.spaces.push_back(c->s);
-      a.cell_count = cells;
-      if (cells < incumbent) {
-        incumbent = cells;
-        result.optima.clear();
-      }
-      result.optima.push_back(std::move(a));
-      return;
-    }
-    for (const auto& cand : candidates[m]) {
-      chosen[m] = &cand;
-      bool feasible = true;
-      for (const auto* gp : guards_at[m]) {
-        if (!check_global(*gp, chosen[gp->dep->consumer]->s,
-                          chosen[gp->dep->producer]->s, cache)) {
-          feasible = false;
-          break;
-        }
-      }
-      if (feasible) {
-        // Claim this module's slots; sharing across modules requires equal
-        // fold keys (and a fold key to be defined at all).
-        std::vector<std::pair<IntVec, i64>> claimed;
-        claimed.reserve(module_points[m].size());
-        for (const auto& info : module_points[m]) {
-          auto slot = std::make_pair(cand.s * info.point, info.tick);
-          auto [it, inserted] =
-              slot_refs.emplace(slot, std::make_pair(info.key, 1u));
-          if (!inserted) {
-            if (!sys.fold_key() || it->second.first != info.key) {
-              feasible = false;
-              break;
-            }
-            ++it->second.second;
-          }
-          claimed.push_back(std::move(slot));
-        }
-        if (feasible) {
-          for (const auto& l : cand.labels) ++label_refs[l];
-          if (label_refs.size() <= incumbent) self(self, m + 1);
-          for (const auto& l : cand.labels) {
-            const auto it = label_refs.find(l);
-            if (--(it->second) == 0) label_refs.erase(it);
-          }
-        }
-        for (const auto& slot : claimed) {
-          const auto it = slot_refs.find(slot);
-          if (--(it->second.second) == 0) slot_refs.erase(it);
-        }
-      }
-      chosen[m] = nullptr;
-    }
-  };
-  recurse(recurse, 0);
+  // Merge in worker order (= sequential exploration order), then rank.
+  result.workers_used = workers;
+  std::size_t incumbent = std::numeric_limits<std::size_t>::max();
+  for (const auto& part : parts) {
+    result.assignments_checked += part.checked;
+    incumbent = std::min(incumbent, part.incumbent);
+  }
+  for (auto& part : parts) {
+    if (part.incumbent != incumbent) continue;
+    result.optima.insert(result.optima.end(),
+                         std::make_move_iterator(part.optima.begin()),
+                         std::make_move_iterator(part.optima.end()));
+  }
 
   std::stable_sort(result.optima.begin(), result.optima.end(),
                    [](const ModuleSpaceAssignment& a,
@@ -342,6 +423,7 @@ ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
   if (options.max_results > 0 && result.optima.size() > options.max_results) {
     result.optima.resize(options.max_results);
   }
+  result.wall_seconds = timer.seconds();
   return result;
 }
 

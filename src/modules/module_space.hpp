@@ -20,6 +20,12 @@
 // figure-1 interconnect recovers S' = S'' = S = (j,i); on the figure-2
 // interconnect it recovers S' = (k,i), S'' = (i+j-k,i) with fewer cells —
 // the paper's headline result.
+//
+// With `parallelism.threads > 1` the backtracking fans out over the first
+// module's candidate matrices, each worker exploring a contiguous chunk
+// with private state (including its own routability cache); per-worker
+// optima merge in worker order, so the ranked optima and the enumeration
+// counts are identical for every worker count.
 #pragma once
 
 #include <vector>
@@ -27,6 +33,8 @@
 #include "modules/module_system.hpp"
 #include "schedule/timing.hpp"
 #include "space/interconnect.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace nusys {
 
@@ -41,15 +49,32 @@ struct ModuleSpaceOptions {
   i64 coeff_bound = 1;
   /// Keep at most this many optima (0 = all).
   std::size_t max_results = 0;
+  /// Worker threads over module 0's candidate matrices (0 = hardware
+  /// concurrency, 1 = the exact legacy sequential path).
+  SearchParallelism parallelism;
 };
 
 /// Search outcome.
 struct ModuleSpaceResult {
   std::vector<ModuleSpaceAssignment> optima;
+  /// Complete assignments reached by the backtracking. Advisory: the
+  /// incumbent trajectory (and hence pruning) depends on the chunking.
   std::size_t assignments_checked = 0;
+  /// Candidate matrices enumerated across all per-module cubes
+  /// (worker-invariant).
+  std::size_t examined = 0;
+  /// Locally feasible per-module candidate matrices kept (worker-invariant).
+  std::size_t feasible_count = 0;
+  /// Workers the backtracking actually used.
+  std::size_t workers_used = 1;
+  /// Search wall time.
+  double wall_seconds = 0.0;
 
   [[nodiscard]] bool found() const noexcept { return !optima.empty(); }
   [[nodiscard]] const ModuleSpaceAssignment& best() const;
+
+  /// This search as one telemetry stage named `stage`.
+  [[nodiscard]] StageTelemetry telemetry(std::string stage) const;
 };
 
 /// True when `spaces` satisfies every local/global routability constraint

@@ -14,6 +14,17 @@ const LinearSchedule& ScheduleSearchResult::best() const {
   return optima.front();
 }
 
+StageTelemetry ScheduleSearchResult::telemetry(std::string stage) const {
+  StageTelemetry t;
+  t.stage = std::move(stage);
+  t.examined = examined;
+  t.feasible = feasible_count;
+  t.pruned = pruned;
+  t.workers = workers_used;
+  t.wall_seconds = wall_seconds;
+  return t;
+}
+
 std::vector<IntVec> coefficient_cube(std::size_t dim, i64 bound) {
   NUSYS_REQUIRE(dim >= 1, "coefficient_cube: dimension must be positive");
   NUSYS_REQUIRE(bound >= 0, "coefficient_cube: negative bound");
@@ -42,29 +53,28 @@ std::vector<IntVec> coefficient_cube(std::size_t dim, i64 bound) {
   return out;
 }
 
-ScheduleSearchResult find_optimal_schedules(
-    const std::vector<IntVec>& deps, const IndexDomain& domain,
-    const ScheduleSearchOptions& options) {
-  NUSYS_REQUIRE(!deps.empty(), "schedule search: no dependences");
-  for (const auto& d : deps) {
-    NUSYS_REQUIRE(d.dim() == domain.dim(),
-                  "schedule search: dependence dimension mismatch");
-  }
+namespace {
 
-  // Enumerate the domain once; every candidate is evaluated against the
-  // same point list.
-  const std::vector<IntVec> points = domain.points();
-  NUSYS_REQUIRE(!points.empty(), "schedule search: empty domain");
+/// One worker's scan of a contiguous cube range, with purely local state.
+struct SchedulePartial {
+  i64 makespan = std::numeric_limits<i64>::max();
+  std::vector<LinearSchedule> optima;  ///< Chunk-order optima at `makespan`.
+  std::size_t examined = 0;
+  std::size_t feasible = 0;
+  std::size_t pruned = 0;
+};
 
-  ScheduleSearchResult result;
-  result.makespan = std::numeric_limits<i64>::max();
-
-  for (const auto& coeffs : coefficient_cube(domain.dim(),
-                                             options.coeff_bound)) {
-    ++result.examined;
-    const LinearSchedule candidate(coeffs);
+SchedulePartial scan_cube_range(const std::vector<IntVec>& cube,
+                                std::size_t begin, std::size_t end,
+                                const std::vector<IntVec>& deps,
+                                const std::vector<IntVec>& points,
+                                bool keep_all_optima) {
+  SchedulePartial part;
+  for (std::size_t i = begin; i < end; ++i) {
+    ++part.examined;
+    const LinearSchedule candidate(cube[i]);
     if (!candidate.is_feasible(deps)) continue;
-    ++result.feasible_count;
+    ++part.feasible;
 
     i64 lo = std::numeric_limits<i64>::max();
     i64 hi = std::numeric_limits<i64>::min();
@@ -74,24 +84,76 @@ ScheduleSearchResult find_optimal_schedules(
       lo = std::min(lo, t);
       hi = std::max(hi, t);
       // Prune candidates that already exceed the incumbent makespan.
-      if (checked_sub(hi, lo) > result.makespan) {
+      if (checked_sub(hi, lo) > part.makespan) {
         pruned = true;
         break;
       }
     }
-    if (pruned) continue;
-    const i64 makespan = checked_sub(hi, lo);
-    if (makespan < result.makespan) {
-      result.makespan = makespan;
-      result.optima.clear();
-      result.optima.push_back(candidate);
-    } else if (makespan == result.makespan && options.keep_all_optima) {
-      result.optima.push_back(candidate);
+    if (pruned) {
+      ++part.pruned;
+      continue;
     }
+    const i64 makespan = checked_sub(hi, lo);
+    if (makespan < part.makespan) {
+      part.makespan = makespan;
+      part.optima.clear();
+      part.optima.push_back(candidate);
+    } else if (makespan == part.makespan && keep_all_optima) {
+      part.optima.push_back(candidate);
+    }
+  }
+  return part;
+}
+
+}  // namespace
+
+ScheduleSearchResult find_optimal_schedules(
+    const std::vector<IntVec>& deps, const IndexDomain& domain,
+    const ScheduleSearchOptions& options) {
+  NUSYS_REQUIRE(!deps.empty(), "schedule search: no dependences");
+  for (const auto& d : deps) {
+    NUSYS_REQUIRE(d.dim() == domain.dim(),
+                  "schedule search: dependence dimension mismatch");
+  }
+
+  const WallTimer timer;
+
+  // Enumerate the domain once; every candidate is evaluated against the
+  // same point list, shared read-only across workers.
+  const std::vector<IntVec> points = domain.points();
+  NUSYS_REQUIRE(!points.empty(), "schedule search: empty domain");
+
+  const auto cube = coefficient_cube(domain.dim(), options.coeff_bound);
+  const std::size_t workers = options.parallelism.workers_for(cube.size());
+
+  std::vector<SchedulePartial> parts(workers);
+  run_chunked(cube.size(), workers,
+              [&](std::size_t worker, std::size_t begin, std::size_t end) {
+                parts[worker] = scan_cube_range(cube, begin, end, deps, points,
+                                                options.keep_all_optima);
+              });
+
+  // Merge in worker order. Chunks are contiguous and ascending, so
+  // concatenating the winning workers' optima reproduces the sequential
+  // cube-order exactly.
+  ScheduleSearchResult result;
+  result.makespan = std::numeric_limits<i64>::max();
+  result.workers_used = workers;
+  for (const auto& part : parts) {
+    result.examined += part.examined;
+    result.feasible_count += part.feasible;
+    result.pruned += part.pruned;
+    result.makespan = std::min(result.makespan, part.makespan);
+  }
+  for (const auto& part : parts) {
+    if (part.makespan != result.makespan) continue;
+    result.optima.insert(result.optima.end(), part.optima.begin(),
+                         part.optima.end());
   }
   if (!options.keep_all_optima && result.optima.size() > 1) {
     result.optima.resize(1);
   }
+  result.wall_seconds = timer.seconds();
   return result;
 }
 

@@ -10,6 +10,12 @@
 // *enumerate* the design space the way the paper's methodology promises
 // (Sec. I: "the possibility of automatically generating a number of viable
 // algorithms ... enables the selection of an optimal algorithm").
+//
+// The cube is scanned in canonical (L1-then-lex) order; with
+// `parallelism.threads > 1` it is split into contiguous chunks scanned by
+// worker threads and merged back in worker order, so the reported optima,
+// makespan, `examined` and `feasible_count` are identical for every worker
+// count (only `pruned` is an execution detail of the chunking).
 #pragma once
 
 #include <vector>
@@ -17,6 +23,8 @@
 #include "ir/dependence.hpp"
 #include "ir/domain.hpp"
 #include "schedule/timing.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace nusys {
 
@@ -28,6 +36,9 @@ struct ScheduleSearchOptions {
   /// single canonical optimum (smallest L1 coefficient norm, then
   /// lexicographically smallest coefficient vector).
   bool keep_all_optima = true;
+  /// Worker threads scanning the coefficient cube (0 = hardware
+  /// concurrency, 1 = the exact legacy sequential path).
+  SearchParallelism parallelism;
 };
 
 /// Outcome of a schedule search.
@@ -37,15 +48,25 @@ struct ScheduleSearchResult {
   std::vector<LinearSchedule> optima;
   /// The optimal makespan (valid only when optima is non-empty).
   i64 makespan = 0;
-  /// Number of feasible candidates encountered.
+  /// Number of feasible candidates encountered (worker-invariant).
   std::size_t feasible_count = 0;
-  /// Number of coefficient vectors examined.
+  /// Number of coefficient vectors examined (worker-invariant).
   std::size_t examined = 0;
+  /// Feasible candidates whose makespan evaluation was cut short by the
+  /// incumbent bound. Advisory: depends on how the cube was chunked.
+  std::size_t pruned = 0;
+  /// Workers the search actually used.
+  std::size_t workers_used = 1;
+  /// Search wall time.
+  double wall_seconds = 0.0;
 
   [[nodiscard]] bool found() const noexcept { return !optima.empty(); }
 
   /// The canonical optimum; throws SearchFailure when none was found.
   [[nodiscard]] const LinearSchedule& best() const;
+
+  /// This search as one telemetry stage named `stage`.
+  [[nodiscard]] StageTelemetry telemetry(std::string stage) const;
 };
 
 /// Searches for makespan-optimal linear schedules satisfying T(d) > 0 for

@@ -1,0 +1,156 @@
+#include "support/parallel.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+std::size_t SearchParallelism::resolve() const noexcept {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t SearchParallelism::workers_for(
+    std::size_t candidate_count) const noexcept {
+  const std::size_t resolved = resolve();
+  if (candidate_count <= 1) return 1;
+  return resolved < candidate_count ? resolved : candidate_count;
+}
+
+std::vector<ChunkRange> static_chunks(std::size_t count, std::size_t workers) {
+  NUSYS_REQUIRE(workers >= 1, "static_chunks: worker count must be positive");
+  std::vector<ChunkRange> chunks;
+  chunks.reserve(workers);
+  const std::size_t base = count / workers;
+  const std::size_t rem = count % workers;
+  std::size_t begin = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t size = base + (w < rem ? 1 : 0);
+    chunks.push_back({begin, begin + size});
+    begin += size;
+  }
+  return chunks;
+}
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> threads;
+  bool stopping = false;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained.
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t thread_count) : state_(new State) {
+  const std::size_t n = thread_count == 0 ? 1 : thread_count;
+  state_->threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_->threads.emplace_back(&State::worker_loop, state_);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stopping = true;
+  }
+  state_->work_ready.notify_all();
+  for (auto& t : state_->threads) t.join();
+  delete state_;
+}
+
+std::size_t ThreadPool::thread_count() const noexcept {
+  return state_->threads.size();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    NUSYS_REQUIRE(!state_->stopping, "ThreadPool: submit after shutdown");
+    state_->queue.push_back(std::move(task));
+  }
+  state_->work_ready.notify_one();
+}
+
+ThreadPool& shared_search_pool() {
+  // One fewer thread than the hardware offers: the caller of run_chunked()
+  // always works a chunk itself. Never zero, so that chunk tasks still
+  // drain on single-core hosts where more workers than cores were
+  // requested (they simply run one after another).
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? static_cast<std::size_t>(hw - 1) : std::size_t{1};
+  }());
+  return pool;
+}
+
+void run_chunked(
+    std::size_t count, std::size_t workers,
+    const std::function<void(std::size_t worker, std::size_t begin,
+                             std::size_t end)>& body) {
+  if (workers <= 1) {
+    body(0, 0, count);  // Exact legacy path: no pool, no locks.
+    return;
+  }
+  const auto chunks = static_chunks(count, workers);
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::size_t pending = chunks.size() - 1;
+  std::exception_ptr first_error;
+  std::size_t first_error_worker = chunks.size();
+
+  auto record_error = [&](std::size_t worker) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (worker < first_error_worker) {
+      first_error_worker = worker;
+      first_error = std::current_exception();
+    }
+  };
+
+  for (std::size_t w = 1; w < chunks.size(); ++w) {
+    shared_search_pool().submit([&, w] {
+      try {
+        body(w, chunks[w].begin, chunks[w].end);
+      } catch (...) {
+        record_error(w);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        --pending;
+      }
+      all_done.notify_one();
+    });
+  }
+  try {
+    body(0, chunks[0].begin, chunks[0].end);
+  } catch (...) {
+    record_error(0);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    all_done.wait(lock, [&] { return pending == 0; });
+    if (first_error) std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace nusys

@@ -1,0 +1,100 @@
+// Fixed-size thread pool and static-chunking helpers for the exhaustive
+// synthesis searches.
+//
+// Every search in nusys enumerates a finite, canonically ordered candidate
+// list (a coefficient cube, or the first module's candidate schedules /
+// space matrices). Parallelism therefore takes one shape everywhere: split
+// the candidate range into `workers` contiguous chunks, let each worker
+// scan its chunk with purely local state, and merge the per-worker partial
+// results *in worker order*. Because chunks are contiguous and the merge
+// preserves worker order, the merged result visits candidates in exactly
+// the sequential order — which is what makes parallel output bit-identical
+// to the sequential search (see docs/METHODOLOGY.md, "Parallel search &
+// determinism").
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace nusys {
+
+/// Degree of parallelism of an exhaustive search.
+struct SearchParallelism {
+  /// Worker count. 0 = use the hardware concurrency; 1 = the exact legacy
+  /// sequential code path (no pool involvement, everything on the caller's
+  /// thread).
+  std::size_t threads = 0;
+
+  /// Resolved worker count: `threads`, or the hardware concurrency when
+  /// `threads` is 0 (never less than 1).
+  [[nodiscard]] std::size_t resolve() const noexcept;
+
+  /// Worker count clamped to the candidate count (a chunk per worker must
+  /// be non-empty); always at least 1.
+  [[nodiscard]] std::size_t workers_for(
+      std::size_t candidate_count) const noexcept;
+};
+
+/// Contiguous candidate subrange [begin, end) assigned to one worker.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Splits [0, count) into `workers` contiguous, balanced chunks (sizes
+/// differ by at most one; earlier chunks get the remainder). `workers`
+/// must be positive; chunks may be empty when workers > count.
+[[nodiscard]] std::vector<ChunkRange> static_chunks(std::size_t count,
+                                                    std::size_t workers);
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// The pool is deliberately minimal: the searches only ever submit one
+/// batch of independent chunk tasks and then join, so there is no need for
+/// futures, stealing, or priorities. Tasks must not throw out of the pool
+/// thread — run_chunked() wraps bodies and routes exceptions back to the
+/// caller.
+class ThreadPool {
+ public:
+  /// Starts `thread_count` worker threads (at least 1).
+  explicit ThreadPool(std::size_t thread_count);
+
+  /// Joins all workers; pending tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept;
+
+  /// Enqueues one task. Never blocks.
+  void submit(std::function<void()> task);
+
+ private:
+  struct State;
+  State* state_;  // Pimpl keeps <thread>/<mutex> out of the public header.
+};
+
+/// The process-wide pool the searches share, sized to the hardware
+/// concurrency. Lazily started on first use and alive for the remainder of
+/// the process.
+[[nodiscard]] ThreadPool& shared_search_pool();
+
+/// Runs `body(worker, begin, end)` over the static chunking of
+/// [0, count) into `workers` chunks.
+///
+/// With workers <= 1 the body runs inline on the calling thread over the
+/// whole range — the exact legacy sequential path, touching no pool or
+/// synchronization machinery. Otherwise chunk 0 runs on the calling thread
+/// and the remaining chunks on shared_search_pool(); the call returns when
+/// every chunk is done. The first exception (by worker index) is rethrown
+/// on the caller.
+void run_chunked(
+    std::size_t count, std::size_t workers,
+    const std::function<void(std::size_t worker, std::size_t begin,
+                             std::size_t end)>& body);
+
+}  // namespace nusys

@@ -1,0 +1,47 @@
+#include "support/telemetry.hpp"
+
+#include <chrono>
+
+namespace nusys {
+
+double StageTelemetry::candidates_per_second() const noexcept {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(examined) / wall_seconds;
+}
+
+const StageTelemetry* SearchTelemetry::find(const std::string& stage) const {
+  for (const auto& s : stages) {
+    if (s.stage == stage) return &s;
+  }
+  return nullptr;
+}
+
+std::size_t SearchTelemetry::total_examined() const noexcept {
+  std::size_t acc = 0;
+  for (const auto& s : stages) acc += s.examined;
+  return acc;
+}
+
+double SearchTelemetry::total_seconds() const noexcept {
+  double acc = 0.0;
+  for (const auto& s : stages) acc += s.wall_seconds;
+  return acc;
+}
+
+namespace {
+
+long long now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WallTimer::WallTimer() : start_ns_(now_ns()) {}
+
+double WallTimer::seconds() const {
+  return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+}
+
+}  // namespace nusys

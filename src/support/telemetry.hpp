@@ -1,0 +1,58 @@
+// Search telemetry: what each exhaustive synthesis stage did and how fast.
+//
+// Every search already counts what it examines; this module gives those
+// counts one shape so the pipeline, the report renderer, the CLI and the
+// benches can all speak "candidates per second". Counts split into two
+// classes (see docs/METHODOLOGY.md, "Parallel search & determinism"):
+//   * invariant  — `examined` and `feasible` depend only on the inputs,
+//     never on the worker count; the differential tests pin them;
+//   * advisory   — `pruned` depends on the incumbent trajectory, which
+//     depends on how the candidate range was chunked across workers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nusys {
+
+/// What one search stage examined, kept, and cost.
+struct StageTelemetry {
+  std::string stage;           ///< e.g. "coarse-schedule", "module-space".
+  std::size_t examined = 0;    ///< Candidates enumerated (worker-invariant).
+  std::size_t feasible = 0;    ///< Candidates passing feasibility (invariant).
+  std::size_t pruned = 0;      ///< Cut by the incumbent bound (advisory).
+  std::size_t workers = 1;     ///< Workers the stage actually used.
+  double wall_seconds = 0.0;   ///< Stage wall time.
+  /// Wall time from pipeline start to the end of this stage; monotone
+  /// nondecreasing across a pipeline's stage list.
+  double cumulative_seconds = 0.0;
+
+  /// examined / wall_seconds; 0 when the stage was too fast to time.
+  [[nodiscard]] double candidates_per_second() const noexcept;
+};
+
+/// Per-stage telemetry of one pipeline or facade run, in stage order.
+struct SearchTelemetry {
+  std::vector<StageTelemetry> stages;
+
+  /// The stage with this name, or nullptr.
+  [[nodiscard]] const StageTelemetry* find(const std::string& stage) const;
+
+  [[nodiscard]] std::size_t total_examined() const noexcept;
+  [[nodiscard]] double total_seconds() const noexcept;
+};
+
+/// Steady-clock stopwatch started at construction.
+class WallTimer {
+ public:
+  WallTimer();
+
+  /// Seconds elapsed since construction.
+  [[nodiscard]] double seconds() const;
+
+ private:
+  long long start_ns_ = 0;
+};
+
+}  // namespace nusys

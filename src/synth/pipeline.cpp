@@ -15,9 +15,17 @@ NonUniformSynthesisResult synthesize_nonuniform(
     const NonUniformSpec& spec, const Interconnect& net,
     const NonUniformSynthesisOptions& options) {
   NonUniformSynthesisResult result;
+  const WallTimer pipeline_timer;
+  auto record_stage = [&](StageTelemetry stage) {
+    stage.cumulative_seconds = pipeline_timer.seconds();
+    result.telemetry.stages.push_back(std::move(stage));
+  };
 
   // Stage 1: constant core and coarse timing (Sec. III step 1).
-  result.coarse = derive_coarse_timing(spec, options.coarse);
+  auto coarse_options = options.coarse;
+  coarse_options.parallelism = options.parallelism;
+  result.coarse = derive_coarse_timing(spec, coarse_options);
+  record_stage(result.coarse.search.telemetry("coarse-schedule"));
   const LinearSchedule& coarse = result.coarse.schedule();
 
   // Stage 2: chain decomposition and module emission (Sec. III step 2).
@@ -25,18 +33,23 @@ NonUniformSynthesisResult synthesize_nonuniform(
   const ModuleSystem sys = emit_interval_dp_modules(spec, coarse);
 
   // Stage 3: per-module schedules under global constraints (Sec. V-A).
-  const auto schedules = find_module_schedules(sys, options.module_schedule);
+  auto schedule_options = options.module_schedule;
+  schedule_options.parallelism = options.parallelism;
+  const auto schedules = find_module_schedules(sys, schedule_options);
+  record_stage(schedules.telemetry("module-schedule"));
   if (!schedules.found()) return result;
   result.schedules = schedules.best().schedules;
   result.schedule_makespan = schedules.best().makespan;
 
   // Stage 4: per-module space maps (Sec. V-B).
   auto space_options = options.module_space;
+  space_options.parallelism = options.parallelism;
   if (space_options.max_results == 0 && options.max_designs > 0) {
     space_options.max_results = options.max_designs;
   }
   const auto spaces =
       find_module_spaces(sys, result.schedules, net, space_options);
+  record_stage(spaces.telemetry("module-space"));
   for (const auto& assignment : spaces.optima) {
     result.designs.push_back(
         DPArrayDesign{result.schedules, assignment.spaces, net});

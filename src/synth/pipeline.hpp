@@ -17,6 +17,8 @@
 #include "modules/module_schedule.hpp"
 #include "modules/module_space.hpp"
 #include "schedule/coarse.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 
 namespace nusys {
 
@@ -28,6 +30,11 @@ struct NonUniformSynthesisOptions {
   /// Keep at most this many complete designs (0 = all space optima of the
   /// best schedule assignment).
   std::size_t max_designs = 4;
+  /// Worker threads for every search stage (0 = hardware concurrency,
+  /// 1 = the exact legacy sequential paths). The pipeline applies this to
+  /// the coarse, module-schedule and module-space searches, overriding the
+  /// per-stage `parallelism` fields above.
+  SearchParallelism parallelism;
 };
 
 /// Everything the pipeline produced, including intermediate artifacts.
@@ -38,6 +45,9 @@ struct NonUniformSynthesisResult {
   i64 schedule_makespan = 0;
   std::vector<DPArrayDesign> designs;   ///< Ranked executable designs.
   std::vector<std::size_t> cell_counts; ///< Parallel to designs.
+  /// Per-stage search telemetry: "coarse-schedule", "module-schedule",
+  /// "module-space" (stages run; an infeasible stage ends the list).
+  SearchTelemetry telemetry;
 
   [[nodiscard]] bool found() const noexcept { return !designs.empty(); }
 

@@ -1,8 +1,28 @@
 #include "synth/report.hpp"
 
+#include <iomanip>
 #include <sstream>
 
+#include "support/table.hpp"
+
 namespace nusys {
+
+namespace {
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(seconds < 0.01 ? 6 : 3) << seconds
+     << "s";
+  return os.str();
+}
+
+std::string format_rate(double per_second) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(0) << per_second;
+  return os.str();
+}
+
+}  // namespace
 
 std::string describe_design(const Design& design,
                             const std::vector<std::string>& index_names) {
@@ -30,6 +50,20 @@ std::string classify_streams(const Design& design) {
        << design.streams[i].describe();
   }
   return os.str();
+}
+
+std::string describe_telemetry(const SearchTelemetry& telemetry) {
+  TextTable table({"stage", "examined", "feasible", "pruned", "workers",
+                   "wall", "cand/s"});
+  for (const auto& s : telemetry.stages) {
+    table.add_row({s.stage, std::to_string(s.examined),
+                   std::to_string(s.feasible), std::to_string(s.pruned),
+                   std::to_string(s.workers), format_seconds(s.wall_seconds),
+                   format_rate(s.candidates_per_second())});
+  }
+  table.add_row({"total", std::to_string(telemetry.total_examined()), "", "",
+                 "", format_seconds(telemetry.total_seconds()), ""});
+  return table.render();
 }
 
 }  // namespace nusys

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "support/telemetry.hpp"
 #include "synth/design.hpp"
 
 namespace nusys {
@@ -15,5 +16,10 @@ namespace nusys {
 /// One-line classification in the style of the paper's Tables 1-2, e.g.
 /// "y moves by (-1) every 1 tick; x moves by (1) every 1 tick; w stays".
 [[nodiscard]] std::string classify_streams(const Design& design);
+
+/// Aligned per-stage search-telemetry table: candidates examined /
+/// feasible / pruned, workers, wall time and candidates per second, one
+/// row per stage plus a totals row.
+[[nodiscard]] std::string describe_telemetry(const SearchTelemetry& telemetry);
 
 }  // namespace nusys

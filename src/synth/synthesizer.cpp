@@ -18,10 +18,19 @@ SynthesisResult synthesize(const CanonicRecurrence& recurrence,
                            const SynthesisOptions& options) {
   recurrence.validate();
   SynthesisResult result;
+  const WallTimer total_timer;
+  auto record_stage = [&](StageTelemetry stage) {
+    stage.cumulative_seconds = total_timer.seconds();
+    result.telemetry.stages.push_back(std::move(stage));
+  };
+  auto schedule_options = options.schedule;
+  schedule_options.parallelism = options.parallelism;
   result.schedule_search = find_optimal_schedules(
-      recurrence.dependences(), recurrence.domain(), options.schedule);
+      recurrence.dependences(), recurrence.domain(), schedule_options);
+  record_stage(result.schedule_search.telemetry("schedule"));
   if (!result.schedule_search.found()) return result;
 
+  const WallTimer space_timer;
   const auto dep_vectors = recurrence.dependences().vectors();
   std::size_t design_index = 0;
   for (const auto& timing : result.schedule_search.optima) {
@@ -40,6 +49,14 @@ SynthesisResult synthesize(const CanonicRecurrence& recurrence,
                compute_design_metrics(timing, cand.s, recurrence.domain())};
       result.designs.push_back(std::move(d));
     }
+  }
+  {
+    StageTelemetry space_stage;
+    space_stage.stage = "space";
+    space_stage.examined = result.space_maps_examined;
+    space_stage.feasible = result.designs.size();
+    space_stage.wall_seconds = space_timer.seconds();
+    record_stage(std::move(space_stage));
   }
 
   // All timing functions here share the optimal makespan, so rank designs

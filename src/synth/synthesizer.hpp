@@ -13,6 +13,8 @@
 #include "ir/recurrence.hpp"
 #include "schedule/search.hpp"
 #include "space/allocation.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
 #include "synth/design.hpp"
 
 namespace nusys {
@@ -23,6 +25,10 @@ struct SynthesisOptions {
   SpaceSearchOptions space;
   /// Keep at most this many ranked designs (0 = keep all).
   std::size_t max_designs = 0;
+  /// Worker threads for the schedule search (0 = hardware concurrency,
+  /// 1 = the exact legacy sequential path); overrides
+  /// `schedule.parallelism`. The per-timing space search stays sequential.
+  SearchParallelism parallelism;
 };
 
 /// Outcome of synthesizing one recurrence on one interconnect.
@@ -30,6 +36,8 @@ struct SynthesisResult {
   std::vector<Design> designs;  ///< Ranked best-first; empty iff infeasible.
   ScheduleSearchResult schedule_search;
   std::size_t space_maps_examined = 0;
+  /// Per-stage search telemetry: "schedule", then "space".
+  SearchTelemetry telemetry;
 
   [[nodiscard]] bool found() const noexcept { return !designs.empty(); }
 

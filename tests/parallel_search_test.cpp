@@ -1,0 +1,276 @@
+// Differential determinism tests for the parallel search layer: for every
+// search (schedule cube, module schedules, module spaces), any worker count
+// must report bit-identical optima — same vectors, same order — and
+// identical worker-invariant telemetry counts (`examined`,
+// `feasible_count`) as the sequential threads=1 path. Randomized
+// dependence sets, domains and module systems come from support/rng so
+// failures replay exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "dp/dp_modules.hpp"
+#include "modules/module_schedule.hpp"
+#include "modules/module_space.hpp"
+#include "schedule/search.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+// --- substrate ------------------------------------------------------------
+
+TEST(StaticChunksTest, PartitionIsContiguousAndBalanced) {
+  for (const std::size_t count : {0u, 1u, 7u, 64u, 100u}) {
+    for (const std::size_t workers : {1u, 2u, 3u, 8u, 130u}) {
+      const auto chunks = static_chunks(count, workers);
+      ASSERT_EQ(chunks.size(), workers);
+      std::size_t expected_begin = 0;
+      std::size_t min_size = count, max_size = 0;
+      for (const auto& c : chunks) {
+        EXPECT_EQ(c.begin, expected_begin);
+        EXPECT_LE(c.begin, c.end);
+        expected_begin = c.end;
+        min_size = std::min(min_size, c.size());
+        max_size = std::max(max_size, c.size());
+      }
+      EXPECT_EQ(expected_begin, count);  // Covers [0, count) exactly.
+      EXPECT_LE(max_size - min_size, 1u);
+    }
+  }
+}
+
+TEST(RunChunkedTest, EveryIndexVisitedExactlyOnce) {
+  for (const std::size_t workers : kThreadCounts) {
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> visits(kCount);
+    run_chunked(kCount, workers,
+                [&](std::size_t, std::size_t begin, std::size_t end) {
+                  for (std::size_t i = begin; i < end; ++i) {
+                    visits[i].fetch_add(1);
+                  }
+                });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(RunChunkedTest, FirstWorkerExceptionPropagates) {
+  EXPECT_THROW(
+      run_chunked(16, 4,
+                  [&](std::size_t worker, std::size_t, std::size_t) {
+                    if (worker >= 1) throw SearchFailure("worker failed");
+                  }),
+      SearchFailure);
+}
+
+TEST(SearchParallelismTest, ResolveAndClamp) {
+  EXPECT_EQ(SearchParallelism{1}.resolve(), 1u);
+  EXPECT_EQ(SearchParallelism{5}.resolve(), 5u);
+  EXPECT_GE(SearchParallelism{0}.resolve(), 1u);  // Hardware concurrency.
+  EXPECT_EQ(SearchParallelism{8}.workers_for(3), 3u);
+  EXPECT_EQ(SearchParallelism{8}.workers_for(0), 1u);
+  EXPECT_EQ(SearchParallelism{2}.workers_for(100), 2u);
+}
+
+// --- schedule search ------------------------------------------------------
+
+IntVec random_nonzero_vec(Rng& rng, std::size_t dim) {
+  for (;;) {
+    IntVec v(dim);
+    for (std::size_t a = 0; a < dim; ++a) v[a] = rng.uniform(-2, 2);
+    if (!v.is_zero()) return v;
+  }
+}
+
+void expect_same_schedule_result(const ScheduleSearchResult& base,
+                                 const ScheduleSearchResult& got,
+                                 std::size_t threads) {
+  ASSERT_EQ(got.optima.size(), base.optima.size()) << "threads=" << threads;
+  for (std::size_t i = 0; i < base.optima.size(); ++i) {
+    EXPECT_EQ(got.optima[i].coeffs(), base.optima[i].coeffs())
+        << "threads=" << threads << " optimum #" << i;
+  }
+  EXPECT_EQ(got.makespan, base.makespan) << "threads=" << threads;
+  EXPECT_EQ(got.examined, base.examined) << "threads=" << threads;
+  EXPECT_EQ(got.feasible_count, base.feasible_count) << "threads=" << threads;
+}
+
+TEST(ParallelScheduleSearchTest, RandomizedDifferentialDeterminism) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t dim = trial % 2 == 0 ? 2 : 3;
+    const std::vector<std::string> all_names{"i", "j", "k"};
+    std::vector<std::string> names(all_names.begin(),
+                                   all_names.begin() +
+                                       static_cast<std::ptrdiff_t>(dim));
+    std::vector<i64> lo(dim, 1), hi(dim);
+    for (std::size_t a = 0; a < dim; ++a) {
+      hi[a] = rng.uniform(2, 5);
+    }
+    const auto domain = IndexDomain::box(names, lo, hi);
+    const std::size_t dep_count =
+        static_cast<std::size_t>(rng.uniform(1, 4));
+    std::vector<IntVec> deps;
+    for (std::size_t d = 0; d < dep_count; ++d) {
+      deps.push_back(random_nonzero_vec(rng, dim));
+    }
+
+    ScheduleSearchOptions options;
+    options.coeff_bound = 2;
+    options.parallelism.threads = 1;
+    const auto base = find_optimal_schedules(deps, domain, options);
+    for (const std::size_t threads : kThreadCounts) {
+      options.parallelism.threads = threads;
+      const auto got = find_optimal_schedules(deps, domain, options);
+      expect_same_schedule_result(base, got, threads);
+      EXPECT_EQ(got.workers_used,
+                SearchParallelism{threads}.workers_for(got.examined));
+    }
+  }
+}
+
+TEST(ParallelScheduleSearchTest, SingleOptimumModeMatchesSequentialChoice) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto domain = IndexDomain::box({"i", "k"}, {1, 1},
+                                         {rng.uniform(3, 6), rng.uniform(3, 6)});
+    const std::vector<IntVec> deps{random_nonzero_vec(rng, 2),
+                                   random_nonzero_vec(rng, 2)};
+    ScheduleSearchOptions options;
+    options.keep_all_optima = false;
+    options.parallelism.threads = 1;
+    const auto base = find_optimal_schedules(deps, domain, options);
+    for (const std::size_t threads : kThreadCounts) {
+      options.parallelism.threads = threads;
+      const auto got = find_optimal_schedules(deps, domain, options);
+      expect_same_schedule_result(base, got, threads);
+    }
+  }
+}
+
+// --- module-schedule search -----------------------------------------------
+
+void expect_same_module_schedules(const ModuleScheduleResult& base,
+                                  const ModuleScheduleResult& got,
+                                  std::size_t threads) {
+  ASSERT_EQ(got.optima.size(), base.optima.size()) << "threads=" << threads;
+  for (std::size_t i = 0; i < base.optima.size(); ++i) {
+    EXPECT_EQ(got.optima[i].makespan, base.optima[i].makespan);
+    ASSERT_EQ(got.optima[i].schedules.size(), base.optima[i].schedules.size());
+    for (std::size_t m = 0; m < base.optima[i].schedules.size(); ++m) {
+      EXPECT_EQ(got.optima[i].schedules[m].coeffs(),
+                base.optima[i].schedules[m].coeffs())
+          << "threads=" << threads << " assignment #" << i << " module " << m;
+    }
+  }
+  EXPECT_EQ(got.examined, base.examined) << "threads=" << threads;
+  EXPECT_EQ(got.feasible_count, base.feasible_count) << "threads=" << threads;
+}
+
+/// A randomized two-module chain: both modules on small boxes, one global
+/// statement whose producer point is the consumer point shifted left.
+ModuleSystem random_two_module_system(Rng& rng) {
+  const i64 n = rng.uniform(3, 5);
+  const auto domain = IndexDomain::box({"i", "j"}, {1, 1}, {n, n});
+  Module m0{"producer", domain, {}};
+  Module m1{"consumer", domain, {}};
+  // Optional local deps (forward-pointing so schedules exist often).
+  DependenceSet d0, d1;
+  d0.add("a", IntVec({1, 0}));
+  if (rng.uniform(0, 1) == 1) d0.add("b", IntVec({0, 1}));
+  d1.add("c", rng.uniform(0, 1) == 1 ? IntVec({0, 1}) : IntVec({1, 1}));
+  m0.local_deps = std::move(d0);
+  m1.local_deps = std::move(d1);
+  GlobalDep g{"link",
+              1,
+              0,
+              AffineMap(IntMat::identity(2), IntVec({-1, 0})),
+              IndexDomain::box({"i", "j"}, {2, 1}, {n, n}),
+              rng.uniform(0, 1) == 1};
+  return ModuleSystem("random-chain", {std::move(m0), std::move(m1)},
+                      {std::move(g)});
+}
+
+TEST(ParallelModuleScheduleTest, RandomizedDifferentialDeterminism) {
+  Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto sys = random_two_module_system(rng);
+    ModuleScheduleOptions options;
+    options.coeff_bound = 1;
+    options.parallelism.threads = 1;
+    const auto base = find_module_schedules(sys, options);
+    for (const std::size_t threads : kThreadCounts) {
+      options.parallelism.threads = threads;
+      const auto got = find_module_schedules(sys, options);
+      expect_same_module_schedules(base, got, threads);
+    }
+  }
+}
+
+TEST(ParallelModuleScheduleTest, DpSystemDifferentialDeterminism) {
+  const auto sys = build_dp_module_system(5);
+  ModuleScheduleOptions options;
+  options.parallelism.threads = 1;
+  const auto base = find_module_schedules(sys, options);
+  ASSERT_TRUE(base.found());
+  for (const std::size_t threads : kThreadCounts) {
+    options.parallelism.threads = threads;
+    const auto got = find_module_schedules(sys, options);
+    expect_same_module_schedules(base, got, threads);
+  }
+}
+
+TEST(ParallelModuleScheduleTest, MaxResultsTruncationIsDeterministic) {
+  const auto sys = build_dp_module_system(5);
+  ModuleScheduleOptions options;
+  options.max_results = 3;
+  options.parallelism.threads = 1;
+  const auto base = find_module_schedules(sys, options);
+  for (const std::size_t threads : kThreadCounts) {
+    options.parallelism.threads = threads;
+    const auto got = find_module_schedules(sys, options);
+    expect_same_module_schedules(base, got, threads);
+  }
+}
+
+// --- module-space search --------------------------------------------------
+
+void expect_same_module_spaces(const ModuleSpaceResult& base,
+                               const ModuleSpaceResult& got,
+                               std::size_t threads) {
+  ASSERT_EQ(got.optima.size(), base.optima.size()) << "threads=" << threads;
+  for (std::size_t i = 0; i < base.optima.size(); ++i) {
+    EXPECT_EQ(got.optima[i].cell_count, base.optima[i].cell_count);
+    ASSERT_EQ(got.optima[i].spaces.size(), base.optima[i].spaces.size());
+    for (std::size_t m = 0; m < base.optima[i].spaces.size(); ++m) {
+      EXPECT_EQ(got.optima[i].spaces[m], base.optima[i].spaces[m])
+          << "threads=" << threads << " assignment #" << i << " module " << m;
+    }
+  }
+  EXPECT_EQ(got.examined, base.examined) << "threads=" << threads;
+  EXPECT_EQ(got.feasible_count, base.feasible_count) << "threads=" << threads;
+}
+
+TEST(ParallelModuleSpaceTest, DpSystemDifferentialDeterminismBothNets) {
+  const auto sys = build_dp_module_system(5);
+  const auto schedules = dp_paper_schedules();
+  for (const auto& net : {Interconnect::figure1(), Interconnect::figure2()}) {
+    ModuleSpaceOptions options;
+    options.max_results = 4;
+    options.parallelism.threads = 1;
+    const auto base = find_module_spaces(sys, schedules, net, options);
+    ASSERT_TRUE(base.found());
+    for (const std::size_t threads : kThreadCounts) {
+      options.parallelism.threads = threads;
+      const auto got = find_module_spaces(sys, schedules, net, options);
+      expect_same_module_spaces(base, got, threads);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nusys

@@ -141,6 +141,63 @@ TEST(ScheduleSearchTest, WiderBoundNeverWorsensOptimum) {
   EXPECT_EQ(b.makespan, a.makespan);  // Bound 2 already contains the optimum.
 }
 
+TEST(ScheduleSearchTest, ZeroCoeffBoundIsInfeasibleNotAnError) {
+  // With coeff_bound = 0 the cube contains only the zero vector, which can
+  // never satisfy T(d) > 0 — the search must report infeasibility rather
+  // than throw.
+  const auto domain = IndexDomain::box({"i", "k"}, {1, 1}, {4, 4});
+  ScheduleSearchOptions opts;
+  opts.coeff_bound = 0;
+  const auto result =
+      find_optimal_schedules({IntVec({1, 0})}, domain, opts);
+  EXPECT_FALSE(result.found());
+  EXPECT_EQ(result.examined, 1u);  // The zero vector only.
+  EXPECT_EQ(result.feasible_count, 0u);
+}
+
+TEST(ScheduleSearchTest, SingleOptimumIsTheCanonicalTieBreakWinner) {
+  // deps = {(1,1)} on a square box ties T = (0,1) and T = (1,0) at the
+  // optimal makespan; the canonical (L1-then-lex) order puts (0,1) first,
+  // and keep_all_optima = false must select exactly that one.
+  const auto domain = IndexDomain::box({"i", "k"}, {1, 1}, {4, 4});
+  const std::vector<IntVec> deps{IntVec({1, 1})};
+  const auto all = find_optimal_schedules(deps, domain);
+  ASSERT_GE(all.optima.size(), 2u);
+  EXPECT_EQ(all.optima[0].coeffs(), IntVec({0, 1}));
+  EXPECT_EQ(all.optima[1].coeffs(), IntVec({1, 0}));
+
+  ScheduleSearchOptions single;
+  single.keep_all_optima = false;
+  const auto one = find_optimal_schedules(deps, domain, single);
+  ASSERT_EQ(one.optima.size(), 1u);
+  EXPECT_EQ(one.best().coeffs(), all.best().coeffs());
+  EXPECT_EQ(one.makespan, all.makespan);
+}
+
+TEST(ScheduleSearchTest, LaterTieIsKeptWhilePruningCutsWorseCandidates) {
+  // The incumbent-pruning path: once T = (0,1) sets the incumbent, a later
+  // candidate that *ties* the incumbent makespan (here T = (1,0)) must be
+  // kept, while strictly worse candidates (e.g. T = (1,1), makespan 10)
+  // are cut short and counted as pruned.
+  const auto domain = IndexDomain::box({"i", "k"}, {1, 1}, {6, 6});
+  const std::vector<IntVec> deps{IntVec({1, 1})};
+  const auto result = find_optimal_schedules(deps, domain);
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.makespan, 5);
+  bool has_01 = false, has_10 = false;
+  for (const auto& t : result.optima) {
+    has_01 = has_01 || t.coeffs() == IntVec({0, 1});
+    has_10 = has_10 || t.coeffs() == IntVec({1, 0});
+  }
+  EXPECT_TRUE(has_01);
+  EXPECT_TRUE(has_10) << "tie with the incumbent must be kept, not pruned";
+  EXPECT_GT(result.pruned, 0u);
+  // Pruned candidates are feasible ones that were cut short; they are a
+  // subset of the feasible count.
+  EXPECT_LE(result.pruned, result.feasible_count);
+  EXPECT_EQ(result.examined, 49u);  // Default bound 3: (2*3+1)^2.
+}
+
 TEST(CoarseTimingTest, DpCoarseScheduleIsJMinusI) {
   // Paper Sec. IV: D^c = {(0,1), (-1,0)} gives the optimal coarse time
   // T(i,j) = j - i.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "conv/recurrences.hpp"
+#include "synth/pipeline.hpp"
 #include "synth/report.hpp"
 #include "synth/synthesizer.hpp"
 
@@ -182,6 +183,89 @@ TEST(ReportTest, ClassifyStreamsIsOnePerVariable) {
   EXPECT_NE(line.find("y "), std::string::npos);
   EXPECT_NE(line.find("x "), std::string::npos);
   EXPECT_NE(line.find("w "), std::string::npos);
+}
+
+NonUniformSpec telemetry_dp_spec(i64 n) {
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  IndexDomain domain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+  return NonUniformSpec("dp", std::move(domain),
+                        {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+}
+
+TEST(TelemetryTest, PipelineStagesArePopulatedForFig1DpSpec) {
+  const auto result =
+      synthesize_nonuniform(telemetry_dp_spec(6), Interconnect::figure1());
+  ASSERT_TRUE(result.found());
+  const auto& stages = result.telemetry.stages;
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].stage, "coarse-schedule");
+  EXPECT_EQ(stages[1].stage, "module-schedule");
+  EXPECT_EQ(stages[2].stage, "module-space");
+  double previous_cumulative = 0.0;
+  for (const auto& s : stages) {
+    EXPECT_GT(s.examined, 0u) << s.stage;
+    EXPECT_GT(s.feasible, 0u) << s.stage;
+    EXPECT_GE(s.workers, 1u) << s.stage;
+    EXPECT_GE(s.wall_seconds, 0.0) << s.stage;
+    // Cumulative stage-end times are monotone across the pipeline.
+    EXPECT_GE(s.cumulative_seconds, previous_cumulative) << s.stage;
+    EXPECT_GE(s.cumulative_seconds, s.wall_seconds) << s.stage;
+    previous_cumulative = s.cumulative_seconds;
+  }
+  EXPECT_EQ(result.telemetry.find("module-space"), &stages[2]);
+  EXPECT_EQ(result.telemetry.find("nope"), nullptr);
+  EXPECT_EQ(result.telemetry.total_examined(),
+            stages[0].examined + stages[1].examined + stages[2].examined);
+}
+
+TEST(TelemetryTest, FacadeStagesAndRenderedReport) {
+  const auto result = synthesize_conv(convolution_backward_recurrence(8, 4));
+  ASSERT_TRUE(result.found());
+  ASSERT_EQ(result.telemetry.stages.size(), 2u);
+  const auto* schedule = result.telemetry.find("schedule");
+  const auto* space = result.telemetry.find("space");
+  ASSERT_NE(schedule, nullptr);
+  ASSERT_NE(space, nullptr);
+  EXPECT_EQ(schedule->examined, result.schedule_search.examined);
+  EXPECT_EQ(schedule->feasible, result.schedule_search.feasible_count);
+  EXPECT_EQ(space->examined, result.space_maps_examined);
+  EXPECT_GE(schedule->workers, 1u);
+
+  const std::string text = describe_telemetry(result.telemetry);
+  EXPECT_NE(text.find("schedule"), std::string::npos);
+  EXPECT_NE(text.find("space"), std::string::npos);
+  EXPECT_NE(text.find("cand/s"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+TEST(TelemetryTest, PipelineCountsAreThreadInvariant) {
+  // Acceptance check: the Sec. IV DP spec must synthesize byte-identical
+  // designs and invariant telemetry counts for threads = 1 and threads = 4.
+  NonUniformSynthesisOptions seq;
+  seq.parallelism.threads = 1;
+  NonUniformSynthesisOptions par;
+  par.parallelism.threads = 4;
+  const auto a =
+      synthesize_nonuniform(telemetry_dp_spec(6), Interconnect::figure2(), seq);
+  const auto b =
+      synthesize_nonuniform(telemetry_dp_spec(6), Interconnect::figure2(), par);
+  ASSERT_TRUE(a.found());
+  ASSERT_TRUE(b.found());
+  EXPECT_EQ(a.schedule_makespan, b.schedule_makespan);
+  EXPECT_EQ(a.cell_counts, b.cell_counts);
+  ASSERT_EQ(a.designs.size(), b.designs.size());
+  for (std::size_t i = 0; i < a.designs.size(); ++i) {
+    EXPECT_EQ(a.designs[i].spaces, b.designs[i].spaces);
+  }
+  ASSERT_EQ(a.telemetry.stages.size(), b.telemetry.stages.size());
+  for (std::size_t s = 0; s < a.telemetry.stages.size(); ++s) {
+    EXPECT_EQ(a.telemetry.stages[s].examined, b.telemetry.stages[s].examined);
+    EXPECT_EQ(a.telemetry.stages[s].feasible, b.telemetry.stages[s].feasible);
+  }
 }
 
 }  // namespace

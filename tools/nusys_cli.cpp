@@ -2,6 +2,9 @@
 //
 //   nusys synth-conv [--n 16] [--s 4] [--recurrence backward|forward]
 //       Synthesize convolution designs (Tables 1-2 of the paper).
+//   Both synthesis commands accept --threads N (search worker threads;
+//   0 = hardware concurrency, 1 = sequential) and print per-stage search
+//   telemetry: candidates examined/feasible, workers, candidates/sec.
 //   nusys dp [--n 12] [--figure 1|2] [--problem matrix-chain|shortest-path|
 //            triangulation|bracketing|alphabetic-tree] [--trace]
 //       Run a DP problem on one of the paper's arrays, cycle-accurately.
@@ -38,6 +41,12 @@ NonUniformSpec make_dp_spec(i64 n) {
                         {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
 }
 
+SearchParallelism parse_parallelism(const ArgMap& args) {
+  const i64 threads = args.get_int("threads", 0);
+  NUSYS_REQUIRE(threads >= 0, "--threads must be non-negative");
+  return SearchParallelism{static_cast<std::size_t>(threads)};
+}
+
 int cmd_synth_conv(const ArgMap& args) {
   const i64 n = args.get_int("n", 16);
   const i64 s = args.get_int("s", 4);
@@ -47,6 +56,7 @@ int cmd_synth_conv(const ArgMap& args) {
   std::cout << rec << "\n\n";
   SynthesisOptions options;
   options.max_designs = static_cast<std::size_t>(args.get_int("max", 4));
+  options.parallelism = parse_parallelism(args);
   const auto result =
       synthesize(rec, Interconnect::linear_bidirectional(), options);
   if (!result.found()) {
@@ -56,6 +66,7 @@ int cmd_synth_conv(const ArgMap& args) {
   for (const auto& d : result.designs) {
     std::cout << describe_design(d, rec.domain().names()) << '\n';
   }
+  std::cout << "search telemetry:\n" << describe_telemetry(result.telemetry);
   return 0;
 }
 
@@ -122,7 +133,9 @@ int cmd_pipeline(const ArgMap& args) {
                    : net_name == "mesh"   ? Interconnect::mesh2d()
                    : net_name == "hex"    ? Interconnect::hexagonal()
                                           : Interconnect::figure2();
-  const auto result = synthesize_nonuniform(make_dp_spec(n), net);
+  NonUniformSynthesisOptions options;
+  options.parallelism = parse_parallelism(args);
+  const auto result = synthesize_nonuniform(make_dp_spec(n), net, options);
   if (!result.found()) {
     std::cerr << "pipeline found no design\n";
     return 1;
@@ -132,6 +145,10 @@ int cmd_pipeline(const ArgMap& args) {
             << result.designs.size() << " design(s), best uses "
             << result.cell_counts.front() << " cells on " << net_name
             << '\n';
+  std::cout << "search telemetry ("
+            << result.telemetry.stages.back().workers << " worker(s) in the "
+            << "last stage):\n"
+            << describe_telemetry(result.telemetry);
   Rng rng(7);
   const auto problem = random_matrix_chain(n, rng);
   const auto run = run_dp_on_array(problem, result.best());
@@ -148,7 +165,7 @@ int main(int argc, char** argv) {
   try {
     const std::set<std::string> known{"n",      "s",       "recurrence",
                                       "max",    "figure",  "problem",
-                                      "seed",   "net"};
+                                      "seed",   "net",     "threads"};
     const ArgMap args(argc, argv, known, {"trace", "activity"});
     const std::string cmd =
         args.positional().empty() ? "help" : args.positional().front();
