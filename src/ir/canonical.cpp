@@ -1,0 +1,123 @@
+#include "ir/canonical.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "linalg/hermite.hpp"
+#include "support/hash.hpp"
+
+namespace nusys {
+
+namespace {
+
+void fold_matrix(Fnv1a& fnv, const IntMat& m) {
+  fnv.update(static_cast<i64>(m.rows())).update(static_cast<i64>(m.cols()));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) fnv.update(m(r, c));
+  }
+}
+
+std::string render_matrix(const IntMat& m) {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (r > 0) os << ';';
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c > 0) os << ',';
+      os << m(r, c);
+    }
+  }
+  return os.str();
+}
+
+std::string hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Digest of a point set after mapping every point through `map` (pass the
+/// identity to hash the raw domain). Sorting makes the digest independent
+/// of enumeration order.
+std::uint64_t domain_image_digest(const IndexDomain& domain,
+                                  const IntMat& map) {
+  std::vector<IntVec> image;
+  domain.for_each(
+      [&](const IntVec& point) { image.push_back(map * point); });
+  std::sort(image.begin(), image.end());
+  Fnv1a fnv;
+  fnv.update(static_cast<i64>(domain.dim()));
+  fnv.update(static_cast<i64>(image.size()));
+  for (const auto& p : image) {
+    for (const i64 v : p) fnv.update(v);
+  }
+  return fnv.digest();
+}
+
+}  // namespace
+
+RecurrenceCanonicalForm canonicalize_recurrence(const CanonicRecurrence& rec) {
+  const IntMat d = rec.dependences().matrix();
+  const std::size_t n = rec.domain().dim();
+
+  RecurrenceCanonicalForm form;
+  // Column HNF of D^T: D^T·U = H_col, so U^T·D = H_col^T is the
+  // row-canonical form of D and C = U^T the canonicalizing transform.
+  const HermiteForm hf = hermite_normal_form(d.transposed());
+  form.transform = hf.u.transposed();
+  form.inverse = unimodular_inverse(form.transform);
+  form.hnf = hf.h.transposed();
+  form.rank = d.rank();
+  form.domain_size = rec.domain().size();
+  form.domain_digest = domain_image_digest(rec.domain(), form.transform);
+
+  Fnv1a fnv;
+  fnv.update(static_cast<i64>(form.domain_digest));
+  if (form.rank < n) {
+    // C is not unique below full row rank: pin the key to the exact
+    // instance so only identical problems share an entry.
+    fold_matrix(fnv, d);
+    fnv.update(rec.domain().to_string());
+  }
+
+  std::ostringstream key;
+  key << "rec|n=" << n << "|m=" << rec.dependences().size()
+      << "|rank=" << form.rank << "|H=" << render_matrix(form.hnf)
+      << "|dom=" << hex64(fnv.digest()) << '#' << form.domain_size;
+  form.key = key.str();
+  return form;
+}
+
+std::string spec_canonical_key(const NonUniformSpec& spec) {
+  // One printable descriptor per non-constant dependence; the replaced
+  // component of `base` is ignored by expansion, so it is masked before
+  // rendering, and descriptors are sorted so listing order is irrelevant.
+  std::vector<std::string> descriptors;
+  for (const auto& dep : spec.deps()) {
+    IntVec masked = dep.base;
+    if (dep.replaced_axis < masked.dim()) masked[dep.replaced_axis] = 0;
+    std::ostringstream os;
+    os << dep.variable << ":t" << dep.replaced_axis << ':'
+       << masked.to_string();
+    descriptors.push_back(os.str());
+  }
+  std::sort(descriptors.begin(), descriptors.end());
+
+  const std::uint64_t dom = domain_image_digest(
+      spec.full_domain(), IntMat::identity(spec.full_domain().dim()));
+
+  std::ostringstream key;
+  key << "spec|n=" << spec.full_domain().dim() << "|deps=[";
+  for (std::size_t i = 0; i < descriptors.size(); ++i) {
+    if (i > 0) key << ' ';
+    key << descriptors[i];
+  }
+  key << "]|dom=" << hex64(dom) << '#' << spec.full_domain().size();
+  return key.str();
+}
+
+}  // namespace nusys

@@ -1,0 +1,66 @@
+// Canonicalization of synthesis problems into design-cache keys.
+//
+// Many synthesis requests are the same problem wearing different
+// coordinates: a unimodular change of loop indices x' = U·x turns the
+// dependence matrix D into U·D and the index domain into U·I without
+// changing any design decision — schedules and space maps transport
+// through U exactly. The canonical design cache exploits this the way
+// symbolic loop compilers do: reduce each request to a canonical key,
+// synthesize once per key, and replay the cached mapping (transported into
+// the new instance's coordinates and re-validated) for every later
+// request.
+//
+// The key of a canonic-form recurrence is built from
+//   * the row-canonical Hermite form H of the dependence matrix D: the
+//     unique C·D with C unimodular, computed as the transpose of the
+//     column HNF of D^T. Instances related by D' = U·D share H, and when
+//     D has full row rank the canonicalizing transform C is unique, so
+//     both instances land in the *same* canonical coordinates;
+//   * a domain-shape signature: the FNV-1a digest of the sorted image
+//     C·I of the index domain (point count included). Renamed instances
+//     map to the same image; size-differing instances differ;
+//   * the dependence count, dimension and rank of D. When D is row-rank
+//     deficient C is not unique, so the raw D and domain are folded into
+//     the digest and only exact matches hit — reuse stays sound, it is
+//     merely less general.
+//
+// Non-uniform specs (Sec. III) are keyed by their sorted non-constant
+// dependence descriptors plus the full-domain signature; the cached
+// module schedules and space maps are validated against the concrete
+// instance's module system before being replayed (see synth/design_cache).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/nonuniform.hpp"
+#include "ir/recurrence.hpp"
+#include "linalg/mat.hpp"
+
+namespace nusys {
+
+/// Canonical form of a recurrence under unimodular renaming, carrying the
+/// transforms needed to move designs between coordinate systems.
+struct RecurrenceCanonicalForm {
+  IntMat hnf;        ///< H = transform · D (row-canonical Hermite form).
+  IntMat transform;  ///< C, unimodular: instance -> canonical coordinates.
+  IntMat inverse;    ///< C^{-1}: canonical -> instance coordinates.
+  std::size_t rank = 0;            ///< rank of D.
+  std::size_t domain_size = 0;     ///< |I| (unimodular invariant).
+  std::uint64_t domain_digest = 0; ///< Digest of the sorted image C·I.
+  std::string key;  ///< Printable cache key (problem only; callers append
+                    ///< interconnect and search-option fields).
+};
+
+/// Canonicalizes `rec` as described above. Deterministic: equal inputs
+/// give equal forms, and unimodular renamings of a full-row-rank instance
+/// give equal keys and compatible canonical coordinates.
+[[nodiscard]] RecurrenceCanonicalForm canonicalize_recurrence(
+    const CanonicRecurrence& rec);
+
+/// Cache key of a non-uniform spec: sorted dependence descriptors plus the
+/// exact full-domain signature. Name-independent (the spec's display name
+/// does not participate).
+[[nodiscard]] std::string spec_canonical_key(const NonUniformSpec& spec);
+
+}  // namespace nusys

@@ -80,6 +80,38 @@ HermiteForm hermite_normal_form(const IntMat& a) {
   return out;
 }
 
+IntMat unimodular_inverse(const IntMat& u) {
+  NUSYS_REQUIRE(u.rows() == u.cols(), "unimodular_inverse: matrix not square");
+  const std::size_t n = u.rows();
+  const i64 det = u.determinant();
+  NUSYS_REQUIRE(det == 1 || det == -1,
+                "unimodular_inverse: |det| must be 1");
+  if (n == 0) return IntMat(0, 0);
+
+  // inv = adj(u) / det = adj(u) * det (det is ±1). Minors via the same
+  // fraction-free determinant the matrix class provides; n <= 4 throughout
+  // this library, so cofactor expansion is exact and cheap.
+  IntMat inv(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      IntMat minor(n - 1, n - 1);
+      for (std::size_t i = 0, mi = 0; i < n; ++i) {
+        if (i == c) continue;  // adj = transposed cofactors: drop row c...
+        for (std::size_t j = 0, mj = 0; j < n; ++j) {
+          if (j == r) continue;  // ... and column r of u.
+          minor(mi, mj) = u(i, j);
+          ++mj;
+        }
+        ++mi;
+      }
+      const i64 cofactor = ((r + c) % 2 == 0) ? minor.determinant()
+                                              : checked_sub(0, minor.determinant());
+      inv(r, c) = checked_mul(cofactor, det);
+    }
+  }
+  return inv;
+}
+
 std::optional<DiophantineSolution> solve_diophantine(const IntMat& a,
                                                      const IntVec& b) {
   NUSYS_REQUIRE(a.rows() == b.dim(),

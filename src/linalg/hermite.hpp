@@ -26,6 +26,14 @@ struct HermiteForm {
 /// Computes the column-style Hermite normal form of `a`.
 [[nodiscard]] HermiteForm hermite_normal_form(const IntMat& a);
 
+/// Exact inverse of a unimodular matrix (|det| = 1), computed by the
+/// adjugate; the result is again integer and unimodular. Throws
+/// ContractError when `u` is not square or |det u| != 1. The canonical
+/// design cache uses this to move schedules and space maps between an
+/// instance's coordinates and the Hermite-canonical coordinates of its
+/// dependence matrix.
+[[nodiscard]] IntMat unimodular_inverse(const IntMat& u);
+
 /// The complete integer solution set of A·x = b:
 /// x = particular + Σ t_j · kernel[j] over integer t_j.
 struct DiophantineSolution {

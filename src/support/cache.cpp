@@ -1,0 +1,213 @@
+#include "support/cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace nusys {
+
+namespace {
+
+constexpr char kMagic[] = "nusys-design-cache v1";
+constexpr char kFieldSeparator = '\x1f';
+
+std::string escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> unescape(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      out += escaped[i];
+      continue;
+    }
+    if (i + 1 == escaped.size()) return std::nullopt;
+    switch (escaped[++i]) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      default: return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::uint64_t record_checksum(const std::string& key,
+                              const std::string& payload) {
+  return Fnv1a{}
+      .update(key)
+      .update(std::string_view(&kFieldSeparator, 1))
+      .update(payload)
+      .digest();
+}
+
+std::string hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_hex64(const std::string& text) {
+  if (text.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+DesignCache::DesignCache(CacheConfig config) : config_(std::move(config)) {
+  if (!config_.path.empty()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    load_locked();
+  }
+}
+
+DesignCache::~DesignCache() { flush(); }
+
+std::optional<std::string> DesignCache::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return it->second->second;
+}
+
+bool DesignCache::contains(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.count(key) > 0;
+}
+
+void DesignCache::insert(const std::string& key, std::string payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  insert_locked(key, std::move(payload), /*count_insertion=*/true);
+}
+
+void DesignCache::reject(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.validation_failures;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+}
+
+void DesignCache::insert_locked(const std::string& key, std::string payload,
+                                bool count_insertion) {
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->second = std::move(payload);
+    entries_.splice(entries_.begin(), entries_, it->second);
+  } else {
+    entries_.emplace_front(key, std::move(payload));
+    index_.emplace(key, entries_.begin());
+    while (config_.capacity > 0 && entries_.size() > config_.capacity) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+  if (count_insertion) ++stats_.insertions;
+}
+
+bool DesignCache::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.path.empty()) return true;
+  const std::string tmp = config_.path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << kMagic << '\n';
+    // Least-recent first, so replaying inserts at load restores recency.
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      out << hex64(record_checksum(it->first, it->second)) << ' '
+          << escape(it->first) << '\t' << escape(it->second) << '\n';
+    }
+    if (!out) return false;
+  }
+  if (std::rename(tmp.c_str(), config_.path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+void DesignCache::load_locked() {
+  std::ifstream in(config_.path);
+  if (!in) return;  // No snapshot yet: an empty cache, not an error.
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    ++stats_.corrupt_entries;
+    return;
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto space = line.find(' ');
+    const auto tab = line.find('\t');
+    if (space == std::string::npos || tab == std::string::npos ||
+        tab < space) {
+      ++stats_.corrupt_entries;
+      continue;
+    }
+    const auto checksum = parse_hex64(line.substr(0, space));
+    const auto key = unescape(line.substr(space + 1, tab - space - 1));
+    const auto payload = unescape(line.substr(tab + 1));
+    if (!checksum || !key || !payload ||
+        *checksum != record_checksum(*key, *payload)) {
+      ++stats_.corrupt_entries;
+      continue;
+    }
+    insert_locked(*key, *payload, /*count_insertion=*/false);
+    ++stats_.loaded_entries;
+  }
+}
+
+std::size_t DesignCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+CacheStats DesignCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void DesignCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  index_.clear();
+}
+
+}  // namespace nusys

@@ -1,0 +1,103 @@
+// Canonical design cache: a thread-safe in-memory LRU keyed by printable
+// canonical-form digests (ir/canonical.hpp), with an optional on-disk
+// snapshot so synthesized designs survive process restarts.
+//
+// The cache stores opaque string payloads — the synth layer owns the
+// encoding of winning (T, S, K) schedules and module designs
+// (synth/design_cache.hpp) and *always* re-validates a decoded payload
+// against the concrete problem instance before reusing it, so a stale,
+// truncated or corrupted entry can never produce a wrong design: it is
+// rejected, counted, and the problem is re-synthesized from scratch.
+// Persisted records carry an FNV-1a checksum; records that fail to parse
+// or verify at load are dropped and counted in `corrupt_entries`.
+//
+// All operations are mutex-serialized: the batch synthesis driver
+// (synth/batch.hpp) shares one cache across the PR 1 thread pool.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace nusys {
+
+/// Lifetime counters of one cache. `hits`/`misses` count lookups,
+/// `validation_failures` counts hits whose payload the caller rejected
+/// (reported via note_validation_failure), `corrupt_entries` counts
+/// on-disk records dropped at load time.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+  std::size_t validation_failures = 0;
+  std::size_t corrupt_entries = 0;
+  std::size_t loaded_entries = 0;  ///< Records restored from disk.
+
+  friend bool operator==(const CacheStats& a, const CacheStats& b) = default;
+};
+
+/// Construction parameters of a DesignCache.
+struct CacheConfig {
+  /// Maximum resident entries; inserting beyond it evicts the least
+  /// recently used entry. 0 = unbounded.
+  std::size_t capacity = 128;
+  /// Snapshot file path; loaded on construction, written by flush() and
+  /// the destructor. Empty = in-memory only.
+  std::string path;
+};
+
+/// Thread-safe string-to-string LRU cache with checksummed persistence.
+class DesignCache {
+ public:
+  explicit DesignCache(CacheConfig config = {});
+
+  /// Flushes to `config.path` (best effort) and releases the cache.
+  ~DesignCache();
+
+  DesignCache(const DesignCache&) = delete;
+  DesignCache& operator=(const DesignCache&) = delete;
+
+  /// The payload stored under `key`, refreshing its recency; nullopt on a
+  /// miss. Counts exactly one hit or miss.
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key);
+
+  /// True when `key` is resident. Counts nothing and does not refresh
+  /// recency.
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Inserts or overwrites `key`, making it most recent; evicts the LRU
+  /// entry when the capacity is exceeded.
+  void insert(const std::string& key, std::string payload);
+
+  /// Records that a looked-up payload failed the caller's re-validation
+  /// against the concrete instance, and drops the entry so the follow-up
+  /// insert starts fresh.
+  void reject(const std::string& key);
+
+  /// Writes the snapshot to `config.path` (no-op when empty). Returns
+  /// false when the file could not be written.
+  bool flush();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] CacheStats stats() const;
+  void clear();
+
+ private:
+  void insert_locked(const std::string& key, std::string payload,
+                     bool count_insertion);
+  void load_locked();
+
+  mutable std::mutex mutex_;
+  CacheConfig config_;
+  /// Front = most recently used; each node owns (key, payload).
+  std::list<std::pair<std::string, std::string>> entries_;
+  std::unordered_map<std::string, decltype(entries_)::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace nusys

@@ -1,0 +1,58 @@
+// FNV-1a hashing for cache keys and on-disk integrity checks.
+//
+// The canonical design cache (support/cache.hpp) keys entries by printable
+// digests of exact integer data — Hermite forms, domain point sets, option
+// fields — and guards persisted entries with a checksum. FNV-1a is enough
+// for both: the digest only has to be deterministic and well-distributed,
+// and a corrupted record only has to be *detected*, not resisted
+// adversarially (the entry is then re-synthesized from scratch).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "support/checked.hpp"
+
+namespace nusys {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Streaming FNV-1a accumulator: fold bytes, i64s or strings in any order;
+/// equal input streams give equal digests on every platform (the i64
+/// overload feeds fixed little-endian bytes).
+class Fnv1a {
+ public:
+  constexpr Fnv1a& update(std::uint8_t byte) noexcept {
+    state_ = (state_ ^ byte) * kFnvPrime;
+    return *this;
+  }
+
+  constexpr Fnv1a& update(std::string_view bytes) noexcept {
+    for (const char c : bytes) update(static_cast<std::uint8_t>(c));
+    return *this;
+  }
+
+  constexpr Fnv1a& update(i64 value) noexcept {
+    auto u = static_cast<std::uint64_t>(value);
+    for (int i = 0; i < 8; ++i) {
+      update(static_cast<std::uint8_t>(u & 0xff));
+      u >>= 8;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept {
+    return state_;
+  }
+
+ private:
+  std::uint64_t state_ = kFnvOffsetBasis;
+};
+
+/// One-shot FNV-1a of a byte string.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  return Fnv1a{}.update(bytes).digest();
+}
+
+}  // namespace nusys

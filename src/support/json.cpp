@@ -1,0 +1,125 @@
+#include "support/json.hpp"
+
+#include <cctype>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::map<std::string, std::string> object() {
+    skip_space();
+    expect('{');
+    std::map<std::string, std::string> out;
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+    } else {
+      for (;;) {
+        skip_space();
+        const std::string key = string_literal();
+        skip_space();
+        expect(':');
+        skip_space();
+        const std::string value = scalar();
+        if (!out.emplace(key, value).second) {
+          fail("duplicate key '" + key + "'");
+        }
+        skip_space();
+        const char c = next();
+        if (c == '}') break;
+        if (c != ',') fail("expected ',' or '}'");
+      }
+    }
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing characters after object");
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw DomainError("batch JSONL: " + why + " at offset " +
+                      std::to_string(pos_) + " in: " + text_);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char next() {
+    if (pos_ >= text_.size()) fail("unexpected end of line");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string string_literal() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      switch (next()) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        default: fail("unsupported string escape");
+      }
+    }
+  }
+
+  std::string scalar() {
+    const char c = peek();
+    if (c == '"') return string_literal();
+    if (c == '{' || c == '[') fail("nested values are not supported");
+    std::string word;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      word += text_[pos_++];
+    }
+    if (word == "true" || word == "false") return word;
+    if (word.empty()) fail("expected a value");
+    std::size_t i = (word[0] == '-') ? 1 : 0;
+    if (i == word.size()) fail("invalid number '" + word + "'");
+    for (; i < word.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(word[i]))) {
+        fail("unsupported value '" + word + "' (strings need quotes; only "
+             "integers and booleans are bare)");
+      }
+    }
+    return word;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::map<std::string, std::string> parse_flat_json_object(
+    const std::string& text) {
+  return Parser(text).object();
+}
+
+}  // namespace nusys

@@ -1,0 +1,22 @@
+// Minimal flat-JSON-object parsing for the batch synthesis driver.
+//
+// A batch stream is JSON Lines: one object per line, string keys, scalar
+// values (string / integer / boolean). That tiny dialect is all the batch
+// format needs, and parsing it by hand keeps the dependency footprint at
+// "standard library only" (see CONTRIBUTING.md). Nested objects, arrays,
+// floats and duplicate keys are rejected loudly rather than guessed at.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace nusys {
+
+/// Parses one flat JSON object like {"kind": "conv", "n": 16, "fwd": true}
+/// into a key -> value map; booleans become "true"/"false", numbers keep
+/// their literal spelling. Throws DomainError on malformed input, nesting,
+/// floats or duplicate keys.
+[[nodiscard]] std::map<std::string, std::string> parse_flat_json_object(
+    const std::string& text);
+
+}  // namespace nusys

@@ -135,10 +135,13 @@ void run_chunked(
         record_error(w);
       }
       {
+        // Notify while still holding the mutex: the waiter cannot return
+        // from wait() (and destroy the stack-allocated condvar) until this
+        // worker releases the lock, by which point it is done signalling.
         const std::lock_guard<std::mutex> lock(mutex);
         --pending;
+        all_done.notify_one();
       }
-      all_done.notify_one();
     });
   }
   try {

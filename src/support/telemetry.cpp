@@ -9,6 +9,10 @@ double StageTelemetry::candidates_per_second() const noexcept {
   return static_cast<double>(examined) / wall_seconds;
 }
 
+bool StageTelemetry::touched_cache() const noexcept {
+  return cache_hits > 0 || cache_misses > 0 || cache_evictions > 0;
+}
+
 const StageTelemetry* SearchTelemetry::find(const std::string& stage) const {
   for (const auto& s : stages) {
     if (s.stage == stage) return &s;
@@ -25,6 +29,18 @@ std::size_t SearchTelemetry::total_examined() const noexcept {
 double SearchTelemetry::total_seconds() const noexcept {
   double acc = 0.0;
   for (const auto& s : stages) acc += s.wall_seconds;
+  return acc;
+}
+
+std::size_t SearchTelemetry::total_cache_hits() const noexcept {
+  std::size_t acc = 0;
+  for (const auto& s : stages) acc += s.cache_hits;
+  return acc;
+}
+
+std::size_t SearchTelemetry::total_cache_misses() const noexcept {
+  std::size_t acc = 0;
+  for (const auto& s : stages) acc += s.cache_misses;
   return acc;
 }
 

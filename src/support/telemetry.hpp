@@ -27,9 +27,19 @@ struct StageTelemetry {
   /// Wall time from pipeline start to the end of this stage; monotone
   /// nondecreasing across a pipeline's stage list.
   double cumulative_seconds = 0.0;
+  /// Canonical-design-cache activity attributed to this stage (stages that
+  /// never touch the cache leave all three at zero): lookups answered from
+  /// the cache, lookups that fell through to a full search, and entries
+  /// evicted by this stage's insertions.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
 
   /// examined / wall_seconds; 0 when the stage was too fast to time.
   [[nodiscard]] double candidates_per_second() const noexcept;
+
+  /// True when any cache counter is nonzero.
+  [[nodiscard]] bool touched_cache() const noexcept;
 };
 
 /// Per-stage telemetry of one pipeline or facade run, in stage order.
@@ -41,6 +51,8 @@ struct SearchTelemetry {
 
   [[nodiscard]] std::size_t total_examined() const noexcept;
   [[nodiscard]] double total_seconds() const noexcept;
+  [[nodiscard]] std::size_t total_cache_hits() const noexcept;
+  [[nodiscard]] std::size_t total_cache_misses() const noexcept;
 };
 
 /// Steady-clock stopwatch started at construction.

@@ -1,0 +1,294 @@
+#include "synth/batch.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <set>
+#include <sstream>
+
+#include "conv/recurrences.hpp"
+#include "support/errors.hpp"
+#include "support/hash.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+#include "synth/design_cache.hpp"
+
+namespace nusys {
+
+namespace {
+
+i64 parse_count(const std::string& word, const std::string& field) {
+  try {
+    std::size_t used = 0;
+    const i64 value = std::stoll(word, &used);
+    if (used != word.size() || value <= 0) throw std::invalid_argument(word);
+    return value;
+  } catch (const std::exception&) {
+    throw DomainError("batch field '" + field + "' needs a positive integer, "
+                      "got '" + word + "'");
+  }
+}
+
+std::string derived_name(const BatchProblem& p) {
+  std::ostringstream os;
+  if (p.kind == BatchProblem::Kind::kConvolution) {
+    os << "conv-" << (p.forward ? "fwd" : "bwd") << "-n" << p.n << "-s"
+       << p.s;
+  } else {
+    os << "pipeline-n" << p.n;
+  }
+  os << '@' << p.net;
+  return os.str();
+}
+
+BatchProblem parse_problem(const std::map<std::string, std::string>& fields,
+                           std::size_t line_number) {
+  BatchProblem p;
+  std::set<std::string> seen;
+  const auto take = [&](const char* key) -> const std::string* {
+    const auto it = fields.find(key);
+    if (it == fields.end()) return nullptr;
+    seen.insert(key);
+    return &it->second;
+  };
+  const auto reject = [&](const std::string& why) -> DomainError {
+    return DomainError("batch line " + std::to_string(line_number) + ": " +
+                       why);
+  };
+
+  if (const auto* kind = take("kind")) {
+    if (*kind == "conv") {
+      p.kind = BatchProblem::Kind::kConvolution;
+    } else if (*kind == "pipeline") {
+      p.kind = BatchProblem::Kind::kPipeline;
+    } else {
+      throw reject("unknown kind '" + *kind + "' (conv|pipeline)");
+    }
+  }
+  const bool conv = p.kind == BatchProblem::Kind::kConvolution;
+  if (const auto* name = take("name")) p.name = *name;
+  if (const auto* n = take("n")) p.n = parse_count(*n, "n");
+  if (const auto* s = take("s")) {
+    if (!conv) throw reject("field 's' only applies to conv problems");
+    p.s = parse_count(*s, "s");
+  }
+  if (const auto* rec = take("recurrence")) {
+    if (!conv) {
+      throw reject("field 'recurrence' only applies to conv problems");
+    }
+    if (*rec != "backward" && *rec != "forward") {
+      throw reject("unknown recurrence '" + *rec + "' (backward|forward)");
+    }
+    p.forward = *rec == "forward";
+  }
+  if (const auto* net = take("net")) {
+    p.net = *net;
+  } else {
+    p.net = conv ? "linear" : "figure2";
+  }
+  for (const auto& [key, value] : fields) {
+    (void)value;
+    if (!seen.count(key)) throw reject("unknown field '" + key + "'");
+  }
+  if (p.name.empty()) p.name = derived_name(p);
+  (void)batch_interconnect(p);  // Fail a bad kind/net pairing at parse time.
+  return p;
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(seconds < 0.01 ? 6 : 3) << seconds
+     << "s";
+  return os.str();
+}
+
+std::string hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BatchProblem> parse_batch_jsonl(std::istream& in) {
+  std::vector<BatchProblem> problems;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    problems.push_back(
+        parse_problem(parse_flat_json_object(line), line_number));
+  }
+  return problems;
+}
+
+Interconnect batch_interconnect(const BatchProblem& problem) {
+  const std::string& net = problem.net;
+  const auto built =
+      net == "linear"       ? Interconnect::linear_bidirectional()
+      : net == "linear-uni" ? Interconnect::linear_unidirectional()
+      : net == "figure1"    ? Interconnect::figure1()
+      : net == "figure2"    ? Interconnect::figure2()
+      : net == "mesh"       ? Interconnect::mesh2d()
+      : net == "hex"        ? Interconnect::hexagonal()
+                            : throw DomainError(
+                                  "unknown interconnect '" + net +
+                                  "' (linear|linear-uni|figure1|figure2|"
+                                  "mesh|hex)");
+  const std::size_t needed =
+      problem.kind == BatchProblem::Kind::kConvolution ? 1 : 2;
+  if (built.label_dim() != needed) {
+    throw DomainError("interconnect '" + net + "' has a " +
+                      std::to_string(built.label_dim()) +
+                      "-D label space; problem '" + problem.name +
+                      "' needs " + std::to_string(needed) + "-D");
+  }
+  return built;
+}
+
+NonUniformSpec make_interval_dp_spec(i64 n) {
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  IndexDomain domain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+  return NonUniformSpec("dp", std::move(domain),
+                        {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+}
+
+std::size_t BatchRunResult::hit_count() const noexcept {
+  std::size_t hits = 0;
+  for (const auto& item : items) {
+    hits += item.provenance == CacheProvenance::kCacheHit ? 1u : 0u;
+  }
+  return hits;
+}
+
+double BatchRunResult::problems_per_second() const noexcept {
+  if (wall_seconds <= 0.0) return 0.0;
+  return static_cast<double>(items.size()) / wall_seconds;
+}
+
+BatchRunResult run_batch(const std::vector<BatchProblem>& problems,
+                         const BatchOptions& options, DesignCache& cache) {
+  const WallTimer batch_timer;
+
+  // Per-problem searches run the exact sequential path: the batch owns the
+  // pool, and a nested run_chunked would deadlock its FIFO queue anyway.
+  SynthesisOptions synth = options.synthesis;
+  synth.parallelism.threads = 1;
+  synth.cache = &cache;
+  NonUniformSynthesisOptions pipe = options.pipeline;
+  pipe.parallelism.threads = 1;
+  pipe.cache = &cache;
+
+  BatchRunResult result;
+  result.items.resize(problems.size());
+
+  // Group problems by cache key, preserving first-occurrence order.
+  // Groups run concurrently; a group's members run sequentially in input
+  // order, so the first member always resolves the entry and every
+  // duplicate hits it — provenance is deterministic for any worker count.
+  std::vector<std::vector<std::size_t>> groups;
+  {
+    std::map<std::string, std::size_t> group_of;
+    for (std::size_t idx = 0; idx < problems.size(); ++idx) {
+      const auto& p = problems[idx];
+      const auto net = batch_interconnect(p);
+      std::string key;
+      if (p.kind == BatchProblem::Kind::kConvolution) {
+        const auto rec = p.forward
+                             ? convolution_forward_recurrence(p.n, p.s)
+                             : convolution_backward_recurrence(p.n, p.s);
+        key = synthesis_cache_key(canonicalize_recurrence(rec), net, synth);
+      } else {
+        key = pipeline_cache_key(make_interval_dp_spec(p.n), net, pipe);
+      }
+      const auto [it, fresh] = group_of.emplace(key, groups.size());
+      if (fresh) groups.emplace_back();
+      groups[it->second].push_back(idx);
+      result.items[idx].cache_key = std::move(key);
+    }
+  }
+
+  const auto is_cache_hit = [](const SearchTelemetry& telemetry) {
+    for (const auto& stage : telemetry.stages) {
+      if (stage.stage == "design-cache" && stage.cache_hits > 0) return true;
+    }
+    return false;
+  };
+  const auto process = [&](std::size_t idx) {
+    const auto& p = problems[idx];
+    auto& item = result.items[idx];
+    item.name = p.name;
+    const WallTimer item_timer;
+    const auto net = batch_interconnect(p);
+    if (p.kind == BatchProblem::Kind::kConvolution) {
+      const auto rec = p.forward
+                           ? convolution_forward_recurrence(p.n, p.s)
+                           : convolution_backward_recurrence(p.n, p.s);
+      const auto synthesis = synthesize(rec, net, synth);
+      item.report = make_design_report(rec, synthesis);
+      item.provenance = is_cache_hit(synthesis.telemetry)
+                            ? CacheProvenance::kCacheHit
+                            : CacheProvenance::kSearched;
+    } else {
+      const auto spec = make_interval_dp_spec(p.n);
+      const auto synthesis = synthesize_nonuniform(spec, net, pipe);
+      item.report = make_pipeline_report(spec, synthesis);
+      item.provenance = is_cache_hit(synthesis.telemetry)
+                            ? CacheProvenance::kCacheHit
+                            : CacheProvenance::kSearched;
+    }
+    item.seconds = item_timer.seconds();
+  };
+
+  result.workers_used = options.parallelism.workers_for(groups.size());
+  run_chunked(groups.size(), result.workers_used,
+              [&](std::size_t, std::size_t begin, std::size_t end) {
+                for (std::size_t g = begin; g < end; ++g) {
+                  for (const std::size_t idx : groups[g]) process(idx);
+                }
+              });
+
+  result.wall_seconds = batch_timer.seconds();
+  result.cache_stats = cache.stats();
+  return result;
+}
+
+std::string describe_batch(const BatchRunResult& result) {
+  TextTable table({"problem", "key", "source", "designs", "makespan",
+                   "wall"});
+  for (const auto& item : result.items) {
+    table.add_row(
+        {item.name, hex64(fnv1a64(item.cache_key)),
+         item.provenance == CacheProvenance::kCacheHit ? "cache-hit"
+                                                       : "searched",
+         std::to_string(item.report.designs.size()),
+         item.report.feasible ? std::to_string(item.report.makespan)
+                              : "infeasible",
+         format_seconds(item.seconds)});
+  }
+
+  std::ostringstream os;
+  os << table.render();
+  os << result.items.size() << " problem(s), " << result.hit_count()
+     << " cache hit(s), " << result.workers_used << " worker(s), "
+     << format_seconds(result.wall_seconds) << " wall, " << std::fixed
+     << std::setprecision(1) << result.problems_per_second()
+     << " problems/s\n";
+  const auto& stats = result.cache_stats;
+  os << "cache: " << stats.hits << " hit(s), " << stats.misses
+     << " miss(es), " << stats.insertions << " insertion(s), "
+     << stats.evictions << " eviction(s), " << stats.validation_failures
+     << " validation failure(s)\n";
+  return os.str();
+}
+
+}  // namespace nusys

@@ -1,0 +1,106 @@
+// Batch synthesis driver: a stream of problems through one shared
+// canonical design cache and the PR 1 thread pool.
+//
+// The driver reads JSON Lines (one problem per line), groups problems by
+// their canonical cache key, and synthesizes the groups concurrently —
+// per-problem searches themselves run on the exact sequential path, so
+// worker count can never change a result, and the pool is never entered
+// re-entrantly. Within a group the requests run in input order through
+// the shared cache: the first request misses (or replays a disk entry),
+// every duplicate replays the freshly inserted entry. Because groups are
+// keyed disjointly, the per-problem reports AND the per-problem cache
+// provenance are deterministic for every thread count — the batch tests
+// pin reports bit-identical to one-at-a-time synthesis at threads 1 and 8.
+//
+// Batch line format (support/json.hpp dialect), e.g.:
+//   {"kind": "conv", "n": 16, "s": 4, "recurrence": "backward",
+//    "net": "linear"}
+//   {"kind": "pipeline", "n": 8, "net": "figure2"}
+// Optional "name" overrides the auto-derived display name.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ir/nonuniform.hpp"
+#include "support/cache.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nusys {
+
+/// One parsed problem of a batch stream.
+struct BatchProblem {
+  enum class Kind {
+    kConvolution,  ///< Canonic recurrence (4)/(5) on a 1-D interconnect.
+    kPipeline,     ///< Interval-DP non-uniform spec, full Sec. III-V run.
+  };
+  Kind kind = Kind::kConvolution;
+  std::string name;            ///< Display name; derived when empty.
+  i64 n = 16;                  ///< Problem size.
+  i64 s = 4;                   ///< Kernel size (convolution only).
+  bool forward = false;        ///< Recurrence (5) instead of (4).
+  std::string net = "linear";  ///< linear|linear-uni|figure1|figure2|mesh|hex.
+};
+
+/// Parses a JSONL stream; blank lines and '#' comment lines are skipped.
+/// Throws DomainError on a malformed line or unknown field/value.
+[[nodiscard]] std::vector<BatchProblem> parse_batch_jsonl(std::istream& in);
+
+/// The interconnect named by `problem.net`; throws DomainError on an
+/// unknown name or a topology whose label dimension does not fit the kind.
+[[nodiscard]] Interconnect batch_interconnect(const BatchProblem& problem);
+
+/// The Sec. IV interval-DP spec of size n (the same spec the CLI's
+/// `pipeline` command and the batch driver's "pipeline" kind synthesize).
+[[nodiscard]] NonUniformSpec make_interval_dp_spec(i64 n);
+
+/// How one batch item's designs were obtained.
+enum class CacheProvenance {
+  kSearched,   ///< Full search ran (cache miss, or no prior entry).
+  kCacheHit,   ///< A cached entry validated against this instance.
+};
+
+/// Outcome of one problem of the batch, in input order.
+struct BatchItemResult {
+  std::string name;
+  std::string cache_key;
+  CacheProvenance provenance = CacheProvenance::kSearched;
+  DesignReport report;
+  double seconds = 0.0;
+};
+
+/// Options of one batch run.
+struct BatchOptions {
+  /// Worker threads ACROSS problems (0 = hardware concurrency). The
+  /// per-problem searches always run the sequential path.
+  SearchParallelism parallelism;
+  /// Per-problem search options; the `cache` and `parallelism` fields are
+  /// overridden by the driver.
+  SynthesisOptions synthesis;
+  NonUniformSynthesisOptions pipeline;
+};
+
+/// Aggregate outcome of a batch run.
+struct BatchRunResult {
+  std::vector<BatchItemResult> items;  ///< Parallel to the input order.
+  CacheStats cache_stats;              ///< Cache stats after the run.
+  double wall_seconds = 0.0;
+  std::size_t workers_used = 1;
+
+  [[nodiscard]] std::size_t hit_count() const noexcept;
+  [[nodiscard]] double problems_per_second() const noexcept;
+};
+
+/// Synthesizes every problem through `cache`. Problems sharing a cache
+/// key are serialized in input order; distinct keys run concurrently.
+[[nodiscard]] BatchRunResult run_batch(
+    const std::vector<BatchProblem>& problems, const BatchOptions& options,
+    DesignCache& cache);
+
+/// Aggregate throughput plus one provenance line per problem.
+[[nodiscard]] std::string describe_batch(const BatchRunResult& result);
+
+}  // namespace nusys

@@ -1,0 +1,354 @@
+#include "synth/design_cache.hpp"
+
+#include <sstream>
+
+#include "modules/module_schedule.hpp"
+#include "space/metrics.hpp"
+#include "synth/design.hpp"
+
+namespace nusys {
+
+namespace {
+
+constexpr char kSynthMagic[] = "nusys-synth-entry";
+constexpr char kPipeMagic[] = "nusys-pipe-entry";
+constexpr i64 kVersion = 1;
+
+/// Renders the Δ columns so nets with equal topology share key text.
+std::string render_net(const Interconnect& net) {
+  std::ostringstream os;
+  const IntMat delta = net.delta();
+  for (std::size_t c = 0; c < delta.cols(); ++c) {
+    if (c > 0) os << ' ';
+    for (std::size_t r = 0; r < delta.rows(); ++r) {
+      if (r > 0) os << ',';
+      os << delta(r, c);
+    }
+  }
+  return os.str();
+}
+
+/// Row-vector-times-matrix: returns v·m (the coordinate transport of a
+/// schedule's coefficient row).
+IntVec row_times(const IntVec& v, const IntMat& m) {
+  return m.transposed() * v;
+}
+
+class TokenReader {
+ public:
+  explicit TokenReader(const std::string& payload) : in_(payload) {}
+
+  bool word(const std::string& expected) {
+    std::string w;
+    return (in_ >> w) && w == expected;
+  }
+
+  bool read(i64& out) { return static_cast<bool>(in_ >> out); }
+
+  bool read_size(std::size_t& out, std::size_t max) {
+    i64 v = 0;
+    if (!read(v) || v < 0 || static_cast<std::size_t>(v) > max) return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+  }
+
+  bool read_vec(IntVec& out, std::size_t dim) {
+    out = IntVec(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (!read(out[i])) return false;
+    }
+    return true;
+  }
+
+  bool read_mat(IntMat& out, std::size_t rows, std::size_t cols) {
+    out = IntMat(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (!read(out(r, c))) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+void write_vec(std::ostream& os, const IntVec& v) {
+  for (const i64 x : v) os << ' ' << x;
+}
+
+void write_mat(std::ostream& os, const IntMat& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) os << ' ' << m(r, c);
+  }
+}
+
+/// Caps decoded list sizes: a corrupted length token must not allocate
+/// unbounded memory before validation rejects the entry.
+constexpr std::size_t kMaxListLength = 1u << 16;
+
+}  // namespace
+
+std::string synthesis_cache_key(const RecurrenceCanonicalForm& form,
+                                const Interconnect& net,
+                                const SynthesisOptions& options) {
+  std::ostringstream os;
+  os << form.key << "|net=" << render_net(net)
+     << "|opt=sb" << options.schedule.coeff_bound
+     << ",ka" << (options.schedule.keep_all_optima ? 1 : 0)
+     << ",xb" << options.space.coeff_bound
+     << ",mc" << options.space.max_candidates
+     << ",md" << options.max_designs;
+  return os.str();
+}
+
+std::string pipeline_cache_key(const NonUniformSpec& spec,
+                               const Interconnect& net,
+                               const NonUniformSynthesisOptions& options) {
+  std::ostringstream os;
+  os << spec_canonical_key(spec) << "|net=" << render_net(net)
+     << "|opt=cb" << options.coarse.coeff_bound
+     << ",ka" << (options.coarse.keep_all_optima ? 1 : 0)
+     << ",sb" << options.module_schedule.coeff_bound
+     << ",sr" << options.module_schedule.max_results
+     << ",xb" << options.module_space.coeff_bound
+     << ",xr" << options.module_space.max_results
+     << ",md" << options.max_designs;
+  return os.str();
+}
+
+std::string encode_synthesis_entry(const SynthesisResult& result,
+                                   const RecurrenceCanonicalForm& form) {
+  std::ostringstream os;
+  os << kSynthMagic << ' ' << kVersion << '\n';
+  os << result.schedule_search.makespan << '\n';
+  os << result.schedule_search.optima.size() << '\n';
+  for (const auto& t : result.schedule_search.optima) {
+    write_vec(os, row_times(t.coeffs(), form.inverse));
+    os << ' ' << t.offset() << '\n';
+  }
+  os << result.designs.size() << '\n';
+  for (const auto& d : result.designs) {
+    // The trailing "#<index>" of the cold-run name; replay reconstructs
+    // the name from the instance so renamed problems report their own.
+    const auto hash_pos = d.name.rfind('#');
+    i64 name_index = 0;
+    if (hash_pos != std::string::npos) {
+      name_index = std::strtoll(d.name.c_str() + hash_pos + 1, nullptr, 10);
+    }
+    os << name_index;
+    write_vec(os, row_times(d.timing.coeffs(), form.inverse));
+    os << ' ' << d.timing.offset();
+    os << ' ' << d.space.rows() << ' ' << d.space.cols();
+    write_mat(os, d.space * form.inverse);
+    os << ' ' << d.routing.rows() << ' ' << d.routing.cols();
+    write_mat(os, d.routing);
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::optional<SynthesisResult> replay_synthesis_entry(
+    const std::string& payload, const CanonicRecurrence& rec,
+    const Interconnect& net, const RecurrenceCanonicalForm& form) {
+  const std::size_t n = rec.domain().dim();
+  const std::size_t label_dim = net.label_dim();
+  const std::size_t link_count = net.link_count();
+  const auto deps = rec.dependences().vectors();
+  const IntMat delta = net.delta();
+
+  TokenReader reader(payload);
+  i64 version = 0;
+  if (!reader.word(kSynthMagic) || !reader.read(version) ||
+      version != kVersion) {
+    return std::nullopt;
+  }
+
+  SynthesisResult result;
+  i64 makespan = 0;
+  if (!reader.read(makespan)) return std::nullopt;
+
+  std::size_t schedule_count = 0;
+  if (!reader.read_size(schedule_count, kMaxListLength) ||
+      schedule_count == 0) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < schedule_count; ++i) {
+    IntVec canonical;
+    i64 offset = 0;
+    if (!reader.read_vec(canonical, n) || !reader.read(offset)) {
+      return std::nullopt;
+    }
+    const LinearSchedule t(row_times(canonical, form.transform), offset);
+    // Hit validation, part 1: condition (1) and the cached optimum value
+    // must hold verbatim on the concrete instance.
+    if (!t.is_feasible(deps)) return std::nullopt;
+    if (t.span(rec.domain()).makespan() != makespan) return std::nullopt;
+    result.schedule_search.optima.push_back(t);
+  }
+  result.schedule_search.makespan = makespan;
+
+  std::size_t design_count = 0;
+  if (!reader.read_size(design_count, kMaxListLength)) return std::nullopt;
+  for (std::size_t i = 0; i < design_count; ++i) {
+    i64 name_index = 0;
+    IntVec t_canonical;
+    i64 offset = 0;
+    if (!reader.read(name_index) || !reader.read_vec(t_canonical, n) ||
+        !reader.read(offset)) {
+      return std::nullopt;
+    }
+    const LinearSchedule timing(row_times(t_canonical, form.transform),
+                                offset);
+    if (!timing.is_feasible(deps)) return std::nullopt;
+    if (timing.span(rec.domain()).makespan() != makespan) {
+      return std::nullopt;
+    }
+
+    std::size_t s_rows = 0, s_cols = 0, k_rows = 0, k_cols = 0;
+    IntMat s_canonical;
+    IntMat k;
+    if (!reader.read_size(s_rows, kMaxListLength) ||
+        !reader.read_size(s_cols, kMaxListLength) ||
+        s_rows != label_dim || s_cols != n ||
+        !reader.read_mat(s_canonical, s_rows, s_cols) ||
+        !reader.read_size(k_rows, kMaxListLength) ||
+        !reader.read_size(k_cols, kMaxListLength) ||
+        k_rows != link_count || k_cols != deps.size() ||
+        !reader.read_mat(k, k_rows, k_cols)) {
+      return std::nullopt;
+    }
+    const IntMat s = s_canonical * form.transform;
+
+    // Hit validation, part 2: the routing equations S·d = Δ·k with k >= 0
+    // and Σk bounded by the slack T·d, per dependence (eq. (3)).
+    for (std::size_t j = 0; j < deps.size(); ++j) {
+      const IntVec displacement = s * deps[j];
+      const IntVec route = k.col(j);
+      i64 hops = 0;
+      for (const i64 v : route) {
+        if (v < 0) return std::nullopt;
+        hops = checked_add(hops, v);
+      }
+      if (hops > timing.slack(deps[j])) return std::nullopt;
+      if (delta * route != displacement) return std::nullopt;
+    }
+
+    // Hit validation, part 3: Π = [T; S] injective on Z^n (condition (2)).
+    IntMat pi = IntMat::from_rows({timing.coeffs()});
+    for (std::size_t r = 0; r < s.rows(); ++r) {
+      pi = pi.with_row_appended(s.row(r));
+    }
+    const i64 det = pi.determinant();
+    if (det == 0) return std::nullopt;
+
+    Design d{rec.name() + "#" + std::to_string(name_index),
+             timing,
+             s,
+             net,
+             k,
+             pi,
+             det,
+             derive_streams(timing, s, rec.dependences()),
+             compute_design_metrics(timing, s, rec.domain())};
+    result.designs.push_back(std::move(d));
+  }
+  return result;
+}
+
+std::string encode_pipeline_entry(const CachedPipelineDesigns& designs) {
+  std::ostringstream os;
+  os << kPipeMagic << ' ' << kVersion << '\n';
+  os << designs.makespan << '\n';
+  os << designs.schedules.size() << '\n';
+  for (const auto& t : designs.schedules) {
+    os << t.dim();
+    write_vec(os, t.coeffs());
+    os << ' ' << t.offset() << '\n';
+  }
+  os << designs.assignments.size() << '\n';
+  for (const auto& a : designs.assignments) {
+    os << a.cell_count << ' ' << a.spaces.size();
+    for (const auto& s : a.spaces) {
+      os << ' ' << s.rows() << ' ' << s.cols();
+      write_mat(os, s);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::optional<CachedPipelineDesigns> replay_pipeline_entry(
+    const std::string& payload, const ModuleSystem& sys,
+    const Interconnect& net) {
+  TokenReader reader(payload);
+  i64 version = 0;
+  if (!reader.word(kPipeMagic) || !reader.read(version) ||
+      version != kVersion) {
+    return std::nullopt;
+  }
+
+  CachedPipelineDesigns out;
+  if (!reader.read(out.makespan)) return std::nullopt;
+
+  std::size_t schedule_count = 0;
+  if (!reader.read_size(schedule_count, kMaxListLength) ||
+      schedule_count != sys.module_count()) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < schedule_count; ++i) {
+    std::size_t dim = 0;
+    IntVec coeffs;
+    i64 offset = 0;
+    if (!reader.read_size(dim, kMaxListLength) || dim != sys.dim() ||
+        !reader.read_vec(coeffs, dim) || !reader.read(offset)) {
+      return std::nullopt;
+    }
+    out.schedules.emplace_back(std::move(coeffs), offset);
+  }
+  // Hit validation: every local and global timing inequality of the
+  // concrete module system, plus the cached optimum value.
+  if (!schedules_satisfy(sys, out.schedules)) return std::nullopt;
+  if (global_makespan(sys, out.schedules) != out.makespan) {
+    return std::nullopt;
+  }
+
+  std::size_t assignment_count = 0;
+  if (!reader.read_size(assignment_count, kMaxListLength)) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < assignment_count; ++i) {
+    ModuleSpaceAssignment assignment;
+    i64 cells = 0;
+    std::size_t space_count = 0;
+    if (!reader.read(cells) || cells < 0 ||
+        !reader.read_size(space_count, kMaxListLength) ||
+        space_count != sys.module_count()) {
+      return std::nullopt;
+    }
+    for (std::size_t m = 0; m < space_count; ++m) {
+      std::size_t rows = 0, cols = 0;
+      IntMat s;
+      if (!reader.read_size(rows, kMaxListLength) ||
+          !reader.read_size(cols, kMaxListLength) || cols != sys.dim() ||
+          rows != net.label_dim() || !reader.read_mat(s, rows, cols)) {
+        return std::nullopt;
+      }
+      assignment.spaces.push_back(std::move(s));
+    }
+    // Hit validation: local/global routability and the no-conflict
+    // condition on the concrete system, with the cell count recomputed.
+    if (!spaces_satisfy(sys, out.schedules, assignment.spaces, net)) {
+      return std::nullopt;
+    }
+    assignment.cell_count = count_cells(sys, assignment.spaces);
+    if (assignment.cell_count != static_cast<std::size_t>(cells)) {
+      return std::nullopt;
+    }
+    out.assignments.push_back(std::move(assignment));
+  }
+  return out;
+}
+
+}  // namespace nusys

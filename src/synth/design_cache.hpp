@@ -1,0 +1,77 @@
+// Cache-aware reuse of synthesized designs (the glue between
+// ir/canonical.hpp, support/cache.hpp and the two synthesis facades).
+//
+// A cache entry stores the *winning mapping*, not the report: for the
+// canonic facade the makespan-optimal schedules and the ranked (T, S, K)
+// designs in the canonical coordinates of the dependence matrix; for the
+// non-uniform pipeline the module schedules (λ, μ, σ) and the ranked
+// module space assignments. Replaying an entry transports it into the
+// requesting instance's coordinates and then RE-VALIDATES every condition
+// the search would have enforced — T·d > 0, the routing equations
+// S·d = Δ·k with k >= 0 and Σk bounded by the slack, non-singularity of
+// Π, and (for the pipeline) the global-dependence inequalities via
+// schedules_satisfy / spaces_satisfy — against the concrete instance. A
+// payload that fails any check (stale, corrupted, or a rank-deficient
+// coincidence) is rejected and the caller falls back to the full search,
+// so the cache can change performance but never results.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/canonical.hpp"
+#include "modules/module_space.hpp"
+#include "modules/module_system.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+#include "support/cache.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nusys {
+
+/// Full cache key of a non-uniform pipeline request.
+[[nodiscard]] std::string pipeline_cache_key(
+    const NonUniformSpec& spec, const Interconnect& net,
+    const NonUniformSynthesisOptions& options);
+
+/// Full cache key of a canonic synthesis request: the canonical problem
+/// key plus the interconnect and every option field that changes results.
+[[nodiscard]] std::string synthesis_cache_key(
+    const RecurrenceCanonicalForm& form, const Interconnect& net,
+    const SynthesisOptions& options);
+
+/// Serializes a synthesis outcome into a cache payload, expressed in the
+/// canonical coordinates of `form` (coefficients multiplied by C^{-1}).
+[[nodiscard]] std::string encode_synthesis_entry(
+    const SynthesisResult& result, const RecurrenceCanonicalForm& form);
+
+/// Decodes, transports and validates a payload against the concrete
+/// instance; nullopt when the payload is malformed or any re-validation
+/// check fails. On success the returned result is bit-identical (designs,
+/// schedules, makespan) to the cold run that produced the entry when the
+/// instance is the same, and a fully validated design otherwise.
+[[nodiscard]] std::optional<SynthesisResult> replay_synthesis_entry(
+    const std::string& payload, const CanonicRecurrence& rec,
+    const Interconnect& net, const RecurrenceCanonicalForm& form);
+
+/// The module-level designs cached for one non-uniform pipeline key.
+struct CachedPipelineDesigns {
+  std::vector<LinearSchedule> schedules;  ///< One per module.
+  i64 makespan = 0;
+  std::vector<ModuleSpaceAssignment> assignments;  ///< Ranked, truncated.
+};
+
+/// Serializes the module schedules and kept space assignments.
+[[nodiscard]] std::string encode_pipeline_entry(
+    const CachedPipelineDesigns& designs);
+
+/// Decodes and validates a pipeline payload against the concrete module
+/// system and interconnect (schedules_satisfy, spaces_satisfy, recomputed
+/// makespan and cell counts); nullopt on any failure.
+[[nodiscard]] std::optional<CachedPipelineDesigns> replay_pipeline_entry(
+    const std::string& payload, const ModuleSystem& sys,
+    const Interconnect& net);
+
+}  // namespace nusys

@@ -1,5 +1,7 @@
 #include "synth/pipeline.hpp"
 
+#include "synth/design_cache.hpp"
+
 namespace nusys {
 
 const DPArrayDesign& NonUniformSynthesisResult::best() const {
@@ -32,14 +34,51 @@ NonUniformSynthesisResult synthesize_nonuniform(
   result.chain_shape = analyze_chain_shape(spec, coarse);
   const ModuleSystem sys = emit_interval_dp_modules(spec, coarse);
 
+  // Materializes the kept assignments as executable designs; shared by
+  // the cold path and the cache replay so both produce identical output.
+  auto materialize = [&](const std::vector<LinearSchedule>& schedules,
+                         i64 makespan,
+                         const std::vector<ModuleSpaceAssignment>& optima) {
+    result.schedules = schedules;
+    result.schedule_makespan = makespan;
+    for (const auto& assignment : optima) {
+      result.designs.push_back(
+          DPArrayDesign{result.schedules, assignment.spaces, net});
+      result.cell_counts.push_back(assignment.cell_count);
+      if (options.max_designs > 0 &&
+          result.designs.size() >= options.max_designs) {
+        break;
+      }
+    }
+  };
+
+  // Canonical design cache: replay a validated hit, skipping stages 3-4.
+  std::string cache_key;
+  if (options.cache != nullptr) {
+    const WallTimer cache_timer;
+    cache_key = pipeline_cache_key(spec, net, options);
+    if (const auto payload = options.cache->lookup(cache_key)) {
+      if (auto replay = replay_pipeline_entry(*payload, sys, net)) {
+        materialize(replay->schedules, replay->makespan,
+                    replay->assignments);
+        StageTelemetry stage;
+        stage.stage = "design-cache";
+        stage.cache_hits = 1;
+        stage.feasible = result.designs.size();
+        stage.wall_seconds = cache_timer.seconds();
+        record_stage(std::move(stage));
+        return result;
+      }
+      options.cache->reject(cache_key);
+    }
+  }
+
   // Stage 3: per-module schedules under global constraints (Sec. V-A).
   auto schedule_options = options.module_schedule;
   schedule_options.parallelism = options.parallelism;
   const auto schedules = find_module_schedules(sys, schedule_options);
   record_stage(schedules.telemetry("module-schedule"));
   if (!schedules.found()) return result;
-  result.schedules = schedules.best().schedules;
-  result.schedule_makespan = schedules.best().makespan;
 
   // Stage 4: per-module space maps (Sec. V-B).
   auto space_options = options.module_space;
@@ -47,17 +86,33 @@ NonUniformSynthesisResult synthesize_nonuniform(
   if (space_options.max_results == 0 && options.max_designs > 0) {
     space_options.max_results = options.max_designs;
   }
-  const auto spaces =
-      find_module_spaces(sys, result.schedules, net, space_options);
+  const auto spaces = find_module_spaces(sys, schedules.best().schedules,
+                                         net, space_options);
   record_stage(spaces.telemetry("module-space"));
-  for (const auto& assignment : spaces.optima) {
-    result.designs.push_back(
-        DPArrayDesign{result.schedules, assignment.spaces, net});
-    result.cell_counts.push_back(assignment.cell_count);
-    if (options.max_designs > 0 &&
-        result.designs.size() >= options.max_designs) {
-      break;
+  materialize(schedules.best().schedules, schedules.best().makespan,
+              spaces.optima);
+
+  if (options.cache != nullptr) {
+    const std::size_t evictions_before = options.cache->stats().evictions;
+    if (result.found()) {
+      CachedPipelineDesigns entry;
+      entry.schedules = result.schedules;
+      entry.makespan = result.schedule_makespan;
+      // Store only the assignments that were kept as designs.
+      for (std::size_t i = 0; i < result.designs.size(); ++i) {
+        ModuleSpaceAssignment assignment;
+        assignment.spaces = result.designs[i].spaces;
+        assignment.cell_count = result.cell_counts[i];
+        entry.assignments.push_back(std::move(assignment));
+      }
+      options.cache->insert(cache_key, encode_pipeline_entry(entry));
     }
+    StageTelemetry stage;
+    stage.stage = "design-cache";
+    stage.cache_misses = 1;
+    stage.cache_evictions =
+        options.cache->stats().evictions - evictions_before;
+    record_stage(std::move(stage));
   }
   return result;
 }

@@ -22,6 +22,8 @@
 
 namespace nusys {
 
+class DesignCache;
+
 /// Options for the full non-uniform synthesis pipeline.
 struct NonUniformSynthesisOptions {
   ScheduleSearchOptions coarse;
@@ -35,6 +37,11 @@ struct NonUniformSynthesisOptions {
   /// the coarse, module-schedule and module-space searches, overriding the
   /// per-stage `parallelism` fields above.
   SearchParallelism parallelism;
+  /// Canonical design cache (support/cache.hpp); nullptr = always search.
+  /// The coarse timing and module emission always run (they are cheap and
+  /// provide the system a hit is validated against); a validated hit skips
+  /// the module-schedule and module-space searches.
+  DesignCache* cache = nullptr;
 };
 
 /// Everything the pipeline produced, including intermediate artifacts.

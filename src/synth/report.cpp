@@ -52,17 +52,86 @@ std::string classify_streams(const Design& design) {
   return os.str();
 }
 
-std::string describe_telemetry(const SearchTelemetry& telemetry) {
-  TextTable table({"stage", "examined", "feasible", "pruned", "workers",
-                   "wall", "cand/s"});
-  for (const auto& s : telemetry.stages) {
-    table.add_row({s.stage, std::to_string(s.examined),
-                   std::to_string(s.feasible), std::to_string(s.pruned),
-                   std::to_string(s.workers), format_seconds(s.wall_seconds),
-                   format_rate(s.candidates_per_second())});
+std::string DesignReport::render() const {
+  std::ostringstream os;
+  os << "problem " << problem << ": ";
+  if (!feasible) {
+    os << "infeasible\n";
+    return os.str();
   }
-  table.add_row({"total", std::to_string(telemetry.total_examined()), "", "",
-                 "", format_seconds(telemetry.total_seconds()), ""});
+  os << designs.size() << " design(s), makespan " << makespan << '\n';
+  for (const auto& d : designs) os << d;
+  return os.str();
+}
+
+DesignReport make_design_report(const CanonicRecurrence& rec,
+                                const SynthesisResult& result) {
+  DesignReport report;
+  report.problem = rec.name();
+  report.feasible = result.found();
+  if (!report.feasible) return report;
+  report.makespan = result.schedule_search.makespan;
+  for (const auto& d : result.designs) {
+    report.designs.push_back(describe_design(d, rec.domain().names()));
+  }
+  return report;
+}
+
+DesignReport make_pipeline_report(const NonUniformSpec& spec,
+                                  const NonUniformSynthesisResult& result) {
+  DesignReport report;
+  report.problem = spec.name();
+  report.feasible = result.found();
+  if (!report.feasible) return report;
+  report.makespan = result.schedule_makespan;
+  const auto names = spec.full_domain().names();
+  for (std::size_t i = 0; i < result.designs.size(); ++i) {
+    const auto& design = result.designs[i];
+    std::ostringstream os;
+    os << "design " << spec.name() << "#" << i << " ("
+       << result.cell_counts[i] << " cells)\n";
+    for (std::size_t m = 0; m < design.schedules.size(); ++m) {
+      os << "  module " << m << ": "
+         << design.schedules[m].to_string(names) << "; S = "
+         << design.spaces[m].to_string() << '\n';
+    }
+    report.designs.push_back(os.str());
+  }
+  return report;
+}
+
+std::string describe_telemetry(const SearchTelemetry& telemetry) {
+  bool any_cache = false;
+  for (const auto& s : telemetry.stages) any_cache |= s.touched_cache();
+
+  std::vector<std::string> header{"stage",  "examined", "feasible", "pruned",
+                                  "workers", "wall",     "cand/s"};
+  if (any_cache) header.push_back("cache h/m/e");
+  TextTable table(std::move(header));
+  const auto cache_cell = [](const StageTelemetry& s) {
+    return std::to_string(s.cache_hits) + "/" +
+           std::to_string(s.cache_misses) + "/" +
+           std::to_string(s.cache_evictions);
+  };
+  for (const auto& s : telemetry.stages) {
+    std::vector<std::string> row{
+        s.stage,          std::to_string(s.examined),
+        std::to_string(s.feasible),
+        std::to_string(s.pruned),
+        std::to_string(s.workers),
+        format_seconds(s.wall_seconds),
+        format_rate(s.candidates_per_second())};
+    if (any_cache) row.push_back(cache_cell(s));
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> total{
+      "total", std::to_string(telemetry.total_examined()), "", "", "",
+      format_seconds(telemetry.total_seconds()), ""};
+  if (any_cache) {
+    total.push_back(std::to_string(telemetry.total_cache_hits()) + "/" +
+                    std::to_string(telemetry.total_cache_misses()) + "/-");
+  }
+  table.add_row(std::move(total));
   return table.render();
 }
 

@@ -1,12 +1,45 @@
-// Textual design reports for examples and the benchmark harness.
+// Textual design reports for examples, the batch driver and the benchmark
+// harness.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "support/telemetry.hpp"
 #include "synth/design.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/synthesizer.hpp"
 
 namespace nusys {
+
+/// The deterministic outcome of one synthesis request, as rendered text.
+///
+/// A DesignReport carries everything a user reads about the produced
+/// designs and nothing execution-dependent (no wall times, no worker
+/// counts, no cache provenance) — which is exactly what makes it the unit
+/// of bit-identity: a cache hit must reproduce the cold run's report
+/// byte for byte, and the batch driver must match one-at-a-time synthesis
+/// at every thread count.
+struct DesignReport {
+  std::string problem;                ///< Instance name.
+  bool feasible = false;
+  i64 makespan = 0;                   ///< 0 when infeasible.
+  std::vector<std::string> designs;   ///< One rendered block per design.
+
+  /// Multi-line rendering: header plus the design blocks.
+  [[nodiscard]] std::string render() const;
+
+  friend bool operator==(const DesignReport& a,
+                         const DesignReport& b) = default;
+};
+
+/// Report of a canonic-recurrence synthesis outcome.
+[[nodiscard]] DesignReport make_design_report(const CanonicRecurrence& rec,
+                                              const SynthesisResult& result);
+
+/// Report of a non-uniform pipeline outcome.
+[[nodiscard]] DesignReport make_pipeline_report(
+    const NonUniformSpec& spec, const NonUniformSynthesisResult& result);
 
 /// Multi-line human-readable summary of a design: timing function, space
 /// map, Π, per-variable stream behaviour and metrics.

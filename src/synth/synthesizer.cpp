@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "synth/design_cache.hpp"
+
 namespace nusys {
 
 const Design& SynthesisResult::best() const {
@@ -23,6 +25,31 @@ SynthesisResult synthesize(const CanonicRecurrence& recurrence,
     stage.cumulative_seconds = total_timer.seconds();
     result.telemetry.stages.push_back(std::move(stage));
   };
+
+  // Canonical design cache: replay a validated hit, or remember the key
+  // so the cold result below can be stored under it.
+  std::string cache_key;
+  std::optional<RecurrenceCanonicalForm> canonical;
+  if (options.cache != nullptr) {
+    const WallTimer cache_timer;
+    canonical = canonicalize_recurrence(recurrence);
+    cache_key = synthesis_cache_key(*canonical, net, options);
+    if (const auto payload = options.cache->lookup(cache_key)) {
+      if (auto replay =
+              replay_synthesis_entry(*payload, recurrence, net, *canonical)) {
+        result = std::move(*replay);
+        StageTelemetry stage;
+        stage.stage = "design-cache";
+        stage.cache_hits = 1;
+        stage.feasible = result.designs.size();
+        stage.wall_seconds = cache_timer.seconds();
+        record_stage(std::move(stage));
+        return result;
+      }
+      options.cache->reject(cache_key);
+    }
+  }
+
   auto schedule_options = options.schedule;
   schedule_options.parallelism = options.parallelism;
   result.schedule_search = find_optimal_schedules(
@@ -74,6 +101,22 @@ SynthesisResult synthesize(const CanonicRecurrence& recurrence,
     result.designs.erase(result.designs.begin() +
                              static_cast<std::ptrdiff_t>(options.max_designs),
                          result.designs.end());
+  }
+
+  if (options.cache != nullptr) {
+    // Infeasible outcomes are not cached: "no design" cannot be
+    // re-validated against a concrete instance the way a design can.
+    const std::size_t evictions_before = options.cache->stats().evictions;
+    if (result.found()) {
+      options.cache->insert(cache_key,
+                            encode_synthesis_entry(result, *canonical));
+    }
+    StageTelemetry stage;
+    stage.stage = "design-cache";
+    stage.cache_misses = 1;
+    stage.cache_evictions =
+        options.cache->stats().evictions - evictions_before;
+    record_stage(std::move(stage));
   }
   return result;
 }

@@ -19,6 +19,8 @@
 
 namespace nusys {
 
+class DesignCache;
+
 /// Options for the end-to-end synthesis search.
 struct SynthesisOptions {
   ScheduleSearchOptions schedule;
@@ -29,6 +31,13 @@ struct SynthesisOptions {
   /// 1 = the exact legacy sequential path); overrides
   /// `schedule.parallelism`. The per-timing space search stays sequential.
   SearchParallelism parallelism;
+  /// Canonical design cache (support/cache.hpp); nullptr = always search.
+  /// A hit is transported into this instance's coordinates and fully
+  /// re-validated before the search is skipped; the run is tagged in the
+  /// telemetry as a "design-cache" stage with hit/miss counters. Identical
+  /// problems replay bit-identically; unimodular renamings of a cached
+  /// problem reuse its validated design.
+  DesignCache* cache = nullptr;
 };
 
 /// Outcome of synthesizing one recurrence on one interconnect.

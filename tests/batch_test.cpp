@@ -1,0 +1,179 @@
+// Batch driver tests: JSONL parsing, and the acceptance property that a
+// batch with duplicate problems is bit-identical to one-at-a-time
+// synthesis at every worker count, with duplicates reported as cache hits.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "conv/recurrences.hpp"
+#include "support/errors.hpp"
+#include "support/json.hpp"
+#include "synth/batch.hpp"
+#include "synth/report.hpp"
+
+namespace nusys {
+namespace {
+
+TEST(JsonTest, ParsesFlatObjects) {
+  const auto obj = parse_flat_json_object(
+      R"({"kind": "conv", "n": 16, "forward": true, "name": "a b\tc"})");
+  EXPECT_EQ(obj.at("kind"), "conv");
+  EXPECT_EQ(obj.at("n"), "16");
+  EXPECT_EQ(obj.at("forward"), "true");
+  EXPECT_EQ(obj.at("name"), "a b\tc");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse_flat_json_object("{\"a\": {\"nested\": 1}}"),
+               DomainError);
+  EXPECT_THROW(parse_flat_json_object("{\"a\": [1]}"), DomainError);
+  EXPECT_THROW(parse_flat_json_object("{\"a\": 1.5}"), DomainError);
+  EXPECT_THROW(parse_flat_json_object("{\"a\": 1, \"a\": 2}"), DomainError);
+  EXPECT_THROW(parse_flat_json_object("{\"a\": 1} trailing"), DomainError);
+  EXPECT_THROW(parse_flat_json_object("not json"), DomainError);
+  EXPECT_THROW(parse_flat_json_object("{\"a\": bare}"), DomainError);
+}
+
+TEST(BatchParseTest, ParsesProblemsWithDefaultsAndComments) {
+  std::istringstream in(
+      "# interval DP and convolution jobs\n"
+      "{\"kind\": \"conv\", \"n\": 12, \"s\": 3}\n"
+      "\n"
+      "{\"kind\": \"conv\", \"recurrence\": \"forward\", \"net\": "
+      "\"linear-uni\"}\n"
+      "{\"kind\": \"pipeline\", \"n\": 8, \"name\": \"my-dp\"}\n");
+  const auto problems = parse_batch_jsonl(in);
+  ASSERT_EQ(problems.size(), 3u);
+  EXPECT_EQ(problems[0].kind, BatchProblem::Kind::kConvolution);
+  EXPECT_EQ(problems[0].n, 12);
+  EXPECT_EQ(problems[0].s, 3);
+  EXPECT_FALSE(problems[0].forward);
+  EXPECT_EQ(problems[0].net, "linear");
+  EXPECT_EQ(problems[0].name, "conv-bwd-n12-s3@linear");
+  EXPECT_TRUE(problems[1].forward);
+  EXPECT_EQ(problems[1].net, "linear-uni");
+  EXPECT_EQ(problems[2].kind, BatchProblem::Kind::kPipeline);
+  EXPECT_EQ(problems[2].net, "figure2");  // Pipeline default.
+  EXPECT_EQ(problems[2].name, "my-dp");
+}
+
+TEST(BatchParseTest, RejectsBadProblems) {
+  const auto parse_line = [](const std::string& line) {
+    std::istringstream in(line);
+    return parse_batch_jsonl(in);
+  };
+  EXPECT_THROW(parse_line("{\"kind\": \"sorting\"}"), DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"conv\", \"typo\": 1}"), DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"pipeline\", \"s\": 3}"), DomainError);
+  EXPECT_THROW(parse_line(
+                   "{\"kind\": \"pipeline\", \"recurrence\": \"forward\"}"),
+               DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"conv\", \"n\": 0}"), DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"conv\", \"n\": -4}"), DomainError);
+  // Kind/net mismatches fail at parse time, not mid-batch.
+  EXPECT_THROW(parse_line("{\"kind\": \"conv\", \"net\": \"figure2\"}"),
+               DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"pipeline\", \"net\": \"linear\"}"),
+               DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"conv\", \"net\": \"bus\"}"),
+               DomainError);
+}
+
+/// The acceptance batch: duplicates of a conv problem and of a pipeline
+/// problem, plus distinct problems in between.
+std::vector<BatchProblem> acceptance_problems() {
+  std::istringstream in(
+      "{\"kind\": \"conv\", \"n\": 8, \"s\": 4}\n"
+      "{\"kind\": \"conv\", \"n\": 8, \"s\": 4, \"name\": \"conv-dup\"}\n"
+      "{\"kind\": \"conv\", \"n\": 8, \"s\": 4, \"recurrence\": "
+      "\"forward\"}\n"
+      "{\"kind\": \"pipeline\", \"n\": 6}\n"
+      "{\"kind\": \"pipeline\", \"n\": 6, \"name\": \"pipe-dup\"}\n"
+      "{\"kind\": \"pipeline\", \"n\": 6, \"net\": \"figure1\"}\n");
+  return parse_batch_jsonl(in);
+}
+
+/// Reports from synthesizing each problem individually, with no cache.
+std::vector<DesignReport> one_at_a_time(
+    const std::vector<BatchProblem>& problems) {
+  std::vector<DesignReport> reports;
+  for (const auto& p : problems) {
+    const auto net = batch_interconnect(p);
+    if (p.kind == BatchProblem::Kind::kConvolution) {
+      const auto rec = p.forward ? convolution_forward_recurrence(p.n, p.s)
+                                 : convolution_backward_recurrence(p.n, p.s);
+      reports.push_back(make_design_report(rec, synthesize(rec, net)));
+    } else {
+      const auto spec = make_interval_dp_spec(p.n);
+      reports.push_back(
+          make_pipeline_report(spec, synthesize_nonuniform(spec, net)));
+    }
+  }
+  return reports;
+}
+
+void expect_batch_matches(const std::vector<BatchProblem>& problems,
+                          const std::vector<DesignReport>& expected,
+                          std::size_t threads) {
+  DesignCache cache;
+  BatchOptions options;
+  options.parallelism.threads = threads;
+  const auto run = run_batch(problems, options, cache);
+  ASSERT_EQ(run.items.size(), problems.size());
+  for (std::size_t i = 0; i < run.items.size(); ++i) {
+    EXPECT_EQ(run.items[i].report, expected[i])
+        << "problem " << i << " at threads=" << threads;
+    EXPECT_EQ(run.items[i].report.render(), expected[i].render());
+  }
+  // Duplicates (indices 1 and 4) hit; first occurrences searched.
+  EXPECT_EQ(run.items[0].provenance, CacheProvenance::kSearched);
+  EXPECT_EQ(run.items[1].provenance, CacheProvenance::kCacheHit);
+  EXPECT_EQ(run.items[2].provenance, CacheProvenance::kSearched);
+  EXPECT_EQ(run.items[3].provenance, CacheProvenance::kSearched);
+  EXPECT_EQ(run.items[4].provenance, CacheProvenance::kCacheHit);
+  EXPECT_EQ(run.items[5].provenance, CacheProvenance::kSearched);
+  EXPECT_EQ(run.items[0].cache_key, run.items[1].cache_key);
+  EXPECT_EQ(run.items[3].cache_key, run.items[4].cache_key);
+  EXPECT_NE(run.items[0].cache_key, run.items[2].cache_key);
+  EXPECT_EQ(run.hit_count(), 2u);
+  EXPECT_EQ(run.cache_stats.hits, 2u);
+  EXPECT_EQ(run.cache_stats.misses, 4u);
+  EXPECT_EQ(run.cache_stats.insertions, 4u);
+  EXPECT_EQ(run.cache_stats.validation_failures, 0u);
+}
+
+TEST(BatchTest, SequentialBatchMatchesOneAtATime) {
+  const auto problems = acceptance_problems();
+  expect_batch_matches(problems, one_at_a_time(problems), 1);
+}
+
+TEST(BatchTest, EightWorkerBatchMatchesOneAtATime) {
+  const auto problems = acceptance_problems();
+  expect_batch_matches(problems, one_at_a_time(problems), 8);
+}
+
+TEST(BatchTest, DescribeBatchReportsProvenanceAndThroughput) {
+  const auto problems = acceptance_problems();
+  DesignCache cache;
+  BatchOptions options;
+  options.parallelism.threads = 2;
+  const auto run = run_batch(problems, options, cache);
+  const std::string text = describe_batch(run);
+  EXPECT_NE(text.find("cache-hit"), std::string::npos);
+  EXPECT_NE(text.find("searched"), std::string::npos);
+  EXPECT_NE(text.find("conv-dup"), std::string::npos);
+  EXPECT_NE(text.find("pipe-dup"), std::string::npos);
+  EXPECT_NE(text.find("2 cache hit(s)"), std::string::npos);
+  EXPECT_NE(text.find("problems/s"), std::string::npos);
+}
+
+TEST(BatchTest, EmptyBatchIsANoop) {
+  DesignCache cache;
+  const auto run = run_batch({}, BatchOptions{}, cache);
+  EXPECT_TRUE(run.items.empty());
+  EXPECT_EQ(run.hit_count(), 0u);
+  EXPECT_EQ(run.problems_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,176 @@
+// Tests of the design cache container itself: LRU semantics, lifetime
+// counters, checksummed persistence, and corrupt-record handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/cache.hpp"
+
+namespace nusys {
+namespace {
+
+/// Per-test snapshot path; removes any stale file from an earlier run so
+/// every test starts from a cold cache.
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + "nusys-" + name + ".cache";
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(CacheTest, LookupCountsHitsAndMisses) {
+  DesignCache cache;
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  cache.insert("a", "payload-a");
+  const auto hit = cache.lookup("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-a");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+}
+
+TEST(CacheTest, CapacityEvictsLeastRecentlyUsed) {
+  DesignCache cache(CacheConfig{2, ""});
+  cache.insert("a", "1");
+  cache.insert("b", "2");
+  cache.insert("c", "3");  // Evicts a.
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // A lookup refreshes recency: b becomes most recent, so d evicts c.
+  EXPECT_TRUE(cache.lookup("b").has_value());
+  cache.insert("d", "4");
+  EXPECT_TRUE(cache.contains("b"));
+  EXPECT_FALSE(cache.contains("c"));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(CacheTest, ZeroCapacityMeansUnbounded) {
+  DesignCache cache(CacheConfig{0, ""});
+  for (int i = 0; i < 500; ++i) {
+    cache.insert("key-" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(cache.size(), 500u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(CacheTest, OverwriteKeepsOneEntry) {
+  DesignCache cache;
+  cache.insert("a", "old");
+  cache.insert("a", "new");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup("a").value(), "new");
+}
+
+TEST(CacheTest, RejectDropsTheEntryAndCounts) {
+  DesignCache cache;
+  cache.insert("a", "stale");
+  cache.reject("a");
+  EXPECT_FALSE(cache.contains("a"));
+  EXPECT_EQ(cache.stats().validation_failures, 1u);
+  // Rejecting an absent key still records the failed validation.
+  cache.reject("never-stored");
+  EXPECT_EQ(cache.stats().validation_failures, 2u);
+}
+
+TEST(CacheTest, PersistsAcrossInstances) {
+  const std::string path = temp_path("roundtrip");
+  {
+    DesignCache cache(CacheConfig{8, path});
+    cache.insert("key with spaces", "payload\nwith\tescapes\\done");
+    cache.insert("plain", "value");
+  }  // Destructor flushes.
+  DesignCache reloaded(CacheConfig{8, path});
+  EXPECT_EQ(reloaded.stats().loaded_entries, 2u);
+  EXPECT_EQ(reloaded.stats().corrupt_entries, 0u);
+  EXPECT_EQ(reloaded.lookup("key with spaces").value(),
+            "payload\nwith\tescapes\\done");
+  EXPECT_EQ(reloaded.lookup("plain").value(), "value");
+}
+
+TEST(CacheTest, PersistenceReplaysRecencyOrder) {
+  const std::string path = temp_path("recency");
+  {
+    DesignCache cache(CacheConfig{3, path});
+    cache.insert("a", "1");
+    cache.insert("b", "2");
+    cache.insert("c", "3");
+    EXPECT_TRUE(cache.lookup("a").has_value());  // a most recent now.
+  }
+  DesignCache reloaded(CacheConfig{3, path});
+  reloaded.insert("d", "4");  // Must evict b, the LRU entry at flush time.
+  EXPECT_TRUE(reloaded.contains("a"));
+  EXPECT_FALSE(reloaded.contains("b"));
+  EXPECT_TRUE(reloaded.contains("c"));
+}
+
+TEST(CacheTest, CorruptRecordIsDroppedAndCounted) {
+  const std::string path = temp_path("corrupt");
+  {
+    DesignCache cache(CacheConfig{8, path});
+    cache.insert("good", "kept");
+    cache.insert("bad", "tampered");
+  }
+  // Flip one character of the second record's checksum field.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);  // Magic header + two records.
+  // Break the checksum of the record whose key field is "bad". A record
+  // reads "<checksum> <escaped key>\t<escaped payload>".
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::size_t space = lines[i].find(' ');
+    const std::size_t tab = lines[i].find('\t');
+    ASSERT_NE(space, std::string::npos);
+    ASSERT_NE(tab, std::string::npos);
+    if (lines[i].substr(space + 1, tab - space - 1) == "bad") {
+      lines[i][0] = lines[i][0] == '0' ? '1' : '0';
+    }
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (const auto& line : lines) out << line << '\n';
+  }
+  DesignCache reloaded(CacheConfig{8, path});
+  EXPECT_EQ(reloaded.stats().corrupt_entries, 1u);
+  EXPECT_EQ(reloaded.stats().loaded_entries, 1u);
+  EXPECT_EQ(reloaded.lookup("good").value(), "kept");
+  EXPECT_FALSE(reloaded.contains("bad"));
+}
+
+TEST(CacheTest, MissingSnapshotFileIsNotAnError) {
+  DesignCache cache(CacheConfig{8, temp_path("never-written-before")});
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().corrupt_entries, 0u);
+}
+
+TEST(CacheTest, FlushWritesWithoutDestruction) {
+  const std::string path = temp_path("explicit-flush");
+  DesignCache cache(CacheConfig{8, path});
+  cache.insert("a", "1");
+  EXPECT_TRUE(cache.flush());
+  DesignCache reloaded(CacheConfig{8, path});
+  EXPECT_EQ(reloaded.stats().loaded_entries, 1u);
+}
+
+TEST(CacheTest, ClearEmptiesTheCache) {
+  DesignCache cache;
+  cache.insert("a", "1");
+  cache.insert("b", "2");
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains("a"));
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,188 @@
+// Canonicalization tests: the cache key must be invariant under unimodular
+// renamings of a recurrence (Sec. II allows any change of index basis) and
+// must separate genuinely different problems — different dependence cones,
+// different domain sizes, different descriptor sets.
+#include <gtest/gtest.h>
+
+#include "conv/recurrences.hpp"
+#include "ir/canonical.hpp"
+#include "support/cache.hpp"
+#include "synth/batch.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nusys {
+namespace {
+
+/// Recurrence (4) renamed by the shear U = |1 0; 1 1|, i.e. (i', k') =
+/// (i, i + k). The box 1<=i<=n, 1<=k<=s becomes the parallelogram
+/// 1<=i'<=n, i'+1<=k'<=i'+s, and every dependence d becomes U·d.
+CanonicRecurrence sheared_backward_recurrence(i64 n, i64 s) {
+  const auto i = AffineExpr::index(2, 0);
+  IndexDomain domain({"i", "k"},
+                     {{AffineExpr::constant(2, 1), AffineExpr::constant(2, n)},
+                      {i + 1, i + s}});
+  DependenceSet deps;
+  deps.add("y", IntVec({0, 1}));  // U·(0, 1)
+  deps.add("x", IntVec({1, 2}));  // U·(1, 1)
+  deps.add("w", IntVec({1, 1}));  // U·(1, 0)
+  return CanonicRecurrence("conv-sheared", std::move(domain),
+                           std::move(deps));
+}
+
+/// Recurrence (4) with the axes swapped: (i', k') = (k, i).
+CanonicRecurrence swapped_backward_recurrence(i64 n, i64 s) {
+  IndexDomain domain = IndexDomain::box({"k", "i"}, {1, 1}, {s, n});
+  DependenceSet deps;
+  deps.add("y", IntVec({1, 0}));
+  deps.add("x", IntVec({1, 1}));
+  deps.add("w", IntVec({0, 1}));
+  return CanonicRecurrence("conv-swapped", std::move(domain),
+                           std::move(deps));
+}
+
+TEST(CanonicalTest, TransformActuallyCanonicalizes) {
+  const auto rec = convolution_backward_recurrence(8, 4);
+  const auto form = canonicalize_recurrence(rec);
+  const IntMat d = rec.dependences().matrix();
+  EXPECT_EQ(form.transform * d, form.hnf);
+  EXPECT_EQ(form.transform * form.inverse,
+            IntMat::identity(rec.domain().dim()));
+  EXPECT_EQ(form.rank, 2u);
+  EXPECT_EQ(form.domain_size, rec.domain().size());
+}
+
+TEST(CanonicalTest, ShearRenamingPreservesTheKey) {
+  const auto original = canonicalize_recurrence(
+      convolution_backward_recurrence(8, 4));
+  const auto renamed = canonicalize_recurrence(
+      sheared_backward_recurrence(8, 4));
+  EXPECT_EQ(original.key, renamed.key);
+  EXPECT_EQ(original.hnf, renamed.hnf);
+  EXPECT_EQ(original.domain_digest, renamed.domain_digest);
+}
+
+TEST(CanonicalTest, AxisSwapRenamingPreservesTheKey) {
+  const auto original = canonicalize_recurrence(
+      convolution_backward_recurrence(8, 4));
+  const auto renamed = canonicalize_recurrence(
+      swapped_backward_recurrence(8, 4));
+  EXPECT_EQ(original.key, renamed.key);
+}
+
+TEST(CanonicalTest, ForwardAndBackwardRecurrencesGetDistinctKeys) {
+  // (4) and (5) differ in the y dependence direction; no renaming maps one
+  // onto the other, and the keys must not collide.
+  const auto backward = canonicalize_recurrence(
+      convolution_backward_recurrence(8, 4));
+  const auto forward = canonicalize_recurrence(
+      convolution_forward_recurrence(8, 4));
+  EXPECT_NE(backward.key, forward.key);
+}
+
+TEST(CanonicalTest, ProblemSizeIsPartOfTheKey) {
+  const auto small = canonicalize_recurrence(
+      convolution_backward_recurrence(8, 4));
+  const auto wider = canonicalize_recurrence(
+      convolution_backward_recurrence(9, 4));
+  const auto deeper = canonicalize_recurrence(
+      convolution_backward_recurrence(8, 5));
+  EXPECT_NE(small.key, wider.key);
+  EXPECT_NE(small.key, deeper.key);
+  EXPECT_NE(wider.key, deeper.key);
+}
+
+TEST(CanonicalTest, RankDeficientRecurrencesFallBackToExactKeys) {
+  // Both dependences lie on one line, so the canonicalizing transform is
+  // not unique; the key must then pin the exact instance.
+  DependenceSet deps_a;
+  deps_a.add("a", IntVec({1, 0}));
+  deps_a.add("b", IntVec({2, 0}));
+  const CanonicRecurrence narrow(
+      "line", IndexDomain::box({"i", "k"}, {1, 1}, {4, 4}), deps_a);
+  const CanonicRecurrence wide(
+      "line", IndexDomain::box({"i", "k"}, {1, 1}, {5, 4}), deps_a);
+  const auto form_narrow = canonicalize_recurrence(narrow);
+  const auto form_wide = canonicalize_recurrence(wide);
+  EXPECT_EQ(form_narrow.rank, 1u);
+  EXPECT_NE(form_narrow.key, form_wide.key);
+  // Identical instances still agree.
+  EXPECT_EQ(form_narrow.key, canonicalize_recurrence(narrow).key);
+}
+
+TEST(CanonicalTest, SpecKeyIgnoresDependenceListingOrder) {
+  const auto spec = make_interval_dp_spec(8);
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  IndexDomain domain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, 8)},
+                      {i + 1, AffineExpr::constant(3, 8)},
+                      {i + 1, j - 1}});
+  const NonUniformSpec reversed(
+      "dp-reversed", std::move(domain),
+      {{"c", IntVec({0, 0}), 0}, {"c", IntVec({0, 0}), 1}});
+  EXPECT_EQ(spec_canonical_key(spec), spec_canonical_key(reversed));
+}
+
+TEST(CanonicalTest, SpecKeySeparatesProblemSizes) {
+  EXPECT_NE(spec_canonical_key(make_interval_dp_spec(8)),
+            spec_canonical_key(make_interval_dp_spec(9)));
+}
+
+TEST(CanonicalTest, RenamedRecurrenceHitsTheCacheWithAValidDesign) {
+  DesignCache cache;
+  SynthesisOptions options;
+  options.cache = &cache;
+  options.parallelism.threads = 1;
+
+  const auto rec = convolution_backward_recurrence(8, 4);
+  const auto cold = synthesize(rec, Interconnect::linear_bidirectional(),
+                               options);
+  ASSERT_TRUE(cold.found());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+
+  // The sheared instance is a different concrete problem, but the key
+  // matches and the transported designs re-validate against it.
+  const auto renamed = sheared_backward_recurrence(8, 4);
+  const auto hit = synthesize(renamed, Interconnect::linear_bidirectional(),
+                              options);
+  ASSERT_TRUE(hit.found());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().validation_failures, 0u);
+  const auto* stage = hit.telemetry.find("design-cache");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->cache_hits, 1u);
+  // Makespan is invariant under renaming, and every replayed design must
+  // satisfy the instance's own constraints.
+  EXPECT_EQ(hit.schedule_search.makespan, cold.schedule_search.makespan);
+  const IntMat d = renamed.dependences().matrix();
+  for (const auto& design : hit.designs) {
+    for (std::size_t col = 0; col < d.cols(); ++col) {
+      EXPECT_GT(design.timing.coeffs().dot(d.col(col)), 0);
+    }
+    EXPECT_EQ(design.space * d, design.net.delta() * design.routing);
+    EXPECT_NE(design.pi_det, 0);
+  }
+}
+
+TEST(CanonicalTest, IdenticalInstanceReplaysBitIdentically) {
+  DesignCache cache;
+  SynthesisOptions options;
+  options.cache = &cache;
+  options.parallelism.threads = 1;
+
+  const auto rec = convolution_forward_recurrence(8, 4);
+  const auto net = Interconnect::linear_bidirectional();
+  const auto cold = synthesize(rec, net, options);
+  const auto warm = synthesize(rec, net, options);
+  ASSERT_TRUE(cold.found());
+  ASSERT_TRUE(warm.found());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(make_design_report(rec, cold), make_design_report(rec, warm));
+  EXPECT_EQ(make_design_report(rec, cold).render(),
+            make_design_report(rec, warm).render());
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,8 +1,20 @@
 // Failure-injection tests: transient single-wire upsets and dropped
 // transfers must visibly change or break a run — evidence that the
 // simulations validate real dataflow rather than passing vacuously.
+// The second half injects faults into the canonical design cache: a
+// corrupted snapshot or a tampered payload must be rejected and the
+// problem re-synthesized to the bit-identical cold-run result, never
+// replayed as a wrong design.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "conv/recurrences.hpp"
+#include "support/cache.hpp"
+#include "synth/design_cache.hpp"
+#include "synth/report.hpp"
 #include "systolic/engine.hpp"
 
 namespace nusys {
@@ -84,6 +96,105 @@ TEST(FaultInjectionTest, CorruptionOfInjectedBoundaryValue) {
   engine.run(0, 3);
   ASSERT_EQ(engine.results().size(), 1u);
   EXPECT_EQ(engine.results()[0].value, 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(CacheFaultInjectionTest, CorruptedSnapshotRecordIsResynthesized) {
+  const std::string path =
+      testing::TempDir() + "nusys-fault-snapshot.cache";
+  std::remove(path.c_str());  // A stale snapshot would turn cold into warm.
+  const auto rec = convolution_backward_recurrence(8, 4);
+  const auto net = Interconnect::linear_bidirectional();
+  SynthesisOptions options;
+  options.parallelism.threads = 1;
+
+  DesignReport cold_report;
+  {
+    DesignCache cache(CacheConfig{8, path});
+    options.cache = &cache;
+    cold_report = make_design_report(rec, synthesize(rec, net, options));
+    ASSERT_TRUE(cold_report.feasible);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+  }  // Destructor writes the snapshot.
+
+  // Corrupt the snapshot: flip a checksum character of the one record.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);  // Magic header + one record.
+  lines[1][0] = lines[1][0] == '0' ? '1' : '0';
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (const auto& line : lines) out << line << '\n';
+  }
+
+  DesignCache cache(CacheConfig{8, path});
+  EXPECT_EQ(cache.stats().corrupt_entries, 1u);
+  EXPECT_EQ(cache.stats().loaded_entries, 0u);
+  options.cache = &cache;
+  const auto result = synthesize(rec, net, options);
+  // The corrupted entry never reached the cache, so this is a clean miss
+  // followed by a full search — and the report is bit-identical.
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(make_design_report(rec, result), cold_report);
+  EXPECT_EQ(make_design_report(rec, result).render(), cold_report.render());
+}
+
+TEST(CacheFaultInjectionTest, TamperedPayloadIsRejectedAndResynthesized) {
+  const auto rec = convolution_forward_recurrence(8, 4);
+  const auto net = Interconnect::linear_bidirectional();
+  DesignCache cache;
+  SynthesisOptions options;
+  options.parallelism.threads = 1;
+  options.cache = &cache;
+
+  const auto cold = synthesize(rec, net, options);
+  const auto cold_report = make_design_report(rec, cold);
+  ASSERT_TRUE(cold_report.feasible);
+
+  // Plant a payload with the right magic but nonsense contents; the
+  // replay decode/validation must throw it out.
+  const auto key =
+      synthesis_cache_key(canonicalize_recurrence(rec), net, options);
+  ASSERT_TRUE(cache.contains(key));
+  cache.insert(key, "nusys-synth-entry 1 0 1 2 0 0 0 0");
+  const auto after_tamper = synthesize(rec, net, options);
+  EXPECT_EQ(cache.stats().validation_failures, 1u);
+  EXPECT_EQ(make_design_report(rec, after_tamper), cold_report);
+
+  // The re-synthesis overwrote the tampered entry: the next run hits.
+  const auto warm = synthesize(rec, net, options);
+  const auto* stage = warm.telemetry.find("design-cache");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->cache_hits, 1u);
+  EXPECT_EQ(make_design_report(rec, warm), cold_report);
+  EXPECT_EQ(cache.stats().validation_failures, 1u);
+}
+
+TEST(CacheFaultInjectionTest, GarbagePayloadIsRejectedNotCrashing) {
+  const auto rec = convolution_backward_recurrence(6, 3);
+  const auto net = Interconnect::linear_bidirectional();
+  DesignCache cache;
+  SynthesisOptions options;
+  options.parallelism.threads = 1;
+  options.cache = &cache;
+  const auto key =
+      synthesis_cache_key(canonicalize_recurrence(rec), net, options);
+  for (const std::string payload :
+       {"", "garbage", "nusys-synth-entry 1", "nusys-synth-entry 1 x y z",
+        "nusys-synth-entry 999 12 1", "nusys-pipe-entry 1 0 0"}) {
+    cache.insert(key, payload);
+    const auto result = synthesize(rec, net, options);
+    EXPECT_TRUE(result.found()) << "payload: " << payload;
+    // Every tampered payload forces a reject + full search, and the search
+    // result overwrites it; drop it again for the next round.
+    cache.reject(key);
+  }
+  EXPECT_EQ(cache.stats().validation_failures, 6u + 6u);
 }
 
 }  // namespace

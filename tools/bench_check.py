@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare google-benchmark JSON results against a
+committed baseline of deterministic counters.
+
+The nusys benchmarks attach worker-invariant counters to each timing run
+(designs found, cells in the synthesized array, simulated ticks — see
+bench/*.cpp). Unlike wall times these are stable across runner hardware,
+so CI can gate on them: a counter drifting by more than the tolerance
+means the synthesis searches now *produce different results*, not that a
+shared runner was slow. Wall times are deliberately ignored.
+
+Usage:
+  # Gate (exit 1 on any regression):
+  python3 tools/bench_check.py --baseline bench/baseline.json \
+      --results bench-results/
+
+  # Refresh the baseline from a results directory:
+  python3 tools/bench_check.py --baseline bench/baseline.json \
+      --results bench-results/ --update
+
+A results directory holds one google-benchmark JSON file per benchmark
+binary (produced with --benchmark_out=<file> --benchmark_out_format=json).
+The baseline maps "<binary>/<benchmark name>" to its counter dict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Relative drift allowed before a counter difference fails the gate.
+TOLERANCE = 0.25
+
+# Keys google-benchmark always emits per run; everything else numeric is a
+# user counter. Rate counters are time-derived and excluded explicitly.
+STRUCTURAL_KEYS = {
+    "name",
+    "family_index",
+    "per_family_instance_index",
+    "run_name",
+    "run_type",
+    "repetitions",
+    "repetition_index",
+    "threads",
+    "iterations",
+    "real_time",
+    "cpu_time",
+    "time_unit",
+    "items_per_second",
+    "bytes_per_second",
+    "error_occurred",
+    "error_message",
+    "aggregate_name",
+    "aggregate_unit",
+    "label",
+}
+
+
+def tracked_counters(run: dict) -> dict[str, float]:
+    """The deterministic user counters of one benchmark run."""
+    counters = {}
+    for key, value in run.items():
+        if key in STRUCTURAL_KEYS:
+            continue
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            counters[key] = float(value)
+    return counters
+
+
+def load_results(results_dir: Path) -> dict[str, dict[str, float]]:
+    """Maps "<binary>/<benchmark name>" -> counters for every JSON file."""
+    merged: dict[str, dict[str, float]] = {}
+    files = sorted(results_dir.glob("*.json"))
+    if not files:
+        sys.exit(f"error: no .json result files in {results_dir}")
+    for path in files:
+        with path.open() as fh:
+            doc = json.load(fh)
+        binary = path.stem
+        for run in doc.get("benchmarks", []):
+            if run.get("run_type") == "aggregate":
+                continue
+            if run.get("error_occurred"):
+                sys.exit(f"error: {binary}/{run['name']} reported an error: "
+                         f"{run.get('error_message', '?')}")
+            counters = tracked_counters(run)
+            if counters:
+                merged[f"{binary}/{run['name']}"] = counters
+    return merged
+
+
+def compare(baseline: dict, current: dict) -> list[str]:
+    """All gate violations, empty when the results are within tolerance."""
+    problems = []
+    for name, expected in sorted(baseline.items()):
+        got = current.get(name)
+        if got is None:
+            problems.append(f"{name}: benchmark missing from the results "
+                            "(coverage regression)")
+            continue
+        for counter, want in sorted(expected.items()):
+            have = got.get(counter)
+            if have is None:
+                problems.append(f"{name}: counter '{counter}' disappeared")
+                continue
+            if want == 0:
+                drift = 0.0 if have == 0 else float("inf")
+            else:
+                drift = abs(have - want) / abs(want)
+            if drift > TOLERANCE:
+                problems.append(
+                    f"{name}: {counter} = {have:g}, baseline {want:g} "
+                    f"({drift:+.0%} drift exceeds {TOLERANCE:.0%})")
+    for name in sorted(set(current) - set(baseline)):
+        # New benchmarks are fine; they just are not gated yet.
+        print(f"note: {name} has no baseline entry "
+              "(run with --update to start tracking it)")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed baseline JSON (bench/baseline.json)")
+    parser.add_argument("--results", required=True, type=Path,
+                        help="directory of google-benchmark JSON outputs")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the results")
+    args = parser.parse_args()
+
+    current = load_results(args.results)
+    if args.update:
+        args.baseline.write_text(json.dumps(current, indent=2, sort_keys=True)
+                                 + "\n")
+        print(f"baseline updated: {len(current)} tracked benchmark(s) "
+              f"written to {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        sys.exit(f"error: baseline {args.baseline} not found "
+                 "(generate it with --update)")
+    baseline = json.loads(args.baseline.read_text())
+    problems = compare(baseline, current)
+    if problems:
+        print(f"bench gate FAILED: {len(problems)} violation(s)")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"bench gate passed: {len(baseline)} benchmark(s) within "
+          f"{TOLERANCE:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

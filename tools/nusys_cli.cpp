@@ -12,6 +12,12 @@
 //       Render figures 1 and 2 (cell grid, streams, activity).
 //   nusys pipeline [--n 10] [--net figure1|figure2|mesh|hex]
 //       Run the full Sec. III-V pipeline from the raw spec.
+//   nusys batch --batch jobs.jsonl [--threads N] [--cache designs.cache]
+//               [--cache-capacity 128]
+//       Synthesize a JSONL stream of problems through one shared canonical
+//       design cache (see src/synth/batch.hpp for the line format),
+//       reporting aggregate throughput and per-problem cache provenance.
+#include <fstream>
 #include <iostream>
 
 #include "chains/modules_emit.hpp"
@@ -20,7 +26,9 @@
 #include "dp/reconstruct.hpp"
 #include "dp/sequential.hpp"
 #include "support/args.hpp"
+#include "support/cache.hpp"
 #include "support/rng.hpp"
+#include "synth/batch.hpp"
 #include "synth/figure_render.hpp"
 #include "synth/pipeline.hpp"
 #include "synth/report.hpp"
@@ -29,17 +37,6 @@
 namespace {
 
 using namespace nusys;
-
-NonUniformSpec make_dp_spec(i64 n) {
-  const auto i = AffineExpr::index(3, 0);
-  const auto j = AffineExpr::index(3, 1);
-  IndexDomain domain({"i", "j", "k"},
-                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
-                      {i + 1, AffineExpr::constant(3, n)},
-                      {i + 1, j - 1}});
-  return NonUniformSpec("dp", std::move(domain),
-                        {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
-}
 
 SearchParallelism parse_parallelism(const ArgMap& args) {
   const i64 threads = args.get_int("threads", 0);
@@ -135,7 +132,8 @@ int cmd_pipeline(const ArgMap& args) {
                                           : Interconnect::figure2();
   NonUniformSynthesisOptions options;
   options.parallelism = parse_parallelism(args);
-  const auto result = synthesize_nonuniform(make_dp_spec(n), net, options);
+  const auto result =
+      synthesize_nonuniform(make_interval_dp_spec(n), net, options);
   if (!result.found()) {
     std::cerr << "pipeline found no design\n";
     return 1;
@@ -159,13 +157,49 @@ int cmd_pipeline(const ArgMap& args) {
   return 0;
 }
 
+int cmd_batch(const ArgMap& args) {
+  const std::string path = args.get("batch", "");
+  NUSYS_REQUIRE(!path.empty(), "batch needs --batch <file.jsonl>");
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open batch file '" << path << "'\n";
+    return 1;
+  }
+  const auto problems = parse_batch_jsonl(in);
+  if (problems.empty()) {
+    std::cerr << "batch file '" << path << "' holds no problems\n";
+    return 1;
+  }
+
+  const i64 capacity = args.get_int("cache-capacity", 128);
+  NUSYS_REQUIRE(capacity >= 0, "--cache-capacity must be non-negative");
+  CacheConfig config;
+  config.capacity = static_cast<std::size_t>(capacity);
+  config.path = args.get("cache", "");
+  DesignCache cache(config);
+
+  BatchOptions options;
+  options.parallelism = parse_parallelism(args);
+  const auto run = run_batch(problems, options, cache);
+  std::cout << describe_batch(run);
+
+  for (const auto& item : run.items) {
+    if (!item.report.feasible) {
+      std::cerr << "problem '" << item.name << "' found no design\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const std::set<std::string> known{"n",      "s",       "recurrence",
-                                      "max",    "figure",  "problem",
-                                      "seed",   "net",     "threads"};
+    const std::set<std::string> known{
+        "n",    "s",     "recurrence", "max",     "figure",
+        "seed", "net",   "threads",    "problem", "batch",
+        "cache", "cache-capacity"};
     const ArgMap args(argc, argv, known, {"trace", "activity"});
     const std::string cmd =
         args.positional().empty() ? "help" : args.positional().front();
@@ -173,7 +207,9 @@ int main(int argc, char** argv) {
     if (cmd == "dp") return cmd_dp(args);
     if (cmd == "figures") return cmd_figures(args);
     if (cmd == "pipeline") return cmd_pipeline(args);
-    std::cout << "usage: nusys <synth-conv|dp|figures|pipeline> [flags]\n"
+    if (cmd == "batch") return cmd_batch(args);
+    std::cout << "usage: nusys <synth-conv|dp|figures|pipeline|batch> "
+                 "[flags]\n"
                  "see the header of tools/nusys_cli.cpp for the flag list\n";
     return cmd == "help" ? 0 : 1;
   } catch (const nusys::Error& e) {
