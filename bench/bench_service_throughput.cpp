@@ -1,0 +1,124 @@
+// Experiment S1 — the synthesis service: requests/sec through the full
+// daemon stack (protocol encode/decode, admission queue, worker pool,
+// shared design cache) for hot-cache replays vs cold searches. The printed
+// reproduction shows one service session's observability snapshot after a
+// mixed request stream.
+#include <memory>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+#include "synth/batch.hpp"
+
+namespace {
+
+using namespace nusys;
+
+BatchProblem bench_problem(i64 n) {
+  BatchProblem p;
+  p.kind = BatchProblem::Kind::kConvolution;
+  p.n = n;
+  p.s = 4;
+  p.name = "bench-conv-n" + std::to_string(n);
+  return p;
+}
+
+ServiceRequest bench_request(i64 n) {
+  ServiceRequest request;
+  request.id = "bench";
+  request.kind = RequestKind::kSynth;
+  request.problems.push_back(bench_problem(n));
+  return request;
+}
+
+void print_service_demo() {
+  std::cout << "=== Synthesis service: mixed request stream ===\n"
+            << "hot requests replay the shared design cache; the stats\n"
+               "snapshot below is what `nusys request stats` reports\n\n";
+  ServiceConfig config;
+  config.workers = 2;
+  SynthesisService service(config);
+  for (int i = 0; i < 6; ++i) {
+    const auto response = service.handle(bench_request(16));
+    if (response.status != ResponseStatus::kOk) {
+      std::cout << "request failed: " << response.error << '\n';
+      return;
+    }
+  }
+  std::cout << service.stats().to_json().dump() << "\n\n";
+}
+
+/// Hot path: every timed request replays the warmed cache entry.
+void bm_service_hot(benchmark::State& state) {
+  ServiceConfig config;
+  config.workers = static_cast<std::size_t>(state.range(0));
+  SynthesisService service(config);
+  (void)service.handle(bench_request(16));  // Warm the entry.
+  std::size_t designs = 0;
+  double hit = 0.0;
+  for (auto _ : state) {
+    const auto response = service.handle(bench_request(16));
+    designs = response.results.at(0).report.designs.size();
+    hit = response.results.at(0).cache_hit ? 1.0 : 0.0;
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["designs"] = static_cast<double>(designs);
+  state.counters["hit"] = hit;
+}
+BENCHMARK(bm_service_hot)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+/// Cold path: a fresh service (empty cache) per request, so every timed
+/// request runs the full search. Service setup/teardown is untimed.
+void bm_service_cold(benchmark::State& state) {
+  std::size_t designs = 0;
+  double hit = 1.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ServiceConfig config;
+    config.workers = 1;
+    auto service = std::make_unique<SynthesisService>(config);
+    state.ResumeTiming();
+    const auto response = service->handle(bench_request(16));
+    designs = response.results.at(0).report.designs.size();
+    hit = response.results.at(0).cache_hit ? 1.0 : 0.0;
+    state.PauseTiming();
+    service.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["designs"] = static_cast<double>(designs);
+  state.counters["hit"] = hit;
+}
+BENCHMARK(bm_service_cold)->Unit(benchmark::kMicrosecond);
+
+/// Full stack: hot requests through encode -> loopback transport ->
+/// serve_connection -> decode, i.e. everything the TCP daemon does per
+/// request except the kernel socket hop.
+void bm_service_hot_full_stack(benchmark::State& state) {
+  ServiceConfig config;
+  config.workers = 1;
+  SynthesisService service(config);
+  auto pair = make_loopback();
+  std::thread server(
+      [&] { serve_connection(service, *pair.server); });
+  ServiceClient client(std::move(pair.client));
+  (void)client.call(bench_request(16));  // Warm the entry.
+  std::size_t designs = 0;
+  for (auto _ : state) {
+    const auto response = client.call(bench_request(16));
+    designs = response.results.at(0).report.designs.size();
+    benchmark::DoNotOptimize(response);
+  }
+  client.close();
+  server.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["designs"] = static_cast<double>(designs);
+}
+BENCHMARK(bm_service_hot_full_stack)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_service_demo)

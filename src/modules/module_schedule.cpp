@@ -71,11 +71,13 @@ struct ScheduleWorker {
   const std::vector<std::vector<Candidate>>* candidates = nullptr;
   const std::vector<std::vector<const GuardPairs*>>* guards_at = nullptr;
   std::size_t module_count = 0;
+  const CancelToken* cancel = nullptr;
 
   std::vector<const Candidate*> chosen;
   i64 incumbent = std::numeric_limits<i64>::max();
   std::vector<ModuleScheduleAssignment> optima;
   std::size_t checked = 0;
+  std::size_t steps = 0;
 
   void run(std::size_t begin, std::size_t end) {
     chosen.assign(module_count, nullptr);
@@ -88,6 +90,9 @@ struct ScheduleWorker {
                std::size_t end) {
     const auto& level = (*candidates)[m];
     for (std::size_t idx = begin; idx < end; ++idx) {
+      if (steps++ % kCancelPollStride == 0) {
+        throw_if_cancelled(cancel, "module-schedule search");
+      }
       const Candidate& cand = level[idx];
       const i64 new_lo = std::min(lo, cand.span.first);
       const i64 new_hi = std::max(hi, cand.span.last);
@@ -180,6 +185,7 @@ ModuleScheduleResult find_module_schedules(
   // Locally feasible candidates per module, with their spans precomputed.
   std::vector<std::vector<Candidate>> candidates(module_count);
   for (std::size_t m = 0; m < module_count; ++m) {
+    throw_if_cancelled(options.cancel, "module-schedule search");
     const auto deps = sys.module(m).local_deps.vectors();
     for (const auto& coeffs : coefficient_cube(n, options.coeff_bound)) {
       ++result.examined;
@@ -213,6 +219,7 @@ ModuleScheduleResult find_module_schedules(
                 part.candidates = &candidates;
                 part.guards_at = &guards_at;
                 part.module_count = module_count;
+                part.cancel = options.cancel;
                 part.run(begin, end);
               });
 

@@ -21,6 +21,7 @@
 
 #include "modules/module_system.hpp"
 #include "schedule/timing.hpp"
+#include "support/cancel.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
 
@@ -40,6 +41,11 @@ struct ModuleScheduleOptions {
   /// Worker threads over module 0's candidates (0 = hardware concurrency,
   /// 1 = the exact legacy sequential path).
   SearchParallelism parallelism;
+  /// Cooperative cancellation: polled every kCancelPollStride backtracking
+  /// steps; a fired token aborts the search with CancelledError. nullptr
+  /// (the default) is the exact legacy path; a token that never fires
+  /// changes no result.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Search outcome.

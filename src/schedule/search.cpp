@@ -68,9 +68,13 @@ SchedulePartial scan_cube_range(const std::vector<IntVec>& cube,
                                 std::size_t begin, std::size_t end,
                                 const std::vector<IntVec>& deps,
                                 const std::vector<IntVec>& points,
-                                bool keep_all_optima) {
+                                bool keep_all_optima,
+                                const CancelToken* cancel) {
   SchedulePartial part;
   for (std::size_t i = begin; i < end; ++i) {
+    if (part.examined % kCancelPollStride == 0) {
+      throw_if_cancelled(cancel, "schedule search");
+    }
     ++part.examined;
     const LinearSchedule candidate(cube[i]);
     if (!candidate.is_feasible(deps)) continue;
@@ -130,7 +134,8 @@ ScheduleSearchResult find_optimal_schedules(
   run_chunked(cube.size(), workers,
               [&](std::size_t worker, std::size_t begin, std::size_t end) {
                 parts[worker] = scan_cube_range(cube, begin, end, deps, points,
-                                                options.keep_all_optima);
+                                                options.keep_all_optima,
+                                                options.cancel);
               });
 
   // Merge in worker order. Chunks are contiguous and ascending, so

@@ -23,6 +23,7 @@
 #include "ir/dependence.hpp"
 #include "ir/domain.hpp"
 #include "schedule/timing.hpp"
+#include "support/cancel.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
 
@@ -39,6 +40,11 @@ struct ScheduleSearchOptions {
   /// Worker threads scanning the coefficient cube (0 = hardware
   /// concurrency, 1 = the exact legacy sequential path).
   SearchParallelism parallelism;
+  /// Cooperative cancellation: polled every kCancelPollStride candidates;
+  /// a fired token aborts the scan with CancelledError. nullptr (the
+  /// default) is the exact legacy path; a token that never fires changes
+  /// no result.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Outcome of a schedule search.

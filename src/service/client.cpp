@@ -1,0 +1,56 @@
+#include "service/client.hpp"
+
+#include <utility>
+
+#include "service/socket.hpp"
+
+namespace nusys {
+
+ServiceClient::ServiceClient(std::unique_ptr<LineTransport> transport)
+    : transport_(std::move(transport)) {
+  NUSYS_REQUIRE(transport_ != nullptr, "ServiceClient needs a transport");
+}
+
+ServiceResponse ServiceClient::call(ServiceRequest request) {
+  if (request.id.empty()) {
+    // Built in a local first: assigning a literal into the (non-empty
+    // capacity) member trips GCC 12's -Wrestrict false positive (PR105651).
+    std::string id("c");
+    id += std::to_string(next_id_++);
+    request.id = std::move(id);
+  }
+  transport_->send_line(encode_request(request));
+  const auto line = transport_->recv_line();
+  if (!line) {
+    throw TransportError("the service hung up before responding to '" +
+                         request.id + "'");
+  }
+  ServiceResponse response = parse_response(*line);
+  if (response.id != request.id && !response.id.empty()) {
+    throw DomainError("response id '" + response.id +
+                      "' does not match request id '" + request.id + "'");
+  }
+  return response;
+}
+
+bool ServiceClient::ping() {
+  ServiceRequest request;
+  request.kind = RequestKind::kPing;
+  return call(std::move(request)).status == ResponseStatus::kOk;
+}
+
+ServiceResponse ServiceClient::stats() {
+  ServiceRequest request;
+  request.kind = RequestKind::kStats;
+  return call(std::move(request));
+}
+
+void ServiceClient::close() {
+  if (transport_ != nullptr) transport_->close();
+}
+
+ServiceClient connect_service(const std::string& host, int port) {
+  return ServiceClient(connect_tcp(host, port));
+}
+
+}  // namespace nusys

@@ -1,0 +1,42 @@
+// Client side of the synthesis service: one connection, synchronous
+// request/response calls.
+//
+// Works over any LineTransport — the CLI's `nusys request` wraps a TCP
+// connection, the tests and the throughput bench a loopback endpoint.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace nusys {
+
+/// A connected service client. Calls are synchronous and must not be
+/// issued concurrently on one client (open one client per thread).
+class ServiceClient {
+ public:
+  /// Takes ownership of a connected transport endpoint.
+  explicit ServiceClient(std::unique_ptr<LineTransport> transport);
+
+  /// Sends `request` and blocks for its response. Assigns a fresh id when
+  /// the request carries none. Throws TransportError when the server hung
+  /// up, DomainError/JsonError on an undecodable response.
+  [[nodiscard]] ServiceResponse call(ServiceRequest request);
+
+  /// Convenience probes.
+  [[nodiscard]] bool ping();
+  [[nodiscard]] ServiceResponse stats();
+
+  void close();
+
+ private:
+  std::unique_ptr<LineTransport> transport_;
+  std::size_t next_id_ = 0;
+};
+
+/// Connects a client to a TCP service at host:port.
+[[nodiscard]] ServiceClient connect_service(const std::string& host,
+                                            int port);
+
+}  // namespace nusys

@@ -1,0 +1,310 @@
+#include "service/protocol.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace nusys {
+
+namespace {
+
+/// One direction of a loopback pair: a bounded-by-nothing line mailbox.
+struct LoopbackChannel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> lines;
+  bool closed = false;
+
+  void push(const std::string& line) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (closed) throw TransportError("loopback peer closed");
+      lines.push_back(line);
+    }
+    cv.notify_one();
+  }
+
+  std::optional<std::string> pop() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return !lines.empty() || closed; });
+    if (lines.empty()) return std::nullopt;
+    std::string line = std::move(lines.front());
+    lines.pop_front();
+    return line;
+  }
+
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class LoopbackEndpoint final : public LineTransport {
+ public:
+  LoopbackEndpoint(std::shared_ptr<LoopbackChannel> out,
+                   std::shared_ptr<LoopbackChannel> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~LoopbackEndpoint() override { close(); }
+
+  void send_line(const std::string& line) override {
+    NUSYS_REQUIRE(line.find('\n') == std::string::npos,
+                  "a protocol line must not contain a newline");
+    out_->push(line);
+  }
+
+  std::optional<std::string> recv_line() override { return in_->pop(); }
+
+  void close() override {
+    out_->close();
+    in_->close();
+  }
+
+ private:
+  std::shared_ptr<LoopbackChannel> out_;
+  std::shared_ptr<LoopbackChannel> in_;
+};
+
+JsonValue encode_problem(const BatchProblem& problem) {
+  const bool conv = problem.kind == BatchProblem::Kind::kConvolution;
+  JsonValue obj;
+  obj.set("kind", conv ? "conv" : "pipeline");
+  if (!problem.name.empty()) obj.set("name", problem.name);
+  obj.set("n", problem.n);
+  if (conv) {
+    obj.set("s", problem.s);
+    obj.set("recurrence", problem.forward ? "forward" : "backward");
+  }
+  obj.set("net", problem.net);
+  return obj;
+}
+
+BatchProblem decode_problem(const JsonValue& value, std::size_t index) {
+  if (!value.is_object()) {
+    throw DomainError("request problem " + std::to_string(index) +
+                      " must be an object, got " +
+                      json_kind_name(value.kind()));
+  }
+  // The batch-JSONL dialect: flat string/int/bool fields. Reuse its parser
+  // so the service and the batch driver accept the exact same problems.
+  std::map<std::string, std::string> fields;
+  for (const auto& [key, member] : value.as_object()) {
+    std::string spelled;
+    switch (member.kind()) {
+      case JsonValue::Kind::kString:
+        spelled = member.as_string();
+        break;
+      case JsonValue::Kind::kInt:
+        spelled = std::to_string(member.as_int());
+        break;
+      case JsonValue::Kind::kBool:
+        spelled = member.as_bool() ? "true" : "false";
+        break;
+      default:
+        throw DomainError("request problem " + std::to_string(index) +
+                          " field '" + key + "' must be a scalar, got " +
+                          json_kind_name(member.kind()));
+    }
+    fields.emplace(key, std::move(spelled));
+  }
+  return parse_batch_problem(fields, index + 1);
+}
+
+JsonValue encode_report(const DesignReport& report) {
+  JsonValue obj;
+  obj.set("problem", report.problem);
+  obj.set("feasible", report.feasible);
+  obj.set("makespan", report.makespan);
+  JsonValue designs;
+  for (const auto& block : report.designs) designs.push_back(block);
+  if (designs.is_null()) designs = JsonValue::Array{};
+  obj.set("designs", std::move(designs));
+  return obj;
+}
+
+DesignReport decode_report(const JsonValue& value) {
+  DesignReport report;
+  report.problem = value.at("problem").as_string();
+  report.feasible = value.at("feasible").as_bool();
+  report.makespan = value.at("makespan").as_int();
+  for (const auto& block : value.at("designs").as_array()) {
+    report.designs.push_back(block.as_string());
+  }
+  return report;
+}
+
+i64 optional_ms(const JsonValue& obj, const char* key) {
+  const JsonValue* field = obj.find(key);
+  if (field == nullptr) return 0;
+  const i64 value = field->as_int();
+  if (value < 0) {
+    throw DomainError(std::string("request field '") + key +
+                      "' must be non-negative");
+  }
+  return value;
+}
+
+}  // namespace
+
+LoopbackPair make_loopback() {
+  auto to_server = std::make_shared<LoopbackChannel>();
+  auto to_client = std::make_shared<LoopbackChannel>();
+  LoopbackPair pair;
+  pair.client = std::make_unique<LoopbackEndpoint>(to_server, to_client);
+  pair.server = std::make_unique<LoopbackEndpoint>(to_client, to_server);
+  return pair;
+}
+
+const char* request_kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kPing: return "ping";
+    case RequestKind::kSynth: return "synth";
+    case RequestKind::kBatch: return "batch";
+    case RequestKind::kStats: return "stats";
+    case RequestKind::kSleep: return "sleep";
+  }
+  return "?";
+}
+
+const char* response_status_name(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kRejected: return "rejected";
+    case ResponseStatus::kTimeout: return "timeout";
+    case ResponseStatus::kError: return "error";
+  }
+  return "?";
+}
+
+std::string encode_request(const ServiceRequest& request) {
+  JsonValue obj;
+  obj.set("id", request.id);
+  obj.set("kind", request_kind_name(request.kind));
+  if (request.kind == RequestKind::kSynth ||
+      request.kind == RequestKind::kBatch) {
+    JsonValue problems = JsonValue::Array{};
+    for (const auto& problem : request.problems) {
+      problems.push_back(encode_problem(problem));
+    }
+    obj.set("problems", std::move(problems));
+  }
+  if (request.timeout_ms > 0) obj.set("timeout_ms", request.timeout_ms);
+  if (request.kind == RequestKind::kSleep) {
+    obj.set("sleep_ms", request.sleep_ms);
+  }
+  return obj.dump();
+}
+
+ServiceRequest parse_request(const std::string& line) {
+  const JsonValue obj = JsonValue::parse(line);
+  if (!obj.is_object()) {
+    throw DomainError("a request must be a JSON object, got " +
+                      std::string(json_kind_name(obj.kind())));
+  }
+  ServiceRequest request;
+  request.id = obj.at("id").as_string();
+  const std::string& kind = obj.at("kind").as_string();
+  if (kind == "ping") {
+    request.kind = RequestKind::kPing;
+  } else if (kind == "synth") {
+    request.kind = RequestKind::kSynth;
+  } else if (kind == "batch") {
+    request.kind = RequestKind::kBatch;
+  } else if (kind == "stats") {
+    request.kind = RequestKind::kStats;
+  } else if (kind == "sleep") {
+    request.kind = RequestKind::kSleep;
+  } else {
+    throw DomainError("unknown request kind '" + kind +
+                      "' (ping|synth|batch|stats|sleep)");
+  }
+  request.timeout_ms = optional_ms(obj, "timeout_ms");
+  request.sleep_ms = optional_ms(obj, "sleep_ms");
+  if (request.kind == RequestKind::kSynth ||
+      request.kind == RequestKind::kBatch) {
+    const JsonValue* problems = obj.find("problems");
+    if (problems == nullptr) {
+      throw DomainError("a " + kind + " request needs a 'problems' array");
+    }
+    const auto& items = problems->as_array();
+    if (request.kind == RequestKind::kSynth && items.size() != 1) {
+      throw DomainError("a synth request carries exactly one problem, got " +
+                        std::to_string(items.size()) +
+                        " (use kind 'batch' for several)");
+    }
+    if (items.empty()) {
+      throw DomainError("a batch request needs at least one problem");
+    }
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      request.problems.push_back(decode_problem(items[i], i));
+    }
+  }
+  return request;
+}
+
+std::string encode_response(const ServiceResponse& response) {
+  JsonValue obj;
+  obj.set("id", response.id);
+  obj.set("status", response_status_name(response.status));
+  if (!response.error.empty()) obj.set("error", response.error);
+  if (response.status == ResponseStatus::kRejected) {
+    obj.set("retry_after_ms", response.retry_after_ms);
+  }
+  if (!response.results.empty()) {
+    JsonValue results = JsonValue::Array{};
+    for (const auto& result : response.results) {
+      JsonValue item;
+      item.set("name", result.name);
+      item.set("cache_hit", result.cache_hit);
+      item.set("report", encode_report(result.report));
+      results.push_back(std::move(item));
+    }
+    obj.set("results", std::move(results));
+  }
+  if (!response.stats.is_null()) obj.set("stats", response.stats);
+  return obj.dump();
+}
+
+ServiceResponse parse_response(const std::string& line) {
+  const JsonValue obj = JsonValue::parse(line);
+  if (!obj.is_object()) {
+    throw DomainError("a response must be a JSON object, got " +
+                      std::string(json_kind_name(obj.kind())));
+  }
+  ServiceResponse response;
+  response.id = obj.at("id").as_string();
+  const std::string& status = obj.at("status").as_string();
+  if (status == "ok") {
+    response.status = ResponseStatus::kOk;
+  } else if (status == "rejected") {
+    response.status = ResponseStatus::kRejected;
+  } else if (status == "timeout") {
+    response.status = ResponseStatus::kTimeout;
+  } else if (status == "error") {
+    response.status = ResponseStatus::kError;
+  } else {
+    throw DomainError("unknown response status '" + status +
+                      "' (ok|rejected|timeout|error)");
+  }
+  if (const JsonValue* error = obj.find("error")) {
+    response.error = error->as_string();
+  }
+  response.retry_after_ms = optional_ms(obj, "retry_after_ms");
+  if (const JsonValue* results = obj.find("results")) {
+    for (const auto& item : results->as_array()) {
+      ServiceResult result;
+      result.name = item.at("name").as_string();
+      result.cache_hit = item.at("cache_hit").as_bool();
+      result.report = decode_report(item.at("report"));
+      response.results.push_back(std::move(result));
+    }
+  }
+  if (const JsonValue* stats = obj.find("stats")) response.stats = *stats;
+  return response;
+}
+
+}  // namespace nusys

@@ -1,0 +1,129 @@
+// Wire protocol of the synthesis service: newline-delimited JSON requests
+// and responses over a pluggable line transport.
+//
+// One request or response is exactly one JSON object on one line (NDJSON).
+// The shapes:
+//
+//   request  {"id": "r1", "kind": "synth", "problems": [{...}],
+//             "timeout_ms": 500}
+//   response {"id": "r1", "status": "ok", "results": [{"name": ...,
+//             "cache_hit": true, "report": {...}}]}
+//
+// `kind` is ping | synth | batch | stats | sleep. A synth request carries
+// exactly one problem, a batch request one or more; both use the batch-JSONL
+// problem fields (src/synth/batch.hpp). `status` is ok | rejected |
+// timeout | error; a rejected response names `retry_after_ms` so a client
+// under backpressure knows when to come back. Result reports carry the full
+// DesignReport structure, so a decoded response reproduces the report
+// byte-for-byte — the service differential test leans on that.
+//
+// The transport is abstract: the TCP server and client frame lines over a
+// socket (src/service/socket.hpp), while tests and the throughput bench
+// drive the whole stack over an in-process loopback pair with no sockets
+// involved.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/errors.hpp"
+#include "support/json.hpp"
+#include "synth/batch.hpp"
+#include "synth/report.hpp"
+
+namespace nusys {
+
+/// A transport endpoint died mid-conversation (peer hung up, pipe broke).
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error(what) {}
+};
+
+/// One endpoint of a bidirectional, line-framed byte stream.
+class LineTransport {
+ public:
+  virtual ~LineTransport() = default;
+
+  /// Sends one line; the newline is appended by the transport. `line` must
+  /// not contain '\n'. Throws TransportError when the peer is gone.
+  virtual void send_line(const std::string& line) = 0;
+
+  /// Blocks for the next line (newline stripped); nullopt when the peer
+  /// closed the stream.
+  [[nodiscard]] virtual std::optional<std::string> recv_line() = 0;
+
+  /// Closes this endpoint: the peer's pending and future recv_line calls
+  /// return nullopt. Idempotent.
+  virtual void close() = 0;
+};
+
+/// A connected in-process transport pair: lines sent on `client` arrive at
+/// `server` and vice versa. Unit-tests the protocol stack without sockets.
+struct LoopbackPair {
+  std::unique_ptr<LineTransport> client;
+  std::unique_ptr<LineTransport> server;
+};
+
+[[nodiscard]] LoopbackPair make_loopback();
+
+/// What a request asks the service to do.
+enum class RequestKind {
+  kPing,   ///< Liveness probe; answered inline, never queued.
+  kSynth,  ///< Synthesize one problem.
+  kBatch,  ///< Synthesize several problems in order through one worker.
+  kStats,  ///< Service observability snapshot; answered inline.
+  kSleep,  ///< Hold a worker for sleep_ms; deterministic backpressure tests.
+};
+
+/// One decoded service request.
+struct ServiceRequest {
+  std::string id;  ///< Client-chosen correlation id, echoed in the response.
+  RequestKind kind = RequestKind::kPing;
+  std::vector<BatchProblem> problems;  ///< synth: exactly one; batch: 1+.
+  i64 timeout_ms = 0;  ///< Per-request deadline; 0 = server default.
+  i64 sleep_ms = 0;    ///< kSleep only.
+};
+
+enum class ResponseStatus {
+  kOk,
+  kRejected,  ///< Queue full or service draining; retry_after_ms is advice.
+  kTimeout,   ///< Deadline expired (queued or mid-search, both cancel).
+  kError,     ///< Malformed request or a synthesis-domain failure.
+};
+
+/// Outcome of one problem of an ok synth/batch response.
+struct ServiceResult {
+  std::string name;
+  bool cache_hit = false;  ///< Replayed from the shared design cache.
+  DesignReport report;     ///< Bit-identical to one-at-a-time synthesis.
+
+  friend bool operator==(const ServiceResult& a,
+                         const ServiceResult& b) = default;
+};
+
+/// One decoded service response.
+struct ServiceResponse {
+  std::string id;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string error;       ///< Human-readable detail when not ok.
+  i64 retry_after_ms = 0;  ///< kRejected only.
+  std::vector<ServiceResult> results;  ///< ok synth/batch only.
+  JsonValue stats;                     ///< ok stats only; null otherwise.
+};
+
+[[nodiscard]] const char* request_kind_name(RequestKind kind);
+[[nodiscard]] const char* response_status_name(ResponseStatus status);
+
+/// Encodes a request/response as its one-line JSON form (no newline).
+[[nodiscard]] std::string encode_request(const ServiceRequest& request);
+[[nodiscard]] std::string encode_response(const ServiceResponse& response);
+
+/// Decodes one line. Throws JsonError on malformed JSON and DomainError on
+/// a structurally invalid message (unknown kind, missing fields, bad
+/// problem spec) — never returns a partial message.
+[[nodiscard]] ServiceRequest parse_request(const std::string& line);
+[[nodiscard]] ServiceResponse parse_response(const std::string& line);
+
+}  // namespace nusys

@@ -1,0 +1,50 @@
+#include "service/queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace nusys {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  NUSYS_REQUIRE(capacity > 0, "a request queue needs a positive capacity");
+}
+
+bool RequestQueue::try_push(std::shared_ptr<PendingJob> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || jobs_.size() >= capacity_) return false;
+    jobs_.push_back(std::move(job));
+    high_water_ = std::max(high_water_, jobs_.size());
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::shared_ptr<PendingJob> RequestQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !jobs_.empty() || closed_; });
+  if (jobs_.empty()) return nullptr;
+  auto job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+std::size_t RequestQueue::high_water() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+}  // namespace nusys

@@ -1,0 +1,63 @@
+// Bounded request queue of the synthesis service.
+//
+// Admission control lives at the push side: try_push never blocks, so a
+// full queue surfaces as an immediate structured rejection (with
+// retry-after advice) instead of an unbounded client stall. Workers block
+// on pop; close() lets already-admitted jobs drain, then wakes every
+// worker with the end-of-stream sentinel. The high-water mark feeds the
+// stats endpoint.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "service/protocol.hpp"
+#include "support/cancel.hpp"
+
+namespace nusys {
+
+/// One admitted request waiting for (or being run by) a worker. The cancel
+/// token is armed with the request deadline at admission, so time spent
+/// queued counts against the deadline.
+struct PendingJob {
+  ServiceRequest request;
+  CancelToken cancel;
+  std::promise<ServiceResponse> done;
+};
+
+/// A bounded, closeable MPMC queue of pending jobs.
+class RequestQueue {
+ public:
+  /// `capacity` must be positive.
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Admits a job without blocking. False when the queue is full or
+  /// closed — the caller turns that into a rejected response.
+  [[nodiscard]] bool try_push(std::shared_ptr<PendingJob> job);
+
+  /// Blocks for the next job; nullptr once the queue is closed AND
+  /// drained (the worker's signal to exit).
+  [[nodiscard]] std::shared_ptr<PendingJob> pop();
+
+  /// Stops admissions; queued jobs still drain through pop(). Idempotent.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Largest depth ever observed.
+  [[nodiscard]] std::size_t high_water() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<PendingJob>> jobs_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace nusys

@@ -1,0 +1,123 @@
+#include "service/server.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace nusys {
+
+void serve_connection(SynthesisService& service, LineTransport& transport) {
+  while (const auto line = transport.recv_line()) {
+    ServiceResponse response;
+    try {
+      const ServiceRequest request = parse_request(*line);
+      response = service.handle(request);
+    } catch (const Error& e) {
+      response.status = ResponseStatus::kError;
+      response.error = e.what();
+      // Best effort: echo the id when the line parsed far enough to have
+      // one, so the client can still correlate the failure.
+      try {
+        const JsonValue obj = JsonValue::parse(*line);
+        if (obj.is_object()) {
+          if (const JsonValue* id = obj.find("id"); id && id->is_string()) {
+            response.id = id->as_string();
+          }
+        }
+      } catch (const Error&) {
+        // The line was not JSON at all; the empty id stands.
+      }
+    }
+    try {
+      transport.send_line(encode_response(response));
+    } catch (const TransportError&) {
+      return;  // Peer hung up mid-response.
+    }
+  }
+}
+
+TcpServer::TcpServer(const ServerConfig& config)
+    : listener_(config.port), service_(config.service) {}
+
+TcpServer::~TcpServer() {
+  stop();
+  service_.drain();
+}
+
+int TcpServer::port() const noexcept { return listener_.port(); }
+
+void TcpServer::run() {
+  std::mutex mu;
+  std::vector<std::unique_ptr<FdLineTransport>> connections;
+  std::vector<std::thread> threads;
+
+  while (auto accepted = listener_.accept()) {
+    const std::lock_guard<std::mutex> lock(mu);
+    connections.push_back(std::move(accepted));
+    FdLineTransport* transport = connections.back().get();
+    threads.emplace_back(
+        [this, transport] { serve_connection(service_, *transport); });
+  }
+
+  // stop() fired: refuse new work but let admitted requests finish...
+  service_.drain();
+  // ...then hang up every connection so blocked readers see end-of-stream.
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (auto& connection : connections) connection->close();
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+void TcpServer::stop() { listener_.stop(); }
+
+namespace {
+
+/// The stop descriptor the signal handler writes to. One server at a time
+/// may run under signals (the CLI's serve command).
+std::atomic<int> g_signal_stop_fd{-1};
+
+extern "C" void handle_stop_signal(int) {
+  const int fd = g_signal_stop_fd.load();
+  if (fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+int run_server_until_signal(const ServerConfig& config, std::ostream& log) {
+  TcpServer server(config);
+  g_signal_stop_fd.store(server.stop_fd());
+
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  struct sigaction previous_int {};
+  struct sigaction previous_term {};
+  sigaction(SIGINT, &action, &previous_int);
+  sigaction(SIGTERM, &action, &previous_term);
+  // A client that disconnects mid-response must not kill the server.
+  signal(SIGPIPE, SIG_IGN);
+
+  log << "nusys service listening on 127.0.0.1:" << server.port() << " ("
+      << config.service.workers << " worker(s), queue capacity "
+      << config.service.queue_capacity << ")\n"
+      << std::flush;
+  server.run();
+  log << "nusys service drained cleanly\n" << std::flush;
+
+  sigaction(SIGINT, &previous_int, nullptr);
+  sigaction(SIGTERM, &previous_term, nullptr);
+  g_signal_stop_fd.store(-1);
+  return 0;
+}
+
+}  // namespace nusys

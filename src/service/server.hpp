@@ -1,0 +1,71 @@
+// The serve side of the synthesis service: a per-connection request loop
+// over any LineTransport, and a TCP front end with graceful signal-driven
+// drain.
+//
+// Lifecycle of `nusys serve`:
+//   1. TcpServer binds (port 0 = ephemeral; the actual port is printed),
+//      starts the SynthesisService (worker pool + shared design cache).
+//   2. run() accepts connections; each gets a thread running
+//      serve_connection() until the peer hangs up.
+//   3. SIGINT/SIGTERM (or stop()) ends the accept loop; the service
+//      drains — admitted requests finish, new ones are rejected — all
+//      connection sockets are shut down, connection threads join, and
+//      run() returns. The CLI then exits 0.
+#pragma once
+
+#include <ostream>
+
+#include "service/session.hpp"
+#include "service/socket.hpp"
+
+namespace nusys {
+
+/// Serves one connection: reads request lines until end-of-stream,
+/// answering each. A malformed line earns an error response (with the
+/// request id when it could be recovered) and the loop continues — one
+/// bad request never tears down the connection.
+void serve_connection(SynthesisService& service, LineTransport& transport);
+
+/// Configuration of the TCP front end.
+struct ServerConfig {
+  int port = 0;  ///< 0 = ephemeral; read the actual one from port().
+  ServiceConfig service;
+};
+
+/// A TCP synthesis server; owns the listener, the service and the
+/// connection threads.
+class TcpServer {
+ public:
+  explicit TcpServer(const ServerConfig& config);
+
+  /// Stops and joins everything (idempotent with run()'s own shutdown).
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  [[nodiscard]] int port() const noexcept;
+  [[nodiscard]] SynthesisService& service() noexcept { return service_; }
+
+  /// Accepts and serves connections until stop(); drains the service and
+  /// joins every connection thread before returning.
+  void run();
+
+  /// Ends run() from another thread. For signal handlers, write a byte to
+  /// stop_fd() instead (the async-signal-safe spelling of the same thing).
+  void stop();
+
+  [[nodiscard]] int stop_fd() const noexcept { return listener_.stop_fd(); }
+
+ private:
+  TcpListener listener_;
+  SynthesisService service_;
+};
+
+/// Runs a TCP server until SIGINT/SIGTERM, announcing the port on `log`.
+/// Returns the process exit code (0 on a clean drain). Restores the
+/// previous signal dispositions before returning.
+[[nodiscard]] int run_server_until_signal(const ServerConfig& config,
+                                          std::ostream& log);
+
+}  // namespace nusys

@@ -1,0 +1,287 @@
+#include "service/session.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "conv/recurrences.hpp"
+#include "synth/batch.hpp"
+#include "synth/report.hpp"
+
+namespace nusys {
+
+namespace {
+
+bool is_cache_hit(const SearchTelemetry& telemetry) {
+  for (const auto& stage : telemetry.stages) {
+    if (stage.stage == "design-cache" && stage.cache_hits > 0) return true;
+  }
+  return false;
+}
+
+JsonValue latency_json(const std::vector<std::size_t>& histogram) {
+  const auto& bounds = latency_bucket_bounds_ms();
+  JsonValue buckets = JsonValue::Array{};
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    JsonValue bucket;
+    bucket.set("le_ms", i < bounds.size() ? JsonValue(bounds[i])
+                                          : JsonValue("inf"));
+    bucket.set("count", histogram[i]);
+    buckets.push_back(std::move(bucket));
+  }
+  return buckets;
+}
+
+}  // namespace
+
+const std::vector<i64>& latency_bucket_bounds_ms() {
+  static const std::vector<i64> bounds{1, 5, 10, 50, 100, 500, 1000, 5000};
+  return bounds;
+}
+
+double ServiceStats::cache_hit_rate() const noexcept {
+  const std::size_t lookups = cache.hits + cache.misses;
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(cache.hits) / static_cast<double>(lookups);
+}
+
+double ServiceStats::worker_utilization() const noexcept {
+  if (workers == 0 || uptime_seconds <= 0.0) return 0.0;
+  const double utilization =
+      busy_seconds / (uptime_seconds * static_cast<double>(workers));
+  return utilization < 0.0 ? 0.0 : utilization > 1.0 ? 1.0 : utilization;
+}
+
+JsonValue ServiceStats::to_json() const {
+  JsonValue obj;
+
+  JsonValue requests;
+  requests.set("total", requests_total);
+  requests.set("ok", requests_ok);
+  requests.set("rejected", requests_rejected);
+  requests.set("timeout", requests_timeout);
+  requests.set("error", requests_error);
+  obj.set("requests", std::move(requests));
+
+  JsonValue queue;
+  queue.set("depth", queue_depth);
+  queue.set("capacity", queue_capacity);
+  queue.set("high_water", queue_high_water);
+  obj.set("queue", std::move(queue));
+
+  JsonValue workers_obj;
+  workers_obj.set("count", workers);
+  workers_obj.set("active_requests", active_requests);
+  workers_obj.set("uptime_seconds", uptime_seconds);
+  workers_obj.set("busy_seconds", busy_seconds);
+  workers_obj.set("utilization", worker_utilization());
+  obj.set("workers", std::move(workers_obj));
+
+  JsonValue cache_obj;
+  cache_obj.set("hits", cache.hits);
+  cache_obj.set("misses", cache.misses);
+  cache_obj.set("insertions", cache.insertions);
+  cache_obj.set("evictions", cache.evictions);
+  cache_obj.set("validation_failures", cache.validation_failures);
+  cache_obj.set("hit_rate", cache_hit_rate());
+  obj.set("cache", std::move(cache_obj));
+
+  JsonValue search;
+  search.set("problems_completed", problems_completed);
+  search.set("candidates_examined", candidates_examined);
+  obj.set("search", std::move(search));
+
+  obj.set("latency_ms", latency_json(latency_histogram));
+  return obj;
+}
+
+SynthesisService::SynthesisService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache),
+      queue_(config_.queue_capacity) {
+  NUSYS_REQUIRE(config_.workers > 0, "the service needs at least one worker");
+  counters_.latency_histogram.assign(latency_bucket_bounds_ms().size() + 1,
+                                     0);
+  pool_ = std::make_unique<ThreadPool>(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    pool_->submit([this] { worker_loop(); });
+  }
+}
+
+SynthesisService::~SynthesisService() { drain(); }
+
+void SynthesisService::drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  queue_.close();
+  std::unique_ptr<ThreadPool> pool;
+  {
+    const std::lock_guard<std::mutex> lock(drain_mu_);
+    pool = std::move(pool_);
+  }
+  pool.reset();  // Joins the workers once the admitted jobs drained.
+}
+
+ServiceResponse SynthesisService::handle(const ServiceRequest& request) {
+  const WallTimer timer;
+  ServiceResponse response;
+  response.id = request.id;
+  switch (request.kind) {
+    case RequestKind::kPing:
+      break;  // Answered inline; status defaults to ok.
+    case RequestKind::kStats:
+      response.stats = stats().to_json();
+      break;
+    case RequestKind::kSynth:
+    case RequestKind::kBatch:
+    case RequestKind::kSleep: {
+      auto job = std::make_shared<PendingJob>();
+      job->request = request;
+      const i64 timeout_ms = request.timeout_ms > 0
+                                 ? request.timeout_ms
+                                 : config_.default_timeout_ms;
+      if (timeout_ms > 0) {
+        // Armed at admission: time spent queued consumes the deadline.
+        job->cancel.set_deadline_after(std::chrono::milliseconds(timeout_ms));
+      }
+      auto future = job->done.get_future();
+      const bool draining = draining_.load(std::memory_order_relaxed);
+      if (draining || !queue_.try_push(job)) {
+        response.status = ResponseStatus::kRejected;
+        response.error =
+            draining ? "service draining"
+                     : "queue full (capacity " +
+                           std::to_string(queue_.capacity()) + ")";
+        response.retry_after_ms = config_.retry_after_ms;
+      } else {
+        response = future.get();
+      }
+      break;
+    }
+  }
+  record(response, timer.seconds());
+  return response;
+}
+
+void SynthesisService::worker_loop() {
+  while (auto job = queue_.pop()) {
+    active_jobs_.fetch_add(1, std::memory_order_relaxed);
+    const WallTimer busy;
+    ServiceResponse response = execute(*job);
+    busy_ns_.fetch_add(static_cast<long long>(busy.seconds() * 1e9),
+                       std::memory_order_relaxed);
+    active_jobs_.fetch_sub(1, std::memory_order_relaxed);
+    job->done.set_value(std::move(response));
+  }
+}
+
+ServiceResponse SynthesisService::execute(PendingJob& job) {
+  ServiceResponse response;
+  response.id = job.request.id;
+  try {
+    // A request that burned its whole deadline in the queue never starts:
+    // the worker stays available for live requests.
+    throw_if_cancelled(&job.cancel, "service admission");
+    if (job.request.kind == RequestKind::kSleep) {
+      for (i64 slept = 0; slept < job.request.sleep_ms; ++slept) {
+        throw_if_cancelled(&job.cancel, "service sleep");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    } else {
+      response = run_problems(job);
+    }
+  } catch (const CancelledError& e) {
+    response.results.clear();
+    response.status = ResponseStatus::kTimeout;
+    response.error = e.what();
+  } catch (const Error& e) {
+    response.results.clear();
+    response.status = ResponseStatus::kError;
+    response.error = e.what();
+  }
+  return response;
+}
+
+ServiceResponse SynthesisService::run_problems(PendingJob& job) {
+  ServiceResponse response;
+  response.id = job.request.id;
+
+  // The exact sequential search path per problem (threads = 1), like the
+  // batch driver: worker count can never change a report, and the search
+  // never re-enters the worker pool.
+  SynthesisOptions synth = config_.synthesis;
+  synth.parallelism.threads = 1;
+  synth.cache = &cache_;
+  synth.cancel = &job.cancel;
+  NonUniformSynthesisOptions pipe = config_.pipeline;
+  pipe.parallelism.threads = 1;
+  pipe.cache = &cache_;
+  pipe.cancel = &job.cancel;
+
+  std::size_t examined = 0;
+  for (const auto& problem : job.request.problems) {
+    const auto net = batch_interconnect(problem);
+    ServiceResult result;
+    result.name = problem.name;
+    if (problem.kind == BatchProblem::Kind::kConvolution) {
+      const auto rec = problem.forward
+                           ? convolution_forward_recurrence(problem.n,
+                                                            problem.s)
+                           : convolution_backward_recurrence(problem.n,
+                                                             problem.s);
+      const auto synthesis = synthesize(rec, net, synth);
+      result.report = make_design_report(rec, synthesis);
+      result.cache_hit = is_cache_hit(synthesis.telemetry);
+      examined += synthesis.telemetry.total_examined();
+    } else {
+      const auto spec = make_interval_dp_spec(problem.n);
+      const auto synthesis = synthesize_nonuniform(spec, net, pipe);
+      result.report = make_pipeline_report(spec, synthesis);
+      result.cache_hit = is_cache_hit(synthesis.telemetry);
+      examined += synthesis.telemetry.total_examined();
+    }
+    response.results.push_back(std::move(result));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    counters_.problems_completed += response.results.size();
+    counters_.candidates_examined += examined;
+  }
+  return response;
+}
+
+void SynthesisService::record(const ServiceResponse& response,
+                              double seconds) {
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  ++counters_.requests_total;
+  switch (response.status) {
+    case ResponseStatus::kOk: ++counters_.requests_ok; break;
+    case ResponseStatus::kRejected: ++counters_.requests_rejected; break;
+    case ResponseStatus::kTimeout: ++counters_.requests_timeout; break;
+    case ResponseStatus::kError: ++counters_.requests_error; break;
+  }
+  const i64 ms = static_cast<i64>(seconds * 1000.0);
+  const auto& bounds = latency_bucket_bounds_ms();
+  std::size_t bucket = 0;
+  while (bucket < bounds.size() && ms >= bounds[bucket]) ++bucket;
+  ++counters_.latency_histogram[bucket];
+}
+
+ServiceStats SynthesisService::stats() const {
+  ServiceStats snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = counters_;
+  }
+  snapshot.queue_depth = queue_.depth();
+  snapshot.queue_capacity = queue_.capacity();
+  snapshot.queue_high_water = queue_.high_water();
+  snapshot.active_requests = active_jobs_.load(std::memory_order_relaxed);
+  snapshot.workers = config_.workers;
+  snapshot.uptime_seconds = uptime_.seconds();
+  snapshot.busy_seconds =
+      static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) / 1e9;
+  snapshot.cache = cache_.stats();
+  return snapshot;
+}
+
+}  // namespace nusys

@@ -1,0 +1,130 @@
+// The synthesis service proper: one long-lived worker pool, one shared
+// canonical design cache, a bounded admission queue, per-request deadlines
+// with cooperative cancellation, and an observability snapshot.
+//
+// Transport-agnostic by design: handle() takes a decoded request and
+// returns the response, blocking the calling (connection) thread until a
+// worker finishes the job. The TCP server, the loopback tests and the
+// throughput bench all sit on this one entry point.
+//
+// Determinism: per-problem searches run the exact sequential path
+// (threads = 1) inside a worker — concurrency lives ACROSS requests, so a
+// response's DesignReports are bit-identical to one-at-a-time `nusys`
+// synthesis at every worker count. Concurrent requests that share a cache
+// key cost one search via the cache's single-flight gate; everyone replays
+// the same entry.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/queue.hpp"
+#include "support/cache.hpp"
+#include "support/json.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nusys {
+
+/// Configuration of one service instance.
+struct ServiceConfig {
+  std::size_t workers = 2;         ///< Worker threads consuming the queue.
+  std::size_t queue_capacity = 16; ///< Admitted-but-unstarted request bound.
+  i64 retry_after_ms = 25;         ///< Advice attached to rejections.
+  i64 default_timeout_ms = 0;      ///< Deadline when a request names none;
+                                   ///< 0 = no deadline.
+  CacheConfig cache;               ///< Shared canonical design cache.
+  SynthesisOptions synthesis;      ///< Conv search options (threads and
+                                   ///< cache fields are overridden).
+  NonUniformSynthesisOptions pipeline;  ///< Pipeline search options (ditto).
+};
+
+/// Upper bucket bounds (milliseconds) of the request latency histogram;
+/// the last bucket is unbounded.
+[[nodiscard]] const std::vector<i64>& latency_bucket_bounds_ms();
+
+/// Observability snapshot of a running service.
+struct ServiceStats {
+  std::size_t requests_total = 0;  ///< Every handled request, any status.
+  std::size_t requests_ok = 0;
+  std::size_t requests_rejected = 0;
+  std::size_t requests_timeout = 0;
+  std::size_t requests_error = 0;
+  std::size_t problems_completed = 0;  ///< Problems answered inside ok runs.
+  std::size_t candidates_examined = 0; ///< Aggregated search telemetry.
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t queue_high_water = 0;
+  std::size_t active_requests = 0;  ///< Jobs a worker is executing right now.
+  std::size_t workers = 0;
+  double uptime_seconds = 0.0;
+  double busy_seconds = 0.0;  ///< Summed worker time spent on jobs.
+  CacheStats cache;
+  /// Per-request latency counts, parallel to latency_bucket_bounds_ms()
+  /// plus one overflow bucket.
+  std::vector<std::size_t> latency_histogram;
+
+  /// cache.hits / (hits + misses); 0 before any lookup.
+  [[nodiscard]] double cache_hit_rate() const noexcept;
+
+  /// busy_seconds / (uptime_seconds * workers), clamped to [0, 1].
+  [[nodiscard]] double worker_utilization() const noexcept;
+
+  /// The stats payload of an ok stats response.
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+/// A persistent synthesis service instance.
+class SynthesisService {
+ public:
+  explicit SynthesisService(ServiceConfig config);
+
+  /// Drains (finishes queued and in-flight jobs) and joins the workers.
+  ~SynthesisService();
+
+  SynthesisService(const SynthesisService&) = delete;
+  SynthesisService& operator=(const SynthesisService&) = delete;
+
+  /// Handles one request, blocking until its response is ready. Safe to
+  /// call from any number of connection threads. Never throws for
+  /// request-level failures — they come back as rejected/timeout/error
+  /// responses.
+  [[nodiscard]] ServiceResponse handle(const ServiceRequest& request);
+
+  /// Stops admissions, lets admitted jobs finish, joins the workers.
+  /// Idempotent; handle() answers `rejected` afterwards.
+  void drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void worker_loop();
+  [[nodiscard]] ServiceResponse execute(PendingJob& job);
+  [[nodiscard]] ServiceResponse run_problems(PendingJob& job);
+  void record(const ServiceResponse& response, double seconds);
+
+  ServiceConfig config_;
+  WallTimer uptime_;
+  DesignCache cache_;
+  RequestQueue queue_;
+  std::mutex drain_mu_;               ///< Serializes drain() callers.
+  std::unique_ptr<ThreadPool> pool_;  ///< The long-lived worker pool.
+  std::atomic<std::size_t> active_jobs_{0};
+  std::atomic<long long> busy_ns_{0};
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex stats_mu_;
+  ServiceStats counters_;  ///< Request/latency/telemetry counters only.
+};
+
+}  // namespace nusys

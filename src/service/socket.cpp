@@ -1,0 +1,184 @@
+#include "service/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace nusys {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+/// MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE on Linux; macOS
+/// spells the same contract SO_NOSIGPIPE, and a portable fallback of 0
+/// still works because the tests and CLI ignore SIGPIPE anyway.
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+}  // namespace
+
+FdLineTransport::FdLineTransport(int fd) : fd_(fd) {
+  NUSYS_REQUIRE(fd >= 0, "FdLineTransport needs a valid descriptor");
+}
+
+FdLineTransport::~FdLineTransport() { close(); }
+
+void FdLineTransport::send_line(const std::string& line) {
+  NUSYS_REQUIRE(line.find('\n') == std::string::npos,
+                "a protocol line must not contain a newline");
+  if (fd_ < 0) throw TransportError("send on a closed transport");
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             kSendFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::optional<std::string> FdLineTransport::recv_line() {
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    if (fd_ < 0) return std::nullopt;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A concurrent close() (server shutdown) surfaces as EBADF/ECONNRESET
+      // here; treat every failure mode as end-of-stream for the reader.
+      return std::nullopt;
+    }
+    if (n == 0) return std::nullopt;  // Peer closed.
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void FdLineTransport::close() {
+  const int fd = fd_;
+  if (fd < 0) return;
+  fd_ = -1;
+  ::shutdown(fd, SHUT_RDWR);  // Wakes a reader blocked in recv().
+  ::close(fd);
+}
+
+std::unique_ptr<FdLineTransport> connect_tcp(const std::string& host,
+                                             int port) {
+  NUSYS_REQUIRE(port > 0 && port < 65536, "connect_tcp needs a valid port");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw TransportError("connect_tcp: bad IPv4 address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    throw TransportError("connect to " + host + ":" + std::to_string(port) +
+                         " failed: " + detail);
+  }
+  return std::make_unique<FdLineTransport>(fd);
+}
+
+TcpListener::TcpListener(int port) {
+  NUSYS_REQUIRE(port >= 0 && port < 65536, "TcpListener needs a valid port");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    throw TransportError("cannot listen on port " + std::to_string(port) +
+                         ": " + detail);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    throw TransportError("getsockname: " + detail);
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    throw TransportError("self-pipe: " + detail);
+  }
+  wake_rx_ = pipe_fds[0];
+  wake_tx_ = pipe_fds[1];
+}
+
+TcpListener::~TcpListener() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_rx_ >= 0) ::close(wake_rx_);
+  if (wake_tx_ >= 0) ::close(wake_tx_);
+}
+
+std::unique_ptr<FdLineTransport> TcpListener::accept() {
+  while (true) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = wake_rx_;
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if ((fds[1].revents & POLLIN) != 0) return nullptr;  // stop() fired.
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_errno("accept");
+    }
+    return std::make_unique<FdLineTransport>(fd);
+  }
+}
+
+void TcpListener::stop() {
+  const char byte = 'x';
+  // write(2) is async-signal-safe; a full pipe just means a stop is
+  // already pending.
+  [[maybe_unused]] const ssize_t n = ::write(wake_tx_, &byte, 1);
+}
+
+}  // namespace nusys

@@ -1,0 +1,74 @@
+// POSIX TCP plumbing of the synthesis service: a line-framed transport
+// over a connected socket, a client-side connector, and a stoppable
+// listener.
+//
+// Only this file (and its .cpp) touches socket headers; the rest of the
+// service layer speaks LineTransport. The listener's stop() is
+// async-signal-friendly: it writes one byte to a self-pipe that the
+// accept loop polls alongside the listening socket, so a signal handler
+// can end a blocked accept without races or EINTR loops.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace nusys {
+
+/// LineTransport over a connected stream-socket file descriptor (owned).
+class FdLineTransport final : public LineTransport {
+ public:
+  /// Takes ownership of `fd` (must be a connected stream socket).
+  explicit FdLineTransport(int fd);
+  ~FdLineTransport() override;
+
+  void send_line(const std::string& line) override;
+  [[nodiscard]] std::optional<std::string> recv_line() override;
+
+  /// Shuts down both directions and closes the descriptor; a peer (or
+  /// another thread) blocked in recv_line observes end-of-stream.
+  void close() override;
+
+ private:
+  int fd_;
+  std::string buffer_;  ///< Bytes received past the last returned line.
+};
+
+/// Connects to host:port; throws TransportError when unreachable.
+[[nodiscard]] std::unique_ptr<FdLineTransport> connect_tcp(
+    const std::string& host, int port);
+
+/// A listening TCP socket with a self-pipe stop switch.
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port`; 0 picks an ephemeral port.
+  /// Throws TransportError when the port is unavailable.
+  explicit TcpListener(int port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The bound port (the actual one when constructed with 0).
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+  /// Blocks for the next connection; nullptr once stop() was called.
+  [[nodiscard]] std::unique_ptr<FdLineTransport> accept();
+
+  /// Ends the accept loop. Safe from other threads; the write side is
+  /// async-signal-safe (see stop_fd()).
+  void stop();
+
+  /// The self-pipe write descriptor: a signal handler may write one byte
+  /// to it to stop the listener (the only async-signal-safe entry point).
+  [[nodiscard]] int stop_fd() const noexcept { return wake_tx_; }
+
+ private:
+  int listen_fd_ = -1;
+  int wake_rx_ = -1;  ///< Self-pipe read end, polled next to listen_fd_.
+  int wake_tx_ = -1;  ///< Self-pipe write end.
+  int port_ = 0;
+};
+
+}  // namespace nusys

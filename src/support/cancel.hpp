@@ -1,0 +1,91 @@
+// Cooperative cancellation of in-flight synthesis searches.
+//
+// The synthesis service runs every request under a deadline; when it
+// expires (or a drain wants workers back) the search must stop soon, not
+// at the next process boundary. The searches therefore poll a shared
+// CancelToken at loop boundaries: an unset token (nullptr) is the exact
+// legacy code path — zero loads, zero branches on pointer-null only — and
+// a set-but-never-fired token changes no result, only adds periodic flag
+// reads (the cancellation tests pin both properties). A fired token makes
+// the search throw CancelledError out through run_chunked's exception
+// routing, which leaves the pool threads reusable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+/// Shared cancel/deadline flag polled by the search inner loops. A token
+/// fires when request_cancel() was called OR its deadline passed; it can
+/// be re-armed with reset() (the service reuses one token per worker
+/// slot).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Fires the token immediately.
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Arms a deadline `budget` from now; non-positive budgets fire
+  /// immediately.
+  void set_deadline_after(std::chrono::nanoseconds budget) noexcept {
+    deadline_ns_.store(now_ns() + budget.count(), std::memory_order_relaxed);
+  }
+
+  /// Clears both the flag and the deadline.
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  /// True when cancelled or past the deadline. Reads the clock only when a
+  /// deadline is armed.
+  [[nodiscard]] bool fired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const long long deadline = deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != 0 && now_ns() >= deadline;
+  }
+
+ private:
+  static long long now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<long long> deadline_ns_{0};  ///< 0 = no deadline armed.
+};
+
+/// A search gave up because its CancelToken fired (request timeout or
+/// service drain) — distinct from SearchFailure, which means the search
+/// completed and found nothing.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// Search loops poll the token once every this many iterations — frequent
+/// enough to bound cancellation latency, rare enough to keep the flag read
+/// off the profile.
+inline constexpr std::size_t kCancelPollStride = 64;
+
+/// Throws CancelledError when `token` is set and has fired; `where` names
+/// the search stage in the message.
+inline void throw_if_cancelled(const CancelToken* token, const char* where) {
+  if (token != nullptr && token->fired()) {
+    throw CancelledError(std::string(where) +
+                         ": search cancelled (deadline expired or request "
+                         "aborted)");
+  }
+}
+
+}  // namespace nusys

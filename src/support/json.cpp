@@ -1,56 +1,69 @@
 #include "support/json.hpp"
 
 #include <cctype>
-
-#include "support/errors.hpp"
+#include <charconv>
+#include <cstdio>
+#include <limits>
+#include <set>
 
 namespace nusys {
 
 namespace {
 
+[[noreturn]] void access_error(const std::string& what) {
+  throw JsonError("json: " + what, 0);
+}
+
+void append_utf8(std::string& out, unsigned long cp, std::size_t offset) {
+  if (cp <= 0x7F) {
+    out += static_cast<char>(cp);
+  } else if (cp <= 0x7FF) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp <= 0xFFFF) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp <= 0x10FFFF) {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    throw JsonError("json: escape denotes an invalid code point at offset " +
+                        std::to_string(offset),
+                    offset);
+  }
+}
+
+/// Strict recursive-descent JSON parser. Every failure throws JsonError
+/// with the byte offset; no partial values escape.
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
 
-  std::map<std::string, std::string> object() {
+  JsonValue document() {
     skip_space();
-    expect('{');
-    std::map<std::string, std::string> out;
+    JsonValue v = value();
     skip_space();
-    if (peek() == '}') {
-      ++pos_;
-    } else {
-      for (;;) {
-        skip_space();
-        const std::string key = string_literal();
-        skip_space();
-        expect(':');
-        skip_space();
-        const std::string value = scalar();
-        if (!out.emplace(key, value).second) {
-          fail("duplicate key '" + key + "'");
-        }
-        skip_space();
-        const char c = next();
-        if (c == '}') break;
-        if (c != ',') fail("expected ',' or '}'");
-      }
-    }
-    skip_space();
-    if (pos_ != text_.size()) fail("trailing characters after object");
-    return out;
+    if (pos_ != text_.size()) fail("trailing characters after value");
+    return v;
   }
 
  private:
   [[noreturn]] void fail(const std::string& why) const {
-    throw DomainError("batch JSONL: " + why + " at offset " +
-                      std::to_string(pos_) + " in: " + text_);
+    throw JsonError(
+        "json: " + why + " at offset " + std::to_string(pos_),
+        pos_);
   }
 
-  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
 
   char next() {
-    if (pos_ >= text_.size()) fail("unexpected end of line");
+    if (pos_ >= text_.size()) fail("unexpected end of input");
     return text_[pos_++];
   }
 
@@ -62,10 +75,115 @@ class Parser {
   }
 
   void skip_space() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
       ++pos_;
     }
+  }
+
+  bool consume_word(const char* word) {
+    std::size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    if (depth_ > max_depth_) fail("nesting deeper than the allowed limit");
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue(string_literal());
+      case 't':
+        if (consume_word("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_word("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_word("null")) return JsonValue();
+        fail("invalid literal");
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    ++depth_;
+    expect('{');
+    JsonValue::Object members;
+    std::set<std::string> keys;
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+    } else {
+      for (;;) {
+        skip_space();
+        if (peek() != '"') fail("expected a string key");
+        std::string key = string_literal();
+        if (!keys.insert(key).second) fail("duplicate key '" + key + "'");
+        skip_space();
+        expect(':');
+        skip_space();
+        members.emplace_back(std::move(key), value());
+        skip_space();
+        const char c = next();
+        if (c == '}') break;
+        if (c != ',') {
+          --pos_;
+          fail("expected ',' or '}'");
+        }
+      }
+    }
+    --depth_;
+    JsonValue v;
+    for (auto& [key, member] : members) v.set(std::move(key), std::move(member));
+    return v;
+  }
+
+  JsonValue array() {
+    ++depth_;
+    expect('[');
+    JsonValue::Array elements;
+    skip_space();
+    if (peek() == ']') {
+      ++pos_;
+    } else {
+      for (;;) {
+        skip_space();
+        elements.push_back(value());
+        skip_space();
+        const char c = next();
+        if (c == ']') break;
+        if (c != ',') {
+          --pos_;
+          fail("expected ',' or ']'");
+        }
+      }
+    }
+    --depth_;
+    return JsonValue(std::move(elements));
+  }
+
+  unsigned long hex4() {
+    unsigned long cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<unsigned long>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<unsigned long>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<unsigned long>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("expected a hex digit in \\u escape");
+      }
+    }
+    return cp;
   }
 
   std::string string_literal() {
@@ -74,6 +192,10 @@ class Parser {
     for (;;) {
       const char c = next();
       if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("raw control character in string (use an escape)");
+      }
       if (c != '\\') {
         out += c;
         continue;
@@ -82,44 +204,318 @@ class Parser {
         case '"': out += '"'; break;
         case '\\': out += '\\'; break;
         case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
         case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
-        default: fail("unsupported string escape");
+        case 'u': {
+          unsigned long cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (next() != '\\' || next() != 'u') {
+              fail("high surrogate not followed by \\u low surrogate");
+            }
+            const unsigned long lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              fail("invalid low surrogate in \\u escape pair");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
+          }
+          append_utf8(out, cp, pos_);
+          break;
+        }
+        default:
+          --pos_;
+          fail("unsupported string escape");
       }
     }
   }
 
-  std::string scalar() {
-    const char c = peek();
-    if (c == '"') return string_literal();
-    if (c == '{' || c == '[') fail("nested values are not supported");
-    std::string word;
-    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
-           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      word += text_[pos_++];
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      pos_ = start;
+      fail("expected a value");
     }
-    if (word == "true" || word == "false") return word;
-    if (word.empty()) fail("expected a value");
-    std::size_t i = (word[0] == '-') ? 1 : 0;
-    if (i == word.size()) fail("invalid number '" + word + "'");
-    for (; i < word.size(); ++i) {
-      if (!std::isdigit(static_cast<unsigned char>(word[i]))) {
-        fail("unsupported value '" + word + "' (strings need quotes; only "
-             "integers and booleans are bare)");
+    // Integer part; leading zeros are invalid JSON.
+    if (peek() == '0') {
+      ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("leading zeros are not allowed");
       }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
-    return word;
+    bool integral = true;
+    if (peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("expected a digit after the decimal point");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      integral = false;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("expected a digit in the exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (integral) {
+      i64 out = 0;
+      const auto [ptr, ec] = std::from_chars(first, last, out);
+      if (ec == std::errc() && ptr == last) return JsonValue(out);
+      // Out of int64 range: fall through to double.
+    }
+    double out = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc() || ptr != last) fail("invalid number");
+    return JsonValue(out);
   }
 
   const std::string& text_;
+  std::size_t max_depth_;
+  std::size_t depth_ = 0;
   std::size_t pos_ = 0;
 };
 
+void dump_value(const JsonValue& v, std::string& out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: out += "null"; return;
+    case JsonValue::Kind::kBool: out += v.as_bool() ? "true" : "false"; return;
+    case JsonValue::Kind::kInt: out += std::to_string(v.as_int()); return;
+    case JsonValue::Kind::kDouble: {
+      char buf[32];
+      const auto [ptr, ec] =
+          std::to_chars(buf, buf + sizeof buf, v.as_double());
+      if (ec != std::errc()) access_error("double not representable");
+      out.append(buf, static_cast<std::size_t>(ptr - buf));
+      return;
+    }
+    case JsonValue::Kind::kString: out += json_quote(v.as_string()); return;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(e, out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        out += json_quote(key);
+        out += ':';
+        dump_value(member, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
 }  // namespace
+
+JsonValue::JsonValue(std::size_t v) : kind_(Kind::kInt) {
+  if (v > static_cast<std::size_t>(std::numeric_limits<i64>::max())) {
+    access_error("size_t value exceeds int64");
+  }
+  int_ = static_cast<i64>(v);
+}
+
+JsonValue::JsonValue(Object o) : kind_(Kind::kObject) {
+  for (auto& [key, member] : o) set(std::move(key), std::move(member));
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) {
+    access_error(std::string("expected bool, have ") + json_kind_name(kind_));
+  }
+  return bool_;
+}
+
+i64 JsonValue::as_int() const {
+  if (kind_ != Kind::kInt) {
+    access_error(std::string("expected integer, have ") +
+                 json_kind_name(kind_));
+  }
+  return int_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ != Kind::kDouble) {
+    access_error(std::string("expected number, have ") +
+                 json_kind_name(kind_));
+  }
+  return double_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) {
+    access_error(std::string("expected string, have ") +
+                 json_kind_name(kind_));
+  }
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) {
+    access_error(std::string("expected array, have ") + json_kind_name(kind_));
+  }
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject) {
+    access_error(std::string("expected object, have ") +
+                 json_kind_name(kind_));
+  }
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [name, member] : as_object()) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* member = find(key);
+  if (member == nullptr) access_error("missing member '" + key + "'");
+  return *member;
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) {
+    access_error(std::string("set() on ") + json_kind_name(kind_));
+  }
+  for (const auto& [name, member] : object_) {
+    (void)member;
+    if (name == key) access_error("duplicate member '" + key + "'");
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void JsonValue::push_back(JsonValue value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) {
+    access_error(std::string("push_back() on ") + json_kind_name(kind_));
+  }
+  array_.push_back(std::move(value));
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+JsonValue JsonValue::parse(const std::string& text, std::size_t max_depth) {
+  return Parser(text, max_depth).document();
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case JsonValue::Kind::kNull: return true;
+    case JsonValue::Kind::kBool: return a.bool_ == b.bool_;
+    case JsonValue::Kind::kInt: return a.int_ == b.int_;
+    case JsonValue::Kind::kDouble: return a.double_ == b.double_;
+    case JsonValue::Kind::kString: return a.string_ == b.string_;
+    case JsonValue::Kind::kArray: return a.array_ == b.array_;
+    case JsonValue::Kind::kObject: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+const char* json_kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kInt: return "integer";
+    case JsonValue::Kind::kDouble: return "double";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
 
 std::map<std::string, std::string> parse_flat_json_object(
     const std::string& text) {
-  return Parser(text).object();
+  const JsonValue doc = JsonValue::parse(text);
+  if (!doc.is_object()) {
+    throw JsonError("batch JSONL: a line must be one JSON object", 0);
+  }
+  std::map<std::string, std::string> out;
+  for (const auto& [key, member] : doc.as_object()) {
+    std::string value;
+    switch (member.kind()) {
+      case JsonValue::Kind::kBool: value = member.as_bool() ? "true" : "false";
+        break;
+      case JsonValue::Kind::kInt: value = std::to_string(member.as_int());
+        break;
+      case JsonValue::Kind::kString: value = member.as_string(); break;
+      case JsonValue::Kind::kNull:
+      case JsonValue::Kind::kDouble:
+        throw JsonError("batch JSONL: field '" + key +
+                            "' must be a string, integer or boolean",
+                        0);
+      case JsonValue::Kind::kArray:
+      case JsonValue::Kind::kObject:
+        throw JsonError("batch JSONL: nested values are not supported "
+                        "(field '" + key + "')",
+                        0);
+    }
+    out.emplace(key, std::move(value));
+  }
+  return out;
 }
 
 }  // namespace nusys

@@ -1,21 +1,147 @@
-// Minimal flat-JSON-object parsing for the batch synthesis driver.
+// JSON parsing and serialization for the batch driver and the synthesis
+// service protocol.
 //
-// A batch stream is JSON Lines: one object per line, string keys, scalar
-// values (string / integer / boolean). That tiny dialect is all the batch
-// format needs, and parsing it by hand keeps the dependency footprint at
-// "standard library only" (see CONTRIBUTING.md). Nested objects, arrays,
-// floats and duplicate keys are rejected loudly rather than guessed at.
+// Two layers live here:
+//   * JsonValue — a full recursive JSON document (null / bool / integer /
+//     double / string / array / object) with a strict parser and a
+//     round-tripping serializer. The service protocol (src/service/) frames
+//     one JsonValue per line over its transports. The parser rejects
+//     malformed input with a structured JsonError carrying the byte offset
+//     — it never returns a partial value — and bounds nesting depth so a
+//     hostile request cannot overflow the stack.
+//   * parse_flat_json_object — the historical batch-JSONL dialect (string
+//     keys, scalar values only), now a thin shim over the full parser that
+//     still rejects nesting, floats and duplicate keys loudly.
+//
+// Parsing by hand keeps the dependency footprint at "standard library
+// only" (see CONTRIBUTING.md).
 #pragma once
 
+#include <cstddef>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "support/checked.hpp"
+#include "support/errors.hpp"
 
 namespace nusys {
 
+/// Malformed JSON text or a type-mismatched access. The byte offset of the
+/// failure (for parse errors) makes protocol rejections actionable.
+class JsonError : public DomainError {
+ public:
+  JsonError(const std::string& what, std::size_t offset)
+      : DomainError(what), offset_(offset) {}
+
+  /// Byte offset in the parsed text where the error was detected; 0 for
+  /// access (non-parse) errors.
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_ = 0;
+};
+
+/// One JSON document node. Objects preserve insertion order (protocol
+/// responses render deterministically) and reject duplicate keys at parse
+/// time; integers that fit int64 stay exact, everything else numeric is a
+/// double.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;  ///< null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}            // NOLINT
+  JsonValue(i64 v) : kind_(Kind::kInt), int_(v) {}               // NOLINT
+  JsonValue(int v) : JsonValue(static_cast<i64>(v)) {}           // NOLINT
+  JsonValue(std::size_t v);                                      // NOLINT
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}      // NOLINT
+  JsonValue(std::string s)                                       // NOLINT
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}        // NOLINT
+  JsonValue(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}  // NOLINT
+  JsonValue(Object o);                                           // NOLINT
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_int() const noexcept { return kind_ == Kind::kInt; }
+  [[nodiscard]] bool is_double() const noexcept {
+    return kind_ == Kind::kDouble;
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return is_int() || is_double();
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind_ == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// Checked accessors; throw JsonError naming the expected and actual
+  /// kind on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] i64 as_int() const;          ///< kInt only.
+  [[nodiscard]] double as_double() const;    ///< kInt or kDouble.
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member by key, or nullptr when absent (throws when not an
+  /// object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Object member by key; throws JsonError when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+  /// Appends a member to an object (or turns a null into an object).
+  /// Throws JsonError on a duplicate key or a non-object.
+  void set(std::string key, JsonValue value);
+
+  /// Appends an element to an array (or turns a null into an array).
+  void push_back(JsonValue value);
+
+  /// Compact single-line serialization; parse(dump()) round-trips every
+  /// value (doubles print with max_digits10).
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse of exactly one JSON value (leading/trailing whitespace
+  /// allowed, trailing garbage rejected). `max_depth` bounds array/object
+  /// nesting. Throws JsonError (never returns a partial value).
+  [[nodiscard]] static JsonValue parse(const std::string& text,
+                                       std::size_t max_depth = 64);
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  i64 int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Human-readable name of a JSON kind ("null", "bool", ...).
+[[nodiscard]] const char* json_kind_name(JsonValue::Kind kind);
+
+/// Escapes `s` as a JSON string literal including the surrounding quotes.
+[[nodiscard]] std::string json_quote(const std::string& s);
+
 /// Parses one flat JSON object like {"kind": "conv", "n": 16, "fwd": true}
 /// into a key -> value map; booleans become "true"/"false", numbers keep
-/// their literal spelling. Throws DomainError on malformed input, nesting,
-/// floats or duplicate keys.
+/// their literal spelling. Throws JsonError (a DomainError) on malformed
+/// input, nesting, floats or duplicate keys — the batch-JSONL dialect.
 [[nodiscard]] std::map<std::string, std::string> parse_flat_json_object(
     const std::string& text);
 

@@ -40,8 +40,28 @@ std::string derived_name(const BatchProblem& p) {
   return os.str();
 }
 
-BatchProblem parse_problem(const std::map<std::string, std::string>& fields,
-                           std::size_t line_number) {
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(seconds < 0.01 ? 6 : 3) << seconds
+     << "s";
+  return os.str();
+}
+
+std::string hex64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+BatchProblem parse_batch_problem(
+    const std::map<std::string, std::string>& fields,
+    std::size_t line_number) {
   BatchProblem p;
   std::set<std::string> seen;
   const auto take = [&](const char* key) -> const std::string* {
@@ -94,25 +114,6 @@ BatchProblem parse_problem(const std::map<std::string, std::string>& fields,
   return p;
 }
 
-std::string format_seconds(double seconds) {
-  std::ostringstream os;
-  os << std::fixed << std::setprecision(seconds < 0.01 ? 6 : 3) << seconds
-     << "s";
-  return os.str();
-}
-
-std::string hex64(std::uint64_t v) {
-  static constexpr char kDigits[] = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
-    v >>= 4;
-  }
-  return out;
-}
-
-}  // namespace
-
 std::vector<BatchProblem> parse_batch_jsonl(std::istream& in) {
   std::vector<BatchProblem> problems;
   std::string line;
@@ -122,7 +123,7 @@ std::vector<BatchProblem> parse_batch_jsonl(std::istream& in) {
     const std::size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
     problems.push_back(
-        parse_problem(parse_flat_json_object(line), line_number));
+        parse_batch_problem(parse_flat_json_object(line), line_number));
   }
   return problems;
 }

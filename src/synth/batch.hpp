@@ -20,6 +20,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,13 @@ struct BatchProblem {
 /// Parses a JSONL stream; blank lines and '#' comment lines are skipped.
 /// Throws DomainError on a malformed line or unknown field/value.
 [[nodiscard]] std::vector<BatchProblem> parse_batch_jsonl(std::istream& in);
+
+/// Parses one problem from its flat field map (the shape one JSONL line or
+/// one service-protocol problem object decodes to). `line_number` labels
+/// error messages. Throws DomainError on unknown fields or bad values.
+[[nodiscard]] BatchProblem parse_batch_problem(
+    const std::map<std::string, std::string>& fields,
+    std::size_t line_number);
 
 /// The interconnect named by `problem.net`; throws DomainError on an
 /// unknown name or a topology whose label dimension does not fit the kind.

@@ -90,6 +90,51 @@ constexpr std::size_t kMaxListLength = 1u << 16;
 
 }  // namespace
 
+CacheSingleFlight::Guard::Guard(Guard&& other) noexcept
+    : owner_(other.owner_), cache_(other.cache_),
+      key_(std::move(other.key_)) {
+  other.owner_ = nullptr;
+}
+
+CacheSingleFlight::Guard& CacheSingleFlight::Guard::operator=(
+    Guard&& other) noexcept {
+  if (this != &other) {
+    if (owner_ != nullptr) owner_->release(cache_, key_);
+    owner_ = other.owner_;
+    cache_ = other.cache_;
+    key_ = std::move(other.key_);
+    other.owner_ = nullptr;
+  }
+  return *this;
+}
+
+CacheSingleFlight::Guard::~Guard() {
+  if (owner_ != nullptr) owner_->release(cache_, key_);
+}
+
+CacheSingleFlight::Guard CacheSingleFlight::acquire(const void* cache,
+                                                    std::string key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    return in_flight_.find({cache, key}) == in_flight_.end();
+  });
+  in_flight_.emplace(cache, key);
+  return Guard(this, cache, std::move(key));
+}
+
+void CacheSingleFlight::release(const void* cache, const std::string& key) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.erase({cache, key});
+  }
+  cv_.notify_all();
+}
+
+CacheSingleFlight& design_cache_single_flight() {
+  static CacheSingleFlight gate;
+  return gate;
+}
+
 std::string synthesis_cache_key(const RecurrenceCanonicalForm& form,
                                 const Interconnect& net,
                                 const SynthesisOptions& options) {

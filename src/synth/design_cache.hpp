@@ -16,8 +16,12 @@
 // so the cache can change performance but never results.
 #pragma once
 
+#include <condition_variable>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ir/canonical.hpp"
@@ -30,6 +34,51 @@
 #include "synth/synthesizer.hpp"
 
 namespace nusys {
+
+/// Per-(cache, key) single-flight gate. Concurrent synthesis requests
+/// that share a canonical cache key serialize here, so exactly one runs
+/// the full search (and inserts the entry) while the rest block, then hit
+/// the freshly inserted entry and replay it — N identical concurrent
+/// requests cost one search, not N. Distinct keys and distinct caches
+/// never contend. The facades acquire the gate only when a cache is
+/// supplied; cache-less synthesis takes the exact legacy path.
+class CacheSingleFlight {
+ public:
+  /// Holds the gate for one (cache, key) until destruction. Movable so it
+  /// can sit in an optional across the search-and-insert span.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept;
+    Guard& operator=(Guard&& other) noexcept;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard();
+
+   private:
+    friend class CacheSingleFlight;
+    Guard(CacheSingleFlight* owner, const void* cache, std::string key)
+        : owner_(owner), cache_(cache), key_(std::move(key)) {}
+
+    CacheSingleFlight* owner_ = nullptr;
+    const void* cache_ = nullptr;
+    std::string key_;
+  };
+
+  /// Blocks until no other thread holds (cache, key), then claims it.
+  [[nodiscard]] Guard acquire(const void* cache, std::string key);
+
+ private:
+  void release(const void* cache, const std::string& key);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::set<std::pair<const void*, std::string>> in_flight_;
+};
+
+/// The process-wide single-flight gate the synthesis facades use whenever
+/// a DesignCache is supplied.
+[[nodiscard]] CacheSingleFlight& design_cache_single_flight();
 
 /// Full cache key of a non-uniform pipeline request.
 [[nodiscard]] std::string pipeline_cache_key(

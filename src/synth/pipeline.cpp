@@ -26,6 +26,7 @@ NonUniformSynthesisResult synthesize_nonuniform(
   // Stage 1: constant core and coarse timing (Sec. III step 1).
   auto coarse_options = options.coarse;
   coarse_options.parallelism = options.parallelism;
+  coarse_options.cancel = options.cancel;
   result.coarse = derive_coarse_timing(spec, coarse_options);
   record_stage(result.coarse.search.telemetry("coarse-schedule"));
   const LinearSchedule& coarse = result.coarse.schedule();
@@ -53,10 +54,14 @@ NonUniformSynthesisResult synthesize_nonuniform(
   };
 
   // Canonical design cache: replay a validated hit, skipping stages 3-4.
+  // The single-flight gate (held through the insert at the bottom) makes
+  // concurrent requests on one key cost one search.
   std::string cache_key;
+  std::optional<CacheSingleFlight::Guard> flight;
   if (options.cache != nullptr) {
     const WallTimer cache_timer;
     cache_key = pipeline_cache_key(spec, net, options);
+    flight = design_cache_single_flight().acquire(options.cache, cache_key);
     if (const auto payload = options.cache->lookup(cache_key)) {
       if (auto replay = replay_pipeline_entry(*payload, sys, net)) {
         materialize(replay->schedules, replay->makespan,
@@ -76,11 +81,13 @@ NonUniformSynthesisResult synthesize_nonuniform(
   // Stage 3: per-module schedules under global constraints (Sec. V-A).
   auto schedule_options = options.module_schedule;
   schedule_options.parallelism = options.parallelism;
+  schedule_options.cancel = options.cancel;
   const auto schedules = find_module_schedules(sys, schedule_options);
   record_stage(schedules.telemetry("module-schedule"));
   if (!schedules.found()) return result;
 
   // Stage 4: per-module space maps (Sec. V-B).
+  throw_if_cancelled(options.cancel, "module-space search");
   auto space_options = options.module_space;
   space_options.parallelism = options.parallelism;
   if (space_options.max_results == 0 && options.max_designs > 0) {

@@ -17,6 +17,7 @@
 #include "modules/module_schedule.hpp"
 #include "modules/module_space.hpp"
 #include "schedule/coarse.hpp"
+#include "support/cancel.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
 
@@ -42,6 +43,11 @@ struct NonUniformSynthesisOptions {
   /// provide the system a hit is validated against); a validated hit skips
   /// the module-schedule and module-space searches.
   DesignCache* cache = nullptr;
+  /// Cooperative cancellation, forwarded into the coarse and
+  /// module-schedule searches and polled between stages; a fired token
+  /// aborts with CancelledError. nullptr = never cancelled (the exact
+  /// legacy path).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Everything the pipeline produced, including intermediate artifacts.

@@ -27,13 +27,18 @@ SynthesisResult synthesize(const CanonicRecurrence& recurrence,
   };
 
   // Canonical design cache: replay a validated hit, or remember the key
-  // so the cold result below can be stored under it.
+  // so the cold result below can be stored under it. The single-flight
+  // gate (held through the insert at the bottom) makes concurrent
+  // requests on one key cost one search: the first holder searches and
+  // inserts, every waiter then hits the fresh entry.
   std::string cache_key;
   std::optional<RecurrenceCanonicalForm> canonical;
+  std::optional<CacheSingleFlight::Guard> flight;
   if (options.cache != nullptr) {
     const WallTimer cache_timer;
     canonical = canonicalize_recurrence(recurrence);
     cache_key = synthesis_cache_key(*canonical, net, options);
+    flight = design_cache_single_flight().acquire(options.cache, cache_key);
     if (const auto payload = options.cache->lookup(cache_key)) {
       if (auto replay =
               replay_synthesis_entry(*payload, recurrence, net, *canonical)) {
@@ -52,6 +57,7 @@ SynthesisResult synthesize(const CanonicRecurrence& recurrence,
 
   auto schedule_options = options.schedule;
   schedule_options.parallelism = options.parallelism;
+  schedule_options.cancel = options.cancel;
   result.schedule_search = find_optimal_schedules(
       recurrence.dependences(), recurrence.domain(), schedule_options);
   record_stage(result.schedule_search.telemetry("schedule"));
@@ -61,6 +67,7 @@ SynthesisResult synthesize(const CanonicRecurrence& recurrence,
   const auto dep_vectors = recurrence.dependences().vectors();
   std::size_t design_index = 0;
   for (const auto& timing : result.schedule_search.optima) {
+    throw_if_cancelled(options.cancel, "space search");
     const auto space_search = find_space_maps(
         timing, dep_vectors, net, recurrence.domain(), options.space);
     result.space_maps_examined += space_search.examined;

@@ -13,6 +13,7 @@
 #include "ir/recurrence.hpp"
 #include "schedule/search.hpp"
 #include "space/allocation.hpp"
+#include "support/cancel.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
 #include "synth/design.hpp"
@@ -38,6 +39,10 @@ struct SynthesisOptions {
   /// problems replay bit-identically; unimodular renamings of a cached
   /// problem reuse its validated design.
   DesignCache* cache = nullptr;
+  /// Cooperative cancellation, forwarded into the schedule search and
+  /// polled between space-map searches; a fired token aborts with
+  /// CancelledError. nullptr = never cancelled (the exact legacy path).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Outcome of synthesizing one recurrence on one interconnect.

@@ -5,8 +5,15 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "conv/recurrences.hpp"
 #include "support/cache.hpp"
+#include "synth/batch.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
 
 namespace nusys {
 namespace {
@@ -170,6 +177,99 @@ TEST(CacheTest, ClearEmptiesTheCache) {
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.contains("a"));
+}
+
+
+TEST(CacheConcurrencyTest, SameKeySingleFlightRunsOneSearch) {
+  // Many threads synthesize the SAME problem against one shared cache:
+  // the single-flight gate must collapse them into one full search (one
+  // miss, one insertion) with every other thread replaying the
+  // transported design, and all reports bit-identical.
+  const auto rec = convolution_backward_recurrence(14, 4);
+  const auto net = Interconnect::linear_bidirectional();
+  const auto baseline = make_design_report(rec, synthesize(rec, net));
+
+  DesignCache cache;
+  SynthesisOptions options;
+  options.cache = &cache;
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<DesignReport> reports(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        reports[t] = make_design_report(rec, synthesize(rec, net, options));
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  for (const auto& report : reports) EXPECT_EQ(report, baseline);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+  EXPECT_EQ(stats.validation_failures, 0u);
+}
+
+TEST(CacheConcurrencyTest, SameKeySingleFlightThroughThePipeline) {
+  const auto spec = make_interval_dp_spec(6);
+  const auto net = Interconnect::figure2();
+  const auto baseline =
+      make_pipeline_report(spec, synthesize_nonuniform(spec, net));
+
+  DesignCache cache;
+  NonUniformSynthesisOptions options;
+  options.cache = &cache;
+
+  constexpr std::size_t kThreads = 6;
+  std::vector<DesignReport> reports(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        reports[t] = make_pipeline_report(
+            spec, synthesize_nonuniform(spec, net, options));
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  for (const auto& report : reports) EXPECT_EQ(report, baseline);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+}
+
+TEST(CacheConcurrencyTest, DistinctKeysDoNotContend) {
+  // Different problem sizes have different canonical keys; every thread
+  // must run its own search (all misses) without deadlocking the gate.
+  const auto net = Interconnect::linear_bidirectional();
+  DesignCache cache;
+  SynthesisOptions options;
+  options.cache = &cache;
+
+  const i64 sizes[] = {8, 9, 10, 11};
+  std::vector<bool> found(std::size(sizes), false);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < std::size(sizes); ++t) {
+      threads.emplace_back([&, t] {
+        const auto rec = convolution_backward_recurrence(sizes[t], 3);
+        found[t] = synthesize(rec, net, options).found();
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (const bool ok : found) EXPECT_TRUE(ok);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, std::size(sizes));
+  EXPECT_EQ(stats.insertions, std::size(sizes));
+  EXPECT_EQ(stats.hits, 0u);
 }
 
 }  // namespace

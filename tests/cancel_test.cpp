@@ -1,0 +1,152 @@
+// Cooperative-cancellation tests: an unset or never-fired CancelToken is
+// behaviorally invisible (bit-identical search results), a fired token
+// aborts promptly with CancelledError, and a search that was cancelled
+// leaves the shared pool reusable for the next request.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "conv/recurrences.hpp"
+#include "dp/dp_modules.hpp"
+#include "modules/module_schedule.hpp"
+#include "schedule/search.hpp"
+#include "support/cancel.hpp"
+#include "synth/batch.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nusys {
+namespace {
+
+TEST(CancelTest, NeverFiredTokenIsBitIdenticalInScheduleSearch) {
+  const auto rec = convolution_backward_recurrence(12, 3);
+  ScheduleSearchOptions plain;
+  const auto baseline =
+      find_optimal_schedules(rec.dependences(), rec.domain(), plain);
+
+  CancelToken token;  // Present but never fired.
+  ScheduleSearchOptions hooked;
+  hooked.cancel = &token;
+  const auto watched =
+      find_optimal_schedules(rec.dependences(), rec.domain(), hooked);
+
+  EXPECT_EQ(watched.optima, baseline.optima);
+  EXPECT_EQ(watched.makespan, baseline.makespan);
+  EXPECT_EQ(watched.examined, baseline.examined);
+  EXPECT_EQ(watched.feasible_count, baseline.feasible_count);
+}
+
+TEST(CancelTest, NeverFiredTokenIsBitIdenticalInModuleScheduleSearch) {
+  const auto sys = build_dp_module_system(6);
+  const auto baseline = find_module_schedules(sys);
+
+  CancelToken token;
+  ModuleScheduleOptions hooked;
+  hooked.cancel = &token;
+  const auto watched = find_module_schedules(sys, hooked);
+
+  ASSERT_EQ(watched.optima.size(), baseline.optima.size());
+  for (std::size_t i = 0; i < baseline.optima.size(); ++i) {
+    EXPECT_EQ(watched.optima[i].schedules, baseline.optima[i].schedules);
+    EXPECT_EQ(watched.optima[i].makespan, baseline.optima[i].makespan);
+  }
+  EXPECT_EQ(watched.examined, baseline.examined);
+  EXPECT_EQ(watched.feasible_count, baseline.feasible_count);
+}
+
+TEST(CancelTest, NeverFiredTokenIsBitIdenticalThroughTheFacades) {
+  const auto rec = convolution_backward_recurrence(10, 3);
+  const auto net = Interconnect::linear_bidirectional();
+  const auto baseline = make_design_report(rec, synthesize(rec, net));
+
+  CancelToken token;
+  SynthesisOptions hooked;
+  hooked.cancel = &token;
+  const auto watched = make_design_report(rec, synthesize(rec, net, hooked));
+  EXPECT_EQ(watched, baseline);
+
+  const auto spec = make_interval_dp_spec(6);
+  const auto fig2 = Interconnect::figure2();
+  const auto pipe_baseline =
+      make_pipeline_report(spec, synthesize_nonuniform(spec, fig2));
+  NonUniformSynthesisOptions pipe_hooked;
+  pipe_hooked.cancel = &token;
+  const auto pipe_watched = make_pipeline_report(
+      spec, synthesize_nonuniform(spec, fig2, pipe_hooked));
+  EXPECT_EQ(pipe_watched, pipe_baseline);
+}
+
+TEST(CancelTest, PreFiredTokenAbortsImmediately) {
+  const auto rec = convolution_backward_recurrence(12, 3);
+  CancelToken token;
+  token.request_cancel();
+
+  ScheduleSearchOptions options;
+  options.cancel = &token;
+  EXPECT_THROW(
+      (void)find_optimal_schedules(rec.dependences(), rec.domain(), options),
+      CancelledError);
+
+  ModuleScheduleOptions mod_options;
+  mod_options.cancel = &token;
+  EXPECT_THROW((void)find_module_schedules(build_dp_module_system(6),
+                                           mod_options),
+               CancelledError);
+}
+
+TEST(CancelTest, ExpiredDeadlineAborts) {
+  CancelToken token;
+  token.set_deadline_after(std::chrono::nanoseconds(-1));
+  EXPECT_TRUE(token.fired());
+
+  const auto rec = convolution_backward_recurrence(12, 3);
+  SynthesisOptions options;
+  options.cancel = &token;
+  EXPECT_THROW((void)synthesize(rec, Interconnect::linear_bidirectional(),
+                                options),
+               CancelledError);
+
+  // reset() re-arms the token for the next request on this worker slot.
+  token.reset();
+  EXPECT_FALSE(token.fired());
+  const auto after =
+      synthesize(rec, Interconnect::linear_bidirectional(), options);
+  EXPECT_TRUE(after.found());
+}
+
+TEST(CancelTest, MidFlightCancelAbortsAParallelSearch) {
+  // A deliberately wide cube (9^3 candidates over a sizeable domain) so
+  // the scan is still running when the other thread fires the token.
+  const auto rec = convolution_backward_recurrence(48, 8);
+  CancelToken token;
+  ScheduleSearchOptions options;
+  options.coeff_bound = 4;
+  options.cancel = &token;
+  options.parallelism.threads = 4;
+
+  std::thread firer([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    token.request_cancel();
+  });
+  try {
+    const auto result =
+        find_optimal_schedules(rec.dependences(), rec.domain(), options);
+    // Too fast to cancel is a legal (machine-dependent) outcome.
+    EXPECT_TRUE(result.found());
+  } catch (const CancelledError&) {
+    // Expected on any machine where the scan outlives 2ms.
+  }
+  firer.join();
+
+  // The shared pool survived the in-flight abort: the same search with a
+  // fresh token completes normally.
+  token.reset();
+  const auto again =
+      find_optimal_schedules(rec.dependences(), rec.domain(), options);
+  EXPECT_TRUE(again.found());
+}
+
+}  // namespace
+}  // namespace nusys

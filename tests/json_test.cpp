@@ -1,0 +1,163 @@
+// support/json tests: the full JsonValue parser/serializer the service
+// protocol frames its messages with, plus the batch-JSONL compatibility
+// shim. Exercises escape sequences, nesting depth, malformed-input error
+// paths (structured JsonError with a byte offset, never a partial value),
+// and dump/parse round-trips.
+#include <gtest/gtest.h>
+
+#include "support/json.hpp"
+
+namespace nusys {
+namespace {
+
+TEST(JsonValueTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_EQ(JsonValue::parse("42").as_int(), 42);
+  EXPECT_EQ(JsonValue::parse("-17").as_int(), -17);
+  EXPECT_EQ(JsonValue::parse("0").as_int(), 0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1.5").as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2e3").as_double(), -2000.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("6.25E-2").as_double(), 0.0625);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonValueTest, ParsesNestedStructures) {
+  const auto doc = JsonValue::parse(
+      R"({"type":"batch","problems":[{"kind":"conv","n":16},)"
+      R"({"kind":"pipeline","n":8}],"deadline_ms":250.5,"tag":null})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("type").as_string(), "batch");
+  const auto& problems = doc.at("problems").as_array();
+  ASSERT_EQ(problems.size(), 2u);
+  EXPECT_EQ(problems[0].at("kind").as_string(), "conv");
+  EXPECT_EQ(problems[0].at("n").as_int(), 16);
+  EXPECT_EQ(problems[1].at("kind").as_string(), "pipeline");
+  EXPECT_DOUBLE_EQ(doc.at("deadline_ms").as_double(), 250.5);
+  EXPECT_TRUE(doc.at("tag").is_null());
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(JsonValueTest, DecodesEscapeSequences) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\/d")").as_string(), "a\"b\\c/d");
+  EXPECT_EQ(JsonValue::parse(R"("\b\f\n\r\t")").as_string(),
+            "\b\f\n\r\t");
+  EXPECT_EQ(JsonValue::parse("\"A\\u00e9\"").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(JsonValue::parse("\"\\u4e16\"").as_string(), "\xe4\xb8\x96");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(JsonValue::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  // Raw UTF-8 bytes pass through untouched.
+  EXPECT_EQ(JsonValue::parse("\"A\xc3\xa9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonValueTest, RejectsBadEscapes) {
+  EXPECT_THROW(JsonValue::parse(R"("\q")"), JsonError);
+  EXPECT_THROW(JsonValue::parse(R"("\u12")"), JsonError);
+  EXPECT_THROW(JsonValue::parse(R"("\u12gz")"), JsonError);
+  EXPECT_THROW(JsonValue::parse(R"("\ud83d")"), JsonError);      // Lone high.
+  EXPECT_THROW(JsonValue::parse(R"("\ude00")"), JsonError);      // Lone low.
+  EXPECT_THROW(JsonValue::parse(R"("\ud83dA")"), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"raw\ncontrol\""), JsonError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonError);
+}
+
+TEST(JsonValueTest, EnforcesNestingDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 10; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 10; ++i) deep += ']';
+  EXPECT_NO_THROW(JsonValue::parse(deep, 10));
+  EXPECT_THROW(JsonValue::parse(deep, 9), JsonError);
+  // The default limit keeps hostile request lines from overflowing the
+  // parser stack.
+  std::string hostile;
+  for (int i = 0; i < 5000; ++i) hostile += "[";
+  EXPECT_THROW(JsonValue::parse(hostile), JsonError);
+}
+
+TEST(JsonValueTest, MalformedInputCarriesOffsets) {
+  const auto offset_of = [](const std::string& text) -> std::size_t {
+    try {
+      (void)JsonValue::parse(text);
+    } catch (const JsonError& e) {
+      return e.offset();
+    }
+    return static_cast<std::size_t>(-1);
+  };
+  EXPECT_EQ(offset_of("{\"a\": 1,}"), 8u);     // '}' where a key must be.
+  EXPECT_EQ(offset_of("[1, 2"), 5u);           // Truncated array.
+  EXPECT_EQ(offset_of("{\"a\" 1}"), 5u);       // Missing ':'.
+  EXPECT_EQ(offset_of("12x"), 2u);             // Trailing garbage.
+  EXPECT_THROW(JsonValue::parse(""), JsonError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonError);
+  EXPECT_THROW(JsonValue::parse("nul"), JsonError);
+  EXPECT_THROW(JsonValue::parse("trueX"), JsonError);
+  EXPECT_THROW(JsonValue::parse("007"), JsonError);
+  EXPECT_THROW(JsonValue::parse("-"), JsonError);
+  EXPECT_THROW(JsonValue::parse("1."), JsonError);
+  EXPECT_THROW(JsonValue::parse("1e"), JsonError);
+  EXPECT_THROW(JsonValue::parse("[1 2]"), JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,\"a\":2}"), JsonError);
+}
+
+TEST(JsonValueTest, DumpParseRoundTrips) {
+  const char* cases[] = {
+      "null",
+      "true",
+      "-42",
+      "9223372036854775807",
+      "1.5",
+      R"("line\nbreak \"quoted\" back\\slash")",
+      R"([1,[2,[3,[]]],{"k":"v"}])",
+      R"({"a":1,"b":[true,null],"c":{"d":"e"},"f":-0.125})",
+  };
+  for (const char* text : cases) {
+    const JsonValue parsed = JsonValue::parse(text);
+    const std::string dumped = parsed.dump();
+    EXPECT_EQ(JsonValue::parse(dumped), parsed) << text;
+    // Serialization is canonical: a second round-trip is a fixed point.
+    EXPECT_EQ(JsonValue::parse(dumped).dump(), dumped) << text;
+  }
+  // Control characters below 0x20 escape as \u00XX and survive.
+  const JsonValue ctrl(std::string("\x01\x1f"));
+  EXPECT_EQ(ctrl.dump(), "\"\\u0001\\u001f\"");
+  EXPECT_EQ(JsonValue::parse(ctrl.dump()), ctrl);
+}
+
+TEST(JsonValueTest, BuildersRejectMisuse) {
+  JsonValue obj;
+  obj.set("a", 1);
+  EXPECT_THROW(obj.set("a", 2), JsonError);
+  EXPECT_THROW(obj.push_back(1), JsonError);
+  EXPECT_THROW((void)obj.as_array(), JsonError);
+  EXPECT_THROW((void)obj.at("missing"), JsonError);
+  JsonValue arr;
+  arr.push_back("x");
+  EXPECT_THROW(arr.set("k", 1), JsonError);
+  EXPECT_THROW((void)JsonValue(1).as_string(), JsonError);
+  EXPECT_THROW((void)JsonValue("s").as_int(), JsonError);
+  // as_double accepts integers (protocol fields like deadline_ms may be
+  // written either way) but never strings.
+  EXPECT_DOUBLE_EQ(JsonValue(3).as_double(), 3.0);
+  EXPECT_THROW((void)JsonValue("3").as_double(), JsonError);
+}
+
+TEST(JsonValueTest, FlatShimStillRejectsTheOldWays) {
+  // The batch dialect remains flat even though the underlying parser now
+  // understands nesting: structured values and floats are refused with
+  // the field name in the message.
+  EXPECT_THROW(parse_flat_json_object("{\"a\": {\"n\": 1}}"), JsonError);
+  EXPECT_THROW(parse_flat_json_object("{\"a\": [1]}"), JsonError);
+  EXPECT_THROW(parse_flat_json_object("{\"a\": 1.5}"), JsonError);
+  EXPECT_THROW(parse_flat_json_object("{\"a\": null}"), JsonError);
+  EXPECT_THROW(parse_flat_json_object("[1]"), JsonError);
+  const auto obj = parse_flat_json_object(R"({"s": "v", "i": -3, "b": true})");
+  EXPECT_EQ(obj.at("s"), "v");
+  EXPECT_EQ(obj.at("i"), "-3");
+  EXPECT_EQ(obj.at("b"), "true");
+}
+
+}  // namespace
+}  // namespace nusys

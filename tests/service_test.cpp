@@ -1,0 +1,483 @@
+// Synthesis-service tests, run entirely over the in-process loopback
+// transport (plus one real-socket round trip): protocol encode/decode,
+// the differential guarantee (concurrent service responses bit-identical
+// to one-at-a-time synthesis), backpressure, deadlines, drain, and the
+// stats endpoint.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "conv/recurrences.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/queue.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+#include "service/socket.hpp"
+#include "synth/batch.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nusys {
+namespace {
+
+BatchProblem conv_problem(i64 n, i64 s) {
+  BatchProblem p;
+  p.kind = BatchProblem::Kind::kConvolution;
+  p.n = n;
+  p.s = s;
+  p.name = "conv-n" + std::to_string(n);
+  return p;
+}
+
+BatchProblem pipeline_problem(i64 n) {
+  BatchProblem p;
+  p.kind = BatchProblem::Kind::kPipeline;
+  p.n = n;
+  p.net = "figure2";
+  p.name = "dp-n" + std::to_string(n);
+  return p;
+}
+
+/// The one-at-a-time report the service must reproduce bit for bit.
+DesignReport direct_report(const BatchProblem& p) {
+  const auto net = batch_interconnect(p);
+  if (p.kind == BatchProblem::Kind::kConvolution) {
+    const auto rec = p.forward ? convolution_forward_recurrence(p.n, p.s)
+                               : convolution_backward_recurrence(p.n, p.s);
+    return make_design_report(rec, synthesize(rec, net));
+  }
+  const auto spec = make_interval_dp_spec(p.n);
+  return make_pipeline_report(spec, synthesize_nonuniform(spec, net));
+}
+
+ServiceRequest synth_request(std::string id, BatchProblem problem) {
+  ServiceRequest request;
+  request.id = std::move(id);
+  request.kind = RequestKind::kSynth;
+  request.problems.push_back(std::move(problem));
+  return request;
+}
+
+ServiceRequest sleep_request(std::string id, i64 sleep_ms,
+                             i64 timeout_ms = 0) {
+  ServiceRequest request;
+  request.id = std::move(id);
+  request.kind = RequestKind::kSleep;
+  request.sleep_ms = sleep_ms;
+  request.timeout_ms = timeout_ms;
+  return request;
+}
+
+TEST(ServiceProtocolTest, RequestRoundTripsThroughTheWire) {
+  ServiceRequest request;
+  request.id = "r42";
+  request.kind = RequestKind::kBatch;
+  request.problems.push_back(conv_problem(12, 3));
+  request.problems.push_back(pipeline_problem(6));
+  request.timeout_ms = 750;
+
+  const auto decoded = parse_request(encode_request(request));
+  EXPECT_EQ(decoded.id, "r42");
+  EXPECT_EQ(decoded.kind, RequestKind::kBatch);
+  EXPECT_EQ(decoded.timeout_ms, 750);
+  ASSERT_EQ(decoded.problems.size(), 2u);
+  EXPECT_EQ(decoded.problems[0].name, "conv-n12");
+  EXPECT_EQ(decoded.problems[0].n, 12);
+  EXPECT_EQ(decoded.problems[0].s, 3);
+  EXPECT_EQ(decoded.problems[1].kind, BatchProblem::Kind::kPipeline);
+  EXPECT_EQ(decoded.problems[1].net, "figure2");
+
+  const auto ping = parse_request(encode_request(ServiceRequest{}));
+  EXPECT_EQ(ping.kind, RequestKind::kPing);
+}
+
+TEST(ServiceProtocolTest, ResponseRoundTripsReportsExactly) {
+  ServiceResponse response;
+  response.id = "r1";
+  response.status = ResponseStatus::kOk;
+  ServiceResult result;
+  result.name = "conv-n10";
+  result.cache_hit = true;
+  result.report = direct_report(conv_problem(10, 3));
+  response.results.push_back(result);
+
+  const auto decoded = parse_response(encode_response(response));
+  EXPECT_EQ(decoded.status, ResponseStatus::kOk);
+  ASSERT_EQ(decoded.results.size(), 1u);
+  EXPECT_TRUE(decoded.results[0].cache_hit);
+  // The decoded report is the report: same render, field for field.
+  EXPECT_EQ(decoded.results[0].report, result.report);
+  EXPECT_EQ(decoded.results[0].report.render(), result.report.render());
+}
+
+TEST(ServiceProtocolTest, RejectionCarriesRetryAdvice) {
+  ServiceResponse response;
+  response.id = "r9";
+  response.status = ResponseStatus::kRejected;
+  response.error = "queue full (capacity 4)";
+  response.retry_after_ms = 40;
+  const auto decoded = parse_response(encode_response(response));
+  EXPECT_EQ(decoded.status, ResponseStatus::kRejected);
+  EXPECT_EQ(decoded.retry_after_ms, 40);
+  EXPECT_EQ(decoded.error, "queue full (capacity 4)");
+}
+
+TEST(ServiceProtocolTest, MalformedRequestsAreRejectedLoudly) {
+  EXPECT_THROW((void)parse_request("not json"), JsonError);
+  EXPECT_THROW((void)parse_request("[1,2]"), DomainError);
+  EXPECT_THROW((void)parse_request(R"({"id":"x","kind":"dance"})"),
+               DomainError);
+  // A synth request carries exactly one problem.
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"id":"x","kind":"synth","problems":[{"n":8},{"n":9}]})"),
+      DomainError);
+  EXPECT_THROW((void)parse_request(R"({"id":"x","kind":"synth"})"),
+               DomainError);
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"id":"x","kind":"synth","problems":[{"bogus":1}]})"),
+      DomainError);
+  EXPECT_THROW(
+      (void)parse_request(R"({"id":"x","kind":"ping","timeout_ms":-5})"),
+      DomainError);
+}
+
+TEST(ServiceLoopbackTest, LinesCrossAndCloseEndsTheStream) {
+  auto pair = make_loopback();
+  pair.client->send_line("hello");
+  pair.server->send_line("world");
+  EXPECT_EQ(pair.server->recv_line(), "hello");
+  EXPECT_EQ(pair.client->recv_line(), "world");
+  pair.client->close();
+  EXPECT_EQ(pair.server->recv_line(), std::nullopt);
+  EXPECT_THROW(pair.server->send_line("into the void"), TransportError);
+}
+
+TEST(ServiceSessionTest, AnswersPingSynthAndBatch) {
+  ServiceConfig config;
+  config.workers = 2;
+  SynthesisService service(config);
+
+  EXPECT_EQ(service.handle(ServiceRequest{}).status, ResponseStatus::kOk);
+
+  const auto problem = conv_problem(10, 3);
+  const auto synth = service.handle(synth_request("s1", problem));
+  ASSERT_EQ(synth.status, ResponseStatus::kOk);
+  ASSERT_EQ(synth.results.size(), 1u);
+  EXPECT_FALSE(synth.results[0].cache_hit);
+  EXPECT_EQ(synth.results[0].report, direct_report(problem));
+
+  ServiceRequest batch;
+  batch.id = "b1";
+  batch.kind = RequestKind::kBatch;
+  batch.problems = {conv_problem(10, 3), pipeline_problem(5)};
+  const auto response = service.handle(batch);
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  ASSERT_EQ(response.results.size(), 2u);
+  EXPECT_TRUE(response.results[0].cache_hit);  // Same key as "s1".
+  EXPECT_EQ(response.results[1].report, direct_report(pipeline_problem(5)));
+}
+
+TEST(ServiceSessionTest, ConcurrentRequestsMatchOneAtATimeSynthesis) {
+  // The acceptance differential: N concurrent requests (with duplicate
+  // problems among them) through a multi-worker service produce exactly
+  // the reports of one-at-a-time sequential synthesis.
+  const std::vector<BatchProblem> problems = {
+      conv_problem(10, 3), conv_problem(11, 3), conv_problem(12, 4),
+      pipeline_problem(5), conv_problem(10, 3), pipeline_problem(5),
+      conv_problem(11, 3), conv_problem(10, 3)};
+  std::vector<DesignReport> expected;
+  for (const auto& p : problems) expected.push_back(direct_report(p));
+
+  for (const std::size_t workers : {1u, 4u}) {
+    ServiceConfig config;
+    config.workers = workers;
+    config.queue_capacity = problems.size();
+    SynthesisService service(config);
+
+    std::vector<ServiceResponse> responses(problems.size());
+    std::vector<std::thread> clients;
+    clients.reserve(problems.size());
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      clients.emplace_back([&, i] {
+        responses[i] = service.handle(
+            synth_request("r" + std::to_string(i), problems[i]));
+      });
+    }
+    for (auto& t : clients) t.join();
+
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      ASSERT_EQ(responses[i].status, ResponseStatus::kOk)
+          << "workers=" << workers << " request " << i << ": "
+          << responses[i].error;
+      ASSERT_EQ(responses[i].results.size(), 1u);
+      EXPECT_EQ(responses[i].results[0].report, expected[i])
+          << "workers=" << workers << " request " << i;
+    }
+
+    // Duplicate problems cost one search each thanks to the single-flight
+    // cache gate: 4 distinct keys among 8 requests.
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.cache.misses, 4u);
+    EXPECT_EQ(stats.cache.hits, 4u);
+    EXPECT_EQ(stats.cache.validation_failures, 0u);
+  }
+}
+
+TEST(ServiceSessionTest, FullQueueRejectsWithRetryAdviceInsteadOfBlocking) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.retry_after_ms = 35;
+  SynthesisService service(config);
+
+  // Occupy the only worker with a sleep job...
+  std::atomic<bool> busy_done{false};
+  std::thread busy([&] {
+    const auto response = service.handle(sleep_request("busy", 400));
+    EXPECT_EQ(response.status, ResponseStatus::kOk);
+    busy_done.store(true);
+  });
+  while (service.stats().active_requests == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // ...fill the queue with a second...
+  std::thread queued([&] {
+    const auto response = service.handle(sleep_request("queued", 1));
+    EXPECT_EQ(response.status, ResponseStatus::kOk);
+  });
+  while (service.stats().queue_depth < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // ...and the third admission must bounce, immediately and structuredly.
+  const WallTimer reject_timer;
+  const auto rejected = service.handle(sleep_request("bounced", 1));
+  EXPECT_EQ(rejected.status, ResponseStatus::kRejected);
+  EXPECT_EQ(rejected.retry_after_ms, 35);
+  EXPECT_NE(rejected.error.find("queue full"), std::string::npos);
+  EXPECT_LT(reject_timer.seconds(), 0.2);  // No waiting on the busy worker.
+  EXPECT_FALSE(busy_done.load());
+
+  busy.join();
+  queued.join();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_rejected, 1u);
+  EXPECT_EQ(stats.queue_high_water, 1u);
+}
+
+TEST(ServiceSessionTest, DeadlineCancelsAndTheWorkerStaysUsable) {
+  ServiceConfig config;
+  config.workers = 1;
+  SynthesisService service(config);
+
+  // Fires mid-sleep: the deadline cancels the in-flight job.
+  const auto timed_out = service.handle(sleep_request("t1", 2000, 30));
+  EXPECT_EQ(timed_out.status, ResponseStatus::kTimeout);
+  EXPECT_FALSE(timed_out.error.empty());
+
+  // The worker survived and serves the next request normally.
+  const auto problem = conv_problem(10, 3);
+  const auto after = service.handle(synth_request("t2", problem));
+  ASSERT_EQ(after.status, ResponseStatus::kOk);
+  EXPECT_EQ(after.results[0].report, direct_report(problem));
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_timeout, 1u);
+  EXPECT_EQ(stats.requests_ok, 1u);
+}
+
+TEST(ServiceSessionTest, DeadlineConsumedInTheQueueNeverStartsTheJob) {
+  ServiceConfig config;
+  config.workers = 1;
+  SynthesisService service(config);
+
+  // The worker is busy for ~300ms; a 20ms-deadline job admitted behind it
+  // must come back as a timeout without ever executing.
+  std::thread busy([&] {
+    (void)service.handle(sleep_request("busy", 300));
+  });
+  while (service.stats().active_requests == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto expired = service.handle(sleep_request("expired", 100, 20));
+  EXPECT_EQ(expired.status, ResponseStatus::kTimeout);
+  busy.join();
+}
+
+TEST(ServiceSessionTest, DefaultTimeoutAppliesWhenTheRequestNamesNone) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.default_timeout_ms = 25;
+  SynthesisService service(config);
+  const auto response = service.handle(sleep_request("d1", 2000));
+  EXPECT_EQ(response.status, ResponseStatus::kTimeout);
+}
+
+TEST(ServiceSessionTest, DrainRejectsNewWorkAndFinishesAdmittedWork) {
+  ServiceConfig config;
+  config.workers = 2;
+  SynthesisService service(config);
+
+  std::thread inflight([&] {
+    const auto response = service.handle(sleep_request("inflight", 80));
+    // Admitted before the drain: it finishes with ok, never an abort.
+    EXPECT_EQ(response.status, ResponseStatus::kOk);
+  });
+  while (service.stats().active_requests == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  service.drain();
+  inflight.join();
+
+  const auto rejected = service.handle(synth_request("late",
+                                                     conv_problem(10, 3)));
+  EXPECT_EQ(rejected.status, ResponseStatus::kRejected);
+  EXPECT_NE(rejected.error.find("draining"), std::string::npos);
+  service.drain();  // Idempotent.
+}
+
+TEST(ServiceSessionTest, StatsExposeQueueCacheLatencyAndUtilization) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_capacity = 8;
+  SynthesisService service(config);
+
+  const auto problem = conv_problem(10, 3);
+  ASSERT_EQ(service.handle(synth_request("a", problem)).status,
+            ResponseStatus::kOk);
+  ASSERT_EQ(service.handle(synth_request("b", problem)).status,
+            ResponseStatus::kOk);
+  ASSERT_EQ(service.handle(ServiceRequest{}).status, ResponseStatus::kOk);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests_total, 3u);
+  EXPECT_EQ(stats.requests_ok, 3u);
+  EXPECT_EQ(stats.problems_completed, 2u);
+  EXPECT_GT(stats.candidates_examined, 0u);
+  EXPECT_EQ(stats.queue_capacity, 8u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_DOUBLE_EQ(stats.cache_hit_rate(), 0.5);
+  EXPECT_GT(stats.uptime_seconds, 0.0);
+  EXPECT_GE(stats.worker_utilization(), 0.0);
+  EXPECT_LE(stats.worker_utilization(), 1.0);
+
+  std::size_t histogram_total = 0;
+  for (const auto count : stats.latency_histogram) histogram_total += count;
+  EXPECT_EQ(histogram_total, stats.requests_total);
+
+  // The JSON stats payload mirrors the snapshot.
+  const auto json = stats.to_json();
+  EXPECT_EQ(json.at("requests").at("total").as_int(), 3);
+  EXPECT_EQ(json.at("cache").at("hit_rate").as_double(), 0.5);
+  EXPECT_EQ(json.at("latency_ms").as_array().size(),
+            latency_bucket_bounds_ms().size() + 1);
+}
+
+TEST(ServiceServerTest, ServesAConnectionOverLoopback) {
+  ServiceConfig config;
+  config.workers = 2;
+  SynthesisService service(config);
+  auto pair = make_loopback();
+  std::thread server([&] { serve_connection(service, *pair.server); });
+
+  ServiceClient client(std::move(pair.client));
+  EXPECT_TRUE(client.ping());
+
+  const auto problem = conv_problem(11, 3);
+  auto request = synth_request("", problem);  // Client assigns an id.
+  const auto response = client.call(std::move(request));
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.results[0].report, direct_report(problem));
+
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.status, ResponseStatus::kOk);
+  EXPECT_GE(stats.stats.at("requests").at("total").as_int(), 2);
+
+  client.close();
+  server.join();  // End-of-stream ends the connection loop.
+}
+
+TEST(ServiceServerTest, MalformedLinesEarnErrorResponsesNotHangups) {
+  ServiceConfig config;
+  config.workers = 1;
+  SynthesisService service(config);
+  auto pair = make_loopback();
+  std::thread server([&] { serve_connection(service, *pair.server); });
+
+  pair.client->send_line("this is not json");
+  auto reply = pair.client->recv_line();
+  ASSERT_TRUE(reply.has_value());
+  auto decoded = parse_response(*reply);
+  EXPECT_EQ(decoded.status, ResponseStatus::kError);
+  EXPECT_TRUE(decoded.id.empty());
+
+  // The id survives when the line is JSON with a recoverable id.
+  pair.client->send_line(R"({"id":"oops","kind":"dance"})");
+  reply = pair.client->recv_line();
+  ASSERT_TRUE(reply.has_value());
+  decoded = parse_response(*reply);
+  EXPECT_EQ(decoded.status, ResponseStatus::kError);
+  EXPECT_EQ(decoded.id, "oops");
+
+  // And the connection still works afterwards.
+  pair.client->send_line(encode_request(ServiceRequest{}));
+  reply = pair.client->recv_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(parse_response(*reply).status, ResponseStatus::kOk);
+
+  pair.client->close();
+  server.join();
+}
+
+TEST(ServiceServerTest, TcpRoundTripAndGracefulStop) {
+  ServerConfig config;
+  config.port = 0;  // Ephemeral.
+  config.service.workers = 2;
+  TcpServer server(config);
+  ASSERT_GT(server.port(), 0);
+  std::thread runner([&] { server.run(); });
+
+  {
+    auto client = connect_service("127.0.0.1", server.port());
+    EXPECT_TRUE(client.ping());
+    const auto problem = conv_problem(10, 3);
+    const auto response = client.call(synth_request("tcp1", problem));
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    EXPECT_EQ(response.results[0].report, direct_report(problem));
+    client.close();
+  }
+
+  server.stop();
+  runner.join();  // run() drains the service and joins its connections.
+}
+
+TEST(ServiceQueueTest, BoundedCloseableFifo) {
+  RequestQueue queue(2);
+  auto job = [] { return std::make_shared<PendingJob>(); };
+  EXPECT_TRUE(queue.try_push(job()));
+  EXPECT_TRUE(queue.try_push(job()));
+  EXPECT_FALSE(queue.try_push(job()));  // Full.
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.high_water(), 2u);
+
+  EXPECT_NE(queue.pop(), nullptr);
+  EXPECT_TRUE(queue.try_push(job()));  // Space again.
+  queue.close();
+  EXPECT_FALSE(queue.try_push(job()));  // Closed.
+  EXPECT_NE(queue.pop(), nullptr);  // Admitted jobs still drain...
+  EXPECT_NE(queue.pop(), nullptr);
+  EXPECT_EQ(queue.pop(), nullptr);  // ...then the end-of-stream sentinel.
+}
+
+}  // namespace
+}  // namespace nusys

@@ -17,6 +17,21 @@
 //       Synthesize a JSONL stream of problems through one shared canonical
 //       design cache (see src/synth/batch.hpp for the line format),
 //       reporting aggregate throughput and per-problem cache provenance.
+//   nusys serve [--port 7077] [--workers 2] [--queue-capacity 16]
+//               [--default-timeout-ms 0] [--retry-after-ms 25]
+//               [--cache designs.cache] [--cache-capacity 128]
+//       Run the persistent synthesis service on 127.0.0.1 (--port 0 picks
+//       an ephemeral port; the actual one is printed). One worker pool and
+//       one design cache serve every connection; SIGINT/SIGTERM drain
+//       gracefully (in-flight requests finish, new ones are rejected) and
+//       exit 0.
+//   nusys request <synth|batch|stats|ping> [--port 7077] [--host 127.0.0.1]
+//               [--timeout-ms N]
+//       Talk to a running service. synth takes the problem flags
+//       (--kind conv|pipeline, --n, --s, --recurrence, --net); batch sends
+//       every problem of --batch file.jsonl as one request; stats prints
+//       the observability snapshot (latency histogram, queue depth, cache
+//       hit rate, worker utilization) as JSON.
 #include <fstream>
 #include <iostream>
 
@@ -25,6 +40,8 @@
 #include "designs/dp_array.hpp"
 #include "dp/reconstruct.hpp"
 #include "dp/sequential.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "support/args.hpp"
 #include "support/cache.hpp"
 #include "support/rng.hpp"
@@ -192,6 +209,113 @@ int cmd_batch(const ArgMap& args) {
   return 0;
 }
 
+ServiceConfig parse_service_config(const ArgMap& args) {
+  ServiceConfig config;
+  const i64 workers = args.get_int("workers", 2);
+  NUSYS_REQUIRE(workers > 0, "--workers must be positive");
+  config.workers = static_cast<std::size_t>(workers);
+  const i64 queue = args.get_int("queue-capacity", 16);
+  NUSYS_REQUIRE(queue > 0, "--queue-capacity must be positive");
+  config.queue_capacity = static_cast<std::size_t>(queue);
+  config.default_timeout_ms = args.get_int("default-timeout-ms", 0);
+  NUSYS_REQUIRE(config.default_timeout_ms >= 0,
+                "--default-timeout-ms must be non-negative");
+  config.retry_after_ms = args.get_int("retry-after-ms", 25);
+  NUSYS_REQUIRE(config.retry_after_ms >= 0,
+                "--retry-after-ms must be non-negative");
+  const i64 capacity = args.get_int("cache-capacity", 128);
+  NUSYS_REQUIRE(capacity >= 0, "--cache-capacity must be non-negative");
+  config.cache.capacity = static_cast<std::size_t>(capacity);
+  config.cache.path = args.get("cache", "");
+  return config;
+}
+
+int cmd_serve(const ArgMap& args) {
+  ServerConfig config;
+  const i64 port = args.get_int("port", 7077);
+  NUSYS_REQUIRE(port >= 0 && port < 65536, "--port must be 0..65535");
+  config.port = static_cast<int>(port);
+  config.service = parse_service_config(args);
+  return run_server_until_signal(config, std::cout);
+}
+
+int cmd_request(const ArgMap& args) {
+  NUSYS_REQUIRE(args.positional().size() >= 2,
+                "request needs a kind: nusys request "
+                "<synth|batch|stats|ping> [flags]");
+  const std::string& kind = args.positional()[1];
+
+  ServiceRequest request;
+  if (kind == "ping") {
+    request.kind = RequestKind::kPing;
+  } else if (kind == "stats") {
+    request.kind = RequestKind::kStats;
+  } else if (kind == "synth") {
+    request.kind = RequestKind::kSynth;
+    std::map<std::string, std::string> fields;
+    fields["kind"] = args.get("kind", "conv");
+    fields["n"] = std::to_string(args.get_int("n", 16));
+    if (fields["kind"] == "conv") {
+      fields["s"] = std::to_string(args.get_int("s", 4));
+      fields["recurrence"] = args.get("recurrence", "backward");
+    }
+    if (args.has("net")) fields["net"] = args.get("net", "");
+    request.problems.push_back(parse_batch_problem(fields, 1));
+  } else if (kind == "batch") {
+    request.kind = RequestKind::kBatch;
+    const std::string path = args.get("batch", "");
+    NUSYS_REQUIRE(!path.empty(), "request batch needs --batch <file.jsonl>");
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot open batch file '" << path << "'\n";
+      return 1;
+    }
+    request.problems = parse_batch_jsonl(in);
+    if (request.problems.empty()) {
+      std::cerr << "batch file '" << path << "' holds no problems\n";
+      return 1;
+    }
+  } else {
+    throw ContractError("unknown request kind '" + kind +
+                        "' (synth|batch|stats|ping)");
+  }
+  request.timeout_ms = args.get_int("timeout-ms", 0);
+  NUSYS_REQUIRE(request.timeout_ms >= 0, "--timeout-ms must be non-negative");
+
+  const i64 port = args.get_int("port", 7077);
+  NUSYS_REQUIRE(port > 0 && port < 65536, "--port must be 1..65535");
+  auto client = connect_service(args.get("host", "127.0.0.1"),
+                                static_cast<int>(port));
+  const auto response = client.call(std::move(request));
+
+  switch (response.status) {
+    case ResponseStatus::kOk:
+      break;
+    case ResponseStatus::kRejected:
+      std::cerr << "rejected: " << response.error << " (retry after "
+                << response.retry_after_ms << "ms)\n";
+      return 1;
+    case ResponseStatus::kTimeout:
+      std::cerr << "timeout: " << response.error << '\n';
+      return 1;
+    case ResponseStatus::kError:
+      std::cerr << "error: " << response.error << '\n';
+      return 1;
+  }
+  if (!response.stats.is_null()) {
+    std::cout << response.stats.dump() << '\n';
+  } else if (!response.results.empty()) {
+    for (const auto& result : response.results) {
+      std::cout << "== " << result.name << " ["
+                << (result.cache_hit ? "cache-hit" : "searched") << "] ==\n"
+                << result.report.render();
+    }
+  } else {
+    std::cout << "pong\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,7 +323,9 @@ int main(int argc, char** argv) {
     const std::set<std::string> known{
         "n",    "s",     "recurrence", "max",     "figure",
         "seed", "net",   "threads",    "problem", "batch",
-        "cache", "cache-capacity"};
+        "cache", "cache-capacity", "port", "host", "workers",
+        "queue-capacity", "default-timeout-ms", "retry-after-ms",
+        "timeout-ms", "kind"};
     const ArgMap args(argc, argv, known, {"trace", "activity"});
     const std::string cmd =
         args.positional().empty() ? "help" : args.positional().front();
@@ -208,7 +334,10 @@ int main(int argc, char** argv) {
     if (cmd == "figures") return cmd_figures(args);
     if (cmd == "pipeline") return cmd_pipeline(args);
     if (cmd == "batch") return cmd_batch(args);
-    std::cout << "usage: nusys <synth-conv|dp|figures|pipeline|batch> "
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "request") return cmd_request(args);
+    std::cout << "usage: nusys "
+                 "<synth-conv|dp|figures|pipeline|batch|serve|request> "
                  "[flags]\n"
                  "see the header of tools/nusys_cli.cpp for the flag list\n";
     return cmd == "help" ? 0 : 1;
