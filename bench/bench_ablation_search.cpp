@@ -52,10 +52,15 @@ void bm_schedule_search_bound(benchmark::State& state) {
   const auto rec = convolution_forward_recurrence(16, 4);
   ScheduleSearchOptions opts;
   opts.coeff_bound = state.range(0);
+  ScheduleSearchResult last;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        find_optimal_schedules(rec.dependences(), rec.domain(), opts));
+    last = find_optimal_schedules(rec.dependences(), rec.domain(), opts);
+    benchmark::DoNotOptimize(last);
   }
+  state.counters["examined"] = static_cast<double>(last.examined);
+  state.counters["feasible"] = static_cast<double>(last.feasible_count);
+  state.counters["pruned"] = static_cast<double>(last.pruned);
+  state.counters["wall_seconds"] = last.wall_seconds;
 }
 BENCHMARK(bm_schedule_search_bound)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -97,12 +102,19 @@ void bm_schedule_search_threads(benchmark::State& state) {
 BENCHMARK(bm_schedule_search_threads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 
 void bm_schedule_search_domain_size(benchmark::State& state) {
-  // Makespan evaluation dominates; scale the domain.
+  // Makespan evaluation dominates; scale the domain. This is where the
+  // hull reduction's asymptotic win shows: the evaluated vertex set stays
+  // constant while the domain grows.
   const auto rec = convolution_forward_recurrence(state.range(0), 8);
+  ScheduleSearchResult last;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        find_optimal_schedules(rec.dependences(), rec.domain()));
+    last = find_optimal_schedules(rec.dependences(), rec.domain());
+    benchmark::DoNotOptimize(last);
   }
+  state.counters["examined"] = static_cast<double>(last.examined);
+  state.counters["feasible"] = static_cast<double>(last.feasible_count);
+  state.counters["pruned"] = static_cast<double>(last.pruned);
+  state.counters["wall_seconds"] = last.wall_seconds;
 }
 BENCHMARK(bm_schedule_search_domain_size)->Arg(16)->Arg(64)->Arg(256);
 

@@ -61,9 +61,18 @@ void print_sec5() {
 
 void bm_module_schedule_search(benchmark::State& state) {
   const auto sys = build_dp_module_system(state.range(0));
+  ModuleScheduleResult last;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(find_module_schedules(sys));
+    last = find_module_schedules(sys);
+    benchmark::DoNotOptimize(last);
   }
+  // Deterministic result counters for the bench gate, plus the advisory
+  // prune count and wall time for the telemetry report (warn-only there:
+  // they move with thread timing and runner load).
+  state.counters["examined"] = static_cast<double>(last.examined);
+  state.counters["feasible"] = static_cast<double>(last.feasible_count);
+  state.counters["pruned"] = static_cast<double>(last.pruned);
+  state.counters["wall_seconds"] = last.wall_seconds;
 }
 BENCHMARK(bm_module_schedule_search)->Arg(5)->Arg(8)->Arg(12);
 
@@ -74,9 +83,15 @@ void bm_module_space_search(benchmark::State& state) {
   const auto net = fig2 ? Interconnect::figure2() : Interconnect::figure1();
   ModuleSpaceOptions opts;
   opts.max_results = 1;
+  ModuleSpaceResult last;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(find_module_spaces(sys, schedules, net, opts));
+    last = find_module_spaces(sys, schedules, net, opts);
+    benchmark::DoNotOptimize(last);
   }
+  state.counters["examined"] = static_cast<double>(last.examined);
+  state.counters["feasible"] = static_cast<double>(last.feasible_count);
+  state.counters["pruned"] = static_cast<double>(last.pruned);
+  state.counters["wall_seconds"] = last.wall_seconds;
   state.SetLabel(fig2 ? "figure2-net" : "figure1-net");
 }
 BENCHMARK(bm_module_space_search)->Args({6, 1})->Args({6, 2})->Args({8, 1});

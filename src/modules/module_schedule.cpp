@@ -1,6 +1,7 @@
 #include "modules/module_schedule.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "schedule/search.hpp"
@@ -21,6 +22,7 @@ StageTelemetry ModuleScheduleResult::telemetry(std::string stage) const {
   t.stage = std::move(stage);
   t.examined = examined;
   t.feasible = feasible_count;
+  t.pruned = pruned;
   t.workers = workers_used;
   t.wall_seconds = wall_seconds;
   return t;
@@ -59,24 +61,46 @@ std::vector<GuardPairs> enumerate_guards(const ModuleSystem& sys) {
   return out;
 }
 
+/// One global-dep statement prepared for the inner search loop: the guard
+/// points hull-reduced on the consumer side (exact for the affine
+/// firing-order margin; see search/kernels.hpp).
+struct GuardCheck {
+  const GlobalDep* dep = nullptr;
+  GuardPairKernel kernel;
+};
+
 /// A locally feasible candidate schedule with its span precomputed.
 struct Candidate {
   LinearSchedule schedule;
   TimeSpan span;
 };
 
+/// Publishes `makespan` into the cross-worker incumbent if it improves it
+/// (relaxed ordering: the shared bound is a pruning hint only; recorded
+/// optima are always validated against worker-local state and the merge).
+void offer_incumbent(std::atomic<i64>& shared, i64 makespan) {
+  i64 cur = shared.load(std::memory_order_relaxed);
+  while (makespan < cur &&
+         !shared.compare_exchange_weak(cur, makespan,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 /// One worker's backtracking over a chunk of module 0's candidates, with
-/// purely local mutable state; shared inputs are read-only.
+/// purely local mutable state except the shared incumbent bound; all other
+/// shared inputs are read-only.
 struct ScheduleWorker {
   const std::vector<std::vector<Candidate>>* candidates = nullptr;
-  const std::vector<std::vector<const GuardPairs*>>* guards_at = nullptr;
+  const std::vector<std::vector<const GuardCheck*>>* guards_at = nullptr;
   std::size_t module_count = 0;
   const CancelToken* cancel = nullptr;
+  std::atomic<i64>* shared_best = nullptr;
 
   std::vector<const Candidate*> chosen;
   i64 incumbent = std::numeric_limits<i64>::max();
   std::vector<ModuleScheduleAssignment> optima;
   std::size_t checked = 0;
+  std::size_t pruned = 0;
   std::size_t steps = 0;
 
   void run(std::size_t begin, std::size_t end) {
@@ -96,13 +120,22 @@ struct ScheduleWorker {
       const Candidate& cand = level[idx];
       const i64 new_lo = std::min(lo, cand.span.first);
       const i64 new_hi = std::max(hi, cand.span.last);
-      // Partial span already worse than the incumbent: prune.
-      if (new_hi - new_lo > incumbent) continue;
+      // Partial span already worse than the incumbent (the better of this
+      // worker's and the cross-worker bound): prune. Exact, because spans
+      // only grow along a branch and the shared bound never drops below
+      // the final global optimum.
+      const i64 bound = std::min(
+          incumbent, shared_best->load(std::memory_order_relaxed));
+      if (new_hi - new_lo > bound) {
+        ++pruned;
+        continue;
+      }
       chosen[m] = &cand;
       bool feasible = true;
-      for (const auto* gp : (*guards_at)[m]) {
-        if (!global_dep_satisfied(*gp, chosen[gp->dep->consumer]->schedule,
-                                  chosen[gp->dep->producer]->schedule)) {
+      for (const auto* gc : (*guards_at)[m]) {
+        if (!gc->kernel.satisfied(chosen[gc->dep->consumer]->schedule,
+                                  chosen[gc->dep->producer]->schedule,
+                                  gc->dep->allow_equal_time)) {
           feasible = false;
           break;
         }
@@ -129,6 +162,7 @@ struct ScheduleWorker {
       incumbent = makespan;
       optima.clear();
       optima.push_back(std::move(a));
+      offer_incumbent(*shared_best, makespan);
     } else if (makespan == incumbent) {
       optima.push_back(std::move(a));
     }
@@ -183,15 +217,21 @@ ModuleScheduleResult find_module_schedules(
   ModuleScheduleResult result;
 
   // Locally feasible candidates per module, with their spans precomputed.
+  // The coefficient cube is the same for every module, so enumerate it
+  // once; spans run through each module's hull-reduced SpanKernel and the
+  // local-dependence feasibility check through one batched SoA pass.
+  const auto cube = coefficient_cube(n, options.coeff_bound);
   std::vector<std::vector<Candidate>> candidates(module_count);
   for (std::size_t m = 0; m < module_count; ++m) {
     throw_if_cancelled(options.cancel, "module-schedule search");
-    const auto deps = sys.module(m).local_deps.vectors();
-    for (const auto& coeffs : coefficient_cube(n, options.coeff_bound)) {
+    const PointBlock deps_block(sys.module(m).local_deps.vectors());
+    const SpanKernel span(sys.module(m).domain.points(),
+                          options.hull_kernels);
+    for (const auto& coeffs : cube) {
       ++result.examined;
+      if (!deps_block.all_dots_positive(coeffs)) continue;
       const LinearSchedule t(coeffs);
-      if (!deps.empty() && !t.is_feasible(deps)) continue;
-      candidates[m].push_back({t, t.span(sys.module(m).domain)});
+      candidates[m].push_back({t, span.span(t)});
     }
     result.feasible_count += candidates[m].size();
     if (candidates[m].empty()) {
@@ -201,17 +241,25 @@ ModuleScheduleResult find_module_schedules(
   }
 
   // Globals indexed by the later of their two endpoint modules, so each is
-  // checked as soon as both endpoints are assigned.
-  const auto guards = enumerate_guards(sys);
-  std::vector<std::vector<const GuardPairs*>> guards_at(module_count);
-  for (const auto& gp : guards) {
-    guards_at[std::max(gp.dep->consumer, gp.dep->producer)].push_back(&gp);
+  // checked as soon as both endpoints are assigned. The guard points of
+  // each statement are hull-reduced once, up front.
+  std::vector<GuardCheck> checks;
+  checks.reserve(sys.globals().size());
+  for (const auto& g : sys.globals()) {
+    checks.push_back({&g, GuardPairKernel(g.guard.points(), g.producer_point,
+                                          options.hull_kernels)});
+  }
+  std::vector<std::vector<const GuardCheck*>> guards_at(module_count);
+  for (const auto& gc : checks) {
+    guards_at[std::max(gc.dep->consumer, gc.dep->producer)].push_back(&gc);
   }
 
   // Fan out over module 0's candidate list; each worker explores its chunk
-  // with a private incumbent and optima list.
+  // with a private incumbent and optima list, sharing only the makespan
+  // bound used for pruning.
   const std::size_t workers =
       options.parallelism.workers_for(candidates[0].size());
+  std::atomic<i64> shared_best{std::numeric_limits<i64>::max()};
   std::vector<ScheduleWorker> parts(workers);
   run_chunked(candidates[0].size(), workers,
               [&](std::size_t worker, std::size_t begin, std::size_t end) {
@@ -220,6 +268,7 @@ ModuleScheduleResult find_module_schedules(
                 part.guards_at = &guards_at;
                 part.module_count = module_count;
                 part.cancel = options.cancel;
+                part.shared_best = &shared_best;
                 part.run(begin, end);
               });
 
@@ -230,6 +279,7 @@ ModuleScheduleResult find_module_schedules(
   i64 incumbent = std::numeric_limits<i64>::max();
   for (const auto& part : parts) {
     result.assignments_checked += part.checked;
+    result.pruned += part.pruned;
     incumbent = std::min(incumbent, part.incumbent);
   }
   for (auto& part : parts) {

@@ -21,6 +21,7 @@
 
 #include "modules/module_system.hpp"
 #include "schedule/timing.hpp"
+#include "search/kernels.hpp"
 #include "support/cancel.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
@@ -46,6 +47,11 @@ struct ModuleScheduleOptions {
   /// (the default) is the exact legacy path; a token that never fires
   /// changes no result.
   const CancelToken* cancel = nullptr;
+  /// Evaluate spans and global-dep guards over convex-hull vertices instead
+  /// of every enumerated point/pair (exact for linear schedules; see
+  /// search/kernels.hpp). Both settings return bit-identical results; off
+  /// is the full-point ablation path.
+  bool hull_kernels = hull_kernels_default();
 };
 
 /// Search outcome.
@@ -59,6 +65,11 @@ struct ModuleScheduleResult {
   std::size_t examined = 0;
   /// Locally feasible per-module candidates kept (worker-invariant).
   std::size_t feasible_count = 0;
+  /// Backtracking branches cut by the incumbent makespan bound. Advisory:
+  /// the incumbent is shared across workers through a relaxed atomic, so
+  /// this count depends on chunking *and* thread timing (optima and
+  /// makespan never do).
+  std::size_t pruned = 0;
   /// Workers the backtracking actually used.
   std::size_t workers_used = 1;
   /// Search wall time.

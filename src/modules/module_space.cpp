@@ -1,9 +1,14 @@
 #include "modules/module_space.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <limits>
 #include <map>
+#include <numeric>
 #include <set>
+#include <unordered_map>
 
 #include "schedule/search.hpp"
 #include "space/routing.hpp"
@@ -24,6 +29,7 @@ StageTelemetry ModuleSpaceResult::telemetry(std::string stage) const {
   t.stage = std::move(stage);
   t.examined = examined;
   t.feasible = feasible_count;
+  t.pruned = pruned;
   t.workers = workers_used;
   t.wall_seconds = wall_seconds;
   return t;
@@ -48,9 +54,38 @@ class RoutabilityCache {
     return ok;
   }
 
+  /// The inner-loop variant over a raw displacement row. The caller has
+  /// already handled the zero / negative-slack / L1 prechecks. Small
+  /// displacements and slacks hash as one packed integer — no IntVec is
+  /// materialized unless the route must actually be solved (or the values
+  /// fall outside the packable range, where the exact map takes over).
+  [[nodiscard]] bool routable_flat(const i64* d, std::size_t rows,
+                                   i64 slack) {
+    constexpr i64 kPack = i64{1} << 20;
+    bool packable = rows <= 2 && slack < kPack;
+    for (std::size_t r = 0; packable && r < rows; ++r) {
+      packable = d[r] > -kPack && d[r] < kPack;
+    }
+    if (!packable) {
+      return routable(IntVec(std::vector<i64>(d, d + rows)), slack);
+    }
+    std::uint64_t key = static_cast<std::uint64_t>(slack);
+    for (std::size_t r = 0; r < rows; ++r) {
+      key = (key << 21) | static_cast<std::uint64_t>(d[r] + kPack);
+    }
+    const auto it = flat_.find(key);
+    if (it != flat_.end()) return it->second;
+    const bool ok =
+        route_displacement(net_, IntVec(std::vector<i64>(d, d + rows)), slack)
+            .has_value();
+    flat_.emplace(key, ok);
+    return ok;
+  }
+
  private:
   const Interconnect& net_;
   std::map<std::pair<IntVec, i64>, bool> cache_;
+  std::unordered_map<std::uint64_t, bool> flat_;
 };
 
 /// Pre-enumerated guard data of one global dep.
@@ -58,10 +93,14 @@ struct GuardPairs {
   const GlobalDep* dep = nullptr;
   std::vector<std::pair<IntVec, IntVec>> pairs;  // (consumer, producer) pts.
   std::vector<i64> slacks;                       // t_c(p) - t_p(q).
+  i64 min_slack = std::numeric_limits<i64>::max();
 };
 
 bool check_global(const GuardPairs& g, const IntMat& s_consumer,
                   const IntMat& s_producer, RoutabilityCache& cache) {
+  // A negative slack is unroutable for any displacement, so the statement
+  // can never hold: fail before touching a single matrix product.
+  if (g.min_slack < 0) return false;
   for (std::size_t i = 0; i < g.pairs.size(); ++i) {
     const IntVec disp = s_consumer * g.pairs[i].first -
                         s_producer * g.pairs[i].second;
@@ -106,22 +145,11 @@ std::vector<GuardPairs> enumerate_guards(
       gp.pairs.emplace_back(p, q);
       gp.slacks.push_back(checked_sub(schedules[g.consumer].at(p),
                                       schedules[g.producer].at(q)));
+      gp.min_slack = std::min(gp.min_slack, gp.slacks.back());
     });
     out.push_back(std::move(gp));
   }
   return out;
-}
-
-/// Condition (2), per module: no two computations of one module may share
-/// a (cell, tick) slot. (Cross-module sharing is governed separately by
-/// the system's fold key.)
-bool module_conflict_free(const std::vector<std::pair<IntVec, i64>>& slots,
-                          const IntMat& /*s*/) {
-  std::set<std::pair<IntVec, i64>> occupied;
-  for (const auto& slot : slots) {
-    if (!occupied.insert(slot).second) return false;
-  }
-  return true;
 }
 
 /// Per-module (point, tick, fold key) list entry.
@@ -131,12 +159,153 @@ struct PointInfo {
   IntVec key;
 };
 
-/// A locally feasible candidate matrix, with its sorted distinct label
-/// list for incremental cell counting.
+/// Interns IntVecs as dense ids so the backtracking loop can use flat
+/// arrays instead of IntVec-keyed trees. Built single-threaded during
+/// setup, read-only afterwards.
+class VecDict {
+ public:
+  std::uint32_t intern(const IntVec& v) {
+    const auto it = map_.find(v);
+    if (it != map_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(map_.size());
+    map_.emplace(v, id);
+    return id;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  std::unordered_map<IntVec, std::uint32_t, IntVecHash> map_;
+};
+
+/// Interns label vectors given as raw coordinate rows. Small labels (up to
+/// three rows, coordinates within ±2^20) pack into one u64 key and hash as
+/// integers; anything larger falls back to an exact IntVec-keyed table.
+/// The two tables share one id counter, and packability is a function of
+/// the value alone, so equal labels always land in the same table and
+/// distinct labels always get distinct ids.
+class LabelDict {
+ public:
+  std::uint32_t intern(const i64* v, std::size_t rows) {
+    constexpr i64 kPack = i64{1} << 20;
+    bool packable = rows <= 3;
+    std::uint64_t key = 1;  // Leading sentinel: row counts cannot alias.
+    for (std::size_t r = 0; packable && r < rows; ++r) {
+      packable = v[r] > -kPack && v[r] < kPack;
+      key = (key << 21) | static_cast<std::uint64_t>(v[r] + kPack);
+    }
+    if (packable) {
+      const auto it = packed_.find(key);
+      if (it != packed_.end()) return it->second;
+      packed_.emplace(key, next_);
+      return next_++;
+    }
+    const IntVec vec(std::vector<i64>(v, v + rows));
+    const auto it = exact_.find(vec);
+    if (it != exact_.end()) return it->second;
+    exact_.emplace(vec, next_);
+    return next_++;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return next_; }
+
+ private:
+  std::uint32_t next_ = 0;
+  std::unordered_map<std::uint64_t, std::uint32_t> packed_;
+  std::unordered_map<IntVec, std::uint32_t, IntVecHash> exact_;
+};
+
+/// Interns u64 composite keys (slots: label id << 32 | tick id) as dense
+/// ids.
+class KeyDict {
+ public:
+  std::uint32_t intern(std::uint64_t key) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(map_.size());
+    map_.emplace(key, id);
+    return id;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint32_t> map_;
+};
+
+/// A locally feasible candidate matrix. All label/slot identities are
+/// pre-interned dense ids: `label_ids` is the sorted-distinct label list
+/// (for incremental cell counting), `slot_ids` holds one (cell, tick)
+/// slot id per module point, aligned with the module's PointInfo order
+/// (for cross-module conflict and folding checks).
 struct Candidate {
   IntMat s;
-  std::vector<IntVec> labels;
+  std::vector<std::uint32_t> label_ids;
+  std::vector<std::uint32_t> slot_ids;
 };
+
+/// One global dep prepared for the inner loop: per-candidate projections
+/// of its guard points through the candidate matrices of both endpoint
+/// modules, stored row-major over the pairs ([r * pairs + i]). The
+/// displacement of pair i under (s_c, s_p) is then a per-row subtraction
+/// of two flat lanes — the matrix products all happen once, up front.
+struct GuardEval {
+  const GuardPairs* gp = nullptr;
+  std::size_t rows = 0;
+  std::vector<std::vector<i64>> cons;  ///< [consumer candidate][r*np + i].
+  std::vector<std::vector<i64>> prod;  ///< [producer candidate][r*np + i].
+};
+
+/// Projects `column` of each pair (first or second element) through every
+/// candidate matrix: out[c][r*np + i] = s_c(r,·)·pt_i.
+std::vector<std::vector<i64>> project_guard_side(
+    const std::vector<Candidate>& cands,
+    const std::vector<std::pair<IntVec, IntVec>>& pairs, bool consumer_side,
+    std::size_t rows) {
+  const std::size_t np = pairs.size();
+  std::vector<std::vector<i64>> out(cands.size());
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    const IntMat& s = cands[c].s;
+    auto& lanes = out[c];
+    lanes.assign(rows * np, 0);
+    for (std::size_t i = 0; i < np; ++i) {
+      const IntVec& pt = consumer_side ? pairs[i].first : pairs[i].second;
+      for (std::size_t r = 0; r < rows; ++r) {
+        i64 acc = 0;
+        for (std::size_t a = 0; a < pt.dim(); ++a) {
+          acc = checked_add(acc, checked_mul(s(r, a), pt[a]));
+        }
+        lanes[r * np + i] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+/// check_global over the precomputed projections: same decisions as the
+/// legacy IntVec path (the prechecks mirror RoutabilityCache::routable),
+/// with zero allocations on the happy path.
+bool check_global_flat(const GuardEval& ge, std::size_t ci, std::size_t pi,
+                       RoutabilityCache& cache) {
+  const GuardPairs& g = *ge.gp;
+  // A negative slack is unroutable for any displacement, so the statement
+  // can never hold: fail before touching a single lane.
+  if (g.min_slack < 0) return false;
+  const std::size_t np = g.pairs.size();
+  const i64* cons = ge.cons[ci].data();
+  const i64* prod = ge.prod[pi].data();
+  std::array<i64, 8> d{};
+  NUSYS_REQUIRE(ge.rows <= d.size(), "check_global: label dim too large");
+  for (std::size_t i = 0; i < np; ++i) {
+    i64 l1 = 0;
+    for (std::size_t r = 0; r < ge.rows; ++r) {
+      const i64 v = checked_sub(cons[r * np + i], prod[r * np + i]);
+      d[r] = v;
+      l1 = checked_add(l1, v < 0 ? -v : v);
+    }
+    if (l1 == 0) continue;                  // Zero displacement: in place.
+    if (l1 > g.slacks[i]) return false;     // Cheap necessary test.
+    if (!cache.routable_flat(d.data(), ge.rows, g.slacks[i])) return false;
+  }
+  return true;
+}
 
 /// One worker's backtracking over a chunk of module 0's candidate
 /// matrices. All mutable search state — chosen stack, label/slot
@@ -144,21 +313,32 @@ struct Candidate {
 struct SpaceWorker {
   const ModuleSystem* sys = nullptr;
   const std::vector<std::vector<Candidate>>* candidates = nullptr;
-  const std::vector<std::vector<const GuardPairs*>>* guards_at = nullptr;
-  const std::vector<std::vector<PointInfo>>* module_points = nullptr;
+  const std::vector<std::vector<const GuardEval*>>* guards_at = nullptr;
+  /// Per module, per point: interned fold-key id (PointInfo order).
+  const std::vector<std::vector<std::uint32_t>>* key_ids = nullptr;
   const Interconnect* net = nullptr;
+  std::atomic<std::size_t>* shared_best = nullptr;
+  std::size_t label_count = 0;  ///< Dense label id universe size.
+  std::size_t slot_count = 0;   ///< Dense slot id universe size.
+  bool has_fold = false;
 
-  std::vector<const Candidate*> chosen;
-  std::map<IntVec, std::size_t> label_refs;  // Union with multiplicity.
-  // Cross-module slot registry: (cell, tick) -> (fold key, refcount).
-  std::map<std::pair<IntVec, i64>, std::pair<IntVec, std::size_t>> slot_refs;
+  std::vector<std::uint32_t> chosen;  ///< Candidate index per module.
+  /// Dense registries: refcount per label id, and (occupant fold-key id,
+  /// refcount) per slot id. A count of zero means free; claims and
+  /// rollbacks are O(1) array writes, never tree rebalances.
+  std::vector<std::uint32_t> label_refs;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> slot_refs;
+  std::size_t distinct_labels = 0;
   std::size_t incumbent = std::numeric_limits<std::size_t>::max();
   std::vector<ModuleSpaceAssignment> optima;
   std::size_t checked = 0;
+  std::size_t pruned = 0;
 
   void run(std::size_t begin, std::size_t end) {
     RoutabilityCache cache(*net);
-    chosen.assign(sys->module_count(), nullptr);
+    chosen.assign(sys->module_count(), 0);
+    label_refs.assign(label_count, 0);
+    slot_refs.assign(slot_count, {0, 0});
     descend(0, begin, end, cache);
   }
 
@@ -169,11 +349,11 @@ struct SpaceWorker {
     const auto& level = (*candidates)[m];
     for (std::size_t idx = begin; idx < end; ++idx) {
       const Candidate& cand = level[idx];
-      chosen[m] = &cand;
+      chosen[m] = static_cast<std::uint32_t>(idx);
       bool feasible = true;
-      for (const auto* gp : (*guards_at)[m]) {
-        if (!check_global(*gp, chosen[gp->dep->consumer]->s,
-                          chosen[gp->dep->producer]->s, cache)) {
+      for (const auto* ge : (*guards_at)[m]) {
+        if (!check_global_flat(*ge, chosen[ge->gp->dep->consumer],
+                               chosen[ge->gp->dep->producer], cache)) {
           feasible = false;
           break;
         }
@@ -181,55 +361,69 @@ struct SpaceWorker {
       if (feasible) {
         // Claim this module's slots; sharing across modules requires equal
         // fold keys (and a fold key to be defined at all).
-        std::vector<std::pair<IntVec, i64>> claimed;
-        claimed.reserve((*module_points)[m].size());
-        for (const auto& info : (*module_points)[m]) {
-          auto slot = std::make_pair(cand.s * info.point, info.tick);
-          auto [it, inserted] =
-              slot_refs.emplace(slot, std::make_pair(info.key, 1u));
-          if (!inserted) {
-            if (!sys->fold_key() || it->second.first != info.key) {
-              feasible = false;
-              break;
-            }
-            ++it->second.second;
+        const auto& keys = (*key_ids)[m];
+        std::size_t claimed = 0;
+        for (std::size_t k = 0; k < cand.slot_ids.size(); ++k) {
+          auto& ref = slot_refs[cand.slot_ids[k]];
+          if (ref.second == 0) {
+            ref = {keys[k], 1};
+          } else if (has_fold && ref.first == keys[k]) {
+            ++ref.second;
+          } else {
+            feasible = false;
+            break;
           }
-          claimed.push_back(std::move(slot));
+          ++claimed;
         }
         if (feasible) {
-          for (const auto& l : cand.labels) ++label_refs[l];
-          if (label_refs.size() <= incumbent) {
+          for (const auto id : cand.label_ids) {
+            if (label_refs[id]++ == 0) ++distinct_labels;
+          }
+          // The label union only grows down a branch, so a partial count
+          // beyond the incumbent (the better of this worker's and the
+          // cross-worker bound) can never complete into an optimum: prune.
+          const std::size_t bound = std::min(
+              incumbent, shared_best->load(std::memory_order_relaxed));
+          if (distinct_labels <= bound) {
             if (m + 1 == module_count) {
               complete();
             } else {
               descend(m + 1, 0, (*candidates)[m + 1].size(), cache);
             }
+          } else {
+            ++pruned;
           }
-          for (const auto& l : cand.labels) {
-            const auto it = label_refs.find(l);
-            if (--(it->second) == 0) label_refs.erase(it);
+          for (const auto id : cand.label_ids) {
+            if (--label_refs[id] == 0) --distinct_labels;
           }
         }
-        for (const auto& slot : claimed) {
-          const auto it = slot_refs.find(slot);
-          if (--(it->second.second) == 0) slot_refs.erase(it);
+        for (std::size_t k = 0; k < claimed; ++k) {
+          --slot_refs[cand.slot_ids[k]].second;
         }
       }
-      chosen[m] = nullptr;
     }
   }
 
   void complete() {
     ++checked;
-    const std::size_t cells = label_refs.size();
+    const std::size_t cells = distinct_labels;
     if (cells > incumbent) return;
     ModuleSpaceAssignment a;
     a.spaces.reserve(chosen.size());
-    for (const auto* c : chosen) a.spaces.push_back(c->s);
+    for (std::size_t m = 0; m < chosen.size(); ++m) {
+      a.spaces.push_back((*candidates)[m][chosen[m]].s);
+    }
     a.cell_count = cells;
     if (cells < incumbent) {
       incumbent = cells;
       optima.clear();
+      // Publish the improved bound (relaxed: a pruning hint only; the
+      // recorded optima are validated locally and again at the merge).
+      std::size_t cur = shared_best->load(std::memory_order_relaxed);
+      while (cells < cur &&
+             !shared_best->compare_exchange_weak(cur, cells,
+                                                 std::memory_order_relaxed)) {
+      }
     }
     optima.push_back(std::move(a));
   }
@@ -326,6 +520,31 @@ ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
     });
   }
 
+  // Shared intern dictionaries: one id universe per identity kind, spanning
+  // all modules so cross-module distinctness is an integer comparison.
+  NUSYS_REQUIRE(label_dim <= 8, "find_module_spaces: label dim too large");
+  LabelDict label_dict;  // cell label vectors.
+  KeyDict slot_dict;     // (label id << 32 | tick id) slots.
+  VecDict key_dict;      // fold-key vectors.
+  std::unordered_map<i64, std::uint32_t> tick_dict;
+  std::vector<std::vector<std::uint32_t>> tick_ids(module_count);
+  std::vector<std::vector<std::uint32_t>> key_ids(module_count);
+  for (std::size_t m = 0; m < module_count; ++m) {
+    tick_ids[m].reserve(module_points[m].size());
+    key_ids[m].reserve(module_points[m].size());
+    for (const auto& info : module_points[m]) {
+      const auto it = tick_dict.find(info.tick);
+      if (it != tick_dict.end()) {
+        tick_ids[m].push_back(it->second);
+      } else {
+        const auto id = static_cast<std::uint32_t>(tick_dict.size());
+        tick_dict.emplace(info.tick, id);
+        tick_ids[m].push_back(id);
+      }
+      key_ids[m].push_back(key_dict.intern(info.key));
+    }
+  }
+
   // Candidate matrices per module: must route local deps within slack and
   // be conflict-free on the module's own domain.
   std::vector<std::vector<Candidate>> candidates(module_count);
@@ -334,27 +553,68 @@ ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
     std::vector<IntVec> rows(label_dim, IntVec(n));
     for (std::size_t m = 0; m < module_count; ++m) {
       const auto& deps = sys.module(m).local_deps;
+      const std::size_t np = module_points[m].size();
+      std::vector<std::uint64_t> slot_keys(np);     // Point order.
+      std::vector<std::uint64_t> sorted_keys(np);   // Conflict scratch.
       auto build = [&](auto&& self, std::size_t row) -> void {
         if (row == label_dim) {
           ++result.examined;
           const IntMat s = IntMat::from_rows(rows);
+          std::array<i64, 8> d{};
           for (const auto& dep : deps) {
-            if (!cache.routable(s * dep.vector,
-                                schedules[m].slack(dep.vector))) {
-              return;
+            const i64 slack = schedules[m].slack(dep.vector);
+            if (slack < 0) return;
+            i64 l1 = 0;
+            for (std::size_t r = 0; r < label_dim; ++r) {
+              i64 acc = 0;
+              for (std::size_t a = 0; a < n; ++a) {
+                acc = checked_add(acc, checked_mul(s(r, a), dep.vector[a]));
+              }
+              d[r] = acc;
+              l1 = checked_add(l1, acc < 0 ? -acc : acc);
             }
+            if (l1 == 0) continue;  // Zero displacement: in place.
+            if (l1 > slack) return;
+            if (!cache.routable_flat(d.data(), label_dim, slack)) return;
           }
-          std::vector<std::pair<IntVec, i64>> slots;
-          slots.reserve(module_points[m].size());
-          for (const auto& info : module_points[m]) {
-            slots.emplace_back(s * info.point, info.tick);
+          // One image pass feeds both checks: each (cell, tick) slot packs
+          // into a u64 of interned ids, so sorting the keys exposes slot
+          // conflicts (condition (2) per module) as adjacent duplicates and
+          // the distinct high halves are the module's label set.
+          for (std::size_t i = 0; i < np; ++i) {
+            const IntVec& pt = module_points[m][i].point;
+            std::array<i64, 8> img{};
+            for (std::size_t r = 0; r < label_dim; ++r) {
+              i64 acc = 0;
+              for (std::size_t a = 0; a < n; ++a) {
+                acc = checked_add(acc, checked_mul(s(r, a), pt[a]));
+              }
+              img[r] = acc;
+            }
+            const std::uint32_t lid =
+                label_dict.intern(img.data(), label_dim);
+            slot_keys[i] =
+                (static_cast<std::uint64_t>(lid) << 32) | tick_ids[m][i];
           }
-          if (!module_conflict_free(slots, s)) return;
+          sorted_keys = slot_keys;
+          std::sort(sorted_keys.begin(), sorted_keys.end());
+          if (std::adjacent_find(sorted_keys.begin(), sorted_keys.end()) !=
+              sorted_keys.end()) {
+            return;
+          }
           Candidate cand;
           cand.s = s;
-          std::set<IntVec> labels;
-          for (const auto& info : module_points[m]) labels.insert(s * info.point);
-          cand.labels.assign(labels.begin(), labels.end());
+          for (std::size_t i = 0; i < np; ++i) {
+            const auto lid =
+                static_cast<std::uint32_t>(sorted_keys[i] >> 32);
+            if (cand.label_ids.empty() || cand.label_ids.back() != lid) {
+              cand.label_ids.push_back(lid);
+            }
+          }
+          cand.slot_ids.reserve(np);
+          for (std::size_t i = 0; i < np; ++i) {
+            cand.slot_ids.push_back(slot_dict.intern(slot_keys[i]));
+          }
           candidates[m].push_back(std::move(cand));
           return;
         }
@@ -372,17 +632,58 @@ ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
     }
   }
 
-  // Globals indexed by the later endpoint module.
-  const auto guards = enumerate_guards(sys, schedules);
-  std::vector<std::vector<const GuardPairs*>> guards_at(module_count);
+  // Globals indexed by the later endpoint module. With the kernel fast
+  // paths enabled, each statement checks its tightest slacks first — the
+  // likeliest routability failures — which cannot change any result: the
+  // check is a pure conjunction over the pairs.
+  auto guards = enumerate_guards(sys, schedules);
+  if (options.hull_kernels) {
+    for (auto& gp : guards) {
+      std::vector<std::size_t> order(gp.pairs.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return gp.slacks[a] < gp.slacks[b];
+                       });
+      std::vector<std::pair<IntVec, IntVec>> pairs;
+      std::vector<i64> slacks;
+      pairs.reserve(order.size());
+      slacks.reserve(order.size());
+      for (const std::size_t i : order) {
+        pairs.push_back(std::move(gp.pairs[i]));
+        slacks.push_back(gp.slacks[i]);
+      }
+      gp.pairs = std::move(pairs);
+      gp.slacks = std::move(slacks);
+    }
+  }
+  // Project every guard point through every candidate matrix once, up
+  // front: the inner loop then never multiplies a matrix again — each
+  // displacement is a flat-lane subtraction.
+  std::vector<GuardEval> guard_evals;
+  guard_evals.reserve(guards.size());
   for (const auto& gp : guards) {
-    guards_at[std::max(gp.dep->consumer, gp.dep->producer)].push_back(&gp);
+    GuardEval ge;
+    ge.gp = &gp;
+    ge.rows = label_dim;
+    ge.cons = project_guard_side(candidates[gp.dep->consumer], gp.pairs,
+                                 /*consumer_side=*/true, label_dim);
+    ge.prod = project_guard_side(candidates[gp.dep->producer], gp.pairs,
+                                 /*consumer_side=*/false, label_dim);
+    guard_evals.push_back(std::move(ge));
+  }
+  std::vector<std::vector<const GuardEval*>> guards_at(module_count);
+  for (const auto& ge : guard_evals) {
+    guards_at[std::max(ge.gp->dep->consumer, ge.gp->dep->producer)]
+        .push_back(&ge);
   }
 
   // Fan out over module 0's candidate matrices; every worker owns its
   // search state outright (including a private routability cache).
   const std::size_t workers =
       options.parallelism.workers_for(candidates[0].size());
+  std::atomic<std::size_t> shared_best{
+      std::numeric_limits<std::size_t>::max()};
   std::vector<SpaceWorker> parts(workers);
   run_chunked(candidates[0].size(), workers,
               [&](std::size_t worker, std::size_t begin, std::size_t end) {
@@ -390,8 +691,12 @@ ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
                 part.sys = &sys;
                 part.candidates = &candidates;
                 part.guards_at = &guards_at;
-                part.module_points = &module_points;
+                part.key_ids = &key_ids;
                 part.net = &net;
+                part.shared_best = &shared_best;
+                part.label_count = label_dict.size();
+                part.slot_count = slot_dict.size();
+                part.has_fold = sys.fold_key().has_value();
                 part.run(begin, end);
               });
 
@@ -400,6 +705,7 @@ ModuleSpaceResult find_module_spaces(const ModuleSystem& sys,
   std::size_t incumbent = std::numeric_limits<std::size_t>::max();
   for (const auto& part : parts) {
     result.assignments_checked += part.checked;
+    result.pruned += part.pruned;
     incumbent = std::min(incumbent, part.incumbent);
   }
   for (auto& part : parts) {

@@ -32,6 +32,7 @@
 
 #include "modules/module_system.hpp"
 #include "schedule/timing.hpp"
+#include "search/kernels.hpp"
 #include "space/interconnect.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
@@ -52,6 +53,12 @@ struct ModuleSpaceOptions {
   /// Worker threads over module 0's candidate matrices (0 = hardware
   /// concurrency, 1 = the exact legacy sequential path).
   SearchParallelism parallelism;
+  /// Use the shared search-kernel fast paths (tightest-slack-first guard
+  /// ordering, flat sorted image tables). Routability is not a linear
+  /// functional, so there is no hull reduction here, but the flag still
+  /// selects the optimized evaluation order; both settings return
+  /// bit-identical results and off is the legacy ablation path.
+  bool hull_kernels = hull_kernels_default();
 };
 
 /// Search outcome.
@@ -65,6 +72,11 @@ struct ModuleSpaceResult {
   std::size_t examined = 0;
   /// Locally feasible per-module candidate matrices kept (worker-invariant).
   std::size_t feasible_count = 0;
+  /// Backtracking branches cut by the incumbent cell-count bound. Advisory:
+  /// the incumbent is shared across workers through a relaxed atomic, so
+  /// this count depends on chunking *and* thread timing (the ranked optima
+  /// never do).
+  std::size_t pruned = 0;
   /// Workers the backtracking actually used.
   std::size_t workers_used = 1;
   /// Search wall time.

@@ -1,6 +1,7 @@
 #include "schedule/search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 namespace nusys {
@@ -64,46 +65,52 @@ struct SchedulePartial {
   std::size_t pruned = 0;
 };
 
+/// Publishes `makespan` into the cross-worker incumbent if it improves it.
+/// Relaxed ordering suffices: the shared bound is a pruning hint; every
+/// recorded optimum is validated against the worker-local incumbent and
+/// the merge step, so a stale read only costs a little extra evaluation.
+void offer_incumbent(std::atomic<i64>& shared, i64 makespan) {
+  i64 cur = shared.load(std::memory_order_relaxed);
+  while (makespan < cur &&
+         !shared.compare_exchange_weak(cur, makespan,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 SchedulePartial scan_cube_range(const std::vector<IntVec>& cube,
                                 std::size_t begin, std::size_t end,
-                                const std::vector<IntVec>& deps,
-                                const std::vector<IntVec>& points,
-                                bool keep_all_optima,
-                                const CancelToken* cancel) {
+                                const PointBlock& deps, const SpanKernel& span,
+                                bool keep_all_optima, const CancelToken* cancel,
+                                std::atomic<i64>& shared_best) {
   SchedulePartial part;
   for (std::size_t i = begin; i < end; ++i) {
     if (part.examined % kCancelPollStride == 0) {
       throw_if_cancelled(cancel, "schedule search");
     }
     ++part.examined;
-    const LinearSchedule candidate(cube[i]);
-    if (!candidate.is_feasible(deps)) continue;
+    // Condition (1): positive slack on every dependence, evaluated as one
+    // batched pass over the dependence block.
+    if (!deps.all_dots_positive(cube[i])) continue;
     ++part.feasible;
 
-    i64 lo = std::numeric_limits<i64>::max();
-    i64 hi = std::numeric_limits<i64>::min();
-    bool pruned = false;
-    for (const auto& p : points) {
-      const i64 t = candidate.at(p);
-      lo = std::min(lo, t);
-      hi = std::max(hi, t);
-      // Prune candidates that already exceed the incumbent makespan.
-      if (checked_sub(hi, lo) > part.makespan) {
-        pruned = true;
-        break;
-      }
-    }
-    if (pruned) {
+    // The incumbent bound is the better of this worker's best makespan and
+    // the cross-worker shared bound; candidates that exceed it can never be
+    // global optima (the shared bound never drops below the final global
+    // makespan), so pruning with it is exact.
+    const i64 bound =
+        std::min(part.makespan, shared_best.load(std::memory_order_relaxed));
+    const i64 makespan = span.makespan_within(cube[i], bound);
+    if (makespan < 0) {
       ++part.pruned;
       continue;
     }
-    const i64 makespan = checked_sub(hi, lo);
     if (makespan < part.makespan) {
       part.makespan = makespan;
       part.optima.clear();
-      part.optima.push_back(candidate);
+      part.optima.emplace_back(cube[i]);
+      offer_incumbent(shared_best, makespan);
     } else if (makespan == part.makespan && keep_all_optima) {
-      part.optima.push_back(candidate);
+      part.optima.emplace_back(cube[i]);
     }
   }
   return part;
@@ -122,20 +129,26 @@ ScheduleSearchResult find_optimal_schedules(
 
   const WallTimer timer;
 
-  // Enumerate the domain once; every candidate is evaluated against the
-  // same point list, shared read-only across workers.
+  // Enumerate the domain once and reduce it to its hull vertices (exact
+  // for the linear makespan functional); every candidate is evaluated
+  // against the same kernel, shared read-only across workers.
   const std::vector<IntVec> points = domain.points();
   NUSYS_REQUIRE(!points.empty(), "schedule search: empty domain");
+  const SpanKernel span(points, options.hull_kernels);
+  const PointBlock deps_block(deps);
 
   const auto cube = coefficient_cube(domain.dim(), options.coeff_bound);
   const std::size_t workers = options.parallelism.workers_for(cube.size());
 
+  // Cross-worker incumbent makespan; see scan_cube_range.
+  std::atomic<i64> shared_best{std::numeric_limits<i64>::max()};
+
   std::vector<SchedulePartial> parts(workers);
   run_chunked(cube.size(), workers,
               [&](std::size_t worker, std::size_t begin, std::size_t end) {
-                parts[worker] = scan_cube_range(cube, begin, end, deps, points,
-                                                options.keep_all_optima,
-                                                options.cancel);
+                parts[worker] = scan_cube_range(
+                    cube, begin, end, deps_block, span,
+                    options.keep_all_optima, options.cancel, shared_best);
               });
 
   // Merge in worker order. Chunks are contiguous and ascending, so

@@ -23,6 +23,7 @@
 #include "ir/dependence.hpp"
 #include "ir/domain.hpp"
 #include "schedule/timing.hpp"
+#include "search/kernels.hpp"
 #include "support/cancel.hpp"
 #include "support/parallel.hpp"
 #include "support/telemetry.hpp"
@@ -45,6 +46,11 @@ struct ScheduleSearchOptions {
   /// default) is the exact legacy path; a token that never fires changes
   /// no result.
   const CancelToken* cancel = nullptr;
+  /// Evaluate candidate makespans over the convex-hull vertices of the
+  /// domain instead of every point (exact for linear schedules; see
+  /// search/kernels.hpp). Both settings return bit-identical results; off
+  /// is the full-point ablation path.
+  bool hull_kernels = hull_kernels_default();
 };
 
 /// Outcome of a schedule search.
@@ -59,7 +65,9 @@ struct ScheduleSearchResult {
   /// Number of coefficient vectors examined (worker-invariant).
   std::size_t examined = 0;
   /// Feasible candidates whose makespan evaluation was cut short by the
-  /// incumbent bound. Advisory: depends on how the cube was chunked.
+  /// incumbent bound. Advisory: the incumbent is shared across workers
+  /// through a relaxed atomic, so this count depends on chunking *and*
+  /// thread timing (optima and makespan never do).
   std::size_t pruned = 0;
   /// Workers the search actually used.
   std::size_t workers_used = 1;

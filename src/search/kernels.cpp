@@ -1,0 +1,624 @@
+#include "search/kernels.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "support/fraction.hpp"
+
+namespace nusys {
+
+bool hull_kernels_default() noexcept {
+  static const bool enabled = [] {
+    const char* v = std::getenv("NUSYS_DISABLE_HULL_KERNELS");
+    return v == nullptr || v[0] == '\0' || v[0] == '0';
+  }();
+  return enabled;
+}
+
+namespace {
+
+// Hard pivot bound for in_convex_hull; exceeding it (never observed —
+// Bland's rule terminates) raises ContractError, never a wrong answer.
+constexpr std::size_t kMaxSimplexPivots = 4096;
+
+/// The lexicographically positive half of {-1, 0, 1}^n \ {0}: one
+/// representative per +-d pair, so the midpoint test p+-d covers both
+/// orientations.
+std::vector<IntVec> make_midpoint_directions(std::size_t dim) {
+  std::vector<IntVec> dirs;
+  IntVec d(dim);
+  auto recurse = [&](auto&& self, std::size_t axis, bool nonzero_seen) -> void {
+    if (axis == dim) {
+      if (nonzero_seen) dirs.push_back(d);
+      return;
+    }
+    for (const i64 c : {i64{1}, i64{0}, i64{-1}}) {
+      if (!nonzero_seen && c < 0) continue;  // First nonzero must be +1.
+      d[axis] = c;
+      self(self, axis + 1, nonzero_seen || c != 0);
+    }
+    d[axis] = 0;
+  };
+  recurse(recurse, 0, false);
+  return dirs;
+}
+
+/// Direction sets cached per dimension: extreme_points runs once per
+/// kernel per search, so rebuilding (3^n - 1)/2 vectors each time shows
+/// up. Function-local static initialization keeps this thread-safe.
+constexpr std::size_t kMaxCachedDim = 8;
+
+const std::vector<IntVec>& midpoint_directions_cached(std::size_t dim) {
+  static const auto cache = [] {
+    std::array<std::vector<IntVec>, kMaxCachedDim + 1> c;
+    for (std::size_t d = 0; d <= kMaxCachedDim; ++d) {
+      c[d] = make_midpoint_directions(d);
+    }
+    return c;
+  }();
+  return cache[dim];
+}
+
+/// cross(o, a, b) sign with overflow-checked arithmetic: > 0 when the turn
+/// o -> a -> b is counter-clockwise.
+i64 cross_sign(const IntVec& o, const IntVec& a, const IntVec& b) {
+  const i64 lhs = checked_mul(checked_sub(a[0], o[0]), checked_sub(b[1], o[1]));
+  const i64 rhs = checked_mul(checked_sub(a[1], o[1]), checked_sub(b[0], o[0]));
+  return checked_sub(lhs, rhs);
+}
+
+/// The exact vertex set of a 2-D point set via Andrew's monotone chain,
+/// with strictly-convex turns so collinear edge points are dropped.
+/// Throws ContractError when a cross product overflows int64.
+std::vector<IntVec> hull_vertices_2d(std::vector<IntVec> pts) {
+  std::sort(pts.begin(), pts.end());
+  std::vector<IntVec> chain(2 * pts.size());
+  std::size_t k = 0;
+  for (const auto& p : pts) {  // Lower chain.
+    while (k >= 2 && cross_sign(chain[k - 2], chain[k - 1], p) <= 0) --k;
+    chain[k++] = p;
+  }
+  const std::size_t lower = k + 1;
+  for (std::size_t i = pts.size(); i-- > 1;) {  // Upper chain.
+    const auto& p = pts[i - 1];
+    while (k >= lower && cross_sign(chain[k - 2], chain[k - 1], p) <= 0) --k;
+    chain[k++] = p;
+  }
+  chain.resize(k > 1 ? k - 1 : k);  // Last point repeats the first.
+  return chain;
+}
+
+}  // namespace
+
+bool in_convex_hull(const IntVec& p, const std::vector<IntVec>& others) {
+  const std::size_t m = others.size();
+  if (m == 0) return false;
+  const std::size_t n = p.dim();
+
+  // Bounding-box reject: a point outside the box of `others` cannot be in
+  // their hull. This settles the common corner points without a simplex.
+  for (std::size_t a = 0; a < n; ++a) {
+    i64 lo = others[0][a], hi = others[0][a];
+    for (const auto& q : others) {
+      lo = std::min(lo, q[a]);
+      hi = std::max(hi, q[a]);
+    }
+    if (p[a] < lo || p[a] > hi) return false;
+  }
+
+  // Phase-1 simplex on: sum_j lambda_j * q_j = p, sum_j lambda_j = 1,
+  // lambda >= 0. Rows 0..n-1 are the coordinate equations, row n the
+  // convexity equation; columns 0..m-1 are the lambdas, m..m+R-1 the
+  // artificial basis, column m+R the right-hand side. Exact rational
+  // arithmetic throughout; Bland's rule guarantees termination.
+  const std::size_t R = n + 1;
+  const std::size_t rhs = m + R;
+  std::vector<std::vector<Fraction>> t(R, std::vector<Fraction>(m + R + 1));
+  for (std::size_t r = 0; r < R; ++r) {
+    const i64 b = r < n ? p[r] : 1;
+    const i64 sign = b < 0 ? -1 : 1;
+    for (std::size_t j = 0; j < m; ++j) {
+      const i64 v = r < n ? others[j][r] : 1;
+      t[r][j] = Fraction(checked_mul(sign, v));
+    }
+    t[r][m + r] = Fraction(1);
+    t[r][rhs] = Fraction(checked_mul(sign, b));
+  }
+
+  // Objective row: reduced costs of "minimize the artificial sum" under
+  // the all-artificial basis, with z[rhs] = -objective.
+  std::vector<Fraction> z(m + R + 1);
+  for (std::size_t j = 0; j <= rhs; ++j) {
+    Fraction acc;
+    for (std::size_t r = 0; r < R; ++r) acc += t[r][j];
+    z[j] = (j >= m && j < rhs ? Fraction(1) : Fraction(0)) - acc;
+  }
+
+  std::vector<std::size_t> basis(R);
+  for (std::size_t r = 0; r < R; ++r) basis[r] = m + r;
+
+  for (std::size_t pivots = 0;; ++pivots) {
+    if (pivots > kMaxSimplexPivots) {
+      throw ContractError("in_convex_hull: pivot bound exceeded");
+    }
+    // Bland: entering column = smallest index with negative reduced cost.
+    std::size_t pc = rhs;
+    for (std::size_t j = 0; j < rhs; ++j) {
+      if (z[j].num() < 0) {
+        pc = j;
+        break;
+      }
+    }
+    if (pc == rhs) break;  // Optimal.
+    // Ratio test; Bland tie-break on the leaving basic variable index.
+    std::size_t pr = R;
+    Fraction best;
+    for (std::size_t r = 0; r < R; ++r) {
+      if (t[r][pc].num() <= 0) continue;
+      const Fraction ratio = t[r][rhs] / t[r][pc];
+      if (pr == R || ratio < best ||
+          (ratio == best && basis[r] < basis[pr])) {
+        pr = r;
+        best = ratio;
+      }
+    }
+    if (pr == R) {
+      // Unbounded phase-1 cannot happen (objective bounded below by 0);
+      // treat defensively as "cannot certify".
+      throw ContractError("in_convex_hull: unbounded phase-1 tableau");
+    }
+    const Fraction pivot = t[pr][pc];
+    for (auto& cell : t[pr]) cell /= pivot;
+    for (std::size_t r = 0; r < R; ++r) {
+      if (r == pr || t[r][pc].is_zero()) continue;
+      const Fraction factor = t[r][pc];
+      for (std::size_t j = 0; j <= rhs; ++j) t[r][j] -= factor * t[pr][j];
+    }
+    if (!z[pc].is_zero()) {
+      const Fraction factor = z[pc];
+      for (std::size_t j = 0; j <= rhs; ++j) z[j] -= factor * t[pr][j];
+    }
+    basis[pr] = pc;
+  }
+
+  // Objective value = -z[rhs]; zero iff a convex combination exists.
+  return z[rhs].is_zero();
+}
+
+namespace {
+
+/// Dense bitmap over the integer bounding box of a point set: membership
+/// and test-and-set are index arithmetic plus one bit probe, no hashing
+/// and no per-probe allocation. Only usable when the box volume is small
+/// (kDenseCap); loop-nest domains always are.
+class BoxBitmap {
+ public:
+  static constexpr std::uint64_t kDenseCap = std::uint64_t{1} << 24;
+
+  /// Builds the box over `points`; fails (usable() == false) when the
+  /// volume exceeds the cap.
+  explicit BoxBitmap(const std::vector<IntVec>& points) {
+    const std::size_t n = points.front().dim();
+    lo_.assign(n, 0);
+    hi_.assign(n, 0);
+    for (std::size_t a = 0; a < n; ++a) {
+      lo_[a] = hi_[a] = points.front()[a];
+      for (const auto& p : points) {
+        lo_[a] = std::min(lo_[a], p[a]);
+        hi_[a] = std::max(hi_[a], p[a]);
+      }
+    }
+    stride_.assign(n, 0);
+    std::uint64_t volume = 1;
+    for (std::size_t a = 0; a < n; ++a) {
+      const std::uint64_t range = static_cast<std::uint64_t>(hi_[a] - lo_[a]) + 1;
+      if (range > kDenseCap / volume) return;  // Too large; not usable.
+      stride_[a] = volume;
+      volume *= range;
+    }
+    bits_.assign(static_cast<std::size_t>((volume + 63) / 64), 0);
+  }
+
+  [[nodiscard]] bool usable() const noexcept { return !bits_.empty(); }
+
+  /// Inserts `p`; true when it was not present yet.
+  [[nodiscard]] bool insert(const IntVec& p) {
+    const std::uint64_t i = index(p);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    std::uint64_t& word = bits_[static_cast<std::size_t>(i / 64)];
+    if ((word & mask) != 0) return false;
+    word |= mask;
+    return true;
+  }
+
+  /// True when p + sign·d is inside the box and present.
+  [[nodiscard]] bool contains_offset(const IntVec& p, const IntVec& d,
+                                     i64 sign) const {
+    std::uint64_t i = 0;
+    for (std::size_t a = 0; a < lo_.size(); ++a) {
+      const i64 c = p[a] + sign * d[a];
+      if (c < lo_[a] || c > hi_[a]) return false;
+      i += static_cast<std::uint64_t>(c - lo_[a]) * stride_[a];
+    }
+    return (bits_[static_cast<std::size_t>(i / 64)] &
+            (std::uint64_t{1} << (i % 64))) != 0;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t index(const IntVec& p) const {
+    std::uint64_t i = 0;
+    for (std::size_t a = 0; a < lo_.size(); ++a) {
+      i += static_cast<std::uint64_t>(p[a] - lo_[a]) * stride_[a];
+    }
+    return i;
+  }
+
+  std::vector<i64> lo_, hi_;
+  std::vector<std::uint64_t> stride_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace
+
+std::vector<IntVec> extreme_points(const std::vector<IntVec>& points) {
+  if (points.empty()) return {};
+  const std::size_t n = points.front().dim();
+  for (const auto& p : points) {
+    NUSYS_REQUIRE(p.dim() == n, "extreme_points: dimension mismatch");
+  }
+  if (n == 0) return {points.front()};
+
+  BoxBitmap box(points);
+  if (!box.usable()) {
+    // Degenerate (astronomically spread) input: hull reduction is not
+    // worth certifying here — deduplicate and return, which is always a
+    // valid superset of the vertex set.
+    std::unordered_set<IntVec, IntVecHash> set;
+    std::vector<IntVec> uniq;
+    for (const auto& p : points) {
+      if (set.insert(p).second) uniq.push_back(p);
+    }
+    return uniq;
+  }
+  // Indices into `points` instead of IntVec copies: only the final hull
+  // is ever materialized, so the filter stages allocate nothing per point.
+  std::vector<std::uint32_t> uniq;
+  uniq.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (box.insert(points[i])) uniq.push_back(static_cast<std::uint32_t>(i));
+  }
+  const auto materialize = [&](const std::vector<std::uint32_t>& idx) {
+    std::vector<IntVec> out;
+    out.reserve(idx.size());
+    for (const auto i : idx) out.push_back(points[i]);
+    return out;
+  };
+  if (uniq.size() <= 2) return materialize(uniq);
+
+  // 1-D: the hull is just the two endpoints.
+  if (n == 1) {
+    std::uint32_t lo = uniq.front(), hi = uniq.front();
+    for (const auto i : uniq) {
+      if (points[i][0] < points[lo][0]) lo = i;
+      if (points[i][0] > points[hi][0]) hi = i;
+    }
+    return {points[lo], points[hi]};
+  }
+
+  // Midpoint filter: p is no vertex when p-d and p+d are both in the set
+  // (p is then the midpoint of a segment inside the hull). Catches nearly
+  // every interior lattice point of loop-nest domains via unit-ish
+  // directions; every probe is bitmap arithmetic, no hashing.
+  std::vector<IntVec> local_dirs;
+  if (n > kMaxCachedDim) local_dirs = make_midpoint_directions(n);
+  const std::vector<IntVec>& dirs =
+      n > kMaxCachedDim ? local_dirs : midpoint_directions_cached(n);
+  std::vector<std::uint32_t> survivor_idx;
+  for (const auto i : uniq) {
+    const IntVec& p = points[i];
+    bool interior = false;
+    for (const auto& d : dirs) {
+      if (box.contains_offset(p, d, 1) && box.contains_offset(p, d, -1)) {
+        interior = true;
+        break;
+      }
+    }
+    if (!interior) survivor_idx.push_back(i);
+  }
+  std::vector<IntVec> survivors = materialize(survivor_idx);
+  if (survivors.size() <= 2) return survivors;
+
+  // 2-D: finish with an exact integer monotone chain — the survivors
+  // contain every vertex, so the chain over them yields the true vertex
+  // set. Filtering the survivor list by membership keeps first-occurrence
+  // order. On cross-product overflow the survivors stand as-is: a superset
+  // of the vertices stays exact for min/max evaluation.
+  if (n == 2) {
+    try {
+      const auto verts = hull_vertices_2d(survivors);
+      const std::unordered_set<IntVec, IntVecHash> vset(verts.begin(),
+                                                        verts.end());
+      std::vector<IntVec> kept;
+      kept.reserve(verts.size());
+      for (const auto& p : survivors) {
+        if (vset.count(p) != 0) kept.push_back(p);
+      }
+      return kept;
+    } catch (const ContractError&) {
+      return survivors;
+    }
+  }
+
+  // Higher dimensions return the filter's survivors directly. That is a
+  // superset of the vertex set — still exact for linear min/max, and far
+  // cheaper than a per-point rational membership certificate, which costs
+  // more than the evaluation it would save (measured on the Sec. V module
+  // searches).
+  return survivors;
+}
+
+// --- PointBlock -----------------------------------------------------------
+
+PointBlock::PointBlock(const std::vector<IntVec>& points) {
+  size_ = points.size();
+  if (size_ == 0) return;
+  dim_ = points.front().dim();
+  lanes_.assign(size_ * dim_, 0);
+  max_abs_.assign(dim_, 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    NUSYS_REQUIRE(points[i].dim() == dim_, "PointBlock: dimension mismatch");
+    for (std::size_t a = 0; a < dim_; ++a) {
+      const i64 v = points[i][a];
+      lanes_[a * size_ + i] = v;
+      const i64 mag = v < 0 ? -v : v;
+      max_abs_[a] = std::max(max_abs_[a], mag);
+    }
+  }
+}
+
+IntVec PointBlock::point(std::size_t i) const {
+  NUSYS_REQUIRE(i < size_, "PointBlock: point index out of range");
+  IntVec p(dim_);
+  for (std::size_t a = 0; a < dim_; ++a) p[a] = coord(i, a);
+  return p;
+}
+
+namespace {
+
+/// True when |c|·max_abs certifies that every partial sum of c·p fits in
+/// int64, making the unchecked vectorizable sweep safe.
+bool raw_sweep_safe(const i64* coeffs, const std::vector<i64>& max_abs) {
+  try {
+    i64 bound = 0;
+    for (std::size_t a = 0; a < max_abs.size(); ++a) {
+      const i64 c = coeffs[a];
+      bound = checked_add(bound, checked_mul(c < 0 ? -c : c, max_abs[a]));
+    }
+    (void)bound;
+  } catch (const ContractError&) {
+    return false;
+  }
+  return true;
+}
+
+/// Unchecked min/max sweep over [begin, end) with a compile-time axis
+/// count: the inner accumulation unrolls and the outer loop vectorizes
+/// over the contiguous per-axis lanes.
+template <std::size_t N>
+void min_max_range_fixed(const i64* lanes, std::size_t stride,
+                         std::size_t begin, std::size_t end, const i64* c,
+                         i64& lo, i64& hi) {
+  for (std::size_t i = begin; i < end; ++i) {
+    i64 t = 0;
+    for (std::size_t a = 0; a < N; ++a) t += c[a] * lanes[a * stride + i];
+    lo = t < lo ? t : lo;
+    hi = t > hi ? t : hi;
+  }
+}
+
+void min_max_range_generic(const i64* lanes, std::size_t stride,
+                           std::size_t dim, std::size_t begin,
+                           std::size_t end, const i64* c, i64& lo, i64& hi) {
+  for (std::size_t i = begin; i < end; ++i) {
+    i64 t = 0;
+    for (std::size_t a = 0; a < dim; ++a) t += c[a] * lanes[a * stride + i];
+    lo = t < lo ? t : lo;
+    hi = t > hi ? t : hi;
+  }
+}
+
+void min_max_range(const i64* lanes, std::size_t stride, std::size_t dim,
+                   std::size_t begin, std::size_t end, const i64* c,
+                   i64& lo, i64& hi) {
+  switch (dim) {
+    case 1: return min_max_range_fixed<1>(lanes, stride, begin, end, c, lo, hi);
+    case 2: return min_max_range_fixed<2>(lanes, stride, begin, end, c, lo, hi);
+    case 3: return min_max_range_fixed<3>(lanes, stride, begin, end, c, lo, hi);
+    case 4: return min_max_range_fixed<4>(lanes, stride, begin, end, c, lo, hi);
+    case 5: return min_max_range_fixed<5>(lanes, stride, begin, end, c, lo, hi);
+    case 6: return min_max_range_fixed<6>(lanes, stride, begin, end, c, lo, hi);
+    case 7: return min_max_range_fixed<7>(lanes, stride, begin, end, c, lo, hi);
+    case 8: return min_max_range_fixed<8>(lanes, stride, begin, end, c, lo, hi);
+    default:
+      return min_max_range_generic(lanes, stride, dim, begin, end, c, lo, hi);
+  }
+}
+
+/// Overflow-checked scalar fallback (throws ContractError on genuine
+/// overflow, like the legacy per-IntVec evaluation did).
+void min_max_range_checked(const i64* lanes, std::size_t stride,
+                           std::size_t dim, std::size_t begin,
+                           std::size_t end, const i64* c, i64& lo, i64& hi) {
+  for (std::size_t i = begin; i < end; ++i) {
+    i64 t = 0;
+    for (std::size_t a = 0; a < dim; ++a) {
+      t = checked_add(t, checked_mul(c[a], lanes[a * stride + i]));
+    }
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+}
+
+}  // namespace
+
+std::pair<i64, i64> PointBlock::min_max_dot_ptr(const i64* coeffs) const {
+  NUSYS_REQUIRE(size_ > 0, "PointBlock: min_max_dot over an empty block");
+  i64 lo = std::numeric_limits<i64>::max();
+  i64 hi = std::numeric_limits<i64>::min();
+  if (raw_sweep_safe(coeffs, max_abs_)) {
+    min_max_range(lanes_.data(), size_, dim_, 0, size_, coeffs, lo, hi);
+  } else {
+    min_max_range_checked(lanes_.data(), size_, dim_, 0, size_, coeffs, lo,
+                          hi);
+  }
+  return {lo, hi};
+}
+
+i64 PointBlock::width_within_ptr(const i64* coeffs, i64 limit) const {
+  NUSYS_REQUIRE(size_ > 0, "PointBlock: width_within over an empty block");
+  // Chunked sweep: each chunk is a flat vectorizable pass; between chunks
+  // the running width is tested against the incumbent bound so hopeless
+  // candidates stop early (the hull path is usually a single tiny chunk).
+  constexpr std::size_t kChunk = 256;
+  i64 lo = std::numeric_limits<i64>::max();
+  i64 hi = std::numeric_limits<i64>::min();
+  const bool raw = raw_sweep_safe(coeffs, max_abs_);
+  for (std::size_t begin = 0; begin < size_; begin += kChunk) {
+    const std::size_t end = std::min(begin + kChunk, size_);
+    if (raw) {
+      min_max_range(lanes_.data(), size_, dim_, begin, end, coeffs, lo, hi);
+    } else {
+      min_max_range_checked(lanes_.data(), size_, dim_, begin, end, coeffs,
+                            lo, hi);
+    }
+    if (checked_sub(hi, lo) > limit) return -1;
+  }
+  return checked_sub(hi, lo);
+}
+
+std::pair<i64, i64> PointBlock::min_max_dot(const IntVec& coeffs) const {
+  NUSYS_REQUIRE(coeffs.dim() == dim_,
+                "PointBlock: coefficient dimension mismatch");
+  return min_max_dot_ptr(coeffs.data().data());
+}
+
+i64 PointBlock::min_dot(const IntVec& coeffs) const {
+  return min_max_dot(coeffs).first;
+}
+
+bool PointBlock::all_dots_positive(const IntVec& coeffs) const {
+  if (size_ == 0) return true;
+  return min_max_dot(coeffs).first > 0;
+}
+
+// --- SpanKernel -----------------------------------------------------------
+
+SpanKernel::SpanKernel(const std::vector<IntVec>& points, bool use_hull)
+    : block_(use_hull ? extreme_points(points) : points),
+      full_points_(points.size()) {
+  NUSYS_REQUIRE(!points.empty(), "SpanKernel: empty point set");
+}
+
+TimeSpan SpanKernel::span(const LinearSchedule& t) const {
+  const auto [lo, hi] = block_.min_max_dot(t.coeffs());
+  return TimeSpan{checked_add(lo, t.offset()), checked_add(hi, t.offset())};
+}
+
+i64 SpanKernel::makespan_within(const IntVec& coeffs, i64 limit) const {
+  NUSYS_REQUIRE(coeffs.dim() == block_.dim(),
+                "SpanKernel: coefficient dimension mismatch");
+  return block_.width_within_ptr(coeffs.data().data(), limit);
+}
+
+// --- GuardPairKernel ------------------------------------------------------
+
+GuardPairKernel::GuardPairKernel(const std::vector<IntVec>& guard_points,
+                                 const AffineMap& producer_point,
+                                 bool use_hull)
+    : full_pairs_(guard_points.size()) {
+  if (guard_points.empty()) return;
+  point_dim_ = guard_points.front().dim();
+  // For any schedules (t_c, t_p) the margin t_c·p - t_p·q with
+  // q = A·p + b substitutes to (t_c - Aᵀ·t_p)·p - t_p·b — affine in the
+  // consumer point alone. Its minimum over the guard set is therefore
+  // attained at a hull vertex of the *n-dimensional guard points*; the
+  // producer side never needs its own hull. The concatenated (p, q) rows
+  // are stored anyway so satisfied() can evaluate the margin as one flat
+  // 2n-dimensional dot product without multiplying by A per query.
+  const std::vector<IntVec> eval =
+      use_hull ? extreme_points(guard_points) : guard_points;
+  std::vector<IntVec> concat;
+  concat.reserve(eval.size());
+  for (const auto& p : eval) {
+    const IntVec q = producer_point.apply(p);
+    std::vector<i64> v;
+    v.reserve(p.dim() + q.dim());
+    v.insert(v.end(), p.begin(), p.end());
+    v.insert(v.end(), q.begin(), q.end());
+    concat.emplace_back(std::move(v));
+  }
+  block_ = PointBlock(concat);
+}
+
+bool GuardPairKernel::satisfied(const LinearSchedule& consumer,
+                                const LinearSchedule& producer,
+                                bool allow_equal) const {
+  if (block_.empty()) return true;  // Vacuous guard.
+  NUSYS_REQUIRE(consumer.dim() == point_dim_ && producer.dim() == point_dim_,
+                "GuardPairKernel: schedule dimension mismatch");
+  // min over pairs of t_c·p - t_p·q, as one 2n-dim functional on the
+  // concatenated block. The combined coefficients live on the stack: this
+  // runs in the innermost backtracking loop and must not allocate.
+  std::array<i64, 16> c{};
+  NUSYS_REQUIRE(2 * point_dim_ <= c.size(),
+                "GuardPairKernel: guard dimension too large");
+  for (std::size_t a = 0; a < point_dim_; ++a) {
+    c[a] = consumer.coeffs()[a];
+    c[point_dim_ + a] = checked_mul(producer.coeffs()[a], -1);
+  }
+  const i64 lo = block_.min_max_dot_ptr(c.data()).first;
+  const i64 margin =
+      checked_add(lo, checked_sub(consumer.offset(), producer.offset()));
+  return allow_equal ? margin >= 0 : margin >= 1;
+}
+
+// --- count_distinct_images ------------------------------------------------
+
+std::size_t count_distinct_images(const PointBlock& points, const IntMat& s) {
+  if (points.empty()) return 0;
+  NUSYS_REQUIRE(s.cols() == points.dim(),
+                "count_distinct_images: shape mismatch");
+  const std::size_t m = points.size();
+  const std::size_t r = s.rows();
+  // Row-major image table; one checked pass per output row.
+  std::vector<i64> img(m * r);
+  for (std::size_t row = 0; row < r; ++row) {
+    for (std::size_t i = 0; i < m; ++i) {
+      i64 acc = 0;
+      for (std::size_t a = 0; a < points.dim(); ++a) {
+        acc = checked_add(acc, checked_mul(s(row, a), points.coord(i, a)));
+      }
+      img[i * r + row] = acc;
+    }
+  }
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  const auto less = [&](std::size_t a, std::size_t b) {
+    const i64* pa = img.data() + a * r;
+    const i64* pb = img.data() + b * r;
+    return std::lexicographical_compare(pa, pa + r, pb, pb + r);
+  };
+  std::sort(order.begin(), order.end(), less);
+  std::size_t distinct = 1;
+  for (std::size_t i = 1; i < m; ++i) {
+    if (less(order[i - 1], order[i])) ++distinct;
+  }
+  return distinct;
+}
+
+}  // namespace nusys

@@ -1,0 +1,191 @@
+// Shared evaluation kernels for the exhaustive mapping searches.
+//
+// Every search stage minimizes or bounds *linear* functionals over finite
+// point sets: a schedule candidate's makespan is max - min of T·p over the
+// index domain (Sec. II-B), and a global dependence statement is satisfied
+// iff min over its guard pairs (p, q) of t_c·p - t_p·q clears a threshold
+// (Sec. V-A). A linear functional attains its extrema at extreme points of
+// the convex hull of the evaluated set, so both loops are *exact* when run
+// over the hull vertices alone — on the paper's triangular DP domains that
+// is a handful of corners instead of O(n³) points. This module provides:
+//
+//   * extreme_points()  — convex-hull vertex reduction of an integer point
+//     set (any dimension). A cheap allocation-free midpoint filter
+//     discards lattice points that are averages of two neighbours; in one
+//     and two dimensions an exact integer pass (endpoints / monotone
+//     chain) then yields the true vertex set. The result is allowed to be
+//     a *superset* of the true vertex set (higher dimensions keep all
+//     filter survivors; on arithmetic overflow a point is conservatively
+//     kept), which preserves exactness: min/max over any superset of the
+//     vertices equals min/max over the full set.
+//   * PointBlock — a structure-of-arrays (column-major) view of a point
+//     set. Dot-product sweeps read flat per-axis lanes, so the compiler
+//     auto-vectorizes them; an overflow bound per candidate decides once
+//     whether the raw loop is safe or the overflow-checked scalar path
+//     must run.
+//   * SpanKernel — min/max of T over a domain's points, evaluated on the
+//     hull block (or the full block when hull reduction is ablated).
+//   * GuardPairKernel — feasibility of one global dependence statement for
+//     a (consumer, producer) schedule pair. The producer points are an
+//     affine image q = A·p + b of the consumer guard points, so the firing
+//     margin is affine in p alone and the hull reduction runs on the
+//     n-dimensional guard set, never in 2n dimensions.
+//
+// The ablation flag (NUSYS_DISABLE_HULL_KERNELS, or the per-search options
+// field) forces the full-point path; differential tests pin the two paths
+// to bit-identical optima, makespans and ranked-optima order.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ir/affine.hpp"
+#include "ir/domain.hpp"
+#include "linalg/mat.hpp"
+#include "linalg/vec.hpp"
+#include "schedule/timing.hpp"
+
+namespace nusys {
+
+/// Default for the per-search `hull_kernels` option: true unless the
+/// environment sets NUSYS_DISABLE_HULL_KERNELS (read once per process).
+[[nodiscard]] bool hull_kernels_default() noexcept;
+
+/// The extreme points (convex-hull vertices) of `points`, deduplicated, in
+/// first-occurrence order. Guaranteed to contain every vertex of the hull;
+/// exactly the vertex set in one and two dimensions (modulo int64
+/// overflow, where points are conservatively retained), a midpoint-filter
+/// superset of it above. Exactness contract: for every linear functional
+/// c, min/max of c·p over the result equals min/max over `points`.
+[[nodiscard]] std::vector<IntVec> extreme_points(
+    const std::vector<IntVec>& points);
+
+/// True when `p` lies in the convex hull of `others` (exact rational
+/// phase-1 simplex). Throws ContractError when the tableau overflows
+/// int64 rationals. Exposed for tests.
+[[nodiscard]] bool in_convex_hull(const IntVec& p,
+                                  const std::vector<IntVec>& others);
+
+/// A point set stored column-major: lane a holds coordinate a of every
+/// point, contiguously. Dot-product sweeps then run over flat arrays.
+class PointBlock {
+ public:
+  PointBlock() = default;
+  explicit PointBlock(const std::vector<IntVec>& points);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Coordinate `axis` of point `i`.
+  [[nodiscard]] i64 coord(std::size_t i, std::size_t axis) const {
+    return lanes_[axis * size_ + i];
+  }
+
+  /// Point `i` rebuilt as an IntVec (tests and slow paths only).
+  [[nodiscard]] IntVec point(std::size_t i) const;
+
+  /// {min, max} of coeffs·p over the block. Requires a non-empty block and
+  /// coeffs.dim() == dim(). Overflow-safe: falls back to checked scalar
+  /// arithmetic (which throws ContractError on real overflow) whenever the
+  /// a-priori bound does not certify the raw loop.
+  [[nodiscard]] std::pair<i64, i64> min_max_dot(const IntVec& coeffs) const;
+
+  /// min of coeffs·p over the block (same contract as min_max_dot).
+  [[nodiscard]] i64 min_dot(const IntVec& coeffs) const;
+
+  /// True when coeffs·p > 0 for every point (vacuously true when empty).
+  [[nodiscard]] bool all_dots_positive(const IntVec& coeffs) const;
+
+  /// min_max_dot over a raw coefficient pointer with dim() entries — the
+  /// allocation-free variant for inner search loops.
+  [[nodiscard]] std::pair<i64, i64> min_max_dot_ptr(const i64* coeffs) const;
+
+  /// Width (max - min) of coeffs·p over the block, or -1 as soon as the
+  /// running width exceeds `limit` (incumbent-bound prune). Exact: the
+  /// true width is returned whenever it is <= limit.
+  [[nodiscard]] i64 width_within_ptr(const i64* coeffs, i64 limit) const;
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<i64> lanes_;    ///< lanes_[axis * size_ + i].
+  std::vector<i64> max_abs_;  ///< Per-axis max |coordinate|.
+};
+
+/// Span (min/max tick) evaluation of linear schedules over one domain's
+/// point set, through the hull reduction when enabled.
+class SpanKernel {
+ public:
+  SpanKernel() = default;
+
+  /// `points` must be non-empty. With use_hull the block holds the extreme
+  /// points only; otherwise all points (the ablation / legacy path).
+  SpanKernel(const std::vector<IntVec>& points, bool use_hull);
+
+  /// Points the kernel actually evaluates per candidate.
+  [[nodiscard]] std::size_t eval_points() const noexcept {
+    return block_.size();
+  }
+  /// Points of the originating set.
+  [[nodiscard]] std::size_t full_points() const noexcept {
+    return full_points_;
+  }
+
+  /// Exact span of `t` over the originating point set.
+  [[nodiscard]] TimeSpan span(const LinearSchedule& t) const;
+
+  /// Exact makespan (span width) of the coefficient vector `coeffs`
+  /// (offsets cancel), or -1 when it exceeds `limit` — the incumbent-bound
+  /// prune. Exact: returns the true makespan whenever it is <= limit.
+  [[nodiscard]] i64 makespan_within(const IntVec& coeffs, i64 limit) const;
+
+ private:
+  PointBlock block_;
+  std::size_t full_points_ = 0;
+};
+
+/// Feasibility kernel of one global dependence statement. The statement
+/// holds for schedules (t_c, t_p) iff min over guard pairs (p, q) of
+/// t_c·p - t_p·q + (o_c - o_p) is >= 0 (allow_equal_time) or >= 1
+/// (strict). Because every producer point is the affine image
+/// q = A·p + b of its consumer point, the margin is affine in p alone,
+/// so hull-reducing the n-dimensional guard set is exact for every
+/// schedule pair — the reduction never touches 2n dimensions.
+class GuardPairKernel {
+ public:
+  GuardPairKernel() = default;
+
+  /// `guard_points` are the consumer points where the statement fires;
+  /// `producer_point` maps each to the producer point it reads.
+  GuardPairKernel(const std::vector<IntVec>& guard_points,
+                  const AffineMap& producer_point, bool use_hull);
+
+  [[nodiscard]] std::size_t eval_pairs() const noexcept {
+    return block_.size();
+  }
+  [[nodiscard]] std::size_t full_pairs() const noexcept {
+    return full_pairs_;
+  }
+
+  /// True when the consumer fires strictly after (or, with allow_equal, no
+  /// earlier than) the producer at every guard pair.
+  [[nodiscard]] bool satisfied(const LinearSchedule& consumer,
+                               const LinearSchedule& producer,
+                               bool allow_equal) const;
+
+ private:
+  PointBlock block_;  ///< 2n-dimensional concatenated pairs.
+  std::size_t full_pairs_ = 0;
+  std::size_t point_dim_ = 0;
+};
+
+/// Number of distinct images s·p over the block (the processor count of a
+/// space map). Needs every point — cell counting is not a linear
+/// functional — but runs on flat lanes with a sort instead of a node-based
+/// set.
+[[nodiscard]] std::size_t count_distinct_images(const PointBlock& points,
+                                                const IntMat& s);
+
+}  // namespace nusys

@@ -1,9 +1,9 @@
 #include "space/allocation.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "schedule/search.hpp"
+#include "search/kernels.hpp"
 
 namespace nusys {
 
@@ -27,13 +27,6 @@ i64 abs_entry_sum(const IntMat& m) {
     }
   }
   return acc;
-}
-
-std::size_t count_cells(const IntMat& s,
-                        const std::vector<IntVec>& points) {
-  std::set<IntVec> labels;
-  for (const auto& p : points) labels.insert(s * p);
-  return labels.size();
 }
 
 bool lexicographically_before(const IntMat& a, const IntMat& b) {
@@ -67,7 +60,10 @@ SpaceSearchResult find_space_maps(const LinearSchedule& timing,
   slacks.reserve(deps.size());
   for (const auto& d : deps) slacks.push_back(timing.slack(d));
 
-  const std::vector<IntVec> points = metric_domain.points();
+  // Cell counting needs every point (it is not a linear functional), but
+  // runs on the flat column-major block with a sort instead of a
+  // node-based set — same count, no per-point allocations.
+  const PointBlock points(metric_domain.points());
   const std::vector<IntVec> row_candidates =
       coefficient_cube(n, options.coeff_bound);
 
@@ -96,7 +92,7 @@ SpaceSearchResult find_space_maps(const LinearSchedule& timing,
       cand.k = *k;
       cand.pi = pi;
       cand.pi_det = det;
-      cand.cell_count = count_cells(s, points);
+      cand.cell_count = count_distinct_images(points, s);
       result.candidates.push_back(std::move(cand));
       return;
     }

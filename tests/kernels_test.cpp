@@ -1,0 +1,436 @@
+// Tests for the shared search-kernel layer (search/kernels.hpp):
+//   * extreme_points must be a vertex superset that is functionally exact —
+//     min/max of every linear functional over the reduction equals min/max
+//     over the full set (brute-forced over coefficient cubes and random
+//     functionals);
+//   * PointBlock batched sweeps must match naive per-point evaluation,
+//     including the overflow-checked fallback's ContractError parity;
+//   * GuardPairKernel must agree with the naive guard-pair loop for both
+//     strict and allow-equal-time statements;
+//   * the hull-kernel searches must return bit-identical results to the
+//     full-point ablation path (schedule search, module schedules, module
+//     spaces — including the paper's triangular DP system);
+//   * coefficient_cube's canonical L1-then-lex order and bound=0 edge case
+//     are pinned, so kernel reordering can't silently change which optimum
+//     best() returns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dp/dp_modules.hpp"
+#include "modules/module_schedule.hpp"
+#include "modules/module_space.hpp"
+#include "schedule/search.hpp"
+#include "search/kernels.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+namespace {
+
+IntVec random_vec(Rng& rng, std::size_t dim, i64 lo, i64 hi) {
+  IntVec v(dim);
+  for (std::size_t a = 0; a < dim; ++a) v[a] = rng.uniform(lo, hi);
+  return v;
+}
+
+std::pair<i64, i64> naive_min_max(const std::vector<IntVec>& points,
+                                  const IntVec& coeffs) {
+  i64 lo = std::numeric_limits<i64>::max();
+  i64 hi = std::numeric_limits<i64>::min();
+  for (const auto& p : points) {
+    const i64 t = coeffs.dot(p);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  return {lo, hi};
+}
+
+/// The n<j triangle domain of the DP paper, 2-D slice: 1<=i<=n-1, i<j<=n.
+IndexDomain triangle_domain(i64 n) {
+  return IndexDomain::box({"i", "j"}, {1, 1}, {n, n})
+      .with_constraint(AffineExpr(IntVec({-1, 1}), -1));  // j - i - 1 >= 0.
+}
+
+// --- extreme_points -------------------------------------------------------
+
+TEST(ExtremePointsTest, EmptySmallAndDedup) {
+  EXPECT_TRUE(extreme_points({}).empty());
+  const std::vector<IntVec> one{IntVec({3, 4})};
+  EXPECT_EQ(extreme_points(one), one);
+  // Duplicates collapse, first-occurrence order is preserved.
+  const std::vector<IntVec> dup{IntVec({1, 1}), IntVec({0, 0}), IntVec({1, 1})};
+  const std::vector<IntVec> expect{IntVec({1, 1}), IntVec({0, 0})};
+  EXPECT_EQ(extreme_points(dup), expect);
+}
+
+TEST(ExtremePointsTest, CollinearReducesToEndpoints) {
+  const std::vector<IntVec> line{IntVec({0, 0}), IntVec({1, 1}), IntVec({2, 2}),
+                                 IntVec({3, 3})};
+  const std::vector<IntVec> expect{IntVec({0, 0}), IntVec({3, 3})};
+  EXPECT_EQ(extreme_points(line), expect);
+}
+
+TEST(ExtremePointsTest, BoxReducesToCorners) {
+  const auto points = IndexDomain::box({"i", "j"}, {1, 1}, {5, 4}).points();
+  const auto hull = extreme_points(points);
+  const std::set<IntVec> corners{IntVec({1, 1}), IntVec({1, 4}), IntVec({5, 1}),
+                                 IntVec({5, 4})};
+  ASSERT_EQ(hull.size(), corners.size());
+  for (const auto& v : hull) EXPECT_TRUE(corners.count(v) != 0);
+}
+
+TEST(ExtremePointsTest, TriangleReducesToThreeCorners) {
+  const auto points = triangle_domain(7).points();
+  const auto hull = extreme_points(points);
+  const std::set<IntVec> corners{IntVec({1, 2}), IntVec({1, 7}),
+                                 IntVec({6, 7})};
+  ASSERT_EQ(hull.size(), corners.size());
+  for (const auto& v : hull) EXPECT_TRUE(corners.count(v) != 0);
+}
+
+TEST(ExtremePointsTest, FunctionalExactnessOverCoefficientCube) {
+  // The exactness contract, brute-forced: min/max of every functional in
+  // the cube agrees between the full set and the reduction.
+  const std::vector<std::vector<IntVec>> sets{
+      IndexDomain::box({"i", "j"}, {1, 1}, {6, 6}).points(),
+      triangle_domain(8).points(),
+      IndexDomain::box({"i", "j", "k"}, {1, 1, 1}, {4, 4, 3}).points(),
+  };
+  for (const auto& points : sets) {
+    const auto hull = extreme_points(points);
+    EXPECT_LT(hull.size(), points.size());
+    for (const auto& c : coefficient_cube(points.front().dim(), 3)) {
+      EXPECT_EQ(naive_min_max(hull, c), naive_min_max(points, c));
+    }
+  }
+}
+
+TEST(ExtremePointsTest, FunctionalExactnessRandomClouds) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t dim = trial % 2 == 0 ? 2 : 3;
+    const std::size_t count = static_cast<std::size_t>(rng.uniform(3, 40));
+    std::vector<IntVec> points;
+    for (std::size_t i = 0; i < count; ++i) {
+      points.push_back(random_vec(rng, dim, -6, 6));
+    }
+    const auto hull = extreme_points(points);
+    ASSERT_FALSE(hull.empty());
+    for (int f = 0; f < 50; ++f) {
+      const IntVec c = random_vec(rng, dim, -9, 9);
+      EXPECT_EQ(naive_min_max(hull, c), naive_min_max(points, c));
+    }
+  }
+}
+
+TEST(InConvexHullTest, MembershipBasics) {
+  const std::vector<IntVec> square{IntVec({0, 0}), IntVec({4, 0}),
+                                   IntVec({0, 4}), IntVec({4, 4})};
+  EXPECT_TRUE(in_convex_hull(IntVec({2, 2}), square));
+  EXPECT_TRUE(in_convex_hull(IntVec({0, 0}), square));  // Corner is in hull.
+  EXPECT_FALSE(in_convex_hull(IntVec({5, 2}), square));
+  EXPECT_FALSE(in_convex_hull(IntVec({4, 4}),
+                              {IntVec({0, 0}), IntVec({4, 0}), IntVec({0, 4})}));
+}
+
+// --- PointBlock -----------------------------------------------------------
+
+TEST(PointBlockTest, MinMaxDotMatchesNaive) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t dim = static_cast<std::size_t>(rng.uniform(1, 4));
+    const std::size_t count = static_cast<std::size_t>(rng.uniform(1, 300));
+    std::vector<IntVec> points;
+    for (std::size_t i = 0; i < count; ++i) {
+      points.push_back(random_vec(rng, dim, -50, 50));
+    }
+    const PointBlock block(points);
+    ASSERT_EQ(block.size(), count);
+    ASSERT_EQ(block.dim(), dim);
+    for (int f = 0; f < 20; ++f) {
+      const IntVec c = random_vec(rng, dim, -20, 20);
+      EXPECT_EQ(block.min_max_dot(c), naive_min_max(points, c));
+      bool positive = true;
+      for (const auto& p : points) positive = positive && c.dot(p) > 0;
+      EXPECT_EQ(block.all_dots_positive(c), positive);
+    }
+  }
+}
+
+TEST(PointBlockTest, WidthWithinReportsExactWidthOrPrune) {
+  Rng rng(7);
+  for (const std::size_t count : {5u, 40u, 700u}) {  // 700 spans 3 chunks.
+    std::vector<IntVec> points;
+    for (std::size_t i = 0; i < count; ++i) {
+      points.push_back(random_vec(rng, 2, -100, 100));
+    }
+    const PointBlock block(points);
+    const IntVec c({3, -2});
+    const auto [lo, hi] = naive_min_max(points, c);
+    const i64 width = hi - lo;
+    EXPECT_EQ(block.width_within_ptr(c.data().data(), width), width);
+    EXPECT_EQ(block.width_within_ptr(c.data().data(),
+                                     std::numeric_limits<i64>::max()),
+              width);
+    if (width > 0) {
+      EXPECT_EQ(block.width_within_ptr(c.data().data(), width - 1), -1);
+    }
+  }
+}
+
+TEST(PointBlockTest, OverflowFallsBackToCheckedPath) {
+  const i64 huge = std::numeric_limits<i64>::max() / 2 + 1;
+  // One huge point: the raw-sweep certificate fails for coeffs (1, 1), but
+  // the checked path still evaluates (1, -1) exactly...
+  const PointBlock block({IntVec({huge, huge}), IntVec({0, 0})});
+  const IntVec diff({1, -1});
+  EXPECT_EQ(block.min_max_dot(diff), (std::pair<i64, i64>{0, 0}));
+  // ...and throws ContractError on genuine overflow, like the legacy
+  // per-point evaluation did.
+  const IntVec sum({1, 1});
+  EXPECT_THROW((void)block.min_max_dot(sum), ContractError);
+}
+
+TEST(PointBlockTest, CountDistinctImagesMatchesSet) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t count = static_cast<std::size_t>(rng.uniform(1, 60));
+    std::vector<IntVec> points;
+    for (std::size_t i = 0; i < count; ++i) {
+      points.push_back(random_vec(rng, 3, -4, 4));
+    }
+    std::vector<IntVec> rows{random_vec(rng, 3, -2, 2),
+                             random_vec(rng, 3, -2, 2)};
+    const IntMat s = IntMat::from_rows(rows);
+    std::set<IntVec> images;
+    for (const auto& p : points) images.insert(s * p);
+    EXPECT_EQ(count_distinct_images(PointBlock(points), s), images.size());
+  }
+}
+
+// --- SpanKernel / GuardPairKernel -----------------------------------------
+
+TEST(SpanKernelTest, SpanMatchesLegacyOverTriangleAndBox) {
+  for (const auto& domain :
+       {IndexDomain::box({"i", "j"}, {1, 1}, {6, 5}), triangle_domain(8)}) {
+    const auto points = domain.points();
+    const SpanKernel hull(points, true);
+    const SpanKernel full(points, false);
+    EXPECT_LT(hull.eval_points(), hull.full_points());
+    EXPECT_EQ(full.eval_points(), points.size());
+    Rng rng(11);
+    for (int f = 0; f < 40; ++f) {
+      const LinearSchedule t(random_vec(rng, 2, -4, 4), rng.uniform(-3, 3));
+      const auto legacy = t.span(domain);
+      for (const SpanKernel* k : {&hull, &full}) {
+        const auto span = k->span(t);
+        EXPECT_EQ(span.first, legacy.first);
+        EXPECT_EQ(span.last, legacy.last);
+        EXPECT_EQ(k->makespan_within(t.coeffs(),
+                                     std::numeric_limits<i64>::max()),
+                  legacy.makespan());
+      }
+    }
+  }
+}
+
+TEST(GuardPairKernelTest, MatchesNaiveGuardLoop) {
+  // Guard pairs are always the affine image q = A·p + b of the consumer
+  // guard points (that is how module systems define them); the kernel
+  // exploits exactly that structure, so the test generates random affine
+  // maps rather than independent (p, q) pairs.
+  Rng rng(314);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t point_count =
+        static_cast<std::size_t>(rng.uniform(1, 30));
+    std::vector<IntVec> guard_points;
+    for (std::size_t i = 0; i < point_count; ++i) {
+      guard_points.push_back(random_vec(rng, 2, -5, 5));
+    }
+    IntMat a(2, 2);
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t c = 0; c < 2; ++c) a(r, c) = rng.uniform(-2, 2);
+    }
+    const AffineMap producer_point(a, random_vec(rng, 2, -3, 3));
+    const GuardPairKernel hull(guard_points, producer_point, true);
+    const GuardPairKernel full(guard_points, producer_point, false);
+    EXPECT_LE(hull.eval_pairs(), full.eval_pairs());
+    for (int f = 0; f < 30; ++f) {
+      const LinearSchedule consumer(random_vec(rng, 2, -3, 3),
+                                    rng.uniform(-2, 2));
+      const LinearSchedule producer(random_vec(rng, 2, -3, 3),
+                                    rng.uniform(-2, 2));
+      for (const bool allow_equal : {false, true}) {
+        bool naive = true;
+        for (const auto& p : guard_points) {
+          const i64 tc = consumer.at(p);
+          const i64 tp = producer.at(producer_point.apply(p));
+          if (allow_equal ? tc < tp : tc <= tp) naive = false;
+        }
+        EXPECT_EQ(hull.satisfied(consumer, producer, allow_equal), naive);
+        EXPECT_EQ(full.satisfied(consumer, producer, allow_equal), naive);
+      }
+    }
+  }
+}
+
+TEST(GuardPairKernelTest, EmptyGuardIsVacuouslySatisfied) {
+  const GuardPairKernel empty({}, AffineMap::linear(IntMat::identity(2)),
+                              true);
+  const LinearSchedule t(IntVec({1, 1}));
+  EXPECT_TRUE(empty.satisfied(t, t, false));
+}
+
+// --- coefficient_cube canonical order (kernel reordering guard) -----------
+
+TEST(CoefficientCubeTest, CanonicalL1ThenLexOrder) {
+  const auto cube = coefficient_cube(2, 2);
+  ASSERT_EQ(cube.size(), 25u);  // (2*2+1)^2.
+  EXPECT_EQ(cube.front(), IntVec({0, 0}));
+  // L1 norm never decreases; within one norm the order is lexicographic.
+  for (std::size_t i = 1; i < cube.size(); ++i) {
+    const i64 prev = cube[i - 1].l1_norm();
+    const i64 cur = cube[i].l1_norm();
+    EXPECT_LE(prev, cur) << "position " << i;
+    if (prev == cur) {
+      EXPECT_LT(cube[i - 1], cube[i]) << "position " << i;
+    }
+  }
+  // The L1=1 shell, exactly, in lex order.
+  const std::vector<IntVec> shell{IntVec({-1, 0}), IntVec({0, -1}),
+                                  IntVec({0, 1}), IntVec({1, 0})};
+  for (std::size_t i = 0; i < shell.size(); ++i) {
+    EXPECT_EQ(cube[1 + i], shell[i]);
+  }
+}
+
+TEST(CoefficientCubeTest, BoundZeroIsJustTheOrigin) {
+  const auto cube = coefficient_cube(3, 0);
+  ASSERT_EQ(cube.size(), 1u);
+  EXPECT_EQ(cube.front(), IntVec({0, 0, 0}));
+  EXPECT_THROW((void)coefficient_cube(0, 1), ContractError);
+}
+
+// --- hull-on vs hull-off ablation differentials ---------------------------
+
+void expect_same_schedule_search(const ScheduleSearchResult& off,
+                                 const ScheduleSearchResult& on) {
+  ASSERT_EQ(on.optima.size(), off.optima.size());
+  for (std::size_t i = 0; i < off.optima.size(); ++i) {
+    EXPECT_EQ(on.optima[i].coeffs(), off.optima[i].coeffs()) << "optimum " << i;
+  }
+  EXPECT_EQ(on.makespan, off.makespan);
+  EXPECT_EQ(on.examined, off.examined);
+  EXPECT_EQ(on.feasible_count, off.feasible_count);
+}
+
+TEST(HullAblationTest, ScheduleSearchBitIdentical) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t dim = trial % 2 == 0 ? 2 : 3;
+    std::vector<std::string> names{"i", "j", "k"};
+    names.resize(dim);
+    const auto domain =
+        trial % 3 == 0 && dim == 2
+            ? triangle_domain(rng.uniform(4, 8))
+            : IndexDomain::box(names, std::vector<i64>(dim, 1),
+                               rng.uniform_vector(dim, 2, 6));
+    std::vector<IntVec> deps;
+    const std::size_t dep_count = static_cast<std::size_t>(rng.uniform(1, 3));
+    for (std::size_t d = 0; d < dep_count; ++d) {
+      for (;;) {
+        IntVec v = random_vec(rng, dim, -2, 2);
+        if (!v.is_zero()) {
+          deps.push_back(std::move(v));
+          break;
+        }
+      }
+    }
+    for (const std::size_t threads : {1u, 8u}) {
+      ScheduleSearchOptions options;
+      options.coeff_bound = 2;
+      options.parallelism.threads = threads;
+      options.hull_kernels = false;
+      const auto off = find_optimal_schedules(deps, domain, options);
+      options.hull_kernels = true;
+      const auto on = find_optimal_schedules(deps, domain, options);
+      expect_same_schedule_search(off, on);
+    }
+  }
+}
+
+TEST(HullAblationTest, DpModuleSchedulesBitIdentical) {
+  const auto sys = build_dp_module_system(5);
+  for (const std::size_t threads : {1u, 8u}) {
+    ModuleScheduleOptions options;
+    options.parallelism.threads = threads;
+    options.hull_kernels = false;
+    const auto off = find_module_schedules(sys, options);
+    ASSERT_TRUE(off.found());
+    options.hull_kernels = true;
+    const auto on = find_module_schedules(sys, options);
+    ASSERT_EQ(on.optima.size(), off.optima.size());
+    for (std::size_t i = 0; i < off.optima.size(); ++i) {
+      EXPECT_EQ(on.optima[i].makespan, off.optima[i].makespan);
+      ASSERT_EQ(on.optima[i].schedules.size(), off.optima[i].schedules.size());
+      for (std::size_t m = 0; m < off.optima[i].schedules.size(); ++m) {
+        EXPECT_EQ(on.optima[i].schedules[m].coeffs(),
+                  off.optima[i].schedules[m].coeffs());
+      }
+    }
+    EXPECT_EQ(on.examined, off.examined);
+    EXPECT_EQ(on.feasible_count, off.feasible_count);
+  }
+}
+
+TEST(HullAblationTest, DpModuleSpacesBitIdenticalBothNets) {
+  const auto sys = build_dp_module_system(5);
+  const auto schedules = dp_paper_schedules();
+  for (const auto& net : {Interconnect::figure1(), Interconnect::figure2()}) {
+    for (const std::size_t threads : {1u, 8u}) {
+      ModuleSpaceOptions options;
+      options.max_results = 4;
+      options.parallelism.threads = threads;
+      options.hull_kernels = false;
+      const auto off = find_module_spaces(sys, schedules, net, options);
+      ASSERT_TRUE(off.found());
+      options.hull_kernels = true;
+      const auto on = find_module_spaces(sys, schedules, net, options);
+      ASSERT_EQ(on.optima.size(), off.optima.size());
+      for (std::size_t i = 0; i < off.optima.size(); ++i) {
+        EXPECT_EQ(on.optima[i].cell_count, off.optima[i].cell_count);
+        EXPECT_EQ(on.optima[i].spaces, off.optima[i].spaces);
+      }
+      EXPECT_EQ(on.examined, off.examined);
+      EXPECT_EQ(on.feasible_count, off.feasible_count);
+    }
+  }
+}
+
+TEST(HullAblationTest, PrunedCounterSurfacesInTelemetry) {
+  // The dropped-counter regression: telemetry() must carry `pruned`
+  // through for every search result type.
+  const auto sys = build_dp_module_system(5);
+  ModuleScheduleOptions mopts;
+  mopts.parallelism.threads = 1;
+  const auto msched = find_module_schedules(sys, mopts);
+  EXPECT_EQ(msched.telemetry("module-schedule").pruned, msched.pruned);
+  EXPECT_GT(msched.pruned, 0u);  // The DP search genuinely prunes.
+
+  ModuleSpaceOptions sopts;
+  sopts.parallelism.threads = 1;
+  const auto mspace = find_module_spaces(sys, dp_paper_schedules(),
+                                         Interconnect::figure2(), sopts);
+  EXPECT_EQ(mspace.telemetry("module-space").pruned, mspace.pruned);
+
+  const auto domain = IndexDomain::box({"i", "j"}, {1, 1}, {8, 8});
+  ScheduleSearchOptions opts;
+  opts.parallelism.threads = 1;
+  const auto sched =
+      find_optimal_schedules({IntVec({1, 0}), IntVec({0, 1})}, domain, opts);
+  EXPECT_EQ(sched.telemetry("schedule").pruned, sched.pruned);
+}
+
+}  // namespace
+}  // namespace nusys

@@ -216,6 +216,10 @@ TEST(TelemetryTest, PipelineStagesArePopulatedForFig1DpSpec) {
     EXPECT_GE(s.cumulative_seconds, s.wall_seconds) << s.stage;
     previous_cumulative = s.cumulative_seconds;
   }
+  // The backtracking stages must surface their prune counts (the counter
+  // used to be dropped by telemetry()); the DP module search genuinely
+  // prunes, so the count is positive, not merely present.
+  EXPECT_GT(stages[1].pruned, 0u);
   EXPECT_EQ(result.telemetry.find("module-space"), &stages[2]);
   EXPECT_EQ(result.telemetry.find("nope"), nullptr);
   EXPECT_EQ(result.telemetry.total_examined(),
