@@ -1,0 +1,106 @@
+// Experiment AN — certificate-based static analysis vs extensional
+// enumeration. The analyzer (src/analysis/) discharges every design
+// obligation with Farkas / lattice-kernel / rowspan certificates, so its
+// cost is independent of the domain size, while verify_module_design walks
+// all O(n^3) computations and guard points. Prints the head-to-head series
+// (the ISSUE-5 acceptance criterion is >= 100x at n >= 64 with identical
+// verdicts), then benchmarks both paths plus the certificate re-check.
+#include "analysis/analyzer.hpp"
+#include "bench_common.hpp"
+#include "dp/dp_modules.hpp"
+#include "support/table.hpp"
+#include "support/telemetry.hpp"
+#include "verify/module_spacetime.hpp"
+
+namespace {
+
+using namespace nusys;
+
+void print_analyze_vs_enumerate() {
+  std::cout << "=== Static certificates vs extensional enumeration "
+               "(figure-2 DP design) ===\n\n";
+  TextTable table({"n", "computations", "obligations", "analyze s",
+                   "enumerate s", "speedup", "verdicts"});
+  for (const i64 n : {8, 16, 32, 64}) {
+    const auto sys = build_dp_module_system(n);
+    const auto schedules = dp_paper_schedules();
+    const auto spaces = dp_fig2_spaces();
+    const auto net = Interconnect::figure2();
+
+    const WallTimer analyze_timer;
+    const auto analysis = analyze_module_design(sys, schedules, spaces, net);
+    const double analyze_seconds = analyze_timer.seconds();
+
+    const WallTimer verify_timer;
+    const auto verdict = verify_module_design(sys, schedules, spaces, net);
+    const double verify_seconds = verify_timer.seconds();
+
+    table.add_row(
+        {std::to_string(n), std::to_string(verdict.computations_checked),
+         std::to_string(analysis.certificate.obligations.size()),
+         std::to_string(analyze_seconds), std::to_string(verify_seconds),
+         std::to_string(verify_seconds / analyze_seconds),
+         analysis.ok() == verdict.ok() ? "agree" : "DISAGREE"});
+  }
+  std::cout << table.render() << '\n';
+}
+
+void bm_analyze_dp(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const auto sys = build_dp_module_system(n);
+  const auto schedules = dp_paper_schedules();
+  const auto spaces = dp_fig2_spaces();
+  const auto net = Interconnect::figure2();
+  std::size_t obligations = 0, enumerated = 0;
+  for (auto _ : state) {
+    const auto report = analyze_module_design(sys, schedules, spaces, net);
+    if (!report.ok()) state.SkipWithError("paper design not certified");
+    obligations = report.certificate.obligations.size();
+    enumerated = report.enumerated;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["obligations"] = static_cast<double>(obligations);
+  state.counters["enumerated"] = static_cast<double>(enumerated);
+}
+BENCHMARK(bm_analyze_dp)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_enumerate_dp(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const auto sys = build_dp_module_system(n);
+  const auto schedules = dp_paper_schedules();
+  const auto spaces = dp_fig2_spaces();
+  const auto net = Interconnect::figure2();
+  std::size_t computations = 0;
+  for (auto _ : state) {
+    const auto report = verify_module_design(sys, schedules, spaces, net);
+    if (!report.ok()) state.SkipWithError("paper design rejected");
+    computations = report.computations_checked;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["computations"] = static_cast<double>(computations);
+}
+BENCHMARK(bm_enumerate_dp)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_check_certificate(benchmark::State& state) {
+  // Re-checking a stored certificate (the design-cache revalidation path)
+  // is cheaper still: no LP runs, only integer substitution.
+  const i64 n = state.range(0);
+  const auto sys = build_dp_module_system(n);
+  const auto schedules = dp_paper_schedules();
+  const auto spaces = dp_fig2_spaces();
+  const auto net = Interconnect::figure2();
+  const auto report = analyze_module_design(sys, schedules, spaces, net);
+  for (auto _ : state) {
+    const auto check = check_module_certificate(sys, schedules, spaces, net,
+                                                report.certificate);
+    if (!check.ok) state.SkipWithError("certificate rejected");
+    benchmark::DoNotOptimize(check);
+  }
+  state.counters["obligations"] =
+      static_cast<double>(report.certificate.obligations.size());
+}
+BENCHMARK(bm_check_certificate)->Arg(16)->Arg(64);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_analyze_vs_enumerate)

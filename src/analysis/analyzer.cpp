@@ -1,0 +1,1538 @@
+#include "analysis/analyzer.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "analysis/polytope.hpp"
+#include "analysis/rational_lp.hpp"
+#include "modules/module_schedule.hpp"
+#include "modules/module_space.hpp"
+#include "space/routing.hpp"
+#include "support/telemetry.hpp"
+#include "verify/module_spacetime.hpp"
+
+namespace nusys {
+
+namespace {
+
+const char* violation_kind_name(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kCausality:
+      return "causality";
+    case Violation::Kind::kConflict:
+      return "conflict";
+    case Violation::Kind::kUnroutable:
+      return "unroutable";
+    case Violation::Kind::kLinkOverload:
+      return "link-overload";
+  }
+  return "?";
+}
+
+/// RoutabilityCache::routable semantics without the cache.
+bool routable(const Interconnect& net, const IntVec& displacement,
+              i64 slack) {
+  if (slack < 0) return false;
+  if (displacement.is_zero()) return true;
+  return route_displacement(net, displacement, slack).has_value();
+}
+
+/// Inequalities of  p - shift ∈ polytope, expressed over p.
+std::vector<AffineInequality> shifted_inequalities(
+    const std::vector<AffineInequality>& base, const IntVec& shift) {
+  std::vector<AffineInequality> out;
+  out.reserve(base.size());
+  for (const auto& q : base) {
+    out.push_back({q.coeffs, checked_sub(q.constant, q.coeffs.dot(shift))});
+  }
+  return out;
+}
+
+/// The firing margin of one global statement as an affine form over the
+/// consumer point:  t_c·p + o_c - (t_p·(A·p + b) + o_p).
+void global_margin(const GlobalDep& g,
+                   const std::vector<LinearSchedule>& schedules,
+                   IntVec* coeffs, i64* constant) {
+  const LinearSchedule& tc = schedules[g.consumer];
+  const LinearSchedule& tp = schedules[g.producer];
+  const IntMat& a = g.producer_point.matrix();
+  const IntVec& b = g.producer_point.offset();
+  IntVec c(tc.dim());
+  for (std::size_t k = 0; k < tc.dim(); ++k) {
+    i64 v = tc.coeffs()[k];
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      v = checked_sub(v, checked_mul(tp.coeffs()[r], a(r, k)));
+    }
+    c[k] = v;
+  }
+  *coeffs = std::move(c);
+  *constant = checked_sub(checked_sub(tc.offset(), tp.coeffs().dot(b)),
+                          tp.offset());
+}
+
+/// The displacement of one global statement as an affine vector map:
+/// disp(p) = S_c·p - S_p·(A·p + b).
+struct AffineVecMap {
+  IntMat matrix;
+  IntVec offset;
+
+  [[nodiscard]] IntVec apply(const IntVec& p) const {
+    return matrix * p + offset;
+  }
+};
+
+AffineVecMap global_displacement(const GlobalDep& g,
+                                 const std::vector<IntMat>& spaces) {
+  const IntMat sp_a = spaces[g.producer] * g.producer_point.matrix();
+  return {spaces[g.consumer] - sp_a,
+          -(spaces[g.producer] * g.producer_point.offset())};
+}
+
+/// True when  row·x  is constant on the affine hull of the facets'
+/// equalities (row is a rational combination of the equality normals).
+bool constant_on_hull(const DomainFacets& facets, const IntVec& row) {
+  if (row.is_zero()) return true;
+  if (facets.equalities.empty()) return false;
+  const std::size_t m = facets.equalities.size();
+  FracMat a(facets.dim, FracVec(m));
+  FracVec b(facets.dim);
+  for (std::size_t k = 0; k < facets.dim; ++k) {
+    for (std::size_t i = 0; i < m; ++i) {
+      a[k][i] = Fraction(facets.equalities[i].coeffs[k]);
+    }
+    b[k] = Fraction(row[k]);
+  }
+  return solve_rational_system(a, b).has_value();
+}
+
+/// The transformation Π = [t; S] of one module as a matrix.
+IntMat pi_matrix(const LinearSchedule& t, const IntMat& s) {
+  std::vector<IntVec> rows;
+  rows.reserve(1 + s.rows());
+  rows.push_back(t.coeffs());
+  for (std::size_t r = 0; r < s.rows(); ++r) rows.push_back(s.row(r));
+  return IntMat::from_rows(rows);
+}
+
+/// A row subset of `m` of size m.cols() with nonzero determinant, plus
+/// that determinant; nullopt when no subset has full rank.
+std::optional<std::pair<std::vector<std::size_t>, i64>> independent_rows(
+    const IntMat& m) {
+  const std::size_t need = m.cols();
+  if (need == 0) return std::make_pair(std::vector<std::size_t>{}, i64{1});
+  if (m.rows() < need) return std::nullopt;
+  std::vector<std::size_t> idx(need);
+  for (std::size_t i = 0; i < need; ++i) idx[i] = i;
+  for (;;) {
+    IntMat sub(need, need);
+    for (std::size_t r = 0; r < need; ++r) {
+      for (std::size_t c = 0; c < need; ++c) sub(r, c) = m(idx[r], c);
+    }
+    const i64 det = sub.determinant();
+    if (det != 0) return std::make_pair(idx, det);
+    // Next combination in lexicographic order.
+    std::size_t i = need;
+    while (i > 0) {
+      --i;
+      if (idx[i] + (need - i) < m.rows()) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < need; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return std::nullopt;
+    }
+  }
+}
+
+/// Determinant of the stored row subset of `m`; nullopt on a malformed
+/// subset (wrong arity, out of range, repeated row).
+std::optional<i64> subset_determinant(const IntMat& m,
+                                      const std::vector<std::size_t>& rows) {
+  if (rows.size() != m.cols()) return std::nullopt;
+  std::set<std::size_t> seen;
+  for (const std::size_t r : rows) {
+    if (r >= m.rows() || !seen.insert(r).second) return std::nullopt;
+  }
+  IntMat sub(rows.size(), rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows.size(); ++c) sub(r, c) = m(rows[r], c);
+  }
+  return sub.determinant();
+}
+
+IntVec embed_pair(const IntVec& v, std::size_t n, bool second) {
+  IntVec out(2 * n);
+  for (std::size_t k = 0; k < n; ++k) out[(second ? n : 0) + k] = v[k];
+  return out;
+}
+
+/// The slot-coincidence polytope of two modules over (p, q) ∈ Z^{2n}:
+/// both domains plus  t_a(p) = t_b(q)  and  S_a·p = S_b·q  as half-space
+/// pairs. Rational emptiness proves the modules never share a slot.
+std::vector<AffineInequality> pair_polytope(
+    const DomainFacets& fa, const DomainFacets& fb, const LinearSchedule& ta,
+    const LinearSchedule& tb, const IntMat& sa, const IntMat& sb) {
+  const std::size_t n = fa.dim;
+  std::vector<AffineInequality> out;
+  for (const auto& q : fa.inequalities) {
+    out.push_back({embed_pair(q.coeffs, n, false), q.constant});
+  }
+  for (const auto& q : fb.inequalities) {
+    out.push_back({embed_pair(q.coeffs, n, true), q.constant});
+  }
+  const auto add_equality = [&out](const IntVec& coeffs, i64 constant) {
+    out.push_back({coeffs, constant});
+    out.push_back({-coeffs, checked_mul(constant, -1)});
+  };
+  IntVec tv = embed_pair(ta.coeffs(), n, false) -
+              embed_pair(tb.coeffs(), n, true);
+  add_equality(tv, checked_sub(ta.offset(), tb.offset()));
+  for (std::size_t r = 0; r < sa.rows(); ++r) {
+    add_equality(embed_pair(sa.row(r), n, false) -
+                     embed_pair(sb.row(r), n, true),
+                 0);
+  }
+  return out;
+}
+
+/// Relation rows for the fold-rule rowspan certificate, over the combined
+/// coordinates (p, q, 1): every relation vanishes whenever p ∈ hull(D_a),
+/// q ∈ hull(D_b) and the two computations share a slot.
+std::vector<IntVec> fold_relation_rows(const DomainFacets& fa,
+                                       const DomainFacets& fb,
+                                       const LinearSchedule& ta,
+                                       const LinearSchedule& tb,
+                                       const IntMat& sa, const IntMat& sb) {
+  const std::size_t n = fa.dim;
+  const auto widen = [n](const IntVec& v, i64 constant) {
+    IntVec out(2 * n + 1);
+    for (std::size_t k = 0; k < 2 * n; ++k) out[k] = v[k];
+    out[2 * n] = constant;
+    return out;
+  };
+  std::vector<IntVec> rows;
+  rows.push_back(widen(embed_pair(ta.coeffs(), n, false) -
+                           embed_pair(tb.coeffs(), n, true),
+                       checked_sub(ta.offset(), tb.offset())));
+  for (std::size_t r = 0; r < sa.rows(); ++r) {
+    rows.push_back(widen(embed_pair(sa.row(r), n, false) -
+                             embed_pair(sb.row(r), n, true),
+                         0));
+  }
+  for (const auto& eq : fa.equalities) {
+    rows.push_back(widen(embed_pair(eq.coeffs, n, false), eq.constant));
+  }
+  for (const auto& eq : fb.equalities) {
+    rows.push_back(widen(embed_pair(eq.coeffs, n, true), eq.constant));
+  }
+  return rows;
+}
+
+/// Target rows of the fold certificate: F(p) - F(q), one per fold-key
+/// output (offsets cancel on the difference).
+std::vector<IntVec> fold_target_rows(const AffineMap& fold, std::size_t n) {
+  std::vector<IntVec> rows;
+  rows.reserve(fold.output_dim());
+  for (std::size_t r = 0; r < fold.output_dim(); ++r) {
+    IntVec row(2 * n + 1);
+    for (std::size_t k = 0; k < n; ++k) {
+      row[k] = fold.matrix()(r, k);
+      row[n + k] = checked_mul(fold.matrix()(r, k), -1);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Exact check that `combination` expresses every fold target row as a
+/// rational combination of the relation rows.
+bool check_fold_combination(const std::vector<IntVec>& relations,
+                            const std::vector<IntVec>& targets,
+                            const FracMat& combination) {
+  if (combination.size() != targets.size()) return false;
+  const std::size_t width = relations.empty() ? 0 : relations[0].dim();
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    if (combination[t].size() != relations.size()) return false;
+    for (std::size_t k = 0; k < width; ++k) {
+      Fraction sum;
+      for (std::size_t j = 0; j < relations.size(); ++j) {
+        sum += combination[t][j] * Fraction(relations[j][k]);
+      }
+      if (sum != Fraction(targets[t][k])) return false;
+    }
+  }
+  return true;
+}
+
+/// Solves the fold rowspan system; nullopt when some target row is not in
+/// the rational span of the relations.
+std::optional<FracMat> solve_fold_combination(
+    const std::vector<IntVec>& relations,
+    const std::vector<IntVec>& targets) {
+  if (relations.empty()) return std::nullopt;
+  const std::size_t width = relations[0].dim();
+  FracMat a(width, FracVec(relations.size()));
+  for (std::size_t k = 0; k < width; ++k) {
+    for (std::size_t j = 0; j < relations.size(); ++j) {
+      a[k][j] = Fraction(relations[j][k]);
+    }
+  }
+  FracMat combination;
+  for (const auto& target : targets) {
+    FracVec b(width);
+    for (std::size_t k = 0; k < width; ++k) b[k] = Fraction(target[k]);
+    auto c = solve_rational_system(a, b);
+    if (!c) return std::nullopt;
+    combination.push_back(std::move(*c));
+  }
+  return combination;
+}
+
+/// Swallows arithmetic overflow inside a certificate attempt: an overflow
+/// only ever downgrades an obligation to the enumeration fallback.
+template <typename F>
+auto attempt(F&& f) -> decltype(f()) {
+  try {
+    return f();
+  } catch (const Error&) {
+    return {};
+  }
+}
+
+bool paranoid_revalidate_env() {
+  const char* v = std::getenv("NUSYS_PARANOID_REVALIDATE");
+  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+// ---------------------------------------------------------------------------
+// Exact per-obligation enumeration fallbacks. Each mirrors one loop of the
+// extensional verifiers, with early exit on the first witness.
+
+std::optional<std::string> find_collision(const std::string& name,
+                                          const IndexDomain& domain,
+                                          const LinearSchedule& t,
+                                          const IntMat& s) {
+  std::set<std::pair<IntVec, i64>> own;
+  std::optional<std::string> hit;
+  domain.for_each([&](const IntVec& p) {
+    if (hit) return;
+    const auto slot = std::make_pair(s * p, t.at(p));
+    if (!own.insert(slot).second) {
+      std::ostringstream os;
+      os << name << ' ' << p << " collides with another " << name
+         << " computation at cell " << slot.first << ", tick " << slot.second;
+      hit = os.str();
+    }
+  });
+  return hit;
+}
+
+std::optional<std::string> find_pair_collision(
+    const ModuleSystem& sys, std::size_t a, std::size_t b,
+    const std::vector<LinearSchedule>& schedules,
+    const std::vector<IntMat>& spaces) {
+  std::map<std::pair<IntVec, i64>, IntVec> slots;
+  sys.module(a).domain.for_each([&](const IntVec& p) {
+    const IntVec key = sys.fold_key() ? sys.fold_key()->apply(p) : p;
+    slots.emplace(std::make_pair(spaces[a] * p, schedules[a].at(p)), key);
+  });
+  std::optional<std::string> hit;
+  sys.module(b).domain.for_each([&](const IntVec& q) {
+    if (hit) return;
+    const auto it =
+        slots.find(std::make_pair(spaces[b] * q, schedules[b].at(q)));
+    if (it == slots.end()) return;
+    const IntVec key = sys.fold_key() ? sys.fold_key()->apply(q) : q;
+    if (!sys.fold_key() || it->second != key) {
+      std::ostringstream os;
+      os << sys.module(b).name << ' ' << q << " shares a slot with module '"
+         << sys.module(a).name << "' serving a different fold key";
+      hit = os.str();
+    }
+  });
+  return hit;
+}
+
+std::optional<std::string> find_global_causality_violation(
+    const GlobalDep& g, const std::vector<LinearSchedule>& schedules) {
+  const i64 required = g.allow_equal_time ? 0 : 1;
+  std::optional<std::string> hit;
+  g.guard.for_each([&](const IntVec& p) {
+    if (hit) return;
+    const IntVec q = g.producer_point.apply(p);
+    const i64 slack =
+        checked_sub(schedules[g.consumer].at(p), schedules[g.producer].at(q));
+    if (slack < required) {
+      std::ostringstream os;
+      os << g.name << " at " << p << ": consumer fires at slack " << slack
+         << " relative to its producer";
+      hit = os.str();
+    }
+  });
+  return hit;
+}
+
+/// Verifier semantics: route checked only at causal guard points.
+std::optional<std::string> find_global_route_violation(
+    const GlobalDep& g, const std::vector<LinearSchedule>& schedules,
+    const std::vector<IntMat>& spaces, const Interconnect& net) {
+  std::optional<std::string> hit;
+  g.guard.for_each([&](const IntVec& p) {
+    if (hit) return;
+    const IntVec q = g.producer_point.apply(p);
+    const i64 slack =
+        checked_sub(schedules[g.consumer].at(p), schedules[g.producer].at(q));
+    if (g.allow_equal_time ? slack < 0 : slack <= 0) return;
+    const IntVec disp = spaces[g.consumer] * p - spaces[g.producer] * q;
+    if (!routable(net, disp, slack)) {
+      std::ostringstream os;
+      os << g.name << " at " << p << ": displacement " << disp
+         << " unreachable in " << slack << " tick(s)";
+      hit = os.str();
+    }
+  });
+  return hit;
+}
+
+/// Oracle semantics (spaces_satisfy): any negative slack fails, and the
+/// route must fit the point's own slack everywhere.
+bool oracle_global_route_ok(const GlobalDep& g,
+                            const std::vector<LinearSchedule>& schedules,
+                            const std::vector<IntMat>& spaces,
+                            const Interconnect& net) {
+  bool ok = true;
+  g.guard.for_each([&](const IntVec& p) {
+    if (!ok) return;
+    const IntVec q = g.producer_point.apply(p);
+    const i64 slack =
+        checked_sub(schedules[g.consumer].at(p), schedules[g.producer].at(q));
+    if (slack < 0) {
+      ok = false;
+      return;
+    }
+    const IntVec disp = spaces[g.consumer] * p - spaces[g.producer] * q;
+    if (!routable(net, disp, slack)) ok = false;
+  });
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Report assembly.
+
+struct Builder {
+  AnalysisReport* report;
+
+  ObligationRecord& add(std::string id, std::string kind) {
+    ObligationRecord o;
+    o.id = std::move(id);
+    o.kind = std::move(kind);
+    report->certificate.obligations.push_back(std::move(o));
+    return report->certificate.obligations.back();
+  }
+
+  void certify(ObligationRecord& o, std::string detail) {
+    o.status = ObligationStatus::kCertified;
+    o.detail = std::move(detail);
+    ++report->certified;
+  }
+
+  void enumerated(ObligationRecord& o, std::string detail) {
+    o.status = ObligationStatus::kEnumerated;
+    o.detail = std::move(detail);
+    ++report->enumerated;
+  }
+
+  void violate(ObligationRecord& o, Violation::Kind kind,
+               std::string detail) {
+    o.status = ObligationStatus::kViolated;
+    o.detail = detail;
+    report->violations.push_back({kind, std::move(detail)});
+  }
+};
+
+/// Shared analysis of one global statement's causality; returns the
+/// rational margin minimum when (and only when) it was certified by LP.
+std::optional<Fraction> analyze_global_causality(
+    Builder& b, ObligationRecord& o, const GlobalDep& g,
+    const std::vector<LinearSchedule>& schedules,
+    const DomainFacets& guard) {
+  const i64 required = g.allow_equal_time ? 0 : 1;
+  IntVec margin;
+  i64 margin_constant = 0;
+  global_margin(g, schedules, &margin, &margin_constant);
+
+  const auto bound = attempt([&] {
+    return prove_lower_bound(guard.inequalities, margin, margin_constant);
+  });
+  if (bound) {
+    if (ceil_fraction(bound->bound) >= required) {
+      o.bound = *bound;
+      b.certify(o, g.name + ": margin >= " + bound->bound.to_string() +
+                       " over the guard polytope");
+      return bound->bound;
+    }
+  } else {
+    const auto empty =
+        attempt([&] { return prove_empty(guard.inequalities); });
+    if (empty) {
+      o.empty = *empty;
+      b.certify(o, g.name + ": guard polytope is empty");
+      return std::nullopt;
+    }
+  }
+  if (auto hit = find_global_causality_violation(g, schedules)) {
+    b.violate(o, Violation::Kind::kCausality, *hit);
+  } else {
+    b.enumerated(o, g.name + ": margin verified by guard enumeration");
+  }
+  return std::nullopt;
+}
+
+/// Shared analysis of one global statement's routability. `oracle_rule`
+/// selects the spaces_satisfy semantics instead of the verifier's.
+void analyze_global_route(Builder& b, ObligationRecord& o, const GlobalDep& g,
+                          const std::vector<LinearSchedule>& schedules,
+                          const std::vector<IntMat>& spaces,
+                          const Interconnect& net, const DomainFacets& guard,
+                          const std::optional<Fraction>& margin_min,
+                          const ObligationRecord& causality,
+                          std::size_t witness_budget, bool oracle_rule) {
+  // A guard proven empty makes every route obligation vacuous.
+  if (causality.status == ObligationStatus::kCertified && causality.empty) {
+    o.empty = causality.empty;
+    b.certify(o, g.name + ": vacuous (empty guard)");
+    return;
+  }
+  const auto fall_back = [&] {
+    if (oracle_rule) {
+      if (oracle_global_route_ok(g, schedules, spaces, net)) {
+        b.enumerated(o, g.name + ": routes verified by guard enumeration");
+      } else {
+        b.violate(o, Violation::Kind::kUnroutable,
+                  g.name + ": unroutable at some guard point");
+      }
+      return;
+    }
+    if (auto hit = find_global_route_violation(g, schedules, spaces, net)) {
+      b.violate(o, Violation::Kind::kUnroutable, *hit);
+    } else {
+      b.enumerated(o, g.name + ": routes verified by guard enumeration");
+    }
+  };
+
+  if (!margin_min) {
+    fall_back();
+    return;
+  }
+  const i64 min_slack = ceil_fraction(*margin_min);
+  if (min_slack < 0) {
+    fall_back();
+    return;
+  }
+  const auto witness = find_integer_point(g.guard, witness_budget);
+  if (!witness.point) {
+    if (witness.exhausted) {
+      b.enumerated(o, g.name + ": guard has no integer points");
+    } else {
+      fall_back();
+    }
+    return;
+  }
+  const auto disp_map =
+      attempt([&]() -> std::optional<AffineVecMap> {
+        return global_displacement(g, spaces);
+      });
+  if (!disp_map) {
+    fall_back();
+    return;
+  }
+  for (std::size_t r = 0; r < disp_map->matrix.rows(); ++r) {
+    if (!constant_on_hull(guard, disp_map->matrix.row(r))) {
+      fall_back();
+      return;
+    }
+  }
+  const IntVec disp = disp_map->apply(*witness.point);
+  const auto route = route_displacement(net, disp, min_slack);
+  if (!route) {
+    fall_back();
+    return;
+  }
+  o.bound = causality.bound;
+  o.route = route->hops_per_link;
+  o.displacement = disp;
+  o.witness = witness.point;
+  b.certify(o, g.name + ": constant displacement " + disp.to_string() +
+                   " routed in " + std::to_string(route->total_hops) +
+                   " hop(s) within certified slack " +
+                   std::to_string(min_slack));
+}
+
+void analyze_injectivity(Builder& b, ObligationRecord& o,
+                         const std::string& name, const IndexDomain& domain,
+                         const LinearSchedule& t, const IntMat& s,
+                         const DomainFacets& facets) {
+  const auto outcome = attempt(
+      [&]() -> std::optional<std::pair<std::vector<IntVec>,
+                                       std::pair<std::vector<std::size_t>,
+                                                 i64>>> {
+        const auto kernel = equality_kernel_basis(facets);
+        if (kernel.empty()) {
+          return std::make_pair(kernel,
+                                std::make_pair(std::vector<std::size_t>{},
+                                               i64{1}));
+        }
+        const IntMat m =
+            pi_matrix(t, s) * IntMat::from_columns(kernel);
+        const auto rows = independent_rows(m);
+        if (!rows) return std::nullopt;
+        return std::make_pair(kernel, *rows);
+      });
+  if (outcome) {
+    o.kernel = outcome->first;
+    o.rows = outcome->second.first;
+    o.determinant = outcome->second.second;
+    b.certify(o, name + ": [t; S] injective on the domain lattice (" +
+                     std::to_string(o.kernel.size()) +
+                     "-dim difference lattice, subdeterminant " +
+                     std::to_string(*o.determinant) + ")");
+    return;
+  }
+  if (auto hit = find_collision(name, domain, t, s)) {
+    b.violate(o, Violation::Kind::kConflict, *hit);
+  } else {
+    b.enumerated(o, name + ": exclusivity verified by enumeration");
+  }
+}
+
+void analyze_pair_exclusivity(Builder& b, ObligationRecord& o,
+                              const ModuleSystem& sys, std::size_t ma,
+                              std::size_t mb,
+                              const std::vector<LinearSchedule>& schedules,
+                              const std::vector<IntMat>& spaces,
+                              const DomainFacets& fa,
+                              const DomainFacets& fb) {
+  const std::string label =
+      sys.module(ma).name + " / " + sys.module(mb).name;
+  if (sys.fold_key()) {
+    const auto combination = attempt([&] {
+      return solve_fold_combination(
+          fold_relation_rows(fa, fb, schedules[ma], schedules[mb],
+                             spaces[ma], spaces[mb]),
+          fold_target_rows(*sys.fold_key(), sys.dim()));
+    });
+    if (combination) {
+      o.combination = *combination;
+      b.certify(o, label +
+                       ": slot coincidence forces equal fold keys "
+                       "(rowspan certificate)");
+      return;
+    }
+  }
+  const auto empty = attempt([&] {
+    return prove_empty(pair_polytope(fa, fb, schedules[ma], schedules[mb],
+                                     spaces[ma], spaces[mb]));
+  });
+  if (empty) {
+    o.empty = *empty;
+    b.certify(o, label + ": the modules never share a (cell, tick) slot");
+    return;
+  }
+  if (auto hit = find_pair_collision(sys, ma, mb, schedules, spaces)) {
+    b.violate(o, Violation::Kind::kConflict, *hit);
+  } else {
+    b.enumerated(o, label + ": fold rule verified by enumeration");
+  }
+}
+
+}  // namespace
+
+std::size_t AnalysisReport::count(Violation::Kind kind) const {
+  std::size_t c = 0;
+  for (const auto& v : violations) {
+    if (v.kind == kind) ++c;
+  }
+  return c;
+}
+
+std::string AnalysisReport::summary() const {
+  std::ostringstream os;
+  os << "analysis: " << certificate.obligations.size() << " obligation(s), "
+     << certified << " certified, " << enumerated << " enumerated, "
+     << certificate.count(ObligationStatus::kViolated) << " violated; "
+     << (ok() ? "verdict OK" : "verdict FAIL");
+  return os.str();
+}
+
+JsonValue AnalysisReport::to_json() const {
+  JsonValue doc;
+  doc.set("design", certificate.design);
+  doc.set("verdict", ok() ? "ok" : "fail");
+  doc.set("obligations", certificate.obligations.size());
+  doc.set("certified", certified);
+  doc.set("enumerated", enumerated);
+  doc.set("wall_seconds", wall_seconds);
+  JsonValue violations_json = JsonValue(JsonValue::Array{});
+  for (const auto& v : violations) {
+    JsonValue entry;
+    entry.set("kind", violation_kind_name(v.kind));
+    entry.set("detail", v.detail);
+    violations_json.push_back(std::move(entry));
+  }
+  doc.set("violations", std::move(violations_json));
+  doc.set("certificate", certificate_to_json(certificate));
+  return doc;
+}
+
+AnalysisReport analyze_module_design(
+    const ModuleSystem& sys, const std::vector<LinearSchedule>& schedules,
+    const std::vector<IntMat>& spaces, const Interconnect& net,
+    const AnalyzeOptions& options) {
+  NUSYS_REQUIRE(schedules.size() == sys.module_count() &&
+                    spaces.size() == sys.module_count(),
+                "analyze_module_design: one schedule and one space per "
+                "module");
+  const WallTimer timer;
+  AnalysisReport report;
+  report.certificate.design = sys.name();
+  Builder b{&report};
+
+  std::vector<DomainFacets> facets;
+  facets.reserve(sys.module_count());
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    facets.push_back(domain_facets(sys.module(m).domain));
+  }
+
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    const std::string prefix = "module/" + std::to_string(m);
+    for (const auto& dep : sys.module(m).local_deps) {
+      auto& causality =
+          b.add(prefix + "/causality/" + dep.variable, "local-causality");
+      const i64 slack = schedules[m].slack(dep.vector);
+      if (slack <= 0) {
+        std::ostringstream os;
+        os << sys.module(m).name << " variable " << dep.variable
+           << " has nonpositive slack " << slack;
+        b.violate(causality, Violation::Kind::kCausality, os.str());
+        continue;  // Mirror the verifier: no route check without slack.
+      }
+      b.certify(causality, sys.module(m).name + " variable " + dep.variable +
+                               ": constant slack " + std::to_string(slack));
+
+      auto& route_rec =
+          b.add(prefix + "/route/" + dep.variable, "local-route");
+      const IntVec disp = spaces[m] * dep.vector;
+      const auto route = route_displacement(net, disp, slack);
+      if (route) {
+        route_rec.route = route->hops_per_link;
+        route_rec.displacement = disp;
+        b.certify(route_rec,
+                  sys.module(m).name + " variable " + dep.variable +
+                      ": displacement " + disp.to_string() + " routed in " +
+                      std::to_string(route->total_hops) + " hop(s)");
+      } else {
+        std::ostringstream os;
+        os << sys.module(m).name << " variable " << dep.variable
+           << " cannot travel " << disp << " in " << slack << " tick(s)";
+        b.violate(route_rec, Violation::Kind::kUnroutable, os.str());
+      }
+    }
+    auto& injectivity = b.add(prefix + "/injectivity", "injectivity");
+    analyze_injectivity(b, injectivity, sys.module(m).name,
+                        sys.module(m).domain, schedules[m], spaces[m],
+                        facets[m]);
+  }
+
+  for (std::size_t ma = 0; ma < sys.module_count(); ++ma) {
+    for (std::size_t mb = ma + 1; mb < sys.module_count(); ++mb) {
+      auto& pair = b.add("pair/" + std::to_string(ma) + "/" +
+                             std::to_string(mb) + "/exclusivity",
+                         "exclusivity-pair");
+      analyze_pair_exclusivity(b, pair, sys, ma, mb, schedules, spaces,
+                               facets[ma], facets[mb]);
+    }
+  }
+
+  for (std::size_t gi = 0; gi < sys.globals().size(); ++gi) {
+    const GlobalDep& g = sys.globals()[gi];
+    const DomainFacets guard = domain_facets(g.guard);
+    const std::string prefix = "global/" + std::to_string(gi);
+    auto& causality = b.add(prefix + "/causality", "global-causality");
+    const auto margin_min =
+        analyze_global_causality(b, causality, g, schedules, guard);
+    // Index-based access: analyze_global_route appends to the record list,
+    // which may reallocate.
+    const std::size_t causality_index =
+        report.certificate.obligations.size() - 1;
+    auto& route = b.add(prefix + "/route", "global-route");
+    analyze_global_route(b, route, g, schedules, spaces, net, guard,
+                         margin_min,
+                         report.certificate.obligations[causality_index],
+                         options.witness_budget, /*oracle_rule=*/false);
+  }
+
+  auto& counters = analysis_counters();
+  counters.designs_analyzed.fetch_add(1, std::memory_order_relaxed);
+  counters.obligations_certified.fetch_add(report.certified,
+                                           std::memory_order_relaxed);
+  counters.obligations_enumerated.fetch_add(report.enumerated,
+                                            std::memory_order_relaxed);
+
+  if (options.paranoid) {
+    const auto extensional =
+        verify_module_design(sys, schedules, spaces, net);
+    if (!extensional.ok() && report.ok()) {
+      for (const auto& v : extensional.violations) {
+        report.violations.push_back(
+            {v.kind, "paranoid cross-check: " + v.detail});
+      }
+    }
+  }
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+bool static_schedules_satisfy(const ModuleSystem& sys,
+                              const std::vector<LinearSchedule>& schedules) {
+  auto& counters = analysis_counters();
+  if (paranoid_revalidate_env()) {
+    counters.oracle_revalidations.fetch_add(1, std::memory_order_relaxed);
+    return schedules_satisfy(sys, schedules);
+  }
+  counters.static_revalidations.fetch_add(1, std::memory_order_relaxed);
+  NUSYS_REQUIRE(schedules.size() == sys.module_count(),
+                "static_schedules_satisfy: one schedule per module");
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    NUSYS_REQUIRE(schedules[m].dim() == sys.dim(),
+                  "static_schedules_satisfy: schedule dimension mismatch");
+    if (!schedules[m].is_feasible(sys.module(m).local_deps.vectors())) {
+      return false;
+    }
+  }
+  for (const auto& g : sys.globals()) {
+    const i64 required = g.allow_equal_time ? 0 : 1;
+    IntVec margin;
+    i64 margin_constant = 0;
+    global_margin(g, schedules, &margin, &margin_constant);
+    const DomainFacets guard = domain_facets(g.guard);
+    const auto bound = attempt([&] {
+      return prove_lower_bound(guard.inequalities, margin, margin_constant);
+    });
+    if (bound && ceil_fraction(bound->bound) >= required) {
+      counters.obligations_certified.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!bound) {
+      const auto empty =
+          attempt([&] { return prove_empty(guard.inequalities); });
+      if (empty) {
+        counters.obligations_certified.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        continue;
+      }
+    }
+    counters.obligations_enumerated.fetch_add(1, std::memory_order_relaxed);
+    if (find_global_causality_violation(g, schedules)) return false;
+  }
+  return true;
+}
+
+bool static_spaces_satisfy(const ModuleSystem& sys,
+                           const std::vector<LinearSchedule>& schedules,
+                           const std::vector<IntMat>& spaces,
+                           const Interconnect& net) {
+  auto& counters = analysis_counters();
+  if (paranoid_revalidate_env()) {
+    counters.oracle_revalidations.fetch_add(1, std::memory_order_relaxed);
+    return spaces_satisfy(sys, schedules, spaces, net);
+  }
+  counters.static_revalidations.fetch_add(1, std::memory_order_relaxed);
+  NUSYS_REQUIRE(schedules.size() == sys.module_count() &&
+                    spaces.size() == sys.module_count(),
+                "static_spaces_satisfy: one schedule and one space per "
+                "module");
+
+  std::vector<DomainFacets> facets;
+  facets.reserve(sys.module_count());
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    facets.push_back(domain_facets(sys.module(m).domain));
+  }
+
+  AnalysisReport scratch;
+  Builder b{&scratch};
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    for (const auto& dep : sys.module(m).local_deps) {
+      if (!routable(net, spaces[m] * dep.vector,
+                    schedules[m].slack(dep.vector))) {
+        return false;
+      }
+    }
+    auto& injectivity = b.add("injectivity", "injectivity");
+    analyze_injectivity(b, injectivity, sys.module(m).name,
+                        sys.module(m).domain, schedules[m], spaces[m],
+                        facets[m]);
+    if (injectivity.status == ObligationStatus::kViolated) return false;
+  }
+  for (std::size_t ma = 0; ma < sys.module_count(); ++ma) {
+    for (std::size_t mb = ma + 1; mb < sys.module_count(); ++mb) {
+      auto& pair = b.add("pair", "exclusivity-pair");
+      analyze_pair_exclusivity(b, pair, sys, ma, mb, schedules, spaces,
+                               facets[ma], facets[mb]);
+      if (pair.status == ObligationStatus::kViolated) return false;
+    }
+  }
+  for (const auto& g : sys.globals()) {
+    const DomainFacets guard = domain_facets(g.guard);
+    IntVec margin;
+    i64 margin_constant = 0;
+    global_margin(g, schedules, &margin, &margin_constant);
+    const auto bound = attempt([&] {
+      return prove_lower_bound(guard.inequalities, margin, margin_constant);
+    });
+    std::optional<Fraction> margin_min;
+    if (bound) margin_min = bound->bound;
+    ObligationRecord causality;
+    causality.status = ObligationStatus::kEnumerated;
+    if (!bound) {
+      const auto empty =
+          attempt([&] { return prove_empty(guard.inequalities); });
+      if (empty) {
+        causality.status = ObligationStatus::kCertified;
+        causality.empty = *empty;
+      }
+    } else {
+      causality.status = ObligationStatus::kCertified;
+      causality.bound = *bound;
+    }
+    auto& route = b.add("route", "global-route");
+    analyze_global_route(b, route, g, schedules, spaces, net, guard,
+                         margin_min, causality, /*witness_budget=*/4096,
+                         /*oracle_rule=*/true);
+    if (route.status == ObligationStatus::kViolated) return false;
+  }
+  counters.obligations_certified.fetch_add(scratch.certified,
+                                           std::memory_order_relaxed);
+  counters.obligations_enumerated.fetch_add(scratch.enumerated,
+                                            std::memory_order_relaxed);
+  return true;
+}
+
+AnalysisCounters& analysis_counters() {
+  static AnalysisCounters counters;
+  return counters;
+}
+
+JsonValue analysis_counters_json() {
+  const auto& c = analysis_counters();
+  JsonValue doc;
+  doc.set("designs_analyzed",
+          static_cast<i64>(c.designs_analyzed.load(std::memory_order_relaxed)));
+  doc.set("obligations_certified",
+          static_cast<i64>(
+              c.obligations_certified.load(std::memory_order_relaxed)));
+  doc.set("obligations_enumerated",
+          static_cast<i64>(
+              c.obligations_enumerated.load(std::memory_order_relaxed)));
+  doc.set("static_revalidations",
+          static_cast<i64>(
+              c.static_revalidations.load(std::memory_order_relaxed)));
+  doc.set("oracle_revalidations",
+          static_cast<i64>(
+              c.oracle_revalidations.load(std::memory_order_relaxed)));
+  return doc;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Uniform (single-recurrence) machinery.
+
+/// Inequalities of the dependence-instance polytope {p : p ∈ D, p - d ∈ D}
+/// — the consumer points whose producer is inside the domain.
+std::vector<AffineInequality> instance_inequalities(const DomainFacets& facets,
+                                                    const IntVec& d) {
+  std::vector<AffineInequality> out = facets.inequalities;
+  const auto shifted = shifted_inequalities(facets.inequalities, d);
+  out.insert(out.end(), shifted.begin(), shifted.end());
+  return out;
+}
+
+/// First consumer point whose producer p - d is inside the domain.
+std::optional<IntVec> find_dependence_instance(const IndexDomain& domain,
+                                               const IntVec& d) {
+  std::optional<IntVec> hit;
+  domain.for_each([&](const IntVec& p) {
+    if (hit) return;
+    if (domain.contains(p - d)) hit = p;
+  });
+  return hit;
+}
+
+/// Replays verify_design's ALAP wire audit; first overload found, if any.
+std::optional<std::string> find_wire_overload(const CanonicRecurrence& rec,
+                                              const LinearSchedule& timing,
+                                              const IntMat& space,
+                                              const Interconnect& net) {
+  std::map<std::tuple<IntVec, std::string, std::string, i64>, IntVec>
+      wire_load;
+  std::optional<std::string> hit;
+  rec.domain().for_each([&](const IntVec& p) {
+    if (hit) return;
+    for (const auto& dep : rec.dependences()) {
+      const IntVec producer = p - dep.vector;
+      if (!rec.domain().contains(producer)) continue;
+      const i64 slack = timing.at(p) - timing.at(producer);
+      if (slack <= 0) continue;
+      const IntVec disp = space * p - space * producer;
+      const auto route = route_displacement(net, disp, slack);
+      if (!route) continue;
+      IntVec at = space * producer;
+      i64 t = timing.at(p) - route->total_hops;
+      for (std::size_t l = 0; l < net.link_count() && !hit; ++l) {
+        for (i64 c = 0; c < route->hops_per_link[l] && !hit; ++c) {
+          const auto key =
+              std::make_tuple(at, net.link(l).name, dep.variable, t);
+          const auto [it, inserted] = wire_load.emplace(key, producer);
+          if (!inserted && it->second != producer) {
+            std::ostringstream os;
+            os << "wire (" << at << " -> " << net.link(l).name << ", "
+               << dep.variable << ") carries two values at tick " << t;
+            hit = os.str();
+          }
+          at += net.link(l).direction;
+          ++t;
+        }
+      }
+      if (hit) return;
+    }
+  });
+  return hit;
+}
+
+// ---------------------------------------------------------------------------
+// Certificate re-checking: integer substitution and small exact solves
+// only; searched proofs (routes) are validated, never re-searched.
+
+/// True when `hops` is a valid route realization: nonnegative, Δ·hops
+/// equals the displacement, and Σhops fits the budget.
+bool route_realizes(const Interconnect& net, const IntVec& hops,
+                    const IntVec& displacement, i64 max_hops) {
+  if (hops.dim() != net.link_count() || max_hops < 0) return false;
+  try {
+    i64 total = 0;
+    IntVec reached(displacement.dim());
+    for (std::size_t l = 0; l < net.link_count(); ++l) {
+      if (hops[l] < 0) return false;
+      if (net.link(l).direction.dim() != displacement.dim()) return false;
+      total = checked_add(total, hops[l]);
+      reached += net.link(l).direction * hops[l];
+    }
+    return total <= max_hops && reached == displacement;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+bool injectivity_proof_ok(const ObligationRecord& o,
+                          const DomainFacets& facets,
+                          const LinearSchedule& t, const IntMat& s) {
+  // The kernel must be *recomputed equal*, not merely plausible: a
+  // tampered (smaller) kernel would prove injectivity on a sublattice.
+  const auto kb = equality_kernel_basis(facets);
+  if (o.kernel != kb) return false;
+  if (kb.empty()) return o.rows.empty();
+  const IntMat m = pi_matrix(t, s) * IntMat::from_columns(kb);
+  const auto det = subset_determinant(m, o.rows);
+  return det && *det != 0 && o.determinant && *o.determinant == *det;
+}
+
+bool pair_proof_ok(const ModuleSystem& sys, std::size_t ma, std::size_t mb,
+                   const std::vector<LinearSchedule>& schedules,
+                   const std::vector<IntMat>& spaces, const DomainFacets& fa,
+                   const DomainFacets& fb, const ObligationRecord& o) {
+  if (!o.combination.empty()) {
+    if (!sys.fold_key()) return false;
+    return check_fold_combination(
+        fold_relation_rows(fa, fb, schedules[ma], schedules[mb], spaces[ma],
+                           spaces[mb]),
+        fold_target_rows(*sys.fold_key(), sys.dim()), o.combination);
+  }
+  if (o.empty) {
+    return check_empty(pair_polytope(fa, fb, schedules[ma], schedules[mb],
+                                     spaces[ma], spaces[mb]),
+                       *o.empty);
+  }
+  return false;
+}
+
+bool global_causality_proof_ok(const GlobalDep& g,
+                               const std::vector<LinearSchedule>& schedules,
+                               const DomainFacets& guard,
+                               const ObligationRecord& o) {
+  if (o.empty) return check_empty(guard.inequalities, *o.empty);
+  if (!o.bound) return false;
+  IntVec margin;
+  i64 margin_constant = 0;
+  global_margin(g, schedules, &margin, &margin_constant);
+  const i64 required = g.allow_equal_time ? 0 : 1;
+  return check_lower_bound(guard.inequalities, margin, margin_constant,
+                           *o.bound) &&
+         ceil_fraction(o.bound->bound) >= required;
+}
+
+bool global_route_proof_ok(const GlobalDep& g,
+                           const std::vector<LinearSchedule>& schedules,
+                           const std::vector<IntMat>& spaces,
+                           const Interconnect& net, const DomainFacets& guard,
+                           const ObligationRecord& o) {
+  if (o.empty && !o.route) return check_empty(guard.inequalities, *o.empty);
+  if (!o.bound || !o.route || !o.displacement || !o.witness) return false;
+  IntVec margin;
+  i64 margin_constant = 0;
+  global_margin(g, schedules, &margin, &margin_constant);
+  if (!check_lower_bound(guard.inequalities, margin, margin_constant,
+                         *o.bound)) {
+    return false;
+  }
+  const i64 h = ceil_fraction(o.bound->bound);
+  if (h < 0) return false;
+  if (!g.guard.contains(*o.witness)) return false;
+  const AffineVecMap disp_map = global_displacement(g, spaces);
+  for (std::size_t r = 0; r < disp_map.matrix.rows(); ++r) {
+    if (!constant_on_hull(guard, disp_map.matrix.row(r))) return false;
+  }
+  if (disp_map.apply(*o.witness) != *o.displacement) return false;
+  return route_realizes(net, *o.route, *o.displacement, h);
+}
+
+/// Walks the certificate's obligation list in the analyzer's deterministic
+/// order; any id or kind drift is a mismatch.
+struct CertCursor {
+  explicit CertCursor(const std::vector<ObligationRecord>& obs)
+      : obligations(obs) {}
+
+  const std::vector<ObligationRecord>& obligations;
+  std::size_t index = 0;
+  std::string error;
+
+  const ObligationRecord* next(const std::string& id,
+                               const std::string& kind) {
+    if (index >= obligations.size()) {
+      error = "certificate is missing obligation " + id;
+      return nullptr;
+    }
+    const ObligationRecord& o = obligations[index++];
+    if (o.id != id || o.kind != kind) {
+      error = "certificate obligation " + o.id + " (" + o.kind +
+              ") does not match the design's " + id + " (" + kind + ")";
+      return nullptr;
+    }
+    return &o;
+  }
+
+  [[nodiscard]] bool done() const {
+    return index == obligations.size();
+  }
+};
+
+CertificateCheck fail_obligation(const ObligationRecord& o,
+                                 const std::string& why) {
+  return {false, "obligation " + o.id + ": " + why};
+}
+
+}  // namespace
+
+AnalysisReport analyze_design(const CanonicRecurrence& recurrence,
+                              const LinearSchedule& timing,
+                              const IntMat& space, const Interconnect& net,
+                              const AnalyzeOptions& options) {
+  recurrence.validate();  // Structural only; domain-size independent.
+  NUSYS_REQUIRE(timing.dim() == recurrence.domain().dim(),
+                "analyze_design: timing dimension mismatch");
+  NUSYS_REQUIRE(space.cols() == recurrence.domain().dim() &&
+                    space.rows() == net.label_dim(),
+                "analyze_design: space shape mismatch");
+  const WallTimer timer;
+  AnalysisReport report;
+  report.certificate.design = recurrence.name();
+  Builder b{&report};
+  const DomainFacets facets = domain_facets(recurrence.domain());
+
+  std::vector<std::optional<Route>> dep_routes;
+  for (const auto& dep : recurrence.dependences()) {
+    dep_routes.emplace_back();
+    const i64 slack = timing.slack(dep.vector);
+    auto& causality =
+        b.add("dep/" + dep.variable + "/causality", "dep-causality");
+    if (slack >= 1) {
+      b.certify(causality, dep.variable + ": constant slack " +
+                               std::to_string(slack));
+    } else {
+      const auto empty = attempt([&] {
+        return prove_empty(instance_inequalities(facets, dep.vector));
+      });
+      if (empty) {
+        causality.empty = *empty;
+        b.certify(causality, dep.variable + ": no in-domain instances");
+      } else if (auto p = find_dependence_instance(recurrence.domain(),
+                                                   dep.vector)) {
+        std::ostringstream os;
+        os << "operand " << dep.variable << " of " << *p << " produced at "
+           << (*p - dep.vector) << " only " << slack << " tick(s) earlier";
+        b.violate(causality, Violation::Kind::kCausality, os.str());
+      } else {
+        b.enumerated(causality, dep.variable +
+                                    ": no in-domain instances (verified by "
+                                    "enumeration)");
+      }
+      continue;  // Mirror the verifier: no route check without slack.
+    }
+
+    auto& route_rec = b.add("dep/" + dep.variable + "/route", "dep-route");
+    const IntVec disp = space * dep.vector;
+    const auto route = route_displacement(net, disp, slack);
+    if (route) {
+      route_rec.route = route->hops_per_link;
+      route_rec.displacement = disp;
+      dep_routes.back() = *route;
+      b.certify(route_rec, dep.variable + ": displacement " +
+                               disp.to_string() + " routed in " +
+                               std::to_string(route->total_hops) +
+                               " hop(s)");
+      continue;
+    }
+    const auto empty = attempt([&] {
+      return prove_empty(instance_inequalities(facets, dep.vector));
+    });
+    if (empty) {
+      route_rec.empty = *empty;
+      b.certify(route_rec, dep.variable + ": no in-domain instances");
+    } else if (auto p =
+                   find_dependence_instance(recurrence.domain(), dep.vector)) {
+      std::ostringstream os;
+      os << "operand " << dep.variable << " of " << *p
+         << " cannot travel displacement " << disp << " in " << slack
+         << " tick(s)";
+      b.violate(route_rec, Violation::Kind::kUnroutable, os.str());
+    } else {
+      b.enumerated(route_rec, dep.variable +
+                                  ": no in-domain instances (verified by "
+                                  "enumeration)");
+    }
+  }
+
+  auto& injectivity = b.add("injectivity", "injectivity");
+  analyze_injectivity(b, injectivity, recurrence.name(), recurrence.domain(),
+                      timing, space, facets);
+  const bool injective_certified =
+      injectivity.status == ObligationStatus::kCertified;
+
+  auto& wires = b.add("wires", "wire-audit");
+  bool any_route = false;
+  bool single_use = true;
+  for (const auto& route : dep_routes) {
+    if (!route) continue;
+    any_route = true;
+    for (const i64 hops : route->hops_per_link) {
+      if (hops > 1) single_use = false;
+    }
+  }
+  if (!any_route) {
+    b.certify(wires, "no routed dependences; wire audit is vacuous");
+  } else if (injective_certified && single_use) {
+    // Each link is used at most once per route and variables are unique
+    // (CA4), so wire keys collide only when Π does — ruled out above.
+    b.certify(wires,
+              "each link used at most once per route; covered by the "
+              "injectivity certificate");
+  } else if (auto hit = find_wire_overload(recurrence, timing, space, net)) {
+    b.violate(wires, Violation::Kind::kLinkOverload, *hit);
+  } else {
+    b.enumerated(wires, "ALAP wire audit verified by enumeration");
+  }
+
+  auto& counters = analysis_counters();
+  counters.designs_analyzed.fetch_add(1, std::memory_order_relaxed);
+  counters.obligations_certified.fetch_add(report.certified,
+                                           std::memory_order_relaxed);
+  counters.obligations_enumerated.fetch_add(report.enumerated,
+                                            std::memory_order_relaxed);
+
+  if (options.paranoid) {
+    const auto extensional = verify_design(recurrence, timing, space, net);
+    if (!extensional.ok() && report.ok()) {
+      for (const auto& v : extensional.violations) {
+        report.violations.push_back(
+            {v.kind, "paranoid cross-check: " + v.detail});
+      }
+    }
+  }
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+CertificateCheck check_module_certificate(
+    const ModuleSystem& sys, const std::vector<LinearSchedule>& schedules,
+    const std::vector<IntMat>& spaces, const Interconnect& net,
+    const DesignCertificate& certificate) {
+  try {
+    if (schedules.size() != sys.module_count() ||
+        spaces.size() != sys.module_count()) {
+      return {false, "schedule/space count does not match the module system"};
+    }
+    std::vector<DomainFacets> facets;
+    facets.reserve(sys.module_count());
+    for (std::size_t m = 0; m < sys.module_count(); ++m) {
+      facets.push_back(domain_facets(sys.module(m).domain));
+    }
+    CertCursor cursor{certificate.obligations};
+
+    for (std::size_t m = 0; m < sys.module_count(); ++m) {
+      const std::string prefix = "module/" + std::to_string(m);
+      for (const auto& dep : sys.module(m).local_deps) {
+        const auto* o = cursor.next(prefix + "/causality/" + dep.variable,
+                                    "local-causality");
+        if (!o) return {false, cursor.error};
+        const i64 slack = schedules[m].slack(dep.vector);
+        if (o->status == ObligationStatus::kCertified) {
+          if (slack < 1) return fail_obligation(*o, "slack is nonpositive");
+        } else if (o->status == ObligationStatus::kViolated) {
+          if (slack >= 1) return fail_obligation(*o, "slack is positive");
+        } else {
+          return fail_obligation(*o, "unexpected enumerated status");
+        }
+        if (slack < 1) continue;
+
+        const auto* r =
+            cursor.next(prefix + "/route/" + dep.variable, "local-route");
+        if (!r) return {false, cursor.error};
+        const IntVec disp = spaces[m] * dep.vector;
+        if (r->status == ObligationStatus::kCertified) {
+          if (!r->route || !route_realizes(net, *r->route, disp, slack)) {
+            return fail_obligation(*r, "stored route does not realize the "
+                                       "displacement within slack");
+          }
+        } else if (r->status == ObligationStatus::kViolated) {
+          if (route_displacement(net, disp, slack)) {
+            return fail_obligation(*r, "displacement is routable");
+          }
+        } else {
+          return fail_obligation(*r, "unexpected enumerated status");
+        }
+      }
+
+      const auto* inj = cursor.next(prefix + "/injectivity", "injectivity");
+      if (!inj) return {false, cursor.error};
+      const auto collision = [&] {
+        return find_collision(sys.module(m).name, sys.module(m).domain,
+                              schedules[m], spaces[m]);
+      };
+      if (inj->status == ObligationStatus::kCertified) {
+        if (!injectivity_proof_ok(*inj, facets[m], schedules[m], spaces[m])) {
+          return fail_obligation(*inj, "injectivity proof does not check");
+        }
+      } else if (inj->status == ObligationStatus::kEnumerated) {
+        if (collision()) return fail_obligation(*inj, "collision exists");
+      } else {
+        if (!collision()) return fail_obligation(*inj, "no collision found");
+      }
+    }
+
+    for (std::size_t ma = 0; ma < sys.module_count(); ++ma) {
+      for (std::size_t mb = ma + 1; mb < sys.module_count(); ++mb) {
+        const auto* o = cursor.next("pair/" + std::to_string(ma) + "/" +
+                                        std::to_string(mb) + "/exclusivity",
+                                    "exclusivity-pair");
+        if (!o) return {false, cursor.error};
+        if (o->status == ObligationStatus::kCertified) {
+          if (!pair_proof_ok(sys, ma, mb, schedules, spaces, facets[ma],
+                             facets[mb], *o)) {
+            return fail_obligation(*o, "fold/exclusivity proof does not "
+                                       "check");
+          }
+        } else if (o->status == ObligationStatus::kEnumerated) {
+          if (find_pair_collision(sys, ma, mb, schedules, spaces)) {
+            return fail_obligation(*o, "cross-module collision exists");
+          }
+        } else {
+          if (!find_pair_collision(sys, ma, mb, schedules, spaces)) {
+            return fail_obligation(*o, "no cross-module collision found");
+          }
+        }
+      }
+    }
+
+    for (std::size_t gi = 0; gi < sys.globals().size(); ++gi) {
+      const GlobalDep& g = sys.globals()[gi];
+      const DomainFacets guard = domain_facets(g.guard);
+      const std::string prefix = "global/" + std::to_string(gi);
+
+      const auto* o = cursor.next(prefix + "/causality", "global-causality");
+      if (!o) return {false, cursor.error};
+      if (o->status == ObligationStatus::kCertified) {
+        if (!global_causality_proof_ok(g, schedules, guard, *o)) {
+          return fail_obligation(*o, "causality proof does not check");
+        }
+      } else if (o->status == ObligationStatus::kEnumerated) {
+        if (find_global_causality_violation(g, schedules)) {
+          return fail_obligation(*o, "causality violation exists");
+        }
+      } else {
+        if (!find_global_causality_violation(g, schedules)) {
+          return fail_obligation(*o, "no causality violation found");
+        }
+      }
+
+      const auto* r = cursor.next(prefix + "/route", "global-route");
+      if (!r) return {false, cursor.error};
+      if (r->status == ObligationStatus::kCertified) {
+        if (!global_route_proof_ok(g, schedules, spaces, net, guard, *r)) {
+          return fail_obligation(*r, "route proof does not check");
+        }
+      } else if (r->status == ObligationStatus::kEnumerated) {
+        if (find_global_route_violation(g, schedules, spaces, net)) {
+          return fail_obligation(*r, "route violation exists");
+        }
+      } else {
+        if (!find_global_route_violation(g, schedules, spaces, net)) {
+          return fail_obligation(*r, "no route violation found");
+        }
+      }
+    }
+
+    if (!cursor.done()) {
+      return {false, "certificate has extra obligations"};
+    }
+    return {true, ""};
+  } catch (const Error& e) {
+    return {false, std::string("checker error: ") + e.what()};
+  }
+}
+
+CertificateCheck check_design_certificate(
+    const CanonicRecurrence& recurrence, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net,
+    const DesignCertificate& certificate) {
+  try {
+    recurrence.validate();
+    const DomainFacets facets = domain_facets(recurrence.domain());
+    CertCursor cursor{certificate.obligations};
+
+    bool any_route = false;
+    bool single_use = true;
+    for (const auto& dep : recurrence.dependences()) {
+      const i64 slack = timing.slack(dep.vector);
+      const auto* o =
+          cursor.next("dep/" + dep.variable + "/causality", "dep-causality");
+      if (!o) return {false, cursor.error};
+      const auto instance = [&] {
+        return find_dependence_instance(recurrence.domain(), dep.vector);
+      };
+      if (o->status == ObligationStatus::kCertified) {
+        if (o->empty) {
+          if (!check_empty(instance_inequalities(facets, dep.vector),
+                           *o->empty)) {
+            return fail_obligation(*o, "emptiness proof does not check");
+          }
+        } else if (slack < 1) {
+          return fail_obligation(*o, "slack is nonpositive");
+        }
+      } else if (o->status == ObligationStatus::kEnumerated) {
+        if (slack < 1 && instance()) {
+          return fail_obligation(*o, "causality violation exists");
+        }
+      } else {
+        if (slack >= 1 || !instance()) {
+          return fail_obligation(*o, "no causality violation found");
+        }
+      }
+      if (slack < 1) continue;
+
+      const auto* r =
+          cursor.next("dep/" + dep.variable + "/route", "dep-route");
+      if (!r) return {false, cursor.error};
+      const IntVec disp = space * dep.vector;
+      // The wire audit reasons about the canonical (search-produced)
+      // route, not the stored one.
+      const auto canonical = route_displacement(net, disp, slack);
+      if (canonical) {
+        any_route = true;
+        for (const i64 hops : canonical->hops_per_link) {
+          if (hops > 1) single_use = false;
+        }
+      }
+      if (r->status == ObligationStatus::kCertified) {
+        if (r->empty) {
+          if (!check_empty(instance_inequalities(facets, dep.vector),
+                           *r->empty)) {
+            return fail_obligation(*r, "emptiness proof does not check");
+          }
+        } else if (!r->route ||
+                   !route_realizes(net, *r->route, disp, slack)) {
+          return fail_obligation(*r, "stored route does not realize the "
+                                     "displacement within slack");
+        }
+      } else if (r->status == ObligationStatus::kEnumerated) {
+        if (!canonical && instance()) {
+          return fail_obligation(*r, "route violation exists");
+        }
+      } else {
+        if (canonical || !instance()) {
+          return fail_obligation(*r, "no route violation found");
+        }
+      }
+    }
+
+    const auto* inj = cursor.next("injectivity", "injectivity");
+    if (!inj) return {false, cursor.error};
+    const auto collision = [&] {
+      return find_collision(recurrence.name(), recurrence.domain(), timing,
+                            space);
+    };
+    if (inj->status == ObligationStatus::kCertified) {
+      if (!injectivity_proof_ok(*inj, facets, timing, space)) {
+        return fail_obligation(*inj, "injectivity proof does not check");
+      }
+    } else if (inj->status == ObligationStatus::kEnumerated) {
+      if (collision()) return fail_obligation(*inj, "collision exists");
+    } else {
+      if (!collision()) return fail_obligation(*inj, "no collision found");
+    }
+
+    const auto* wires = cursor.next("wires", "wire-audit");
+    if (!wires) return {false, cursor.error};
+    if (wires->status == ObligationStatus::kCertified) {
+      const bool trivial =
+          !any_route ||
+          (single_use && inj->status == ObligationStatus::kCertified);
+      if (!trivial) {
+        return fail_obligation(*wires,
+                               "wire audit is not trivially covered by the "
+                               "injectivity certificate");
+      }
+    } else if (wires->status == ObligationStatus::kEnumerated) {
+      if (find_wire_overload(recurrence, timing, space, net)) {
+        return fail_obligation(*wires, "wire overload exists");
+      }
+    } else {
+      if (!find_wire_overload(recurrence, timing, space, net)) {
+        return fail_obligation(*wires, "no wire overload found");
+      }
+    }
+
+    if (!cursor.done()) {
+      return {false, "certificate has extra obligations"};
+    }
+    return {true, ""};
+  } catch (const Error& e) {
+    return {false, std::string("checker error: ") + e.what()};
+  }
+}
+
+}  // namespace nusys

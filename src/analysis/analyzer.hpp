@@ -1,0 +1,125 @@
+// Static design analysis: the paper's conditions proven, not enumerated.
+//
+// The extensional verifiers (verify/spacetime.hpp,
+// verify/module_spacetime.hpp) walk every index point — O(|domain|) and
+// exploding with problem size. Every condition they check is affine, so
+// each can instead be discharged over the domain *facets* in time
+// independent of the domain size:
+//
+//   causality     T·d > 0 and the A1..A5 firing margins — Farkas lower
+//                 bounds over the guard polytope, lifted to the integer
+//                 minimum by integrality (analysis/farkas.hpp);
+//   exclusivity   [T; S] injective on the lattice of domain differences —
+//                 a nonzero subdeterminant on the equality-kernel basis
+//                 (linalg/hermite.hpp), plus a rowspan certificate for the
+//                 cross-module fold rule;
+//   routability   S·D = Δ·K witnesses with Σk bounded by the certified
+//                 slack minimum.
+//
+// Any obligation the certificates cannot discharge falls back to exact
+// (early-exit) enumeration of just that obligation, so the analyzer's
+// verdict always agrees with the extensional verifier — certificates make
+// it fast, enumeration keeps it honest. AnalysisReport carries the full
+// certificate; check_*_certificate re-validates one against a design by
+// integer substitution alone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/certificates.hpp"
+#include "ir/recurrence.hpp"
+#include "modules/module_system.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+#include "support/json.hpp"
+#include "verify/spacetime.hpp"
+
+namespace nusys {
+
+struct AnalyzeOptions {
+  /// Leaf budget for integer-witness searches (anchoring constant
+  /// displacements). Never affects the verdict, only which obligations
+  /// need the enumeration fallback.
+  std::size_t witness_budget = 4096;
+  /// Also run the extensional verifier and cross-check the verdict; a
+  /// disagreement is reported as a violation (and would be a bug).
+  bool paranoid = false;
+};
+
+/// Outcome of one static analysis.
+struct AnalysisReport {
+  DesignCertificate certificate;
+  std::vector<Violation> violations;  ///< Same kinds as the verifiers.
+  std::size_t certified = 0;   ///< Obligations proven by certificate.
+  std::size_t enumerated = 0;  ///< Obligations that needed enumeration.
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::size_t count(Violation::Kind kind) const;
+  /// One-paragraph human summary ("12 obligations: 12 certified, ...").
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+/// Statically analyzes a module-system design; verdict-equivalent to
+/// verify_module_design.
+[[nodiscard]] AnalysisReport analyze_module_design(
+    const ModuleSystem& sys, const std::vector<LinearSchedule>& schedules,
+    const std::vector<IntMat>& spaces, const Interconnect& net,
+    const AnalyzeOptions& options = {});
+
+/// Statically analyzes a uniform design; verdict-equivalent to
+/// verify_design (including the ALAP wire audit).
+[[nodiscard]] AnalysisReport analyze_design(
+    const CanonicRecurrence& recurrence, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net,
+    const AnalyzeOptions& options = {});
+
+/// Outcome of re-checking a stored certificate against a design.
+struct CertificateCheck {
+  bool ok = false;
+  std::string error;  ///< First failure, empty when ok.
+};
+
+/// Re-validates a certificate against the design it claims to prove:
+/// recomputes each obligation's ground facts and checks the stored proof
+/// by integer substitution (enumerated obligations are re-enumerated).
+/// Tampered multipliers, kernels or routes are rejected.
+[[nodiscard]] CertificateCheck check_module_certificate(
+    const ModuleSystem& sys, const std::vector<LinearSchedule>& schedules,
+    const std::vector<IntMat>& spaces, const Interconnect& net,
+    const DesignCertificate& certificate);
+
+[[nodiscard]] CertificateCheck check_design_certificate(
+    const CanonicRecurrence& recurrence, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net,
+    const DesignCertificate& certificate);
+
+/// Drop-in static replacements for the enumerative cache-revalidation
+/// oracles (modules/module_schedule.hpp schedules_satisfy and
+/// modules/module_space.hpp spaces_satisfy): identical verdicts,
+/// certificate-first, per-obligation enumeration fallback. Setting
+/// NUSYS_PARANOID_REVALIDATE=1 in the environment routes both straight to
+/// the enumerative oracles instead.
+[[nodiscard]] bool static_schedules_satisfy(
+    const ModuleSystem& sys, const std::vector<LinearSchedule>& schedules);
+[[nodiscard]] bool static_spaces_satisfy(
+    const ModuleSystem& sys, const std::vector<LinearSchedule>& schedules,
+    const std::vector<IntMat>& spaces, const Interconnect& net);
+
+/// Process-wide analysis observability, surfaced in the service stats.
+struct AnalysisCounters {
+  std::atomic<std::uint64_t> designs_analyzed{0};
+  std::atomic<std::uint64_t> obligations_certified{0};
+  std::atomic<std::uint64_t> obligations_enumerated{0};
+  std::atomic<std::uint64_t> static_revalidations{0};
+  std::atomic<std::uint64_t> oracle_revalidations{0};
+};
+
+[[nodiscard]] AnalysisCounters& analysis_counters();
+[[nodiscard]] JsonValue analysis_counters_json();
+
+}  // namespace nusys

@@ -1,0 +1,186 @@
+#include "analysis/certificates.hpp"
+
+#include <utility>
+
+namespace nusys {
+
+namespace {
+
+JsonValue fraction_to_json(const Fraction& f) {
+  JsonValue v;
+  v.push_back(f.num());
+  v.push_back(f.den());
+  return v;
+}
+
+Fraction fraction_from_json(const JsonValue& v) {
+  const auto& a = v.as_array();
+  if (a.size() != 2) {
+    throw JsonError("fraction: expected [num, den]", 0);
+  }
+  return Fraction(a[0].as_int(), a[1].as_int());
+}
+
+JsonValue frac_vec_to_json(const FracVec& v) {
+  JsonValue out = JsonValue(JsonValue::Array{});
+  for (const auto& f : v) out.push_back(fraction_to_json(f));
+  return out;
+}
+
+FracVec frac_vec_from_json(const JsonValue& v) {
+  FracVec out;
+  for (const auto& f : v.as_array()) out.push_back(fraction_from_json(f));
+  return out;
+}
+
+JsonValue int_vec_to_json(const IntVec& v) {
+  JsonValue out = JsonValue(JsonValue::Array{});
+  for (const i64 x : v) out.push_back(x);
+  return out;
+}
+
+IntVec int_vec_from_json(const JsonValue& v) {
+  std::vector<i64> values;
+  values.reserve(v.as_array().size());
+  for (const auto& x : v.as_array()) values.push_back(x.as_int());
+  return IntVec(std::move(values));
+}
+
+}  // namespace
+
+const char* obligation_status_name(ObligationStatus status) {
+  switch (status) {
+    case ObligationStatus::kCertified:
+      return "certified";
+    case ObligationStatus::kEnumerated:
+      return "enumerated";
+    case ObligationStatus::kViolated:
+      return "violated";
+  }
+  return "?";
+}
+
+std::size_t DesignCertificate::count(ObligationStatus status) const {
+  std::size_t n = 0;
+  for (const auto& o : obligations) {
+    if (o.status == status) ++n;
+  }
+  return n;
+}
+
+JsonValue certificate_to_json(const DesignCertificate& cert) {
+  JsonValue doc;
+  doc.set("format", "nusys-certificate");
+  doc.set("version", 1);
+  doc.set("design", cert.design);
+  JsonValue obligations = JsonValue(JsonValue::Array{});
+  for (const auto& o : cert.obligations) {
+    JsonValue entry;
+    entry.set("id", o.id);
+    entry.set("kind", o.kind);
+    entry.set("status", obligation_status_name(o.status));
+    if (!o.detail.empty()) entry.set("detail", o.detail);
+    if (o.bound) {
+      JsonValue b;
+      b.set("bound", fraction_to_json(o.bound->bound));
+      b.set("multipliers", frac_vec_to_json(o.bound->multipliers));
+      entry.set("farkas", std::move(b));
+    }
+    if (o.empty) {
+      entry.set("empty", frac_vec_to_json(o.empty->multipliers));
+    }
+    if (o.route) entry.set("route", int_vec_to_json(*o.route));
+    if (o.displacement) {
+      entry.set("displacement", int_vec_to_json(*o.displacement));
+    }
+    if (o.witness) entry.set("witness", int_vec_to_json(*o.witness));
+    if (o.determinant) entry.set("determinant", *o.determinant);
+    if (!o.kernel.empty()) {
+      JsonValue k = JsonValue(JsonValue::Array{});
+      for (const auto& v : o.kernel) k.push_back(int_vec_to_json(v));
+      entry.set("kernel", std::move(k));
+    }
+    if (!o.rows.empty()) {
+      JsonValue r = JsonValue(JsonValue::Array{});
+      for (const std::size_t row : o.rows) {
+        r.push_back(static_cast<i64>(row));
+      }
+      entry.set("rows", std::move(r));
+    }
+    if (!o.combination.empty()) {
+      JsonValue c = JsonValue(JsonValue::Array{});
+      for (const auto& row : o.combination) {
+        c.push_back(frac_vec_to_json(row));
+      }
+      entry.set("combination", std::move(c));
+    }
+    obligations.push_back(std::move(entry));
+  }
+  doc.set("obligations", std::move(obligations));
+  return doc;
+}
+
+DesignCertificate certificate_from_json(const JsonValue& json) {
+  if (json.at("format").as_string() != "nusys-certificate" ||
+      json.at("version").as_int() != 1) {
+    throw JsonError("certificate: unknown format or version", 0);
+  }
+  DesignCertificate cert;
+  cert.design = json.at("design").as_string();
+  for (const auto& entry : json.at("obligations").as_array()) {
+    ObligationRecord o;
+    o.id = entry.at("id").as_string();
+    o.kind = entry.at("kind").as_string();
+    const std::string& status = entry.at("status").as_string();
+    if (status == "certified") {
+      o.status = ObligationStatus::kCertified;
+    } else if (status == "enumerated") {
+      o.status = ObligationStatus::kEnumerated;
+    } else if (status == "violated") {
+      o.status = ObligationStatus::kViolated;
+    } else {
+      throw JsonError("certificate: unknown obligation status", 0);
+    }
+    if (const auto* v = entry.find("detail")) o.detail = v->as_string();
+    if (const auto* v = entry.find("farkas")) {
+      FarkasBound b;
+      b.bound = fraction_from_json(v->at("bound"));
+      b.multipliers = frac_vec_from_json(v->at("multipliers"));
+      o.bound = std::move(b);
+    }
+    if (const auto* v = entry.find("empty")) {
+      o.empty = FarkasEmpty{frac_vec_from_json(*v)};
+    }
+    if (const auto* v = entry.find("route")) o.route = int_vec_from_json(*v);
+    if (const auto* v = entry.find("displacement")) {
+      o.displacement = int_vec_from_json(*v);
+    }
+    if (const auto* v = entry.find("witness")) {
+      o.witness = int_vec_from_json(*v);
+    }
+    if (const auto* v = entry.find("determinant")) {
+      o.determinant = v->as_int();
+    }
+    if (const auto* v = entry.find("kernel")) {
+      for (const auto& k : v->as_array()) {
+        o.kernel.push_back(int_vec_from_json(k));
+      }
+    }
+    if (const auto* v = entry.find("rows")) {
+      for (const auto& r : v->as_array()) {
+        const i64 row = r.as_int();
+        if (row < 0) throw JsonError("certificate: negative row index", 0);
+        o.rows.push_back(static_cast<std::size_t>(row));
+      }
+    }
+    if (const auto* v = entry.find("combination")) {
+      for (const auto& row : v->as_array()) {
+        o.combination.push_back(frac_vec_from_json(row));
+      }
+    }
+    cert.obligations.push_back(std::move(o));
+  }
+  return cert;
+}
+
+}  // namespace nusys

@@ -1,0 +1,82 @@
+// Machine-checkable design certificates.
+//
+// The analyzer (analysis/analyzer.hpp) discharges one *obligation* per
+// algebraic condition of a design — causality, routability, exclusivity —
+// and records how: a Farkas bound with its multipliers, an emptiness
+// certificate, a route witness, a determinant / lattice-kernel proof, or a
+// rowspan combination for the fold rule. A DesignCertificate is the full
+// list. Certificates serialize to JSON (support/json.hpp) and back
+// bit-identically, and are re-checked *without* re-running any search or
+// LP — integer substitution and small exact solves only — so a stored
+// certificate is a proof object, not a cached verdict.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/farkas.hpp"
+#include "support/json.hpp"
+
+namespace nusys {
+
+/// How one obligation was discharged.
+enum class ObligationStatus {
+  kCertified,   ///< Proven over the whole domain; proof payload attached.
+  kEnumerated,  ///< No certificate applied; verified by exact enumeration.
+  kViolated,    ///< A concrete counterexample was found.
+};
+
+[[nodiscard]] const char* obligation_status_name(ObligationStatus status);
+
+/// One discharged obligation with its proof payload. Which payload fields
+/// are meaningful depends on `kind`:
+///   * "local-causality" / "global-causality": `bound` (Farkas, with the
+///     integrality lift applied by the checker), or `empty` for a vacuous
+///     guard;
+///   * "local-route" / "global-route": `route` + `displacement` (+ `bound`
+///     for the global slack minimum, `witness` anchoring the constant
+///     displacement);
+///   * "injectivity": `kernel` (domain difference lattice), `rows` (row
+///     subset of Π restricted to the kernel) and `determinant`;
+///   * "exclusivity-pair": `combination` (fold rows as rational
+///     combinations of slot-coincidence relations) or `empty` (the two
+///     modules never share a slot at all).
+struct ObligationRecord {
+  std::string id;    ///< Stable name, e.g. "global/A1/causality".
+  std::string kind;  ///< Obligation family (see above).
+  ObligationStatus status = ObligationStatus::kEnumerated;
+  std::string detail;  ///< Human-readable summary or counterexample.
+
+  std::optional<FarkasBound> bound;
+  std::optional<FarkasEmpty> empty;
+  std::optional<IntVec> route;
+  std::optional<IntVec> displacement;
+  std::optional<IntVec> witness;
+  std::optional<i64> determinant;
+  std::vector<IntVec> kernel;
+  std::vector<std::size_t> rows;
+  FracMat combination;
+
+  friend bool operator==(const ObligationRecord& a,
+                         const ObligationRecord& b) = default;
+};
+
+/// Every obligation of one analyzed design.
+struct DesignCertificate {
+  std::string design;  ///< Free-form label ("dp-fig2 n=64", ...).
+  std::vector<ObligationRecord> obligations;
+
+  [[nodiscard]] std::size_t count(ObligationStatus status) const;
+
+  friend bool operator==(const DesignCertificate& a,
+                         const DesignCertificate& b) = default;
+};
+
+/// JSON round-trip. certificate_from_json throws JsonError on a
+/// structurally malformed document; a *well-formed but wrong* certificate
+/// parses fine and is rejected later by the checker.
+[[nodiscard]] JsonValue certificate_to_json(const DesignCertificate& cert);
+[[nodiscard]] DesignCertificate certificate_from_json(const JsonValue& json);
+
+}  // namespace nusys

@@ -1,0 +1,152 @@
+#include "analysis/farkas.hpp"
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+/// The dual constraint matrix: one row per index dimension, one column per
+/// inequality, entry = that inequality's coefficient on the dimension.
+FracMat dual_matrix(const std::vector<AffineInequality>& inequalities,
+                    std::size_t dim) {
+  FracMat a(dim, FracVec(inequalities.size()));
+  for (std::size_t i = 0; i < inequalities.size(); ++i) {
+    NUSYS_REQUIRE(inequalities[i].coeffs.dim() == dim,
+                  "farkas: inequality dimension mismatch");
+    for (std::size_t k = 0; k < dim; ++k) {
+      a[k][i] = Fraction(inequalities[i].coeffs[k]);
+    }
+  }
+  return a;
+}
+
+/// Least common multiple of every multiplier denominator (and `extra`),
+/// for the scaled-integer substitution. Throws on i64 overflow.
+i64 common_scale(const FracVec& multipliers, i64 extra) {
+  i64 scale = extra;
+  for (const auto& m : multipliers) {
+    const i64 g = gcd64(scale, m.den());
+    scale = checked_mul(scale / g, m.den());
+  }
+  return scale;
+}
+
+}  // namespace
+
+std::optional<FarkasBound> prove_lower_bound(
+    const std::vector<AffineInequality>& inequalities, const IntVec& target,
+    i64 target_constant) {
+  const std::size_t dim = target.dim();
+  FracVec rhs(dim);
+  for (std::size_t k = 0; k < dim; ++k) rhs[k] = Fraction(target[k]);
+  FracVec objective(inequalities.size());
+  for (std::size_t i = 0; i < inequalities.size(); ++i) {
+    objective[i] = Fraction(checked_mul(inequalities[i].constant, -1));
+  }
+  const LpResult lp =
+      solve_standard_lp(dual_matrix(inequalities, dim), rhs, objective);
+  if (lp.status != LpStatus::kOptimal) return std::nullopt;
+  FarkasBound cert;
+  cert.multipliers = lp.solution;
+  cert.bound = Fraction(target_constant) + lp.objective_value;
+  return cert;
+}
+
+std::optional<FarkasEmpty> prove_empty(
+    const std::vector<AffineInequality>& inequalities) {
+  if (inequalities.empty()) return std::nullopt;
+  const std::size_t dim = inequalities.front().coeffs.dim();
+  // Feasibility system: Σ λ_i a_i = 0 and Σ λ_i b_i = -1, λ >= 0.
+  FracMat a = dual_matrix(inequalities, dim);
+  FracVec constants(inequalities.size());
+  for (std::size_t i = 0; i < inequalities.size(); ++i) {
+    constants[i] = Fraction(inequalities[i].constant);
+  }
+  a.push_back(std::move(constants));
+  FracVec rhs(dim + 1);
+  rhs[dim] = Fraction(-1);
+  const LpResult lp =
+      solve_standard_lp(a, rhs, FracVec(inequalities.size()));
+  if (lp.status != LpStatus::kOptimal) return std::nullopt;
+  return FarkasEmpty{lp.solution};
+}
+
+bool check_lower_bound(const std::vector<AffineInequality>& inequalities,
+                       const IntVec& target, i64 target_constant,
+                       const FarkasBound& certificate) {
+  if (certificate.multipliers.size() != inequalities.size()) return false;
+  try {
+    for (const auto& m : certificate.multipliers) {
+      if (m < Fraction(0)) return false;
+    }
+    const i64 scale =
+        common_scale(certificate.multipliers, certificate.bound.den());
+    std::vector<i64> scaled(inequalities.size());
+    for (std::size_t i = 0; i < inequalities.size(); ++i) {
+      const auto& m = certificate.multipliers[i];
+      scaled[i] = checked_mul(m.num(), scale / m.den());
+    }
+    // Coefficient identity:  Σ λ_i a_i == target, scaled by `scale`.
+    for (std::size_t k = 0; k < target.dim(); ++k) {
+      i64 sum = 0;
+      for (std::size_t i = 0; i < inequalities.size(); ++i) {
+        if (inequalities[i].coeffs.dim() != target.dim()) return false;
+        sum = checked_add(sum,
+                          checked_mul(scaled[i], inequalities[i].coeffs[k]));
+      }
+      if (sum != checked_mul(scale, target[k])) return false;
+    }
+    // Bound check:  bound <= target_constant - Σ λ_i b_i.
+    i64 offset = checked_mul(scale, target_constant);
+    for (std::size_t i = 0; i < inequalities.size(); ++i) {
+      offset =
+          checked_sub(offset, checked_mul(scaled[i], inequalities[i].constant));
+    }
+    const i64 scaled_bound = checked_mul(
+        certificate.bound.num(), scale / certificate.bound.den());
+    return scaled_bound <= offset;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+bool check_empty(const std::vector<AffineInequality>& inequalities,
+                 const FarkasEmpty& certificate) {
+  if (certificate.multipliers.size() != inequalities.size() ||
+      inequalities.empty()) {
+    return false;
+  }
+  const std::size_t dim = inequalities.front().coeffs.dim();
+  try {
+    for (const auto& m : certificate.multipliers) {
+      if (m < Fraction(0)) return false;
+    }
+    const i64 scale = common_scale(certificate.multipliers, 1);
+    std::vector<i64> scaled(inequalities.size());
+    for (std::size_t i = 0; i < inequalities.size(); ++i) {
+      const auto& m = certificate.multipliers[i];
+      scaled[i] = checked_mul(m.num(), scale / m.den());
+    }
+    for (std::size_t k = 0; k < dim; ++k) {
+      i64 sum = 0;
+      for (std::size_t i = 0; i < inequalities.size(); ++i) {
+        if (inequalities[i].coeffs.dim() != dim) return false;
+        sum = checked_add(sum,
+                          checked_mul(scaled[i], inequalities[i].coeffs[k]));
+      }
+      if (sum != 0) return false;
+    }
+    i64 sum = 0;
+    for (std::size_t i = 0; i < inequalities.size(); ++i) {
+      sum = checked_add(sum, checked_mul(scaled[i], inequalities[i].constant));
+    }
+    return sum < 0;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+i64 ceil_fraction(const Fraction& f) { return ceil_div(f.num(), f.den()); }
+
+}  // namespace nusys

@@ -1,0 +1,68 @@
+// Farkas certificates: affine bounds over a polytope, with receipts.
+//
+// To prove  t·x + t0 >= bound  for every point of  {x | a_i·x + b_i >= 0},
+// it suffices to exhibit multipliers λ_i >= 0 with  Σ λ_i a_i = t  and
+// bound <= t0 - Σ λ_i b_i: then t·x + t0 = Σ λ_i (a_i·x + b_i) + (t0 -
+// Σ λ_i b_i) >= bound termwise. The multipliers come out of the dual LP
+// (analysis/rational_lp.hpp), so the proved bound is the exact rational
+// minimum; checking a certificate needs no LP — just scaled-integer
+// substitution, which is what check_lower_bound / check_empty do.
+//
+// Because every target here has integer coefficients, its value at integer
+// points is an integer, so the *integer* minimum is >= ceil(bound) — the
+// lift the analyzer uses to certify strict inequalities like T·d > 0.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/polytope.hpp"
+#include "analysis/rational_lp.hpp"
+
+namespace nusys {
+
+/// Proof that  target·x + target_constant >= bound  on a polytope.
+struct FarkasBound {
+  FracVec multipliers;  ///< One λ_i >= 0 per inequality.
+  Fraction bound;       ///< The certified lower bound.
+
+  friend bool operator==(const FarkasBound& a, const FarkasBound& b) = default;
+};
+
+/// Proof that a polytope has no rational point:  Σ λ_i (a_i·x + b_i) is a
+/// negative constant even though every term is required nonnegative.
+struct FarkasEmpty {
+  FracVec multipliers;
+
+  friend bool operator==(const FarkasEmpty& a, const FarkasEmpty& b) = default;
+};
+
+/// Finds the exact rational minimum of  target·x + target_constant  over
+/// the inequalities' polytope together with its Farkas multipliers.
+/// nullopt when the polytope is empty (try prove_empty) or the relaxation
+/// is unbounded below.
+[[nodiscard]] std::optional<FarkasBound> prove_lower_bound(
+    const std::vector<AffineInequality>& inequalities, const IntVec& target,
+    i64 target_constant);
+
+/// Finds an emptiness certificate for the inequalities' polytope; nullopt
+/// when the polytope has a rational point.
+[[nodiscard]] std::optional<FarkasEmpty> prove_empty(
+    const std::vector<AffineInequality>& inequalities);
+
+/// Re-checks a bound certificate by scaled-integer substitution (no LP,
+/// no rational pivoting): multipliers nonnegative, coefficient identity
+/// exact, bound not overstated. False on any mismatch or i64 overflow.
+[[nodiscard]] bool check_lower_bound(
+    const std::vector<AffineInequality>& inequalities, const IntVec& target,
+    i64 target_constant, const FarkasBound& certificate);
+
+/// Re-checks an emptiness certificate the same way.
+[[nodiscard]] bool check_empty(
+    const std::vector<AffineInequality>& inequalities,
+    const FarkasEmpty& certificate);
+
+/// ceil(bound): the integrality lift for integer-valued targets.
+[[nodiscard]] i64 ceil_fraction(const Fraction& f);
+
+}  // namespace nusys

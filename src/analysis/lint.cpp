@@ -1,0 +1,394 @@
+#include "analysis/lint.hpp"
+
+#include <limits>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "analysis/farkas.hpp"
+#include "analysis/polytope.hpp"
+
+namespace nusys {
+
+namespace {
+
+void add(LintReport& report, const std::string& rule, LintSeverity severity,
+         std::string message, std::string fixit = "") {
+  report.diagnostics.push_back(
+      {rule, severity, std::move(message), std::move(fixit)});
+}
+
+/// Swallows overflow inside a lint probe; a rule that cannot be evaluated
+/// is simply not raised (the overflow-risk rule flags the magnitudes).
+template <typename F>
+auto probe(F&& f) -> decltype(f()) {
+  try {
+    return f();
+  } catch (const Error&) {
+    return {};
+  }
+}
+
+i64 max_abs(const IntVec& v) {
+  i64 m = 0;
+  for (const i64 x : v) {
+    const i64 a = x < 0 ? (x == std::numeric_limits<i64>::min()
+                               ? std::numeric_limits<i64>::max()
+                               : -x)
+                        : x;
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+i64 max_abs(const AffineExpr& e) {
+  const i64 c = e.constant_term();
+  const i64 a = c < 0 ? (c == std::numeric_limits<i64>::min()
+                             ? std::numeric_limits<i64>::max()
+                             : -c)
+                      : c;
+  const i64 m = max_abs(e.coeffs());
+  return a > m ? a : m;
+}
+
+void check_overflow_risk(LintReport& report, const std::string& what,
+                         i64 magnitude) {
+  if (magnitude <= kLintOverflowRiskLimit) return;
+  std::ostringstream os;
+  os << what << " carries a coefficient of magnitude " << magnitude
+     << " (> " << kLintOverflowRiskLimit
+     << "); products across dimensions may overflow checked 64-bit "
+        "arithmetic";
+  add(report, "overflow-risk", LintSeverity::kWarning, os.str(),
+      "rescale the model so coefficients stay small");
+}
+
+void lint_domain(LintReport& report, const std::string& what,
+                 const IndexDomain& domain) {
+  for (std::size_t k = 0; k < domain.dim(); ++k) {
+    check_overflow_risk(report, what + " lower bound of " +
+                                    domain.names()[k],
+                        max_abs(domain.bounds(k).lower));
+    check_overflow_risk(report, what + " upper bound of " +
+                                    domain.names()[k],
+                        max_abs(domain.bounds(k).upper));
+  }
+  for (const auto& c : domain.constraints()) {
+    check_overflow_risk(report, what + " constraint", max_abs(c));
+  }
+
+  const auto facets = probe(
+      [&]() -> std::optional<DomainFacets> { return domain_facets(domain); });
+  if (!facets) return;
+  if (probe([&] { return prove_empty(facets->inequalities); })) {
+    add(report, "empty-domain", LintSeverity::kError,
+        what + " is provably empty: no index point satisfies its bounds",
+        "check the loop bounds; a lower bound exceeds its upper bound");
+    return;
+  }
+  if (!facets->equalities.empty()) {
+    std::ostringstream os;
+    os << what << " lies in a " << facets->equalities.size()
+       << "-codimensional affine subspace (an axis or constraint pins it)";
+    add(report, "degenerate-domain", LintSeverity::kNote, os.str());
+  }
+}
+
+void lint_dependences(LintReport& report, const std::string& what,
+                      const DependenceSet& deps, std::size_t domain_dim) {
+  std::set<std::string> seen;
+  for (const auto& dep : deps) {
+    if (!seen.insert(dep.variable).second) {
+      add(report, "duplicate-variable", LintSeverity::kError,
+          what + " binds variable '" + dep.variable +
+              "' to more than one dependence vector (CA4: single use "
+              "after generation)",
+          "split the variable into one name per dependence");
+    }
+    if (dep.vector.dim() != domain_dim) {
+      std::ostringstream os;
+      os << what << " dependence '" << dep.variable << "' has dimension "
+         << dep.vector.dim() << " but the domain has " << domain_dim
+         << " (CA1: every variable is indexed by the full tuple)";
+      add(report, "dimension-mismatch", LintSeverity::kError, os.str());
+      continue;
+    }
+    if (dep.vector.is_zero()) {
+      add(report, "zero-dependence", LintSeverity::kError,
+          what + " dependence '" + dep.variable +
+              "' is the zero vector, making the dependence order "
+              "reflexive",
+          "a value may not be consumed at the index that produces it; "
+          "drop the dependence or shift it");
+    }
+    check_overflow_risk(report, what + " dependence '" + dep.variable + "'",
+                        max_abs(dep.vector));
+  }
+}
+
+/// Tries to prove `inner ⊆ {x | expr(M·x + off) >= 0}` by a Farkas bound on
+/// the composed affine form; nullopt when the proof fails (which does NOT
+/// imply a violation — the linter never enumerates to find one).
+bool containment_proven(const DomainFacets& inner, const AffineExpr& outer,
+                        const IntMat& m, const IntVec& offset) {
+  return probe([&]() -> std::optional<FarkasBound> {
+           IntVec composed(m.cols());
+           for (std::size_t k = 0; k < m.cols(); ++k) {
+             i64 v = 0;
+             for (std::size_t r = 0; r < m.rows(); ++r) {
+               v = checked_add(v,
+                               checked_mul(outer.coeffs()[r], m(r, k)));
+             }
+             composed[k] = v;
+           }
+           const i64 constant = checked_add(outer.coeffs().dot(offset),
+                                            outer.constant_term());
+           const auto bound =
+               prove_lower_bound(inner.inequalities, composed, constant);
+           if (!bound || bound->bound < Fraction(0)) return std::nullopt;
+           return bound;
+         })
+      .has_value();
+}
+
+/// All affine forms that must be nonnegative on a domain's points: per-axis
+/// bound residuals plus the extra constraints.
+std::vector<AffineExpr> nonnegative_forms(const IndexDomain& domain) {
+  std::vector<AffineExpr> forms;
+  for (std::size_t k = 0; k < domain.dim(); ++k) {
+    forms.push_back(AffineExpr::index(domain.dim(), k) -
+                    domain.bounds(k).lower);
+    forms.push_back(domain.bounds(k).upper -
+                    AffineExpr::index(domain.dim(), k));
+  }
+  for (const auto& c : domain.constraints()) forms.push_back(c);
+  return forms;
+}
+
+}  // namespace
+
+const char* lint_severity_name(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kError:
+      return "error";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+bool LintReport::ok() const { return count(LintSeverity::kError) == 0; }
+
+std::size_t LintReport::count(LintSeverity severity) const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string LintReport::summary() const {
+  std::ostringstream os;
+  os << "lint " << subject << ": " << count(LintSeverity::kError)
+     << " error(s), " << count(LintSeverity::kWarning) << " warning(s), "
+     << count(LintSeverity::kNote) << " note(s)";
+  return os.str();
+}
+
+JsonValue LintReport::to_json() const {
+  JsonValue doc;
+  doc.set("subject", subject);
+  doc.set("ok", ok());
+  doc.set("errors", count(LintSeverity::kError));
+  doc.set("warnings", count(LintSeverity::kWarning));
+  doc.set("notes", count(LintSeverity::kNote));
+  JsonValue list = JsonValue(JsonValue::Array{});
+  for (const auto& d : diagnostics) {
+    JsonValue entry;
+    entry.set("rule", d.rule);
+    entry.set("severity", lint_severity_name(d.severity));
+    entry.set("message", d.message);
+    if (!d.fixit.empty()) entry.set("fixit", d.fixit);
+    list.push_back(std::move(entry));
+  }
+  doc.set("diagnostics", std::move(list));
+  return doc;
+}
+
+const std::vector<LintRule>& lint_rules() {
+  static const std::vector<LintRule> rules = {
+      {"empty-domain", LintSeverity::kError,
+       "index domain provably contains no integer point"},
+      {"degenerate-domain", LintSeverity::kNote,
+       "index domain lies in a proper affine subspace"},
+      {"zero-dependence", LintSeverity::kError,
+       "dependence vector is zero (reflexive ordering)"},
+      {"duplicate-variable", LintSeverity::kError,
+       "variable bound to more than one dependence vector (CA4)"},
+      {"dimension-mismatch", LintSeverity::kError,
+       "dependence or map dimension differs from the domain (CA1)"},
+      {"undeclared-nonconstant-dependence", LintSeverity::kError,
+       "non-constant template replaces an axis outside the statement "
+       "space"},
+      {"replaced-axis-entry", LintSeverity::kNote,
+       "non-constant template carries an ignored entry on its replaced "
+       "axis"},
+      {"global-index-range", LintSeverity::kError,
+       "global dependence names a module index that does not exist"},
+      {"guard-containment", LintSeverity::kWarning,
+       "guard points (or their producer images) could not be proven to "
+       "stay inside the module domains"},
+      {"guard-empty", LintSeverity::kWarning,
+       "global dependence guard is provably empty; the statement never "
+       "fires"},
+      {"overflow-risk", LintSeverity::kWarning,
+       "coefficient magnitude threatens checked 64-bit arithmetic"},
+  };
+  return rules;
+}
+
+LintReport lint_recurrence(const CanonicRecurrence& recurrence) {
+  return lint_recurrence_parts(recurrence.name(), recurrence.domain(),
+                               recurrence.dependences());
+}
+
+LintReport lint_nonuniform(const NonUniformSpec& spec) {
+  return lint_nonuniform_parts(spec.name(), spec.full_domain(), spec.deps());
+}
+
+LintReport lint_recurrence_parts(const std::string& name,
+                                 const IndexDomain& domain,
+                                 const DependenceSet& deps) {
+  LintReport report;
+  report.subject = name;
+  lint_domain(report, "domain", domain);
+  lint_dependences(report, "recurrence", deps, domain.dim());
+  return report;
+}
+
+LintReport lint_nonuniform_parts(const std::string& name,
+                                 const IndexDomain& full_domain,
+                                 const std::vector<NonConstantDep>& deps) {
+  LintReport report;
+  report.subject = name;
+  lint_domain(report, "full domain", full_domain);
+  if (full_domain.dim() < 2) {
+    add(report, "dimension-mismatch", LintSeverity::kError,
+        "a non-uniform spec needs a reduction dimension plus at least one "
+        "statement dimension");
+    return report;
+  }
+  const std::size_t s = full_domain.dim() - 1;
+  for (std::size_t j = 0; j < deps.size(); ++j) {
+    const NonConstantDep& dep = deps[j];
+    const std::string what =
+        "template " + std::to_string(j) + " ('" + dep.variable + "')";
+    if (dep.base.dim() != s) {
+      std::ostringstream os;
+      os << what << " has base dimension " << dep.base.dim()
+         << " but the statement space has " << s;
+      add(report, "dimension-mismatch", LintSeverity::kError, os.str());
+      continue;
+    }
+    if (dep.replaced_axis >= s) {
+      std::ostringstream os;
+      os << what << " replaces axis " << dep.replaced_axis
+         << ", outside the statement space of dimension " << s
+         << " — the dependence is effectively undeclared";
+      add(report, "undeclared-nonconstant-dependence", LintSeverity::kError,
+          os.str(),
+          "the replaced component must name a statement axis (< n-1)");
+      continue;
+    }
+    if (dep.base[dep.replaced_axis] != 0) {
+      std::ostringstream os;
+      os << what << " carries base entry " << dep.base[dep.replaced_axis]
+         << " on its replaced axis; the expansion ignores it";
+      add(report, "replaced-axis-entry", LintSeverity::kNote, os.str(),
+          "set the replaced-axis entry to 0 to make the template "
+          "self-describing");
+    }
+    check_overflow_risk(report, what, max_abs(dep.base));
+  }
+  return report;
+}
+
+LintReport lint_module_system(const ModuleSystem& sys) {
+  LintReport report;
+  report.subject = sys.name();
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
+    const Module& mod = sys.module(m);
+    const std::string what = "module '" + mod.name + "'";
+    lint_domain(report, what + " domain", mod.domain);
+    lint_dependences(report, what, mod.local_deps, mod.domain.dim());
+  }
+  for (const auto& g : sys.globals()) {
+    const std::string what = "global '" + g.name + "'";
+    if (g.consumer >= sys.module_count() || g.producer >= sys.module_count()) {
+      add(report, "global-index-range", LintSeverity::kError,
+          what + " names a module index outside the system");
+      continue;
+    }
+    if (g.producer_point.input_dim() != g.guard.dim() ||
+        g.producer_point.output_dim() !=
+            sys.module(g.producer).domain.dim()) {
+      add(report, "dimension-mismatch", LintSeverity::kError,
+          what + " producer map shape does not match the guard or "
+                 "producer domain");
+      continue;
+    }
+    lint_domain(report, what + " guard", g.guard);
+
+    const auto guard_facets = probe([&]() -> std::optional<DomainFacets> {
+      return domain_facets(g.guard);
+    });
+    if (!guard_facets) continue;
+    if (probe([&] { return prove_empty(guard_facets->inequalities); })) {
+      add(report, "guard-empty", LintSeverity::kWarning,
+          what + " guard is provably empty; the statement never fires",
+          "drop the statement or fix the guard bounds");
+      continue;
+    }
+
+    // Containment proofs: guard ⊆ consumer domain, and the producer image
+    // of the guard ⊆ producer domain. A failed proof is a warning, not an
+    // error — the linter never enumerates to confirm a violation.
+    const IntMat identity = IntMat::identity(g.guard.dim());
+    const IntVec zero(g.guard.dim());
+    bool consumer_ok = true;
+    for (const auto& form :
+         nonnegative_forms(sys.module(g.consumer).domain)) {
+      if (!containment_proven(*guard_facets, form, identity, zero)) {
+        consumer_ok = false;
+        break;
+      }
+    }
+    if (!consumer_ok) {
+      add(report, "guard-containment", LintSeverity::kWarning,
+          what + " guard could not be proven to stay inside the consumer "
+                 "domain",
+          "run `nusys analyze --paranoid` for a point-wise check");
+    }
+    bool producer_ok = true;
+    for (const auto& form :
+         nonnegative_forms(sys.module(g.producer).domain)) {
+      if (!containment_proven(*guard_facets, form, g.producer_point.matrix(),
+                              g.producer_point.offset())) {
+        producer_ok = false;
+        break;
+      }
+    }
+    if (!producer_ok) {
+      add(report, "guard-containment", LintSeverity::kWarning,
+          what + " producer image could not be proven to stay inside the "
+                 "producer domain",
+          "run `nusys analyze --paranoid` for a point-wise check");
+    }
+  }
+  return report;
+}
+
+}  // namespace nusys

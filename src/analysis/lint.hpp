@@ -1,0 +1,86 @@
+// IR lint: structural diagnostics over recurrences, non-uniform specs and
+// module systems.
+//
+// The analyzer (analysis/analyzer.hpp) proves a *design*; the linter vets
+// the *input IR* before any synthesis runs: zero or mis-dimensioned
+// dependence vectors (CA1-CA4), provably empty or degenerate domains,
+// guards that may escape their module domains, and coefficient magnitudes
+// large enough to threaten the checked 64-bit arithmetic downstream
+// (support/checked.hpp). Every rule is purely structural or discharged by
+// the same Farkas machinery the analyzer uses — the linter never
+// enumerates an index domain, so it is safe on arbitrarily large inputs.
+//
+// Diagnostics carry a rule name from the registry (lint_rules()), a
+// severity, and — where a mechanical repair exists — a fix-it hint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/nonuniform.hpp"
+#include "ir/recurrence.hpp"
+#include "modules/module_system.hpp"
+#include "support/json.hpp"
+
+namespace nusys {
+
+enum class LintSeverity { kError, kWarning, kNote };
+
+[[nodiscard]] const char* lint_severity_name(LintSeverity severity);
+
+/// One finding. `fixit` is empty when no mechanical repair applies.
+struct LintDiagnostic {
+  std::string rule;
+  LintSeverity severity = LintSeverity::kNote;
+  std::string message;
+  std::string fixit;
+
+  friend bool operator==(const LintDiagnostic& a,
+                         const LintDiagnostic& b) = default;
+};
+
+/// All findings for one linted object.
+struct LintReport {
+  std::string subject;  ///< Name of the linted IR object.
+  std::vector<LintDiagnostic> diagnostics;
+
+  /// True when no *error*-severity diagnostic was raised; warnings and
+  /// notes never fail a lint.
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] std::size_t count(LintSeverity severity) const;
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+/// A registered rule (name + default severity + what it checks).
+struct LintRule {
+  std::string name;
+  LintSeverity severity;
+  std::string description;
+};
+
+/// The full rule registry, in stable order.
+[[nodiscard]] const std::vector<LintRule>& lint_rules();
+
+/// Coefficient magnitude above which products across a few dimensions
+/// start to threaten checked 64-bit arithmetic; the overflow-risk rule
+/// fires beyond it.
+inline constexpr i64 kLintOverflowRiskLimit = i64{1} << 20;
+
+[[nodiscard]] LintReport lint_recurrence(const CanonicRecurrence& recurrence);
+[[nodiscard]] LintReport lint_nonuniform(const NonUniformSpec& spec);
+[[nodiscard]] LintReport lint_module_system(const ModuleSystem& sys);
+
+/// Raw-parts entry points for IR that has not (or cannot) be constructed:
+/// the CanonicRecurrence / NonUniformSpec constructors throw on the first
+/// CA violation they meet, while a front end wants *all* diagnostics with
+/// fix-it hints before deciding whether to build the object at all. The
+/// typed overloads above delegate here.
+[[nodiscard]] LintReport lint_recurrence_parts(const std::string& name,
+                                               const IndexDomain& domain,
+                                               const DependenceSet& deps);
+[[nodiscard]] LintReport lint_nonuniform_parts(
+    const std::string& name, const IndexDomain& full_domain,
+    const std::vector<NonConstantDep>& deps);
+
+}  // namespace nusys

@@ -1,0 +1,116 @@
+#include "analysis/polytope.hpp"
+
+#include <algorithm>
+
+#include "linalg/hermite.hpp"
+#include "linalg/mat.hpp"
+
+namespace nusys {
+
+namespace {
+
+/// coeffs of `-expr` (componentwise negation).
+IntVec negated(const IntVec& v) { return -v; }
+
+/// True when `a >= 0` and `b >= 0` together force equality: b == -a.
+bool opposite(const AffineExpr& a, const AffineExpr& b) {
+  return a.coeffs() == negated(b.coeffs()) &&
+         a.constant_term() == checked_mul(b.constant_term(), -1);
+}
+
+}  // namespace
+
+DomainFacets domain_facets(const IndexDomain& domain) {
+  DomainFacets facets;
+  facets.dim = domain.dim();
+  const std::size_t n = domain.dim();
+
+  for (std::size_t axis = 0; axis < n; ++axis) {
+    const DimBounds& b = domain.bounds(axis);
+    // x_axis - lower(x) >= 0.
+    IntVec lo = negated(b.lower.coeffs());
+    lo[axis] = checked_add(lo[axis], 1);
+    facets.inequalities.push_back(
+        {lo, checked_mul(b.lower.constant_term(), -1)});
+    // upper(x) - x_axis >= 0.
+    IntVec hi = b.upper.coeffs();
+    hi[axis] = checked_sub(hi[axis], 1);
+    facets.inequalities.push_back({hi, b.upper.constant_term()});
+    // A thin axis (lower == upper) pins the domain to a hyperplane.
+    if (b.lower == b.upper) {
+      facets.equalities.push_back(
+          {lo, checked_mul(b.lower.constant_term(), -1)});
+    }
+  }
+
+  const auto& extras = domain.constraints();
+  std::vector<bool> paired(extras.size(), false);
+  for (std::size_t i = 0; i < extras.size(); ++i) {
+    facets.inequalities.push_back(
+        {extras[i].coeffs(), extras[i].constant_term()});
+    if (paired[i]) continue;
+    for (std::size_t j = i + 1; j < extras.size(); ++j) {
+      if (!paired[j] && opposite(extras[i], extras[j])) {
+        facets.equalities.push_back(
+            {extras[i].coeffs(), extras[i].constant_term()});
+        paired[i] = paired[j] = true;
+        break;
+      }
+    }
+  }
+  return facets;
+}
+
+std::vector<IntVec> equality_kernel_basis(const DomainFacets& facets) {
+  if (facets.equalities.empty()) {
+    std::vector<IntVec> basis;
+    basis.reserve(facets.dim);
+    for (std::size_t k = 0; k < facets.dim; ++k) {
+      IntVec e(facets.dim);
+      e[k] = 1;
+      basis.push_back(std::move(e));
+    }
+    return basis;
+  }
+  std::vector<IntVec> rows;
+  rows.reserve(facets.equalities.size());
+  for (const auto& eq : facets.equalities) rows.push_back(eq.coeffs);
+  const auto sol =
+      solve_diophantine(IntMat::from_rows(rows), IntVec(rows.size()));
+  // E·u = 0 always admits u = 0, so the solve cannot fail.
+  NUSYS_REQUIRE(sol.has_value(), "equality_kernel_basis: homogeneous solve");
+  return sol->kernel;
+}
+
+WitnessSearch find_integer_point(const IndexDomain& domain,
+                                 std::size_t budget) {
+  WitnessSearch out;
+  std::size_t visited = 0;
+  IntVec point(domain.dim());
+  auto recurse = [&](auto&& self, std::size_t axis) -> bool {
+    if (out.point || visited >= budget) return false;
+    if (axis == domain.dim()) {
+      ++visited;
+      for (const auto& c : domain.constraints()) {
+        if (c.eval(point) < 0) return true;
+      }
+      out.point = point;
+      return false;
+    }
+    const i64 lo = domain.bounds(axis).lower.eval(point);
+    const i64 hi = domain.bounds(axis).upper.eval(point);
+    for (i64 v = lo; v <= hi; ++v) {
+      point[axis] = v;
+      if (!self(self, axis + 1)) {
+        point[axis] = 0;
+        return false;
+      }
+    }
+    point[axis] = 0;
+    return true;
+  };
+  out.exhausted = recurse(recurse, 0) && !out.point;
+  return out;
+}
+
+}  // namespace nusys

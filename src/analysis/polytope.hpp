@@ -1,0 +1,77 @@
+// Facet view of an IndexDomain: the rational polytope behind a loop nest.
+//
+// The static analyzer reasons about a domain through its affine facets
+// instead of its points. A loop nest with bounds affine in earlier
+// dimensions plus extra `expr >= 0` constraints is exactly an H-polytope
+// {x | A·x + b >= 0}; thin axes (lower == upper) and opposite constraint
+// pairs are additionally *equalities*, whose integer kernel spans every
+// direction two domain points can differ in. Both views feed the Farkas /
+// lattice certificates in analysis/farkas.hpp and analysis/analyzer.hpp.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ir/domain.hpp"
+#include "linalg/vec.hpp"
+
+namespace nusys {
+
+/// One closed half-space  coeffs · x + constant >= 0.
+struct AffineInequality {
+  IntVec coeffs;
+  i64 constant = 0;
+
+  friend bool operator==(const AffineInequality& a,
+                         const AffineInequality& b) = default;
+};
+
+/// One hyperplane  coeffs · x + constant == 0.
+struct AffineEquality {
+  IntVec coeffs;
+  i64 constant = 0;
+
+  friend bool operator==(const AffineEquality& a,
+                         const AffineEquality& b) = default;
+};
+
+/// The facets of an IndexDomain. `inequalities` describe the full rational
+/// relaxation (every integer point of the domain satisfies all of them);
+/// `equalities` are the detected hyperplanes the domain lies on (thin axes
+/// and opposite-constraint pairs). Equalities also appear in
+/// `inequalities` as their two half-spaces, so the inequality list alone
+/// is a complete relaxation.
+struct DomainFacets {
+  std::size_t dim = 0;
+  std::vector<AffineInequality> inequalities;
+  std::vector<AffineEquality> equalities;
+};
+
+/// Extracts the facet view of `domain`. Exact: a point satisfies the
+/// domain's bounds and constraints iff it satisfies every inequality.
+[[nodiscard]] DomainFacets domain_facets(const IndexDomain& domain);
+
+/// A saturated basis of the integer solutions of  E·u = 0  over the
+/// equality normals of `facets`: every difference p - q of two domain
+/// points is an integer combination of the returned vectors. With no
+/// equalities this is the standard basis.
+[[nodiscard]] std::vector<IntVec> equality_kernel_basis(
+    const DomainFacets& facets);
+
+/// Outcome of a budgeted search for one integer point of a domain.
+struct WitnessSearch {
+  /// Lexicographically first point found, if any.
+  std::optional<IntVec> point;
+  /// True when the whole domain was scanned (so no point => truly empty);
+  /// false when the budget ran out first.
+  bool exhausted = false;
+};
+
+/// Scans `domain` in lexicographic order for an integer point, giving up
+/// after visiting `budget` candidate leaves. Cheap anchor for the
+/// affine-hull reductions; certificates never depend on the budget.
+[[nodiscard]] WitnessSearch find_integer_point(const IndexDomain& domain,
+                                               std::size_t budget);
+
+}  // namespace nusys

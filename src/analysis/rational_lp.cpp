@@ -1,0 +1,190 @@
+#include "analysis/rational_lp.hpp"
+
+#include <cstddef>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+/// Simplex tableau: `rows` is m x (columns + 1) with the rhs in the last
+/// entry of each row; `basis[r]` names the column basic in row r.
+struct Tableau {
+  FracMat rows;
+  std::vector<std::size_t> basis;
+  std::size_t columns = 0;
+};
+
+void pivot(Tableau& t, std::size_t row, std::size_t col) {
+  const Fraction p = t.rows[row][col];
+  for (auto& v : t.rows[row]) v /= p;
+  for (std::size_t r = 0; r < t.rows.size(); ++r) {
+    if (r == row || t.rows[r][col].is_zero()) continue;
+    const Fraction f = t.rows[r][col];
+    for (std::size_t c = 0; c <= t.columns; ++c) {
+      t.rows[r][c] -= f * t.rows[row][c];
+    }
+  }
+  t.basis[row] = col;
+}
+
+/// Runs Bland's-rule simplex maximizing `cost` over the columns with
+/// `allowed[j]` set. Terminates (no cycling); returns kOptimal or
+/// kUnbounded.
+LpStatus run_simplex(Tableau& t, const FracVec& cost,
+                     const std::vector<bool>& allowed) {
+  for (;;) {
+    // Reduced costs from scratch each round: the tableaus here have a
+    // handful of rows, so clarity beats carrying an objective row.
+    std::size_t entering = t.columns;
+    for (std::size_t j = 0; j < t.columns && entering == t.columns; ++j) {
+      if (!allowed[j]) continue;
+      Fraction reduced = cost[j];
+      for (std::size_t r = 0; r < t.rows.size(); ++r) {
+        reduced -= cost[t.basis[r]] * t.rows[r][j];
+      }
+      if (reduced > Fraction(0)) entering = j;
+    }
+    if (entering == t.columns) return LpStatus::kOptimal;
+
+    std::size_t leaving = t.rows.size();
+    Fraction best_ratio;
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+      if (t.rows[r][entering] <= Fraction(0)) continue;
+      const Fraction ratio = t.rows[r][t.columns] / t.rows[r][entering];
+      if (leaving == t.rows.size() || ratio < best_ratio ||
+          (ratio == best_ratio && t.basis[r] < t.basis[leaving])) {
+        leaving = r;
+        best_ratio = ratio;
+      }
+    }
+    if (leaving == t.rows.size()) return LpStatus::kUnbounded;
+    pivot(t, leaving, entering);
+  }
+}
+
+}  // namespace
+
+LpResult solve_standard_lp(const FracMat& a, const FracVec& b,
+                           const FracVec& objective) {
+  const std::size_t m = a.size();
+  const std::size_t n = objective.size();
+  NUSYS_REQUIRE(b.size() == m, "solve_standard_lp: rhs arity");
+  for (const auto& row : a) {
+    NUSYS_REQUIRE(row.size() == n, "solve_standard_lp: row arity");
+  }
+
+  // Phase 1: one artificial per row (rhs flipped nonnegative first),
+  // maximize minus their sum; feasible iff the optimum is zero.
+  Tableau t;
+  t.columns = n + m;
+  t.rows.assign(m, FracVec(t.columns + 1));
+  t.basis.resize(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const bool flip = b[r] < Fraction(0);
+    for (std::size_t c = 0; c < n; ++c) {
+      t.rows[r][c] = flip ? -a[r][c] : a[r][c];
+    }
+    t.rows[r][n + r] = Fraction(1);
+    t.rows[r][t.columns] = flip ? -b[r] : b[r];
+    t.basis[r] = n + r;
+  }
+  FracVec phase1_cost(t.columns);
+  for (std::size_t j = n; j < t.columns; ++j) phase1_cost[j] = Fraction(-1);
+  std::vector<bool> all_columns(t.columns, true);
+  run_simplex(t, phase1_cost, all_columns);  // Bounded below by -Σ|b|.
+
+  Fraction infeasibility;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis[r] >= n) infeasibility += t.rows[r][t.columns];
+  }
+  LpResult result;
+  if (!infeasibility.is_zero()) {
+    result.status = LpStatus::kInfeasible;
+    return result;
+  }
+
+  // Drive leftover artificials out of the basis; a row where no real
+  // column can pivot is a redundant constraint and is dropped.
+  std::vector<bool> real_columns(t.columns);
+  for (std::size_t j = 0; j < n; ++j) real_columns[j] = true;
+  for (std::size_t r = 0; r < t.rows.size();) {
+    if (t.basis[r] < n) {
+      ++r;
+      continue;
+    }
+    std::size_t col = n;
+    for (std::size_t j = 0; j < n && col == n; ++j) {
+      if (!t.rows[r][j].is_zero()) col = j;
+    }
+    if (col < n) {
+      pivot(t, r, col);
+      ++r;
+    } else {
+      t.rows.erase(t.rows.begin() + static_cast<std::ptrdiff_t>(r));
+      t.basis.erase(t.basis.begin() + static_cast<std::ptrdiff_t>(r));
+    }
+  }
+
+  // Phase 2 over the real columns only.
+  FracVec phase2_cost(t.columns);
+  for (std::size_t j = 0; j < n; ++j) phase2_cost[j] = objective[j];
+  if (run_simplex(t, phase2_cost, real_columns) == LpStatus::kUnbounded) {
+    result.status = LpStatus::kUnbounded;
+    return result;
+  }
+
+  result.status = LpStatus::kOptimal;
+  result.solution.assign(n, Fraction(0));
+  for (std::size_t r = 0; r < t.rows.size(); ++r) {
+    if (t.basis[r] < n) result.solution[t.basis[r]] = t.rows[r][t.columns];
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    result.objective_value += objective[j] * result.solution[j];
+  }
+  return result;
+}
+
+std::optional<FracVec> solve_rational_system(const FracMat& a,
+                                             const FracVec& b) {
+  const std::size_t m = a.size();
+  NUSYS_REQUIRE(b.size() == m, "solve_rational_system: rhs arity");
+  const std::size_t n = m == 0 ? 0 : a.front().size();
+  for (const auto& row : a) {
+    NUSYS_REQUIRE(row.size() == n, "solve_rational_system: row arity");
+  }
+
+  FracMat rows(m, FracVec(n + 1));
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) rows[r][c] = a[r][c];
+    rows[r][n] = b[r];
+  }
+
+  std::vector<std::size_t> pivot_col;
+  std::size_t rank = 0;
+  for (std::size_t c = 0; c < n && rank < m; ++c) {
+    std::size_t p = rank;
+    while (p < m && rows[p][c].is_zero()) ++p;
+    if (p == m) continue;
+    std::swap(rows[p], rows[rank]);
+    const Fraction inv = rows[rank][c];
+    for (auto& v : rows[rank]) v /= inv;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == rank || rows[r][c].is_zero()) continue;
+      const Fraction f = rows[r][c];
+      for (std::size_t k = c; k <= n; ++k) rows[r][k] -= f * rows[rank][k];
+    }
+    pivot_col.push_back(c);
+    ++rank;
+  }
+  for (std::size_t r = rank; r < m; ++r) {
+    if (!rows[r][n].is_zero()) return std::nullopt;  // 0 == nonzero.
+  }
+
+  FracVec x(n, Fraction(0));
+  for (std::size_t r = 0; r < rank; ++r) x[pivot_col[r]] = rows[r][n];
+  return x;
+}
+
+}  // namespace nusys

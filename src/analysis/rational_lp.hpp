@@ -1,0 +1,42 @@
+// Exact rational linear programming and linear solving.
+//
+// The Farkas certificates of analysis/farkas.hpp are the optimal dual
+// multipliers of tiny LPs (a handful of variables per facet of a loop
+// nest). Floating point would make "certificate" a lie, so this is a
+// textbook two-phase primal simplex over support/fraction.hpp with Bland's
+// rule — slow in theory, instant at these sizes, and every pivot exact.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "support/fraction.hpp"
+
+namespace nusys {
+
+/// A dense rational matrix row / vector.
+using FracVec = std::vector<Fraction>;
+using FracMat = std::vector<FracVec>;
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+/// Outcome of one exact LP solve.
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  FracVec solution;          ///< One optimal x (size = variable count).
+  Fraction objective_value;  ///< objective · solution.
+};
+
+/// Solves  max objective·x  subject to  A·x = b, x >= 0  exactly.
+/// `a` is row-major with one inner vector per constraint; every row must
+/// have `objective.size()` entries. Anti-cycling via Bland's rule, so the
+/// solve always terminates.
+[[nodiscard]] LpResult solve_standard_lp(const FracMat& a, const FracVec& b,
+                                         const FracVec& objective);
+
+/// One rational solution of  A·x = b, or nullopt when the system is
+/// inconsistent. Plain Gaussian elimination over Fraction.
+[[nodiscard]] std::optional<FracVec> solve_rational_system(const FracMat& a,
+                                                           const FracVec& b);
+
+}  // namespace nusys

@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/analyzer.hpp"
 #include "conv/recurrences.hpp"
 #include "synth/batch.hpp"
 #include "synth/report.hpp"
@@ -90,6 +91,10 @@ JsonValue ServiceStats::to_json() const {
   search.set("problems_completed", problems_completed);
   search.set("candidates_examined", candidates_examined);
   obj.set("search", std::move(search));
+
+  // Process-wide static-analyzer activity (certificate-based design
+  // revalidation replaced the enumerative oracles on the cache hot path).
+  obj.set("analysis", analysis_counters_json());
 
   obj.set("latency_ms", latency_json(latency_histogram));
   return obj;

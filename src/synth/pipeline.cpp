@@ -53,6 +53,25 @@ NonUniformSynthesisResult synthesize_nonuniform(
     }
   };
 
+  // Static analysis over the kept designs (options.analyze): certificate
+  // generation is domain-size independent, so this is cheap even on large
+  // instances. Runs on both the cold path and validated cache hits.
+  auto run_analysis = [&] {
+    if (!options.analyze || result.designs.empty()) return;
+    const WallTimer timer;
+    StageTelemetry stage;
+    stage.stage = "analyze";
+    for (const auto& design : result.designs) {
+      result.analysis.push_back(analyze_module_design(
+          sys, design.schedules, design.spaces, net, options.analysis));
+      const auto& report = result.analysis.back();
+      stage.examined += report.certificate.obligations.size();
+      if (report.ok()) ++stage.feasible;
+    }
+    stage.wall_seconds = timer.seconds();
+    record_stage(std::move(stage));
+  };
+
   // Canonical design cache: replay a validated hit, skipping stages 3-4.
   // The single-flight gate (held through the insert at the bottom) makes
   // concurrent requests on one key cost one search.
@@ -72,6 +91,7 @@ NonUniformSynthesisResult synthesize_nonuniform(
         stage.feasible = result.designs.size();
         stage.wall_seconds = cache_timer.seconds();
         record_stage(std::move(stage));
+        run_analysis();
         return result;
       }
       options.cache->reject(cache_key);
@@ -121,6 +141,7 @@ NonUniformSynthesisResult synthesize_nonuniform(
         options.cache->stats().evictions - evictions_before;
     record_stage(std::move(stage));
   }
+  run_analysis();
   return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "chains/modules_emit.hpp"
 #include "designs/dp_array.hpp"
 #include "modules/module_schedule.hpp"
@@ -48,6 +49,14 @@ struct NonUniformSynthesisOptions {
   /// aborts with CancelledError. nullptr = never cancelled (the exact
   /// legacy path).
   const CancelToken* cancel = nullptr;
+  /// Run the certificate-based static analyzer (analysis/analyzer.hpp)
+  /// over every kept design and attach the reports to the result; the
+  /// designs themselves are unchanged. Off by default because search
+  /// feasibility already enforced the same conditions.
+  bool analyze = false;
+  /// Forwarded to the analyzer when `analyze` is set; `paranoid` also
+  /// cross-checks every verdict against the extensional verifier.
+  AnalyzeOptions analysis;
 };
 
 /// Everything the pipeline produced, including intermediate artifacts.
@@ -58,8 +67,12 @@ struct NonUniformSynthesisResult {
   i64 schedule_makespan = 0;
   std::vector<DPArrayDesign> designs;   ///< Ranked executable designs.
   std::vector<std::size_t> cell_counts; ///< Parallel to designs.
+  /// Static-analysis reports, parallel to `designs`; filled only when
+  /// options.analyze is set.
+  std::vector<AnalysisReport> analysis;
   /// Per-stage search telemetry: "coarse-schedule", "module-schedule",
-  /// "module-space" (stages run; an infeasible stage ends the list).
+  /// "module-space" (stages run; an infeasible stage ends the list),
+  /// plus "design-cache" / "analyze" when those features are enabled.
   SearchTelemetry telemetry;
 
   [[nodiscard]] bool found() const noexcept { return !designs.empty(); }

@@ -1,8 +1,10 @@
 #include "verify/module_spacetime.hpp"
 
-#include <map>
+#include <algorithm>
 #include <set>
 #include <sstream>
+#include <tuple>
+#include <vector>
 
 #include "space/routing.hpp"
 
@@ -29,37 +31,64 @@ ModuleVerificationReport verify_module_design(
     report.violations.push_back({kind, detail});
   };
 
-  // Per-module exclusivity + cross-module fold rule.
-  std::map<std::pair<IntVec, i64>, std::pair<std::size_t, IntVec>> slots;
+  // Per-module exclusivity + cross-module fold rule. All computations are
+  // collected and sorted by (tick, cell, module, point) before conflicts
+  // are reported, so the FIRST divergence tick leads the list
+  // deterministically regardless of module order or domain iteration.
+  struct SlotEntry {
+    i64 tick;
+    IntVec cell;
+    std::size_t module;
+    IntVec point;
+    IntVec key;
+  };
+  std::vector<SlotEntry> entries;
   for (std::size_t m = 0; m < sys.module_count(); ++m) {
     NUSYS_REQUIRE(spaces[m].rows() == net.label_dim() &&
                       spaces[m].cols() == sys.dim(),
                   "verify_module_design: space shape mismatch");
-    std::set<std::pair<IntVec, i64>> own;
     sys.module(m).domain.for_each([&](const IntVec& p) {
       ++report.computations_checked;
-      const auto slot = std::make_pair(spaces[m] * p, schedules[m].at(p));
-      if (!own.insert(slot).second) {
-        std::ostringstream os;
-        os << sys.module(m).name << ' ' << p << " collides with another "
-           << sys.module(m).name << " computation at cell " << slot.first
-           << ", tick " << slot.second;
-        add(Violation::Kind::kConflict, os.str());
-        return;
-      }
-      const IntVec key = sys.fold_key() ? sys.fold_key()->apply(p) : p;
-      const auto [it, inserted] = slots.emplace(slot, std::make_pair(m, key));
-      if (!inserted && it->second.first != m &&
-          (!sys.fold_key() || it->second.second != key)) {
-        std::ostringstream os;
-        os << sys.module(m).name << ' ' << p << " shares cell " << slot.first
-           << ", tick " << slot.second << " with module '"
-           << sys.module(it->second.first).name
-           << "' serving a different fold key";
-        add(Violation::Kind::kConflict, os.str());
-      }
+      entries.push_back({schedules[m].at(p), spaces[m] * p, m, p,
+                         sys.fold_key() ? sys.fold_key()->apply(p) : p});
     });
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const SlotEntry& a, const SlotEntry& b) {
+                     return std::tie(a.tick, a.cell, a.module, a.point) <
+                            std::tie(b.tick, b.cell, b.module, b.point);
+                   });
+  for (std::size_t lo = 0; lo < entries.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < entries.size() && entries[hi].tick == entries[lo].tick &&
+           entries[hi].cell == entries[lo].cell) {
+      ++hi;
+    }
+    // entries[lo] is the slot's representative: the lex-least point of the
+    // lowest-indexed module, matching what first-insertion order produced.
+    const SlotEntry& rep = entries[lo];
+    std::set<std::size_t> modules_seen = {rep.module};
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      const SlotEntry& e = entries[i];
+      if (!modules_seen.insert(e.module).second) {
+        std::ostringstream os;
+        os << sys.module(e.module).name << ' ' << e.point
+           << " collides with another " << sys.module(e.module).name
+           << " computation at cell " << e.cell << ", tick " << e.tick;
+        add(Violation::Kind::kConflict, os.str());
+      } else if (e.module != rep.module &&
+                 (!sys.fold_key() || e.key != rep.key)) {
+        std::ostringstream os;
+        os << sys.module(e.module).name << ' ' << e.point << " shares cell "
+           << e.cell << ", tick " << e.tick << " with module '"
+           << sys.module(rep.module).name << "' serving a different fold key";
+        add(Violation::Kind::kConflict, os.str());
+      }
+    }
+    lo = hi;
+  }
 
+  for (std::size_t m = 0; m < sys.module_count(); ++m) {
     // Local dependences: causality and routability.
     for (const auto& dep : sys.module(m).local_deps) {
       const i64 slack = schedules[m].slack(dep.vector);

@@ -1,9 +1,11 @@
 #include "verify/spacetime.hpp"
 
+#include <algorithm>
 #include <map>
 #include <ostream>
-#include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "space/routing.hpp"
 
@@ -31,18 +33,25 @@ VerificationReport verify_design(const CanonicRecurrence& recurrence,
   VerificationReport report;
   const auto& domain = recurrence.domain();
 
-  // Exclusivity.
-  std::set<std::pair<IntVec, i64>> occupied;
+  // Exclusivity. Collect every computation's (tick, cell) slot first, then
+  // sort by (tick, cell, point) before reporting, so the FIRST divergence
+  // tick leads the conflict list deterministically — independent of the
+  // domain's iteration order — and each collision names the computation it
+  // diverged from.
+  std::vector<std::pair<std::pair<i64, IntVec>, IntVec>> slots;
   domain.for_each([&](const IntVec& p) {
     ++report.computations_checked;
-    const auto slot = std::make_pair(space * p, timing.at(p));
-    if (!occupied.insert(slot).second) {
-      std::ostringstream os;
-      os << "computation " << p << " collides at cell " << slot.first
-         << ", tick " << slot.second;
-      report.violations.push_back({Violation::Kind::kConflict, os.str()});
-    }
+    slots.push_back({{timing.at(p), space * p}, p});
   });
+  std::stable_sort(slots.begin(), slots.end());
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    if (slots[i].first != slots[i - 1].first) continue;
+    std::ostringstream os;
+    os << "computation " << slots[i].second << " collides with "
+       << slots[i - 1].second << " at cell " << slots[i].first.second
+       << ", tick " << slots[i].first.first;
+    report.violations.push_back({Violation::Kind::kConflict, os.str()});
+  }
 
   // Causality + routability + per-(link, variable, tick) load under ALAP
   // forwarding (each value arrives exactly at its consumption tick).

@@ -1,0 +1,380 @@
+// Tests for the static design analyzer: Farkas certificates, differential
+// agreement with the extensional verifiers on seeds and fault-injected
+// mutants, certificate JSON round-trips, and tamper rejection.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/certificates.hpp"
+#include "analysis/farkas.hpp"
+#include "analysis/polytope.hpp"
+#include "conv/recurrences.hpp"
+#include "dp/dp_modules.hpp"
+#include "modules/module_schedule.hpp"
+#include "modules/module_space.hpp"
+#include "verify/module_spacetime.hpp"
+#include "verify/spacetime.hpp"
+
+namespace nusys {
+namespace {
+
+std::vector<AffineInequality> triangle() {
+  // { (x, y) | x >= 1, y >= 1, x + y <= 10 }.
+  return {{IntVec({1, 0}), -1},
+          {IntVec({0, 1}), -1},
+          {IntVec({-1, -1}), 10}};
+}
+
+TEST(FarkasTest, ProvesAndChecksLowerBound) {
+  // min (x + y) on the triangle is 2.
+  const auto cert = prove_lower_bound(triangle(), IntVec({1, 1}), 0);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_EQ(cert->bound, Fraction(2));
+  EXPECT_TRUE(check_lower_bound(triangle(), IntVec({1, 1}), 0, *cert));
+
+  // A tampered multiplier breaks the coefficient identity.
+  auto tampered = *cert;
+  tampered.multipliers[0] += Fraction(1, 3);
+  EXPECT_FALSE(check_lower_bound(triangle(), IntVec({1, 1}), 0, tampered));
+
+  // Overstating the bound is rejected even with honest multipliers.
+  auto greedy = *cert;
+  greedy.bound += Fraction(1);
+  EXPECT_FALSE(check_lower_bound(triangle(), IntVec({1, 1}), 0, greedy));
+}
+
+TEST(FarkasTest, ProvesAndChecksEmptiness) {
+  // x >= 5 and x <= 3 is empty.
+  const std::vector<AffineInequality> empty = {{IntVec({1}), -5},
+                                               {IntVec({-1}), 3}};
+  const auto cert = prove_empty(empty);
+  ASSERT_TRUE(cert.has_value());
+  EXPECT_TRUE(check_empty(empty, *cert));
+
+  auto tampered = *cert;
+  tampered.multipliers[0] = Fraction(0);
+  EXPECT_FALSE(check_empty(empty, tampered));
+
+  EXPECT_FALSE(prove_empty(triangle()).has_value());
+}
+
+TEST(FarkasTest, IntegralityLiftRoundsUp) {
+  EXPECT_EQ(ceil_fraction(Fraction(1, 2)), 1);
+  EXPECT_EQ(ceil_fraction(Fraction(-1, 2)), 0);
+  EXPECT_EQ(ceil_fraction(Fraction(3)), 3);
+}
+
+TEST(AnalyzerTest, SeedModuleDesignsFullyCertified) {
+  const auto sys = build_dp_module_system(8);
+  for (const auto& [spaces, net] :
+       {std::pair{dp_fig1_spaces(), Interconnect::figure1()},
+        std::pair{dp_fig2_spaces(), Interconnect::figure2()}}) {
+    const auto report =
+        analyze_module_design(sys, dp_paper_schedules(), spaces, net);
+    EXPECT_TRUE(report.ok()) << report.summary();
+    // Every obligation must be discharged by certificate — no enumeration
+    // on the seed designs (this is what makes the analyzer domain-size
+    // independent on them).
+    EXPECT_EQ(report.enumerated, 0u) << report.summary();
+    EXPECT_GT(report.certified, 0u);
+    const auto check = check_module_certificate(
+        sys, dp_paper_schedules(), spaces, net, report.certificate);
+    EXPECT_TRUE(check.ok) << check.error;
+  }
+}
+
+TEST(AnalyzerTest, LargeInstanceNeedsNoEnumeration) {
+  // n = 64: ~10^4 points per module domain. The analyzer must still
+  // certify everything without touching a single index point.
+  const auto sys = build_dp_module_system(64);
+  const auto report = analyze_module_design(
+      sys, dp_paper_schedules(), dp_fig2_spaces(), Interconnect::figure2());
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.enumerated, 0u) << report.summary();
+  const auto check =
+      check_module_certificate(sys, dp_paper_schedules(), dp_fig2_spaces(),
+                               Interconnect::figure2(), report.certificate);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+void expect_agreement(const ModuleSystem& sys,
+                      const std::vector<LinearSchedule>& schedules,
+                      const std::vector<IntMat>& spaces,
+                      const Interconnect& net, const std::string& label) {
+  const auto report = analyze_module_design(sys, schedules, spaces, net);
+  const auto truth = verify_module_design(sys, schedules, spaces, net);
+  EXPECT_EQ(report.ok(), truth.ok()) << label << ": " << report.summary();
+  for (const auto kind :
+       {Violation::Kind::kCausality, Violation::Kind::kConflict,
+        Violation::Kind::kUnroutable}) {
+    EXPECT_EQ(report.count(kind) > 0, truth.count(kind) > 0)
+        << label << " kind " << static_cast<int>(kind);
+  }
+  const auto check =
+      check_module_certificate(sys, schedules, spaces, net,
+                               report.certificate);
+  EXPECT_TRUE(check.ok) << label << ": " << check.error;
+}
+
+TEST(AnalyzerTest, DifferentialOnCannedMutants) {
+  const auto sys = build_dp_module_system(6);
+  // Fig-2 spaces on the fig-1 net: unroutable.
+  expect_agreement(sys, dp_paper_schedules(), dp_fig2_spaces(),
+                   Interconnect::figure1(), "fig2-on-fig1-net");
+  // Flipped λ coefficient: causality breach.
+  auto bad_schedules = dp_paper_schedules();
+  bad_schedules[kDpModule1] = LinearSchedule(IntVec({-1, 2, 1}));
+  expect_agreement(sys, bad_schedules, dp_fig1_spaces(),
+                   Interconnect::figure1(), "bad-lambda");
+  // Collapsed space maps: exclusivity breach.
+  const IntMat collapse{{0, 0, 0}, {1, 0, 0}};
+  expect_agreement(sys, dp_paper_schedules(), {collapse, collapse, collapse},
+                   Interconnect::figure2(), "collapsed-space");
+}
+
+TEST(AnalyzerTest, DifferentialOnMutantSweep) {
+  // ±1 fault injection on every schedule coefficient and on a band of
+  // space-map entries: the static verdict must track the extensional
+  // verifier on every mutant.
+  const auto sys = build_dp_module_system(5);
+  const auto net = Interconnect::figure2();
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      for (const i64 delta : {-1, 1}) {
+        auto schedules = dp_paper_schedules();
+        IntVec coeffs = schedules[m].coeffs();
+        coeffs[k] += delta;
+        schedules[m] = LinearSchedule(coeffs, schedules[m].offset());
+        expect_agreement(sys, schedules, dp_fig2_spaces(), net,
+                         "schedule-mutant");
+      }
+    }
+  }
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (const i64 delta : {-1, 1}) {
+        auto spaces = dp_fig2_spaces();
+        spaces[m](r, 0) += delta;
+        expect_agreement(sys, dp_paper_schedules(), spaces, net,
+                         "space-mutant");
+      }
+    }
+  }
+}
+
+TEST(AnalyzerTest, ParanoidCrossCheckIsQuietOnSeeds) {
+  const auto sys = build_dp_module_system(6);
+  AnalyzeOptions options;
+  options.paranoid = true;
+  const auto report =
+      analyze_module_design(sys, dp_paper_schedules(), dp_fig1_spaces(),
+                            Interconnect::figure1(), options);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(AnalyzerTest, StaticOraclesAgreeWithEnumerativeOracles) {
+  const auto sys = build_dp_module_system(5);
+  const auto schedules = dp_paper_schedules();
+  const auto net = Interconnect::figure2();
+  EXPECT_EQ(static_schedules_satisfy(sys, schedules),
+            schedules_satisfy(sys, schedules));
+  auto bad = schedules;
+  bad[kDpModule1] = LinearSchedule(IntVec({-1, 2, 1}));
+  EXPECT_EQ(static_schedules_satisfy(sys, bad),
+            schedules_satisfy(sys, bad));
+  for (const i64 a : {-1, 0, 1}) {
+    for (const i64 b : {-1, 0, 1}) {
+      const IntMat s1{{0, 0, 1}, {1, 0, 0}};
+      const IntMat s2{{a, 1, b}, {1, 0, 0}};
+      const IntMat sc{{1, 0, 0}, {1, 0, 0}};
+      const std::vector<IntMat> spaces{s1, s2, sc};
+      EXPECT_EQ(static_spaces_satisfy(sys, schedules, spaces, net),
+                spaces_satisfy(sys, schedules, spaces, net))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+void expect_uniform_agreement(const CanonicRecurrence& rec,
+                              const LinearSchedule& timing,
+                              const IntMat& space, const Interconnect& net,
+                              const std::string& label) {
+  const auto report = analyze_design(rec, timing, space, net);
+  const auto truth = verify_design(rec, timing, space, net);
+  EXPECT_EQ(report.ok(), truth.ok()) << label << ": " << report.summary();
+  for (const auto kind :
+       {Violation::Kind::kCausality, Violation::Kind::kConflict,
+        Violation::Kind::kUnroutable, Violation::Kind::kLinkOverload}) {
+    EXPECT_EQ(report.count(kind) > 0, truth.count(kind) > 0)
+        << label << " kind " << static_cast<int>(kind);
+  }
+  const auto check =
+      check_design_certificate(rec, timing, space, net, report.certificate);
+  EXPECT_TRUE(check.ok) << label << ": " << check.error;
+}
+
+TEST(AnalyzerTest, UniformDifferential) {
+  expect_uniform_agreement(convolution_backward_recurrence(10, 4),
+                           LinearSchedule(IntVec({1, 1})), IntMat{{0, 1}},
+                           Interconnect::linear_bidirectional(), "W2-clean");
+  expect_uniform_agreement(convolution_backward_recurrence(6, 3),
+                           LinearSchedule(IntVec({1, 0})), IntMat{{0, 1}},
+                           Interconnect::linear_bidirectional(),
+                           "zero-slack");
+  expect_uniform_agreement(convolution_backward_recurrence(6, 3),
+                           LinearSchedule(IntVec({1, 1})), IntMat{{1, 1}},
+                           Interconnect::linear_bidirectional(),
+                           "singular-pi");
+  expect_uniform_agreement(convolution_forward_recurrence(6, 3),
+                           LinearSchedule(IntVec({2, -1})), IntMat{{0, 1}},
+                           Interconnect::linear_unidirectional(),
+                           "unroutable");
+}
+
+TEST(AnalyzerTest, UniformSeedFullyCertified) {
+  const auto rec = convolution_backward_recurrence(10, 4);
+  const auto report =
+      analyze_design(rec, LinearSchedule(IntVec({1, 1})), IntMat{{0, 1}},
+                     Interconnect::linear_bidirectional());
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.enumerated, 0u) << report.summary();
+}
+
+TEST(AnalyzerTest, AnalysisIsDeterministic) {
+  const auto sys = build_dp_module_system(6);
+  const auto a = analyze_module_design(sys, dp_paper_schedules(),
+                                       dp_fig2_spaces(),
+                                       Interconnect::figure2());
+  const auto b = analyze_module_design(sys, dp_paper_schedules(),
+                                       dp_fig2_spaces(),
+                                       Interconnect::figure2());
+  EXPECT_EQ(a.certificate, b.certificate);
+}
+
+TEST(CertificateTest, JsonRoundTripIsBitIdentical) {
+  const auto sys = build_dp_module_system(6);
+  const auto report = analyze_module_design(
+      sys, dp_paper_schedules(), dp_fig2_spaces(), Interconnect::figure2());
+  const std::string text = certificate_to_json(report.certificate).dump();
+  const auto reloaded = certificate_from_json(JsonValue::parse(text));
+  EXPECT_EQ(reloaded, report.certificate);
+  // Re-dumping the reloaded certificate is byte-identical.
+  EXPECT_EQ(certificate_to_json(reloaded).dump(), text);
+  const auto check =
+      check_module_certificate(sys, dp_paper_schedules(), dp_fig2_spaces(),
+                               Interconnect::figure2(), reloaded);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(CertificateTest, TamperedCertificatesAreRejected) {
+  const auto sys = build_dp_module_system(6);
+  const auto schedules = dp_paper_schedules();
+  const auto spaces = dp_fig2_spaces();
+  const auto net = Interconnect::figure2();
+  const auto report = analyze_module_design(sys, schedules, spaces, net);
+  ASSERT_TRUE(check_module_certificate(sys, schedules, spaces, net,
+                                       report.certificate)
+                  .ok);
+
+  // A nudged Farkas multiplier.
+  {
+    auto cert = report.certificate;
+    bool tampered = false;
+    for (auto& o : cert.obligations) {
+      if (o.bound && !o.bound->multipliers.empty()) {
+        o.bound->multipliers[0] += Fraction(1, 7);
+        tampered = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(tampered);
+    EXPECT_FALSE(
+        check_module_certificate(sys, schedules, spaces, net, cert).ok);
+  }
+  // A shrunken injectivity kernel.
+  {
+    auto cert = report.certificate;
+    bool tampered = false;
+    for (auto& o : cert.obligations) {
+      if (o.kind == "injectivity" && !o.kernel.empty()) {
+        o.kernel.pop_back();
+        tampered = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(tampered);
+    EXPECT_FALSE(
+        check_module_certificate(sys, schedules, spaces, net, cert).ok);
+  }
+  // A flipped status.
+  {
+    auto cert = report.certificate;
+    cert.obligations.front().status = ObligationStatus::kViolated;
+    EXPECT_FALSE(
+        check_module_certificate(sys, schedules, spaces, net, cert).ok);
+  }
+  // A dropped obligation.
+  {
+    auto cert = report.certificate;
+    cert.obligations.pop_back();
+    EXPECT_FALSE(
+        check_module_certificate(sys, schedules, spaces, net, cert).ok);
+  }
+  // A certificate for a different design shape.
+  {
+    const auto other = build_dp_module_system(8);
+    // Same obligation ids (structure is n-independent), but the proofs are
+    // still valid for n=8 guards? No: guard facets change with n, so the
+    // stored multipliers must fail the substitution check… unless they
+    // happen to be n-independent. Either verdict is sound here; what must
+    // hold is that the checker terminates and never crashes.
+    const auto check = check_module_certificate(other, schedules, spaces,
+                                                net, report.certificate);
+    (void)check;
+  }
+}
+
+TEST(CertificateTest, MalformedJsonIsRejected) {
+  EXPECT_THROW(certificate_from_json(JsonValue::parse("{}")), JsonError);
+  EXPECT_THROW(certificate_from_json(JsonValue::parse(
+                   R"({"format":"nusys-certificate","version":2,)"
+                   R"("design":"x","obligations":[]})")),
+               JsonError);
+  EXPECT_THROW(
+      certificate_from_json(JsonValue::parse(
+          R"({"format":"nusys-certificate","version":1,"design":"x",)"
+          R"("obligations":[{"id":"a","kind":"k","status":"bogus"}]})")),
+      JsonError);
+}
+
+TEST(PolytopeTest, DomainFacetsCaptureBoundsAndEqualities) {
+  const auto domain = IndexDomain::box({"i", "j"}, {1, 3}, {4, 3});
+  const auto facets = domain_facets(domain);
+  EXPECT_EQ(facets.dim, 2u);
+  // The thin axis j = 3 becomes an equality.
+  ASSERT_EQ(facets.equalities.size(), 1u);
+  EXPECT_EQ(facets.equalities[0].coeffs, IntVec({0, 1}));
+  EXPECT_EQ(facets.equalities[0].constant, -3);
+  // Every point satisfies every extracted inequality.
+  domain.for_each([&](const IntVec& p) {
+    for (const auto& q : facets.inequalities) {
+      EXPECT_GE(q.coeffs.dot(p) + q.constant, 0);
+    }
+  });
+  const auto kernel = equality_kernel_basis(facets);
+  EXPECT_EQ(kernel.size(), 1u);
+}
+
+TEST(PolytopeTest, IntegerPointSearchRespectsBudget) {
+  const auto domain = IndexDomain::box({"i", "j"}, {1, 1}, {100, 100});
+  const auto found = find_integer_point(domain, 16);
+  ASSERT_TRUE(found.point.has_value());
+  EXPECT_TRUE(domain.contains(*found.point));
+
+  const auto empty = IndexDomain::box({"i"}, {5}, {3});
+  const auto none = find_integer_point(empty, 16);
+  EXPECT_FALSE(none.point.has_value());
+  EXPECT_TRUE(none.exhausted);
+}
+
+}  // namespace
+}  // namespace nusys

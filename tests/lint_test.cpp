@@ -1,0 +1,133 @@
+// Tests for the IR lint pass: rule registry, structural diagnostics over
+// recurrences / non-uniform specs / module systems, and JSON output.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/lint.hpp"
+#include "conv/recurrences.hpp"
+#include "dp/dp_modules.hpp"
+
+namespace nusys {
+namespace {
+
+bool has_rule(const LintReport& report, const std::string& rule) {
+  for (const auto& d : report.diagnostics) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(LintTest, RuleRegistryIsStableAndUnique) {
+  const auto& rules = lint_rules();
+  EXPECT_GE(rules.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& r : rules) {
+    EXPECT_TRUE(names.insert(r.name).second) << "duplicate rule " << r.name;
+    EXPECT_FALSE(r.description.empty());
+  }
+}
+
+TEST(LintTest, EveryDiagnosticNamesARegisteredRule) {
+  std::set<std::string> registered;
+  for (const auto& r : lint_rules()) registered.insert(r.name);
+
+  // Collect diagnostics from a deliberately messy recurrence.
+  DependenceSet deps;
+  deps.add("y", IntVec({0, 0}));                   // zero-dependence
+  deps.add("y", IntVec({1, 0}));                   // duplicate-variable
+  const auto report = lint_recurrence_parts(
+      "messy", IndexDomain::box({"i", "j"}, {1, 5}, {4, 3}), deps);
+  EXPECT_FALSE(report.diagnostics.empty());
+  for (const auto& d : report.diagnostics) {
+    EXPECT_TRUE(registered.count(d.rule)) << "unregistered rule " << d.rule;
+  }
+}
+
+TEST(LintTest, CleanRecurrenceLintsOk) {
+  const auto report =
+      lint_recurrence(convolution_backward_recurrence(10, 4));
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.count(LintSeverity::kError), 0u);
+}
+
+TEST(LintTest, ZeroAndDuplicateDependencesFlagged) {
+  DependenceSet deps;
+  deps.add("y", IntVec({0, 0}));
+  deps.add("y", IntVec({1, 0}));
+  const auto report = lint_recurrence_parts(
+      "bad-deps", IndexDomain::box({"i", "j"}, {1, 1}, {4, 4}), deps);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "zero-dependence"));
+  EXPECT_TRUE(has_rule(report, "duplicate-variable"));
+}
+
+TEST(LintTest, EmptyDomainProvenWithoutEnumeration) {
+  DependenceSet deps;
+  deps.add("y", IntVec({1, 0}));
+  // Lower bound above upper bound: provably empty by Farkas, even though
+  // the nominal box is astronomically large in the other axis.
+  const CanonicRecurrence rec(
+      "empty", IndexDomain::box({"i", "j"}, {1, 9}, {1000000, 3}), deps);
+  const auto report = lint_recurrence(rec);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "empty-domain"));
+}
+
+TEST(LintTest, DegenerateDomainIsANoteNotAnError) {
+  DependenceSet deps;
+  deps.add("y", IntVec({1, 0}));
+  const CanonicRecurrence rec(
+      "thin", IndexDomain::box({"i", "j"}, {1, 3}, {9, 3}), deps);
+  const auto report = lint_recurrence(rec);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(has_rule(report, "degenerate-domain"));
+}
+
+TEST(LintTest, OverflowRiskFlagged) {
+  DependenceSet deps;
+  deps.add("y", IntVec({i64{1} << 40, 0}));
+  const CanonicRecurrence rec(
+      "huge", IndexDomain::box({"i", "j"}, {1, 1}, {4, 4}), deps);
+  const auto report = lint_recurrence(rec);
+  EXPECT_TRUE(has_rule(report, "overflow-risk"));
+}
+
+TEST(LintTest, NonUniformUndeclaredDependenceFlagged) {
+  const IndexDomain full = IndexDomain::box({"i", "j", "k"}, {1, 1, 1},
+                                            {6, 6, 6});
+  const auto report = lint_nonuniform_parts(
+      "bad-template", full, {{"c", IntVec({0, 0}), /*replaced_axis=*/5}});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_rule(report, "undeclared-nonconstant-dependence"));
+
+  const auto noisy_report = lint_nonuniform_parts(
+      "noisy-template", full, {{"c", IntVec({0, 7}), /*replaced_axis=*/1}});
+  EXPECT_TRUE(noisy_report.ok());
+  EXPECT_TRUE(has_rule(noisy_report, "replaced-axis-entry"));
+}
+
+TEST(LintTest, DpModuleSystemLintsClean) {
+  const auto report = lint_module_system(build_dp_module_system(8));
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // The combiner's thin k = j axis is a legitimate degeneracy: note only.
+  EXPECT_TRUE(has_rule(report, "degenerate-domain"));
+}
+
+TEST(LintTest, JsonOutputCarriesSeveritiesAndFixits) {
+  DependenceSet deps;
+  deps.add("y", IntVec({0, 0}));
+  const auto report = lint_recurrence_parts(
+      "json", IndexDomain::box({"i", "j"}, {1, 1}, {4, 4}), deps);
+  const JsonValue doc = report.to_json();
+  EXPECT_EQ(doc.at("subject").as_string(), "json");
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_GE(doc.at("errors").as_int(), 1);
+  const auto& list = doc.at("diagnostics").as_array();
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list[0].at("severity").as_string(), "error");
+  EXPECT_FALSE(list[0].at("fixit").as_string().empty());
+}
+
+}  // namespace
+}  // namespace nusys

@@ -2,6 +2,9 @@
 // the search-time feasibility oracle spaces_satisfy().
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "dp/dp_modules.hpp"
 #include "modules/module_space.hpp"
 #include "verify/module_spacetime.hpp"
@@ -51,6 +54,33 @@ TEST(ModuleVerifyTest, FoldRuleBreachExplained) {
       Interconnect::figure2());
   EXPECT_FALSE(report.ok());
   EXPECT_GT(report.count(Violation::Kind::kConflict), 0u);
+}
+
+TEST(ModuleVerifyTest, ConflictsLeadWithFirstDivergenceTick) {
+  const auto sys = build_dp_module_system(6);
+  const IntMat collapse{{0, 0, 0}, {1, 0, 0}};
+  const auto make_report = [&] {
+    return verify_module_design(sys, dp_paper_schedules(),
+                                {collapse, collapse, collapse},
+                                Interconnect::figure2());
+  };
+  const auto report = make_report();
+  ASSERT_GT(report.count(Violation::Kind::kConflict), 1u);
+  // Conflicts are sorted by (tick, cell): the first divergence tick leads.
+  i64 last_tick = std::numeric_limits<i64>::min();
+  for (const auto& v : report.violations) {
+    if (v.kind != Violation::Kind::kConflict) continue;
+    const auto pos = v.detail.rfind("tick ");
+    ASSERT_NE(pos, std::string::npos);
+    const i64 tick = std::stoll(v.detail.substr(pos + 5));
+    EXPECT_GE(tick, last_tick) << "conflicts not sorted by tick";
+    last_tick = tick;
+  }
+  const auto again = make_report();
+  ASSERT_EQ(again.violations.size(), report.violations.size());
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    EXPECT_EQ(again.violations[i].detail, report.violations[i].detail);
+  }
 }
 
 TEST(ModuleVerifyTest, AgreesWithSpacesSatisfyOnManyCandidates) {

@@ -381,6 +381,32 @@ TEST(ServiceSessionTest, StatsExposeQueueCacheLatencyAndUtilization) {
   EXPECT_EQ(json.at("cache").at("hit_rate").as_double(), 0.5);
   EXPECT_EQ(json.at("latency_ms").as_array().size(),
             latency_bucket_bounds_ms().size() + 1);
+
+  // The static-analyzer section is present (process-wide counters; the
+  // pipeline cache-hit coverage is in StatsCountStaticRevalidations).
+  const auto& analysis = json.at("analysis");
+  EXPECT_GE(analysis.at("static_revalidations").as_int(), 0);
+  EXPECT_GE(analysis.at("obligations_certified").as_int(), 0);
+}
+
+TEST(ServiceSessionTest, StatsCountStaticRevalidations) {
+  ServiceConfig config;
+  config.workers = 1;
+  SynthesisService service(config);
+  const i64 before =
+      service.stats().to_json().at("analysis").at("static_revalidations")
+          .as_int();
+  // Same pipeline problem twice: the second is a design-cache hit whose
+  // payload is revalidated by the certificate-based static oracles.
+  ASSERT_EQ(service.handle(synth_request("p1", pipeline_problem(6))).status,
+            ResponseStatus::kOk);
+  ASSERT_EQ(service.handle(synth_request("p2", pipeline_problem(6))).status,
+            ResponseStatus::kOk);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  const i64 after =
+      stats.to_json().at("analysis").at("static_revalidations").as_int();
+  EXPECT_GT(after, before);
 }
 
 TEST(ServiceServerTest, ServesAConnectionOverLoopback) {

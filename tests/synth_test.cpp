@@ -226,6 +226,25 @@ TEST(TelemetryTest, PipelineStagesArePopulatedForFig1DpSpec) {
             stages[0].examined + stages[1].examined + stages[2].examined);
 }
 
+TEST(TelemetryTest, PipelineAnalyzeOptionCertifiesKeptDesigns) {
+  NonUniformSynthesisOptions options;
+  options.analyze = true;
+  const auto result = synthesize_nonuniform(telemetry_dp_spec(6),
+                                            Interconnect::figure1(), options);
+  ASSERT_TRUE(result.found());
+  ASSERT_EQ(result.analysis.size(), result.designs.size());
+  for (const auto& report : result.analysis) {
+    EXPECT_TRUE(report.ok()) << report.summary();
+    // Search-produced designs satisfy every obligation by construction,
+    // and the analyzer proves each one statically.
+    EXPECT_EQ(report.enumerated, 0u) << report.summary();
+  }
+  const auto* stage = result.telemetry.find("analyze");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_GT(stage->examined, 0u);
+  EXPECT_EQ(stage->feasible, result.designs.size());
+}
+
 TEST(TelemetryTest, FacadeStagesAndRenderedReport) {
   const auto result = synthesize_conv(convolution_backward_recurrence(8, 4));
   ASSERT_TRUE(result.found());

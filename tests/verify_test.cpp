@@ -2,6 +2,8 @@
 // emission.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "chains/modules_emit.hpp"
 #include "conv/recurrences.hpp"
 #include "dp/dp_modules.hpp"
@@ -39,6 +41,37 @@ TEST(VerifyTest, ConflictViolationReported) {
                                     Interconnect::linear_bidirectional());
   EXPECT_FALSE(report.ok());
   EXPECT_GT(report.count(Violation::Kind::kConflict), 0u);
+}
+
+TEST(VerifyTest, ConflictsLeadWithFirstDivergenceTick) {
+  const auto rec = convolution_backward_recurrence(6, 3);
+  const auto make_report = [&] {
+    return verify_design(rec, LinearSchedule(IntVec({1, 1})), IntMat{{1, 1}},
+                         Interconnect::linear_bidirectional());
+  };
+  const auto report = make_report();
+  ASSERT_GT(report.count(Violation::Kind::kConflict), 1u);
+  // Under T = S = (1,1) every computation on the anti-diagonal i+j = t
+  // lands in cell (t) at tick t; the earliest collision is at tick 3
+  // ((1,2) vs (2,1)) and must be reported first.
+  EXPECT_NE(report.violations.front().detail.find("tick 3"),
+            std::string::npos)
+      << report.violations.front().detail;
+  i64 last_tick = -1;
+  for (const auto& v : report.violations) {
+    if (v.kind != Violation::Kind::kConflict) continue;
+    const auto pos = v.detail.rfind("tick ");
+    ASSERT_NE(pos, std::string::npos);
+    const i64 tick = std::stoll(v.detail.substr(pos + 5));
+    EXPECT_GE(tick, last_tick) << "conflicts not sorted by tick";
+    last_tick = tick;
+  }
+  // Deterministic: a second run reproduces the identical report.
+  const auto again = make_report();
+  ASSERT_EQ(again.violations.size(), report.violations.size());
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    EXPECT_EQ(again.violations[i].detail, report.violations[i].detail);
+  }
 }
 
 TEST(VerifyTest, UnroutableViolationReported) {

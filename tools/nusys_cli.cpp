@@ -12,6 +12,17 @@
 //       Render figures 1 and 2 (cell grid, streams, activity).
 //   nusys pipeline [--n 10] [--net figure1|figure2|mesh|hex]
 //       Run the full Sec. III-V pipeline from the raw spec.
+//   nusys analyze [--kind dp|conv] [--design fig1|fig2] [--n 8] [--s 4]
+//                 [--recurrence backward|forward] [--batch jobs.jsonl]
+//                 [--paranoid] [--json]
+//       Lint the IR and statically verify designs with machine-checkable
+//       certificates (analysis/): the paper designs (--kind dp, any n —
+//       certification time is domain-size independent), a synthesized
+//       convolution design (--kind conv), or every problem of a batch
+//       corpus (--batch). --paranoid cross-checks each verdict against
+//       the extensional verifier; --json emits the full diagnostics
+//       document (lint + certificates + counters). Exit 0 iff everything
+//       is certified and lint-clean.
 //   nusys batch --batch jobs.jsonl [--threads N] [--cache designs.cache]
 //               [--cache-capacity 128]
 //       Synthesize a JSONL stream of problems through one shared canonical
@@ -35,6 +46,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "analysis/analyzer.hpp"
+#include "analysis/lint.hpp"
 #include "chains/modules_emit.hpp"
 #include "conv/recurrences.hpp"
 #include "designs/dp_array.hpp"
@@ -172,6 +185,106 @@ int cmd_pipeline(const ArgMap& args) {
                                                        : "MISMATCH")
             << ", last tick " << run.last_tick << '\n';
   return 0;
+}
+
+int cmd_analyze(const ArgMap& args) {
+  AnalyzeOptions options;
+  options.paranoid = args.has("paranoid");
+  const bool as_json = args.has("json");
+  bool all_ok = true;
+  JsonValue items{JsonValue::Array{}};
+
+  const auto emit = [&](const std::string& name, const LintReport& lint,
+                        const AnalysisReport& report) {
+    all_ok = all_ok && lint.ok() && report.ok();
+    if (as_json) {
+      JsonValue doc;
+      doc.set("name", name);
+      doc.set("lint", lint.to_json());
+      doc.set("analysis", report.to_json());
+      items.push_back(std::move(doc));
+    } else {
+      std::cout << "== " << name << " ==\n  " << lint.summary() << "\n  "
+                << report.summary() << '\n';
+    }
+  };
+  const auto analyze_conv = [&](const std::string& name,
+                                const CanonicRecurrence& rec,
+                                const Interconnect& net) {
+    const auto result = synthesize(rec, net);
+    if (!result.found()) {
+      std::cerr << "'" << name << "' found no design to analyze\n";
+      all_ok = false;
+      return;
+    }
+    const auto& d = result.designs.front();
+    emit(name, lint_recurrence(rec),
+         analyze_design(rec, d.timing, d.space, d.net, options));
+  };
+  const auto analyze_pipeline = [&](const std::string& name, i64 n,
+                                    const Interconnect& net) {
+    const auto spec = make_interval_dp_spec(n);
+    NonUniformSynthesisOptions pipe;
+    pipe.analyze = true;
+    pipe.analysis = options;
+    const auto result = synthesize_nonuniform(spec, net, pipe);
+    if (!result.found()) {
+      std::cerr << "'" << name << "' found no design to analyze\n";
+      all_ok = false;
+      return;
+    }
+    emit(name, lint_nonuniform(spec), result.analysis.front());
+  };
+
+  const std::string batch_path = args.get("batch", "");
+  if (!batch_path.empty()) {
+    std::ifstream in(batch_path);
+    if (!in) {
+      std::cerr << "cannot open batch file '" << batch_path << "'\n";
+      return 1;
+    }
+    for (const auto& p : parse_batch_jsonl(in)) {
+      const auto net = batch_interconnect(p);
+      if (p.kind == BatchProblem::Kind::kConvolution) {
+        const auto rec = p.forward
+                             ? convolution_forward_recurrence(p.n, p.s)
+                             : convolution_backward_recurrence(p.n, p.s);
+        analyze_conv(p.name, rec, net);
+      } else {
+        analyze_pipeline(p.name, p.n, net);
+      }
+    }
+  } else if (args.get("kind", "dp") == "conv") {
+    const i64 n = args.get_int("n", 16);
+    const i64 s = args.get_int("s", 4);
+    const bool forward = args.get("recurrence", "backward") == "forward";
+    const auto rec = forward ? convolution_forward_recurrence(n, s)
+                             : convolution_backward_recurrence(n, s);
+    analyze_conv(rec.name(), rec, Interconnect::linear_bidirectional());
+  } else {
+    // The paper's DP designs: the analyzer certifies them in time
+    // independent of n, so arbitrarily large instances are fine here.
+    const i64 n = args.get_int("n", 8);
+    const auto sys = build_dp_module_system(n);
+    const bool fig1 = args.get("design", "fig2") == "fig1";
+    const auto report = analyze_module_design(
+        sys, dp_paper_schedules(), fig1 ? dp_fig1_spaces() : dp_fig2_spaces(),
+        fig1 ? Interconnect::figure1() : Interconnect::figure2(), options);
+    emit(std::string("dp-") + (fig1 ? "fig1" : "fig2") + "-n" +
+             std::to_string(n),
+         lint_module_system(sys), report);
+  }
+
+  if (as_json) {
+    JsonValue doc;
+    doc.set("ok", all_ok);
+    doc.set("items", std::move(items));
+    doc.set("counters", analysis_counters_json());
+    std::cout << doc.dump() << '\n';
+  } else {
+    std::cout << (all_ok ? "ANALYZE OK" : "ANALYZE FAILED") << '\n';
+  }
+  return all_ok ? 0 : 1;
 }
 
 int cmd_batch(const ArgMap& args) {
@@ -325,20 +438,22 @@ int main(int argc, char** argv) {
         "seed", "net",   "threads",    "problem", "batch",
         "cache", "cache-capacity", "port", "host", "workers",
         "queue-capacity", "default-timeout-ms", "retry-after-ms",
-        "timeout-ms", "kind"};
-    const ArgMap args(argc, argv, known, {"trace", "activity"});
+        "timeout-ms", "kind", "design"};
+    const ArgMap args(argc, argv, known,
+                      {"trace", "activity", "paranoid", "json"});
     const std::string cmd =
         args.positional().empty() ? "help" : args.positional().front();
     if (cmd == "synth-conv") return cmd_synth_conv(args);
     if (cmd == "dp") return cmd_dp(args);
     if (cmd == "figures") return cmd_figures(args);
     if (cmd == "pipeline") return cmd_pipeline(args);
+    if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "request") return cmd_request(args);
     std::cout << "usage: nusys "
-                 "<synth-conv|dp|figures|pipeline|batch|serve|request> "
-                 "[flags]\n"
+                 "<synth-conv|dp|figures|pipeline|analyze|batch|serve|"
+                 "request> [flags]\n"
                  "see the header of tools/nusys_cli.cpp for the flag list\n";
     return cmd == "help" ? 0 : 1;
   } catch (const nusys::Error& e) {
