@@ -1,0 +1,165 @@
+// Experiment F1 — the workload frontier: synthesis cost and array shape
+// for the four frontend families (matrix multiply, LU, Floyd-Warshall,
+// banded Smith-Waterman). The printed reproduction is the per-family
+// table of synthesized array shapes cited in EXPERIMENTS.md; the timed
+// part gates the deterministic search counters (designs found, cells of
+// the best array, optimal makespan, candidates examined) so a synthesis
+// regression on any family fails the bench gate, not just its unit tests.
+#include <iomanip>
+
+#include "bench_common.hpp"
+#include "frontends/floyd_warshall.hpp"
+#include "frontends/lu.hpp"
+#include "frontends/matmul.hpp"
+#include "frontends/smith_waterman.hpp"
+#include "support/rng.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace {
+
+using namespace nusys;
+
+void print_frontier_report() {
+  std::cout << "=== Workload frontier: synthesized array shapes ===\n"
+            << "family      n   domain  designs  cells  makespan  "
+               "utilization\n";
+  const auto row = [](const char* family, i64 n, std::size_t domain,
+                      std::size_t designs, std::size_t cells, i64 makespan,
+                      double utilization) {
+    std::cout << std::left << std::setw(10) << family << std::right
+              << std::setw(4) << n << std::setw(9) << domain << std::setw(9)
+              << designs << std::setw(7) << cells << std::setw(10)
+              << makespan << std::setw(13) << std::fixed
+              << std::setprecision(2) << utilization << '\n';
+  };
+  for (const i64 n : {4, 6}) {
+    const auto rec = matmul_recurrence(n, n, n);
+    const auto r = synthesize(rec, Interconnect::mesh2d());
+    row("mm", n, rec.domain().size(), r.designs.size(),
+        r.best().metrics.cell_count, r.schedule_search.makespan,
+        r.best().metrics.utilization);
+  }
+  for (const i64 n : {4, 6}) {
+    const auto rec = lu_recurrence(n);
+    const auto r = synthesize(rec, Interconnect::mesh2d());
+    row("lu", n, rec.domain().size(), r.designs.size(),
+        r.best().metrics.cell_count, r.schedule_search.makespan,
+        r.best().metrics.utilization);
+  }
+  for (const i64 n : {6, 9}) {
+    const auto spec = fw_spec(n);
+    const auto r = synthesize_nonuniform(spec, Interconnect::figure2());
+    row("fw", n, spec.full_domain().size(), r.designs.size(),
+        r.cell_counts.front(), r.schedule_makespan, 0.0);
+  }
+  for (const i64 n : {8, 12}) {
+    const auto rec = sw_recurrence(n, n, 2);
+    const auto r = synthesize(rec, Interconnect::linear_bidirectional());
+    row("sw", n, rec.domain().size(), r.designs.size(),
+        r.best().metrics.cell_count, r.schedule_search.makespan,
+        r.best().metrics.utilization);
+  }
+  std::cout << '\n';
+}
+
+void attach_uniform_counters(benchmark::State& state,
+                             const SynthesisResult& result) {
+  state.counters["designs"] = static_cast<double>(result.designs.size());
+  state.counters["cells"] =
+      static_cast<double>(result.best().metrics.cell_count);
+  state.counters["makespan"] =
+      static_cast<double>(result.schedule_search.makespan);
+  state.counters["examined"] =
+      static_cast<double>(result.telemetry.total_examined());
+}
+
+void bm_synth_mm(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const auto rec = matmul_recurrence(n, n, n);
+  const auto net = Interconnect::mesh2d();
+  for (auto _ : state) {
+    const auto result = synthesize(rec, net);
+    benchmark::DoNotOptimize(result);
+  }
+  attach_uniform_counters(state, synthesize(rec, net));
+}
+BENCHMARK(bm_synth_mm)->Arg(4)->Arg(6);
+
+void bm_synth_lu(benchmark::State& state) {
+  const auto rec = lu_recurrence(state.range(0));
+  const auto net = Interconnect::mesh2d();
+  for (auto _ : state) {
+    const auto result = synthesize(rec, net);
+    benchmark::DoNotOptimize(result);
+  }
+  attach_uniform_counters(state, synthesize(rec, net));
+}
+BENCHMARK(bm_synth_lu)->Arg(4)->Arg(6);
+
+void bm_synth_fw(benchmark::State& state) {
+  const auto spec = fw_spec(state.range(0));
+  const auto net = Interconnect::figure2();
+  for (auto _ : state) {
+    const auto result = synthesize_nonuniform(spec, net);
+    benchmark::DoNotOptimize(result);
+  }
+  const auto result = synthesize_nonuniform(spec, net);
+  state.counters["designs"] = static_cast<double>(result.designs.size());
+  state.counters["cells"] = static_cast<double>(result.cell_counts.front());
+  state.counters["makespan"] =
+      static_cast<double>(result.schedule_makespan);
+  state.counters["examined"] =
+      static_cast<double>(result.telemetry.total_examined());
+}
+BENCHMARK(bm_synth_fw)->Arg(6)->Arg(9);
+
+void bm_synth_sw(benchmark::State& state) {
+  const auto rec = sw_recurrence(state.range(0), state.range(0), 2);
+  const auto net = Interconnect::linear_bidirectional();
+  for (auto _ : state) {
+    const auto result = synthesize(rec, net);
+    benchmark::DoNotOptimize(result);
+  }
+  attach_uniform_counters(state, synthesize(rec, net));
+}
+BENCHMARK(bm_synth_sw)->Arg(8)->Arg(12);
+
+void bm_execute_mm(benchmark::State& state) {
+  // Cycle-accurate simulation throughput of the classic wavefront array.
+  const i64 n = state.range(0);
+  Rng rng(91);
+  const auto ins = random_matmul_instance(n, n, n, rng);
+  const auto net = Interconnect::mesh2d();
+  std::size_t entries = 0;
+  for (auto _ : state) {
+    const auto got = run_matmul_on_design(
+        ins, LinearSchedule(IntVec({1, 1, 1})),
+        IntMat{{1, 0, 0}, {0, 1, 0}}, net);
+    entries = got.size() * got.front().size();
+    benchmark::DoNotOptimize(got);
+  }
+  state.counters["entries"] = static_cast<double>(entries);
+}
+BENCHMARK(bm_execute_mm)->Arg(8)->Arg(12);
+
+void bm_execute_sw(benchmark::State& state) {
+  // The banded (non-rectangular) domain through the generic executor.
+  const i64 n = state.range(0);
+  Rng rng(92);
+  const auto ins = random_sw_instance(n, n, 3, rng);
+  const auto net = Interconnect::linear_bidirectional();
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    const auto h = run_sw_on_design(ins, LinearSchedule(IntVec({1, 1})),
+                                    IntMat{{1, 0}}, net);
+    rows = h.size();
+    benchmark::DoNotOptimize(h);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(bm_execute_sw)->Arg(16)->Arg(32);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_frontier_report)

@@ -155,12 +155,14 @@ UniformArrayRun run_uniform_design(const CanonicRecurrence& rec,
           ctx.clear_reg(id);
         }
         const Value out = semantics.compute(p, inputs);
+        if (semantics.observe) semantics.observe(p, out);
         // Forward every variable to its successor point.
         for (const auto& dep : rec.dependences()) {
           const IntVec successor = p + dep.vector;
-          const Value payload = dep.variable == semantics.accumulator
-                                    ? out
-                                    : inputs[dep.variable];
+          const Value payload =
+              dep.variable == semantics.accumulator ? out
+              : semantics.emit ? semantics.emit(dep.variable, p, inputs, out)
+                               : inputs[dep.variable];
           if (domain.contains(successor)) {
             ctx.set_reg(vid(dep.variable, successor), payload);
           } else if (dep.variable == semantics.accumulator) {

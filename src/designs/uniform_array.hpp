@@ -27,7 +27,7 @@ namespace nusys {
 /// Caller-supplied cell semantics for a uniform recurrence.
 struct UniformSemantics {
   /// The variable whose value each point computes; all other variables are
-  /// pass-through streams.
+  /// pass-through streams unless `emit` overrides their forwarded value.
   std::string accumulator;
 
   /// New accumulator value at `point`, given the value every variable
@@ -39,6 +39,23 @@ struct UniformSemantics {
   /// Value of `var` consumed at `point` when its producer point lies
   /// outside the domain (the recurrence's initial conditions).
   std::function<Value(const std::string& var, const IntVec& point)> boundary;
+
+  /// Optional: the value a *non-accumulator* variable forwards to its
+  /// successor point after `point` computed `out`. Unset (the default)
+  /// forwards the incoming value unchanged — a pure pass-through stream,
+  /// which is all convolution-style recurrences need. LU's pivot
+  /// row/column streams and Smith-Waterman's H-copy streams carry freshly
+  /// computed values instead, which this hook expresses.
+  std::function<Value(const std::string& var, const IntVec& point,
+                      const std::map<std::string, Value>& inputs, Value out)>
+      emit;
+
+  /// Optional: called once per domain point with the accumulator value the
+  /// point computed, in engine tick order. Lets a differential harness
+  /// observe the *full* computed table, not only the `finals` whose
+  /// accumulator successor leaves the domain (for matrix multiply those
+  /// coincide; for Smith-Waterman they do not).
+  std::function<void(const IntVec& point, Value out)> observe;
 };
 
 /// Result of one uniform-array run.

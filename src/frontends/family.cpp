@@ -1,0 +1,50 @@
+#include "frontends/family.hpp"
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+const char* family_name(Family family) {
+  switch (family) {
+    case Family::kMatMul:
+      return "mm";
+    case Family::kLU:
+      return "lu";
+    case Family::kFloydWarshall:
+      return "fw";
+    case Family::kSmithWaterman:
+      return "sw";
+  }
+  throw ContractError("family_name: unknown family");
+}
+
+const char* family_title(Family family) {
+  switch (family) {
+    case Family::kMatMul:
+      return "matrix multiply";
+    case Family::kLU:
+      return "LU decomposition";
+    case Family::kFloydWarshall:
+      return "Floyd-Warshall closure";
+    case Family::kSmithWaterman:
+      return "banded Smith-Waterman";
+  }
+  throw ContractError("family_title: unknown family");
+}
+
+Family parse_family(const std::string& name) {
+  if (name == "mm") return Family::kMatMul;
+  if (name == "lu") return Family::kLU;
+  if (name == "fw") return Family::kFloydWarshall;
+  if (name == "sw") return Family::kSmithWaterman;
+  throw DomainError("unknown workload family '" + name + "' (mm|lu|fw|sw)");
+}
+
+const std::vector<Family>& all_families() {
+  static const std::vector<Family> families{
+      Family::kMatMul, Family::kLU, Family::kFloydWarshall,
+      Family::kSmithWaterman};
+  return families;
+}
+
+}  // namespace nusys

@@ -1,0 +1,42 @@
+// Workload families the frontend lowerings cover (beyond convolution and
+// the paper's Sec. IV dynamic-programming instance).
+//
+// Each family ships three artifacts, which together make the differential
+// golden-corpus layer possible:
+//   1. a *lowering* of the source recurrence onto the existing IR — a
+//      CanonicRecurrence for the uniform families (matrix multiply, LU,
+//      banded Smith-Waterman) or a NonUniformSpec for Floyd-Warshall,
+//      whose variable-distance (k-indexed) reads are handled by expansion
+//      into the two-step refinement exactly like the paper's DP instance;
+//   2. a *sequential reference executor* in exact int64 arithmetic, the
+//      golden baseline every systolic run must match bit-for-bit;
+//   3. *cell semantics* driving the generic executors
+//      (run_uniform_design / run_dp_on_array) for any synthesized design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nusys {
+
+/// One frontend workload family.
+enum class Family {
+  kMatMul,          ///< C = A·B, the uniform 3-D accumulation.
+  kLU,              ///< LU decomposition without pivoting (integer-exact).
+  kFloydWarshall,   ///< Transitive closure / APSP on an ordered DAG.
+  kSmithWaterman,   ///< Banded local sequence alignment.
+};
+
+/// Canonical short name: "mm", "lu", "fw", "sw".
+[[nodiscard]] const char* family_name(Family family);
+
+/// Human-readable name: "matrix multiply", ...
+[[nodiscard]] const char* family_title(Family family);
+
+/// Parses a short name; throws DomainError on an unknown one.
+[[nodiscard]] Family parse_family(const std::string& name);
+
+/// All families, in declaration order (for sweeps and corpora).
+[[nodiscard]] const std::vector<Family>& all_families();
+
+}  // namespace nusys

@@ -1,0 +1,134 @@
+#include "frontends/floyd_warshall.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+std::size_t idx(i64 v) { return static_cast<std::size_t>(v - 1); }
+
+i64 edge_weight(const FWInstance& ins, i64 i, i64 j) {
+  NUSYS_REQUIRE(1 <= i && i < j && j <= ins.n, "fw edge lookup out of range");
+  return ins.w[idx(i)][idx(j)];
+}
+
+}  // namespace
+
+FWInstance random_dag_instance(i64 n, Rng& rng) {
+  NUSYS_REQUIRE(n >= 2, "fw instance needs n >= 2");
+  FWInstance ins;
+  ins.n = n;
+  ins.w.assign(static_cast<std::size_t>(n),
+               std::vector<i64>(static_cast<std::size_t>(n), kFWUnreachable));
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = i + 1; j <= n; ++j) {
+      if (rng.uniform(0, 99) < 55) ins.w[idx(i)][idx(j)] = rng.uniform(1, 20);
+    }
+  }
+  return ins;
+}
+
+IntervalDPProblem fw_problem(const FWInstance& ins) {
+  IntervalDPProblem p;
+  p.name = "fw";
+  p.n = ins.n;
+  p.init = [&ins](i64 i) { return edge_weight(ins, i, i + 1); };
+  p.combine = [&ins](i64 i, i64 /*k*/, i64 j, i64 cik, i64 ckj) {
+    // Clamp at the sentinel so sums through unreachable waypoints do not
+    // manufacture values above it — "no path" must stay bit-identical.
+    const i64 via = std::min(checked_add(cik, ckj), kFWUnreachable);
+    return std::min(edge_weight(ins, i, j), via);
+  };
+  return p;
+}
+
+IntervalDPProblem fw_closure_problem(const FWInstance& ins) {
+  IntervalDPProblem p;
+  p.name = "fw-closure";
+  p.n = ins.n;
+  const auto bit = [&ins](i64 i, i64 j) -> i64 {
+    return edge_weight(ins, i, j) == kFWUnreachable ? 1 : 0;
+  };
+  p.init = [bit](i64 i) { return bit(i, i + 1); };
+  p.combine = [bit](i64 i, i64 /*k*/, i64 j, i64 cik, i64 ckj) {
+    // 0 = reachable, 1 = not: min is OR, max is AND under this encoding.
+    return std::min(bit(i, j), std::max(cik, ckj));
+  };
+  return p;
+}
+
+DPTable fw_reference(const FWInstance& ins) {
+  const i64 n = ins.n;
+  NUSYS_REQUIRE(ins.w.size() == static_cast<std::size_t>(n),
+                "fw instance shape mismatch");
+  // The textbook algorithm: k outermost over every vertex, full matrix.
+  std::vector<std::vector<i64>> dist(
+      static_cast<std::size_t>(n),
+      std::vector<i64>(static_cast<std::size_t>(n), kFWUnreachable));
+  for (i64 i = 1; i <= n; ++i) {
+    dist[idx(i)][idx(i)] = 0;
+    for (i64 j = i + 1; j <= n; ++j) dist[idx(i)][idx(j)] = ins.w[idx(i)][idx(j)];
+  }
+  for (i64 k = 1; k <= n; ++k) {
+    for (i64 i = 1; i <= n; ++i) {
+      for (i64 j = 1; j <= n; ++j) {
+        const i64 via = checked_add(dist[idx(i)][idx(k)], dist[idx(k)][idx(j)]);
+        dist[idx(i)][idx(j)] = std::min(dist[idx(i)][idx(j)], via);
+      }
+    }
+  }
+  DPTable table(n);
+  for (i64 i = 1; i < n; ++i) {
+    for (i64 j = i + 1; j <= n; ++j) {
+      table.at(i, j) = std::min(dist[idx(i)][idx(j)], kFWUnreachable);
+    }
+  }
+  return table;
+}
+
+DPTable fw_closure_reference(const FWInstance& ins) {
+  const i64 n = ins.n;
+  std::vector<std::vector<bool>> reach(
+      static_cast<std::size_t>(n), std::vector<bool>(static_cast<std::size_t>(n)));
+  for (i64 i = 1; i <= n; ++i) {
+    reach[idx(i)][idx(i)] = true;
+    for (i64 j = i + 1; j <= n; ++j) {
+      reach[idx(i)][idx(j)] = ins.w[idx(i)][idx(j)] != kFWUnreachable;
+    }
+  }
+  for (i64 k = 1; k <= n; ++k) {
+    for (i64 i = 1; i <= n; ++i) {
+      if (!reach[idx(i)][idx(k)]) continue;
+      for (i64 j = 1; j <= n; ++j) {
+        if (reach[idx(k)][idx(j)]) reach[idx(i)][idx(j)] = true;
+      }
+    }
+  }
+  DPTable table(n);
+  for (i64 i = 1; i < n; ++i) {
+    for (i64 j = i + 1; j <= n; ++j) {
+      table.at(i, j) = reach[idx(i)][idx(j)] ? 0 : 1;
+    }
+  }
+  return table;
+}
+
+NonUniformSpec fw_spec(i64 n) {
+  NUSYS_REQUIRE(n >= 3, "fw spec needs n >= 3");
+  const auto i = AffineExpr::index(3, 0);
+  const auto j = AffineExpr::index(3, 1);
+  // Same statement structure as the Sec. IV DP spec: the reads c(i,k) and
+  // c(k,j) expand, at statement (i,j) and reduction value k, to distances
+  // (0, j-k) and (i-k, 0) — templates with one replaced axis each.
+  IndexDomain domain({"i", "j", "k"},
+                     {{AffineExpr::constant(3, 1), AffineExpr::constant(3, n)},
+                      {i + 1, AffineExpr::constant(3, n)},
+                      {i + 1, j - 1}});
+  return NonUniformSpec("fw", std::move(domain),
+                        {{"c", IntVec({0, 0}), 1}, {"c", IntVec({0, 0}), 0}});
+}
+
+}  // namespace nusys

@@ -1,0 +1,72 @@
+// Floyd-Warshall frontend: all-pairs shortest paths / transitive closure
+// on a topologically ordered DAG, lowered to the non-uniform IR.
+//
+// With vertices numbered in topological order every i -> j path visits
+// only intermediates i < k < j, so the classic k-outermost recurrence
+// collapses to the paper's interval form
+//
+//    c(i,j) = min( w(i,j), min_{i<k<j} c(i,k) + c(k,j) ),
+//
+// a second non-uniform reduction beside the Sec. IV DP instance. The
+// k-indexed reads c(i,k) and c(k,j) are *variable-distance* dependences —
+// (0, j-k) and (i-k, 0) — and are handled exactly like the paper's DP:
+// expansion into the two-step refinement via the NonConstantDep templates
+// of fw_spec, which synthesize_nonuniform turns into a two-module design.
+//
+// Missing edges carry the kFWUnreachable sentinel; the combine clamps at
+// the sentinel so "no path" stays bit-identical between the systolic run
+// and the independent full-matrix reference (which scans *all* k, not just
+// the interval, and must still agree on the upper triangle).
+//
+// The 0/1 closure variant rides the same lowering: under the encoding
+// 0 = reachable, 1 = not, the reduction min acts as OR and max as AND.
+#pragma once
+
+#include <vector>
+
+#include "dp/problems.hpp"
+#include "dp/table.hpp"
+#include "ir/nonuniform.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+
+/// Sentinel for "no edge" / "no path". Small enough that sums of two
+/// sentinels stay far from int64 overflow, large enough that no real path
+/// cost (positive weights <= 20, < n hops) ever reaches it.
+inline constexpr i64 kFWUnreachable = i64{1} << 40;
+
+/// A weighted DAG on vertices 1..n in topological order: w[i-1][j-1] is
+/// the weight of edge i -> j (only i < j is meaningful), kFWUnreachable
+/// when the edge is absent.
+struct FWInstance {
+  i64 n = 0;
+  std::vector<std::vector<i64>> w;
+};
+
+/// A reproducible random DAG: each forward edge present with probability
+/// ~55%, weights in [1, 20].
+[[nodiscard]] FWInstance random_dag_instance(i64 n, Rng& rng);
+
+/// The interval-DP lowering: init c(i,i+1) = w(i,i+1), combine
+/// f(i,k,j,x,y) = min(w(i,j), x + y) clamped at kFWUnreachable.
+/// `instance` must outlive the result.
+[[nodiscard]] IntervalDPProblem fw_problem(const FWInstance& ins);
+
+/// The 0/1 transitive-closure lowering (0 = reachable, 1 = not):
+/// combine f = min(edge(i,j), max(x, y)).
+[[nodiscard]] IntervalDPProblem fw_closure_problem(const FWInstance& ins);
+
+/// Independent golden baseline: the textbook k-outermost triple loop over
+/// the *full* n x n distance matrix (0 diagonal, sentinel elsewhere),
+/// returned as the upper triangle.
+[[nodiscard]] DPTable fw_reference(const FWInstance& ins);
+
+/// Independent 0/1 closure baseline via the boolean triple loop.
+[[nodiscard]] DPTable fw_closure_reference(const FWInstance& ins);
+
+/// The NonUniformSpec whose two variable-distance templates are the
+/// expansions of the k-indexed reads above; feeds synthesize_nonuniform.
+[[nodiscard]] NonUniformSpec fw_spec(i64 n);
+
+}  // namespace nusys

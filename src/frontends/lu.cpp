@@ -1,0 +1,158 @@
+#include "frontends/lu.hpp"
+
+#include <string>
+
+#include "support/checked.hpp"
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+std::size_t idx(i64 v) { return static_cast<std::size_t>(v - 1); }
+
+i64 exact_div(i64 a, i64 b) {
+  NUSYS_VALIDATE(b != 0, "lu: zero pivot (instance needs pivoting)");
+  NUSYS_VALIDATE(a % b == 0, "lu: pivot division " + std::to_string(a) + "/" +
+                                 std::to_string(b) + " is not integer-exact");
+  return a / b;
+}
+
+}  // namespace
+
+LUInstance random_exact_lu_instance(i64 n, Rng& rng) {
+  NUSYS_REQUIRE(n >= 1, "lu instance needs n >= 1");
+  // Draw L unit lower triangular and U upper triangular with a nonzero
+  // diagonal, then multiply: elimination of A = L·U reproduces exactly
+  // these integer factors, so every division along the way is exact.
+  std::vector<std::vector<i64>> l(static_cast<std::size_t>(n),
+                                  std::vector<i64>(static_cast<std::size_t>(n), 0));
+  std::vector<std::vector<i64>> u = l;
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = 1; j <= n; ++j) {
+      if (i == j) {
+        l[idx(i)][idx(j)] = 1;
+        u[idx(i)][idx(j)] = rng.uniform(1, 4);
+      } else if (i > j) {
+        l[idx(i)][idx(j)] = rng.uniform(-3, 3);
+      } else {
+        u[idx(i)][idx(j)] = rng.uniform(-3, 3);
+      }
+    }
+  }
+  LUInstance ins;
+  ins.n = n;
+  ins.a.assign(static_cast<std::size_t>(n),
+               std::vector<i64>(static_cast<std::size_t>(n), 0));
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = 1; j <= n; ++j) {
+      i64 acc = 0;
+      for (i64 k = 1; k <= n; ++k) {
+        acc = checked_add(acc, checked_mul(l[idx(i)][idx(k)], u[idx(k)][idx(j)]));
+      }
+      ins.a[idx(i)][idx(j)] = acc;
+    }
+  }
+  return ins;
+}
+
+LUFactors lu_reference(const LUInstance& instance) {
+  const i64 n = instance.n;
+  NUSYS_REQUIRE(instance.a.size() == static_cast<std::size_t>(n),
+                "lu instance shape mismatch");
+  auto a = instance.a;  // Working copy reduced in place.
+  LUFactors out;
+  out.l.assign(static_cast<std::size_t>(n),
+               std::vector<i64>(static_cast<std::size_t>(n), 0));
+  out.u = out.l;
+  for (i64 k = 1; k <= n; ++k) {
+    out.l[idx(k)][idx(k)] = 1;
+    for (i64 j = k; j <= n; ++j) out.u[idx(k)][idx(j)] = a[idx(k)][idx(j)];
+    for (i64 i = k + 1; i <= n; ++i) {
+      out.l[idx(i)][idx(k)] = exact_div(a[idx(i)][idx(k)], a[idx(k)][idx(k)]);
+      for (i64 j = k + 1; j <= n; ++j) {
+        a[idx(i)][idx(j)] = checked_sub(
+            a[idx(i)][idx(j)],
+            checked_mul(out.l[idx(i)][idx(k)], out.u[idx(k)][idx(j)]));
+      }
+    }
+  }
+  return out;
+}
+
+CanonicRecurrence lu_recurrence(i64 n) {
+  NUSYS_REQUIRE(n >= 1, "lu recurrence needs n >= 1");
+  // k in [1, n], i in [k, n], j in [k, n]: the active trailing minor.
+  const auto one = AffineExpr::constant(3, 1);
+  const auto top = AffineExpr::constant(3, n);
+  const auto k = AffineExpr::index(3, 0);
+  IndexDomain domain({"k", "i", "j"}, {{one, top}, {k, top}, {k, top}});
+  DependenceSet deps;
+  deps.add("a", IntVec({1, 0, 0}));
+  deps.add("u", IntVec({0, 1, 0}));
+  deps.add("l", IntVec({0, 0, 1}));
+  return CanonicRecurrence("lu", std::move(domain), std::move(deps));
+}
+
+UniformSemantics lu_semantics(const LUInstance& ins) {
+  UniformSemantics s;
+  s.accumulator = std::string{"a"};
+  s.compute = [](const IntVec& p, const std::map<std::string, Value>& in) {
+    const i64 k = p[0];
+    const i64 i = p[1];
+    const i64 j = p[2];
+    if (i == k) return in.at("a");  // Row points define u(k, j).
+    if (j == k) return exact_div(in.at("a"), in.at("u"));  // l(i, k).
+    return checked_sub(in.at("a"), checked_mul(in.at("l"), in.at("u")));
+  };
+  s.boundary = [&ins](const std::string& var, const IntVec& point) -> Value {
+    // a enters the k = 1 plane with the original matrix; u and l boundary
+    // inputs (on the i = k and j = k planes) are never read by compute.
+    if (var == "a") return ins.a[idx(point[1])][idx(point[2])];
+    return 0;
+  };
+  s.emit = [](const std::string& var, const IntVec& p,
+              const std::map<std::string, Value>& in, Value out) -> Value {
+    const i64 k = p[0];
+    const i64 i = p[1];
+    const i64 j = p[2];
+    if (var == "u") {
+      // Row points originate the pivot-row stream; below them it passes.
+      return i == k ? out : in.at("u");
+    }
+    // Column points originate the multiplier stream (out == a/u there).
+    return j == k ? out : in.at("l");
+  };
+  return s;
+}
+
+LUFactors run_lu_on_design(const LUInstance& ins, const LinearSchedule& timing,
+                           const IntMat& space, const Interconnect& net) {
+  const auto rec = lu_recurrence(ins.n);
+  const auto run =
+      run_uniform_design(rec, lu_semantics(ins), timing, space, net);
+  LUFactors out;
+  out.l.assign(static_cast<std::size_t>(ins.n),
+               std::vector<i64>(static_cast<std::size_t>(ins.n), 0));
+  out.u = out.l;
+  std::size_t collected = 0;
+  for (const auto& [point, value] : run.finals) {
+    const i64 k = point[0];
+    const i64 i = point[1];
+    const i64 j = point[2];
+    NUSYS_REQUIRE(i == k || j == k || k == ins.n,
+                  "lu final emitted from an interior point");
+    if (i == k) {
+      out.u[idx(k)][idx(j)] = value;  // Includes the pivot at i = j = k.
+    } else if (j == k) {
+      out.l[idx(i)][idx(k)] = value;
+    }
+    ++collected;
+  }
+  for (i64 k = 1; k <= ins.n; ++k) out.l[idx(k)][idx(k)] = 1;
+  NUSYS_REQUIRE(collected == static_cast<std::size_t>(ins.n * ins.n),
+                "lu run did not retire one final per factor entry");
+  return out;
+}
+
+}  // namespace nusys

@@ -1,0 +1,67 @@
+// LU-decomposition frontend (Gaussian elimination without pivoting),
+// lowered to the canonic form over { (k,i,j) | 1<=k<=n, k<=i,j<=n }.
+//
+// The classic uniformization pipelines the pivot row and column instead of
+// broadcasting them:
+//   a(k,i,j) = a(k-1,i,j) - l(k,i,j)·u(k,i,j)      d_a = (1,0,0)
+//   u(k,i,j) = u(k,i-1,j)   (row k flowing down i)  d_u = (0,1,0)
+//   l(k,i,j) = l(k,i,j-1)   (col k flowing along j) d_l = (0,0,1)
+// with the i = k plane *defining* u(k,j) from the reduced a, and the j = k
+// plane defining l(i,k) = a/u_kk — computed streams, expressed through the
+// UniformSemantics::emit hook. Final accumulator values are exactly the
+// factors: U on the i = k planes, L on the j = k planes.
+//
+// Arithmetic stays exact: instances are constructed as A = L·U with unit
+// lower-triangular integer L, so every intermediate value and every pivot
+// division is an exact int64 operation (the elimination of such a product
+// reproduces integer L and U at every step). lu_reference and the
+// systolic run both check divisibility and must agree bit-for-bit.
+#pragma once
+
+#include <vector>
+
+#include "designs/uniform_array.hpp"
+#include "ir/recurrence.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+
+/// An n x n integer matrix admitting an exact integer LU factorization.
+struct LUInstance {
+  i64 n = 0;
+  std::vector<std::vector<i64>> a;  ///< Row-major n x n.
+};
+
+/// The factors: l is unit lower triangular, u upper triangular (both
+/// stored as full n x n row-major matrices with zeros elsewhere).
+struct LUFactors {
+  std::vector<std::vector<i64>> l;
+  std::vector<std::vector<i64>> u;
+
+  friend bool operator==(const LUFactors& a, const LUFactors& b) = default;
+};
+
+/// A reproducible instance built as A = L·U (L unit lower triangular with
+/// entries in [-3,3]; U upper with nonzero diagonal in [1,4]).
+[[nodiscard]] LUInstance random_exact_lu_instance(i64 n, Rng& rng);
+
+/// Golden baseline: sequential elimination of `a`. Throws DomainError when
+/// a pivot is zero or a division is not exact (the instance then has no
+/// integer LU factorization without pivoting).
+[[nodiscard]] LUFactors lu_reference(const LUInstance& instance);
+
+/// The canonic recurrence with dependences a:(1,0,0), u:(0,1,0),
+/// l:(0,0,1) over the nested domain above.
+[[nodiscard]] CanonicRecurrence lu_recurrence(i64 n);
+
+/// Cell semantics; `instance` must outlive the result.
+[[nodiscard]] UniformSemantics lu_semantics(const LUInstance& ins);
+
+/// Executes `ins` under (timing, space) on `net` and assembles L and U
+/// from the final accumulator values.
+[[nodiscard]] LUFactors run_lu_on_design(const LUInstance& ins,
+                                         const LinearSchedule& timing,
+                                         const IntMat& space,
+                                         const Interconnect& net);
+
+}  // namespace nusys

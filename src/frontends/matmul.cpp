@@ -1,0 +1,113 @@
+#include "frontends/matmul.hpp"
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+std::vector<std::vector<i64>> random_matrix(i64 rows, i64 cols, Rng& rng) {
+  std::vector<std::vector<i64>> out;
+  out.reserve(static_cast<std::size_t>(rows));
+  for (i64 r = 0; r < rows; ++r) {
+    out.push_back(rng.uniform_vector(static_cast<std::size_t>(cols), -9, 9));
+  }
+  return out;
+}
+
+}  // namespace
+
+MatMulInstance random_matmul_instance(i64 n, i64 m, i64 p, Rng& rng) {
+  NUSYS_REQUIRE(n >= 1 && m >= 1 && p >= 1,
+                "matmul instance needs positive dimensions");
+  MatMulInstance ins;
+  ins.n = n;
+  ins.m = m;
+  ins.p = p;
+  ins.a = random_matrix(n, p, rng);
+  ins.b = random_matrix(p, m, rng);
+  return ins;
+}
+
+std::vector<std::vector<i64>> matmul_reference(const MatMulInstance& ins) {
+  NUSYS_REQUIRE(ins.a.size() == static_cast<std::size_t>(ins.n) &&
+                    ins.b.size() == static_cast<std::size_t>(ins.p),
+                "matmul instance shape mismatch");
+  std::vector<std::vector<i64>> c(
+      static_cast<std::size_t>(ins.n),
+      std::vector<i64>(static_cast<std::size_t>(ins.m), 0));
+  for (i64 i = 0; i < ins.n; ++i) {
+    for (i64 j = 0; j < ins.m; ++j) {
+      i64 acc = 0;
+      for (i64 k = 0; k < ins.p; ++k) {
+        acc = checked_add(
+            acc, checked_mul(ins.a[static_cast<std::size_t>(i)]
+                                  [static_cast<std::size_t>(k)],
+                             ins.b[static_cast<std::size_t>(k)]
+                                  [static_cast<std::size_t>(j)]));
+      }
+      c[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = acc;
+    }
+  }
+  return c;
+}
+
+CanonicRecurrence matmul_recurrence(i64 n, i64 m, i64 p) {
+  NUSYS_REQUIRE(n >= 1 && m >= 1 && p >= 1,
+                "matmul recurrence needs positive dimensions");
+  DependenceSet deps;
+  deps.add("c", IntVec({0, 0, 1}));
+  deps.add("a", IntVec({0, 1, 0}));
+  deps.add("b", IntVec({1, 0, 0}));
+  return CanonicRecurrence(
+      "matmul", IndexDomain::box({"i", "j", "k"}, {1, 1, 1}, {n, m, p}),
+      std::move(deps));
+}
+
+UniformSemantics matmul_semantics(const MatMulInstance& ins) {
+  UniformSemantics s;
+  s.accumulator = std::string{"c"};
+  s.compute = [](const IntVec&, const std::map<std::string, Value>& in) {
+    return checked_add(in.at("c"), checked_mul(in.at("a"), in.at("b")));
+  };
+  s.boundary = [&ins](const std::string& var, const IntVec& point) -> Value {
+    const i64 i = point[0];
+    const i64 j = point[1];
+    const i64 k = point[2];
+    if (var == "c") return 0;  // Empty partial sum at k = 1.
+    if (var == "a") {
+      // The A stream enters at j = 1 carrying A[i][k].
+      return ins.a[static_cast<std::size_t>(i - 1)]
+                  [static_cast<std::size_t>(k - 1)];
+    }
+    // The B stream enters at i = 1 carrying B[k][j].
+    return ins.b[static_cast<std::size_t>(k - 1)]
+                [static_cast<std::size_t>(j - 1)];
+  };
+  return s;
+}
+
+std::vector<std::vector<i64>> run_matmul_on_design(const MatMulInstance& ins,
+                                                   const LinearSchedule& timing,
+                                                   const IntMat& space,
+                                                   const Interconnect& net) {
+  const auto rec = matmul_recurrence(ins.n, ins.m, ins.p);
+  const auto run =
+      run_uniform_design(rec, matmul_semantics(ins), timing, space, net);
+  std::vector<std::vector<i64>> c(
+      static_cast<std::size_t>(ins.n),
+      std::vector<i64>(static_cast<std::size_t>(ins.m), 0));
+  std::size_t collected = 0;
+  for (const auto& [point, value] : run.finals) {
+    NUSYS_REQUIRE(point[2] == ins.p,
+                  "matmul final emitted before the last reduction step");
+    c[static_cast<std::size_t>(point[0] - 1)]
+     [static_cast<std::size_t>(point[1] - 1)] = value;
+    ++collected;
+  }
+  NUSYS_REQUIRE(collected == static_cast<std::size_t>(ins.n * ins.m),
+                "matmul run did not produce every C entry");
+  return c;
+}
+
+}  // namespace nusys

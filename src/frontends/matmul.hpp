@@ -1,0 +1,51 @@
+// Matrix-multiply frontend: C = A·B lowered to the canonic form.
+//
+// The textbook accumulation  c(i,j,k) = c(i,j,k-1) + A[i][k]·B[k][j]  is
+// already uniform after broadcast elimination: the partial sum c carries
+// dependence (0,0,1), the A operand pipelines along j with (0,1,0) and the
+// B operand along i with (1,0,0) — the AutoSA `mm` kernel in this
+// library's IR. Any (T, S) the synthesizer finds on a 2-D interconnect
+// executes through run_uniform_design with the semantics below; results
+// are exact int64 and must match matmul_reference bit-for-bit.
+#pragma once
+
+#include <vector>
+
+#include "designs/uniform_array.hpp"
+#include "ir/recurrence.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+
+/// Exact integer matrices, row-major: a is n x p, b is p x m.
+struct MatMulInstance {
+  i64 n = 0;  ///< Rows of A and C.
+  i64 m = 0;  ///< Columns of B and C.
+  i64 p = 0;  ///< Columns of A / rows of B (the reduction length).
+  std::vector<std::vector<i64>> a;
+  std::vector<std::vector<i64>> b;
+};
+
+/// A reproducible random instance with entries in [-9, 9].
+[[nodiscard]] MatMulInstance random_matmul_instance(i64 n, i64 m, i64 p,
+                                                    Rng& rng);
+
+/// The golden baseline: the n x m product in the canonical k order.
+[[nodiscard]] std::vector<std::vector<i64>> matmul_reference(
+    const MatMulInstance& instance);
+
+/// The canonic recurrence over { (i,j,k) | 1<=i<=n, 1<=j<=m, 1<=k<=p }
+/// with dependences c:(0,0,1), a:(0,1,0), b:(1,0,0).
+[[nodiscard]] CanonicRecurrence matmul_recurrence(i64 n, i64 m, i64 p);
+
+/// Cell semantics for the recurrence; `instance` must outlive the result.
+[[nodiscard]] UniformSemantics matmul_semantics(const MatMulInstance& ins);
+
+/// Executes `ins` under (timing, space) on `net` and assembles C from the
+/// final accumulator values (the k = p plane). Throws like
+/// run_uniform_design on an infeasible mapping.
+[[nodiscard]] std::vector<std::vector<i64>> run_matmul_on_design(
+    const MatMulInstance& ins, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net);
+
+}  // namespace nusys

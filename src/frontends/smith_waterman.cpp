@@ -1,0 +1,147 @@
+#include "frontends/smith_waterman.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+std::size_t idx(i64 v) { return static_cast<std::size_t>(v - 1); }
+
+bool in_band(const SWInstance& ins, i64 i, i64 j) {
+  const i64 off = i - j;
+  return -ins.band <= off && off <= ins.band;
+}
+
+i64 cell_score(const SWInstance& ins, i64 i, i64 j) {
+  return ins.a[idx(i)] == ins.b[idx(j)] ? ins.match : ins.mismatch;
+}
+
+i64 local_max(i64 diag, i64 up, i64 left) {
+  return std::max<i64>(0, std::max(diag, std::max(up, left)));
+}
+
+}  // namespace
+
+SWInstance random_sw_instance(i64 n, i64 m, i64 band, Rng& rng) {
+  NUSYS_REQUIRE(n >= 1 && m >= 1, "sw instance needs nonempty sequences");
+  NUSYS_REQUIRE(band >= 1, "sw instance needs band >= 1");
+  SWInstance ins;
+  ins.band = band;
+  ins.a = rng.uniform_vector(static_cast<std::size_t>(n), 0, 3);
+  ins.b = rng.uniform_vector(static_cast<std::size_t>(m), 0, 3);
+  // Plant a common stretch near the main diagonal so the best local
+  // alignment is nontrivial and lies inside the band.
+  const i64 len = std::min(n, m) / 2;
+  if (len >= 1) {
+    const i64 sa = rng.uniform(0, n - len);
+    const i64 sb = std::clamp(sa + rng.uniform(-band, band), i64{0}, m - len);
+    for (i64 t = 0; t < len; ++t) {
+      ins.b[static_cast<std::size_t>(sb + t)] =
+          ins.a[static_cast<std::size_t>(sa + t)];
+    }
+  }
+  return ins;
+}
+
+std::vector<std::vector<i64>> sw_reference(const SWInstance& ins) {
+  const i64 n = ins.n();
+  const i64 m = ins.m();
+  std::vector<std::vector<i64>> h(static_cast<std::size_t>(n),
+                                  std::vector<i64>(static_cast<std::size_t>(m), 0));
+  // Neighbour lookup under the lowering's convention: row/column zero is 0,
+  // a neighbour cut off by the band contributes kSWBandEdge.
+  const auto read = [&](i64 i, i64 j) -> i64 {
+    if (i == 0 || j == 0) return 0;
+    if (!in_band(ins, i, j)) return kSWBandEdge;
+    return h[idx(i)][idx(j)];
+  };
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = 1; j <= m; ++j) {
+      if (!in_band(ins, i, j)) continue;
+      const i64 diag = checked_add(read(i - 1, j - 1), cell_score(ins, i, j));
+      const i64 up = checked_sub(read(i - 1, j), ins.gap);
+      const i64 left = checked_sub(read(i, j - 1), ins.gap);
+      h[idx(i)][idx(j)] = local_max(diag, up, left);
+    }
+  }
+  return h;
+}
+
+i64 sw_best_score(const std::vector<std::vector<i64>>& h) {
+  i64 best = 0;
+  for (const auto& row : h) {
+    for (const i64 v : row) best = std::max(best, v);
+  }
+  return best;
+}
+
+CanonicRecurrence sw_recurrence(i64 n, i64 m, i64 band) {
+  NUSYS_REQUIRE(n >= 1 && m >= 1 && band >= 1, "sw recurrence needs n, m, band >= 1");
+  DependenceSet deps;
+  deps.add("h", IntVec({1, 1}));
+  deps.add("p", IntVec({1, 0}));
+  deps.add("q", IntVec({0, 1}));
+  return CanonicRecurrence(
+      "sw",
+      IndexDomain::box({"i", "j"}, {1, 1}, {n, m})
+          .with_constraint(AffineExpr(IntVec({-1, 1}), band))   // j - i + band
+          .with_constraint(AffineExpr(IntVec({1, -1}), band)),  // i - j + band
+      std::move(deps));
+}
+
+UniformSemantics sw_semantics(const SWInstance& ins,
+                              std::vector<std::vector<i64>>& h_out) {
+  UniformSemantics s;
+  s.accumulator = std::string{"h"};
+  s.compute = [&ins](const IntVec& p, const std::map<std::string, Value>& in) {
+    const i64 diag = checked_add(in.at("h"), cell_score(ins, p[0], p[1]));
+    const i64 up = checked_sub(in.at("p"), ins.gap);
+    const i64 left = checked_sub(in.at("q"), ins.gap);
+    return local_max(diag, up, left);
+  };
+  s.boundary = [&ins](const std::string& var, const IntVec& point) -> Value {
+    const i64 i = point[0];
+    const i64 j = point[1];
+    // The diagonal producer (i-1, j-1) preserves the band offset, so it is
+    // only missing at the rectangle edge; p/q producers can also fall off
+    // the band and then contribute the max identity.
+    if (var == "h") return 0;
+    if (var == "p") return i == 1 ? 0 : kSWBandEdge;
+    return j == 1 ? 0 : kSWBandEdge;
+  };
+  s.emit = [](const std::string&, const IntVec&,
+              const std::map<std::string, Value>&, Value out) -> Value {
+    // Both copy streams forward the freshly computed H.
+    return out;
+  };
+  s.observe = [&h_out](const IntVec& point, Value out) {
+    h_out[idx(point[0])][idx(point[1])] = out;
+  };
+  return s;
+}
+
+std::vector<std::vector<i64>> run_sw_on_design(const SWInstance& ins,
+                                               const LinearSchedule& timing,
+                                               const IntMat& space,
+                                               const Interconnect& net) {
+  const auto rec = sw_recurrence(ins.n(), ins.m(), ins.band);
+  std::vector<std::vector<i64>> h(
+      static_cast<std::size_t>(ins.n()),
+      std::vector<i64>(static_cast<std::size_t>(ins.m()), 0));
+  auto semantics = sw_semantics(ins, h);
+  std::size_t observed = 0;
+  const auto fill = std::move(semantics.observe);
+  semantics.observe = [&](const IntVec& point, Value out) {
+    ++observed;
+    fill(point, out);
+  };
+  (void)run_uniform_design(rec, semantics, timing, space, net);
+  NUSYS_REQUIRE(observed == rec.domain().size(),
+                "sw run did not compute every band cell");
+  return h;
+}
+
+}  // namespace nusys

@@ -1,0 +1,76 @@
+// Banded Smith-Waterman frontend: local sequence alignment restricted to
+// the diagonal band |i - j| <= band, lowered to the canonic form.
+//
+//   H(i,j) = max(0, H(i-1,j-1) + score(i,j), H(i-1,j) - gap, H(i,j-1) - gap)
+//
+// The canonic form allows one constant dependence per variable, so the
+// three reads become three variables: the accumulator h carries (1,1) and
+// two copy streams p:(1,0), q:(0,1) forward the freshly computed H via the
+// UniformSemantics::emit hook. The band edges are *variable-distance* in
+// the source program (a cell's in-band neighbourhood depends on where the
+// band cuts); lowering makes them uniform by keeping the dependence
+// vectors constant and moving the variability into the boundary function:
+// a producer outside the band injects kSWBandEdge, the identity of max
+// after the gap penalty, so band-edge cells need no special-cased firing.
+// The sequential reference uses the identical convention and the full H
+// table (collected through the observe hook) must match bit-for-bit.
+//
+// The 2-D domain maps to 1-D arrays (e.g. T=(1,1), S=(1 0) on a
+// bidirectional linear net): the anti-diagonal wavefront classic.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "designs/uniform_array.hpp"
+#include "ir/recurrence.hpp"
+#include "support/rng.hpp"
+
+namespace nusys {
+
+/// Injected for neighbours cut off by the band: low enough to never win
+/// the max, high enough that subtracting the gap penalty cannot overflow.
+inline constexpr i64 kSWBandEdge = std::numeric_limits<i64>::min() / 4;
+
+/// A banded alignment instance over small integer alphabets.
+struct SWInstance {
+  std::vector<i64> a;  ///< First sequence, length n.
+  std::vector<i64> b;  ///< Second sequence, length m.
+  i64 band = 0;        ///< Half-width: cells with |i - j| <= band.
+  i64 match = 3;       ///< Score for a[i-1] == b[j-1].
+  i64 mismatch = -1;   ///< Score otherwise.
+  i64 gap = 2;         ///< Penalty subtracted per insertion/deletion.
+
+  [[nodiscard]] i64 n() const noexcept { return static_cast<i64>(a.size()); }
+  [[nodiscard]] i64 m() const noexcept { return static_cast<i64>(b.size()); }
+};
+
+/// A reproducible instance: sequences over {0..3} with a planted common
+/// stretch so alignments score above the trivial zero.
+[[nodiscard]] SWInstance random_sw_instance(i64 n, i64 m, i64 band, Rng& rng);
+
+/// Golden baseline: the banded table in row-major order, returned as an
+/// n x m matrix with zeros outside the band.
+[[nodiscard]] std::vector<std::vector<i64>> sw_reference(
+    const SWInstance& ins);
+
+/// The best local-alignment score: the maximum entry of `h` (>= 0).
+[[nodiscard]] i64 sw_best_score(const std::vector<std::vector<i64>>& h);
+
+/// The canonic recurrence over { (i,j) in [1,n]x[1,m] : |i-j| <= band }
+/// with dependences h:(1,1), p:(1,0), q:(0,1).
+[[nodiscard]] CanonicRecurrence sw_recurrence(i64 n, i64 m, i64 band);
+
+/// Cell semantics; `instance` must outlive the result. `h_out` receives
+/// every computed H value through the observe hook and must be an n x m
+/// zero matrix outliving the run.
+[[nodiscard]] UniformSemantics sw_semantics(
+    const SWInstance& ins, std::vector<std::vector<i64>>& h_out);
+
+/// Executes `ins` under (timing, space) on `net`; returns the full H
+/// table in the same shape as sw_reference.
+[[nodiscard]] std::vector<std::vector<i64>> run_sw_on_design(
+    const SWInstance& ins, const LinearSchedule& timing, const IntMat& space,
+    const Interconnect& net);
+
+}  // namespace nusys

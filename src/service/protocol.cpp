@@ -70,14 +70,27 @@ class LoopbackEndpoint final : public LineTransport {
 };
 
 JsonValue encode_problem(const BatchProblem& problem) {
-  const bool conv = problem.kind == BatchProblem::Kind::kConvolution;
+  const char* kind = "conv";
+  switch (problem.kind) {
+    case BatchProblem::Kind::kConvolution: kind = "conv"; break;
+    case BatchProblem::Kind::kPipeline: kind = "pipeline"; break;
+    case BatchProblem::Kind::kMatMul: kind = "mm"; break;
+    case BatchProblem::Kind::kLU: kind = "lu"; break;
+    case BatchProblem::Kind::kFloydWarshall: kind = "fw"; break;
+    case BatchProblem::Kind::kSmithWaterman: kind = "sw"; break;
+  }
   JsonValue obj;
-  obj.set("kind", conv ? "conv" : "pipeline");
+  obj.set("kind", kind);
   if (!problem.name.empty()) obj.set("name", problem.name);
   obj.set("n", problem.n);
-  if (conv) {
+  if (problem.kind == BatchProblem::Kind::kConvolution) {
     obj.set("s", problem.s);
     obj.set("recurrence", problem.forward ? "forward" : "backward");
+  }
+  if (problem.m > 0) obj.set("m", problem.m);
+  if (problem.p > 0) obj.set("p", problem.p);
+  if (problem.kind == BatchProblem::Kind::kSmithWaterman) {
+    obj.set("band", problem.band);
   }
   obj.set("net", problem.net);
   return obj;

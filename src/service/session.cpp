@@ -227,20 +227,16 @@ ServiceResponse SynthesisService::run_problems(PendingJob& job) {
     const auto net = batch_interconnect(problem);
     ServiceResult result;
     result.name = problem.name;
-    if (problem.kind == BatchProblem::Kind::kConvolution) {
-      const auto rec = problem.forward
-                           ? convolution_forward_recurrence(problem.n,
-                                                            problem.s)
-                           : convolution_backward_recurrence(problem.n,
-                                                             problem.s);
-      const auto synthesis = synthesize(rec, net, synth);
-      result.report = make_design_report(rec, synthesis);
+    if (batch_uses_pipeline(problem)) {
+      const auto spec = batch_spec(problem);
+      const auto synthesis = synthesize_nonuniform(spec, net, pipe);
+      result.report = make_pipeline_report(spec, synthesis);
       result.cache_hit = is_cache_hit(synthesis.telemetry);
       examined += synthesis.telemetry.total_examined();
     } else {
-      const auto spec = make_interval_dp_spec(problem.n);
-      const auto synthesis = synthesize_nonuniform(spec, net, pipe);
-      result.report = make_pipeline_report(spec, synthesis);
+      const auto rec = batch_recurrence(problem);
+      const auto synthesis = synthesize(rec, net, synth);
+      result.report = make_design_report(rec, synthesis);
       result.cache_hit = is_cache_hit(synthesis.telemetry);
       examined += synthesis.telemetry.total_examined();
     }

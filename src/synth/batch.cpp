@@ -6,6 +6,10 @@
 #include <sstream>
 
 #include "conv/recurrences.hpp"
+#include "frontends/floyd_warshall.hpp"
+#include "frontends/lu.hpp"
+#include "frontends/matmul.hpp"
+#include "frontends/smith_waterman.hpp"
 #include "support/errors.hpp"
 #include "support/hash.hpp"
 #include "support/json.hpp"
@@ -28,13 +32,33 @@ i64 parse_count(const std::string& word, const std::string& field) {
   }
 }
 
+// mm columns / sw second-sequence length and mm reduction length default
+// to n so square problems stay one-field lines.
+i64 effective_m(const BatchProblem& p) { return p.m > 0 ? p.m : p.n; }
+i64 effective_p(const BatchProblem& p) { return p.p > 0 ? p.p : p.n; }
+
 std::string derived_name(const BatchProblem& p) {
   std::ostringstream os;
-  if (p.kind == BatchProblem::Kind::kConvolution) {
-    os << "conv-" << (p.forward ? "fwd" : "bwd") << "-n" << p.n << "-s"
-       << p.s;
-  } else {
-    os << "pipeline-n" << p.n;
+  switch (p.kind) {
+    case BatchProblem::Kind::kConvolution:
+      os << "conv-" << (p.forward ? "fwd" : "bwd") << "-n" << p.n << "-s"
+         << p.s;
+      break;
+    case BatchProblem::Kind::kPipeline:
+      os << "pipeline-n" << p.n;
+      break;
+    case BatchProblem::Kind::kMatMul:
+      os << "mm-n" << p.n << "x" << effective_m(p) << "x" << effective_p(p);
+      break;
+    case BatchProblem::Kind::kLU:
+      os << "lu-n" << p.n;
+      break;
+    case BatchProblem::Kind::kFloydWarshall:
+      os << "fw-n" << p.n;
+      break;
+    case BatchProblem::Kind::kSmithWaterman:
+      os << "sw-n" << p.n << "x" << effective_m(p) << "-b" << p.band;
+      break;
   }
   os << '@' << p.net;
   return os.str();
@@ -80,16 +104,39 @@ BatchProblem parse_batch_problem(
       p.kind = BatchProblem::Kind::kConvolution;
     } else if (*kind == "pipeline") {
       p.kind = BatchProblem::Kind::kPipeline;
+    } else if (*kind == "mm") {
+      p.kind = BatchProblem::Kind::kMatMul;
+    } else if (*kind == "lu") {
+      p.kind = BatchProblem::Kind::kLU;
+    } else if (*kind == "fw") {
+      p.kind = BatchProblem::Kind::kFloydWarshall;
+    } else if (*kind == "sw") {
+      p.kind = BatchProblem::Kind::kSmithWaterman;
     } else {
-      throw reject("unknown kind '" + *kind + "' (conv|pipeline)");
+      throw reject("unknown kind '" + *kind +
+                   "' (conv|pipeline|mm|lu|fw|sw)");
     }
   }
   const bool conv = p.kind == BatchProblem::Kind::kConvolution;
+  const bool mm = p.kind == BatchProblem::Kind::kMatMul;
+  const bool sw = p.kind == BatchProblem::Kind::kSmithWaterman;
   if (const auto* name = take("name")) p.name = *name;
   if (const auto* n = take("n")) p.n = parse_count(*n, "n");
   if (const auto* s = take("s")) {
     if (!conv) throw reject("field 's' only applies to conv problems");
     p.s = parse_count(*s, "s");
+  }
+  if (const auto* m = take("m")) {
+    if (!mm && !sw) throw reject("field 'm' only applies to mm|sw problems");
+    p.m = parse_count(*m, "m");
+  }
+  if (const auto* pp = take("p")) {
+    if (!mm) throw reject("field 'p' only applies to mm problems");
+    p.p = parse_count(*pp, "p");
+  }
+  if (const auto* band = take("band")) {
+    if (!sw) throw reject("field 'band' only applies to sw problems");
+    p.band = parse_count(*band, "band");
   }
   if (const auto* rec = take("recurrence")) {
     if (!conv) {
@@ -103,11 +150,27 @@ BatchProblem parse_batch_problem(
   if (const auto* net = take("net")) {
     p.net = *net;
   } else {
-    p.net = conv ? "linear" : "figure2";
+    switch (p.kind) {
+      case BatchProblem::Kind::kConvolution:
+      case BatchProblem::Kind::kSmithWaterman:
+        p.net = "linear";
+        break;
+      case BatchProblem::Kind::kMatMul:
+      case BatchProblem::Kind::kLU:
+        p.net = "mesh";
+        break;
+      case BatchProblem::Kind::kPipeline:
+      case BatchProblem::Kind::kFloydWarshall:
+        p.net = "figure2";
+        break;
+    }
   }
   for (const auto& [key, value] : fields) {
     (void)value;
     if (!seen.count(key)) throw reject("unknown field '" + key + "'");
+  }
+  if (p.kind == BatchProblem::Kind::kFloydWarshall && p.n < 3) {
+    throw reject("fw problems need n >= 3");
   }
   if (p.name.empty()) p.name = derived_name(p);
   (void)batch_interconnect(p);  // Fail a bad kind/net pairing at parse time.
@@ -142,7 +205,10 @@ Interconnect batch_interconnect(const BatchProblem& problem) {
                                   "' (linear|linear-uni|figure1|figure2|"
                                   "mesh|hex)");
   const std::size_t needed =
-      problem.kind == BatchProblem::Kind::kConvolution ? 1 : 2;
+      problem.kind == BatchProblem::Kind::kConvolution ||
+              problem.kind == BatchProblem::Kind::kSmithWaterman
+          ? 1
+          : 2;
   if (built.label_dim() != needed) {
     throw DomainError("interconnect '" + net + "' has a " +
                       std::to_string(built.label_dim()) +
@@ -150,6 +216,41 @@ Interconnect batch_interconnect(const BatchProblem& problem) {
                       "' needs " + std::to_string(needed) + "-D");
   }
   return built;
+}
+
+bool batch_uses_pipeline(const BatchProblem& problem) {
+  return problem.kind == BatchProblem::Kind::kPipeline ||
+         problem.kind == BatchProblem::Kind::kFloydWarshall;
+}
+
+CanonicRecurrence batch_recurrence(const BatchProblem& problem) {
+  switch (problem.kind) {
+    case BatchProblem::Kind::kConvolution:
+      return problem.forward
+                 ? convolution_forward_recurrence(problem.n, problem.s)
+                 : convolution_backward_recurrence(problem.n, problem.s);
+    case BatchProblem::Kind::kMatMul:
+      return matmul_recurrence(problem.n, effective_m(problem),
+                               effective_p(problem));
+    case BatchProblem::Kind::kLU:
+      return lu_recurrence(problem.n);
+    case BatchProblem::Kind::kSmithWaterman:
+      return sw_recurrence(problem.n, effective_m(problem), problem.band);
+    case BatchProblem::Kind::kPipeline:
+    case BatchProblem::Kind::kFloydWarshall:
+      break;
+  }
+  NUSYS_REQUIRE(false, "batch_recurrence: '" + problem.name +
+                           "' is a pipeline-kind problem");
+}
+
+NonUniformSpec batch_spec(const BatchProblem& problem) {
+  NUSYS_REQUIRE(batch_uses_pipeline(problem),
+                "batch_spec: '" + problem.name +
+                    "' is a canonic-recurrence problem");
+  return problem.kind == BatchProblem::Kind::kFloydWarshall
+             ? fw_spec(problem.n)
+             : make_interval_dp_spec(problem.n);
 }
 
 NonUniformSpec make_interval_dp_spec(i64 n) {
@@ -202,15 +303,11 @@ BatchRunResult run_batch(const std::vector<BatchProblem>& problems,
     for (std::size_t idx = 0; idx < problems.size(); ++idx) {
       const auto& p = problems[idx];
       const auto net = batch_interconnect(p);
-      std::string key;
-      if (p.kind == BatchProblem::Kind::kConvolution) {
-        const auto rec = p.forward
-                             ? convolution_forward_recurrence(p.n, p.s)
-                             : convolution_backward_recurrence(p.n, p.s);
-        key = synthesis_cache_key(canonicalize_recurrence(rec), net, synth);
-      } else {
-        key = pipeline_cache_key(make_interval_dp_spec(p.n), net, pipe);
-      }
+      const std::string key =
+          batch_uses_pipeline(p)
+              ? pipeline_cache_key(batch_spec(p), net, pipe)
+              : synthesis_cache_key(
+                    canonicalize_recurrence(batch_recurrence(p)), net, synth);
       const auto [it, fresh] = group_of.emplace(key, groups.size());
       if (fresh) groups.emplace_back();
       groups[it->second].push_back(idx);
@@ -230,19 +327,17 @@ BatchRunResult run_batch(const std::vector<BatchProblem>& problems,
     item.name = p.name;
     const WallTimer item_timer;
     const auto net = batch_interconnect(p);
-    if (p.kind == BatchProblem::Kind::kConvolution) {
-      const auto rec = p.forward
-                           ? convolution_forward_recurrence(p.n, p.s)
-                           : convolution_backward_recurrence(p.n, p.s);
-      const auto synthesis = synthesize(rec, net, synth);
-      item.report = make_design_report(rec, synthesis);
+    if (batch_uses_pipeline(p)) {
+      const auto spec = batch_spec(p);
+      const auto synthesis = synthesize_nonuniform(spec, net, pipe);
+      item.report = make_pipeline_report(spec, synthesis);
       item.provenance = is_cache_hit(synthesis.telemetry)
                             ? CacheProvenance::kCacheHit
                             : CacheProvenance::kSearched;
     } else {
-      const auto spec = make_interval_dp_spec(p.n);
-      const auto synthesis = synthesize_nonuniform(spec, net, pipe);
-      item.report = make_pipeline_report(spec, synthesis);
+      const auto rec = batch_recurrence(p);
+      const auto synthesis = synthesize(rec, net, synth);
+      item.report = make_design_report(rec, synthesis);
       item.provenance = is_cache_hit(synthesis.telemetry)
                             ? CacheProvenance::kCacheHit
                             : CacheProvenance::kSearched;

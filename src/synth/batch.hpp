@@ -35,13 +35,20 @@ namespace nusys {
 /// One parsed problem of a batch stream.
 struct BatchProblem {
   enum class Kind {
-    kConvolution,  ///< Canonic recurrence (4)/(5) on a 1-D interconnect.
-    kPipeline,     ///< Interval-DP non-uniform spec, full Sec. III-V run.
+    kConvolution,    ///< Canonic recurrence (4)/(5) on a 1-D interconnect.
+    kPipeline,       ///< Interval-DP non-uniform spec, full Sec. III-V run.
+    kMatMul,         ///< "mm": C = A·B on a 2-D interconnect.
+    kLU,             ///< "lu": LU decomposition without pivoting.
+    kFloydWarshall,  ///< "fw": DAG closure through the non-uniform pipeline.
+    kSmithWaterman,  ///< "sw": banded alignment on a 1-D interconnect.
   };
   Kind kind = Kind::kConvolution;
   std::string name;            ///< Display name; derived when empty.
   i64 n = 16;                  ///< Problem size.
   i64 s = 4;                   ///< Kernel size (convolution only).
+  i64 m = 0;                   ///< mm columns / sw second length (0 = n).
+  i64 p = 0;                   ///< mm reduction length (0 = n).
+  i64 band = 2;                ///< sw band half-width.
   bool forward = false;        ///< Recurrence (5) instead of (4).
   std::string net = "linear";  ///< linear|linear-uni|figure1|figure2|mesh|hex.
 };
@@ -64,6 +71,18 @@ struct BatchProblem {
 /// The Sec. IV interval-DP spec of size n (the same spec the CLI's
 /// `pipeline` command and the batch driver's "pipeline" kind synthesize).
 [[nodiscard]] NonUniformSpec make_interval_dp_spec(i64 n);
+
+/// True when the problem runs the non-uniform pipeline facade
+/// (kPipeline, kFloydWarshall); false for the canonic-recurrence kinds.
+[[nodiscard]] bool batch_uses_pipeline(const BatchProblem& problem);
+
+/// The canonic recurrence of a uniform-kind problem (conv/mm/lu/sw).
+/// Throws ContractError when called on a pipeline kind.
+[[nodiscard]] CanonicRecurrence batch_recurrence(const BatchProblem& problem);
+
+/// The non-uniform spec of a pipeline-kind problem (pipeline/fw).
+/// Throws ContractError when called on a uniform kind.
+[[nodiscard]] NonUniformSpec batch_spec(const BatchProblem& problem);
 
 /// How one batch item's designs were obtained.
 enum class CacheProvenance {

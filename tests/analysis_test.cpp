@@ -9,6 +9,9 @@
 #include "analysis/polytope.hpp"
 #include "conv/recurrences.hpp"
 #include "dp/dp_modules.hpp"
+#include "frontends/lu.hpp"
+#include "frontends/matmul.hpp"
+#include "frontends/smith_waterman.hpp"
 #include "modules/module_schedule.hpp"
 #include "modules/module_space.hpp"
 #include "verify/module_spacetime.hpp"
@@ -228,6 +231,37 @@ TEST(AnalyzerTest, UniformDifferential) {
                            LinearSchedule(IntVec({2, -1})), IntMat{{0, 1}},
                            Interconnect::linear_unidirectional(),
                            "unroutable");
+}
+
+TEST(AnalyzerTest, FrontierFamiliesDifferential) {
+  // Clean and fault-injected designs of the frontier recurrence families:
+  // the static verdict, the per-kind violation flags and the certificate
+  // check must all agree with the extensional verifier. The sw cases run
+  // the constraint-bearing (banded, non-box) domain through the polytope
+  // path.
+  expect_uniform_agreement(matmul_recurrence(4, 3, 4),
+                           LinearSchedule(IntVec({1, 1, 1})),
+                           IntMat{{1, 0, 0}, {0, 1, 0}},
+                           Interconnect::mesh2d(), "mm-clean");
+  expect_uniform_agreement(matmul_recurrence(4, 4, 4),
+                           LinearSchedule(IntVec({1, 1, 0})),
+                           IntMat{{1, 0, 0}, {0, 1, 0}},
+                           Interconnect::mesh2d(), "mm-zero-slack");
+  expect_uniform_agreement(lu_recurrence(4),
+                           LinearSchedule(IntVec({1, 1, 1})),
+                           IntMat{{0, 1, 0}, {0, 0, 1}},
+                           Interconnect::mesh2d(), "lu-clean");
+  expect_uniform_agreement(lu_recurrence(4),
+                           LinearSchedule(IntVec({1, 1, 1})),
+                           IntMat{{0, 1, 0}, {0, 1, 0}},
+                           Interconnect::mesh2d(), "lu-singular-pi");
+  expect_uniform_agreement(sw_recurrence(6, 6, 2),
+                           LinearSchedule(IntVec({1, 1})), IntMat{{1, 0}},
+                           Interconnect::linear_bidirectional(), "sw-clean");
+  expect_uniform_agreement(sw_recurrence(6, 6, 2),
+                           LinearSchedule(IntVec({1, -1})), IntMat{{1, 0}},
+                           Interconnect::linear_bidirectional(),
+                           "sw-anticausal");
 }
 
 TEST(AnalyzerTest, UniformSeedFullyCertified) {

@@ -57,6 +57,57 @@ TEST(BatchParseTest, ParsesProblemsWithDefaultsAndComments) {
   EXPECT_EQ(problems[2].name, "my-dp");
 }
 
+TEST(BatchParseTest, ParsesFrontierKindsWithDefaults) {
+  std::istringstream in(
+      "{\"kind\": \"mm\", \"n\": 4}\n"
+      "{\"kind\": \"mm\", \"n\": 3, \"m\": 5, \"p\": 4}\n"
+      "{\"kind\": \"lu\", \"n\": 6}\n"
+      "{\"kind\": \"fw\", \"n\": 7}\n"
+      "{\"kind\": \"sw\", \"n\": 8, \"m\": 6, \"band\": 3}\n");
+  const auto problems = parse_batch_jsonl(in);
+  ASSERT_EQ(problems.size(), 5u);
+  EXPECT_EQ(problems[0].kind, BatchProblem::Kind::kMatMul);
+  EXPECT_EQ(problems[0].net, "mesh");  // mm default.
+  EXPECT_EQ(problems[0].name, "mm-n4x4x4@mesh");  // m, p default to n.
+  EXPECT_EQ(problems[1].m, 5);
+  EXPECT_EQ(problems[1].p, 4);
+  EXPECT_EQ(problems[1].name, "mm-n3x5x4@mesh");
+  EXPECT_EQ(problems[2].kind, BatchProblem::Kind::kLU);
+  EXPECT_EQ(problems[2].name, "lu-n6@mesh");
+  EXPECT_EQ(problems[3].kind, BatchProblem::Kind::kFloydWarshall);
+  EXPECT_EQ(problems[3].net, "figure2");  // fw default.
+  EXPECT_EQ(problems[3].name, "fw-n7@figure2");
+  EXPECT_EQ(problems[4].kind, BatchProblem::Kind::kSmithWaterman);
+  EXPECT_EQ(problems[4].net, "linear");  // sw default.
+  EXPECT_EQ(problems[4].band, 3);
+  EXPECT_EQ(problems[4].name, "sw-n8x6-b3@linear");
+}
+
+TEST(BatchParseTest, FrontierRecurrencesAndSpecsComeFromTheHelpers) {
+  std::istringstream in(
+      "{\"kind\": \"mm\", \"n\": 3, \"m\": 5, \"p\": 4}\n"
+      "{\"kind\": \"sw\", \"n\": 6, \"band\": 2}\n"
+      "{\"kind\": \"fw\", \"n\": 5}\n"
+      "{\"kind\": \"pipeline\", \"n\": 5}\n");
+  const auto problems = parse_batch_jsonl(in);
+  ASSERT_EQ(problems.size(), 4u);
+  EXPECT_FALSE(batch_uses_pipeline(problems[0]));
+  EXPECT_FALSE(batch_uses_pipeline(problems[1]));
+  EXPECT_TRUE(batch_uses_pipeline(problems[2]));
+  EXPECT_TRUE(batch_uses_pipeline(problems[3]));
+  // mm lowers to the 3-D product domain of 3·5·4 points; sw's banded
+  // 2-D domain is smaller than the 6x6 box.
+  EXPECT_EQ(batch_recurrence(problems[0]).domain().size(), 60u);
+  EXPECT_LT(batch_recurrence(problems[1]).domain().size(), 36u);
+  // fw expands into the same two-template shape as the paper's DP spec,
+  // under its own name.
+  EXPECT_EQ(batch_spec(problems[2]).name(), "fw");
+  EXPECT_EQ(batch_spec(problems[3]).name(), "dp");
+  // Kind mismatches are contract errors, not silent fallbacks.
+  EXPECT_THROW((void)batch_recurrence(problems[2]), ContractError);
+  EXPECT_THROW((void)batch_spec(problems[0]), ContractError);
+}
+
 TEST(BatchParseTest, RejectsBadProblems) {
   const auto parse_line = [](const std::string& line) {
     std::istringstream in(line);
@@ -76,6 +127,17 @@ TEST(BatchParseTest, RejectsBadProblems) {
   EXPECT_THROW(parse_line("{\"kind\": \"pipeline\", \"net\": \"linear\"}"),
                DomainError);
   EXPECT_THROW(parse_line("{\"kind\": \"conv\", \"net\": \"bus\"}"),
+               DomainError);
+  // Frontier-kind field and topology mismatches.
+  EXPECT_THROW(parse_line("{\"kind\": \"conv\", \"m\": 4}"), DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"lu\", \"p\": 4}"), DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"mm\", \"band\": 2}"), DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"mm\", \"s\": 3}"), DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"fw\", \"n\": 2}"), DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"sw\", \"band\": 0}"), DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"mm\", \"net\": \"linear\"}"),
+               DomainError);
+  EXPECT_THROW(parse_line("{\"kind\": \"sw\", \"net\": \"mesh\"}"),
                DomainError);
 }
 

@@ -1,0 +1,184 @@
+// Differential golden-corpus layer, Floyd-Warshall family. The reference
+// is the textbook k-outermost triple loop over the full matrix — a
+// genuinely different algorithm from the interval-DP evaluation the
+// systolic designs execute — so agreement exercises the DAG-collapse
+// argument itself, not just the executor. Covers the shortest-path and
+// the 0/1 transitive-closure encodings, the paper's fig. 1/2 seed arrays,
+// fully synthesized pipelines from fw_spec, analyzer/verifier agreement
+// on module mutants, and pipeline cache round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "analysis/analyzer.hpp"
+#include "designs/dp_array.hpp"
+#include "dp/dp_modules.hpp"
+#include "dp/sequential.hpp"
+#include "frontends/floyd_warshall.hpp"
+#include "support/cache.hpp"
+#include "support/rng.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/report.hpp"
+#include "verify/module_spacetime.hpp"
+
+namespace nusys {
+namespace {
+
+class FWSweepTest : public testing::TestWithParam<std::tuple<int, i64>> {};
+
+TEST_P(FWSweepTest, SeedArraysMatchTheClassicTripleLoop) {
+  const auto [figure, n] = GetParam();
+  Rng rng(3000 + 2 * static_cast<std::uint64_t>(n) +
+          static_cast<std::uint64_t>(figure));
+  const auto ins = random_dag_instance(n, rng);
+  const auto design = figure == 1 ? dp_fig1_design() : dp_fig2_design();
+  EXPECT_EQ(run_dp_on_array(fw_problem(ins), design).table, fw_reference(ins));
+  EXPECT_EQ(run_dp_on_array(fw_closure_problem(ins), design).table,
+            fw_closure_reference(ins));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FWSweepTest,
+                         testing::Combine(testing::Values(1, 2),
+                                          testing::Values<i64>(4, 7, 10, 13)),
+                         [](const auto& tp) {
+                           return "fig" + std::to_string(std::get<0>(tp.param)) +
+                                  "n" + std::to_string(std::get<1>(tp.param));
+                         });
+
+TEST(FWTest, IntervalLoweringEqualsSequentialSolve) {
+  // The interval-DP sequential solver and the full-matrix triple loop are
+  // independent evaluations of the same closure.
+  for (const i64 n : {4, 8, 12}) {
+    Rng rng(3100 + static_cast<std::uint64_t>(n));
+    const auto ins = random_dag_instance(n, rng);
+    EXPECT_EQ(solve_sequential(fw_problem(ins)), fw_reference(ins));
+    EXPECT_EQ(solve_sequential(fw_closure_problem(ins)),
+              fw_closure_reference(ins));
+  }
+}
+
+TEST(FWTest, ClosureAgreesWithDistanceReachability) {
+  Rng rng(3101);
+  const auto ins = random_dag_instance(9, rng);
+  const auto dist = fw_reference(ins);
+  const auto closure = fw_closure_reference(ins);
+  for (i64 i = 1; i < ins.n; ++i) {
+    for (i64 j = i + 1; j <= ins.n; ++j) {
+      EXPECT_EQ(closure.at(i, j) == 0, dist.at(i, j) < kFWUnreachable)
+          << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(FWTest, EmptyAndFullGraphsAreExact) {
+  FWInstance empty;
+  empty.n = 5;
+  empty.w.assign(5, std::vector<i64>(5, kFWUnreachable));
+  const auto dist = fw_reference(empty);
+  for (i64 i = 1; i < 5; ++i) {
+    for (i64 j = i + 1; j <= 5; ++j) EXPECT_EQ(dist.at(i, j), kFWUnreachable);
+  }
+
+  FWInstance chain;
+  chain.n = 5;
+  chain.w.assign(5, std::vector<i64>(5, kFWUnreachable));
+  for (i64 i = 1; i < 5; ++i) chain.w[static_cast<std::size_t>(i - 1)]
+                                     [static_cast<std::size_t>(i)] = 2;
+  const auto hops = fw_reference(chain);
+  for (i64 i = 1; i < 5; ++i) {
+    for (i64 j = i + 1; j <= 5; ++j) EXPECT_EQ(hops.at(i, j), 2 * (j - i));
+  }
+}
+
+TEST(FWTest, EverySynthesizedPipelineDesignMatchesReference) {
+  // Full path: fw_spec → two-step refinement → module system → ranked
+  // DPArrayDesigns, each executed against the triple-loop baseline.
+  for (const i64 n : {6, 9, 12}) {
+    Rng rng(3200 + static_cast<std::uint64_t>(n));
+    const auto ins = random_dag_instance(n, rng);
+    const auto expected = fw_reference(ins);
+    const auto synthesis =
+        synthesize_nonuniform(fw_spec(n), Interconnect::figure2());
+    ASSERT_TRUE(synthesis.found());
+    for (const auto& design : synthesis.designs) {
+      EXPECT_EQ(run_dp_on_array(fw_problem(ins), design).table, expected);
+    }
+  }
+}
+
+TEST(FWTest, SpecEmitsThePaperModuleSystem) {
+  // FW's variable-distance reads expand into exactly the two-template
+  // shape of the Sec. IV DP, so the emitted module system must coincide
+  // with the hard-coded one.
+  const i64 n = 8;
+  const auto spec = fw_spec(n);
+  const auto coarse = derive_coarse_timing(spec);
+  const auto sys = emit_interval_dp_modules(spec, coarse.schedule());
+  std::ostringstream emitted;
+  emitted << sys;
+  std::ostringstream seed;
+  seed << build_dp_module_system(n);
+  EXPECT_EQ(emitted.str(), seed.str());
+}
+
+TEST(FWTest, AnalyzerAgreesWithVerifierOnSynthesizedAndMutantDesigns) {
+  const i64 n = 7;
+  const auto spec = fw_spec(n);
+  const auto coarse = derive_coarse_timing(spec);
+  const auto sys = emit_interval_dp_modules(spec, coarse.schedule());
+  const auto net = Interconnect::figure2();
+  NonUniformSynthesisOptions opts;
+  const auto synthesis = synthesize_nonuniform(spec, net, opts);
+  ASSERT_TRUE(synthesis.found());
+  for (const auto& design : synthesis.designs) {
+    const auto truth =
+        verify_module_design(sys, design.schedules, design.spaces, net);
+    const auto report =
+        analyze_module_design(sys, design.schedules, design.spaces, net);
+    EXPECT_TRUE(truth.ok());
+    EXPECT_EQ(report.ok(), truth.ok()) << report.summary();
+
+    // ±1 fault injection on a schedule coefficient must flip both
+    // oracles identically.
+    auto mutant = design.schedules;
+    IntVec coeffs = mutant[0].coeffs();
+    coeffs[0] += 1;
+    mutant[0] = LinearSchedule(coeffs, mutant[0].offset());
+    const auto mutant_truth =
+        verify_module_design(sys, mutant, design.spaces, net);
+    const auto mutant_report =
+        analyze_module_design(sys, mutant, design.spaces, net);
+    EXPECT_EQ(mutant_report.ok(), mutant_truth.ok())
+        << mutant_report.summary();
+  }
+}
+
+TEST(FWTest, MutantDesignRejectedByExecutor) {
+  Rng rng(3301);
+  const auto ins = random_dag_instance(8, rng);
+  auto design = dp_fig2_design();
+  IntVec coeffs = design.schedules[kDpModule1].coeffs();
+  coeffs[2] = -coeffs[2];  // Reverse the reduction direction of module 1.
+  design.schedules[kDpModule1] =
+      LinearSchedule(coeffs, design.schedules[kDpModule1].offset());
+  EXPECT_THROW((void)run_dp_on_array(fw_problem(ins), design), DomainError);
+}
+
+TEST(FWTest, PipelineCacheRoundTripIsBitIdentical) {
+  const i64 n = 9;
+  const auto spec = fw_spec(n);
+  const auto net = Interconnect::figure2();
+  DesignCache cache;
+  NonUniformSynthesisOptions opts;
+  opts.cache = &cache;
+  const auto cold = synthesize_nonuniform(spec, net, opts);
+  const auto warm = synthesize_nonuniform(spec, net, opts);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(make_pipeline_report(spec, warm), make_pipeline_report(spec, cold));
+  const auto fresh = synthesize_nonuniform(spec, net);
+  EXPECT_EQ(make_pipeline_report(spec, fresh), make_pipeline_report(spec, cold));
+}
+
+}  // namespace
+}  // namespace nusys

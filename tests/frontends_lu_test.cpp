@@ -1,0 +1,146 @@
+// Differential golden-corpus layer, LU family: synthesized designs vs the
+// sequential elimination, analyzer vs verifier, cache round-trips, and
+// integer-exactness guarantees of the A = L·U instance generator.
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hpp"
+#include "frontends/lu.hpp"
+#include "support/cache.hpp"
+#include "support/rng.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+#include "verify/spacetime.hpp"
+
+namespace nusys {
+namespace {
+
+/// A·x reconstruction check: L·U must reproduce the instance exactly.
+void expect_factors_multiply_back(const LUInstance& ins,
+                                  const LUFactors& factors) {
+  const i64 n = ins.n;
+  for (i64 i = 0; i < n; ++i) {
+    for (i64 j = 0; j < n; ++j) {
+      i64 acc = 0;
+      for (i64 k = 0; k < n; ++k) {
+        acc = checked_add(
+            acc, checked_mul(factors.l[static_cast<std::size_t>(i)]
+                                      [static_cast<std::size_t>(k)],
+                             factors.u[static_cast<std::size_t>(k)]
+                                      [static_cast<std::size_t>(j)]));
+      }
+      EXPECT_EQ(acc, ins.a[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)])
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+class LUSweepTest : public testing::TestWithParam<i64> {};
+
+TEST_P(LUSweepTest, EverySynthesizedDesignMatchesReference) {
+  const i64 n = GetParam();
+  Rng rng(2000 + static_cast<std::uint64_t>(n));
+  const auto ins = random_exact_lu_instance(n, rng);
+  const auto expected = lu_reference(ins);
+  expect_factors_multiply_back(ins, expected);
+  const auto rec = lu_recurrence(n);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  ASSERT_TRUE(result.found());
+  for (const auto& d : result.designs) {
+    EXPECT_EQ(run_lu_on_design(ins, d.timing, d.space, d.net), expected)
+        << describe_design(d, rec.domain().names());
+  }
+}
+
+TEST_P(LUSweepTest, AnalyzerAgreesWithVerifierOnEveryDesign) {
+  const i64 n = GetParam();
+  const auto rec = lu_recurrence(n);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  ASSERT_TRUE(result.found());
+  for (const auto& d : result.designs) {
+    const auto verified = verify_design(rec, d.timing, d.space, d.net);
+    const auto analyzed = analyze_design(rec, d.timing, d.space, d.net);
+    EXPECT_TRUE(verified.ok());
+    EXPECT_EQ(analyzed.ok(), verified.ok()) << analyzed.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LUSweepTest, testing::Values(3, 4, 5),
+                         [](const auto& tp) {
+                           return "n" + std::to_string(tp.param);
+                         });
+
+TEST(LUTest, HandMappingMatchesReference) {
+  // T = (1,1,1) with S keeping (i,j): the textbook n x n elimination
+  // array; the active minor shrinks toward the bottom-right corner.
+  Rng rng(2101);
+  const auto ins = random_exact_lu_instance(6, rng);
+  const auto got =
+      run_lu_on_design(ins, LinearSchedule(IntVec({1, 1, 1})),
+                       IntMat{{0, 1, 0}, {0, 0, 1}}, Interconnect::mesh2d());
+  EXPECT_EQ(got, lu_reference(ins));
+}
+
+TEST(LUTest, ReferenceMatchesHandComputedFactors) {
+  LUInstance ins;
+  ins.n = 3;
+  ins.a = {{2, 1, 1}, {4, 3, 3}, {8, 7, 9}};
+  const auto factors = lu_reference(ins);
+  const std::vector<std::vector<i64>> l = {{1, 0, 0}, {2, 1, 0}, {4, 3, 1}};
+  const std::vector<std::vector<i64>> u = {{2, 1, 1}, {0, 1, 1}, {0, 0, 2}};
+  EXPECT_EQ(factors.l, l);
+  EXPECT_EQ(factors.u, u);
+}
+
+TEST(LUTest, SingularLeadingMinorThrows) {
+  // a11 = 0 has no LU factorization without pivoting.
+  LUInstance ins;
+  ins.n = 2;
+  ins.a = {{0, 1}, {1, 0}};
+  EXPECT_THROW((void)lu_reference(ins), DomainError);
+}
+
+TEST(LUTest, MutantTimingRejectedByBothOraclesAndExecutor) {
+  // Dropping the k coefficient starves the elimination updates: the
+  // accumulator dependence (1,0,0) gets slack 0.
+  Rng rng(2102);
+  const auto ins = random_exact_lu_instance(4, rng);
+  const auto rec = lu_recurrence(4);
+  const LinearSchedule mutant(IntVec({0, 1, 1}));
+  const IntMat space{{0, 1, 0}, {0, 0, 1}};
+  const auto net = Interconnect::mesh2d();
+  const auto verified = verify_design(rec, mutant, space, net);
+  const auto analyzed = analyze_design(rec, mutant, space, net);
+  EXPECT_FALSE(verified.ok());
+  EXPECT_FALSE(analyzed.ok());
+  EXPECT_GT(verified.count(Violation::Kind::kCausality), 0u);
+  EXPECT_THROW((void)run_lu_on_design(ins, mutant, space, net), DomainError);
+}
+
+TEST(LUTest, MutantSpaceRejectedByBothOracles) {
+  const auto rec = lu_recurrence(4);
+  const LinearSchedule timing(IntVec({1, 1, 1}));
+  const IntMat mutant{{0, 1, 0}, {0, 1, 0}};  // Rank-1: cells collide.
+  const auto net = Interconnect::mesh2d();
+  const auto verified = verify_design(rec, timing, mutant, net);
+  const auto analyzed = analyze_design(rec, timing, mutant, net);
+  EXPECT_FALSE(verified.ok());
+  EXPECT_FALSE(analyzed.ok());
+}
+
+TEST(LUTest, CacheRoundTripIsBitIdentical) {
+  const auto rec = lu_recurrence(4);
+  DesignCache cache;
+  SynthesisOptions opts;
+  opts.cache = &cache;
+  const auto net = Interconnect::mesh2d();
+  const auto cold = synthesize(rec, net, opts);
+  const auto warm = synthesize(rec, net, opts);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(make_design_report(rec, warm), make_design_report(rec, cold));
+  const auto fresh = synthesize(rec, net);
+  EXPECT_EQ(make_design_report(rec, fresh), make_design_report(rec, cold));
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,141 @@
+// Differential golden-corpus layer, banded Smith-Waterman family: the
+// band constraints make the recurrence domain non-rectangular, so these
+// sweeps also exercise the constraint-aware polytope/analyzer path; the
+// full H table (via the observe hook) must equal the sequential banded
+// reference bit-for-bit on every synthesized 1-D design.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/analyzer.hpp"
+#include "frontends/smith_waterman.hpp"
+#include "support/cache.hpp"
+#include "support/rng.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+#include "verify/spacetime.hpp"
+
+namespace nusys {
+namespace {
+
+class SWSweepTest
+    : public testing::TestWithParam<std::tuple<i64, i64, i64>> {};
+
+TEST_P(SWSweepTest, EverySynthesizedDesignMatchesReference) {
+  const auto [n, m, band] = GetParam();
+  Rng rng(4000 + 10 * static_cast<std::uint64_t>(n) +
+          static_cast<std::uint64_t>(band));
+  const auto ins = random_sw_instance(n, m, band, rng);
+  const auto expected = sw_reference(ins);
+  const auto rec = sw_recurrence(n, m, band);
+  const auto result = synthesize(rec, Interconnect::linear_bidirectional());
+  ASSERT_TRUE(result.found());
+  for (const auto& d : result.designs) {
+    EXPECT_EQ(run_sw_on_design(ins, d.timing, d.space, d.net), expected)
+        << describe_design(d, rec.domain().names());
+  }
+}
+
+TEST_P(SWSweepTest, AnalyzerAgreesWithVerifierOnEveryDesign) {
+  const auto [n, m, band] = GetParam();
+  const auto rec = sw_recurrence(n, m, band);
+  const auto result = synthesize(rec, Interconnect::linear_bidirectional());
+  ASSERT_TRUE(result.found());
+  for (const auto& d : result.designs) {
+    const auto verified = verify_design(rec, d.timing, d.space, d.net);
+    const auto analyzed = analyze_design(rec, d.timing, d.space, d.net);
+    EXPECT_TRUE(verified.ok());
+    EXPECT_EQ(analyzed.ok(), verified.ok()) << analyzed.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SWSweepTest,
+                         testing::Values(std::tuple<i64, i64, i64>{6, 6, 2},
+                                         std::tuple<i64, i64, i64>{8, 5, 3},
+                                         std::tuple<i64, i64, i64>{10, 10, 1}),
+                         [](const auto& tp) {
+                           return "n" + std::to_string(std::get<0>(tp.param)) +
+                                  "m" + std::to_string(std::get<1>(tp.param)) +
+                                  "b" + std::to_string(std::get<2>(tp.param));
+                         });
+
+TEST(SmithWatermanTest, HandMappingMatchesReference) {
+  // The anti-diagonal wavefront classic: T = (1,1), one cell per row of
+  // the first sequence on a bidirectional linear array.
+  Rng rng(4101);
+  const auto ins = random_sw_instance(9, 9, 2, rng);
+  const auto got =
+      run_sw_on_design(ins, LinearSchedule(IntVec({1, 1})), IntMat{{1, 0}},
+                       Interconnect::linear_bidirectional());
+  EXPECT_EQ(got, sw_reference(ins));
+}
+
+TEST(SmithWatermanTest, IdenticalSequencesScorePerfectDiagonal) {
+  SWInstance ins;
+  ins.a = {0, 1, 2, 3, 0, 1};
+  ins.b = ins.a;
+  ins.band = 2;
+  const auto h = sw_reference(ins);
+  // Along the main diagonal every step is a match.
+  for (i64 i = 1; i <= ins.n(); ++i) {
+    EXPECT_EQ(h[static_cast<std::size_t>(i - 1)][static_cast<std::size_t>(i - 1)],
+              i * ins.match);
+  }
+  EXPECT_EQ(sw_best_score(h), ins.n() * ins.match);
+}
+
+TEST(SmithWatermanTest, BandEdgeNeverBeatsZero) {
+  // Outside-band neighbours inject kSWBandEdge; no H entry may ever dip
+  // below the local-alignment floor of 0.
+  Rng rng(4102);
+  const auto ins = random_sw_instance(12, 12, 1, rng);
+  for (const auto& row : sw_reference(ins)) {
+    for (const i64 v : row) EXPECT_GE(v, 0);
+  }
+}
+
+TEST(SmithWatermanTest, MutantTimingRejectedByBothOraclesAndExecutor) {
+  // T = (1,-1) runs against the q stream: causality violation.
+  Rng rng(4103);
+  const auto ins = random_sw_instance(7, 7, 2, rng);
+  const auto rec = sw_recurrence(7, 7, 2);
+  const LinearSchedule mutant(IntVec({1, -1}));
+  const IntMat space{{1, 0}};
+  const auto net = Interconnect::linear_bidirectional();
+  const auto verified = verify_design(rec, mutant, space, net);
+  const auto analyzed = analyze_design(rec, mutant, space, net);
+  EXPECT_FALSE(verified.ok());
+  EXPECT_FALSE(analyzed.ok());
+  EXPECT_GT(verified.count(Violation::Kind::kCausality), 0u);
+  EXPECT_THROW((void)run_sw_on_design(ins, mutant, space, net), DomainError);
+}
+
+TEST(SmithWatermanTest, MutantSpaceRejectedByBothOracles) {
+  // S = (0 0) folds the whole band onto one cell: space-time conflicts.
+  const auto rec = sw_recurrence(6, 6, 2);
+  const LinearSchedule timing(IntVec({1, 1}));
+  const IntMat mutant{{0, 0}};
+  const auto net = Interconnect::linear_bidirectional();
+  const auto verified = verify_design(rec, timing, mutant, net);
+  const auto analyzed = analyze_design(rec, timing, mutant, net);
+  EXPECT_FALSE(verified.ok());
+  EXPECT_FALSE(analyzed.ok());
+  EXPECT_GT(verified.count(Violation::Kind::kConflict), 0u);
+}
+
+TEST(SmithWatermanTest, CacheRoundTripIsBitIdentical) {
+  const auto rec = sw_recurrence(7, 6, 2);
+  DesignCache cache;
+  SynthesisOptions opts;
+  opts.cache = &cache;
+  const auto net = Interconnect::linear_bidirectional();
+  const auto cold = synthesize(rec, net, opts);
+  const auto warm = synthesize(rec, net, opts);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(make_design_report(rec, warm), make_design_report(rec, cold));
+  const auto fresh = synthesize(rec, net);
+  EXPECT_EQ(make_design_report(rec, fresh), make_design_report(rec, cold));
+}
+
+}  // namespace
+}  // namespace nusys

@@ -1,0 +1,188 @@
+// Golden-corpus replay: the checked-in examples/frontier_corpus.jsonl is
+// the frozen cross-family batch CI and the service replay. These tests
+// pin (a) the corpus parses and covers every workload family, (b) the
+// batch driver resolves its deliberate duplicates as canonical-cache hits
+// with bit-identical reports, (c) a warm replay hits the cache on every
+// problem and reproduces the cold reports exactly, (d) every report
+// equals one-at-a-time synthesis through the shared batch helpers, (e)
+// the static analyzer certifies every corpus design, and (f) the service
+// replays the corpus with the same reports and the same hit pattern.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "service/session.hpp"
+#include "support/cache.hpp"
+#include "synth/batch.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/report.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nusys {
+namespace {
+
+std::vector<BatchProblem> load_corpus() {
+  const std::string path =
+      std::string(NUSYS_REPO_DIR) + "/examples/frontier_corpus.jsonl";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  return parse_batch_jsonl(in);
+}
+
+/// Indices of the deliberate duplicate lines, by their "name" overrides.
+std::map<std::string, std::size_t> index_by_name(
+    const std::vector<BatchProblem>& problems) {
+  std::map<std::string, std::size_t> by_name;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    by_name[problems[i].name] = i;
+  }
+  return by_name;
+}
+
+TEST(FrontierCorpusTest, ParsesAndCoversEveryFamily) {
+  const auto problems = load_corpus();
+  ASSERT_EQ(problems.size(), 14u);
+  std::set<BatchProblem::Kind> kinds;
+  for (const auto& p : problems) kinds.insert(p.kind);
+  EXPECT_EQ(kinds.size(), 6u);  // conv, pipeline, mm, lu, fw, sw.
+  const auto by_name = index_by_name(problems);
+  for (const char* dup : {"mm-dup", "lu-dup", "fw-dup", "sw-dup"}) {
+    EXPECT_TRUE(by_name.count(dup)) << dup;
+  }
+  // The sized mm line keeps its explicit dimensions.
+  ASSERT_TRUE(by_name.count("mm-n3x5x4@mesh"));
+  const auto& sized = problems[by_name.at("mm-n3x5x4@mesh")];
+  EXPECT_EQ(sized.m, 5);
+  EXPECT_EQ(sized.p, 4);
+}
+
+TEST(FrontierCorpusTest, ReplayResolvesDuplicatesAsCacheHits) {
+  const auto problems = load_corpus();
+  DesignCache cache;
+  BatchOptions options;
+  options.parallelism.threads = 2;
+  const auto run = run_batch(problems, options, cache);
+  ASSERT_EQ(run.items.size(), problems.size());
+  const auto by_name = index_by_name(problems);
+
+  for (const auto& item : run.items) {
+    EXPECT_TRUE(item.report.feasible) << item.name;
+  }
+  // Each dup must hit the entry its original inserted, and replay the
+  // exact same designs (reports carry the full design blocks).
+  const std::map<std::string, std::string> dup_of = {
+      {"mm-dup", "mm-n4x4x4@mesh"},
+      {"lu-dup", "lu-n4@mesh"},
+      {"fw-dup", "fw-n6@figure2"},
+      {"sw-dup", "sw-n6x6-b2@linear"}};
+  for (const auto& [dup, original] : dup_of) {
+    ASSERT_TRUE(by_name.count(dup) && by_name.count(original)) << dup;
+    const auto& hit = run.items[by_name.at(dup)];
+    const auto& miss = run.items[by_name.at(original)];
+    EXPECT_EQ(hit.provenance, CacheProvenance::kCacheHit) << dup;
+    EXPECT_EQ(miss.provenance, CacheProvenance::kSearched) << original;
+    EXPECT_EQ(hit.cache_key, miss.cache_key);
+    EXPECT_EQ(hit.report, miss.report);
+    EXPECT_EQ(hit.report.render(), miss.report.render());
+  }
+  // The fifth hit is cross-family: fw_spec(6) canonicalizes to exactly the
+  // paper's interval-DP spec of the same size, so the pipeline-n6 line
+  // resolves against the design fw-n6 inserted.
+  const auto& cross = run.items[by_name.at("pipeline-n6@figure2")];
+  EXPECT_EQ(cross.provenance, CacheProvenance::kCacheHit);
+  EXPECT_EQ(cross.cache_key, run.items[by_name.at("fw-n6@figure2")].cache_key);
+  EXPECT_EQ(run.hit_count(), 5u);
+}
+
+TEST(FrontierCorpusTest, WarmReplayHitsEveryProblemBitIdentically) {
+  const auto problems = load_corpus();
+  DesignCache cache;
+  BatchOptions options;
+  options.parallelism.threads = 2;
+  const auto cold = run_batch(problems, options, cache);
+  const auto warm = run_batch(problems, options, cache);
+  ASSERT_EQ(warm.items.size(), cold.items.size());
+  for (std::size_t i = 0; i < warm.items.size(); ++i) {
+    EXPECT_EQ(warm.items[i].provenance, CacheProvenance::kCacheHit)
+        << warm.items[i].name;
+    EXPECT_EQ(warm.items[i].report, cold.items[i].report)
+        << warm.items[i].name;
+  }
+  EXPECT_EQ(warm.hit_count(), problems.size());
+}
+
+TEST(FrontierCorpusTest, BatchReportsMatchOneAtATimeSynthesis) {
+  const auto problems = load_corpus();
+  DesignCache cache;
+  const auto run = run_batch(problems, BatchOptions{}, cache);
+  ASSERT_EQ(run.items.size(), problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const auto& p = problems[i];
+    const auto net = batch_interconnect(p);
+    DesignReport direct;
+    if (batch_uses_pipeline(p)) {
+      const auto spec = batch_spec(p);
+      direct = make_pipeline_report(spec, synthesize_nonuniform(spec, net));
+    } else {
+      const auto rec = batch_recurrence(p);
+      direct = make_design_report(rec, synthesize(rec, net));
+    }
+    EXPECT_EQ(run.items[i].report, direct) << p.name;
+  }
+}
+
+TEST(FrontierCorpusTest, AnalyzerCertifiesEveryCorpusDesign) {
+  for (const auto& p : load_corpus()) {
+    const auto net = batch_interconnect(p);
+    if (batch_uses_pipeline(p)) {
+      NonUniformSynthesisOptions pipe;
+      pipe.analyze = true;
+      const auto result = synthesize_nonuniform(batch_spec(p), net, pipe);
+      ASSERT_TRUE(result.found()) << p.name;
+      ASSERT_FALSE(result.analysis.empty()) << p.name;
+      EXPECT_TRUE(result.analysis.front().ok())
+          << p.name << ": " << result.analysis.front().summary();
+    } else {
+      const auto rec = batch_recurrence(p);
+      const auto result = synthesize(rec, net);
+      ASSERT_TRUE(result.found()) << p.name;
+      const auto& d = result.designs.front();
+      const auto report = analyze_design(rec, d.timing, d.space, d.net);
+      EXPECT_TRUE(report.ok()) << p.name << ": " << report.summary();
+    }
+  }
+}
+
+TEST(FrontierCorpusTest, ServiceReplaysTheCorpusWithTheSameReports) {
+  const auto problems = load_corpus();
+  DesignCache cache;
+  const auto batch = run_batch(problems, BatchOptions{}, cache);
+
+  ServiceConfig config;
+  config.workers = 2;
+  SynthesisService service(config);
+  ServiceRequest request;
+  request.id = "frontier";
+  request.kind = RequestKind::kBatch;
+  request.problems = problems;
+  const auto response = service.handle(request);
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  ASSERT_EQ(response.results.size(), problems.size());
+  const auto by_name = index_by_name(problems);
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    EXPECT_EQ(response.results[i].report, batch.items[i].report)
+        << problems[i].name;
+    EXPECT_EQ(response.results[i].report.render(),
+              batch.items[i].report.render());
+  }
+  for (const char* dup : {"mm-dup", "lu-dup", "fw-dup", "sw-dup"}) {
+    EXPECT_TRUE(response.results[by_name.at(dup)].cache_hit) << dup;
+  }
+}
+
+}  // namespace
+}  // namespace nusys

@@ -5,11 +5,15 @@
 
 #include <tuple>
 
+#include "analysis/analyzer.hpp"
 #include "conv/convolution.hpp"
 #include "designs/conv_arrays.hpp"
 #include "designs/dp_array.hpp"
 #include "dp/sequential.hpp"
 #include "dp/two_module.hpp"
+#include "frontends/lu.hpp"
+#include "frontends/matmul.hpp"
+#include "frontends/smith_waterman.hpp"
 #include "schedule/search.hpp"
 #include "space/routing.hpp"
 #include "support/rng.hpp"
@@ -184,6 +188,57 @@ TEST(SynthesisPropertyTest, EveryDesignOfRandomRecurrencesVerifies) {
     }
   }
   EXPECT_GT(synthesized, 5);  // The sweep must exercise real cases.
+}
+
+// --- Frontier families: static analyzer is verdict-equivalent to the
+// extensional verifier under random fault injection. ------------------------
+
+TEST(FrontierPropertyTest, AnalyzerMatchesVerifierOnRandomMutants) {
+  Rng rng(75);
+  struct FamilyCase {
+    CanonicRecurrence rec;
+    Interconnect net;
+  };
+  const FamilyCase cases[] = {
+      {matmul_recurrence(4, 3, 4), Interconnect::mesh2d()},
+      {lu_recurrence(4), Interconnect::mesh2d()},
+      {sw_recurrence(6, 5, 2), Interconnect::linear_bidirectional()},
+  };
+  int broken = 0;
+  for (const auto& c : cases) {
+    const auto result = synthesize(c.rec, c.net);
+    ASSERT_TRUE(result.found()) << c.rec.name();
+    const auto& good = result.designs.front();
+    for (int trial = 0; trial < 25; ++trial) {
+      // Perturb one timing coefficient or one space entry by a nonzero
+      // delta; the mutant may or may not stay valid — the property under
+      // test is only that both oracles return the same verdict.
+      auto coeffs = good.timing.coeffs();
+      IntMat space = good.space;
+      i64 delta = rng.uniform(-2, 2);
+      if (delta == 0) delta = 1;
+      if (rng.uniform(0, 1) == 0) {
+        const auto axis =
+            static_cast<std::size_t>(rng.uniform(0, static_cast<i64>(
+                                                        coeffs.dim()) - 1));
+        coeffs[axis] += delta;
+      } else {
+        const auto r = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<i64>(space.rows()) - 1));
+        const auto col = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<i64>(space.cols()) - 1));
+        space(r, col) += delta;
+      }
+      const LinearSchedule timing(coeffs, good.timing.offset());
+      const auto truth = verify_design(c.rec, timing, space, c.net);
+      const auto report = analyze_design(c.rec, timing, space, c.net);
+      EXPECT_EQ(report.ok(), truth.ok())
+          << c.rec.name() << " mutant T=" << timing.coeffs().to_string()
+          << ": " << report.summary();
+      if (!truth.ok()) ++broken;
+    }
+  }
+  EXPECT_GT(broken, 20);  // The sweep must hit genuinely broken mutants.
 }
 
 // --- Restructuring property: chain order never changes results. -----------

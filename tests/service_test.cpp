@@ -96,6 +96,47 @@ TEST(ServiceProtocolTest, RequestRoundTripsThroughTheWire) {
   EXPECT_EQ(ping.kind, RequestKind::kPing);
 }
 
+TEST(ServiceProtocolTest, FrontierProblemsRoundTripWithTheirFields) {
+  ServiceRequest request;
+  request.id = "r43";
+  request.kind = RequestKind::kBatch;
+  BatchProblem mm;
+  mm.kind = BatchProblem::Kind::kMatMul;
+  mm.n = 3;
+  mm.m = 5;
+  mm.p = 4;
+  mm.net = "mesh";
+  BatchProblem sw;
+  sw.kind = BatchProblem::Kind::kSmithWaterman;
+  sw.n = 8;
+  sw.m = 6;
+  sw.band = 3;
+  sw.net = "linear";
+  BatchProblem fw;
+  fw.kind = BatchProblem::Kind::kFloydWarshall;
+  fw.n = 7;
+  fw.net = "figure1";
+  BatchProblem lu;
+  lu.kind = BatchProblem::Kind::kLU;
+  lu.n = 6;
+  lu.net = "hex";
+  request.problems = {mm, sw, fw, lu};
+
+  const auto decoded = parse_request(encode_request(request));
+  ASSERT_EQ(decoded.problems.size(), 4u);
+  EXPECT_EQ(decoded.problems[0].kind, BatchProblem::Kind::kMatMul);
+  EXPECT_EQ(decoded.problems[0].m, 5);
+  EXPECT_EQ(decoded.problems[0].p, 4);
+  EXPECT_EQ(decoded.problems[0].name, "mm-n3x5x4@mesh");
+  EXPECT_EQ(decoded.problems[1].kind, BatchProblem::Kind::kSmithWaterman);
+  EXPECT_EQ(decoded.problems[1].m, 6);
+  EXPECT_EQ(decoded.problems[1].band, 3);
+  EXPECT_EQ(decoded.problems[2].kind, BatchProblem::Kind::kFloydWarshall);
+  EXPECT_EQ(decoded.problems[2].net, "figure1");
+  EXPECT_EQ(decoded.problems[3].kind, BatchProblem::Kind::kLU);
+  EXPECT_EQ(decoded.problems[3].net, "hex");
+}
+
 TEST(ServiceProtocolTest, ResponseRoundTripsReportsExactly) {
   ServiceResponse response;
   response.id = "r1";

@@ -122,14 +122,20 @@ def compare(baseline: dict, current: dict,
     Warn-only counters (timing, advisory) are still compared — against
     their own generous tolerance — but drift is printed, never returned.
     With allow_missing, baseline entries absent from the results are
-    skipped instead of failing (partial runs, e.g. the ablation rerun of
-    the search benches alone).
+    loudly skipped instead of failing (partial runs, e.g. the ablation
+    rerun of the search benches alone): every skipped entry prints a
+    warning and a summary line reports the uncovered count, so a partial
+    run can never silently masquerade as full coverage.
     """
     problems = []
+    skipped = []
     for name, expected in sorted(baseline.items()):
         got = current.get(name)
         if got is None:
             if allow_missing:
+                print(f"warning (allow-missing): {name} absent from the "
+                      "results; its baseline counters were NOT checked")
+                skipped.append(name)
                 continue
             problems.append(f"{name}: benchmark missing from the results "
                             "(coverage regression)")
@@ -160,6 +166,10 @@ def compare(baseline: dict, current: dict,
         # New benchmarks are fine; they just are not gated yet.
         print(f"note: {name} has no baseline entry "
               "(run with --update to start tracking it)")
+    if skipped:
+        print(f"warning (allow-missing): {len(skipped)} of "
+              f"{len(baseline)} baseline benchmark(s) were not covered by "
+              "this run")
     return problems
 
 

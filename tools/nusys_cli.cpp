@@ -2,7 +2,13 @@
 //
 //   nusys synth-conv [--n 16] [--s 4] [--recurrence backward|forward]
 //       Synthesize convolution designs (Tables 1-2 of the paper).
-//   Both synthesis commands accept --threads N (search worker threads;
+//   nusys synth --family mm|lu|fw|sw [--n 8] [--m M] [--p P] [--band B]
+//               [--net ...] [--seed 1]
+//       Synthesize one of the frontier recurrence families end-to-end and
+//       differentially execute the best design against the family's
+//       sequential reference (exit 0 iff the results match bit-for-bit).
+//       mm takes --m/--p (defaulting to n), sw takes --m and --band.
+//   All synthesis commands accept --threads N (search worker threads;
 //   0 = hardware concurrency, 1 = sequential) and print per-stage search
 //   telemetry: candidates examined/feasible, workers, candidates/sec.
 //   nusys dp [--n 12] [--figure 1|2] [--problem matrix-chain|shortest-path|
@@ -53,6 +59,11 @@
 #include "designs/dp_array.hpp"
 #include "dp/reconstruct.hpp"
 #include "dp/sequential.hpp"
+#include "frontends/family.hpp"
+#include "frontends/floyd_warshall.hpp"
+#include "frontends/lu.hpp"
+#include "frontends/matmul.hpp"
+#include "frontends/smith_waterman.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "support/args.hpp"
@@ -95,6 +106,89 @@ int cmd_synth_conv(const ArgMap& args) {
   }
   std::cout << "search telemetry:\n" << describe_telemetry(result.telemetry);
   return 0;
+}
+
+int cmd_synth_family(const ArgMap& args) {
+  // Build the problem through the batch parser so the CLI, the batch
+  // driver, and the service accept byte-identical problem descriptions.
+  const Family family = parse_family(args.get("family", "mm"));
+  std::map<std::string, std::string> fields;
+  fields["kind"] = family_name(family);
+  fields["n"] = std::to_string(args.get_int("n", 8));
+  if (args.has("m")) fields["m"] = std::to_string(args.get_int("m", 0));
+  if (args.has("p")) fields["p"] = std::to_string(args.get_int("p", 0));
+  if (args.has("band")) {
+    fields["band"] = std::to_string(args.get_int("band", 2));
+  }
+  if (args.has("net")) fields["net"] = args.get("net", "");
+  const auto problem = parse_batch_problem(fields, 1);
+  const auto net = batch_interconnect(problem);
+  const i64 n = problem.n;
+  const i64 m = problem.m > 0 ? problem.m : n;
+  const i64 pr = problem.p > 0 ? problem.p : n;
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  std::cout << family_title(family) << " (" << problem.name << ")\n";
+  bool match = false;
+  if (batch_uses_pipeline(problem)) {
+    NonUniformSynthesisOptions options;
+    options.parallelism = parse_parallelism(args);
+    const auto result = synthesize_nonuniform(batch_spec(problem), net,
+                                              options);
+    if (!result.found()) {
+      std::cerr << "no feasible design\n";
+      return 1;
+    }
+    std::cout << result.designs.size() << " design(s), best uses "
+              << result.cell_counts.front() << " cells\n"
+              << "search telemetry:\n"
+              << describe_telemetry(result.telemetry);
+    const auto ins = random_dag_instance(n, rng);
+    const auto run = run_dp_on_array(fw_problem(ins), result.best());
+    match = run.table == fw_reference(ins);
+  } else {
+    SynthesisOptions options;
+    options.max_designs = static_cast<std::size_t>(args.get_int("max", 4));
+    options.parallelism = parse_parallelism(args);
+    const auto rec = batch_recurrence(problem);
+    const auto result = synthesize(rec, net, options);
+    if (!result.found()) {
+      std::cerr << "no feasible design\n";
+      return 1;
+    }
+    for (const auto& d : result.designs) {
+      std::cout << describe_design(d, rec.domain().names()) << '\n';
+    }
+    std::cout << "search telemetry:\n"
+              << describe_telemetry(result.telemetry);
+    const auto& best = result.designs.front();
+    switch (family) {
+      case Family::kMatMul: {
+        const auto ins = random_matmul_instance(n, m, pr, rng);
+        match = run_matmul_on_design(ins, best.timing, best.space,
+                                     best.net) == matmul_reference(ins);
+        break;
+      }
+      case Family::kLU: {
+        const auto ins = random_exact_lu_instance(n, rng);
+        match = run_lu_on_design(ins, best.timing, best.space, best.net) ==
+                lu_reference(ins);
+        break;
+      }
+      case Family::kSmithWaterman: {
+        const auto ins = random_sw_instance(n, m, problem.band, rng);
+        match = run_sw_on_design(ins, best.timing, best.space, best.net) ==
+                sw_reference(ins);
+        break;
+      }
+      case Family::kFloydWarshall:
+        break;  // Pipeline path above.
+    }
+  }
+  std::cout << "executed best design: results "
+            << (match ? "MATCH" : "MISMATCH")
+            << " the sequential reference\n";
+  return match ? 0 : 1;
 }
 
 IntervalDPProblem make_problem(const std::string& kind, i64 n, Rng& rng) {
@@ -221,9 +315,9 @@ int cmd_analyze(const ArgMap& args) {
     emit(name, lint_recurrence(rec),
          analyze_design(rec, d.timing, d.space, d.net, options));
   };
-  const auto analyze_pipeline = [&](const std::string& name, i64 n,
+  const auto analyze_pipeline = [&](const std::string& name,
+                                    const NonUniformSpec& spec,
                                     const Interconnect& net) {
-    const auto spec = make_interval_dp_spec(n);
     NonUniformSynthesisOptions pipe;
     pipe.analyze = true;
     pipe.analysis = options;
@@ -245,13 +339,10 @@ int cmd_analyze(const ArgMap& args) {
     }
     for (const auto& p : parse_batch_jsonl(in)) {
       const auto net = batch_interconnect(p);
-      if (p.kind == BatchProblem::Kind::kConvolution) {
-        const auto rec = p.forward
-                             ? convolution_forward_recurrence(p.n, p.s)
-                             : convolution_backward_recurrence(p.n, p.s);
-        analyze_conv(p.name, rec, net);
+      if (batch_uses_pipeline(p)) {
+        analyze_pipeline(p.name, batch_spec(p), net);
       } else {
-        analyze_pipeline(p.name, p.n, net);
+        analyze_conv(p.name, batch_recurrence(p), net);
       }
     }
   } else if (args.get("kind", "dp") == "conv") {
@@ -372,6 +463,11 @@ int cmd_request(const ArgMap& args) {
       fields["s"] = std::to_string(args.get_int("s", 4));
       fields["recurrence"] = args.get("recurrence", "backward");
     }
+    if (args.has("m")) fields["m"] = std::to_string(args.get_int("m", 0));
+    if (args.has("p")) fields["p"] = std::to_string(args.get_int("p", 0));
+    if (args.has("band")) {
+      fields["band"] = std::to_string(args.get_int("band", 2));
+    }
     if (args.has("net")) fields["net"] = args.get("net", "");
     request.problems.push_back(parse_batch_problem(fields, 1));
   } else if (kind == "batch") {
@@ -438,12 +534,13 @@ int main(int argc, char** argv) {
         "seed", "net",   "threads",    "problem", "batch",
         "cache", "cache-capacity", "port", "host", "workers",
         "queue-capacity", "default-timeout-ms", "retry-after-ms",
-        "timeout-ms", "kind", "design"};
+        "timeout-ms", "kind", "design", "family", "m", "p", "band"};
     const ArgMap args(argc, argv, known,
                       {"trace", "activity", "paranoid", "json"});
     const std::string cmd =
         args.positional().empty() ? "help" : args.positional().front();
     if (cmd == "synth-conv") return cmd_synth_conv(args);
+    if (cmd == "synth") return cmd_synth_family(args);
     if (cmd == "dp") return cmd_dp(args);
     if (cmd == "figures") return cmd_figures(args);
     if (cmd == "pipeline") return cmd_pipeline(args);
@@ -452,7 +549,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "request") return cmd_request(args);
     std::cout << "usage: nusys "
-                 "<synth-conv|dp|figures|pipeline|analyze|batch|serve|"
+                 "<synth-conv|synth|dp|figures|pipeline|analyze|batch|serve|"
                  "request> [flags]\n"
                  "see the header of tools/nusys_cli.cpp for the flag list\n";
     return cmd == "help" ? 0 : 1;
