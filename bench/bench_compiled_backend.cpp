@@ -1,0 +1,190 @@
+// Experiment A6 (compiled backend) — the wavefront-compiled executor
+// against the interpretive engine on identical designs.
+//
+// The printed reproduction is the compiled-vs-interpretive speedup table
+// (EXPERIMENTS.md): one run per engine per (family, n), same instance,
+// results checked bit-identical before the ratio is reported. The timed
+// benchmarks then pin each engine separately so the gate tracks both
+// paths; the gated counters (cells, ticks, ops) are engine-invariant by
+// construction — the differential test suite enforces that — so any drift
+// means the *designs* changed, not the runner.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "conv/recurrences.hpp"
+#include "designs/dp_array.hpp"
+#include "designs/uniform_array.hpp"
+#include "dp/problems.hpp"
+#include "frontends/smith_waterman.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/telemetry.hpp"
+
+namespace {
+
+using namespace nusys;
+
+// One W2-style convolution run (T = i+k, S = k) at size (n, 8).
+UniformArrayRun conv_run(i64 n, EngineKind engine) {
+  const i64 s = 8;
+  Rng rng(21);
+  const auto x = rng.uniform_vector(static_cast<std::size_t>(n), -9, 9);
+  const auto w = rng.uniform_vector(static_cast<std::size_t>(s), -9, 9);
+  return run_uniform_design(convolution_backward_recurrence(n, s),
+                            convolution_semantics(x, w),
+                            LinearSchedule(IntVec({1, 1})), IntMat{{0, 1}},
+                            Interconnect::linear_bidirectional(), engine);
+}
+
+// The anti-diagonal banded Smith-Waterman classic (T = i+j, S = i).
+UniformArrayRun sw_run(i64 n, EngineKind engine,
+                       std::vector<std::vector<i64>>& h) {
+  Rng rng(22);
+  const auto ins = random_sw_instance(n, n, 8, rng);
+  h.assign(static_cast<std::size_t>(n),
+           std::vector<i64>(static_cast<std::size_t>(n), 0));
+  return run_uniform_design(sw_recurrence(n, n, 8), sw_semantics(ins, h),
+                            LinearSchedule(IntVec({1, 1})), IntMat{{1, 0}},
+                            Interconnect::linear_bidirectional(), engine);
+}
+
+DPArrayRun dp_run(i64 n, EngineKind engine) {
+  Rng rng(23);
+  const auto p = random_shortest_path(n, rng);
+  return run_dp_on_array(p, dp_fig2_design(), engine);
+}
+
+void print_speedups() {
+  std::cout << "=== Compiled wavefront backend vs interpretive engine ===\n\n";
+  TextTable table({"design", "n", "interpretive s", "compiled s", "speedup",
+                   "identical"});
+  const auto add = [&table](const std::string& design, i64 n,
+                            double interp_s, double compiled_s, bool same) {
+    const double ratio = compiled_s > 0.0 ? interp_s / compiled_s : 0.0;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.1fx", ratio);
+    char is[32], cs[32];
+    std::snprintf(is, sizeof(is), "%.4f", interp_s);
+    std::snprintf(cs, sizeof(cs), "%.4f", compiled_s);
+    table.add_row({design, std::to_string(n), is, cs, speedup,
+                   same ? "yes" : "NO"});
+  };
+  for (const i64 n : {i64{64}, i64{256}, i64{1024}}) {
+    const WallTimer ti;
+    const auto interp = conv_run(n, EngineKind::kInterpretive);
+    const double interp_s = ti.seconds();
+    const WallTimer tc;
+    const auto compiled = conv_run(n, EngineKind::kCompiled);
+    add("conv W2 (s=8)", n, interp_s, tc.seconds(),
+        compiled.finals == interp.finals &&
+            compiled.stats.busy_cell_ticks == interp.stats.busy_cell_ticks);
+  }
+  for (const i64 n : {i64{64}, i64{256}, i64{1024}}) {
+    std::vector<std::vector<i64>> hi, hc;
+    const WallTimer ti;
+    const auto interp = sw_run(n, EngineKind::kInterpretive, hi);
+    const double interp_s = ti.seconds();
+    const WallTimer tc;
+    const auto compiled = sw_run(n, EngineKind::kCompiled, hc);
+    add("sw band=8", n, interp_s, tc.seconds(),
+        hc == hi && compiled.finals == interp.finals);
+  }
+  // DP capped at n = 128 here: the interpretive run is ~n^3 with heavy
+  // constants (94 s at n = 256 — the figure EXPERIMENTS.md reports); the
+  // reproduction must stay cheap enough to run on every CI bench pass.
+  for (const i64 n : {i64{64}, i64{128}}) {
+    const WallTimer ti;
+    const auto interp = dp_run(n, EngineKind::kInterpretive);
+    const double interp_s = ti.seconds();
+    const WallTimer tc;
+    const auto compiled = dp_run(n, EngineKind::kCompiled);
+    add("DP figure 2", n, interp_s, tc.seconds(),
+        compiled.table == interp.table &&
+            compiled.stats.busy_cell_ticks == interp.stats.busy_cell_ticks);
+  }
+  std::cout << table.render() << '\n';
+}
+
+void set_uniform_counters(benchmark::State& state,
+                          const UniformArrayRun& run, std::size_t ops) {
+  state.counters["cells"] = static_cast<double>(run.cell_count);
+  state.counters["ticks"] =
+      static_cast<double>(run.last_tick - run.first_tick + 1);
+  state.counters["ops"] = static_cast<double>(ops);
+}
+
+void bm_conv_compiled(benchmark::State& state) {
+  const i64 n = state.range(0);
+  UniformArrayRun run;
+  for (auto _ : state) {
+    run = conv_run(n, EngineKind::kCompiled);
+    benchmark::DoNotOptimize(run);
+  }
+  set_uniform_counters(state, run, static_cast<std::size_t>(n) * 8);
+}
+BENCHMARK(bm_conv_compiled)->Arg(256)->Arg(1024);
+
+void bm_conv_interpretive(benchmark::State& state) {
+  const i64 n = state.range(0);
+  UniformArrayRun run;
+  for (auto _ : state) {
+    run = conv_run(n, EngineKind::kInterpretive);
+    benchmark::DoNotOptimize(run);
+  }
+  set_uniform_counters(state, run, static_cast<std::size_t>(n) * 8);
+}
+BENCHMARK(bm_conv_interpretive)->Arg(256)->Arg(1024);
+
+void bm_sw_compiled(benchmark::State& state) {
+  const i64 n = state.range(0);
+  UniformArrayRun run;
+  std::vector<std::vector<i64>> h;
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    run = sw_run(n, EngineKind::kCompiled, h);
+    ops = run.stats.busy_cell_ticks;
+    benchmark::DoNotOptimize(run);
+  }
+  set_uniform_counters(state, run, ops);
+}
+BENCHMARK(bm_sw_compiled)->Arg(256)->Arg(1024);
+
+void bm_sw_interpretive(benchmark::State& state) {
+  const i64 n = state.range(0);
+  UniformArrayRun run;
+  std::vector<std::vector<i64>> h;
+  std::size_t ops = 0;
+  for (auto _ : state) {
+    run = sw_run(n, EngineKind::kInterpretive, h);
+    ops = run.stats.busy_cell_ticks;
+    benchmark::DoNotOptimize(run);
+  }
+  set_uniform_counters(state, run, ops);
+}
+BENCHMARK(bm_sw_interpretive)->Arg(256)->Arg(1024);
+
+void bm_dp_engine(benchmark::State& state, EngineKind engine) {
+  const i64 n = state.range(0);
+  for (auto _ : state) {
+    const auto run = dp_run(n, engine);
+    state.counters["cells"] = static_cast<double>(run.cell_count);
+    state.counters["ticks"] =
+        static_cast<double>(run.last_tick - run.first_tick + 1);
+    state.counters["ops"] = static_cast<double>(run.compute_ops);
+    benchmark::DoNotOptimize(run);
+  }
+}
+
+void bm_dp_compiled(benchmark::State& state) {
+  bm_dp_engine(state, EngineKind::kCompiled);
+}
+BENCHMARK(bm_dp_compiled)->Arg(32)->Arg(64);
+
+void bm_dp_interpretive(benchmark::State& state) {
+  bm_dp_engine(state, EngineKind::kInterpretive);
+}
+BENCHMARK(bm_dp_interpretive)->Arg(32)->Arg(64);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_speedups)

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <sstream>
 
+#include "designs/dp_compiled.hpp"
 #include "designs/placement_key.hpp"
 #include "space/routing.hpp"
 #include "support/errors.hpp"
@@ -431,6 +432,23 @@ InternalRun run_dp_internal(const std::vector<IntervalDPProblem>& problems,
 
 DPArrayRun run_dp_on_array(const IntervalDPProblem& problem,
                            const DPArrayDesign& design) {
+  return run_dp_on_array(problem, design, engine_kind(), nullptr);
+}
+
+DPArrayRun run_dp_on_array(const IntervalDPProblem& problem,
+                           const DPArrayDesign& design, EngineKind engine,
+                           const CancelToken* cancel) {
+  if (engine == EngineKind::kCompiled) {
+    auto compiled = detail::run_dp_compiled({problem}, design, 0, cancel);
+    return DPArrayRun{std::move(compiled.tables.front()),
+                      compiled.stats,
+                      compiled.cell_count,
+                      compiled.first_tick,
+                      compiled.last_tick,
+                      compiled.compute_ops,
+                      compiled.max_folded_ops,
+                      compiled.route_hops};
+  }
   auto internal = run_dp_internal({problem}, design, 0);
   return DPArrayRun{std::move(internal.tables.front()),
                     internal.stats,
@@ -444,6 +462,18 @@ DPArrayRun run_dp_on_array(const IntervalDPProblem& problem,
 
 DPPipelinedRun run_dp_pipelined(const std::vector<IntervalDPProblem>& problems,
                                 const DPArrayDesign& design, i64 period) {
+  return run_dp_pipelined(problems, design, period, engine_kind(), nullptr);
+}
+
+DPPipelinedRun run_dp_pipelined(const std::vector<IntervalDPProblem>& problems,
+                                const DPArrayDesign& design, i64 period,
+                                EngineKind engine, const CancelToken* cancel) {
+  if (engine == EngineKind::kCompiled) {
+    auto compiled = detail::run_dp_compiled(problems, design, period, cancel);
+    return DPPipelinedRun{std::move(compiled.tables), compiled.stats,
+                          compiled.cell_count,        compiled.first_tick,
+                          compiled.last_tick,         compiled.compute_ops};
+  }
   auto internal = run_dp_internal(problems, design, period);
   return DPPipelinedRun{std::move(internal.tables), internal.stats,
                         internal.cell_count,        internal.first_tick,

@@ -19,7 +19,9 @@
 #include "dp/dp_modules.hpp"
 #include "dp/problems.hpp"
 #include "dp/table.hpp"
+#include "support/cancel.hpp"
 #include "systolic/engine.hpp"
+#include "systolic/engine_select.hpp"
 
 namespace nusys {
 
@@ -65,11 +67,21 @@ struct DPArrayRun {
   std::size_t route_hops = 0;       ///< Total link traversals scheduled.
 };
 
-/// Simulates `problem` on `design`. Throws DomainError when the design is
+/// Simulates `problem` on `design` with the process-default engine (see
+/// systolic/engine_select). Throws DomainError when the design is
 /// infeasible (unroutable dependence, link conflict, missing relay cell).
 /// Requires problem.n >= 3.
 [[nodiscard]] DPArrayRun run_dp_on_array(const IntervalDPProblem& problem,
                                          const DPArrayDesign& design);
+
+/// Same, but on an explicitly chosen engine — the differential harnesses
+/// pin one run to each engine and compare. The compiled engine polls
+/// `cancel` (when set) between wavefronts; the interpretive engine
+/// ignores it.
+[[nodiscard]] DPArrayRun run_dp_on_array(const IntervalDPProblem& problem,
+                                         const DPArrayDesign& design,
+                                         EngineKind engine,
+                                         const CancelToken* cancel = nullptr);
 
 /// Result of a block-pipelined run: several instances streamed through one
 /// array, instance q shifted by q·period ticks.
@@ -90,5 +102,11 @@ struct DPPipelinedRun {
 [[nodiscard]] DPPipelinedRun run_dp_pipelined(
     const std::vector<IntervalDPProblem>& problems,
     const DPArrayDesign& design, i64 period);
+
+/// Engine-pinned variant of run_dp_pipelined.
+[[nodiscard]] DPPipelinedRun run_dp_pipelined(
+    const std::vector<IntervalDPProblem>& problems,
+    const DPArrayDesign& design, i64 period, EngineKind engine,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace nusys

@@ -1,0 +1,340 @@
+#include "designs/dp_compiled.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "support/checked.hpp"
+#include "support/errors.hpp"
+#include "systolic/wavefront.hpp"
+
+namespace nusys::detail {
+
+namespace {
+
+enum OpKind : std::uint8_t { kM1 = 0, kM2 = 1, kCombine = 2 };
+
+// Channel ids; one per interpretive channel base name.
+enum Var : std::uint32_t { kA1 = 0, kB1, kC1, kA2, kB2, kC2, kVarCount };
+
+constexpr const char* kVarName[kVarCount] = {"a1", "b1", "c1",
+                                             "a2", "b2", "c2"};
+
+constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+
+i64 mid_of(i64 i, i64 j) { return (i + j) / 2; }
+
+/// One DP op; placement (cell, tick) lives in the WavefrontPlanBuilder,
+/// operand slots here. For combines, k == j.
+struct COp {
+  std::uint32_t inst = 0;
+  std::uint8_t kind = kM1;
+  std::int32_t i = 0, j = 0, k = 0;
+  std::uint32_t in_a = kNoSlot, in_b = kNoSlot;
+  std::uint32_t in_c = kNoSlot, in_c2 = kNoSlot;
+};
+
+/// Closed-form op ids for the fixed enumeration order (per instance:
+/// i ascending, j from i+2 ascending; per (i, j) pair: M1 with k from
+/// mid down to i+1, M2 with k from mid+1 to j-1, then the combine).
+/// Replaces run_dp_internal's keyed op map with index arithmetic.
+struct OpIndex {
+  i64 n = 0;
+  std::size_t per_instance = 0;
+  std::vector<std::size_t> pair_base;  ///< (i-1)*n + (j-1) -> first op.
+
+  explicit OpIndex(i64 n_in) : n(n_in) {
+    pair_base.assign(static_cast<std::size_t>(n * n), 0);
+    std::size_t next = 0;
+    for (i64 i = 1; i <= n; ++i) {
+      for (i64 j = i + 2; j <= n; ++j) {
+        pair_base[static_cast<std::size_t>((i - 1) * n + (j - 1))] = next;
+        next += static_cast<std::size_t>(j - i);  // M1s + M2s + combine.
+      }
+    }
+    per_instance = next;
+  }
+
+  [[nodiscard]] std::uint32_t at(std::size_t inst, OpKind kind, i64 i, i64 j,
+                                 i64 k) const {
+    NUSYS_REQUIRE(1 <= i && i + 2 <= j && j <= n, "run_dp: missing source op");
+    const i64 mid = mid_of(i, j);
+    const std::size_t base =
+        inst * per_instance +
+        pair_base[static_cast<std::size_t>((i - 1) * n + (j - 1))];
+    std::size_t offset = 0;
+    if (kind == kM1) {
+      NUSYS_REQUIRE(i + 1 <= k && k <= mid, "run_dp: missing source op");
+      offset = static_cast<std::size_t>(mid - k);
+    } else if (kind == kM2) {
+      NUSYS_REQUIRE(mid + 1 <= k && k <= j - 1, "run_dp: missing source op");
+      offset = static_cast<std::size_t>((mid - i) + (k - mid - 1));
+    } else {
+      offset = static_cast<std::size_t>(j - i - 1);
+    }
+    return static_cast<std::uint32_t>(base + offset);
+  }
+};
+
+}  // namespace
+
+DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
+                              const DPArrayDesign& design, i64 period,
+                              const CancelToken* cancel) {
+  NUSYS_REQUIRE(!problems.empty(), "run_dp: at least one problem instance");
+  const i64 n = problems.front().n;
+  NUSYS_REQUIRE(n >= 3, "run_dp: n >= 3 required");
+  for (const auto& p : problems) {
+    NUSYS_REQUIRE(p.n == n, "run_dp: pipelined instances must share one n");
+    NUSYS_REQUIRE(p.init && p.combine, "run_dp: problem callbacks missing");
+  }
+  NUSYS_REQUIRE(design.schedules.size() == 3 && design.spaces.size() == 3,
+                "run_dp: three schedules and three spaces required");
+  NUSYS_REQUIRE(design.block_x >= 1 && design.block_y >= 1,
+                "run_dp: partition blocks must be positive");
+  NUSYS_REQUIRE(period >= 0 && (problems.size() == 1 || period >= 1),
+                "run_dp: pipelining needs a positive period");
+  const i64 serial = checked_mul(design.block_x, design.block_y);
+
+  // LSGP clustering: virtual (cell, tick) -> physical (cluster,
+  // serialized tick). With 1x1 blocks this is the identity.
+  const auto cluster = [&](const IntVec& v, i64 t) {
+    if (serial == 1) return std::make_pair(v, t);
+    const i64 cx = floor_div(v[0], design.block_x);
+    const i64 cy = floor_div(v[1], design.block_y);
+    const i64 phase = (v[0] - cx * design.block_x) +
+                      design.block_x * (v[1] - cy * design.block_y);
+    return std::make_pair(IntVec{cx, cy},
+                          checked_add(checked_mul(t, serial), phase));
+  };
+
+  // ---- 1. Enumerate ops into their (cell, tick) placements. -----------
+  const OpIndex index(n);
+  const std::size_t op_count = problems.size() * index.per_instance;
+  NUSYS_REQUIRE(op_count < kNoSlot, "run_dp: op count exceeds the compiled "
+                                    "backend's 32-bit id space");
+  std::vector<COp> ops;
+  ops.reserve(op_count);
+  WavefrontPlanBuilder builder(design.net, kVarCount);
+  const auto place = [&](std::size_t inst, OpKind kind, i64 i, i64 j, i64 k) {
+    COp op;
+    op.inst = static_cast<std::uint32_t>(inst);
+    op.kind = kind;
+    op.i = static_cast<std::int32_t>(i);
+    op.j = static_cast<std::int32_t>(j);
+    op.k = static_cast<std::int32_t>(k);
+    const IntVec p{i, j, k};
+    const i64 virtual_tick = checked_add(
+        design.schedules[static_cast<std::size_t>(kind)].at(p),
+        checked_mul(static_cast<i64>(inst), period));
+    const auto [cell, tick] =
+        cluster(design.spaces[static_cast<std::size_t>(kind)] * p,
+                virtual_tick);
+    const std::uint32_t placed =
+        builder.add_op(builder.intern_cell(cell), tick,
+                       static_cast<std::uint32_t>(kind));
+    NUSYS_REQUIRE(placed == index.at(inst, kind, i, j, k) &&
+                      placed == ops.size(),
+                  "run_dp: compiled op enumeration out of order");
+    ops.push_back(op);
+  };
+  for (std::size_t inst = 0; inst < problems.size(); ++inst) {
+    for (i64 i = 1; i <= n; ++i) {
+      for (i64 j = i + 2; j <= n; ++j) {
+        const i64 mid = mid_of(i, j);
+        for (i64 k = mid; k >= i + 1; --k) place(inst, kM1, i, j, k);
+        for (i64 k = mid + 1; k <= j - 1; ++k) place(inst, kM2, i, j, k);
+        place(inst, kCombine, i, j, j);
+      }
+    }
+  }
+
+  // ---- 2. Wire operands: one slot per value instance. ------------------
+  // Producer-side scatter lists are collected flat and counting-sorted
+  // into CSR below; injected instances prefill their slot.
+  struct PendingOutput {
+    std::uint32_t src = 0;
+    std::uint32_t slot = 0;
+    char payload = 'c';  ///< 'a'/'b' operand copy, 'c' computed value.
+  };
+  std::vector<PendingOutput> pending;
+  std::vector<std::pair<std::uint32_t, Value>> prefill;
+  std::uint32_t slot_count = 0;
+  const auto add_instance = [&](Var var, std::uint32_t dest,
+                                std::optional<std::uint32_t> src,
+                                std::optional<Value> injected,
+                                char payload) -> std::uint32_t {
+    const std::uint32_t slot = slot_count++;
+    if (injected) {
+      prefill.emplace_back(slot, *injected);
+      builder.add_inject(dest, var);
+      return slot;
+    }
+    const i64 slack =
+        checked_sub(builder.op_tick(dest), builder.op_tick(*src));
+    NUSYS_VALIDATE(slack >= 0,
+                   std::string("design schedules value '") + kVarName[var] +
+                       "' to be consumed before it is produced");
+    builder.add_transport(*src, dest, var,
+                          ValueLabel{kVarName[var], nullptr, ops[dest].inst});
+    pending.push_back({*src, slot, payload});
+    return slot;
+  };
+
+  for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
+    COp& op = ops[oi];
+    const std::size_t q = op.inst;
+    const IntervalDPProblem& problem = problems[q];
+    const i64 i = op.i, j = op.j, k = op.k;
+    const i64 mid = mid_of(i, j);
+    const bool even = ((i + j) % 2) == 0;
+    if (op.kind == kM1) {
+      // a'(i,j,k).
+      if (even && k == mid) {
+        if (j == i + 2) {
+          op.in_a = add_instance(kA1, oi, std::nullopt, problem.init(i), 'c');
+        } else {
+          op.in_a = add_instance(kA1, oi, index.at(q, kM2, i, j - 1, k),
+                                 std::nullopt, 'a');
+        }
+      } else {
+        op.in_a = add_instance(kA1, oi, index.at(q, kM1, i, j - 1, k),
+                               std::nullopt, 'a');
+      }
+      // b'(i,j,k).
+      if (k == i + 1) {
+        if (j == i + 2) {
+          op.in_b =
+              add_instance(kB1, oi, std::nullopt, problem.init(i + 1), 'c');
+        } else {
+          op.in_b = add_instance(kB1, oi, index.at(q, kCombine, i + 1, j, j),
+                                 std::nullopt, 'c');
+        }
+      } else {
+        op.in_b = add_instance(kB1, oi, index.at(q, kM1, i + 1, j, k),
+                               std::nullopt, 'b');
+      }
+      // c'(i,j,k+1) accumulator input.
+      if (k < mid) {
+        op.in_c = add_instance(kC1, oi, index.at(q, kM1, i, j, k + 1),
+                               std::nullopt, 'c');
+      }
+    } else if (op.kind == kM2) {
+      // a''(i,j,k).
+      if (k == j - 1) {
+        op.in_a = add_instance(kA2, oi, index.at(q, kCombine, i, j - 1, j - 1),
+                               std::nullopt, 'c');
+      } else {
+        op.in_a = add_instance(kA2, oi, index.at(q, kM2, i, j - 1, k),
+                               std::nullopt, 'a');
+      }
+      // b''(i,j,k).
+      if (!even && k == mid + 1) {
+        op.in_b = add_instance(kB2, oi, index.at(q, kM1, i + 1, j, k),
+                               std::nullopt, 'b');
+      } else {
+        op.in_b = add_instance(kB2, oi, index.at(q, kM2, i + 1, j, k),
+                               std::nullopt, 'b');
+      }
+      // c''(i,j,k-1) accumulator input.
+      if (k > mid + 1) {
+        op.in_c2 = add_instance(kC2, oi, index.at(q, kM2, i, j, k - 1),
+                                std::nullopt, 'c');
+      }
+    } else {  // kCombine
+      op.in_c = add_instance(kC1, oi, index.at(q, kM1, i, j, i + 1),
+                             std::nullopt, 'c');
+      if (j >= i + 3) {
+        op.in_c2 = add_instance(kC2, oi, index.at(q, kM2, i, j, j - 1),
+                                std::nullopt, 'c');
+      }
+    }
+  }
+
+  // Counting-sort the producer outputs into CSR form.
+  std::vector<std::uint32_t> out_begin(ops.size() + 1, 0);
+  for (const auto& out : pending) ++out_begin[out.src + 1];
+  for (std::size_t i = 1; i < out_begin.size(); ++i) {
+    out_begin[i] += out_begin[i - 1];
+  }
+  std::vector<std::uint32_t> out_slot(pending.size());
+  std::vector<char> out_payload(pending.size());
+  {
+    std::vector<std::uint32_t> cursor(out_begin.begin(), out_begin.end() - 1);
+    for (const auto& out : pending) {
+      const std::uint32_t at = cursor[out.src]++;
+      out_slot[at] = out.slot;
+      out_payload[at] = out.payload;
+    }
+  }
+
+  // ---- 3. Compile and check the fold discipline. -----------------------
+  const WavefrontPlan plan = std::move(builder).compile();
+  DPCompiledRun run;
+  for (const CellTickGroup& group : plan.groups) {
+    run.max_folded_ops =
+        std::max(run.max_folded_ops,
+                 static_cast<std::size_t>(group.end - group.begin));
+    const COp& head = ops[plan.order[group.begin]];
+    for (std::uint32_t x = group.begin + 1; x < group.end; ++x) {
+      const COp& op = ops[plan.order[x]];
+      NUSYS_REQUIRE(op.inst == head.inst && op.i == head.i && op.j == head.j,
+                    "run_dp: two pipelined instances (or two pairs) claim "
+                    "one cell in one tick — period below the design's "
+                    "minimum pipelining period");
+    }
+  }
+
+  // ---- 4. Run the wavefronts over the slot array. ----------------------
+  for (std::size_t q = 0; q < problems.size(); ++q) {
+    run.tables.emplace_back(n);
+    for (i64 i = 1; i < n; ++i) {
+      run.tables.back().at(i, i + 1) = problems[q].init(i);
+    }
+  }
+  std::vector<Value> slots(slot_count, 0);
+  for (const auto& [slot, value] : prefill) slots[slot] = value;
+
+  for (const Wavefront& front : plan.fronts) {
+    throw_if_cancelled(cancel, "run_dp_compiled");
+    for (std::uint32_t x = front.begin; x < front.end; ++x) {
+      const std::uint32_t oi = plan.order[x];
+      const COp& op = ops[oi];
+      const IntervalDPProblem& problem = problems[op.inst];
+      Value a = 0, b = 0, computed = 0;
+      if (op.kind == kM1) {
+        a = slots[op.in_a];
+        b = slots[op.in_b];
+        const Value term = problem.combine(op.i, op.k, op.j, a, b);
+        computed =
+            op.in_c == kNoSlot ? term : std::min(slots[op.in_c], term);
+      } else if (op.kind == kM2) {
+        a = slots[op.in_a];
+        b = slots[op.in_b];
+        const Value term = problem.combine(op.i, op.k, op.j, a, b);
+        computed =
+            op.in_c2 == kNoSlot ? term : std::min(slots[op.in_c2], term);
+      } else {
+        const Value c1v = slots[op.in_c];
+        computed =
+            op.in_c2 == kNoSlot ? c1v : std::min(c1v, slots[op.in_c2]);
+        run.tables[op.inst].at(op.i, op.j) = computed;
+      }
+      for (std::uint32_t t = out_begin[oi]; t < out_begin[oi + 1]; ++t) {
+        slots[out_slot[t]] =
+            out_payload[t] == 'a' ? a : out_payload[t] == 'b' ? b : computed;
+      }
+    }
+  }
+
+  run.stats = plan.stats;
+  run.cell_count = plan.cell_count;
+  run.first_tick = plan.first_tick;
+  run.last_tick = plan.last_tick;
+  run.compute_ops = ops.size();
+  run.route_hops = plan.route_hops;
+  return run;
+}
+
+}  // namespace nusys::detail

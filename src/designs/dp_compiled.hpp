@@ -1,0 +1,36 @@
+// Internal: compiled wavefront execution of mapped DP designs.
+//
+// The integer-keyed mirror of run_dp_internal (designs/dp_array.cpp):
+// the same op enumeration, operand wiring rules, LSGP clustering and
+// fold discipline, but with value instances living in dense slots, op
+// lookup by closed-form index arithmetic instead of a keyed map, and
+// execution as wavefront loops over the slot array. Dispatched to by
+// run_dp_on_array / run_dp_pipelined when the compiled engine is
+// selected; results and statistics are bit-identical to the
+// interpretive path (the differential tests pin this).
+#pragma once
+
+#include <vector>
+
+#include "designs/dp_array.hpp"
+#include "support/cancel.hpp"
+
+namespace nusys::detail {
+
+/// Mirror of run_dp_internal's result block.
+struct DPCompiledRun {
+  std::vector<DPTable> tables;
+  EngineStats stats;
+  std::size_t cell_count = 0;
+  i64 first_tick = 0;
+  i64 last_tick = 0;
+  std::size_t compute_ops = 0;
+  std::size_t max_folded_ops = 0;
+  std::size_t route_hops = 0;
+};
+
+[[nodiscard]] DPCompiledRun run_dp_compiled(
+    const std::vector<IntervalDPProblem>& problems,
+    const DPArrayDesign& design, i64 period, const CancelToken* cancel);
+
+}  // namespace nusys::detail

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "designs/placement_key.hpp"
+#include "designs/uniform_compiled.hpp"
 #include "space/routing.hpp"
 #include "support/errors.hpp"
 
@@ -32,27 +33,46 @@ struct Receive {
   std::string id;
 };
 
-}  // namespace
+/// The compiled backend's adapter around caller-supplied std::function
+/// semantics: rebuilds the name-keyed input map per call. Family-specific
+/// entry points (frontends/*) instantiate run_uniform_compiled with
+/// concrete structs instead and skip the maps entirely.
+struct GenericCompiledSemantics {
+  const UniformSemantics* sem = nullptr;
+  const DependenceSet* deps = nullptr;
 
-UniformArrayRun run_uniform_design(const CanonicRecurrence& rec,
-                                   const UniformSemantics& semantics,
-                                   const LinearSchedule& timing,
-                                   const IntMat& space,
-                                   const Interconnect& net) {
-  rec.validate();
-  NUSYS_REQUIRE(semantics.compute && semantics.boundary,
-                "run_uniform_design: semantics callbacks must be set");
+  [[nodiscard]] std::map<std::string, Value> named(const Value* in) const {
+    std::map<std::string, Value> inputs;
+    for (std::size_t d = 0; d < deps->size(); ++d) {
+      inputs[(*deps)[d].variable] = in[d];
+    }
+    return inputs;
+  }
+  [[nodiscard]] Value compute(const IntVec& point, const Value* in) const {
+    return sem->compute(point, named(in));
+  }
+  [[nodiscard]] Value boundary(std::size_t var, const IntVec& point) const {
+    return sem->boundary((*deps)[var].variable, point);
+  }
+  [[nodiscard]] Value forward(std::size_t var, const IntVec& point,
+                              const Value* in, Value out) const {
+    if (!sem->emit) return in[var];
+    return sem->emit((*deps)[var].variable, point, named(in), out);
+  }
+  void observe(const IntVec& point, Value out) const {
+    if (sem->observe) sem->observe(point, out);
+  }
+};
+
+UniformArrayRun run_uniform_interpretive(const CanonicRecurrence& rec,
+                                         const UniformSemantics& semantics,
+                                         const LinearSchedule& timing,
+                                         const IntMat& space,
+                                         const Interconnect& net) {
   NUSYS_REQUIRE(timing.dim() == rec.domain().dim() &&
                     space.cols() == rec.domain().dim() &&
                     space.rows() == net.label_dim(),
                 "run_uniform_design: mapping shape mismatch");
-  bool accumulator_known = false;
-  for (const auto& dep : rec.dependences()) {
-    if (dep.variable == semantics.accumulator) accumulator_known = true;
-  }
-  NUSYS_REQUIRE(accumulator_known,
-                "run_uniform_design: accumulator is not a recurrence "
-                "variable");
 
   const auto& domain = rec.domain();
   const std::vector<IntVec> points = domain.points();
@@ -195,6 +215,44 @@ UniformArrayRun run_uniform_design(const CanonicRecurrence& rec,
   run.last_tick = last;
   run.route_hops = route_hops;
   return run;
+}
+
+}  // namespace
+
+UniformArrayRun run_uniform_design(const CanonicRecurrence& rec,
+                                   const UniformSemantics& semantics,
+                                   const LinearSchedule& timing,
+                                   const IntMat& space,
+                                   const Interconnect& net) {
+  return run_uniform_design(rec, semantics, timing, space, net,
+                            engine_kind(), nullptr);
+}
+
+UniformArrayRun run_uniform_design(const CanonicRecurrence& rec,
+                                   const UniformSemantics& semantics,
+                                   const LinearSchedule& timing,
+                                   const IntMat& space,
+                                   const Interconnect& net,
+                                   EngineKind engine,
+                                   const CancelToken* cancel) {
+  rec.validate();
+  NUSYS_REQUIRE(semantics.compute && semantics.boundary,
+                "run_uniform_design: semantics callbacks must be set");
+  std::size_t accumulator_index = rec.dependences().size();
+  for (std::size_t d = 0; d < rec.dependences().size(); ++d) {
+    if (rec.dependences()[d].variable == semantics.accumulator) {
+      accumulator_index = d;
+    }
+  }
+  NUSYS_REQUIRE(accumulator_index < rec.dependences().size(),
+                "run_uniform_design: accumulator is not a recurrence "
+                "variable");
+  if (engine == EngineKind::kInterpretive) {
+    return run_uniform_interpretive(rec, semantics, timing, space, net);
+  }
+  const GenericCompiledSemantics adapter{&semantics, &rec.dependences()};
+  return run_uniform_compiled(rec, adapter, accumulator_index, timing, space,
+                              net, cancel);
 }
 
 UniformSemantics convolution_semantics(const std::vector<i64>& x,

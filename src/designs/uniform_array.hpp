@@ -20,7 +20,9 @@
 #include "ir/recurrence.hpp"
 #include "schedule/timing.hpp"
 #include "space/interconnect.hpp"
+#include "support/cancel.hpp"
 #include "systolic/engine.hpp"
+#include "systolic/engine_select.hpp"
 
 namespace nusys {
 
@@ -71,13 +73,24 @@ struct UniformArrayRun {
 };
 
 /// Executes `rec` with `semantics` under the mapping (timing, space) on
-/// `net`. Throws DomainError when a dependence cannot be routed or a relay
+/// `net`, using the process-default engine (see systolic/engine_select).
+/// Throws DomainError when a dependence cannot be routed or a relay
 /// cell is missing; throws ContractError on timing violations (which a
 /// verified design never produces).
 [[nodiscard]] UniformArrayRun run_uniform_design(
     const CanonicRecurrence& rec, const UniformSemantics& semantics,
     const LinearSchedule& timing, const IntMat& space,
     const Interconnect& net);
+
+/// Same, but on an explicitly chosen engine — the differential harnesses
+/// pin one run to each engine and compare. The compiled engine polls
+/// `cancel` (when set) between wavefronts; the interpretive engine
+/// ignores it.
+[[nodiscard]] UniformArrayRun run_uniform_design(
+    const CanonicRecurrence& rec, const UniformSemantics& semantics,
+    const LinearSchedule& timing, const IntMat& space,
+    const Interconnect& net, EngineKind engine,
+    const CancelToken* cancel = nullptr);
 
 /// The semantics of convolution recurrences (4)/(5): accumulator "y",
 /// compute y + w·x, boundaries x_{i-k} (0 when i <= k), w_k and y = 0.

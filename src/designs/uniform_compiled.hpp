@@ -1,0 +1,148 @@
+// Compiled wavefront execution of mapped uniform (canonic-form) designs.
+//
+// The interpretive run_uniform_design pays for generality at run time:
+// string-keyed registers, per-cell std::function dispatch, map-based
+// operand lookup. This template pays for it once at compile time instead:
+// the recurrence's value flow is wired into dense operand slots (one
+// contiguous block of `dependence-count` Values per domain point — the
+// structure-of-arrays layout), the schedule is compiled into anti-chain
+// wavefronts, and execution is a tight loop that reads a point's operand
+// block, computes, and scatters the outputs directly into the consumer
+// slots. Statistics come from the WavefrontPlan, bit-identical to the
+// interpretive engine's.
+//
+// `Semantics` is the compile-time counterpart of UniformSemantics; each
+// recurrence family (mm/lu/sw/conv) instantiates the template with a
+// concrete struct so compute/boundary/forward inline into the wavefront
+// loop:
+//
+//   struct FamilySemantics {
+//     Value compute(const IntVec& point, const Value* in) const;
+//     Value boundary(std::size_t var, const IntVec& point) const;
+//     // Value variable `var` forwards to its successor point (non-
+//     // accumulator streams only); `in` is the point's operand block.
+//     Value forward(std::size_t var, const IntVec& point, const Value* in,
+//                   Value out) const;
+//     void observe(const IntVec& point, Value out) const;
+//   };
+//
+// Operand blocks index variables by their position in
+// rec.dependences() — the same order the semantics struct assumes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "designs/uniform_array.hpp"
+#include "ir/recurrence.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+#include "support/cancel.hpp"
+#include "support/checked.hpp"
+#include "support/errors.hpp"
+#include "systolic/wavefront.hpp"
+
+namespace nusys {
+
+template <class Semantics>
+UniformArrayRun run_uniform_compiled(const CanonicRecurrence& rec,
+                                     const Semantics& semantics,
+                                     std::size_t accumulator_index,
+                                     const LinearSchedule& timing,
+                                     const IntMat& space,
+                                     const Interconnect& net,
+                                     const CancelToken* cancel = nullptr) {
+  rec.validate();
+  NUSYS_REQUIRE(timing.dim() == rec.domain().dim() &&
+                    space.cols() == rec.domain().dim() &&
+                    space.rows() == net.label_dim(),
+                "run_uniform_design: mapping shape mismatch");
+  const auto& deps = rec.dependences();
+  const std::size_t width = deps.size();
+  NUSYS_REQUIRE(accumulator_index < width,
+                "run_uniform_design: accumulator is not a recurrence "
+                "variable");
+
+  const auto& domain = rec.domain();
+  const std::vector<IntVec> points = domain.points();
+  NUSYS_REQUIRE(!points.empty(), "run_uniform_design: empty domain");
+  const auto point_count = static_cast<std::uint32_t>(points.size());
+
+  // ---- Compile: place one op per point, wire every value instance. ----
+  WavefrontPlanBuilder builder(net, width);
+  std::unordered_map<IntVec, std::uint32_t, IntVecHash> op_of;
+  op_of.reserve(points.size());
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    const std::uint32_t cell = builder.intern_cell(space * points[p]);
+    const std::uint32_t op = builder.add_op(cell, timing.at(points[p]), 0);
+    NUSYS_REQUIRE(op == p, "run_uniform_compiled: op/point id mismatch");
+    op_of.emplace(points[p], p);
+  }
+
+  constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+  // Operand slots: the SoA value blocks, `width` per point. Every slot is
+  // written exactly once (boundary prefill or producer scatter) and read
+  // exactly once.
+  std::vector<Value> slots(static_cast<std::size_t>(point_count) * width, 0);
+  // Producer scatter targets: where point p's variable d lands.
+  std::vector<std::uint32_t> targets(slots.size(), kNoSlot);
+
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    const IntVec& point = points[p];
+    for (std::size_t d = 0; d < width; ++d) {
+      const IntVec producer = point - deps[d].vector;
+      const std::size_t slot = static_cast<std::size_t>(p) * width + d;
+      if (!domain.contains(producer)) {
+        slots[slot] = semantics.boundary(d, point);
+        builder.add_inject(p, static_cast<std::uint32_t>(d));
+        continue;
+      }
+      const std::uint32_t q = op_of.at(producer);
+      const i64 slack = checked_sub(builder.op_tick(p), builder.op_tick(q));
+      NUSYS_VALIDATE(slack > 0,
+                     "design consumes '" + deps[d].variable + ":" +
+                         point.to_string() +
+                         "' no later than it is produced");
+      const ValueLabel label{deps[d].variable.c_str(), &point, 0};
+      builder.add_transport(q, p, static_cast<std::uint32_t>(d), label);
+      targets[static_cast<std::size_t>(q) * width + d] =
+          static_cast<std::uint32_t>(slot);
+    }
+  }
+  const WavefrontPlan plan = std::move(builder).compile();
+
+  // ---- Run: one tight loop per wavefront over the slot blocks. --------
+  UniformArrayRun run;
+  for (const Wavefront& front : plan.fronts) {
+    throw_if_cancelled(cancel, "run_uniform_compiled");
+    for (std::uint32_t x = front.begin; x < front.end; ++x) {
+      const std::uint32_t p = plan.order[x];
+      const IntVec& point = points[p];
+      const Value* in = slots.data() + static_cast<std::size_t>(p) * width;
+      const Value out = semantics.compute(point, in);
+      semantics.observe(point, out);
+      const std::uint32_t* to =
+          targets.data() + static_cast<std::size_t>(p) * width;
+      for (std::size_t d = 0; d < width; ++d) {
+        if (to[d] != kNoSlot) {
+          slots[to[d]] = d == accumulator_index
+                             ? out
+                             : semantics.forward(d, point, in, out);
+        } else if (d == accumulator_index) {
+          run.finals.emplace(point, out);
+        }
+      }
+    }
+  }
+
+  run.stats = plan.stats;
+  run.cell_count = plan.cell_count;
+  run.first_tick = plan.first_tick;
+  run.last_tick = plan.last_tick;
+  run.route_hops = plan.route_hops;
+  return run;
+}
+
+}  // namespace nusys

@@ -1,0 +1,47 @@
+// Differential execution of synthesized designs against each family's
+// sequential reference — one code path shared by the CLI (`nusys synth
+// --family`), the batch driver (`nusys batch --execute`) and the service
+// (requests with "execute": true), so all three report execution through
+// identical instances and comparisons.
+//
+// Each call draws a reproducible random instance from `seed`, runs it
+// through the engine-pinned executor of the problem's family, and
+// compares bit-for-bit against the family's sequential reference. With
+// the compiled engine selected (the process default) every executor runs
+// on the wavefront backend of systolic/wavefront.hpp; pinning
+// EngineKind::kInterpretive replays the same instance on the original
+// globally-clocked engine — the differential oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "designs/dp_array.hpp"
+#include "support/cancel.hpp"
+#include "synth/batch.hpp"
+#include "synth/design.hpp"
+#include "systolic/engine_select.hpp"
+
+namespace nusys {
+
+/// Outcome of executing one synthesized design.
+struct DesignExecution {
+  EngineKind engine = EngineKind::kCompiled;  ///< Engine that ran it.
+  bool match = false;  ///< Result equals the sequential reference.
+};
+
+/// Executes the best design of a uniform-kind problem (conv/mm/lu/sw) on
+/// a random instance seeded by `seed`. Throws ContractError on a
+/// pipeline-kind problem and like the family executor on an infeasible
+/// mapping.
+[[nodiscard]] DesignExecution execute_uniform_design(
+    const BatchProblem& problem, const Design& best, std::uint64_t seed,
+    EngineKind engine, const CancelToken* cancel = nullptr);
+
+/// Same for pipeline-kind problems: "pipeline" runs a random matrix
+/// chain, "fw" a random DAG closure, both through run_dp_on_array.
+[[nodiscard]] DesignExecution execute_pipeline_design(
+    const BatchProblem& problem, const DPArrayDesign& best,
+    std::uint64_t seed, EngineKind engine,
+    const CancelToken* cancel = nullptr);
+
+}  // namespace nusys

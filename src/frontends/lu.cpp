@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "designs/uniform_compiled.hpp"
 #include "support/checked.hpp"
 #include "support/errors.hpp"
 
@@ -17,6 +18,38 @@ i64 exact_div(i64 a, i64 b) {
                                  std::to_string(b) + " is not integer-exact");
   return a / b;
 }
+
+/// Compiled-engine counterpart of lu_semantics. Operand order follows
+/// lu_recurrence: a = 0 (accumulator), u = 1, l = 2.
+struct LUCompiledSemantics {
+  const LUInstance* ins = nullptr;
+
+  [[nodiscard]] Value compute(const IntVec& p, const Value* in) const {
+    const i64 k = p[0];
+    const i64 i = p[1];
+    const i64 j = p[2];
+    if (i == k) return in[0];                     // Row points define u(k, j).
+    if (j == k) return exact_div(in[0], in[1]);   // l(i, k).
+    return checked_sub(in[0], checked_mul(in[2], in[1]));
+  }
+  [[nodiscard]] Value boundary(std::size_t var, const IntVec& point) const {
+    // a enters the k = 1 plane with the original matrix; u and l boundary
+    // inputs (on the i = k and j = k planes) are never read by compute.
+    if (var == 0) return ins->a[idx(point[1])][idx(point[2])];
+    return 0;
+  }
+  [[nodiscard]] Value forward(std::size_t var, const IntVec& p,
+                              const Value* in, Value out) const {
+    const i64 k = p[0];
+    if (var == 1) {
+      // Row points originate the pivot-row stream; below them it passes.
+      return p[1] == k ? out : in[1];
+    }
+    // Column points originate the multiplier stream (out == a/u there).
+    return p[2] == k ? out : in[2];
+  }
+  void observe(const IntVec&, Value) const {}
+};
 
 }  // namespace
 
@@ -128,9 +161,20 @@ UniformSemantics lu_semantics(const LUInstance& ins) {
 
 LUFactors run_lu_on_design(const LUInstance& ins, const LinearSchedule& timing,
                            const IntMat& space, const Interconnect& net) {
+  return run_lu_on_design(ins, timing, space, net, engine_kind(), nullptr);
+}
+
+LUFactors run_lu_on_design(const LUInstance& ins, const LinearSchedule& timing,
+                           const IntMat& space, const Interconnect& net,
+                           EngineKind engine, const CancelToken* cancel) {
   const auto rec = lu_recurrence(ins.n);
   const auto run =
-      run_uniform_design(rec, lu_semantics(ins), timing, space, net);
+      engine == EngineKind::kCompiled
+          ? run_uniform_compiled(rec, LUCompiledSemantics{&ins},
+                                 /*accumulator_index=*/0, timing, space, net,
+                                 cancel)
+          : run_uniform_design(rec, lu_semantics(ins), timing, space, net,
+                               engine, cancel);
   LUFactors out;
   out.l.assign(static_cast<std::size_t>(ins.n),
                std::vector<i64>(static_cast<std::size_t>(ins.n), 0));

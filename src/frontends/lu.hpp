@@ -58,10 +58,20 @@ struct LUFactors {
 [[nodiscard]] UniformSemantics lu_semantics(const LUInstance& ins);
 
 /// Executes `ins` under (timing, space) on `net` and assembles L and U
-/// from the final accumulator values.
+/// from the final accumulator values. Uses the process-default engine
+/// (see systolic/engine_select).
 [[nodiscard]] LUFactors run_lu_on_design(const LUInstance& ins,
                                          const LinearSchedule& timing,
                                          const IntMat& space,
                                          const Interconnect& net);
+
+/// Engine-pinned variant; the compiled engine polls `cancel` between
+/// wavefronts.
+[[nodiscard]] LUFactors run_lu_on_design(const LUInstance& ins,
+                                         const LinearSchedule& timing,
+                                         const IntMat& space,
+                                         const Interconnect& net,
+                                         EngineKind engine,
+                                         const CancelToken* cancel = nullptr);
 
 }  // namespace nusys

@@ -1,5 +1,6 @@
 #include "frontends/matmul.hpp"
 
+#include "designs/uniform_compiled.hpp"
 #include "support/errors.hpp"
 
 namespace nusys {
@@ -14,6 +15,33 @@ std::vector<std::vector<i64>> random_matrix(i64 rows, i64 cols, Rng& rng) {
   }
   return out;
 }
+
+/// Compiled-engine counterpart of matmul_semantics. Operand order follows
+/// matmul_recurrence: c = 0 (accumulator), a = 1, b = 2.
+struct MatMulCompiledSemantics {
+  const MatMulInstance* ins = nullptr;
+
+  [[nodiscard]] Value compute(const IntVec&, const Value* in) const {
+    return checked_add(in[0], checked_mul(in[1], in[2]));
+  }
+  [[nodiscard]] Value boundary(std::size_t var, const IntVec& point) const {
+    if (var == 0) return 0;  // Empty partial sum at k = 1.
+    const i64 i = point[0];
+    const i64 j = point[1];
+    const i64 k = point[2];
+    if (var == 1) {
+      return ins->a[static_cast<std::size_t>(i - 1)]
+                   [static_cast<std::size_t>(k - 1)];
+    }
+    return ins->b[static_cast<std::size_t>(k - 1)]
+                 [static_cast<std::size_t>(j - 1)];
+  }
+  [[nodiscard]] Value forward(std::size_t var, const IntVec&, const Value* in,
+                              Value) const {
+    return in[var];  // a and b pipeline through unchanged.
+  }
+  void observe(const IntVec&, Value) const {}
+};
 
 }  // namespace
 
@@ -91,9 +119,23 @@ std::vector<std::vector<i64>> run_matmul_on_design(const MatMulInstance& ins,
                                                    const LinearSchedule& timing,
                                                    const IntMat& space,
                                                    const Interconnect& net) {
+  return run_matmul_on_design(ins, timing, space, net, engine_kind(), nullptr);
+}
+
+std::vector<std::vector<i64>> run_matmul_on_design(const MatMulInstance& ins,
+                                                   const LinearSchedule& timing,
+                                                   const IntMat& space,
+                                                   const Interconnect& net,
+                                                   EngineKind engine,
+                                                   const CancelToken* cancel) {
   const auto rec = matmul_recurrence(ins.n, ins.m, ins.p);
   const auto run =
-      run_uniform_design(rec, matmul_semantics(ins), timing, space, net);
+      engine == EngineKind::kCompiled
+          ? run_uniform_compiled(rec, MatMulCompiledSemantics{&ins},
+                                 /*accumulator_index=*/0, timing, space, net,
+                                 cancel)
+          : run_uniform_design(rec, matmul_semantics(ins), timing, space, net,
+                               engine, cancel);
   std::vector<std::vector<i64>> c(
       static_cast<std::size_t>(ins.n),
       std::vector<i64>(static_cast<std::size_t>(ins.m), 0));

@@ -43,9 +43,18 @@ struct MatMulInstance {
 
 /// Executes `ins` under (timing, space) on `net` and assembles C from the
 /// final accumulator values (the k = p plane). Throws like
-/// run_uniform_design on an infeasible mapping.
+/// run_uniform_design on an infeasible mapping. Uses the process-default
+/// engine (see systolic/engine_select).
 [[nodiscard]] std::vector<std::vector<i64>> run_matmul_on_design(
     const MatMulInstance& ins, const LinearSchedule& timing,
     const IntMat& space, const Interconnect& net);
+
+/// Engine-pinned variant. The compiled engine runs a family-specialized
+/// wavefront executor (operand access inlined, no name lookups) and polls
+/// `cancel` between wavefronts; the interpretive engine ignores it.
+[[nodiscard]] std::vector<std::vector<i64>> run_matmul_on_design(
+    const MatMulInstance& ins, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net, EngineKind engine,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace nusys

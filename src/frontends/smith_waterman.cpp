@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "designs/uniform_compiled.hpp"
 #include "support/errors.hpp"
 
 namespace nusys {
@@ -22,6 +23,37 @@ i64 cell_score(const SWInstance& ins, i64 i, i64 j) {
 i64 local_max(i64 diag, i64 up, i64 left) {
   return std::max<i64>(0, std::max(diag, std::max(up, left)));
 }
+
+/// Compiled-engine counterpart of sw_semantics. Operand order follows
+/// sw_recurrence: h = 0 (accumulator), p = 1, q = 2.
+struct SWCompiledSemantics {
+  const SWInstance* ins = nullptr;
+  std::vector<std::vector<i64>>* h_out = nullptr;
+  std::size_t* observed = nullptr;
+
+  [[nodiscard]] Value compute(const IntVec& p, const Value* in) const {
+    const i64 diag = checked_add(in[0], cell_score(*ins, p[0], p[1]));
+    const i64 up = checked_sub(in[1], ins->gap);
+    const i64 left = checked_sub(in[2], ins->gap);
+    return local_max(diag, up, left);
+  }
+  [[nodiscard]] Value boundary(std::size_t var, const IntVec& point) const {
+    // The diagonal producer (i-1, j-1) preserves the band offset, so it is
+    // only missing at the rectangle edge; p/q producers can also fall off
+    // the band and then contribute the max identity.
+    if (var == 0) return 0;
+    if (var == 1) return point[0] == 1 ? 0 : kSWBandEdge;
+    return point[1] == 1 ? 0 : kSWBandEdge;
+  }
+  [[nodiscard]] Value forward(std::size_t, const IntVec&, const Value*,
+                              Value out) const {
+    return out;  // Both copy streams forward the freshly computed H.
+  }
+  void observe(const IntVec& point, Value out) const {
+    ++*observed;
+    (*h_out)[idx(point[0])][idx(point[1])] = out;
+  }
+};
 
 }  // namespace
 
@@ -127,18 +159,34 @@ std::vector<std::vector<i64>> run_sw_on_design(const SWInstance& ins,
                                                const LinearSchedule& timing,
                                                const IntMat& space,
                                                const Interconnect& net) {
+  return run_sw_on_design(ins, timing, space, net, engine_kind(), nullptr);
+}
+
+std::vector<std::vector<i64>> run_sw_on_design(const SWInstance& ins,
+                                               const LinearSchedule& timing,
+                                               const IntMat& space,
+                                               const Interconnect& net,
+                                               EngineKind engine,
+                                               const CancelToken* cancel) {
   const auto rec = sw_recurrence(ins.n(), ins.m(), ins.band);
   std::vector<std::vector<i64>> h(
       static_cast<std::size_t>(ins.n()),
       std::vector<i64>(static_cast<std::size_t>(ins.m()), 0));
-  auto semantics = sw_semantics(ins, h);
   std::size_t observed = 0;
-  const auto fill = std::move(semantics.observe);
-  semantics.observe = [&](const IntVec& point, Value out) {
-    ++observed;
-    fill(point, out);
-  };
-  (void)run_uniform_design(rec, semantics, timing, space, net);
+  if (engine == EngineKind::kCompiled) {
+    (void)run_uniform_compiled(rec, SWCompiledSemantics{&ins, &h, &observed},
+                               /*accumulator_index=*/0, timing, space, net,
+                               cancel);
+  } else {
+    auto semantics = sw_semantics(ins, h);
+    const auto fill = std::move(semantics.observe);
+    semantics.observe = [&](const IntVec& point, Value out) {
+      ++observed;
+      fill(point, out);
+    };
+    (void)run_uniform_design(rec, semantics, timing, space, net, engine,
+                             cancel);
+  }
   NUSYS_REQUIRE(observed == rec.domain().size(),
                 "sw run did not compute every band cell");
   return h;

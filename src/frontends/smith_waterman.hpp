@@ -68,9 +68,17 @@ struct SWInstance {
     const SWInstance& ins, std::vector<std::vector<i64>>& h_out);
 
 /// Executes `ins` under (timing, space) on `net`; returns the full H
-/// table in the same shape as sw_reference.
+/// table in the same shape as sw_reference. Uses the process-default
+/// engine (see systolic/engine_select).
 [[nodiscard]] std::vector<std::vector<i64>> run_sw_on_design(
     const SWInstance& ins, const LinearSchedule& timing, const IntMat& space,
     const Interconnect& net);
+
+/// Engine-pinned variant; the compiled engine polls `cancel` between
+/// wavefronts.
+[[nodiscard]] std::vector<std::vector<i64>> run_sw_on_design(
+    const SWInstance& ins, const LinearSchedule& timing, const IntMat& space,
+    const Interconnect& net, EngineKind engine,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace nusys

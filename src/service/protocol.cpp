@@ -209,6 +209,7 @@ std::string encode_request(const ServiceRequest& request) {
   if (request.kind == RequestKind::kSleep) {
     obj.set("sleep_ms", request.sleep_ms);
   }
+  if (request.execute) obj.set("execute", true);
   return obj.dump();
 }
 
@@ -237,6 +238,9 @@ ServiceRequest parse_request(const std::string& line) {
   }
   request.timeout_ms = optional_ms(obj, "timeout_ms");
   request.sleep_ms = optional_ms(obj, "sleep_ms");
+  if (const JsonValue* execute = obj.find("execute")) {
+    request.execute = execute->as_bool();
+  }
   if (request.kind == RequestKind::kSynth ||
       request.kind == RequestKind::kBatch) {
     const JsonValue* problems = obj.find("problems");
@@ -274,6 +278,11 @@ std::string encode_response(const ServiceResponse& response) {
       item.set("name", result.name);
       item.set("cache_hit", result.cache_hit);
       item.set("report", encode_report(result.report));
+      if (result.executed) {
+        item.set("executed", true);
+        item.set("execution_match", result.execution_match);
+        item.set("engine", result.engine);
+      }
       results.push_back(std::move(item));
     }
     obj.set("results", std::move(results));
@@ -313,6 +322,11 @@ ServiceResponse parse_response(const std::string& line) {
       result.name = item.at("name").as_string();
       result.cache_hit = item.at("cache_hit").as_bool();
       result.report = decode_report(item.at("report"));
+      if (const JsonValue* executed = item.find("executed")) {
+        result.executed = executed->as_bool();
+        result.execution_match = item.at("execution_match").as_bool();
+        result.engine = item.at("engine").as_string();
+      }
       response.results.push_back(std::move(result));
     }
   }

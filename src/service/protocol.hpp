@@ -84,6 +84,10 @@ struct ServiceRequest {
   std::vector<BatchProblem> problems;  ///< synth: exactly one; batch: 1+.
   i64 timeout_ms = 0;  ///< Per-request deadline; 0 = server default.
   i64 sleep_ms = 0;    ///< kSleep only.
+  /// synth/batch: additionally execute each feasible problem's best design
+  /// on the process-default engine against the family's sequential
+  /// reference (frontends/execute.hpp).
+  bool execute = false;
 };
 
 enum class ResponseStatus {
@@ -98,6 +102,9 @@ struct ServiceResult {
   std::string name;
   bool cache_hit = false;  ///< Replayed from the shared design cache.
   DesignReport report;     ///< Bit-identical to one-at-a-time synthesis.
+  bool executed = false;   ///< Request asked to execute and a design ran.
+  bool execution_match = false;  ///< Result matched the reference.
+  std::string engine;            ///< Engine that executed ("" when not run).
 
   friend bool operator==(const ServiceResult& a,
                          const ServiceResult& b) = default;

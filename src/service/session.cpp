@@ -6,8 +6,11 @@
 
 #include "analysis/analyzer.hpp"
 #include "conv/recurrences.hpp"
+#include "frontends/execute.hpp"
+#include "support/hash.hpp"
 #include "synth/batch.hpp"
 #include "synth/report.hpp"
+#include "systolic/engine_select.hpp"
 
 namespace nusys {
 
@@ -227,18 +230,36 @@ ServiceResponse SynthesisService::run_problems(PendingJob& job) {
     const auto net = batch_interconnect(problem);
     ServiceResult result;
     result.name = problem.name;
+    // The same per-problem instance seed as the batch driver's default, so
+    // service and batch executions are comparable run for run.
+    const std::uint64_t seed = 1 ^ fnv1a64(problem.name);
     if (batch_uses_pipeline(problem)) {
       const auto spec = batch_spec(problem);
       const auto synthesis = synthesize_nonuniform(spec, net, pipe);
       result.report = make_pipeline_report(spec, synthesis);
       result.cache_hit = is_cache_hit(synthesis.telemetry);
       examined += synthesis.telemetry.total_examined();
+      if (job.request.execute && synthesis.found()) {
+        const auto execution = execute_pipeline_design(
+            problem, synthesis.best(), seed, engine_kind(), &job.cancel);
+        result.executed = true;
+        result.execution_match = execution.match;
+        result.engine = engine_kind_name(execution.engine);
+      }
     } else {
       const auto rec = batch_recurrence(problem);
       const auto synthesis = synthesize(rec, net, synth);
       result.report = make_design_report(rec, synthesis);
       result.cache_hit = is_cache_hit(synthesis.telemetry);
       examined += synthesis.telemetry.total_examined();
+      if (job.request.execute && synthesis.found()) {
+        const auto execution = execute_uniform_design(
+            problem, synthesis.designs.front(), seed, engine_kind(),
+            &job.cancel);
+        result.executed = true;
+        result.execution_match = execution.match;
+        result.engine = engine_kind_name(execution.engine);
+      }
     }
     response.results.push_back(std::move(result));
   }

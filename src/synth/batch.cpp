@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "conv/recurrences.hpp"
+#include "frontends/execute.hpp"
 #include "frontends/floyd_warshall.hpp"
 #include "frontends/lu.hpp"
 #include "frontends/matmul.hpp"
@@ -327,6 +328,9 @@ BatchRunResult run_batch(const std::vector<BatchProblem>& problems,
     item.name = p.name;
     const WallTimer item_timer;
     const auto net = batch_interconnect(p);
+    // Instances are seeded from the problem name so execution outcomes,
+    // like reports, are independent of grouping and worker count.
+    const std::uint64_t seed = options.execute_seed ^ fnv1a64(p.name);
     if (batch_uses_pipeline(p)) {
       const auto spec = batch_spec(p);
       const auto synthesis = synthesize_nonuniform(spec, net, pipe);
@@ -334,6 +338,12 @@ BatchRunResult run_batch(const std::vector<BatchProblem>& problems,
       item.provenance = is_cache_hit(synthesis.telemetry)
                             ? CacheProvenance::kCacheHit
                             : CacheProvenance::kSearched;
+      if (options.execute && synthesis.found()) {
+        item.executed = true;
+        item.execution_match =
+            execute_pipeline_design(p, synthesis.best(), seed, engine_kind())
+                .match;
+      }
     } else {
       const auto rec = batch_recurrence(p);
       const auto synthesis = synthesize(rec, net, synth);
@@ -341,6 +351,13 @@ BatchRunResult run_batch(const std::vector<BatchProblem>& problems,
       item.provenance = is_cache_hit(synthesis.telemetry)
                             ? CacheProvenance::kCacheHit
                             : CacheProvenance::kSearched;
+      if (options.execute && synthesis.found()) {
+        item.executed = true;
+        item.execution_match =
+            execute_uniform_design(p, synthesis.designs.front(), seed,
+                                   engine_kind())
+                .match;
+      }
     }
     item.seconds = item_timer.seconds();
   };
@@ -359,17 +376,29 @@ BatchRunResult run_batch(const std::vector<BatchProblem>& problems,
 }
 
 std::string describe_batch(const BatchRunResult& result) {
-  TextTable table({"problem", "key", "source", "designs", "makespan",
-                   "wall"});
+  bool any_executed = false;
+  for (const auto& item : result.items) any_executed |= item.executed;
+
+  std::vector<std::string> columns{"problem", "key",      "source",
+                                   "designs", "makespan", "wall"};
+  if (any_executed) columns.insert(columns.begin() + 5, "exec");
+  TextTable table(columns);
   for (const auto& item : result.items) {
-    table.add_row(
-        {item.name, hex64(fnv1a64(item.cache_key)),
-         item.provenance == CacheProvenance::kCacheHit ? "cache-hit"
-                                                       : "searched",
-         std::to_string(item.report.designs.size()),
-         item.report.feasible ? std::to_string(item.report.makespan)
-                              : "infeasible",
-         format_seconds(item.seconds)});
+    std::vector<std::string> row{
+        item.name, hex64(fnv1a64(item.cache_key)),
+        item.provenance == CacheProvenance::kCacheHit ? "cache-hit"
+                                                      : "searched",
+        std::to_string(item.report.designs.size()),
+        item.report.feasible ? std::to_string(item.report.makespan)
+                             : "infeasible",
+        format_seconds(item.seconds)};
+    if (any_executed) {
+      row.insert(row.begin() + 5,
+                 !item.executed          ? "-"
+                 : item.execution_match ? "match"
+                                        : "MISMATCH");
+    }
+    table.add_row(row);
   }
 
   std::ostringstream os;

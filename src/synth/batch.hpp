@@ -19,6 +19,7 @@
 // Optional "name" overrides the auto-derived display name.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -97,6 +98,11 @@ struct BatchItemResult {
   CacheProvenance provenance = CacheProvenance::kSearched;
   DesignReport report;
   double seconds = 0.0;
+  /// Differential execution (with BatchOptions::execute): whether the
+  /// best design ran and whether its result matched the family's
+  /// sequential reference (frontends/execute.hpp).
+  bool executed = false;
+  bool execution_match = false;
 };
 
 /// Options of one batch run.
@@ -108,6 +114,12 @@ struct BatchOptions {
   /// overridden by the driver.
   SynthesisOptions synthesis;
   NonUniformSynthesisOptions pipeline;
+  /// Execute every feasible problem's best design on the process-default
+  /// engine (see systolic/engine_select) against the family's sequential
+  /// reference; per-problem instances are seeded from `execute_seed` and
+  /// the problem name, so results are thread-count independent.
+  bool execute = false;
+  std::uint64_t execute_seed = 1;
 };
 
 /// Aggregate outcome of a batch run.

@@ -1,0 +1,55 @@
+#include "systolic/engine_select.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+// -1 = no override; otherwise the EngineKind value.
+std::atomic<int> g_override{-1};
+
+EngineKind engine_kind_from_env() {
+  const char* env = std::getenv("NUSYS_ENGINE");
+  if (env == nullptr || *env == '\0') return EngineKind::kCompiled;
+  const auto parsed = parse_engine_kind(env);
+  NUSYS_VALIDATE(parsed.has_value(),
+                 std::string("NUSYS_ENGINE='") + env +
+                     "' is not an engine; expected 'interpretive' or "
+                     "'compiled'");
+  return *parsed;
+}
+
+}  // namespace
+
+const char* engine_kind_name(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::kInterpretive: return "interpretive";
+    case EngineKind::kCompiled: return "compiled";
+  }
+  return "?";
+}
+
+std::optional<EngineKind> parse_engine_kind(
+    const std::string& name) noexcept {
+  if (name == "interpretive") return EngineKind::kInterpretive;
+  if (name == "compiled") return EngineKind::kCompiled;
+  return std::nullopt;
+}
+
+EngineKind engine_kind() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<EngineKind>(forced);
+  static const EngineKind from_env = engine_kind_from_env();
+  return from_env;
+}
+
+void set_engine_kind_override(std::optional<EngineKind> kind) noexcept {
+  g_override.store(kind ? static_cast<int>(*kind) : -1,
+                   std::memory_order_relaxed);
+}
+
+}  // namespace nusys

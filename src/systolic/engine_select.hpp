@@ -1,0 +1,46 @@
+// Engine selection for mapped-design execution.
+//
+// Two executors can run a synthesized design: the cycle-accurate
+// interpretive SystolicEngine (src/systolic/engine.*), which models every
+// inbox, register and wire at runtime, and the compiled wavefront backend
+// (src/systolic/wavefront.* + src/designs/*_compiled.*), which precomputes
+// the full space-time schedule into anti-chain wavefronts and executes
+// them as tight loops over contiguous slot arrays. Both produce
+// bit-identical results and statistics; the interpretive engine is kept
+// as the differential oracle.
+//
+// The process default comes from NUSYS_ENGINE=interpretive|compiled
+// (compiled when unset); CLI --engine flags install a process-wide
+// override on top. Call sites that must pin an engine (differential
+// tests, benches) use the explicit EngineKind overloads instead.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace nusys {
+
+/// Which executor runs a mapped design.
+enum class EngineKind {
+  kInterpretive,  ///< Cycle-accurate SystolicEngine (the oracle).
+  kCompiled,      ///< Precompiled SoA wavefront executor.
+};
+
+/// "interpretive" / "compiled".
+[[nodiscard]] const char* engine_kind_name(EngineKind kind) noexcept;
+
+/// Parses an engine name; nullopt for anything else.
+[[nodiscard]] std::optional<EngineKind> parse_engine_kind(
+    const std::string& name) noexcept;
+
+/// The engine mapped executors use when no explicit kind is passed:
+/// the override if one is installed, else NUSYS_ENGINE from the
+/// environment (read once), else compiled. An unparsable NUSYS_ENGINE
+/// value throws DomainError at first use.
+[[nodiscard]] EngineKind engine_kind();
+
+/// Installs (or, with nullopt, removes) the process-wide engine override.
+/// Used by CLI --engine flags and by tests that exercise the dispatch.
+void set_engine_kind_override(std::optional<EngineKind> kind) noexcept;
+
+}  // namespace nusys

@@ -1,0 +1,270 @@
+#include "systolic/wavefront.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "space/routing.hpp"
+#include "support/checked.hpp"
+#include "support/errors.hpp"
+
+namespace nusys {
+
+std::string ValueLabel::describe() const {
+  std::ostringstream os;
+  if (inst != 0) os << inst << '#';
+  os << var;
+  if (point != nullptr) os << ':' << *point;
+  return os.str();
+}
+
+WavefrontPlanBuilder::WavefrontPlanBuilder(const Interconnect& net,
+                                           std::size_t var_count)
+    : net_(net),
+      var_count_(var_count),
+      host_link_(static_cast<std::uint32_t>(net.link_count())) {
+  NUSYS_REQUIRE(var_count_ > 0,
+                "WavefrontPlanBuilder: at least one variable");
+}
+
+std::uint32_t WavefrontPlanBuilder::intern_cell(const IntVec& coord) {
+  const auto [it, inserted] =
+      cell_ids_.emplace(coord, static_cast<std::uint32_t>(cells_.size()));
+  if (inserted) {
+    NUSYS_REQUIRE(coord.dim() == net_.label_dim(),
+                  "WavefrontPlanBuilder: cell label dimension mismatch");
+    cells_.push_back(coord);
+  }
+  return it->second;
+}
+
+const IntVec& WavefrontPlanBuilder::cell_coord(std::uint32_t cell) const {
+  return cells_[cell];
+}
+
+std::uint32_t WavefrontPlanBuilder::add_op(std::uint32_t cell, i64 tick,
+                                           std::uint32_t phase) {
+  const auto id = static_cast<std::uint32_t>(op_cell_.size());
+  op_cell_.push_back(cell);
+  op_tick_.push_back(tick);
+  op_phase_.push_back(phase);
+  op_consumes_.push_back(0);
+  op_stores_.push_back(0);
+  return id;
+}
+
+std::uint32_t WavefrontPlanBuilder::op_cell(std::uint32_t op) const {
+  return op_cell_[op];
+}
+
+i64 WavefrontPlanBuilder::op_tick(std::uint32_t op) const {
+  return op_tick_[op];
+}
+
+std::uint32_t WavefrontPlanBuilder::channel_of(std::uint32_t var,
+                                               std::uint32_t link) const {
+  return var * (host_link_ + 1) + link;
+}
+
+void WavefrontPlanBuilder::add_inject(std::uint32_t consumer,
+                                      std::uint32_t var) {
+  arrivals_.push_back(
+      {op_cell_[consumer], op_tick_[consumer], channel_of(var, host_link_)});
+  ++injections_;
+  ++op_consumes_[consumer];
+}
+
+void WavefrontPlanBuilder::add_transport(std::uint32_t producer,
+                                         std::uint32_t consumer,
+                                         std::uint32_t var,
+                                         const ValueLabel& label) {
+  ++op_stores_[producer];
+  ++op_consumes_[consumer];
+  const IntVec& src = cells_[op_cell_[producer]];
+  const IntVec& dst = cells_[op_cell_[consumer]];
+  const IntVec disp = dst - src;
+  if (disp.is_zero()) return;  // Register handoff inside one cell.
+  const i64 slack = checked_sub(op_tick_[consumer], op_tick_[producer]);
+
+  const detail::PlacementKey key{disp, slack};
+  auto cached = route_cache_.find(key);
+  if (cached == route_cache_.end()) {
+    const auto route = route_displacement(net_, disp, slack);
+    NUSYS_VALIDATE(route.has_value(),
+                   "dependence '" + label.describe() +
+                       "' is not routable from cell " + src.to_string() +
+                       " to " + dst.to_string() + " within " +
+                       std::to_string(slack) + " tick(s)");
+    std::vector<std::uint32_t> links;
+    links.reserve(static_cast<std::size_t>(route->total_hops));
+    for (std::size_t l = 0; l < net_.link_count(); ++l) {
+      for (i64 c = 0; c < route->hops_per_link[l]; ++c) {
+        links.push_back(static_cast<std::uint32_t>(l));
+      }
+    }
+    cached = route_cache_.emplace(key, std::move(links)).first;
+  }
+  const std::vector<std::uint32_t>& links = cached->second;
+  route_hops_ += links.size();
+
+  // ALAP: depart so the value arrives exactly at the consumption tick.
+  i64 t = op_tick_[consumer] - static_cast<i64>(links.size());
+  std::uint32_t at = op_cell_[producer];
+  IntVec coord = src;
+  for (const std::uint32_t link : links) {
+    departures_.push_back({at, t});
+    coord += net_.link(link).direction;
+    ++t;
+    const auto it = cell_ids_.find(coord);
+    NUSYS_VALIDATE(it != cell_ids_.end(),
+                   "route of '" + label.describe() + "' passes through " +
+                       coord.to_string() +
+                       ", which is not a cell of the array");
+    at = it->second;
+    arrivals_.push_back({at, t, channel_of(var, link)});
+  }
+}
+
+WavefrontPlan WavefrontPlanBuilder::compile() && {
+  const std::size_t n = op_cell_.size();
+  NUSYS_REQUIRE(n > 0, "WavefrontPlanBuilder: no ops placed");
+
+  WavefrontPlan plan;
+  plan.cell_count = cells_.size();
+  plan.route_hops = route_hops_;
+
+  // Execution order: (tick, cell, phase, insertion). Intra-tick
+  // cross-cell traffic needs >= 1 hop so cells of one wavefront are
+  // independent; within one (cell, tick) slot the phase ordering is the
+  // interpretive executors' modules-before-combines stable sort.
+  plan.order.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) plan.order[i] = i;
+  std::sort(plan.order.begin(), plan.order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return std::tuple(op_tick_[a], op_cell_[a], op_phase_[a], a) <
+                     std::tuple(op_tick_[b], op_cell_[b], op_phase_[b], b);
+            });
+
+  for (std::uint32_t x = 0; x < n; ++x) {
+    const std::uint32_t op = plan.order[x];
+    if (plan.fronts.empty() || plan.fronts.back().tick != op_tick_[op]) {
+      plan.fronts.push_back({op_tick_[op], x, x});
+    }
+    plan.fronts.back().end = x + 1;
+    if (plan.groups.empty() || plan.groups.back().tick != op_tick_[op] ||
+        plan.groups.back().cell != op_cell_[op]) {
+      plan.groups.push_back({op_cell_[op], op_tick_[op], x, x});
+    }
+    plan.groups.back().end = x + 1;
+  }
+  plan.first_tick = plan.fronts.front().tick;
+  plan.last_tick = plan.fronts.back().tick;
+
+  // Link capacity: two values arriving on one (cell, tick, channel) is a
+  // wiring conflict — what SystolicEngine::deliver / inject catch at
+  // runtime, caught here at compile time instead.
+  std::sort(arrivals_.begin(), arrivals_.end(),
+            [](const Arrival& a, const Arrival& b) {
+              return std::tuple(a.cell, a.tick, a.channel) <
+                     std::tuple(b.cell, b.tick, b.channel);
+            });
+  for (std::size_t i = 1; i < arrivals_.size(); ++i) {
+    const Arrival& a = arrivals_[i - 1];
+    const Arrival& b = arrivals_[i];
+    NUSYS_REQUIRE(std::tuple(a.cell, a.tick, a.channel) !=
+                      std::tuple(b.cell, b.tick, b.channel),
+                  "wavefront compile: link conflict — two values arriving "
+                  "on one channel at cell " +
+                      cells_[a.cell].to_string() + " in tick " +
+                      std::to_string(a.tick));
+  }
+  std::sort(departures_.begin(), departures_.end(),
+            [](const Departure& a, const Departure& b) {
+              return std::tuple(a.cell, a.tick) < std::tuple(b.cell, b.tick);
+            });
+
+  // Busy cell-ticks: distinct (cell, tick) slots with any receive,
+  // compute or send activity (the engine's CellContext busy flag).
+  std::vector<std::pair<std::uint32_t, i64>> active;
+  active.reserve(plan.groups.size() + arrivals_.size() + departures_.size());
+  for (const auto& g : plan.groups) active.emplace_back(g.cell, g.tick);
+  for (const auto& a : arrivals_) active.emplace_back(a.cell, a.tick);
+  for (const auto& d : departures_) active.emplace_back(d.cell, d.tick);
+  std::sort(active.begin(), active.end());
+  active.erase(std::unique(active.begin(), active.end()), active.end());
+
+  // Register high-water mark: replay each cell's register count over its
+  // (tick, receive -> compute -> send) event stream. The engine samples
+  // after every set_reg: after the receive fills and after every op's
+  // output stores (clears precede stores within one op).
+  struct RegEvent {
+    std::uint32_t cell = 0;
+    i64 tick = 0;
+    std::uint32_t stage = 0;  ///< 0 receive, 1 compute, 2 send.
+    std::uint32_t seq = 0;    ///< Op order within the compute stage.
+    std::uint32_t takes = 0;
+    std::uint32_t puts = 0;
+  };
+  std::vector<RegEvent> events;
+  events.reserve(arrivals_.size() / 2 + n + departures_.size() / 2);
+  for (std::size_t i = 0; i < arrivals_.size();) {
+    std::size_t j = i;
+    while (j < arrivals_.size() && arrivals_[j].cell == arrivals_[i].cell &&
+           arrivals_[j].tick == arrivals_[i].tick) {
+      ++j;
+    }
+    events.push_back({arrivals_[i].cell, arrivals_[i].tick, 0, 0, 0,
+                      static_cast<std::uint32_t>(j - i)});
+    i = j;
+  }
+  for (std::uint32_t x = 0; x < n; ++x) {
+    const std::uint32_t op = plan.order[x];
+    events.push_back({op_cell_[op], op_tick_[op], 1, x, op_consumes_[op],
+                      op_stores_[op]});
+  }
+  for (std::size_t i = 0; i < departures_.size();) {
+    std::size_t j = i;
+    while (j < departures_.size() &&
+           departures_[j].cell == departures_[i].cell &&
+           departures_[j].tick == departures_[i].tick) {
+      ++j;
+    }
+    events.push_back({departures_[i].cell, departures_[i].tick, 2, 0,
+                      static_cast<std::uint32_t>(j - i), 0});
+    i = j;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const RegEvent& a, const RegEvent& b) {
+              return std::tuple(a.cell, a.tick, a.stage, a.seq) <
+                     std::tuple(b.cell, b.tick, b.stage, b.seq);
+            });
+  std::size_t max_registers = 0;
+  i64 held = 0;
+  std::uint32_t current_cell = events.empty() ? 0 : events.front().cell;
+  for (const RegEvent& e : events) {
+    if (e.cell != current_cell) {
+      current_cell = e.cell;
+      held = 0;
+    }
+    held -= e.takes;
+    held += e.puts;
+    NUSYS_REQUIRE(held >= 0,
+                  "wavefront compile: a value is consumed before any "
+                  "producer stores it");
+    if (e.stage != 2) {
+      max_registers = std::max(max_registers, static_cast<std::size_t>(held));
+    }
+  }
+
+  plan.stats.first_tick = std::min<i64>(0, plan.first_tick);
+  plan.stats.last_tick = plan.last_tick;
+  plan.stats.cell_count = cells_.size();
+  plan.stats.busy_cell_ticks = active.size();
+  plan.stats.link_transfers = route_hops_;
+  plan.stats.max_registers = max_registers;
+  plan.stats.injections = injections_;
+  plan.stats.emissions = 0;
+  return plan;
+}
+
+}  // namespace nusys

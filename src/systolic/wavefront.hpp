@@ -1,0 +1,160 @@
+// Wavefront compilation of a mapped design's space-time schedule.
+//
+// The compiled execution backend splits running a design into two stages.
+// At *compile* time the full microcode of the interpretive executors —
+// which op fires at which (cell, tick), which value instance travels
+// which wire on which tick, which boundary values the host injects — is
+// flattened into anti-chain wavefronts: the ops of one tick, ordered
+// (cell, phase, insertion) so that every intra-tick register handoff has
+// its producer before its consumer. At *run* time the family executors
+// walk the wavefronts as tight loops over contiguous slot arrays; no
+// inboxes, no string-keyed registers, no per-cell dispatch.
+//
+// Because the traffic is fully static, every EngineStats field of the
+// interpretive engine is computed here at compile time, bit-identically:
+// busy cell-ticks (distinct (cell, tick) slots with any receive, compute
+// or send activity), link transfers (total route hops), injections,
+// the register-file high-water mark (an exact replay of the per-cell
+// register count over receive/compute/send events), and the link-capacity
+// discipline (two values on one (cell, tick, channel) throw exactly like
+// SystolicEngine::deliver does at runtime).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "designs/placement_key.hpp"
+#include "linalg/vec.hpp"
+#include "space/interconnect.hpp"
+#include "systolic/engine.hpp"
+
+namespace nusys {
+
+/// Names one value instance in wavefront error messages; the string is
+/// only materialized when a check fails.
+struct ValueLabel {
+  const char* var = "";          ///< Variable / channel base name.
+  const IntVec* point = nullptr; ///< Consumer coordinates (optional).
+  std::size_t inst = 0;          ///< Pipelined instance index.
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One anti-chain of the compiled schedule: the ops
+/// `order[begin..end)` all fire at `tick`. Ticks without compute
+/// activity produce no wavefront (they cost nothing at run time but
+/// still count toward the makespan statistics).
+struct Wavefront {
+  i64 tick = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
+/// The ops of one (cell, tick) slot — a contiguous subrange of `order`.
+/// Family executors use these for fold-discipline checks.
+struct CellTickGroup {
+  std::uint32_t cell = 0;
+  i64 tick = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
+/// A compiled schedule: execution order, wavefront index and the
+/// statically computed statistics of the equivalent interpretive run.
+struct WavefrontPlan {
+  std::vector<std::uint32_t> order;   ///< Op ids in execution order.
+  std::vector<Wavefront> fronts;      ///< Non-empty ticks, ascending.
+  std::vector<CellTickGroup> groups;  ///< `order` split per (cell, tick).
+  EngineStats stats;                  ///< Identical to an engine run's.
+  std::size_t cell_count = 0;
+  std::size_t route_hops = 0;
+  i64 first_tick = 0;                 ///< Min op tick (engine run window).
+  i64 last_tick = 0;                  ///< Max op tick.
+};
+
+/// Records the placements and the value traffic of one mapped design,
+/// then compiles them into a WavefrontPlan. Cells must be interned
+/// before transports are added (routes may only relay through cells).
+class WavefrontPlanBuilder {
+ public:
+  /// `var_count` is the number of distinct channel base names; it sizes
+  /// the per-(link, variable) capacity check exactly like the
+  /// interpretive channel strings "var@link" do.
+  WavefrontPlanBuilder(const Interconnect& net, std::size_t var_count);
+
+  /// Interns a cell coordinate; returns its dense id (idempotent).
+  std::uint32_t intern_cell(const IntVec& coord);
+  [[nodiscard]] const IntVec& cell_coord(std::uint32_t cell) const;
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+
+  /// Places one op. Ops of one (cell, tick) execute in (phase,
+  /// insertion) order — the interpretive executors' stable sort.
+  std::uint32_t add_op(std::uint32_t cell, i64 tick, std::uint32_t phase);
+  [[nodiscard]] std::uint32_t op_cell(std::uint32_t op) const;
+  [[nodiscard]] i64 op_tick(std::uint32_t op) const;
+
+  /// A host-injected boundary value arriving at `consumer`'s slot.
+  void add_inject(std::uint32_t consumer, std::uint32_t var);
+
+  /// A value produced by `producer` and consumed by `consumer`. Same
+  /// cell: a register handoff. Different cells: routed min-hop within
+  /// the tick slack, ALAP departure, relaying only through interned
+  /// cells — exactly the interpretive transport schedule. The caller
+  /// validates its slack policy (uniform: > 0; DP: >= 0) first.
+  void add_transport(std::uint32_t producer, std::uint32_t consumer,
+                     std::uint32_t var, const ValueLabel& label);
+
+  /// Compiles everything recorded so far. The builder is consumed.
+  WavefrontPlan compile() &&;
+
+ private:
+  struct RouteStep {
+    std::uint32_t cell = 0;  ///< Cell the value arrives at.
+    std::uint32_t link = 0;  ///< Link index it travelled.
+  };
+
+  // One value arriving at a cell on a channel (link x variable or
+  // host x variable): the unit of the capacity check and of the
+  // receive-phase register replay.
+  struct Arrival {
+    std::uint32_t cell = 0;
+    i64 tick = 0;
+    std::uint32_t channel = 0;
+  };
+
+  struct Departure {
+    std::uint32_t cell = 0;
+    i64 tick = 0;
+  };
+
+  [[nodiscard]] std::uint32_t channel_of(std::uint32_t var,
+                                         std::uint32_t link) const;
+
+  const Interconnect& net_;
+  std::size_t var_count_ = 0;
+  std::uint32_t host_link_ = 0;  ///< Pseudo-link index for injections.
+
+  std::vector<IntVec> cells_;
+  std::unordered_map<IntVec, std::uint32_t, IntVecHash> cell_ids_;
+
+  // Op placements (SoA).
+  std::vector<std::uint32_t> op_cell_;
+  std::vector<i64> op_tick_;
+  std::vector<std::uint32_t> op_phase_;
+  // Register traffic per op: values cleared / stored at its compute.
+  std::vector<std::uint32_t> op_consumes_;
+  std::vector<std::uint32_t> op_stores_;
+
+  std::vector<Arrival> arrivals_;
+  std::vector<Departure> departures_;
+  std::size_t route_hops_ = 0;
+  std::size_t injections_ = 0;
+
+  // Route cache: displacement x slack -> expanded per-hop link indices.
+  std::unordered_map<detail::PlacementKey, std::vector<std::uint32_t>,
+                     detail::PlacementKeyHash>
+      route_cache_;
+};
+
+}  // namespace nusys

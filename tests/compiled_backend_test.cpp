@@ -1,0 +1,399 @@
+// Differential tests of the compiled wavefront backend: every design the
+// repo can execute — the paper's fig-1/fig-2 DP arrays, the frontier
+// corpus across all six recurrence families, partitioned (fold-sharing)
+// arrays — must produce bit-identical results AND bit-identical engine
+// statistics (tick range, busy cells, link transfers, register high-water)
+// on the compiled and the interpretive engine. Plus the wavefront edge
+// cases: single-cell designs, schedules with empty anti-chain ticks,
+// fold-shared cells firing inside one wavefront, and cancellation polled
+// between wavefronts.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "conv/convolution.hpp"
+#include "designs/dp_array.hpp"
+#include "designs/uniform_array.hpp"
+#include "dp/problems.hpp"
+#include "dp/sequential.hpp"
+#include "frontends/execute.hpp"
+#include "frontends/floyd_warshall.hpp"
+#include "frontends/lu.hpp"
+#include "frontends/matmul.hpp"
+#include "frontends/smith_waterman.hpp"
+#include "support/rng.hpp"
+#include "synth/batch.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/synthesizer.hpp"
+#include "systolic/engine_select.hpp"
+
+namespace nusys {
+namespace {
+
+void expect_stats_equal(const EngineStats& compiled,
+                        const EngineStats& interpretive,
+                        const std::string& label) {
+  EXPECT_EQ(compiled.first_tick, interpretive.first_tick) << label;
+  EXPECT_EQ(compiled.last_tick, interpretive.last_tick) << label;
+  EXPECT_EQ(compiled.cell_count, interpretive.cell_count) << label;
+  EXPECT_EQ(compiled.busy_cell_ticks, interpretive.busy_cell_ticks) << label;
+  EXPECT_EQ(compiled.link_transfers, interpretive.link_transfers) << label;
+  EXPECT_EQ(compiled.max_registers, interpretive.max_registers) << label;
+  EXPECT_EQ(compiled.injections, interpretive.injections) << label;
+  EXPECT_EQ(compiled.emissions, interpretive.emissions) << label;
+}
+
+void expect_uniform_runs_equal(const UniformArrayRun& compiled,
+                               const UniformArrayRun& interpretive,
+                               const std::string& label) {
+  EXPECT_EQ(compiled.finals, interpretive.finals) << label;
+  EXPECT_EQ(compiled.cell_count, interpretive.cell_count) << label;
+  EXPECT_EQ(compiled.first_tick, interpretive.first_tick) << label;
+  EXPECT_EQ(compiled.last_tick, interpretive.last_tick) << label;
+  EXPECT_EQ(compiled.route_hops, interpretive.route_hops) << label;
+  expect_stats_equal(compiled.stats, interpretive.stats, label);
+}
+
+void expect_dp_runs_equal(const DPArrayRun& compiled,
+                          const DPArrayRun& interpretive,
+                          const std::string& label) {
+  EXPECT_EQ(compiled.table, interpretive.table) << label;
+  EXPECT_EQ(compiled.cell_count, interpretive.cell_count) << label;
+  EXPECT_EQ(compiled.first_tick, interpretive.first_tick) << label;
+  EXPECT_EQ(compiled.last_tick, interpretive.last_tick) << label;
+  EXPECT_EQ(compiled.compute_ops, interpretive.compute_ops) << label;
+  EXPECT_EQ(compiled.max_folded_ops, interpretive.max_folded_ops) << label;
+  EXPECT_EQ(compiled.route_hops, interpretive.route_hops) << label;
+  expect_stats_equal(compiled.stats, interpretive.stats, label);
+}
+
+std::vector<BatchProblem> load_corpus() {
+  const std::string path =
+      std::string(NUSYS_REPO_DIR) + "/examples/frontier_corpus.jsonl";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  return parse_batch_jsonl(in);
+}
+
+// ---- The paper's fig-1/fig-2 seeds, both engines, several problems. ----
+
+class FigureSeedTest : public ::testing::TestWithParam<int> {
+ protected:
+  static DPArrayDesign design() {
+    return GetParam() == 1 ? dp_fig1_design() : dp_fig2_design();
+  }
+};
+
+TEST_P(FigureSeedTest, DPProblemsAreBitIdenticalAcrossEngines) {
+  const i64 n = 12;
+  Rng rng(2026);
+  const auto problems = {random_matrix_chain(n, rng),
+                         random_shortest_path(n, rng)};
+  for (const auto& p : problems) {
+    const auto compiled =
+        run_dp_on_array(p, design(), EngineKind::kCompiled);
+    const auto interpretive =
+        run_dp_on_array(p, design(), EngineKind::kInterpretive);
+    expect_dp_runs_equal(compiled, interpretive, p.name);
+    EXPECT_EQ(compiled.table, solve_sequential(p)) << p.name;
+  }
+}
+
+TEST_P(FigureSeedTest, PipelinedRunsAreBitIdenticalAcrossEngines) {
+  const i64 n = 8;
+  Rng rng(7);
+  std::vector<IntervalDPProblem> instances;
+  for (int q = 0; q < 3; ++q) {
+    instances.push_back(random_matrix_chain(n, rng));
+  }
+  const i64 period = 4 * n;  // Far above any minimum period at this size.
+  const auto compiled =
+      run_dp_pipelined(instances, design(), period, EngineKind::kCompiled);
+  const auto interpretive = run_dp_pipelined(instances, design(), period,
+                                             EngineKind::kInterpretive);
+  ASSERT_EQ(compiled.tables.size(), instances.size());
+  ASSERT_EQ(interpretive.tables.size(), instances.size());
+  for (std::size_t q = 0; q < instances.size(); ++q) {
+    EXPECT_EQ(compiled.tables[q], interpretive.tables[q]) << "inst " << q;
+    EXPECT_EQ(compiled.tables[q], solve_sequential(instances[q]))
+        << "inst " << q;
+  }
+  EXPECT_EQ(compiled.cell_count, interpretive.cell_count);
+  EXPECT_EQ(compiled.first_tick, interpretive.first_tick);
+  EXPECT_EQ(compiled.last_tick, interpretive.last_tick);
+  EXPECT_EQ(compiled.compute_ops, interpretive.compute_ops);
+  expect_stats_equal(compiled.stats, interpretive.stats, "pipelined");
+}
+
+INSTANTIATE_TEST_SUITE_P(Figures, FigureSeedTest, ::testing::Values(1, 2));
+
+// ---- Full frontier corpus: every synthesized design, both engines. ----
+
+TEST(CompiledBackendTest, FrontierCorpusIsBitIdenticalAcrossEngines) {
+  Rng rng(31);
+  for (const auto& p : load_corpus()) {
+    const auto net = batch_interconnect(p);
+    const i64 n = p.n;
+    const i64 m = p.m > 0 ? p.m : n;
+    const i64 pr = p.p > 0 ? p.p : n;
+    if (batch_uses_pipeline(p)) {
+      const auto result = synthesize_nonuniform(batch_spec(p), net);
+      ASSERT_TRUE(result.found()) << p.name;
+      FWInstance dag;  // Must outlive fw_problem's closures.
+      IntervalDPProblem problem;
+      if (p.kind == BatchProblem::Kind::kFloydWarshall) {
+        dag = random_dag_instance(n, rng);
+        problem = fw_problem(dag);
+      } else {
+        problem = random_matrix_chain(n, rng);
+      }
+      const auto compiled =
+          run_dp_on_array(problem, result.best(), EngineKind::kCompiled);
+      const auto interpretive =
+          run_dp_on_array(problem, result.best(), EngineKind::kInterpretive);
+      expect_dp_runs_equal(compiled, interpretive, p.name);
+      continue;
+    }
+    const auto result = synthesize(batch_recurrence(p), net);
+    ASSERT_TRUE(result.found()) << p.name;
+    // Every design of the report, not just the best one.
+    for (const auto& d : result.designs) {
+      const auto rec = batch_recurrence(p);
+      UniformSemantics semantics;
+      std::vector<i64> x, w;
+      MatMulInstance mm;
+      LUInstance lu;
+      SWInstance sw;
+      std::vector<std::vector<i64>> h1, h2;
+      switch (p.kind) {
+        case BatchProblem::Kind::kConvolution:
+          x = rng.uniform_vector(static_cast<std::size_t>(n), -9, 9);
+          w = rng.uniform_vector(static_cast<std::size_t>(p.s), -9, 9);
+          semantics = convolution_semantics(x, w);
+          break;
+        case BatchProblem::Kind::kMatMul:
+          mm = random_matmul_instance(n, m, pr, rng);
+          semantics = matmul_semantics(mm);
+          break;
+        case BatchProblem::Kind::kLU:
+          lu = random_exact_lu_instance(n, rng);
+          semantics = lu_semantics(lu);
+          break;
+        case BatchProblem::Kind::kSmithWaterman: {
+          sw = random_sw_instance(n, m, p.band, rng);
+          const auto zero = std::vector<std::vector<i64>>(
+              static_cast<std::size_t>(n),
+              std::vector<i64>(static_cast<std::size_t>(m), 0));
+          h1 = zero;
+          h2 = zero;
+          semantics = sw_semantics(sw, h1);
+          break;
+        }
+        default:
+          FAIL() << p.name;
+      }
+      const auto compiled = run_uniform_design(
+          rec, semantics, d.timing, d.space, d.net, EngineKind::kCompiled);
+      if (p.kind == BatchProblem::Kind::kSmithWaterman) {
+        std::swap(h1, h2);  // Keep the compiled observe table aside.
+        semantics = sw_semantics(sw, h1);
+      }
+      const auto interpretive =
+          run_uniform_design(rec, semantics, d.timing, d.space, d.net,
+                             EngineKind::kInterpretive);
+      expect_uniform_runs_equal(compiled, interpretive, p.name);
+      if (p.kind == BatchProblem::Kind::kSmithWaterman) {
+        EXPECT_EQ(h1, h2) << p.name;  // Observe hooks saw identical tables.
+      }
+    }
+  }
+}
+
+TEST(CompiledBackendTest, FamilyExecutorsMatchReferencesOnBothEngines) {
+  // The family-specialized compiled structs (MatMulCompiledSemantics etc.)
+  // only run through the frontend entry points — exercise each against the
+  // sequential reference on both engines via the shared execute helper.
+  for (const auto& p : load_corpus()) {
+    const auto net = batch_interconnect(p);
+    if (batch_uses_pipeline(p)) {
+      const auto result = synthesize_nonuniform(batch_spec(p), net);
+      ASSERT_TRUE(result.found()) << p.name;
+      for (const auto engine :
+           {EngineKind::kCompiled, EngineKind::kInterpretive}) {
+        EXPECT_TRUE(
+            execute_pipeline_design(p, result.best(), 5, engine).match)
+            << p.name << " on " << engine_kind_name(engine);
+      }
+    } else {
+      const auto result = synthesize(batch_recurrence(p), net);
+      ASSERT_TRUE(result.found()) << p.name;
+      for (const auto engine :
+           {EngineKind::kCompiled, EngineKind::kInterpretive}) {
+        EXPECT_TRUE(
+            execute_uniform_design(p, result.designs.front(), 5, engine)
+                .match)
+            << p.name << " on " << engine_kind_name(engine);
+      }
+    }
+  }
+}
+
+// ---- Wavefront edge cases. ------------------------------------------------
+
+CanonicRecurrence chain_recurrence(i64 n) {
+  DependenceSet deps;
+  deps.add("v", IntVec({1, 0}));
+  return CanonicRecurrence("chain",
+                           IndexDomain::box({"i", "k"}, {1, 1}, {n, 1}),
+                           std::move(deps));
+}
+
+UniformSemantics chain_semantics() {
+  UniformSemantics sem;
+  sem.accumulator = "v";
+  sem.compute = [](const IntVec& p, const std::map<std::string, Value>& in) {
+    return in.at("v") + p[0];
+  };
+  sem.boundary = [](const std::string&, const IntVec&) -> Value { return 7; };
+  return sem;
+}
+
+TEST(CompiledBackendTest, SingleCellDesignMatchesInterpretive) {
+  // S = (0 0) folds the whole chain onto one cell: no routing at all, every
+  // hand-off is a register pass inside the cell.
+  const i64 n = 9;
+  const auto rec = chain_recurrence(n);
+  const auto run = [&](EngineKind engine) {
+    return run_uniform_design(rec, chain_semantics(),
+                              LinearSchedule(IntVec({1, 1})), IntMat{{0, 0}},
+                              Interconnect::linear_bidirectional(), engine);
+  };
+  const auto compiled = run(EngineKind::kCompiled);
+  const auto interpretive = run(EngineKind::kInterpretive);
+  expect_uniform_runs_equal(compiled, interpretive, "single-cell");
+  EXPECT_EQ(compiled.cell_count, 1u);
+  EXPECT_EQ(compiled.route_hops, 0u);
+  ASSERT_EQ(compiled.finals.size(), 1u);
+  EXPECT_EQ(compiled.finals.at(IntVec{n, 1}), 7 + n * (n + 1) / 2);
+}
+
+TEST(CompiledBackendTest, EmptyAntiChainTicksMatchInterpretive) {
+  // T = (2, 1) fires one point every OTHER tick: the interpretive engine
+  // clocks through the idle ticks, the wavefront plan simply has no
+  // anti-chain there — statistics must still agree exactly.
+  const i64 n = 8;
+  const auto rec = chain_recurrence(n);
+  const auto run = [&](EngineKind engine) {
+    return run_uniform_design(rec, chain_semantics(),
+                              LinearSchedule(IntVec({2, 1})), IntMat{{0, 0}},
+                              Interconnect::linear_bidirectional(), engine);
+  };
+  const auto compiled = run(EngineKind::kCompiled);
+  const auto interpretive = run(EngineKind::kInterpretive);
+  expect_uniform_runs_equal(compiled, interpretive, "empty-anti-chains");
+  // n firings spread over a 2n-1-tick window: every other tick is idle.
+  EXPECT_EQ(compiled.last_tick - compiled.first_tick + 1, 2 * n - 1);
+}
+
+TEST(CompiledBackendTest, FoldSharedCellsMatchInterpretive) {
+  // LSGP partitioning folds 2x2 virtual cells onto one processor, so one
+  // wavefront carries several ops of the SAME physical cell — the fold
+  // discipline and max_folded_ops must agree with the interpretive engine.
+  const i64 n = 10;
+  Rng rng(55);
+  const auto p = random_matrix_chain(n, rng);
+  for (const auto& design :
+       {partitioned(dp_fig1_design(), 2, 2), partitioned(dp_fig2_design(), 3, 1)}) {
+    const auto compiled =
+        run_dp_on_array(p, design, EngineKind::kCompiled);
+    const auto interpretive =
+        run_dp_on_array(p, design, EngineKind::kInterpretive);
+    expect_dp_runs_equal(compiled, interpretive, "partitioned");
+    EXPECT_GT(compiled.max_folded_ops, 1u);
+    EXPECT_EQ(compiled.table, solve_sequential(p));
+  }
+}
+
+TEST(CompiledBackendTest, PreFiredTokenCancelsBeforeAnyWork) {
+  CancelToken cancel;
+  cancel.request_cancel();
+  const auto rec = chain_recurrence(6);
+  std::size_t computed = 0;
+  auto sem = chain_semantics();
+  sem.observe = [&](const IntVec&, Value) { ++computed; };
+  EXPECT_THROW(
+      (void)run_uniform_design(rec, sem, LinearSchedule(IntVec({1, 1})),
+                               IntMat{{0, 0}},
+                               Interconnect::linear_bidirectional(),
+                               EngineKind::kCompiled, &cancel),
+      CancelledError);
+  EXPECT_EQ(computed, 0u);
+}
+
+TEST(CompiledBackendTest, MidRunCancellationStopsAtAWavefrontBoundary) {
+  // The observe hook fires the token mid-run; the executor polls between
+  // wavefronts, so the current front finishes and the next one throws.
+  const i64 n = 12;
+  CancelToken cancel;
+  const auto rec = chain_recurrence(n);
+  std::size_t computed = 0;
+  auto sem = chain_semantics();
+  sem.observe = [&](const IntVec&, Value) {
+    if (++computed == 3) cancel.request_cancel();
+  };
+  EXPECT_THROW(
+      (void)run_uniform_design(rec, sem, LinearSchedule(IntVec({1, 1})),
+                               IntMat{{1, 0}},
+                               Interconnect::linear_bidirectional(),
+                               EngineKind::kCompiled, &cancel),
+      CancelledError);
+  EXPECT_GE(computed, 3u);
+  EXPECT_LT(computed, static_cast<std::size_t>(n));
+}
+
+TEST(CompiledBackendTest, InterpretiveEngineIgnoresTheToken) {
+  CancelToken cancel;
+  cancel.request_cancel();
+  const auto rec = chain_recurrence(6);
+  const auto run = run_uniform_design(
+      rec, chain_semantics(), LinearSchedule(IntVec({1, 1})), IntMat{{0, 0}},
+      Interconnect::linear_bidirectional(), EngineKind::kInterpretive,
+      &cancel);
+  EXPECT_EQ(run.finals.size(), 1u);
+}
+
+TEST(CompiledBackendTest, DPCancellationThrowsMidRun) {
+  const i64 n = 10;
+  Rng rng(77);
+  auto p = random_matrix_chain(n, rng);
+  CancelToken cancel;
+  std::size_t combines = 0;
+  const auto inner = p.combine;
+  p.combine = [&, inner](i64 i, i64 k, i64 j, i64 cik, i64 ckj) {
+    if (++combines == 5) cancel.request_cancel();
+    return inner(i, k, j, cik, ckj);
+  };
+  EXPECT_THROW((void)run_dp_on_array(p, dp_fig2_design(),
+                                     EngineKind::kCompiled, &cancel),
+               CancelledError);
+  EXPECT_GE(combines, 5u);
+}
+
+TEST(CompiledBackendTest, EngineSelectionParsesAndOverrides) {
+  EXPECT_EQ(parse_engine_kind("compiled"), EngineKind::kCompiled);
+  EXPECT_EQ(parse_engine_kind("interpretive"), EngineKind::kInterpretive);
+  EXPECT_EQ(parse_engine_kind("fast"), std::nullopt);
+  EXPECT_STREQ(engine_kind_name(EngineKind::kCompiled), "compiled");
+  EXPECT_STREQ(engine_kind_name(EngineKind::kInterpretive), "interpretive");
+
+  const EngineKind ambient = engine_kind();  // NUSYS_ENGINE or default.
+  set_engine_kind_override(EngineKind::kInterpretive);
+  EXPECT_EQ(engine_kind(), EngineKind::kInterpretive);
+  set_engine_kind_override(EngineKind::kCompiled);
+  EXPECT_EQ(engine_kind(), EngineKind::kCompiled);
+  set_engine_kind_override(std::nullopt);
+  EXPECT_EQ(engine_kind(), ambient);
+}
+
+}  // namespace
+}  // namespace nusys

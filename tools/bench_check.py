@@ -93,9 +93,14 @@ def tracked_counters(run: dict) -> dict[str, float]:
     return counters
 
 
-def load_results(results_dir: Path) -> dict[str, dict[str, float]]:
-    """Maps "<binary>/<benchmark name>" -> counters for every JSON file."""
+def load_results(
+        results_dir: Path) -> tuple[dict[str, dict[str, float]], set[str]]:
+    """Maps "<binary>/<benchmark name>" -> counters for every JSON file,
+    plus the set of binaries (file stems) the directory covered — the
+    distinction --allow-missing needs between "this binary was not rerun"
+    and "this binary ran but lost a benchmark"."""
     merged: dict[str, dict[str, float]] = {}
+    binaries: set[str] = set()
     files = sorted(results_dir.glob("*.json"))
     if not files:
         sys.exit(f"error: no .json result files in {results_dir}")
@@ -103,6 +108,7 @@ def load_results(results_dir: Path) -> dict[str, dict[str, float]]:
         with path.open() as fh:
             doc = json.load(fh)
         binary = path.stem
+        binaries.add(binary)
         for run in doc.get("benchmarks", []):
             if run.get("run_type") == "aggregate":
                 continue
@@ -112,33 +118,56 @@ def load_results(results_dir: Path) -> dict[str, dict[str, float]]:
             counters = tracked_counters(run)
             if counters:
                 merged[f"{binary}/{run['name']}"] = counters
-    return merged
+    return merged, binaries
 
 
-def compare(baseline: dict, current: dict,
-            allow_missing: bool = False) -> list[str]:
-    """All gate violations, empty when the results are within tolerance.
+def compare(baseline: dict, current: dict, binaries: set[str],
+            allow_missing: bool = False) -> tuple[list[str], list[dict]]:
+    """All gate violations plus one machine-readable record per entry.
 
     Warn-only counters (timing, advisory) are still compared — against
     their own generous tolerance — but drift is printed, never returned.
-    With allow_missing, baseline entries absent from the results are
-    loudly skipped instead of failing (partial runs, e.g. the ablation
-    rerun of the search benches alone): every skipped entry prints a
-    warning and a summary line reports the uncovered count, so a partial
-    run can never silently masquerade as full coverage.
+    With allow_missing, baseline entries whose *whole binary* is absent
+    from the results are loudly skipped instead of failing (partial runs,
+    e.g. the ablation rerun of the search benches alone): every skipped
+    entry prints a warning and a summary line reports the uncovered count,
+    so a partial run can never silently masquerade as full coverage. A
+    gated entry (one with at least one non-warn-only counter) that is
+    missing while its binary's results ARE present still fails — the
+    binary ran and lost a benchmark, which is a coverage regression, not a
+    partial rerun.
+
+    The second return value feeds --json-summary: one dict per baseline
+    entry with its name, status (pass | warn | fail | skipped) and the
+    messages behind a non-pass status.
     """
     problems = []
-    skipped = []
+    records = []
+    skipped_count = 0
     for name, expected in sorted(baseline.items()):
         got = current.get(name)
+        messages: list[str] = []
+        status = "pass"
         if got is None:
-            if allow_missing:
+            binary = name.split("/", 1)[0]
+            gated = any(not is_warn_only(c) for c in expected)
+            if allow_missing and not (binary in binaries and gated):
                 print(f"warning (allow-missing): {name} absent from the "
                       "results; its baseline counters were NOT checked")
-                skipped.append(name)
+                skipped_count += 1
+                records.append({"name": name, "status": "skipped",
+                                "messages": ["absent from the results"]})
                 continue
-            problems.append(f"{name}: benchmark missing from the results "
-                            "(coverage regression)")
+            if allow_missing:
+                message = (f"{name}: gated benchmark missing although "
+                           f"{binary} results are present "
+                           "(coverage regression)")
+            else:
+                message = (f"{name}: benchmark missing from the results "
+                           "(coverage regression)")
+            problems.append(message)
+            records.append({"name": name, "status": "fail",
+                            "messages": [message]})
             continue
         for counter, want in sorted(expected.items()):
             warn_only = is_warn_only(counter)
@@ -147,8 +176,11 @@ def compare(baseline: dict, current: dict,
                 message = f"{name}: counter '{counter}' disappeared"
                 if warn_only:
                     print(f"warning: {message}")
+                    status = "warn" if status == "pass" else status
                 else:
                     problems.append(message)
+                    status = "fail"
+                messages.append(message)
                 continue
             if want == 0:
                 drift = 0.0 if have == 0 else float("inf")
@@ -160,17 +192,41 @@ def compare(baseline: dict, current: dict,
                            f"({drift:+.0%} drift exceeds {tolerance:.0%})")
                 if warn_only:
                     print(f"warning (not gated): {message}")
+                    status = "warn" if status == "pass" else status
                 else:
                     problems.append(message)
+                    status = "fail"
+                messages.append(message)
+        records.append({"name": name, "status": status,
+                        "messages": messages})
     for name in sorted(set(current) - set(baseline)):
         # New benchmarks are fine; they just are not gated yet.
         print(f"note: {name} has no baseline entry "
               "(run with --update to start tracking it)")
-    if skipped:
-        print(f"warning (allow-missing): {len(skipped)} of "
+        records.append({"name": name, "status": "untracked",
+                        "messages": ["no baseline entry yet"]})
+    if skipped_count:
+        print(f"warning (allow-missing): {skipped_count} of "
               f"{len(baseline)} baseline benchmark(s) were not covered by "
               "this run")
-    return problems
+    return problems, records
+
+
+def write_json_summary(records: list[dict], failed: bool,
+                       path: Path) -> None:
+    """The machine-readable gate outcome (the bench-gate-summary artifact)."""
+    counts: dict[str, int] = {}
+    for record in records:
+        counts[record["status"]] = counts.get(record["status"], 0) + 1
+    doc = {
+        "status": "fail" if failed else "pass",
+        "tolerance": TOLERANCE,
+        "timing_tolerance": TIMING_TOLERANCE,
+        "counts": counts,
+        "entries": records,
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"json summary written to {path}")
 
 
 def write_telemetry_report(current: dict, baseline: dict,
@@ -217,12 +273,18 @@ def main() -> int:
                         help="also write a markdown telemetry/prune-count "
                              "report to this path (CI artifact)")
     parser.add_argument("--allow-missing", action="store_true",
-                        help="do not fail on baseline entries absent from "
-                             "the results (partial reruns, e.g. the "
-                             "ablation pass over the search benches)")
+                        help="do not fail on baseline entries whose whole "
+                             "binary is absent from the results (partial "
+                             "reruns, e.g. the ablation pass over the "
+                             "search benches); a gated entry missing while "
+                             "its binary's results are present still fails")
+    parser.add_argument("--json-summary", type=Path, default=None,
+                        help="write a machine-readable pass/warn/fail "
+                             "summary per entry to this path (the CI "
+                             "bench-gate-summary artifact)")
     args = parser.parse_args()
 
-    current = load_results(args.results)
+    current, binaries = load_results(args.results)
     if args.telemetry_report is not None:
         existing = (json.loads(args.baseline.read_text())
                     if args.baseline.exists() else {})
@@ -238,7 +300,11 @@ def main() -> int:
         sys.exit(f"error: baseline {args.baseline} not found "
                  "(generate it with --update)")
     baseline = json.loads(args.baseline.read_text())
-    problems = compare(baseline, current, allow_missing=args.allow_missing)
+    problems, records = compare(baseline, current, binaries,
+                                allow_missing=args.allow_missing)
+    if args.json_summary is not None:
+        write_json_summary(records, failed=bool(problems),
+                           path=args.json_summary)
     if problems:
         print(f"bench gate FAILED: {len(problems)} violation(s)")
         for p in problems:

@@ -30,10 +30,16 @@
 //       document (lint + certificates + counters). Exit 0 iff everything
 //       is certified and lint-clean.
 //   nusys batch --batch jobs.jsonl [--threads N] [--cache designs.cache]
-//               [--cache-capacity 128]
+//               [--cache-capacity 128] [--execute]
 //       Synthesize a JSONL stream of problems through one shared canonical
 //       design cache (see src/synth/batch.hpp for the line format),
 //       reporting aggregate throughput and per-problem cache provenance.
+//       --execute additionally runs every feasible problem's best design
+//       on a seeded random instance against the family's sequential
+//       reference (exit 0 iff every executed result matches).
+//   All commands accept --engine interpretive|compiled, overriding the
+//   NUSYS_ENGINE environment default (compiled when unset) for every
+//   mapped-design execution in the process.
 //   nusys serve [--port 7077] [--workers 2] [--queue-capacity 16]
 //               [--default-timeout-ms 0] [--retry-after-ms 25]
 //               [--cache designs.cache] [--cache-capacity 128]
@@ -43,12 +49,14 @@
 //       gracefully (in-flight requests finish, new ones are rejected) and
 //       exit 0.
 //   nusys request <synth|batch|stats|ping> [--port 7077] [--host 127.0.0.1]
-//               [--timeout-ms N]
+//               [--timeout-ms N] [--execute]
 //       Talk to a running service. synth takes the problem flags
 //       (--kind conv|pipeline, --n, --s, --recurrence, --net); batch sends
-//       every problem of --batch file.jsonl as one request; stats prints
-//       the observability snapshot (latency histogram, queue depth, cache
-//       hit rate, worker utilization) as JSON.
+//       every problem of --batch file.jsonl as one request; --execute asks
+//       the service to run each best design against the sequential
+//       reference; stats prints the observability snapshot (latency
+//       histogram, queue depth, cache hit rate, worker utilization) as
+//       JSON.
 #include <fstream>
 #include <iostream>
 
@@ -74,6 +82,7 @@
 #include "synth/pipeline.hpp"
 #include "synth/report.hpp"
 #include "synth/synthesizer.hpp"
+#include "systolic/engine_select.hpp"
 
 namespace {
 
@@ -185,8 +194,8 @@ int cmd_synth_family(const ArgMap& args) {
         break;  // Pipeline path above.
     }
   }
-  std::cout << "executed best design: results "
-            << (match ? "MATCH" : "MISMATCH")
+  std::cout << "executed best design (" << engine_kind_name(engine_kind())
+            << " engine): results " << (match ? "MATCH" : "MISMATCH")
             << " the sequential reference\n";
   return match ? 0 : 1;
 }
@@ -401,12 +410,19 @@ int cmd_batch(const ArgMap& args) {
 
   BatchOptions options;
   options.parallelism = parse_parallelism(args);
+  options.execute = args.has("execute");
+  options.execute_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto run = run_batch(problems, options, cache);
   std::cout << describe_batch(run);
 
   for (const auto& item : run.items) {
     if (!item.report.feasible) {
       std::cerr << "problem '" << item.name << "' found no design\n";
+      return 1;
+    }
+    if (item.executed && !item.execution_match) {
+      std::cerr << "problem '" << item.name
+                << "' executed with a result MISMATCH\n";
       return 1;
     }
   }
@@ -490,6 +506,7 @@ int cmd_request(const ArgMap& args) {
   }
   request.timeout_ms = args.get_int("timeout-ms", 0);
   NUSYS_REQUIRE(request.timeout_ms >= 0, "--timeout-ms must be non-negative");
+  request.execute = args.has("execute");
 
   const i64 port = args.get_int("port", 7077);
   NUSYS_REQUIRE(port > 0 && port < 65536, "--port must be 1..65535");
@@ -518,6 +535,11 @@ int cmd_request(const ArgMap& args) {
       std::cout << "== " << result.name << " ["
                 << (result.cache_hit ? "cache-hit" : "searched") << "] ==\n"
                 << result.report.render();
+      if (result.executed) {
+        std::cout << "executed (" << result.engine << " engine): results "
+                  << (result.execution_match ? "MATCH" : "MISMATCH")
+                  << " the sequential reference\n";
+      }
     }
   } else {
     std::cout << "pong\n";
@@ -534,9 +556,18 @@ int main(int argc, char** argv) {
         "seed", "net",   "threads",    "problem", "batch",
         "cache", "cache-capacity", "port", "host", "workers",
         "queue-capacity", "default-timeout-ms", "retry-after-ms",
-        "timeout-ms", "kind", "design", "family", "m", "p", "band"};
+        "timeout-ms", "kind", "design", "family", "m", "p", "band",
+        "engine"};
     const ArgMap args(argc, argv, known,
-                      {"trace", "activity", "paranoid", "json"});
+                      {"trace", "activity", "paranoid", "json", "execute"});
+    if (args.has("engine")) {
+      const auto kind = nusys::parse_engine_kind(args.get("engine", ""));
+      if (!kind) {
+        std::cerr << "error: --engine must be interpretive|compiled\n";
+        return 1;
+      }
+      nusys::set_engine_kind_override(kind);
+    }
     const std::string cmd =
         args.positional().empty() ? "help" : args.positional().front();
     if (cmd == "synth-conv") return cmd_synth_conv(args);
