@@ -1,49 +1,207 @@
-// Experiment A5 (extension) — the processors/time trade of LSGP
-// partitioning: the paper's introduction cites optimality "based on such
-// parameters as completion time T, number of processors P" [18]; this
-// bench sweeps cluster sizes on both figure designs and reports the
-// measured (P, T) frontier, verifying results stay bit-exact throughout.
+// Experiment A7 (extension) — the processors/time/buffer trade of tiling
+// unbounded problems onto fixed arrays: the paper's introduction cites
+// optimality "based on such parameters as completion time T, number of
+// processors P" [18]; this bench sweeps target shapes through the
+// partition subsystem (src/partition/) across the recurrence families and
+// reports the measured (P, T, buffer-bytes) frontier, verifying results
+// stay bit-exact throughout. The timed part gates the deterministic plan
+// counters — physical cells, makespan, inter-tile buffer bytes, reuse
+// hits — so a planner regression fails the bench gate, not just the unit
+// tests. The n = 1024 convolution case pins the headline property: the
+// physical array stays at P·Q cells no matter how large the problem is.
 #include "bench_common.hpp"
+#include "conv/convolution.hpp"
+#include "conv/recurrences.hpp"
 #include "designs/dp_array.hpp"
 #include "dp/sequential.hpp"
+#include "frontends/matmul.hpp"
+#include "partition/dp_tiling.hpp"
+#include "partition/tile_plan.hpp"
+#include "partition/tiled_uniform.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
+#include "synth/synthesizer.hpp"
 
 namespace {
 
 using namespace nusys;
 
-void print_partitioning() {
-  std::cout << "=== Extension A5: LSGP partitioning (fixed-size arrays) "
-               "===\n\n";
-  const i64 n = 16;
-  Rng rng(18);
-  const auto p = random_matrix_chain(n, rng);
-  const auto expected = solve_sequential(p);
+TileOptions tile_shape(i64 rows, i64 cols,
+                       TileMode mode = TileMode::kAuto) {
+  TileOptions t;
+  t.rows = rows;
+  t.cols = cols;
+  t.mode = mode;
+  return t;
+}
 
-  TextTable table({"design", "block", "cells", "ticks", "cells*ticks",
-                   "correct"});
-  for (const auto& [name, base] :
-       {std::pair{"figure1", dp_fig1_design()},
-        std::pair{"figure2", dp_fig2_design()}}) {
-    for (const i64 b : {1, 2, 3, 4}) {
-      const auto run = run_dp_on_array(p, partitioned(base, b, b));
-      const i64 ticks = run.last_tick - run.first_tick + 1;
-      table.add_row({name, std::to_string(b) + "x" + std::to_string(b),
-                     std::to_string(run.cell_count), std::to_string(ticks),
-                     std::to_string(static_cast<i64>(run.cell_count) * ticks),
-                     run.table == expected ? "yes" : "NO"});
+void print_partitioning() {
+  std::cout << "=== Extension A7: tiling onto fixed-size arrays "
+               "(P, T, buffer-bytes frontier) ===\n\n";
+
+  TextTable table({"family", "tile", "strategy", "cells", "ticks",
+                   "buffer B", "reuse", "correct"});
+
+  // Matrix multiply: 2-D mesh design, LPGS tiles with inter-tile buffers.
+  {
+    const i64 n = 8;
+    Rng rng(18);
+    const auto ins = random_matmul_instance(n, n, n, rng);
+    const auto rec = matmul_recurrence(n, n, n);
+    const auto result = synthesize(rec, Interconnect::mesh2d());
+    const auto& d = result.designs.front();
+    const auto expected = matmul_reference(ins);
+    for (const i64 side : {2, 4, 8}) {
+      const auto run = run_uniform_design_tiled(
+          rec, matmul_semantics(ins), d.timing, d.space, d.net,
+          tile_shape(side, side), EngineKind::kCompiled);
+      MatMulInstance check = ins;
+      const bool ok = run_matmul_on_design(check, d.timing, d.space, d.net,
+                                           tile_shape(side, side),
+                                           EngineKind::kCompiled) == expected;
+      table.add_row(
+          {"mm n=8", std::to_string(side) + "x" + std::to_string(side),
+           tile_strategy_name(run.strategy), std::to_string(run.cell_count),
+           std::to_string(run.last_tick - run.first_tick + 1),
+           std::to_string(run.buffer_stats.buffer_bytes),
+           std::to_string(run.buffer_stats.reuse_hits), ok ? "yes" : "NO"});
     }
   }
+
+  // Convolution: 1-D design, the shape folds onto P*Q physical cells.
+  {
+    const i64 n = 64, s = 4;
+    Rng rng(19);
+    const auto x = rng.uniform_vector(static_cast<std::size_t>(n), -9, 9);
+    const auto w = rng.uniform_vector(static_cast<std::size_t>(s), -9, 9);
+    const auto rec = convolution_backward_recurrence(n, s);
+    const auto result =
+        synthesize(rec, Interconnect::linear_bidirectional());
+    const auto& d = result.designs.front();
+    for (const i64 side : {2, 4}) {
+      const auto run = run_uniform_design_tiled(
+          rec, convolution_semantics(x, w), d.timing, d.space, d.net,
+          tile_shape(side, side), EngineKind::kCompiled);
+      table.add_row(
+          {"conv n=64", std::to_string(side) + "x" + std::to_string(side),
+           tile_strategy_name(run.strategy), std::to_string(run.cell_count),
+           std::to_string(run.last_tick - run.first_tick + 1),
+           std::to_string(run.buffer_stats.buffer_bytes),
+           std::to_string(run.buffer_stats.reuse_hits), "yes"});
+    }
+  }
+
+  // Interval DP: LSGP clustering through the shared pass (subsumes the
+  // old partitioned() sweep).
+  {
+    const i64 n = 16;
+    Rng rng(18);
+    const auto p = random_matrix_chain(n, rng);
+    const auto expected = solve_sequential(p);
+    for (const auto& [name, base] :
+         {std::pair{"dp fig1", dp_fig1_design()},
+          std::pair{"dp fig2", dp_fig2_design()}}) {
+      for (const i64 side : {4, 8}) {
+        const auto run = run_dp_on_array(
+            p, tiled_dp_design(base, n, tile_shape(side, side)));
+        table.add_row(
+            {name, std::to_string(side) + "x" + std::to_string(side), "lsgp",
+             std::to_string(run.cell_count),
+             std::to_string(run.last_tick - run.first_tick + 1), "0", "0",
+             run.table == expected ? "yes" : "NO"});
+      }
+    }
+  }
+
   std::cout << table.render() << '\n';
 }
 
-void bm_partitioned_run(benchmark::State& state) {
+// The tiled matmul run: plan + both-engine execution cost at one shape,
+// gating the frontier counters (cells bounded by the shape, buffer bytes
+// and reuse hits of the inter-tile traffic).
+void bm_tiled_mm(benchmark::State& state) {
   const i64 n = state.range(0);
-  const i64 b = state.range(1);
+  const i64 side = state.range(1);
+  Rng rng(19);
+  const auto ins = random_matmul_instance(n, n, n, rng);
+  const auto rec = matmul_recurrence(n, n, n);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  const auto& d = result.designs.front();
+  TiledUniformRun run;
+  for (auto _ : state) {
+    run = run_uniform_design_tiled(rec, matmul_semantics(ins), d.timing,
+                                   d.space, d.net, tile_shape(side, side),
+                                   EngineKind::kCompiled);
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["cells"] = static_cast<double>(run.cell_count);
+  state.counters["ticks"] =
+      static_cast<double>(run.last_tick - run.first_tick + 1);
+  state.counters["buffer_bytes"] =
+      static_cast<double>(run.buffer_stats.buffer_bytes);
+  state.counters["reuse_hits"] =
+      static_cast<double>(run.buffer_stats.reuse_hits);
+}
+BENCHMARK(bm_tiled_mm)->Args({8, 2})->Args({8, 4})->Args({8, 8});
+
+// Plan construction alone (no execution): the planner must stay cheap
+// enough to run per request, and the congruent-tile shape cache must
+// keep firing.
+void bm_tile_plan_mm(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const i64 side = state.range(1);
+  const auto rec = matmul_recurrence(n, n, 2);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  const auto& d = result.designs.front();
+  UniformTilePlan plan;
+  for (auto _ : state) {
+    plan = build_uniform_tile_plan(rec, d.timing, d.space, d.net,
+                                   tile_shape(side, side, TileMode::kLPGS));
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["tiles"] = static_cast<double>(plan.tile_count);
+  state.counters["shape_cache_hits"] =
+      static_cast<double>(plan.shape_cache_hits);
+  state.counters["buffered"] =
+      static_cast<double>(plan.buffer_stats.buffered_values);
+}
+BENCHMARK(bm_tile_plan_mm)->Args({12, 4});
+
+// The headline property: an n = 1024 convolution (4096 domain points)
+// executes on a 4x4 = 16-cell physical array — cells stay bounded no
+// matter the problem size.
+void bm_tiled_conv_unbounded(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const i64 s = 4;
+  Rng rng(23);
+  const auto x = rng.uniform_vector(static_cast<std::size_t>(n), -9, 9);
+  const auto w = rng.uniform_vector(static_cast<std::size_t>(s), -9, 9);
+  const auto rec = convolution_backward_recurrence(n, s);
+  const auto result = synthesize(rec, Interconnect::linear_bidirectional());
+  const auto& d = result.designs.front();
+  TiledUniformRun run;
+  for (auto _ : state) {
+    run = run_uniform_design_tiled(rec, convolution_semantics(x, w),
+                                   d.timing, d.space, d.net,
+                                   tile_shape(4, 4), EngineKind::kCompiled);
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["cells"] = static_cast<double>(run.cell_count);
+  state.counters["peak_live_cells"] =
+      static_cast<double>(run.stats.peak_live_cells);
+  state.counters["domain_points"] = static_cast<double>(rec.domain().size());
+}
+BENCHMARK(bm_tiled_conv_unbounded)->Arg(1024);
+
+// The DP clustering path (subsumes the old bm_partitioned_run): target
+// shapes instead of raw block sizes, through the shared LSGP pass.
+void bm_tiled_dp_run(benchmark::State& state) {
+  const i64 n = state.range(0);
+  const i64 side = state.range(1);
   Rng rng(19);
   const auto p = random_matrix_chain(n, rng);
-  const auto design = partitioned(dp_fig1_design(), b, b);
+  const auto design =
+      tiled_dp_design(dp_fig1_design(), n, tile_shape(side, side));
   std::size_t cells = 0;
   for (auto _ : state) {
     const auto run = run_dp_on_array(p, design);
@@ -52,11 +210,7 @@ void bm_partitioned_run(benchmark::State& state) {
   }
   state.counters["cells"] = static_cast<double>(cells);
 }
-BENCHMARK(bm_partitioned_run)
-    ->Args({16, 1})
-    ->Args({16, 2})
-    ->Args({16, 4})
-    ->Args({32, 4});
+BENCHMARK(bm_tiled_dp_run)->Args({16, 4})->Args({16, 8})->Args({32, 8});
 
 }  // namespace
 

@@ -246,6 +246,9 @@ const std::vector<LintRule>& lint_rules() {
        "fires"},
       {"overflow-risk", LintSeverity::kWarning,
        "coefficient magnitude threatens checked 64-bit arithmetic"},
+      {"tile-buffer-depth", LintSeverity::kWarning,
+       "tile-boundary dependence distance exceeds the I/O buffer depth, "
+       "so crossing values are evicted and re-fed from the host"},
   };
   return rules;
 }
@@ -253,6 +256,30 @@ const std::vector<LintRule>& lint_rules() {
 LintReport lint_recurrence(const CanonicRecurrence& recurrence) {
   return lint_recurrence_parts(recurrence.name(), recurrence.domain(),
                                recurrence.dependences());
+}
+
+LintReport lint_tile_plan(const UniformTilePlan& plan) {
+  LintReport report;
+  report.subject = std::string("tile plan ") +
+                   tile_strategy_name(plan.strategy) + " " +
+                   tile_shape_name(plan.options);
+  const i64 retained = plan.options.buffer_depth - 1;
+  if (plan.strategy == TileStrategy::kLPGS &&
+      plan.buffer_stats.max_tile_distance > retained) {
+    add(report, "tile-buffer-depth", LintSeverity::kWarning,
+        "longest tile-boundary dependence spans " +
+            std::to_string(plan.buffer_stats.max_tile_distance) +
+            " tile(s) but depth-" +
+            std::to_string(plan.options.buffer_depth) +
+            " buffers retain only " + std::to_string(retained) +
+            " generation(s): " + std::to_string(plan.buffer_stats.refeeds) +
+            " of " + std::to_string(plan.buffer_stats.buffered_values) +
+            " crossing value(s) are re-fed from the host",
+        "increase tile buffer depth to >= " +
+            std::to_string(plan.buffer_stats.max_tile_distance + 1) +
+            " (--tile-depth) to make every crossing a reuse hit");
+  }
+  return report;
 }
 
 LintReport lint_nonuniform(const NonUniformSpec& spec) {

@@ -20,6 +20,7 @@
 #include "ir/nonuniform.hpp"
 #include "ir/recurrence.hpp"
 #include "modules/module_system.hpp"
+#include "partition/tile_plan.hpp"
 #include "support/json.hpp"
 
 namespace nusys {
@@ -70,6 +71,13 @@ inline constexpr i64 kLintOverflowRiskLimit = i64{1} << 20;
 [[nodiscard]] LintReport lint_recurrence(const CanonicRecurrence& recurrence);
 [[nodiscard]] LintReport lint_nonuniform(const NonUniformSpec& spec);
 [[nodiscard]] LintReport lint_module_system(const ModuleSystem& sys);
+
+/// Tile-plan lint: warns when an LPGS plan's longest producer→consumer
+/// tile distance exceeds what the per-edge I/O buffers retain
+/// (buffer_depth - 1 tile generations) — every such crossing is evicted
+/// before its consumer runs and must be re-fed from the host. The fix-it
+/// names the smallest depth that makes every crossing a reuse hit.
+[[nodiscard]] LintReport lint_tile_plan(const UniformTilePlan& plan);
 
 /// Raw-parts entry points for IR that has not (or cannot) be constructed:
 /// the CanonicRecurrence / NonUniformSpec constructors throw on the first

@@ -43,9 +43,17 @@ struct DPArrayDesign {
   Interconnect net;
   i64 block_x = 1;  ///< Cluster width (>= 1).
   i64 block_y = 1;  ///< Cluster height (>= 1).
+  /// Virtual-cell anchor of the cluster grid (see partition/lsgp.hpp).
+  /// partitioned() keeps 0; tiled_dp_design anchors at the design's
+  /// virtual bounding-box corner so the cluster count stays within P·Q.
+  i64 block_base_x = 0;
+  i64 block_base_y = 0;
 };
 
-/// `design` partitioned by (block_x, block_y) clusters.
+/// `design` partitioned by (block_x, block_y) clusters — a thin wrapper
+/// over the shared LSGP pass in partition/lsgp.hpp; use
+/// partition/dp_tiling.hpp's tiled_dp_design to target an array *shape*
+/// instead of a block size.
 [[nodiscard]] DPArrayDesign partitioned(DPArrayDesign design, i64 block_x,
                                         i64 block_y);
 

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "partition/lsgp.hpp"
 #include "support/checked.hpp"
 #include "support/errors.hpp"
 #include "systolic/wavefront.hpp"
@@ -95,18 +96,13 @@ DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
                 "run_dp: partition blocks must be positive");
   NUSYS_REQUIRE(period >= 0 && (problems.size() == 1 || period >= 1),
                 "run_dp: pipelining needs a positive period");
-  const i64 serial = checked_mul(design.block_x, design.block_y);
-
-  // LSGP clustering: virtual (cell, tick) -> physical (cluster,
-  // serialized tick). With 1x1 blocks this is the identity.
+  // LSGP clustering (partition/lsgp.hpp): virtual (cell, tick) ->
+  // physical (cluster, serialized tick). With 1x1 blocks and base 0 this
+  // is the identity.
+  const LsgpClustering clustering{design.block_x, design.block_y,
+                                  design.block_base_x, design.block_base_y};
   const auto cluster = [&](const IntVec& v, i64 t) {
-    if (serial == 1) return std::make_pair(v, t);
-    const i64 cx = floor_div(v[0], design.block_x);
-    const i64 cy = floor_div(v[1], design.block_y);
-    const i64 phase = (v[0] - cx * design.block_x) +
-                      design.block_x * (v[1] - cy * design.block_y);
-    return std::make_pair(IntVec{cx, cy},
-                          checked_add(checked_mul(t, serial), phase));
+    return clustering.place(v, t);
   };
 
   // ---- 1. Enumerate ops into their (cell, tick) placements. -----------

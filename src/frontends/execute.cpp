@@ -8,6 +8,8 @@
 #include "frontends/lu.hpp"
 #include "frontends/matmul.hpp"
 #include "frontends/smith_waterman.hpp"
+#include "partition/dp_tiling.hpp"
+#include "partition/tiled_uniform.hpp"
 #include "support/errors.hpp"
 #include "support/rng.hpp"
 
@@ -19,15 +21,20 @@ i64 effective_m(const BatchProblem& p) { return p.m > 0 ? p.m : p.n; }
 i64 effective_p(const BatchProblem& p) { return p.p > 0 ? p.p : p.n; }
 
 bool run_convolution(const BatchProblem& problem, const Design& best,
-                     Rng& rng, EngineKind engine, const CancelToken* cancel) {
+                     Rng& rng, const TileOptions& tile, EngineKind engine,
+                     const CancelToken* cancel) {
   const auto x =
       rng.uniform_vector(static_cast<std::size_t>(problem.n), -9, 9);
   const auto w =
       rng.uniform_vector(static_cast<std::size_t>(problem.s), -9, 9);
   const auto rec = batch_recurrence(problem);
-  const auto run = run_uniform_design(rec, convolution_semantics(x, w),
-                                      best.timing, best.space, best.net,
-                                      engine, cancel);
+  const UniformArrayRun run =
+      tile.enabled()
+          ? run_uniform_design_tiled(rec, convolution_semantics(x, w),
+                                     best.timing, best.space, best.net, tile,
+                                     engine, cancel)
+          : run_uniform_design(rec, convolution_semantics(x, w), best.timing,
+                               best.space, best.net, engine, cancel);
   // Finals sit on the last reduction plane: k = s for the backward
   // recurrence (4), k = 1 for the forward recurrence (5).
   const i64 final_k = problem.forward ? 1 : problem.s;
@@ -46,32 +53,41 @@ DesignExecution execute_uniform_design(const BatchProblem& problem,
                                        const Design& best,
                                        std::uint64_t seed, EngineKind engine,
                                        const CancelToken* cancel) {
+  return execute_uniform_design(problem, best, seed, TileOptions{}, engine,
+                                cancel);
+}
+
+DesignExecution execute_uniform_design(const BatchProblem& problem,
+                                       const Design& best, std::uint64_t seed,
+                                       const TileOptions& tile,
+                                       EngineKind engine,
+                                       const CancelToken* cancel) {
   Rng rng(seed);
   DesignExecution out;
   out.engine = engine;
   switch (problem.kind) {
     case BatchProblem::Kind::kConvolution:
-      out.match = run_convolution(problem, best, rng, engine, cancel);
+      out.match = run_convolution(problem, best, rng, tile, engine, cancel);
       break;
     case BatchProblem::Kind::kMatMul: {
       const auto ins = random_matmul_instance(problem.n, effective_m(problem),
                                               effective_p(problem), rng);
       out.match = run_matmul_on_design(ins, best.timing, best.space, best.net,
-                                       engine, cancel) ==
+                                       tile, engine, cancel) ==
                   matmul_reference(ins);
       break;
     }
     case BatchProblem::Kind::kLU: {
       const auto ins = random_exact_lu_instance(problem.n, rng);
       out.match = run_lu_on_design(ins, best.timing, best.space, best.net,
-                                   engine, cancel) == lu_reference(ins);
+                                   tile, engine, cancel) == lu_reference(ins);
       break;
     }
     case BatchProblem::Kind::kSmithWaterman: {
       const auto ins = random_sw_instance(problem.n, effective_m(problem),
                                           problem.band, rng);
       out.match = run_sw_on_design(ins, best.timing, best.space, best.net,
-                                   engine, cancel) == sw_reference(ins);
+                                   tile, engine, cancel) == sw_reference(ins);
       break;
     }
     case BatchProblem::Kind::kPipeline:
@@ -86,19 +102,30 @@ DesignExecution execute_pipeline_design(const BatchProblem& problem,
                                         const DPArrayDesign& best,
                                         std::uint64_t seed, EngineKind engine,
                                         const CancelToken* cancel) {
+  return execute_pipeline_design(problem, best, seed, TileOptions{}, engine,
+                                 cancel);
+}
+
+DesignExecution execute_pipeline_design(const BatchProblem& problem,
+                                        const DPArrayDesign& best,
+                                        std::uint64_t seed,
+                                        const TileOptions& tile,
+                                        EngineKind engine,
+                                        const CancelToken* cancel) {
   NUSYS_REQUIRE(batch_uses_pipeline(problem),
                 "execute_pipeline_design: '" + problem.name +
                     "' is a canonic-recurrence problem");
   Rng rng(seed);
   DesignExecution out;
   out.engine = engine;
+  const DPArrayDesign design = tiled_dp_design(best, problem.n, tile);
   if (problem.kind == BatchProblem::Kind::kFloydWarshall) {
     const auto ins = random_dag_instance(problem.n, rng);
-    const auto run = run_dp_on_array(fw_problem(ins), best, engine, cancel);
+    const auto run = run_dp_on_array(fw_problem(ins), design, engine, cancel);
     out.match = run.table == fw_reference(ins);
   } else {
     const auto chain = random_matrix_chain(problem.n, rng);
-    const auto run = run_dp_on_array(chain, best, engine, cancel);
+    const auto run = run_dp_on_array(chain, design, engine, cancel);
     out.match = run.table == solve_sequential(chain);
   }
   return out;

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "designs/dp_array.hpp"
+#include "partition/tile.hpp"
 #include "support/cancel.hpp"
 #include "synth/batch.hpp"
 #include "synth/design.hpp"
@@ -37,11 +38,27 @@ struct DesignExecution {
     const BatchProblem& problem, const Design& best, std::uint64_t seed,
     EngineKind engine, const CancelToken* cancel = nullptr);
 
+/// Tiled variant: runs the same instance through the partition subsystem
+/// on at most tile.rows x tile.cols cells (disabled options run flat).
+/// The comparison against the sequential reference is unchanged — tiling
+/// must be result-invisible.
+[[nodiscard]] DesignExecution execute_uniform_design(
+    const BatchProblem& problem, const Design& best, std::uint64_t seed,
+    const TileOptions& tile, EngineKind engine,
+    const CancelToken* cancel = nullptr);
+
 /// Same for pipeline-kind problems: "pipeline" runs a random matrix
 /// chain, "fw" a random DAG closure, both through run_dp_on_array.
 [[nodiscard]] DesignExecution execute_pipeline_design(
     const BatchProblem& problem, const DPArrayDesign& best,
     std::uint64_t seed, EngineKind engine,
+    const CancelToken* cancel = nullptr);
+
+/// Tiled variant: clusters the DP design onto the target shape through
+/// tiled_dp_design before running (LSGP; kLPGS throws).
+[[nodiscard]] DesignExecution execute_pipeline_design(
+    const BatchProblem& problem, const DPArrayDesign& best,
+    std::uint64_t seed, const TileOptions& tile, EngineKind engine,
     const CancelToken* cancel = nullptr);
 
 }  // namespace nusys

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "designs/uniform_compiled.hpp"
+#include "partition/tiled_uniform.hpp"
 #include "support/checked.hpp"
 #include "support/errors.hpp"
 
@@ -164,23 +165,16 @@ LUFactors run_lu_on_design(const LUInstance& ins, const LinearSchedule& timing,
   return run_lu_on_design(ins, timing, space, net, engine_kind(), nullptr);
 }
 
-LUFactors run_lu_on_design(const LUInstance& ins, const LinearSchedule& timing,
-                           const IntMat& space, const Interconnect& net,
-                           EngineKind engine, const CancelToken* cancel) {
-  const auto rec = lu_recurrence(ins.n);
-  const auto run =
-      engine == EngineKind::kCompiled
-          ? run_uniform_compiled(rec, LUCompiledSemantics{&ins},
-                                 /*accumulator_index=*/0, timing, space, net,
-                                 cancel)
-          : run_uniform_design(rec, lu_semantics(ins), timing, space, net,
-                               engine, cancel);
+namespace {
+
+LUFactors collect_factors(const LUInstance& ins,
+                          const std::map<IntVec, Value>& finals) {
   LUFactors out;
   out.l.assign(static_cast<std::size_t>(ins.n),
                std::vector<i64>(static_cast<std::size_t>(ins.n), 0));
   out.u = out.l;
   std::size_t collected = 0;
-  for (const auto& [point, value] : run.finals) {
+  for (const auto& [point, value] : finals) {
     const i64 k = point[0];
     const i64 i = point[1];
     const i64 j = point[2];
@@ -197,6 +191,35 @@ LUFactors run_lu_on_design(const LUInstance& ins, const LinearSchedule& timing,
   NUSYS_REQUIRE(collected == static_cast<std::size_t>(ins.n * ins.n),
                 "lu run did not retire one final per factor entry");
   return out;
+}
+
+}  // namespace
+
+LUFactors run_lu_on_design(const LUInstance& ins, const LinearSchedule& timing,
+                           const IntMat& space, const Interconnect& net,
+                           EngineKind engine, const CancelToken* cancel) {
+  const auto rec = lu_recurrence(ins.n);
+  const auto run =
+      engine == EngineKind::kCompiled
+          ? run_uniform_compiled(rec, LUCompiledSemantics{&ins},
+                                 /*accumulator_index=*/0, timing, space, net,
+                                 cancel)
+          : run_uniform_design(rec, lu_semantics(ins), timing, space, net,
+                               engine, cancel);
+  return collect_factors(ins, run.finals);
+}
+
+LUFactors run_lu_on_design(const LUInstance& ins, const LinearSchedule& timing,
+                           const IntMat& space, const Interconnect& net,
+                           const TileOptions& tile, EngineKind engine,
+                           const CancelToken* cancel) {
+  if (!tile.enabled()) {
+    return run_lu_on_design(ins, timing, space, net, engine, cancel);
+  }
+  const auto rec = lu_recurrence(ins.n);
+  const auto run = run_uniform_design_tiled(rec, lu_semantics(ins), timing,
+                                            space, net, tile, engine, cancel);
+  return collect_factors(ins, run.finals);
 }
 
 }  // namespace nusys

@@ -22,6 +22,7 @@
 
 #include "designs/uniform_array.hpp"
 #include "ir/recurrence.hpp"
+#include "partition/tile.hpp"
 #include "support/rng.hpp"
 
 namespace nusys {
@@ -71,6 +72,16 @@ struct LUFactors {
                                          const LinearSchedule& timing,
                                          const IntMat& space,
                                          const Interconnect& net,
+                                         EngineKind engine,
+                                         const CancelToken* cancel = nullptr);
+
+/// Tiled variant: at most tile.rows x tile.cols physical cells (see
+/// partition/tiled_uniform.hpp); bit-identical to the flat run.
+[[nodiscard]] LUFactors run_lu_on_design(const LUInstance& ins,
+                                         const LinearSchedule& timing,
+                                         const IntMat& space,
+                                         const Interconnect& net,
+                                         const TileOptions& tile,
                                          EngineKind engine,
                                          const CancelToken* cancel = nullptr);
 

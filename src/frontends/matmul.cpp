@@ -1,6 +1,7 @@
 #include "frontends/matmul.hpp"
 
 #include "designs/uniform_compiled.hpp"
+#include "partition/tiled_uniform.hpp"
 #include "support/errors.hpp"
 
 namespace nusys {
@@ -122,6 +123,28 @@ std::vector<std::vector<i64>> run_matmul_on_design(const MatMulInstance& ins,
   return run_matmul_on_design(ins, timing, space, net, engine_kind(), nullptr);
 }
 
+namespace {
+
+std::vector<std::vector<i64>> collect_c(const MatMulInstance& ins,
+                                        const std::map<IntVec, Value>& finals) {
+  std::vector<std::vector<i64>> c(
+      static_cast<std::size_t>(ins.n),
+      std::vector<i64>(static_cast<std::size_t>(ins.m), 0));
+  std::size_t collected = 0;
+  for (const auto& [point, value] : finals) {
+    NUSYS_REQUIRE(point[2] == ins.p,
+                  "matmul final emitted before the last reduction step");
+    c[static_cast<std::size_t>(point[0] - 1)]
+     [static_cast<std::size_t>(point[1] - 1)] = value;
+    ++collected;
+  }
+  NUSYS_REQUIRE(collected == static_cast<std::size_t>(ins.n * ins.m),
+                "matmul run did not produce every C entry");
+  return c;
+}
+
+}  // namespace
+
 std::vector<std::vector<i64>> run_matmul_on_design(const MatMulInstance& ins,
                                                    const LinearSchedule& timing,
                                                    const IntMat& space,
@@ -136,20 +159,23 @@ std::vector<std::vector<i64>> run_matmul_on_design(const MatMulInstance& ins,
                                  cancel)
           : run_uniform_design(rec, matmul_semantics(ins), timing, space, net,
                                engine, cancel);
-  std::vector<std::vector<i64>> c(
-      static_cast<std::size_t>(ins.n),
-      std::vector<i64>(static_cast<std::size_t>(ins.m), 0));
-  std::size_t collected = 0;
-  for (const auto& [point, value] : run.finals) {
-    NUSYS_REQUIRE(point[2] == ins.p,
-                  "matmul final emitted before the last reduction step");
-    c[static_cast<std::size_t>(point[0] - 1)]
-     [static_cast<std::size_t>(point[1] - 1)] = value;
-    ++collected;
+  return collect_c(ins, run.finals);
+}
+
+std::vector<std::vector<i64>> run_matmul_on_design(const MatMulInstance& ins,
+                                                   const LinearSchedule& timing,
+                                                   const IntMat& space,
+                                                   const Interconnect& net,
+                                                   const TileOptions& tile,
+                                                   EngineKind engine,
+                                                   const CancelToken* cancel) {
+  if (!tile.enabled()) {
+    return run_matmul_on_design(ins, timing, space, net, engine, cancel);
   }
-  NUSYS_REQUIRE(collected == static_cast<std::size_t>(ins.n * ins.m),
-                "matmul run did not produce every C entry");
-  return c;
+  const auto rec = matmul_recurrence(ins.n, ins.m, ins.p);
+  const auto run = run_uniform_design_tiled(rec, matmul_semantics(ins), timing,
+                                            space, net, tile, engine, cancel);
+  return collect_c(ins, run.finals);
 }
 
 }  // namespace nusys

@@ -13,6 +13,7 @@
 
 #include "designs/uniform_array.hpp"
 #include "ir/recurrence.hpp"
+#include "partition/tile.hpp"
 #include "support/rng.hpp"
 
 namespace nusys {
@@ -56,5 +57,13 @@ struct MatMulInstance {
     const MatMulInstance& ins, const LinearSchedule& timing,
     const IntMat& space, const Interconnect& net, EngineKind engine,
     const CancelToken* cancel = nullptr);
+
+/// Tiled variant: executes the same design on at most tile.rows x
+/// tile.cols physical cells (see partition/tiled_uniform.hpp). Results
+/// are bit-identical to the flat run; disabled options run flat.
+[[nodiscard]] std::vector<std::vector<i64>> run_matmul_on_design(
+    const MatMulInstance& ins, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net, const TileOptions& tile,
+    EngineKind engine, const CancelToken* cancel = nullptr);
 
 }  // namespace nusys

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "designs/uniform_compiled.hpp"
+#include "partition/tiled_uniform.hpp"
 #include "support/errors.hpp"
 
 namespace nusys {
@@ -187,6 +188,34 @@ std::vector<std::vector<i64>> run_sw_on_design(const SWInstance& ins,
     (void)run_uniform_design(rec, semantics, timing, space, net, engine,
                              cancel);
   }
+  NUSYS_REQUIRE(observed == rec.domain().size(),
+                "sw run did not compute every band cell");
+  return h;
+}
+
+std::vector<std::vector<i64>> run_sw_on_design(const SWInstance& ins,
+                                               const LinearSchedule& timing,
+                                               const IntMat& space,
+                                               const Interconnect& net,
+                                               const TileOptions& tile,
+                                               EngineKind engine,
+                                               const CancelToken* cancel) {
+  if (!tile.enabled()) {
+    return run_sw_on_design(ins, timing, space, net, engine, cancel);
+  }
+  const auto rec = sw_recurrence(ins.n(), ins.m(), ins.band);
+  std::vector<std::vector<i64>> h(
+      static_cast<std::size_t>(ins.n()),
+      std::vector<i64>(static_cast<std::size_t>(ins.m()), 0));
+  std::size_t observed = 0;
+  auto semantics = sw_semantics(ins, h);
+  const auto fill = std::move(semantics.observe);
+  semantics.observe = [&](const IntVec& point, Value out) {
+    ++observed;
+    fill(point, out);
+  };
+  (void)run_uniform_design_tiled(rec, semantics, timing, space, net, tile,
+                                 engine, cancel);
   NUSYS_REQUIRE(observed == rec.domain().size(),
                 "sw run did not compute every band cell");
   return h;

@@ -24,6 +24,7 @@
 
 #include "designs/uniform_array.hpp"
 #include "ir/recurrence.hpp"
+#include "partition/tile.hpp"
 #include "support/rng.hpp"
 
 namespace nusys {
@@ -79,6 +80,13 @@ struct SWInstance {
 [[nodiscard]] std::vector<std::vector<i64>> run_sw_on_design(
     const SWInstance& ins, const LinearSchedule& timing, const IntMat& space,
     const Interconnect& net, EngineKind engine,
+    const CancelToken* cancel = nullptr);
+
+/// Tiled variant: at most tile.rows x tile.cols physical cells (see
+/// partition/tiled_uniform.hpp); bit-identical to the flat run.
+[[nodiscard]] std::vector<std::vector<i64>> run_sw_on_design(
+    const SWInstance& ins, const LinearSchedule& timing, const IntMat& space,
+    const Interconnect& net, const TileOptions& tile, EngineKind engine,
     const CancelToken* cancel = nullptr);
 
 }  // namespace nusys

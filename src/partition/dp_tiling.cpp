@@ -1,0 +1,59 @@
+#include "partition/dp_tiling.hpp"
+
+#include <algorithm>
+
+#include "partition/lsgp.hpp"
+#include "support/errors.hpp"
+
+namespace nusys {
+
+DPArrayDesign tiled_dp_design(DPArrayDesign design, i64 n,
+                              const TileOptions& options) {
+  if (!options.enabled()) return design;
+  if (options.mode == TileMode::kLPGS) {
+    throw DomainError(
+        "LPGS tiling is infeasible for DP designs: the two modules stream "
+        "values in opposite directions across any spatial cut, so the "
+        "inter-tile dependence graph is cyclic (use lsgp or auto)");
+  }
+  NUSYS_REQUIRE(n >= 3, "tiled_dp_design: n >= 3 required");
+  NUSYS_REQUIRE(design.schedules.size() == 3 && design.spaces.size() == 3,
+                "tiled_dp_design: three schedules and three spaces required");
+  NUSYS_REQUIRE(design.net.label_dim() == 2,
+                "tiled_dp_design: DP designs use a 2-D label space");
+
+  // The virtual cell footprint: every module op's placement over the
+  // problem's op space (the same enumeration run_dp_internal uses).
+  bool any = false;
+  i64 lo_x = 0, lo_y = 0, hi_x = 0, hi_y = 0;
+  const auto visit = [&](std::size_t module, i64 i, i64 j, i64 k) {
+    const IntVec cell = design.spaces[module] * IntVec{i, j, k};
+    if (!any) {
+      any = true;
+      lo_x = hi_x = cell[0];
+      lo_y = hi_y = cell[1];
+    } else {
+      lo_x = std::min(lo_x, cell[0]);
+      hi_x = std::max(hi_x, cell[0]);
+      lo_y = std::min(lo_y, cell[1]);
+      hi_y = std::max(hi_y, cell[1]);
+    }
+  };
+  for (i64 i = 1; i <= n; ++i) {
+    for (i64 j = i + 2; j <= n; ++j) {
+      const i64 mid = (i + j) / 2;
+      for (i64 k = i + 1; k <= mid; ++k) visit(0, i, j, k);
+      for (i64 k = mid + 1; k <= j - 1; ++k) visit(1, i, j, k);
+      visit(2, i, j, j);
+    }
+  }
+  NUSYS_REQUIRE(any, "tiled_dp_design: empty op space");
+
+  design.block_x = lsgp_block_for(hi_x - lo_x + 1, options.rows);
+  design.block_y = lsgp_block_for(hi_y - lo_y + 1, options.cols);
+  design.block_base_x = lo_x;
+  design.block_base_y = lo_y;
+  return design;
+}
+
+}  // namespace nusys

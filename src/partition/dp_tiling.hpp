@@ -1,0 +1,28 @@
+// Tiling the two-module DP designs onto a fixed P×Q array.
+//
+// The DP executors (designs/dp_array, designs/dp_compiled) already place
+// every op through the shared LSGP pass (partition/lsgp.hpp); this header
+// turns a *target array shape* into the block sizes that pass needs:
+// tiled_dp_design measures the design's virtual cell footprint for the
+// given problem size, picks blocks of ceil(extent / P) × ceil(extent / Q)
+// and anchors the cluster grid at the footprint's corner, so the
+// resulting physical array has at most P×Q processors.
+//
+// DP designs always tile by LSGP: their two modules stream values in
+// opposite directions across any spatial cut (a' left-to-right, b'
+// bottom-to-top in figure 1), so an LPGS tile graph is cyclic by
+// construction. Requesting TileMode::kLPGS throws DomainError.
+#pragma once
+
+#include "designs/dp_array.hpp"
+#include "partition/tile.hpp"
+
+namespace nusys {
+
+/// `design` clustered so that problems of size `n` run on at most
+/// options.rows × options.cols processors. Disabled options return the
+/// design unchanged. Throws DomainError for TileMode::kLPGS.
+[[nodiscard]] DPArrayDesign tiled_dp_design(DPArrayDesign design, i64 n,
+                                            const TileOptions& options);
+
+}  // namespace nusys

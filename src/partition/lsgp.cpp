@@ -1,0 +1,33 @@
+#include "partition/lsgp.hpp"
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+std::pair<IntVec, i64> LsgpClustering::place(const IntVec& v, i64 t) const {
+  NUSYS_REQUIRE(block_x >= 1 && block_y >= 1,
+                "LsgpClustering: blocks must be positive");
+  if (serial() == 1 && base_x == 0 && base_y == 0) return {v, t};
+  NUSYS_REQUIRE(v.dim() == 1 || v.dim() == 2,
+                "LsgpClustering: only 1-D and 2-D cell labels supported");
+  if (v.dim() == 1) {
+    const i64 u = checked_sub(v[0], base_x);
+    const i64 c = floor_div(u, block_x);
+    const i64 phase = u - c * block_x;
+    return {IntVec{c}, checked_add(checked_mul(t, block_x), phase)};
+  }
+  const i64 ux = checked_sub(v[0], base_x);
+  const i64 uy = checked_sub(v[1], base_y);
+  const i64 cx = floor_div(ux, block_x);
+  const i64 cy = floor_div(uy, block_y);
+  const i64 phase = (ux - cx * block_x) + block_x * (uy - cy * block_y);
+  return {IntVec{cx, cy}, checked_add(checked_mul(t, serial()), phase)};
+}
+
+i64 lsgp_block_for(i64 extent, i64 targets) {
+  NUSYS_REQUIRE(extent >= 1 && targets >= 1,
+                "lsgp_block_for: positive extent and target count");
+  return (extent + targets - 1) / targets;
+}
+
+}  // namespace nusys

@@ -1,0 +1,48 @@
+// LSGP clustering: the one place that maps a virtual (cell, tick) event
+// to its physical (cluster, serialized tick) placement.
+//
+// Every block of block_x × block_y virtual cells becomes one physical
+// processor; time is serialized so the block's virtual cells take turns:
+//
+//   cluster(v) = ⌊(v - base) / block⌋
+//   tick'(v,t) = t · (block_x·block_y) + phase(v)
+//   phase(v)   = (v_x - base_x mod block_x)
+//              + block_x · (v_y - base_y mod block_y)
+//
+// The serialized schedule is always legal: a virtual dependence with
+// slack Δt >= 1 keeps strictly positive serialized slack
+// Δt·serial + Δphase >= serial - (serial - 1) = 1, and the map is
+// injective, so no two events collide on one (cell, tick).
+//
+// Both DP executors (designs/dp_array, designs/dp_compiled) and the
+// uniform tile planner (partition/tile_plan) place through this struct —
+// the ad-hoc `partitioned()` DP helper is a thin wrapper over it. The
+// legacy DP path uses base = 0 (preserving historic tick values); the
+// target-shape planner anchors base at the virtual bounding-box corner
+// so the cluster count stays within P·Q even for misaligned boxes.
+#pragma once
+
+#include <utility>
+
+#include "linalg/vec.hpp"
+
+namespace nusys {
+
+struct LsgpClustering {
+  i64 block_x = 1;  ///< Cluster width along the first label axis (>= 1).
+  i64 block_y = 1;  ///< Cluster height along the second axis (1-D: unused).
+  i64 base_x = 0;   ///< Virtual-cell anchor of the block grid.
+  i64 base_y = 0;
+
+  [[nodiscard]] i64 serial() const noexcept { return block_x * block_y; }
+
+  /// Physical placement of the virtual event (v, t). `v` must be 1-D or
+  /// 2-D (the label spaces of every supported interconnect).
+  [[nodiscard]] std::pair<IntVec, i64> place(const IntVec& v, i64 t) const;
+};
+
+/// Blocks covering `extent` virtual cells with at most `targets`
+/// processors: ceil(extent / targets), at least 1.
+[[nodiscard]] i64 lsgp_block_for(i64 extent, i64 targets);
+
+}  // namespace nusys

@@ -1,0 +1,49 @@
+#include "partition/tile.hpp"
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+TileOptions parse_tile_shape(const std::string& text) {
+  const auto fail = [&]() -> TileOptions {
+    throw DomainError("tile shape must look like PxQ with positive "
+                      "integers (e.g. 4x4), got '" + text + "'");
+  };
+  const std::size_t x = text.find('x');
+  if (x == std::string::npos || x == 0 || x + 1 == text.size()) return fail();
+  i64 rows = 0, cols = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (i == x) continue;
+    const char c = text[i];
+    if (c < '0' || c > '9') return fail();
+    i64& side = i < x ? rows : cols;
+    side = checked_add(checked_mul(side, 10), c - '0');
+  }
+  if (rows < 1 || cols < 1) return fail();
+  TileOptions options;
+  options.rows = rows;
+  options.cols = cols;
+  return options;
+}
+
+TileMode parse_tile_mode(const std::string& text) {
+  if (text == "auto") return TileMode::kAuto;
+  if (text == "lsgp") return TileMode::kLSGP;
+  if (text == "lpgs") return TileMode::kLPGS;
+  throw DomainError("unknown tile mode '" + text + "' (auto|lsgp|lpgs)");
+}
+
+const char* tile_mode_name(TileMode mode) {
+  switch (mode) {
+    case TileMode::kAuto: return "auto";
+    case TileMode::kLSGP: return "lsgp";
+    case TileMode::kLPGS: return "lpgs";
+  }
+  return "?";
+}
+
+std::string tile_shape_name(const TileOptions& options) {
+  return std::to_string(options.rows) + "x" + std::to_string(options.cols);
+}
+
+}  // namespace nusys

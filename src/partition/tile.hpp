@@ -1,0 +1,82 @@
+// Tiling options and accounting shared by every tiled execution surface.
+//
+// A tile plan maps an unbounded mapped design onto a fixed P×Q physical
+// array. Two classical strategies (Moldovan/Fortes; AutoSA's two-level
+// array partitioning):
+//
+//   * LSGP (locally sequential, globally parallel) — every block of
+//     block_x × block_y virtual cells is clustered onto one physical
+//     processor and time is serialized inside the block: a virtual event
+//     at (cell v, tick t) runs at tick t·(block_x·block_y) + phase(v).
+//     All traffic stays on-array; the makespan stretches by the block
+//     area and the processor count shrinks to at most P·Q.
+//
+//   * LPGS (locally parallel, globally sequential) — the virtual cell
+//     space is cut into P×Q spatial tiles that execute one after another
+//     on the same physical rectangle. Values crossing a tile boundary
+//     forward in execution order leave the array into an explicit host
+//     I/O buffer and are re-injected before the consuming tile runs;
+//     the plan sizes those buffers (double-buffered by default) and
+//     tracks which crossings are reuse hits (still resident when
+//     consumed) versus refeeds.
+//
+// TileOptions selects the shape and strategy; TileBufferStats is the
+// buffer/reuse ledger a plan computes and EngineStats surfaces.
+#pragma once
+
+#include <string>
+
+#include "linalg/vec.hpp"
+
+namespace nusys {
+
+/// Which partitioning pass maps virtual cells onto the fixed array.
+enum class TileMode {
+  kAuto,  ///< LPGS when legal for the design, otherwise LSGP.
+  kLSGP,  ///< Force LSGP clustering.
+  kLPGS,  ///< Force LPGS tiling; throws when the design cannot tile.
+};
+
+/// Target array shape and buffering policy. Default-constructed options
+/// (rows == cols == 0) mean "untiled" — every executor treats them as
+/// the flat run.
+struct TileOptions {
+  i64 rows = 0;  ///< P: physical rows (first label axis). 0 = untiled.
+  i64 cols = 0;  ///< Q: physical columns (second axis; folded for 1-D).
+  TileMode mode = TileMode::kAuto;
+  /// Inter-tile I/O buffers hold this many tile generations; a value
+  /// produced k tiles before its consumer is a reuse hit when
+  /// k <= buffer_depth - 1 (depth 2 = classic double buffering).
+  i64 buffer_depth = 2;
+
+  [[nodiscard]] bool enabled() const noexcept { return rows > 0 && cols > 0; }
+
+  friend bool operator==(const TileOptions& a,
+                         const TileOptions& b) = default;
+};
+
+/// Parses "PxQ" (e.g. "4x4", "1x8") into rows/cols. Throws DomainError
+/// on anything else.
+[[nodiscard]] TileOptions parse_tile_shape(const std::string& text);
+
+/// Parses "auto" | "lsgp" | "lpgs". Throws DomainError otherwise.
+[[nodiscard]] TileMode parse_tile_mode(const std::string& text);
+
+[[nodiscard]] const char* tile_mode_name(TileMode mode);
+
+/// "PxQ" — the inverse of parse_tile_shape.
+[[nodiscard]] std::string tile_shape_name(const TileOptions& options);
+
+/// The inter-tile buffer ledger of one LPGS plan (all zero for LSGP and
+/// flat runs: nothing leaves the array).
+struct TileBufferStats {
+  std::size_t buffered_values = 0;  ///< Values crossing a tile boundary.
+  std::size_t reuse_hits = 0;   ///< Still buffer-resident when consumed.
+  std::size_t refeeds = 0;      ///< Evicted first; re-fed from the host.
+  std::size_t high_water = 0;   ///< Max values simultaneously resident.
+  i64 max_tile_distance = 0;    ///< Max producer→consumer tile distance.
+  std::size_t edges = 0;        ///< Distinct (producer, consumer) tiles.
+  std::size_t buffer_bytes = 0; ///< Double-buffered bytes over all edges.
+};
+
+}  // namespace nusys

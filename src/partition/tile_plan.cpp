@@ -1,0 +1,451 @@
+#include "partition/tile_plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "partition/lsgp.hpp"
+#include "space/routing.hpp"
+#include "support/errors.hpp"
+
+namespace nusys {
+
+const char* tile_strategy_name(TileStrategy strategy) {
+  switch (strategy) {
+    case TileStrategy::kLSGP: return "lsgp";
+    case TileStrategy::kLPGS: return "lpgs";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The flat design's placement: one virtual (cell, tick) per point plus
+/// the cell bounding box both strategies carve up.
+struct VirtualPlacement {
+  std::vector<IntVec> points;
+  std::vector<IntVec> cells;
+  std::vector<i64> ticks;
+  IntVec lo, hi;  ///< Inclusive virtual-cell bounding box.
+};
+
+VirtualPlacement place_virtual(const CanonicRecurrence& rec,
+                               const LinearSchedule& timing,
+                               const IntMat& space) {
+  VirtualPlacement v;
+  v.points = rec.domain().points();
+  NUSYS_REQUIRE(!v.points.empty(), "build_uniform_tile_plan: empty domain");
+  v.cells.reserve(v.points.size());
+  v.ticks.reserve(v.points.size());
+  for (const auto& p : v.points) {
+    v.cells.push_back(space * p);
+    v.ticks.push_back(timing.at(p));
+  }
+  v.lo = v.cells.front();
+  v.hi = v.cells.front();
+  for (const auto& c : v.cells) {
+    for (std::size_t a = 0; a < c.dim(); ++a) {
+      v.lo[a] = std::min(v.lo[a], c[a]);
+      v.hi[a] = std::max(v.hi[a], c[a]);
+    }
+  }
+  return v;
+}
+
+/// Classifies every (point, dep) instance for a given tile assignment
+/// (empty tile_of = all points on one tile, i.e. LSGP).
+std::vector<TileDepKind> classify(const CanonicRecurrence& rec,
+                                  const VirtualPlacement& v,
+                                  const std::vector<std::uint32_t>& tile_of) {
+  const auto& deps = rec.dependences();
+  const auto& domain = rec.domain();
+  std::unordered_map<IntVec, std::uint32_t, IntVecHash> index;
+  index.reserve(v.points.size());
+  for (std::uint32_t p = 0; p < v.points.size(); ++p) {
+    index.emplace(v.points[p], p);
+  }
+  std::vector<TileDepKind> kind(v.points.size() * deps.size(),
+                                TileDepKind::kBoundary);
+  for (std::uint32_t p = 0; p < v.points.size(); ++p) {
+    for (std::size_t d = 0; d < deps.size(); ++d) {
+      const IntVec producer = v.points[p] - deps[d].vector;
+      if (!domain.contains(producer)) continue;
+      const std::uint32_t q = index.at(producer);
+      const bool same_tile =
+          tile_of.empty() || tile_of[p] == tile_of[q];
+      kind[p * deps.size() + d] =
+          same_tile ? TileDepKind::kLocal : TileDepKind::kBuffered;
+    }
+  }
+  return kind;
+}
+
+UniformTilePlan build_lsgp(const CanonicRecurrence& rec,
+                           const VirtualPlacement& v, const Interconnect& net,
+                           const TileOptions& options) {
+  UniformTilePlan plan;
+  plan.options = options;
+  plan.strategy = TileStrategy::kLSGP;
+
+  LsgpClustering clustering;
+  if (net.label_dim() == 1) {
+    clustering.block_x =
+        lsgp_block_for(v.hi[0] - v.lo[0] + 1,
+                       checked_mul(options.rows, options.cols));
+    clustering.base_x = v.lo[0];
+  } else {
+    clustering.block_x = lsgp_block_for(v.hi[0] - v.lo[0] + 1, options.rows);
+    clustering.block_y = lsgp_block_for(v.hi[1] - v.lo[1] + 1, options.cols);
+    clustering.base_x = v.lo[0];
+    clustering.base_y = v.lo[1];
+  }
+
+  plan.cell_of.reserve(v.points.size());
+  plan.tick_of.reserve(v.points.size());
+  for (std::size_t p = 0; p < v.points.size(); ++p) {
+    auto [cell, tick] = clustering.place(v.cells[p], v.ticks[p]);
+    plan.cell_of.push_back(std::move(cell));
+    plan.tick_of.push_back(tick);
+  }
+  // Window: the full cluster-grid rectangle (at most P·Q cells), not only
+  // the occupied clusters — serialized routes of sparse domains may relay
+  // through an unoccupied cluster of the rectangle.
+  IntVec clo = plan.cell_of.front();
+  IntVec chi = clo;
+  for (const auto& c : plan.cell_of) {
+    for (std::size_t a = 0; a < c.dim(); ++a) {
+      clo[a] = std::min(clo[a], c[a]);
+      chi[a] = std::max(chi[a], c[a]);
+    }
+  }
+  for (i64 x = clo[0]; x <= chi[0]; ++x) {
+    if (clo.dim() == 1) {
+      plan.window_cells.push_back(IntVec{x});
+    } else {
+      for (i64 y = clo[1]; y <= chi[1]; ++y) {
+        plan.window_cells.push_back(IntVec{x, y});
+      }
+    }
+  }
+  plan.tile_of.assign(v.points.size(), 0);
+  plan.tile_count = 1;
+  plan.first_tick = *std::min_element(plan.tick_of.begin(),
+                                      plan.tick_of.end());
+  plan.last_tick = *std::max_element(plan.tick_of.begin(),
+                                     plan.tick_of.end());
+  plan.segments = {{plan.first_tick, plan.last_tick}};
+  plan.kind = classify(rec, v, {});
+  return plan;
+}
+
+std::optional<UniformTilePlan> try_lpgs(const CanonicRecurrence& rec,
+                                        const VirtualPlacement& v,
+                                        const Interconnect& net,
+                                        const TileOptions& options,
+                                        std::string* why) {
+  const std::size_t dims = net.label_dim();
+  const std::size_t point_count = v.points.size();
+  const auto& deps = rec.dependences();
+  const std::size_t width = deps.size();
+
+  // Spatial tile coordinate and window-anchored cell of every point. The
+  // physical window is the tile rectangle clipped to the virtual extents
+  // (never more than P·Q cells).
+  const i64 span_x =
+      dims == 1 ? checked_mul(options.rows, options.cols) : options.rows;
+  const i64 span_y = dims == 1 ? 1 : options.cols;
+  std::vector<IntVec> tile_coord(point_count);
+  std::vector<IntVec> anchored(point_count);
+  for (std::size_t p = 0; p < point_count; ++p) {
+    const i64 ux = v.cells[p][0] - v.lo[0];
+    const i64 tx = ux / span_x;
+    if (dims == 1) {
+      tile_coord[p] = IntVec{tx};
+      anchored[p] = IntVec{ux - tx * span_x};
+    } else {
+      const i64 uy = v.cells[p][1] - v.lo[1];
+      const i64 ty = uy / span_y;
+      tile_coord[p] = IntVec{tx, ty};
+      anchored[p] = IntVec{ux - tx * span_x, uy - ty * span_y};
+    }
+  }
+
+  // Dense spatial tile ids in lexicographic coordinate order.
+  std::map<IntVec, std::uint32_t> tiles;
+  for (const auto& tc : tile_coord) {
+    tiles.emplace(tc, static_cast<std::uint32_t>(tiles.size()));
+  }
+  // (map insertion order is not dense-ascending; re-number sorted.)
+  {
+    std::uint32_t next = 0;
+    for (auto& [coord, id] : tiles) id = next++;
+  }
+  const std::size_t tile_total = tiles.size();
+  std::vector<std::uint32_t> spatial_of(point_count);
+  std::vector<std::vector<std::uint32_t>> members(tile_total);
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    spatial_of[p] = tiles.at(tile_coord[p]);
+    members[spatial_of[p]].push_back(p);
+  }
+
+  // Inter-tile dependence DAG and a deterministic topological order
+  // (Kahn, smallest spatial tile first).
+  std::unordered_map<IntVec, std::uint32_t, IntVecHash> point_index;
+  point_index.reserve(point_count);
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    point_index.emplace(v.points[p], p);
+  }
+  std::vector<std::set<std::uint32_t>> succs(tile_total);
+  std::vector<std::size_t> indegree(tile_total, 0);
+  std::vector<std::optional<std::uint32_t>> producer_of(point_count * width);
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    for (std::size_t d = 0; d < width; ++d) {
+      const IntVec producer = v.points[p] - deps[d].vector;
+      if (!rec.domain().contains(producer)) continue;
+      const std::uint32_t q = point_index.at(producer);
+      producer_of[p * width + d] = q;
+      const std::uint32_t a = spatial_of[q];
+      const std::uint32_t b = spatial_of[p];
+      if (a != b && succs[a].insert(b).second) ++indegree[b];
+    }
+  }
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>>
+      ready;
+  for (std::uint32_t t = 0; t < tile_total; ++t) {
+    if (indegree[t] == 0) ready.push(t);
+  }
+  std::vector<std::uint32_t> exec_of(tile_total, 0);  ///< spatial -> exec.
+  std::vector<std::uint32_t> spatial_at;              ///< exec -> spatial.
+  spatial_at.reserve(tile_total);
+  while (!ready.empty()) {
+    const std::uint32_t t = ready.top();
+    ready.pop();
+    exec_of[t] = static_cast<std::uint32_t>(spatial_at.size());
+    spatial_at.push_back(t);
+    for (const std::uint32_t s : succs[t]) {
+      if (--indegree[s] == 0) ready.push(s);
+    }
+  }
+  if (spatial_at.size() != tile_total) {
+    *why = "the inter-tile dependence graph has a cycle (two streams "
+           "cross a tile boundary in opposite directions)";
+    return std::nullopt;
+  }
+
+  UniformTilePlan plan;
+  plan.options = options;
+  plan.strategy = TileStrategy::kLPGS;
+  plan.tile_count = tile_total;
+  plan.tile_of.resize(point_count);
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    plan.tile_of[p] = exec_of[spatial_of[p]];
+  }
+  plan.kind = classify(rec, v, plan.tile_of);
+
+  // Physical window: the tile rectangle clipped to the virtual extents.
+  const i64 wx = std::min(span_x, v.hi[0] - v.lo[0] + 1);
+  const i64 wy = dims == 1 ? 1 : std::min(span_y, v.hi[1] - v.lo[1] + 1);
+  for (i64 x = 0; x < wx; ++x) {
+    if (dims == 1) {
+      plan.window_cells.push_back(IntVec{x});
+    } else {
+      for (i64 y = 0; y < wy; ++y) {
+        plan.window_cells.push_back(IntVec{x, y});
+      }
+    }
+  }
+  const auto in_window = [&](const IntVec& c) {
+    if (c[0] < 0 || c[0] >= wx) return false;
+    return dims == 1 || (c[1] >= 0 && c[1] < wy);
+  };
+
+  // Disjoint ascending tick epochs, one per tile in execution order.
+  // All traffic of a tile (ALAP arrivals at consumer ticks, departures
+  // at or after producer ticks) stays inside its epoch, so segments can
+  // be packed back to back.
+  plan.cell_of.resize(point_count);
+  plan.tick_of.resize(point_count);
+  plan.segments.reserve(tile_total);
+  i64 start = 0;
+  for (std::uint32_t e = 0; e < tile_total; ++e) {
+    const auto& tile_members = members[spatial_at[e]];
+    i64 lo = v.ticks[tile_members.front()];
+    i64 hi = lo;
+    for (const std::uint32_t p : tile_members) {
+      lo = std::min(lo, v.ticks[p]);
+      hi = std::max(hi, v.ticks[p]);
+    }
+    for (const std::uint32_t p : tile_members) {
+      plan.cell_of[p] = anchored[p];
+      plan.tick_of[p] = checked_add(v.ticks[p] - lo, start);
+    }
+    plan.segments.emplace_back(start, start + (hi - lo));
+    start = checked_add(start, hi - lo + 1);
+  }
+  plan.first_tick = plan.segments.front().first;
+  plan.last_tick = plan.segments.back().second;
+
+  // Validate the on-array routes of every intra-tile instance once per
+  // tile *shape*: congruent tiles (identical anchored placements,
+  // classifications and producer offsets) replay the cached verdict.
+  std::unordered_map<std::string, std::string> shape_cache;  // key -> error.
+  for (std::uint32_t e = 0; e < tile_total; ++e) {
+    const auto& tile_members = members[spatial_at[e]];
+    i64 lo = v.ticks[tile_members.front()];
+    for (const std::uint32_t p : tile_members) lo = std::min(lo, v.ticks[p]);
+    std::ostringstream key;
+    for (const std::uint32_t p : tile_members) {
+      key << anchored[p] << '@' << (v.ticks[p] - lo) << ':';
+      for (std::size_t d = 0; d < width; ++d) {
+        switch (plan.kind[p * width + d]) {
+          case TileDepKind::kBoundary: key << 'B'; break;
+          case TileDepKind::kBuffered: key << 'X'; break;
+          case TileDepKind::kLocal: {
+            const std::uint32_t q = *producer_of[p * width + d];
+            key << 'L' << anchored[q] << '@' << (v.ticks[q] - lo);
+            break;
+          }
+        }
+      }
+      key << ';';
+    }
+    const auto cached = shape_cache.find(key.str());
+    if (cached != shape_cache.end()) {
+      ++plan.shape_cache_hits;
+      if (!cached->second.empty()) {
+        *why = cached->second;
+        return std::nullopt;
+      }
+      continue;
+    }
+    std::string error;
+    for (const std::uint32_t p : tile_members) {
+      for (std::size_t d = 0; d < width && error.empty(); ++d) {
+        if (plan.kind[p * width + d] != TileDepKind::kLocal) continue;
+        const std::uint32_t q = *producer_of[p * width + d];
+        const IntVec disp = anchored[p] - anchored[q];
+        if (disp.is_zero()) continue;
+        const i64 slack = checked_sub(v.ticks[p], v.ticks[q]);
+        NUSYS_VALIDATE(slack > 0, "design consumes '" + deps[d].variable +
+                                      ":" + v.points[p].to_string() +
+                                      "' no later than it is produced");
+        const auto route = route_displacement(net, disp, slack);
+        if (!route.has_value()) {
+          error = "dependence '" + deps[d].variable +
+                  "' is not routable inside a tile within " +
+                  std::to_string(slack) + " tick(s)";
+          break;
+        }
+        IntVec at = anchored[q];
+        for (std::size_t l = 0; l < net.link_count() && error.empty(); ++l) {
+          for (i64 c = 0; c < route->hops_per_link[l]; ++c) {
+            at += net.link(l).direction;
+            if (!in_window(at)) {
+              error = "the route of dependence '" + deps[d].variable +
+                      "' leaves the " + std::to_string(wx) + "x" +
+                      std::to_string(wy) +
+                      " physical window at " + at.to_string();
+              break;
+            }
+          }
+        }
+      }
+      if (!error.empty()) break;
+    }
+    shape_cache.emplace(key.str(), error);
+    if (!error.empty()) {
+      *why = error;
+      return std::nullopt;
+    }
+  }
+
+  // Inter-tile buffer ledger: distances, reuse vs refeed, residency
+  // high-water and the double-buffered edge sizing.
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    for (std::size_t d = 0; d < width; ++d) {
+      if (plan.kind[p * width + d] != TileDepKind::kBuffered) continue;
+      plan.buffered.push_back(
+          {*producer_of[p * width + d], p, static_cast<std::uint32_t>(d)});
+    }
+  }
+  std::sort(plan.buffered.begin(), plan.buffered.end(),
+            [&](const TileBufferedValue& a, const TileBufferedValue& b) {
+              return std::tuple(plan.tile_of[a.consumer], a.consumer, a.var) <
+                     std::tuple(plan.tile_of[b.consumer], b.consumer, b.var);
+            });
+  TileBufferStats& stats = plan.buffer_stats;
+  stats.buffered_values = plan.buffered.size();
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> edge_values;
+  std::vector<std::pair<i64, int>> events;  // (tick, +1 produce / -1 consume)
+  events.reserve(plan.buffered.size() * 2);
+  for (const auto& value : plan.buffered) {
+    const i64 distance = static_cast<i64>(plan.tile_of[value.consumer]) -
+                         static_cast<i64>(plan.tile_of[value.producer]);
+    stats.max_tile_distance = std::max(stats.max_tile_distance, distance);
+    if (distance <= options.buffer_depth - 1) {
+      ++stats.reuse_hits;
+    } else {
+      ++stats.refeeds;
+    }
+    ++edge_values[{plan.tile_of[value.producer],
+                   plan.tile_of[value.consumer]}];
+    events.emplace_back(plan.tick_of[value.producer], +1);
+    events.emplace_back(plan.tick_of[value.consumer], -1);
+  }
+  stats.edges = edge_values.size();
+  for (const auto& [edge, count] : edge_values) {
+    // Double-buffered: each boundary edge holds its in-flight values
+    // twice over (fill one generation while draining the other).
+    stats.buffer_bytes += 2 * sizeof(i64) * count;
+  }
+  std::sort(events.begin(), events.end());  // -1 sorts before +1 per tick.
+  std::size_t live = 0;
+  for (const auto& [tick, delta] : events) {
+    if (delta < 0) {
+      --live;
+    } else {
+      ++live;
+      stats.high_water = std::max(stats.high_water, live);
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+UniformTilePlan build_uniform_tile_plan(const CanonicRecurrence& rec,
+                                        const LinearSchedule& timing,
+                                        const IntMat& space,
+                                        const Interconnect& net,
+                                        const TileOptions& options) {
+  NUSYS_REQUIRE(options.enabled(),
+                "build_uniform_tile_plan: tile shape not set");
+  NUSYS_REQUIRE(options.buffer_depth >= 1,
+                "build_uniform_tile_plan: buffer depth must be positive");
+  rec.validate();
+  NUSYS_REQUIRE(timing.dim() == rec.domain().dim() &&
+                    space.cols() == rec.domain().dim() &&
+                    space.rows() == net.label_dim(),
+                "build_uniform_tile_plan: mapping shape mismatch");
+  if (net.label_dim() != 1 && net.label_dim() != 2) {
+    throw DomainError("tiling supports 1-D and 2-D interconnects, got a " +
+                      std::to_string(net.label_dim()) + "-D label space");
+  }
+  const VirtualPlacement v = place_virtual(rec, timing, space);
+  if (options.mode == TileMode::kLSGP) {
+    return build_lsgp(rec, v, net, options);
+  }
+  std::string why;
+  if (auto plan = try_lpgs(rec, v, net, options, &why)) return *std::move(plan);
+  if (options.mode == TileMode::kLPGS) {
+    throw DomainError("LPGS tiling is infeasible for this design: " + why);
+  }
+  return build_lsgp(rec, v, net, options);
+}
+
+}  // namespace nusys

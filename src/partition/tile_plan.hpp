@@ -1,0 +1,112 @@
+// Tile plan construction: the placement layer between a cached design
+// and the fixed-size physical array it executes on.
+//
+// build_uniform_tile_plan takes any mapped canonic design — the same
+// (rec, timing, space, net) quadruple run_uniform_design executes — plus
+// a target P×Q array shape and produces the complete physical schedule
+// both tiled executors (interpretive and wavefront-compiled) replay:
+// one physical (cell, tick) per domain point, the engine's cell window,
+// per-tile segment tick ranges in execution order, a classification of
+// every dependence instance (host boundary / on-array / inter-tile
+// buffered) and the buffer/reuse ledger of the inter-tile traffic.
+//
+// Strategy selection: kLSGP clusters blocks onto processors (always
+// legal — see partition/lsgp.hpp). kLPGS cuts the virtual cell space
+// into P×Q spatial tiles executed sequentially in a topological order of
+// the inter-tile dependence DAG, each in its own disjoint tick epoch;
+// values crossing tiles forward in execution order leave the array into
+// a host I/O buffer and are re-injected before the consuming tile's
+// epoch. LPGS is rejected (kAuto: silently falls back to LSGP;
+// explicit kLPGS: throws DomainError) when the tile graph has a cycle —
+// two streams crossing one boundary in opposite directions — or an
+// on-array route of an intra-tile value would leave the physical
+// window, because a mid-epoch value cannot detour through the host.
+//
+// Congruent tiles (same anchored placements, classifications and
+// producer offsets) share one validated intra-tile schedule: the
+// planner keys each tile by its anchored shape and replays the cached
+// validation instead of re-routing — `shape_cache_hits` counts the
+// replays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/recurrence.hpp"
+#include "partition/tile.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+
+namespace nusys {
+
+/// How the plan actually mapped the design (kAuto resolves to one).
+enum class TileStrategy { kLSGP, kLPGS };
+
+[[nodiscard]] const char* tile_strategy_name(TileStrategy strategy);
+
+/// Classification of one dependence instance (consumer point × variable).
+enum class TileDepKind : std::uint8_t {
+  kBoundary = 0,  ///< Producer outside the domain: host-injected input.
+  kLocal = 1,     ///< Same tile: register handoff or on-array route.
+  kBuffered = 2,  ///< Crosses tiles: through the host I/O buffer.
+};
+
+/// One value that crosses a tile boundary through the host buffer.
+struct TileBufferedValue {
+  std::uint32_t producer = 0;  ///< Producing point index.
+  std::uint32_t consumer = 0;  ///< Consuming point index.
+  std::uint32_t var = 0;       ///< Dependence index (variable).
+};
+
+/// The complete physical schedule of one tiled uniform design. Point
+/// indices follow rec.domain().points() order; dependence indices follow
+/// rec.dependences() order.
+struct UniformTilePlan {
+  TileOptions options;
+  TileStrategy strategy = TileStrategy::kLSGP;
+
+  std::vector<IntVec> cell_of;        ///< Physical cell per point.
+  std::vector<i64> tick_of;           ///< Physical tick per point.
+  std::vector<std::uint32_t> tile_of; ///< Execution-order tile per point.
+  std::size_t tile_count = 1;
+
+  /// Every cell of the physical array (the engine window): the cluster
+  /// grid rectangle for LSGP, the P×Q rectangle (clipped to the virtual
+  /// extents) for LPGS. |window_cells| <= P·Q always.
+  std::vector<IntVec> window_cells;
+
+  /// Tick range [first, last] of each tile in execution order; disjoint
+  /// and ascending, so the global tick order equals the tile order.
+  std::vector<std::pair<i64, i64>> segments;
+
+  /// kind[point * width + dep]: how that operand instance arrives.
+  std::vector<TileDepKind> kind;
+
+  /// Inter-tile values, sorted by (consumer tile, consumer point, var) —
+  /// the order the interpretive driver drains injections in.
+  std::vector<TileBufferedValue> buffered;
+
+  TileBufferStats buffer_stats;
+  std::size_t shape_cache_hits = 0;  ///< Congruent-tile schedule replays.
+
+  i64 first_tick = 0;  ///< Min physical tick.
+  i64 last_tick = 0;   ///< Max physical tick.
+
+  /// Tile-boundary dependence distances vs. the configured depth: the
+  /// count of buffered values a buffer of `options.buffer_depth` tile
+  /// generations cannot hold until consumption (they cost a refeed).
+  [[nodiscard]] std::size_t overflow_count() const {
+    return buffer_stats.refeeds;
+  }
+};
+
+/// Builds the tile plan. `options.enabled()` must hold. Throws
+/// DomainError when the interconnect's label space is not 1-D/2-D, or
+/// when mode is kLPGS and the design cannot tile (see file comment).
+[[nodiscard]] UniformTilePlan build_uniform_tile_plan(
+    const CanonicRecurrence& rec, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net, const TileOptions& options);
+
+}  // namespace nusys

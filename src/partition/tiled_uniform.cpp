@@ -1,0 +1,436 @@
+#include "partition/tiled_uniform.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "designs/placement_key.hpp"
+#include "space/routing.hpp"
+#include "support/errors.hpp"
+#include "systolic/wavefront.hpp"
+
+namespace nusys {
+
+namespace {
+
+std::string vid(const std::string& var, const IntVec& point) {
+  std::ostringstream os;
+  os << var << ':' << point;
+  return os.str();
+}
+
+using Key = detail::PlacementKey;
+using KeyHash = detail::PlacementKeyHash;
+
+constexpr std::size_t kNoBuffer = std::numeric_limits<std::size_t>::max();
+
+/// Producing point of every (consumer point, dependence) instance, or
+/// kNoProducer at the domain boundary.
+constexpr std::uint32_t kNoProducer =
+    std::numeric_limits<std::uint32_t>::max();
+
+std::vector<std::uint32_t> producer_table(
+    const CanonicRecurrence& rec, const std::vector<IntVec>& points,
+    const std::unordered_map<IntVec, std::uint32_t, IntVecHash>& index) {
+  const auto& deps = rec.dependences();
+  std::vector<std::uint32_t> producer(points.size() * deps.size(),
+                                      kNoProducer);
+  for (std::uint32_t p = 0; p < points.size(); ++p) {
+    for (std::size_t d = 0; d < deps.size(); ++d) {
+      const IntVec q = points[p] - deps[d].vector;
+      if (const auto it = index.find(q); it != index.end()) {
+        producer[p * deps.size() + d] = it->second;
+      }
+    }
+  }
+  return producer;
+}
+
+/// buffered_slot[point * width + dep] -> index into plan.buffered /
+/// the host buffer array (kNoBuffer when the instance is not buffered).
+std::vector<std::size_t> buffer_slot_table(const UniformTilePlan& plan,
+                                           std::size_t point_count,
+                                           std::size_t width) {
+  std::vector<std::size_t> slot(point_count * width, kNoBuffer);
+  for (std::size_t i = 0; i < plan.buffered.size(); ++i) {
+    const auto& b = plan.buffered[i];
+    slot[static_cast<std::size_t>(b.consumer) * width + b.var] = i;
+  }
+  return slot;
+}
+
+TiledUniformRun run_tiled_interpretive(const CanonicRecurrence& rec,
+                                       const UniformSemantics& semantics,
+                                       const UniformTilePlan& plan,
+                                       const Interconnect& net,
+                                       const CancelToken* cancel) {
+  const auto& domain = rec.domain();
+  const auto& deps = rec.dependences();
+  const std::size_t width = deps.size();
+  const std::vector<IntVec> points = domain.points();
+  std::unordered_map<IntVec, std::uint32_t, IntVecHash> point_index;
+  point_index.reserve(points.size());
+  for (std::uint32_t p = 0; p < points.size(); ++p) {
+    point_index.emplace(points[p], p);
+  }
+  const std::vector<std::uint32_t> producer =
+      producer_table(rec, points, point_index);
+  const std::vector<std::size_t> buffer_slot =
+      buffer_slot_table(plan, points.size(), width);
+
+  SystolicEngine engine(net, plan.window_cells);
+
+  struct Send {
+    std::string id;
+    std::string channel;
+    IntVec direction;
+  };
+  struct Receive {
+    std::string channel;
+    std::string id;
+  };
+  std::unordered_map<Key, std::vector<Receive>, KeyHash> receive_table;
+  std::unordered_map<Key, std::vector<Send>, KeyHash> send_table;
+  std::unordered_map<Key, std::vector<std::uint32_t>, KeyHash> compute_table;
+  std::size_t route_hops = 0;
+
+  for (std::uint32_t p = 0; p < points.size(); ++p) {
+    compute_table[{plan.cell_of[p], plan.tick_of[p]}].push_back(p);
+    for (std::size_t d = 0; d < width; ++d) {
+      const std::string& var = deps[d].variable;
+      const std::string id = vid(var, points[p]);
+      std::string host_channel = var;
+      host_channel += "@host";
+      switch (plan.kind[p * width + d]) {
+        case TileDepKind::kBoundary:
+          // Host input, known up front: inject at the consumer's slot.
+          engine.inject(plan.tick_of[p], plan.cell_of[p], host_channel,
+                        semantics.boundary(var, points[p]));
+          receive_table[{plan.cell_of[p], plan.tick_of[p]}].push_back(
+              {host_channel, id});
+          break;
+        case TileDepKind::kBuffered:
+          // Injected per segment, once the producing tile has filled the
+          // host buffer; only the receive is known statically.
+          receive_table[{plan.cell_of[p], plan.tick_of[p]}].push_back(
+              {host_channel, id});
+          break;
+        case TileDepKind::kLocal: {
+          const std::uint32_t q = producer[p * width + d];
+          const IntVec disp = plan.cell_of[p] - plan.cell_of[q];
+          if (disp.is_zero()) break;  // Register handoff inside the cell.
+          const i64 slack = checked_sub(plan.tick_of[p], plan.tick_of[q]);
+          NUSYS_VALIDATE(slack > 0, "design consumes '" + id +
+                                        "' no later than it is produced");
+          const auto route = route_displacement(net, disp, slack);
+          NUSYS_VALIDATE(route.has_value(),
+                         "dependence '" + id + "' is not routable within " +
+                             std::to_string(slack) + " tick(s)");
+          std::vector<IntVec> hops;
+          for (std::size_t l = 0; l < net.link_count(); ++l) {
+            for (i64 c = 0; c < route->hops_per_link[l]; ++c) {
+              hops.push_back(net.link(l).direction);
+            }
+          }
+          route_hops += hops.size();
+          i64 t = plan.tick_of[p] - static_cast<i64>(hops.size());
+          IntVec at = plan.cell_of[q];
+          for (const auto& hop : hops) {
+            std::string channel = var;
+            channel += '@';
+            channel += net.link_name(hop);
+            send_table[{at, t}].push_back({id, channel, hop});
+            at += hop;
+            ++t;
+            NUSYS_VALIDATE(engine.has_cell(at),
+                           "route of '" + id + "' passes through " +
+                               at.to_string() +
+                               ", not a cell of this array");
+            receive_table[{at, t}].push_back({channel, id});
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  TiledUniformRun run;
+  std::map<IntVec, Value>& finals = run.finals;
+  std::vector<Value> buffer_values(plan.buffered.size(), 0);
+
+  engine.set_program([&](CellContext& ctx) {
+    const Key key{ctx.coord(), ctx.tick()};
+    if (const auto it = receive_table.find(key); it != receive_table.end()) {
+      for (const auto& r : it->second) {
+        const auto v = ctx.in(r.channel);
+        NUSYS_REQUIRE(v.has_value(), "expected value on channel '" +
+                                         r.channel + "' did not arrive");
+        ctx.set_reg(r.id, *v);
+      }
+    }
+    if (const auto it = compute_table.find(key); it != compute_table.end()) {
+      for (const std::uint32_t pi : it->second) {
+        const IntVec& p = points[pi];
+        std::map<std::string, Value> inputs;
+        for (const auto& dep : deps) {
+          const std::string id = vid(dep.variable, p);
+          NUSYS_REQUIRE(ctx.has_reg(id), "operand '" + id + "' missing at " +
+                                             ctx.coord().to_string());
+          inputs[dep.variable] = ctx.reg(id);
+          ctx.clear_reg(id);
+        }
+        const Value out = semantics.compute(p, inputs);
+        if (semantics.observe) semantics.observe(p, out);
+        for (std::size_t d = 0; d < width; ++d) {
+          const auto& dep = deps[d];
+          const IntVec successor = p + dep.vector;
+          if (!domain.contains(successor)) {
+            if (dep.variable == semantics.accumulator) {
+              finals[p] = out;
+              ctx.emit(semantics.accumulator, out);
+            }
+            continue;
+          }
+          const Value payload =
+              dep.variable == semantics.accumulator ? out
+              : semantics.emit ? semantics.emit(dep.variable, p, inputs, out)
+                               : inputs[dep.variable];
+          const std::uint32_t si = point_index.at(successor);
+          if (plan.kind[si * width + d] == TileDepKind::kBuffered) {
+            // Crosses a tile boundary: capture into the host buffer (the
+            // consuming segment injects it later) and report it off-array.
+            buffer_values[buffer_slot[si * width + d]] = payload;
+            ctx.emit(dep.variable, payload);
+          } else {
+            ctx.set_reg(vid(dep.variable, successor), payload);
+          }
+        }
+      }
+    }
+    if (const auto it = send_table.find(key); it != send_table.end()) {
+      for (const auto& s : it->second) {
+        ctx.out(s.direction, s.channel, ctx.reg(s.id));
+        ctx.clear_reg(s.id);
+      }
+    }
+  });
+
+  // Run one tile segment at a time, draining that tile's buffered
+  // injections first (their values were captured by earlier segments).
+  std::size_t next_buffered = 0;
+  for (std::size_t e = 0; e < plan.segments.size(); ++e) {
+    throw_if_cancelled(cancel, "run_uniform_design_tiled");
+    while (next_buffered < plan.buffered.size() &&
+           plan.tile_of[plan.buffered[next_buffered].consumer] == e) {
+      const auto& b = plan.buffered[next_buffered];
+      std::string host_channel = deps[b.var].variable;
+      host_channel += "@host";
+      engine.inject(plan.tick_of[b.consumer], plan.cell_of[b.consumer],
+                    host_channel, buffer_values[next_buffered]);
+      ++next_buffered;
+    }
+    engine.run(plan.segments[e].first, plan.segments[e].second);
+  }
+  NUSYS_REQUIRE(next_buffered == plan.buffered.size(),
+                "run_uniform_design_tiled: undrained buffered values");
+
+  run.stats = engine.stats();
+  run.cell_count = engine.cell_count();
+  run.first_tick = plan.first_tick;
+  run.last_tick = plan.last_tick;
+  run.route_hops = route_hops;
+  return run;
+}
+
+/// The compiled adapter around std::function semantics — the same shape
+/// designs/uniform_array.cpp uses for the flat generic path.
+struct GenericCompiledSemantics {
+  const UniformSemantics* sem = nullptr;
+  const DependenceSet* deps = nullptr;
+
+  [[nodiscard]] std::map<std::string, Value> named(const Value* in) const {
+    std::map<std::string, Value> inputs;
+    for (std::size_t d = 0; d < deps->size(); ++d) {
+      inputs[(*deps)[d].variable] = in[d];
+    }
+    return inputs;
+  }
+  [[nodiscard]] Value compute(const IntVec& point, const Value* in) const {
+    return sem->compute(point, named(in));
+  }
+  [[nodiscard]] Value boundary(std::size_t var, const IntVec& point) const {
+    return sem->boundary((*deps)[var].variable, point);
+  }
+  [[nodiscard]] Value forward(std::size_t var, const IntVec& point,
+                              const Value* in, Value out) const {
+    if (!sem->emit) return in[var];
+    return sem->emit((*deps)[var].variable, point, named(in), out);
+  }
+  void observe(const IntVec& point, Value out) const {
+    if (sem->observe) sem->observe(point, out);
+  }
+};
+
+TiledUniformRun run_tiled_compiled(const CanonicRecurrence& rec,
+                                   const UniformSemantics& semantics,
+                                   std::size_t accumulator_index,
+                                   const UniformTilePlan& plan,
+                                   const Interconnect& net,
+                                   const CancelToken* cancel) {
+  const auto& deps = rec.dependences();
+  const std::size_t width = deps.size();
+  const std::vector<IntVec> points = rec.domain().points();
+  const auto point_count = static_cast<std::uint32_t>(points.size());
+  std::unordered_map<IntVec, std::uint32_t, IntVecHash> point_index;
+  point_index.reserve(points.size());
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    point_index.emplace(points[p], p);
+  }
+  const std::vector<std::uint32_t> producer =
+      producer_table(rec, points, point_index);
+  const GenericCompiledSemantics semantics_c{&semantics, &deps};
+
+  // ---- Compile: ONE builder spans every tile. The disjoint ascending
+  // tile epochs make the global wavefront order execute tiles back to
+  // back, and the route cache is shared across congruent tiles. --------
+  WavefrontPlanBuilder builder(net, width);
+  for (const auto& cell : plan.window_cells) {
+    (void)builder.intern_cell(cell);
+  }
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    const std::uint32_t cell = builder.intern_cell(plan.cell_of[p]);
+    const std::uint32_t op = builder.add_op(cell, plan.tick_of[p], 0);
+    NUSYS_REQUIRE(op == p, "run_tiled_compiled: op/point id mismatch");
+  }
+
+  constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
+  std::vector<Value> slots(static_cast<std::size_t>(point_count) * width, 0);
+  std::vector<std::uint32_t> targets(slots.size(), kNoSlot);
+
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    const IntVec& point = points[p];
+    for (std::size_t d = 0; d < width; ++d) {
+      const std::size_t slot = static_cast<std::size_t>(p) * width + d;
+      switch (plan.kind[p * width + d]) {
+        case TileDepKind::kBoundary:
+          slots[slot] = semantics_c.boundary(d, point);
+          builder.add_inject(p, static_cast<std::uint32_t>(d));
+          break;
+        case TileDepKind::kBuffered: {
+          // The producer's tile runs (strictly earlier wavefronts) before
+          // the consumer's, so scattering into the consumer's slot at
+          // produce time realizes the host buffer; arrival-wise the value
+          // re-enters the array as an injection, like the interpretive
+          // host path.
+          const std::uint32_t q = producer[p * width + d];
+          builder.add_inject(p, static_cast<std::uint32_t>(d));
+          targets[static_cast<std::size_t>(q) * width + d] =
+              static_cast<std::uint32_t>(slot);
+          break;
+        }
+        case TileDepKind::kLocal: {
+          const std::uint32_t q = producer[p * width + d];
+          const i64 slack = checked_sub(plan.tick_of[p], plan.tick_of[q]);
+          NUSYS_VALIDATE(slack > 0,
+                         "design consumes '" + deps[d].variable + ":" +
+                             point.to_string() +
+                             "' no later than it is produced");
+          const ValueLabel label{deps[d].variable.c_str(), &point, 0};
+          builder.add_transport(q, p, static_cast<std::uint32_t>(d), label);
+          targets[static_cast<std::size_t>(q) * width + d] =
+              static_cast<std::uint32_t>(slot);
+          break;
+        }
+      }
+    }
+  }
+  const WavefrontPlan wplan = std::move(builder).compile();
+
+  // ---- Run: identical to the flat compiled loop. ----------------------
+  TiledUniformRun run;
+  for (const Wavefront& front : wplan.fronts) {
+    throw_if_cancelled(cancel, "run_uniform_design_tiled");
+    for (std::uint32_t x = front.begin; x < front.end; ++x) {
+      const std::uint32_t p = wplan.order[x];
+      const IntVec& point = points[p];
+      const Value* in = slots.data() + static_cast<std::size_t>(p) * width;
+      const Value out = semantics_c.compute(point, in);
+      semantics_c.observe(point, out);
+      const std::uint32_t* to =
+          targets.data() + static_cast<std::size_t>(p) * width;
+      for (std::size_t d = 0; d < width; ++d) {
+        if (to[d] != kNoSlot) {
+          slots[to[d]] = d == accumulator_index
+                             ? out
+                             : semantics_c.forward(d, point, in, out);
+        } else if (d == accumulator_index) {
+          run.finals.emplace(point, out);
+        }
+      }
+    }
+  }
+
+  run.stats = wplan.stats;
+  run.cell_count = wplan.cell_count;
+  run.first_tick = wplan.first_tick;
+  run.last_tick = wplan.last_tick;
+  run.route_hops = wplan.route_hops;
+  return run;
+}
+
+}  // namespace
+
+TiledUniformRun run_uniform_design_tiled(const CanonicRecurrence& rec,
+                                         const UniformSemantics& semantics,
+                                         const LinearSchedule& timing,
+                                         const IntMat& space,
+                                         const Interconnect& net,
+                                         const TileOptions& options,
+                                         EngineKind engine,
+                                         const CancelToken* cancel) {
+  if (!options.enabled()) {
+    TiledUniformRun run;
+    static_cast<UniformArrayRun&>(run) =
+        run_uniform_design(rec, semantics, timing, space, net, engine, cancel);
+    return run;
+  }
+  rec.validate();
+  NUSYS_REQUIRE(semantics.compute && semantics.boundary,
+                "run_uniform_design_tiled: semantics callbacks must be set");
+  std::size_t accumulator_index = rec.dependences().size();
+  for (std::size_t d = 0; d < rec.dependences().size(); ++d) {
+    if (rec.dependences()[d].variable == semantics.accumulator) {
+      accumulator_index = d;
+    }
+  }
+  NUSYS_REQUIRE(accumulator_index < rec.dependences().size(),
+                "run_uniform_design_tiled: accumulator is not a recurrence "
+                "variable");
+  const UniformTilePlan plan =
+      build_uniform_tile_plan(rec, timing, space, net, options);
+  TiledUniformRun run =
+      engine == EngineKind::kInterpretive
+          ? run_tiled_interpretive(rec, semantics, plan, net, cancel)
+          : run_tiled_compiled(rec, semantics, accumulator_index, plan, net,
+                               cancel);
+  run.strategy = plan.strategy;
+  run.tile_count = plan.tile_count;
+  run.buffer_stats = plan.buffer_stats;
+  run.shape_cache_hits = plan.shape_cache_hits;
+  run.stats.buffer_high_water = plan.buffer_stats.high_water;
+  run.stats.reuse_hits = plan.buffer_stats.reuse_hits;
+  return run;
+}
+
+TiledUniformRun run_uniform_design_tiled(const CanonicRecurrence& rec,
+                                         const UniformSemantics& semantics,
+                                         const LinearSchedule& timing,
+                                         const IntMat& space,
+                                         const Interconnect& net,
+                                         const TileOptions& options) {
+  return run_uniform_design_tiled(rec, semantics, timing, space, net, options,
+                                  engine_kind(), nullptr);
+}
+
+}  // namespace nusys

@@ -1,0 +1,62 @@
+// Tiled execution of mapped uniform designs on a fixed P×Q array.
+//
+// run_uniform_design_tiled is the tiled counterpart of
+// designs/uniform_array.hpp's run_uniform_design: same recurrence, same
+// caller-supplied semantics, same mapping — but the physical placement
+// comes from a UniformTilePlan (partition/tile_plan.hpp) instead of the
+// raw space map, so the array never exceeds P·Q cells regardless of the
+// problem size. Results are bit-identical to the flat run: tiling changes
+// *where and when* each point executes, never *what* it computes.
+//
+// Both engines are supported and their statistics match field for field,
+// exactly like the flat executors:
+//
+//   * interpretive — a SystolicEngine over the plan's window cells.
+//     Boundary inputs are injected up front; the engine runs one tile
+//     segment at a time, draining that tile's inter-tile buffer
+//     injections (values captured from earlier segments into a host
+//     array) before each segment.
+//
+//   * compiled — ONE WavefrontPlanBuilder spans all tiles: the disjoint
+//     ascending tile epochs make the global wavefront order execute
+//     tiles back to back, and congruent tiles share routes through the
+//     builder's displacement cache. Inter-tile values scatter into the
+//     consumer's operand slot at produce time (the slot array is the
+//     I/O buffer) and count as injections, mirroring the interpretive
+//     host buffer exactly.
+#pragma once
+
+#include "designs/uniform_array.hpp"
+#include "partition/tile_plan.hpp"
+#include "support/cancel.hpp"
+#include "systolic/engine_select.hpp"
+
+namespace nusys {
+
+/// A tiled run: the flat run's result plus the plan's tiling facts. The
+/// EngineStats carry the tiled extensions (peak_live_cells from the
+/// engine, buffer_high_water / reuse_hits from the plan ledger).
+struct TiledUniformRun : UniformArrayRun {
+  TileStrategy strategy = TileStrategy::kLSGP;
+  std::size_t tile_count = 1;
+  TileBufferStats buffer_stats;
+  std::size_t shape_cache_hits = 0;  ///< Congruent-tile schedule replays.
+};
+
+/// Executes `rec` under the mapping (timing, space) on `net`, tiled onto
+/// the `options` array shape. Disabled options run flat (the result is
+/// the flat run wrapped with tile_count = 1). Throws exactly like
+/// run_uniform_design plus build_uniform_tile_plan.
+[[nodiscard]] TiledUniformRun run_uniform_design_tiled(
+    const CanonicRecurrence& rec, const UniformSemantics& semantics,
+    const LinearSchedule& timing, const IntMat& space, const Interconnect& net,
+    const TileOptions& options, EngineKind engine,
+    const CancelToken* cancel = nullptr);
+
+/// Same, on the process-default engine (see systolic/engine_select).
+[[nodiscard]] TiledUniformRun run_uniform_design_tiled(
+    const CanonicRecurrence& rec, const UniformSemantics& semantics,
+    const LinearSchedule& timing, const IntMat& space, const Interconnect& net,
+    const TileOptions& options);
+
+}  // namespace nusys

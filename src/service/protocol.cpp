@@ -210,6 +210,15 @@ std::string encode_request(const ServiceRequest& request) {
     obj.set("sleep_ms", request.sleep_ms);
   }
   if (request.execute) obj.set("execute", true);
+  if (request.tile.enabled()) {
+    obj.set("tile", tile_shape_name(request.tile));
+    if (request.tile.mode != TileMode::kAuto) {
+      obj.set("tile_mode", tile_mode_name(request.tile.mode));
+    }
+    if (request.tile.buffer_depth != TileOptions{}.buffer_depth) {
+      obj.set("tile_depth", request.tile.buffer_depth);
+    }
+  }
   return obj.dump();
 }
 
@@ -240,6 +249,20 @@ ServiceRequest parse_request(const std::string& line) {
   request.sleep_ms = optional_ms(obj, "sleep_ms");
   if (const JsonValue* execute = obj.find("execute")) {
     request.execute = execute->as_bool();
+  }
+  if (const JsonValue* tile = obj.find("tile")) {
+    request.tile = parse_tile_shape(tile->as_string());
+    if (const JsonValue* mode = obj.find("tile_mode")) {
+      request.tile.mode = parse_tile_mode(mode->as_string());
+    }
+    if (const JsonValue* depth = obj.find("tile_depth")) {
+      const i64 d = depth->as_int();
+      if (d < 1) throw DomainError("tile_depth must be >= 1");
+      request.tile.buffer_depth = d;
+    }
+  } else if (obj.find("tile_mode") != nullptr ||
+             obj.find("tile_depth") != nullptr) {
+    throw DomainError("tile_mode/tile_depth need a 'tile' shape");
   }
   if (request.kind == RequestKind::kSynth ||
       request.kind == RequestKind::kBatch) {

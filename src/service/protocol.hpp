@@ -88,6 +88,10 @@ struct ServiceRequest {
   /// on the process-default engine against the family's sequential
   /// reference (frontends/execute.hpp).
   bool execute = false;
+  /// Execution tile shape ("tile": "PxQ", plus optional "tile_mode" and
+  /// "tile_depth"); disabled (0x0) runs flat. Execution-only — never part
+  /// of the design cache key.
+  TileOptions tile;
 };
 
 enum class ResponseStatus {

@@ -240,8 +240,10 @@ ServiceResponse SynthesisService::run_problems(PendingJob& job) {
       result.cache_hit = is_cache_hit(synthesis.telemetry);
       examined += synthesis.telemetry.total_examined();
       if (job.request.execute && synthesis.found()) {
-        const auto execution = execute_pipeline_design(
-            problem, synthesis.best(), seed, engine_kind(), &job.cancel);
+        const auto execution =
+            execute_pipeline_design(problem, synthesis.best(), seed,
+                                    job.request.tile, engine_kind(),
+                                    &job.cancel);
         result.executed = true;
         result.execution_match = execution.match;
         result.engine = engine_kind_name(execution.engine);
@@ -254,8 +256,8 @@ ServiceResponse SynthesisService::run_problems(PendingJob& job) {
       examined += synthesis.telemetry.total_examined();
       if (job.request.execute && synthesis.found()) {
         const auto execution = execute_uniform_design(
-            problem, synthesis.designs.front(), seed, engine_kind(),
-            &job.cancel);
+            problem, synthesis.designs.front(), seed, job.request.tile,
+            engine_kind(), &job.cancel);
         result.executed = true;
         result.execution_match = execution.match;
         result.engine = engine_kind_name(execution.engine);

@@ -341,7 +341,8 @@ BatchRunResult run_batch(const std::vector<BatchProblem>& problems,
       if (options.execute && synthesis.found()) {
         item.executed = true;
         item.execution_match =
-            execute_pipeline_design(p, synthesis.best(), seed, engine_kind())
+            execute_pipeline_design(p, synthesis.best(), seed, options.tile,
+                                    engine_kind())
                 .match;
       }
     } else {
@@ -355,7 +356,7 @@ BatchRunResult run_batch(const std::vector<BatchProblem>& problems,
         item.executed = true;
         item.execution_match =
             execute_uniform_design(p, synthesis.designs.front(), seed,
-                                   engine_kind())
+                                   options.tile, engine_kind())
                 .match;
       }
     }

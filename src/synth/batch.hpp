@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "ir/nonuniform.hpp"
+#include "partition/tile.hpp"
 #include "support/cache.hpp"
 #include "synth/pipeline.hpp"
 #include "synth/report.hpp"
@@ -120,6 +121,10 @@ struct BatchOptions {
   /// the problem name, so results are thread-count independent.
   bool execute = false;
   std::uint64_t execute_seed = 1;
+  /// Tile shape for differential execution (partition/tile.hpp). An
+  /// execution-only option: it never enters the cache key, so tiled and
+  /// flat batches share cached designs. Disabled (0x0) runs flat.
+  TileOptions tile;
 };
 
 /// Aggregate outcome of a batch run.

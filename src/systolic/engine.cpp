@@ -193,12 +193,17 @@ void SystolicEngine::run(i64 first_tick, i64 last_tick) {
       pending_faults_.erase(faults);
     }
     // Phase 1: every cell computes; outputs land in next_inbox.
+    std::size_t live_this_tick = 0;
     for (auto& cell : cells_) {
       CellContext ctx(*this, cell.coord, tick);
       program_(ctx);
-      if (ctx.busy_) ++stats_.busy_cell_ticks;
+      if (ctx.busy_) {
+        ++stats_.busy_cell_ticks;
+        ++live_this_tick;
+      }
       cell.inbox.clear();
     }
+    stats_.peak_live_cells = std::max(stats_.peak_live_cells, live_this_tick);
   }
 }
 

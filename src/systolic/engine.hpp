@@ -110,6 +110,15 @@ struct EngineStats {
   std::size_t max_registers = 0;     ///< Register-file high-water mark.
   std::size_t injections = 0;
   std::size_t emissions = 0;
+  /// Maximum number of cells busy in any single tick — the live "hardware"
+  /// footprint a tiled run must keep within its P×Q target.
+  std::size_t peak_live_cells = 0;
+  /// Tiled runs only: most values simultaneously resident in the host-side
+  /// inter-tile I/O buffers (0 for flat runs).
+  std::size_t buffer_high_water = 0;
+  /// Tiled runs only: cross-tile values served from the I/O buffer instead
+  /// of being re-fed from the host (0 for flat runs).
+  std::size_t reuse_hits = 0;
 
   /// busy_cell_ticks / (cells * ticks).
   [[nodiscard]] double utilization() const;

@@ -193,6 +193,20 @@ WavefrontPlan WavefrontPlanBuilder::compile() && {
   std::sort(active.begin(), active.end());
   active.erase(std::unique(active.begin(), active.end()), active.end());
 
+  // Peak live cells: the largest count of distinct busy cells in one tick
+  // (the engine's per-tick busy tally).
+  std::vector<i64> busy_ticks;
+  busy_ticks.reserve(active.size());
+  for (const auto& [cell, tick] : active) busy_ticks.push_back(tick);
+  std::sort(busy_ticks.begin(), busy_ticks.end());
+  std::size_t peak_live = 0;
+  for (std::size_t i = 0; i < busy_ticks.size();) {
+    std::size_t j = i;
+    while (j < busy_ticks.size() && busy_ticks[j] == busy_ticks[i]) ++j;
+    peak_live = std::max(peak_live, j - i);
+    i = j;
+  }
+
   // Register high-water mark: replay each cell's register count over its
   // (tick, receive -> compute -> send) event stream. The engine samples
   // after every set_reg: after the receive fills and after every op's
@@ -264,6 +278,7 @@ WavefrontPlan WavefrontPlanBuilder::compile() && {
   plan.stats.max_registers = max_registers;
   plan.stats.injections = injections_;
   plan.stats.emissions = 0;
+  plan.stats.peak_live_cells = peak_live;
   return plan;
 }
 

@@ -41,6 +41,10 @@ void expect_stats_equal(const EngineStats& compiled,
   EXPECT_EQ(compiled.max_registers, interpretive.max_registers) << label;
   EXPECT_EQ(compiled.injections, interpretive.injections) << label;
   EXPECT_EQ(compiled.emissions, interpretive.emissions) << label;
+  EXPECT_EQ(compiled.peak_live_cells, interpretive.peak_live_cells) << label;
+  EXPECT_EQ(compiled.buffer_high_water, interpretive.buffer_high_water)
+      << label;
+  EXPECT_EQ(compiled.reuse_hits, interpretive.reuse_hits) << label;
 }
 
 void expect_uniform_runs_equal(const UniformArrayRun& compiled,

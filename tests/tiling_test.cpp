@@ -1,0 +1,513 @@
+// Tiling subsystem tests: every frontier-corpus design tiled onto 2x2
+// and 4x4 arrays through both engines must stay bit-identical to the
+// flat run — same finals, same observe tables, engine statistics equal
+// between the tiled engines — while the physical array never exceeds
+// P·Q cells. Plus the shape edge cases (ragged tiles, 1x1 and 1xQ
+// degenerate shapes, oversize tiles), strategy forcing and the auto
+// fallback, the DP clustering path that subsumes partitioned(), the
+// congruent-tile shape cache, the buffer/reuse ledger, and the
+// tile-buffer-depth lint rule.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "analysis/lint.hpp"
+#include "conv/convolution.hpp"
+#include "designs/dp_array.hpp"
+#include "dp/problems.hpp"
+#include "dp/sequential.hpp"
+#include "frontends/execute.hpp"
+#include "frontends/floyd_warshall.hpp"
+#include "frontends/lu.hpp"
+#include "frontends/matmul.hpp"
+#include "frontends/smith_waterman.hpp"
+#include "partition/dp_tiling.hpp"
+#include "partition/lsgp.hpp"
+#include "partition/tile_plan.hpp"
+#include "partition/tiled_uniform.hpp"
+#include "support/rng.hpp"
+#include "synth/batch.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace nusys {
+namespace {
+
+TileOptions tile_shape(i64 rows, i64 cols, TileMode mode = TileMode::kAuto,
+                       i64 depth = 2) {
+  TileOptions t;
+  t.rows = rows;
+  t.cols = cols;
+  t.mode = mode;
+  t.buffer_depth = depth;
+  return t;
+}
+
+void expect_stats_equal(const EngineStats& a, const EngineStats& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.first_tick, b.first_tick) << label;
+  EXPECT_EQ(a.last_tick, b.last_tick) << label;
+  EXPECT_EQ(a.cell_count, b.cell_count) << label;
+  EXPECT_EQ(a.busy_cell_ticks, b.busy_cell_ticks) << label;
+  EXPECT_EQ(a.link_transfers, b.link_transfers) << label;
+  EXPECT_EQ(a.max_registers, b.max_registers) << label;
+  EXPECT_EQ(a.injections, b.injections) << label;
+  EXPECT_EQ(a.emissions, b.emissions) << label;
+  EXPECT_EQ(a.peak_live_cells, b.peak_live_cells) << label;
+  EXPECT_EQ(a.buffer_high_water, b.buffer_high_water) << label;
+  EXPECT_EQ(a.reuse_hits, b.reuse_hits) << label;
+}
+
+std::vector<BatchProblem> load_corpus() {
+  const std::string path =
+      std::string(NUSYS_REPO_DIR) + "/examples/frontier_corpus.jsonl";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  return parse_batch_jsonl(in);
+}
+
+// ---- Option parsing. ------------------------------------------------------
+
+TEST(TileOptionsTest, ParsesShapes) {
+  const auto t = parse_tile_shape("4x4");
+  EXPECT_EQ(t.rows, 4);
+  EXPECT_EQ(t.cols, 4);
+  EXPECT_TRUE(t.enabled());
+  const auto r = parse_tile_shape("1x8");
+  EXPECT_EQ(r.rows, 1);
+  EXPECT_EQ(r.cols, 8);
+  EXPECT_EQ(tile_shape_name(r), "1x8");
+  EXPECT_FALSE(TileOptions{}.enabled());
+}
+
+TEST(TileOptionsTest, RejectsMalformedShapes) {
+  for (const auto* bad : {"", "4", "x4", "4x", "0x4", "4x0", "axb", "4x4x4",
+                          "-2x2", " 4x4"}) {
+    EXPECT_THROW((void)parse_tile_shape(bad), DomainError) << bad;
+  }
+}
+
+TEST(TileOptionsTest, ParsesModes) {
+  EXPECT_EQ(parse_tile_mode("auto"), TileMode::kAuto);
+  EXPECT_EQ(parse_tile_mode("lsgp"), TileMode::kLSGP);
+  EXPECT_EQ(parse_tile_mode("lpgs"), TileMode::kLPGS);
+  EXPECT_THROW((void)parse_tile_mode("fastest"), DomainError);
+  EXPECT_STREQ(tile_mode_name(TileMode::kLPGS), "lpgs");
+}
+
+TEST(TileOptionsTest, LsgpBlockForCoversTheExtent) {
+  EXPECT_EQ(lsgp_block_for(10, 4), 3);
+  EXPECT_EQ(lsgp_block_for(8, 4), 2);
+  EXPECT_EQ(lsgp_block_for(3, 4), 1);
+  EXPECT_EQ(lsgp_block_for(1, 1), 1);
+}
+
+// ---- Disabled options are the flat run. -----------------------------------
+
+TEST(TiledUniformTest, DisabledOptionsMatchTheFlatRunExactly) {
+  Rng rng(11);
+  const auto ins = random_matmul_instance(4, 4, 3, rng);
+  const auto rec = matmul_recurrence(4, 4, 3);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  ASSERT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  const auto flat =
+      run_uniform_design(rec, matmul_semantics(ins), d.timing, d.space,
+                         d.net, EngineKind::kInterpretive);
+  const auto tiled = run_uniform_design_tiled(
+      rec, matmul_semantics(ins), d.timing, d.space, d.net, TileOptions{},
+      EngineKind::kInterpretive);
+  EXPECT_EQ(tiled.finals, flat.finals);
+  EXPECT_EQ(tiled.cell_count, flat.cell_count);
+  EXPECT_EQ(tiled.tile_count, 1u);
+  expect_stats_equal(tiled.stats, flat.stats, "disabled");
+}
+
+// ---- Full frontier corpus, 2x2 and 4x4, both engines. ---------------------
+
+TEST(TiledUniformTest, FrontierCorpusIsBitIdenticalToFlatAtBothShapes) {
+  Rng rng(47);
+  std::size_t lpgs_plans = 0;
+  for (const auto& p : load_corpus()) {
+    const auto net = batch_interconnect(p);
+    const i64 n = p.n;
+    const i64 m = p.m > 0 ? p.m : n;
+    const i64 pr = p.p > 0 ? p.p : n;
+    if (batch_uses_pipeline(p)) {
+      const auto result = synthesize_nonuniform(batch_spec(p), net);
+      ASSERT_TRUE(result.found()) << p.name;
+      FWInstance dag;  // Must outlive fw_problem's closures.
+      IntervalDPProblem problem;
+      if (p.kind == BatchProblem::Kind::kFloydWarshall) {
+        dag = random_dag_instance(n, rng);
+        problem = fw_problem(dag);
+      } else {
+        problem = random_matrix_chain(n, rng);
+      }
+      const auto flat =
+          run_dp_on_array(problem, result.best(), EngineKind::kInterpretive);
+      for (const i64 side : {2, 4}) {
+        const auto clustered =
+            tiled_dp_design(result.best(), n, tile_shape(side, side));
+        EXPECT_LE(run_dp_on_array(problem, clustered,
+                                  EngineKind::kInterpretive)
+                      .cell_count,
+                  static_cast<std::size_t>(side * side))
+            << p.name;
+        for (const auto engine :
+             {EngineKind::kCompiled, EngineKind::kInterpretive}) {
+          const auto run = run_dp_on_array(problem, clustered, engine);
+          EXPECT_EQ(run.table, flat.table)
+              << p.name << " " << side << "x" << side;
+        }
+      }
+      continue;
+    }
+    const auto result = synthesize(batch_recurrence(p), net);
+    ASSERT_TRUE(result.found()) << p.name;
+    for (const auto& d : result.designs) {
+      const auto rec = batch_recurrence(p);
+      // Bind one instance per design; SW checks its observe table too.
+      std::vector<i64> x, w;
+      MatMulInstance mm;
+      LUInstance lu;
+      SWInstance sw;
+      std::vector<std::vector<i64>> h_flat, h_tiled;
+      const auto semantics_for =
+          [&](std::vector<std::vector<i64>>& h) -> UniformSemantics {
+        switch (p.kind) {
+          case BatchProblem::Kind::kConvolution:
+            return convolution_semantics(x, w);
+          case BatchProblem::Kind::kMatMul: return matmul_semantics(mm);
+          case BatchProblem::Kind::kLU: return lu_semantics(lu);
+          case BatchProblem::Kind::kSmithWaterman: return sw_semantics(sw, h);
+          default: throw ContractError("unexpected kind");
+        }
+      };
+      switch (p.kind) {
+        case BatchProblem::Kind::kConvolution:
+          x = rng.uniform_vector(static_cast<std::size_t>(n), -9, 9);
+          w = rng.uniform_vector(static_cast<std::size_t>(p.s), -9, 9);
+          break;
+        case BatchProblem::Kind::kMatMul:
+          mm = random_matmul_instance(n, m, pr, rng);
+          break;
+        case BatchProblem::Kind::kLU:
+          lu = random_exact_lu_instance(n, rng);
+          break;
+        case BatchProblem::Kind::kSmithWaterman:
+          sw = random_sw_instance(n, m, p.band, rng);
+          h_flat.assign(static_cast<std::size_t>(n),
+                        std::vector<i64>(static_cast<std::size_t>(m), 0));
+          h_tiled = h_flat;
+          break;
+        default:
+          FAIL() << p.name;
+      }
+      const auto flat =
+          run_uniform_design(rec, semantics_for(h_flat), d.timing, d.space,
+                             d.net, EngineKind::kInterpretive);
+      for (const i64 side : {2, 4}) {
+        const auto tile = tile_shape(side, side);
+        TiledUniformRun runs[2];
+        const EngineKind engines[2] = {EngineKind::kInterpretive,
+                                       EngineKind::kCompiled};
+        for (int e = 0; e < 2; ++e) {
+          if (p.kind == BatchProblem::Kind::kSmithWaterman) {
+            for (auto& row : h_tiled) row.assign(row.size(), 0);
+          }
+          runs[e] = run_uniform_design_tiled(rec, semantics_for(h_tiled),
+                                             d.timing, d.space, d.net, tile,
+                                             engines[e]);
+          EXPECT_EQ(runs[e].finals, flat.finals)
+              << p.name << " " << side << "x" << side << " "
+              << engine_kind_name(engines[e]);
+          if (p.kind == BatchProblem::Kind::kSmithWaterman) {
+            EXPECT_EQ(h_tiled, h_flat) << p.name;
+          }
+          // The physical array is bounded by the target shape no matter
+          // how large the virtual array was.
+          EXPECT_LE(runs[e].cell_count,
+                    static_cast<std::size_t>(side * side))
+              << p.name;
+          EXPECT_LE(runs[e].stats.peak_live_cells,
+                    static_cast<std::size_t>(side * side))
+              << p.name;
+        }
+        expect_stats_equal(runs[0].stats, runs[1].stats,
+                           p.name + " " + std::to_string(side) + "x" +
+                               std::to_string(side));
+        EXPECT_EQ(runs[0].strategy, runs[1].strategy) << p.name;
+        EXPECT_EQ(runs[0].tile_count, runs[1].tile_count) << p.name;
+        EXPECT_EQ(runs[0].buffer_stats.buffered_values,
+                  runs[1].buffer_stats.buffered_values)
+            << p.name;
+        if (runs[0].strategy == TileStrategy::kLPGS) ++lpgs_plans;
+      }
+    }
+  }
+  // The corpus must exercise the LPGS path, not just the LSGP fallback.
+  EXPECT_GT(lpgs_plans, 0u);
+}
+
+// ---- Shape edge cases. ----------------------------------------------------
+
+TEST(TiledUniformTest, RaggedTilesCoverTheRemainder) {
+  // 5x5x3 matmul on 2x2 tiles: neither extent divides, so edge tiles are
+  // smaller — every point must still execute exactly once.
+  Rng rng(3);
+  const auto ins = random_matmul_instance(5, 5, 3, rng);
+  const auto rec = matmul_recurrence(5, 5, 3);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  ASSERT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  const auto expected = matmul_reference(ins);
+  for (const auto mode : {TileMode::kAuto, TileMode::kLSGP}) {
+    EXPECT_EQ(run_matmul_on_design(ins, d.timing, d.space, d.net,
+                                   tile_shape(2, 2, mode),
+                                   EngineKind::kCompiled),
+              expected);
+    EXPECT_EQ(run_matmul_on_design(ins, d.timing, d.space, d.net,
+                                   tile_shape(2, 2, mode),
+                                   EngineKind::kInterpretive),
+              expected);
+  }
+}
+
+TEST(TiledUniformTest, DegenerateShapesSerializeFully) {
+  Rng rng(5);
+  const auto ins = random_exact_lu_instance(4, rng);
+  const auto rec = lu_recurrence(4);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  ASSERT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  const auto expected = lu_reference(ins);
+  // 1x1: the whole problem on one physical cell.
+  for (const auto engine :
+       {EngineKind::kCompiled, EngineKind::kInterpretive}) {
+    EXPECT_EQ(run_lu_on_design(ins, d.timing, d.space, d.net,
+                               tile_shape(1, 1), engine),
+              expected);
+    // 1xQ: a single physical row.
+    EXPECT_EQ(run_lu_on_design(ins, d.timing, d.space, d.net,
+                               tile_shape(1, 3), engine),
+              expected);
+  }
+  const auto sem = lu_semantics(ins);
+  const auto one = run_uniform_design_tiled(rec, sem, d.timing, d.space,
+                                            d.net, tile_shape(1, 1),
+                                            EngineKind::kInterpretive);
+  EXPECT_EQ(one.cell_count, 1u);
+  EXPECT_EQ(one.stats.peak_live_cells, 1u);
+}
+
+TEST(TiledUniformTest, OversizeTileDegeneratesToOneTile) {
+  Rng rng(9);
+  const auto ins = random_matmul_instance(4, 4, 3, rng);
+  const auto rec = matmul_recurrence(4, 4, 3);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  ASSERT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  const auto plan = build_uniform_tile_plan(rec, d.timing, d.space, d.net,
+                                            tile_shape(64, 64));
+  EXPECT_EQ(plan.tile_count, 1u);
+  EXPECT_TRUE(plan.buffered.empty());
+  EXPECT_EQ(plan.buffer_stats.buffered_values, 0u);
+  const auto run = run_uniform_design_tiled(rec, matmul_semantics(ins),
+                                            d.timing, d.space, d.net,
+                                            tile_shape(64, 64),
+                                            EngineKind::kCompiled);
+  EXPECT_EQ(run.tile_count, 1u);
+  EXPECT_EQ(run_matmul_on_design(ins, d.timing, d.space, d.net,
+                                 tile_shape(64, 64), EngineKind::kCompiled),
+            matmul_reference(ins));
+}
+
+// ---- Strategy forcing and fallback. ---------------------------------------
+
+TEST(TilePlanTest, ModeForcingSelectsTheStrategy) {
+  const auto rec = matmul_recurrence(6, 6, 3);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  ASSERT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  const auto lsgp = build_uniform_tile_plan(
+      rec, d.timing, d.space, d.net, tile_shape(2, 2, TileMode::kLSGP));
+  EXPECT_EQ(lsgp.strategy, TileStrategy::kLSGP);
+  EXPECT_TRUE(lsgp.buffered.empty()) << "LSGP keeps all traffic on-array";
+  EXPECT_EQ(lsgp.segments.size(), 1u);
+  const auto lpgs = build_uniform_tile_plan(
+      rec, d.timing, d.space, d.net, tile_shape(2, 2, TileMode::kLPGS));
+  EXPECT_EQ(lpgs.strategy, TileStrategy::kLPGS);
+  EXPECT_GT(lpgs.tile_count, 1u);
+  EXPECT_EQ(lpgs.segments.size(), lpgs.tile_count);
+  // Epochs are disjoint and ascending.
+  for (std::size_t i = 0; i + 1 < lpgs.segments.size(); ++i) {
+    EXPECT_LE(lpgs.segments[i].first, lpgs.segments[i].second);
+    EXPECT_LT(lpgs.segments[i].second, lpgs.segments[i + 1].first);
+  }
+  // Auto never throws on any corpus design (worst case: LSGP fallback).
+  const auto chosen = build_uniform_tile_plan(rec, d.timing, d.space, d.net,
+                                              tile_shape(2, 2));
+  EXPECT_TRUE(chosen.strategy == TileStrategy::kLSGP ||
+              chosen.strategy == TileStrategy::kLPGS);
+}
+
+TEST(TilePlanTest, CongruentTilesShareOneValidatedSchedule) {
+  const auto rec = matmul_recurrence(8, 8, 2);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  ASSERT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  const auto plan = build_uniform_tile_plan(
+      rec, d.timing, d.space, d.net, tile_shape(2, 2, TileMode::kLPGS));
+  EXPECT_GT(plan.tile_count, 2u);
+  EXPECT_GT(plan.shape_cache_hits, 0u)
+      << "congruent interior tiles must replay the cached schedule";
+}
+
+TEST(TilePlanTest, BufferLedgerIsConsistent) {
+  const auto rec = matmul_recurrence(6, 6, 3);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  ASSERT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  const auto plan = build_uniform_tile_plan(
+      rec, d.timing, d.space, d.net, tile_shape(2, 2, TileMode::kLPGS));
+  const auto& b = plan.buffer_stats;
+  EXPECT_EQ(b.buffered_values, plan.buffered.size());
+  EXPECT_EQ(b.buffered_values, b.reuse_hits + b.refeeds);
+  EXPECT_GT(b.buffered_values, 0u);
+  EXPECT_LE(b.high_water, b.buffered_values);
+  EXPECT_GT(b.high_water, 0u);
+  EXPECT_GE(b.max_tile_distance, 1);
+  EXPECT_GT(b.edges, 0u);
+  EXPECT_GT(b.buffer_bytes, 0u);
+  EXPECT_EQ(plan.overflow_count(), b.refeeds);
+  // A deep enough buffer turns every crossing into a reuse hit.
+  const auto deep = build_uniform_tile_plan(
+      rec, d.timing, d.space, d.net,
+      tile_shape(2, 2, TileMode::kLPGS, b.max_tile_distance + 1));
+  EXPECT_EQ(deep.buffer_stats.refeeds, 0u);
+  EXPECT_EQ(deep.buffer_stats.reuse_hits, deep.buffer_stats.buffered_values);
+}
+
+// ---- DP clustering (subsumes partitioned()). ------------------------------
+
+TEST(DPTilingTest, TiledDesignBoundsTheArrayAndMatchesTheSolver) {
+  const i64 n = 10;
+  Rng rng(21);
+  const auto problem = random_matrix_chain(n, rng);
+  const auto expected = solve_sequential(problem);
+  for (const auto& seed : {dp_fig1_design(), dp_fig2_design()}) {
+    const auto flat = run_dp_on_array(problem, seed);
+    for (const i64 side : {2, 3}) {
+      const auto design = tiled_dp_design(seed, n, tile_shape(side, side));
+      for (const auto engine :
+           {EngineKind::kCompiled, EngineKind::kInterpretive}) {
+        const auto run = run_dp_on_array(problem, design, engine);
+        EXPECT_EQ(run.table, expected);
+        EXPECT_EQ(run.table, flat.table);
+        EXPECT_LE(run.cell_count, static_cast<std::size_t>(side * side));
+      }
+    }
+  }
+}
+
+TEST(DPTilingTest, PartitionedWrapperStaysEquivalentToTheSharedPass) {
+  // partitioned() is now a thin wrapper over the shared LSGP clustering:
+  // explicit blocks with a zero base must behave exactly as before.
+  const i64 n = 9;
+  Rng rng(33);
+  const auto problem = random_matrix_chain(n, rng);
+  const auto legacy = partitioned(dp_fig2_design(), 2, 2);
+  EXPECT_EQ(legacy.block_x, 2);
+  EXPECT_EQ(legacy.block_y, 2);
+  EXPECT_EQ(legacy.block_base_x, 0);
+  EXPECT_EQ(legacy.block_base_y, 0);
+  const auto run = run_dp_on_array(problem, legacy);
+  EXPECT_EQ(run.table, solve_sequential(problem));
+}
+
+TEST(DPTilingTest, DisabledOptionsReturnTheDesignUnchanged) {
+  const auto seed = dp_fig2_design();
+  const auto same = tiled_dp_design(seed, 8, TileOptions{});
+  EXPECT_EQ(same.block_x, seed.block_x);
+  EXPECT_EQ(same.block_y, seed.block_y);
+  EXPECT_EQ(same.block_base_x, seed.block_base_x);
+  EXPECT_EQ(same.block_base_y, seed.block_base_y);
+}
+
+TEST(DPTilingTest, LPGSIsRejectedForPipelineDesigns) {
+  EXPECT_THROW((void)tiled_dp_design(dp_fig2_design(), 8,
+                                     tile_shape(2, 2, TileMode::kLPGS)),
+               DomainError);
+}
+
+// ---- The execute facade. --------------------------------------------------
+
+TEST(TiledExecuteTest, TiledExecutionMatchesTheReferenceForEveryFamily) {
+  for (const auto& p : load_corpus()) {
+    const auto net = batch_interconnect(p);
+    const auto tile = tile_shape(2, 2);
+    if (batch_uses_pipeline(p)) {
+      const auto result = synthesize_nonuniform(batch_spec(p), net);
+      ASSERT_TRUE(result.found()) << p.name;
+      EXPECT_TRUE(execute_pipeline_design(p, result.best(), 5, tile,
+                                          EngineKind::kCompiled)
+                      .match)
+          << p.name;
+    } else {
+      const auto result = synthesize(batch_recurrence(p), net);
+      ASSERT_TRUE(result.found()) << p.name;
+      EXPECT_TRUE(execute_uniform_design(p, result.designs.front(), 5, tile,
+                                         EngineKind::kCompiled)
+                      .match)
+          << p.name;
+    }
+  }
+}
+
+// ---- Lint rule. -----------------------------------------------------------
+
+TEST(TileLintTest, RuleIsRegistered) {
+  bool found = false;
+  for (const auto& rule : lint_rules()) {
+    if (rule.name == "tile-buffer-depth") {
+      found = true;
+      EXPECT_EQ(rule.severity, LintSeverity::kWarning);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TileLintTest, FlagsShallowBuffersAndAcceptsDeepOnes) {
+  const auto rec = matmul_recurrence(8, 8, 2);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  ASSERT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  const auto shallow = build_uniform_tile_plan(
+      rec, d.timing, d.space, d.net,
+      tile_shape(2, 2, TileMode::kLPGS, /*depth=*/1));
+  const auto report = lint_tile_plan(shallow);
+  if (shallow.buffer_stats.max_tile_distance > 0) {
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].rule, "tile-buffer-depth");
+    EXPECT_EQ(report.diagnostics[0].severity, LintSeverity::kWarning);
+    EXPECT_NE(report.diagnostics[0].fixit.find(std::to_string(
+                  shallow.buffer_stats.max_tile_distance + 1)),
+              std::string::npos)
+        << "fix-it names the smallest sufficient depth";
+    EXPECT_TRUE(report.ok()) << "a warning never fails the lint";
+  }
+  const auto deep = build_uniform_tile_plan(
+      rec, d.timing, d.space, d.net,
+      tile_shape(2, 2, TileMode::kLPGS,
+                 shallow.buffer_stats.max_tile_distance + 1));
+  EXPECT_TRUE(lint_tile_plan(deep).diagnostics.empty());
+  // LSGP plans never warn: nothing leaves the array.
+  const auto lsgp = build_uniform_tile_plan(
+      rec, d.timing, d.space, d.net,
+      tile_shape(2, 2, TileMode::kLSGP, /*depth=*/1));
+  EXPECT_TRUE(lint_tile_plan(lsgp).diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace nusys

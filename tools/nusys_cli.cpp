@@ -11,6 +11,10 @@
 //   All synthesis commands accept --threads N (search worker threads;
 //   0 = hardware concurrency, 1 = sequential) and print per-stage search
 //   telemetry: candidates examined/feasible, workers, candidates/sec.
+//   synth, batch and request additionally accept --tile PxQ
+//   [--tile-mode auto|lsgp|lpgs] [--tile-depth D]: execute the design on
+//   at most P×Q physical cells through the partition subsystem
+//   (src/partition/) — results must stay bit-identical to the flat run.
 //   nusys dp [--n 12] [--figure 1|2] [--problem matrix-chain|shortest-path|
 //            triangulation|bracketing|alphabetic-tree] [--trace]
 //       Run a DP problem on one of the paper's arrays, cycle-accurately.
@@ -72,6 +76,8 @@
 #include "frontends/lu.hpp"
 #include "frontends/matmul.hpp"
 #include "frontends/smith_waterman.hpp"
+#include "partition/dp_tiling.hpp"
+#include "partition/tile.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "support/args.hpp"
@@ -92,6 +98,22 @@ SearchParallelism parse_parallelism(const ArgMap& args) {
   const i64 threads = args.get_int("threads", 0);
   NUSYS_REQUIRE(threads >= 0, "--threads must be non-negative");
   return SearchParallelism{static_cast<std::size_t>(threads)};
+}
+
+TileOptions parse_tile_options(const ArgMap& args) {
+  TileOptions tile;
+  if (args.has("tile")) tile = parse_tile_shape(args.get("tile", ""));
+  if (args.has("tile-mode")) {
+    NUSYS_REQUIRE(tile.enabled(), "--tile-mode needs --tile PxQ");
+    tile.mode = parse_tile_mode(args.get("tile-mode", ""));
+  }
+  if (args.has("tile-depth")) {
+    NUSYS_REQUIRE(tile.enabled(), "--tile-depth needs --tile PxQ");
+    const i64 depth = args.get_int("tile-depth", 2);
+    NUSYS_REQUIRE(depth >= 1, "--tile-depth must be >= 1");
+    tile.buffer_depth = depth;
+  }
+  return tile;
 }
 
 int cmd_synth_conv(const ArgMap& args) {
@@ -136,8 +158,14 @@ int cmd_synth_family(const ArgMap& args) {
   const i64 m = problem.m > 0 ? problem.m : n;
   const i64 pr = problem.p > 0 ? problem.p : n;
   Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const TileOptions tile = parse_tile_options(args);
 
   std::cout << family_title(family) << " (" << problem.name << ")\n";
+  if (tile.enabled()) {
+    std::cout << "tiled execution: " << tile_shape_name(tile) << " ("
+              << tile_mode_name(tile.mode) << ", buffer depth "
+              << tile.buffer_depth << ")\n";
+  }
   bool match = false;
   if (batch_uses_pipeline(problem)) {
     NonUniformSynthesisOptions options;
@@ -153,7 +181,8 @@ int cmd_synth_family(const ArgMap& args) {
               << "search telemetry:\n"
               << describe_telemetry(result.telemetry);
     const auto ins = random_dag_instance(n, rng);
-    const auto run = run_dp_on_array(fw_problem(ins), result.best());
+    const auto run = run_dp_on_array(fw_problem(ins),
+                                     tiled_dp_design(result.best(), n, tile));
     match = run.table == fw_reference(ins);
   } else {
     SynthesisOptions options;
@@ -174,20 +203,21 @@ int cmd_synth_family(const ArgMap& args) {
     switch (family) {
       case Family::kMatMul: {
         const auto ins = random_matmul_instance(n, m, pr, rng);
-        match = run_matmul_on_design(ins, best.timing, best.space,
-                                     best.net) == matmul_reference(ins);
+        match = run_matmul_on_design(ins, best.timing, best.space, best.net,
+                                     tile, engine_kind()) ==
+                matmul_reference(ins);
         break;
       }
       case Family::kLU: {
         const auto ins = random_exact_lu_instance(n, rng);
-        match = run_lu_on_design(ins, best.timing, best.space, best.net) ==
-                lu_reference(ins);
+        match = run_lu_on_design(ins, best.timing, best.space, best.net,
+                                 tile, engine_kind()) == lu_reference(ins);
         break;
       }
       case Family::kSmithWaterman: {
         const auto ins = random_sw_instance(n, m, problem.band, rng);
-        match = run_sw_on_design(ins, best.timing, best.space, best.net) ==
-                sw_reference(ins);
+        match = run_sw_on_design(ins, best.timing, best.space, best.net,
+                                 tile, engine_kind()) == sw_reference(ins);
         break;
       }
       case Family::kFloydWarshall:
@@ -412,6 +442,7 @@ int cmd_batch(const ArgMap& args) {
   options.parallelism = parse_parallelism(args);
   options.execute = args.has("execute");
   options.execute_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  options.tile = parse_tile_options(args);
   const auto run = run_batch(problems, options, cache);
   std::cout << describe_batch(run);
 
@@ -507,6 +538,7 @@ int cmd_request(const ArgMap& args) {
   request.timeout_ms = args.get_int("timeout-ms", 0);
   NUSYS_REQUIRE(request.timeout_ms >= 0, "--timeout-ms must be non-negative");
   request.execute = args.has("execute");
+  request.tile = parse_tile_options(args);
 
   const i64 port = args.get_int("port", 7077);
   NUSYS_REQUIRE(port > 0 && port < 65536, "--port must be 1..65535");
@@ -557,7 +589,7 @@ int main(int argc, char** argv) {
         "cache", "cache-capacity", "port", "host", "workers",
         "queue-capacity", "default-timeout-ms", "retry-after-ms",
         "timeout-ms", "kind", "design", "family", "m", "p", "band",
-        "engine"};
+        "engine", "tile", "tile-mode", "tile-depth"};
     const ArgMap args(argc, argv, known,
                       {"trace", "activity", "paranoid", "json", "execute"});
     if (args.has("engine")) {
