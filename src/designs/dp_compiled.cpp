@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <optional>
+#include <sstream>
+#include <utility>
 #include <vector>
 
 #include "partition/lsgp.hpp"
 #include "support/checked.hpp"
 #include "support/errors.hpp"
+#include "systolic/plan_cache.hpp"
 #include "systolic/wavefront.hpp"
 
 namespace nusys::detail {
@@ -78,24 +82,68 @@ struct OpIndex {
   }
 };
 
-}  // namespace
+/// The cacheable compiled artifact of a DP design: everything about an
+/// execution that does not depend on the problem instances' values.
+/// Injected slots are kept as (slot, instance, i) descriptors and
+/// re-evaluated from problem.init per run, so one plan serves every
+/// instance batch of the same shape.
+struct CompiledDPPlan : CachedPlan {
+  i64 n = 0;
+  std::uint32_t instances = 0;
 
-DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
-                              const DPArrayDesign& design, i64 period,
-                              const CancelToken* cancel) {
-  NUSYS_REQUIRE(!problems.empty(), "run_dp: at least one problem instance");
-  const i64 n = problems.front().n;
-  NUSYS_REQUIRE(n >= 3, "run_dp: n >= 3 required");
-  for (const auto& p : problems) {
-    NUSYS_REQUIRE(p.n == n, "run_dp: pipelined instances must share one n");
-    NUSYS_REQUIRE(p.init && p.combine, "run_dp: problem callbacks missing");
+  std::vector<COp> ops;
+  std::vector<std::uint32_t> order;  ///< Execution order over `ops`.
+  std::vector<Wavefront> fronts;     ///< Index `order`.
+
+  std::uint32_t slot_count = 0;
+  struct Prefill {
+    std::uint32_t slot = 0;
+    std::uint32_t inst = 0;
+    std::int32_t i = 0;  ///< slots[slot] = problems[inst].init(i).
+  };
+  std::vector<Prefill> prefill;
+
+  // Producer-side CSR: op oi writes out_slot[t] for t in
+  // [out_begin[oi], out_begin[oi + 1]).
+  std::vector<std::uint32_t> out_begin;
+  std::vector<std::uint32_t> out_slot;
+  std::vector<char> out_payload;
+
+  EngineStats stats;
+  std::size_t cell_count = 0;
+  std::size_t compute_ops = 0;
+  std::size_t max_folded_ops = 0;
+  std::size_t route_hops = 0;
+  i64 first_tick = 0;
+  i64 last_tick = 0;
+
+  [[nodiscard]] std::size_t plan_bytes() const noexcept override {
+    return ops.size() * sizeof(COp) +
+           (order.size() + out_begin.size() + out_slot.size()) *
+               sizeof(std::uint32_t) +
+           fronts.size() * sizeof(Wavefront) +
+           prefill.size() * sizeof(Prefill) + out_payload.size() + 128;
   }
-  NUSYS_REQUIRE(design.schedules.size() == 3 && design.spaces.size() == 3,
-                "run_dp: three schedules and three spaces required");
-  NUSYS_REQUIRE(design.block_x >= 1 && design.block_y >= 1,
-                "run_dp: partition blocks must be positive");
-  NUSYS_REQUIRE(period >= 0 && (problems.size() == 1 || period >= 1),
-                "run_dp: pipelining needs a positive period");
+};
+
+std::string dp_plan_key(const DPArrayDesign& design, i64 n,
+                        std::size_t instances, i64 period) {
+  std::ostringstream os;
+  os << "dp|n:" << n << "|q:" << instances << "|p:" << period;
+  for (const auto& schedule : design.schedules) {
+    os << "|T:" << schedule.coeffs().to_string() << '+' << schedule.offset();
+  }
+  for (const auto& space : design.spaces) {
+    os << "|S:" << space.to_string();
+  }
+  os << "|N:" << design.net.to_string() << "|b:" << design.block_x << 'x'
+     << design.block_y << '@' << design.block_base_x << ','
+     << design.block_base_y;
+  return std::move(os).str();
+}
+
+std::shared_ptr<const CompiledDPPlan> build_dp_plan(
+    const DPArrayDesign& design, i64 n, std::size_t instances, i64 period) {
   // LSGP clustering (partition/lsgp.hpp): virtual (cell, tick) ->
   // physical (cluster, serialized tick). With 1x1 blocks and base 0 this
   // is the identity.
@@ -107,7 +155,7 @@ DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
 
   // ---- 1. Enumerate ops into their (cell, tick) placements. -----------
   const OpIndex index(n);
-  const std::size_t op_count = problems.size() * index.per_instance;
+  const std::size_t op_count = instances * index.per_instance;
   NUSYS_REQUIRE(op_count < kNoSlot, "run_dp: op count exceeds the compiled "
                                     "backend's 32-bit id space");
   std::vector<COp> ops;
@@ -135,7 +183,7 @@ DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
                   "run_dp: compiled op enumeration out of order");
     ops.push_back(op);
   };
-  for (std::size_t inst = 0; inst < problems.size(); ++inst) {
+  for (std::size_t inst = 0; inst < instances; ++inst) {
     for (i64 i = 1; i <= n; ++i) {
       for (i64 j = i + 2; j <= n; ++j) {
         const i64 mid = mid_of(i, j);
@@ -155,15 +203,18 @@ DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
     char payload = 'c';  ///< 'a'/'b' operand copy, 'c' computed value.
   };
   std::vector<PendingOutput> pending;
-  std::vector<std::pair<std::uint32_t, Value>> prefill;
+  std::vector<CompiledDPPlan::Prefill> prefill;
   std::uint32_t slot_count = 0;
+  // `injected` is the init *index* whose value fills the slot at run time
+  // (the only instance-dependent inputs of the entire wiring).
   const auto add_instance = [&](Var var, std::uint32_t dest,
                                 std::optional<std::uint32_t> src,
-                                std::optional<Value> injected,
+                                std::optional<i64> injected,
                                 char payload) -> std::uint32_t {
     const std::uint32_t slot = slot_count++;
     if (injected) {
-      prefill.emplace_back(slot, *injected);
+      prefill.push_back(
+          {slot, ops[dest].inst, static_cast<std::int32_t>(*injected)});
       builder.add_inject(dest, var);
       return slot;
     }
@@ -181,7 +232,6 @@ DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
   for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
     COp& op = ops[oi];
     const std::size_t q = op.inst;
-    const IntervalDPProblem& problem = problems[q];
     const i64 i = op.i, j = op.j, k = op.k;
     const i64 mid = mid_of(i, j);
     const bool even = ((i + j) % 2) == 0;
@@ -189,7 +239,7 @@ DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
       // a'(i,j,k).
       if (even && k == mid) {
         if (j == i + 2) {
-          op.in_a = add_instance(kA1, oi, std::nullopt, problem.init(i), 'c');
+          op.in_a = add_instance(kA1, oi, std::nullopt, i, 'c');
         } else {
           op.in_a = add_instance(kA1, oi, index.at(q, kM2, i, j - 1, k),
                                  std::nullopt, 'a');
@@ -201,8 +251,7 @@ DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
       // b'(i,j,k).
       if (k == i + 1) {
         if (j == i + 2) {
-          op.in_b =
-              add_instance(kB1, oi, std::nullopt, problem.init(i + 1), 'c');
+          op.in_b = add_instance(kB1, oi, std::nullopt, i + 1, 'c');
         } else {
           op.in_b = add_instance(kB1, oi, index.at(q, kCombine, i + 1, j, j),
                                  std::nullopt, 'c');
@@ -266,15 +315,18 @@ DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
   }
 
   // ---- 3. Compile and check the fold discipline. -----------------------
-  const WavefrontPlan plan = std::move(builder).compile();
-  DPCompiledRun run;
-  for (const CellTickGroup& group : plan.groups) {
-    run.max_folded_ops =
-        std::max(run.max_folded_ops,
+  // The check validates the *plan*, not an instance, so it runs once at
+  // build time; a cache hit replays an already-validated plan. The groups
+  // themselves are not kept — only the folded-op high-water mark is.
+  const WavefrontPlan wplan = std::move(builder).compile();
+  std::size_t max_folded_ops = 0;
+  for (const CellTickGroup& group : wplan.groups) {
+    max_folded_ops =
+        std::max(max_folded_ops,
                  static_cast<std::size_t>(group.end - group.begin));
-    const COp& head = ops[plan.order[group.begin]];
+    const COp& head = ops[wplan.order[group.begin]];
     for (std::uint32_t x = group.begin + 1; x < group.end; ++x) {
-      const COp& op = ops[plan.order[x]];
+      const COp& op = ops[wplan.order[x]];
       NUSYS_REQUIRE(op.inst == head.inst && op.i == head.i && op.j == head.j,
                     "run_dp: two pipelined instances (or two pairs) claim "
                     "one cell in one tick — period below the design's "
@@ -282,21 +334,73 @@ DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
     }
   }
 
-  // ---- 4. Run the wavefronts over the slot array. ----------------------
+  auto plan = std::make_shared<CompiledDPPlan>();
+  plan->n = n;
+  plan->instances = static_cast<std::uint32_t>(instances);
+  plan->ops = std::move(ops);
+  plan->order = wplan.order;
+  plan->fronts = wplan.fronts;
+  plan->slot_count = slot_count;
+  plan->prefill = std::move(prefill);
+  plan->out_begin = std::move(out_begin);
+  plan->out_slot = std::move(out_slot);
+  plan->out_payload = std::move(out_payload);
+  plan->stats = wplan.stats;
+  plan->cell_count = wplan.cell_count;
+  plan->compute_ops = plan->ops.size();
+  plan->max_folded_ops = max_folded_ops;
+  plan->route_hops = wplan.route_hops;
+  plan->first_tick = wplan.first_tick;
+  plan->last_tick = wplan.last_tick;
+  return plan;
+}
+
+struct AcquiredDPPlan {
+  std::shared_ptr<const CompiledDPPlan> plan;
+  bool cache_hit = false;
+};
+
+AcquiredDPPlan acquire_dp_plan(const DPArrayDesign& design, i64 n,
+                               std::size_t instances, i64 period) {
+  if (!plan_cache_enabled()) {
+    return {build_dp_plan(design, n, instances, period), false};
+  }
+  auto& cache = wavefront_plan_cache();
+  const std::string key = dp_plan_key(design, n, instances, period);
+  if (auto cached = cache.lookup(key)) {
+    return {std::static_pointer_cast<const CompiledDPPlan>(std::move(cached)),
+            true};
+  }
+  auto plan = build_dp_plan(design, n, instances, period);
+  cache.insert(key, plan);
+  return {std::move(plan), false};
+}
+
+/// Runs the wavefronts over a fresh slot array. The DP executor keeps the
+/// in-order per-op loop (no front phase split): fold groups allow
+/// same-tick producer/consumer handoffs (slack 0), so a front is not
+/// freely reorderable the way the uniform executor's fronts are.
+DPCompiledRun execute_dp_plan(const CompiledDPPlan& plan,
+                              const std::vector<IntervalDPProblem>& problems,
+                              const CancelToken* cancel) {
+  DPCompiledRun run;
+  run.max_folded_ops = plan.max_folded_ops;
   for (std::size_t q = 0; q < problems.size(); ++q) {
-    run.tables.emplace_back(n);
-    for (i64 i = 1; i < n; ++i) {
+    run.tables.emplace_back(plan.n);
+    for (i64 i = 1; i < plan.n; ++i) {
       run.tables.back().at(i, i + 1) = problems[q].init(i);
     }
   }
-  std::vector<Value> slots(slot_count, 0);
-  for (const auto& [slot, value] : prefill) slots[slot] = value;
+  std::vector<Value> slots(plan.slot_count, 0);
+  for (const auto& pf : plan.prefill) {
+    slots[pf.slot] = problems[pf.inst].init(pf.i);
+  }
 
   for (const Wavefront& front : plan.fronts) {
     throw_if_cancelled(cancel, "run_dp_compiled");
     for (std::uint32_t x = front.begin; x < front.end; ++x) {
       const std::uint32_t oi = plan.order[x];
-      const COp& op = ops[oi];
+      const COp& op = plan.ops[oi];
       const IntervalDPProblem& problem = problems[op.inst];
       Value a = 0, b = 0, computed = 0;
       if (op.kind == kM1) {
@@ -317,9 +421,11 @@ DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
             op.in_c2 == kNoSlot ? c1v : std::min(c1v, slots[op.in_c2]);
         run.tables[op.inst].at(op.i, op.j) = computed;
       }
-      for (std::uint32_t t = out_begin[oi]; t < out_begin[oi + 1]; ++t) {
-        slots[out_slot[t]] =
-            out_payload[t] == 'a' ? a : out_payload[t] == 'b' ? b : computed;
+      for (std::uint32_t t = plan.out_begin[oi]; t < plan.out_begin[oi + 1];
+           ++t) {
+        slots[plan.out_slot[t]] = plan.out_payload[t] == 'a'   ? a
+                                  : plan.out_payload[t] == 'b' ? b
+                                                               : computed;
       }
     }
   }
@@ -328,8 +434,34 @@ DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
   run.cell_count = plan.cell_count;
   run.first_tick = plan.first_tick;
   run.last_tick = plan.last_tick;
-  run.compute_ops = ops.size();
+  run.compute_ops = plan.compute_ops;
   run.route_hops = plan.route_hops;
+  return run;
+}
+
+}  // namespace
+
+DPCompiledRun run_dp_compiled(const std::vector<IntervalDPProblem>& problems,
+                              const DPArrayDesign& design, i64 period,
+                              const CancelToken* cancel) {
+  NUSYS_REQUIRE(!problems.empty(), "run_dp: at least one problem instance");
+  const i64 n = problems.front().n;
+  NUSYS_REQUIRE(n >= 3, "run_dp: n >= 3 required");
+  for (const auto& p : problems) {
+    NUSYS_REQUIRE(p.n == n, "run_dp: pipelined instances must share one n");
+    NUSYS_REQUIRE(p.init && p.combine, "run_dp: problem callbacks missing");
+  }
+  NUSYS_REQUIRE(design.schedules.size() == 3 && design.spaces.size() == 3,
+                "run_dp: three schedules and three spaces required");
+  NUSYS_REQUIRE(design.block_x >= 1 && design.block_y >= 1,
+                "run_dp: partition blocks must be positive");
+  NUSYS_REQUIRE(period >= 0 && (problems.size() == 1 || period >= 1),
+                "run_dp: pipelining needs a positive period");
+  const AcquiredDPPlan acquired =
+      acquire_dp_plan(design, n, problems.size(), period);
+  DPCompiledRun run = execute_dp_plan(*acquired.plan, problems, cancel);
+  run.stats.plan_cache_hits = acquired.cache_hit ? 1 : 0;
+  run.stats.plan_cache_misses = acquired.cache_hit ? 0 : 1;
   return run;
 }
 

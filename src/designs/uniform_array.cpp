@@ -41,27 +41,60 @@ struct GenericCompiledSemantics {
   const UniformSemantics* sem = nullptr;
   const DependenceSet* deps = nullptr;
 
-  [[nodiscard]] std::map<std::string, Value> named(const Value* in) const {
+  [[nodiscard]] std::map<std::string, Value> named(OperandView in) const {
     std::map<std::string, Value> inputs;
     for (std::size_t d = 0; d < deps->size(); ++d) {
       inputs[(*deps)[d].variable] = in[d];
     }
     return inputs;
   }
-  [[nodiscard]] Value compute(const IntVec& point, const Value* in) const {
+  [[nodiscard]] Value compute(const IntVec& point, OperandView in) const {
     return sem->compute(point, named(in));
   }
   [[nodiscard]] Value boundary(std::size_t var, const IntVec& point) const {
     return sem->boundary((*deps)[var].variable, point);
   }
   [[nodiscard]] Value forward(std::size_t var, const IntVec& point,
-                              const Value* in, Value out) const {
+                              OperandView in, Value out) const {
     if (!sem->emit) return in[var];
     return sem->emit((*deps)[var].variable, point, named(in), out);
   }
   void observe(const IntVec& point, Value out) const {
     if (sem->observe) sem->observe(point, out);
   }
+};
+
+/// Convolution (eq. 4/5) over the fixed dependence order y=0, x=1, w=2:
+/// out = y + w·x, pure pass-through streams, SIMD multiply-accumulate.
+struct ConvCompiledSemantics {
+  const std::vector<i64>* x = nullptr;
+  const std::vector<i64>* w = nullptr;
+
+  static constexpr bool kPassThroughForward = true;
+
+  [[nodiscard]] Value compute(const IntVec&, OperandView in) const {
+    return checked_add(in[0], checked_mul(in[2], in[1]));
+  }
+  void compute_block(const IntVec*, const Value* const* cols,
+                     std::uint32_t base, std::uint32_t len,
+                     Value* outs) const {
+    simd::mul_add_checked(cols[0] + base, cols[2] + base, cols[1] + base,
+                          outs, len);
+  }
+  [[nodiscard]] Value boundary(std::size_t var, const IntVec& point) const {
+    if (var == 0) return 0;  // y starts at zero.
+    if (var == 2) return (*w)[static_cast<std::size_t>(point[1] - 1)];
+    // var == 1: the stream value at (i,k) is x_{i-k} (zero off the left
+    // edge).
+    const i64 j = point[0] - point[1];
+    if (j < 1 || j > static_cast<i64>(x->size())) return 0;
+    return (*x)[static_cast<std::size_t>(j - 1)];
+  }
+  [[nodiscard]] Value forward(std::size_t var, const IntVec&, OperandView in,
+                              Value) const {
+    return in[var];
+  }
+  void observe(const IntVec&, Value) const {}
 };
 
 UniformArrayRun run_uniform_interpretive(const CanonicRecurrence& rec,
@@ -253,6 +286,27 @@ UniformArrayRun run_uniform_design(const CanonicRecurrence& rec,
   const GenericCompiledSemantics adapter{&semantics, &rec.dependences()};
   return run_uniform_compiled(rec, adapter, accumulator_index, timing, space,
                               net, cancel);
+}
+
+UniformArrayRun run_convolution_design(const CanonicRecurrence& rec,
+                                       const std::vector<i64>& x,
+                                       const std::vector<i64>& w,
+                                       const LinearSchedule& timing,
+                                       const IntMat& space,
+                                       const Interconnect& net,
+                                       EngineKind engine,
+                                       const CancelToken* cancel) {
+  const auto& deps = rec.dependences();
+  NUSYS_REQUIRE(deps.size() == 3 && deps[0].variable == "y" &&
+                    deps[1].variable == "x" && deps[2].variable == "w",
+                "run_convolution_design: not a convolution recurrence");
+  if (engine == EngineKind::kInterpretive) {
+    return run_uniform_design(rec, convolution_semantics(x, w), timing, space,
+                              net, engine, cancel);
+  }
+  const ConvCompiledSemantics semantics{&x, &w};
+  return run_uniform_compiled(rec, semantics, /*accumulator_index=*/0, timing,
+                              space, net, cancel);
 }
 
 UniformSemantics convolution_semantics(const std::vector<i64>& x,

@@ -92,6 +92,20 @@ struct UniformArrayRun {
     const Interconnect& net, EngineKind engine,
     const CancelToken* cancel = nullptr);
 
+/// Flat convolution execution with family-specific semantics: the
+/// compiled engine uses a concrete struct (inlined compute, pass-through
+/// scatter copies, SIMD multiply-accumulate blocks) instead of the
+/// std::function adapter; the interpretive engine runs
+/// convolution_semantics unchanged. Results are bit-identical to
+/// run_uniform_design(rec, convolution_semantics(x, w), ...) on either
+/// engine. `rec` must be a convolution recurrence (variables y, x, w in
+/// dependence order).
+[[nodiscard]] UniformArrayRun run_convolution_design(
+    const CanonicRecurrence& rec, const std::vector<i64>& x,
+    const std::vector<i64>& w, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net, EngineKind engine,
+    const CancelToken* cancel = nullptr);
+
 /// The semantics of convolution recurrences (4)/(5): accumulator "y",
 /// compute y + w·x, boundaries x_{i-k} (0 when i <= k), w_k and y = 0.
 /// `x` must outlive the returned object.

@@ -2,28 +2,52 @@
 //
 // The interpretive run_uniform_design pays for generality at run time:
 // string-keyed registers, per-cell std::function dispatch, map-based
-// operand lookup. This template pays for it once at compile time instead:
-// the recurrence's value flow is wired into dense operand slots (one
-// contiguous block of `dependence-count` Values per domain point — the
-// structure-of-arrays layout), the schedule is compiled into anti-chain
-// wavefronts, and execution is a tight loop that reads a point's operand
-// block, computes, and scatters the outputs directly into the consumer
-// slots. Statistics come from the WavefrontPlan, bit-identical to the
-// interpretive engine's.
+// operand lookup. The compiled path pays once at *plan-build* time
+// instead — and since PR 9 keeps the plan: run_uniform_compiled acquires
+// the design's CompiledUniformPlan from the process-global plan cache
+// (designs/uniform_plan.hpp, systolic/plan_cache.hpp) and executes it as
+// tight per-front loops over column-major operand slots. A warm run
+// allocates only the slot vector.
+//
+// Execution of one wavefront is phase-split — compute every op of the
+// front, observe, then scatter — which is equivalent to the PR 7
+// interleaved loop because every consumer fires at a strictly later tick
+// (slack > 0), i.e. in a strictly later front. The split is what makes
+// the loops vectorizable: operand columns are contiguous per front, so
+// families can supply a `compute_block` SIMD kernel (support/simd.hpp),
+// and the scatter coalesces congruent runs (consecutive ops feeding
+// consecutive consumers) into block copies. With SIMD disabled
+// (NUSYS_DISABLE_SIMD=1) every front takes the per-point scalar loop;
+// results are bit-identical either way — the differential CI job reruns
+// the suites under the ablation to pin it.
 //
 // `Semantics` is the compile-time counterpart of UniformSemantics; each
-// recurrence family (mm/lu/sw/conv) instantiates the template with a
+// recurrence family (conv/mm/lu/sw) instantiates the template with a
 // concrete struct so compute/boundary/forward inline into the wavefront
 // loop:
 //
 //   struct FamilySemantics {
-//     Value compute(const IntVec& point, const Value* in) const;
+//     Value compute(const IntVec& point, OperandView in) const;
 //     Value boundary(std::size_t var, const IntVec& point) const;
 //     // Value variable `var` forwards to its successor point (non-
 //     // accumulator streams only); `in` is the point's operand block.
-//     Value forward(std::size_t var, const IntVec& point, const Value* in,
+//     Value forward(std::size_t var, const IntVec& point, OperandView in,
 //                   Value out) const;
 //     void observe(const IntVec& point, Value out) const;
+//
+//     // Optional fast paths:
+//     //   static constexpr bool kPassThroughForward — every non-
+//     //     accumulator stream forwards its incoming value unchanged
+//     //     (conv, matmul): the scatter becomes pure block copies.
+//     //   static constexpr bool kComputedForward — every non-
+//     //     accumulator stream forwards the freshly computed value
+//     //     (Smith-Waterman H-copies): likewise.
+//     //   void compute_block(const IntVec* points,
+//     //                      const Value* const* cols, std::uint32_t base,
+//     //                      std::uint32_t len, Value* outs) const —
+//     //     vectorized compute of one front; operand d of op i is
+//     //     cols[d][base + i]. Must be bit-identical to compute(),
+//     //     including which overflows throw.
 //   };
 //
 // Operand blocks index variables by their position in
@@ -31,107 +55,153 @@
 #pragma once
 
 #include <cstdint>
-#include <limits>
-#include <unordered_map>
+#include <cstring>
 #include <vector>
 
 #include "designs/uniform_array.hpp"
+#include "designs/uniform_plan.hpp"
 #include "ir/recurrence.hpp"
 #include "schedule/timing.hpp"
 #include "space/interconnect.hpp"
 #include "support/cancel.hpp"
-#include "support/checked.hpp"
 #include "support/errors.hpp"
-#include "systolic/wavefront.hpp"
+#include "support/simd.hpp"
 
 namespace nusys {
 
+/// One op's view of its operand block in the column-major slot layout:
+/// in[d] is operand d of the op at execution position i.
+struct OperandView {
+  const Value* const* cols;
+  std::uint32_t i;
+
+  Value operator[](std::size_t d) const { return cols[d][i]; }
+};
+
+namespace detail {
+
+template <class S>
+concept HasComputeBlock =
+    requires(const S& s, const IntVec* pts, const Value* const* cols,
+             std::uint32_t base, std::uint32_t len, Value* outs) {
+      s.compute_block(pts, cols, base, len, outs);
+    };
+
+template <class S>
+inline constexpr bool kPassThroughForward = [] {
+  if constexpr (requires { S::kPassThroughForward; }) {
+    return S::kPassThroughForward;
+  } else {
+    return false;
+  }
+}();
+
+template <class S>
+inline constexpr bool kComputedForward = [] {
+  if constexpr (requires { S::kComputedForward; }) {
+    return S::kComputedForward;
+  } else {
+    return false;
+  }
+}();
+
+/// dst[cons[i]] = src[i] for every consumer inside the domain, coalescing
+/// congruent runs (consecutive ops feeding consecutive consumers) into
+/// block copies. Sources sit in the current front's rows, destinations in
+/// strictly later fronts, so the ranges never overlap.
+inline void scatter_runs(const std::uint32_t* cons, std::uint32_t len,
+                         Value* dst, const Value* src) {
+  std::uint32_t i = 0;
+  while (i < len) {
+    const std::uint32_t y = cons[i];
+    if (y == kNoConsumer) {
+      ++i;
+      continue;
+    }
+    std::uint32_t r = 1;
+    while (i + r < len && cons[i + r] == y + r) ++r;
+    std::memcpy(dst + y, src + i, r * sizeof(Value));
+    i += r;
+  }
+}
+
+}  // namespace detail
+
+/// Executes a compiled plan with `semantics`. The plan is shared and
+/// immutable: this allocates the value slots, prefills the boundary
+/// entries, then streams the wavefronts.
 template <class Semantics>
-UniformArrayRun run_uniform_compiled(const CanonicRecurrence& rec,
+UniformArrayRun execute_uniform_plan(const CompiledUniformPlan& plan,
                                      const Semantics& semantics,
                                      std::size_t accumulator_index,
-                                     const LinearSchedule& timing,
-                                     const IntMat& space,
-                                     const Interconnect& net,
                                      const CancelToken* cancel = nullptr) {
-  rec.validate();
-  NUSYS_REQUIRE(timing.dim() == rec.domain().dim() &&
-                    space.cols() == rec.domain().dim() &&
-                    space.rows() == net.label_dim(),
-                "run_uniform_design: mapping shape mismatch");
-  const auto& deps = rec.dependences();
-  const std::size_t width = deps.size();
+  const std::size_t count = plan.count;
+  const std::size_t width = plan.width;
   NUSYS_REQUIRE(accumulator_index < width,
                 "run_uniform_design: accumulator is not a recurrence "
                 "variable");
 
-  const auto& domain = rec.domain();
-  const std::vector<IntVec> points = domain.points();
-  NUSYS_REQUIRE(!points.empty(), "run_uniform_design: empty domain");
-  const auto point_count = static_cast<std::uint32_t>(points.size());
-
-  // ---- Compile: place one op per point, wire every value instance. ----
-  WavefrontPlanBuilder builder(net, width);
-  std::unordered_map<IntVec, std::uint32_t, IntVecHash> op_of;
-  op_of.reserve(points.size());
-  for (std::uint32_t p = 0; p < point_count; ++p) {
-    const std::uint32_t cell = builder.intern_cell(space * points[p]);
-    const std::uint32_t op = builder.add_op(cell, timing.at(points[p]), 0);
-    NUSYS_REQUIRE(op == p, "run_uniform_compiled: op/point id mismatch");
-    op_of.emplace(points[p], p);
+  // Column-major slots: operand d of the op at position x is col[d][x].
+  std::vector<Value> slots(count * width, 0);
+  std::vector<Value*> col(width);
+  std::vector<const Value*> ccol(width);
+  for (std::size_t d = 0; d < width; ++d) {
+    col[d] = slots.data() + d * count;
+    ccol[d] = col[d];
+  }
+  for (const auto& b : plan.boundary) {
+    col[b.var][b.x] = semantics.boundary(b.var, plan.points[b.x]);
   }
 
-  constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
-  // Operand slots: the SoA value blocks, `width` per point. Every slot is
-  // written exactly once (boundary prefill or producer scatter) and read
-  // exactly once.
-  std::vector<Value> slots(static_cast<std::size_t>(point_count) * width, 0);
-  // Producer scatter targets: where point p's variable d lands.
-  std::vector<std::uint32_t> targets(slots.size(), kNoSlot);
-
-  for (std::uint32_t p = 0; p < point_count; ++p) {
-    const IntVec& point = points[p];
-    for (std::size_t d = 0; d < width; ++d) {
-      const IntVec producer = point - deps[d].vector;
-      const std::size_t slot = static_cast<std::size_t>(p) * width + d;
-      if (!domain.contains(producer)) {
-        slots[slot] = semantics.boundary(d, point);
-        builder.add_inject(p, static_cast<std::uint32_t>(d));
-        continue;
-      }
-      const std::uint32_t q = op_of.at(producer);
-      const i64 slack = checked_sub(builder.op_tick(p), builder.op_tick(q));
-      NUSYS_VALIDATE(slack > 0,
-                     "design consumes '" + deps[d].variable + ":" +
-                         point.to_string() +
-                         "' no later than it is produced");
-      const ValueLabel label{deps[d].variable.c_str(), &point, 0};
-      builder.add_transport(q, p, static_cast<std::uint32_t>(d), label);
-      targets[static_cast<std::size_t>(q) * width + d] =
-          static_cast<std::uint32_t>(slot);
-    }
-  }
-  const WavefrontPlan plan = std::move(builder).compile();
-
-  // ---- Run: one tight loop per wavefront over the slot blocks. --------
+  std::vector<Value> outs(plan.max_front);
+  const IntVec* pts = plan.points.data();
   UniformArrayRun run;
   for (const Wavefront& front : plan.fronts) {
     throw_if_cancelled(cancel, "run_uniform_compiled");
-    for (std::uint32_t x = front.begin; x < front.end; ++x) {
-      const std::uint32_t p = plan.order[x];
-      const IntVec& point = points[p];
-      const Value* in = slots.data() + static_cast<std::size_t>(p) * width;
-      const Value out = semantics.compute(point, in);
-      semantics.observe(point, out);
-      const std::uint32_t* to =
-          targets.data() + static_cast<std::size_t>(p) * width;
-      for (std::size_t d = 0; d < width; ++d) {
-        if (to[d] != kNoSlot) {
-          slots[to[d]] = d == accumulator_index
-                             ? out
-                             : semantics.forward(d, point, in, out);
-        } else if (d == accumulator_index) {
-          run.finals.emplace(point, out);
+    const std::uint32_t base = front.begin;
+    const std::uint32_t len = front.end - front.begin;
+
+    bool vectorized = false;
+    if constexpr (detail::HasComputeBlock<Semantics>) {
+      if (simd::enabled()) {
+        semantics.compute_block(pts + base, ccol.data(), base, len,
+                                outs.data());
+        vectorized = true;
+      }
+    }
+    if (!vectorized) {
+      for (std::uint32_t i = 0; i < len; ++i) {
+        outs[i] = semantics.compute(pts[base + i],
+                                    OperandView{ccol.data(), base + i});
+      }
+    }
+    for (std::uint32_t i = 0; i < len; ++i) {
+      semantics.observe(pts[base + i], outs[i]);
+    }
+
+    for (std::size_t d = 0; d < width; ++d) {
+      const std::uint32_t* cons = plan.consumer.data() + d * count;
+      Value* dst = col[d];
+      if (d == accumulator_index) {
+        for (std::uint32_t i = 0; i < len; ++i) {
+          const std::uint32_t y = cons[base + i];
+          if (y != kNoConsumer) {
+            dst[y] = outs[i];
+          } else {
+            run.finals.emplace(pts[base + i], outs[i]);
+          }
+        }
+      } else if constexpr (detail::kPassThroughForward<Semantics>) {
+        detail::scatter_runs(cons + base, len, dst, dst + base);
+      } else if constexpr (detail::kComputedForward<Semantics>) {
+        detail::scatter_runs(cons + base, len, dst, outs.data());
+      } else {
+        for (std::uint32_t i = 0; i < len; ++i) {
+          const std::uint32_t y = cons[base + i];
+          if (y == kNoConsumer) continue;
+          dst[y] =
+              semantics.forward(d, pts[base + i],
+                                OperandView{ccol.data(), base + i}, outs[i]);
         }
       }
     }
@@ -142,6 +212,26 @@ UniformArrayRun run_uniform_compiled(const CanonicRecurrence& rec,
   run.first_tick = plan.first_tick;
   run.last_tick = plan.last_tick;
   run.route_hops = plan.route_hops;
+  return run;
+}
+
+/// Acquires the design's plan (cache hit on repeat executions) and runs
+/// it. The per-run plan-cache outcome is surfaced through
+/// EngineStats::plan_cache_{hits,misses}.
+template <class Semantics>
+UniformArrayRun run_uniform_compiled(const CanonicRecurrence& rec,
+                                     const Semantics& semantics,
+                                     std::size_t accumulator_index,
+                                     const LinearSchedule& timing,
+                                     const IntMat& space,
+                                     const Interconnect& net,
+                                     const CancelToken* cancel = nullptr) {
+  const AcquiredUniformPlan acquired =
+      acquire_uniform_plan(rec, timing, space, net);
+  UniformArrayRun run = execute_uniform_plan(*acquired.plan, semantics,
+                                             accumulator_index, cancel);
+  run.stats.plan_cache_hits = acquired.cache_hit ? 1 : 0;
+  run.stats.plan_cache_misses = acquired.cache_hit ? 0 : 1;
   return run;
 }
 

@@ -1,0 +1,150 @@
+#include "designs/uniform_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "support/checked.hpp"
+#include "support/errors.hpp"
+
+namespace nusys {
+
+std::size_t CompiledUniformPlan::plan_bytes() const noexcept {
+  // Element counts only — platform-independent, so the byte counters in
+  // bench/baseline.json gate identically everywhere.
+  const std::size_t point_bytes =
+      points.size() * (points.empty() ? 0 : points.front().dim()) *
+      sizeof(i64);
+  return point_bytes + consumer.size() * sizeof(std::uint32_t) +
+         boundary.size() * sizeof(Boundary) +
+         fronts.size() * sizeof(Wavefront) + 128;
+}
+
+std::shared_ptr<const CompiledUniformPlan> build_uniform_plan(
+    const CanonicRecurrence& rec, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net) {
+  rec.validate();
+  NUSYS_REQUIRE(timing.dim() == rec.domain().dim() &&
+                    space.cols() == rec.domain().dim() &&
+                    space.rows() == net.label_dim(),
+                "run_uniform_design: mapping shape mismatch");
+  const auto& deps = rec.dependences();
+  const std::size_t width = deps.size();
+
+  const auto& domain = rec.domain();
+  std::vector<IntVec> points = domain.points();
+  NUSYS_REQUIRE(!points.empty(), "run_uniform_design: empty domain");
+  const auto point_count = static_cast<std::uint32_t>(points.size());
+
+  // ---- Compile: place one op per point, wire every value instance. ----
+  WavefrontPlanBuilder builder(net, width);
+  std::unordered_map<IntVec, std::uint32_t, IntVecHash> op_of;
+  op_of.reserve(points.size());
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    const std::uint32_t cell = builder.intern_cell(space * points[p]);
+    const std::uint32_t op = builder.add_op(cell, timing.at(points[p]), 0);
+    NUSYS_REQUIRE(op == p, "build_uniform_plan: op/point id mismatch");
+    op_of.emplace(points[p], p);
+  }
+
+  // Consumer op of each (producer op, variable) in *op* ids; reindexed to
+  // execution positions after compile. A dependence d is always fed by
+  // variable d of its producer, so the consumer op id alone names the
+  // destination slot.
+  std::vector<std::uint32_t> consumer_op(
+      static_cast<std::size_t>(point_count) * width, kNoConsumer);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> boundary_op;  // (d, p)
+
+  for (std::uint32_t p = 0; p < point_count; ++p) {
+    const IntVec& point = points[p];
+    for (std::size_t d = 0; d < width; ++d) {
+      const IntVec producer = point - deps[d].vector;
+      if (!domain.contains(producer)) {
+        boundary_op.emplace_back(static_cast<std::uint32_t>(d), p);
+        builder.add_inject(p, static_cast<std::uint32_t>(d));
+        continue;
+      }
+      const std::uint32_t q = op_of.at(producer);
+      const i64 slack = checked_sub(builder.op_tick(p), builder.op_tick(q));
+      NUSYS_VALIDATE(slack > 0,
+                     "design consumes '" + deps[d].variable + ":" +
+                         point.to_string() +
+                         "' no later than it is produced");
+      const ValueLabel label{deps[d].variable.c_str(), &point, 0};
+      builder.add_transport(q, p, static_cast<std::uint32_t>(d), label);
+      consumer_op[static_cast<std::size_t>(q) * width + d] = p;
+    }
+  }
+  const WavefrontPlan wplan = std::move(builder).compile();
+
+  // ---- Reindex into execution order. ----------------------------------
+  std::vector<std::uint32_t> pos(point_count);
+  for (std::uint32_t x = 0; x < point_count; ++x) pos[wplan.order[x]] = x;
+
+  auto plan = std::make_shared<CompiledUniformPlan>();
+  plan->count = point_count;
+  plan->width = static_cast<std::uint32_t>(width);
+  plan->points.reserve(point_count);
+  for (std::uint32_t x = 0; x < point_count; ++x) {
+    plan->points.push_back(points[wplan.order[x]]);
+  }
+  plan->consumer.assign(static_cast<std::size_t>(point_count) * width,
+                        kNoConsumer);
+  for (std::uint32_t x = 0; x < point_count; ++x) {
+    const std::uint32_t p = wplan.order[x];
+    for (std::size_t d = 0; d < width; ++d) {
+      const std::uint32_t c = consumer_op[static_cast<std::size_t>(p) * width + d];
+      plan->consumer[d * point_count + x] =
+          c == kNoConsumer ? kNoConsumer : pos[c];
+    }
+  }
+  plan->boundary.reserve(boundary_op.size());
+  for (const auto& [d, p] : boundary_op) {
+    plan->boundary.push_back({d, pos[p]});
+  }
+  plan->fronts = wplan.fronts;
+  for (const Wavefront& front : plan->fronts) {
+    plan->max_front = std::max(plan->max_front, front.end - front.begin);
+  }
+  plan->stats = wplan.stats;
+  plan->cell_count = wplan.cell_count;
+  plan->route_hops = wplan.route_hops;
+  plan->first_tick = wplan.first_tick;
+  plan->last_tick = wplan.last_tick;
+  return plan;
+}
+
+std::string uniform_plan_key(const CanonicRecurrence& rec,
+                             const LinearSchedule& timing, const IntMat& space,
+                             const Interconnect& net) {
+  std::ostringstream os;
+  os << "u|" << rec.domain().to_string() << '|';
+  for (const auto& dep : rec.dependences()) {
+    os << dep.variable << ':' << dep.vector.to_string() << ';';
+  }
+  os << "|T:" << timing.coeffs().to_string() << '+' << timing.offset()
+     << "|S:" << space.to_string() << "|N:" << net.to_string();
+  return std::move(os).str();
+}
+
+AcquiredUniformPlan acquire_uniform_plan(const CanonicRecurrence& rec,
+                                         const LinearSchedule& timing,
+                                         const IntMat& space,
+                                         const Interconnect& net) {
+  if (!plan_cache_enabled()) {
+    return {build_uniform_plan(rec, timing, space, net), false};
+  }
+  auto& cache = wavefront_plan_cache();
+  const std::string key = uniform_plan_key(rec, timing, space, net);
+  if (auto cached = cache.lookup(key)) {
+    return {std::static_pointer_cast<const CompiledUniformPlan>(
+                std::move(cached)),
+            true};
+  }
+  auto plan = build_uniform_plan(rec, timing, space, net);
+  cache.insert(key, plan);
+  return {std::move(plan), false};
+}
+
+}  // namespace nusys

@@ -1,0 +1,108 @@
+// The cacheable compiled artifact of a mapped uniform design.
+//
+// PR 7's run_uniform_compiled rebuilt everything per call: it enumerated
+// domain.points(), interned cells, routed every transport and sorted the
+// wavefronts — then threw the result away. CompiledUniformPlan is that
+// work, kept: everything about an execution that does not depend on the
+// problem *instance* (the concrete x/w/A/B arrays), reindexed into
+// execution order so the run loop is pure streaming:
+//
+//   * `points[x]` is the domain point executing at position x — the
+//     plan.order permutation is already applied, so fronts are contiguous
+//     index ranges [begin, end) over every array here.
+//   * operand slots live in *column-major* layout: operand d of the op at
+//     position x is column d, row x. Within one front the ops' operand-d
+//     values are therefore contiguous — the layout the SIMD compute
+//     kernels (support/simd.hpp) stream over.
+//   * `consumer[d * count + x]` is the execution position whose operand d
+//     receives op x's variable-d output (kNoConsumer when the successor
+//     leaves the domain). A dependence d of a consumer is always fed by
+//     variable d of its producer, so one index names both the row and the
+//     column of the destination. Consecutive ops scattering to
+//     consecutive consumers form *congruent runs* the executor turns into
+//     block copies.
+//   * `boundary` lists the (var, position) pairs whose producer falls
+//     outside the domain; the executor prefills them from the semantics'
+//     boundary() at run start. Values are NOT stored — the plan is shared
+//     across instances.
+//
+// Plans are built once per structural design key and cached in the
+// process-global WavefrontPlanCache (systolic/plan_cache.hpp); a warm
+// execution allocates only its value-slot vector.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/recurrence.hpp"
+#include "schedule/timing.hpp"
+#include "space/interconnect.hpp"
+#include "systolic/plan_cache.hpp"
+#include "systolic/wavefront.hpp"
+
+namespace nusys {
+
+/// "This variable's successor leaves the domain" in consumer[].
+inline constexpr std::uint32_t kNoConsumer =
+    std::numeric_limits<std::uint32_t>::max();
+
+struct CompiledUniformPlan : CachedPlan {
+  std::uint32_t count = 0;  ///< Domain points (= ops).
+  std::uint32_t width = 0;  ///< Dependences per point.
+
+  std::vector<IntVec> points;           ///< [count], execution order.
+  std::vector<std::uint32_t> consumer;  ///< [width * count], column-major.
+
+  struct Boundary {
+    std::uint32_t var = 0;
+    std::uint32_t x = 0;  ///< Execution position to prefill.
+  };
+  std::vector<Boundary> boundary;
+
+  std::vector<Wavefront> fronts;  ///< begin/end index `points` directly.
+  std::uint32_t max_front = 0;    ///< Longest front (sizes the out buffer).
+
+  EngineStats stats;  ///< Bit-identical to an interpretive run's.
+  std::size_t cell_count = 0;
+  std::size_t route_hops = 0;
+  i64 first_tick = 0;
+  i64 last_tick = 0;
+
+  [[nodiscard]] std::size_t plan_bytes() const noexcept override;
+};
+
+/// Builds the plan from scratch (no cache involvement): places one op per
+/// point, wires every value instance through the WavefrontPlanBuilder,
+/// then reindexes into execution order. Throws exactly like the PR 7
+/// inline compile step (unroutable dependence, non-positive slack, ...).
+[[nodiscard]] std::shared_ptr<const CompiledUniformPlan> build_uniform_plan(
+    const CanonicRecurrence& rec, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net);
+
+/// The structural cache key of a flat uniform plan: domain content,
+/// dependence vectors, (T, S) and the interconnect. Renaming-insensitive
+/// inputs that produce the same mapping share a key; any change to the
+/// mapping changes it, so stale plans self-invalidate.
+[[nodiscard]] std::string uniform_plan_key(const CanonicRecurrence& rec,
+                                           const LinearSchedule& timing,
+                                           const IntMat& space,
+                                           const Interconnect& net);
+
+/// A plan plus where it came from (per-run plan-cache hit/miss, surfaced
+/// through EngineStats).
+struct AcquiredUniformPlan {
+  std::shared_ptr<const CompiledUniformPlan> plan;
+  bool cache_hit = false;
+};
+
+/// The cached plan for (rec, timing, space, net), building and inserting
+/// it on a miss. With the plan cache disabled (NUSYS_DISABLE_PLAN_CACHE)
+/// every call builds fresh and reports a miss.
+[[nodiscard]] AcquiredUniformPlan acquire_uniform_plan(
+    const CanonicRecurrence& rec, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net);
+
+}  // namespace nusys

@@ -33,8 +33,8 @@ bool run_convolution(const BatchProblem& problem, const Design& best,
           ? run_uniform_design_tiled(rec, convolution_semantics(x, w),
                                      best.timing, best.space, best.net, tile,
                                      engine, cancel)
-          : run_uniform_design(rec, convolution_semantics(x, w), best.timing,
-                               best.space, best.net, engine, cancel);
+          : run_convolution_design(rec, x, w, best.timing, best.space,
+                                   best.net, engine, cancel);
   // Finals sit on the last reduction plane: k = s for the backward
   // recurrence (4), k = 1 for the forward recurrence (5).
   const i64 final_k = problem.forward ? 1 : problem.s;

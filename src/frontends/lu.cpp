@@ -25,7 +25,7 @@ i64 exact_div(i64 a, i64 b) {
 struct LUCompiledSemantics {
   const LUInstance* ins = nullptr;
 
-  [[nodiscard]] Value compute(const IntVec& p, const Value* in) const {
+  [[nodiscard]] Value compute(const IntVec& p, OperandView in) const {
     const i64 k = p[0];
     const i64 i = p[1];
     const i64 j = p[2];
@@ -40,7 +40,7 @@ struct LUCompiledSemantics {
     return 0;
   }
   [[nodiscard]] Value forward(std::size_t var, const IntVec& p,
-                              const Value* in, Value out) const {
+                              OperandView in, Value out) const {
     const i64 k = p[0];
     if (var == 1) {
       // Row points originate the pivot-row stream; below them it passes.

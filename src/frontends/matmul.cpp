@@ -22,8 +22,16 @@ std::vector<std::vector<i64>> random_matrix(i64 rows, i64 cols, Rng& rng) {
 struct MatMulCompiledSemantics {
   const MatMulInstance* ins = nullptr;
 
-  [[nodiscard]] Value compute(const IntVec&, const Value* in) const {
+  static constexpr bool kPassThroughForward = true;  // a, b stream through.
+
+  [[nodiscard]] Value compute(const IntVec&, OperandView in) const {
     return checked_add(in[0], checked_mul(in[1], in[2]));
+  }
+  void compute_block(const IntVec*, const Value* const* cols,
+                     std::uint32_t base, std::uint32_t len,
+                     Value* outs) const {
+    simd::mul_add_checked(cols[0] + base, cols[1] + base, cols[2] + base,
+                          outs, len);
   }
   [[nodiscard]] Value boundary(std::size_t var, const IntVec& point) const {
     if (var == 0) return 0;  // Empty partial sum at k = 1.
@@ -37,7 +45,7 @@ struct MatMulCompiledSemantics {
     return ins->b[static_cast<std::size_t>(k - 1)]
                  [static_cast<std::size_t>(j - 1)];
   }
-  [[nodiscard]] Value forward(std::size_t var, const IntVec&, const Value* in,
+  [[nodiscard]] Value forward(std::size_t var, const IntVec&, OperandView in,
                               Value) const {
     return in[var];  // a and b pipeline through unchanged.
   }

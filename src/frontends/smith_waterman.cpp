@@ -32,11 +32,32 @@ struct SWCompiledSemantics {
   std::vector<std::vector<i64>>* h_out = nullptr;
   std::size_t* observed = nullptr;
 
-  [[nodiscard]] Value compute(const IntVec& p, const Value* in) const {
+  // Both copy streams forward the freshly computed H.
+  static constexpr bool kComputedForward = true;
+
+  [[nodiscard]] Value compute(const IntVec& p, OperandView in) const {
     const i64 diag = checked_add(in[0], cell_score(*ins, p[0], p[1]));
     const i64 up = checked_sub(in[1], ins->gap);
     const i64 left = checked_sub(in[2], ins->gap);
     return local_max(diag, up, left);
+  }
+  void compute_block(const IntVec* pts, const Value* const* cols,
+                     std::uint32_t base, std::uint32_t len,
+                     Value* outs) const {
+    // Per-cell match/mismatch scores are a data-dependent gather; stage
+    // them scalar in chunks, then run the vector max-chain over the chunk.
+    constexpr std::uint32_t kChunk = 256;
+    Value score[kChunk];
+    for (std::uint32_t at = 0; at < len; at += kChunk) {
+      const std::uint32_t run = std::min(kChunk, len - at);
+      for (std::uint32_t i = 0; i < run; ++i) {
+        const IntVec& p = pts[at + i];
+        score[i] = cell_score(*ins, p[0], p[1]);
+      }
+      simd::sw_cell_max_checked(cols[0] + base + at, score,
+                                cols[1] + base + at, cols[2] + base + at,
+                                ins->gap, outs + at, run);
+    }
   }
   [[nodiscard]] Value boundary(std::size_t var, const IntVec& point) const {
     // The diagonal producer (i-1, j-1) preserves the band offset, so it is
@@ -46,9 +67,9 @@ struct SWCompiledSemantics {
     if (var == 1) return point[0] == 1 ? 0 : kSWBandEdge;
     return point[1] == 1 ? 0 : kSWBandEdge;
   }
-  [[nodiscard]] Value forward(std::size_t, const IntVec&, const Value*,
+  [[nodiscard]] Value forward(std::size_t, const IntVec&, OperandView,
                               Value out) const {
-    return out;  // Both copy streams forward the freshly computed H.
+    return out;
   }
   void observe(const IntVec& point, Value out) const {
     ++*observed;

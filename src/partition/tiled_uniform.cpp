@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
 
 #include "designs/placement_key.hpp"
+#include "designs/uniform_compiled.hpp"
+#include "designs/uniform_plan.hpp"
 #include "space/routing.hpp"
 #include "support/errors.hpp"
+#include "systolic/plan_cache.hpp"
 #include "systolic/wavefront.hpp"
 
 namespace nusys {
@@ -249,21 +254,21 @@ struct GenericCompiledSemantics {
   const UniformSemantics* sem = nullptr;
   const DependenceSet* deps = nullptr;
 
-  [[nodiscard]] std::map<std::string, Value> named(const Value* in) const {
+  [[nodiscard]] std::map<std::string, Value> named(OperandView in) const {
     std::map<std::string, Value> inputs;
     for (std::size_t d = 0; d < deps->size(); ++d) {
       inputs[(*deps)[d].variable] = in[d];
     }
     return inputs;
   }
-  [[nodiscard]] Value compute(const IntVec& point, const Value* in) const {
+  [[nodiscard]] Value compute(const IntVec& point, OperandView in) const {
     return sem->compute(point, named(in));
   }
   [[nodiscard]] Value boundary(std::size_t var, const IntVec& point) const {
     return sem->boundary((*deps)[var].variable, point);
   }
   [[nodiscard]] Value forward(std::size_t var, const IntVec& point,
-                              const Value* in, Value out) const {
+                              OperandView in, Value out) const {
     if (!sem->emit) return in[var];
     return sem->emit((*deps)[var].variable, point, named(in), out);
   }
@@ -272,12 +277,33 @@ struct GenericCompiledSemantics {
   }
 };
 
-TiledUniformRun run_tiled_compiled(const CanonicRecurrence& rec,
-                                   const UniformSemantics& semantics,
-                                   std::size_t accumulator_index,
-                                   const UniformTilePlan& plan,
-                                   const Interconnect& net,
-                                   const CancelToken* cancel) {
+/// The cacheable compiled artifact of a *tiled* design: a
+/// CompiledUniformPlan over the physical (cell, tick) placement, plus the
+/// tile plan's reporting facts — so a warm run skips
+/// build_uniform_tile_plan as well as the wavefront compile.
+struct CompiledTiledPlan : CompiledUniformPlan {
+  TileStrategy strategy = TileStrategy::kLSGP;
+  std::size_t tile_count = 1;
+  TileBufferStats buffer_stats;
+  std::size_t shape_cache_hits = 0;
+};
+
+std::string tiled_plan_key(const CanonicRecurrence& rec,
+                           const LinearSchedule& timing, const IntMat& space,
+                           const Interconnect& net,
+                           const TileOptions& options) {
+  std::ostringstream os;
+  os << "ut|" << options.rows << 'x' << options.cols << '|'
+     << tile_mode_name(options.mode) << "|d:" << options.buffer_depth << '|'
+     << uniform_plan_key(rec, timing, space, net);
+  return std::move(os).str();
+}
+
+std::shared_ptr<const CompiledTiledPlan> build_tiled_plan(
+    const CanonicRecurrence& rec, const LinearSchedule& timing,
+    const IntMat& space, const Interconnect& net, const TileOptions& options) {
+  const UniformTilePlan tplan =
+      build_uniform_tile_plan(rec, timing, space, net, options);
   const auto& deps = rec.dependences();
   const std::size_t width = deps.size();
   const std::vector<IntVec> points = rec.domain().points();
@@ -289,32 +315,30 @@ TiledUniformRun run_tiled_compiled(const CanonicRecurrence& rec,
   }
   const std::vector<std::uint32_t> producer =
       producer_table(rec, points, point_index);
-  const GenericCompiledSemantics semantics_c{&semantics, &deps};
 
   // ---- Compile: ONE builder spans every tile. The disjoint ascending
   // tile epochs make the global wavefront order execute tiles back to
   // back, and the route cache is shared across congruent tiles. --------
   WavefrontPlanBuilder builder(net, width);
-  for (const auto& cell : plan.window_cells) {
+  for (const auto& cell : tplan.window_cells) {
     (void)builder.intern_cell(cell);
   }
   for (std::uint32_t p = 0; p < point_count; ++p) {
-    const std::uint32_t cell = builder.intern_cell(plan.cell_of[p]);
-    const std::uint32_t op = builder.add_op(cell, plan.tick_of[p], 0);
+    const std::uint32_t cell = builder.intern_cell(tplan.cell_of[p]);
+    const std::uint32_t op = builder.add_op(cell, tplan.tick_of[p], 0);
     NUSYS_REQUIRE(op == p, "run_tiled_compiled: op/point id mismatch");
   }
 
-  constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
-  std::vector<Value> slots(static_cast<std::size_t>(point_count) * width, 0);
-  std::vector<std::uint32_t> targets(slots.size(), kNoSlot);
+  std::vector<std::uint32_t> consumer_op(
+      static_cast<std::size_t>(point_count) * width, kNoConsumer);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> boundary_op;  // (d, p)
 
   for (std::uint32_t p = 0; p < point_count; ++p) {
     const IntVec& point = points[p];
     for (std::size_t d = 0; d < width; ++d) {
-      const std::size_t slot = static_cast<std::size_t>(p) * width + d;
-      switch (plan.kind[p * width + d]) {
+      switch (tplan.kind[p * width + d]) {
         case TileDepKind::kBoundary:
-          slots[slot] = semantics_c.boundary(d, point);
+          boundary_op.emplace_back(static_cast<std::uint32_t>(d), p);
           builder.add_inject(p, static_cast<std::uint32_t>(d));
           break;
         case TileDepKind::kBuffered: {
@@ -325,21 +349,19 @@ TiledUniformRun run_tiled_compiled(const CanonicRecurrence& rec,
           // host path.
           const std::uint32_t q = producer[p * width + d];
           builder.add_inject(p, static_cast<std::uint32_t>(d));
-          targets[static_cast<std::size_t>(q) * width + d] =
-              static_cast<std::uint32_t>(slot);
+          consumer_op[static_cast<std::size_t>(q) * width + d] = p;
           break;
         }
         case TileDepKind::kLocal: {
           const std::uint32_t q = producer[p * width + d];
-          const i64 slack = checked_sub(plan.tick_of[p], plan.tick_of[q]);
+          const i64 slack = checked_sub(tplan.tick_of[p], tplan.tick_of[q]);
           NUSYS_VALIDATE(slack > 0,
                          "design consumes '" + deps[d].variable + ":" +
                              point.to_string() +
                              "' no later than it is produced");
           const ValueLabel label{deps[d].variable.c_str(), &point, 0};
           builder.add_transport(q, p, static_cast<std::uint32_t>(d), label);
-          targets[static_cast<std::size_t>(q) * width + d] =
-              static_cast<std::uint32_t>(slot);
+          consumer_op[static_cast<std::size_t>(q) * width + d] = p;
           break;
         }
       }
@@ -347,36 +369,71 @@ TiledUniformRun run_tiled_compiled(const CanonicRecurrence& rec,
   }
   const WavefrontPlan wplan = std::move(builder).compile();
 
-  // ---- Run: identical to the flat compiled loop. ----------------------
-  TiledUniformRun run;
-  for (const Wavefront& front : wplan.fronts) {
-    throw_if_cancelled(cancel, "run_uniform_design_tiled");
-    for (std::uint32_t x = front.begin; x < front.end; ++x) {
-      const std::uint32_t p = wplan.order[x];
-      const IntVec& point = points[p];
-      const Value* in = slots.data() + static_cast<std::size_t>(p) * width;
-      const Value out = semantics_c.compute(point, in);
-      semantics_c.observe(point, out);
-      const std::uint32_t* to =
-          targets.data() + static_cast<std::size_t>(p) * width;
-      for (std::size_t d = 0; d < width; ++d) {
-        if (to[d] != kNoSlot) {
-          slots[to[d]] = d == accumulator_index
-                             ? out
-                             : semantics_c.forward(d, point, in, out);
-        } else if (d == accumulator_index) {
-          run.finals.emplace(point, out);
-        }
-      }
+  // ---- Reindex into execution order (same as build_uniform_plan). -----
+  std::vector<std::uint32_t> pos(point_count);
+  for (std::uint32_t x = 0; x < point_count; ++x) pos[wplan.order[x]] = x;
+
+  auto plan = std::make_shared<CompiledTiledPlan>();
+  plan->count = point_count;
+  plan->width = static_cast<std::uint32_t>(width);
+  plan->points.reserve(point_count);
+  for (std::uint32_t x = 0; x < point_count; ++x) {
+    plan->points.push_back(points[wplan.order[x]]);
+  }
+  plan->consumer.assign(static_cast<std::size_t>(point_count) * width,
+                        kNoConsumer);
+  for (std::uint32_t x = 0; x < point_count; ++x) {
+    const std::uint32_t p = wplan.order[x];
+    for (std::size_t d = 0; d < width; ++d) {
+      const std::uint32_t c =
+          consumer_op[static_cast<std::size_t>(p) * width + d];
+      plan->consumer[d * point_count + x] =
+          c == kNoConsumer ? kNoConsumer : pos[c];
     }
   }
+  plan->boundary.reserve(boundary_op.size());
+  for (const auto& [d, p] : boundary_op) {
+    plan->boundary.push_back({d, pos[p]});
+  }
+  plan->fronts = wplan.fronts;
+  for (const Wavefront& front : plan->fronts) {
+    plan->max_front = std::max(plan->max_front, front.end - front.begin);
+  }
+  plan->stats = wplan.stats;
+  plan->cell_count = wplan.cell_count;
+  plan->route_hops = wplan.route_hops;
+  plan->first_tick = wplan.first_tick;
+  plan->last_tick = wplan.last_tick;
+  plan->strategy = tplan.strategy;
+  plan->tile_count = tplan.tile_count;
+  plan->buffer_stats = tplan.buffer_stats;
+  plan->shape_cache_hits = tplan.shape_cache_hits;
+  return plan;
+}
 
-  run.stats = wplan.stats;
-  run.cell_count = wplan.cell_count;
-  run.first_tick = wplan.first_tick;
-  run.last_tick = wplan.last_tick;
-  run.route_hops = wplan.route_hops;
-  return run;
+struct AcquiredTiledPlan {
+  std::shared_ptr<const CompiledTiledPlan> plan;
+  bool cache_hit = false;
+};
+
+AcquiredTiledPlan acquire_tiled_plan(const CanonicRecurrence& rec,
+                                     const LinearSchedule& timing,
+                                     const IntMat& space,
+                                     const Interconnect& net,
+                                     const TileOptions& options) {
+  if (!plan_cache_enabled()) {
+    return {build_tiled_plan(rec, timing, space, net, options), false};
+  }
+  auto& cache = wavefront_plan_cache();
+  const std::string key = tiled_plan_key(rec, timing, space, net, options);
+  if (auto cached = cache.lookup(key)) {
+    return {std::static_pointer_cast<const CompiledTiledPlan>(
+                std::move(cached)),
+            true};
+  }
+  auto plan = build_tiled_plan(rec, timing, space, net, options);
+  cache.insert(key, plan);
+  return {std::move(plan), false};
 }
 
 }  // namespace
@@ -407,19 +464,33 @@ TiledUniformRun run_uniform_design_tiled(const CanonicRecurrence& rec,
   NUSYS_REQUIRE(accumulator_index < rec.dependences().size(),
                 "run_uniform_design_tiled: accumulator is not a recurrence "
                 "variable");
-  const UniformTilePlan plan =
-      build_uniform_tile_plan(rec, timing, space, net, options);
-  TiledUniformRun run =
-      engine == EngineKind::kInterpretive
-          ? run_tiled_interpretive(rec, semantics, plan, net, cancel)
-          : run_tiled_compiled(rec, semantics, accumulator_index, plan, net,
-                               cancel);
-  run.strategy = plan.strategy;
-  run.tile_count = plan.tile_count;
-  run.buffer_stats = plan.buffer_stats;
-  run.shape_cache_hits = plan.shape_cache_hits;
-  run.stats.buffer_high_water = plan.buffer_stats.high_water;
-  run.stats.reuse_hits = plan.buffer_stats.reuse_hits;
+  TiledUniformRun run;
+  if (engine == EngineKind::kInterpretive) {
+    const UniformTilePlan plan =
+        build_uniform_tile_plan(rec, timing, space, net, options);
+    run = run_tiled_interpretive(rec, semantics, plan, net, cancel);
+    run.strategy = plan.strategy;
+    run.tile_count = plan.tile_count;
+    run.buffer_stats = plan.buffer_stats;
+    run.shape_cache_hits = plan.shape_cache_hits;
+  } else {
+    // A warm compiled run skips tile planning and wavefront compilation
+    // entirely: the cached plan carries both.
+    const AcquiredTiledPlan acquired =
+        acquire_tiled_plan(rec, timing, space, net, options);
+    const GenericCompiledSemantics semantics_c{&semantics,
+                                               &rec.dependences()};
+    static_cast<UniformArrayRun&>(run) = execute_uniform_plan(
+        *acquired.plan, semantics_c, accumulator_index, cancel);
+    run.stats.plan_cache_hits = acquired.cache_hit ? 1 : 0;
+    run.stats.plan_cache_misses = acquired.cache_hit ? 0 : 1;
+    run.strategy = acquired.plan->strategy;
+    run.tile_count = acquired.plan->tile_count;
+    run.buffer_stats = acquired.plan->buffer_stats;
+    run.shape_cache_hits = acquired.plan->shape_cache_hits;
+  }
+  run.stats.buffer_high_water = run.buffer_stats.high_water;
+  run.stats.reuse_hits = run.buffer_stats.reuse_hits;
   return run;
 }
 

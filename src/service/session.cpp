@@ -7,8 +7,10 @@
 #include "analysis/analyzer.hpp"
 #include "conv/recurrences.hpp"
 #include "frontends/execute.hpp"
+#include "ir/canonical.hpp"
 #include "support/hash.hpp"
 #include "synth/batch.hpp"
+#include "synth/design_cache.hpp"
 #include "synth/report.hpp"
 #include "systolic/engine_select.hpp"
 
@@ -89,6 +91,20 @@ JsonValue ServiceStats::to_json() const {
   cache_obj.set("validation_failures", cache.validation_failures);
   cache_obj.set("hit_rate", cache_hit_rate());
   obj.set("cache", std::move(cache_obj));
+
+  // Compiled-plan reuse, mirroring the design-cache block above. Warm
+  // `execute` requests hit here and skip plan construction entirely.
+  JsonValue plan_obj;
+  plan_obj.set("hits", plan_cache.hits);
+  plan_obj.set("misses", plan_cache.misses);
+  plan_obj.set("insertions", plan_cache.insertions);
+  plan_obj.set("evictions", plan_cache.evictions);
+  plan_obj.set("invalidations", plan_cache.invalidations);
+  plan_obj.set("entries", plan_cache.entries);
+  plan_obj.set("bytes", plan_cache.bytes);
+  plan_obj.set("capacity_bytes", plan_cache.capacity_bytes);
+  plan_obj.set("hit_rate", plan_cache.hit_rate());
+  obj.set("plan_cache", std::move(plan_obj));
 
   JsonValue search;
   search.set("problems_completed", problems_completed);
@@ -240,6 +256,8 @@ ServiceResponse SynthesisService::run_problems(PendingJob& job) {
       result.cache_hit = is_cache_hit(synthesis.telemetry);
       examined += synthesis.telemetry.total_examined();
       if (job.request.execute && synthesis.found()) {
+        // Plans built for this design die with its cache entry.
+        const PlanOwnerScope owner(pipeline_cache_key(spec, net, pipe));
         const auto execution =
             execute_pipeline_design(problem, synthesis.best(), seed,
                                     job.request.tile, engine_kind(),
@@ -255,6 +273,8 @@ ServiceResponse SynthesisService::run_problems(PendingJob& job) {
       result.cache_hit = is_cache_hit(synthesis.telemetry);
       examined += synthesis.telemetry.total_examined();
       if (job.request.execute && synthesis.found()) {
+        const PlanOwnerScope owner(
+            synthesis_cache_key(canonicalize_recurrence(rec), net, synth));
         const auto execution = execute_uniform_design(
             problem, synthesis.designs.front(), seed, job.request.tile,
             engine_kind(), &job.cancel);
@@ -305,6 +325,7 @@ ServiceStats SynthesisService::stats() const {
   snapshot.busy_seconds =
       static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) / 1e9;
   snapshot.cache = cache_.stats();
+  snapshot.plan_cache = wavefront_plan_cache().stats();
   return snapshot;
 }
 

@@ -29,6 +29,7 @@
 #include "support/telemetry.hpp"
 #include "synth/pipeline.hpp"
 #include "synth/synthesizer.hpp"
+#include "systolic/plan_cache.hpp"
 
 namespace nusys {
 
@@ -66,6 +67,10 @@ struct ServiceStats {
   double uptime_seconds = 0.0;
   double busy_seconds = 0.0;  ///< Summed worker time spent on jobs.
   CacheStats cache;
+  /// The process-global compiled-plan cache (wavefront_plan_cache()), so
+  /// `stats` responses expose plan reuse next to design reuse. Counters
+  /// are process-wide, not per-service-instance.
+  PlanCacheStats plan_cache;
   /// Per-request latency counts, parallel to latency_bucket_bounds_ms()
   /// plus one overflow bucket.
   std::vector<std::size_t> latency_histogram;

@@ -1,5 +1,6 @@
 #include "support/cache.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -82,7 +83,21 @@ std::optional<std::uint64_t> parse_hex64(const std::string& text) {
   return v;
 }
 
+std::atomic<CacheReplacementListener> g_replacement_listener{nullptr};
+
+void notify_replaced(const std::vector<std::string>& keys) {
+  const CacheReplacementListener listener =
+      g_replacement_listener.load(std::memory_order_acquire);
+  if (listener == nullptr) return;
+  for (const auto& key : keys) listener(key);
+}
+
 }  // namespace
+
+void set_cache_replacement_listener(
+    CacheReplacementListener listener) noexcept {
+  g_replacement_listener.store(listener, std::memory_order_release);
+}
 
 DesignCache::DesignCache(CacheConfig config) : config_(std::move(config)) {
   if (!config_.path.empty()) {
@@ -111,29 +126,42 @@ bool DesignCache::contains(const std::string& key) const {
 }
 
 void DesignCache::insert(const std::string& key, std::string payload) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  insert_locked(key, std::move(payload), /*count_insertion=*/true);
+  std::vector<std::string> replaced;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    insert_locked(key, std::move(payload), /*count_insertion=*/true,
+                  &replaced);
+  }
+  notify_replaced(replaced);
 }
 
 void DesignCache::reject(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.validation_failures;
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    entries_.erase(it->second);
-    index_.erase(it);
+  bool dropped = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.validation_failures;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      entries_.erase(it->second);
+      index_.erase(it);
+      dropped = true;
+    }
   }
+  if (dropped) notify_replaced({key});
 }
 
 void DesignCache::insert_locked(const std::string& key, std::string payload,
-                                bool count_insertion) {
+                                bool count_insertion,
+                                std::vector<std::string>* replaced) {
   if (const auto it = index_.find(key); it != index_.end()) {
     it->second->second = std::move(payload);
     entries_.splice(entries_.begin(), entries_, it->second);
+    if (replaced != nullptr) replaced->push_back(key);
   } else {
     entries_.emplace_front(key, std::move(payload));
     index_.emplace(key, entries_.begin());
     while (config_.capacity > 0 && entries_.size() > config_.capacity) {
+      if (replaced != nullptr) replaced->push_back(entries_.back().first);
       index_.erase(entries_.back().first);
       entries_.pop_back();
       ++stats_.evictions;
@@ -189,7 +217,9 @@ void DesignCache::load_locked() {
       ++stats_.corrupt_entries;
       continue;
     }
-    insert_locked(*key, *payload, /*count_insertion=*/false);
+    // No replacement notifications during load: the cache is still being
+    // constructed, so no derived artifact can reference these entries yet.
+    insert_locked(*key, *payload, /*count_insertion=*/false, nullptr);
     ++stats_.loaded_entries;
   }
 }

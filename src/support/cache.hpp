@@ -22,6 +22,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace nusys {
 
@@ -50,6 +51,16 @@ struct CacheConfig {
   /// the destructor. Empty = in-memory only.
   std::string path;
 };
+
+/// Process-global listener invoked with the key of every DesignCache
+/// entry that is *replaced* (an insert over an existing key), *rejected*
+/// (failed the caller's re-validation) or *evicted* (LRU pressure) — the
+/// lifecycle events after which artifacts derived from the cached design
+/// (e.g. compiled wavefront plans, systolic/plan_cache.hpp) must not be
+/// served again. Invoked outside the cache mutex. A plain function
+/// pointer so registration at static-initialization time is safe.
+using CacheReplacementListener = void (*)(const std::string& key);
+void set_cache_replacement_listener(CacheReplacementListener listener) noexcept;
 
 /// Thread-safe string-to-string LRU cache with checksummed persistence.
 class DesignCache {
@@ -88,8 +99,12 @@ class DesignCache {
   void clear();
 
  private:
+  /// `replaced`, when non-null, collects the keys whose previous payload
+  /// this call displaced or evicted; the public entry points fire the
+  /// replacement listener for them after releasing the mutex.
   void insert_locked(const std::string& key, std::string payload,
-                     bool count_insertion);
+                     bool count_insertion,
+                     std::vector<std::string>* replaced);
   void load_locked();
 
   mutable std::mutex mutex_;

@@ -1,0 +1,164 @@
+#include "support/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/checked.hpp"
+
+namespace nusys::simd {
+
+namespace {
+
+// -1 = no override; 0/1 = forced off/on.
+std::atomic<int> g_override{-1};
+
+bool enabled_from_env() {
+  const char* env = std::getenv("NUSYS_DISABLE_SIMD");
+  return env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define NUSYS_SIMD_VECTOR_EXT 1
+// The helpers below pass vector types by value. All of them are internal
+// to this translation unit, so the "vector ABI without AVX" note is moot;
+// without -mavx the compiler simply splits each 4-lane op into two
+// 2-lane ones.
+#pragma GCC diagnostic ignored "-Wpsabi"
+// aligned(8): loads/stores through these types only assume Value
+// alignment, so any column offset is admissible.
+typedef std::uint64_t U64x4 __attribute__((vector_size(32), aligned(8)));
+typedef std::int64_t S64x4 __attribute__((vector_size(32), aligned(8)));
+
+// The repo ships one portable binary, so the vector bodies are compiled
+// once per ISA level and dispatched at load time (glibc ifunc): baseline
+// x86-64 has no 64-bit lane multiply at all, AVX2 synthesizes it from
+// 32-bit halves, and x86-64-v4 (AVX-512DQ) has a native vpmullq. On
+// non-x86 or non-ELF targets the plain definition is the one portable
+// body GCC vectorizes as well as the target allows.
+#if defined(__x86_64__) && defined(__gnu_linux__) && !defined(__clang__)
+#define NUSYS_SIMD_CLONES \
+  __attribute__((target_clones("arch=x86-64-v4", "avx2", "default")))
+#else
+#define NUSYS_SIMD_CLONES
+#endif
+
+S64x4 load(const Value* p) {
+  S64x4 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void store(Value* p, S64x4 v) { std::memcpy(p, &v, sizeof(v)); }
+
+// |x| <= 2^31 - 1 per factor guarantees |product| < 2^62: no overflow.
+constexpr Value kMulGuard = 0x7fffffff;
+
+/// Vector body of mul_add_checked over the 4-lane-aligned prefix. Faults
+/// (a factor outside the no-overflow envelope, or the final add wrapping)
+/// are OR-accumulated across the whole range and checked ONCE at the end
+/// — a per-block check would serialize every iteration on a lane
+/// extraction. Returns false when any lane faulted, in which case the
+/// caller recomputes the whole range on the scalar checked path (throwing
+/// at the same element with the same message as the scalar loop; the
+/// partial vector stores are never observed because the run aborts).
+/// *done receives the prefix length handled on success.
+NUSYS_SIMD_CLONES
+bool mul_add_body(const Value* c, const Value* a, const Value* b,
+                  Value* outs, std::size_t len, std::size_t* done) {
+  const U64x4 guard = {kMulGuard, kMulGuard, kMulGuard, kMulGuard};
+  const U64x4 two_guard = guard + guard;
+  U64x4 fault = {0, 0, 0, 0};
+  std::size_t i = 0;
+  for (; i + kLanes <= len; i += kLanes) {
+    const S64x4 va = load(a + i);
+    const S64x4 vb = load(b + i);
+    const S64x4 vc = load(c + i);
+    // v in [-kMulGuard, kMulGuard] iff (u64)v + kMulGuard <= 2*kMulGuard.
+    fault |= (((U64x4)va + guard) > two_guard) |
+             (((U64x4)vb + guard) > two_guard);
+    // In-envelope lanes multiply exactly; out-of-envelope lanes produce
+    // garbage that the fault bit already discards.
+    const S64x4 prod = (S64x4)((U64x4)va * (U64x4)vb);
+    const S64x4 sum = (S64x4)((U64x4)vc + (U64x4)prod);
+    // Signed-add wraparound: operands agree in sign, result disagrees.
+    fault |= (U64x4)(((vc ^ sum) & (prod ^ sum)) >> 63);
+    store(outs + i, sum);
+  }
+  *done = i;
+  return (fault[0] | fault[1] | fault[2] | fault[3]) == 0;
+}
+
+/// Vector body of sw_cell_max_checked, same fault protocol: the three
+/// checked ops accumulate their wraparound masks, one verdict at the end.
+NUSYS_SIMD_CLONES
+bool sw_cell_max_body(const Value* h, const Value* score, const Value* p,
+                      const Value* q, Value gap, Value* outs,
+                      std::size_t len, std::size_t* done) {
+  const S64x4 vgap = {gap, gap, gap, gap};
+  const S64x4 zero = {0, 0, 0, 0};
+  U64x4 fault = {0, 0, 0, 0};
+  std::size_t i = 0;
+  for (; i + kLanes <= len; i += kLanes) {
+    const S64x4 vh = load(h + i);
+    const S64x4 vs = load(score + i);
+    const S64x4 vp = load(p + i);
+    const S64x4 vq = load(q + i);
+    const S64x4 diag = (S64x4)((U64x4)vh + (U64x4)vs);
+    fault |= (U64x4)(((vh ^ diag) & (vs ^ diag)) >> 63);
+    const S64x4 up = (S64x4)((U64x4)vp - (U64x4)vgap);
+    fault |= (U64x4)(((vp ^ vgap) & (vp ^ up)) >> 63);
+    const S64x4 left = (S64x4)((U64x4)vq - (U64x4)vgap);
+    fault |= (U64x4)(((vq ^ vgap) & (vq ^ left)) >> 63);
+    S64x4 best = diag > up ? diag : up;
+    const S64x4 rest = left > zero ? left : zero;
+    best = best > rest ? best : rest;
+    store(outs + i, best);
+  }
+  *done = i;
+  return (fault[0] | fault[1] | fault[2] | fault[3]) == 0;
+}
+#endif  // vector extensions
+
+}  // namespace
+
+bool enabled() noexcept {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = enabled_from_env();
+  return from_env;
+}
+
+void set_enabled_override(std::optional<bool> forced) noexcept {
+  g_override.store(forced ? (*forced ? 1 : 0) : -1,
+                   std::memory_order_relaxed);
+}
+
+void mul_add_checked(const Value* c, const Value* a, const Value* b,
+                     Value* outs, std::size_t len) {
+  std::size_t i = 0;
+#ifdef NUSYS_SIMD_VECTOR_EXT
+  if (!mul_add_body(c, a, b, outs, len, &i)) i = 0;  // Fault: redo checked.
+#endif
+  for (; i < len; ++i) {
+    outs[i] = checked_add(c[i], checked_mul(a[i], b[i]));
+  }
+}
+
+void sw_cell_max_checked(const Value* h, const Value* score, const Value* p,
+                         const Value* q, Value gap, Value* outs,
+                         std::size_t len) {
+  std::size_t i = 0;
+#ifdef NUSYS_SIMD_VECTOR_EXT
+  if (!sw_cell_max_body(h, score, p, q, gap, outs, len, &i)) i = 0;
+#endif
+  for (; i < len; ++i) {
+    const Value d = checked_add(h[i], score[i]);
+    const Value u = checked_sub(p[i], gap);
+    const Value lf = checked_sub(q[i], gap);
+    outs[i] = std::max<Value>(0, std::max(d, std::max(u, lf)));
+  }
+}
+
+}  // namespace nusys::simd

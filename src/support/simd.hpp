@@ -1,0 +1,65 @@
+// Portable SIMD wrappers for the compiled wavefront kernels.
+//
+// The compiled executor's per-front loops stream over contiguous operand
+// columns (designs/uniform_compiled.hpp), so the integer semantics of the
+// long-front families (conv, matmul, Smith-Waterman) vectorize — but every
+// arithmetic op in this codebase is overflow-*checked* i64 (throws
+// ContractError), and that contract must survive vectorization bit for
+// bit. The kernels here keep it by construction:
+//
+//   * lane arithmetic runs on unsigned lanes (defined wraparound — signed
+//     overflow would be UB under the sanitizer CI jobs), with the sign
+//     trick detecting add/sub overflow after the fact:
+//     add overflows  iff  ((a ^ r) & (b ^ r)) < 0   (r = wrapped sum)
+//     sub overflows  iff  ((a ^ b) & (a ^ r)) < 0   (r = wrapped diff)
+//   * multiplication has no cheap vector overflow test, so blocks are
+//     admitted by a magnitude guard (|a|, |b| <= 2^31 - 1 can never
+//     overflow the product); a block failing any guard falls back to the
+//     scalar checked ops *in lane order*, reproducing the exact throw the
+//     scalar loop would have raised.
+//
+// Vector lanes use the GCC/Clang vector extensions (portable across
+// x86/ARM/RISC-V — the compiler lowers to whatever the target has); other
+// compilers get the scalar loop. Runtime selection: enabled() honours the
+// NUSYS_DISABLE_SIMD=1 ablation flag (read once) plus a programmatic
+// override for tests and benches; the differential CI job reruns every
+// suite with the flag set, pinning vector == scalar == interpretive.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "linalg/vec.hpp"
+
+namespace nusys::simd {
+
+using Value = i64;
+
+/// Lanes per vector block; kernels process [len / kLanes] blocks plus a
+/// scalar tail.
+inline constexpr std::size_t kLanes = 4;
+
+/// False when NUSYS_DISABLE_SIMD=1 (or a test override disables it): the
+/// compiled executor then skips every compute_block hook and runs the
+/// per-point scalar loops instead.
+[[nodiscard]] bool enabled() noexcept;
+
+/// Test/bench hook: force SIMD on or off regardless of the environment;
+/// nullopt restores the environment's choice.
+void set_enabled_override(std::optional<bool> forced) noexcept;
+
+/// outs[i] = checked_add(c[i], checked_mul(a[i], b[i])) for i in [0, len)
+/// — the conv / matmul inner step. Throws ContractError on overflow with
+/// the same message, at the same element, as the scalar loop.
+void mul_add_checked(const Value* c, const Value* a, const Value* b,
+                     Value* outs, std::size_t len);
+
+/// outs[i] = max(0, max(checked_add(h[i], score[i]),
+///                      max(checked_sub(p[i], gap),
+///                          checked_sub(q[i], gap))))
+/// — the banded Smith-Waterman cell. Same overflow contract as above.
+void sw_cell_max_checked(const Value* h, const Value* score, const Value* p,
+                         const Value* q, Value gap, Value* outs,
+                         std::size_t len);
+
+}  // namespace nusys::simd

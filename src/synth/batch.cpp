@@ -16,6 +16,7 @@
 #include "support/json.hpp"
 #include "support/table.hpp"
 #include "synth/design_cache.hpp"
+#include "systolic/plan_cache.hpp"
 
 namespace nusys {
 
@@ -340,6 +341,9 @@ BatchRunResult run_batch(const std::vector<BatchProblem>& problems,
                             : CacheProvenance::kSearched;
       if (options.execute && synthesis.found()) {
         item.executed = true;
+        // Compiled plans built during this execution belong to the
+        // problem's design-cache entry: replacing that entry drops them.
+        const PlanOwnerScope owner(item.cache_key);
         item.execution_match =
             execute_pipeline_design(p, synthesis.best(), seed, options.tile,
                                     engine_kind())
@@ -354,6 +358,7 @@ BatchRunResult run_batch(const std::vector<BatchProblem>& problems,
                             : CacheProvenance::kSearched;
       if (options.execute && synthesis.found()) {
         item.executed = true;
+        const PlanOwnerScope owner(item.cache_key);
         item.execution_match =
             execute_uniform_design(p, synthesis.designs.front(), seed,
                                    options.tile, engine_kind())

@@ -119,6 +119,12 @@ struct EngineStats {
   /// Tiled runs only: cross-tile values served from the I/O buffer instead
   /// of being re-fed from the host (0 for flat runs).
   std::size_t reuse_hits = 0;
+  /// Compiled runs only: whether this execution's plan came from the
+  /// wavefront plan cache (1/0 per run). Engine metadata, not part of the
+  /// cross-engine identity the differential harnesses compare — the
+  /// interpretive engine always leaves both 0.
+  std::size_t plan_cache_hits = 0;
+  std::size_t plan_cache_misses = 0;
 
   /// busy_cell_ticks / (cells * ticks).
   [[nodiscard]] double utilization() const;

@@ -1,0 +1,191 @@
+#include "systolic/plan_cache.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "support/cache.hpp"
+
+namespace nusys {
+
+namespace {
+
+constexpr std::size_t kDefaultCapacityBytes = 256u << 20;  // 256 MiB.
+
+// -1 = no override; 0/1 = forced off/on.
+std::atomic<int> g_enabled_override{-1};
+
+bool enabled_from_env() {
+  const char* env = std::getenv("NUSYS_DISABLE_PLAN_CACHE");
+  return env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0;
+}
+
+std::size_t capacity_from_env() {
+  const char* env = std::getenv("NUSYS_PLAN_CACHE_BYTES");
+  if (env == nullptr || *env == '\0') return kDefaultCapacityBytes;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return kDefaultCapacityBytes;
+  return static_cast<std::size_t>(parsed);
+}
+
+thread_local std::string g_plan_owner;  // NOLINT(runtime/string)
+
+// Ties the plan cache to the design-cache entry lifecycle: a replaced,
+// rejected or evicted design drops its derived plans. Registered at
+// static initialization (a plain function pointer store, no ordering
+// hazard); DesignCache operations only happen after main starts.
+const bool g_listener_registered = [] {
+  set_cache_replacement_listener(+[](const std::string& key) {
+    wavefront_plan_cache().invalidate_design(key);
+  });
+  return true;
+}();
+
+}  // namespace
+
+WavefrontPlanCache::WavefrontPlanCache(std::size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  stats_.capacity_bytes = capacity_bytes_;
+}
+
+std::shared_ptr<const CachedPlan> WavefrontPlanCache::lookup(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return it->second->plan;
+}
+
+void WavefrontPlanCache::insert(const std::string& key,
+                                std::shared_ptr<const CachedPlan> plan) {
+  if (plan == nullptr) return;
+  const std::size_t bytes = plan->plan_bytes();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    erase_locked(it->second);
+  }
+  entries_.push_front(
+      Entry{key, std::move(plan), bytes, PlanOwnerScope::current()});
+  index_.emplace(key, entries_.begin());
+  if (!entries_.front().owner.empty()) {
+    owners_.emplace(entries_.front().owner, key);
+  }
+  bytes_ += bytes;
+  ++stats_.insertions;
+  evict_over_budget_locked();
+}
+
+void WavefrontPlanCache::invalidate_design(const std::string& design_key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [begin, end] = owners_.equal_range(design_key);
+  for (auto it = begin; it != end; ++it) {
+    // erase_locked would also touch owners_; drop the index entry
+    // directly here and erase the whole owner bucket afterwards.
+    const auto slot = index_.find(it->second);
+    if (slot == index_.end()) continue;
+    bytes_ -= slot->second->bytes;
+    entries_.erase(slot->second);
+    index_.erase(slot);
+    ++stats_.invalidations;
+  }
+  owners_.erase(design_key);
+}
+
+void WavefrontPlanCache::set_capacity_bytes(std::size_t capacity_bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_bytes_ = capacity_bytes;
+  stats_.capacity_bytes = capacity_bytes;
+  evict_over_budget_locked();
+}
+
+PlanCacheStats WavefrontPlanCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PlanCacheStats snapshot = stats_;
+  snapshot.entries = entries_.size();
+  snapshot.bytes = bytes_;
+  snapshot.capacity_bytes = capacity_bytes_;
+  return snapshot;
+}
+
+void WavefrontPlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  index_.clear();
+  owners_.clear();
+  bytes_ = 0;
+}
+
+void WavefrontPlanCache::erase_locked(std::list<Entry>::iterator it) {
+  if (!it->owner.empty()) {
+    const auto [begin, end] = owners_.equal_range(it->owner);
+    for (auto o = begin; o != end; ++o) {
+      if (o->second == it->key) {
+        owners_.erase(o);
+        break;
+      }
+    }
+  }
+  bytes_ -= it->bytes;
+  index_.erase(it->key);
+  entries_.erase(it);
+}
+
+void WavefrontPlanCache::evict_over_budget_locked() {
+  while (bytes_ > capacity_bytes_ && !entries_.empty()) {
+    erase_locked(std::prev(entries_.end()));
+    ++stats_.evictions;
+  }
+}
+
+WavefrontPlanCache& wavefront_plan_cache() {
+  static WavefrontPlanCache cache(capacity_from_env());
+  return cache;
+}
+
+bool plan_cache_enabled() noexcept {
+  // Referencing the registration constant keeps it alive under aggressive
+  // dead-global elimination.
+  (void)g_listener_registered;
+  const int forced = g_enabled_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = enabled_from_env();
+  return from_env;
+}
+
+void set_plan_cache_enabled_override(std::optional<bool> forced) noexcept {
+  g_enabled_override.store(forced ? (*forced ? 1 : 0) : -1,
+                           std::memory_order_relaxed);
+}
+
+PlanOwnerScope::PlanOwnerScope(std::string design_cache_key)
+    : previous_(std::exchange(g_plan_owner, std::move(design_cache_key))) {}
+
+PlanOwnerScope::~PlanOwnerScope() { g_plan_owner = std::move(previous_); }
+
+const std::string& PlanOwnerScope::current() noexcept {
+  return g_plan_owner;
+}
+
+JsonValue plan_cache_stats_json() {
+  const PlanCacheStats s = wavefront_plan_cache().stats();
+  JsonValue doc;
+  doc.set("hits", static_cast<i64>(s.hits));
+  doc.set("misses", static_cast<i64>(s.misses));
+  doc.set("insertions", static_cast<i64>(s.insertions));
+  doc.set("evictions", static_cast<i64>(s.evictions));
+  doc.set("invalidations", static_cast<i64>(s.invalidations));
+  doc.set("entries", static_cast<i64>(s.entries));
+  doc.set("bytes", static_cast<i64>(s.bytes));
+  doc.set("capacity_bytes", static_cast<i64>(s.capacity_bytes));
+  doc.set("hit_rate", s.hit_rate());
+  return doc;
+}
+
+}  // namespace nusys

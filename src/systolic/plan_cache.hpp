@@ -1,0 +1,155 @@
+// Process-wide cache of compiled wavefront plans.
+//
+// PR 7's compiled backend rebuilds the full WavefrontPlan — point
+// enumeration, cell interning, transport routing, front sorting — on
+// every run_*_compiled call, even when the batch driver or the service
+// executes the same cached design over and over. This cache stores the
+// finished, instance-independent artifact (execution-ordered points,
+// scatter targets, wavefronts, boundary-inject lists, precomputed
+// EngineStats) keyed by the *structural content* of the mapping:
+// domain + dependences + (T, S, Δ) for uniform plans, plus the tile
+// shape for tiled plans and the (schedules, spaces, blocks, n, period)
+// tuple for DP plans. Content-derived keys make stale entries
+// self-invalidating — a replaced design can never alias an old plan —
+// and the DesignCache replacement listener (support/cache.hpp) drops a
+// design's plans eagerly when its cache entry is replaced, rejected or
+// evicted, so the byte budget is never spent on dead designs.
+//
+// Plans are immutable and shared (shared_ptr<const>); executions allocate
+// only their value-slot arrays. The LRU is bounded by bytes, not entries,
+// because plan sizes span four orders of magnitude across the corpus.
+// NUSYS_DISABLE_PLAN_CACHE=1 (or the programmatic override) bypasses the
+// cache entirely — the ablation the differential CI job reruns under.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "support/json.hpp"
+
+namespace nusys {
+
+/// Base of every cacheable compiled plan; `plan_bytes` drives the LRU
+/// byte accounting and is computed from element counts only, so it is
+/// identical across platforms.
+class CachedPlan {
+ public:
+  virtual ~CachedPlan() = default;
+  [[nodiscard]] virtual std::size_t plan_bytes() const noexcept = 0;
+};
+
+/// Lifetime counters plus the current residency of the plan cache.
+struct PlanCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;      ///< Dropped by LRU byte pressure.
+  std::size_t invalidations = 0;  ///< Dropped by design-cache lifecycle.
+  std::size_t entries = 0;        ///< Resident plans right now.
+  std::size_t bytes = 0;          ///< Resident bytes right now.
+  std::size_t capacity_bytes = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::size_t lookups = hits + misses;
+    if (lookups == 0) return 0.0;
+    return static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
+  friend bool operator==(const PlanCacheStats& a,
+                         const PlanCacheStats& b) = default;
+};
+
+/// Byte-bounded LRU of compiled plans, keyed by structural design
+/// content. Thread-safe; the service workers share the process-global
+/// instance (wavefront_plan_cache()).
+class WavefrontPlanCache {
+ public:
+  explicit WavefrontPlanCache(std::size_t capacity_bytes);
+
+  /// The plan under `key`, refreshing recency; nullptr on a miss. Counts
+  /// exactly one hit or miss.
+  [[nodiscard]] std::shared_ptr<const CachedPlan> lookup(
+      const std::string& key);
+
+  /// Inserts (or replaces) `key`, associating it with the currently
+  /// scoped design-cache key (PlanOwnerScope), then evicts LRU entries
+  /// until the byte budget holds again.
+  void insert(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+
+  /// Drops every plan associated with `design_key` (counted as
+  /// invalidations, not evictions). Wired to the DesignCache replacement
+  /// listener at static-initialization time.
+  void invalidate_design(const std::string& design_key);
+
+  /// Changes the byte budget, evicting immediately if now over it.
+  void set_capacity_bytes(std::size_t capacity_bytes);
+
+  [[nodiscard]] PlanCacheStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedPlan> plan;
+    std::size_t bytes = 0;
+    std::string owner;  ///< Design-cache key, possibly empty.
+  };
+
+  void erase_locked(std::list<Entry>::iterator it);
+  void evict_over_budget_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_bytes_ = 0;
+  std::size_t bytes_ = 0;
+  /// Front = most recently used.
+  std::list<Entry> entries_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  /// Design-cache key -> plan keys currently derived from it.
+  std::unordered_multimap<std::string, std::string> owners_;
+  PlanCacheStats stats_;
+};
+
+/// The process-global plan cache every compiled entry point shares.
+/// Default budget 256 MiB; NUSYS_PLAN_CACHE_BYTES overrides it at first
+/// use.
+[[nodiscard]] WavefrontPlanCache& wavefront_plan_cache();
+
+/// False when NUSYS_DISABLE_PLAN_CACHE=1 (or a test override disables
+/// it): every compiled run then rebuilds its plan from scratch — the
+/// cold-path ablation the differential CI job reruns under.
+[[nodiscard]] bool plan_cache_enabled() noexcept;
+
+/// Test/bench hook: force the plan cache on or off regardless of the
+/// environment; nullopt restores the environment's choice.
+void set_plan_cache_enabled_override(std::optional<bool> forced) noexcept;
+
+/// Scopes plan-cache inserts to a design-cache key: plans built while a
+/// scope is active are invalidated when that design-cache entry is
+/// replaced, rejected or evicted. Thread-local and re-entrant (the
+/// previous owner is restored on destruction); executions outside any
+/// scope insert unowned plans, which only LRU pressure or structural-key
+/// divergence retire.
+class PlanOwnerScope {
+ public:
+  explicit PlanOwnerScope(std::string design_cache_key);
+  ~PlanOwnerScope();
+  PlanOwnerScope(const PlanOwnerScope&) = delete;
+  PlanOwnerScope& operator=(const PlanOwnerScope&) = delete;
+
+  /// The innermost active scope's design-cache key; empty without one.
+  [[nodiscard]] static const std::string& current() noexcept;
+
+ private:
+  std::string previous_;
+};
+
+/// The global cache's counters as a JSON object — mirrors the
+/// design-cache block in service stats and the batch report.
+[[nodiscard]] JsonValue plan_cache_stats_json();
+
+}  // namespace nusys

@@ -1,0 +1,461 @@
+// Wavefront plan-cache tests: warm compiled runs must reuse the cached
+// plan (and stay bit-identical to cold runs and to the interpretive
+// engine), LRU byte pressure must evict without ever changing results,
+// replacing a design-cache entry must drop the plans built under its
+// PlanOwnerScope, and both ablation overrides (plan cache off, SIMD off)
+// must be invisible in every output. Plus the service wiring: `stats`
+// responses expose the plan-cache block and warm `execute` requests hit.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "conv/convolution.hpp"
+#include "designs/dp_array.hpp"
+#include "designs/uniform_array.hpp"
+#include "dp/problems.hpp"
+#include "dp/sequential.hpp"
+#include "frontends/execute.hpp"
+#include "frontends/smith_waterman.hpp"
+#include "service/protocol.hpp"
+#include "service/session.hpp"
+#include "support/cache.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+#include "support/simd.hpp"
+#include "synth/batch.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/synthesizer.hpp"
+#include "systolic/engine_select.hpp"
+#include "systolic/plan_cache.hpp"
+
+namespace nusys {
+namespace {
+
+/// Clears the process-global plan cache on entry and restores its byte
+/// budget and both ablation overrides on exit, so tests cannot leak
+/// state into each other (or into a same-process sibling).
+class PlanCacheSandbox {
+ public:
+  PlanCacheSandbox() : capacity_(wavefront_plan_cache().stats().capacity_bytes) {
+    wavefront_plan_cache().clear();
+  }
+  ~PlanCacheSandbox() {
+    set_plan_cache_enabled_override(std::nullopt);
+    simd::set_enabled_override(std::nullopt);
+    wavefront_plan_cache().set_capacity_bytes(capacity_);
+    wavefront_plan_cache().clear();
+  }
+
+ private:
+  std::size_t capacity_;
+};
+
+void expect_runs_equal(const UniformArrayRun& a, const UniformArrayRun& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.finals, b.finals) << label;
+  EXPECT_EQ(a.cell_count, b.cell_count) << label;
+  EXPECT_EQ(a.first_tick, b.first_tick) << label;
+  EXPECT_EQ(a.last_tick, b.last_tick) << label;
+  EXPECT_EQ(a.route_hops, b.route_hops) << label;
+  EXPECT_EQ(a.stats.busy_cell_ticks, b.stats.busy_cell_ticks) << label;
+  EXPECT_EQ(a.stats.link_transfers, b.stats.link_transfers) << label;
+  EXPECT_EQ(a.stats.max_registers, b.stats.max_registers) << label;
+  EXPECT_EQ(a.stats.injections, b.stats.injections) << label;
+  EXPECT_EQ(a.stats.emissions, b.stats.emissions) << label;
+}
+
+struct ConvFixture {
+  CanonicRecurrence rec;
+  std::vector<i64> x, w;
+  Design best;
+};
+
+ConvFixture conv_fixture(i64 n, i64 s, std::uint64_t seed = 11) {
+  BatchProblem p;
+  p.kind = BatchProblem::Kind::kConvolution;
+  p.n = n;
+  p.s = s;
+  const auto net = batch_interconnect(p);
+  auto result = synthesize(batch_recurrence(p), net);
+  EXPECT_TRUE(result.found());
+  Rng rng(seed);
+  return ConvFixture{batch_recurrence(p),
+                     rng.uniform_vector(static_cast<std::size_t>(n), -9, 9),
+                     rng.uniform_vector(static_cast<std::size_t>(s), -9, 9),
+                     result.designs.front()};
+}
+
+UniformArrayRun run_conv(const ConvFixture& f, EngineKind engine) {
+  return run_convolution_design(f.rec, f.x, f.w, f.best.timing, f.best.space,
+                                f.best.net, engine);
+}
+
+std::vector<BatchProblem> load_corpus() {
+  const std::string path =
+      std::string(NUSYS_REPO_DIR) + "/examples/frontier_corpus.jsonl";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  return parse_batch_jsonl(in);
+}
+
+// ---- Reuse: warm runs hit the cache and stay bit-identical. ---------------
+
+TEST(PlanCacheTest, WarmConvolutionRunReusesThePlanBitIdentically) {
+  const PlanCacheSandbox sandbox;
+  const auto f = conv_fixture(24, 4);
+
+  const auto cold = run_conv(f, EngineKind::kCompiled);
+  EXPECT_EQ(cold.stats.plan_cache_misses, 1u);
+  EXPECT_EQ(cold.stats.plan_cache_hits, 0u);
+
+  const auto warm = run_conv(f, EngineKind::kCompiled);
+  EXPECT_EQ(warm.stats.plan_cache_hits, 1u);
+  EXPECT_EQ(warm.stats.plan_cache_misses, 0u);
+  expect_runs_equal(cold, warm, "cold-vs-warm");
+
+  // The interpretive engine never touches the plan cache and never sets
+  // the plan counters — but every shared statistic matches exactly.
+  const auto interpretive =
+      run_uniform_design(f.rec, convolution_semantics(f.x, f.w),
+                         f.best.timing, f.best.space, f.best.net,
+                         EngineKind::kInterpretive);
+  EXPECT_EQ(interpretive.stats.plan_cache_hits, 0u);
+  EXPECT_EQ(interpretive.stats.plan_cache_misses, 0u);
+  expect_runs_equal(warm, interpretive, "warm-vs-interpretive");
+
+  const auto stats = wavefront_plan_cache().stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.insertions, 1u);
+  EXPECT_GE(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(PlanCacheTest, WarmDPRunReusesThePlan) {
+  const PlanCacheSandbox sandbox;
+  Rng rng(17);
+  const auto p = random_matrix_chain(10, rng);
+  const auto cold = run_dp_on_array(p, dp_fig2_design(), EngineKind::kCompiled);
+  EXPECT_EQ(cold.stats.plan_cache_misses, 1u);
+  const auto warm = run_dp_on_array(p, dp_fig2_design(), EngineKind::kCompiled);
+  EXPECT_EQ(warm.stats.plan_cache_hits, 1u);
+  EXPECT_EQ(warm.table, cold.table);
+  EXPECT_EQ(warm.table, solve_sequential(p));
+  EXPECT_EQ(warm.compute_ops, cold.compute_ops);
+  EXPECT_EQ(warm.stats.busy_cell_ticks, cold.stats.busy_cell_ticks);
+}
+
+TEST(PlanCacheTest, CachedDPPlanIsInstanceIndependent) {
+  // The plan key covers only the structure (design, n, period); a second
+  // problem of the same size must HIT and still solve ITS instance — the
+  // boundary prefill is re-evaluated from the new problem every run.
+  const PlanCacheSandbox sandbox;
+  Rng rng(23);
+  const auto a = random_matrix_chain(9, rng);
+  const auto b = random_shortest_path(9, rng);
+  const auto first = run_dp_on_array(a, dp_fig1_design(), EngineKind::kCompiled);
+  EXPECT_EQ(first.stats.plan_cache_misses, 1u);
+  const auto second = run_dp_on_array(b, dp_fig1_design(), EngineKind::kCompiled);
+  EXPECT_EQ(second.stats.plan_cache_hits, 1u);
+  EXPECT_EQ(first.table, solve_sequential(a));
+  EXPECT_EQ(second.table, solve_sequential(b));
+  EXPECT_NE(first.table, second.table);
+}
+
+TEST(PlanCacheTest, WarmTiledRunReusesThePlan) {
+  const PlanCacheSandbox sandbox;
+  Rng rng(41);
+  const auto ins = random_sw_instance(16, 16, 3, rng);
+  BatchProblem p;
+  p.kind = BatchProblem::Kind::kSmithWaterman;
+  p.n = 16;
+  p.m = 16;
+  p.band = 3;
+  const auto net = batch_interconnect(p);
+  const auto result = synthesize(batch_recurrence(p), net);
+  ASSERT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  TileOptions tile;
+  tile.rows = 2;
+  tile.cols = 2;
+  const auto before = wavefront_plan_cache().stats();
+  const auto cold = run_sw_on_design(ins, d.timing, d.space, d.net, tile,
+                                     EngineKind::kCompiled);
+  const auto warm = run_sw_on_design(ins, d.timing, d.space, d.net, tile,
+                                     EngineKind::kCompiled);
+  const auto after = wavefront_plan_cache().stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(cold, warm);
+  EXPECT_EQ(warm, sw_reference(ins));
+}
+
+// ---- Eviction: byte pressure retires plans, never corrupts results. -------
+
+TEST(PlanCacheTest, TinyByteBudgetEvictsButNeverChangesResults) {
+  const PlanCacheSandbox sandbox;
+  wavefront_plan_cache().set_capacity_bytes(4096);
+  for (i64 n = 18; n <= 26; ++n) {
+    const auto f = conv_fixture(n, 3);
+    const auto compiled = run_conv(f, EngineKind::kCompiled);
+    const auto interpretive =
+        run_uniform_design(f.rec, convolution_semantics(f.x, f.w),
+                           f.best.timing, f.best.space, f.best.net,
+                           EngineKind::kInterpretive);
+    expect_runs_equal(compiled, interpretive, "n=" + std::to_string(n));
+  }
+  const auto stats = wavefront_plan_cache().stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 4096u);
+}
+
+TEST(PlanCacheTest, ShrinkingTheBudgetEvictsResidentPlans) {
+  const PlanCacheSandbox sandbox;
+  const auto f = conv_fixture(20, 4);
+  (void)run_conv(f, EngineKind::kCompiled);
+  ASSERT_GT(wavefront_plan_cache().stats().entries, 0u);
+  wavefront_plan_cache().set_capacity_bytes(1);
+  const auto stats = wavefront_plan_cache().stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  // And the next run simply rebuilds: a miss, same answer.
+  const auto rebuilt = run_conv(f, EngineKind::kCompiled);
+  EXPECT_EQ(rebuilt.stats.plan_cache_misses, 1u);
+}
+
+// ---- Invalidation: design-cache lifecycle drops derived plans. ------------
+
+TEST(PlanCacheTest, ReplacingADesignCacheEntryInvalidatesItsPlans) {
+  const PlanCacheSandbox sandbox;
+  const auto f = conv_fixture(22, 3);
+  DesignCache designs;
+  designs.insert("design-key", "payload-v1");
+  {
+    const PlanOwnerScope owner("design-key");
+    EXPECT_EQ(run_conv(f, EngineKind::kCompiled).stats.plan_cache_misses, 1u);
+  }
+  EXPECT_EQ(run_conv(f, EngineKind::kCompiled).stats.plan_cache_hits, 1u);
+
+  // Overwriting the entry fires the replacement listener, which drops
+  // every plan built under that owner scope — the next run is cold again.
+  designs.insert("design-key", "payload-v2");
+  EXPECT_GT(wavefront_plan_cache().stats().invalidations, 0u);
+  EXPECT_EQ(run_conv(f, EngineKind::kCompiled).stats.plan_cache_misses, 1u);
+}
+
+TEST(PlanCacheTest, RejectingADesignCacheEntryInvalidatesItsPlans) {
+  const PlanCacheSandbox sandbox;
+  const auto f = conv_fixture(22, 4);
+  DesignCache designs;
+  designs.insert("rejected-key", "payload");
+  {
+    const PlanOwnerScope owner("rejected-key");
+    (void)run_conv(f, EngineKind::kCompiled);
+  }
+  designs.reject("rejected-key");
+  EXPECT_GT(wavefront_plan_cache().stats().invalidations, 0u);
+  EXPECT_EQ(run_conv(f, EngineKind::kCompiled).stats.plan_cache_misses, 1u);
+}
+
+TEST(PlanCacheTest, UnownedPlansSurviveForeignInvalidations) {
+  const PlanCacheSandbox sandbox;
+  const auto f = conv_fixture(21, 3);
+  (void)run_conv(f, EngineKind::kCompiled);  // No scope: unowned plan.
+  wavefront_plan_cache().invalidate_design("some-other-design");
+  EXPECT_EQ(run_conv(f, EngineKind::kCompiled).stats.plan_cache_hits, 1u);
+}
+
+// ---- Ablations: plan cache off, SIMD off — outputs never move. ------------
+
+TEST(PlanCacheTest, DisabledCacheBypassesWithoutTouchingCounters) {
+  const PlanCacheSandbox sandbox;
+  const auto f = conv_fixture(20, 3);
+  const auto enabled = run_conv(f, EngineKind::kCompiled);
+  const auto before = wavefront_plan_cache().stats();
+  set_plan_cache_enabled_override(false);
+  const auto bypassed = run_conv(f, EngineKind::kCompiled);
+  set_plan_cache_enabled_override(std::nullopt);
+  // Bypassed runs rebuild (a per-run miss) but never read or write the
+  // global cache.
+  EXPECT_EQ(bypassed.stats.plan_cache_misses, 1u);
+  EXPECT_EQ(bypassed.stats.plan_cache_hits, 0u);
+  EXPECT_EQ(wavefront_plan_cache().stats(), before);
+  expect_runs_equal(enabled, bypassed, "cache-ablation");
+}
+
+TEST(PlanCacheTest, SimdAblationIsBitIdenticalOnEveryVectorizedFamily) {
+  const PlanCacheSandbox sandbox;
+  // Convolution (mul-add kernel).
+  const auto f = conv_fixture(32, 5);
+  simd::set_enabled_override(true);
+  const auto conv_simd = run_conv(f, EngineKind::kCompiled);
+  simd::set_enabled_override(false);
+  const auto conv_scalar = run_conv(f, EngineKind::kCompiled);
+  simd::set_enabled_override(std::nullopt);
+  expect_runs_equal(conv_simd, conv_scalar, "conv-simd-ablation");
+
+  // Smith-Waterman (max-of-three kernel).
+  Rng rng(71);
+  const auto ins = random_sw_instance(24, 24, 4, rng);
+  BatchProblem p;
+  p.kind = BatchProblem::Kind::kSmithWaterman;
+  p.n = 24;
+  p.m = 24;
+  p.band = 4;
+  const auto net = batch_interconnect(p);
+  const auto result = synthesize(batch_recurrence(p), net);
+  ASSERT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  simd::set_enabled_override(true);
+  const auto sw_simd =
+      run_sw_on_design(ins, d.timing, d.space, d.net, EngineKind::kCompiled);
+  simd::set_enabled_override(false);
+  const auto sw_scalar =
+      run_sw_on_design(ins, d.timing, d.space, d.net, EngineKind::kCompiled);
+  simd::set_enabled_override(std::nullopt);
+  EXPECT_EQ(sw_simd, sw_scalar);
+  EXPECT_EQ(sw_simd, sw_reference(ins));
+}
+
+TEST(PlanCacheTest, SimdOverflowThrowsExactlyLikeTheScalarPath) {
+  const PlanCacheSandbox sandbox;
+  // Factors far outside the no-overflow envelope: the vector kernel must
+  // take the scalar checked fallback and throw the same ContractError the
+  // scalar loop throws.
+  BatchProblem p;
+  p.kind = BatchProblem::Kind::kConvolution;
+  p.n = 16;
+  p.s = 4;
+  const auto net = batch_interconnect(p);
+  const auto result = synthesize(batch_recurrence(p), net);
+  ASSERT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  const std::vector<i64> x(16, i64{1} << 40);
+  const std::vector<i64> w(4, i64{1} << 40);
+  for (const bool simd_on : {true, false}) {
+    simd::set_enabled_override(simd_on);
+    EXPECT_THROW((void)run_convolution_design(batch_recurrence(p), x, w,
+                                              d.timing, d.space, d.net,
+                                              EngineKind::kCompiled),
+                 ContractError)
+        << (simd_on ? "simd" : "scalar");
+  }
+  simd::set_enabled_override(std::nullopt);
+}
+
+// ---- Corpus-wide cold-vs-warm sweep on both engines. ----------------------
+
+TEST(PlanCacheTest, CorpusColdAndWarmExecutionsMatchOnBothEngines) {
+  const PlanCacheSandbox sandbox;
+  for (const auto& p : load_corpus()) {
+    const auto net = batch_interconnect(p);
+    const auto before = wavefront_plan_cache().stats();
+    if (batch_uses_pipeline(p)) {
+      const auto result = synthesize_nonuniform(batch_spec(p), net);
+      ASSERT_TRUE(result.found()) << p.name;
+      const auto cold =
+          execute_pipeline_design(p, result.best(), 5, EngineKind::kCompiled);
+      const auto warm =
+          execute_pipeline_design(p, result.best(), 5, EngineKind::kCompiled);
+      const auto interp = execute_pipeline_design(p, result.best(), 5,
+                                                  EngineKind::kInterpretive);
+      EXPECT_TRUE(cold.match && warm.match && interp.match) << p.name;
+    } else {
+      const auto result = synthesize(batch_recurrence(p), net);
+      ASSERT_TRUE(result.found()) << p.name;
+      const auto cold = execute_uniform_design(p, result.designs.front(), 5,
+                                               EngineKind::kCompiled);
+      const auto warm = execute_uniform_design(p, result.designs.front(), 5,
+                                               EngineKind::kCompiled);
+      const auto interp = execute_uniform_design(
+          p, result.designs.front(), 5, EngineKind::kInterpretive);
+      EXPECT_TRUE(cold.match && warm.match && interp.match) << p.name;
+    }
+    const auto after = wavefront_plan_cache().stats();
+    EXPECT_GT(after.hits, before.hits) << p.name;
+  }
+}
+
+// ---- Service wiring: stats block and warm execute requests. ---------------
+
+TEST(PlanCacheTest, ServiceStatsExposeThePlanCacheBlock) {
+  const PlanCacheSandbox sandbox;
+  ServiceConfig config;
+  config.workers = 1;
+  SynthesisService service(config);
+
+  ServiceRequest request;
+  request.id = "exec-1";
+  request.kind = RequestKind::kSynth;
+  BatchProblem p;
+  p.kind = BatchProblem::Kind::kConvolution;
+  p.n = 14;
+  p.s = 3;
+  p.name = "conv-plan-cache";
+  request.problems.push_back(p);
+  request.execute = true;
+
+  set_engine_kind_override(EngineKind::kCompiled);
+  const auto first = service.handle(request);
+  const auto second = service.handle(request);
+  set_engine_kind_override(std::nullopt);
+  ASSERT_EQ(first.status, ResponseStatus::kOk) << first.error;
+  ASSERT_EQ(second.status, ResponseStatus::kOk) << second.error;
+
+  const auto stats = service.stats();
+  EXPECT_GE(stats.plan_cache.misses, 1u);
+  EXPECT_GE(stats.plan_cache.hits, 1u);  // The repeat run reused the plan.
+  EXPECT_EQ(stats.plan_cache, wavefront_plan_cache().stats());
+
+  const auto json = stats.to_json();
+  const auto* block = json.find("plan_cache");
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->at("hits").as_int(),
+            static_cast<i64>(stats.plan_cache.hits));
+  EXPECT_EQ(block->at("misses").as_int(),
+            static_cast<i64>(stats.plan_cache.misses));
+  EXPECT_EQ(block->at("insertions").as_int(),
+            static_cast<i64>(stats.plan_cache.insertions));
+  EXPECT_EQ(block->at("capacity_bytes").as_int(),
+            static_cast<i64>(stats.plan_cache.capacity_bytes));
+  EXPECT_GE(block->at("hit_rate").as_double(), 0.0);
+}
+
+TEST(PlanCacheTest, ServiceResynthesisInvalidatesTheExecutedPlans) {
+  // The service scopes executions to the design-cache key, so plans die
+  // with the entry they were compiled for (here: forced out by an LRU
+  // replacement in a capacity-1 design cache).
+  const PlanCacheSandbox sandbox;
+  ServiceConfig config;
+  config.workers = 1;
+  config.cache.capacity = 1;
+  SynthesisService service(config);
+
+  const auto request = [](std::string id, i64 n) {
+    ServiceRequest r;
+    r.id = std::move(id);
+    r.kind = RequestKind::kSynth;
+    BatchProblem p;
+    p.kind = BatchProblem::Kind::kConvolution;
+    p.n = n;
+    p.s = 3;
+    p.name = "conv-n" + std::to_string(n);
+    r.problems.push_back(p);
+    r.execute = true;
+    return r;
+  };
+
+  set_engine_kind_override(EngineKind::kCompiled);
+  ASSERT_EQ(service.handle(request("a", 12)).status, ResponseStatus::kOk);
+  // A different problem evicts the first design from the capacity-1
+  // design cache, which must take its compiled plan with it.
+  ASSERT_EQ(service.handle(request("b", 13)).status, ResponseStatus::kOk);
+  set_engine_kind_override(std::nullopt);
+  EXPECT_GT(wavefront_plan_cache().stats().invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace nusys
