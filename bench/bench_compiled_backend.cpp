@@ -400,6 +400,8 @@ void bm_conv_plan_warm(benchmark::State& state) {
       static_cast<double>(run.stats.plan_cache_hits);
   state.counters["plan_bytes"] =
       static_cast<double>(wavefront_plan_cache().stats().bytes);
+  state.counters["plan_evictions"] =
+      static_cast<double>(wavefront_plan_cache().stats().evictions);
 }
 BENCHMARK(bm_conv_plan_warm)->Arg(256)->Arg(1024);
 

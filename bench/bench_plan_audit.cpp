@@ -1,0 +1,317 @@
+// Experiment A9 (static plan auditing) — the cost of certifying a
+// compiled plan statically against the cost of validating it by
+// differential execution, per corpus family.
+//
+// The printed reproduction is the EXPERIMENTS.md §A9 table: per family
+// one plan build, one static audit of the built plan, and one
+// differential validation (the pre-auditor discipline: execute the
+// instance on both engines and compare results bit-exactly). The audit
+// re-derives every placement/wiring fact from the source mapping alone,
+// so its cost scales with the plan, not with instance work — the table
+// reports both absolute seconds and the differential/audit ratio that
+// justifies running the auditor at cache admission (NUSYS_AUDIT_PLANS=1)
+// where differential execution never could.
+//
+// The timed benchmarks pin each audit and each differential pair
+// separately so the bench gate tracks both sides of the ratio; the
+// gated counters (certified obligations, cells, compute ops) are
+// engine- and configuration-invariant.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "analysis/plan_audit.hpp"
+#include "bench_common.hpp"
+#include "conv/recurrences.hpp"
+#include "designs/dp_array.hpp"
+#include "designs/dp_plan.hpp"
+#include "designs/uniform_array.hpp"
+#include "designs/uniform_plan.hpp"
+#include "dp/problems.hpp"
+#include "frontends/smith_waterman.hpp"
+#include "partition/tile_plan.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/telemetry.hpp"
+
+namespace {
+
+using namespace nusys;
+
+// ---- Uniform fixtures (conv W2 mapping, banded Smith-Waterman). -----------
+
+struct UniformCase {
+  CanonicRecurrence rec;
+  LinearSchedule timing{IntVec({1, 1})};
+  IntMat space;
+  Interconnect net = Interconnect::linear_bidirectional();
+};
+
+UniformCase conv_case(i64 n, i64 s) {
+  return {convolution_backward_recurrence(n, s), LinearSchedule(IntVec({1, 1})),
+          IntMat{{0, 1}}, Interconnect::linear_bidirectional()};
+}
+
+UniformCase sw_case(i64 n, i64 band) {
+  return {sw_recurrence(n, n, band), LinearSchedule(IntVec({1, 1})),
+          IntMat{{1, 0}}, Interconnect::linear_bidirectional()};
+}
+
+PlanAuditReport audit(const UniformCase& c, const CompiledUniformPlan& plan,
+                      const std::string& label) {
+  return audit_uniform_plan(plan, c.rec, c.timing, c.space, c.net, label);
+}
+
+// One differential validation of the conv mapping: the same instance on
+// both engines, results compared bit-exactly. This is what certifying
+// the compiled plan cost before the static auditor existed.
+bool conv_differential(i64 n, i64 s, const UniformCase& c) {
+  Rng rng(21);
+  const auto x = rng.uniform_vector(static_cast<std::size_t>(n), -9, 9);
+  const auto w = rng.uniform_vector(static_cast<std::size_t>(s), -9, 9);
+  const auto compiled = run_convolution_design(c.rec, x, w, c.timing, c.space,
+                                               c.net, EngineKind::kCompiled);
+  const auto interp = run_convolution_design(c.rec, x, w, c.timing, c.space,
+                                             c.net, EngineKind::kInterpretive);
+  return compiled.finals == interp.finals;
+}
+
+bool sw_differential(i64 n, i64 band, const UniformCase& c) {
+  Rng rng(22);
+  const auto ins = random_sw_instance(n, n, band, rng);
+  const auto compiled = run_sw_on_design(ins, c.timing, c.space, c.net,
+                                         EngineKind::kCompiled);
+  const auto interp = run_sw_on_design(ins, c.timing, c.space, c.net,
+                                       EngineKind::kInterpretive);
+  return compiled == interp;
+}
+
+// ---- DP fixture (figure-2 array, shortest-path instances). -----------------
+
+bool dp_differential(i64 n, const DPArrayDesign& design) {
+  Rng rng(23);
+  const auto p = random_shortest_path(n, rng);
+  const auto compiled = run_dp_on_array(p, design, EngineKind::kCompiled);
+  const auto interp = run_dp_on_array(p, design, EngineKind::kInterpretive);
+  return compiled.table == interp.table;
+}
+
+// ---- Reproduction table. ---------------------------------------------------
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.5f", s);
+  return buf;
+}
+
+std::string fmt_ratio(double num, double den) {
+  if (den <= 0.0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", num / den);
+  return buf;
+}
+
+template <typename Fn>
+double timed(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_reproduction() {
+  std::printf(
+      "A9: static audit cost vs differential-execution cost per family\n"
+      "(one plan build, one static audit, one both-engine differential\n"
+      "validation of the same mapping; diff/audit is the admission-path\n"
+      "saving of NUSYS_AUDIT_PLANS=1)\n\n");
+  TextTable table({"family", "plan", "build s", "audit s", "diff s",
+                   "diff/audit", "obligations"});
+
+  {
+    const i64 n = 256, s = 8;
+    const auto c = conv_case(n, s);
+    std::shared_ptr<const CompiledUniformPlan> plan;
+    const double build_s = timed(
+        [&] { plan = build_uniform_plan(c.rec, c.timing, c.space, c.net); });
+    PlanAuditReport report;
+    const double audit_s = timed([&] { report = audit(c, *plan, "conv"); });
+    bool same = false;
+    const double diff_s = timed([&] { same = conv_differential(n, s, c); });
+    if (!report.ok() || !same) {
+      std::printf("FATAL: conv plan failed validation\n");
+      std::exit(1);
+    }
+    table.add_row({"conv", "n=256 s=8", fmt_seconds(build_s),
+                   fmt_seconds(audit_s), fmt_seconds(diff_s),
+                   fmt_ratio(diff_s, audit_s),
+                   std::to_string(report.certified())});
+  }
+
+  {
+    const i64 n = 96, band = 8;
+    const auto c = sw_case(n, band);
+    std::shared_ptr<const CompiledUniformPlan> plan;
+    const double build_s = timed(
+        [&] { plan = build_uniform_plan(c.rec, c.timing, c.space, c.net); });
+    PlanAuditReport report;
+    const double audit_s = timed([&] { report = audit(c, *plan, "sw"); });
+    bool same = false;
+    const double diff_s = timed([&] { same = sw_differential(n, band, c); });
+    if (!report.ok() || !same) {
+      std::printf("FATAL: sw plan failed validation\n");
+      std::exit(1);
+    }
+    table.add_row({"sw", "n=96 band=8", fmt_seconds(build_s),
+                   fmt_seconds(audit_s), fmt_seconds(diff_s),
+                   fmt_ratio(diff_s, audit_s),
+                   std::to_string(report.certified())});
+  }
+
+  {
+    const i64 n = 48;
+    const auto design = dp_fig2_design();
+    std::shared_ptr<const detail::CompiledDPPlan> plan;
+    const double build_s =
+        timed([&] { plan = detail::build_dp_plan(design, n, 1, 0); });
+    PlanAuditReport report;
+    const double audit_s =
+        timed([&] { report = audit_dp_plan(*plan, design, 0, "dp"); });
+    bool same = false;
+    const double diff_s = timed([&] { same = dp_differential(n, design); });
+    if (!report.ok() || !same) {
+      std::printf("FATAL: dp plan failed validation\n");
+      std::exit(1);
+    }
+    table.add_row({"dp", "fig2 n=48", fmt_seconds(build_s),
+                   fmt_seconds(audit_s), fmt_seconds(diff_s),
+                   fmt_ratio(diff_s, audit_s),
+                   std::to_string(report.certified())});
+  }
+
+  {
+    const i64 n = 256, s = 8;
+    const auto c = conv_case(n, s);
+    TileOptions tile;
+    tile.rows = 4;
+    tile.cols = 4;
+    UniformTilePlan plan;
+    const double build_s = timed([&] {
+      plan = build_uniform_tile_plan(c.rec, c.timing, c.space, c.net, tile);
+    });
+    PlanAuditReport report;
+    const double audit_s = timed([&] {
+      report = audit_tile_plan(plan, c.rec, c.timing, c.space, c.net, "tile");
+    });
+    if (!report.ok()) {
+      std::printf("FATAL: tile plan failed validation\n");
+      std::exit(1);
+    }
+    // No differential column: the tile auditor's alternative is the
+    // tiled-vs-flat replay gate, which this binary does not duplicate.
+    table.add_row({"tile", "conv 4x4", fmt_seconds(build_s),
+                   fmt_seconds(audit_s), "-", "-",
+                   std::to_string(report.certified())});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+}
+
+// ---- Timed benchmarks. -----------------------------------------------------
+
+void bm_audit_conv(benchmark::State& state) {
+  const auto c = conv_case(256, 8);
+  const auto plan = build_uniform_plan(c.rec, c.timing, c.space, c.net);
+  std::size_t certified = 0;
+  for (auto _ : state) {
+    const auto report = audit(c, *plan, "conv");
+    certified = report.certified();
+    benchmark::DoNotOptimize(certified);
+  }
+  state.counters["certified"] = static_cast<double>(certified);
+  state.counters["plan_bytes"] = static_cast<double>(plan->plan_bytes());
+}
+BENCHMARK(bm_audit_conv);
+
+void bm_differential_conv(benchmark::State& state) {
+  const auto c = conv_case(256, 8);
+  bool same = false;
+  for (auto _ : state) {
+    same = conv_differential(256, 8, c);
+    benchmark::DoNotOptimize(same);
+  }
+  state.counters["agreed"] = same ? 1.0 : 0.0;
+}
+BENCHMARK(bm_differential_conv);
+
+void bm_audit_sw(benchmark::State& state) {
+  const auto c = sw_case(96, 8);
+  const auto plan = build_uniform_plan(c.rec, c.timing, c.space, c.net);
+  std::size_t certified = 0;
+  for (auto _ : state) {
+    const auto report = audit(c, *plan, "sw");
+    certified = report.certified();
+    benchmark::DoNotOptimize(certified);
+  }
+  state.counters["certified"] = static_cast<double>(certified);
+}
+BENCHMARK(bm_audit_sw);
+
+void bm_differential_sw(benchmark::State& state) {
+  const auto c = sw_case(96, 8);
+  bool same = false;
+  for (auto _ : state) {
+    same = sw_differential(96, 8, c);
+    benchmark::DoNotOptimize(same);
+  }
+  state.counters["agreed"] = same ? 1.0 : 0.0;
+}
+BENCHMARK(bm_differential_sw);
+
+void bm_audit_dp(benchmark::State& state) {
+  const auto design = dp_fig2_design();
+  const auto plan = detail::build_dp_plan(design, 48, 1, 0);
+  std::size_t certified = 0;
+  for (auto _ : state) {
+    const auto report = audit_dp_plan(*plan, design, 0, "dp");
+    certified = report.certified();
+    benchmark::DoNotOptimize(certified);
+  }
+  state.counters["certified"] = static_cast<double>(certified);
+}
+BENCHMARK(bm_audit_dp);
+
+void bm_differential_dp(benchmark::State& state) {
+  const auto design = dp_fig2_design();
+  bool same = false;
+  for (auto _ : state) {
+    same = dp_differential(48, design);
+    benchmark::DoNotOptimize(same);
+  }
+  state.counters["agreed"] = same ? 1.0 : 0.0;
+}
+BENCHMARK(bm_differential_dp);
+
+void bm_audit_tile_conv(benchmark::State& state) {
+  const auto c = conv_case(256, 8);
+  TileOptions tile;
+  tile.rows = 4;
+  tile.cols = 4;
+  const auto plan =
+      build_uniform_tile_plan(c.rec, c.timing, c.space, c.net, tile);
+  std::size_t certified = 0;
+  for (auto _ : state) {
+    const auto report =
+        audit_tile_plan(plan, c.rec, c.timing, c.space, c.net, "tile");
+    certified = report.certified();
+    benchmark::DoNotOptimize(certified);
+  }
+  state.counters["certified"] = static_cast<double>(certified);
+}
+BENCHMARK(bm_audit_tile_conv);
+
+}  // namespace
+
+NUSYS_BENCH_MAIN(print_reproduction)

@@ -14,6 +14,7 @@
 #include "modules/module_schedule.hpp"
 #include "modules/module_space.hpp"
 #include "space/routing.hpp"
+#include "support/env.hpp"
 #include "support/telemetry.hpp"
 #include "verify/module_spacetime.hpp"
 
@@ -306,8 +307,7 @@ auto attempt(F&& f) -> decltype(f()) {
 }
 
 bool paranoid_revalidate_env() {
-  const char* v = std::getenv("NUSYS_PARANOID_REVALIDATE");
-  return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+  return env_flag("NUSYS_PARANOID_REVALIDATE");
 }
 
 // ---------------------------------------------------------------------------

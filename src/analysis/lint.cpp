@@ -249,8 +249,121 @@ const std::vector<LintRule>& lint_rules() {
       {"tile-buffer-depth", LintSeverity::kWarning,
        "tile-boundary dependence distance exceeds the I/O buffer depth, "
        "so crossing values are evicted and re-fed from the host"},
+      {"plan-front-order", LintSeverity::kError,
+       "compiled wavefronts are non-contiguous, out of tick order, or "
+       "disagree with the schedule"},
+      {"plan-antichain", LintSeverity::kError,
+       "a front is not an anti-chain: some dependence has non-positive "
+       "slack under T"},
+      {"plan-coverage", LintSeverity::kError,
+       "compiled op list does not cover the index domain exactly "
+       "(missing, duplicated or foreign points)"},
+      {"plan-consumer-links", LintSeverity::kError,
+       "consumer[] wiring disagrees with the dependence matrix or reads "
+       "an unwritten slot"},
+      {"plan-routing", LintSeverity::kError,
+       "a dependence displacement S*d is unroutable as Delta*k within "
+       "its slack (eq. (3))"},
+      {"plan-slot-alias", LintSeverity::kError,
+       "two producers scatter into one operand slot (or a slot has no "
+       "unique writer/reader)"},
+      {"plan-boundary", LintSeverity::kError,
+       "boundary prefill list is incomplete, duplicated, out of range or "
+       "collides with a scatter target"},
+      {"plan-fold", LintSeverity::kError,
+       "ops folded onto one (cell, tick) do not share a fold group"},
+      {"plan-accounting", LintSeverity::kError,
+       "plan size fields or plan_bytes() disagree with recomputed "
+       "element counts"},
+      {"tile-epoch", LintSeverity::kError,
+       "per-tile tick segments overlap, run backwards, or exclude their "
+       "own points"},
+      {"tile-flow-order", LintSeverity::kError,
+       "an inter-tile dependence flows backwards in tile execution order"},
+      {"tile-classification", LintSeverity::kError,
+       "tile dependence kinds or the buffered-crossing list disagree "
+       "with the recomputed split"},
+      {"tile-depth-ledger", LintSeverity::kError,
+       "reuse/refeed ledger disagrees with the configured buffer depth"},
+      {"tile-buffer-ledger", LintSeverity::kError,
+       "buffered-value counts, buffer bytes or the residency high-water "
+       "disagree with an event replay"},
+      {"tile-window", LintSeverity::kError,
+       "tile window exceeds the P*Q budget, duplicates cells, or places "
+       "a cell outside itself"},
   };
   return rules;
+}
+
+namespace {
+
+/// Registry rule + fix-it for one violated audit-obligation id. The
+/// suffix after the last '/' names the obligation class; the prefix
+/// ("plan/" vs "tile/") picks the rule family.
+std::pair<std::string, std::string> plan_audit_rule_for(
+    const std::string& id) {
+  const std::size_t cut = id.find_last_of('/');
+  const std::string suffix =
+      cut == std::string::npos ? id : id.substr(cut + 1);
+  const bool tile = id.rfind("tile/", 0) == 0;
+  const std::string rebuild =
+      "invalidate the cached plan and rebuild it from the source mapping "
+      "(the artifact no longer matches its structural key)";
+  if (tile) {
+    if (suffix == "epoch-disjoint") {
+      return {"tile-epoch", rebuild};
+    }
+    if (suffix == "tile-order") {
+      return {"tile-flow-order",
+              "re-tile with a schedule-compatible tile shape; the Kahn "
+              "order over tiles must stay acyclic"};
+    }
+    if (suffix == "classification") return {"tile-classification", rebuild};
+    if (suffix == "tile-depth") {
+      return {"tile-depth-ledger",
+              "recompute the ledger with the configured depth, or bump "
+              "--tile-depth so every crossing is a reuse hit"};
+    }
+    if (suffix == "buffer-ledger") return {"tile-buffer-ledger", rebuild};
+    if (suffix == "window") {
+      return {"tile-window",
+              "shrink the tile shape or enlarge the physical array so "
+              "every placed cell fits the P*Q window"};
+    }
+    return {"plan-coverage", rebuild};  // tile "coverage"
+  }
+  if (suffix == "front-order") return {"plan-front-order", rebuild};
+  if (suffix == "front-antichain") {
+    return {"plan-antichain",
+            "pick a schedule with T*d >= 1 for every dependence (the "
+            "analyzer's causality obligation)"};
+  }
+  if (suffix == "domain-coverage" || suffix == "op-coverage") {
+    return {"plan-coverage", rebuild};
+  }
+  if (suffix == "consumer-links") return {"plan-consumer-links", rebuild};
+  if (suffix.rfind("route-", 0) == 0) {
+    return {"plan-routing",
+            "extend the interconnect or relax the schedule so S*d is "
+            "reachable within T*d hops"};
+  }
+  if (suffix == "slot-alias") return {"plan-slot-alias", rebuild};
+  if (suffix == "boundary") return {"plan-boundary", rebuild};
+  if (suffix == "fold-discipline") return {"plan-fold", rebuild};
+  return {"plan-accounting", rebuild};  // byte-accounting and fallback
+}
+
+}  // namespace
+
+LintReport lint_plan_audit(const PlanAuditReport& audit) {
+  LintReport report;
+  report.subject = audit.certificate.design;
+  for (const ObligationRecord& ob : audit.certificate.obligations) {
+    if (ob.status != ObligationStatus::kViolated) continue;
+    const auto [rule, fixit] = plan_audit_rule_for(ob.id);
+    add(report, rule, LintSeverity::kError, ob.id + ": " + ob.detail, fixit);
+  }
+  return report;
 }
 
 LintReport lint_recurrence(const CanonicRecurrence& recurrence) {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/plan_audit.hpp"
 #include "ir/nonuniform.hpp"
 #include "ir/recurrence.hpp"
 #include "modules/module_system.hpp"
@@ -78,6 +79,14 @@ inline constexpr i64 kLintOverflowRiskLimit = i64{1} << 20;
 /// before its consumer runs and must be re-fed from the host. The fix-it
 /// names the smallest depth that makes every crossing a reuse hit.
 [[nodiscard]] LintReport lint_tile_plan(const UniformTilePlan& plan);
+
+/// Plan-audit lint: translates every *violated* obligation of a plan
+/// audit (analysis/plan_audit.hpp) into an error-severity diagnostic
+/// under the matching plan-*/tile-* registry rule, with a fix-it hint
+/// naming the mechanical repair (rebuild, invalidate, depth bump).
+/// Certified obligations produce no diagnostics, so a clean audit lints
+/// clean.
+[[nodiscard]] LintReport lint_plan_audit(const PlanAuditReport& audit);
 
 /// Raw-parts entry points for IR that has not (or cannot) be constructed:
 /// the CanonicRecurrence / NonUniformSpec constructors throw on the first

@@ -1,0 +1,1139 @@
+#include "analysis/plan_audit.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "partition/lsgp.hpp"
+#include "space/routing.hpp"
+#include "support/checked.hpp"
+#include "support/errors.hpp"
+
+namespace nusys {
+
+namespace {
+
+/// Collects one obligation: checks append to `fail` (first failure
+/// wins); finish() freezes the record as certified or violated.
+class Obligation {
+ public:
+  Obligation(DesignCertificate& cert, const std::string& prefix,
+             const std::string& suffix, const std::string& kind)
+      : cert_(cert) {
+    record_.id = prefix + "/" + suffix;
+    record_.kind = kind;
+  }
+
+  /// Registers a failure; only the first one is kept.
+  void fail(const std::string& detail) {
+    if (fail_.empty()) fail_ = detail;
+  }
+  [[nodiscard]] bool failed() const { return !fail_.empty(); }
+
+  ObligationRecord& record() { return record_; }
+
+  /// `ok_detail` describes what was proven when nothing failed.
+  void finish(const std::string& ok_detail) {
+    record_.status = fail_.empty() ? ObligationStatus::kCertified
+                                   : ObligationStatus::kViolated;
+    record_.detail = fail_.empty() ? ok_detail : fail_;
+    cert_.obligations.push_back(std::move(record_));
+  }
+
+ private:
+  DesignCertificate& cert_;
+  ObligationRecord record_;
+  std::string fail_;
+};
+
+std::string at_var(const std::string& var, std::uint32_t x) {
+  return "(var '" + var + "', position " + std::to_string(x) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Uniform plans.
+
+void audit_uniform_into(const CompiledUniformPlan& plan,
+                        const CanonicRecurrence& rec,
+                        const LinearSchedule& timing, const IntMat& space,
+                        const Interconnect& net, const std::string& prefix,
+                        DesignCertificate& cert) {
+  rec.validate();
+  const auto& deps = rec.dependences();
+  const std::size_t width = deps.size();
+  const auto& domain = rec.domain();
+  const std::size_t count = plan.count;
+  const std::size_t points_held = plan.points.size();
+
+  // ---- front-order ----------------------------------------------------
+  {
+    Obligation o(cert, prefix, "front-order", "plan-front-order");
+    if (plan.fronts.empty()) o.fail("plan has no wavefronts");
+    std::uint32_t expected_begin = 0;
+    i64 prev_tick = 0;
+    for (std::size_t f = 0; f < plan.fronts.size() && !o.failed(); ++f) {
+      const Wavefront& front = plan.fronts[f];
+      if (front.begin != expected_begin) {
+        o.fail("front " + std::to_string(f) + " begins at " +
+               std::to_string(front.begin) + ", expected " +
+               std::to_string(expected_begin) +
+               " (fronts must tile [0, count) contiguously)");
+      } else if (front.end <= front.begin) {
+        o.fail("front " + std::to_string(f) + " is empty");
+      } else if (f > 0 && front.tick <= prev_tick) {
+        o.fail("front " + std::to_string(f) + " at tick " +
+               std::to_string(front.tick) +
+               " does not advance past the previous front's tick " +
+               std::to_string(prev_tick));
+      }
+      expected_begin = front.end;
+      prev_tick = front.tick;
+    }
+    if (!o.failed() && expected_begin != count) {
+      o.fail("fronts cover [0, " + std::to_string(expected_begin) +
+             "), plan has " + std::to_string(count) + " ops");
+    }
+    for (const Wavefront& front : plan.fronts) {
+      if (o.failed()) break;
+      const std::uint32_t end =
+          std::min<std::uint32_t>(front.end,
+                                  static_cast<std::uint32_t>(points_held));
+      for (std::uint32_t x = front.begin; x < end; ++x) {
+        if (timing.at(plan.points[x]) != front.tick) {
+          o.fail("op " + plan.points[x].to_string() + " at position " +
+                 std::to_string(x) + " sits in the tick-" +
+                 std::to_string(front.tick) + " front but T maps it to tick " +
+                 std::to_string(timing.at(plan.points[x])));
+          break;
+        }
+      }
+    }
+    o.finish(std::to_string(plan.fronts.size()) +
+             " fronts contiguous over [0, " + std::to_string(count) +
+             ") with strictly ascending ticks matching T");
+  }
+
+  // ---- front-antichain ------------------------------------------------
+  {
+    Obligation o(cert, prefix, "front-antichain", "plan-antichain");
+    i64 min_slack = 0;
+    for (std::size_t d = 0; d < width; ++d) {
+      const i64 slack = timing.at(deps[d].vector) - timing.offset();
+      if (d == 0 || slack < min_slack) min_slack = slack;
+      if (slack <= 0) {
+        o.fail("dependence '" + deps[d].variable + "' has T·d = " +
+               std::to_string(slack) +
+               " <= 0: ops of one front may depend on each other");
+        o.record().witness = deps[d].vector;
+      }
+    }
+    o.record().determinant = min_slack;
+    o.finish("T·d >= " + std::to_string(min_slack) + " over " +
+             std::to_string(width) +
+             " dependence(s): every front is an anti-chain under T");
+  }
+
+  // ---- domain-coverage ------------------------------------------------
+  {
+    Obligation o(cert, prefix, "domain-coverage", "plan-coverage");
+    if (points_held != count) {
+      o.fail("plan.count = " + std::to_string(count) + " but points[] holds " +
+             std::to_string(points_held) + " entries");
+    } else if (count != domain.size()) {
+      o.fail("plan enumerates " + std::to_string(count) +
+             " points, domain has " + std::to_string(domain.size()));
+    }
+    std::unordered_set<IntVec, IntVecHash> seen;
+    seen.reserve(points_held);
+    for (std::size_t x = 0; x < points_held && !o.failed(); ++x) {
+      if (!domain.contains(plan.points[x])) {
+        o.fail("points[" + std::to_string(x) + "] = " +
+               plan.points[x].to_string() + " lies outside the domain");
+      } else if (!seen.insert(plan.points[x]).second) {
+        o.fail("point " + plan.points[x].to_string() +
+               " appears twice in points[]");
+      }
+    }
+    o.finish("points[] covers all " + std::to_string(domain.size()) +
+             " domain points exactly once");
+  }
+
+  // Execution position of every held point (used by several checks).
+  std::unordered_map<IntVec, std::uint32_t, IntVecHash> pos;
+  pos.reserve(points_held);
+  for (std::uint32_t x = 0; x < points_held; ++x) {
+    pos.emplace(plan.points[x], x);
+  }
+  const bool links_held =
+      plan.consumer.size() == width * count && points_held == count;
+
+  // ---- consumer-links -------------------------------------------------
+  {
+    Obligation o(cert, prefix, "consumer-links", "plan-consumer");
+    if (!links_held) {
+      o.fail("consumer[] holds " + std::to_string(plan.consumer.size()) +
+             " links, expected width*count = " +
+             std::to_string(width * count));
+    }
+    for (std::uint32_t x = 0; x < points_held && !o.failed(); ++x) {
+      for (std::size_t d = 0; d < width && !o.failed(); ++d) {
+        const std::uint32_t actual = plan.consumer[d * count + x];
+        const IntVec succ = plan.points[x] + deps[d].vector;
+        if (domain.contains(succ)) {
+          const auto it = pos.find(succ);
+          if (it == pos.end()) {
+            o.fail("in-domain successor " + succ.to_string() + " of " +
+                   plan.points[x].to_string() + " via '" + deps[d].variable +
+                   "' is missing from points[]");
+          } else if (actual != it->second) {
+            o.fail("op " + plan.points[x].to_string() + " links " +
+                   at_var(deps[d].variable, actual) +
+                   ", the dependence matrix says position " +
+                   std::to_string(it->second));
+          }
+        } else if (actual != kNoConsumer) {
+          o.fail("op " + plan.points[x].to_string() + " exits the domain on '" +
+                 deps[d].variable + "' but links position " +
+                 std::to_string(actual) + " instead of kNoConsumer");
+        }
+      }
+    }
+    o.finish("all " + std::to_string(width * count) +
+             " links agree with the dependence matrix; kNoConsumer exactly "
+             "on domain exits");
+  }
+
+  // ---- route-<var> (S·d = Δ·k within T·d, eq. (3)) --------------------
+  std::vector<std::optional<Route>> routes(width);
+  for (std::size_t d = 0; d < width; ++d) {
+    Obligation o(cert, prefix, "route-" + deps[d].variable, "plan-route");
+    const IntVec disp = space * deps[d].vector;
+    const i64 slack = timing.at(deps[d].vector) - timing.offset();
+    o.record().displacement = disp;
+    o.record().witness = deps[d].vector;
+    if (slack <= 0) {
+      o.fail("no positive slack to route within (T·d = " +
+             std::to_string(slack) + ")");
+    } else {
+      routes[d] = route_displacement(net, disp, slack);
+      if (!routes[d]) {
+        o.fail("S·d = " + disp.to_string() +
+               " admits no link combination k with Δ·k = S·d and Σk <= " +
+               std::to_string(slack));
+      } else {
+        o.record().route = routes[d]->hops_per_link;
+        o.record().determinant = routes[d]->total_hops;
+      }
+    }
+    o.finish("S·d = " + disp.to_string() + " routed in " +
+             (routes[d] ? std::to_string(routes[d]->total_hops) : "?") +
+             " hop(s) within slack " + std::to_string(slack));
+  }
+
+  // ---- slot-alias -----------------------------------------------------
+  // targets[d * count + x] = some producer scatters into (var d, pos x).
+  std::vector<char> targets(links_held ? width * count : 0, 0);
+  {
+    Obligation o(cert, prefix, "slot-alias", "plan-slot-alias");
+    if (!links_held) o.fail("consumer[] is mis-sized; layout unverifiable");
+    for (std::size_t d = 0; d < width && !o.failed(); ++d) {
+      for (std::uint32_t x = 0; x < count && !o.failed(); ++x) {
+        const std::uint32_t c = plan.consumer[d * count + x];
+        if (c == kNoConsumer) continue;
+        if (c >= count) {
+          o.fail("link " + at_var(deps[d].variable, x) +
+                 " targets out-of-range position " + std::to_string(c));
+        } else if (targets[d * count + c] != 0) {
+          o.fail("two producers scatter to the slot " +
+                 at_var(deps[d].variable, c));
+        } else {
+          targets[d * count + c] = 1;
+        }
+      }
+    }
+    o.finish("column-major slot layout alias-free: every (var, position) "
+             "slot has at most one producer");
+  }
+
+  // ---- boundary -------------------------------------------------------
+  {
+    Obligation o(cert, prefix, "boundary", "plan-boundary");
+    std::vector<char> expected(links_held ? width * count : 0, 0);
+    std::size_t expected_count = 0;
+    if (links_held) {
+      for (std::uint32_t x = 0; x < count; ++x) {
+        for (std::size_t d = 0; d < width; ++d) {
+          if (!domain.contains(plan.points[x] - deps[d].vector)) {
+            expected[d * count + x] = 1;
+            ++expected_count;
+          }
+        }
+      }
+    } else {
+      o.fail("points[]/consumer[] mis-sized; boundary unverifiable");
+    }
+    std::vector<char> listed(expected.size(), 0);
+    for (const auto& b : plan.boundary) {
+      if (o.failed()) break;
+      if (b.var >= width || b.x >= count) {
+        o.fail("boundary entry " + at_var(std::to_string(b.var), b.x) +
+               " is out of range");
+      } else if (expected[b.var * count + b.x] == 0) {
+        o.fail("boundary lists " + at_var(deps[b.var].variable, b.x) +
+               " whose producer " +
+               (plan.points[b.x] - deps[b.var].vector).to_string() +
+               " is inside the domain");
+      } else if (listed[b.var * count + b.x] != 0) {
+        o.fail("boundary entry " + at_var(deps[b.var].variable, b.x) +
+               " is listed twice");
+      } else if (targets[b.var * count + b.x] != 0) {
+        o.fail("boundary slot " + at_var(deps[b.var].variable, b.x) +
+               " is also a producer scatter target");
+      } else {
+        listed[b.var * count + b.x] = 1;
+      }
+    }
+    if (!o.failed() && plan.boundary.size() != expected_count) {
+      std::string missing;
+      for (std::size_t i = 0; i < expected.size() && missing.empty(); ++i) {
+        if (expected[i] != 0 && listed[i] == 0) {
+          const std::size_t d = i / count;
+          missing = at_var(deps[d].variable,
+                           static_cast<std::uint32_t>(i % count));
+        }
+      }
+      o.fail("boundary lists " + std::to_string(plan.boundary.size()) +
+             " of " + std::to_string(expected_count) +
+             " domain-exit operands; first missing: " + missing);
+    }
+    o.finish("boundary list complete (" + std::to_string(expected_count) +
+             " entries), duplicate-free and disjoint from scatter targets");
+  }
+
+  // ---- byte-accounting ------------------------------------------------
+  {
+    Obligation o(cert, prefix, "byte-accounting", "plan-accounting");
+    if (plan.width != width) {
+      o.fail("plan.width = " + std::to_string(plan.width) + ", design has " +
+             std::to_string(width) + " dependences");
+    }
+    if (!o.failed() && points_held != count) {
+      o.fail("points[] holds " + std::to_string(points_held) +
+             " entries for count = " + std::to_string(count));
+    }
+    if (!o.failed() && plan.consumer.size() != width * count) {
+      o.fail("consumer[] holds " + std::to_string(plan.consumer.size()) +
+             " links, expected " + std::to_string(width * count));
+    }
+    std::uint32_t max_front = 0;
+    for (const Wavefront& front : plan.fronts) {
+      if (front.end > front.begin) {
+        max_front = std::max(max_front, front.end - front.begin);
+      }
+    }
+    if (!o.failed() && plan.max_front != max_front) {
+      o.fail("plan.max_front = " + std::to_string(plan.max_front) +
+             ", longest front holds " + std::to_string(max_front) + " ops");
+    }
+    if (!o.failed() && !plan.fronts.empty() &&
+        (plan.first_tick != plan.fronts.front().tick ||
+         plan.last_tick != plan.fronts.back().tick)) {
+      o.fail("tick window [" + std::to_string(plan.first_tick) + ", " +
+             std::to_string(plan.last_tick) + "] does not match the fronts [" +
+             std::to_string(plan.fronts.front().tick) + ", " +
+             std::to_string(plan.fronts.back().tick) + "]");
+    }
+    if (!o.failed()) {
+      std::unordered_set<IntVec, IntVecHash> cells;
+      for (std::size_t x = 0; x < points_held; ++x) {
+        cells.insert(space * plan.points[x]);
+      }
+      if (plan.cell_count != cells.size()) {
+        o.fail("plan.cell_count = " + std::to_string(plan.cell_count) +
+               ", S places the domain onto " + std::to_string(cells.size()) +
+               " cells");
+      }
+    }
+    if (!o.failed()) {
+      std::size_t hops = 0;
+      bool routable = true;
+      for (std::size_t d = 0; d < width; ++d) {
+        std::size_t in_domain = 0;
+        for (std::size_t x = 0; x < points_held; ++x) {
+          if (domain.contains(plan.points[x] - deps[d].vector)) ++in_domain;
+        }
+        if (!routes[d]) {
+          routable = false;
+          break;
+        }
+        hops += in_domain * static_cast<std::size_t>(routes[d]->total_hops);
+      }
+      if (routable && plan.route_hops != hops) {
+        o.fail("plan.route_hops = " + std::to_string(plan.route_hops) +
+               ", recomputed min-hop routing totals " + std::to_string(hops));
+      }
+    }
+    if (!o.failed()) {
+      const std::size_t dim = points_held == 0 ? 0 : plan.points.front().dim();
+      const std::size_t expected_bytes =
+          count * dim * sizeof(i64) +
+          width * count * sizeof(std::uint32_t) +
+          plan.boundary.size() * sizeof(CompiledUniformPlan::Boundary) +
+          plan.fronts.size() * sizeof(Wavefront) + 128;
+      if (plan.plan_bytes() != expected_bytes) {
+        o.fail("plan_bytes() = " + std::to_string(plan.plan_bytes()) +
+               ", element counts total " + std::to_string(expected_bytes));
+      }
+    }
+    o.finish("size fields, max_front, tick window, cell/route counts and "
+             "plan_bytes() all match recomputed element counts");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DP plans.
+
+void audit_dp_into(const detail::CompiledDPPlan& plan,
+                   const DPArrayDesign& design, i64 period,
+                   const std::string& prefix, DesignCertificate& cert) {
+  using detail::COp;
+  using detail::CompiledDPPlan;
+  using detail::kNoSlot;
+  using detail::OpKind;
+  NUSYS_REQUIRE(design.schedules.size() == 3 && design.spaces.size() == 3,
+                "audit_dp_plan: three schedules and three spaces required");
+  NUSYS_REQUIRE(plan.n >= 3 && plan.instances >= 1,
+                "audit_dp_plan: malformed plan shape");
+  const i64 n = plan.n;
+  const std::size_t instances = plan.instances;
+  const detail::OpIndex index(n);
+  const std::size_t op_count = instances * index.per_instance;
+  const std::size_t held = plan.ops.size();
+
+  // Recompute every op's enumeration fields and physical placement from
+  // the design — the ground truth all checks compare against.
+  const LsgpClustering clustering{design.block_x, design.block_y,
+                                  design.block_base_x, design.block_base_y};
+  std::vector<COp> expected;
+  expected.reserve(op_count);
+  std::vector<IntVec> cell_of;
+  std::vector<i64> tick_of;
+  cell_of.reserve(op_count);
+  tick_of.reserve(op_count);
+  const auto emit = [&](std::size_t inst, OpKind kind, i64 i, i64 j, i64 k) {
+    COp op;
+    op.inst = static_cast<std::uint32_t>(inst);
+    op.kind = kind;
+    op.i = static_cast<std::int32_t>(i);
+    op.j = static_cast<std::int32_t>(j);
+    op.k = static_cast<std::int32_t>(k);
+    expected.push_back(op);
+    const IntVec p{i, j, k};
+    const i64 virtual_tick = checked_add(
+        design.schedules[static_cast<std::size_t>(kind)].at(p),
+        checked_mul(static_cast<i64>(inst), period));
+    auto [cell, tick] =
+        clustering.place(design.spaces[static_cast<std::size_t>(kind)] * p,
+                         virtual_tick);
+    cell_of.push_back(std::move(cell));
+    tick_of.push_back(tick);
+  };
+  for (std::size_t inst = 0; inst < instances; ++inst) {
+    for (i64 i = 1; i <= n; ++i) {
+      for (i64 j = i + 2; j <= n; ++j) {
+        const i64 mid = detail::mid_of(i, j);
+        for (i64 k = mid; k >= i + 1; --k) emit(inst, detail::kM1, i, j, k);
+        for (i64 k = mid + 1; k <= j - 1; ++k) emit(inst, detail::kM2, i, j, k);
+        emit(inst, detail::kCombine, i, j, j);
+      }
+    }
+  }
+
+  // ---- op-coverage ----------------------------------------------------
+  {
+    Obligation o(cert, prefix, "op-coverage", "plan-coverage");
+    if (held != op_count) {
+      o.fail("plan holds " + std::to_string(held) + " ops, enumeration has " +
+             std::to_string(op_count));
+    }
+    for (std::size_t oi = 0; oi < held && !o.failed(); ++oi) {
+      const COp& a = plan.ops[oi];
+      const COp& e = expected[oi];
+      if (a.inst != e.inst || a.kind != e.kind || a.i != e.i || a.j != e.j ||
+          a.k != e.k) {
+        o.fail("op " + std::to_string(oi) +
+               " does not match the closed-form enumeration order");
+      }
+    }
+    if (!o.failed() && plan.order.size() != held) {
+      o.fail("order[] holds " + std::to_string(plan.order.size()) +
+             " entries for " + std::to_string(held) + " ops");
+    }
+    std::vector<char> seen(held, 0);
+    for (std::size_t x = 0; x < plan.order.size() && !o.failed(); ++x) {
+      const std::uint32_t oi = plan.order[x];
+      if (oi >= held) {
+        o.fail("order[" + std::to_string(x) + "] = " + std::to_string(oi) +
+               " is out of range");
+      } else if (seen[oi] != 0) {
+        o.fail("op " + std::to_string(oi) + " appears twice in order[]");
+      } else {
+        seen[oi] = 1;
+      }
+    }
+    o.finish("ops[] replays the closed-form enumeration (" +
+             std::to_string(op_count) + " ops); order[] is a permutation");
+  }
+  const bool ops_held = held == op_count && plan.order.size() == held;
+
+  // ---- front-order ----------------------------------------------------
+  {
+    Obligation o(cert, prefix, "front-order", "plan-front-order");
+    if (plan.fronts.empty()) o.fail("plan has no wavefronts");
+    std::uint32_t expected_begin = 0;
+    i64 prev_tick = 0;
+    for (std::size_t f = 0; f < plan.fronts.size() && !o.failed(); ++f) {
+      const Wavefront& front = plan.fronts[f];
+      if (front.begin != expected_begin) {
+        o.fail("front " + std::to_string(f) + " begins at " +
+               std::to_string(front.begin) + ", expected " +
+               std::to_string(expected_begin));
+      } else if (front.end <= front.begin) {
+        o.fail("front " + std::to_string(f) + " is empty");
+      } else if (f > 0 && front.tick <= prev_tick) {
+        o.fail("front " + std::to_string(f) + " at tick " +
+               std::to_string(front.tick) +
+               " does not advance past tick " + std::to_string(prev_tick));
+      }
+      expected_begin = front.end;
+      prev_tick = front.tick;
+    }
+    if (!o.failed() && expected_begin != held) {
+      o.fail("fronts cover [0, " + std::to_string(expected_begin) +
+             "), plan has " + std::to_string(held) + " ops");
+    }
+    if (ops_held) {
+      for (const Wavefront& front : plan.fronts) {
+        if (o.failed()) break;
+        for (std::uint32_t x = front.begin; x < front.end; ++x) {
+          if (tick_of[plan.order[x]] != front.tick) {
+            o.fail("op " + std::to_string(plan.order[x]) +
+                   " sits in the tick-" + std::to_string(front.tick) +
+                   " front but its schedule places it at tick " +
+                   std::to_string(tick_of[plan.order[x]]));
+            break;
+          }
+        }
+      }
+    }
+    o.finish(std::to_string(plan.fronts.size()) +
+             " fronts contiguous with strictly ascending ticks matching the "
+             "clustered schedules");
+  }
+
+  // ---- fold-discipline ------------------------------------------------
+  {
+    Obligation o(cert, prefix, "fold-discipline", "plan-fold");
+    std::size_t max_folded = 0;
+    if (ops_held) {
+      // Key = cell coordinates with the tick appended.
+      std::unordered_map<IntVec, std::pair<std::uint32_t, std::size_t>,
+                         IntVecHash>
+          groups;
+      groups.reserve(held);
+      for (std::uint32_t oi = 0; oi < held && !o.failed(); ++oi) {
+        IntVec key(cell_of[oi].dim() + 1);
+        for (std::size_t a = 0; a < cell_of[oi].dim(); ++a) {
+          key[a] = cell_of[oi][a];
+        }
+        key[cell_of[oi].dim()] = tick_of[oi];
+        auto [it, fresh] = groups.emplace(key, std::make_pair(oi, 0u));
+        ++it->second.second;
+        max_folded = std::max(max_folded, it->second.second);
+        if (!fresh) {
+          const COp& head = plan.ops[it->second.first];
+          const COp& op = plan.ops[oi];
+          if (op.inst != head.inst || op.i != head.i || op.j != head.j) {
+            o.fail("ops " + std::to_string(it->second.first) + " and " +
+                   std::to_string(oi) +
+                   " fold onto one (cell, tick) but belong to different "
+                   "(instance, i, j) computations");
+          }
+        }
+      }
+      if (!o.failed() && plan.max_folded_ops != max_folded) {
+        o.fail("plan.max_folded_ops = " + std::to_string(plan.max_folded_ops) +
+               ", recomputed fold high-water is " + std::to_string(max_folded));
+      }
+    } else {
+      o.fail("ops[]/order[] mis-sized; fold groups unverifiable");
+    }
+    o.finish("every (cell, tick) fold shares one (instance, i, j); "
+             "high-water " + std::to_string(max_folded));
+  }
+
+  // ---- slot-alias (+ CSR well-formedness) -----------------------------
+  const std::size_t slot_count = plan.slot_count;
+  bool csr_ok = plan.out_begin.size() == held + 1 &&
+                plan.out_payload.size() == plan.out_slot.size();
+  if (csr_ok && !plan.out_begin.empty()) {
+    csr_ok = plan.out_begin.front() == 0 &&
+             plan.out_begin.back() == plan.out_slot.size();
+    for (std::size_t i = 1; i < plan.out_begin.size() && csr_ok; ++i) {
+      csr_ok = plan.out_begin[i - 1] <= plan.out_begin[i];
+    }
+  }
+  {
+    Obligation o(cert, prefix, "slot-alias", "plan-slot-alias");
+    if (!csr_ok) o.fail("producer output CSR is malformed");
+    std::vector<std::uint32_t> writers(slot_count, 0);
+    std::vector<std::uint32_t> readers(slot_count, 0);
+    for (const auto& pf : plan.prefill) {
+      if (o.failed()) break;
+      if (pf.slot >= slot_count) {
+        o.fail("prefill slot " + std::to_string(pf.slot) + " out of range");
+      } else {
+        ++writers[pf.slot];
+      }
+    }
+    if (csr_ok) {
+      for (std::size_t t = 0; t < plan.out_slot.size() && !o.failed(); ++t) {
+        if (plan.out_slot[t] >= slot_count) {
+          o.fail("output slot " + std::to_string(plan.out_slot[t]) +
+                 " out of range");
+        } else if (plan.out_payload[t] != 'a' && plan.out_payload[t] != 'b' &&
+                   plan.out_payload[t] != 'c') {
+          o.fail("output payload tag '" +
+                 std::string(1, plan.out_payload[t]) + "' is not a/b/c");
+        } else {
+          ++writers[plan.out_slot[t]];
+        }
+      }
+    }
+    for (const COp& op : plan.ops) {
+      if (o.failed()) break;
+      for (const std::uint32_t slot : {op.in_a, op.in_b, op.in_c, op.in_c2}) {
+        if (slot == kNoSlot) continue;
+        if (slot >= slot_count) {
+          o.fail("operand slot " + std::to_string(slot) + " out of range");
+          break;
+        }
+        ++readers[slot];
+      }
+    }
+    for (std::uint32_t s = 0; s < slot_count && !o.failed(); ++s) {
+      if (writers[s] != 1) {
+        o.fail("slot " + std::to_string(s) + " has " +
+               std::to_string(writers[s]) +
+               " writers (prefill + producer outputs), expected exactly 1");
+      } else if (readers[s] != 1) {
+        o.fail("slot " + std::to_string(s) + " has " +
+               std::to_string(readers[s]) + " readers, expected exactly 1");
+      }
+    }
+    o.finish("all " + std::to_string(slot_count) +
+             " slots single-writer single-reader; output CSR well-formed");
+  }
+
+  // ---- consumer-links (def-before-use replay) -------------------------
+  {
+    Obligation o(cert, prefix, "consumer-links", "plan-consumer");
+    if (!ops_held || !csr_ok) {
+      o.fail("ops[]/order[]/CSR mis-sized; execution replay impossible");
+    } else {
+      std::vector<char> written(slot_count, 0);
+      for (const auto& pf : plan.prefill) {
+        if (pf.slot < slot_count) written[pf.slot] = 1;
+      }
+      for (std::size_t x = 0; x < plan.order.size() && !o.failed(); ++x) {
+        const std::uint32_t oi = plan.order[x];
+        const COp& op = plan.ops[oi];
+        for (const std::uint32_t slot :
+             {op.in_a, op.in_b, op.in_c, op.in_c2}) {
+          if (slot == kNoSlot) continue;
+          if (slot >= slot_count || written[slot] == 0) {
+            o.fail("op " + std::to_string(oi) + " (execution position " +
+                   std::to_string(x) + ") reads slot " + std::to_string(slot) +
+                   " before any producer or prefill writes it");
+            break;
+          }
+        }
+        for (std::uint32_t t = plan.out_begin[oi]; t < plan.out_begin[oi + 1];
+             ++t) {
+          if (plan.out_slot[t] < slot_count) written[plan.out_slot[t]] = 1;
+        }
+      }
+    }
+    o.finish("execution-order replay: every operand slot written before it "
+             "is read");
+  }
+
+  // ---- boundary (prefill descriptors) ---------------------------------
+  {
+    Obligation o(cert, prefix, "boundary", "plan-boundary");
+    std::unordered_set<std::uint32_t> slots;
+    slots.reserve(plan.prefill.size());
+    for (const auto& pf : plan.prefill) {
+      if (o.failed()) break;
+      if (pf.slot >= slot_count) {
+        o.fail("prefill slot " + std::to_string(pf.slot) + " out of range");
+      } else if (pf.inst >= instances) {
+        o.fail("prefill instance " + std::to_string(pf.inst) +
+               " out of range");
+      } else if (pf.i < 1 || pf.i >= n) {
+        o.fail("prefill init index " + std::to_string(pf.i) +
+               " outside [1, n)");
+      } else if (!slots.insert(pf.slot).second) {
+        o.fail("slot " + std::to_string(pf.slot) + " prefilled twice");
+      }
+    }
+    o.finish(std::to_string(plan.prefill.size()) +
+             " prefill descriptors in range and duplicate-free");
+  }
+
+  // ---- byte-accounting ------------------------------------------------
+  {
+    Obligation o(cert, prefix, "byte-accounting", "plan-accounting");
+    if (plan.compute_ops != held) {
+      o.fail("plan.compute_ops = " + std::to_string(plan.compute_ops) +
+             ", ops[] holds " + std::to_string(held));
+    }
+    if (!o.failed() && ops_held) {
+      std::unordered_set<IntVec, IntVecHash> cells(cell_of.begin(),
+                                                   cell_of.end());
+      if (plan.cell_count != cells.size()) {
+        o.fail("plan.cell_count = " + std::to_string(plan.cell_count) +
+               ", placements occupy " + std::to_string(cells.size()) +
+               " cells");
+      }
+      if (!o.failed() && held > 0) {
+        const auto [lo, hi] =
+            std::minmax_element(tick_of.begin(), tick_of.end());
+        if (plan.first_tick != *lo || plan.last_tick != *hi) {
+          o.fail("tick window [" + std::to_string(plan.first_tick) + ", " +
+                 std::to_string(plan.last_tick) +
+                 "] does not match the recomputed [" + std::to_string(*lo) +
+                 ", " + std::to_string(*hi) + "]");
+        }
+      }
+    }
+    if (!o.failed()) {
+      const std::size_t expected_bytes =
+          plan.ops.size() * sizeof(COp) +
+          (plan.order.size() + plan.out_begin.size() + plan.out_slot.size()) *
+              sizeof(std::uint32_t) +
+          plan.fronts.size() * sizeof(Wavefront) +
+          plan.prefill.size() * sizeof(CompiledDPPlan::Prefill) +
+          plan.out_payload.size() + 128;
+      if (plan.plan_bytes() != expected_bytes) {
+        o.fail("plan_bytes() = " + std::to_string(plan.plan_bytes()) +
+               ", element counts total " + std::to_string(expected_bytes));
+      }
+    }
+    o.finish("op counts, cell count, tick window and plan_bytes() match "
+             "recomputed element counts");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tile plans.
+
+void audit_tile_into(const UniformTilePlan& plan, const CanonicRecurrence& rec,
+                     const LinearSchedule& timing, const IntMat& space,
+                     const Interconnect& net, const std::string& prefix,
+                     DesignCertificate& cert) {
+  (void)timing;
+  (void)space;
+  (void)net;
+  rec.validate();
+  const auto& deps = rec.dependences();
+  const std::size_t width = deps.size();
+  const auto& domain = rec.domain();
+  const std::vector<IntVec> points = domain.points();
+  const std::size_t count = points.size();
+
+  const bool sized = plan.cell_of.size() == count &&
+                     plan.tick_of.size() == count &&
+                     plan.tile_of.size() == count &&
+                     plan.kind.size() == count * width;
+
+  // ---- coverage -------------------------------------------------------
+  {
+    Obligation o(cert, prefix, "coverage", "plan-coverage");
+    if (!sized) {
+      o.fail("per-point arrays mis-sized: cell_of " +
+             std::to_string(plan.cell_of.size()) + ", tick_of " +
+             std::to_string(plan.tick_of.size()) + ", tile_of " +
+             std::to_string(plan.tile_of.size()) + ", kind " +
+             std::to_string(plan.kind.size()) + " for " +
+             std::to_string(count) + " points x " + std::to_string(width) +
+             " dependences");
+    }
+    for (std::size_t p = 0; sized && p < count && !o.failed(); ++p) {
+      if (plan.tile_of[p] >= plan.tile_count) {
+        o.fail("point " + points[p].to_string() + " is assigned tile " +
+               std::to_string(plan.tile_of[p]) + " of " +
+               std::to_string(plan.tile_count));
+      }
+    }
+    if (!o.failed() && plan.strategy == TileStrategy::kLSGP &&
+        plan.tile_count != 1) {
+      o.fail("LSGP plan claims " + std::to_string(plan.tile_count) +
+             " tiles; clustering serializes onto one");
+    }
+    o.finish("per-point arrays sized for " + std::to_string(count) +
+             " points; tile ids within " + std::to_string(plan.tile_count) +
+             " tiles");
+  }
+
+  // ---- epoch-disjoint -------------------------------------------------
+  {
+    Obligation o(cert, prefix, "epoch-disjoint", "tile-epoch");
+    if (plan.segments.size() != plan.tile_count) {
+      o.fail("plan has " + std::to_string(plan.segments.size()) +
+             " tick segments for " + std::to_string(plan.tile_count) +
+             " tiles");
+    }
+    for (std::size_t t = 0; t < plan.segments.size() && !o.failed(); ++t) {
+      const auto& [first, last] = plan.segments[t];
+      if (first > last) {
+        o.fail("segment " + std::to_string(t) + " is empty: [" +
+               std::to_string(first) + ", " + std::to_string(last) + "]");
+      } else if (t > 0 && first <= plan.segments[t - 1].second) {
+        o.fail("segment " + std::to_string(t) + " starts at tick " +
+               std::to_string(first) + " inside segment " +
+               std::to_string(t - 1) + "'s epoch (ends " +
+               std::to_string(plan.segments[t - 1].second) +
+               "): tile epochs overlap");
+      }
+    }
+    for (std::size_t p = 0; sized && p < count && !o.failed(); ++p) {
+      if (plan.tile_of[p] >= plan.segments.size()) continue;  // coverage.
+      const auto& [first, last] = plan.segments[plan.tile_of[p]];
+      if (plan.tick_of[p] < first || plan.tick_of[p] > last) {
+        o.fail("point " + points[p].to_string() + " fires at tick " +
+               std::to_string(plan.tick_of[p]) + " outside its tile's epoch [" +
+               std::to_string(first) + ", " + std::to_string(last) + "]");
+      }
+    }
+    if (!o.failed() && !plan.segments.empty() &&
+        (plan.first_tick != plan.segments.front().first ||
+         plan.last_tick != plan.segments.back().second)) {
+      o.fail("tick window [" + std::to_string(plan.first_tick) + ", " +
+             std::to_string(plan.last_tick) +
+             "] does not match the segment span");
+    }
+    o.finish(std::to_string(plan.segments.size()) +
+             " tile epochs disjoint and ascending; every point inside its "
+             "tile's epoch");
+  }
+
+  // Producer index of every in-domain (point, dep) instance.
+  std::unordered_map<IntVec, std::uint32_t, IntVecHash> pos;
+  pos.reserve(count);
+  for (std::uint32_t p = 0; p < count; ++p) pos.emplace(points[p], p);
+
+  // ---- tile-order -----------------------------------------------------
+  {
+    Obligation o(cert, prefix, "tile-order", "tile-order");
+    if (!sized) o.fail("per-point arrays mis-sized; order unverifiable");
+    for (std::uint32_t p = 0; sized && p < count && !o.failed(); ++p) {
+      for (std::size_t d = 0; d < width && !o.failed(); ++d) {
+        const IntVec producer = points[p] - deps[d].vector;
+        if (!domain.contains(producer)) continue;
+        const std::uint32_t q = pos.at(producer);
+        if (plan.tile_of[q] > plan.tile_of[p]) {
+          o.fail("'" + deps[d].variable + "' flows backward from tile " +
+                 std::to_string(plan.tile_of[q]) + " (" +
+                 producer.to_string() + ") to tile " +
+                 std::to_string(plan.tile_of[p]) + " (" +
+                 points[p].to_string() +
+                 "): the tile execution order is not topological");
+        }
+      }
+    }
+    o.finish("every inter-tile dependence flows forward in execution order "
+             "(the schedule is its own acyclicity witness)");
+  }
+
+  // ---- classification -------------------------------------------------
+  {
+    Obligation o(cert, prefix, "classification", "tile-class");
+    std::vector<TileBufferedValue> expected_buffered;
+    if (!sized) o.fail("per-point arrays mis-sized; kinds unverifiable");
+    for (std::uint32_t p = 0; sized && p < count && !o.failed(); ++p) {
+      for (std::size_t d = 0; d < width && !o.failed(); ++d) {
+        const IntVec producer = points[p] - deps[d].vector;
+        TileDepKind expected_kind = TileDepKind::kBoundary;
+        if (domain.contains(producer)) {
+          const std::uint32_t q = pos.at(producer);
+          expected_kind = plan.tile_of[p] == plan.tile_of[q]
+                              ? TileDepKind::kLocal
+                              : TileDepKind::kBuffered;
+          if (expected_kind == TileDepKind::kBuffered) {
+            expected_buffered.push_back(
+                {q, p, static_cast<std::uint32_t>(d)});
+          }
+        }
+        if (plan.kind[p * width + d] != expected_kind) {
+          o.fail("operand " + at_var(deps[d].variable, p) +
+                 " is classified kind " +
+                 std::to_string(static_cast<int>(plan.kind[p * width + d])) +
+                 ", recomputation says " +
+                 std::to_string(static_cast<int>(expected_kind)));
+        }
+      }
+    }
+    if (!o.failed() && sized) {
+      std::sort(expected_buffered.begin(), expected_buffered.end(),
+                [&](const TileBufferedValue& a, const TileBufferedValue& b) {
+                  return std::tuple(plan.tile_of[a.consumer], a.consumer,
+                                    a.var) <
+                         std::tuple(plan.tile_of[b.consumer], b.consumer,
+                                    b.var);
+                });
+      if (plan.buffered.size() != expected_buffered.size()) {
+        o.fail("buffered list holds " + std::to_string(plan.buffered.size()) +
+               " values, recomputation finds " +
+               std::to_string(expected_buffered.size()));
+      }
+      for (std::size_t i = 0;
+           !o.failed() && i < expected_buffered.size(); ++i) {
+        const auto& a = plan.buffered[i];
+        const auto& e = expected_buffered[i];
+        if (a.producer != e.producer || a.consumer != e.consumer ||
+            a.var != e.var) {
+          o.fail("buffered[" + std::to_string(i) +
+                 "] does not match the recomputed (consumer tile, consumer, "
+                 "var)-sorted crossing list");
+        }
+      }
+    }
+    o.finish("kind[] and the buffered list match the recomputed "
+             "boundary/local/buffered split");
+  }
+
+  // ---- tile-depth -----------------------------------------------------
+  {
+    Obligation o(cert, prefix, "tile-depth", "tile-depth");
+    if (plan.options.buffer_depth < 1) {
+      o.fail("buffer depth " + std::to_string(plan.options.buffer_depth) +
+             " is not positive");
+    }
+    std::size_t reuse = 0, refeeds = 0;
+    i64 max_distance = 0;
+    for (const auto& value : plan.buffered) {
+      if (o.failed()) break;
+      if (!sized || value.producer >= count || value.consumer >= count) {
+        o.fail("buffered value references an out-of-range point");
+        break;
+      }
+      const i64 distance = static_cast<i64>(plan.tile_of[value.consumer]) -
+                           static_cast<i64>(plan.tile_of[value.producer]);
+      max_distance = std::max(max_distance, distance);
+      if (distance <= plan.options.buffer_depth - 1) {
+        ++reuse;
+      } else {
+        ++refeeds;
+      }
+    }
+    if (!o.failed() && (plan.buffer_stats.reuse_hits != reuse ||
+                        plan.buffer_stats.refeeds != refeeds)) {
+      o.fail("ledger claims " + std::to_string(plan.buffer_stats.reuse_hits) +
+             " reuse hits / " + std::to_string(plan.buffer_stats.refeeds) +
+             " refeeds; depth " + std::to_string(plan.options.buffer_depth) +
+             " implies " + std::to_string(reuse) + " / " +
+             std::to_string(refeeds) +
+             " — the configured depth does not match the ledger");
+    }
+    if (!o.failed() && plan.buffer_stats.max_tile_distance != max_distance) {
+      o.fail("ledger max tile distance " +
+             std::to_string(plan.buffer_stats.max_tile_distance) +
+             ", recomputed " + std::to_string(max_distance));
+    }
+    o.record().determinant = max_distance;
+    o.finish("reuse/refeed split matches depth " +
+             std::to_string(plan.options.buffer_depth) +
+             " (max crossing distance " + std::to_string(max_distance) + ")");
+  }
+
+  // ---- buffer-ledger --------------------------------------------------
+  {
+    Obligation o(cert, prefix, "buffer-ledger", "tile-ledger");
+    if (plan.buffer_stats.buffered_values != plan.buffered.size()) {
+      o.fail("ledger counts " +
+             std::to_string(plan.buffer_stats.buffered_values) +
+             " buffered values, list holds " +
+             std::to_string(plan.buffered.size()));
+    }
+    if (!o.failed() && sized) {
+      std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> edges;
+      std::vector<std::pair<i64, int>> events;
+      events.reserve(plan.buffered.size() * 2);
+      bool in_range = true;
+      for (const auto& value : plan.buffered) {
+        if (value.producer >= count || value.consumer >= count) {
+          in_range = false;
+          break;
+        }
+        ++edges[{plan.tile_of[value.producer], plan.tile_of[value.consumer]}];
+        events.emplace_back(plan.tick_of[value.producer], +1);
+        events.emplace_back(plan.tick_of[value.consumer], -1);
+      }
+      if (!in_range) {
+        o.fail("buffered value references an out-of-range point");
+      } else {
+        std::size_t bytes = 0;
+        for (const auto& [edge, n] : edges) bytes += 2 * sizeof(i64) * n;
+        std::sort(events.begin(), events.end());
+        std::size_t live = 0, high_water = 0;
+        for (const auto& [tick, delta] : events) {
+          if (delta < 0) {
+            --live;
+          } else {
+            ++live;
+            high_water = std::max(high_water, live);
+          }
+        }
+        if (plan.buffer_stats.edges != edges.size()) {
+          o.fail("ledger counts " + std::to_string(plan.buffer_stats.edges) +
+                 " boundary edges, recomputed " +
+                 std::to_string(edges.size()));
+        } else if (plan.buffer_stats.buffer_bytes != bytes) {
+          o.fail("ledger sizes the double-buffered edges at " +
+                 std::to_string(plan.buffer_stats.buffer_bytes) +
+                 " bytes, recomputed " + std::to_string(bytes));
+        } else if (plan.buffer_stats.high_water != high_water) {
+          o.fail("ledger residency high-water " +
+                 std::to_string(plan.buffer_stats.high_water) +
+                 ", recomputed " + std::to_string(high_water));
+        }
+      }
+    }
+    o.finish("buffered-value counts, edges, buffer bytes and residency "
+             "high-water match the recomputed ledger");
+  }
+
+  // ---- window ---------------------------------------------------------
+  {
+    Obligation o(cert, prefix, "window", "tile-window");
+    const std::size_t budget = static_cast<std::size_t>(
+        checked_mul(plan.options.rows, plan.options.cols));
+    if (plan.window_cells.empty()) {
+      o.fail("plan has no window cells");
+    } else if (plan.window_cells.size() > budget) {
+      o.fail("window holds " + std::to_string(plan.window_cells.size()) +
+             " cells, the " + std::to_string(plan.options.rows) + "x" +
+             std::to_string(plan.options.cols) + " array has " +
+             std::to_string(budget));
+    }
+    std::unordered_set<IntVec, IntVecHash> window(plan.window_cells.begin(),
+                                                  plan.window_cells.end());
+    if (!o.failed() && window.size() != plan.window_cells.size()) {
+      o.fail("window lists a cell twice");
+    }
+    for (std::size_t p = 0; sized && p < count && !o.failed(); ++p) {
+      if (window.find(plan.cell_of[p]) == window.end()) {
+        o.fail("point " + points[p].to_string() + " is placed on cell " +
+               plan.cell_of[p].to_string() + " outside the physical window");
+      }
+    }
+    o.finish("window of " + std::to_string(plan.window_cells.size()) +
+             " cells within the " + std::to_string(budget) +
+             "-cell budget; every placement inside it");
+  }
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+bool PlanAuditReport::ok() const { return violated() == 0; }
+
+std::size_t PlanAuditReport::certified() const {
+  return certificate.count(ObligationStatus::kCertified);
+}
+
+std::size_t PlanAuditReport::violated() const {
+  return certificate.count(ObligationStatus::kViolated);
+}
+
+std::string PlanAuditReport::first_violation() const {
+  for (const auto& o : certificate.obligations) {
+    if (o.status == ObligationStatus::kViolated) {
+      return o.id + ": " + o.detail;
+    }
+  }
+  return {};
+}
+
+std::string PlanAuditReport::summary() const {
+  std::ostringstream os;
+  os << certificate.design << ": " << certificate.obligations.size()
+     << " obligation(s), " << certified() << " certified, " << violated()
+     << " violated";
+  if (!ok()) os << " — " << first_violation();
+  return std::move(os).str();
+}
+
+JsonValue PlanAuditReport::to_json() const {
+  JsonValue doc;
+  doc.set("design", certificate.design);
+  doc.set("ok", ok());
+  doc.set("obligations", static_cast<i64>(certificate.obligations.size()));
+  doc.set("certified", static_cast<i64>(certified()));
+  doc.set("violated", static_cast<i64>(violated()));
+  doc.set("wall_seconds", wall_seconds);
+  doc.set("certificate", certificate_to_json(certificate));
+  return doc;
+}
+
+PlanAuditReport audit_uniform_plan(const CompiledUniformPlan& plan,
+                                   const CanonicRecurrence& rec,
+                                   const LinearSchedule& timing,
+                                   const IntMat& space, const Interconnect& net,
+                                   const std::string& label) {
+  const auto start = std::chrono::steady_clock::now();
+  PlanAuditReport report;
+  report.certificate.design = label;
+  audit_uniform_into(plan, rec, timing, space, net, "plan/" + label,
+                     report.certificate);
+  report.wall_seconds = seconds_since(start);
+  return report;
+}
+
+PlanAuditReport audit_dp_plan(const detail::CompiledDPPlan& plan,
+                              const DPArrayDesign& design, i64 period,
+                              const std::string& label) {
+  const auto start = std::chrono::steady_clock::now();
+  PlanAuditReport report;
+  report.certificate.design = label;
+  audit_dp_into(plan, design, period, "plan/" + label, report.certificate);
+  report.wall_seconds = seconds_since(start);
+  return report;
+}
+
+PlanAuditReport audit_tile_plan(const UniformTilePlan& plan,
+                                const CanonicRecurrence& rec,
+                                const LinearSchedule& timing,
+                                const IntMat& space, const Interconnect& net,
+                                const std::string& label) {
+  const auto start = std::chrono::steady_clock::now();
+  PlanAuditReport report;
+  report.certificate.design = label;
+  audit_tile_into(plan, rec, timing, space, net, "tile/" + label,
+                  report.certificate);
+  report.wall_seconds = seconds_since(start);
+  return report;
+}
+
+}  // namespace nusys

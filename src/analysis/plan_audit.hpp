@@ -1,0 +1,123 @@
+// Static auditing of compiled wavefront and tile plans.
+//
+// The compiled artifacts that carry all the performance — uniform
+// wavefront plans (designs/uniform_plan.hpp), DP plans
+// (designs/dp_plan.hpp) and tile plans (partition/tile_plan.hpp) — were
+// validated only by differential execution against the interpretive
+// oracle: extensional, instance-bound and far too slow for the
+// cache-admission path. The auditor closes that gap the same way PR 5's
+// analyzer did for designs: it re-derives every placement and wiring
+// fact directly from the *source mapping* (rec, T, S, Δ — the paper's
+// own objects) and checks the compiled structure against it, emitting
+// one ObligationRecord per condition with a deterministic id, so a
+// violated plan names exactly which invariant broke and where.
+//
+// Obligation catalogue (ids are `plan/<label>/<suffix>`, tile plans use
+// `tile/<label>/<suffix>`):
+//
+//   uniform   front-order      fronts contiguous over [0, count), ticks
+//                              strictly ascending, every op on its
+//                              front's tick T(p)
+//             front-antichain  T·d >= 1 for every dependence — no two
+//                              ops of one front can depend on each other
+//             domain-coverage  points[] is exactly the domain: exhaustive
+//                              and duplicate-free
+//             consumer-links   consumer[] agrees with the dependence
+//                              matrix: every in-domain successor linked,
+//                              kNoConsumer exactly on domain exits
+//             route-<var>      S·d = Δ·k within the slack T·d (eq. (3)),
+//                              route witness attached
+//             slot-alias       column-major slot layout is alias-free:
+//                              no two producers scatter to one
+//                              (var, position) slot
+//             boundary         boundary list complete, duplicate-free and
+//                              disjoint from scatter targets
+//             byte-accounting  size fields, max_front, first/last tick,
+//                              cell/route-hop counts and plan_bytes()
+//                              match recomputed element counts
+//
+//   dp        op-coverage      ops[] replays the closed-form enumeration;
+//                              order is a permutation
+//             front-order      as above, over recomputed (schedule,
+//                              cluster, period) ticks
+//             fold-discipline  ops folded onto one (cell, tick) share
+//                              (instance, i, j); max_folded_ops matches
+//             consumer-links   def-before-use: every operand slot is
+//                              written (prefill or producer) before the
+//                              op that reads it executes
+//             slot-alias       every slot has exactly one writer and one
+//                              reader; output CSR well-formed
+//             boundary         prefill descriptors in range and
+//                              duplicate-free
+//             byte-accounting  as above
+//
+//   tile      coverage         per-point arrays sized and in range
+//             epoch-disjoint   per-tile tick segments disjoint,
+//                              ascending, and containing their points
+//             tile-order       inter-tile dependences only go forward in
+//                              execution order (the Kahn order is the
+//                              acyclicity witness)
+//             classification   kind[] and the buffered list match the
+//                              recomputed boundary/local/buffered split
+//             tile-depth       the reuse-vs-refeed ledger matches the
+//                              configured buffer depth
+//             buffer-ledger    buffered-value counts, edges, buffer
+//                              bytes and the residency high-water match
+//             window           |window| <= P·Q, duplicate-free, and
+//                              every placed cell inside it
+//
+// Every obligation is certified (kCertified) or violated (kViolated)
+// with a counterexample in `detail`; the auditor never enumerates
+// problem instances, only the plan and the domain, so auditing costs a
+// small multiple of plan construction — cheap enough to run at cache
+// admission (NUSYS_AUDIT_PLANS=1, systolic/plan_cache.hpp).
+#pragma once
+
+#include <string>
+
+#include "analysis/certificates.hpp"
+#include "designs/dp_plan.hpp"
+#include "designs/uniform_plan.hpp"
+#include "partition/tile_plan.hpp"
+
+namespace nusys {
+
+/// The verdict of one plan audit: a DesignCertificate whose obligations
+/// are the plan's structural invariants.
+struct PlanAuditReport {
+  DesignCertificate certificate;
+  double wall_seconds = 0.0;
+
+  /// True when no obligation is violated.
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] std::size_t certified() const;
+  [[nodiscard]] std::size_t violated() const;
+
+  /// "id: detail" of the first violated obligation; empty when ok().
+  [[nodiscard]] std::string first_violation() const;
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+/// Audits a compiled uniform plan against its source mapping. `label`
+/// names the plan in obligation ids ("conv n=10", ...).
+[[nodiscard]] PlanAuditReport audit_uniform_plan(
+    const CompiledUniformPlan& plan, const CanonicRecurrence& rec,
+    const LinearSchedule& timing, const IntMat& space, const Interconnect& net,
+    const std::string& label);
+
+/// Audits a compiled DP plan against its source design and pipelining
+/// period (plan.n / plan.instances are taken from the plan and
+/// cross-checked).
+[[nodiscard]] PlanAuditReport audit_dp_plan(const detail::CompiledDPPlan& plan,
+                                            const DPArrayDesign& design,
+                                            i64 period,
+                                            const std::string& label);
+
+/// Audits a tile plan against the flat mapping it partitions.
+[[nodiscard]] PlanAuditReport audit_tile_plan(
+    const UniformTilePlan& plan, const CanonicRecurrence& rec,
+    const LinearSchedule& timing, const IntMat& space, const Interconnect& net,
+    const std::string& label);
+
+}  // namespace nusys

@@ -1,380 +1,14 @@
 #include "designs/dp_compiled.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <memory>
-#include <optional>
-#include <sstream>
-#include <utility>
 #include <vector>
 
-#include "partition/lsgp.hpp"
-#include "support/checked.hpp"
+#include "designs/dp_plan.hpp"
 #include "support/errors.hpp"
-#include "systolic/plan_cache.hpp"
-#include "systolic/wavefront.hpp"
 
 namespace nusys::detail {
 
 namespace {
-
-enum OpKind : std::uint8_t { kM1 = 0, kM2 = 1, kCombine = 2 };
-
-// Channel ids; one per interpretive channel base name.
-enum Var : std::uint32_t { kA1 = 0, kB1, kC1, kA2, kB2, kC2, kVarCount };
-
-constexpr const char* kVarName[kVarCount] = {"a1", "b1", "c1",
-                                             "a2", "b2", "c2"};
-
-constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();
-
-i64 mid_of(i64 i, i64 j) { return (i + j) / 2; }
-
-/// One DP op; placement (cell, tick) lives in the WavefrontPlanBuilder,
-/// operand slots here. For combines, k == j.
-struct COp {
-  std::uint32_t inst = 0;
-  std::uint8_t kind = kM1;
-  std::int32_t i = 0, j = 0, k = 0;
-  std::uint32_t in_a = kNoSlot, in_b = kNoSlot;
-  std::uint32_t in_c = kNoSlot, in_c2 = kNoSlot;
-};
-
-/// Closed-form op ids for the fixed enumeration order (per instance:
-/// i ascending, j from i+2 ascending; per (i, j) pair: M1 with k from
-/// mid down to i+1, M2 with k from mid+1 to j-1, then the combine).
-/// Replaces run_dp_internal's keyed op map with index arithmetic.
-struct OpIndex {
-  i64 n = 0;
-  std::size_t per_instance = 0;
-  std::vector<std::size_t> pair_base;  ///< (i-1)*n + (j-1) -> first op.
-
-  explicit OpIndex(i64 n_in) : n(n_in) {
-    pair_base.assign(static_cast<std::size_t>(n * n), 0);
-    std::size_t next = 0;
-    for (i64 i = 1; i <= n; ++i) {
-      for (i64 j = i + 2; j <= n; ++j) {
-        pair_base[static_cast<std::size_t>((i - 1) * n + (j - 1))] = next;
-        next += static_cast<std::size_t>(j - i);  // M1s + M2s + combine.
-      }
-    }
-    per_instance = next;
-  }
-
-  [[nodiscard]] std::uint32_t at(std::size_t inst, OpKind kind, i64 i, i64 j,
-                                 i64 k) const {
-    NUSYS_REQUIRE(1 <= i && i + 2 <= j && j <= n, "run_dp: missing source op");
-    const i64 mid = mid_of(i, j);
-    const std::size_t base =
-        inst * per_instance +
-        pair_base[static_cast<std::size_t>((i - 1) * n + (j - 1))];
-    std::size_t offset = 0;
-    if (kind == kM1) {
-      NUSYS_REQUIRE(i + 1 <= k && k <= mid, "run_dp: missing source op");
-      offset = static_cast<std::size_t>(mid - k);
-    } else if (kind == kM2) {
-      NUSYS_REQUIRE(mid + 1 <= k && k <= j - 1, "run_dp: missing source op");
-      offset = static_cast<std::size_t>((mid - i) + (k - mid - 1));
-    } else {
-      offset = static_cast<std::size_t>(j - i - 1);
-    }
-    return static_cast<std::uint32_t>(base + offset);
-  }
-};
-
-/// The cacheable compiled artifact of a DP design: everything about an
-/// execution that does not depend on the problem instances' values.
-/// Injected slots are kept as (slot, instance, i) descriptors and
-/// re-evaluated from problem.init per run, so one plan serves every
-/// instance batch of the same shape.
-struct CompiledDPPlan : CachedPlan {
-  i64 n = 0;
-  std::uint32_t instances = 0;
-
-  std::vector<COp> ops;
-  std::vector<std::uint32_t> order;  ///< Execution order over `ops`.
-  std::vector<Wavefront> fronts;     ///< Index `order`.
-
-  std::uint32_t slot_count = 0;
-  struct Prefill {
-    std::uint32_t slot = 0;
-    std::uint32_t inst = 0;
-    std::int32_t i = 0;  ///< slots[slot] = problems[inst].init(i).
-  };
-  std::vector<Prefill> prefill;
-
-  // Producer-side CSR: op oi writes out_slot[t] for t in
-  // [out_begin[oi], out_begin[oi + 1]).
-  std::vector<std::uint32_t> out_begin;
-  std::vector<std::uint32_t> out_slot;
-  std::vector<char> out_payload;
-
-  EngineStats stats;
-  std::size_t cell_count = 0;
-  std::size_t compute_ops = 0;
-  std::size_t max_folded_ops = 0;
-  std::size_t route_hops = 0;
-  i64 first_tick = 0;
-  i64 last_tick = 0;
-
-  [[nodiscard]] std::size_t plan_bytes() const noexcept override {
-    return ops.size() * sizeof(COp) +
-           (order.size() + out_begin.size() + out_slot.size()) *
-               sizeof(std::uint32_t) +
-           fronts.size() * sizeof(Wavefront) +
-           prefill.size() * sizeof(Prefill) + out_payload.size() + 128;
-  }
-};
-
-std::string dp_plan_key(const DPArrayDesign& design, i64 n,
-                        std::size_t instances, i64 period) {
-  std::ostringstream os;
-  os << "dp|n:" << n << "|q:" << instances << "|p:" << period;
-  for (const auto& schedule : design.schedules) {
-    os << "|T:" << schedule.coeffs().to_string() << '+' << schedule.offset();
-  }
-  for (const auto& space : design.spaces) {
-    os << "|S:" << space.to_string();
-  }
-  os << "|N:" << design.net.to_string() << "|b:" << design.block_x << 'x'
-     << design.block_y << '@' << design.block_base_x << ','
-     << design.block_base_y;
-  return std::move(os).str();
-}
-
-std::shared_ptr<const CompiledDPPlan> build_dp_plan(
-    const DPArrayDesign& design, i64 n, std::size_t instances, i64 period) {
-  // LSGP clustering (partition/lsgp.hpp): virtual (cell, tick) ->
-  // physical (cluster, serialized tick). With 1x1 blocks and base 0 this
-  // is the identity.
-  const LsgpClustering clustering{design.block_x, design.block_y,
-                                  design.block_base_x, design.block_base_y};
-  const auto cluster = [&](const IntVec& v, i64 t) {
-    return clustering.place(v, t);
-  };
-
-  // ---- 1. Enumerate ops into their (cell, tick) placements. -----------
-  const OpIndex index(n);
-  const std::size_t op_count = instances * index.per_instance;
-  NUSYS_REQUIRE(op_count < kNoSlot, "run_dp: op count exceeds the compiled "
-                                    "backend's 32-bit id space");
-  std::vector<COp> ops;
-  ops.reserve(op_count);
-  WavefrontPlanBuilder builder(design.net, kVarCount);
-  const auto place = [&](std::size_t inst, OpKind kind, i64 i, i64 j, i64 k) {
-    COp op;
-    op.inst = static_cast<std::uint32_t>(inst);
-    op.kind = kind;
-    op.i = static_cast<std::int32_t>(i);
-    op.j = static_cast<std::int32_t>(j);
-    op.k = static_cast<std::int32_t>(k);
-    const IntVec p{i, j, k};
-    const i64 virtual_tick = checked_add(
-        design.schedules[static_cast<std::size_t>(kind)].at(p),
-        checked_mul(static_cast<i64>(inst), period));
-    const auto [cell, tick] =
-        cluster(design.spaces[static_cast<std::size_t>(kind)] * p,
-                virtual_tick);
-    const std::uint32_t placed =
-        builder.add_op(builder.intern_cell(cell), tick,
-                       static_cast<std::uint32_t>(kind));
-    NUSYS_REQUIRE(placed == index.at(inst, kind, i, j, k) &&
-                      placed == ops.size(),
-                  "run_dp: compiled op enumeration out of order");
-    ops.push_back(op);
-  };
-  for (std::size_t inst = 0; inst < instances; ++inst) {
-    for (i64 i = 1; i <= n; ++i) {
-      for (i64 j = i + 2; j <= n; ++j) {
-        const i64 mid = mid_of(i, j);
-        for (i64 k = mid; k >= i + 1; --k) place(inst, kM1, i, j, k);
-        for (i64 k = mid + 1; k <= j - 1; ++k) place(inst, kM2, i, j, k);
-        place(inst, kCombine, i, j, j);
-      }
-    }
-  }
-
-  // ---- 2. Wire operands: one slot per value instance. ------------------
-  // Producer-side scatter lists are collected flat and counting-sorted
-  // into CSR below; injected instances prefill their slot.
-  struct PendingOutput {
-    std::uint32_t src = 0;
-    std::uint32_t slot = 0;
-    char payload = 'c';  ///< 'a'/'b' operand copy, 'c' computed value.
-  };
-  std::vector<PendingOutput> pending;
-  std::vector<CompiledDPPlan::Prefill> prefill;
-  std::uint32_t slot_count = 0;
-  // `injected` is the init *index* whose value fills the slot at run time
-  // (the only instance-dependent inputs of the entire wiring).
-  const auto add_instance = [&](Var var, std::uint32_t dest,
-                                std::optional<std::uint32_t> src,
-                                std::optional<i64> injected,
-                                char payload) -> std::uint32_t {
-    const std::uint32_t slot = slot_count++;
-    if (injected) {
-      prefill.push_back(
-          {slot, ops[dest].inst, static_cast<std::int32_t>(*injected)});
-      builder.add_inject(dest, var);
-      return slot;
-    }
-    const i64 slack =
-        checked_sub(builder.op_tick(dest), builder.op_tick(*src));
-    NUSYS_VALIDATE(slack >= 0,
-                   std::string("design schedules value '") + kVarName[var] +
-                       "' to be consumed before it is produced");
-    builder.add_transport(*src, dest, var,
-                          ValueLabel{kVarName[var], nullptr, ops[dest].inst});
-    pending.push_back({*src, slot, payload});
-    return slot;
-  };
-
-  for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
-    COp& op = ops[oi];
-    const std::size_t q = op.inst;
-    const i64 i = op.i, j = op.j, k = op.k;
-    const i64 mid = mid_of(i, j);
-    const bool even = ((i + j) % 2) == 0;
-    if (op.kind == kM1) {
-      // a'(i,j,k).
-      if (even && k == mid) {
-        if (j == i + 2) {
-          op.in_a = add_instance(kA1, oi, std::nullopt, i, 'c');
-        } else {
-          op.in_a = add_instance(kA1, oi, index.at(q, kM2, i, j - 1, k),
-                                 std::nullopt, 'a');
-        }
-      } else {
-        op.in_a = add_instance(kA1, oi, index.at(q, kM1, i, j - 1, k),
-                               std::nullopt, 'a');
-      }
-      // b'(i,j,k).
-      if (k == i + 1) {
-        if (j == i + 2) {
-          op.in_b = add_instance(kB1, oi, std::nullopt, i + 1, 'c');
-        } else {
-          op.in_b = add_instance(kB1, oi, index.at(q, kCombine, i + 1, j, j),
-                                 std::nullopt, 'c');
-        }
-      } else {
-        op.in_b = add_instance(kB1, oi, index.at(q, kM1, i + 1, j, k),
-                               std::nullopt, 'b');
-      }
-      // c'(i,j,k+1) accumulator input.
-      if (k < mid) {
-        op.in_c = add_instance(kC1, oi, index.at(q, kM1, i, j, k + 1),
-                               std::nullopt, 'c');
-      }
-    } else if (op.kind == kM2) {
-      // a''(i,j,k).
-      if (k == j - 1) {
-        op.in_a = add_instance(kA2, oi, index.at(q, kCombine, i, j - 1, j - 1),
-                               std::nullopt, 'c');
-      } else {
-        op.in_a = add_instance(kA2, oi, index.at(q, kM2, i, j - 1, k),
-                               std::nullopt, 'a');
-      }
-      // b''(i,j,k).
-      if (!even && k == mid + 1) {
-        op.in_b = add_instance(kB2, oi, index.at(q, kM1, i + 1, j, k),
-                               std::nullopt, 'b');
-      } else {
-        op.in_b = add_instance(kB2, oi, index.at(q, kM2, i + 1, j, k),
-                               std::nullopt, 'b');
-      }
-      // c''(i,j,k-1) accumulator input.
-      if (k > mid + 1) {
-        op.in_c2 = add_instance(kC2, oi, index.at(q, kM2, i, j, k - 1),
-                                std::nullopt, 'c');
-      }
-    } else {  // kCombine
-      op.in_c = add_instance(kC1, oi, index.at(q, kM1, i, j, i + 1),
-                             std::nullopt, 'c');
-      if (j >= i + 3) {
-        op.in_c2 = add_instance(kC2, oi, index.at(q, kM2, i, j, j - 1),
-                                std::nullopt, 'c');
-      }
-    }
-  }
-
-  // Counting-sort the producer outputs into CSR form.
-  std::vector<std::uint32_t> out_begin(ops.size() + 1, 0);
-  for (const auto& out : pending) ++out_begin[out.src + 1];
-  for (std::size_t i = 1; i < out_begin.size(); ++i) {
-    out_begin[i] += out_begin[i - 1];
-  }
-  std::vector<std::uint32_t> out_slot(pending.size());
-  std::vector<char> out_payload(pending.size());
-  {
-    std::vector<std::uint32_t> cursor(out_begin.begin(), out_begin.end() - 1);
-    for (const auto& out : pending) {
-      const std::uint32_t at = cursor[out.src]++;
-      out_slot[at] = out.slot;
-      out_payload[at] = out.payload;
-    }
-  }
-
-  // ---- 3. Compile and check the fold discipline. -----------------------
-  // The check validates the *plan*, not an instance, so it runs once at
-  // build time; a cache hit replays an already-validated plan. The groups
-  // themselves are not kept — only the folded-op high-water mark is.
-  const WavefrontPlan wplan = std::move(builder).compile();
-  std::size_t max_folded_ops = 0;
-  for (const CellTickGroup& group : wplan.groups) {
-    max_folded_ops =
-        std::max(max_folded_ops,
-                 static_cast<std::size_t>(group.end - group.begin));
-    const COp& head = ops[wplan.order[group.begin]];
-    for (std::uint32_t x = group.begin + 1; x < group.end; ++x) {
-      const COp& op = ops[wplan.order[x]];
-      NUSYS_REQUIRE(op.inst == head.inst && op.i == head.i && op.j == head.j,
-                    "run_dp: two pipelined instances (or two pairs) claim "
-                    "one cell in one tick — period below the design's "
-                    "minimum pipelining period");
-    }
-  }
-
-  auto plan = std::make_shared<CompiledDPPlan>();
-  plan->n = n;
-  plan->instances = static_cast<std::uint32_t>(instances);
-  plan->ops = std::move(ops);
-  plan->order = wplan.order;
-  plan->fronts = wplan.fronts;
-  plan->slot_count = slot_count;
-  plan->prefill = std::move(prefill);
-  plan->out_begin = std::move(out_begin);
-  plan->out_slot = std::move(out_slot);
-  plan->out_payload = std::move(out_payload);
-  plan->stats = wplan.stats;
-  plan->cell_count = wplan.cell_count;
-  plan->compute_ops = plan->ops.size();
-  plan->max_folded_ops = max_folded_ops;
-  plan->route_hops = wplan.route_hops;
-  plan->first_tick = wplan.first_tick;
-  plan->last_tick = wplan.last_tick;
-  return plan;
-}
-
-struct AcquiredDPPlan {
-  std::shared_ptr<const CompiledDPPlan> plan;
-  bool cache_hit = false;
-};
-
-AcquiredDPPlan acquire_dp_plan(const DPArrayDesign& design, i64 n,
-                               std::size_t instances, i64 period) {
-  if (!plan_cache_enabled()) {
-    return {build_dp_plan(design, n, instances, period), false};
-  }
-  auto& cache = wavefront_plan_cache();
-  const std::string key = dp_plan_key(design, n, instances, period);
-  if (auto cached = cache.lookup(key)) {
-    return {std::static_pointer_cast<const CompiledDPPlan>(std::move(cached)),
-            true};
-  }
-  auto plan = build_dp_plan(design, n, instances, period);
-  cache.insert(key, plan);
-  return {std::move(plan), false};
-}
 
 /// Runs the wavefronts over a fresh slot array. The DP executor keeps the
 /// in-order per-op loop (no front phase split): fold groups allow

@@ -1,0 +1,273 @@
+#include "designs/dp_plan.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "analysis/plan_audit.hpp"
+#include "partition/lsgp.hpp"
+#include "support/checked.hpp"
+
+namespace nusys::detail {
+
+std::string dp_plan_key(const DPArrayDesign& design, i64 n,
+                        std::size_t instances, i64 period) {
+  std::ostringstream os;
+  os << "dp|n:" << n << "|q:" << instances << "|p:" << period;
+  for (const auto& schedule : design.schedules) {
+    os << "|T:" << schedule.coeffs().to_string() << '+' << schedule.offset();
+  }
+  for (const auto& space : design.spaces) {
+    os << "|S:" << space.to_string();
+  }
+  os << "|N:" << design.net.to_string() << "|b:" << design.block_x << 'x'
+     << design.block_y << '@' << design.block_base_x << ','
+     << design.block_base_y;
+  return std::move(os).str();
+}
+
+std::shared_ptr<const CompiledDPPlan> build_dp_plan(
+    const DPArrayDesign& design, i64 n, std::size_t instances, i64 period) {
+  // LSGP clustering (partition/lsgp.hpp): virtual (cell, tick) ->
+  // physical (cluster, serialized tick). With 1x1 blocks and base 0 this
+  // is the identity.
+  const LsgpClustering clustering{design.block_x, design.block_y,
+                                  design.block_base_x, design.block_base_y};
+  const auto cluster = [&](const IntVec& v, i64 t) {
+    return clustering.place(v, t);
+  };
+
+  // ---- 1. Enumerate ops into their (cell, tick) placements. -----------
+  const OpIndex index(n);
+  const std::size_t op_count = instances * index.per_instance;
+  NUSYS_REQUIRE(op_count < kNoSlot, "run_dp: op count exceeds the compiled "
+                                    "backend's 32-bit id space");
+  std::vector<COp> ops;
+  ops.reserve(op_count);
+  WavefrontPlanBuilder builder(design.net, kVarCount);
+  const auto place = [&](std::size_t inst, OpKind kind, i64 i, i64 j, i64 k) {
+    COp op;
+    op.inst = static_cast<std::uint32_t>(inst);
+    op.kind = kind;
+    op.i = static_cast<std::int32_t>(i);
+    op.j = static_cast<std::int32_t>(j);
+    op.k = static_cast<std::int32_t>(k);
+    const IntVec p{i, j, k};
+    const i64 virtual_tick = checked_add(
+        design.schedules[static_cast<std::size_t>(kind)].at(p),
+        checked_mul(static_cast<i64>(inst), period));
+    const auto [cell, tick] =
+        cluster(design.spaces[static_cast<std::size_t>(kind)] * p,
+                virtual_tick);
+    const std::uint32_t placed =
+        builder.add_op(builder.intern_cell(cell), tick,
+                       static_cast<std::uint32_t>(kind));
+    NUSYS_REQUIRE(placed == index.at(inst, kind, i, j, k) &&
+                      placed == ops.size(),
+                  "run_dp: compiled op enumeration out of order");
+    ops.push_back(op);
+  };
+  for (std::size_t inst = 0; inst < instances; ++inst) {
+    for (i64 i = 1; i <= n; ++i) {
+      for (i64 j = i + 2; j <= n; ++j) {
+        const i64 mid = mid_of(i, j);
+        for (i64 k = mid; k >= i + 1; --k) place(inst, kM1, i, j, k);
+        for (i64 k = mid + 1; k <= j - 1; ++k) place(inst, kM2, i, j, k);
+        place(inst, kCombine, i, j, j);
+      }
+    }
+  }
+
+  // ---- 2. Wire operands: one slot per value instance. ------------------
+  // Producer-side scatter lists are collected flat and counting-sorted
+  // into CSR below; injected instances prefill their slot.
+  struct PendingOutput {
+    std::uint32_t src = 0;
+    std::uint32_t slot = 0;
+    char payload = 'c';  ///< 'a'/'b' operand copy, 'c' computed value.
+  };
+  std::vector<PendingOutput> pending;
+  std::vector<CompiledDPPlan::Prefill> prefill;
+  std::uint32_t slot_count = 0;
+  // `injected` is the init *index* whose value fills the slot at run time
+  // (the only instance-dependent inputs of the entire wiring).
+  const auto add_instance = [&](Var var, std::uint32_t dest,
+                                std::optional<std::uint32_t> src,
+                                std::optional<i64> injected,
+                                char payload) -> std::uint32_t {
+    const std::uint32_t slot = slot_count++;
+    if (injected) {
+      prefill.push_back(
+          {slot, ops[dest].inst, static_cast<std::int32_t>(*injected)});
+      builder.add_inject(dest, var);
+      return slot;
+    }
+    const i64 slack =
+        checked_sub(builder.op_tick(dest), builder.op_tick(*src));
+    NUSYS_VALIDATE(slack >= 0,
+                   std::string("design schedules value '") + kVarName[var] +
+                       "' to be consumed before it is produced");
+    builder.add_transport(*src, dest, var,
+                          ValueLabel{kVarName[var], nullptr, ops[dest].inst});
+    pending.push_back({*src, slot, payload});
+    return slot;
+  };
+
+  for (std::uint32_t oi = 0; oi < ops.size(); ++oi) {
+    COp& op = ops[oi];
+    const std::size_t q = op.inst;
+    const i64 i = op.i, j = op.j, k = op.k;
+    const i64 mid = mid_of(i, j);
+    const bool even = ((i + j) % 2) == 0;
+    if (op.kind == kM1) {
+      // a'(i,j,k).
+      if (even && k == mid) {
+        if (j == i + 2) {
+          op.in_a = add_instance(kA1, oi, std::nullopt, i, 'c');
+        } else {
+          op.in_a = add_instance(kA1, oi, index.at(q, kM2, i, j - 1, k),
+                                 std::nullopt, 'a');
+        }
+      } else {
+        op.in_a = add_instance(kA1, oi, index.at(q, kM1, i, j - 1, k),
+                               std::nullopt, 'a');
+      }
+      // b'(i,j,k).
+      if (k == i + 1) {
+        if (j == i + 2) {
+          op.in_b = add_instance(kB1, oi, std::nullopt, i + 1, 'c');
+        } else {
+          op.in_b = add_instance(kB1, oi, index.at(q, kCombine, i + 1, j, j),
+                                 std::nullopt, 'c');
+        }
+      } else {
+        op.in_b = add_instance(kB1, oi, index.at(q, kM1, i + 1, j, k),
+                               std::nullopt, 'b');
+      }
+      // c'(i,j,k+1) accumulator input.
+      if (k < mid) {
+        op.in_c = add_instance(kC1, oi, index.at(q, kM1, i, j, k + 1),
+                               std::nullopt, 'c');
+      }
+    } else if (op.kind == kM2) {
+      // a''(i,j,k).
+      if (k == j - 1) {
+        op.in_a = add_instance(kA2, oi, index.at(q, kCombine, i, j - 1, j - 1),
+                               std::nullopt, 'c');
+      } else {
+        op.in_a = add_instance(kA2, oi, index.at(q, kM2, i, j - 1, k),
+                               std::nullopt, 'a');
+      }
+      // b''(i,j,k).
+      if (!even && k == mid + 1) {
+        op.in_b = add_instance(kB2, oi, index.at(q, kM1, i + 1, j, k),
+                               std::nullopt, 'b');
+      } else {
+        op.in_b = add_instance(kB2, oi, index.at(q, kM2, i + 1, j, k),
+                               std::nullopt, 'b');
+      }
+      // c''(i,j,k-1) accumulator input.
+      if (k > mid + 1) {
+        op.in_c2 = add_instance(kC2, oi, index.at(q, kM2, i, j, k - 1),
+                                std::nullopt, 'c');
+      }
+    } else {  // kCombine
+      op.in_c = add_instance(kC1, oi, index.at(q, kM1, i, j, i + 1),
+                             std::nullopt, 'c');
+      if (j >= i + 3) {
+        op.in_c2 = add_instance(kC2, oi, index.at(q, kM2, i, j, j - 1),
+                                std::nullopt, 'c');
+      }
+    }
+  }
+
+  // Counting-sort the producer outputs into CSR form.
+  std::vector<std::uint32_t> out_begin(ops.size() + 1, 0);
+  for (const auto& out : pending) ++out_begin[out.src + 1];
+  for (std::size_t i = 1; i < out_begin.size(); ++i) {
+    out_begin[i] += out_begin[i - 1];
+  }
+  std::vector<std::uint32_t> out_slot(pending.size());
+  std::vector<char> out_payload(pending.size());
+  {
+    std::vector<std::uint32_t> cursor(out_begin.begin(), out_begin.end() - 1);
+    for (const auto& out : pending) {
+      const std::uint32_t at = cursor[out.src]++;
+      out_slot[at] = out.slot;
+      out_payload[at] = out.payload;
+    }
+  }
+
+  // ---- 3. Compile and check the fold discipline. -----------------------
+  // The check validates the *plan*, not an instance, so it runs once at
+  // build time; a cache hit replays an already-validated plan. The groups
+  // themselves are not kept — only the folded-op high-water mark is.
+  const WavefrontPlan wplan = std::move(builder).compile();
+  std::size_t max_folded_ops = 0;
+  for (const CellTickGroup& group : wplan.groups) {
+    max_folded_ops =
+        std::max(max_folded_ops,
+                 static_cast<std::size_t>(group.end - group.begin));
+    const COp& head = ops[wplan.order[group.begin]];
+    for (std::uint32_t x = group.begin + 1; x < group.end; ++x) {
+      const COp& op = ops[wplan.order[x]];
+      NUSYS_REQUIRE(op.inst == head.inst && op.i == head.i && op.j == head.j,
+                    "run_dp: two pipelined instances (or two pairs) claim "
+                    "one cell in one tick — period below the design's "
+                    "minimum pipelining period");
+    }
+  }
+
+  auto plan = std::make_shared<CompiledDPPlan>();
+  plan->n = n;
+  plan->instances = static_cast<std::uint32_t>(instances);
+  plan->ops = std::move(ops);
+  plan->order = wplan.order;
+  plan->fronts = wplan.fronts;
+  plan->slot_count = slot_count;
+  plan->prefill = std::move(prefill);
+  plan->out_begin = std::move(out_begin);
+  plan->out_slot = std::move(out_slot);
+  plan->out_payload = std::move(out_payload);
+  plan->stats = wplan.stats;
+  plan->cell_count = wplan.cell_count;
+  plan->compute_ops = plan->ops.size();
+  plan->max_folded_ops = max_folded_ops;
+  plan->route_hops = wplan.route_hops;
+  plan->first_tick = wplan.first_tick;
+  plan->last_tick = wplan.last_tick;
+  return plan;
+}
+
+void admit_dp_plan(const CompiledDPPlan& plan, const DPArrayDesign& design,
+                   i64 period) {
+  if (!plan_audit_enabled()) return;
+  const PlanAuditReport report =
+      audit_dp_plan(plan, design, period,
+                    "dp n=" + std::to_string(plan.n) +
+                        " q=" + std::to_string(plan.instances));
+  wavefront_plan_cache().note_audit(report.ok());
+  NUSYS_VALIDATE(report.ok(),
+                 "plan audit refused a DP plan at cache admission: " +
+                     report.first_violation());
+}
+
+AcquiredDPPlan acquire_dp_plan(const DPArrayDesign& design, i64 n,
+                               std::size_t instances, i64 period) {
+  if (!plan_cache_enabled()) {
+    return {build_dp_plan(design, n, instances, period), false};
+  }
+  auto& cache = wavefront_plan_cache();
+  const std::string key = dp_plan_key(design, n, instances, period);
+  if (auto cached = cache.lookup(key)) {
+    return {std::static_pointer_cast<const CompiledDPPlan>(std::move(cached)),
+            true};
+  }
+  auto plan = build_dp_plan(design, n, instances, period);
+  admit_dp_plan(*plan, design, period);
+  cache.insert(key, plan);
+  return {std::move(plan), false};
+}
+
+}  // namespace nusys::detail

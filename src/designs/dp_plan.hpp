@@ -1,0 +1,168 @@
+// The cacheable compiled artifact of a mapped DP design.
+//
+// Extracted from dp_compiled.cpp so that the plan itself — op
+// enumeration, slot wiring, wavefronts — is a first-class, auditable
+// object rather than an executor-private detail: the static plan
+// auditor (analysis/plan_audit.hpp) re-derives every placement from the
+// design and checks the compiled structure against it, and the
+// admission mode refuses plans it cannot certify before they reach the
+// WavefrontPlanCache. The executor (execute over a fresh slot array)
+// stays in dp_compiled.cpp.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "designs/dp_array.hpp"
+#include "support/errors.hpp"
+#include "systolic/plan_cache.hpp"
+#include "systolic/wavefront.hpp"
+
+namespace nusys::detail {
+
+enum OpKind : std::uint8_t { kM1 = 0, kM2 = 1, kCombine = 2 };
+
+// Channel ids; one per interpretive channel base name.
+enum Var : std::uint32_t { kA1 = 0, kB1, kC1, kA2, kB2, kC2, kVarCount };
+
+inline constexpr const char* kVarName[kVarCount] = {"a1", "b1", "c1",
+                                                    "a2", "b2", "c2"};
+
+inline constexpr std::uint32_t kNoSlot =
+    std::numeric_limits<std::uint32_t>::max();
+
+inline i64 mid_of(i64 i, i64 j) { return (i + j) / 2; }
+
+/// One DP op; placement (cell, tick) lives in the WavefrontPlanBuilder,
+/// operand slots here. For combines, k == j.
+struct COp {
+  std::uint32_t inst = 0;
+  std::uint8_t kind = kM1;
+  std::int32_t i = 0, j = 0, k = 0;
+  std::uint32_t in_a = kNoSlot, in_b = kNoSlot;
+  std::uint32_t in_c = kNoSlot, in_c2 = kNoSlot;
+};
+
+/// Closed-form op ids for the fixed enumeration order (per instance:
+/// i ascending, j from i+2 ascending; per (i, j) pair: M1 with k from
+/// mid down to i+1, M2 with k from mid+1 to j-1, then the combine).
+/// Replaces run_dp_internal's keyed op map with index arithmetic.
+struct OpIndex {
+  i64 n = 0;
+  std::size_t per_instance = 0;
+  std::vector<std::size_t> pair_base;  ///< (i-1)*n + (j-1) -> first op.
+
+  explicit OpIndex(i64 n_in) : n(n_in) {
+    pair_base.assign(static_cast<std::size_t>(n * n), 0);
+    std::size_t next = 0;
+    for (i64 i = 1; i <= n; ++i) {
+      for (i64 j = i + 2; j <= n; ++j) {
+        pair_base[static_cast<std::size_t>((i - 1) * n + (j - 1))] = next;
+        next += static_cast<std::size_t>(j - i);  // M1s + M2s + combine.
+      }
+    }
+    per_instance = next;
+  }
+
+  [[nodiscard]] std::uint32_t at(std::size_t inst, OpKind kind, i64 i, i64 j,
+                                 i64 k) const {
+    NUSYS_REQUIRE(1 <= i && i + 2 <= j && j <= n, "run_dp: missing source op");
+    const i64 mid = mid_of(i, j);
+    const std::size_t base =
+        inst * per_instance +
+        pair_base[static_cast<std::size_t>((i - 1) * n + (j - 1))];
+    std::size_t offset = 0;
+    if (kind == kM1) {
+      NUSYS_REQUIRE(i + 1 <= k && k <= mid, "run_dp: missing source op");
+      offset = static_cast<std::size_t>(mid - k);
+    } else if (kind == kM2) {
+      NUSYS_REQUIRE(mid + 1 <= k && k <= j - 1, "run_dp: missing source op");
+      offset = static_cast<std::size_t>((mid - i) + (k - mid - 1));
+    } else {
+      offset = static_cast<std::size_t>(j - i - 1);
+    }
+    return static_cast<std::uint32_t>(base + offset);
+  }
+};
+
+/// The cacheable compiled artifact of a DP design: everything about an
+/// execution that does not depend on the problem instances' values.
+/// Injected slots are kept as (slot, instance, i) descriptors and
+/// re-evaluated from problem.init per run, so one plan serves every
+/// instance batch of the same shape.
+struct CompiledDPPlan : CachedPlan {
+  i64 n = 0;
+  std::uint32_t instances = 0;
+
+  std::vector<COp> ops;
+  std::vector<std::uint32_t> order;  ///< Execution order over `ops`.
+  std::vector<Wavefront> fronts;     ///< Index `order`.
+
+  std::uint32_t slot_count = 0;
+  struct Prefill {
+    std::uint32_t slot = 0;
+    std::uint32_t inst = 0;
+    std::int32_t i = 0;  ///< slots[slot] = problems[inst].init(i).
+  };
+  std::vector<Prefill> prefill;
+
+  // Producer-side CSR: op oi writes out_slot[t] for t in
+  // [out_begin[oi], out_begin[oi + 1]).
+  std::vector<std::uint32_t> out_begin;
+  std::vector<std::uint32_t> out_slot;
+  std::vector<char> out_payload;
+
+  EngineStats stats;
+  std::size_t cell_count = 0;
+  std::size_t compute_ops = 0;
+  std::size_t max_folded_ops = 0;
+  std::size_t route_hops = 0;
+  i64 first_tick = 0;
+  i64 last_tick = 0;
+
+  [[nodiscard]] std::size_t plan_bytes() const noexcept override {
+    return ops.size() * sizeof(COp) +
+           (order.size() + out_begin.size() + out_slot.size()) *
+               sizeof(std::uint32_t) +
+           fronts.size() * sizeof(Wavefront) +
+           prefill.size() * sizeof(Prefill) + out_payload.size() + 128;
+  }
+};
+
+/// The structural cache key of a DP plan: (n, instance count, period),
+/// the three schedules and spaces, the interconnect and the LSGP block.
+[[nodiscard]] std::string dp_plan_key(const DPArrayDesign& design, i64 n,
+                                      std::size_t instances, i64 period);
+
+/// Builds the plan from scratch (no cache involvement). Throws exactly
+/// like the former inline compile step (fold-discipline conflict,
+/// negative slack, 32-bit id overflow, ...).
+[[nodiscard]] std::shared_ptr<const CompiledDPPlan> build_dp_plan(
+    const DPArrayDesign& design, i64 n, std::size_t instances, i64 period);
+
+/// A plan plus where it came from (plan-cache hit/miss).
+struct AcquiredDPPlan {
+  std::shared_ptr<const CompiledDPPlan> plan;
+  bool cache_hit = false;
+};
+
+/// The cached plan for (design, n, instances, period), building and
+/// inserting it on a miss. Under NUSYS_AUDIT_PLANS=1 the freshly built
+/// plan is statically audited before insert and refused (DomainError)
+/// if any obligation is violated.
+[[nodiscard]] AcquiredDPPlan acquire_dp_plan(const DPArrayDesign& design,
+                                             i64 n, std::size_t instances,
+                                             i64 period);
+
+/// The NUSYS_AUDIT_PLANS admission gate: audits `plan` against its
+/// source design, records the verdict in the plan-cache audit counters
+/// and throws DomainError naming the first violated obligation. No-op
+/// when auditing is off. Exposed so the mutation tests can drive the
+/// refusal path with hand-corrupted plans.
+void admit_dp_plan(const CompiledDPPlan& plan, const DPArrayDesign& design,
+                   i64 period);
+
+}  // namespace nusys::detail

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/plan_audit.hpp"
 #include "support/checked.hpp"
 #include "support/errors.hpp"
 
@@ -128,6 +129,19 @@ std::string uniform_plan_key(const CanonicRecurrence& rec,
   return std::move(os).str();
 }
 
+void admit_uniform_plan(const CompiledUniformPlan& plan,
+                        const CanonicRecurrence& rec,
+                        const LinearSchedule& timing, const IntMat& space,
+                        const Interconnect& net) {
+  if (!plan_audit_enabled()) return;
+  const PlanAuditReport report =
+      audit_uniform_plan(plan, rec, timing, space, net, rec.name());
+  wavefront_plan_cache().note_audit(report.ok());
+  NUSYS_VALIDATE(report.ok(),
+                 "plan audit refused a uniform plan at cache admission: " +
+                     report.first_violation());
+}
+
 AcquiredUniformPlan acquire_uniform_plan(const CanonicRecurrence& rec,
                                          const LinearSchedule& timing,
                                          const IntMat& space,
@@ -143,6 +157,7 @@ AcquiredUniformPlan acquire_uniform_plan(const CanonicRecurrence& rec,
             true};
   }
   auto plan = build_uniform_plan(rec, timing, space, net);
+  admit_uniform_plan(*plan, rec, timing, space, net);
   cache.insert(key, plan);
   return {std::move(plan), false};
 }

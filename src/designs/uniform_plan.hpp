@@ -100,9 +100,22 @@ struct AcquiredUniformPlan {
 
 /// The cached plan for (rec, timing, space, net), building and inserting
 /// it on a miss. With the plan cache disabled (NUSYS_DISABLE_PLAN_CACHE)
-/// every call builds fresh and reports a miss.
+/// every call builds fresh and reports a miss. Under NUSYS_AUDIT_PLANS=1
+/// the freshly built plan is statically audited
+/// (analysis/plan_audit.hpp) before insert and refused (DomainError) if
+/// any obligation is violated.
 [[nodiscard]] AcquiredUniformPlan acquire_uniform_plan(
     const CanonicRecurrence& rec, const LinearSchedule& timing,
     const IntMat& space, const Interconnect& net);
+
+/// The NUSYS_AUDIT_PLANS admission gate: audits `plan` against its
+/// source mapping, records the verdict in the plan-cache audit counters
+/// and throws DomainError naming the first violated obligation. No-op
+/// when auditing is off. Exposed so the mutation tests can drive the
+/// refusal path with hand-corrupted plans.
+void admit_uniform_plan(const CompiledUniformPlan& plan,
+                        const CanonicRecurrence& rec,
+                        const LinearSchedule& timing, const IntMat& space,
+                        const Interconnect& net);
 
 }  // namespace nusys

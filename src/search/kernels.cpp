@@ -8,16 +8,14 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "support/env.hpp"
 #include "support/fraction.hpp"
 
 namespace nusys {
 
-bool hull_kernels_default() noexcept {
-  static const bool enabled = [] {
-    const char* v = std::getenv("NUSYS_DISABLE_HULL_KERNELS");
-    return v == nullptr || v[0] == '\0' || v[0] == '0';
-  }();
-  return enabled;
+bool hull_kernels_default() {
+  static const bool disabled = env_flag("NUSYS_DISABLE_HULL_KERNELS");
+  return !disabled;
 }
 
 namespace {

@@ -50,7 +50,7 @@ namespace nusys {
 
 /// Default for the per-search `hull_kernels` option: true unless the
 /// environment sets NUSYS_DISABLE_HULL_KERNELS (read once per process).
-[[nodiscard]] bool hull_kernels_default() noexcept;
+[[nodiscard]] bool hull_kernels_default();
 
 /// The extreme points (convex-hull vertices) of `points`, deduplicated, in
 /// first-occurrence order. Guaranteed to contain every vertex of the hull;

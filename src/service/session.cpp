@@ -100,6 +100,8 @@ JsonValue ServiceStats::to_json() const {
   plan_obj.set("insertions", plan_cache.insertions);
   plan_obj.set("evictions", plan_cache.evictions);
   plan_obj.set("invalidations", plan_cache.invalidations);
+  plan_obj.set("audit_passes", plan_cache.audit_passes);
+  plan_obj.set("audit_failures", plan_cache.audit_failures);
   plan_obj.set("entries", plan_cache.entries);
   plan_obj.set("bytes", plan_cache.bytes);
   plan_obj.set("capacity_bytes", plan_cache.capacity_bytes);

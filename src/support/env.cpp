@@ -1,0 +1,51 @@
+#include "support/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "support/errors.hpp"
+
+namespace nusys {
+
+std::optional<bool> parse_env_flag(const char* name, const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  if (std::strcmp(text, "0") == 0) return false;
+  if (std::strcmp(text, "1") == 0) return true;
+  throw DomainError(std::string(name) + "='" + text +
+                    "' is not a valid flag value; use 1 (on), 0 (off) or "
+                    "leave it unset");
+}
+
+std::optional<std::size_t> parse_env_bytes(const char* name,
+                                           const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  for (const char* c = text; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') {
+      throw DomainError(std::string(name) + "='" + text +
+                        "' is not a valid byte count; use a plain "
+                        "non-negative decimal number of bytes (no suffixes)");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text, &end, 10);
+  if (errno == ERANGE ||
+      parsed > std::numeric_limits<std::size_t>::max()) {
+    throw DomainError(std::string(name) + "='" + text +
+                      "' overflows the byte-count range");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+bool env_flag(const char* name) {
+  return parse_env_flag(name, std::getenv(name)).value_or(false);
+}
+
+std::size_t env_bytes(const char* name, std::size_t fallback) {
+  return parse_env_bytes(name, std::getenv(name)).value_or(fallback);
+}
+
+}  // namespace nusys

@@ -1,0 +1,41 @@
+// Strict parsing of NUSYS_* environment configuration.
+//
+// Every runtime toggle used to hand-roll its own getenv parse, and all
+// of them silently fell back to the default on a malformed value — a
+// typo like NUSYS_PLAN_CACHE_BYTES=256M or NUSYS_DISABLE_SIMD=yes
+// configured nothing and said nothing. These helpers centralize the
+// grammar and *reject* malformed values with a DomainError naming the
+// variable, the offending text and the accepted forms, so a
+// misconfigured deployment fails loudly at first use instead of running
+// with defaults it did not ask for. (NUSYS_ENGINE has its own
+// enumerated parser in systolic/engine.hpp; it was already strict.)
+//
+// Grammar:
+//   * flags: unset and "" mean "not set" (the caller's default); "0"
+//     and "1" mean off/on. Nothing else parses.
+//   * byte sizes: unset and "" mean the default; otherwise a plain
+//     non-negative decimal integer that fits std::size_t. No suffixes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace nusys {
+
+/// True iff `name` is set to "1", false when unset, "" or "0"; throws
+/// DomainError on anything else.
+[[nodiscard]] bool env_flag(const char* name);
+
+/// The decimal byte count in `name`, or `fallback` when unset or "";
+/// throws DomainError on malformed or out-of-range text.
+[[nodiscard]] std::size_t env_bytes(const char* name, std::size_t fallback);
+
+/// Parsing cores for unit tests (no environment access): nullopt means
+/// "use the default"; both throw DomainError exactly like the getenv
+/// wrappers above, with `name` in the message.
+[[nodiscard]] std::optional<bool> parse_env_flag(const char* name,
+                                                 const char* text);
+[[nodiscard]] std::optional<std::size_t> parse_env_bytes(const char* name,
+                                                         const char* text);
+
+}  // namespace nusys

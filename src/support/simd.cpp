@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "support/checked.hpp"
+#include "support/env.hpp"
 
 namespace nusys::simd {
 
@@ -13,11 +14,6 @@ namespace {
 
 // -1 = no override; 0/1 = forced off/on.
 std::atomic<int> g_override{-1};
-
-bool enabled_from_env() {
-  const char* env = std::getenv("NUSYS_DISABLE_SIMD");
-  return env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0;
-}
 
 #if defined(__GNUC__) || defined(__clang__)
 #define NUSYS_SIMD_VECTOR_EXT 1
@@ -123,11 +119,11 @@ bool sw_cell_max_body(const Value* h, const Value* score, const Value* p,
 
 }  // namespace
 
-bool enabled() noexcept {
+bool enabled() {
   const int forced = g_override.load(std::memory_order_relaxed);
   if (forced >= 0) return forced != 0;
-  static const bool from_env = enabled_from_env();
-  return from_env;
+  static const bool disabled = env_flag("NUSYS_DISABLE_SIMD");
+  return !disabled;
 }
 
 void set_enabled_override(std::optional<bool> forced) noexcept {

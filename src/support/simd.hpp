@@ -41,8 +41,9 @@ inline constexpr std::size_t kLanes = 4;
 
 /// False when NUSYS_DISABLE_SIMD=1 (or a test override disables it): the
 /// compiled executor then skips every compute_block hook and runs the
-/// per-point scalar loops instead.
-[[nodiscard]] bool enabled() noexcept;
+/// per-point scalar loops instead. Throws DomainError on a malformed
+/// NUSYS_DISABLE_SIMD value.
+[[nodiscard]] bool enabled();
 
 /// Test/bench hook: force SIMD on or off regardless of the environment;
 /// nullopt restores the environment's choice.

@@ -1,11 +1,10 @@
 #include "systolic/plan_cache.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
 #include <utility>
 
 #include "support/cache.hpp"
+#include "support/env.hpp"
 
 namespace nusys {
 
@@ -15,20 +14,7 @@ constexpr std::size_t kDefaultCapacityBytes = 256u << 20;  // 256 MiB.
 
 // -1 = no override; 0/1 = forced off/on.
 std::atomic<int> g_enabled_override{-1};
-
-bool enabled_from_env() {
-  const char* env = std::getenv("NUSYS_DISABLE_PLAN_CACHE");
-  return env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0;
-}
-
-std::size_t capacity_from_env() {
-  const char* env = std::getenv("NUSYS_PLAN_CACHE_BYTES");
-  if (env == nullptr || *env == '\0') return kDefaultCapacityBytes;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(env, &end, 10);
-  if (end == env || *end != '\0') return kDefaultCapacityBytes;
-  return static_cast<std::size_t>(parsed);
-}
+std::atomic<int> g_audit_override{-1};
 
 thread_local std::string g_plan_owner;  // NOLINT(runtime/string)
 
@@ -144,24 +130,46 @@ void WavefrontPlanCache::evict_over_budget_locked() {
   }
 }
 
+void WavefrontPlanCache::note_audit(bool certified) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (certified) {
+    ++stats_.audit_passes;
+  } else {
+    ++stats_.audit_failures;
+  }
+}
+
 WavefrontPlanCache& wavefront_plan_cache() {
-  static WavefrontPlanCache cache(capacity_from_env());
+  static WavefrontPlanCache cache(
+      env_bytes("NUSYS_PLAN_CACHE_BYTES", kDefaultCapacityBytes));
   return cache;
 }
 
-bool plan_cache_enabled() noexcept {
+bool plan_cache_enabled() {
   // Referencing the registration constant keeps it alive under aggressive
   // dead-global elimination.
   (void)g_listener_registered;
   const int forced = g_enabled_override.load(std::memory_order_relaxed);
   if (forced >= 0) return forced != 0;
-  static const bool from_env = enabled_from_env();
-  return from_env;
+  static const bool disabled = env_flag("NUSYS_DISABLE_PLAN_CACHE");
+  return !disabled;
 }
 
 void set_plan_cache_enabled_override(std::optional<bool> forced) noexcept {
   g_enabled_override.store(forced ? (*forced ? 1 : 0) : -1,
                            std::memory_order_relaxed);
+}
+
+bool plan_audit_enabled() {
+  const int forced = g_audit_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = env_flag("NUSYS_AUDIT_PLANS");
+  return from_env;
+}
+
+void set_plan_audit_override(std::optional<bool> forced) noexcept {
+  g_audit_override.store(forced ? (*forced ? 1 : 0) : -1,
+                         std::memory_order_relaxed);
 }
 
 PlanOwnerScope::PlanOwnerScope(std::string design_cache_key)
@@ -181,6 +189,8 @@ JsonValue plan_cache_stats_json() {
   doc.set("insertions", static_cast<i64>(s.insertions));
   doc.set("evictions", static_cast<i64>(s.evictions));
   doc.set("invalidations", static_cast<i64>(s.invalidations));
+  doc.set("audit_passes", static_cast<i64>(s.audit_passes));
+  doc.set("audit_failures", static_cast<i64>(s.audit_failures));
   doc.set("entries", static_cast<i64>(s.entries));
   doc.set("bytes", static_cast<i64>(s.bytes));
   doc.set("capacity_bytes", static_cast<i64>(s.capacity_bytes));

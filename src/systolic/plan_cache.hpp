@@ -50,6 +50,8 @@ struct PlanCacheStats {
   std::size_t insertions = 0;
   std::size_t evictions = 0;      ///< Dropped by LRU byte pressure.
   std::size_t invalidations = 0;  ///< Dropped by design-cache lifecycle.
+  std::size_t audit_passes = 0;   ///< Admission audits that certified.
+  std::size_t audit_failures = 0; ///< Admission audits that refused a plan.
   std::size_t entries = 0;        ///< Resident plans right now.
   std::size_t bytes = 0;          ///< Resident bytes right now.
   std::size_t capacity_bytes = 0;
@@ -89,6 +91,12 @@ class WavefrontPlanCache {
   /// Changes the byte budget, evicting immediately if now over it.
   void set_capacity_bytes(std::size_t capacity_bytes);
 
+  /// Records the verdict of one admission audit (NUSYS_AUDIT_PLANS).
+  /// The audit itself lives in analysis/plan_audit.hpp; the acquire
+  /// paths call it before insert and report the outcome here, so the
+  /// counters sit next to the hit/miss/eviction ledger they gate.
+  void note_audit(bool certified);
+
   [[nodiscard]] PlanCacheStats stats() const;
   void clear();
 
@@ -121,12 +129,23 @@ class WavefrontPlanCache {
 
 /// False when NUSYS_DISABLE_PLAN_CACHE=1 (or a test override disables
 /// it): every compiled run then rebuilds its plan from scratch — the
-/// cold-path ablation the differential CI job reruns under.
-[[nodiscard]] bool plan_cache_enabled() noexcept;
+/// cold-path ablation the differential CI job reruns under. Throws
+/// DomainError on a malformed NUSYS_DISABLE_PLAN_CACHE value.
+[[nodiscard]] bool plan_cache_enabled();
 
 /// Test/bench hook: force the plan cache on or off regardless of the
 /// environment; nullopt restores the environment's choice.
 void set_plan_cache_enabled_override(std::optional<bool> forced) noexcept;
+
+/// True when NUSYS_AUDIT_PLANS=1 (or a test override turns it on):
+/// every plan built on the cache-insert path is statically audited
+/// (analysis/plan_audit.hpp) and refused — DomainError — if any
+/// obligation is violated. Throws DomainError on a malformed value.
+[[nodiscard]] bool plan_audit_enabled();
+
+/// Test/bench hook: force admission auditing on or off regardless of
+/// the environment; nullopt restores the environment's choice.
+void set_plan_audit_override(std::optional<bool> forced) noexcept;
 
 /// Scopes plan-cache inserts to a design-cache key: plans built while a
 /// scope is active are invalidated when that design-cache entry is

@@ -1,0 +1,444 @@
+// Static plan auditor (analysis/plan_audit.hpp): the frontier corpus
+// must certify clean — every obligation of every compiled uniform, DP
+// and tile plan — while hand-corrupted mutants of the same plans must
+// each trip their own obligation class:
+//
+//   swapped fronts            -> front-order
+//   redirected consumer link  -> consumer-links
+//   aliased scatter slot      -> slot-alias
+//   dropped boundary entry    -> boundary
+//   inflated tile depth       -> tile-depth
+//   corrupted size fields     -> byte-accounting
+//
+// Plus the NUSYS_AUDIT_PLANS admission mode: a clean plan is admitted
+// (audit_passes counted), a corrupt one is refused with a DomainError
+// naming the violated obligation (audit_failures counted), and lint
+// surfaces every violation under a plan-*/tile-* registry rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "analysis/lint.hpp"
+#include "analysis/plan_audit.hpp"
+#include "conv/recurrences.hpp"
+#include "designs/dp_plan.hpp"
+#include "designs/uniform_plan.hpp"
+#include "frontends/matmul.hpp"
+#include "partition/dp_tiling.hpp"
+#include "partition/tile_plan.hpp"
+#include "support/errors.hpp"
+#include "synth/batch.hpp"
+#include "synth/pipeline.hpp"
+#include "synth/synthesizer.hpp"
+#include "systolic/plan_cache.hpp"
+
+namespace nusys {
+namespace {
+
+TileOptions tile_shape(i64 rows, i64 cols, TileMode mode = TileMode::kAuto) {
+  TileOptions t;
+  t.rows = rows;
+  t.cols = cols;
+  t.mode = mode;
+  return t;
+}
+
+/// Suffix (after the last '/') of every violated obligation id.
+std::set<std::string> violated_suffixes(const PlanAuditReport& report) {
+  std::set<std::string> out;
+  for (const auto& ob : report.certificate.obligations) {
+    if (ob.status != ObligationStatus::kViolated) continue;
+    const std::size_t cut = ob.id.find_last_of('/');
+    out.insert(cut == std::string::npos ? ob.id : ob.id.substr(cut + 1));
+  }
+  return out;
+}
+
+struct UniformFixture {
+  CanonicRecurrence rec;
+  LinearSchedule timing;
+  IntMat space;
+  Interconnect net;
+  std::shared_ptr<const CompiledUniformPlan> plan;
+};
+
+UniformFixture conv_fixture() {
+  const auto rec = convolution_backward_recurrence(8, 3);
+  const auto result = synthesize(rec, Interconnect::linear_bidirectional());
+  EXPECT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  auto plan = build_uniform_plan(rec, d.timing, d.space, d.net);
+  return {rec, d.timing, d.space, d.net, std::move(plan)};
+}
+
+PlanAuditReport audit(const UniformFixture& f,
+                      const CompiledUniformPlan& plan) {
+  return audit_uniform_plan(plan, f.rec, f.timing, f.space, f.net, "mutant");
+}
+
+// ---- Clean plans certify. -------------------------------------------------
+
+TEST(PlanAuditTest, CleanUniformPlanCertifies) {
+  const auto f = conv_fixture();
+  const auto report = audit(f, *f.plan);
+  EXPECT_TRUE(report.ok()) << report.first_violation();
+  EXPECT_EQ(report.violated(), 0u);
+  EXPECT_GE(report.certified(), 8u);  // 8 obligation classes + per-dep routes.
+  EXPECT_TRUE(report.first_violation().empty());
+  EXPECT_TRUE(lint_plan_audit(report).diagnostics.empty());
+  const JsonValue doc = report.to_json();
+  EXPECT_NE(doc.dump().find("\"ok\":true"), std::string::npos);
+}
+
+TEST(PlanAuditTest, FrontierCorpusCertifiesFlatAndTiled) {
+  const std::string path =
+      std::string(NUSYS_REPO_DIR) + "/examples/frontier_corpus.jsonl";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << path;
+  const TileOptions tile = tile_shape(4, 4);
+  for (const auto& p : parse_batch_jsonl(in)) {
+    if (batch_uses_pipeline(p)) {
+      const auto result = synthesize_nonuniform(
+          batch_spec(p), batch_interconnect(p), NonUniformSynthesisOptions{});
+      ASSERT_TRUE(result.found()) << p.name;
+      const auto flat = detail::build_dp_plan(result.best(), p.n, 1, 0);
+      const auto flat_report = audit_dp_plan(*flat, result.best(), 0, p.name);
+      EXPECT_TRUE(flat_report.ok()) << p.name << ": "
+                                    << flat_report.first_violation();
+      const DPArrayDesign tiled = tiled_dp_design(result.best(), p.n, tile);
+      const auto tplan = detail::build_dp_plan(tiled, p.n, 1, 0);
+      const auto tiled_report = audit_dp_plan(*tplan, tiled, 0, p.name);
+      EXPECT_TRUE(tiled_report.ok()) << p.name << ": "
+                                     << tiled_report.first_violation();
+    } else {
+      const auto rec = batch_recurrence(p);
+      const auto result = synthesize(rec, batch_interconnect(p));
+      ASSERT_TRUE(result.found()) << p.name;
+      const auto& d = result.designs.front();
+      const auto plan = build_uniform_plan(rec, d.timing, d.space, d.net);
+      const auto report =
+          audit_uniform_plan(*plan, rec, d.timing, d.space, d.net, p.name);
+      EXPECT_TRUE(report.ok()) << p.name << ": " << report.first_violation();
+      const auto tplan =
+          build_uniform_tile_plan(rec, d.timing, d.space, d.net, tile);
+      const auto tile_report =
+          audit_tile_plan(tplan, rec, d.timing, d.space, d.net, p.name);
+      EXPECT_TRUE(tile_report.ok()) << p.name << ": "
+                                    << tile_report.first_violation();
+    }
+  }
+}
+
+// ---- Uniform mutants: each corruption trips its own obligation. -----------
+
+TEST(PlanAuditTest, SwappedFrontsViolateFrontOrder) {
+  const auto f = conv_fixture();
+  CompiledUniformPlan bad = *f.plan;
+  ASSERT_GE(bad.fronts.size(), 2u);
+  std::swap(bad.fronts[0], bad.fronts[1]);
+  const auto report = audit(f, bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("front-order"))
+      << report.first_violation();
+}
+
+TEST(PlanAuditTest, RedirectedConsumerViolatesConsumerLinks) {
+  const auto f = conv_fixture();
+  CompiledUniformPlan bad = *f.plan;
+  // Sever the first real link: its in-domain successor is now unlinked.
+  const auto it =
+      std::find_if(bad.consumer.begin(), bad.consumer.end(),
+                   [](std::uint32_t c) { return c != kNoConsumer; });
+  ASSERT_NE(it, bad.consumer.end());
+  *it = kNoConsumer;
+  const auto report = audit(f, bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("consumer-links"))
+      << report.first_violation();
+}
+
+TEST(PlanAuditTest, AliasedScatterViolatesSlotAlias) {
+  const auto f = conv_fixture();
+  CompiledUniformPlan bad = *f.plan;
+  // Point two producers of one variable at one consumer slot.
+  const std::size_t count = bad.count;
+  bool mutated = false;
+  for (std::size_t d = 0; d < bad.width && !mutated; ++d) {
+    std::size_t first = count;
+    for (std::size_t x = 0; x < count; ++x) {
+      const std::size_t i = d * count + x;
+      if (bad.consumer[i] == kNoConsumer) continue;
+      if (first == count) {
+        first = i;
+      } else {
+        bad.consumer[i] = bad.consumer[first];
+        mutated = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(mutated);
+  const auto report = audit(f, bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("slot-alias"))
+      << report.first_violation();
+}
+
+TEST(PlanAuditTest, DroppedBoundaryEntryViolatesBoundary) {
+  const auto f = conv_fixture();
+  CompiledUniformPlan bad = *f.plan;
+  ASSERT_FALSE(bad.boundary.empty());
+  bad.boundary.pop_back();
+  const auto report = audit(f, bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("boundary"))
+      << report.first_violation();
+}
+
+TEST(PlanAuditTest, DuplicatedBoundaryEntryViolatesBoundary) {
+  const auto f = conv_fixture();
+  CompiledUniformPlan bad = *f.plan;
+  ASSERT_FALSE(bad.boundary.empty());
+  bad.boundary.push_back(bad.boundary.front());
+  const auto report = audit(f, bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("boundary"));
+}
+
+TEST(PlanAuditTest, CorruptedMaxFrontViolatesByteAccounting) {
+  const auto f = conv_fixture();
+  CompiledUniformPlan bad = *f.plan;
+  bad.max_front += 1;
+  const auto report = audit(f, bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("byte-accounting"))
+      << report.first_violation();
+}
+
+TEST(PlanAuditTest, ForeignPointViolatesDomainCoverage) {
+  const auto f = conv_fixture();
+  CompiledUniformPlan bad = *f.plan;
+  bad.points.back() = bad.points.front();  // Duplicate; one point missing.
+  const auto report = audit(f, bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("domain-coverage"));
+}
+
+// ---- DP mutants. ----------------------------------------------------------
+
+struct DPFixture {
+  DPArrayDesign design;
+  i64 n = 0;
+  std::shared_ptr<const detail::CompiledDPPlan> plan;
+};
+
+DPFixture dp_fixture() {
+  std::map<std::string, std::string> fields;
+  fields["kind"] = "pipeline";
+  fields["n"] = "6";
+  const auto p = parse_batch_problem(fields, 1);
+  const auto result = synthesize_nonuniform(
+      batch_spec(p), batch_interconnect(p), NonUniformSynthesisOptions{});
+  EXPECT_TRUE(result.found());
+  auto plan = detail::build_dp_plan(result.best(), p.n, 1, 0);
+  return {result.best(), p.n, std::move(plan)};
+}
+
+TEST(PlanAuditTest, CleanDPPlanCertifies) {
+  const auto f = dp_fixture();
+  const auto report = audit_dp_plan(*f.plan, f.design, 0, "dp");
+  EXPECT_TRUE(report.ok()) << report.first_violation();
+  EXPECT_EQ(report.violated(), 0u);
+}
+
+TEST(PlanAuditTest, DPSwappedOrderViolatesFrontOrder) {
+  const auto f = dp_fixture();
+  detail::CompiledDPPlan bad = *f.plan;
+  ASSERT_GE(bad.fronts.size(), 2u);
+  // Swap ops across two different fronts: their ticks no longer match.
+  std::swap(bad.order[bad.fronts.front().begin],
+            bad.order[bad.fronts.back().begin]);
+  const auto report = audit_dp_plan(bad, f.design, 0, "dp");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("front-order"))
+      << report.first_violation();
+}
+
+TEST(PlanAuditTest, DPAliasedOutSlotViolatesSlotAlias) {
+  const auto f = dp_fixture();
+  detail::CompiledDPPlan bad = *f.plan;
+  ASSERT_GE(bad.out_slot.size(), 2u);
+  bad.out_slot[0] = bad.out_slot[1];  // Two writers into one slot.
+  const auto report = audit_dp_plan(bad, f.design, 0, "dp");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("slot-alias"))
+      << report.first_violation();
+}
+
+TEST(PlanAuditTest, DPCorruptPrefillViolatesBoundary) {
+  const auto f = dp_fixture();
+  detail::CompiledDPPlan bad = *f.plan;
+  ASSERT_FALSE(bad.prefill.empty());
+  bad.prefill.front().i = 0;  // init(i) is defined for 1 <= i < n only.
+  const auto report = audit_dp_plan(bad, f.design, 0, "dp");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("boundary"))
+      << report.first_violation();
+}
+
+TEST(PlanAuditTest, DPCorruptComputeOpsViolatesByteAccounting) {
+  const auto f = dp_fixture();
+  detail::CompiledDPPlan bad = *f.plan;
+  bad.compute_ops += 7;
+  const auto report = audit_dp_plan(bad, f.design, 0, "dp");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("byte-accounting"))
+      << report.first_violation();
+}
+
+// ---- Tile mutants. --------------------------------------------------------
+
+struct TileFixture {
+  CanonicRecurrence rec;
+  LinearSchedule timing;
+  IntMat space;
+  Interconnect net;
+  UniformTilePlan plan;
+};
+
+TileFixture lpgs_fixture() {
+  const auto rec = matmul_recurrence(6, 6, 3);
+  const auto result = synthesize(rec, Interconnect::mesh2d());
+  EXPECT_TRUE(result.found());
+  const auto& d = result.designs.front();
+  auto plan = build_uniform_tile_plan(rec, d.timing, d.space, d.net,
+                                      tile_shape(2, 2, TileMode::kLPGS));
+  EXPECT_EQ(plan.strategy, TileStrategy::kLPGS);
+  return {rec, d.timing, d.space, d.net, std::move(plan)};
+}
+
+PlanAuditReport audit(const TileFixture& f, const UniformTilePlan& plan) {
+  return audit_tile_plan(plan, f.rec, f.timing, f.space, f.net, "mutant");
+}
+
+TEST(PlanAuditTest, CleanTilePlanCertifies) {
+  const auto f = lpgs_fixture();
+  const auto report = audit(f, f.plan);
+  EXPECT_TRUE(report.ok()) << report.first_violation();
+}
+
+TEST(PlanAuditTest, SwappedEpochsViolateEpochDisjoint) {
+  auto f = lpgs_fixture();
+  UniformTilePlan bad = f.plan;
+  ASSERT_GE(bad.segments.size(), 2u);
+  std::swap(bad.segments.front(), bad.segments.back());
+  const auto report = audit(f, bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("epoch-disjoint"))
+      << report.first_violation();
+}
+
+TEST(PlanAuditTest, InflatedTileDepthViolatesTileDepth) {
+  auto f = lpgs_fixture();
+  UniformTilePlan bad = f.plan;
+  // Claim a deeper buffer than the ledger was computed for: the
+  // recomputed reuse/refeed split no longer matches the stored stats.
+  bad.buffer_stats.refeeds += 1;
+  bad.buffer_stats.reuse_hits =
+      bad.buffer_stats.reuse_hits == 0 ? 0 : bad.buffer_stats.reuse_hits - 1;
+  const auto report = audit(f, bad);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(violated_suffixes(report).count("tile-depth"))
+      << report.first_violation();
+}
+
+TEST(PlanAuditTest, OversubscribedWindowViolatesWindow) {
+  auto f = lpgs_fixture();
+  UniformTilePlan bad = f.plan;
+  ASSERT_FALSE(bad.window_cells.empty());
+  bad.window_cells.pop_back();  // Some placed cell now falls outside.
+  const auto report = audit(f, bad);
+  EXPECT_FALSE(report.ok());
+  const auto suffixes = violated_suffixes(report);
+  EXPECT_TRUE(suffixes.count("window")) << report.first_violation();
+}
+
+// ---- Lint surfacing. ------------------------------------------------------
+
+TEST(PlanAuditTest, LintSurfacesViolationsWithFixits) {
+  const auto f = conv_fixture();
+  CompiledUniformPlan bad = *f.plan;
+  std::swap(bad.fronts[0], bad.fronts[1]);
+  bad.boundary.pop_back();
+  const auto lint = lint_plan_audit(audit(f, bad));
+  EXPECT_FALSE(lint.ok());
+  std::set<std::string> rules;
+  for (const auto& d : lint.diagnostics) {
+    EXPECT_EQ(d.severity, LintSeverity::kError);
+    EXPECT_FALSE(d.fixit.empty()) << d.rule;
+    rules.insert(d.rule);
+    // Every surfaced rule is registered.
+    const auto& registry = lint_rules();
+    EXPECT_TRUE(std::any_of(registry.begin(), registry.end(),
+                            [&](const LintRule& r) { return r.name == d.rule; }))
+        << d.rule;
+  }
+  EXPECT_TRUE(rules.count("plan-front-order"));
+  EXPECT_TRUE(rules.count("plan-boundary"));
+}
+
+// ---- Admission mode (NUSYS_AUDIT_PLANS). ----------------------------------
+
+TEST(PlanAuditTest, AdmissionCertifiesCleanAndRefusesCorruptPlans) {
+  const auto f = conv_fixture();
+  set_plan_audit_override(true);
+  const auto before = wavefront_plan_cache().stats();
+
+  // Clean plan: admitted, pass counted.
+  admit_uniform_plan(*f.plan, f.rec, f.timing, f.space, f.net);
+  auto stats = wavefront_plan_cache().stats();
+  EXPECT_EQ(stats.audit_passes, before.audit_passes + 1);
+  EXPECT_EQ(stats.audit_failures, before.audit_failures);
+
+  // Corrupt plan: refused, failure counted, obligation named.
+  CompiledUniformPlan bad = *f.plan;
+  std::swap(bad.fronts[0], bad.fronts[1]);
+  try {
+    admit_uniform_plan(bad, f.rec, f.timing, f.space, f.net);
+    FAIL() << "corrupt plan was admitted";
+  } catch (const DomainError& e) {
+    EXPECT_NE(std::string(e.what()).find("front-order"), std::string::npos)
+        << e.what();
+  }
+  stats = wavefront_plan_cache().stats();
+  EXPECT_EQ(stats.audit_failures, before.audit_failures + 1);
+
+  // DP admission takes the same gate.
+  const auto dp = dp_fixture();
+  detail::CompiledDPPlan dp_bad = *dp.plan;
+  dp_bad.compute_ops += 1;
+  EXPECT_THROW(detail::admit_dp_plan(dp_bad, dp.design, 0), DomainError);
+  EXPECT_NO_THROW(detail::admit_dp_plan(*dp.plan, dp.design, 0));
+
+  set_plan_audit_override(std::nullopt);
+}
+
+TEST(PlanAuditTest, AdmissionIsOffByDefaultOverride) {
+  const auto f = conv_fixture();
+  set_plan_audit_override(false);
+  const auto before = wavefront_plan_cache().stats();
+  CompiledUniformPlan bad = *f.plan;
+  std::swap(bad.fronts[0], bad.fronts[1]);
+  // With auditing forced off the gate is a no-op even on a corrupt plan.
+  EXPECT_NO_THROW(admit_uniform_plan(bad, f.rec, f.timing, f.space, f.net));
+  const auto after = wavefront_plan_cache().stats();
+  EXPECT_EQ(after.audit_passes, before.audit_passes);
+  EXPECT_EQ(after.audit_failures, before.audit_failures);
+  set_plan_audit_override(std::nullopt);
+}
+
+}  // namespace
+}  // namespace nusys

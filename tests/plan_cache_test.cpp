@@ -7,9 +7,11 @@
 // responses expose the plan-cache block and warm `execute` requests hit.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "conv/convolution.hpp"
@@ -455,6 +457,70 @@ TEST(PlanCacheTest, ServiceResynthesisInvalidatesTheExecutedPlans) {
   ASSERT_EQ(service.handle(request("b", 13)).status, ResponseStatus::kOk);
   set_engine_kind_override(std::nullopt);
   EXPECT_GT(wavefront_plan_cache().stats().invalidations, 0u);
+}
+
+// ---- Concurrency: the stats ledger stays coherent under contention. -------
+
+TEST(PlanCacheTest, ConcurrentLookupInsertInvalidateKeepStatsCoherent) {
+  struct DummyPlan : CachedPlan {
+    std::size_t bytes;
+    explicit DummyPlan(std::size_t b) : bytes(b) {}
+    [[nodiscard]] std::size_t plan_bytes() const noexcept override {
+      return bytes;
+    }
+  };
+  // A private instance with a small budget, so LRU eviction, design
+  // invalidation and replacement all actually fire under contention.
+  WavefrontPlanCache cache(16 * 1024);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::atomic<std::size_t> lookups{0};
+  std::atomic<std::size_t> snapshot_violations{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &lookups, &snapshot_violations, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int slot = (t * 7 + i) % 23;
+        const std::string key = "plan-" + std::to_string(slot);
+        ++lookups;
+        if (cache.lookup(key) == nullptr) {
+          const PlanOwnerScope scope("design-" + std::to_string(slot % 3));
+          cache.insert(key, std::make_shared<DummyPlan>(
+                                512 + static_cast<std::size_t>(i % 5) * 256));
+        }
+        if (i % 11 == 0) {
+          cache.invalidate_design("design-" + std::to_string(i % 3));
+        }
+        // Snapshot invariants must hold in EVERY interleaving. Counted
+        // instead of EXPECTed: gtest assertions are not thread-safe.
+        const PlanCacheStats snap = cache.stats();
+        const bool ok =
+            snap.bytes <= snap.capacity_bytes &&
+            snap.entries <= snap.insertions &&
+            snap.evictions + snap.invalidations <= snap.insertions &&
+            snap.hits + snap.misses >= snap.misses;  // No underflow wrap.
+        if (!ok) ++snapshot_violations;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(snapshot_violations.load(), 0u);
+  const PlanCacheStats final_stats = cache.stats();
+  // Every lookup was counted exactly once, as a hit or as a miss.
+  EXPECT_EQ(final_stats.hits + final_stats.misses, lookups.load());
+  // Inserts only ever followed misses; drops never exceed inserts.
+  EXPECT_LE(final_stats.insertions, final_stats.misses);
+  EXPECT_LE(final_stats.evictions + final_stats.invalidations,
+            final_stats.insertions);
+  EXPECT_LE(final_stats.entries, final_stats.insertions);
+  EXPECT_LE(final_stats.bytes, final_stats.capacity_bytes);
+  cache.clear();
+  const PlanCacheStats cleared = cache.stats();
+  EXPECT_EQ(cleared.entries, 0u);
+  EXPECT_EQ(cleared.bytes, 0u);
 }
 
 }  // namespace

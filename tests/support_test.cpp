@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "support/checked.hpp"
+#include "support/env.hpp"
 #include "support/errors.hpp"
 #include "support/fraction.hpp"
 #include "support/rng.hpp"
@@ -199,6 +200,53 @@ TEST(ErrorsTest, ValidateThrowsDomainError) {
 TEST(ErrorsTest, HierarchyIsCatchableAsError) {
   EXPECT_THROW(throw SearchFailure("none"), Error);
   EXPECT_THROW(throw DomainError("bad"), Error);
+}
+
+// ---- Strict NUSYS_* environment parsing (support/env.hpp). ----------------
+
+TEST(EnvTest, FlagGrammarAcceptsOnlyZeroOneAndUnset) {
+  EXPECT_EQ(parse_env_flag("NUSYS_T", nullptr), std::nullopt);
+  EXPECT_EQ(parse_env_flag("NUSYS_T", ""), std::nullopt);
+  EXPECT_EQ(parse_env_flag("NUSYS_T", "0"), std::optional<bool>(false));
+  EXPECT_EQ(parse_env_flag("NUSYS_T", "1"), std::optional<bool>(true));
+}
+
+TEST(EnvTest, MalformedFlagIsRejectedNotDefaulted) {
+  for (const char* bad : {"yes", "true", "on", "2", "01", " 1", "1 "}) {
+    try {
+      (void)parse_env_flag("NUSYS_DISABLE_SIMD", bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const DomainError& e) {
+      // The diagnostic names the variable, the text and the grammar.
+      const std::string what = e.what();
+      EXPECT_NE(what.find("NUSYS_DISABLE_SIMD"), std::string::npos) << bad;
+      EXPECT_NE(what.find(bad), std::string::npos);
+      EXPECT_NE(what.find("1 (on)"), std::string::npos);
+    }
+  }
+}
+
+TEST(EnvTest, ByteGrammarAcceptsPlainDecimalOnly) {
+  EXPECT_EQ(parse_env_bytes("NUSYS_B", nullptr), std::nullopt);
+  EXPECT_EQ(parse_env_bytes("NUSYS_B", ""), std::nullopt);
+  EXPECT_EQ(parse_env_bytes("NUSYS_B", "0"), std::optional<std::size_t>(0));
+  EXPECT_EQ(parse_env_bytes("NUSYS_B", "268435456"),
+            std::optional<std::size_t>(268435456));
+}
+
+TEST(EnvTest, MalformedByteCountIsRejectedNotDefaulted) {
+  for (const char* bad :
+       {"256M", "1e6", "-1", "0x10", " 64", "64 ", "12_000",
+        "99999999999999999999999999"}) {
+    try {
+      (void)parse_env_bytes("NUSYS_PLAN_CACHE_BYTES", bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const DomainError& e) {
+      EXPECT_NE(std::string(e.what()).find("NUSYS_PLAN_CACHE_BYTES"),
+                std::string::npos)
+          << bad;
+    }
+  }
 }
 
 }  // namespace

@@ -212,8 +212,30 @@ def compare(baseline: dict, current: dict, binaries: set[str],
     return problems, records
 
 
+# Plan-cache counters the compiled-backend benches emit; the json summary
+# rolls them up so the CI artifact answers "did the cache actually work
+# this run" without digging through raw bench JSON.
+PLAN_CACHE_COUNTERS = ("plan_hits", "plan_misses", "plan_evictions",
+                       "plan_bytes")
+
+
+def plan_cache_summary(current: dict) -> dict:
+    """Per-benchmark and total plan-cache counters of this run."""
+    benchmarks: dict[str, dict[str, float]] = {}
+    totals: dict[str, float] = {}
+    for name, counters in sorted(current.items()):
+        picked = {c: counters[c] for c in PLAN_CACHE_COUNTERS
+                  if c in counters}
+        if not picked:
+            continue
+        benchmarks[name] = picked
+        for counter, value in picked.items():
+            totals[counter] = totals.get(counter, 0.0) + value
+    return {"totals": totals, "benchmarks": benchmarks}
+
+
 def write_json_summary(records: list[dict], failed: bool,
-                       path: Path) -> None:
+                       current: dict, path: Path) -> None:
     """The machine-readable gate outcome (the bench-gate-summary artifact)."""
     counts: dict[str, int] = {}
     for record in records:
@@ -223,6 +245,7 @@ def write_json_summary(records: list[dict], failed: bool,
         "tolerance": TOLERANCE,
         "timing_tolerance": TIMING_TOLERANCE,
         "counts": counts,
+        "plan_cache": plan_cache_summary(current),
         "entries": records,
     }
     path.write_text(json.dumps(doc, indent=2) + "\n")
@@ -304,7 +327,7 @@ def main() -> int:
                                 allow_missing=args.allow_missing)
     if args.json_summary is not None:
         write_json_summary(records, failed=bool(problems),
-                           path=args.json_summary)
+                           current=current, path=args.json_summary)
     if problems:
         print(f"bench gate FAILED: {len(problems)} violation(s)")
         for p in problems:

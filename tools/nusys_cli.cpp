@@ -33,6 +33,18 @@
 //       the extensional verifier; --json emits the full diagnostics
 //       document (lint + certificates + counters). Exit 0 iff everything
 //       is certified and lint-clean.
+//   nusys audit [--family mm|lu|fw|sw] [--n 8] [--m M] [--p P] [--band B]
+//               [--net ...] [--batch jobs.jsonl] [--tile PxQ]
+//               [--tile-mode auto|lsgp|lpgs] [--tile-depth D] [--json]
+//       Statically audit the compiled plan of a synthesized design
+//       (analysis/plan_audit.hpp): every structural obligation — front
+//       order, anti-chains, domain coverage, consumer wiring, eq. (3)
+//       routing, slot aliasing, boundary lists, byte accounting, and the
+//       tile epoch/ledger/window catalogue under --tile — is certified
+//       or violated with a counterexample and a fix-it hint. --batch
+//       audits every problem of a corpus; --json emits the certificate
+//       documents. Exit 0 iff every obligation of every plan is
+//       certified.
 //   nusys batch --batch jobs.jsonl [--threads N] [--cache designs.cache]
 //               [--cache-capacity 128] [--execute]
 //       Synthesize a JSONL stream of problems through one shared canonical
@@ -76,7 +88,10 @@
 #include "frontends/lu.hpp"
 #include "frontends/matmul.hpp"
 #include "frontends/smith_waterman.hpp"
+#include "designs/dp_plan.hpp"
+#include "designs/uniform_plan.hpp"
 #include "partition/dp_tiling.hpp"
+#include "partition/tile_plan.hpp"
 #include "partition/tile.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
@@ -417,6 +432,104 @@ int cmd_analyze(const ArgMap& args) {
   return all_ok ? 0 : 1;
 }
 
+int cmd_audit(const ArgMap& args) {
+  const bool as_json = args.has("json");
+  const TileOptions tile = parse_tile_options(args);
+  bool all_ok = true;
+  std::size_t audited = 0;
+  JsonValue items{JsonValue::Array{}};
+
+  const auto emit = [&](const PlanAuditReport& report) {
+    ++audited;
+    all_ok = all_ok && report.ok();
+    const LintReport lint = lint_plan_audit(report);
+    if (as_json) {
+      JsonValue doc = report.to_json();
+      doc.set("lint", lint.to_json());
+      items.push_back(std::move(doc));
+    } else {
+      std::cout << "== " << report.certificate.design << " ==\n  "
+                << report.summary() << '\n';
+      for (const auto& d : lint.diagnostics) {
+        std::cout << "  [" << lint_severity_name(d.severity) << "] " << d.rule
+                  << ": " << d.message << '\n';
+        if (!d.fixit.empty()) {
+          std::cout << "      fix-it: " << d.fixit << '\n';
+        }
+      }
+    }
+  };
+
+  const auto audit_problem = [&](const auto& p) {
+    const auto net = batch_interconnect(p);
+    if (batch_uses_pipeline(p)) {
+      const auto result =
+          synthesize_nonuniform(batch_spec(p), net, NonUniformSynthesisOptions{});
+      if (!result.found()) {
+        std::cerr << "'" << p.name << "' found no design to audit\n";
+        all_ok = false;
+        return;
+      }
+      const DPArrayDesign design = tile.enabled()
+                                       ? tiled_dp_design(result.best(), p.n, tile)
+                                       : result.best();
+      const auto plan = detail::build_dp_plan(design, p.n, 1, 0);
+      emit(audit_dp_plan(*plan, design, 0, p.name));
+    } else {
+      const auto rec = batch_recurrence(p);
+      const auto result = synthesize(rec, net);
+      if (!result.found()) {
+        std::cerr << "'" << p.name << "' found no design to audit\n";
+        all_ok = false;
+        return;
+      }
+      const auto& d = result.designs.front();
+      const auto plan = build_uniform_plan(rec, d.timing, d.space, d.net);
+      emit(audit_uniform_plan(*plan, rec, d.timing, d.space, d.net, p.name));
+      if (tile.enabled()) {
+        const auto tplan =
+            build_uniform_tile_plan(rec, d.timing, d.space, d.net, tile);
+        emit(audit_tile_plan(tplan, rec, d.timing, d.space, d.net,
+                             p.name + " " + tile_shape_name(tile)));
+      }
+    }
+  };
+
+  const std::string batch_path = args.get("batch", "");
+  if (!batch_path.empty()) {
+    std::ifstream in(batch_path);
+    if (!in) {
+      std::cerr << "cannot open batch file '" << batch_path << "'\n";
+      return 1;
+    }
+    for (const auto& p : parse_batch_jsonl(in)) audit_problem(p);
+  } else {
+    const Family family = parse_family(args.get("family", "mm"));
+    std::map<std::string, std::string> fields;
+    fields["kind"] = family_name(family);
+    fields["n"] = std::to_string(args.get_int("n", 8));
+    if (args.has("m")) fields["m"] = std::to_string(args.get_int("m", 0));
+    if (args.has("p")) fields["p"] = std::to_string(args.get_int("p", 0));
+    if (args.has("band")) {
+      fields["band"] = std::to_string(args.get_int("band", 2));
+    }
+    if (args.has("net")) fields["net"] = args.get("net", "");
+    audit_problem(parse_batch_problem(fields, 1));
+  }
+
+  if (as_json) {
+    JsonValue doc;
+    doc.set("ok", all_ok);
+    doc.set("plans", audited);
+    doc.set("items", std::move(items));
+    std::cout << doc.dump() << '\n';
+  } else {
+    std::cout << (all_ok ? "AUDIT OK" : "AUDIT FAILED") << " (" << audited
+              << " plan(s))\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
 int cmd_batch(const ArgMap& args) {
   const std::string path = args.get("batch", "");
   NUSYS_REQUIRE(!path.empty(), "batch needs --batch <file.jsonl>");
@@ -608,12 +721,13 @@ int main(int argc, char** argv) {
     if (cmd == "figures") return cmd_figures(args);
     if (cmd == "pipeline") return cmd_pipeline(args);
     if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "audit") return cmd_audit(args);
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "request") return cmd_request(args);
     std::cout << "usage: nusys "
-                 "<synth-conv|synth|dp|figures|pipeline|analyze|batch|serve|"
-                 "request> [flags]\n"
+                 "<synth-conv|synth|dp|figures|pipeline|analyze|audit|batch|"
+                 "serve|request> [flags]\n"
                  "see the header of tools/nusys_cli.cpp for the flag list\n";
     return cmd == "help" ? 0 : 1;
   } catch (const nusys::Error& e) {
